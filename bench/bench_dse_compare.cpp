@@ -1,0 +1,72 @@
+// Reproduces §4.3's comparison: FlexCL + exhaustive search versus the
+// step-by-step heuristic of Wang et al. [16] on PolyBench. The paper: 96% of
+// the configurations found by FlexCL-exhaustive are optimal versus 12% for
+// the heuristic.
+//
+// "Optimal" here = within 2.5% of the System-Run optimum: the simulator
+// realises each design with its own (deterministic) IP-latency spread, so
+// near-tied designs reorder by a few percent — a noise floor the paper's
+// real board does not have per-design.
+#include <cstdio>
+
+#include "dse/heuristic16.h"
+#include "harness.h"
+
+using namespace flexcl;
+
+int main() {
+  std::printf("Exhaustive FlexCL vs step-by-step heuristic [16] (paper §4.3)\n\n");
+  std::printf("| %-22s | %-10s | %-10s | %12s | %12s |\n", "kernel",
+              "FlexCL opt", "[16] opt", "FlexCL gap%%", "[16] gap%%");
+  std::printf(
+      "|------------------------|------------|------------|--------------|"
+      "--------------|\n");
+
+  model::FlexCl flexcl(model::Device::virtex7());
+  int flexclOptimal = 0, heuristicOptimal = 0, evaluated = 0;
+
+  for (const workloads::Workload& w : workloads::polybenchSuite()) {
+    bench::KernelRun run = bench::exploreWorkload(w, flexcl);
+    if (!run.ok) {
+      std::printf("| %-22s | FAILED: %s\n", w.fullName().c_str(),
+                  run.error.c_str());
+      continue;
+    }
+
+    // Heuristic pick, evaluated on the ground truth.
+    dse::Explorer explorer(flexcl, run.compiled->launch());
+    const auto space = dse::enumerateDesignSpace(
+        run.compiled->meta.range, explorer.kernelHasBarriers());
+    const dse::HeuristicResult heuristic =
+        dse::heuristicSearch(flexcl, run.compiled->launch(), space);
+    const double heuristicSim = explorer.simulateDesign(heuristic.chosen);
+
+    const double best =
+        run.result.designs[static_cast<std::size_t>(run.result.bestBySim)]
+            .simCycles;
+    const double flexclGap = run.result.pickGapPct;
+    const double heuristicGap =
+        best > 0 ? (heuristicSim / best - 1.0) * 100.0 : 0.0;
+
+    const bool flexclOpt = flexclGap <= 2.5;
+    const bool heuristicOpt = heuristicGap <= 2.5;
+    flexclOptimal += flexclOpt ? 1 : 0;
+    heuristicOptimal += heuristicOpt ? 1 : 0;
+    ++evaluated;
+
+    std::printf("| %-22s | %-10s | %-10s | %12.2f | %12.2f |\n",
+                w.fullName().c_str(), flexclOpt ? "yes" : "no",
+                heuristicOpt ? "yes" : "no", flexclGap, heuristicGap);
+    std::fflush(stdout);
+  }
+
+  if (evaluated > 0) {
+    std::printf(
+        "\nOptimal configurations found: FlexCL-exhaustive %d/%d (%.0f%%), "
+        "heuristic [16] %d/%d (%.0f%%)\n",
+        flexclOptimal, evaluated, 100.0 * flexclOptimal / evaluated,
+        heuristicOptimal, evaluated, 100.0 * heuristicOptimal / evaluated);
+    std::printf("(paper: 96%% vs 12%%)\n");
+  }
+  return 0;
+}

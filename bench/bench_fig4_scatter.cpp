@@ -1,0 +1,69 @@
+// Reproduces Figure 4: estimated (FlexCL) versus actual (System Run)
+// performance for every design solution of hotspot3D and nn. The paper's
+// takeaway — low error not just on average but per design point — is checked
+// by printing the per-design series plus the error distribution.
+#include <cstdio>
+
+#include <algorithm>
+#include <numeric>
+
+#include "harness.h"
+
+using namespace flexcl;
+
+namespace {
+
+void scatterFor(const char* benchmark, const char* kernel,
+                model::FlexCl& flexcl) {
+  const workloads::Workload* w = workloads::findWorkload("rodinia", benchmark,
+                                                         kernel);
+  if (!w) {
+    std::printf("workload %s/%s missing\n", benchmark, kernel);
+    return;
+  }
+  bench::KernelRun run = bench::exploreWorkload(*w, flexcl);
+  if (!run.ok) {
+    std::printf("%s failed: %s\n", w->fullName().c_str(), run.error.c_str());
+    return;
+  }
+
+  std::printf("\nFigure 4 series: %s (%zu design points)\n",
+              w->fullName().c_str(), run.designs);
+  std::printf("| %4s | %-44s | %12s | %12s | %7s |\n", "id", "configuration",
+              "actual (cyc)", "FlexCL (cyc)", "err %%");
+  std::printf("|------|%s|--------------|--------------|---------|\n",
+              std::string(46, '-').c_str());
+
+  // Sort by actual performance so the plot reads like the paper's figure.
+  std::vector<const dse::EvaluatedDesign*> ordered;
+  for (const auto& d : run.result.designs) ordered.push_back(&d);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->simCycles < b->simCycles; });
+
+  std::vector<double> errors;
+  int id = 0;
+  for (const auto* d : ordered) {
+    const double err = d->flexclErrorPct();
+    errors.push_back(err);
+    std::printf("| %4d | %-44s | %12.0f | %12.0f | %7.1f |\n", id++,
+                d->design.str().c_str(), d->simCycles, d->flexclCycles, err);
+  }
+
+  std::sort(errors.begin(), errors.end());
+  const double avg =
+      std::accumulate(errors.begin(), errors.end(), 0.0) / errors.size();
+  std::printf(
+      "error distribution: avg %.1f%%  p50 %.1f%%  p90 %.1f%%  max %.1f%%\n",
+      avg, errors[errors.size() / 2], errors[errors.size() * 9 / 10],
+      errors.back());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4: FlexCL estimate vs actual per design point\n");
+  model::FlexCl flexcl(model::Device::virtex7());
+  scatterFor("hotspot3D", "hotspot3D", flexcl);
+  scatterFor("nn", "nn", flexcl);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks of the model's building blocks (google-benchmark): how
+// fast a single design-point evaluation is, and where the time goes. This
+// substantiates the paper's "rapid exploration ... within seconds" claim at
+// the component level.
+#include <benchmark/benchmark.h>
+
+#include "cdfg/cdfg.h"
+#include "dse/design_space.h"
+#include "ir/lower.h"
+#include "model/flexcl.h"
+#include "sched/sms.h"
+#include "sim/system_sim.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace flexcl;
+
+struct Shared {
+  std::shared_ptr<workloads::CompiledWorkload> workload;
+  std::unique_ptr<model::FlexCl> flexcl;
+  interp::KernelProfile profile;
+  cdfg::KernelAnalysis analysis;
+  sim::SimInput simInput;
+
+  Shared() {
+    const workloads::Workload* w = workloads::findWorkload("rodinia", "hotspot",
+                                                           "hotspot");
+    auto compiled = workloads::compileWorkload(*w);
+    workload = std::make_shared<workloads::CompiledWorkload>(std::move(*compiled));
+    flexcl = std::make_unique<model::FlexCl>(model::Device::virtex7());
+    model::DesignPoint dp;
+    profile = flexcl->profileFor(workload->launch(), dp);
+    analysis = flexcl->analysisFor(workload->launch(), dp);
+    simInput = sim::prepareSimInput(
+        *workload->fn, model::FlexCl::rangeFor(workload->launch(), dp),
+        workload->args, workload->buffers);
+  }
+};
+
+Shared& shared() {
+  static Shared s;
+  return s;
+}
+
+void BM_CompileKernel(benchmark::State& state) {
+  const workloads::Workload* w =
+      workloads::findWorkload("rodinia", "hotspot", "hotspot");
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto compiled = ir::compileOpenCl(w->source, diags, w->defines);
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_CompileKernel);
+
+void BM_KernelAnalysis(benchmark::State& state) {
+  Shared& s = shared();
+  for (auto _ : state) {
+    auto analysis = cdfg::analyzeKernel(
+        *s.workload->fn, model::OpLatencyDb::virtex7(), sched::ResourceBudget{},
+        &s.profile);
+    benchmark::DoNotOptimize(analysis);
+  }
+}
+BENCHMARK(BM_KernelAnalysis);
+
+void BM_SwingModuloSchedule(benchmark::State& state) {
+  Shared& s = shared();
+  for (auto _ : state) {
+    auto result =
+        sched::swingModuloSchedule(s.analysis.pipeline, sched::ResourceBudget{});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SwingModuloSchedule);
+
+void BM_DramCalibration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto table = dram::calibratePatternLatencies(dram::DramConfig{});
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_DramCalibration);
+
+void BM_FlexClEstimate(benchmark::State& state) {
+  Shared& s = shared();
+  model::DesignPoint dp;
+  dp.peParallelism = 2;
+  dp.numComputeUnits = 2;
+  for (auto _ : state) {
+    auto est = s.flexcl->estimate(s.workload->launch(), dp);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_FlexClEstimate);
+
+void BM_SystemSimulation(benchmark::State& state) {
+  Shared& s = shared();
+  model::DesignPoint dp;
+  dp.peParallelism = 2;
+  dp.numComputeUnits = 2;
+  for (auto _ : state) {
+    auto result = sim::simulate(s.simInput, s.flexcl->device(), dp);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SystemSimulation);
+
+void BM_DesignSpaceEnumeration(benchmark::State& state) {
+  interp::NdRange range;
+  range.global = {1024, 1, 1};
+  for (auto _ : state) {
+    auto space = dse::enumerateDesignSpace(range, false);
+    benchmark::DoNotOptimize(space);
+  }
+}
+BENCHMARK(BM_DesignSpaceEnumeration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Reproduces §4.2's PolyBench accuracy result: "the average absolute
+// performance estimation error of FlexCL is 8.7%" over the suite's design
+// spaces, compared against the System-Run substitute.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace flexcl;
+
+int main() {
+  std::printf("PolyBench accuracy (paper §4.2: FlexCL avg abs error 8.7%%)\n\n");
+
+  model::FlexCl flexcl(model::Device::virtex7());
+  bench::printTable2Header();
+
+  std::vector<bench::KernelRun> runs;
+  for (const workloads::Workload& w : workloads::polybenchSuite()) {
+    bench::KernelRun run = bench::exploreWorkload(w, flexcl);
+    bench::printTable2Row(run);
+    std::fflush(stdout);
+    runs.push_back(std::move(run));
+  }
+
+  bench::printSummary("PolyBench summary (paper §4.2)", bench::summarize(runs));
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "harness.h"
+
+#include <cstdio>
+
+namespace flexcl::bench {
+
+KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& flexcl,
+                          const dse::SpaceOptions& options) {
+  KernelRun run;
+  run.benchmark = workload.benchmark;
+  run.kernel = workload.kernel;
+
+  std::string error;
+  auto compiled = workloads::compileWorkload(workload, &error);
+  if (!compiled) {
+    run.error = error;
+    return run;
+  }
+  run.compiled =
+      std::make_shared<workloads::CompiledWorkload>(std::move(*compiled));
+
+  dse::Explorer explorer(flexcl, run.compiled->launch());
+  const auto space = dse::enumerateDesignSpace(
+      run.compiled->meta.range, explorer.kernelHasBarriers(), options);
+  if (space.empty()) {
+    run.error = "empty design space";
+    return run;
+  }
+  run.designs = space.size();
+  run.result = explorer.explore(space);
+  run.ok = true;
+  return run;
+}
+
+void printTable2Header() {
+  std::printf(
+      "| %-14s | %-11s | %8s | %12s | %11s | %10s | %13s | %11s | %11s |\n",
+      "Benchmark", "Kernel", "#Designs", "SDAccel err%", "FlexCL err%",
+      "SDAcc fail%", "SystemRun (s)", "SDAcc (min)", "FlexCL (s)");
+  std::printf(
+      "|----------------|-------------|----------|--------------|-------------|"
+      "------------|---------------|-------------|-------------|\n");
+}
+
+void printTable2Row(const KernelRun& run) {
+  if (!run.ok) {
+    std::printf("| %-14s | %-11s | FAILED: %s\n", run.benchmark.c_str(),
+                run.kernel.c_str(), run.error.c_str());
+    return;
+  }
+  std::printf(
+      "| %-14s | %-11s | %8zu | %12.1f | %11.1f | %10.1f | %13.2f | %11.1f | "
+      "%11.3f |\n",
+      run.benchmark.c_str(), run.kernel.c_str(), run.designs,
+      run.result.avgSdaccelErrorPct, run.result.avgFlexclErrorPct,
+      run.result.sdaccelFailRatePct, run.result.simSeconds,
+      run.result.sdaccelMinutes, run.result.flexclSeconds);
+}
+
+SuiteSummary summarize(const std::vector<KernelRun>& runs) {
+  SuiteSummary s;
+  for (const KernelRun& run : runs) {
+    if (!run.ok) continue;
+    s.avgFlexclErrPct += run.result.avgFlexclErrorPct;
+    s.avgSdaccelErrPct += run.result.avgSdaccelErrorPct;
+    s.avgSdaccelFailPct += run.result.sdaccelFailRatePct;
+    s.avgPickGapPct += run.result.pickGapPct;
+    s.avgSpeedup += run.result.speedupVsBaseline;
+    s.totalFlexclSeconds += run.result.flexclSeconds;
+    s.totalSimSeconds += run.result.simSeconds;
+    s.totalSdaccelMinutes += run.result.sdaccelMinutes;
+    ++s.kernels;
+  }
+  if (s.kernels > 0) {
+    s.avgFlexclErrPct /= s.kernels;
+    s.avgSdaccelErrPct /= s.kernels;
+    s.avgSdaccelFailPct /= s.kernels;
+    s.avgPickGapPct /= s.kernels;
+    s.avgSpeedup /= s.kernels;
+  }
+  return s;
+}
+
+void printSummary(const char* title, const SuiteSummary& s) {
+  std::printf("\n%s\n", title);
+  std::printf("  kernels evaluated            : %d\n", s.kernels);
+  std::printf("  avg FlexCL abs error         : %.1f%%  (paper: 9.5%% Rodinia / 8.7%% PolyBench)\n",
+              s.avgFlexclErrPct);
+  std::printf("  avg SDAccel abs error        : %.1f%%  (paper: 30.4%% - 84.9%%)\n",
+              s.avgSdaccelErrPct);
+  std::printf("  avg SDAccel failure rate     : %.1f%%  (paper: ~42%%)\n",
+              s.avgSdaccelFailPct);
+  std::printf("  avg FlexCL pick gap          : %.2f%%  (paper: within 2.1%% of optimal)\n",
+              s.avgPickGapPct);
+  std::printf("  avg speedup vs unoptimised   : %.0fx   (paper: 273x)\n", s.avgSpeedup);
+  std::printf("  exploration time, System Run : %.1f s (paper: hours per kernel on real synthesis)\n",
+              s.totalSimSeconds);
+  std::printf("  exploration time, SDAccel    : %.0f modelled minutes\n",
+              s.totalSdaccelMinutes);
+  std::printf("  exploration time, FlexCL     : %.2f s\n", s.totalFlexclSeconds);
+  if (s.totalFlexclSeconds > 0) {
+    std::printf("  FlexCL speedup vs System Run : %.0fx (vs real synthesis: >10,000x)\n",
+                s.totalSimSeconds / s.totalFlexclSeconds);
+  }
+}
+
+}  // namespace flexcl::bench

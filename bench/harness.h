@@ -1,0 +1,48 @@
+// Shared harness for the paper-reproduction benches: runs one workload's
+// full design space through FlexCL, the System-Run substitute, and the
+// SDAccel-style estimator, and aggregates the Table-2 style metrics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/explorer.h"
+#include "workloads/workload.h"
+
+namespace flexcl::bench {
+
+struct KernelRun {
+  std::string benchmark;
+  std::string kernel;
+  bool ok = false;
+  std::string error;
+  std::size_t designs = 0;
+  dse::ExplorationResult result;
+  /// Keeps the compiled workload alive (the result references its buffers).
+  std::shared_ptr<workloads::CompiledWorkload> compiled;
+};
+
+/// Explores the workload's design space with all three evaluators.
+KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& flexcl,
+                          const dse::SpaceOptions& options = {});
+
+/// Renders one Table-2 style row: kernel, #designs, errors, times.
+void printTable2Header();
+void printTable2Row(const KernelRun& run);
+
+struct SuiteSummary {
+  double avgFlexclErrPct = 0;
+  double avgSdaccelErrPct = 0;
+  double avgSdaccelFailPct = 0;
+  double avgPickGapPct = 0;
+  double avgSpeedup = 0;
+  double totalFlexclSeconds = 0;
+  double totalSimSeconds = 0;
+  double totalSdaccelMinutes = 0;
+  int kernels = 0;
+};
+
+SuiteSummary summarize(const std::vector<KernelRun>& runs);
+void printSummary(const char* title, const SuiteSummary& summary);
+
+}  // namespace flexcl::bench

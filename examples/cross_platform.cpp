@@ -1,0 +1,60 @@
+// Cross-platform what-if analysis (paper §1: FlexCL can "make performance
+// comparison across heterogeneous architecture" and §4.2's robustness study).
+//
+// Estimates the same kernels at the same design points on the Virtex-7 board
+// and the UltraScale KU060 board, showing how the platform parameters (IP
+// latencies, DSP/BRAM budget, dispatch overhead) shift the prediction — no
+// re-synthesis required.
+//
+//   $ ./cross_platform
+#include <cstdio>
+
+#include "model/flexcl.h"
+#include "workloads/workload.h"
+
+using namespace flexcl;
+
+int main() {
+  const std::pair<const char*, std::pair<const char*, const char*>> picks[] = {
+      {"rodinia", {"hotspot", "hotspot"}},
+      {"rodinia", {"lavaMD", "lavaMD"}},
+      {"rodinia", {"kmeans", "center"}},
+      {"polybench", {"gemm", "gemm"}},
+      {"polybench", {"atax", "atax"}},
+  };
+
+  model::FlexCl v7(model::Device::virtex7());
+  model::FlexCl ku(model::Device::ku060());
+
+  model::DesignPoint dp;
+  dp.workGroupSize = {64, 1, 1};
+  dp.peParallelism = 4;
+  dp.numComputeUnits = 2;
+
+  std::printf("Same kernel, same design point, two boards (cycles @200 MHz):\n\n");
+  std::printf("| %-22s | %14s | %14s | %8s |\n", "kernel", "virtex7",
+              "ku060", "delta");
+  std::printf("|------------------------|----------------|----------------|----------|\n");
+
+  for (const auto& [suite, bk] : picks) {
+    const workloads::Workload* w = workloads::findWorkload(suite, bk.first,
+                                                           bk.second);
+    if (!w) continue;
+    auto compiled = workloads::compileWorkload(*w);
+    if (!compiled) continue;
+    const model::LaunchInfo launch = compiled->launch();
+    const model::Estimate a = v7.estimate(launch, dp);
+    const model::Estimate b = ku.estimate(launch, dp);
+    if (!a.ok || !b.ok) continue;
+    std::printf("| %-22s | %14.0f | %14.0f | %+7.1f%% |\n", w->fullName().c_str(),
+                a.cycles, b.cycles, (b.cycles / a.cycles - 1.0) * 100.0);
+  }
+
+  std::printf(
+      "\nThe KU060's shorter floating-point pipelines shrink compute-bound\n"
+      "kernels, while its smaller DSP/BRAM budget can clamp PE/CU replication\n"
+      "for multiplier-heavy ones, and memory-bound kernels barely move (same\n"
+      "DDR3 subsystem). This is the kind of pre-purchase what-if the paper\n"
+      "positions FlexCL for.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Heterogeneous what-if: FPGA vs GPU for the same OpenCL kernels (paper §1:
+// FlexCL can "make performance comparison across heterogenous architecture
+// (GPUs v.s. FPGAs)").
+//
+// For each kernel, the FPGA side explores its design space and reports the
+// best configuration FlexCL finds; the GPU side applies the roofline
+// estimate to the same analysis/profile. The point is the *decision* — which
+// kernels are worth porting where — not exact GPU cycles.
+//
+//   $ ./gpu_vs_fpga
+#include <cstdio>
+
+#include "dse/explorer.h"
+#include "model/gpu_model.h"
+#include "workloads/workload.h"
+
+using namespace flexcl;
+
+int main() {
+  const std::pair<const char*, std::pair<const char*, const char*>> picks[] = {
+      {"rodinia", {"lavaMD", "lavaMD"}},     // compute-heavy, exp() per pair
+      {"rodinia", {"kmeans", "center"}},     // distance loops, streaming reads
+      {"rodinia", {"nn", "nn"}},             // trivially parallel, tiny compute
+      {"polybench", {"gemm", "gemm"}},       // classic dense compute
+      {"polybench", {"atax", "atax"}},       // bandwidth-bound matvec
+  };
+
+  model::FlexCl flexcl(model::Device::virtex7());
+  const model::GpuDevice gpu = model::GpuDevice::kepler();
+
+  // Typical board powers for the energy comparison: the ADM-PCIE-7V3 draws
+  // ~25 W under load, a GTX-780-class GPU ~250 W.
+  const double fpgaWatts = 25.0, gpuWatts = 250.0;
+
+  std::printf("Best-FPGA-design vs GPU roofline (same kernels, same inputs):\n\n");
+  std::printf("| %-22s | %12s | %12s | %-12s | %12s | %12s |\n", "kernel",
+              "FPGA (ms)", "GPU (ms)", "GPU regime", "FPGA (mJ)", "GPU (mJ)");
+  std::printf(
+      "|------------------------|--------------|--------------|--------------|"
+      "--------------|--------------|\n");
+
+  for (const auto& [suite, bk] : picks) {
+    const workloads::Workload* w = workloads::findWorkload(suite, bk.first,
+                                                           bk.second);
+    if (!w) continue;
+    auto compiled = workloads::compileWorkload(*w);
+    if (!compiled) continue;
+    const model::LaunchInfo launch = compiled->launch();
+
+    // FPGA: best configuration over the design space (model-ranked).
+    dse::Explorer explorer(flexcl, launch);
+    const auto space = dse::enumerateDesignSpace(launch.range,
+                                                 explorer.kernelHasBarriers());
+    double bestFpga = 0;
+    for (const model::DesignPoint& dp : space) {
+      const model::Estimate est = flexcl.estimate(launch, dp);
+      if (est.ok && (bestFpga == 0 || est.milliseconds < bestFpga)) {
+        bestFpga = est.milliseconds;
+      }
+    }
+
+    // GPU: roofline from the same profile and analysis.
+    const model::DesignPoint probe;
+    const cdfg::KernelAnalysis analysis = flexcl.analysisFor(launch, probe);
+    const interp::KernelProfile& profile = flexcl.profileFor(launch, probe);
+    const model::GpuEstimate gpuEst =
+        model::estimateGpu(analysis, profile, launch.range, gpu);
+    if (!gpuEst.ok || bestFpga <= 0) continue;
+
+    std::printf("| %-22s | %12.4f | %12.4f | %-12s | %12.4f | %12.4f |\n",
+                w->fullName().c_str(), bestFpga, gpuEst.milliseconds,
+                gpuEst.memoryBound ? "memory" : "compute",
+                bestFpga * fpgaWatts, gpuEst.milliseconds * gpuWatts);
+  }
+
+  std::printf(
+      "\nReading: on raw throughput a 2013 big-die GPU outruns a handful of\n"
+      "200 MHz custom pipelines — which is historically accurate; FPGAs won\n"
+      "deployments on energy per op and latency, which is why the energy\n"
+      "columns (time x typical board power) are the interesting ones, and why\n"
+      "the regime column matters: a memory-bound kernel will not benefit from\n"
+      "the FPGA's pipelining no matter how many PEs you spend. The GPU side is\n"
+      "a first-order roofline (occupancy, caches, divergence ignored) over the\n"
+      "scaled-down inputs — treat it as architecture triage, not a benchmark.\n");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// 1D 3-tap blur: the CLI walkthrough kernel.
+//
+//   flexcl estimate examples/kernels/blur.cl blur --global 2048 --wg 128 \
+//       --pe 4 --cu 2 --sim
+__kernel void blur(__global const float* in, __global float* out, int n) {
+  int i = get_global_id(0);
+  float c = in[i];
+  float l = c;
+  float r = c;
+  if (i > 0) { l = in[i - 1]; }
+  if (i < n - 1) { r = in[i + 1]; }
+  out[i] = 0.25f * l + 0.5f * c + 0.25f * r;
+}

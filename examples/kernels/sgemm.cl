@@ -1,0 +1,16 @@
+// Dense matrix multiply with a compile-time size (see --wg-y for 2D groups).
+//
+//   flexcl estimate examples/kernels/sgemm.cl sgemm --global 32 --global-y 32 \
+//       --wg 8 --wg-y 8 --loop-pipeline --sim
+#define N 32
+
+__kernel void sgemm(__global const float* a, __global const float* b,
+                    __global float* c) {
+  int col = get_global_id(0);
+  int row = get_global_id(1);
+  float acc = 0.0f;
+  for (int k = 0; k < N; k++) {
+    acc += a[row * N + k] * b[k * N + col];
+  }
+  c[row * N + col] = acc;
+}

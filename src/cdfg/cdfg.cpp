@@ -1,0 +1,658 @@
+#include "cdfg/cdfg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cdfg/local_dependence.h"
+#include "sched/sms.h"
+
+namespace flexcl::cdfg {
+namespace {
+
+using ir::AddressSpace;
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Region;
+
+/// Memory access summary of a region: which bases it reads/writes, per
+/// address space. `unknown` wildcards the whole space.
+struct AccessSet {
+  std::unordered_set<const ir::Value*> bases[4];
+  bool unknown[4] = {false, false, false, false};
+
+  void add(AddressSpace space, const MemoryBase& base) {
+    const auto s = static_cast<std::size_t>(space);
+    if (base.kind == MemoryBase::Kind::Unknown) {
+      unknown[s] = true;
+    } else {
+      bases[s].insert(base.value);
+    }
+  }
+  void merge(const AccessSet& other) {
+    for (std::size_t s = 0; s < 4; ++s) {
+      unknown[s] = unknown[s] || other.unknown[s];
+      bases[s].insert(other.bases[s].begin(), other.bases[s].end());
+    }
+  }
+  [[nodiscard]] bool intersects(const AccessSet& other) const {
+    for (std::size_t s = 0; s < 4; ++s) {
+      const bool eitherHasAny =
+          unknown[s] || other.unknown[s] || !bases[s].empty() || !other.bases[s].empty();
+      if (!eitherHasAny) continue;
+      if ((unknown[s] && (other.unknown[s] || !other.bases[s].empty())) ||
+          (other.unknown[s] && !bases[s].empty())) {
+        return true;
+      }
+      for (const ir::Value* b : bases[s]) {
+        if (other.bases[s].count(b)) return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] bool empty() const {
+    for (std::size_t s = 0; s < 4; ++s) {
+      if (unknown[s] || !bases[s].empty()) return false;
+    }
+    return true;
+  }
+};
+
+struct RegionSummary {
+  WorkItemTotals totals;
+  AccessSet reads;
+  AccessSet writes;
+  std::unordered_set<const ir::Value*> defs;
+  std::unordered_set<const ir::Value*> uses;
+};
+
+WorkItemTotals& operator+=(WorkItemTotals& a, const WorkItemTotals& b) {
+  a.latency += b.latency;
+  a.localReads += b.localReads;
+  a.localWrites += b.localWrites;
+  a.globalReads += b.globalReads;
+  a.globalWrites += b.globalWrites;
+  a.dspUnits += b.dspUnits;
+  a.operations += b.operations;
+  return a;
+}
+
+WorkItemTotals scaled(const WorkItemTotals& t, double factor) {
+  WorkItemTotals r = t;
+  r.latency *= factor;
+  r.localReads *= factor;
+  r.localWrites *= factor;
+  r.globalReads *= factor;
+  r.globalWrites *= factor;
+  r.dspUnits *= factor;
+  r.operations *= factor;
+  return r;
+}
+
+WorkItemTotals elementwiseMax(const WorkItemTotals& a, const WorkItemTotals& b) {
+  WorkItemTotals r;
+  r.latency = std::max(a.latency, b.latency);
+  r.localReads = std::max(a.localReads, b.localReads);
+  r.localWrites = std::max(a.localWrites, b.localWrites);
+  r.globalReads = std::max(a.globalReads, b.globalReads);
+  r.globalWrites = std::max(a.globalWrites, b.globalWrites);
+  r.dspUnits = std::max(a.dspUnits, b.dspUnits);
+  r.operations = std::max(a.operations, b.operations);
+  return r;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const ir::Function& fn, const model::OpLatencyDb& latencies,
+           const sched::ResourceBudget& budget)
+      : fn_(fn), latencies_(latencies), budget_(budget) {}
+
+  KernelAnalysis run(const interp::KernelProfile* profile,
+                     const AnalyzeOptions& options);
+
+ private:
+  // --- inner-loop pipelining ------------------------------------------------
+  static bool isInnermostLoop(const Region& loop);
+  void collectLoopBlocks(const Region& region, std::vector<const BasicBlock*>* out);
+  /// II_loop * (trips - 1) + depth via SMS over the loop body with
+  /// loop-carried memory dependence edges.
+  double pipelinedLoopLatency(const Region& loop, double trips);
+  // --- phase 1: per-block scheduling ---------------------------------------
+  void analyzeBlocks();
+  // --- phase 2: region latency + totals -------------------------------------
+  RegionSummary summarizeRegion(const Region& region);
+  RegionSummary summarizeBlock(const BasicBlock& block);
+  RegionSummary summarizeSeq(const Region& region);
+  // --- phase 3: pipeline graph ------------------------------------------------
+  void emitPipeline(const Region& region);
+  void emitBlockNodes(const BasicBlock& block);
+  void emitLoopSupernode(const Region& loop);
+  void mapLoopInstructions(const Region& loop, int nodeId);
+  void buildPipelineEdges();
+
+  const ir::Function& fn_;
+  const model::OpLatencyDb& latencies_;
+  const sched::ResourceBudget& budget_;
+  AnalyzeOptions options_;
+  KernelAnalysis result_;
+
+  // Pipeline emission state.
+  struct NodeAccess {
+    AccessSet reads;
+    AccessSet writes;
+  };
+  std::vector<NodeAccess> nodeAccess_;
+  std::vector<const Instruction*> nodeInst_;  ///< null for supernodes
+};
+
+void Analyzer::analyzeBlocks() {
+  result_.blocks.resize(fn_.blockCount());
+  for (const auto& bb : fn_.blocks()) {
+    BlockInfo info;
+    info.block = bb.get();
+    info.dfg = BlockDfg::build(*bb, latencies_);
+    info.criticalPath = info.dfg.criticalPathLength();
+    info.listLatency = sched::listSchedule(info.dfg, budget_).latency;
+    info.localReads = info.dfg.totalUnits(sched::ResourceClass::LocalRead);
+    info.localWrites = info.dfg.totalUnits(sched::ResourceClass::LocalWrite);
+    info.dspUnits = info.dfg.totalUnits(sched::ResourceClass::Dsp);
+    for (const DfgNode& n : info.dfg.nodes()) {
+      if (n.inst->opcode() == Opcode::Load &&
+          (n.inst->memSpace == AddressSpace::Global ||
+           n.inst->memSpace == AddressSpace::Constant)) {
+        ++info.globalReads;
+      }
+      if (n.inst->opcode() == Opcode::Store &&
+          (n.inst->memSpace == AddressSpace::Global ||
+           n.inst->memSpace == AddressSpace::Constant)) {
+        ++info.globalWrites;
+      }
+      if (n.inst->opcode() == Opcode::Barrier) ++result_.barrierCount;
+    }
+    result_.blocks[bb->id] = std::move(info);
+  }
+}
+
+RegionSummary Analyzer::summarizeBlock(const BasicBlock& block) {
+  const BlockInfo& info = result_.blocks[block.id];
+  RegionSummary s;
+  s.totals.latency = info.listLatency;
+  s.totals.localReads = info.localReads;
+  s.totals.localWrites = info.localWrites;
+  s.totals.globalReads = info.globalReads;
+  s.totals.globalWrites = info.globalWrites;
+  s.totals.dspUnits = info.dspUnits;
+  s.totals.operations = static_cast<double>(info.dfg.nodes().size());
+
+  for (const DfgNode& n : info.dfg.nodes()) {
+    s.defs.insert(n.inst);
+    for (const ir::Value* op : n.inst->operands()) {
+      if (op->valueKind() == ir::Value::Kind::Instruction) s.uses.insert(op);
+    }
+    if (n.inst->opcode() == Opcode::Load) {
+      s.reads.add(n.inst->memSpace, memoryBaseOf(n.inst->operand(0)));
+    } else if (n.inst->opcode() == Opcode::Store) {
+      s.writes.add(n.inst->memSpace, memoryBaseOf(n.inst->operand(1)));
+    }
+  }
+  return s;
+}
+
+RegionSummary Analyzer::summarizeSeq(const Region& region) {
+  // Children summaries first.
+  std::vector<RegionSummary> children;
+  children.reserve(region.children.size());
+  for (const auto& child : region.children) {
+    children.push_back(summarizeRegion(*child));
+  }
+
+  RegionSummary s;
+  if (children.empty()) return s;
+
+  // Dependence DAG over children: j depends on i (i < j) when j uses a value
+  // i defines or their memory footprints conflict.
+  const std::size_t n = children.size();
+  std::vector<double> finish(n, 0.0);
+  double makespan = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double start = 0.0;
+    for (std::size_t i = 0; i < j; ++i) {
+      bool dep = false;
+      for (const ir::Value* u : children[j].uses) {
+        if (children[i].defs.count(u)) {
+          dep = true;
+          break;
+        }
+      }
+      if (!dep) {
+        dep = children[i].writes.intersects(children[j].reads) ||
+              children[i].writes.intersects(children[j].writes) ||
+              children[i].reads.intersects(children[j].writes);
+      }
+      if (dep) start = std::max(start, finish[i]);
+    }
+    finish[j] = start + children[j].totals.latency;
+    makespan = std::max(makespan, finish[j]);
+  }
+
+  for (const RegionSummary& c : children) {
+    s.totals += c.totals;
+    s.reads.merge(c.reads);
+    s.writes.merge(c.writes);
+    s.defs.insert(c.defs.begin(), c.defs.end());
+    s.uses.insert(c.uses.begin(), c.uses.end());
+  }
+  s.totals.latency = makespan;  // blocks without dependencies overlap
+  return s;
+}
+
+RegionSummary Analyzer::summarizeRegion(const Region& region) {
+  switch (region.kind) {
+    case Region::Kind::Block:
+      return summarizeBlock(*region.block);
+    case Region::Kind::Seq:
+      return summarizeSeq(region);
+    case Region::Kind::If: {
+      // Both branches are synthesised; latency is the slower branch, resource
+      // totals the element-wise maximum (§3.3.1 "maximum number of
+      // accesses"). The condition lives in the preceding block child.
+      RegionSummary thenS = summarizeRegion(*region.children[0]);
+      RegionSummary elseS = region.children.size() > 1
+                                ? summarizeRegion(*region.children[1])
+                                : RegionSummary{};
+      RegionSummary s;
+      s.totals = elementwiseMax(thenS.totals, elseS.totals);
+      s.reads = thenS.reads;
+      s.reads.merge(elseS.reads);
+      s.writes = thenS.writes;
+      s.writes.merge(elseS.writes);
+      s.defs = std::move(thenS.defs);
+      s.defs.insert(elseS.defs.begin(), elseS.defs.end());
+      s.uses = std::move(thenS.uses);
+      s.uses.insert(elseS.uses.begin(), elseS.uses.end());
+      return s;
+    }
+    case Region::Kind::Loop: {
+      RegionSummary body = summarizeRegion(*region.children[0]);
+      RegionSummary cond = region.condBlock ? summarizeBlock(*region.condBlock)
+                                            : RegionSummary{};
+      RegionSummary latch =
+          region.latchBlock && region.latchBlock != region.condBlock
+              ? summarizeBlock(*region.latchBlock)
+              : RegionSummary{};
+
+      const double trips =
+          region.loopId >= 0 &&
+                  region.loopId < static_cast<int>(result_.tripCounts.size())
+              ? result_.tripCounts[static_cast<std::size_t>(region.loopId)]
+              : 1.0;
+
+      double perIter = cond.totals.latency + body.totals.latency +
+                       latch.totals.latency;
+      double effTrips = trips;
+      // Inner-loop pipelining: an innermost, non-unrolled loop initiates a
+      // new iteration every II_loop cycles.
+      double pipelinedLatency = -1.0;
+      if (options_.innerLoopPipeline && region.unrollHint <= 1 && trips > 1.0 &&
+          isInnermostLoop(region)) {
+        pipelinedLatency = pipelinedLoopLatency(region, trips);
+      }
+
+      // Inner-loop unrolling: u bodies run concurrently, bounded by the
+      // resource issue rate of the replicated body.
+      double u = region.unrollHint > 1 ? region.unrollHint
+                 : region.unrollHint == -1 ? std::max(1.0, trips)
+                                           : 1.0;
+      if (u > 1.0) {
+        u = std::min(u, std::max(1.0, trips));
+        effTrips = std::ceil(trips / u);
+        double resBound = 0.0;
+        auto bound = [&](double units, int cap) {
+          if (cap > 0) resBound = std::max(resBound, std::ceil(u * units / cap));
+        };
+        bound(body.totals.localReads, budget_.localReadPorts);
+        bound(body.totals.localWrites, budget_.localWritePorts);
+        bound(body.totals.globalReads + body.totals.globalWrites,
+              budget_.globalPorts);
+        bound(body.totals.dspUnits, budget_.dspUnits);
+        perIter = cond.totals.latency + latch.totals.latency +
+                  std::max(body.totals.latency, resBound);
+      }
+
+      RegionSummary s;
+      WorkItemTotals iter = body.totals;
+      iter += cond.totals;
+      iter += latch.totals;
+      s.totals = scaled(iter, trips);
+      // One trailing condition evaluation (the failing check) plus the loop's
+      // sequential latency.
+      s.totals.latency = effTrips * perIter + cond.totals.latency;
+      if (pipelinedLatency >= 0) {
+        s.totals.latency = std::min(s.totals.latency, pipelinedLatency);
+      }
+
+      s.reads = body.reads;
+      s.reads.merge(cond.reads);
+      s.reads.merge(latch.reads);
+      s.writes = body.writes;
+      s.writes.merge(cond.writes);
+      s.writes.merge(latch.writes);
+      s.defs = std::move(body.defs);
+      s.defs.insert(cond.defs.begin(), cond.defs.end());
+      s.defs.insert(latch.defs.begin(), latch.defs.end());
+      s.uses = std::move(body.uses);
+      s.uses.insert(cond.uses.begin(), cond.uses.end());
+      s.uses.insert(latch.uses.begin(), latch.uses.end());
+      return s;
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Inner-loop pipelining
+// ---------------------------------------------------------------------------
+
+bool Analyzer::isInnermostLoop(const Region& loop) {
+  std::vector<const Region*> stack = {loop.children[0].get()};
+  while (!stack.empty()) {
+    const Region* r = stack.back();
+    stack.pop_back();
+    if (r->kind == Region::Kind::Loop) return false;
+    for (const auto& child : r->children) stack.push_back(child.get());
+  }
+  return true;
+}
+
+void Analyzer::collectLoopBlocks(const Region& region,
+                                 std::vector<const BasicBlock*>* out) {
+  if (region.block) out->push_back(region.block);
+  for (const auto& child : region.children) collectLoopBlocks(*child, out);
+}
+
+double Analyzer::pipelinedLoopLatency(const Region& loop, double trips) {
+  // One iteration's instruction set: the condition check, the body (both
+  // branches of any if — speculative datapath), and the step.
+  std::vector<const BasicBlock*> blocks;
+  if (loop.condBlock) blocks.push_back(loop.condBlock);
+  collectLoopBlocks(*loop.children[0], &blocks);
+  if (loop.latchBlock && loop.latchBlock != loop.condBlock) {
+    blocks.push_back(loop.latchBlock);
+  }
+
+  sched::PipelineGraph graph;
+  std::unordered_map<const Instruction*, int> nodeOf;
+  struct Access {
+    int node;
+    AccessSet reads;
+    AccessSet writes;
+  };
+  std::vector<Access> accesses;
+
+  for (const BasicBlock* bb : blocks) {
+    for (const Instruction* inst : bb->instructions()) {
+      if (inst->isTerminator()) continue;
+      sched::PipeNode node;
+      node.latency = latencies_.latencyOf(*inst);
+      node.resource = sched::classifyInstruction(*inst, latencies_);
+      const int id = static_cast<int>(graph.nodes.size());
+      nodeOf[inst] = id;
+      graph.nodes.push_back(node);
+
+      if (inst->isMemoryAccess()) {
+        Access a;
+        a.node = id;
+        if (inst->opcode() == Opcode::Load) {
+          a.reads.add(inst->memSpace, memoryBaseOf(inst->operand(0)));
+        } else {
+          a.writes.add(inst->memSpace, memoryBaseOf(inst->operand(1)));
+        }
+        accesses.push_back(std::move(a));
+      }
+    }
+  }
+
+  // Intra-iteration edges: register uses + memory program order per base.
+  for (const auto& [inst, to] : nodeOf) {
+    for (const ir::Value* op : inst->operands()) {
+      if (op->valueKind() != ir::Value::Kind::Instruction) continue;
+      auto from = nodeOf.find(static_cast<const Instruction*>(op));
+      if (from == nodeOf.end() || from->second == to) continue;
+      graph.edges.push_back(sched::PipeEdge{
+          from->second, to,
+          graph.nodes[static_cast<std::size_t>(from->second)].latency, 0});
+    }
+  }
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+      if (accesses[i].node >= accesses[j].node) continue;
+      const bool conflict =
+          accesses[i].writes.intersects(accesses[j].reads) ||
+          accesses[i].writes.intersects(accesses[j].writes) ||
+          accesses[i].reads.intersects(accesses[j].writes);
+      if (conflict) {
+        graph.edges.push_back(sched::PipeEdge{
+            accesses[i].node, accesses[j].node,
+            graph.nodes[static_cast<std::size_t>(accesses[i].node)].latency, 0});
+      }
+    }
+  }
+  // Loop-carried edges (distance 1): the last write of each base feeds the
+  // next iteration's accesses of that base (RAW + WAW; e.g. the accumulator
+  // and the induction-variable slots).
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    if (accesses[i].writes.empty()) continue;
+    for (std::size_t j = 0; j < accesses.size(); ++j) {
+      const bool conflict = accesses[i].writes.intersects(accesses[j].reads) ||
+                            accesses[i].writes.intersects(accesses[j].writes);
+      if (conflict) {
+        graph.edges.push_back(sched::PipeEdge{
+            accesses[i].node, accesses[j].node,
+            graph.nodes[static_cast<std::size_t>(accesses[i].node)].latency, 1});
+      }
+    }
+  }
+
+  const sched::SmsResult sms = sched::swingModuloSchedule(graph, budget_);
+  return sms.ii * (trips - 1.0) + sms.depth;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline graph
+// ---------------------------------------------------------------------------
+
+void Analyzer::emitBlockNodes(const BasicBlock& block) {
+  const BlockInfo& info = result_.blocks[block.id];
+  for (const DfgNode& dn : info.dfg.nodes()) {
+    sched::PipeNode node;
+    node.latency = dn.latency;
+    node.resource = dn.resource;
+    node.blockingCycles = 1;
+    const int id = static_cast<int>(result_.pipeline.nodes.size());
+    result_.pipeline.nodes.push_back(node);
+    result_.pipeNodeOfInst[dn.inst->id] = id;
+    nodeInst_.push_back(dn.inst);
+
+    NodeAccess access;
+    if (dn.inst->opcode() == Opcode::Load) {
+      access.reads.add(dn.inst->memSpace, memoryBaseOf(dn.inst->operand(0)));
+    } else if (dn.inst->opcode() == Opcode::Store) {
+      access.writes.add(dn.inst->memSpace, memoryBaseOf(dn.inst->operand(1)));
+    } else if (dn.inst->opcode() == Opcode::Barrier) {
+      // A barrier fences every space.
+      for (int s = 0; s < 4; ++s) {
+        access.reads.unknown[s] = true;
+        access.writes.unknown[s] = true;
+      }
+    }
+    nodeAccess_.push_back(std::move(access));
+  }
+}
+
+void Analyzer::mapLoopInstructions(const Region& loop, int nodeId) {
+  auto mapBlock = [&](const BasicBlock* bb) {
+    if (!bb) return;
+    for (const Instruction* inst : bb->instructions()) {
+      result_.pipeNodeOfInst[inst->id] = nodeId;
+    }
+  };
+  mapBlock(loop.condBlock);
+  mapBlock(loop.latchBlock);
+  // Recursively map everything inside the body.
+  std::vector<const Region*> stack = {loop.children[0].get()};
+  while (!stack.empty()) {
+    const Region* r = stack.back();
+    stack.pop_back();
+    mapBlock(r->block);
+    mapBlock(r->condBlock);
+    mapBlock(r->latchBlock);
+    for (const auto& child : r->children) stack.push_back(child.get());
+  }
+}
+
+void Analyzer::emitLoopSupernode(const Region& loop) {
+  RegionSummary summary = summarizeRegion(loop);
+  sched::PipeNode node;
+  node.latency = std::max(1, static_cast<int>(std::lround(summary.totals.latency)));
+  node.resource.rc = sched::ResourceClass::LoopEngine;
+  node.resource.units = 1;
+  node.blockingCycles = node.latency;  // the loop is not work-item-pipelined
+  const int id = static_cast<int>(result_.pipeline.nodes.size());
+  result_.pipeline.nodes.push_back(node);
+  nodeInst_.push_back(nullptr);
+
+  NodeAccess access;
+  access.reads = summary.reads;
+  access.writes = summary.writes;
+  nodeAccess_.push_back(std::move(access));
+
+  mapLoopInstructions(loop, id);
+}
+
+void Analyzer::emitPipeline(const Region& region) {
+  switch (region.kind) {
+    case Region::Kind::Block:
+      emitBlockNodes(*region.block);
+      return;
+    case Region::Kind::Seq:
+      for (const auto& child : region.children) emitPipeline(*child);
+      return;
+    case Region::Kind::If:
+      // Speculative datapath: both branches' operations are present.
+      for (const auto& child : region.children) emitPipeline(*child);
+      return;
+    case Region::Kind::Loop:
+      emitLoopSupernode(region);
+      return;
+  }
+}
+
+void Analyzer::buildPipelineEdges() {
+  auto& graph = result_.pipeline;
+
+  // Register dependencies (cross-block; operand chains to supernodes).
+  for (std::size_t to = 0; to < graph.nodes.size(); ++to) {
+    const Instruction* inst = nodeInst_[to];
+    if (!inst) continue;  // supernode inputs are covered by memory chains
+    for (const ir::Value* op : inst->operands()) {
+      if (op->valueKind() != ir::Value::Kind::Instruction) continue;
+      const auto* def = static_cast<const Instruction*>(op);
+      if (def->opcode() == Opcode::Alloca) continue;
+      const int from = result_.pipeNodeOfInst[def->id];
+      if (from < 0 || from == static_cast<int>(to)) continue;
+      graph.edges.push_back(sched::PipeEdge{
+          from, static_cast<int>(to),
+          graph.nodes[static_cast<std::size_t>(from)].latency, 0});
+    }
+  }
+
+  // Memory ordering chains across the flattened node sequence.
+  struct ChainState {
+    int lastStore = -1;
+    std::vector<int> loadsSinceStore;
+  };
+  std::unordered_map<const ir::Value*, ChainState> chains[4];
+  ChainState unknownChain[4];
+
+  auto addEdge = [&](int from, int to) {
+    if (from < 0 || from == to) return;
+    graph.edges.push_back(sched::PipeEdge{
+        from, to, graph.nodes[static_cast<std::size_t>(from)].latency, 0});
+  };
+
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const NodeAccess& access = nodeAccess_[i];
+    const int id = static_cast<int>(i);
+    for (int s = 0; s < 4; ++s) {
+      const bool readsSpace = access.reads.unknown[s] || !access.reads.bases[s].empty();
+      const bool writesSpace =
+          access.writes.unknown[s] || !access.writes.bases[s].empty();
+      if (!readsSpace && !writesSpace) continue;
+
+      auto touch = [&](ChainState& st, bool isWrite) {
+        if (isWrite) {
+          addEdge(st.lastStore, id);
+          for (int l : st.loadsSinceStore) addEdge(l, id);
+          st.lastStore = id;
+          st.loadsSinceStore.clear();
+        } else {
+          addEdge(st.lastStore, id);
+          st.loadsSinceStore.push_back(id);
+        }
+      };
+
+      if (access.reads.unknown[s] || access.writes.unknown[s]) {
+        // An unknown access conflicts with every chain in this space.
+        const bool isWrite = writesSpace;
+        for (auto& [base, st] : chains[s]) touch(st, isWrite);
+        touch(unknownChain[s], isWrite);
+        continue;
+      }
+      // Known bases: order within their own chain, plus against genuinely
+      // unknown accessors (the unknown chain tracks only those).
+      for (const ir::Value* base : access.reads.bases[s]) {
+        touch(chains[s][base], false);
+        addEdge(unknownChain[s].lastStore, id);
+      }
+      for (const ir::Value* base : access.writes.bases[s]) {
+        touch(chains[s][base], true);
+        addEdge(unknownChain[s].lastStore, id);
+        for (int l : unknownChain[s].loadsSinceStore) addEdge(l, id);
+      }
+    }
+  }
+}
+
+KernelAnalysis Analyzer::run(const interp::KernelProfile* profile,
+                             const AnalyzeOptions& options) {
+  options_ = options;
+  result_.fn = &fn_;
+  result_.tripCounts = resolveTripCounts(fn_, profile, options.tripCounts);
+  analyzeBlocks();
+
+  result_.totals = summarizeRegion(*fn_.rootRegion()).totals;
+
+  result_.pipeNodeOfInst.assign(fn_.instructionCount(), -1);
+  emitPipeline(*fn_.rootRegion());
+  buildPipelineEdges();
+
+  if (profile && profile->ok) {
+    addCrossWorkItemEdges(result_, *profile);
+  }
+  return std::move(result_);
+}
+
+}  // namespace
+
+KernelAnalysis analyzeKernel(const ir::Function& fn,
+                             const model::OpLatencyDb& latencies,
+                             const sched::ResourceBudget& budget,
+                             const interp::KernelProfile* profile,
+                             const AnalyzeOptions& options) {
+  Analyzer analyzer(fn, latencies, budget);
+  return analyzer.run(profile, options);
+}
+
+}  // namespace flexcl::cdfg

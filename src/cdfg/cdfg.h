@@ -1,0 +1,84 @@
+// Kernel-level control/data-flow analysis (paper §3.2-§3.3).
+//
+// Produces everything the FlexCL equations consume for one kernel:
+//  - per-block list-scheduled latencies (resource-aware ASAP, §3.3.1),
+//  - region-tree latency composition where independent blocks overlap
+//    ("basic blocks without data dependencies ... execute in parallel"),
+//  - resolved loop trip counts (static + profiled),
+//  - per-work-item resource totals N_read / N_write / N_dsp (eqs. 4 & 6),
+//  - the work-item pipeline dependence graph handed to MII / SMS.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/dfg.h"
+#include "cdfg/loop_analysis.h"
+#include "interp/profiler.h"
+#include "sched/list_scheduler.h"
+#include "sched/mii.h"
+
+namespace flexcl::cdfg {
+
+struct BlockInfo {
+  const ir::BasicBlock* block = nullptr;
+  BlockDfg dfg;
+  int listLatency = 0;        ///< resource-aware list-scheduled latency
+  int criticalPath = 0;       ///< dependence-only lower bound
+  int localReads = 0;
+  int localWrites = 0;
+  int globalReads = 0;
+  int globalWrites = 0;
+  int dspUnits = 0;
+};
+
+/// Totals accumulated over one work-item's execution (loop-weighted;
+/// divergent branches contribute their element-wise maximum, matching the
+/// paper's "maximum number of accesses in the pipeline").
+struct WorkItemTotals {
+  double latency = 0;
+  double localReads = 0;
+  double localWrites = 0;
+  double globalReads = 0;
+  double globalWrites = 0;
+  double dspUnits = 0;
+  double operations = 0;
+};
+
+struct KernelAnalysis {
+  const ir::Function* fn = nullptr;
+  std::vector<BlockInfo> blocks;  ///< indexed by BasicBlock::id
+  std::vector<double> tripCounts; ///< per Region::loopId
+
+  /// One work-item executed alone (no pipelining): D_comp^PE equivalent and
+  /// the eq.-4/6 resource inputs.
+  WorkItemTotals totals;
+
+  /// Dependence graph of one work-item for modulo scheduling. Loop bodies
+  /// appear as exclusive "loop engine" supernodes.
+  sched::PipelineGraph pipeline;
+  /// IR instruction id -> pipeline node id (-1 when folded into a supernode
+  /// or not represented).
+  std::vector<int> pipeNodeOfInst;
+  /// Number of barrier instructions encountered on the work-item path
+  /// (identifies the paper's "barrier" communication mode).
+  int barrierCount = 0;
+};
+
+struct AnalyzeOptions {
+  TripCountOptions tripCounts;
+  /// Pipeline innermost loops: a loop's latency becomes
+  /// II_loop * (trips - 1) + depth_loop (MII + SMS over the body with
+  /// loop-carried dependence edges) instead of trips * body latency.
+  bool innerLoopPipeline = false;
+};
+
+/// Runs the full kernel analysis. `profile` may be null (static-only mode);
+/// when present it also supplies the inter-work-item local-memory dependence
+/// edges (RecMII inputs) via cdfg::addCrossWorkItemEdges.
+KernelAnalysis analyzeKernel(const ir::Function& fn,
+                             const model::OpLatencyDb& latencies,
+                             const sched::ResourceBudget& budget,
+                             const interp::KernelProfile* profile = nullptr,
+                             const AnalyzeOptions& options = {});
+
+}  // namespace flexcl::cdfg

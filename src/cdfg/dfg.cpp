@@ -1,0 +1,183 @@
+#include "cdfg/dfg.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace flexcl::cdfg {
+
+using ir::Instruction;
+using ir::Opcode;
+
+MemoryBase memoryBaseOf(const ir::Value* pointer) {
+  const ir::Value* v = pointer;
+  for (int guard = 0; guard < 64; ++guard) {
+    switch (v->valueKind()) {
+      case ir::Value::Kind::Argument:
+        return {MemoryBase::Kind::Argument, v};
+      case ir::Value::Kind::Instruction: {
+        const auto* inst = static_cast<const Instruction*>(v);
+        if (inst->opcode() == Opcode::Alloca) return {MemoryBase::Kind::Alloca, v};
+        if (inst->opcode() == Opcode::PtrAdd || inst->opcode() == Opcode::Bitcast) {
+          v = inst->operand(0);
+          continue;
+        }
+        // Pointer loaded from memory (e.g. a pointer slot): if it loads from
+        // an alloca slot we cannot see through the store; unknown.
+        return {MemoryBase::Kind::Unknown, nullptr};
+      }
+      default:
+        return {MemoryBase::Kind::Unknown, nullptr};
+    }
+  }
+  return {MemoryBase::Kind::Unknown, nullptr};
+}
+
+BlockDfg BlockDfg::build(const ir::BasicBlock& block,
+                         const model::OpLatencyDb& latencies) {
+  BlockDfg dfg;
+  dfg.block_ = &block;
+
+  std::unordered_map<const Instruction*, int> nodeIndex;
+  for (const Instruction* inst : block.instructions()) {
+    if (inst->isTerminator()) continue;
+    DfgNode node;
+    node.inst = inst;
+    node.latency = latencies.latencyOf(*inst);
+    node.resource = sched::classifyInstruction(*inst, latencies);
+    nodeIndex[inst] = static_cast<int>(dfg.nodes_.size());
+    dfg.nodes_.push_back(std::move(node));
+  }
+
+  auto addEdge = [&](int from, int to) {
+    if (from == to) return;
+    auto& succs = dfg.nodes_[static_cast<std::size_t>(from)].succs;
+    if (std::find(succs.begin(), succs.end(), to) != succs.end()) return;
+    succs.push_back(to);
+    dfg.nodes_[static_cast<std::size_t>(to)].preds.push_back(from);
+  };
+
+  // Register (true) dependencies.
+  for (std::size_t i = 0; i < dfg.nodes_.size(); ++i) {
+    for (const ir::Value* op : dfg.nodes_[i].inst->operands()) {
+      if (op->valueKind() != ir::Value::Kind::Instruction) continue;
+      auto it = nodeIndex.find(static_cast<const Instruction*>(op));
+      if (it != nodeIndex.end()) addEdge(it->second, static_cast<int>(i));
+    }
+  }
+
+  // Memory ordering: per-base last-writer / readers-since chains, plus a
+  // conservative "unknown base" bucket per address space that conflicts with
+  // every access in that space.
+  struct BaseState {
+    int lastStore = -1;
+    std::vector<int> loadsSinceStore;
+  };
+  struct SpaceKey {
+    ir::AddressSpace space;
+    MemoryBase base;
+    bool operator==(const SpaceKey&) const = default;
+  };
+  struct SpaceKeyHash {
+    std::size_t operator()(const SpaceKey& k) const {
+      return std::hash<const void*>()(k.base.value) ^
+             (static_cast<std::size_t>(k.space) << 1) ^
+             (static_cast<std::size_t>(k.base.kind) << 3);
+    }
+  };
+  std::unordered_map<SpaceKey, BaseState, SpaceKeyHash> states;
+  int lastBarrier = -1;
+
+  for (std::size_t i = 0; i < dfg.nodes_.size(); ++i) {
+    const Instruction* inst = dfg.nodes_[i].inst;
+    if (inst->opcode() == Opcode::Barrier) {
+      // A barrier orders every prior access before every later one.
+      for (std::size_t j = 0; j < i; ++j) {
+        if (dfg.nodes_[j].inst->isMemoryAccess() ||
+            dfg.nodes_[j].inst->opcode() == Opcode::Barrier) {
+          addEdge(static_cast<int>(j), static_cast<int>(i));
+        }
+      }
+      lastBarrier = static_cast<int>(i);
+      states.clear();
+      continue;
+    }
+    if (!inst->isMemoryAccess()) continue;
+
+    const bool isStore = inst->opcode() == Opcode::Store;
+    const ir::Value* ptr = isStore ? inst->operand(1) : inst->operand(0);
+    const MemoryBase base = memoryBaseOf(ptr);
+    const SpaceKey key{inst->memSpace, base};
+    const SpaceKey unknownKey{inst->memSpace,
+                              MemoryBase{MemoryBase::Kind::Unknown, nullptr}};
+
+    if (lastBarrier >= 0) addEdge(lastBarrier, static_cast<int>(i));
+
+    auto link = [&](const SpaceKey& k, bool alsoLoads) {
+      auto it = states.find(k);
+      if (it == states.end()) return;
+      if (it->second.lastStore >= 0) addEdge(it->second.lastStore, static_cast<int>(i));
+      if (alsoLoads) {
+        for (int load : it->second.loadsSinceStore) addEdge(load, static_cast<int>(i));
+      }
+    };
+
+    if (base.kind == MemoryBase::Kind::Unknown) {
+      // Unknown conflicts with everything in this address space.
+      for (auto& [k, st] : states) {
+        if (k.space != inst->memSpace) continue;
+        if (st.lastStore >= 0) addEdge(st.lastStore, static_cast<int>(i));
+        if (isStore) {
+          for (int load : st.loadsSinceStore) addEdge(load, static_cast<int>(i));
+        }
+      }
+    } else {
+      link(key, /*alsoLoads=*/isStore);
+      link(unknownKey, /*alsoLoads=*/isStore);
+    }
+
+    BaseState& st = states[key];
+    if (isStore) {
+      st.lastStore = static_cast<int>(i);
+      st.loadsSinceStore.clear();
+      if (base.kind == MemoryBase::Kind::Unknown) {
+        // A store through an unknown pointer invalidates every chain in the
+        // space: later accesses must order after it via the unknown bucket.
+        for (auto& [k, other] : states) {
+          if (k.space == inst->memSpace && !(k == key)) {
+            other.lastStore = static_cast<int>(i);
+            other.loadsSinceStore.clear();
+          }
+        }
+      }
+    } else {
+      st.loadsSinceStore.push_back(static_cast<int>(i));
+    }
+  }
+
+  return dfg;
+}
+
+int BlockDfg::criticalPathLength() const {
+  std::vector<int> finish(nodes_.size(), 0);
+  int best = 0;
+  // Nodes are in program order, which is a topological order of the DFG.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    int start = 0;
+    for (int p : nodes_[i].preds) {
+      start = std::max(start, finish[static_cast<std::size_t>(p)]);
+    }
+    finish[i] = start + nodes_[i].latency;
+    best = std::max(best, finish[i]);
+  }
+  return best;
+}
+
+int BlockDfg::totalUnits(sched::ResourceClass rc) const {
+  int total = 0;
+  for (const DfgNode& n : nodes_) {
+    if (n.resource.rc == rc) total += n.resource.units;
+  }
+  return total;
+}
+
+}  // namespace flexcl::cdfg

@@ -1,0 +1,59 @@
+// Per-basic-block data-flow graphs.
+//
+// The CDFG's block bodies are turned into dependence graphs whose nodes carry
+// IP latencies and resource classes (paper §3.2/§3.3.1). Register uses give
+// true dependencies; loads/stores are ordered by the storage object they
+// provably address (alloca / kernel-argument provenance), conservatively
+// serialising accesses whose base is unknown.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.h"
+#include "model/op_latency.h"
+#include "sched/resource.h"
+
+namespace flexcl::cdfg {
+
+struct DfgNode {
+  const ir::Instruction* inst = nullptr;
+  int latency = 0;
+  sched::OpResource resource;
+  std::vector<int> preds;
+  std::vector<int> succs;
+};
+
+/// Base object a memory access provably addresses.
+struct MemoryBase {
+  enum class Kind : std::uint8_t { Unknown, Alloca, Argument };
+  Kind kind = Kind::Unknown;
+  const ir::Value* value = nullptr;  ///< the alloca instruction or argument
+
+  friend bool operator==(const MemoryBase&, const MemoryBase&) = default;
+};
+
+/// Walks PtrAdd/Bitcast chains back to the addressed object.
+MemoryBase memoryBaseOf(const ir::Value* pointer);
+
+class BlockDfg {
+ public:
+  /// Builds the DFG of one block. Terminators are excluded (they carry no
+  /// datapath latency); barrier instructions act as full fences.
+  static BlockDfg build(const ir::BasicBlock& block,
+                        const model::OpLatencyDb& latencies);
+
+  [[nodiscard]] const std::vector<DfgNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const ir::BasicBlock* block() const { return block_; }
+
+  /// Critical-path length ignoring resource limits (lower bound on latency).
+  [[nodiscard]] int criticalPathLength() const;
+
+  /// Total units requested per resource class (for ResMII-style bounds).
+  [[nodiscard]] int totalUnits(sched::ResourceClass rc) const;
+
+ private:
+  const ir::BasicBlock* block_ = nullptr;
+  std::vector<DfgNode> nodes_;
+};
+
+}  // namespace flexcl::cdfg

@@ -1,0 +1,61 @@
+#include "cdfg/local_dependence.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "cdfg/cdfg.h"
+
+namespace flexcl::cdfg {
+
+void addCrossWorkItemEdges(KernelAnalysis& analysis,
+                           const interp::KernelProfile& profile) {
+  // Per local-memory cell: the last store event (work-item, inst).
+  struct CellState {
+    std::uint64_t storeWi = 0;
+    std::uint32_t storeInst = 0;
+    bool hasStore = false;
+  };
+  std::map<std::pair<std::int32_t, std::int64_t>, CellState> cells;
+
+  // (fromNode, toNode) -> smallest distance seen.
+  std::map<std::pair<int, int>, int> edges;
+
+  auto note = [&](std::uint32_t fromInst, std::uint32_t toInst,
+                  std::uint64_t fromWi, std::uint64_t toWi) {
+    if (toWi <= fromWi) return;  // same work-item or reversed order
+    const auto distance = static_cast<int>(toWi - fromWi);
+    if (fromInst >= analysis.pipeNodeOfInst.size() ||
+        toInst >= analysis.pipeNodeOfInst.size()) {
+      return;
+    }
+    const int from = analysis.pipeNodeOfInst[fromInst];
+    const int to = analysis.pipeNodeOfInst[toInst];
+    if (from < 0 || to < 0) return;
+    auto [it, inserted] = edges.try_emplace({from, to}, distance);
+    if (!inserted && distance < it->second) it->second = distance;
+  };
+
+  for (const interp::MemoryAccessEvent& ev : profile.localTrace) {
+    const auto key = std::make_pair(ev.buffer, ev.offset);
+    CellState& cell = cells[key];
+    if (ev.isWrite) {
+      if (cell.hasStore) {
+        note(cell.storeInst, ev.instId, cell.storeWi, ev.workItem);  // WAW
+      }
+      cell.hasStore = true;
+      cell.storeWi = ev.workItem;
+      cell.storeInst = ev.instId;
+    } else if (cell.hasStore) {
+      note(cell.storeInst, ev.instId, cell.storeWi, ev.workItem);  // RAW
+    }
+  }
+
+  for (const auto& [key, distance] : edges) {
+    const auto [from, to] = key;
+    analysis.pipeline.edges.push_back(sched::PipeEdge{
+        from, to,
+        analysis.pipeline.nodes[static_cast<std::size_t>(from)].latency, distance});
+  }
+}
+
+}  // namespace flexcl::cdfg

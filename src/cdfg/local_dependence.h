@@ -1,0 +1,24 @@
+// Inter-work-item dependence detection (paper §3.3.1, RecMII inputs).
+//
+// Work-item pipelining is limited by dependences between successive
+// work-items that flow through local memory (Figure 3's B[tid-1] example).
+// We detect them from the profiled local-memory trace: a store by work-item
+// i whose cell is later loaded by work-item j > i creates a recurrence edge
+// with distance j - i. Combined with the intra-work-item load->...->store
+// path already present in the pipeline graph, these edges form the cycles
+// RecMII measures.
+#pragma once
+
+#include "interp/profiler.h"
+
+namespace flexcl::cdfg {
+
+struct KernelAnalysis;
+
+/// Appends cross-work-item RAW and WAW edges to `analysis.pipeline`.
+/// Distances are the smallest observed work-item gap per (producer inst,
+/// consumer inst) pair.
+void addCrossWorkItemEdges(KernelAnalysis& analysis,
+                           const interp::KernelProfile& profile);
+
+}  // namespace flexcl::cdfg

@@ -1,0 +1,36 @@
+#include "cdfg/loop_analysis.h"
+
+namespace flexcl::cdfg {
+namespace {
+
+void collectStatic(const ir::Region* region, std::vector<double>& trips) {
+  if (!region) return;
+  if (region->kind == ir::Region::Kind::Loop && region->loopId >= 0 &&
+      region->staticTripCount >= 0) {
+    trips[static_cast<std::size_t>(region->loopId)] =
+        static_cast<double>(region->staticTripCount);
+  }
+  for (const auto& child : region->children) collectStatic(child.get(), trips);
+}
+
+}  // namespace
+
+std::vector<double> resolveTripCounts(const ir::Function& fn,
+                                      const interp::KernelProfile* profile,
+                                      const TripCountOptions& options) {
+  std::vector<double> trips(static_cast<std::size_t>(fn.loopCount), -1.0);
+  collectStatic(fn.rootRegion(), trips);
+
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    if (trips[i] >= 0) continue;
+    if (profile && profile->ok && i < profile->loopTripCounts.size() &&
+        profile->loopTripCounts[i] > 0) {
+      trips[i] = profile->loopTripCounts[i];
+    } else {
+      trips[i] = options.fallbackTripCount;
+    }
+  }
+  return trips;
+}
+
+}  // namespace flexcl::cdfg

@@ -1,0 +1,26 @@
+// Loop trip-count resolution (paper §3.2).
+//
+// Static trip counts come from the lowering's induction-pattern matcher
+// (Region::staticTripCount); dynamic counts from the profiler. This module
+// merges the two: static wins when known, profile fills the gaps, and a
+// documented default covers loops that never executed during profiling.
+#pragma once
+
+#include <vector>
+
+#include "interp/profiler.h"
+#include "ir/ir.h"
+
+namespace flexcl::cdfg {
+
+struct TripCountOptions {
+  /// Used when neither static analysis nor profiling produced a count.
+  double fallbackTripCount = 16.0;
+};
+
+/// Resolved average trip count per Region::loopId.
+std::vector<double> resolveTripCounts(const ir::Function& fn,
+                                      const interp::KernelProfile* profile,
+                                      const TripCountOptions& options = {});
+
+}  // namespace flexcl::cdfg

@@ -1,0 +1,17 @@
+#include "dram/address_map.h"
+
+namespace flexcl::dram {
+
+BankAddress mapAddress(const DramConfig& config, std::uint64_t address) {
+  const std::uint64_t chunk = address / config.interleaveBytes;
+  BankAddress result;
+  result.bank = static_cast<int>(chunk % static_cast<std::uint64_t>(config.banks));
+  // Address within the bank, then row index.
+  const std::uint64_t inBank =
+      (chunk / static_cast<std::uint64_t>(config.banks)) * config.interleaveBytes +
+      address % config.interleaveBytes;
+  result.row = inBank / config.rowBytes;
+  return result;
+}
+
+}  // namespace flexcl::dram

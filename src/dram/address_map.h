@@ -1,0 +1,62 @@
+// DRAM geometry and address mapping (paper §3.4).
+//
+// Global memory is the board DRAM: multiple banks, each fronted by a row
+// buffer; data is interleaved across banks to spread consecutive accesses.
+// The ADM-PCIE-7V3 board: 16 GB DDR3, 8 banks, 1 KB row buffer.
+#pragma once
+
+#include <cstdint>
+
+namespace flexcl::dram {
+
+struct DramConfig {
+  int banks = 8;
+  /// Row-buffer size per bank in bytes.
+  std::uint32_t rowBytes = 1024;
+  /// Interleave granularity: consecutive chunks of this size map to
+  /// consecutive banks (the burst size of the memory controller).
+  std::uint32_t interleaveBytes = 64;
+  /// Memory access unit for coalescing (512-bit AXI data path).
+  std::uint32_t accessUnitBytes = 64;
+
+  // Command timings in FPGA cycles (200 MHz, DDR3-1600 behind a controller).
+  // Latency components add to an access's completion time; occupancy
+  // components keep the bank/bus busy (commands pipeline otherwise).
+  int controllerOverhead = 6;  ///< request queue + PHY crossing (latency)
+  int tRcd = 3;                ///< activate -> column command
+  int tRp = 3;                 ///< precharge
+  int tCl = 3;                 ///< column access (CAS)
+  int tCcd = 1;                ///< column-to-column gap (bank occupancy, hits)
+  int tWr = 4;                 ///< write recovery (bank occupancy after write)
+  int transferCycles = 1;      ///< data-bus occupancy of one access unit
+  int readToWriteTurnaround = 1;
+  int writeToReadTurnaround = 2;
+
+  // Refresh (all banks pause): interval and duration in FPGA cycles.
+  int refreshInterval = 1560;  ///< ~7.8 us at 200 MHz
+  int refreshDuration = 52;    ///< ~260 ns tRFC
+};
+
+struct BankAddress {
+  int bank = 0;
+  std::uint64_t row = 0;
+};
+
+/// Maps a byte address to its bank and row under the interleaved layout.
+BankAddress mapAddress(const DramConfig& config, std::uint64_t address);
+
+/// Buffers live in one linear global address space: buffer b starts at
+/// b * kBufferStride plus one interleave chunk per buffer index. The large
+/// stride keeps buffers in distinct rows (separate DDR allocations); the
+/// per-buffer chunk skew staggers their bank phases — real allocations do
+/// not all start on bank 0, and a power-of-two alignment would otherwise
+/// park element i of *every* array on the same bank.
+inline constexpr std::uint64_t kBufferStride = 1ull << 24;
+inline constexpr std::uint64_t kBufferBankSkew = 64;
+
+inline std::uint64_t linearAddress(std::int32_t buffer, std::int64_t offset) {
+  return static_cast<std::uint64_t>(buffer) * (kBufferStride + kBufferBankSkew) +
+         static_cast<std::uint64_t>(offset);
+}
+
+}  // namespace flexcl::dram

@@ -1,0 +1,51 @@
+#include "dram/calibrate.h"
+
+namespace flexcl::dram {
+
+PatternLatencyTable calibratePatternLatencies(const DramConfig& config,
+                                              const CalibrationOptions& options) {
+  PatternLatencyTable table;
+  DramSim sim(config);
+
+  // Addresses: same bank, same row / different row. Bank stride chosen so the
+  // pair lands on one bank; row stride jumps rows within the bank.
+  const std::uint64_t sameRowDelta = 0;
+  const std::uint64_t otherRowDelta =
+      static_cast<std::uint64_t>(config.rowBytes) * config.banks * 2;
+
+  for (int p = 0; p < kPatternCount; ++p) {
+    const auto pattern = static_cast<AccessPattern>(p);
+    const bool isWrite = pattern == AccessPattern::WarHit ||
+                         pattern == AccessPattern::WawHit ||
+                         pattern == AccessPattern::WarMiss ||
+                         pattern == AccessPattern::WawMiss;
+    const bool prevWrite = pattern == AccessPattern::RawHit ||
+                           pattern == AccessPattern::WawHit ||
+                           pattern == AccessPattern::RawMiss ||
+                           pattern == AccessPattern::WawMiss;
+    const bool hit = p < 4;
+
+    double sum = 0;
+    for (int rep = 0; rep < options.repetitions; ++rep) {
+      sim.reset();
+      // Spread repetitions over time so the refresh window is sampled.
+      const std::uint64_t t0 =
+          static_cast<std::uint64_t>(rep) *
+          static_cast<std::uint64_t>(config.refreshInterval) / options.repetitions *
+          7;
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(rep % config.banks) * config.interleaveBytes +
+          (1ull << 20);
+      // Conditioning access: sets the bank's open row and last direction.
+      const std::uint64_t cond = sim.access(t0, base, prevWrite);
+      // Measured access.
+      const std::uint64_t addr = base + (hit ? sameRowDelta : otherRowDelta);
+      const std::uint64_t done = sim.access(cond, addr, isWrite);
+      sum += static_cast<double>(done - cond);
+    }
+    table[pattern] = sum / options.repetitions;
+  }
+  return table;
+}
+
+}  // namespace flexcl::dram

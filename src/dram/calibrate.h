@@ -1,0 +1,25 @@
+// Micro-benchmark calibration of the eight pattern latencies (paper §3.4:
+// "the access latency of each global memory access pattern is profiled using
+// micro-benchmarks").
+//
+// For every (previous direction, direction, hit/miss) combination we drive a
+// synthetic two-access sequence against the DRAM simulator many times —
+// exactly what the paper's micro-benchmarks do against the board — and
+// record the average latency of the second access as ΔT of that pattern.
+#pragma once
+
+#include "dram/dram_sim.h"
+#include "dram/pattern.h"
+
+namespace flexcl::dram {
+
+struct CalibrationOptions {
+  /// Repetitions averaged per pattern (across different banks and refresh
+  /// phases, so refresh cost is amortised into the averages).
+  int repetitions = 256;
+};
+
+PatternLatencyTable calibratePatternLatencies(const DramConfig& config,
+                                              const CalibrationOptions& options = {});
+
+}  // namespace flexcl::dram

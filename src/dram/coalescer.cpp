@@ -1,0 +1,64 @@
+#include "dram/coalescer.h"
+
+#include <map>
+#include <tuple>
+
+namespace flexcl::dram {
+
+std::vector<CoalescedAccess> coalesce(
+    const std::vector<interp::MemoryAccessEvent>& trace, const DramConfig& config) {
+  // Burst inference per (work-item, buffer, direction): SDAccel gives each
+  // global pointer its own AXI master, so a read stream on one array keeps
+  // bursting even when accesses to other arrays interleave with it in
+  // program order. An opposite-direction access to the same buffer closes
+  // its runs (the port serialises the hazard).
+  struct Run {
+    std::int32_t buffer = -1;
+    bool isWrite = false;
+    std::uint64_t workItem = 0;
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+  };
+  std::vector<Run> runs;  // in order of run creation = program order of starts
+  // (workItem, buffer, direction) -> index of the open run in `runs`.
+  std::map<std::tuple<std::uint64_t, std::int32_t, bool>, std::size_t> open;
+
+  for (const interp::MemoryAccessEvent& ev : trace) {
+    // A write closes the buffer's open read run and vice versa.
+    open.erase({ev.workItem, ev.buffer, !ev.isWrite});
+
+    const auto key = std::make_tuple(ev.workItem, ev.buffer, ev.isWrite);
+    auto it = open.find(key);
+    if (it != open.end() && runs[it->second].end == ev.offset) {
+      runs[it->second].end += ev.size;
+      continue;
+    }
+    Run run;
+    run.buffer = ev.buffer;
+    run.isWrite = ev.isWrite;
+    run.workItem = ev.workItem;
+    run.start = ev.offset;
+    run.end = ev.offset + ev.size;
+    open[key] = runs.size();
+    runs.push_back(run);
+  }
+
+  std::vector<CoalescedAccess> out;
+  for (const Run& run : runs) {
+    std::int64_t emitted = run.start;
+    while (emitted < run.end) {
+      CoalescedAccess a;
+      a.buffer = run.buffer;
+      a.offset = emitted;
+      a.bytes = static_cast<std::uint32_t>(
+          std::min<std::int64_t>(config.accessUnitBytes, run.end - emitted));
+      a.isWrite = run.isWrite;
+      a.workItem = run.workItem;
+      out.push_back(a);
+      emitted += a.bytes;
+    }
+  }
+  return out;
+}
+
+}  // namespace flexcl::dram

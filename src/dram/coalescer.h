@@ -1,0 +1,43 @@
+// Global-memory access coalescing (paper §3.4).
+//
+// SDAccel merges consecutive reads (or writes) into wide accesses of the
+// memory access unit (512 bit). A run of consecutive same-direction accesses
+// shrinks by the coalescing factor f = unitBytes / accessBytes.
+//
+// Coalescing (burst inference) happens within one work-item's datapath — a
+// loop streaming consecutive addresses becomes a burst — not across distinct
+// work-items of the pipeline, so runs are cut at work-item boundaries. The
+// model and the system simulator share this function, keeping the two sides'
+// access granularity consistent.
+#pragma once
+
+#include <vector>
+
+#include "dram/address_map.h"
+#include "interp/interpreter.h"
+
+namespace flexcl::dram {
+
+/// One post-coalescing global access.
+struct CoalescedAccess {
+  std::int32_t buffer = -1;
+  std::int64_t offset = 0;   ///< byte offset of the (wide) access
+  std::uint32_t bytes = 0;   ///< accessUnitBytes, or less for runt accesses
+  bool isWrite = false;
+  std::uint64_t workItem = 0;
+};
+
+/// Coalesces one work-item's (or any in-order) access stream. A run is a
+/// maximal subsequence of same-buffer, same-direction accesses at strictly
+/// consecutive byte offsets; each run of B bytes becomes ceil(B / unit)
+/// accesses.
+std::vector<CoalescedAccess> coalesce(
+    const std::vector<interp::MemoryAccessEvent>& trace, const DramConfig& config);
+
+/// Convenience: the paper's coalescing factor for a given data width.
+inline double coalescingFactor(const DramConfig& config, std::uint32_t dataBytes) {
+  return dataBytes == 0 ? 1.0
+                        : static_cast<double>(config.accessUnitBytes) / dataBytes;
+}
+
+}  // namespace flexcl::dram

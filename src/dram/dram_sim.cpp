@@ -1,0 +1,77 @@
+#include "dram/dram_sim.h"
+
+#include <algorithm>
+
+namespace flexcl::dram {
+
+DramSim::DramSim(const DramConfig& config) : config_(config) {
+  banks_.resize(static_cast<std::size_t>(config.banks));
+}
+
+void DramSim::reset() {
+  for (Bank& b : banks_) b = Bank{};
+  busReadyAt_ = 0;
+  totalAccesses_ = 0;
+  rowHits_ = 0;
+  latencySum_ = 0;
+}
+
+std::uint64_t DramSim::refreshAdjusted(std::uint64_t cycle) const {
+  if (config_.refreshInterval <= 0) return cycle;
+  const auto interval = static_cast<std::uint64_t>(config_.refreshInterval);
+  const auto duration = static_cast<std::uint64_t>(config_.refreshDuration);
+  // Refresh occupies [k*interval, k*interval + duration).
+  const std::uint64_t phase = cycle % interval;
+  if (phase < duration) return cycle + (duration - phase);
+  return cycle;
+}
+
+std::uint64_t DramSim::access(std::uint64_t cycle, std::uint64_t address,
+                              bool isWrite) {
+  const BankAddress ba = mapAddress(config_, address);
+  Bank& bank = banks_[static_cast<std::size_t>(ba.bank)];
+
+  // The bank accepts the command once free of its previous one; the
+  // controller pipeline adds latency but not occupancy.
+  const std::uint64_t start = std::max(refreshAdjusted(cycle), bank.readyAt);
+
+  const bool hit = bank.rowOpen && bank.openRow == ba.row;
+  // Command latency before data moves.
+  std::uint64_t commandCycles = static_cast<std::uint64_t>(config_.tCl);
+  // Cycles the bank itself is tied up and cannot take the next command.
+  std::uint64_t bankBusy = static_cast<std::uint64_t>(config_.tCcd);
+  if (!hit) {
+    std::uint64_t rowWork = static_cast<std::uint64_t>(config_.tRcd);
+    if (bank.rowOpen) rowWork += static_cast<std::uint64_t>(config_.tRp);
+    commandCycles += rowWork;
+    bankBusy += rowWork;
+  }
+  // Direction turnaround on the shared data pins.
+  if (bank.lastWasWrite && !isWrite) {
+    commandCycles += static_cast<std::uint64_t>(config_.writeToReadTurnaround);
+  } else if (!bank.lastWasWrite && isWrite && totalAccesses_ > 0) {
+    commandCycles += static_cast<std::uint64_t>(config_.readToWriteTurnaround);
+  }
+  if (isWrite) bankBusy += static_cast<std::uint64_t>(config_.tWr);
+
+  // Transfer occupies the shared data bus; completion adds controller
+  // pipeline latency on the return path.
+  const std::uint64_t transferStart = std::max(start + commandCycles, busReadyAt_);
+  const std::uint64_t transferDone =
+      transferStart + static_cast<std::uint64_t>(config_.transferCycles);
+  busReadyAt_ = transferDone;
+  const std::uint64_t done =
+      transferDone + static_cast<std::uint64_t>(config_.controllerOverhead);
+
+  bank.readyAt = start + bankBusy;
+  bank.rowOpen = true;
+  bank.openRow = ba.row;
+  bank.lastWasWrite = isWrite;
+
+  ++totalAccesses_;
+  if (hit) ++rowHits_;
+  latencySum_ += done - cycle;
+  return done;
+}
+
+}  // namespace flexcl::dram

@@ -1,0 +1,60 @@
+// Command-level DRAM bank simulator.
+//
+// This is the "hardware" side of the global memory: per-bank row-buffer
+// state machines with activate/precharge/CAS timings, a shared data bus,
+// read/write turnaround penalties, and periodic refresh. The system
+// simulator issues requests here; the analytical model never sees this —
+// it works from pattern-average latencies calibrated against this simulator
+// (dram/calibrate.h), exactly as the paper profiles its board with
+// micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/address_map.h"
+
+namespace flexcl::dram {
+
+class DramSim {
+ public:
+  explicit DramSim(const DramConfig& config);
+
+  /// Issues one access at `cycle`; returns its completion cycle. Requests to
+  /// a busy bank queue behind it; the shared bus serialises transfers.
+  std::uint64_t access(std::uint64_t cycle, std::uint64_t address, bool isWrite);
+
+  /// Resets all bank state (row buffers closed, buses idle).
+  void reset();
+
+  // --- statistics ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t totalAccesses() const { return totalAccesses_; }
+  [[nodiscard]] std::uint64_t rowHits() const { return rowHits_; }
+  [[nodiscard]] std::uint64_t rowMisses() const { return totalAccesses_ - rowHits_; }
+  [[nodiscard]] double avgLatency() const {
+    return totalAccesses_ ? static_cast<double>(latencySum_) / totalAccesses_ : 0.0;
+  }
+
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+
+ private:
+  /// First cycle at or after `cycle` not blocked by refresh; advances the
+  /// refresh schedule as time moves forward.
+  [[nodiscard]] std::uint64_t refreshAdjusted(std::uint64_t cycle) const;
+
+  struct Bank {
+    std::uint64_t openRow = ~0ull;
+    bool rowOpen = false;
+    bool lastWasWrite = false;
+    std::uint64_t readyAt = 0;  ///< bank busy until this cycle
+  };
+
+  DramConfig config_;
+  std::vector<Bank> banks_;
+  std::uint64_t busReadyAt_ = 0;
+  std::uint64_t totalAccesses_ = 0;
+  std::uint64_t rowHits_ = 0;
+  std::uint64_t latencySum_ = 0;
+};
+
+}  // namespace flexcl::dram

@@ -1,0 +1,103 @@
+#include "dram/pattern.h"
+
+#include <sstream>
+#include <vector>
+
+namespace flexcl::dram {
+
+const char* patternName(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::RarHit: return "RAR(hit)";
+    case AccessPattern::RawHit: return "RAW(hit)";
+    case AccessPattern::WarHit: return "WAR(hit)";
+    case AccessPattern::WawHit: return "WAW(hit)";
+    case AccessPattern::RarMiss: return "RAR(miss)";
+    case AccessPattern::RawMiss: return "RAW(miss)";
+    case AccessPattern::WarMiss: return "WAR(miss)";
+    case AccessPattern::WawMiss: return "WAW(miss)";
+  }
+  return "?";
+}
+
+AccessPattern classifyPattern(bool prevWrite, bool isWrite, bool hit) {
+  // Naming follows the paper: "read access after write" = RAW.
+  int idx = 0;
+  if (!isWrite && !prevWrite) idx = 0;  // RAR
+  if (!isWrite && prevWrite) idx = 1;   // RAW
+  if (isWrite && !prevWrite) idx = 2;   // WAR
+  if (isWrite && prevWrite) idx = 3;    // WAW
+  if (!hit) idx += 4;
+  return static_cast<AccessPattern>(idx);
+}
+
+double PatternCounts::total() const {
+  double t = 0;
+  for (double c : counts) t += c;
+  return t;
+}
+
+PatternCounts& PatternCounts::operator+=(const PatternCounts& other) {
+  for (int i = 0; i < kPatternCount; ++i) counts[static_cast<std::size_t>(i)] +=
+      other.counts[static_cast<std::size_t>(i)];
+  return *this;
+}
+
+PatternCounts PatternCounts::scaled(double factor) const {
+  PatternCounts r = *this;
+  for (double& c : r.counts) c *= factor;
+  return r;
+}
+
+std::string PatternLatencyTable::str() const {
+  std::ostringstream os;
+  for (int i = 0; i < kPatternCount; ++i) {
+    os << patternName(static_cast<AccessPattern>(i)) << " = "
+       << latency[static_cast<std::size_t>(i)] << (i + 1 < kPatternCount ? ", " : "");
+  }
+  return os.str();
+}
+
+PatternCounts classifyStream(const std::vector<CoalescedAccess>& stream,
+                             const DramConfig& config) {
+  return analyzeStream(stream, config).counts;
+}
+
+StreamAnalysis analyzeStream(const std::vector<CoalescedAccess>& stream,
+                             const DramConfig& config) {
+  struct BankState {
+    std::uint64_t openRow = ~0ull;
+    bool lastWasWrite = false;
+    bool anyAccess = false;
+  };
+  std::vector<BankState> banks(static_cast<std::size_t>(config.banks));
+  StreamAnalysis analysis;
+  analysis.bankOccupancy.assign(static_cast<std::size_t>(config.banks), 0.0);
+
+  for (const CoalescedAccess& a : stream) {
+    const BankAddress ba = mapAddress(config, linearAddress(a.buffer, a.offset));
+    BankState& bank = banks[static_cast<std::size_t>(ba.bank)];
+    const bool hit = bank.anyAccess && bank.openRow == ba.row;
+    // The very first access to a bank is a miss after "read" (idle precharge).
+    const bool prevWrite = bank.anyAccess && bank.lastWasWrite;
+    analysis.counts[classifyPattern(prevWrite, a.isWrite, hit)] += 1.0;
+
+    // Service occupancy: how long the bank cannot take another command.
+    double busy = config.tCcd;
+    if (!hit) {
+      busy += config.tRcd;
+      if (bank.anyAccess) busy += config.tRp;
+    }
+    if (a.isWrite) busy += config.tWr;
+    analysis.bankOccupancy[static_cast<std::size_t>(ba.bank)] += busy;
+    analysis.busOccupancy += config.transferCycles;
+    analysis.accessBank.push_back(ba.bank);
+    analysis.accessOccupancy.push_back(busy);
+
+    bank.openRow = ba.row;
+    bank.lastWasWrite = a.isWrite;
+    bank.anyAccess = true;
+  }
+  return analysis;
+}
+
+}  // namespace flexcl::dram

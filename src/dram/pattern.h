@@ -1,0 +1,76 @@
+// The eight global-memory access patterns of Table 1 (paper §3.4).
+//
+// Each access is classified by (a) its direction, (b) the direction of the
+// previous access to the same bank, and (c) whether it hits the bank's open
+// row. Pattern latencies ΔT come from micro-benchmark calibration against
+// the DRAM simulator (dram/calibrate.h).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "dram/coalescer.h"
+
+namespace flexcl::dram {
+
+enum class AccessPattern : std::uint8_t {
+  RarHit, RawHit, WarHit, WawHit,
+  RarMiss, RawMiss, WarMiss, WawMiss,
+};
+inline constexpr int kPatternCount = 8;
+
+const char* patternName(AccessPattern p);
+
+/// Builds the pattern id from components. `prevWrite` is the direction of
+/// the previous access to the same bank; `isWrite` the current one.
+AccessPattern classifyPattern(bool prevWrite, bool isWrite, bool hit);
+
+/// Access counts per pattern (third column of Table 1).
+struct PatternCounts {
+  std::array<double, kPatternCount> counts = {};
+
+  double& operator[](AccessPattern p) { return counts[static_cast<std::size_t>(p)]; }
+  double operator[](AccessPattern p) const {
+    return counts[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] double total() const;
+  PatternCounts& operator+=(const PatternCounts& other);
+  PatternCounts scaled(double factor) const;
+};
+
+/// ΔT per pattern, in cycles (second column of Table 1).
+struct PatternLatencyTable {
+  std::array<double, kPatternCount> latency = {};
+
+  double& operator[](AccessPattern p) { return latency[static_cast<std::size_t>(p)]; }
+  double operator[](AccessPattern p) const {
+    return latency[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Replays a coalesced access stream through per-bank row-buffer state and
+/// counts the pattern of every access (the model-side classification of
+/// §3.4: sequential program order, no inter-CU interference).
+PatternCounts classifyStream(const std::vector<CoalescedAccess>& stream,
+                             const DramConfig& config);
+
+/// Classification plus throughput accounting: how many cycles each bank and
+/// the shared data bus are *occupied* serving the stream. Occupancy is what
+/// bounds sustained issue rate (as opposed to ΔT, which is latency); the
+/// memory model turns it into a lower bound on the work-item initiation
+/// interval.
+struct StreamAnalysis {
+  PatternCounts counts;
+  std::vector<double> bankOccupancy;  ///< per bank, cycles of service demand
+  double busOccupancy = 0;            ///< data-bus cycles of the whole stream
+  /// Per-access: which bank it hit and how long it occupied it (parallel to
+  /// the input stream; used for collision-queueing estimates).
+  std::vector<int> accessBank;
+  std::vector<double> accessOccupancy;
+};
+
+StreamAnalysis analyzeStream(const std::vector<CoalescedAccess>& stream,
+                             const DramConfig& config);
+
+}  // namespace flexcl::dram

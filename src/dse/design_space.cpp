@@ -1,0 +1,95 @@
+#include "dse/design_space.h"
+
+#include <algorithm>
+
+namespace flexcl::dse {
+namespace {
+
+/// Splits a total work-group size into a (x, y) shape for 2D ranges.
+std::array<std::uint32_t, 3> shapeFor(std::uint32_t total,
+                                      const interp::NdRange& range) {
+  if (range.global[1] <= 1) return {total, 1, 1};
+  // Square-ish: x = 2^ceil(bits/2).
+  std::uint32_t x = 1;
+  while (x * x < total) x *= 2;
+  std::uint32_t y = total / x;
+  if (y == 0) y = 1;
+  return {x, y, 1};
+}
+
+bool divides(const std::array<std::uint32_t, 3>& wg, const interp::NdRange& range) {
+  for (int d = 0; d < 3; ++d) {
+    const auto g = range.global[static_cast<std::size_t>(d)];
+    const auto w = wg[static_cast<std::size_t>(d)];
+    if (w == 0 || w > g || g % w != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<model::DesignPoint> enumerateDesignSpace(const interp::NdRange& range,
+                                                     bool kernelHasBarriers,
+                                                     const SpaceOptions& options) {
+  std::vector<model::DesignPoint> space;
+  std::vector<bool> pipelineChoices =
+      options.varyPipeline ? std::vector<bool>{false, true} : std::vector<bool>{true};
+  std::vector<model::CommMode> modes;
+  if (kernelHasBarriers || !options.varyCommMode) {
+    modes = {kernelHasBarriers ? model::CommMode::Barrier
+                               : model::CommMode::Pipeline};
+  } else {
+    modes = {model::CommMode::Barrier, model::CommMode::Pipeline};
+  }
+
+  for (std::uint32_t wg : options.workGroupSizes) {
+    const auto shape = shapeFor(wg, range);
+    if (!divides(shape, range)) continue;
+    for (bool pipe : pipelineChoices) {
+      for (int pe : options.peParallelism) {
+        for (int cu : options.computeUnits) {
+          for (model::CommMode mode : modes) {
+            model::DesignPoint dp;
+            dp.workGroupSize = shape;
+            dp.workItemPipeline = pipe;
+            dp.peParallelism = pe;
+            dp.numComputeUnits = cu;
+            dp.commMode = mode;
+            space.push_back(dp);
+            if (options.varyInnerLoopPipeline) {
+              model::DesignPoint lp = dp;
+              lp.innerLoopPipeline = true;
+              space.push_back(lp);
+            }
+            if (options.varyWorkGroupPipeline && pipe &&
+                mode == model::CommMode::Pipeline) {
+              model::DesignPoint wp = dp;
+              wp.workGroupPipeline = true;
+              space.push_back(wp);
+            }
+          }
+        }
+      }
+    }
+  }
+  return space;
+}
+
+model::DesignPoint unoptimizedBaseline(const interp::NdRange& range) {
+  model::DesignPoint dp;
+  // Smallest shape that still divides the global size.
+  dp.workGroupSize = {1, 1, 1};
+  for (std::uint32_t candidate : {16u, 8u, 4u, 2u, 1u}) {
+    if (range.global[0] % candidate == 0) {
+      dp.workGroupSize[0] = candidate;
+      break;
+    }
+  }
+  dp.workItemPipeline = false;
+  dp.peParallelism = 1;
+  dp.numComputeUnits = 1;
+  dp.commMode = model::CommMode::Barrier;
+  return dp;
+}
+
+}  // namespace flexcl::dse

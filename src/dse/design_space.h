@@ -1,0 +1,40 @@
+// Design-space enumeration (paper §4.1: "for each OpenCL kernel, we form a
+// design space consisting of hundreds of design solutions by varying the
+// parameters of optimizations, including work-group size, work-item and
+// work-group pipeline, PE and CU parallelism, and data communication mode").
+#pragma once
+
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "model/design_point.h"
+
+namespace flexcl::dse {
+
+struct SpaceOptions {
+  std::vector<std::uint32_t> workGroupSizes = {32, 64, 128, 256};
+  std::vector<int> peParallelism = {1, 2, 4, 8};
+  std::vector<int> computeUnits = {1, 2, 4};
+  bool varyPipeline = true;
+  /// Only meaningful for kernels without barriers (barrier intrinsics force
+  /// barrier mode); enumerated for the rest.
+  bool varyCommMode = true;
+  /// Extension axes (off by default to keep Table-2-scale spaces): inner-loop
+  /// pipelining and work-group pipelining.
+  bool varyInnerLoopPipeline = false;
+  bool varyWorkGroupPipeline = false;
+};
+
+/// Enumerates the space for a kernel launched over `range`. 2D NDRanges get
+/// square-ish work-group shapes; work-group sizes that cannot divide the
+/// global size are dropped.
+std::vector<model::DesignPoint> enumerateDesignSpace(const interp::NdRange& range,
+                                                     bool kernelHasBarriers,
+                                                     const SpaceOptions& options = {});
+
+/// The unoptimised reference configuration (§4.3's "baseline unoptimized
+/// design"): smallest work-group, no pipelining, single PE and CU, barrier
+/// communication.
+model::DesignPoint unoptimizedBaseline(const interp::NdRange& range);
+
+}  // namespace flexcl::dse

@@ -1,0 +1,146 @@
+#include "dse/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace flexcl::dse {
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point from,
+               std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Explorer::Explorer(model::FlexCl& flexcl, model::LaunchInfo launch)
+    : flexcl_(flexcl), launch_(std::move(launch)) {}
+
+bool Explorer::kernelHasBarriers() {
+  for (const auto& bb : launch_.fn->blocks()) {
+    for (const ir::Instruction* inst : bb->instructions()) {
+      if (inst->opcode() == ir::Opcode::Barrier) return true;
+    }
+  }
+  return false;
+}
+
+const sim::SimInput& Explorer::simInputFor(const model::DesignPoint& design) {
+  const interp::NdRange range = model::FlexCl::rangeFor(launch_, design);
+  const auto key = std::make_tuple(range.local[0], range.local[1], range.local[2]);
+  auto it = simInputs_.find(key);
+  if (it != simInputs_.end()) return *it->second;
+  auto input = std::make_unique<sim::SimInput>(sim::prepareSimInput(
+      *launch_.fn, range, launch_.args, *launch_.buffers));
+  auto [pos, inserted] = simInputs_.emplace(key, std::move(input));
+  (void)inserted;
+  return *pos->second;
+}
+
+double Explorer::simulateDesign(const model::DesignPoint& design) {
+  const sim::SimInput& input = simInputFor(design);
+  const sim::SimResult r = sim::simulate(input, flexcl_.device(), design);
+  return r.ok ? r.cycles : 0.0;
+}
+
+double Explorer::modelDesign(const model::DesignPoint& design) {
+  const model::Estimate est = flexcl_.estimate(launch_, design);
+  return est.ok ? est.cycles : 0.0;
+}
+
+ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space) {
+  ExplorationResult result;
+  result.designs.reserve(space.size());
+
+  // FlexCL pass (timed separately: this is the "seconds" column of Table 2).
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<model::Estimate> estimates;
+  estimates.reserve(space.size());
+  for (const model::DesignPoint& dp : space) {
+    estimates.push_back(flexcl_.estimate(launch_, dp));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.flexclSeconds = seconds(t0, t1);
+
+  // System-Run pass (the hours column in the paper; minutes of simulation
+  // here — the substitution is documented in DESIGN.md).
+  std::vector<sim::SimResult> sims;
+  sims.reserve(space.size());
+  for (const model::DesignPoint& dp : space) {
+    sims.push_back(sim::simulate(simInputFor(dp), flexcl_.device(), dp));
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  result.simSeconds = seconds(t1, t2);
+
+  // SDAccel pass.
+  int sdaccelFailures = 0;
+  double flexclErrSum = 0, sdaccelErrSum = 0;
+  int sdaccelSurvivors = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EvaluatedDesign ed;
+    ed.design = space[i];
+    ed.flexclCycles = estimates[i].ok ? estimates[i].cycles : 0;
+    ed.simCycles = sims[i].ok ? sims[i].cycles : 0;
+
+    cdfg::KernelAnalysis analysis = flexcl_.analysisFor(launch_, space[i]);
+    const interp::NdRange range = model::FlexCl::rangeFor(launch_, space[i]);
+    auto sd = sdaccel::estimateSdaccel(*launch_.fn, analysis, flexcl_.device(),
+                                       space[i], range.globalCount());
+    if (sd) {
+      ed.sdaccelCycles = sd->cycles;
+      ed.sdaccelMinutes = sd->estimationMinutes;
+      result.sdaccelMinutes += sd->estimationMinutes;
+      if (auto err = ed.sdaccelErrorPct()) {
+        sdaccelErrSum += *err;
+        ++sdaccelSurvivors;
+      }
+    } else {
+      ++sdaccelFailures;
+    }
+
+    flexclErrSum += ed.flexclErrorPct();
+    result.designs.push_back(std::move(ed));
+  }
+
+  if (!result.designs.empty()) {
+    result.avgFlexclErrorPct = flexclErrSum / result.designs.size();
+    result.sdaccelFailRatePct =
+        100.0 * sdaccelFailures / static_cast<double>(result.designs.size());
+  }
+  if (sdaccelSurvivors > 0) {
+    result.avgSdaccelErrorPct = sdaccelErrSum / sdaccelSurvivors;
+  }
+
+  // Optima and pick quality.
+  for (std::size_t i = 0; i < result.designs.size(); ++i) {
+    const EvaluatedDesign& ed = result.designs[i];
+    if (ed.simCycles <= 0 || ed.flexclCycles <= 0) continue;
+    if (result.bestBySim < 0 ||
+        ed.simCycles <
+            result.designs[static_cast<std::size_t>(result.bestBySim)].simCycles) {
+      result.bestBySim = static_cast<int>(i);
+    }
+    if (result.bestByFlexcl < 0 ||
+        ed.flexclCycles <
+            result.designs[static_cast<std::size_t>(result.bestByFlexcl)]
+                .flexclCycles) {
+      result.bestByFlexcl = static_cast<int>(i);
+    }
+  }
+  if (result.bestBySim >= 0 && result.bestByFlexcl >= 0) {
+    const double simBest =
+        result.designs[static_cast<std::size_t>(result.bestBySim)].simCycles;
+    const double simPicked =
+        result.designs[static_cast<std::size_t>(result.bestByFlexcl)].simCycles;
+    result.pickGapPct = simBest > 0 ? (simPicked / simBest - 1.0) * 100.0 : 0.0;
+
+    const double baselineCycles =
+        simulateDesign(unoptimizedBaseline(launch_.range));
+    result.speedupVsBaseline =
+        simPicked > 0 ? baselineCycles / simPicked : 0.0;
+  }
+  return result;
+}
+
+}  // namespace flexcl::dse

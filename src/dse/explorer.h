@@ -1,0 +1,85 @@
+// Design-space exploration harness (paper §4.2-§4.3).
+//
+// Evaluates every design point with three evaluators — FlexCL (analytical),
+// the System-Run substitute (cycle-level simulator, ground truth), and the
+// SDAccel-style estimator — and aggregates the paper's metrics: per-kernel
+// average absolute error, SDAccel failure rate, exploration wall times, and
+// the quality of the configuration FlexCL picks.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "dse/design_space.h"
+#include "model/bottleneck.h"
+#include "model/flexcl.h"
+#include "sdaccel/sdaccel_estimator.h"
+#include "sim/system_sim.h"
+
+namespace flexcl::dse {
+
+struct EvaluatedDesign {
+  model::DesignPoint design;
+  double flexclCycles = 0;
+  double simCycles = 0;
+  std::optional<double> sdaccelCycles;  ///< nullopt = estimator failed
+  double sdaccelMinutes = 0;
+
+  [[nodiscard]] double flexclErrorPct() const {
+    return simCycles > 0 ? std::abs(flexclCycles - simCycles) / simCycles * 100.0
+                         : 0.0;
+  }
+  [[nodiscard]] std::optional<double> sdaccelErrorPct() const {
+    if (!sdaccelCycles || simCycles <= 0) return std::nullopt;
+    return std::abs(*sdaccelCycles - simCycles) / simCycles * 100.0;
+  }
+};
+
+struct ExplorationResult {
+  std::vector<EvaluatedDesign> designs;
+
+  double avgFlexclErrorPct = 0;
+  double avgSdaccelErrorPct = 0;  ///< over surviving designs only
+  double sdaccelFailRatePct = 0;
+
+  int bestBySim = -1;     ///< ground-truth optimum
+  int bestByFlexcl = -1;  ///< configuration FlexCL would pick
+  /// sim(bestByFlexcl) / sim(bestBySim) - 1, in percent (paper: within 2.1%).
+  double pickGapPct = 0;
+  /// sim(baseline) / sim(bestByFlexcl) (paper: 273x on average).
+  double speedupVsBaseline = 0;
+
+  // Measured wall times of the two explorations (seconds).
+  double flexclSeconds = 0;
+  double simSeconds = 0;
+  /// Modelled SDAccel estimation time (minutes, summed over survivors).
+  double sdaccelMinutes = 0;
+};
+
+class Explorer {
+ public:
+  /// `launch.range.local` is ignored; each design point supplies it.
+  Explorer(model::FlexCl& flexcl, model::LaunchInfo launch);
+
+  /// Evaluates the given space exhaustively with all three evaluators.
+  ExplorationResult explore(const std::vector<model::DesignPoint>& space);
+
+  /// Simulator-only evaluation of one design (used for baselines and the
+  /// heuristic-search comparison).
+  double simulateDesign(const model::DesignPoint& design);
+  /// FlexCL-only evaluation of one design.
+  double modelDesign(const model::DesignPoint& design);
+
+  [[nodiscard]] bool kernelHasBarriers();
+
+ private:
+  const sim::SimInput& simInputFor(const model::DesignPoint& design);
+
+  model::FlexCl& flexcl_;
+  model::LaunchInfo launch_;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
+           std::unique_ptr<sim::SimInput>>
+      simInputs_;
+};
+
+}  // namespace flexcl::dse

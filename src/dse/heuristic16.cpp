@@ -1,0 +1,135 @@
+#include "dse/heuristic16.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace flexcl::dse {
+
+double coarseCost(model::FlexCl& flexcl, const model::LaunchInfo& launch,
+                  const model::DesignPoint& design) {
+  // Coarse model: one analysis for totals, then closed-form scaling. No
+  // pattern classification, no SMS, no dispatch overhead — the knobs are
+  // treated as independent dividers, which is precisely why the heuristic
+  // misjudges interacting configurations.
+  cdfg::KernelAnalysis analysis = flexcl.analysisFor(launch, design);
+  const interp::NdRange range = model::FlexCl::rangeFor(launch, design);
+
+  const double memPerWi =
+      (analysis.totals.globalReads + analysis.totals.globalWrites) * 10.0;
+  const double computePerWi =
+      design.workItemPipeline ? std::max(4.0, analysis.totals.latency / 16.0)
+                              : analysis.totals.latency;
+  // Coarse communication-mode handling: barrier serialises transfers against
+  // compute, pipeline overlaps them — but with a flat per-access cost and no
+  // pattern/coalescing/interference awareness.
+  const double perWi = design.commMode == model::CommMode::Barrier
+                           ? memPerWi + computePerWi
+                           : std::max(memPerWi, computePerWi);
+  const double parallel = static_cast<double>(design.peParallelism) *
+                          design.numComputeUnits *
+                          std::max(1, design.vectorWidth);
+  return perWi * static_cast<double>(range.globalCount()) / parallel;
+}
+
+HeuristicResult heuristicSearch(model::FlexCl& flexcl,
+                                const model::LaunchInfo& launch,
+                                const std::vector<model::DesignPoint>& space) {
+  HeuristicResult result;
+  if (space.empty()) return result;
+
+  // Distinct values per axis, preserving the enumeration order.
+  auto distinct = [&](auto project) {
+    std::vector<decltype(project(space.front()))> values;
+    for (const model::DesignPoint& dp : space) {
+      const auto v = project(dp);
+      if (std::find(values.begin(), values.end(), v) == values.end()) {
+        values.push_back(v);
+      }
+    }
+    return values;
+  };
+
+  model::DesignPoint current = space.front();
+  auto evaluate = [&](const model::DesignPoint& dp) {
+    ++result.evaluations;
+    return coarseCost(flexcl, launch, dp);
+  };
+
+  // Axis 1: work-group size.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& wg :
+         distinct([](const model::DesignPoint& d) { return d.workGroupSize; })) {
+      model::DesignPoint candidate = current;
+      candidate.workGroupSize = wg;
+      const double cost = evaluate(candidate);
+      if (cost < best) {
+        best = cost;
+        current.workGroupSize = wg;
+      }
+    }
+  }
+  // Axis 2: pipeline.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (bool pipe :
+         distinct([](const model::DesignPoint& d) { return d.workItemPipeline; })) {
+      model::DesignPoint candidate = current;
+      candidate.workItemPipeline = pipe;
+      const double cost = evaluate(candidate);
+      if (cost < best) {
+        best = cost;
+        current.workItemPipeline = pipe;
+      }
+    }
+  }
+  // Axis 3: PE parallelism.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (int pe :
+         distinct([](const model::DesignPoint& d) { return d.peParallelism; })) {
+      model::DesignPoint candidate = current;
+      candidate.peParallelism = pe;
+      const double cost = evaluate(candidate);
+      if (cost < best) {
+        best = cost;
+        current.peParallelism = pe;
+      }
+    }
+  }
+  // Axis 4: CU count.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (int cu :
+         distinct([](const model::DesignPoint& d) { return d.numComputeUnits; })) {
+      model::DesignPoint candidate = current;
+      candidate.numComputeUnits = cu;
+      const double cost = evaluate(candidate);
+      if (cost < best) {
+        best = cost;
+        current.numComputeUnits = cu;
+      }
+    }
+  }
+  // Axis 5: communication mode.
+  {
+    double best = std::numeric_limits<double>::infinity();
+    for (model::CommMode mode :
+         distinct([](const model::DesignPoint& d) { return d.commMode; })) {
+      model::DesignPoint candidate = current;
+      candidate.commMode = mode;
+      const double cost = evaluate(candidate);
+      if (cost < best) {
+        best = cost;
+        current.commMode = mode;
+      }
+    }
+  }
+
+  result.chosen = current;
+  result.coarseCycles = coarseCost(flexcl, launch, current);
+  return result;
+}
+
+}  // namespace flexcl::dse

@@ -1,0 +1,728 @@
+#include "interp/interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+namespace flexcl::interp {
+namespace {
+
+using ir::AddressSpace;
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+double evalMathScalar(ir::MathFunc f, const std::vector<double>& a) {
+  switch (f) {
+    case ir::MathFunc::Sqrt: return std::sqrt(a[0]);
+    case ir::MathFunc::Rsqrt: return 1.0 / std::sqrt(a[0]);
+    case ir::MathFunc::Exp: return std::exp(a[0]);
+    case ir::MathFunc::Exp2: return std::exp2(a[0]);
+    case ir::MathFunc::Log: return std::log(a[0]);
+    case ir::MathFunc::Log2: return std::log2(a[0]);
+    case ir::MathFunc::Pow: return std::pow(a[0], a[1]);
+    case ir::MathFunc::Sin: return std::sin(a[0]);
+    case ir::MathFunc::Cos: return std::cos(a[0]);
+    case ir::MathFunc::Tan: return std::tan(a[0]);
+    case ir::MathFunc::Fabs: return std::fabs(a[0]);
+    case ir::MathFunc::Floor: return std::floor(a[0]);
+    case ir::MathFunc::Ceil: return std::ceil(a[0]);
+    case ir::MathFunc::Round: return std::round(a[0]);
+    case ir::MathFunc::Fmax: return std::fmax(a[0], a[1]);
+    case ir::MathFunc::Fmin: return std::fmin(a[0], a[1]);
+    case ir::MathFunc::Fmod: return std::fmod(a[0], a[1]);
+    case ir::MathFunc::Mad:
+    case ir::MathFunc::Fma: return a[0] * a[1] + a[2];
+    case ir::MathFunc::Abs: return std::fabs(a[0]);
+    case ir::MathFunc::Max: return std::fmax(a[0], a[1]);
+    case ir::MathFunc::Min: return std::fmin(a[0], a[1]);
+    case ir::MathFunc::Clamp: return std::fmin(std::fmax(a[0], a[1]), a[2]);
+    case ir::MathFunc::Select: return a[2] != 0.0 ? a[1] : a[0];
+    case ir::MathFunc::Hypot: return std::hypot(a[0], a[1]);
+    case ir::MathFunc::Atan: return std::atan(a[0]);
+    case ir::MathFunc::Atan2: return std::atan2(a[0], a[1]);
+  }
+  return 0.0;
+}
+
+std::int64_t evalMathInt(ir::MathFunc f, const std::vector<std::int64_t>& a) {
+  switch (f) {
+    case ir::MathFunc::Abs: return a[0] < 0 ? -a[0] : a[0];
+    case ir::MathFunc::Max: return a[0] > a[1] ? a[0] : a[1];
+    case ir::MathFunc::Min: return a[0] < a[1] ? a[0] : a[1];
+    case ir::MathFunc::Clamp: {
+      const std::int64_t lo = a[1], hi = a[2];
+      return a[0] < lo ? lo : (a[0] > hi ? hi : a[0]);
+    }
+    case ir::MathFunc::Select: return a[2] != 0 ? a[1] : a[0];
+    case ir::MathFunc::Mad: return a[0] * a[1] + a[2];
+    default:
+      // Float-only function reached with int operands: evaluate in double.
+      {
+        std::vector<double> d(a.begin(), a.end());
+        return static_cast<std::int64_t>(evalMathScalar(f, d));
+      }
+  }
+}
+
+struct WorkItem {
+  std::array<std::uint64_t, 3> globalId = {0, 0, 0};
+  std::array<std::uint64_t, 3> localId = {0, 0, 0};
+  std::uint64_t linearGlobal = 0;
+  std::vector<RtValue> values;                  // by instruction id
+  std::vector<std::vector<std::uint8_t>> priv;  // by private alloca index
+  const BasicBlock* block = nullptr;
+  std::size_t ip = 0;
+  enum class Status : std::uint8_t { Running, AtBarrier, Done } status = Status::Running;
+};
+
+class Machine {
+ public:
+  Machine(const ir::Function& fn, const NdRange& range,
+          const std::vector<KernelArg>& args,
+          std::vector<std::vector<std::uint8_t>>& buffers, const InterpOptions& options)
+      : fn_(fn), range_(range), args_(args), buffers_(buffers), options_(options) {
+    // Alloca indices.
+    for (std::size_t i = 0; i < fn_.privateAllocas.size(); ++i) {
+      allocaIndex_[fn_.privateAllocas[i]] = static_cast<std::int32_t>(i);
+    }
+    for (std::size_t i = 0; i < fn_.localAllocas.size(); ++i) {
+      allocaIndex_[fn_.localAllocas[i]] = static_cast<std::int32_t>(i);
+    }
+    // Loop bookkeeping from the region tree.
+    result_.loops.resize(static_cast<std::size_t>(fn_.loopCount));
+    indexLoops(fn_.rootRegion());
+  }
+
+  InterpResult run();
+
+ private:
+  void indexLoops(const ir::Region* region) {
+    if (!region) return;
+    if (region->kind == ir::Region::Kind::Loop && region->condBlock) {
+      const Instruction* term = region->condBlock->terminator();
+      if (term && term->opcode() == Opcode::CondBr) {
+        bodyArrival_[term->target0->id] = region->loopId;
+        exitArrival_[term->target1->id] = region->loopId;
+      }
+    }
+    for (const auto& child : region->children) indexLoops(child.get());
+  }
+
+  bool fail(const std::string& msg) {
+    if (result_.error.empty()) result_.error = msg;
+    return false;
+  }
+
+  RtValue evalOperand(const ir::Value* v, WorkItem& wi);
+  bool step(WorkItem& wi, std::uint32_t group);
+  bool execInstruction(const Instruction& inst, WorkItem& wi, std::uint32_t group);
+  void jumpTo(WorkItem& wi, BasicBlock* target);
+  std::vector<std::uint8_t>* poolFor(const Pointer& p, WorkItem& wi);
+  bool access(const Instruction& inst, const Pointer& p, std::uint64_t size,
+              bool isWrite, WorkItem& wi, std::uint32_t group, RtValue* out,
+              const RtValue* in);
+
+  RtValue evalBinary(const Instruction& inst, const RtValue& a, const RtValue& b);
+  RtValue evalBinaryScalar(const Instruction& inst, const ir::Type& type,
+                           const RtValue& a, const RtValue& b);
+  RtValue evalCmp(const Instruction& inst, const RtValue& a, const RtValue& b);
+  RtValue evalCast(const Instruction& inst, const RtValue& v);
+  RtValue evalCastScalar(Opcode op, const ir::Type& from, const ir::Type& to,
+                         const RtValue& v);
+  RtValue evalCall(const Instruction& inst, WorkItem& wi);
+
+  const ir::Function& fn_;
+  const NdRange& range_;
+  const std::vector<KernelArg>& args_;
+  std::vector<std::vector<std::uint8_t>>& buffers_;
+  InterpOptions options_;
+  InterpResult result_;
+
+  std::unordered_map<const Instruction*, std::int32_t> allocaIndex_;
+  std::unordered_map<unsigned, int> bodyArrival_;  // blockId -> loopId
+  std::unordered_map<unsigned, int> exitArrival_;
+  std::vector<std::vector<std::uint8_t>> localMem_;  // current group's local pools
+};
+
+RtValue Machine::evalOperand(const ir::Value* v, WorkItem& wi) {
+  switch (v->valueKind()) {
+    case ir::Value::Kind::Constant: {
+      const auto* c = static_cast<const ir::Constant*>(v);
+      if (c->isFloatConstant()) return RtValue::makeFloat(c->floatValue());
+      return RtValue::makeInt(c->intValue());
+    }
+    case ir::Value::Kind::Argument: {
+      const auto* arg = static_cast<const ir::Argument*>(v);
+      const KernelArg& ka = args_[arg->index()];
+      if (ka.isBuffer) {
+        Pointer p;
+        p.space = arg->type()->isPointer() ? arg->type()->addressSpace()
+                                           : AddressSpace::Global;
+        p.buffer = ka.bufferIndex;
+        p.offset = 0;
+        return RtValue::makePtr(p);
+      }
+      return ka.scalar;
+    }
+    case ir::Value::Kind::Instruction: {
+      const auto* inst = static_cast<const Instruction*>(v);
+      if (inst->opcode() == Opcode::Alloca) {
+        Pointer p;
+        p.space = inst->allocaSpace;
+        p.buffer = allocaIndex_.at(inst);
+        p.offset = 0;
+        return RtValue::makePtr(p);
+      }
+      return wi.values[inst->id];
+    }
+  }
+  return {};
+}
+
+std::vector<std::uint8_t>* Machine::poolFor(const Pointer& p, WorkItem& wi) {
+  switch (p.space) {
+    case AddressSpace::Global:
+    case AddressSpace::Constant:
+      if (p.buffer < 0 || static_cast<std::size_t>(p.buffer) >= buffers_.size())
+        return nullptr;
+      return &buffers_[static_cast<std::size_t>(p.buffer)];
+    case AddressSpace::Local:
+      if (p.buffer < 0 || static_cast<std::size_t>(p.buffer) >= localMem_.size())
+        return nullptr;
+      return &localMem_[static_cast<std::size_t>(p.buffer)];
+    case AddressSpace::Private:
+      if (p.buffer < 0 || static_cast<std::size_t>(p.buffer) >= wi.priv.size())
+        return nullptr;
+      return &wi.priv[static_cast<std::size_t>(p.buffer)];
+  }
+  return nullptr;
+}
+
+bool Machine::access(const Instruction& inst, const Pointer& p, std::uint64_t size,
+                     bool isWrite, WorkItem& wi, std::uint32_t group, RtValue* out,
+                     const RtValue* in) {
+  std::vector<std::uint8_t>* pool = poolFor(p, wi);
+  const ir::Type* valueType = inst.type();
+  const bool inBounds = pool && p.offset >= 0 &&
+                        static_cast<std::uint64_t>(p.offset) + size <= pool->size();
+  if (!inBounds) {
+    ++result_.oobAccesses;
+    if (options_.strictBounds) {
+      return fail("out-of-bounds " + std::string(isWrite ? "write" : "read") +
+                  " at " + ir::addressSpaceName(p.space) + " buffer " +
+                  std::to_string(p.buffer) + " offset " + std::to_string(p.offset) +
+                  " size " + std::to_string(size) + " (work-item " +
+                  std::to_string(wi.linearGlobal) + ")");
+    }
+    if (!isWrite && out) {
+      // Lenient mode: reads of invalid memory produce zero.
+      std::vector<std::uint8_t> zeros(size, 0);
+      *out = readValue(*valueType, zeros.data());
+    }
+  } else if (isWrite) {
+    writeValue(*valueType, *in, pool->data() + p.offset);
+  } else if (out) {
+    *out = readValue(*valueType, pool->data() + p.offset);
+  }
+
+  const bool record =
+      (p.space == AddressSpace::Global || p.space == AddressSpace::Constant)
+          ? options_.captureGlobalTrace
+          : (p.space == AddressSpace::Local && options_.captureLocalTrace);
+  if (record) {
+    MemoryAccessEvent ev;
+    ev.workItem = wi.linearGlobal;
+    ev.group = group;
+    ev.space = p.space;
+    ev.buffer = p.buffer;
+    ev.offset = p.offset;
+    ev.size = static_cast<std::uint32_t>(size);
+    ev.isWrite = isWrite;
+    ev.instId = inst.id;
+    result_.trace.push_back(ev);
+  }
+  return true;
+}
+
+void Machine::jumpTo(WorkItem& wi, BasicBlock* target) {
+  auto body = bodyArrival_.find(target->id);
+  if (body != bodyArrival_.end()) {
+    ++result_.loops[static_cast<std::size_t>(body->second)].bodyExecutions;
+  }
+  auto exit = exitArrival_.find(target->id);
+  if (exit != exitArrival_.end()) {
+    ++result_.loops[static_cast<std::size_t>(exit->second)].entries;
+  }
+  wi.block = target;
+  wi.ip = 0;
+}
+
+RtValue Machine::evalBinaryScalar(const Instruction& inst, const ir::Type& type,
+                                  const RtValue& a, const RtValue& b) {
+  switch (inst.opcode()) {
+    case Opcode::FAdd: return RtValue::makeFloat(a.f + b.f);
+    case Opcode::FSub: return RtValue::makeFloat(a.f - b.f);
+    case Opcode::FMul: return RtValue::makeFloat(a.f * b.f);
+    case Opcode::FDiv: return RtValue::makeFloat(b.f == 0.0 ? 0.0 : a.f / b.f);
+    case Opcode::FRem: return RtValue::makeFloat(b.f == 0.0 ? 0.0 : std::fmod(a.f, b.f));
+    default:
+      break;
+  }
+  std::int64_t r = 0;
+  const std::int64_t x = a.i, y = b.i;
+  switch (inst.opcode()) {
+    case Opcode::Add: r = x + y; break;
+    case Opcode::Sub: r = x - y; break;
+    case Opcode::Mul: r = x * y; break;
+    case Opcode::Div:
+      if (y == 0) {
+        r = 0;
+      } else if (type.isSigned()) {
+        r = x / y;
+      } else {
+        r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) /
+                                      static_cast<std::uint64_t>(y));
+      }
+      break;
+    case Opcode::Rem:
+      if (y == 0) {
+        r = 0;
+      } else if (type.isSigned()) {
+        r = x % y;
+      } else {
+        r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) %
+                                      static_cast<std::uint64_t>(y));
+      }
+      break;
+    case Opcode::And: r = x & y; break;
+    case Opcode::Or: r = x | y; break;
+    case Opcode::Xor: r = x ^ y; break;
+    case Opcode::Shl: r = x << (y & 63); break;
+    case Opcode::Shr:
+      if (type.isSigned()) {
+        r = x >> (y & 63);
+      } else {
+        const unsigned bits = type.bits();
+        const std::uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+        r = static_cast<std::int64_t>((static_cast<std::uint64_t>(x) & mask) >>
+                                      (y & 63));
+      }
+      break;
+    default:
+      break;
+  }
+  return RtValue::makeInt(normalizeInt(type, r));
+}
+
+RtValue Machine::evalBinary(const Instruction& inst, const RtValue& a,
+                            const RtValue& b) {
+  const ir::Type* type = inst.type();
+  if (type->isVector()) {
+    std::vector<RtValue> lanes;
+    lanes.reserve(type->count());
+    for (std::uint64_t l = 0; l < type->count(); ++l) {
+      lanes.push_back(evalBinaryScalar(inst, *type->element(), a.lanes[l], b.lanes[l]));
+    }
+    return RtValue::makeVec(std::move(lanes));
+  }
+  return evalBinaryScalar(inst, *type, a, b);
+}
+
+RtValue Machine::evalCmp(const Instruction& inst, const RtValue& a, const RtValue& b) {
+  bool result = false;
+  if (inst.opcode() == Opcode::FCmp) {
+    switch (inst.cmpPred) {
+      case ir::CmpPred::Eq: result = a.f == b.f; break;
+      case ir::CmpPred::Ne: result = a.f != b.f; break;
+      case ir::CmpPred::Lt: result = a.f < b.f; break;
+      case ir::CmpPred::Le: result = a.f <= b.f; break;
+      case ir::CmpPred::Gt: result = a.f > b.f; break;
+      case ir::CmpPred::Ge: result = a.f >= b.f; break;
+    }
+    return RtValue::makeInt(result ? 1 : 0);
+  }
+  if (a.isPtr() || b.isPtr()) {
+    const auto key = [](const Pointer& p) {
+      return std::pair<std::int64_t, std::int64_t>(p.buffer, p.offset);
+    };
+    const auto ka = key(a.ptr), kb = key(b.ptr);
+    switch (inst.cmpPred) {
+      case ir::CmpPred::Eq: result = ka == kb; break;
+      case ir::CmpPred::Ne: result = ka != kb; break;
+      case ir::CmpPred::Lt: result = ka < kb; break;
+      case ir::CmpPred::Le: result = ka <= kb; break;
+      case ir::CmpPred::Gt: result = ka > kb; break;
+      case ir::CmpPred::Ge: result = ka >= kb; break;
+    }
+    return RtValue::makeInt(result ? 1 : 0);
+  }
+  // Integer compare honouring the operand type's signedness.
+  const ir::Type* opType = inst.operand(0)->type();
+  const bool isSigned = opType->isBool() || opType->isSigned();
+  if (isSigned) {
+    switch (inst.cmpPred) {
+      case ir::CmpPred::Eq: result = a.i == b.i; break;
+      case ir::CmpPred::Ne: result = a.i != b.i; break;
+      case ir::CmpPred::Lt: result = a.i < b.i; break;
+      case ir::CmpPred::Le: result = a.i <= b.i; break;
+      case ir::CmpPred::Gt: result = a.i > b.i; break;
+      case ir::CmpPred::Ge: result = a.i >= b.i; break;
+    }
+  } else {
+    const auto ua = static_cast<std::uint64_t>(a.i);
+    const auto ub = static_cast<std::uint64_t>(b.i);
+    switch (inst.cmpPred) {
+      case ir::CmpPred::Eq: result = ua == ub; break;
+      case ir::CmpPred::Ne: result = ua != ub; break;
+      case ir::CmpPred::Lt: result = ua < ub; break;
+      case ir::CmpPred::Le: result = ua <= ub; break;
+      case ir::CmpPred::Gt: result = ua > ub; break;
+      case ir::CmpPred::Ge: result = ua >= ub; break;
+    }
+  }
+  return RtValue::makeInt(result ? 1 : 0);
+}
+
+RtValue Machine::evalCastScalar(Opcode op, const ir::Type& from, const ir::Type& to,
+                                const RtValue& v) {
+  switch (op) {
+    case Opcode::Trunc:
+      return RtValue::makeInt(normalizeInt(to, v.i));
+    case Opcode::ZExt: {
+      const unsigned bits = from.isBool() ? 1 : from.bits();
+      const std::uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+      return RtValue::makeInt(
+          normalizeInt(to, static_cast<std::int64_t>(static_cast<std::uint64_t>(v.i) &
+                                                     mask)));
+    }
+    case Opcode::SExt:
+      return RtValue::makeInt(normalizeInt(to, v.i));
+    case Opcode::FPTrunc:
+      return RtValue::makeFloat(static_cast<double>(static_cast<float>(v.f)));
+    case Opcode::FPExt:
+      return RtValue::makeFloat(v.f);
+    case Opcode::SIToFP:
+      return RtValue::makeFloat(static_cast<double>(v.i));
+    case Opcode::UIToFP: {
+      const unsigned bits = from.isBool() ? 1 : from.bits();
+      const std::uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+      return RtValue::makeFloat(
+          static_cast<double>(static_cast<std::uint64_t>(v.i) & mask));
+    }
+    case Opcode::FPToSI: {
+      const double clamped = std::isnan(v.f) ? 0.0 : v.f;
+      return RtValue::makeInt(normalizeInt(to, static_cast<std::int64_t>(clamped)));
+    }
+    case Opcode::FPToUI: {
+      const double clamped = std::isnan(v.f) || v.f < 0 ? 0.0 : v.f;
+      return RtValue::makeInt(
+          normalizeInt(to, static_cast<std::int64_t>(
+                               static_cast<std::uint64_t>(clamped))));
+    }
+    case Opcode::Bitcast:
+      if (v.isPtr()) return v;
+      return RtValue::makeInt(normalizeInt(to, v.i));
+    default:
+      return v;
+  }
+}
+
+RtValue Machine::evalCast(const Instruction& inst, const RtValue& v) {
+  const ir::Type* to = inst.type();
+  const ir::Type* from = inst.operand(0)->type();
+  if (to->isVector()) {
+    std::vector<RtValue> lanes;
+    lanes.reserve(to->count());
+    for (std::uint64_t l = 0; l < to->count(); ++l) {
+      lanes.push_back(
+          evalCastScalar(inst.opcode(), *from->element(), *to->element(), v.lanes[l]));
+    }
+    return RtValue::makeVec(std::move(lanes));
+  }
+  return evalCastScalar(inst.opcode(), *from, *to, v);
+}
+
+RtValue Machine::evalCall(const Instruction& inst, WorkItem& wi) {
+  const ir::Type* type = inst.type();
+  const bool vector = type->isVector();
+  const ir::Type* scalarType = vector ? type->element() : type;
+  const std::uint64_t lanes = vector ? type->count() : 1;
+
+  std::vector<RtValue> argValues;
+  argValues.reserve(inst.operands().size());
+  for (const ir::Value* op : inst.operands()) argValues.push_back(evalOperand(op, wi));
+
+  auto laneOf = [&](const RtValue& v, std::uint64_t l) -> const RtValue& {
+    return v.isVec() ? v.lanes[l] : v;
+  };
+
+  std::vector<RtValue> outLanes;
+  for (std::uint64_t l = 0; l < lanes; ++l) {
+    RtValue r;
+    if (scalarType->isFloat()) {
+      std::vector<double> a;
+      for (const RtValue& av : argValues) {
+        const RtValue& lv = laneOf(av, l);
+        a.push_back(lv.isFloat() ? lv.f : static_cast<double>(lv.i));
+      }
+      r = RtValue::makeFloat(evalMathScalar(inst.mathFunc, a));
+    } else {
+      std::vector<std::int64_t> a;
+      for (const RtValue& av : argValues) {
+        const RtValue& lv = laneOf(av, l);
+        a.push_back(lv.isInt() ? lv.i : static_cast<std::int64_t>(lv.f));
+      }
+      r = RtValue::makeInt(normalizeInt(*scalarType, evalMathInt(inst.mathFunc, a)));
+    }
+    if (!vector) return r;
+    outLanes.push_back(std::move(r));
+  }
+  return RtValue::makeVec(std::move(outLanes));
+}
+
+bool Machine::execInstruction(const Instruction& inst, WorkItem& wi,
+                              std::uint32_t group) {
+  switch (inst.opcode()) {
+    case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+    case Opcode::Rem: case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+    case Opcode::FDiv: case Opcode::FRem: case Opcode::And: case Opcode::Or:
+    case Opcode::Xor: case Opcode::Shl: case Opcode::Shr: {
+      RtValue a = evalOperand(inst.operand(0), wi);
+      RtValue b = evalOperand(inst.operand(1), wi);
+      wi.values[inst.id] = evalBinary(inst, a, b);
+      return true;
+    }
+    case Opcode::ICmp:
+    case Opcode::FCmp: {
+      RtValue a = evalOperand(inst.operand(0), wi);
+      RtValue b = evalOperand(inst.operand(1), wi);
+      wi.values[inst.id] = evalCmp(inst, a, b);
+      return true;
+    }
+    case Opcode::Select: {
+      RtValue c = evalOperand(inst.operand(0), wi);
+      wi.values[inst.id] =
+          c.truthy() ? evalOperand(inst.operand(1), wi) : evalOperand(inst.operand(2), wi);
+      return true;
+    }
+    case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt: case Opcode::FPTrunc:
+    case Opcode::FPExt: case Opcode::SIToFP: case Opcode::UIToFP:
+    case Opcode::FPToSI: case Opcode::FPToUI: case Opcode::Bitcast: {
+      RtValue v = evalOperand(inst.operand(0), wi);
+      wi.values[inst.id] = evalCast(inst, v);
+      return true;
+    }
+    case Opcode::PtrAdd: {
+      RtValue base = evalOperand(inst.operand(0), wi);
+      RtValue off = evalOperand(inst.operand(1), wi);
+      if (!base.isPtr()) return fail("ptradd on non-pointer value");
+      Pointer p = base.ptr;
+      p.offset += off.i;
+      if (inst.type()->isPointer()) p.space = inst.type()->addressSpace();
+      wi.values[inst.id] = RtValue::makePtr(p);
+      return true;
+    }
+    case Opcode::Load: {
+      RtValue addr = evalOperand(inst.operand(0), wi);
+      if (!addr.isPtr()) return fail("load from non-pointer value");
+      RtValue out;
+      if (!access(inst, addr.ptr, inst.type()->sizeInBytes(), false, wi, group, &out,
+                  nullptr)) {
+        return false;
+      }
+      wi.values[inst.id] = std::move(out);
+      return true;
+    }
+    case Opcode::Store: {
+      RtValue value = evalOperand(inst.operand(0), wi);
+      RtValue addr = evalOperand(inst.operand(1), wi);
+      if (!addr.isPtr()) return fail("store to non-pointer value");
+      return access(inst, addr.ptr, inst.type()->sizeInBytes(), true, wi, group,
+                    nullptr, &value);
+    }
+    case Opcode::ExtractLane: {
+      RtValue vec = evalOperand(inst.operand(0), wi);
+      RtValue lane = evalOperand(inst.operand(1), wi);
+      if (!vec.isVec() || lane.i < 0 ||
+          static_cast<std::size_t>(lane.i) >= vec.lanes.size()) {
+        return fail("invalid lane extract");
+      }
+      wi.values[inst.id] = vec.lanes[static_cast<std::size_t>(lane.i)];
+      return true;
+    }
+    case Opcode::InsertLane: {
+      RtValue vec = evalOperand(inst.operand(0), wi);
+      RtValue lane = evalOperand(inst.operand(1), wi);
+      RtValue elem = evalOperand(inst.operand(2), wi);
+      if (!vec.isVec() || lane.i < 0 ||
+          static_cast<std::size_t>(lane.i) >= vec.lanes.size()) {
+        return fail("invalid lane insert");
+      }
+      vec.lanes[static_cast<std::size_t>(lane.i)] = std::move(elem);
+      wi.values[inst.id] = std::move(vec);
+      return true;
+    }
+    case Opcode::Splat: {
+      RtValue scalar = evalOperand(inst.operand(0), wi);
+      std::vector<RtValue> lanes(inst.type()->count(), scalar);
+      wi.values[inst.id] = RtValue::makeVec(std::move(lanes));
+      return true;
+    }
+    case Opcode::Call: {
+      wi.values[inst.id] = evalCall(inst, wi);
+      return true;
+    }
+    case Opcode::WorkItemId: {
+      RtValue dimV = evalOperand(inst.operand(0), wi);
+      const int dim = dimV.i >= 0 && dimV.i < 3 ? static_cast<int>(dimV.i) : 0;
+      std::uint64_t v = 0;
+      const auto groups = range_.groupsPerDim();
+      switch (inst.wiQuery) {
+        case ir::WiQuery::GlobalId: v = wi.globalId[dim]; break;
+        case ir::WiQuery::LocalId: v = wi.localId[dim]; break;
+        case ir::WiQuery::GroupId: v = wi.globalId[dim] / range_.local[dim]; break;
+        case ir::WiQuery::GlobalSize: v = range_.global[dim]; break;
+        case ir::WiQuery::LocalSize: v = range_.local[dim]; break;
+        case ir::WiQuery::NumGroups: v = groups[dim]; break;
+      }
+      wi.values[inst.id] = RtValue::makeInt(static_cast<std::int64_t>(v));
+      return true;
+    }
+    case Opcode::Barrier:
+      wi.status = WorkItem::Status::AtBarrier;
+      return true;
+    case Opcode::Br:
+      jumpTo(wi, inst.target0);
+      return true;
+    case Opcode::CondBr: {
+      RtValue c = evalOperand(inst.operand(0), wi);
+      jumpTo(wi, c.truthy() ? inst.target0 : inst.target1);
+      return true;
+    }
+    case Opcode::Ret:
+      wi.status = WorkItem::Status::Done;
+      return true;
+    case Opcode::Alloca:
+      return fail("alloca must not be executed");
+  }
+  return fail("unknown opcode");
+}
+
+bool Machine::step(WorkItem& wi, std::uint32_t group) {
+  // Runs until the work-item hits a barrier or finishes.
+  while (wi.status == WorkItem::Status::Running) {
+    if (wi.ip >= wi.block->instructions().size()) {
+      return fail("fell off the end of block " + wi.block->name());
+    }
+    const Instruction& inst = *wi.block->instructions()[wi.ip];
+    ++wi.ip;  // advance first: jumps overwrite, barrier resume continues after
+    ++result_.executedInstructions;
+    if (result_.executedInstructions > options_.maxSteps) {
+      return fail("instruction budget exceeded (runaway loop?)");
+    }
+    if (!execInstruction(inst, wi, group)) return false;
+  }
+  return true;
+}
+
+InterpResult Machine::run() {
+  const auto groupsPerDim = range_.groupsPerDim();
+  const std::uint64_t totalGroups = range_.groupCount();
+  const std::uint64_t groupsToRun =
+      options_.groupLimit >= 0
+          ? std::min<std::uint64_t>(totalGroups,
+                                    static_cast<std::uint64_t>(options_.groupLimit))
+          : totalGroups;
+  const std::uint64_t wgSize = range_.localCount();
+
+  for (int d = 0; d < 3; ++d) {
+    if (range_.local[d] == 0 || range_.global[d] % range_.local[d] != 0) {
+      fail("global size must be a multiple of local size in every dimension");
+      result_.ok = false;
+      return std::move(result_);
+    }
+  }
+
+  for (std::uint64_t g = 0; g < groupsToRun; ++g) {
+    // Group coordinates.
+    std::array<std::uint64_t, 3> groupId;
+    groupId[0] = g % groupsPerDim[0];
+    groupId[1] = (g / groupsPerDim[0]) % groupsPerDim[1];
+    groupId[2] = g / (groupsPerDim[0] * groupsPerDim[1]);
+
+    // Fresh local memory per work-group.
+    localMem_.clear();
+    for (const Instruction* a : fn_.localAllocas) {
+      localMem_.emplace_back(a->allocaType->sizeInBytes(), 0);
+    }
+
+    std::vector<WorkItem> items(wgSize);
+    for (std::uint64_t l = 0; l < wgSize; ++l) {
+      WorkItem& wi = items[l];
+      wi.localId[0] = l % range_.local[0];
+      wi.localId[1] = (l / range_.local[0]) % range_.local[1];
+      wi.localId[2] = l / (range_.local[0] * range_.local[1]);
+      for (int d = 0; d < 3; ++d) {
+        wi.globalId[d] = groupId[d] * range_.local[d] + wi.localId[d];
+      }
+      wi.linearGlobal = wi.globalId[0] + wi.globalId[1] * range_.global[0] +
+                        wi.globalId[2] * range_.global[0] * range_.global[1];
+      wi.values.resize(fn_.instructionCount());
+      for (const Instruction* a : fn_.privateAllocas) {
+        wi.priv.emplace_back(a->allocaType->sizeInBytes(), 0);
+      }
+      wi.block = fn_.entry();
+      wi.ip = 0;
+    }
+
+    // Round-robin until everyone is done, synchronising at barriers.
+    for (;;) {
+      bool anyRunning = false;
+      for (WorkItem& wi : items) {
+        if (wi.status == WorkItem::Status::Running) {
+          anyRunning = true;
+          if (!step(wi, static_cast<std::uint32_t>(g))) {
+            result_.ok = false;
+            return std::move(result_);
+          }
+        }
+      }
+      if (anyRunning) continue;
+
+      std::size_t atBarrier = 0, done = 0;
+      for (const WorkItem& wi : items) {
+        if (wi.status == WorkItem::Status::AtBarrier) ++atBarrier;
+        if (wi.status == WorkItem::Status::Done) ++done;
+      }
+      if (done == items.size()) break;
+      if (atBarrier == items.size()) {
+        for (WorkItem& wi : items) wi.status = WorkItem::Status::Running;
+        continue;
+      }
+      fail("barrier divergence: " + std::to_string(atBarrier) + " of " +
+           std::to_string(items.size()) + " work-items reached the barrier");
+      result_.ok = false;
+      return std::move(result_);
+    }
+
+    result_.executedWorkItems += wgSize;
+    ++result_.executedGroups;
+  }
+
+  result_.ok = true;
+  return std::move(result_);
+}
+
+}  // namespace
+
+InterpResult runKernel(const ir::Function& fn, const NdRange& range,
+                       const std::vector<KernelArg>& args,
+                       std::vector<std::vector<std::uint8_t>>& buffers,
+                       const InterpOptions& options) {
+  Machine machine(fn, range, args, buffers, options);
+  return machine.run();
+}
+
+}  // namespace flexcl::interp

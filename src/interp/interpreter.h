@@ -1,0 +1,120 @@
+// NDRange interpreter for the FlexCL IR.
+//
+// Executes kernels functionally (for validation against reference
+// implementations) and produces the dynamic-profiling artefacts the paper's
+// kernel analysis needs (§3.2): loop trip counts and the per-work-item global
+// memory access trace. Work-items of a work-group run round-robin and are
+// synchronised at barriers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/value.h"
+#include "ir/ir.h"
+
+namespace flexcl::interp {
+
+/// Kernel launch geometry. Sizes are per dimension; unused dims are 1.
+struct NdRange {
+  std::array<std::uint64_t, 3> global = {1, 1, 1};
+  std::array<std::uint64_t, 3> local = {1, 1, 1};
+
+  [[nodiscard]] std::uint64_t globalCount() const {
+    return global[0] * global[1] * global[2];
+  }
+  [[nodiscard]] std::uint64_t localCount() const {
+    return local[0] * local[1] * local[2];
+  }
+  [[nodiscard]] std::uint64_t groupCount() const {
+    std::uint64_t n = 1;
+    for (int d = 0; d < 3; ++d) n *= (global[d] + local[d] - 1) / local[d];
+    return n;
+  }
+  [[nodiscard]] std::array<std::uint64_t, 3> groupsPerDim() const {
+    return {(global[0] + local[0] - 1) / local[0],
+            (global[1] + local[1] - 1) / local[1],
+            (global[2] + local[2] - 1) / local[2]};
+  }
+};
+
+/// One kernel argument: either a scalar value or an index into the buffer
+/// list (for __global/__constant pointers).
+struct KernelArg {
+  bool isBuffer = false;
+  RtValue scalar;
+  std::int32_t bufferIndex = -1;
+
+  static KernelArg buffer(std::int32_t index) {
+    KernelArg a;
+    a.isBuffer = true;
+    a.bufferIndex = index;
+    return a;
+  }
+  static KernelArg intScalar(std::int64_t v) {
+    KernelArg a;
+    a.scalar = RtValue::makeInt(v);
+    return a;
+  }
+  static KernelArg floatScalar(double v) {
+    KernelArg a;
+    a.scalar = RtValue::makeFloat(v);
+    return a;
+  }
+};
+
+/// One recorded memory access (global or local address space).
+struct MemoryAccessEvent {
+  std::uint64_t workItem = 0;  ///< linear global work-item id
+  std::uint32_t group = 0;     ///< linear work-group id
+  ir::AddressSpace space = ir::AddressSpace::Global;
+  std::int32_t buffer = -1;
+  std::int64_t offset = 0;
+  std::uint32_t size = 0;
+  bool isWrite = false;
+  std::uint32_t instId = 0;  ///< IR instruction id of the load/store
+};
+
+struct InterpOptions {
+  /// Error out on out-of-bounds accesses instead of reading zero / dropping.
+  bool strictBounds = false;
+  bool captureGlobalTrace = false;
+  bool captureLocalTrace = false;
+  /// Run only the first N work-groups (profiling mode); -1 = all.
+  std::int64_t groupLimit = -1;
+  /// Abort with an error after this many executed instructions.
+  std::uint64_t maxSteps = 1ull << 32;
+};
+
+/// Per-loop dynamic statistics (indexed by Region::loopId).
+struct LoopStats {
+  std::uint64_t bodyExecutions = 0;
+  std::uint64_t entries = 0;
+
+  [[nodiscard]] double avgTripCount() const {
+    return entries == 0 ? 0.0 : static_cast<double>(bodyExecutions) /
+                                    static_cast<double>(entries);
+  }
+};
+
+struct InterpResult {
+  bool ok = false;
+  std::string error;
+  std::vector<MemoryAccessEvent> trace;
+  std::vector<LoopStats> loops;
+  std::uint64_t oobAccesses = 0;
+  std::uint64_t executedInstructions = 0;
+  std::uint64_t executedWorkItems = 0;
+  std::uint64_t executedGroups = 0;
+};
+
+/// Executes `fn` over `range`. `buffers` are the global-memory buffers
+/// referenced by buffer-kind args; they are mutated in place (kernel output).
+InterpResult runKernel(const ir::Function& fn, const NdRange& range,
+                       const std::vector<KernelArg>& args,
+                       std::vector<std::vector<std::uint8_t>>& buffers,
+                       const InterpOptions& options = {});
+
+}  // namespace flexcl::interp

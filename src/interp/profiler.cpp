@@ -1,0 +1,59 @@
+#include "interp/profiler.h"
+
+namespace flexcl::interp {
+
+std::vector<MemoryAccessEvent> KernelProfile::traceOfWorkItem(
+    std::uint64_t workItem) const {
+  std::vector<MemoryAccessEvent> out;
+  for (const MemoryAccessEvent& ev : globalTrace) {
+    if (ev.workItem == workItem) out.push_back(ev);
+  }
+  return out;
+}
+
+double KernelProfile::avgGlobalAccessesPerWorkItem() const {
+  if (profiledWorkItems == 0) return 0.0;
+  return static_cast<double>(globalTrace.size()) /
+         static_cast<double>(profiledWorkItems);
+}
+
+KernelProfile profileKernel(const ir::Function& fn, const NdRange& range,
+                            const std::vector<KernelArg>& args,
+                            const std::vector<std::vector<std::uint8_t>>& buffers,
+                            const ProfileOptions& options) {
+  KernelProfile profile;
+  profile.range = range;
+
+  std::vector<std::vector<std::uint8_t>> scratch = buffers;
+
+  InterpOptions interpOptions;
+  interpOptions.captureGlobalTrace = true;
+  interpOptions.captureLocalTrace = options.captureLocalTrace;
+  interpOptions.groupLimit = static_cast<std::int64_t>(options.groupsToProfile);
+  interpOptions.strictBounds = false;
+
+  InterpResult result = runKernel(fn, range, args, scratch, interpOptions);
+  profile.ok = result.ok;
+  profile.error = result.error;
+  profile.oobAccesses = result.oobAccesses;
+  if (!result.ok) return profile;
+
+  profile.loopTripCounts.reserve(result.loops.size());
+  for (const LoopStats& stats : result.loops) {
+    profile.loopTripCounts.push_back(stats.avgTripCount());
+  }
+  profile.profiledGroups = result.executedGroups;
+  profile.profiledWorkItems = result.executedWorkItems;
+
+  profile.globalTrace.reserve(result.trace.size());
+  for (MemoryAccessEvent& ev : result.trace) {
+    if (ev.space == ir::AddressSpace::Local) {
+      profile.localTrace.push_back(ev);
+    } else {
+      profile.globalTrace.push_back(ev);
+    }
+  }
+  return profile;
+}
+
+}  // namespace flexcl::interp

@@ -1,0 +1,51 @@
+// Dynamic profiling (paper §3.2): executes a few work-groups of the kernel on
+// the host interpreter to collect loop trip counts and the global memory
+// access trace, used where static analysis fails.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/interpreter.h"
+
+namespace flexcl::interp {
+
+struct ProfileOptions {
+  /// Work-groups to execute. The paper profiles "only a few work-groups";
+  /// 2 is enough for the kernels we model and keeps profiling sub-second.
+  std::uint64_t groupsToProfile = 2;
+  bool captureLocalTrace = true;
+};
+
+/// Kernel-analysis artefacts for one (kernel, NDRange) pair.
+struct KernelProfile {
+  bool ok = false;
+  std::string error;
+  NdRange range;
+  /// Average body iterations per loop entry, by Region::loopId. Loops that
+  /// never executed report 0.
+  std::vector<double> loopTripCounts;
+  /// Global/constant memory accesses of the profiled work-groups, in
+  /// execution order (round-robin over the work-items of each group).
+  std::vector<MemoryAccessEvent> globalTrace;
+  /// Local-memory accesses (used for inter-work-item dependence detection).
+  std::vector<MemoryAccessEvent> localTrace;
+  std::uint64_t profiledGroups = 0;
+  std::uint64_t profiledWorkItems = 0;
+  std::uint64_t oobAccesses = 0;
+
+  /// Global-memory accesses of one work-item, program order.
+  [[nodiscard]] std::vector<MemoryAccessEvent> traceOfWorkItem(
+      std::uint64_t workItem) const;
+  /// Average number of global accesses per profiled work-item.
+  [[nodiscard]] double avgGlobalAccessesPerWorkItem() const;
+};
+
+/// Runs the profiling interpreter. Buffers are copied internally so profiling
+/// does not disturb the caller's data.
+KernelProfile profileKernel(const ir::Function& fn, const NdRange& range,
+                            const std::vector<KernelArg>& args,
+                            const std::vector<std::vector<std::uint8_t>>& buffers,
+                            const ProfileOptions& options = {});
+
+}  // namespace flexcl::interp

@@ -1,0 +1,146 @@
+#include "interp/value.h"
+
+#include <cassert>
+#include <cstring>
+#include <sstream>
+
+namespace flexcl::interp {
+
+std::uint64_t encodePointer(const Pointer& p) {
+  const auto offset = static_cast<std::uint64_t>(p.offset) & ((1ull << 46) - 1);
+  const auto space = static_cast<std::uint64_t>(p.space) & 0x3;
+  const auto buffer = static_cast<std::uint64_t>(static_cast<std::uint16_t>(p.buffer));
+  return (offset << 18) | (space << 16) | buffer;
+}
+
+Pointer decodePointer(std::uint64_t bits) {
+  Pointer p;
+  p.buffer = static_cast<std::int32_t>(static_cast<std::int16_t>(bits & 0xffff));
+  p.space = static_cast<ir::AddressSpace>((bits >> 16) & 0x3);
+  p.offset = static_cast<std::int64_t>(bits >> 18);
+  return p;
+}
+
+bool RtValue::truthy() const {
+  switch (kind) {
+    case Kind::Int: return i != 0;
+    case Kind::Float: return f != 0.0;
+    case Kind::Ptr: return ptr.buffer >= 0;
+    default: return false;
+  }
+}
+
+std::string RtValue::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::Empty: os << "<empty>"; break;
+    case Kind::Int: os << i; break;
+    case Kind::Float: os << f; break;
+    case Kind::Ptr:
+      os << '(' << ir::addressSpaceName(ptr.space) << " #" << ptr.buffer << " +"
+         << ptr.offset << ')';
+      break;
+    case Kind::Vec: {
+      os << '<';
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        if (l) os << ", ";
+        os << lanes[l].str();
+      }
+      os << '>';
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::int64_t normalizeInt(const ir::Type& type, std::int64_t v) {
+  if (type.isBool()) return v != 0 ? 1 : 0;
+  const unsigned bits = type.bits();
+  if (bits >= 64) return v;
+  const std::uint64_t mask = (1ull << bits) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+  if (type.isSigned() && (u & (1ull << (bits - 1)))) {
+    u |= ~mask;  // sign extend
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+void writeValue(const ir::Type& type, const RtValue& value, std::uint8_t* bytes) {
+  switch (type.kind()) {
+    case ir::Type::Kind::Bool: {
+      bytes[0] = value.i != 0 ? 1 : 0;
+      return;
+    }
+    case ir::Type::Kind::Int: {
+      const std::uint64_t u = static_cast<std::uint64_t>(value.i);
+      std::memcpy(bytes, &u, type.bits() / 8);
+      return;
+    }
+    case ir::Type::Kind::Float: {
+      if (type.bits() == 32) {
+        const float fv = static_cast<float>(value.f);
+        std::memcpy(bytes, &fv, 4);
+      } else {
+        std::memcpy(bytes, &value.f, 8);
+      }
+      return;
+    }
+    case ir::Type::Kind::Pointer: {
+      const std::uint64_t bitsEnc = encodePointer(value.ptr);
+      std::memcpy(bytes, &bitsEnc, 8);
+      return;
+    }
+    case ir::Type::Kind::Vector: {
+      const std::uint64_t elemSize = type.element()->sizeInBytes();
+      for (std::uint64_t l = 0; l < type.count(); ++l) {
+        const RtValue& lane =
+            l < value.lanes.size() ? value.lanes[l] : RtValue{};
+        writeValue(*type.element(), lane, bytes + l * elemSize);
+      }
+      return;
+    }
+    default:
+      assert(false && "cannot write aggregate value");
+  }
+}
+
+RtValue readValue(const ir::Type& type, const std::uint8_t* bytes) {
+  switch (type.kind()) {
+    case ir::Type::Kind::Bool:
+      return RtValue::makeInt(bytes[0] != 0 ? 1 : 0);
+    case ir::Type::Kind::Int: {
+      std::uint64_t u = 0;
+      std::memcpy(&u, bytes, type.bits() / 8);
+      return RtValue::makeInt(normalizeInt(type, static_cast<std::int64_t>(u)));
+    }
+    case ir::Type::Kind::Float: {
+      if (type.bits() == 32) {
+        float fv = 0;
+        std::memcpy(&fv, bytes, 4);
+        return RtValue::makeFloat(static_cast<double>(fv));
+      }
+      double dv = 0;
+      std::memcpy(&dv, bytes, 8);
+      return RtValue::makeFloat(dv);
+    }
+    case ir::Type::Kind::Pointer: {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, bytes, 8);
+      return RtValue::makePtr(decodePointer(bits));
+    }
+    case ir::Type::Kind::Vector: {
+      std::vector<RtValue> lanes;
+      lanes.reserve(type.count());
+      const std::uint64_t elemSize = type.element()->sizeInBytes();
+      for (std::uint64_t l = 0; l < type.count(); ++l) {
+        lanes.push_back(readValue(*type.element(), bytes + l * elemSize));
+      }
+      return RtValue::makeVec(std::move(lanes));
+    }
+    default:
+      assert(false && "cannot read aggregate value");
+      return {};
+  }
+}
+
+}  // namespace flexcl::interp

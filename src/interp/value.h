@@ -1,0 +1,82 @@
+// Runtime values for the IR interpreter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace flexcl::interp {
+
+/// A typed pointer into one of the interpreter's memory pools. `buffer`
+/// indexes the pool selected by `space` (global: kernel buffer list, local:
+/// the work-group's local allocations, private: the work-item's slots).
+struct Pointer {
+  ir::AddressSpace space = ir::AddressSpace::Private;
+  std::int32_t buffer = -1;
+  std::int64_t offset = 0;
+
+  friend bool operator==(const Pointer&, const Pointer&) = default;
+};
+
+/// Encodes a pointer into the 8 bytes a pointer-typed slot occupies in
+/// memory: [ offset:46 | space:2 | buffer:16 ]. Offsets are < 2^45 and buffer
+/// counts < 2^16 for every workload we run.
+std::uint64_t encodePointer(const Pointer& p);
+Pointer decodePointer(std::uint64_t bits);
+
+/// Dynamically-typed runtime value. Integers are stored canonically: signed
+/// types sign-extended into `i`, unsigned types zero-extended.
+struct RtValue {
+  enum class Kind : std::uint8_t { Empty, Int, Float, Ptr, Vec };
+  Kind kind = Kind::Empty;
+  std::int64_t i = 0;
+  double f = 0.0;
+  Pointer ptr;
+  std::vector<RtValue> lanes;
+
+  static RtValue makeInt(std::int64_t v) {
+    RtValue r;
+    r.kind = Kind::Int;
+    r.i = v;
+    return r;
+  }
+  static RtValue makeFloat(double v) {
+    RtValue r;
+    r.kind = Kind::Float;
+    r.f = v;
+    return r;
+  }
+  static RtValue makePtr(Pointer p) {
+    RtValue r;
+    r.kind = Kind::Ptr;
+    r.ptr = p;
+    return r;
+  }
+  static RtValue makeVec(std::vector<RtValue> ls) {
+    RtValue r;
+    r.kind = Kind::Vec;
+    r.lanes = std::move(ls);
+    return r;
+  }
+
+  [[nodiscard]] bool isInt() const { return kind == Kind::Int; }
+  [[nodiscard]] bool isFloat() const { return kind == Kind::Float; }
+  [[nodiscard]] bool isPtr() const { return kind == Kind::Ptr; }
+  [[nodiscard]] bool isVec() const { return kind == Kind::Vec; }
+  [[nodiscard]] bool truthy() const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Clamps an int64 to the canonical representation of the given int type
+/// (sign- or zero-extended to 64 bits).
+std::int64_t normalizeInt(const ir::Type& type, std::int64_t v);
+
+/// Serialises `value` (of IR type `type`) into `bytes` (little endian,
+/// packed). `bytes` must have type.sizeInBytes() space.
+void writeValue(const ir::Type& type, const RtValue& value, std::uint8_t* bytes);
+/// Deserialises a value of `type` from `bytes`.
+RtValue readValue(const ir::Type& type, const std::uint8_t* bytes);
+
+}  // namespace flexcl::interp

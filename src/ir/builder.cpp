@@ -1,0 +1,150 @@
+#include "ir/builder.h"
+
+#include <cassert>
+
+namespace flexcl::ir {
+
+Instruction* IRBuilder::emit(Opcode op, const Type* type) {
+  assert(block_ && "no insertion block set");
+  Instruction* inst = fn_.createInstruction(op, type);
+  block_->append(inst);
+  return inst;
+}
+
+Value* IRBuilder::binary(Opcode op, Value* lhs, Value* rhs, const Type* type) {
+  Instruction* inst = emit(op, type);
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return inst;
+}
+
+Value* IRBuilder::icmp(CmpPred pred, Value* lhs, Value* rhs, const Type* boolType) {
+  Instruction* inst = emit(Opcode::ICmp, boolType);
+  inst->cmpPred = pred;
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return inst;
+}
+
+Value* IRBuilder::fcmp(CmpPred pred, Value* lhs, Value* rhs, const Type* boolType) {
+  Instruction* inst = emit(Opcode::FCmp, boolType);
+  inst->cmpPred = pred;
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return inst;
+}
+
+Value* IRBuilder::select(Value* cond, Value* a, Value* b) {
+  Instruction* inst = emit(Opcode::Select, a->type());
+  inst->addOperand(cond);
+  inst->addOperand(a);
+  inst->addOperand(b);
+  return inst;
+}
+
+Value* IRBuilder::cast(Opcode op, Value* v, const Type* to) {
+  if (v->type() == to && op != Opcode::Bitcast) return v;
+  Instruction* inst = emit(op, to);
+  inst->addOperand(v);
+  return inst;
+}
+
+Instruction* IRBuilder::allocaInst(const Type* allocated, AddressSpace space,
+                               const Type* ptrType, std::string name) {
+  // Allocas are not placed in any block: they live on the function's alloca
+  // lists and storage is materialised at frame setup (interpreter) or BRAM
+  // allocation (model). This sidesteps ordering issues for declarations that
+  // appear after control flow has branched.
+  Instruction* inst = fn_.createInstruction(Opcode::Alloca, ptrType);
+  inst->allocaSpace = space;
+  inst->allocaType = allocated;
+  inst->setName(std::move(name));
+  if (space == AddressSpace::Local) {
+    fn_.localAllocas.push_back(inst);
+  } else {
+    fn_.privateAllocas.push_back(inst);
+  }
+  return inst;
+}
+
+Value* IRBuilder::ptrAdd(Value* base, Value* byteOffset, const Type* resultType) {
+  Instruction* inst = emit(Opcode::PtrAdd, resultType ? resultType : base->type());
+  inst->addOperand(base);
+  inst->addOperand(byteOffset);
+  return inst;
+}
+
+Value* IRBuilder::load(Value* ptr, const Type* valueType) {
+  Instruction* inst = emit(Opcode::Load, valueType);
+  inst->addOperand(ptr);
+  inst->memSpace = ptr->type()->isPointer() ? ptr->type()->addressSpace()
+                                            : AddressSpace::Private;
+  return inst;
+}
+
+void IRBuilder::store(Value* value, Value* ptr) {
+  Instruction* inst = emit(Opcode::Store, value->type());
+  inst->addOperand(value);
+  inst->addOperand(ptr);
+  inst->memSpace = ptr->type()->isPointer() ? ptr->type()->addressSpace()
+                                            : AddressSpace::Private;
+}
+
+Value* IRBuilder::extractLane(Value* vec, Value* lane, const Type* elemType) {
+  Instruction* inst = emit(Opcode::ExtractLane, elemType);
+  inst->addOperand(vec);
+  inst->addOperand(lane);
+  return inst;
+}
+
+Value* IRBuilder::insertLane(Value* vec, Value* lane, Value* elem) {
+  Instruction* inst = emit(Opcode::InsertLane, vec->type());
+  inst->addOperand(vec);
+  inst->addOperand(lane);
+  inst->addOperand(elem);
+  return inst;
+}
+
+Value* IRBuilder::splat(Value* scalar, const Type* vecType) {
+  Instruction* inst = emit(Opcode::Splat, vecType);
+  inst->addOperand(scalar);
+  return inst;
+}
+
+Value* IRBuilder::call(MathFunc fn, const std::vector<Value*>& args, const Type* type) {
+  Instruction* inst = emit(Opcode::Call, type);
+  inst->mathFunc = fn;
+  for (Value* a : args) inst->addOperand(a);
+  return inst;
+}
+
+Value* IRBuilder::workItemId(WiQuery query, Value* dim, const Type* type) {
+  Instruction* inst = emit(Opcode::WorkItemId, type);
+  inst->wiQuery = query;
+  inst->addOperand(dim);
+  return inst;
+}
+
+void IRBuilder::barrier() { emit(Opcode::Barrier, nullptr); }
+
+void IRBuilder::br(BasicBlock* target) {
+  if (block_->terminator()) return;  // unreachable tail (after return/break)
+  Instruction* inst = emit(Opcode::Br, nullptr);
+  inst->target0 = target;
+}
+
+void IRBuilder::condBr(Value* cond, BasicBlock* trueTarget, BasicBlock* falseTarget) {
+  if (block_->terminator()) return;
+  Instruction* inst = emit(Opcode::CondBr, nullptr);
+  inst->addOperand(cond);
+  inst->target0 = trueTarget;
+  inst->target1 = falseTarget;
+}
+
+void IRBuilder::ret(Value* value) {
+  if (block_->terminator()) return;
+  Instruction* inst = emit(Opcode::Ret, nullptr);
+  if (value) inst->addOperand(value);
+}
+
+}  // namespace flexcl::ir

@@ -1,0 +1,62 @@
+// Instruction-building convenience layer over ir::Function.
+#pragma once
+
+#include "ir/ir.h"
+
+namespace flexcl::ir {
+
+/// Appends instructions to a current insertion block. All create* methods
+/// return the new instruction (usable as a Value).
+class IRBuilder {
+ public:
+  explicit IRBuilder(Function& fn) : fn_(fn) {}
+
+  void setInsertBlock(BasicBlock* bb) { block_ = bb; }
+  [[nodiscard]] BasicBlock* insertBlock() const { return block_; }
+
+  // --- arithmetic / logic ----------------------------------------------------
+  Value* binary(Opcode op, Value* lhs, Value* rhs, const Type* type);
+  Value* icmp(CmpPred pred, Value* lhs, Value* rhs, const Type* boolType);
+  Value* fcmp(CmpPred pred, Value* lhs, Value* rhs, const Type* boolType);
+  Value* select(Value* cond, Value* a, Value* b);
+
+  // --- casts ------------------------------------------------------------------
+  Value* cast(Opcode op, Value* v, const Type* to);
+
+  // --- memory -----------------------------------------------------------------
+  /// Creates an alloca in the current function. Allocas are registered on the
+  /// function's private/local lists for later resource accounting.
+  Instruction* allocaInst(const Type* allocated, AddressSpace space,
+                      const Type* ptrType, std::string name);
+  /// Byte-offset pointer arithmetic. `resultType` retypes the result (used
+  /// when indexing decays an array pointer to an element pointer); defaults
+  /// to the base pointer's type.
+  Value* ptrAdd(Value* base, Value* byteOffset, const Type* resultType = nullptr);
+  Value* load(Value* ptr, const Type* valueType);
+  void store(Value* value, Value* ptr);
+
+  // --- vectors ----------------------------------------------------------------
+  Value* extractLane(Value* vec, Value* lane, const Type* elemType);
+  Value* insertLane(Value* vec, Value* lane, Value* elem);
+  Value* splat(Value* scalar, const Type* vecType);
+
+  // --- calls / queries ----------------------------------------------------------
+  Value* call(MathFunc fn, const std::vector<Value*>& args, const Type* type);
+  Value* workItemId(WiQuery query, Value* dim, const Type* type);
+  void barrier();
+
+  // --- control flow --------------------------------------------------------------
+  void br(BasicBlock* target);
+  void condBr(Value* cond, BasicBlock* trueTarget, BasicBlock* falseTarget);
+  void ret(Value* value);  ///< value may be null for `ret void`
+
+  [[nodiscard]] Function& function() { return fn_; }
+
+ private:
+  Instruction* emit(Opcode op, const Type* type);
+
+  Function& fn_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace flexcl::ir

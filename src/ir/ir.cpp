@@ -1,0 +1,164 @@
+#include "ir/ir.h"
+
+namespace flexcl::ir {
+
+const char* opcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::Div: return "div";
+    case Opcode::Rem: return "rem";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::FRem: return "frem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::Shr: return "shr";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Select: return "select";
+    case Opcode::Trunc: return "trunc";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SExt: return "sext";
+    case Opcode::FPTrunc: return "fptrunc";
+    case Opcode::FPExt: return "fpext";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::UIToFP: return "uitofp";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::FPToUI: return "fptoui";
+    case Opcode::Bitcast: return "bitcast";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::PtrAdd: return "ptradd";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::ExtractLane: return "extractlane";
+    case Opcode::InsertLane: return "insertlane";
+    case Opcode::Splat: return "splat";
+    case Opcode::Call: return "call";
+    case Opcode::WorkItemId: return "wi.query";
+    case Opcode::Barrier: return "barrier";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Ret: return "ret";
+  }
+  return "?";
+}
+
+const char* cmpPredName(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::Eq: return "eq";
+    case CmpPred::Ne: return "ne";
+    case CmpPred::Lt: return "lt";
+    case CmpPred::Le: return "le";
+    case CmpPred::Gt: return "gt";
+    case CmpPred::Ge: return "ge";
+  }
+  return "?";
+}
+
+const char* wiQueryName(WiQuery q) {
+  switch (q) {
+    case WiQuery::GlobalId: return "global_id";
+    case WiQuery::LocalId: return "local_id";
+    case WiQuery::GroupId: return "group_id";
+    case WiQuery::GlobalSize: return "global_size";
+    case WiQuery::LocalSize: return "local_size";
+    case WiQuery::NumGroups: return "num_groups";
+  }
+  return "?";
+}
+
+const char* mathFuncName(MathFunc f) {
+  switch (f) {
+    case MathFunc::Sqrt: return "sqrt";
+    case MathFunc::Rsqrt: return "rsqrt";
+    case MathFunc::Exp: return "exp";
+    case MathFunc::Exp2: return "exp2";
+    case MathFunc::Log: return "log";
+    case MathFunc::Log2: return "log2";
+    case MathFunc::Pow: return "pow";
+    case MathFunc::Sin: return "sin";
+    case MathFunc::Cos: return "cos";
+    case MathFunc::Tan: return "tan";
+    case MathFunc::Fabs: return "fabs";
+    case MathFunc::Floor: return "floor";
+    case MathFunc::Ceil: return "ceil";
+    case MathFunc::Round: return "round";
+    case MathFunc::Fmax: return "fmax";
+    case MathFunc::Fmin: return "fmin";
+    case MathFunc::Fmod: return "fmod";
+    case MathFunc::Mad: return "mad";
+    case MathFunc::Fma: return "fma";
+    case MathFunc::Abs: return "abs";
+    case MathFunc::Max: return "max";
+    case MathFunc::Min: return "min";
+    case MathFunc::Clamp: return "clamp";
+    case MathFunc::Select: return "select";
+    case MathFunc::Hypot: return "hypot";
+    case MathFunc::Atan: return "atan";
+    case MathFunc::Atan2: return "atan2";
+  }
+  return "?";
+}
+
+Argument* Function::addArgument(const Type* type, std::string argName) {
+  args_.push_back(std::make_unique<Argument>(
+      type, static_cast<unsigned>(args_.size()), std::move(argName)));
+  return args_.back().get();
+}
+
+BasicBlock* Function::createBlock(std::string blockName) {
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(blockName)));
+  return blocks_.back().get();
+}
+
+Instruction* Function::createInstruction(Opcode op, const Type* type) {
+  instructions_.push_back(std::make_unique<Instruction>(op, type));
+  return instructions_.back().get();
+}
+
+Constant* Function::intConstant(const Type* type, std::int64_t value) {
+  for (const auto& c : constants_) {
+    if (!c->isFloatConstant() && c->type() == type && c->intValue() == value)
+      return c.get();
+  }
+  constants_.push_back(std::make_unique<Constant>(type, value));
+  return constants_.back().get();
+}
+
+Constant* Function::floatConstant(const Type* type, double value) {
+  for (const auto& c : constants_) {
+    if (c->isFloatConstant() && c->type() == type && c->floatValue() == value)
+      return c.get();
+  }
+  constants_.push_back(std::make_unique<Constant>(type, value));
+  return constants_.back().get();
+}
+
+void Function::renumber() {
+  unsigned blockId = 0;
+  nextInstId_ = 0;
+  for (auto& bb : blocks_) {
+    bb->id = blockId++;
+    for (Instruction* inst : bb->instructions()) inst->id = nextInstId_++;
+  }
+}
+
+Function* Module::createFunction(std::string name, const Type* returnType) {
+  functions_.push_back(std::make_unique<Function>(std::move(name), returnType));
+  return functions_.back().get();
+}
+
+Function* Module::findFunction(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace flexcl::ir

@@ -1,0 +1,307 @@
+// FlexCL intermediate representation.
+//
+// A deliberately simple register IR: straight-line instructions grouped into
+// basic blocks, with mutable variables lowered to private "slot" memory
+// (alloca + load/store) instead of SSA phis. Structured control flow from the
+// OpenCL source is preserved in a RegionTree alongside the CFG, which is what
+// lets the CDFG stage "merge basic blocks with complex control dependencies
+// such as loops" (paper §3.2) without a general CFG structurizer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace flexcl::ir {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Constant, Argument, Instruction };
+  virtual ~Value() = default;
+
+  [[nodiscard]] Kind valueKind() const { return kind_; }
+  [[nodiscard]] const Type* type() const { return type_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+ protected:
+  Value(Kind kind, const Type* type) : type_(type), kind_(kind) {}
+  const Type* type_;
+
+ private:
+  Kind kind_;
+  std::string name_;
+};
+
+/// Scalar constant. Integer constants store the value sign-extended into
+/// int64; float constants store a double.
+class Constant final : public Value {
+ public:
+  Constant(const Type* type, std::int64_t intValue)
+      : Value(Kind::Constant, type), int_(intValue) {}
+  Constant(const Type* type, double floatValue)
+      : Value(Kind::Constant, type), float_(floatValue), isFloat_(true) {}
+
+  [[nodiscard]] bool isFloatConstant() const { return isFloat_; }
+  [[nodiscard]] std::int64_t intValue() const { return int_; }
+  [[nodiscard]] double floatValue() const { return float_; }
+
+ private:
+  std::int64_t int_ = 0;
+  double float_ = 0.0;
+  bool isFloat_ = false;
+};
+
+/// Kernel argument. Pointer arguments reference host-provided buffers; scalar
+/// arguments are passed by value at launch.
+class Argument final : public Value {
+ public:
+  Argument(const Type* type, unsigned index, std::string name)
+      : Value(Kind::Argument, type), index_(index) {
+    setName(std::move(name));
+  }
+  [[nodiscard]] unsigned index() const { return index_; }
+
+ private:
+  unsigned index_;
+};
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic (signedness taken from the type).
+  Add, Sub, Mul, Div, Rem,
+  // Floating-point arithmetic.
+  FAdd, FSub, FMul, FDiv, FRem,
+  // Bitwise / shifts.
+  And, Or, Xor, Shl, Shr,
+  // Comparisons.
+  ICmp, FCmp,
+  // select(cond, a, b)
+  Select,
+  // Casts.
+  Trunc, ZExt, SExt, FPTrunc, FPExt, SIToFP, UIToFP, FPToSI, FPToUI, Bitcast,
+  // Memory. Alloca creates private (per work-item) or local (per work-group)
+  // storage. PtrAdd offsets a pointer by a byte amount. Load/Store move a
+  // value of the instruction's type.
+  Alloca, PtrAdd, Load, Store,
+  // Vector lane manipulation.
+  ExtractLane, InsertLane, Splat,
+  // Math builtin call (operand latencies come from the device IP library).
+  Call,
+  // NDRange queries: operand 0 is the dimension constant.
+  WorkItemId,
+  // Work-group barrier (paper: separates barrier-mode phases).
+  Barrier,
+  // Control flow terminators.
+  Br, CondBr, Ret,
+};
+
+const char* opcodeName(Opcode op);
+
+enum class CmpPred : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+const char* cmpPredName(CmpPred pred);
+
+/// Which NDRange quantity a WorkItemId instruction reads.
+enum class WiQuery : std::uint8_t {
+  GlobalId, LocalId, GroupId, GlobalSize, LocalSize, NumGroups,
+};
+const char* wiQueryName(WiQuery q);
+
+/// Math builtins that survive to IR level (work-item queries and barriers
+/// have dedicated opcodes).
+enum class MathFunc : std::uint8_t {
+  Sqrt, Rsqrt, Exp, Exp2, Log, Log2, Pow, Sin, Cos, Tan,
+  Fabs, Floor, Ceil, Round, Fmax, Fmin, Fmod, Mad, Fma,
+  Abs, Max, Min, Clamp, Select, Hypot, Atan, Atan2,
+};
+const char* mathFuncName(MathFunc f);
+
+class Instruction final : public Value {
+ public:
+  Instruction(Opcode op, const Type* type) : Value(Kind::Instruction, type), op_(op) {}
+
+  [[nodiscard]] Opcode opcode() const { return op_; }
+  [[nodiscard]] const std::vector<Value*>& operands() const { return operands_; }
+  [[nodiscard]] Value* operand(std::size_t i) const { return operands_[i]; }
+  void addOperand(Value* v) { operands_.push_back(v); }
+
+  [[nodiscard]] BasicBlock* parent() const { return parent_; }
+  void setParent(BasicBlock* bb) { parent_ = bb; }
+
+  // --- opcode-specific payloads --------------------------------------------
+  CmpPred cmpPred = CmpPred::Eq;
+  WiQuery wiQuery = WiQuery::GlobalId;
+  MathFunc mathFunc = MathFunc::Sqrt;
+  /// Alloca: storage address space (Private or Local) and allocated type.
+  AddressSpace allocaSpace = AddressSpace::Private;
+  const Type* allocaType = nullptr;
+  /// Load/Store: address space the access finally hits (from pointer type).
+  AddressSpace memSpace = AddressSpace::Private;
+  /// CondBr: [trueTarget, falseTarget]; Br: [target].
+  BasicBlock* target0 = nullptr;
+  BasicBlock* target1 = nullptr;
+  /// Unique id within the function, assigned by Function::renumber().
+  unsigned id = 0;
+
+  [[nodiscard]] bool isTerminator() const {
+    return op_ == Opcode::Br || op_ == Opcode::CondBr || op_ == Opcode::Ret;
+  }
+  [[nodiscard]] bool isMemoryAccess() const {
+    return op_ == Opcode::Load || op_ == Opcode::Store;
+  }
+
+ private:
+  Opcode op_;
+  std::vector<Value*> operands_;
+  BasicBlock* parent_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Blocks / regions / functions
+// ---------------------------------------------------------------------------
+
+class BasicBlock {
+ public:
+  explicit BasicBlock(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<Instruction*>& instructions() const {
+    return instructions_;
+  }
+  void append(Instruction* inst) {
+    inst->setParent(this);
+    instructions_.push_back(inst);
+  }
+  [[nodiscard]] Instruction* terminator() const {
+    return !instructions_.empty() && instructions_.back()->isTerminator()
+               ? instructions_.back()
+               : nullptr;
+  }
+  /// Unique id within the function.
+  unsigned id = 0;
+
+ private:
+  std::string name_;
+  std::vector<Instruction*> instructions_;
+};
+
+/// Structured control-flow tree preserved from the source. The CDFG stage
+/// walks this instead of re-discovering loops from the CFG.
+struct Region {
+  enum class Kind : std::uint8_t { Seq, Block, Loop, If };
+  Kind kind = Kind::Seq;
+
+  // Block node.
+  BasicBlock* block = nullptr;
+
+  // Seq: ordered children. If: children[0] = then, children[1] = else (may be
+  // an empty Seq). Loop: children[0] = body.
+  std::vector<std::unique_ptr<Region>> children;
+
+  // If / Loop: block that computes the branch condition.
+  BasicBlock* condBlock = nullptr;
+  // Loop: latch block holding the step computation and back edge.
+  BasicBlock* latchBlock = nullptr;
+  // Loop metadata.
+  int loopId = -1;           ///< dense id used by trip-count profiling
+  std::int64_t staticTripCount = -1;  ///< -1 when unknown statically
+  int unrollHint = 0;        ///< 0 none, -1 full, >0 factor
+};
+
+class Function {
+ public:
+  explicit Function(std::string name, const Type* returnType)
+      : name_(std::move(name)), returnType_(returnType) {}
+  Function(const Function&) = delete;
+  Function& operator=(const Function&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Type* returnType() const { return returnType_; }
+
+  Argument* addArgument(const Type* type, std::string argName);
+  [[nodiscard]] const std::vector<std::unique_ptr<Argument>>& arguments() const {
+    return args_;
+  }
+
+  BasicBlock* createBlock(std::string blockName);
+  [[nodiscard]] const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+
+  // Value ownership: all instructions/constants live here.
+  Instruction* createInstruction(Opcode op, const Type* type);
+  Constant* intConstant(const Type* type, std::int64_t value);
+  Constant* floatConstant(const Type* type, double value);
+
+  /// Assigns dense ids to blocks and instructions (after construction).
+  void renumber();
+  [[nodiscard]] unsigned instructionCount() const { return nextInstId_; }
+  [[nodiscard]] unsigned blockCount() const {
+    return static_cast<unsigned>(blocks_.size());
+  }
+
+  /// Root of the structured control-flow tree (set by the lowerer).
+  Region* rootRegion() { return root_.get(); }
+  [[nodiscard]] const Region* rootRegion() const { return root_.get(); }
+  void setRootRegion(std::unique_ptr<Region> root) { root_ = std::move(root); }
+
+  /// Number of loops (dense loopIds 0..loopCount-1).
+  int loopCount = 0;
+  /// Kernel attributes carried over from the AST.
+  bool isKernel = false;
+  std::array<std::uint32_t, 3> reqdWorkGroupSize = {0, 0, 0};
+  /// Local (work-group shared) allocas, for local-memory accounting.
+  std::vector<Instruction*> localAllocas;
+  /// Private allocas (scalar slots + private arrays).
+  std::vector<Instruction*> privateAllocas;
+
+ private:
+  std::string name_;
+  const Type* returnType_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+  std::vector<std::unique_ptr<Constant>> constants_;
+  std::unique_ptr<Region> root_;
+  unsigned nextInstId_ = 0;
+};
+
+/// A lowered translation unit: one Function per OpenCL kernel (helper
+/// functions are inlined during lowering). References the TypeContext owned
+/// by the source ocl::Program — keep both alive together (see
+/// ir::CompiledProgram in lower.h).
+class Module {
+ public:
+  explicit Module(TypeContext& types) : types_(&types) {}
+
+  [[nodiscard]] TypeContext& types() { return *types_; }
+  Function* createFunction(std::string name, const Type* returnType);
+  [[nodiscard]] const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+  [[nodiscard]] Function* findFunction(const std::string& name) const;
+
+ private:
+  TypeContext* types_;
+  std::vector<std::unique_ptr<Function>> functions_;
+};
+
+}  // namespace flexcl::ir

@@ -1,0 +1,1244 @@
+#include "ir/lower.h"
+
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "ocl/parser.h"
+#include "ocl/sema.h"
+
+namespace flexcl::ir {
+namespace {
+
+using ocl::BinaryOp;
+using ocl::Builtin;
+using ocl::Expr;
+using ocl::ExprPtr;
+using ocl::Stmt;
+using ocl::UnaryOp;
+
+std::optional<MathFunc> mathFuncFor(Builtin b) {
+  switch (b) {
+    case Builtin::Sqrt: return MathFunc::Sqrt;
+    case Builtin::Rsqrt: return MathFunc::Rsqrt;
+    case Builtin::Exp: return MathFunc::Exp;
+    case Builtin::Exp2: return MathFunc::Exp2;
+    case Builtin::Log: return MathFunc::Log;
+    case Builtin::Log2: return MathFunc::Log2;
+    case Builtin::Pow: return MathFunc::Pow;
+    case Builtin::Sin: return MathFunc::Sin;
+    case Builtin::Cos: return MathFunc::Cos;
+    case Builtin::Tan: return MathFunc::Tan;
+    case Builtin::Fabs: return MathFunc::Fabs;
+    case Builtin::Floor: return MathFunc::Floor;
+    case Builtin::Ceil: return MathFunc::Ceil;
+    case Builtin::Round: return MathFunc::Round;
+    case Builtin::Fmax: return MathFunc::Fmax;
+    case Builtin::Fmin: return MathFunc::Fmin;
+    case Builtin::Fmod: return MathFunc::Fmod;
+    case Builtin::Mad: return MathFunc::Mad;
+    case Builtin::Fma: return MathFunc::Fma;
+    case Builtin::Abs: return MathFunc::Abs;
+    case Builtin::Max: return MathFunc::Max;
+    case Builtin::Min: return MathFunc::Min;
+    case Builtin::Clamp: return MathFunc::Clamp;
+    case Builtin::Select: return MathFunc::Select;
+    case Builtin::Hypot: return MathFunc::Hypot;
+    case Builtin::Atan: return MathFunc::Atan;
+    case Builtin::Atan2: return MathFunc::Atan2;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<WiQuery> wiQueryFor(Builtin b) {
+  switch (b) {
+    case Builtin::GetGlobalId: return WiQuery::GlobalId;
+    case Builtin::GetLocalId: return WiQuery::LocalId;
+    case Builtin::GetGroupId: return WiQuery::GroupId;
+    case Builtin::GetGlobalSize: return WiQuery::GlobalSize;
+    case Builtin::GetLocalSize: return WiQuery::LocalSize;
+    case Builtin::GetNumGroups: return WiQuery::NumGroups;
+    default: return std::nullopt;
+  }
+}
+
+/// Folds an integer-constant expression tree (post-sema, so implicit casts
+/// may wrap literals). Returns nullopt when not a compile-time constant.
+std::optional<std::int64_t> foldInt(const Expr* e) {
+  if (!e) return std::nullopt;
+  switch (e->kind()) {
+    case Expr::Kind::IntLiteral:
+      return static_cast<std::int64_t>(static_cast<const ocl::IntLiteralExpr*>(e)->value);
+    case Expr::Kind::BoolLiteral:
+      return static_cast<const ocl::BoolLiteralExpr*>(e)->value ? 1 : 0;
+    case Expr::Kind::Sizeof:
+      return static_cast<std::int64_t>(
+          static_cast<const ocl::SizeofExpr*>(e)->queried->sizeInBytes());
+    case Expr::Kind::Cast: {
+      const auto* c = static_cast<const ocl::CastExpr*>(e);
+      if (!c->toType->isInt() && !c->toType->isBool()) return std::nullopt;
+      return foldInt(c->operand.get());
+    }
+    case Expr::Kind::Unary: {
+      const auto* u = static_cast<const ocl::UnaryExpr*>(e);
+      auto v = foldInt(u->operand.get());
+      if (!v) return std::nullopt;
+      switch (u->op) {
+        case UnaryOp::Plus: return v;
+        case UnaryOp::Minus: return -*v;
+        case UnaryOp::BitNot: return ~*v;
+        case UnaryOp::LogNot: return *v == 0 ? 1 : 0;
+        default: return std::nullopt;
+      }
+    }
+    case Expr::Kind::Binary: {
+      const auto* b = static_cast<const ocl::BinaryExpr*>(e);
+      auto l = foldInt(b->lhs.get());
+      auto r = foldInt(b->rhs.get());
+      if (!l || !r) return std::nullopt;
+      switch (b->op) {
+        case BinaryOp::Add: return *l + *r;
+        case BinaryOp::Sub: return *l - *r;
+        case BinaryOp::Mul: return *l * *r;
+        case BinaryOp::Div: return *r == 0 ? std::nullopt : std::optional(*l / *r);
+        case BinaryOp::Rem: return *r == 0 ? std::nullopt : std::optional(*l % *r);
+        case BinaryOp::Shl: return *l << *r;
+        case BinaryOp::Shr: return *l >> *r;
+        case BinaryOp::BitAnd: return *l & *r;
+        case BinaryOp::BitOr: return *l | *r;
+        case BinaryOp::BitXor: return *l ^ *r;
+        default: return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Strips implicit casts (inserted by sema) to look at the underlying node.
+const Expr* stripCasts(const Expr* e) {
+  while (e && e->kind() == Expr::Kind::Cast) {
+    const auto* c = static_cast<const ocl::CastExpr*>(e);
+    if (!c->isImplicit) break;
+    e = c->operand.get();
+  }
+  return e;
+}
+
+/// The VarDecl a (cast-stripped) expression directly names, or nullptr.
+const ocl::VarDecl* referencedVar(const Expr* e) {
+  e = stripCasts(e);
+  if (e && e->kind() == Expr::Kind::DeclRef) {
+    return static_cast<const ocl::DeclRefExpr*>(e)->decl;
+  }
+  return nullptr;
+}
+
+/// Checks whether `stmt` (recursively) may modify `var`.
+bool mayModify(const Stmt* stmt, const ocl::VarDecl* var);
+
+bool exprMayModify(const Expr* e, const ocl::VarDecl* var) {
+  if (!e) return false;
+  switch (e->kind()) {
+    case Expr::Kind::Assign: {
+      const auto* a = static_cast<const ocl::AssignExpr*>(e);
+      if (referencedVar(a->target.get()) == var) return true;
+      return exprMayModify(a->target.get(), var) || exprMayModify(a->value.get(), var);
+    }
+    case Expr::Kind::Unary: {
+      const auto* u = static_cast<const ocl::UnaryExpr*>(e);
+      const bool mutating = u->op == UnaryOp::PreInc || u->op == UnaryOp::PreDec ||
+                            u->op == UnaryOp::PostInc || u->op == UnaryOp::PostDec ||
+                            u->op == UnaryOp::AddrOf;
+      if (mutating && referencedVar(u->operand.get()) == var) return true;
+      return exprMayModify(u->operand.get(), var);
+    }
+    case Expr::Kind::Binary: {
+      const auto* b = static_cast<const ocl::BinaryExpr*>(e);
+      return exprMayModify(b->lhs.get(), var) || exprMayModify(b->rhs.get(), var);
+    }
+    case Expr::Kind::Call: {
+      const auto* c = static_cast<const ocl::CallExpr*>(e);
+      for (const auto& arg : c->args) {
+        if (exprMayModify(arg.get(), var)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::Index: {
+      const auto* i = static_cast<const ocl::IndexExpr*>(e);
+      return exprMayModify(i->base.get(), var) || exprMayModify(i->index.get(), var);
+    }
+    case Expr::Kind::Member:
+      return exprMayModify(static_cast<const ocl::MemberExpr*>(e)->base.get(), var);
+    case Expr::Kind::Cast:
+      return exprMayModify(static_cast<const ocl::CastExpr*>(e)->operand.get(), var);
+    case Expr::Kind::Conditional: {
+      const auto* c = static_cast<const ocl::ConditionalExpr*>(e);
+      return exprMayModify(c->cond.get(), var) ||
+             exprMayModify(c->thenExpr.get(), var) ||
+             exprMayModify(c->elseExpr.get(), var);
+    }
+    default:
+      return false;
+  }
+}
+
+bool mayModify(const Stmt* stmt, const ocl::VarDecl* var) {
+  if (!stmt) return false;
+  switch (stmt->kind()) {
+    case Stmt::Kind::Compound: {
+      const auto* c = static_cast<const ocl::CompoundStmt*>(stmt);
+      for (const auto& s : c->body) {
+        if (mayModify(s.get(), var)) return true;
+      }
+      return false;
+    }
+    case Stmt::Kind::Decl: {
+      const auto* d = static_cast<const ocl::DeclStmt*>(stmt);
+      for (const auto& v : d->decls) {
+        if (v->init && exprMayModify(v->init.get(), var)) return true;
+      }
+      return false;
+    }
+    case Stmt::Kind::Expr:
+      return exprMayModify(static_cast<const ocl::ExprStmt*>(stmt)->expr.get(), var);
+    case Stmt::Kind::If: {
+      const auto* s = static_cast<const ocl::IfStmt*>(stmt);
+      return exprMayModify(s->cond.get(), var) || mayModify(s->thenStmt.get(), var) ||
+             mayModify(s->elseStmt.get(), var);
+    }
+    case Stmt::Kind::For: {
+      const auto* s = static_cast<const ocl::ForStmt*>(stmt);
+      return mayModify(s->init.get(), var) || exprMayModify(s->cond.get(), var) ||
+             exprMayModify(s->step.get(), var) || mayModify(s->body.get(), var);
+    }
+    case Stmt::Kind::While: {
+      const auto* s = static_cast<const ocl::WhileStmt*>(stmt);
+      return exprMayModify(s->cond.get(), var) || mayModify(s->body.get(), var);
+    }
+    case Stmt::Kind::Do: {
+      const auto* s = static_cast<const ocl::DoStmt*>(stmt);
+      return exprMayModify(s->cond.get(), var) || mayModify(s->body.get(), var);
+    }
+    case Stmt::Kind::Return:
+      return exprMayModify(static_cast<const ocl::ReturnStmt*>(stmt)->value.get(), var);
+    default:
+      return false;
+  }
+}
+
+/// Recognises the canonical `for (i = a; i <cmp> b; i += c)` shape and
+/// returns its trip count; -1 when unknown statically.
+std::int64_t detectStaticTripCount(const ocl::ForStmt& loop) {
+  const ocl::VarDecl* var = nullptr;
+  std::optional<std::int64_t> init;
+
+  if (loop.init && loop.init->kind() == Stmt::Kind::Decl) {
+    const auto* d = static_cast<const ocl::DeclStmt*>(loop.init.get());
+    if (d->decls.size() == 1 && d->decls[0]->init) {
+      var = d->decls[0].get();
+      init = foldInt(d->decls[0]->init.get());
+    }
+  } else if (loop.init && loop.init->kind() == Stmt::Kind::Expr) {
+    const auto* es = static_cast<const ocl::ExprStmt*>(loop.init.get());
+    const Expr* e = es->expr.get();
+    if (e && e->kind() == Expr::Kind::Assign) {
+      const auto* a = static_cast<const ocl::AssignExpr*>(e);
+      if (!a->hasCompoundOp) {
+        var = referencedVar(a->target.get());
+        init = foldInt(a->value.get());
+      }
+    }
+  }
+  if (!var || !init) return -1;
+
+  const Expr* cond = stripCasts(loop.cond.get());
+  if (!cond || cond->kind() != Expr::Kind::Binary) return -1;
+  const auto* cmp = static_cast<const ocl::BinaryExpr*>(cond);
+  std::optional<std::int64_t> bound;
+  BinaryOp op = cmp->op;
+  if (referencedVar(cmp->lhs.get()) == var) {
+    bound = foldInt(cmp->rhs.get());
+  } else if (referencedVar(cmp->rhs.get()) == var) {
+    bound = foldInt(cmp->lhs.get());
+    // Flip the comparison so `var` is conceptually on the left.
+    switch (op) {
+      case BinaryOp::Lt: op = BinaryOp::Gt; break;
+      case BinaryOp::Le: op = BinaryOp::Ge; break;
+      case BinaryOp::Gt: op = BinaryOp::Lt; break;
+      case BinaryOp::Ge: op = BinaryOp::Le; break;
+      default: break;
+    }
+  }
+  if (!bound) return -1;
+
+  std::optional<std::int64_t> step;
+  const Expr* stepExpr = loop.step.get();
+  if (!stepExpr) return -1;
+  if (stepExpr->kind() == Expr::Kind::Unary) {
+    const auto* u = static_cast<const ocl::UnaryExpr*>(stepExpr);
+    if (referencedVar(u->operand.get()) != var) return -1;
+    if (u->op == UnaryOp::PreInc || u->op == UnaryOp::PostInc) step = 1;
+    if (u->op == UnaryOp::PreDec || u->op == UnaryOp::PostDec) step = -1;
+  } else if (stepExpr->kind() == Expr::Kind::Assign) {
+    const auto* a = static_cast<const ocl::AssignExpr*>(stepExpr);
+    if (referencedVar(a->target.get()) != var) return -1;
+    if (a->hasCompoundOp) {
+      auto c = foldInt(a->value.get());
+      if (!c) return -1;
+      if (a->compoundOp == BinaryOp::Add) step = *c;
+      if (a->compoundOp == BinaryOp::Sub) step = -*c;
+    } else {
+      const Expr* v = stripCasts(a->value.get());
+      if (v && v->kind() == Expr::Kind::Binary) {
+        const auto* b = static_cast<const ocl::BinaryExpr*>(v);
+        if (referencedVar(b->lhs.get()) == var) {
+          auto c = foldInt(b->rhs.get());
+          if (c && b->op == BinaryOp::Add) step = *c;
+          if (c && b->op == BinaryOp::Sub) step = -*c;
+        } else if (referencedVar(b->rhs.get()) == var && b->op == BinaryOp::Add) {
+          step = foldInt(b->lhs.get());
+        }
+      }
+    }
+  }
+  if (!step || *step == 0) return -1;
+  if (loop.body && mayModify(loop.body.get(), var)) return -1;
+
+  const std::int64_t a = *init, b = *bound, s = *step;
+  auto ceilDiv = [](std::int64_t num, std::int64_t den) {
+    return (num + den - 1) / den;
+  };
+  switch (op) {
+    case BinaryOp::Lt: return (s > 0 && b > a) ? ceilDiv(b - a, s) : (s > 0 ? 0 : -1);
+    case BinaryOp::Le: return (s > 0 && b >= a) ? ceilDiv(b - a + 1, s) : (s > 0 ? 0 : -1);
+    case BinaryOp::Gt: return (s < 0 && b < a) ? ceilDiv(a - b, -s) : (s < 0 ? 0 : -1);
+    case BinaryOp::Ge: return (s < 0 && b <= a) ? ceilDiv(a - b + 1, -s) : (s < 0 ? 0 : -1);
+    case BinaryOp::Ne:
+      if ((b - a) % s == 0 && (b - a) / s >= 0) return (b - a) / s;
+      return -1;
+    default:
+      return -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lowerer
+// ---------------------------------------------------------------------------
+
+class Lowerer {
+ public:
+  Lowerer(Module& module, ocl::Program& program, DiagnosticEngine& diags)
+      : module_(module), types_(module.types()), program_(program), diags_(diags) {}
+
+  void lowerKernel(const ocl::FunctionDecl& decl);
+
+ private:
+  // --- region / block helpers ------------------------------------------------
+  BasicBlock* newBlock(const std::string& hint) {
+    return fn_->createBlock(hint + "." + std::to_string(blockCounter_++));
+  }
+  Region* currentSeq() { return seqStack_.back(); }
+  /// Appends a Block region for `bb` unless it is already the last child.
+  void noteBlock(BasicBlock* bb) {
+    Region* seq = currentSeq();
+    if (!seq->children.empty() &&
+        seq->children.back()->kind == Region::Kind::Block &&
+        seq->children.back()->block == bb) {
+      return;
+    }
+    auto region = std::make_unique<Region>();
+    region->kind = Region::Kind::Block;
+    region->block = bb;
+    seq->children.push_back(std::move(region));
+  }
+  /// Switches insertion to `bb` and records it in the current Seq.
+  void startBlock(BasicBlock* bb) {
+    b_->setInsertBlock(bb);
+    noteBlock(bb);
+  }
+
+  // --- declarations -----------------------------------------------------------
+  Instruction* slotFor(const ocl::VarDecl& var);
+  void error(SourceLocation loc, std::string msg) { diags_.error(loc, std::move(msg)); }
+
+  // --- statements --------------------------------------------------------------
+  void lowerStmt(const Stmt& stmt);
+  void lowerCompound(const ocl::CompoundStmt& stmt);
+  void lowerDecl(const ocl::DeclStmt& stmt);
+  void lowerIf(const ocl::IfStmt& stmt);
+  void lowerFor(const ocl::ForStmt& stmt);
+  void lowerWhile(const ocl::WhileStmt& stmt);
+  void lowerDo(const ocl::DoStmt& stmt);
+  void lowerReturn(const ocl::ReturnStmt& stmt);
+
+  // --- expressions --------------------------------------------------------------
+  Value* lowerExpr(const Expr& e);
+  /// Memory-backed lvalue address. Returns a pointer Value; reports an error
+  /// and returns a dummy pointer when the expression is not an lvalue we can
+  /// address.
+  Value* lowerAddress(const Expr& e);
+  Value* lowerBinary(const ocl::BinaryExpr& e);
+  Value* lowerUnary(const ocl::UnaryExpr& e);
+  Value* lowerAssign(const ocl::AssignExpr& e);
+  Value* lowerCall(const ocl::CallExpr& e);
+  Value* lowerCast(const Value* dummy, const ocl::CastExpr& e);
+  Value* emitCast(Value* v, const Type* from, const Type* to, SourceLocation loc);
+  Value* emitBinaryOp(BinaryOp op, Value* lhs, Value* rhs, const Type* type,
+                      SourceLocation loc);
+  Value* emitPointerOffset(Value* ptr, Value* index, const Type* pointee, bool negate);
+
+  Constant* intConst(const Type* t, std::int64_t v) { return fn_->intConstant(t, v); }
+  Constant* i64Const(std::int64_t v) { return fn_->intConstant(types_.i64(), v); }
+
+  Module& module_;
+  TypeContext& types_;
+  ocl::Program& program_;
+  DiagnosticEngine& diags_;
+
+  Function* fn_ = nullptr;
+  std::unique_ptr<IRBuilder> b_;
+  std::unordered_map<const ocl::VarDecl*, Instruction*> slots_;
+  /// Parameters the body never modifies are used as SSA-like values directly
+  /// (no slot round-trip) so memory provenance can see through to the
+  /// Argument.
+  std::unordered_map<const ocl::VarDecl*, Value*> immutableParams_;
+  BasicBlock* kernelExit_ = nullptr;
+
+  struct LoopTargets {
+    BasicBlock* latch;
+    BasicBlock* exit;
+  };
+  std::vector<LoopTargets> loopStack_;
+  std::vector<Region*> seqStack_;
+
+  struct InlineFrame {
+    Instruction* retSlot;
+    BasicBlock* exitBlock;
+  };
+  std::vector<InlineFrame> inlineStack_;
+  int inlineDepth_ = 0;
+  int blockCounter_ = 0;
+  int allocaCounter_ = 0;
+};
+
+Instruction* Lowerer::slotFor(const ocl::VarDecl& var) {
+  auto it = slots_.find(&var);
+  if (it != slots_.end()) return it->second;
+  const AddressSpace space = var.addressSpace == AddressSpace::Local
+                                 ? AddressSpace::Local
+                                 : AddressSpace::Private;
+  const Type* ptrType = types_.pointerType(var.type, space);
+  Instruction* slot = b_->allocaInst(var.type, space, ptrType,
+                                 var.name + "." + std::to_string(allocaCounter_++));
+  slots_[&var] = slot;
+  return slot;
+}
+
+void Lowerer::lowerKernel(const ocl::FunctionDecl& decl) {
+  fn_ = module_.createFunction(decl.name, decl.returnType);
+  fn_->isKernel = decl.isKernel;
+  fn_->reqdWorkGroupSize = decl.reqdWorkGroupSize;
+  b_ = std::make_unique<IRBuilder>(*fn_);
+  slots_.clear();
+  loopStack_.clear();
+  seqStack_.clear();
+  inlineStack_.clear();
+  blockCounter_ = 0;
+  allocaCounter_ = 0;
+
+  auto root = std::make_unique<Region>();
+  root->kind = Region::Kind::Seq;
+  Region* rootPtr = root.get();
+  fn_->setRootRegion(std::move(root));
+  seqStack_.push_back(rootPtr);
+
+  BasicBlock* entry = fn_->createBlock("entry");
+  kernelExit_ = fn_->createBlock("exit");
+  b_->setInsertBlock(entry);
+  noteBlock(entry);
+
+  // Parameters the body modifies become private slots initialised from the
+  // Argument; untouched ones are used directly (keeps pointer provenance
+  // visible to the dependence analysis).
+  immutableParams_.clear();
+  for (const auto& param : decl.params) {
+    Argument* arg = fn_->addArgument(param->type, param->name);
+    if (decl.body && !mayModify(decl.body.get(), param.get()) &&
+        !param->type->isArray() && !param->type->isStruct()) {
+      immutableParams_[param.get()] = arg;
+    } else {
+      Instruction* slot = slotFor(*param);
+      b_->store(arg, slot);
+    }
+  }
+
+  if (decl.body) lowerCompound(*decl.body);
+
+  b_->br(kernelExit_);
+  b_->setInsertBlock(kernelExit_);
+  noteBlock(kernelExit_);
+  b_->ret(nullptr);
+
+  fn_->renumber();
+  seqStack_.pop_back();
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Lowerer::lowerStmt(const Stmt& stmt) {
+  switch (stmt.kind()) {
+    case Stmt::Kind::Compound:
+      lowerCompound(static_cast<const ocl::CompoundStmt&>(stmt));
+      break;
+    case Stmt::Kind::Decl:
+      lowerDecl(static_cast<const ocl::DeclStmt&>(stmt));
+      break;
+    case Stmt::Kind::Expr: {
+      const auto& s = static_cast<const ocl::ExprStmt&>(stmt);
+      if (s.expr) lowerExpr(*s.expr);
+      break;
+    }
+    case Stmt::Kind::If:
+      lowerIf(static_cast<const ocl::IfStmt&>(stmt));
+      break;
+    case Stmt::Kind::For:
+      lowerFor(static_cast<const ocl::ForStmt&>(stmt));
+      break;
+    case Stmt::Kind::While:
+      lowerWhile(static_cast<const ocl::WhileStmt&>(stmt));
+      break;
+    case Stmt::Kind::Do:
+      lowerDo(static_cast<const ocl::DoStmt&>(stmt));
+      break;
+    case Stmt::Kind::Return:
+      lowerReturn(static_cast<const ocl::ReturnStmt&>(stmt));
+      break;
+    case Stmt::Kind::Break: {
+      if (loopStack_.empty()) {
+        error(stmt.location, "break outside of a loop");
+        break;
+      }
+      b_->br(loopStack_.back().exit);
+      startBlock(newBlock("dead"));
+      break;
+    }
+    case Stmt::Kind::Continue: {
+      if (loopStack_.empty()) {
+        error(stmt.location, "continue outside of a loop");
+        break;
+      }
+      b_->br(loopStack_.back().latch);
+      startBlock(newBlock("dead"));
+      break;
+    }
+  }
+}
+
+void Lowerer::lowerCompound(const ocl::CompoundStmt& stmt) {
+  for (const auto& s : stmt.body) lowerStmt(*s);
+}
+
+void Lowerer::lowerDecl(const ocl::DeclStmt& stmt) {
+  for (const auto& var : stmt.decls) {
+    Instruction* slot = slotFor(*var);
+    if (var->init) {
+      Value* init = lowerExpr(*var->init);
+      b_->store(init, slot);
+    }
+  }
+}
+
+void Lowerer::lowerIf(const ocl::IfStmt& stmt) {
+  Value* cond = lowerExpr(*stmt.cond);
+  BasicBlock* condBlock = b_->insertBlock();
+
+  BasicBlock* thenBB = newBlock("if.then");
+  BasicBlock* mergeBB = newBlock("if.end");
+  BasicBlock* elseBB = stmt.elseStmt ? newBlock("if.else") : mergeBB;
+  b_->condBr(cond, thenBB, elseBB);
+
+  auto ifRegion = std::make_unique<Region>();
+  ifRegion->kind = Region::Kind::If;
+  ifRegion->condBlock = condBlock;
+
+  auto thenSeq = std::make_unique<Region>();
+  thenSeq->kind = Region::Kind::Seq;
+  Region* thenPtr = thenSeq.get();
+  ifRegion->children.push_back(std::move(thenSeq));
+
+  auto elseSeq = std::make_unique<Region>();
+  elseSeq->kind = Region::Kind::Seq;
+  Region* elsePtr = elseSeq.get();
+  ifRegion->children.push_back(std::move(elseSeq));
+
+  currentSeq()->children.push_back(std::move(ifRegion));
+
+  seqStack_.push_back(thenPtr);
+  b_->setInsertBlock(thenBB);
+  noteBlock(thenBB);
+  if (stmt.thenStmt) lowerStmt(*stmt.thenStmt);
+  b_->br(mergeBB);
+  seqStack_.pop_back();
+
+  if (stmt.elseStmt) {
+    seqStack_.push_back(elsePtr);
+    b_->setInsertBlock(elseBB);
+    noteBlock(elseBB);
+    lowerStmt(*stmt.elseStmt);
+    b_->br(mergeBB);
+    seqStack_.pop_back();
+  }
+
+  startBlock(mergeBB);
+}
+
+void Lowerer::lowerFor(const ocl::ForStmt& stmt) {
+  if (stmt.init) lowerStmt(*stmt.init);
+
+  BasicBlock* headerBB = newBlock("loop.head");
+  BasicBlock* bodyBB = newBlock("loop.body");
+  BasicBlock* latchBB = newBlock("loop.latch");
+  BasicBlock* exitBB = newBlock("loop.exit");
+  b_->br(headerBB);
+
+  auto loopRegion = std::make_unique<Region>();
+  loopRegion->kind = Region::Kind::Loop;
+  loopRegion->condBlock = headerBB;
+  loopRegion->latchBlock = latchBB;
+  loopRegion->loopId = fn_->loopCount++;
+  loopRegion->staticTripCount = detectStaticTripCount(stmt);
+  loopRegion->unrollHint = stmt.unrollHint;
+
+  auto bodySeq = std::make_unique<Region>();
+  bodySeq->kind = Region::Kind::Seq;
+  Region* bodyPtr = bodySeq.get();
+  loopRegion->children.push_back(std::move(bodySeq));
+  currentSeq()->children.push_back(std::move(loopRegion));
+
+  b_->setInsertBlock(headerBB);
+  if (stmt.cond) {
+    Value* cond = lowerExpr(*stmt.cond);
+    b_->condBr(cond, bodyBB, exitBB);
+  } else {
+    b_->br(bodyBB);
+  }
+
+  loopStack_.push_back({latchBB, exitBB});
+  seqStack_.push_back(bodyPtr);
+  b_->setInsertBlock(bodyBB);
+  noteBlock(bodyBB);
+  if (stmt.body) lowerStmt(*stmt.body);
+  b_->br(latchBB);
+  seqStack_.pop_back();
+  loopStack_.pop_back();
+
+  b_->setInsertBlock(latchBB);
+  if (stmt.step) lowerExpr(*stmt.step);
+  b_->br(headerBB);
+
+  startBlock(exitBB);
+}
+
+void Lowerer::lowerWhile(const ocl::WhileStmt& stmt) {
+  BasicBlock* headerBB = newBlock("while.head");
+  BasicBlock* bodyBB = newBlock("while.body");
+  BasicBlock* latchBB = newBlock("while.latch");
+  BasicBlock* exitBB = newBlock("while.exit");
+  b_->br(headerBB);
+
+  auto loopRegion = std::make_unique<Region>();
+  loopRegion->kind = Region::Kind::Loop;
+  loopRegion->condBlock = headerBB;
+  loopRegion->latchBlock = latchBB;
+  loopRegion->loopId = fn_->loopCount++;
+  loopRegion->staticTripCount = -1;
+  loopRegion->unrollHint = stmt.unrollHint;
+
+  auto bodySeq = std::make_unique<Region>();
+  bodySeq->kind = Region::Kind::Seq;
+  Region* bodyPtr = bodySeq.get();
+  loopRegion->children.push_back(std::move(bodySeq));
+  currentSeq()->children.push_back(std::move(loopRegion));
+
+  b_->setInsertBlock(headerBB);
+  Value* cond = lowerExpr(*stmt.cond);
+  b_->condBr(cond, bodyBB, exitBB);
+
+  loopStack_.push_back({latchBB, exitBB});
+  seqStack_.push_back(bodyPtr);
+  b_->setInsertBlock(bodyBB);
+  noteBlock(bodyBB);
+  if (stmt.body) lowerStmt(*stmt.body);
+  b_->br(latchBB);
+  seqStack_.pop_back();
+  loopStack_.pop_back();
+
+  b_->setInsertBlock(latchBB);
+  b_->br(headerBB);
+
+  startBlock(exitBB);
+}
+
+void Lowerer::lowerDo(const ocl::DoStmt& stmt) {
+  // do { body } while (c) is lowered with the condition in the header after
+  // one unconditional first entry: body; latch evaluates cond and loops.
+  BasicBlock* bodyBB = newBlock("do.body");
+  BasicBlock* latchBB = newBlock("do.latch");
+  BasicBlock* exitBB = newBlock("do.exit");
+  b_->br(bodyBB);
+
+  auto loopRegion = std::make_unique<Region>();
+  loopRegion->kind = Region::Kind::Loop;
+  loopRegion->condBlock = latchBB;  // condition lives in the latch
+  loopRegion->latchBlock = latchBB;
+  loopRegion->loopId = fn_->loopCount++;
+  loopRegion->staticTripCount = -1;
+  auto bodySeq = std::make_unique<Region>();
+  bodySeq->kind = Region::Kind::Seq;
+  Region* bodyPtr = bodySeq.get();
+  loopRegion->children.push_back(std::move(bodySeq));
+  currentSeq()->children.push_back(std::move(loopRegion));
+
+  loopStack_.push_back({latchBB, exitBB});
+  seqStack_.push_back(bodyPtr);
+  b_->setInsertBlock(bodyBB);
+  noteBlock(bodyBB);
+  if (stmt.body) lowerStmt(*stmt.body);
+  b_->br(latchBB);
+  seqStack_.pop_back();
+  loopStack_.pop_back();
+
+  b_->setInsertBlock(latchBB);
+  Value* cond = lowerExpr(*stmt.cond);
+  b_->condBr(cond, bodyBB, exitBB);
+
+  startBlock(exitBB);
+}
+
+void Lowerer::lowerReturn(const ocl::ReturnStmt& stmt) {
+  if (!inlineStack_.empty()) {
+    InlineFrame& frame = inlineStack_.back();
+    if (stmt.value && frame.retSlot) {
+      Value* v = lowerExpr(*stmt.value);
+      b_->store(v, frame.retSlot);
+    }
+    b_->br(frame.exitBlock);
+  } else {
+    if (stmt.value) lowerExpr(*stmt.value);  // evaluated for effect; kernels are void
+    b_->br(kernelExit_);
+  }
+  startBlock(newBlock("dead"));
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Value* Lowerer::lowerExpr(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::IntLiteral: {
+      const auto& lit = static_cast<const ocl::IntLiteralExpr&>(e);
+      return intConst(e.type, static_cast<std::int64_t>(lit.value));
+    }
+    case Expr::Kind::FloatLiteral: {
+      const auto& lit = static_cast<const ocl::FloatLiteralExpr&>(e);
+      return fn_->floatConstant(e.type, lit.value);
+    }
+    case Expr::Kind::BoolLiteral: {
+      const auto& lit = static_cast<const ocl::BoolLiteralExpr&>(e);
+      return intConst(types_.boolType(), lit.value ? 1 : 0);
+    }
+    case Expr::Kind::DeclRef: {
+      const auto& ref = static_cast<const ocl::DeclRefExpr&>(e);
+      auto immutable = immutableParams_.find(ref.decl);
+      if (immutable != immutableParams_.end()) return immutable->second;
+      Instruction* slot = slotFor(*ref.decl);
+      if (ref.decl->type->isArray() || ref.decl->type->isStruct()) {
+        // Arrays/structs decay to their storage pointer.
+        return slot;
+      }
+      return b_->load(slot, ref.decl->type);
+    }
+    case Expr::Kind::Binary:
+      return lowerBinary(static_cast<const ocl::BinaryExpr&>(e));
+    case Expr::Kind::Unary:
+      return lowerUnary(static_cast<const ocl::UnaryExpr&>(e));
+    case Expr::Kind::Assign:
+      return lowerAssign(static_cast<const ocl::AssignExpr&>(e));
+    case Expr::Kind::Call:
+      return lowerCall(static_cast<const ocl::CallExpr&>(e));
+    case Expr::Kind::Index:
+    case Expr::Kind::Member: {
+      // Vector component of a register value falls back to lane extraction;
+      // everything else is a memory access through the computed address.
+      if (e.kind() == Expr::Kind::Member) {
+        const auto& m = static_cast<const ocl::MemberExpr&>(e);
+        if (m.laneIndex >= 0 && !m.base->isLValue) {
+          Value* vec = lowerExpr(*m.base);
+          return b_->extractLane(vec, i64Const(m.laneIndex), e.type);
+        }
+      }
+      Value* addr = lowerAddress(e);
+      return b_->load(addr, e.type);
+    }
+    case Expr::Kind::Cast: {
+      const auto& c = static_cast<const ocl::CastExpr&>(e);
+      Value* v = lowerExpr(*c.operand);
+      return emitCast(v, c.operand->type, c.toType, e.location);
+    }
+    case Expr::Kind::Conditional: {
+      const auto& c = static_cast<const ocl::ConditionalExpr&>(e);
+      // Both sides evaluated + select: matches the speculative datapath HLS
+      // generates for small conditionals.
+      Value* cond = lowerExpr(*c.cond);
+      Value* t = lowerExpr(*c.thenExpr);
+      Value* f = lowerExpr(*c.elseExpr);
+      return b_->select(cond, t, f);
+    }
+    case Expr::Kind::VectorConstruct: {
+      const auto& v = static_cast<const ocl::VectorConstructExpr&>(e);
+      Value* acc = b_->splat(fn_->intConstant(types_.i32(), 0), v.vectorType);
+      if (v.vectorType->element()->isFloat()) {
+        acc = b_->splat(fn_->floatConstant(v.vectorType->element(), 0.0), v.vectorType);
+      }
+      std::int64_t lane = 0;
+      for (const auto& elem : v.elements) {
+        Value* ev = lowerExpr(*elem);
+        if (elem->type->isVector()) {
+          for (std::uint64_t i = 0; i < elem->type->count(); ++i) {
+            Value* comp = b_->extractLane(ev, i64Const(static_cast<std::int64_t>(i)),
+                                          elem->type->element());
+            acc = b_->insertLane(acc, i64Const(lane++), comp);
+          }
+        } else {
+          acc = b_->insertLane(acc, i64Const(lane++), ev);
+        }
+      }
+      return acc;
+    }
+    case Expr::Kind::Sizeof: {
+      const auto& s = static_cast<const ocl::SizeofExpr&>(e);
+      return intConst(e.type, static_cast<std::int64_t>(s.queried->sizeInBytes()));
+    }
+  }
+  error(e.location, "unsupported expression in lowering");
+  return intConst(types_.i32(), 0);
+}
+
+Value* Lowerer::lowerAddress(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::DeclRef: {
+      const auto& ref = static_cast<const ocl::DeclRefExpr&>(e);
+      return slotFor(*ref.decl);
+    }
+    case Expr::Kind::Index: {
+      const auto& idx = static_cast<const ocl::IndexExpr&>(e);
+      const Type* baseType = idx.base->type;
+      Value* basePtr = nullptr;
+      const Type* elemType = nullptr;
+      AddressSpace space = AddressSpace::Private;
+      if (baseType->isPointer()) {
+        basePtr = lowerExpr(*idx.base);
+        elemType = baseType->element();
+        space = baseType->addressSpace();
+      } else if (baseType->isArray()) {
+        basePtr = lowerAddress(*idx.base);
+        elemType = baseType->element();
+        space = basePtr->type()->isPointer() ? basePtr->type()->addressSpace()
+                                             : AddressSpace::Private;
+      } else if (baseType->isVector()) {
+        basePtr = lowerAddress(*idx.base);
+        elemType = baseType->element();
+        space = basePtr->type()->isPointer() ? basePtr->type()->addressSpace()
+                                             : AddressSpace::Private;
+      } else {
+        error(e.location, "cannot index " + baseType->str());
+        return slotFor(*static_cast<const ocl::DeclRefExpr&>(*idx.base).decl);
+      }
+      Value* index = lowerExpr(*idx.index);
+      Value* scaled = b_->binary(
+          Opcode::Mul, index,
+          i64Const(static_cast<std::int64_t>(elemType->sizeInBytes())), types_.i64());
+      return b_->ptrAdd(basePtr, scaled, types_.pointerType(elemType, space));
+    }
+    case Expr::Kind::Member: {
+      const auto& m = static_cast<const ocl::MemberExpr&>(e);
+      Value* basePtr = nullptr;
+      const Type* recordType = m.base->type;
+      if (m.isArrow) {
+        basePtr = lowerExpr(*m.base);
+        recordType = m.base->type->element();
+      } else {
+        basePtr = lowerAddress(*m.base);
+      }
+      const AddressSpace space = basePtr->type()->isPointer()
+                                     ? basePtr->type()->addressSpace()
+                                     : AddressSpace::Private;
+      if (m.fieldIndex >= 0) {
+        const std::uint64_t offset =
+            recordType->fieldOffset(static_cast<unsigned>(m.fieldIndex));
+        return b_->ptrAdd(basePtr, i64Const(static_cast<std::int64_t>(offset)),
+                          types_.pointerType(e.type, space));
+      }
+      if (m.laneIndex >= 0) {
+        const std::uint64_t offset =
+            recordType->element()->sizeInBytes() *
+            static_cast<std::uint64_t>(m.laneIndex);
+        return b_->ptrAdd(basePtr, i64Const(static_cast<std::int64_t>(offset)),
+                          types_.pointerType(e.type, space));
+      }
+      error(e.location, "unresolved member access");
+      return basePtr;
+    }
+    case Expr::Kind::Unary: {
+      const auto& u = static_cast<const ocl::UnaryExpr&>(e);
+      if (u.op == UnaryOp::Deref) return lowerExpr(*u.operand);
+      break;
+    }
+    default:
+      break;
+  }
+  error(e.location, "expression is not addressable");
+  // Recovery: synthesize a scratch slot of the right type.
+  const Type* t = e.type ? e.type : types_.i32();
+  return b_->allocaInst(t, AddressSpace::Private, types_.pointerType(t, AddressSpace::Private),
+                    "scratch." + std::to_string(allocaCounter_++));
+}
+
+Value* Lowerer::emitPointerOffset(Value* ptr, Value* index, const Type* pointee,
+                                  bool negate) {
+  Value* idx64 = index;
+  if (index->type() != types_.i64()) {
+    idx64 = b_->cast(index->type()->isSigned() ? Opcode::SExt : Opcode::ZExt, index,
+                     types_.i64());
+  }
+  Value* scaled = b_->binary(
+      Opcode::Mul, idx64,
+      i64Const(static_cast<std::int64_t>(pointee->sizeInBytes())), types_.i64());
+  if (negate) {
+    scaled = b_->binary(Opcode::Sub, i64Const(0), scaled, types_.i64());
+  }
+  return b_->ptrAdd(ptr, scaled);
+}
+
+Value* Lowerer::emitBinaryOp(BinaryOp op, Value* lhs, Value* rhs, const Type* type,
+                             SourceLocation loc) {
+  const Type* opType = lhs->type();
+  const bool isFloat = opType->isFloat() ||
+                       (opType->isVector() && opType->element()->isFloat());
+  switch (op) {
+    case BinaryOp::Add:
+      return b_->binary(isFloat ? Opcode::FAdd : Opcode::Add, lhs, rhs, type);
+    case BinaryOp::Sub:
+      return b_->binary(isFloat ? Opcode::FSub : Opcode::Sub, lhs, rhs, type);
+    case BinaryOp::Mul:
+      return b_->binary(isFloat ? Opcode::FMul : Opcode::Mul, lhs, rhs, type);
+    case BinaryOp::Div:
+      return b_->binary(isFloat ? Opcode::FDiv : Opcode::Div, lhs, rhs, type);
+    case BinaryOp::Rem:
+      return b_->binary(isFloat ? Opcode::FRem : Opcode::Rem, lhs, rhs, type);
+    case BinaryOp::Shl: return b_->binary(Opcode::Shl, lhs, rhs, type);
+    case BinaryOp::Shr: return b_->binary(Opcode::Shr, lhs, rhs, type);
+    case BinaryOp::BitAnd: return b_->binary(Opcode::And, lhs, rhs, type);
+    case BinaryOp::BitOr: return b_->binary(Opcode::Or, lhs, rhs, type);
+    case BinaryOp::BitXor: return b_->binary(Opcode::Xor, lhs, rhs, type);
+    case BinaryOp::LogAnd: return b_->binary(Opcode::And, lhs, rhs, type);
+    case BinaryOp::LogOr: return b_->binary(Opcode::Or, lhs, rhs, type);
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      CmpPred pred = CmpPred::Eq;
+      switch (op) {
+        case BinaryOp::Lt: pred = CmpPred::Lt; break;
+        case BinaryOp::Gt: pred = CmpPred::Gt; break;
+        case BinaryOp::Le: pred = CmpPred::Le; break;
+        case BinaryOp::Ge: pred = CmpPred::Ge; break;
+        case BinaryOp::Eq: pred = CmpPred::Eq; break;
+        case BinaryOp::Ne: pred = CmpPred::Ne; break;
+        default: break;
+      }
+      if (isFloat) return b_->fcmp(pred, lhs, rhs, types_.boolType());
+      return b_->icmp(pred, lhs, rhs, types_.boolType());
+    }
+  }
+  error(loc, "unsupported binary operator in lowering");
+  return lhs;
+}
+
+Value* Lowerer::lowerBinary(const ocl::BinaryExpr& e) {
+  const Type* lt = e.lhs->type;
+  const Type* rt = e.rhs->type;
+
+  // Pointer arithmetic forms.
+  if ((e.op == BinaryOp::Add || e.op == BinaryOp::Sub) && lt->isPointer() &&
+      rt->isInt()) {
+    Value* ptr = lowerExpr(*e.lhs);
+    Value* idx = lowerExpr(*e.rhs);
+    return emitPointerOffset(ptr, idx, lt->element(), e.op == BinaryOp::Sub);
+  }
+  if (e.op == BinaryOp::Add && lt->isInt() && rt->isPointer()) {
+    Value* ptr = lowerExpr(*e.rhs);
+    Value* idx = lowerExpr(*e.lhs);
+    return emitPointerOffset(ptr, idx, rt->element(), false);
+  }
+  if (e.op == BinaryOp::Sub && lt->isPointer() && rt->isPointer()) {
+    error(e.location, "pointer difference is not supported");
+    return i64Const(0);
+  }
+
+  Value* lhs = lowerExpr(*e.lhs);
+  Value* rhs = lowerExpr(*e.rhs);
+  return emitBinaryOp(e.op, lhs, rhs, e.type, e.location);
+}
+
+Value* Lowerer::lowerUnary(const ocl::UnaryExpr& e) {
+  switch (e.op) {
+    case UnaryOp::Plus:
+      return lowerExpr(*e.operand);
+    case UnaryOp::Minus: {
+      Value* v = lowerExpr(*e.operand);
+      const Type* t = e.type;
+      const bool isFloat = t->isFloat() || (t->isVector() && t->element()->isFloat());
+      Value* zero = isFloat
+          ? static_cast<Value*>(fn_->floatConstant(
+                t->isVector() ? t->element() : t, 0.0))
+          : static_cast<Value*>(intConst(t->isVector() ? t->element() : t, 0));
+      if (t->isVector()) zero = b_->splat(zero, t);
+      return b_->binary(isFloat ? Opcode::FSub : Opcode::Sub, zero, v, t);
+    }
+    case UnaryOp::BitNot: {
+      Value* v = lowerExpr(*e.operand);
+      const Type* t = e.type;
+      Value* allOnes = intConst(t->isVector() ? t->element() : t, -1);
+      if (t->isVector()) allOnes = b_->splat(allOnes, t);
+      return b_->binary(Opcode::Xor, v, allOnes, t);
+    }
+    case UnaryOp::LogNot: {
+      Value* v = lowerExpr(*e.operand);
+      return b_->icmp(CmpPred::Eq, v, intConst(types_.boolType(), 0), types_.boolType());
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      Value* addr = lowerAddress(*e.operand);
+      const Type* t = e.operand->type;
+      Value* oldV = b_->load(addr, t);
+      Value* newV = nullptr;
+      const bool inc = e.op == UnaryOp::PreInc || e.op == UnaryOp::PostInc;
+      if (t->isPointer()) {
+        newV = emitPointerOffset(oldV, i64Const(1), t->element(), !inc);
+      } else if (t->isFloat()) {
+        Value* one = fn_->floatConstant(t, 1.0);
+        newV = b_->binary(inc ? Opcode::FAdd : Opcode::FSub, oldV, one, t);
+      } else {
+        Value* one = intConst(t, 1);
+        newV = b_->binary(inc ? Opcode::Add : Opcode::Sub, oldV, one, t);
+      }
+      b_->store(newV, addr);
+      const bool isPost = e.op == UnaryOp::PostInc || e.op == UnaryOp::PostDec;
+      return isPost ? oldV : newV;
+    }
+    case UnaryOp::Deref: {
+      Value* ptr = lowerExpr(*e.operand);
+      return b_->load(ptr, e.type);
+    }
+    case UnaryOp::AddrOf:
+      return lowerAddress(*e.operand);
+  }
+  error(e.location, "unsupported unary operator");
+  return intConst(types_.i32(), 0);
+}
+
+Value* Lowerer::lowerAssign(const ocl::AssignExpr& e) {
+  Value* addr = lowerAddress(*e.target);
+  Value* result = nullptr;
+  if (e.hasCompoundOp) {
+    const Type* t = e.target->type;
+    Value* oldV = b_->load(addr, t);
+    Value* rhs = lowerExpr(*e.value);
+    if (t->isPointer()) {
+      result = emitPointerOffset(oldV, rhs, t->element(),
+                                 e.compoundOp == BinaryOp::Sub);
+    } else {
+      result = emitBinaryOp(e.compoundOp, oldV, rhs, t, e.location);
+    }
+  } else {
+    result = lowerExpr(*e.value);
+  }
+  b_->store(result, addr);
+  return result;
+}
+
+Value* Lowerer::lowerCall(const ocl::CallExpr& e) {
+  if (e.builtin != Builtin::None) {
+    if (e.builtin == Builtin::Barrier || e.builtin == Builtin::MemFence) {
+      b_->barrier();
+      return nullptr;
+    }
+    if (auto q = wiQueryFor(e.builtin)) {
+      Value* dim = e.args.empty() ? static_cast<Value*>(intConst(types_.u32(), 0))
+                                  : lowerExpr(*e.args[0]);
+      return b_->workItemId(*q, dim, e.type);
+    }
+    if (auto mf = mathFuncFor(e.builtin)) {
+      std::vector<Value*> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) args.push_back(lowerExpr(*a));
+      return b_->call(*mf, args, e.type);
+    }
+    error(e.location, "builtin not supported in lowering: " + e.callee);
+    return intConst(types_.i32(), 0);
+  }
+
+  // User function: inline the body.
+  const ocl::FunctionDecl* callee = e.function;
+  if (!callee || !callee->body) {
+    error(e.location, "cannot inline function '" + e.callee + "'");
+    return intConst(e.type ? e.type : types_.i32(), 0);
+  }
+  if (inlineDepth_ > 32) {
+    error(e.location, "inline depth exceeded (recursive call chain?)");
+    return intConst(e.type ? e.type : types_.i32(), 0);
+  }
+
+  // Evaluate arguments, then bind them to fresh parameter slots.
+  std::vector<Value*> argValues;
+  argValues.reserve(e.args.size());
+  for (const auto& a : e.args) argValues.push_back(lowerExpr(*a));
+
+  for (std::size_t i = 0; i < callee->params.size() && i < argValues.size(); ++i) {
+    const ocl::VarDecl* param = callee->params[i].get();
+    slots_.erase(param);  // fresh slot per inline expansion site
+    Instruction* slot = slotFor(*param);
+    b_->store(argValues[i], slot);
+  }
+
+  Instruction* retSlot = nullptr;
+  if (!callee->returnType->isVoid()) {
+    retSlot = b_->allocaInst(
+        callee->returnType, AddressSpace::Private,
+        types_.pointerType(callee->returnType, AddressSpace::Private),
+        "ret." + callee->name + "." + std::to_string(allocaCounter_++));
+  }
+  BasicBlock* exitBB = newBlock("inline.exit");
+  inlineStack_.push_back({retSlot, exitBB});
+  ++inlineDepth_;
+  lowerCompound(*callee->body);
+  --inlineDepth_;
+  inlineStack_.pop_back();
+
+  b_->br(exitBB);
+  startBlock(exitBB);
+  if (retSlot) return b_->load(retSlot, callee->returnType);
+  return nullptr;
+}
+
+Value* Lowerer::emitCast(Value* v, const Type* from, const Type* to,
+                         SourceLocation loc) {
+  if (from == to) return v;
+
+  // Scalar -> vector splat (element is converted first).
+  if (to->isVector() && from->isScalar()) {
+    Value* elem = emitCast(v, from, to->element(), loc);
+    return b_->splat(elem, to);
+  }
+  // Vector -> vector: one lane-wise cast instruction.
+  if (to->isVector() && from->isVector()) {
+    const Type* fe = from->element();
+    const Type* te = to->element();
+    if (fe == te) return v;
+    // Choose opcode from element kinds.
+    if (fe->isFloat() && te->isFloat()) {
+      return b_->cast(te->bits() > fe->bits() ? Opcode::FPExt : Opcode::FPTrunc, v, to);
+    }
+    if (fe->isFloat()) {
+      return b_->cast(te->isSigned() ? Opcode::FPToSI : Opcode::FPToUI, v, to);
+    }
+    if (te->isFloat()) {
+      return b_->cast(fe->isSigned() ? Opcode::SIToFP : Opcode::UIToFP, v, to);
+    }
+    if (te->bits() < fe->bits()) return b_->cast(Opcode::Trunc, v, to);
+    return b_->cast(fe->isSigned() ? Opcode::SExt : Opcode::ZExt, v, to);
+  }
+
+  if (from->isPointer() && to->isPointer()) return b_->cast(Opcode::Bitcast, v, to);
+  // Array-to-pointer decay: the value is already the storage pointer.
+  if (from->isArray() && to->isPointer()) return b_->cast(Opcode::Bitcast, v, to);
+
+  if (to->isBool()) {
+    if (from->isFloat()) {
+      return b_->fcmp(CmpPred::Ne, v, fn_->floatConstant(from, 0.0), types_.boolType());
+    }
+    if (from->isPointer()) {
+      // Null-pointer checks are not meaningful in our memory model; treat any
+      // pointer as true.
+      return intConst(types_.boolType(), 1);
+    }
+    return b_->icmp(CmpPred::Ne, v, intConst(from, 0), types_.boolType());
+  }
+  if (from->isBool()) {
+    if (to->isFloat()) {
+      Value* asInt = b_->cast(Opcode::ZExt, v, types_.i32());
+      return b_->cast(Opcode::UIToFP, asInt, to);
+    }
+    return b_->cast(Opcode::ZExt, v, to);
+  }
+  if (from->isFloat() && to->isFloat()) {
+    return b_->cast(to->bits() > from->bits() ? Opcode::FPExt : Opcode::FPTrunc, v, to);
+  }
+  if (from->isFloat() && to->isInt()) {
+    return b_->cast(to->isSigned() ? Opcode::FPToSI : Opcode::FPToUI, v, to);
+  }
+  if (from->isInt() && to->isFloat()) {
+    return b_->cast(from->isSigned() ? Opcode::SIToFP : Opcode::UIToFP, v, to);
+  }
+  if (from->isInt() && to->isInt()) {
+    if (to->bits() < from->bits()) return b_->cast(Opcode::Trunc, v, to);
+    if (to->bits() > from->bits()) {
+      return b_->cast(from->isSigned() ? Opcode::SExt : Opcode::ZExt, v, to);
+    }
+    return b_->cast(Opcode::Bitcast, v, to);  // same width, signedness change
+  }
+  error(loc, "unsupported cast from " + from->str() + " to " + to->str());
+  return v;
+}
+
+}  // namespace
+
+std::unique_ptr<Module> lowerProgram(ocl::Program& program, DiagnosticEngine& diags) {
+  auto module = std::make_unique<Module>(*program.types);
+  Lowerer lowerer(*module, program, diags);
+  for (const auto& fn : program.functions) {
+    if (fn->isKernel) lowerer.lowerKernel(*fn);
+  }
+  return module;
+}
+
+std::unique_ptr<CompiledProgram> compileOpenCl(
+    const std::string& source, DiagnosticEngine& diags,
+    const std::unordered_map<std::string, std::string>& defines) {
+  std::unique_ptr<ocl::Program> ast = ocl::parseOpenCl(source, diags, defines);
+  if (!ast) return nullptr;
+  auto compiled = std::make_unique<CompiledProgram>();
+  compiled->module = lowerProgram(*ast, diags);
+  compiled->ast = std::move(ast);
+  if (diags.hasErrors()) return nullptr;
+  for (const auto& fn : compiled->module->functions()) {
+    for (const std::string& problem : verifyFunction(*fn)) {
+      diags.error(SourceLocation{}, "IR verifier: " + fn->name() + ": " + problem);
+    }
+  }
+  if (diags.hasErrors()) return nullptr;
+  return compiled;
+}
+
+}  // namespace flexcl::ir

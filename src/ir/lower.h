@@ -1,0 +1,37 @@
+// AST -> IR lowering.
+//
+// Each OpenCL kernel becomes one ir::Function; helper functions are inlined
+// at their call sites (matching what HLS synthesis does). Structured control
+// flow is recorded in the function's RegionTree as it is lowered, and static
+// loop trip counts are derived where the induction pattern is recognisable
+// (paper §3.2: dynamic profiling covers the rest).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ir/ir.h"
+#include "ocl/ast.h"
+#include "support/diagnostics.h"
+
+namespace flexcl::ir {
+
+/// Owns the AST and the IR lowered from it (the IR references types owned by
+/// the AST's TypeContext).
+struct CompiledProgram {
+  std::unique_ptr<ocl::Program> ast;
+  std::unique_ptr<Module> module;
+};
+
+/// Lowers all kernels of `program`. Reports problems to `diags`; returns a
+/// module even with errors (check diags.hasErrors()).
+std::unique_ptr<Module> lowerProgram(ocl::Program& program, DiagnosticEngine& diags);
+
+/// Front-to-back convenience: preprocess + parse + sema + lower + verify.
+/// Returns nullptr and leaves messages in `diags` on any failure.
+std::unique_ptr<CompiledProgram> compileOpenCl(
+    const std::string& source, DiagnosticEngine& diags,
+    const std::unordered_map<std::string, std::string>& defines = {});
+
+}  // namespace flexcl::ir

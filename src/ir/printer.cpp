@@ -1,0 +1,90 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace flexcl::ir {
+namespace {
+
+std::string valueRef(const Value* v) {
+  switch (v->valueKind()) {
+    case Value::Kind::Constant: {
+      const auto* c = static_cast<const Constant*>(v);
+      std::ostringstream os;
+      if (c->isFloatConstant()) {
+        os << c->floatValue();
+      } else {
+        os << c->intValue();
+      }
+      return os.str();
+    }
+    case Value::Kind::Argument:
+      return "%" + v->name();
+    case Value::Kind::Instruction: {
+      const auto* inst = static_cast<const Instruction*>(v);
+      if (inst->opcode() == Opcode::Alloca) return "%" + inst->name();
+      return "%t" + std::to_string(inst->id);
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string printInstruction(const Instruction& inst) {
+  std::ostringstream os;
+  const bool producesValue = inst.type() != nullptr && !inst.type()->isVoid() &&
+                             !inst.isTerminator() && inst.opcode() != Opcode::Store;
+  if (producesValue) os << valueRef(&inst) << " = ";
+  os << opcodeName(inst.opcode());
+  if (inst.opcode() == Opcode::ICmp || inst.opcode() == Opcode::FCmp) {
+    os << ' ' << cmpPredName(inst.cmpPred);
+  }
+  if (inst.opcode() == Opcode::WorkItemId) os << ' ' << wiQueryName(inst.wiQuery);
+  if (inst.opcode() == Opcode::Call) os << ' ' << mathFuncName(inst.mathFunc);
+  if (inst.opcode() == Opcode::Load || inst.opcode() == Opcode::Store) {
+    os << '.' << addressSpaceName(inst.memSpace);
+  }
+  bool first = true;
+  for (const Value* op : inst.operands()) {
+    os << (first ? " " : ", ") << valueRef(op);
+    first = false;
+  }
+  if (inst.opcode() == Opcode::Br) {
+    os << " ^" << inst.target0->name();
+  } else if (inst.opcode() == Opcode::CondBr) {
+    os << ", ^" << inst.target0->name() << ", ^" << inst.target1->name();
+  }
+  if (producesValue) os << " : " << inst.type()->str();
+  return os.str();
+}
+
+std::string printFunction(Function& fn) {
+  fn.renumber();
+  std::ostringstream os;
+  os << (fn.isKernel ? "kernel" : "func") << " @" << fn.name() << '(';
+  bool first = true;
+  for (const auto& arg : fn.arguments()) {
+    if (!first) os << ", ";
+    os << arg->type()->str() << " %" << arg->name();
+    first = false;
+  }
+  os << ") {\n";
+  for (const Instruction* a : fn.privateAllocas) {
+    os << "  %" << a->name() << " = alloca." << addressSpaceName(a->allocaSpace)
+       << ' ' << a->allocaType->str() << '\n';
+  }
+  for (const Instruction* a : fn.localAllocas) {
+    os << "  %" << a->name() << " = alloca." << addressSpaceName(a->allocaSpace)
+       << ' ' << a->allocaType->str() << '\n';
+  }
+  for (const auto& bb : fn.blocks()) {
+    os << bb->name() << ":\n";
+    for (const Instruction* inst : bb->instructions()) {
+      os << "  " << printInstruction(*inst) << '\n';
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace flexcl::ir

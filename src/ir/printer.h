@@ -1,0 +1,17 @@
+// Human-readable IR dumping, used by tests and debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace flexcl::ir {
+
+/// Renders a function as text. Instruction names are %<id>; blocks print as
+/// labels. The output is stable (renumber() is called internally).
+std::string printFunction(Function& fn);
+
+/// Renders a single instruction (without trailing newline).
+std::string printInstruction(const Instruction& inst);
+
+}  // namespace flexcl::ir

@@ -1,0 +1,158 @@
+#include "ir/type.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace flexcl::ir {
+
+const char* addressSpaceName(AddressSpace as) {
+  switch (as) {
+    case AddressSpace::Private: return "private";
+    case AddressSpace::Local: return "local";
+    case AddressSpace::Global: return "global";
+    case AddressSpace::Constant: return "constant";
+  }
+  return "?";
+}
+
+int Type::fieldIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::uint64_t Type::fieldOffset(unsigned index) const {
+  std::uint64_t offset = 0;
+  for (unsigned i = 0; i < index; ++i) offset += fields_[i].type->sizeInBytes();
+  return offset;
+}
+
+std::uint64_t Type::sizeInBytes() const {
+  switch (kind_) {
+    case Kind::Void: return 0;
+    case Kind::Bool: return 1;
+    case Kind::Int:
+    case Kind::Float: return bits_ / 8;
+    case Kind::Pointer: return 8;
+    case Kind::Vector:
+    case Kind::Array: return element_->sizeInBytes() * count_;
+    case Kind::Struct: {
+      std::uint64_t size = 0;
+      for (const Field& f : fields_) size += f.type->sizeInBytes();
+      return size;
+    }
+  }
+  return 0;
+}
+
+std::string Type::str() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::Void: os << "void"; break;
+    case Kind::Bool: os << "bool"; break;
+    case Kind::Int: os << (isSigned_ ? 'i' : 'u') << bits_; break;
+    case Kind::Float: os << 'f' << bits_; break;
+    case Kind::Pointer:
+      os << element_->str() << ' ' << addressSpaceName(addressSpace_) << '*';
+      break;
+    case Kind::Vector: os << element_->str() << 'x' << count_; break;
+    case Kind::Array: os << '[' << count_ << " x " << element_->str() << ']'; break;
+    case Kind::Struct: os << "struct " << name_; break;
+  }
+  return os.str();
+}
+
+TypeContext::TypeContext() {
+  Type* v = make();
+  v->kind_ = Type::Kind::Void;
+  void_ = v;
+  Type* b = make();
+  b->kind_ = Type::Kind::Bool;
+  b->bits_ = 1;
+  bool_ = b;
+}
+
+Type* TypeContext::make() {
+  pool_.push_back(std::unique_ptr<Type>(new Type()));
+  return pool_.back().get();
+}
+
+const Type* TypeContext::intType(unsigned bits, bool isSigned) {
+  for (const auto& t : pool_) {
+    if (t->kind_ == Type::Kind::Int && t->bits_ == bits && t->isSigned_ == isSigned)
+      return t.get();
+  }
+  Type* t = make();
+  t->kind_ = Type::Kind::Int;
+  t->bits_ = bits;
+  t->isSigned_ = isSigned;
+  return t;
+}
+
+const Type* TypeContext::floatType(unsigned bits) {
+  for (const auto& t : pool_) {
+    if (t->kind_ == Type::Kind::Float && t->bits_ == bits) return t.get();
+  }
+  Type* t = make();
+  t->kind_ = Type::Kind::Float;
+  t->bits_ = bits;
+  return t;
+}
+
+const Type* TypeContext::pointerType(const Type* pointee, AddressSpace as) {
+  for (const auto& t : pool_) {
+    if (t->kind_ == Type::Kind::Pointer && t->element_ == pointee &&
+        t->addressSpace_ == as)
+      return t.get();
+  }
+  Type* t = make();
+  t->kind_ = Type::Kind::Pointer;
+  t->element_ = pointee;
+  t->addressSpace_ = as;
+  return t;
+}
+
+const Type* TypeContext::vectorType(const Type* element, std::uint64_t lanes) {
+  assert(element->isScalar() && "vector elements must be scalar");
+  for (const auto& t : pool_) {
+    if (t->kind_ == Type::Kind::Vector && t->element_ == element && t->count_ == lanes)
+      return t.get();
+  }
+  Type* t = make();
+  t->kind_ = Type::Kind::Vector;
+  t->element_ = element;
+  t->count_ = lanes;
+  return t;
+}
+
+const Type* TypeContext::arrayType(const Type* element, std::uint64_t extent) {
+  for (const auto& t : pool_) {
+    if (t->kind_ == Type::Kind::Array && t->element_ == element && t->count_ == extent)
+      return t.get();
+  }
+  Type* t = make();
+  t->kind_ = Type::Kind::Array;
+  t->element_ = element;
+  t->count_ = extent;
+  return t;
+}
+
+const Type* TypeContext::structType(const std::string& name,
+                                    std::vector<Type::Field> fields) {
+  if (const Type* existing = findStruct(name)) return existing;
+  Type* t = make();
+  t->kind_ = Type::Kind::Struct;
+  t->name_ = name;
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+const Type* TypeContext::findStruct(const std::string& name) const {
+  for (const auto& t : pool_) {
+    if (t->kind_ == Type::Kind::Struct && t->name_ == name) return t.get();
+  }
+  return nullptr;
+}
+
+}  // namespace flexcl::ir

@@ -1,0 +1,120 @@
+// Type system shared by the OpenCL semantic analyser and the IR.
+//
+// Types are interned in a TypeContext; equal types are pointer-equal, so all
+// type comparisons throughout the compiler are cheap pointer compares.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flexcl::ir {
+
+/// OpenCL address spaces. Private is the work-item's own storage, Local is
+/// shared within a work-group (on-chip BRAM), Global/Constant live in the
+/// off-chip DRAM.
+enum class AddressSpace : std::uint8_t { Private, Local, Global, Constant };
+
+const char* addressSpaceName(AddressSpace as);
+
+class TypeContext;
+
+/// Immutable, interned type node.
+class Type {
+ public:
+  enum class Kind : std::uint8_t { Void, Bool, Int, Float, Pointer, Vector, Array, Struct };
+
+  struct Field {
+    std::string name;
+    const Type* type;
+  };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool isVoid() const { return kind_ == Kind::Void; }
+  [[nodiscard]] bool isBool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool isInt() const { return kind_ == Kind::Int; }
+  [[nodiscard]] bool isFloat() const { return kind_ == Kind::Float; }
+  [[nodiscard]] bool isPointer() const { return kind_ == Kind::Pointer; }
+  [[nodiscard]] bool isVector() const { return kind_ == Kind::Vector; }
+  [[nodiscard]] bool isArray() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isStruct() const { return kind_ == Kind::Struct; }
+  [[nodiscard]] bool isScalar() const { return isBool() || isInt() || isFloat(); }
+  [[nodiscard]] bool isArithmetic() const { return isInt() || isFloat(); }
+
+  /// Integer/float bit width; for Bool returns 1.
+  [[nodiscard]] unsigned bits() const { return bits_; }
+  [[nodiscard]] bool isSigned() const { return isSigned_; }
+
+  /// Pointer pointee / vector or array element type.
+  [[nodiscard]] const Type* element() const { return element_; }
+  [[nodiscard]] AddressSpace addressSpace() const { return addressSpace_; }
+  /// Vector lane count or array extent.
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  [[nodiscard]] const std::string& structName() const { return name_; }
+  [[nodiscard]] const std::vector<Field>& fields() const { return fields_; }
+  /// Index of a struct field by name, or -1.
+  [[nodiscard]] int fieldIndex(const std::string& name) const;
+  /// Byte offset of a struct field (packed layout, no padding — the FPGA
+  /// memory model addresses elements, not ABI-padded records).
+  [[nodiscard]] std::uint64_t fieldOffset(unsigned index) const;
+
+  /// Size of one object of this type in bytes (packed layout).
+  [[nodiscard]] std::uint64_t sizeInBytes() const;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  friend class TypeContext;
+  Type() = default;
+
+  Kind kind_ = Kind::Void;
+  unsigned bits_ = 0;
+  bool isSigned_ = false;
+  const Type* element_ = nullptr;
+  AddressSpace addressSpace_ = AddressSpace::Private;
+  std::uint64_t count_ = 0;
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+/// Owns and interns all Type nodes of one compilation.
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  const Type* voidType() const { return void_; }
+  const Type* boolType() const { return bool_; }
+  const Type* intType(unsigned bits, bool isSigned);
+  const Type* floatType(unsigned bits);
+  const Type* pointerType(const Type* pointee, AddressSpace as);
+  const Type* vectorType(const Type* element, std::uint64_t lanes);
+  const Type* arrayType(const Type* element, std::uint64_t extent);
+  /// Creates (or retrieves) a named struct type. Fields are fixed at creation.
+  const Type* structType(const std::string& name, std::vector<Type::Field> fields);
+  /// Looks up a previously created struct by name; nullptr if unknown.
+  const Type* findStruct(const std::string& name) const;
+
+  // Common shorthands.
+  const Type* i8() { return intType(8, true); }
+  const Type* u8() { return intType(8, false); }
+  const Type* i16() { return intType(16, true); }
+  const Type* u16() { return intType(16, false); }
+  const Type* i32() { return intType(32, true); }
+  const Type* u32() { return intType(32, false); }
+  const Type* i64() { return intType(64, true); }
+  const Type* u64() { return intType(64, false); }
+  const Type* f32() { return floatType(32); }
+  const Type* f64() { return floatType(64); }
+
+ private:
+  Type* make();
+  std::vector<std::unique_ptr<Type>> pool_;
+  const Type* void_ = nullptr;
+  const Type* bool_ = nullptr;
+};
+
+}  // namespace flexcl::ir

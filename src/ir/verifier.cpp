@@ -1,0 +1,106 @@
+#include "ir/verifier.h"
+
+#include <unordered_set>
+
+namespace flexcl::ir {
+namespace {
+
+void collectRegionBlocks(const Region* region,
+                         std::unordered_set<const BasicBlock*>& out) {
+  if (!region) return;
+  if (region->block) out.insert(region->block);
+  if (region->condBlock) out.insert(region->condBlock);
+  if (region->latchBlock) out.insert(region->latchBlock);
+  for (const auto& child : region->children) collectRegionBlocks(child.get(), out);
+}
+
+}  // namespace
+
+std::vector<std::string> verifyFunction(const Function& fn) {
+  std::vector<std::string> problems;
+  auto problem = [&](std::string msg) { problems.push_back(std::move(msg)); };
+
+  std::unordered_set<const BasicBlock*> ownBlocks;
+  for (const auto& bb : fn.blocks()) ownBlocks.insert(bb.get());
+
+  for (const auto& bb : fn.blocks()) {
+    const auto& insts = bb->instructions();
+    if (insts.empty() || !insts.back()->isTerminator()) {
+      problem("block '" + bb->name() + "' does not end in a terminator");
+    }
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      const Instruction* inst = insts[i];
+      if (inst->isTerminator() && i + 1 != insts.size()) {
+        problem("block '" + bb->name() + "' has instructions after a terminator");
+      }
+      if (inst->opcode() == Opcode::Alloca) {
+        problem("alloca must not appear inside a block (block '" + bb->name() + "')");
+      }
+      switch (inst->opcode()) {
+        case Opcode::Br:
+          if (!inst->target0 || !ownBlocks.count(inst->target0)) {
+            problem("br in '" + bb->name() + "' targets a foreign block");
+          }
+          break;
+        case Opcode::CondBr:
+          if (!inst->target0 || !inst->target1 ||
+              !ownBlocks.count(inst->target0) || !ownBlocks.count(inst->target1)) {
+            problem("condbr in '" + bb->name() + "' targets a foreign block");
+          }
+          if (inst->operands().size() != 1) {
+            problem("condbr must have exactly one condition operand");
+          }
+          break;
+        case Opcode::Load:
+          if (inst->operands().size() != 1 || !inst->operand(0)->type() ||
+              !inst->operand(0)->type()->isPointer()) {
+            problem("load in '" + bb->name() + "' needs a pointer operand");
+          }
+          if (!inst->type()) problem("load must produce a typed value");
+          break;
+        case Opcode::Store:
+          if (inst->operands().size() != 2 || !inst->operand(1)->type() ||
+              !inst->operand(1)->type()->isPointer()) {
+            problem("store in '" + bb->name() + "' needs (value, pointer) operands");
+          }
+          break;
+        case Opcode::Select:
+          if (inst->operands().size() != 3) problem("select needs three operands");
+          break;
+        case Opcode::Barrier:
+        case Opcode::Ret:
+          break;
+        default:
+          if (!inst->isTerminator() && !inst->type()) {
+            problem(std::string("instruction '") + opcodeName(inst->opcode()) +
+                    "' missing a result type");
+          }
+          break;
+      }
+    }
+  }
+
+  for (const Instruction* a : fn.privateAllocas) {
+    if (a->opcode() != Opcode::Alloca || !a->allocaType) {
+      problem("bad private alloca entry");
+    }
+  }
+  for (const Instruction* a : fn.localAllocas) {
+    if (a->opcode() != Opcode::Alloca || a->allocaSpace != AddressSpace::Local) {
+      problem("bad local alloca entry");
+    }
+  }
+
+  if (fn.rootRegion()) {
+    std::unordered_set<const BasicBlock*> regionBlocks;
+    collectRegionBlocks(fn.rootRegion(), regionBlocks);
+    for (const BasicBlock* bb : regionBlocks) {
+      if (!ownBlocks.count(bb)) problem("region tree references a foreign block");
+    }
+  } else if (fn.isKernel) {
+    problem("kernel function has no region tree");
+  }
+  return problems;
+}
+
+}  // namespace flexcl::ir

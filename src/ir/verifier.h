@@ -1,0 +1,18 @@
+// Structural IR sanity checks run after lowering (and in tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace flexcl::ir {
+
+/// Checks invariants: every block ends in exactly one terminator, branch
+/// targets belong to the function, operand types are present for
+/// value-producing ops, loads/stores take pointer operands, and the region
+/// tree references only blocks of this function. Returns problem descriptions;
+/// empty means the function verified clean.
+std::vector<std::string> verifyFunction(const Function& fn);
+
+}  // namespace flexcl::ir

@@ -1,0 +1,125 @@
+#include "model/bottleneck.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flexcl::model {
+
+const char* bottleneckName(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::MemoryLatency: return "global-memory latency";
+    case Bottleneck::ComputeRecurrence: return "inter-work-item recurrence";
+    case Bottleneck::LocalMemoryPorts: return "local-memory ports";
+    case Bottleneck::DspBudget: return "DSP budget";
+    case Bottleneck::WorkGroupDispatch: return "work-group dispatch";
+    case Bottleneck::PipelineDisabled: return "work-item pipeline disabled";
+    case Bottleneck::Balanced: return "balanced";
+  }
+  return "?";
+}
+
+std::string BottleneckReport::str() const {
+  std::ostringstream os;
+  os << "primary bottleneck: " << bottleneckName(primary) << " (severity "
+     << static_cast<int>(severity * 100) << "%)\n";
+  for (const std::string& h : hints) os << "  - " << h << '\n';
+  return os.str();
+}
+
+BottleneckReport diagnose(const Estimate& est, const DesignPoint& design) {
+  BottleneckReport report;
+  if (!est.ok) {
+    report.hints.push_back("estimate failed: " + est.error);
+    return report;
+  }
+
+  if (est.mode == CommMode::Barrier) {
+    // Memory share of the total; CU overlap can make the naive product
+    // exceed the modelled total, hence the clamp.
+    const double memPart =
+        est.memory.lMemWi * est.totalWorkItems /
+        std::max(1, est.kernelCompute.effectiveCus);
+    report.severity = est.cycles > 0 ? std::min(1.0, memPart / est.cycles) : 0;
+    if (report.severity > 0.5) {
+      report.primary = Bottleneck::MemoryLatency;
+      report.hints.push_back(
+          "barrier mode serialises global transfers against computation; "
+          "restructure to stream data (pipeline mode) or stage through "
+          "__local memory with coalesced loads");
+      if (est.memory.rawAccessesPerWorkItem >
+          est.memory.accessesPerWorkItem * 1.5) {
+        report.hints.push_back(
+            "accesses already coalesce well; reduce the number of distinct "
+            "global arrays touched per work-item");
+      } else {
+        report.hints.push_back(
+            "accesses barely coalesce: make consecutive work-items touch "
+            "consecutive addresses (stride-1 layout)");
+      }
+      return report;
+    }
+  }
+
+  if (!design.workItemPipeline) {
+    report.primary = Bottleneck::PipelineDisabled;
+    report.severity = 1.0;
+    report.hints.push_back(
+        "enable work-item pipelining: without it every work-item occupies "
+        "the PE for its full depth");
+    return report;
+  }
+
+  if (est.mode == CommMode::Pipeline && est.iiWi > est.pe.iiComp) {
+    report.primary = Bottleneck::MemoryLatency;
+    report.severity = est.iiWi > 0 ? 1.0 - est.pe.iiComp / est.iiWi : 0;
+    report.hints.push_back(
+        "L_mem^wi exceeds the compute II: the pipeline starves on DRAM; "
+        "coalesce accesses or cache reused data in __local memory");
+    return report;
+  }
+
+  if (est.pe.recMii >= est.pe.resMii && est.pe.recMii > 1) {
+    report.primary = Bottleneck::ComputeRecurrence;
+    report.severity =
+        est.pe.iiComp > 0 ? est.pe.recMii / est.pe.iiComp : 0;
+    report.hints.push_back(
+        "an inter-work-item dependence chain through __local memory bounds "
+        "the II; break the recurrence (privatise the accumulator, use a "
+        "reduction tree)");
+    return report;
+  }
+
+  if (est.pe.resMii > 1) {
+    const bool ports = est.cu.limiter == CuModel::Limiter::LocalRead ||
+                       est.cu.limiter == CuModel::Limiter::LocalWrite;
+    report.primary = ports ? Bottleneck::LocalMemoryPorts : Bottleneck::DspBudget;
+    report.severity = est.pe.iiComp > 0 ? est.pe.resMii / est.pe.iiComp : 0;
+    if (ports) {
+      report.hints.push_back(
+          "local-memory ports limit the issue rate; increase banking "
+          "(partition the __local array) or widen accesses");
+    } else {
+      report.hints.push_back(
+          "DSP demand limits the issue rate; lower PE/CU replication or "
+          "reduce multiplier count per work-item");
+    }
+    return report;
+  }
+
+  if (est.kernelCompute.effectiveCus < design.numComputeUnits) {
+    report.primary = Bottleneck::WorkGroupDispatch;
+    report.severity =
+        1.0 - static_cast<double>(est.kernelCompute.effectiveCus) /
+                  design.numComputeUnits;
+    report.hints.push_back(
+        "work-group dispatch overhead caps CU concurrency; use larger "
+        "work-groups so each dispatch amortises over more work");
+    return report;
+  }
+
+  report.primary = Bottleneck::Balanced;
+  report.hints.push_back("design is balanced at this configuration");
+  return report;
+}
+
+}  // namespace flexcl::model

@@ -1,0 +1,36 @@
+// Bottleneck identification and code-restructuring hints (paper §1: FlexCL
+// "helps to identify the performance bottlenecks on FPGAs [and] give code
+// restructuring hints").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/flexcl.h"
+
+namespace flexcl::model {
+
+enum class Bottleneck : std::uint8_t {
+  MemoryLatency,     ///< L_mem^wi dominates II_wi (pipeline) or T (barrier)
+  ComputeRecurrence, ///< RecMII limits the work-item pipeline
+  LocalMemoryPorts,  ///< ResMII or N_PE clamped by BRAM ports
+  DspBudget,         ///< ResMII or N_PE clamped by DSPs
+  WorkGroupDispatch, ///< CU parallelism clamped by ΔL_schedule
+  PipelineDisabled,  ///< no work-item pipelining requested
+  Balanced,
+};
+
+const char* bottleneckName(Bottleneck b);
+
+struct BottleneckReport {
+  Bottleneck primary = Bottleneck::Balanced;
+  /// Share of the predicted time attributed to the primary bottleneck (0-1).
+  double severity = 0;
+  std::vector<std::string> hints;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Diagnoses an estimate and produces actionable hints.
+BottleneckReport diagnose(const Estimate& estimate, const DesignPoint& design);
+
+}  // namespace flexcl::model

@@ -1,0 +1,58 @@
+#include "model/cu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexcl::model {
+
+int effectivePeParallelism(const PeModel& pe, const Device& device,
+                           const DesignPoint& design, CuModel::Limiter* limiter) {
+  const int requested = std::max(1, design.peParallelism * design.vectorWidth);
+  auto result = static_cast<double>(requested);
+  CuModel::Limiter why = CuModel::Limiter::Requested;
+
+  // Per eq. 6: each PE consumes N_read/II read ports per cycle; the CU's
+  // ports bound how many PEs it can feed (same for writes and DSP blocks,
+  // where DSPs are resident per PE datapath).
+  const double ii = std::max(1.0, pe.iiComp);
+  if (pe.localReads > 0) {
+    const double supported = device.localReadPorts() * ii / pe.localReads;
+    if (supported < result) {
+      result = supported;
+      why = CuModel::Limiter::LocalRead;
+    }
+  }
+  if (pe.localWrites > 0) {
+    const double supported = device.localWritePorts() * ii / pe.localWrites;
+    if (supported < result) {
+      result = supported;
+      why = CuModel::Limiter::LocalWrite;
+    }
+  }
+  if (pe.dspUnits > 0) {
+    const double dspPerCu = static_cast<double>(device.totalDsp) /
+                            std::max(1, design.numComputeUnits);
+    const double supported = dspPerCu / pe.dspUnits;
+    if (supported < result) {
+      result = supported;
+      why = CuModel::Limiter::Dsp;
+    }
+  }
+
+  if (limiter) *limiter = why;
+  return std::max(1, static_cast<int>(std::floor(result)));
+}
+
+CuModel buildCuModel(const PeModel& pe, const Device& device,
+                     const DesignPoint& design) {
+  CuModel cu;
+  cu.effectivePes = effectivePeParallelism(pe, device, design, &cu.limiter);
+  const double nWi = static_cast<double>(design.workGroupItems());
+  const double nPe = cu.effectivePes;
+  // Eq. 5: L = II * ceil((N_wi - N_PE) / N_PE) + D.
+  const double interleaves = std::ceil(std::max(0.0, nWi - nPe) / nPe);
+  cu.latency = pe.iiComp * interleaves + pe.depth;
+  return cu;
+}
+
+}  // namespace flexcl::model

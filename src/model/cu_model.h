@@ -1,0 +1,29 @@
+// Compute unit model (paper §3.3.2, eqs. 5-6).
+#pragma once
+
+#include "model/pe_model.h"
+
+namespace flexcl::model {
+
+struct CuModel {
+  /// N_PE: effective PE parallelism after local-port / DSP constraints.
+  int effectivePes = 1;
+  /// L_comp^CU for one work-group (eq. 5).
+  double latency = 0;
+  /// Which constraint clamped N_PE (diagnostics for the bottleneck report).
+  enum class Limiter : std::uint8_t { Requested, LocalRead, LocalWrite, Dsp } limiter =
+      Limiter::Requested;
+};
+
+/// Eq. 6: PEs within a CU share its local memory ports and the chip's DSPs;
+/// the effective parallelism is the requested P clamped by the rate at which
+/// shared resources can feed the PEs.
+int effectivePeParallelism(const PeModel& pe, const Device& device,
+                           const DesignPoint& design,
+                           CuModel::Limiter* limiter = nullptr);
+
+/// Eq. 5: work-group latency on one CU with N_PE-way work-item interleaving.
+CuModel buildCuModel(const PeModel& pe, const Device& device,
+                     const DesignPoint& design);
+
+}  // namespace flexcl::model

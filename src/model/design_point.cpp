@@ -1,0 +1,44 @@
+#include "model/design_point.h"
+
+#include <sstream>
+
+#include "support/rng.h"
+
+namespace flexcl::model {
+
+const char* commModeName(CommMode mode) {
+  switch (mode) {
+    case CommMode::Barrier: return "barrier";
+    case CommMode::Pipeline: return "pipeline";
+  }
+  return "?";
+}
+
+std::string DesignPoint::str() const {
+  std::ostringstream os;
+  os << "wg=" << workGroupSize[0];
+  if (workGroupSize[1] > 1 || workGroupSize[2] > 1) {
+    os << 'x' << workGroupSize[1] << 'x' << workGroupSize[2];
+  }
+  os << " pipe=" << (workItemPipeline ? "on" : "off");
+  if (workGroupPipeline) os << "+wg";
+  os << " P=" << peParallelism
+     << " CU=" << numComputeUnits << " mode=" << commModeName(commMode);
+  if (vectorWidth > 1) os << " vec=" << vectorWidth;
+  if (innerLoopPipeline) os << " loop-pipe";
+  return os.str();
+}
+
+std::uint64_t DesignPoint::stableId() const {
+  std::uint64_t h = stableHash(workGroupSize.data(), sizeof(workGroupSize));
+  h = stableHashCombine(h, workItemPipeline ? 1 : 0);
+  h = stableHashCombine(h, workGroupPipeline ? 2 : 0);
+  h = stableHashCombine(h, static_cast<std::uint64_t>(peParallelism));
+  h = stableHashCombine(h, static_cast<std::uint64_t>(numComputeUnits));
+  h = stableHashCombine(h, static_cast<std::uint64_t>(commMode));
+  h = stableHashCombine(h, static_cast<std::uint64_t>(vectorWidth));
+  h = stableHashCombine(h, innerLoopPipeline ? 1 : 0);
+  return h;
+}
+
+}  // namespace flexcl::model

@@ -1,0 +1,47 @@
+// One point of the OpenCL-to-FPGA optimisation space (paper §4.1): work-group
+// size, work-item pipelining, PE parallelism (loop-unroll pragma), CU count,
+// and the data communication mode.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace flexcl::model {
+
+enum class CommMode : std::uint8_t { Barrier, Pipeline };
+const char* commModeName(CommMode mode);
+
+struct DesignPoint {
+  std::array<std::uint32_t, 3> workGroupSize = {64, 1, 1};
+  bool workItemPipeline = true;
+  /// Work-group pipelining (§3.3's second pipeline optimisation): the next
+  /// work-group starts filling a CU's pipeline while the previous one drains,
+  /// removing the per-group depth/drain cost. Pipeline communication mode
+  /// only; barrier-mode phase structure leaves nothing to overlap.
+  bool workGroupPipeline = false;
+  /// PEs instantiated per compute unit (the implicit work-item loop unroll).
+  int peParallelism = 1;
+  /// Compute units instantiated on the chip.
+  int numComputeUnits = 1;
+  CommMode commMode = CommMode::Pipeline;
+  /// Kernel vectorisation factor (footnote 1: an intN PE behaves as N scalar
+  /// PEs for the parallelism model).
+  int vectorWidth = 1;
+  /// Pipeline innermost loops (HLS loop pipelining): the loop body initiates
+  /// a new iteration every II_loop cycles instead of serialising iterations.
+  /// An extension beyond the paper's explored space (its §3.3 machinery — MII
+  /// + SMS — applies to loop iterations exactly as to work-items).
+  bool innerLoopPipeline = false;
+
+  [[nodiscard]] std::uint64_t workGroupItems() const {
+    return static_cast<std::uint64_t>(workGroupSize[0]) * workGroupSize[1] *
+           workGroupSize[2];
+  }
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::uint64_t stableId() const;
+
+  friend bool operator==(const DesignPoint&, const DesignPoint&) = default;
+};
+
+}  // namespace flexcl::model

@@ -1,0 +1,31 @@
+#include "model/device.h"
+
+namespace flexcl::model {
+
+Device Device::virtex7() {
+  Device d;
+  d.name = "virtex7-xc7vx690t";
+  d.opLatencies = OpLatencyDb::virtex7();
+  d.dram = dram::DramConfig{};  // 8 banks, 1 KB rows (ADM-PCIE-7V3 DDR3)
+  d.totalDsp = 3600;
+  d.totalBram36 = 1470;
+  d.frequencyMhz = 200.0;
+  return d;
+}
+
+Device Device::ku060() {
+  Device d;
+  d.name = "ultrascale-ku060";
+  d.opLatencies = OpLatencyDb::ku060();
+  d.dram = dram::DramConfig{};
+  // The NAS-120A pairs the KU060 with DDR3 behind a slightly slower
+  // controller path.
+  d.dram.controllerOverhead = 7;
+  d.totalDsp = 2760;
+  d.totalBram36 = 1080;
+  d.frequencyMhz = 200.0;
+  d.workGroupDispatchOverhead = 36;
+  return d;
+}
+
+}  // namespace flexcl::model

@@ -1,0 +1,54 @@
+// FPGA platform descriptors.
+//
+// Bundles everything platform-specific the model and the simulator consume:
+// IP-core latencies, DRAM geometry/timings, chip resource totals, local
+// memory porting, and the work-group dispatch overhead. Two boards from the
+// paper are provided: the Alpha Data ADM-PCIE-7V3 (Virtex-7 XC7VX690T) and
+// the NAS-120A (Kintex UltraScale KU060) used in the robustness study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dram/address_map.h"
+#include "model/op_latency.h"
+
+namespace flexcl::model {
+
+struct Device {
+  std::string name;
+  OpLatencyDb opLatencies;
+  dram::DramConfig dram;
+
+  // Chip resources.
+  int totalDsp = 3600;          ///< DSP48 slices (XC7VX690T)
+  int totalBram36 = 1470;       ///< 36 Kb BRAM blocks
+  double frequencyMhz = 200.0;  ///< kernel clock (paper §4.1)
+
+  // Local memory configuration per compute unit.
+  int localBanks = 2;
+  int readPortsPerBank = 2;   ///< true-dual-port BRAM read side
+  int writePortsPerBank = 1;
+
+  // Global-memory interface per compute unit (outstanding AXI issues/cycle).
+  int globalPortsPerCu = 2;
+
+  /// Work-group dispatch overhead ΔL_comp^schedule (cycles): queueing a
+  /// work-group onto an idle CU through the round-robin scheduler (eq. 7-8).
+  int workGroupDispatchOverhead = 40;
+
+  [[nodiscard]] std::uint64_t bramBytes() const {
+    return static_cast<std::uint64_t>(totalBram36) * (36 * 1024 / 8);
+  }
+  [[nodiscard]] int localReadPorts() const { return localBanks * readPortsPerBank; }
+  [[nodiscard]] int localWritePorts() const { return localBanks * writePortsPerBank; }
+
+  [[nodiscard]] double cyclesToMs(double cycles) const {
+    return cycles / (frequencyMhz * 1e3);
+  }
+
+  static Device virtex7();
+  static Device ku060();
+};
+
+}  // namespace flexcl::model

@@ -1,0 +1,182 @@
+#include "model/flexcl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexcl::model {
+
+FlexCl::FlexCl(Device device, ModelOptions options)
+    : device_(std::move(device)), options_(options) {
+  // Pattern latencies are "profiled using micro-benchmarks" (§3.4): we run
+  // them against the DRAM simulator standing in for the board.
+  deltaT_ = dram::calibratePatternLatencies(device_.dram);
+  if (!options_.eightPatterns) {
+    // Ablation: one average latency regardless of direction/hit state.
+    double avg = 0;
+    for (double l : deltaT_.latency) avg += l;
+    avg /= dram::kPatternCount;
+    for (double& l : deltaT_.latency) l = avg;
+  }
+}
+
+interp::NdRange FlexCl::rangeFor(const LaunchInfo& launch,
+                                 const DesignPoint& design) {
+  interp::NdRange range = launch.range;
+  for (int d = 0; d < 3; ++d) {
+    std::uint64_t wg = design.workGroupSize[static_cast<std::size_t>(d)];
+    if (wg == 0) wg = 1;
+    wg = std::min<std::uint64_t>(wg, range.global[static_cast<std::size_t>(d)]);
+    // Work-group size must divide the global size; shrink to the largest
+    // divisor <= wg (SDAccel would reject non-dividing sizes outright).
+    while (range.global[static_cast<std::size_t>(d)] % wg != 0) --wg;
+    range.local[static_cast<std::size_t>(d)] = wg;
+  }
+  return range;
+}
+
+const interp::KernelProfile& FlexCl::profileFor(const LaunchInfo& launch,
+                                                const DesignPoint& design) {
+  const interp::NdRange range = rangeFor(launch, design);
+  const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
+                       range.local[0], range.local[1],    range.local[2]};
+  auto it = profiles_.find(key);
+  if (it != profiles_.end()) return *it->second;
+
+  auto profile = std::make_unique<interp::KernelProfile>(
+      interp::profileKernel(*launch.fn, range, launch.args, *launch.buffers));
+  auto [pos, inserted] = profiles_.emplace(key, std::move(profile));
+  (void)inserted;
+  return *pos->second;
+}
+
+cdfg::KernelAnalysis FlexCl::analysisFor(const LaunchInfo& launch,
+                                         const DesignPoint& design) {
+  const interp::KernelProfile& profile = profileFor(launch, design);
+  cdfg::AnalyzeOptions options;
+  options.innerLoopPipeline = design.innerLoopPipeline;
+  return cdfg::analyzeKernel(*launch.fn, device_.opLatencies,
+                             peBudget(device_, design),
+                             profile.ok ? &profile : nullptr, options);
+}
+
+Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
+  Estimate est;
+  if (!launch.fn || !launch.buffers) {
+    est.error = "launch info incomplete";
+    return est;
+  }
+  const interp::NdRange range = rangeFor(launch, design);
+  const interp::KernelProfile& profile = profileFor(launch, design);
+  if (!profile.ok) {
+    est.error = "profiling failed: " + profile.error;
+    return est;
+  }
+
+  cdfg::AnalyzeOptions analyzeOptions;
+  analyzeOptions.innerLoopPipeline = design.innerLoopPipeline;
+  cdfg::KernelAnalysis analysis =
+      cdfg::analyzeKernel(*launch.fn, device_.opLatencies,
+                          peBudget(device_, design), &profile, analyzeOptions);
+
+  est.totalWorkItems = range.globalCount();
+  est.barrierCount = analysis.barrierCount;
+
+  // Design point copy with the effective wg size (after divisor clamping).
+  DesignPoint effective = design;
+  for (int d = 0; d < 3; ++d) {
+    effective.workGroupSize[static_cast<std::size_t>(d)] =
+        static_cast<std::uint32_t>(range.local[static_cast<std::size_t>(d)]);
+  }
+
+  // The ablation "no dispatch overhead" uses a 1-cycle ΔL inside the model
+  // only (the simulator keeps the real dispatcher).
+  Device modelDevice = device_;
+  if (!options_.dispatchOverhead) modelDevice.workGroupDispatchOverhead = 1;
+
+  est.pe = buildPeModel(analysis, modelDevice, effective, options_.smsRefinement);
+  est.cu = buildCuModel(est.pe, modelDevice, effective);
+  est.kernelCompute = buildKernelComputeModel(analysis, est.pe, est.cu,
+                                              modelDevice, effective,
+                                              est.totalWorkItems);
+  // Interference concurrency: chains in flight at the memory controller.
+  // Pipeline mode runs one chain per PE lane on every CU; barrier mode
+  // streams one chain per CU's memory engine. (The circular dependence of
+  // eq. 8 on the memory model is broken by assuming full CU occupancy.)
+  const bool barrierMode = analysis.barrierCount > 0 ||
+                           design.commMode == CommMode::Barrier;
+  const int occupiedCus = std::max(
+      1, std::min(design.numComputeUnits, est.kernelCompute.resourceCappedCus));
+  const int concurrency =
+      options_.interferenceAwareClassification
+          ? (barrierMode ? occupiedCus : est.cu.effectivePes * occupiedCus)
+          : 1;
+  MemoryModelOptions memOpts;
+  memOpts.coalesce = options_.coalescing;
+  est.memory =
+      buildMemoryModel(profile, device_.dram, deltaT_, concurrency, memOpts);
+
+  // Communication mode: barriers in the kernel force barrier mode (§3.5 —
+  // identified from the OpenCL intrinsics); otherwise the design chooses.
+  est.mode = analysis.barrierCount > 0 ? CommMode::Barrier : design.commMode;
+
+  const int cappedCusAll = std::max(
+      1, std::min(design.numComputeUnits, est.kernelCompute.resourceCappedCus));
+  const double dispatchAll = std::max(1, modelDevice.workGroupDispatchOverhead);
+
+  if (est.mode == CommMode::Barrier) {
+    // Eq. 10 generalised: with one CU the whole kernel's transfers serialise
+    // (T = L_mem * N + L_comp, the paper's form); with several CUs their
+    // memory phases overlap until the DRAM's per-chain service demand caps
+    // the rate.
+    const double wgItems = static_cast<double>(effective.workGroupItems());
+    const double groupLatency =
+        est.memory.lMemWi * wgItems + est.cu.latency;
+    const int effCus = std::max(
+        1, std::min<int>(cappedCusAll,
+                         static_cast<int>(std::ceil(groupLatency / dispatchAll))));
+    est.kernelCompute.effectiveCus = effCus;
+    const double memPerWi = std::max(est.memory.lMemWi / effCus,
+                                     est.memory.serviceDemandPerWi);
+    est.cycles = memPerWi * static_cast<double>(est.totalWorkItems) +
+                 est.kernelCompute.latency;
+  } else {
+    // Eqs. 11-12: memory transfers overlap computation in the work-item
+    // pipeline; the slower of the two sets the initiation interval.
+    // Refinements over the bare eq. 12 (each one ablatable, see
+    // bench_ablation): the expectation of the max over the per-work-item
+    // lmem distribution, per-round bank-collision queueing, and the DRAM
+    // throughput bound.
+    est.iiWi = std::max(est.memory.expectedIiMax(est.pe.iiComp),
+                        est.memory.iiThroughputBound);
+    const double nWi = static_cast<double>(effective.workGroupItems());
+    const double nPe = est.cu.effectivePes;
+    const double groupLatency =
+        est.iiWi * std::ceil(std::max(0.0, nWi - nPe) / nPe) + est.pe.depth;
+    // Eq. 8's concurrency bound, but with the memory-integrated group
+    // latency: that is how long the CU is actually occupied per work-group.
+    const int cappedCus = std::max(
+        1, std::min(design.numComputeUnits, est.kernelCompute.resourceCappedCus));
+    const double dispatchUnit = std::max(1, modelDevice.workGroupDispatchOverhead);
+    const int effCus = std::max(
+        1, std::min<int>(cappedCus,
+                         static_cast<int>(std::ceil(groupLatency / dispatchUnit))));
+    est.kernelCompute.effectiveCus = effCus;
+    const double waves =
+        std::ceil(static_cast<double>(est.totalWorkItems) / (nWi * effCus));
+    if (design.workGroupPipeline) {
+      // Work-group pipelining: groups stream through the CU back-to-back, so
+      // the pipeline depth is paid once per CU, not once per wave.
+      est.cycles = est.iiWi *
+                       std::ceil(std::max(0.0, nWi - nPe) / nPe) * waves +
+                   est.pe.depth + cappedCus * dispatchUnit;
+    } else {
+      est.cycles = groupLatency * waves + cappedCus * dispatchUnit;
+    }
+  }
+
+  est.milliseconds = device_.cyclesToMs(est.cycles);
+  est.ok = true;
+  return est;
+}
+
+}  // namespace flexcl::model

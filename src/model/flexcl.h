@@ -1,0 +1,99 @@
+// FlexCL: the integrated analytical performance model (paper §3.5).
+//
+// Ties together kernel analysis, the computation models (PE/CU/kernel) and
+// the global memory model, integrating them according to the communication
+// mode: barrier (eq. 10) or pipeline (eqs. 11-12). The estimate is produced
+// in cycles at the device's kernel clock.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "cdfg/cdfg.h"
+#include "model/kernel_model.h"
+#include "model/memory_model.h"
+
+namespace flexcl::model {
+
+struct Estimate {
+  bool ok = false;
+  std::string error;
+
+  double cycles = 0;
+  double milliseconds = 0;
+  CommMode mode = CommMode::Pipeline;
+
+  // Sub-model results, exposed for the bottleneck report and the benches.
+  PeModel pe;
+  CuModel cu;
+  KernelComputeModel kernelCompute;
+  MemoryModel memory;
+  /// II_wi = max(L_mem^wi, II_comp^wi) (eq. 12) — pipeline mode only.
+  double iiWi = 0;
+  int barrierCount = 0;
+  std::uint64_t totalWorkItems = 0;
+};
+
+/// Inputs describing one launch (kernel + data + geometry). Buffers are only
+/// read (profiling copies them).
+struct LaunchInfo {
+  const ir::Function* fn = nullptr;
+  interp::NdRange range;  ///< local sizes here are overridden per design point
+  std::vector<interp::KernelArg> args;
+  const std::vector<std::vector<std::uint8_t>>* buffers = nullptr;
+};
+
+/// Feature switches for the ablation study (bench_ablation; DESIGN.md §4).
+/// All on by default — turning one off quantifies that design choice.
+struct ModelOptions {
+  /// Eight-pattern ΔT table (Table 1) vs one average latency for all accesses.
+  bool eightPatterns = true;
+  /// SMS refinement of the II (paper §3.3.1 step 2) vs stopping at MII.
+  bool smsRefinement = true;
+  /// Model the work-group dispatch overhead ΔL_schedule (eqs. 7-8).
+  bool dispatchOverhead = true;
+  /// Model SDAccel's access coalescing (§3.4).
+  bool coalescing = true;
+  /// Classify patterns in the pipelined issue order (design concurrency)
+  /// instead of sequential program order.
+  bool interferenceAwareClassification = true;
+};
+
+class FlexCl {
+ public:
+  explicit FlexCl(Device device, ModelOptions options = {});
+
+  [[nodiscard]] const Device& device() const { return device_; }
+  [[nodiscard]] const dram::PatternLatencyTable& patternTable() const {
+    return deltaT_;
+  }
+
+  /// Estimates the execution of `launch` under `design`. The work-group size
+  /// of the design point replaces the launch range's local size. Profiles
+  /// (a few work-groups on the interpreter) are cached per (kernel, wg).
+  Estimate estimate(const LaunchInfo& launch, const DesignPoint& design);
+
+  /// Access to the cached profile / a fresh analysis (bottleneck reports).
+  const interp::KernelProfile& profileFor(const LaunchInfo& launch,
+                                          const DesignPoint& design);
+  cdfg::KernelAnalysis analysisFor(const LaunchInfo& launch,
+                                   const DesignPoint& design);
+
+  /// Builds the NDRange actually launched for a design point (the design's
+  /// work-group size clamped to the launch's global size).
+  static interp::NdRange rangeFor(const LaunchInfo& launch,
+                                  const DesignPoint& design);
+
+ private:
+  Device device_;
+  ModelOptions options_;
+  dram::PatternLatencyTable deltaT_;
+  // Profile cache. The key mixes the function pointer with its name and
+  // instruction count: allocators reuse addresses after a kernel is
+  // destroyed, so the pointer alone would alias unrelated kernels.
+  using ProfileKey = std::tuple<const ir::Function*, std::string, unsigned,
+                                std::uint64_t, std::uint64_t, std::uint64_t>;
+  std::map<ProfileKey, std::unique_ptr<interp::KernelProfile>> profiles_;
+};
+
+}  // namespace flexcl::model

@@ -1,0 +1,72 @@
+#include "model/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace flexcl::model {
+
+GpuDevice GpuDevice::kepler() {
+  GpuDevice g;
+  g.name = "kepler-gtx780";
+  g.sms = 12;
+  g.warpSize = 32;
+  g.opsPerCyclePerSm = 192;
+  g.frequencyMhz = 900;
+  g.dramBandwidthGBs = 288;
+  g.transactionBytes = 32;
+  g.launchOverheadUs = 5.0;
+  return g;
+}
+
+GpuEstimate estimateGpu(const cdfg::KernelAnalysis& analysis,
+                        const interp::KernelProfile& profile,
+                        const interp::NdRange& range, const GpuDevice& gpu) {
+  GpuEstimate est;
+  if (!profile.ok || profile.profiledWorkItems == 0) return est;
+
+  const double workItems = static_cast<double>(range.globalCount());
+
+  // Compute side: loop-weighted operations per work-item, issued across all
+  // SIMT lanes of the chip.
+  est.totalOps = analysis.totals.operations * workItems;
+  const double opsPerCycle = gpu.opsPerCyclePerSm * gpu.sms;
+  const double computeCycles = est.totalOps / std::max(1.0, opsPerCycle);
+  est.computeMs = computeCycles / (gpu.frequencyMhz * 1e3);
+
+  // Memory side: DRAM traffic with SIMT coalescing — per warp-sized window
+  // of work-items, distinct transactions are what travels on the bus.
+  std::map<std::uint64_t, std::vector<const interp::MemoryAccessEvent*>> byWi;
+  for (const interp::MemoryAccessEvent& ev : profile.globalTrace) {
+    byWi[ev.workItem].push_back(&ev);
+  }
+  double transactions = 0;
+  std::set<std::tuple<std::int32_t, std::int64_t, bool>> warpTransactions;
+  int inWarp = 0;
+  for (const auto& [wi, events] : byWi) {
+    for (const auto* ev : events) {
+      warpTransactions.insert(
+          {ev->buffer, ev->offset / gpu.transactionBytes, ev->isWrite});
+    }
+    if (++inWarp == gpu.warpSize) {
+      transactions += static_cast<double>(warpTransactions.size());
+      warpTransactions.clear();
+      inWarp = 0;
+    }
+  }
+  transactions += static_cast<double>(warpTransactions.size());
+
+  const double profiled = static_cast<double>(profile.profiledWorkItems);
+  est.totalBytes =
+      transactions * gpu.transactionBytes * (workItems / std::max(1.0, profiled));
+  est.memoryMs = est.totalBytes / (gpu.dramBandwidthGBs * 1e6);
+
+  est.milliseconds =
+      std::max(est.computeMs, est.memoryMs) + gpu.launchOverheadUs * 1e-3;
+  est.memoryBound = est.memoryMs > est.computeMs;
+  est.ok = true;
+  return est;
+}
+
+}  // namespace flexcl::model

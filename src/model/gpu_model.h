@@ -1,0 +1,53 @@
+// Cross-architecture comparison: a roofline-style GPU estimate (paper §1:
+// FlexCL can "make performance comparison across heterogenous architecture
+// (GPUs v.s. FPGAs)").
+//
+// This is intentionally a coarse first-order model — SIMT occupancy x issue
+// rate for compute, transaction-counted DRAM bandwidth for memory, the
+// classic roofline max of the two — because its job is architecture
+// *selection*, not GPU tuning: it reuses the same kernel analysis and memory
+// profile FlexCL already has, so a designer can ask "would this kernel even
+// be worth porting?" before committing to either platform.
+#pragma once
+
+#include "cdfg/cdfg.h"
+#include "interp/profiler.h"
+
+namespace flexcl::model {
+
+struct GpuDevice {
+  std::string name;
+  int sms = 15;                  ///< streaming multiprocessors
+  int warpSize = 32;
+  /// Scalar-op issue throughput per SM (ops/cycle): CUDA cores per SM for
+  /// simple ops; long-latency ops are divided down via opWeight below.
+  double opsPerCyclePerSm = 192;
+  double frequencyMhz = 900;
+  double dramBandwidthGBs = 250;
+  /// Minimum DRAM transaction size (coalescing granularity).
+  std::uint32_t transactionBytes = 32;
+  /// Fixed kernel-launch overhead in microseconds.
+  double launchOverheadUs = 5.0;
+
+  /// A 2013-era big Kepler (GTX-780/K20-class), contemporary with the
+  /// paper's Virtex-7 board.
+  static GpuDevice kepler();
+};
+
+struct GpuEstimate {
+  bool ok = false;
+  double milliseconds = 0;
+  double computeMs = 0;   ///< SIMT issue-limited time
+  double memoryMs = 0;    ///< bandwidth-limited time
+  bool memoryBound = false;
+  double totalOps = 0;
+  double totalBytes = 0;  ///< DRAM traffic after transaction rounding
+};
+
+/// Estimates `range` work-items of the analysed kernel on `gpu`, reusing the
+/// FPGA flow's per-work-item op totals and memory profile.
+GpuEstimate estimateGpu(const cdfg::KernelAnalysis& analysis,
+                        const interp::KernelProfile& profile,
+                        const interp::NdRange& range, const GpuDevice& gpu);
+
+}  // namespace flexcl::model

@@ -1,0 +1,54 @@
+#include "model/kernel_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexcl::model {
+
+int maxComputeUnits(const cdfg::KernelAnalysis& analysis, const PeModel& pe,
+                    const Device& device, const DesignPoint& design) {
+  // Local arrays are replicated per CU; resident DSPs per CU scale with its
+  // effective PEs.
+  std::uint64_t localBytesPerCu = 0;
+  for (const ir::Instruction* a : analysis.fn->localAllocas) {
+    localBytesPerCu += a->allocaType->sizeInBytes();
+  }
+  int cap = 16;  // SDAccel's practical CU replication bound
+  if (localBytesPerCu > 0) {
+    cap = std::min<std::uint64_t>(cap, device.bramBytes() / localBytesPerCu);
+  }
+  const double dspPerCu =
+      pe.dspUnits * std::max(1, design.peParallelism * design.vectorWidth);
+  if (dspPerCu > 0) {
+    cap = std::min<double>(cap, device.totalDsp / dspPerCu);
+  }
+  return std::max(1, cap);
+}
+
+KernelComputeModel buildKernelComputeModel(const cdfg::KernelAnalysis& analysis,
+                                           const PeModel& pe, const CuModel& cu,
+                                           const Device& device,
+                                           const DesignPoint& design,
+                                           std::uint64_t totalWorkItems) {
+  KernelComputeModel km;
+  km.resourceCappedCus = maxComputeUnits(analysis, pe, device, design);
+  int cus = std::min(design.numComputeUnits, km.resourceCappedCus);
+  cus = std::max(1, cus);
+
+  // Eq. 8: the round-robin dispatcher issues one work-group every
+  // ΔL_schedule cycles, so at most L_CU / ΔL work-groups are in flight.
+  const double dispatch = std::max(1, device.workGroupDispatchOverhead);
+  const double maxConcurrent = std::ceil(std::max(1.0, cu.latency) / dispatch);
+  km.effectiveCus = std::max(1, std::min<int>(cus, maxConcurrent));
+
+  const double groups =
+      std::ceil(static_cast<double>(totalWorkItems) /
+                static_cast<double>(design.workGroupItems()));
+  km.waves = std::ceil(groups / km.effectiveCus);
+  // Eq. 7: L = L_CU * waves + C * ΔL_schedule.
+  km.latency = cu.latency * km.waves + cus * dispatch;
+  (void)analysis;
+  return km;
+}
+
+}  // namespace flexcl::model

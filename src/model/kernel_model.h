@@ -1,0 +1,30 @@
+// Kernel computation model (paper §3.3.3, eqs. 7-8).
+#pragma once
+
+#include "model/cu_model.h"
+
+namespace flexcl::model {
+
+struct KernelComputeModel {
+  /// N_CU: effective CU parallelism (eq. 8 + chip resource limits).
+  int effectiveCus = 1;
+  /// CU count the chip can actually host (BRAM/DSP replication limit).
+  int resourceCappedCus = 1;
+  /// L_comp^kernel (eq. 7).
+  double latency = 0;
+  /// Number of work-group waves processed per CU.
+  double waves = 0;
+};
+
+/// Chip capacity check: how many CUs fit given the kernel's local memory and
+/// resident DSP demand.
+int maxComputeUnits(const cdfg::KernelAnalysis& analysis, const PeModel& pe,
+                    const Device& device, const DesignPoint& design);
+
+KernelComputeModel buildKernelComputeModel(const cdfg::KernelAnalysis& analysis,
+                                           const PeModel& pe, const CuModel& cu,
+                                           const Device& device,
+                                           const DesignPoint& design,
+                                           std::uint64_t totalWorkItems);
+
+}  // namespace flexcl::model

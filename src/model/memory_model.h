@@ -1,0 +1,71 @@
+// Global memory model (paper §3.4, Table 1, eq. 9).
+//
+// The profiled per-work-item access trace is coalesced (factor f), mapped to
+// banks under the byte-interleaved layout, classified into the eight
+// patterns against per-bank row-buffer state, and priced with the
+// micro-benchmark-calibrated ΔT table. L_mem^wi is the per-work-item average.
+//
+// Classification order matters: in hardware, the access streams of the
+// concurrently running work-items (one per PE lane across all CUs) interleave
+// at the memory controller, which is what turns would-be row hits into
+// misses. The model therefore classifies the trace in the pipelined issue
+// order for the design's concurrency — this is the design-dependent part of
+// the paper's "get the global memory access patterns for each bank".
+#pragma once
+
+#include "dram/calibrate.h"
+#include "dram/pattern.h"
+#include "interp/profiler.h"
+
+namespace flexcl::model {
+
+struct MemoryModel {
+  /// N_* of Table 1, averaged per work-item (post-coalescing).
+  dram::PatternCounts perWorkItem;
+  /// Coalesced global accesses per work-item.
+  double accessesPerWorkItem = 0;
+  /// L_mem^wi (eq. 9).
+  double lMemWi = 0;
+  /// Raw (pre-coalescing) accesses per work-item, for diagnostics.
+  double rawAccessesPerWorkItem = 0;
+  /// DRAM service demand of ONE work-item's chain: the busiest bank's (or
+  /// the bus's) occupancy per work-item. No matter how many engines overlap,
+  /// the memory system cannot retire work-items faster than this.
+  double serviceDemandPerWi = 0;
+  /// Throughput lower bound on the work-item initiation interval: with
+  /// `concurrency` chains in flight, the busiest bank (or the data bus) must
+  /// serve `concurrency` work-items' demand every II cycles, so
+  /// II >= concurrency * serviceDemandPerWi.
+  double iiThroughputBound = 0;
+  /// Queueing delay per work-item (diagnostic): average difference between
+  /// the effective chain span under the design's concurrency and the
+  /// contention-free ΔT sum.
+  double queueingPerWi = 0;
+  /// Effective memory chain span of every profiled work-item: eq. 9
+  /// evaluated with per-bank service occupancy under the design's
+  /// concurrency, so inter-lane queueing is priced in.
+  std::vector<double> perWiChainSpan;
+
+  /// Memory-side II, as the *expectation over work-items* of
+  /// max(other, span_i): Jensen's inequality makes max(other, mean span) an
+  /// underestimate when work-items diverge (e.g. bfs frontiers), so the
+  /// distribution is carried instead of its mean.
+  [[nodiscard]] double expectedIiMax(double other) const;
+};
+
+struct MemoryModelOptions {
+  /// Coalesce consecutive accesses (§3.4); off = one DRAM access per raw
+  /// load/store (the ablation baseline).
+  bool coalesce = true;
+};
+
+/// `concurrency` is the number of work-item access chains in flight
+/// (effective PEs x effective CUs); 1 reproduces a purely sequential
+/// classification (the ablation baseline).
+MemoryModel buildMemoryModel(const interp::KernelProfile& profile,
+                             const dram::DramConfig& dramConfig,
+                             const dram::PatternLatencyTable& deltaT,
+                             int concurrency = 1,
+                             const MemoryModelOptions& options = {});
+
+}  // namespace flexcl::model

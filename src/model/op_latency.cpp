@@ -1,0 +1,215 @@
+#include "model/op_latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace flexcl::model {
+
+using ir::Instruction;
+using ir::MathFunc;
+using ir::Opcode;
+
+int OpLatencyDb::scaledFloat(int cycles) const {
+  return std::max(1, static_cast<int>(std::lround(cycles * floatLatencyScale)));
+}
+
+namespace {
+
+int mathLatency(MathFunc f) {
+  switch (f) {
+    case MathFunc::Sqrt: return 14;
+    case MathFunc::Rsqrt: return 16;
+    case MathFunc::Exp:
+    case MathFunc::Exp2: return 18;
+    case MathFunc::Log:
+    case MathFunc::Log2: return 18;
+    case MathFunc::Pow: return 34;
+    case MathFunc::Sin:
+    case MathFunc::Cos: return 22;
+    case MathFunc::Tan: return 28;
+    case MathFunc::Fabs: return 1;
+    case MathFunc::Floor:
+    case MathFunc::Ceil:
+    case MathFunc::Round: return 2;
+    case MathFunc::Fmax:
+    case MathFunc::Fmin: return 2;
+    case MathFunc::Fmod: return 24;
+    case MathFunc::Mad:
+    case MathFunc::Fma: return 9;
+    case MathFunc::Abs:
+    case MathFunc::Max:
+    case MathFunc::Min:
+    case MathFunc::Clamp:
+    case MathFunc::Select: return 1;
+    case MathFunc::Hypot: return 20;
+    case MathFunc::Atan: return 24;
+    case MathFunc::Atan2: return 28;
+  }
+  return 4;
+}
+
+int mathDsp(MathFunc f) {
+  switch (f) {
+    case MathFunc::Sqrt:
+    case MathFunc::Rsqrt: return 0;
+    case MathFunc::Exp:
+    case MathFunc::Exp2:
+    case MathFunc::Log:
+    case MathFunc::Log2: return 7;
+    case MathFunc::Pow: return 14;
+    case MathFunc::Sin:
+    case MathFunc::Cos:
+    case MathFunc::Tan: return 8;
+    case MathFunc::Mad:
+    case MathFunc::Fma: return 5;
+    case MathFunc::Fmod: return 4;
+    case MathFunc::Hypot: return 6;
+    case MathFunc::Atan:
+    case MathFunc::Atan2: return 8;
+    default: return 0;
+  }
+}
+
+bool isFloatType(const ir::Type* t) {
+  if (!t) return false;
+  if (t->isVector()) return t->element()->isFloat();
+  return t->isFloat();
+}
+
+std::uint64_t laneCount(const ir::Type* t) {
+  return t && t->isVector() ? t->count() : 1;
+}
+
+}  // namespace
+
+int OpLatencyDb::applyScale(ir::Opcode op, int cycles) const {
+  if (cycles <= 0) return cycles;
+  const double factor = opcodeScale_[static_cast<std::size_t>(op)];
+  return std::max(1, static_cast<int>(std::lround(cycles * factor)));
+}
+
+OpLatencyDb OpLatencyDb::perturbed(std::uint64_t seed, double spread) const {
+  OpLatencyDb db = *this;
+  Rng rng(stableHashCombine(seed, 0x0b5e55edull));
+  for (double& s : db.opcodeScale_) {
+    // Clamped multiplicative noise: real IP variants differ by tens of
+    // percent, never by orders of magnitude.
+    const double factor = 1.0 + spread * rng.nextGaussian();
+    s *= std::clamp(factor, 0.6, 1.6);
+  }
+  return db;
+}
+
+int OpLatencyDb::latencyOf(const Instruction& inst) const {
+  return applyScale(inst.opcode(), baseLatency(inst));
+}
+
+int OpLatencyDb::baseLatency(const Instruction& inst) const {
+  const ir::Type* type = inst.type();
+  const bool isFloat = isFloatType(type);
+  switch (inst.opcode()) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::ICmp:
+    case Opcode::Select:
+      return 1;
+    case Opcode::Mul:
+      return 3;
+    case Opcode::Div:
+    case Opcode::Rem:
+      return 18;  // 32-bit integer divider IP
+    case Opcode::FAdd:
+    case Opcode::FSub:
+      return scaledFloat(7);
+    case Opcode::FMul:
+      return scaledFloat(5);
+    case Opcode::FDiv:
+      return scaledFloat(14);
+    case Opcode::FRem:
+      return scaledFloat(24);
+    case Opcode::FCmp:
+      return scaledFloat(2);
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Bitcast:
+    case Opcode::ExtractLane:
+    case Opcode::InsertLane:
+    case Opcode::Splat:
+      return 0;  // wiring / register renaming
+    case Opcode::FPTrunc:
+    case Opcode::FPExt:
+      return scaledFloat(2);
+    case Opcode::SIToFP:
+    case Opcode::UIToFP:
+    case Opcode::FPToSI:
+    case Opcode::FPToUI:
+      return scaledFloat(5);
+    case Opcode::PtrAdd:
+      return 1;  // address adder
+    case Opcode::Load:
+    case Opcode::Store:
+      switch (inst.memSpace) {
+        case ir::AddressSpace::Private: return 0;  // registers / LUTRAM wiring
+        case ir::AddressSpace::Local: return localMemLatency;
+        case ir::AddressSpace::Global:
+        case ir::AddressSpace::Constant: return globalIssueLatency;
+      }
+      return 0;
+    case Opcode::Call:
+      return isFloat || true ? scaledFloat(mathLatency(inst.mathFunc))
+                             : mathLatency(inst.mathFunc);
+    case Opcode::WorkItemId:
+      return 0;  // provided by the work-item dispatcher
+    case Opcode::Alloca:
+    case Opcode::Barrier:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+      return 0;
+  }
+  return 1;
+}
+
+int OpLatencyDb::dspCostOf(const Instruction& inst) const {
+  const ir::Type* type = inst.type();
+  const int lanes = static_cast<int>(laneCount(type));
+  switch (inst.opcode()) {
+    case Opcode::Mul:
+      return 4 * lanes;  // 32x32 multiplier
+    case Opcode::Div:
+    case Opcode::Rem:
+      return 0;  // LUT-based divider
+    case Opcode::FAdd:
+    case Opcode::FSub:
+      return 2 * lanes;
+    case Opcode::FMul:
+      return 3 * lanes;
+    case Opcode::FDiv:
+      return 0;
+    case Opcode::Call:
+      return mathDsp(inst.mathFunc) * lanes;
+    default:
+      return 0;
+  }
+}
+
+OpLatencyDb OpLatencyDb::virtex7() { return OpLatencyDb{}; }
+
+OpLatencyDb OpLatencyDb::ku060() {
+  OpLatencyDb db;
+  // UltraScale DSP/CLB fabric closes the same IPs with ~20% shorter pipelines
+  // at 200 MHz.
+  db.floatLatencyScale = 0.8;
+  db.localMemLatency = 2;
+  return db;
+}
+
+}  // namespace flexcl::model

@@ -1,0 +1,61 @@
+// Per-operation FPGA IP-core latencies.
+//
+// The paper obtains each IR operation's latency "through micro-benchmark
+// profiling" of the synthesised IP cores (§3.2). Offline we cannot run
+// SDAccel, so the table below is a curated equivalent calibrated to typical
+// Vivado HLS IP latencies at 200 MHz on Virtex-7-class fabric; the system
+// simulator perturbs each hardware *instance* around these averages, which
+// reproduces the paper's first stated source of model error (§4.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ir/ir.h"
+
+namespace flexcl::model {
+
+/// Latency (cycles) and DSP cost of each IR operation on a given device
+/// generation. Copyable value type.
+class OpLatencyDb {
+ public:
+  /// Latency in cycles of one instruction instance. Global loads/stores
+  /// return only their *issue* latency: their true cost is carried by the
+  /// global memory model (§3.4) and integrated per communication mode (§3.5).
+  [[nodiscard]] int latencyOf(const ir::Instruction& inst) const;
+
+  /// DSP blocks consumed by the operation's datapath (0 for LUT-only ops).
+  [[nodiscard]] int dspCostOf(const ir::Instruction& inst) const;
+
+  /// Uniform scale applied to floating-point op latencies; used to model a
+  /// different fabric generation (UltraScale KU060 runs the same IPs with
+  /// shorter pipelines).
+  double floatLatencyScale = 1.0;
+  /// Latency of a local (BRAM) access.
+  int localMemLatency = 2;
+  /// Issue latency charged to a global access inside the datapath.
+  int globalIssueLatency = 1;
+
+  static OpLatencyDb virtex7();
+  static OpLatencyDb ku060();
+
+  /// Returns a copy whose per-opcode latencies are deterministically
+  /// perturbed around this table's averages. Models the synthesis tool
+  /// realising each IP with an implementation the programmer cannot control
+  /// (§4.2's first error source): the model sees the averages, the
+  /// "hardware" (system simulator) sees one concrete realisation per design.
+  [[nodiscard]] OpLatencyDb perturbed(std::uint64_t seed, double spread) const;
+
+ private:
+  [[nodiscard]] int scaledFloat(int cycles) const;
+  [[nodiscard]] int baseLatency(const ir::Instruction& inst) const;
+  /// Per-opcode multiplicative factors (1.0 = table average).
+  std::array<double, 64> opcodeScale_ = [] {
+    std::array<double, 64> a{};
+    a.fill(1.0);
+    return a;
+  }();
+  [[nodiscard]] int applyScale(ir::Opcode op, int cycles) const;
+};
+
+}  // namespace flexcl::model

@@ -1,0 +1,69 @@
+#include "model/pe_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexcl::model {
+
+sched::ResourceBudget peBudget(const Device& device, const DesignPoint& design) {
+  sched::ResourceBudget budget;
+  const int pes = std::max(1, design.peParallelism * design.vectorWidth);
+  const int cus = std::max(1, design.numComputeUnits);
+  // The CU's local-memory ports and global issue slots are shared by its PEs;
+  // the chip's DSPs are shared by all CUs and PEs.
+  budget.localReadPorts = std::max(1, device.localReadPorts() / pes);
+  budget.localWritePorts = std::max(1, device.localWritePorts() / pes);
+  budget.globalPorts = std::max(1, device.globalPortsPerCu / pes);
+  budget.dspUnits = std::max(4, device.totalDsp / (cus * pes));
+  return budget;
+}
+
+PeModel buildPeModel(const cdfg::KernelAnalysis& analysis, const Device& device,
+                     const DesignPoint& design, bool smsRefinement) {
+  PeModel pe;
+  pe.localReads = analysis.totals.localReads;
+  pe.localWrites = analysis.totals.localWrites;
+  pe.dspUnits = analysis.totals.dspUnits;
+  pe.pipelined = design.workItemPipeline;
+
+  if (!design.workItemPipeline) {
+    // No pipelining: a PE processes one work-item at a time.
+    pe.depth = analysis.totals.latency;
+    pe.iiComp = std::max(1.0, analysis.totals.latency);
+    pe.recMii = pe.resMii = pe.mii = static_cast<int>(pe.iiComp);
+    return pe;
+  }
+
+  const sched::ResourceBudget budget = peBudget(device, design);
+  if (!smsRefinement) {
+    // Ablation: take the optimistic MII as the II (skip SMS's step 2).
+    pe.recMii = sched::computeRecMII(analysis.pipeline);
+    pe.resMii = sched::computeResMII(analysis.pipeline, budget);
+    pe.mii = std::max(pe.recMii, pe.resMii);
+    pe.iiComp = pe.mii;
+    pe.depth = analysis.totals.latency;
+  } else {
+    const sched::SmsResult sms =
+        sched::swingModuloSchedule(analysis.pipeline, budget);
+    pe.recMii = sms.recMii;
+    pe.resMii = sms.resMii;
+    pe.mii = sms.mii;
+    pe.iiComp = sms.ii;
+    pe.depth = std::max<double>(sms.depth, analysis.totals.latency);
+  }
+
+  // Each barrier forces all in-flight work-items to drain before the next
+  // pipeline region fills: approximated as one extra pipeline turn per
+  // barrier, i.e. the effective II grows by a factor of (#barriers + 1).
+  if (analysis.barrierCount > 0) {
+    pe.iiComp *= (analysis.barrierCount + 1);
+  }
+  return pe;
+}
+
+double peLatency(const PeModel& pe, double workItemsPerGroup) {
+  // Eq. 1: L = II * (N - 1) + D.
+  return pe.iiComp * std::max(0.0, workItemsPerGroup - 1.0) + pe.depth;
+}
+
+}  // namespace flexcl::model

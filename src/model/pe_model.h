@@ -1,0 +1,43 @@
+// Processing element model (paper §3.3.1, eqs. 1-4).
+#pragma once
+
+#include "cdfg/cdfg.h"
+#include "model/design_point.h"
+#include "model/device.h"
+#include "sched/sms.h"
+
+namespace flexcl::model {
+
+struct PeModel {
+  /// II_comp^wi: work-item initiation interval of the compute pipeline.
+  double iiComp = 1;
+  /// D_comp^PE: pipeline depth.
+  double depth = 0;
+  // Diagnostics (eq. 2-4).
+  int recMii = 1;
+  int resMii = 1;
+  int mii = 1;
+  bool pipelined = true;
+  /// Eq. 4/6 inputs (per work-item, loop-weighted).
+  double localReads = 0;
+  double localWrites = 0;
+  double dspUnits = 0;
+};
+
+/// Derives the per-PE scheduling budget from the device and design point:
+/// the CU's local ports and the chip's DSPs are divided among the CUs and
+/// PEs that share them.
+sched::ResourceBudget peBudget(const Device& device, const DesignPoint& design);
+
+/// Builds the PE model. With work-item pipelining enabled the II and depth
+/// come from MII + Swing Modulo Scheduling; without it every work-item
+/// occupies the PE for its full latency (II = D). Barriers force the
+/// pipeline to drain once per barrier region, which scales the effective II.
+/// `smsRefinement` = false stops at MII (skipping §3.3.1 step 2; ablation).
+PeModel buildPeModel(const cdfg::KernelAnalysis& analysis, const Device& device,
+                     const DesignPoint& design, bool smsRefinement = true);
+
+/// Eq. 1: latency of one work-group on one PE.
+double peLatency(const PeModel& pe, double workItemsPerGroup);
+
+}  // namespace flexcl::model

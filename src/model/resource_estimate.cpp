@@ -1,0 +1,63 @@
+#include "model/resource_estimate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace flexcl::model {
+
+std::string ResourceEstimate::str() const {
+  std::ostringstream os;
+  os << "DSP " << totalDsp << " (" << static_cast<int>(dspUtilisation * 100)
+     << "%), BRAM " << totalBramBytes / 1024 << " KiB ("
+     << static_cast<int>(bramUtilisation * 100) << "%)"
+     << (fits ? "" : " — DOES NOT FIT") << ", max CUs at this P: "
+     << maxComputeUnitsThatFit;
+  return os.str();
+}
+
+ResourceEstimate estimateResources(const cdfg::KernelAnalysis& analysis,
+                                   const Device& device,
+                                   const DesignPoint& design) {
+  ResourceEstimate r;
+  // Every DSP-consuming op instance is its own IP in the PE datapath. Blocks
+  // hold the *static* instance counts (loop bodies counted once — iterations
+  // share the body's hardware), unlike totals.dspUnits which is loop-weighted
+  // for throughput purposes.
+  int staticDsp = 0;
+  for (const cdfg::BlockInfo& block : analysis.blocks) {
+    staticDsp += block.dspUnits;
+  }
+  r.dspPerPe = staticDsp;
+
+  for (const ir::Instruction* a : analysis.fn->localAllocas) {
+    r.bramBytesPerCu += a->allocaType->sizeInBytes();
+  }
+
+  const int pes = std::max(1, design.peParallelism * design.vectorWidth);
+  const int cus = std::max(1, design.numComputeUnits);
+  r.totalDsp = r.dspPerPe * pes * cus;
+  r.totalBramBytes = r.bramBytesPerCu * static_cast<std::uint64_t>(cus);
+
+  r.dspUtilisation =
+      device.totalDsp > 0 ? static_cast<double>(r.totalDsp) / device.totalDsp : 0;
+  r.bramUtilisation = device.bramBytes() > 0
+                          ? static_cast<double>(r.totalBramBytes) /
+                                static_cast<double>(device.bramBytes())
+                          : 0;
+  r.fits = r.dspUtilisation <= 1.0 && r.bramUtilisation <= 1.0;
+
+  std::uint64_t maxCus = 16;
+  if (r.dspPerPe > 0) {
+    maxCus = std::min<std::uint64_t>(
+        maxCus, static_cast<std::uint64_t>(device.totalDsp) /
+                    static_cast<std::uint64_t>(std::max(1, r.dspPerPe * pes)));
+  }
+  if (r.bramBytesPerCu > 0) {
+    maxCus = std::min(maxCus, device.bramBytes() / r.bramBytesPerCu);
+  }
+  r.maxComputeUnitsThatFit = static_cast<int>(std::max<std::uint64_t>(1, maxCus));
+  return r;
+}
+
+}  // namespace flexcl::model

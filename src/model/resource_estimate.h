@@ -1,0 +1,41 @@
+// Chip resource estimation for a design point.
+//
+// The paper's computation model already tracks the resources that constrain
+// performance (DSP blocks, BRAM, ports — §3.3); this module exposes them as a
+// first-class area report so the explorer can reject configurations that do
+// not fit the chip, and users can see *why* a design was clamped. This is the
+// natural companion of the performance estimate during DSE (paper §1: "help
+// the designers to quickly identify the solutions subject to a user defined
+// performance constraint").
+#pragma once
+
+#include "cdfg/cdfg.h"
+#include "model/design_point.h"
+#include "model/device.h"
+
+namespace flexcl::model {
+
+struct ResourceEstimate {
+  /// DSP blocks consumed by one PE's datapath.
+  int dspPerPe = 0;
+  /// Local (BRAM) bytes per compute unit.
+  std::uint64_t bramBytesPerCu = 0;
+  /// Totals for the requested replication (P PEs x C CUs).
+  int totalDsp = 0;
+  std::uint64_t totalBramBytes = 0;
+  /// Utilisation against the device (1.0 = 100%).
+  double dspUtilisation = 0;
+  double bramUtilisation = 0;
+  /// True when the requested replication fits on the chip.
+  bool fits = true;
+  /// The largest CU count that fits with the requested PE parallelism.
+  int maxComputeUnitsThatFit = 1;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Estimates the footprint of `design` for an analysed kernel.
+ResourceEstimate estimateResources(const cdfg::KernelAnalysis& analysis,
+                                   const Device& device, const DesignPoint& design);
+
+}  // namespace flexcl::model

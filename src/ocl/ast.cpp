@@ -1,0 +1,63 @@
+#include "ocl/ast.h"
+
+namespace flexcl::ocl {
+
+const char* builtinName(Builtin b) {
+  switch (b) {
+    case Builtin::None: return "<none>";
+    case Builtin::GetGlobalId: return "get_global_id";
+    case Builtin::GetLocalId: return "get_local_id";
+    case Builtin::GetGroupId: return "get_group_id";
+    case Builtin::GetGlobalSize: return "get_global_size";
+    case Builtin::GetLocalSize: return "get_local_size";
+    case Builtin::GetNumGroups: return "get_num_groups";
+    case Builtin::GetWorkDim: return "get_work_dim";
+    case Builtin::Barrier: return "barrier";
+    case Builtin::MemFence: return "mem_fence";
+    case Builtin::Sqrt: return "sqrt";
+    case Builtin::Rsqrt: return "rsqrt";
+    case Builtin::Exp: return "exp";
+    case Builtin::Exp2: return "exp2";
+    case Builtin::Log: return "log";
+    case Builtin::Log2: return "log2";
+    case Builtin::Pow: return "pow";
+    case Builtin::Sin: return "sin";
+    case Builtin::Cos: return "cos";
+    case Builtin::Tan: return "tan";
+    case Builtin::Fabs: return "fabs";
+    case Builtin::Floor: return "floor";
+    case Builtin::Ceil: return "ceil";
+    case Builtin::Round: return "round";
+    case Builtin::Fmax: return "fmax";
+    case Builtin::Fmin: return "fmin";
+    case Builtin::Fmod: return "fmod";
+    case Builtin::Mad: return "mad";
+    case Builtin::Fma: return "fma";
+    case Builtin::Abs: return "abs";
+    case Builtin::Max: return "max";
+    case Builtin::Min: return "min";
+    case Builtin::Clamp: return "clamp";
+    case Builtin::Select: return "select";
+    case Builtin::Hypot: return "hypot";
+    case Builtin::Atan: return "atan";
+    case Builtin::Atan2: return "atan2";
+  }
+  return "<invalid>";
+}
+
+const FunctionDecl* Program::findFunction(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+std::vector<const FunctionDecl*> Program::kernels() const {
+  std::vector<const FunctionDecl*> result;
+  for (const auto& f : functions) {
+    if (f->isKernel) result.push_back(f.get());
+  }
+  return result;
+}
+
+}  // namespace flexcl::ocl

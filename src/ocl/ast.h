@@ -1,0 +1,340 @@
+// Abstract syntax tree for the OpenCL C subset.
+//
+// Nodes are owned through std::unique_ptr by their parents; the Program node
+// owns everything. Sema annotates nodes in place (types, resolved decls,
+// builtin kinds) — see ocl/sema.h.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/source_location.h"
+
+namespace flexcl::ocl {
+
+class Expr;
+class Stmt;
+class VarDecl;
+class FunctionDecl;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr, BitAnd, BitOr, BitXor,
+  LogAnd, LogOr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+};
+
+enum class UnaryOp : std::uint8_t {
+  Plus, Minus, BitNot, LogNot, PreInc, PreDec, PostInc, PostDec, Deref, AddrOf,
+};
+
+/// Builtin functions known to sema. Work-item queries and barrier become
+/// dedicated IR instructions; math builtins become Call IR instructions with
+/// per-builtin FPGA IP latencies.
+enum class Builtin : std::uint8_t {
+  None,
+  GetGlobalId, GetLocalId, GetGroupId, GetGlobalSize, GetLocalSize, GetNumGroups,
+  GetWorkDim, Barrier, MemFence,
+  Sqrt, Rsqrt, Exp, Exp2, Log, Log2, Pow, Sin, Cos, Tan,
+  Fabs, Floor, Ceil, Round, Fmax, Fmin, Fmod, Mad, Fma,
+  Abs, Max, Min, Clamp, Select, Hypot, Atan, Atan2,
+};
+
+const char* builtinName(Builtin b);
+
+class Expr {
+ public:
+  enum class Kind : std::uint8_t {
+    IntLiteral, FloatLiteral, BoolLiteral, DeclRef, Binary, Unary, Assign,
+    Call, Index, Member, Cast, Conditional, VectorConstruct, Sizeof,
+  };
+
+  virtual ~Expr() = default;
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  SourceLocation location;
+  /// Set by sema; null until type checking ran.
+  const ir::Type* type = nullptr;
+  /// True when this expression denotes a modifiable object (sema).
+  bool isLValue = false;
+
+ protected:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+class IntLiteralExpr final : public Expr {
+ public:
+  explicit IntLiteralExpr(std::uint64_t value, bool isUnsigned = false,
+                          bool isLong = false)
+      : Expr(Kind::IntLiteral), value(value), isUnsigned(isUnsigned), isLong(isLong) {}
+  std::uint64_t value;
+  bool isUnsigned;
+  bool isLong;
+};
+
+class FloatLiteralExpr final : public Expr {
+ public:
+  explicit FloatLiteralExpr(double value, bool isDoublePrecision = false)
+      : Expr(Kind::FloatLiteral), value(value), isDoublePrecision(isDoublePrecision) {}
+  double value;
+  bool isDoublePrecision;
+};
+
+class BoolLiteralExpr final : public Expr {
+ public:
+  explicit BoolLiteralExpr(bool value) : Expr(Kind::BoolLiteral), value(value) {}
+  bool value;
+};
+
+class DeclRefExpr final : public Expr {
+ public:
+  explicit DeclRefExpr(std::string name) : Expr(Kind::DeclRef), name(std::move(name)) {}
+  std::string name;
+  /// Resolved by sema: the variable or parameter this name refers to.
+  const VarDecl* decl = nullptr;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(Kind::Binary), op(op), lhs(std::move(lhs)), rhs(std::move(rhs)) {}
+  BinaryOp op;
+  ExprPtr lhs, rhs;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(Kind::Unary), op(op), operand(std::move(operand)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+/// Assignment, including compound forms. For `a op= b` the `op` field holds
+/// the arithmetic operator; for plain `=` it is std::nullopt-like None flag.
+class AssignExpr final : public Expr {
+ public:
+  AssignExpr(ExprPtr target, ExprPtr value)
+      : Expr(Kind::Assign), target(std::move(target)), value(std::move(value)) {}
+  AssignExpr(BinaryOp compoundOp, ExprPtr target, ExprPtr value)
+      : Expr(Kind::Assign), hasCompoundOp(true), compoundOp(compoundOp),
+        target(std::move(target)), value(std::move(value)) {}
+  bool hasCompoundOp = false;
+  BinaryOp compoundOp = BinaryOp::Add;
+  ExprPtr target, value;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string callee, std::vector<ExprPtr> args)
+      : Expr(Kind::Call), callee(std::move(callee)), args(std::move(args)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+  /// Resolution by sema: either a builtin or a user function (inlined during
+  /// IR lowering).
+  Builtin builtin = Builtin::None;
+  const FunctionDecl* function = nullptr;
+};
+
+class IndexExpr final : public Expr {
+ public:
+  IndexExpr(ExprPtr base, ExprPtr index)
+      : Expr(Kind::Index), base(std::move(base)), index(std::move(index)) {}
+  ExprPtr base, index;
+};
+
+/// Struct field access (`s.f`, `p->f`) or vector component access
+/// (`v.x`, `v.s3`). Sema fills in exactly one of fieldIndex / laneIndex.
+class MemberExpr final : public Expr {
+ public:
+  MemberExpr(ExprPtr base, std::string member, bool isArrow)
+      : Expr(Kind::Member), base(std::move(base)), member(std::move(member)),
+        isArrow(isArrow) {}
+  ExprPtr base;
+  std::string member;
+  bool isArrow;
+  int fieldIndex = -1;
+  int laneIndex = -1;
+};
+
+class CastExpr final : public Expr {
+ public:
+  CastExpr(const ir::Type* toType, ExprPtr operand, bool isImplicit = false)
+      : Expr(Kind::Cast), toType(toType), operand(std::move(operand)),
+        isImplicit(isImplicit) {}
+  const ir::Type* toType;
+  ExprPtr operand;
+  bool isImplicit;
+};
+
+class ConditionalExpr final : public Expr {
+ public:
+  ConditionalExpr(ExprPtr cond, ExprPtr thenExpr, ExprPtr elseExpr)
+      : Expr(Kind::Conditional), cond(std::move(cond)),
+        thenExpr(std::move(thenExpr)), elseExpr(std::move(elseExpr)) {}
+  ExprPtr cond, thenExpr, elseExpr;
+};
+
+/// OpenCL vector construction `(float4)(a, b, c, d)`. Elements may themselves
+/// be vectors whose lanes are flattened.
+class VectorConstructExpr final : public Expr {
+ public:
+  VectorConstructExpr(const ir::Type* vectorType, std::vector<ExprPtr> elements)
+      : Expr(Kind::VectorConstruct), vectorType(vectorType),
+        elements(std::move(elements)) {}
+  const ir::Type* vectorType;
+  std::vector<ExprPtr> elements;
+};
+
+class SizeofExpr final : public Expr {
+ public:
+  explicit SizeofExpr(const ir::Type* queried) : Expr(Kind::Sizeof), queried(queried) {}
+  const ir::Type* queried;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+class Stmt {
+ public:
+  enum class Kind : std::uint8_t {
+    Compound, Decl, Expr, If, For, While, Do, Return, Break, Continue,
+  };
+  virtual ~Stmt() = default;
+  [[nodiscard]] Kind kind() const { return kind_; }
+  SourceLocation location;
+
+ protected:
+  explicit Stmt(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+/// A declared variable (local variable or function parameter).
+class VarDecl {
+ public:
+  std::string name;
+  const ir::Type* type = nullptr;
+  ir::AddressSpace addressSpace = ir::AddressSpace::Private;
+  bool isConst = false;
+  bool isParameter = false;
+  ExprPtr init;  ///< Optional initialiser (locals only).
+  SourceLocation location;
+};
+
+class CompoundStmt final : public Stmt {
+ public:
+  CompoundStmt() : Stmt(Kind::Compound) {}
+  std::vector<StmtPtr> body;
+};
+
+class DeclStmt final : public Stmt {
+ public:
+  DeclStmt() : Stmt(Kind::Decl) {}
+  std::vector<std::unique_ptr<VarDecl>> decls;
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  explicit ExprStmt(ExprPtr expr) : Stmt(Kind::Expr), expr(std::move(expr)) {}
+  ExprPtr expr;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr cond, StmtPtr thenStmt, StmtPtr elseStmt)
+      : Stmt(Kind::If), cond(std::move(cond)), thenStmt(std::move(thenStmt)),
+        elseStmt(std::move(elseStmt)) {}
+  ExprPtr cond;
+  StmtPtr thenStmt, elseStmt;  ///< elseStmt may be null.
+};
+
+class ForStmt final : public Stmt {
+ public:
+  ForStmt() : Stmt(Kind::For) {}
+  StmtPtr init;   ///< DeclStmt or ExprStmt or null.
+  ExprPtr cond;   ///< may be null (infinite loop)
+  ExprPtr step;   ///< may be null
+  StmtPtr body;
+  /// From `#pragma unroll N` / opencl_unroll_hint: 0 = none requested,
+  /// -1 = full unroll, otherwise the factor.
+  int unrollHint = 0;
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(ExprPtr cond, StmtPtr body)
+      : Stmt(Kind::While), cond(std::move(cond)), body(std::move(body)) {}
+  ExprPtr cond;
+  StmtPtr body;
+  int unrollHint = 0;
+};
+
+class DoStmt final : public Stmt {
+ public:
+  DoStmt(StmtPtr body, ExprPtr cond)
+      : Stmt(Kind::Do), body(std::move(body)), cond(std::move(cond)) {}
+  StmtPtr body;
+  ExprPtr cond;
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  explicit ReturnStmt(ExprPtr value) : Stmt(Kind::Return), value(std::move(value)) {}
+  ExprPtr value;  ///< null for `return;`
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  BreakStmt() : Stmt(Kind::Break) {}
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  ContinueStmt() : Stmt(Kind::Continue) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations / program
+// ---------------------------------------------------------------------------
+
+class FunctionDecl {
+ public:
+  std::string name;
+  const ir::Type* returnType = nullptr;
+  std::vector<std::unique_ptr<VarDecl>> params;
+  std::unique_ptr<CompoundStmt> body;
+  bool isKernel = false;
+  /// From __attribute__((reqd_work_group_size(x,y,z))); 0 = unspecified.
+  std::array<std::uint32_t, 3> reqdWorkGroupSize = {0, 0, 0};
+  SourceLocation location;
+};
+
+/// A parsed translation unit. Owns the TypeContext so AST type pointers stay
+/// valid for the lifetime of the Program.
+class Program {
+ public:
+  Program() : types(std::make_unique<ir::TypeContext>()) {}
+  std::unique_ptr<ir::TypeContext> types;
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+
+  [[nodiscard]] const FunctionDecl* findFunction(const std::string& name) const;
+  [[nodiscard]] std::vector<const FunctionDecl*> kernels() const;
+};
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,250 @@
+#include "ocl/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace flexcl::ocl {
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywordMap() {
+  static const std::unordered_map<std::string_view, TokenKind> map = {
+      {"__kernel", TokenKind::KwKernel},   {"kernel", TokenKind::KwKernel},
+      {"__global", TokenKind::KwGlobal},   {"global", TokenKind::KwGlobal},
+      {"__local", TokenKind::KwLocal},     {"local", TokenKind::KwLocal},
+      {"__constant", TokenKind::KwConstantAS}, {"constant", TokenKind::KwConstantAS},
+      {"__private", TokenKind::KwPrivate}, {"private", TokenKind::KwPrivate},
+      {"if", TokenKind::KwIf},             {"else", TokenKind::KwElse},
+      {"for", TokenKind::KwFor},           {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},             {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},       {"continue", TokenKind::KwContinue},
+      {"struct", TokenKind::KwStruct},     {"typedef", TokenKind::KwTypedef},
+      {"const", TokenKind::KwConst},       {"volatile", TokenKind::KwVolatile},
+      {"restrict", TokenKind::KwRestrict}, {"__restrict", TokenKind::KwRestrict},
+      {"unsigned", TokenKind::KwUnsigned}, {"signed", TokenKind::KwSigned},
+      {"void", TokenKind::KwVoid},         {"bool", TokenKind::KwBool},
+      {"char", TokenKind::KwChar},         {"short", TokenKind::KwShort},
+      {"int", TokenKind::KwInt},           {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},       {"double", TokenKind::KwDouble},
+      {"sizeof", TokenKind::KwSizeof},     {"__attribute__", TokenKind::KwAttribute},
+      {"true", TokenKind::KwTrue},         {"false", TokenKind::KwFalse},
+      {"switch", TokenKind::KwSwitch},     {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault},
+  };
+  return map;
+}
+
+bool isIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool isIdentCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+Lexer::Lexer(const SourceManager& sm, DiagnosticEngine& diags)
+    : sm_(sm), diags_(diags), text_(sm.text()) {}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> tokens;
+  for (;;) {
+    Token t = lexToken();
+    const bool done = t.is(TokenKind::EndOfFile);
+    tokens.push_back(std::move(t));
+    if (done) break;
+  }
+  return tokens;
+}
+
+char Lexer::peek(std::uint32_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() { return text_[pos_++]; }
+
+bool Lexer::match(char expected) {
+  if (atEnd() || text_[pos_] != expected) return false;
+  ++pos_;
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    if (atEnd()) return;
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++pos_;
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') ++pos_;
+    } else if (c == '/' && peek(1) == '*') {
+      pos_ += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/')) ++pos_;
+      if (!atEnd()) pos_ += 2;
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokenKind kind, std::uint32_t beginOffset) {
+  Token t;
+  t.kind = kind;
+  t.location = sm_.locate(beginOffset);
+  t.text = std::string(text_.substr(beginOffset, pos_ - beginOffset));
+  return t;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  tokenBegin_ = pos_;
+  if (atEnd()) return makeToken(TokenKind::EndOfFile, pos_);
+
+  const char c = peek();
+  if (isIdentStart(c)) return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    return lexNumber();
+  }
+  if (c == '\'') return lexCharLiteral();
+  if (c == '"') return lexStringLiteral();
+
+  advance();
+  switch (c) {
+    case '(': return makeToken(TokenKind::LParen, tokenBegin_);
+    case ')': return makeToken(TokenKind::RParen, tokenBegin_);
+    case '{': return makeToken(TokenKind::LBrace, tokenBegin_);
+    case '}': return makeToken(TokenKind::RBrace, tokenBegin_);
+    case '[': return makeToken(TokenKind::LBracket, tokenBegin_);
+    case ']': return makeToken(TokenKind::RBracket, tokenBegin_);
+    case ',': return makeToken(TokenKind::Comma, tokenBegin_);
+    case ';': return makeToken(TokenKind::Semicolon, tokenBegin_);
+    case ':': return makeToken(TokenKind::Colon, tokenBegin_);
+    case '?': return makeToken(TokenKind::Question, tokenBegin_);
+    case '~': return makeToken(TokenKind::Tilde, tokenBegin_);
+    case '.':
+      if (peek() == '.' && peek(1) == '.') {
+        pos_ += 2;
+        return makeToken(TokenKind::Ellipsis, tokenBegin_);
+      }
+      return makeToken(TokenKind::Dot, tokenBegin_);
+    case '+':
+      if (match('+')) return makeToken(TokenKind::PlusPlus, tokenBegin_);
+      if (match('=')) return makeToken(TokenKind::PlusEqual, tokenBegin_);
+      return makeToken(TokenKind::Plus, tokenBegin_);
+    case '-':
+      if (match('-')) return makeToken(TokenKind::MinusMinus, tokenBegin_);
+      if (match('=')) return makeToken(TokenKind::MinusEqual, tokenBegin_);
+      if (match('>')) return makeToken(TokenKind::Arrow, tokenBegin_);
+      return makeToken(TokenKind::Minus, tokenBegin_);
+    case '*':
+      if (match('=')) return makeToken(TokenKind::StarEqual, tokenBegin_);
+      return makeToken(TokenKind::Star, tokenBegin_);
+    case '/':
+      if (match('=')) return makeToken(TokenKind::SlashEqual, tokenBegin_);
+      return makeToken(TokenKind::Slash, tokenBegin_);
+    case '%':
+      if (match('=')) return makeToken(TokenKind::PercentEqual, tokenBegin_);
+      return makeToken(TokenKind::Percent, tokenBegin_);
+    case '&':
+      if (match('&')) return makeToken(TokenKind::AmpAmp, tokenBegin_);
+      if (match('=')) return makeToken(TokenKind::AmpEqual, tokenBegin_);
+      return makeToken(TokenKind::Amp, tokenBegin_);
+    case '|':
+      if (match('|')) return makeToken(TokenKind::PipePipe, tokenBegin_);
+      if (match('=')) return makeToken(TokenKind::PipeEqual, tokenBegin_);
+      return makeToken(TokenKind::Pipe, tokenBegin_);
+    case '^':
+      if (match('=')) return makeToken(TokenKind::CaretEqual, tokenBegin_);
+      return makeToken(TokenKind::Caret, tokenBegin_);
+    case '!':
+      if (match('=')) return makeToken(TokenKind::ExclaimEqual, tokenBegin_);
+      return makeToken(TokenKind::Exclaim, tokenBegin_);
+    case '=':
+      if (match('=')) return makeToken(TokenKind::EqualEqual, tokenBegin_);
+      return makeToken(TokenKind::Equal, tokenBegin_);
+    case '<':
+      if (match('<')) {
+        if (match('=')) return makeToken(TokenKind::LessLessEqual, tokenBegin_);
+        return makeToken(TokenKind::LessLess, tokenBegin_);
+      }
+      if (match('=')) return makeToken(TokenKind::LessEqual, tokenBegin_);
+      return makeToken(TokenKind::Less, tokenBegin_);
+    case '>':
+      if (match('>')) {
+        if (match('=')) return makeToken(TokenKind::GreaterGreaterEqual, tokenBegin_);
+        return makeToken(TokenKind::GreaterGreater, tokenBegin_);
+      }
+      if (match('=')) return makeToken(TokenKind::GreaterEqual, tokenBegin_);
+      return makeToken(TokenKind::Greater, tokenBegin_);
+    default:
+      diags_.error(sm_.locate(tokenBegin_),
+                   std::string("unexpected character '") + c + "'");
+      return lexToken();
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  while (!atEnd() && isIdentCont(peek())) ++pos_;
+  Token t = makeToken(TokenKind::Identifier, tokenBegin_);
+  auto it = keywordMap().find(t.text);
+  if (it != keywordMap().end()) t.kind = it->second;
+  return t;
+}
+
+Token Lexer::lexNumber() {
+  bool isFloat = false;
+  bool isHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    pos_ += 2;
+    isHex = true;
+    while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek()))) ++pos_;
+  } else {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      isFloat = true;
+      ++pos_;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      isFloat = true;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+  }
+  // Suffixes: f/F force float; u/U/l/L are integer suffixes.
+  if (!isHex && (peek() == 'f' || peek() == 'F')) {
+    isFloat = true;
+    ++pos_;
+  } else {
+    while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L') ++pos_;
+  }
+  return makeToken(isFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                   tokenBegin_);
+}
+
+Token Lexer::lexCharLiteral() {
+  advance();  // opening quote
+  while (!atEnd() && peek() != '\'') {
+    if (peek() == '\\') ++pos_;
+    ++pos_;
+  }
+  if (atEnd()) {
+    diags_.error(sm_.locate(tokenBegin_), "unterminated character literal");
+  } else {
+    advance();
+  }
+  return makeToken(TokenKind::CharLiteral, tokenBegin_);
+}
+
+Token Lexer::lexStringLiteral() {
+  advance();  // opening quote
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\\') ++pos_;
+    ++pos_;
+  }
+  if (atEnd()) {
+    diags_.error(sm_.locate(tokenBegin_), "unterminated string literal");
+  } else {
+    advance();
+  }
+  return makeToken(TokenKind::StringLiteral, tokenBegin_);
+}
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,43 @@
+// Hand-written lexer for the OpenCL C subset.
+#pragma once
+
+#include <vector>
+
+#include "ocl/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+namespace flexcl::ocl {
+
+/// Tokenises a (preprocessed) source buffer. Comments are expected to have
+/// been stripped by the preprocessor; the lexer still tolerates them so it
+/// can be used standalone in tests.
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, DiagnosticEngine& diags);
+
+  /// Lexes the whole buffer including a trailing EndOfFile token.
+  std::vector<Token> lexAll();
+
+ private:
+  Token lexToken();
+  Token makeToken(TokenKind kind, std::uint32_t beginOffset);
+  void skipWhitespaceAndComments();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+
+  [[nodiscard]] char peek(std::uint32_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+
+  const SourceManager& sm_;
+  DiagnosticEngine& diags_;
+  std::string_view text_;
+  std::uint32_t pos_ = 0;
+  std::uint32_t tokenBegin_ = 0;
+};
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,992 @@
+#include "ocl/parser.h"
+
+#include <cstdlib>
+
+#include "ocl/lexer.h"
+#include "ocl/preprocessor.h"
+#include "ocl/sema.h"
+#include "support/source_manager.h"
+
+namespace flexcl::ocl {
+namespace {
+
+/// Binary operator precedence (C-like). Higher binds tighter.
+int precedenceOf(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Star:
+    case TokenKind::Slash:
+    case TokenKind::Percent: return 10;
+    case TokenKind::Plus:
+    case TokenKind::Minus: return 9;
+    case TokenKind::LessLess:
+    case TokenKind::GreaterGreater: return 8;
+    case TokenKind::Less:
+    case TokenKind::Greater:
+    case TokenKind::LessEqual:
+    case TokenKind::GreaterEqual: return 7;
+    case TokenKind::EqualEqual:
+    case TokenKind::ExclaimEqual: return 6;
+    case TokenKind::Amp: return 5;
+    case TokenKind::Caret: return 4;
+    case TokenKind::Pipe: return 3;
+    case TokenKind::AmpAmp: return 2;
+    case TokenKind::PipePipe: return 1;
+    default: return -1;
+  }
+}
+
+BinaryOp binaryOpFor(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Star: return BinaryOp::Mul;
+    case TokenKind::Slash: return BinaryOp::Div;
+    case TokenKind::Percent: return BinaryOp::Rem;
+    case TokenKind::Plus: return BinaryOp::Add;
+    case TokenKind::Minus: return BinaryOp::Sub;
+    case TokenKind::LessLess: return BinaryOp::Shl;
+    case TokenKind::GreaterGreater: return BinaryOp::Shr;
+    case TokenKind::Less: return BinaryOp::Lt;
+    case TokenKind::Greater: return BinaryOp::Gt;
+    case TokenKind::LessEqual: return BinaryOp::Le;
+    case TokenKind::GreaterEqual: return BinaryOp::Ge;
+    case TokenKind::EqualEqual: return BinaryOp::Eq;
+    case TokenKind::ExclaimEqual: return BinaryOp::Ne;
+    case TokenKind::Amp: return BinaryOp::BitAnd;
+    case TokenKind::Caret: return BinaryOp::BitXor;
+    case TokenKind::Pipe: return BinaryOp::BitOr;
+    case TokenKind::AmpAmp: return BinaryOp::LogAnd;
+    case TokenKind::PipePipe: return BinaryOp::LogOr;
+    default: return BinaryOp::Add;
+  }
+}
+
+/// Compound-assignment operator, or nullopt-equivalent via bool.
+bool compoundOpFor(TokenKind kind, BinaryOp* op) {
+  switch (kind) {
+    case TokenKind::PlusEqual: *op = BinaryOp::Add; return true;
+    case TokenKind::MinusEqual: *op = BinaryOp::Sub; return true;
+    case TokenKind::StarEqual: *op = BinaryOp::Mul; return true;
+    case TokenKind::SlashEqual: *op = BinaryOp::Div; return true;
+    case TokenKind::PercentEqual: *op = BinaryOp::Rem; return true;
+    case TokenKind::AmpEqual: *op = BinaryOp::BitAnd; return true;
+    case TokenKind::PipeEqual: *op = BinaryOp::BitOr; return true;
+    case TokenKind::CaretEqual: *op = BinaryOp::BitXor; return true;
+    case TokenKind::LessLessEqual: *op = BinaryOp::Shl; return true;
+    case TokenKind::GreaterGreaterEqual: *op = BinaryOp::Shr; return true;
+    default: return false;
+  }
+}
+
+/// Splits vector type names like "float4" into (scalar spelling, lanes).
+bool splitVectorName(const std::string& name, std::string* scalar, unsigned* lanes) {
+  static const char* scalars[] = {"char", "uchar", "short", "ushort", "int",
+                                  "uint", "long", "ulong", "float", "double"};
+  for (const char* s : scalars) {
+    const std::size_t len = std::string_view(s).size();
+    if (name.size() > len && name.compare(0, len, s) == 0) {
+      const std::string suffix = name.substr(len);
+      if (suffix == "2" || suffix == "3" || suffix == "4" || suffix == "8" ||
+          suffix == "16") {
+        *scalar = s;
+        *lanes = static_cast<unsigned>(std::strtoul(suffix.c_str(), nullptr, 10));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+const ir::Type* scalarTypeByName(ir::TypeContext& types, const std::string& name) {
+  if (name == "char") return types.i8();
+  if (name == "uchar") return types.u8();
+  if (name == "short") return types.i16();
+  if (name == "ushort") return types.u16();
+  if (name == "int") return types.i32();
+  if (name == "uint") return types.u32();
+  if (name == "long") return types.i64();
+  if (name == "ulong") return types.u64();
+  if (name == "float") return types.f32();
+  if (name == "double") return types.f64();
+  if (name == "size_t") return types.u64();
+  if (name == "ptrdiff_t") return types.i64();
+  return nullptr;
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(TokenKind kind) {
+  if (check(kind)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(TokenKind kind, const char* context) {
+  if (accept(kind)) return true;
+  diags_.error(peek().location, std::string("expected ") +
+                                    std::string(tokenKindName(kind)) + " " + context +
+                                    ", found " + std::string(tokenKindName(peek().kind)));
+  return false;
+}
+
+void Parser::synchronizeToSemicolon() {
+  while (!check(TokenKind::EndOfFile) && !check(TokenKind::Semicolon) &&
+         !check(TokenKind::RBrace)) {
+    advance();
+  }
+  accept(TokenKind::Semicolon);
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+bool Parser::startsType(std::size_t ahead) const {
+  const Token& t = peek(ahead);
+  if (t.isTypeKeyword()) return true;
+  switch (t.kind) {
+    case TokenKind::KwGlobal:
+    case TokenKind::KwLocal:
+    case TokenKind::KwConstantAS:
+    case TokenKind::KwPrivate:
+    case TokenKind::KwConst:
+    case TokenKind::KwVolatile:
+      return true;
+    default:
+      break;
+  }
+  if (t.is(TokenKind::Identifier)) {
+    if (typedefs_.count(t.text)) return true;
+    std::string scalar;
+    unsigned lanes = 0;
+    if (splitVectorName(t.text, &scalar, &lanes)) return true;
+    if (scalarTypeByName(*program_->types, t.text)) return true;
+  }
+  return false;
+}
+
+Parser::ParsedQuals Parser::parseQualifiers() {
+  ParsedQuals q;
+  for (;;) {
+    if (accept(TokenKind::KwGlobal)) {
+      q.addressSpace = ir::AddressSpace::Global;
+      q.hasAddressSpace = true;
+    } else if (accept(TokenKind::KwLocal)) {
+      q.addressSpace = ir::AddressSpace::Local;
+      q.hasAddressSpace = true;
+    } else if (accept(TokenKind::KwConstantAS)) {
+      q.addressSpace = ir::AddressSpace::Constant;
+      q.hasAddressSpace = true;
+    } else if (accept(TokenKind::KwPrivate)) {
+      q.addressSpace = ir::AddressSpace::Private;
+      q.hasAddressSpace = true;
+    } else if (accept(TokenKind::KwConst)) {
+      q.isConst = true;
+    } else if (accept(TokenKind::KwVolatile) || accept(TokenKind::KwRestrict)) {
+      // Accepted and ignored: they do not affect the performance model.
+    } else {
+      return q;
+    }
+  }
+}
+
+const ir::Type* Parser::parseBaseType() {
+  ir::TypeContext& types = *program_->types;
+  // Struct tag reference or inline definition is handled by caller contexts;
+  // here `struct Name` refers to an already-declared struct.
+  if (accept(TokenKind::KwStruct)) {
+    if (!check(TokenKind::Identifier)) {
+      diags_.error(peek().location, "expected struct name");
+      return types.i32();
+    }
+    const std::string name = advance().text;
+    if (const ir::Type* s = types.findStruct(name)) return s;
+    diags_.error(peek().location, "unknown struct '" + name + "'");
+    return types.i32();
+  }
+
+  bool sawUnsigned = false, sawSigned = false;
+  while (check(TokenKind::KwUnsigned) || check(TokenKind::KwSigned)) {
+    sawUnsigned |= accept(TokenKind::KwUnsigned);
+    sawSigned |= accept(TokenKind::KwSigned);
+  }
+  (void)sawSigned;
+
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokenKind::KwVoid: advance(); return types.voidType();
+    case TokenKind::KwBool: advance(); return types.boolType();
+    case TokenKind::KwChar: advance(); return types.intType(8, !sawUnsigned);
+    case TokenKind::KwShort: advance(); return types.intType(16, !sawUnsigned);
+    case TokenKind::KwInt: advance(); return types.intType(32, !sawUnsigned);
+    case TokenKind::KwLong:
+      advance();
+      accept(TokenKind::KwLong);  // tolerate `long long`
+      accept(TokenKind::KwInt);
+      return types.intType(64, !sawUnsigned);
+    case TokenKind::KwFloat: advance(); return types.f32();
+    case TokenKind::KwDouble: advance(); return types.f64();
+    default: break;
+  }
+  if (sawUnsigned) return types.u32();  // bare `unsigned`
+
+  if (t.is(TokenKind::Identifier)) {
+    auto td = typedefs_.find(t.text);
+    if (td != typedefs_.end()) {
+      advance();
+      return td->second;
+    }
+    std::string scalar;
+    unsigned lanes = 0;
+    if (splitVectorName(t.text, &scalar, &lanes)) {
+      advance();
+      return types.vectorType(scalarTypeByName(types, scalar), lanes);
+    }
+    if (const ir::Type* s = scalarTypeByName(types, t.text)) {
+      advance();
+      return s;
+    }
+  }
+  diags_.error(t.location, "expected type, found " + std::string(tokenKindName(t.kind)));
+  advance();
+  return types.i32();
+}
+
+const ir::Type* Parser::parseTypeSpecifier(const ParsedQuals& quals) {
+  const ir::Type* base = parseBaseType();
+  // Qualifiers may also appear between base type and '*' (e.g. `float const *`).
+  while (accept(TokenKind::KwConst) || accept(TokenKind::KwVolatile) ||
+         accept(TokenKind::KwRestrict)) {
+  }
+  const ir::Type* result = base;
+  while (accept(TokenKind::Star)) {
+    const ir::AddressSpace as =
+        quals.hasAddressSpace ? quals.addressSpace : ir::AddressSpace::Private;
+    result = program_->types->pointerType(result, as);
+    while (accept(TokenKind::KwConst) || accept(TokenKind::KwRestrict) ||
+           accept(TokenKind::KwVolatile)) {
+    }
+  }
+  return result;
+}
+
+const ir::Type* Parser::parseArrayDimensions(const ir::Type* elementType) {
+  // Collect extents outside-in, then wrap inside-out so a[2][3] is
+  // array<2, array<3, T>>.
+  std::vector<std::uint64_t> extents;
+  while (accept(TokenKind::LBracket)) {
+    ExprPtr extent = parseConditional();
+    std::uint64_t value = 0;
+    if (auto* lit = dynamic_cast<IntLiteralExpr*>(extent.get())) {
+      value = lit->value;
+    } else {
+      diags_.error(peek().location, "array extent must be an integer constant");
+      value = 1;
+    }
+    extents.push_back(value);
+    expect(TokenKind::RBracket, "after array extent");
+  }
+  const ir::Type* result = elementType;
+  for (auto it = extents.rbegin(); it != extents.rend(); ++it) {
+    result = program_->types->arrayType(result, *it);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Attributes
+// ---------------------------------------------------------------------------
+
+int Parser::parseAttributes(std::array<std::uint32_t, 3>* wgSize) {
+  int unrollHint = 0;
+  while (accept(TokenKind::KwAttribute)) {
+    expect(TokenKind::LParen, "after __attribute__");
+    expect(TokenKind::LParen, "after __attribute__(");
+    while (!check(TokenKind::RParen) && !check(TokenKind::EndOfFile)) {
+      if (!check(TokenKind::Identifier)) {
+        diags_.error(peek().location, "expected attribute name");
+        break;
+      }
+      const std::string name = advance().text;
+      std::vector<std::int64_t> args;
+      if (accept(TokenKind::LParen)) {
+        while (!check(TokenKind::RParen) && !check(TokenKind::EndOfFile)) {
+          ExprPtr arg = parseConditional();
+          if (auto* lit = dynamic_cast<IntLiteralExpr*>(arg.get())) {
+            args.push_back(static_cast<std::int64_t>(lit->value));
+          } else {
+            args.push_back(0);
+          }
+          if (!accept(TokenKind::Comma)) break;
+        }
+        expect(TokenKind::RParen, "after attribute arguments");
+      }
+      if (name == "opencl_unroll_hint") {
+        unrollHint = args.empty() || args[0] == 0 ? -1 : static_cast<int>(args[0]);
+      } else if (name == "reqd_work_group_size" && wgSize) {
+        for (std::size_t i = 0; i < 3 && i < args.size(); ++i) {
+          (*wgSize)[i] = static_cast<std::uint32_t>(args[i]);
+        }
+      } else if (name == "work_item_pipeline" || name == "xcl_pipeline_workitems") {
+        // Pipelining is a design-point parameter in FlexCL; the source-level
+        // directive is accepted for compatibility and ignored here.
+      } else {
+        diags_.warning(peek().location, "ignoring unknown attribute '" + name + "'");
+      }
+      if (!accept(TokenKind::Comma)) break;
+    }
+    expect(TokenKind::RParen, "to close attribute");
+    expect(TokenKind::RParen, "to close __attribute__");
+  }
+  return unrollHint;
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  program_ = std::make_unique<Program>();
+  while (!check(TokenKind::EndOfFile)) {
+    parseTopLevel(*program_);
+  }
+  return std::move(program_);
+}
+
+void Parser::parseTopLevel(Program& program) {
+  if (accept(TokenKind::Semicolon)) return;
+
+  if (check(TokenKind::KwTypedef)) {
+    advance();
+    if (check(TokenKind::KwStruct) &&
+        (peek(1).is(TokenKind::LBrace) ||
+         (peek(1).is(TokenKind::Identifier) && peek(2).is(TokenKind::LBrace)))) {
+      parseStructDefinition(/*isTypedef=*/true);
+      return;
+    }
+    // typedef <type> Name;
+    ParsedQuals quals = parseQualifiers();
+    const ir::Type* type = parseTypeSpecifier(quals);
+    if (!check(TokenKind::Identifier)) {
+      diags_.error(peek().location, "expected typedef name");
+      synchronizeToSemicolon();
+      return;
+    }
+    const std::string name = advance().text;
+    typedefs_[name] = parseArrayDimensions(type);
+    expect(TokenKind::Semicolon, "after typedef");
+    return;
+  }
+
+  if (check(TokenKind::KwStruct) &&
+      (peek(1).is(TokenKind::LBrace) ||
+       (peek(1).is(TokenKind::Identifier) && peek(2).is(TokenKind::LBrace)))) {
+    parseStructDefinition(/*isTypedef=*/false);
+    return;
+  }
+
+  std::array<std::uint32_t, 3> wgSize = {0, 0, 0};
+  bool isKernel = false;
+  // Kernels: [__attribute__((...))] __kernel [__attribute__((...))] type name(...)
+  parseAttributes(&wgSize);
+  if (accept(TokenKind::KwKernel)) isKernel = true;
+  parseAttributes(&wgSize);
+
+  auto fn = parseFunction(isKernel, wgSize);
+  if (fn) program.functions.push_back(std::move(fn));
+}
+
+void Parser::parseStructDefinition(bool isTypedef) {
+  expect(TokenKind::KwStruct, "to begin struct definition");
+  std::string tag;
+  if (check(TokenKind::Identifier)) tag = advance().text;
+  expect(TokenKind::LBrace, "to open struct body");
+
+  std::vector<ir::Type::Field> fields;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    ParsedQuals quals = parseQualifiers();
+    const ir::Type* fieldType = parseTypeSpecifier(quals);
+    do {
+      if (!check(TokenKind::Identifier)) {
+        diags_.error(peek().location, "expected field name");
+        synchronizeToSemicolon();
+        break;
+      }
+      const std::string fieldName = advance().text;
+      const ir::Type* full = parseArrayDimensions(fieldType);
+      fields.push_back(ir::Type::Field{fieldName, full});
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::Semicolon, "after struct field");
+  }
+  expect(TokenKind::RBrace, "to close struct body");
+
+  std::string typedefName;
+  if (isTypedef) {
+    if (check(TokenKind::Identifier)) {
+      typedefName = advance().text;
+    } else {
+      diags_.error(peek().location, "expected typedef name after struct body");
+    }
+  }
+  expect(TokenKind::Semicolon, "after struct definition");
+
+  const std::string structName =
+      !tag.empty() ? tag : (!typedefName.empty() ? typedefName : "<anon>");
+  const ir::Type* type = program_->types->structType(structName, std::move(fields));
+  if (!typedefName.empty()) typedefs_[typedefName] = type;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction(
+    bool isKernel, std::array<std::uint32_t, 3> wgSize) {
+  auto fn = std::make_unique<FunctionDecl>();
+  fn->isKernel = isKernel;
+  fn->reqdWorkGroupSize = wgSize;
+  fn->location = peek().location;
+
+  ParsedQuals quals = parseQualifiers();
+  fn->returnType = parseTypeSpecifier(quals);
+
+  if (!check(TokenKind::Identifier)) {
+    diags_.error(peek().location, "expected function name");
+    synchronizeToSemicolon();
+    return nullptr;
+  }
+  fn->name = advance().text;
+
+  if (!expect(TokenKind::LParen, "after function name")) return nullptr;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (check(TokenKind::KwVoid) && peek(1).is(TokenKind::RParen)) {
+        advance();
+        break;
+      }
+      auto param = parseParam();
+      if (param) fn->params.push_back(std::move(param));
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+
+  std::array<std::uint32_t, 3> postWg = {0, 0, 0};
+  parseAttributes(&postWg);
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (postWg[i]) fn->reqdWorkGroupSize[i] = postWg[i];
+  }
+
+  if (!check(TokenKind::LBrace)) {
+    diags_.error(peek().location, "expected function body");
+    synchronizeToSemicolon();
+    return nullptr;
+  }
+  StmtPtr body = parseCompound();
+  fn->body.reset(static_cast<CompoundStmt*>(body.release()));
+  return fn;
+}
+
+std::unique_ptr<VarDecl> Parser::parseParam() {
+  auto param = std::make_unique<VarDecl>();
+  param->isParameter = true;
+  param->location = peek().location;
+  ParsedQuals quals = parseQualifiers();
+  param->type = parseTypeSpecifier(quals);
+  param->isConst = quals.isConst;
+  param->addressSpace =
+      param->type->isPointer() ? param->type->addressSpace() : ir::AddressSpace::Private;
+  if (check(TokenKind::Identifier)) {
+    param->name = advance().text;
+  } else {
+    diags_.error(peek().location, "expected parameter name");
+  }
+  param->type = parseArrayDimensions(param->type);
+  return param;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parseCompound() {
+  auto compound = std::make_unique<CompoundStmt>();
+  compound->location = peek().location;
+  expect(TokenKind::LBrace, "to open block");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    StmtPtr s = parseStatement();
+    if (s) compound->body.push_back(std::move(s));
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return compound;
+}
+
+std::unique_ptr<DeclStmt> Parser::parseDeclStmt() {
+  auto decl = std::make_unique<DeclStmt>();
+  decl->location = peek().location;
+  ParsedQuals quals = parseQualifiers();
+  const ir::Type* baseType = parseTypeSpecifier(quals);
+  do {
+    auto var = std::make_unique<VarDecl>();
+    var->location = peek().location;
+    var->addressSpace = quals.hasAddressSpace ? quals.addressSpace
+                                              : ir::AddressSpace::Private;
+    var->isConst = quals.isConst;
+    // Each declarator may add its own leading '*'s.
+    const ir::Type* declType = baseType;
+    while (accept(TokenKind::Star)) {
+      declType = program_->types->pointerType(declType, var->addressSpace);
+    }
+    if (!check(TokenKind::Identifier)) {
+      diags_.error(peek().location, "expected variable name");
+      synchronizeToSemicolon();
+      return decl;
+    }
+    var->name = advance().text;
+    var->type = parseArrayDimensions(declType);
+    if (accept(TokenKind::Equal)) {
+      var->init = parseAssignment();
+    }
+    decl->decls.push_back(std::move(var));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "after declaration");
+  return decl;
+}
+
+StmtPtr Parser::parseStatement() {
+  const int unrollHint = parseAttributes(nullptr);
+
+  switch (peek().kind) {
+    case TokenKind::LBrace: return parseCompound();
+    case TokenKind::KwIf: return parseIf();
+    case TokenKind::KwFor: return parseFor(unrollHint);
+    case TokenKind::KwWhile: return parseWhile(unrollHint);
+    case TokenKind::KwDo: return parseDo();
+    case TokenKind::KwReturn: {
+      auto loc = advance().location;
+      ExprPtr value;
+      if (!check(TokenKind::Semicolon)) value = parseExpression();
+      expect(TokenKind::Semicolon, "after return");
+      auto s = std::make_unique<ReturnStmt>(std::move(value));
+      s->location = loc;
+      return s;
+    }
+    case TokenKind::KwBreak: {
+      auto loc = advance().location;
+      expect(TokenKind::Semicolon, "after break");
+      auto s = std::make_unique<BreakStmt>();
+      s->location = loc;
+      return s;
+    }
+    case TokenKind::KwContinue: {
+      auto loc = advance().location;
+      expect(TokenKind::Semicolon, "after continue");
+      auto s = std::make_unique<ContinueStmt>();
+      s->location = loc;
+      return s;
+    }
+    case TokenKind::Semicolon:
+      advance();
+      return nullptr;
+    default:
+      break;
+  }
+
+  if (startsType()) return parseDeclStmt();
+
+  auto loc = peek().location;
+  ExprPtr e = parseExpression();
+  expect(TokenKind::Semicolon, "after expression");
+  auto s = std::make_unique<ExprStmt>(std::move(e));
+  s->location = loc;
+  return s;
+}
+
+StmtPtr Parser::parseIf() {
+  auto loc = advance().location;  // 'if'
+  expect(TokenKind::LParen, "after if");
+  ExprPtr cond = parseExpression();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr thenStmt = parseStatement();
+  StmtPtr elseStmt;
+  if (accept(TokenKind::KwElse)) elseStmt = parseStatement();
+  auto s = std::make_unique<IfStmt>(std::move(cond), std::move(thenStmt),
+                                    std::move(elseStmt));
+  s->location = loc;
+  return s;
+}
+
+StmtPtr Parser::parseFor(int unrollHint) {
+  auto loc = advance().location;  // 'for'
+  auto s = std::make_unique<ForStmt>();
+  s->location = loc;
+  s->unrollHint = unrollHint;
+  expect(TokenKind::LParen, "after for");
+  if (!accept(TokenKind::Semicolon)) {
+    if (startsType()) {
+      s->init = parseDeclStmt();
+    } else {
+      auto initLoc = peek().location;
+      auto e = std::make_unique<ExprStmt>(parseExpression());
+      e->location = initLoc;
+      s->init = std::move(e);
+      expect(TokenKind::Semicolon, "after for initialiser");
+    }
+  }
+  if (!check(TokenKind::Semicolon)) s->cond = parseExpression();
+  expect(TokenKind::Semicolon, "after for condition");
+  if (!check(TokenKind::RParen)) s->step = parseExpression();
+  expect(TokenKind::RParen, "after for step");
+  s->body = parseStatement();
+  return s;
+}
+
+StmtPtr Parser::parseWhile(int unrollHint) {
+  auto loc = advance().location;  // 'while'
+  expect(TokenKind::LParen, "after while");
+  ExprPtr cond = parseExpression();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr body = parseStatement();
+  auto s = std::make_unique<WhileStmt>(std::move(cond), std::move(body));
+  s->location = loc;
+  s->unrollHint = unrollHint;
+  return s;
+}
+
+StmtPtr Parser::parseDo() {
+  auto loc = advance().location;  // 'do'
+  StmtPtr body = parseStatement();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after do-while");
+  ExprPtr cond = parseExpression();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semicolon, "after do-while");
+  auto s = std::make_unique<DoStmt>(std::move(body), std::move(cond));
+  s->location = loc;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parseExpression() { return parseAssignment(); }
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr lhs = parseConditional();
+  const auto loc = peek().location;
+  if (accept(TokenKind::Equal)) {
+    ExprPtr rhs = parseAssignment();
+    auto e = std::make_unique<AssignExpr>(std::move(lhs), std::move(rhs));
+    e->location = loc;
+    return e;
+  }
+  BinaryOp op;
+  if (compoundOpFor(peek().kind, &op)) {
+    advance();
+    ExprPtr rhs = parseAssignment();
+    auto e = std::make_unique<AssignExpr>(op, std::move(lhs), std::move(rhs));
+    e->location = loc;
+    return e;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr cond = parseBinary(0);
+  if (accept(TokenKind::Question)) {
+    const auto loc = peek().location;
+    ExprPtr thenExpr = parseAssignment();
+    expect(TokenKind::Colon, "in conditional expression");
+    ExprPtr elseExpr = parseConditional();
+    auto e = std::make_unique<ConditionalExpr>(std::move(cond), std::move(thenExpr),
+                                               std::move(elseExpr));
+    e->location = loc;
+    return e;
+  }
+  return cond;
+}
+
+ExprPtr Parser::parseBinary(int minPrecedence) {
+  ExprPtr lhs = parseUnary();
+  for (;;) {
+    const int prec = precedenceOf(peek().kind);
+    if (prec < 0 || prec < minPrecedence) return lhs;
+    const TokenKind opTok = peek().kind;
+    const auto loc = advance().location;
+    ExprPtr rhs = parseBinary(prec + 1);
+    auto e = std::make_unique<BinaryExpr>(binaryOpFor(opTok), std::move(lhs),
+                                          std::move(rhs));
+    e->location = loc;
+    lhs = std::move(e);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  const auto loc = peek().location;
+  switch (peek().kind) {
+    case TokenKind::Plus:
+      advance();
+      return parseUnary();
+    case TokenKind::Minus: {
+      advance();
+      auto e = std::make_unique<UnaryExpr>(UnaryOp::Minus, parseUnary());
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::Tilde: {
+      advance();
+      auto e = std::make_unique<UnaryExpr>(UnaryOp::BitNot, parseUnary());
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::Exclaim: {
+      advance();
+      auto e = std::make_unique<UnaryExpr>(UnaryOp::LogNot, parseUnary());
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::PlusPlus: {
+      advance();
+      auto e = std::make_unique<UnaryExpr>(UnaryOp::PreInc, parseUnary());
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::MinusMinus: {
+      advance();
+      auto e = std::make_unique<UnaryExpr>(UnaryOp::PreDec, parseUnary());
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::Star: {
+      advance();
+      auto e = std::make_unique<UnaryExpr>(UnaryOp::Deref, parseUnary());
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::Amp: {
+      advance();
+      auto e = std::make_unique<UnaryExpr>(UnaryOp::AddrOf, parseUnary());
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::KwSizeof: {
+      advance();
+      expect(TokenKind::LParen, "after sizeof");
+      ParsedQuals quals = parseQualifiers();
+      const ir::Type* t = parseTypeSpecifier(quals);
+      expect(TokenKind::RParen, "after sizeof type");
+      auto e = std::make_unique<SizeofExpr>(t);
+      e->location = loc;
+      return e;
+    }
+    case TokenKind::LParen:
+      // Cast: '(' type ')' expr — including the OpenCL vector-construct form
+      // '(float4)(a,b,c,d)'.
+      if (startsType(1)) {
+        advance();  // '('
+        ParsedQuals quals = parseQualifiers();
+        const ir::Type* t = parseTypeSpecifier(quals);
+        expect(TokenKind::RParen, "after cast type");
+        if (t->isVector() && check(TokenKind::LParen)) {
+          advance();  // '('
+          std::vector<ExprPtr> elems;
+          if (!check(TokenKind::RParen)) {
+            do {
+              elems.push_back(parseAssignment());
+            } while (accept(TokenKind::Comma));
+          }
+          expect(TokenKind::RParen, "after vector elements");
+          // One element is a scalar splat cast; several are a construct.
+          if (elems.size() > 1) {
+            auto e = std::make_unique<VectorConstructExpr>(t, std::move(elems));
+            e->location = loc;
+            return e;
+          }
+          auto e = std::make_unique<CastExpr>(t, std::move(elems[0]));
+          e->location = loc;
+          return e;
+        }
+        auto e = std::make_unique<CastExpr>(t, parseUnary());
+        e->location = loc;
+        return e;
+      }
+      break;
+    default:
+      break;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr e = parsePrimary();
+  for (;;) {
+    const auto loc = peek().location;
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr index = parseExpression();
+      expect(TokenKind::RBracket, "after subscript");
+      auto idx = std::make_unique<IndexExpr>(std::move(e), std::move(index));
+      idx->location = loc;
+      e = std::move(idx);
+    } else if (accept(TokenKind::Dot)) {
+      if (!check(TokenKind::Identifier)) {
+        diags_.error(peek().location, "expected member name after '.'");
+        return e;
+      }
+      auto m = std::make_unique<MemberExpr>(std::move(e), advance().text, false);
+      m->location = loc;
+      e = std::move(m);
+    } else if (accept(TokenKind::Arrow)) {
+      if (!check(TokenKind::Identifier)) {
+        diags_.error(peek().location, "expected member name after '->'");
+        return e;
+      }
+      auto m = std::make_unique<MemberExpr>(std::move(e), advance().text, true);
+      m->location = loc;
+      e = std::move(m);
+    } else if (accept(TokenKind::PlusPlus)) {
+      auto u = std::make_unique<UnaryExpr>(UnaryOp::PostInc, std::move(e));
+      u->location = loc;
+      e = std::move(u);
+    } else if (accept(TokenKind::MinusMinus)) {
+      auto u = std::make_unique<UnaryExpr>(UnaryOp::PostDec, std::move(e));
+      u->location = loc;
+      e = std::move(u);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokenKind::IntLiteral: return parseIntLiteral();
+    case TokenKind::FloatLiteral: return parseFloatLiteral();
+    case TokenKind::KwTrue: {
+      auto e = std::make_unique<BoolLiteralExpr>(true);
+      e->location = advance().location;
+      return e;
+    }
+    case TokenKind::KwFalse: {
+      auto e = std::make_unique<BoolLiteralExpr>(false);
+      e->location = advance().location;
+      return e;
+    }
+    case TokenKind::CharLiteral: {
+      const Token& tok = advance();
+      // Value of the first character after the opening quote (escapes: \n \t \0 \\ \').
+      std::uint64_t value = 0;
+      if (tok.text.size() >= 3) {
+        char c = tok.text[1];
+        if (c == '\\' && tok.text.size() >= 4) {
+          switch (tok.text[2]) {
+            case 'n': c = '\n'; break;
+            case 't': c = '\t'; break;
+            case '0': c = '\0'; break;
+            default: c = tok.text[2]; break;
+          }
+        }
+        value = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      }
+      auto e = std::make_unique<IntLiteralExpr>(value);
+      e->location = tok.location;
+      return e;
+    }
+    case TokenKind::Identifier: {
+      const Token& tok = advance();
+      if (check(TokenKind::LParen)) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!check(TokenKind::RParen)) {
+          do {
+            args.push_back(parseAssignment());
+          } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "after call arguments");
+        auto e = std::make_unique<CallExpr>(tok.text, std::move(args));
+        e->location = tok.location;
+        return e;
+      }
+      auto e = std::make_unique<DeclRefExpr>(tok.text);
+      e->location = tok.location;
+      return e;
+    }
+    case TokenKind::LParen: {
+      advance();
+      ExprPtr e = parseExpression();
+      expect(TokenKind::RParen, "to close parenthesised expression");
+      return e;
+    }
+    default:
+      diags_.error(t.location, "expected expression, found " +
+                                   std::string(tokenKindName(t.kind)));
+      advance();
+      return std::make_unique<IntLiteralExpr>(0);
+  }
+}
+
+ExprPtr Parser::parseIntLiteral() {
+  const Token& tok = advance();
+  const std::string& s = tok.text;
+  bool isUnsigned = false, isLong = false;
+  std::size_t end = s.size();
+  while (end > 0 && (s[end - 1] == 'u' || s[end - 1] == 'U' || s[end - 1] == 'l' ||
+                     s[end - 1] == 'L')) {
+    if (s[end - 1] == 'u' || s[end - 1] == 'U') isUnsigned = true;
+    if (s[end - 1] == 'l' || s[end - 1] == 'L') isLong = true;
+    --end;
+  }
+  const std::uint64_t value = std::strtoull(s.substr(0, end).c_str(), nullptr, 0);
+  auto e = std::make_unique<IntLiteralExpr>(value, isUnsigned, isLong);
+  e->location = tok.location;
+  return e;
+}
+
+ExprPtr Parser::parseFloatLiteral() {
+  const Token& tok = advance();
+  std::string s = tok.text;
+  bool isDouble = true;
+  if (!s.empty() && (s.back() == 'f' || s.back() == 'F')) {
+    isDouble = false;
+    s.pop_back();
+  }
+  auto e = std::make_unique<FloatLiteralExpr>(std::strtod(s.c_str(), nullptr), isDouble);
+  e->location = tok.location;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> parseOpenCl(
+    const std::string& source, DiagnosticEngine& diags,
+    const std::unordered_map<std::string, std::string>& defines) {
+  PreprocessorOptions ppOpts;
+  ppOpts.defines = defines;
+  const std::string expanded = preprocess(source, diags, ppOpts);
+  if (diags.hasErrors()) return nullptr;
+
+  SourceManager sm(expanded);
+  Lexer lexer(sm, diags);
+  std::vector<Token> tokens = lexer.lexAll();
+  if (diags.hasErrors()) return nullptr;
+
+  Parser parser(std::move(tokens), diags);
+  std::unique_ptr<Program> program = parser.parseProgram();
+  if (diags.hasErrors()) return nullptr;
+
+  Sema sema(diags);
+  if (!sema.check(*program)) return nullptr;
+  return program;
+}
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,97 @@
+// Recursive-descent parser for the OpenCL C subset.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ocl/ast.h"
+#include "ocl/token.h"
+#include "support/diagnostics.h"
+
+namespace flexcl::ocl {
+
+/// Parses a token stream into a Program. Type names (builtin scalar + vector
+/// names, typedefs, struct tags) are tracked so declarations can be told
+/// apart from expressions at statement start.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+  /// Parses the whole translation unit. Returns a Program even on error;
+  /// check diags.hasErrors().
+  std::unique_ptr<Program> parseProgram();
+
+ private:
+  // --- token stream helpers -------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().is(kind); }
+  bool accept(TokenKind kind);
+  bool expect(TokenKind kind, const char* context);
+  void synchronizeToSemicolon();
+
+  // --- types ----------------------------------------------------------------
+  /// True when the upcoming tokens start a type (keyword, typedef name,
+  /// struct tag, or address-space qualifier).
+  [[nodiscard]] bool startsType(std::size_t ahead = 0) const;
+  struct ParsedQuals {
+    ir::AddressSpace addressSpace = ir::AddressSpace::Private;
+    bool hasAddressSpace = false;
+    bool isConst = false;
+  };
+  ParsedQuals parseQualifiers();
+  /// Parses a type specifier (without declarator): scalar/vector/struct name,
+  /// plus trailing '*' pointers.
+  const ir::Type* parseTypeSpecifier(const ParsedQuals& quals);
+  const ir::Type* parseBaseType();
+
+  // --- declarations ----------------------------------------------------------
+  void parseTopLevel(Program& program);
+  void parseStructDefinition(bool isTypedef);
+  std::unique_ptr<FunctionDecl> parseFunction(bool isKernel,
+                                              std::array<std::uint32_t, 3> wgSize);
+  std::unique_ptr<VarDecl> parseParam();
+  std::unique_ptr<DeclStmt> parseDeclStmt();
+  /// Parses array extents on a declarator and wraps elementType accordingly.
+  const ir::Type* parseArrayDimensions(const ir::Type* elementType);
+
+  /// Parses __attribute__((...)) lists; returns any unroll hint found and
+  /// fills wgSize for reqd_work_group_size.
+  int parseAttributes(std::array<std::uint32_t, 3>* wgSize);
+
+  // --- statements ------------------------------------------------------------
+  StmtPtr parseStatement();
+  StmtPtr parseCompound();
+  StmtPtr parseIf();
+  StmtPtr parseFor(int unrollHint);
+  StmtPtr parseWhile(int unrollHint);
+  StmtPtr parseDo();
+
+  // --- expressions -----------------------------------------------------------
+  ExprPtr parseExpression();        // assignment level (lowest)
+  ExprPtr parseAssignment();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int minPrecedence);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseIntLiteral();
+  ExprPtr parseFloatLiteral();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+  std::unique_ptr<Program> program_;
+  /// typedef name -> type
+  std::unordered_map<std::string, const ir::Type*> typedefs_;
+};
+
+/// Convenience: preprocess + lex + parse + sema in one call. Returns nullptr
+/// when any stage reported errors.
+std::unique_ptr<Program> parseOpenCl(
+    const std::string& source, DiagnosticEngine& diags,
+    const std::unordered_map<std::string, std::string>& defines = {});
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,165 @@
+#include "ocl/preprocessor.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "support/source_manager.h"
+
+namespace flexcl::ocl {
+namespace {
+
+bool isIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool isIdentCont(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string stripComments(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+      while (i < in.size() && in[i] != '\n') ++i;
+    } else if (in[i] == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < in.size() && !(in[i] == '*' && in[i + 1] == '/')) {
+        if (in[i] == '\n') out.push_back('\n');  // keep line numbering intact
+        ++i;
+      }
+      i = i + 1 < in.size() ? i + 2 : in.size();
+      out.push_back(' ');
+    } else {
+      out.push_back(in[i++]);
+    }
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Substitutes object-like macros in one line of code. Re-scans the result so
+/// macros may expand to other macros, with a depth guard against cycles.
+std::string expandMacros(const std::string& line,
+                         const std::unordered_map<std::string, std::string>& macros,
+                         int depth = 0) {
+  if (depth > 16 || macros.empty()) return line;
+  std::string out;
+  out.reserve(line.size());
+  bool changed = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (isIdentStart(line[i])) {
+      std::size_t b = i;
+      while (i < line.size() && isIdentCont(line[i])) ++i;
+      std::string ident = line.substr(b, i - b);
+      auto it = macros.find(ident);
+      if (it != macros.end()) {
+        out += it->second;
+        changed = true;
+      } else {
+        out += ident;
+      }
+    } else {
+      out.push_back(line[i++]);
+    }
+  }
+  return changed ? expandMacros(out, macros, depth + 1) : out;
+}
+
+}  // namespace
+
+std::string preprocess(const std::string& source, DiagnosticEngine& diags,
+                       const PreprocessorOptions& options) {
+  const std::string noComments = stripComments(source);
+  SourceManager sm(noComments);
+
+  std::unordered_map<std::string, std::string> macros = options.defines;
+  // Standard OpenCL fence-flag macros, overridable by user defines.
+  macros.try_emplace("CLK_LOCAL_MEM_FENCE", "1");
+  macros.try_emplace("CLK_GLOBAL_MEM_FENCE", "2");
+  // Conditional-inclusion stack: each entry is "currently emitting?".
+  std::vector<bool> condStack;
+  auto emitting = [&] {
+    for (bool b : condStack)
+      if (!b) return false;
+    return true;
+  };
+
+  std::ostringstream out;
+  std::istringstream in(noComments);
+  std::string line;
+  std::uint32_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string trimmed = trim(line);
+    if (!trimmed.empty() && trimmed[0] == '#') {
+      std::istringstream dir(trimmed.substr(1));
+      std::string word;
+      dir >> word;
+      const SourceLocation loc{0, lineNo, 1};
+      if (word == "define") {
+        std::string name;
+        dir >> name;
+        if (name.empty() || !isIdentStart(name[0])) {
+          diags.error(loc, "#define expects a macro name");
+        } else if (name.find('(') != std::string::npos) {
+          diags.error(loc, "function-like macros are not supported: " + name);
+        } else if (emitting()) {
+          std::string rest;
+          std::getline(dir, rest);
+          macros[name] = trim(rest);
+        }
+      } else if (word == "undef") {
+        std::string name;
+        dir >> name;
+        if (emitting()) macros.erase(name);
+      } else if (word == "ifdef" || word == "ifndef") {
+        std::string name;
+        dir >> name;
+        const bool defined = macros.count(name) != 0;
+        condStack.push_back(word == "ifdef" ? defined : !defined);
+      } else if (word == "else") {
+        if (condStack.empty()) {
+          diags.error(loc, "#else without #ifdef");
+        } else {
+          condStack.back() = !condStack.back();
+        }
+      } else if (word == "endif") {
+        if (condStack.empty()) {
+          diags.error(loc, "#endif without #ifdef");
+        } else {
+          condStack.pop_back();
+        }
+      } else if (word == "pragma") {
+        std::string what;
+        dir >> what;
+        if (what == "unroll" && emitting()) {
+          std::string factor;
+          dir >> factor;
+          if (factor.empty()) factor = "0";  // 0 = full unroll request
+          factor = expandMacros(factor, macros);
+          out << "__attribute__((opencl_unroll_hint(" << factor << ")))";
+        } else if (emitting()) {
+          diags.warning(loc, "ignoring unsupported #pragma " + what);
+        }
+      } else if (word == "include") {
+        diags.warning(loc, "#include is not supported and was ignored");
+      } else {
+        diags.error(loc, "unknown preprocessor directive #" + word);
+      }
+      out << '\n';  // keep line numbering aligned with the original
+      continue;
+    }
+    out << (emitting() ? expandMacros(line, macros) : std::string()) << '\n';
+  }
+  if (!condStack.empty()) {
+    diags.error(SourceLocation{0, lineNo, 1}, "unterminated #ifdef block");
+  }
+  return out.str();
+}
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,30 @@
+// Minimal preprocessor for OpenCL kernel sources.
+//
+// Supported directives:
+//   #define NAME replacement        (object-like macros only)
+//   #undef NAME
+//   #ifdef NAME / #ifndef NAME / #else / #endif   (no nesting limits)
+//   #pragma unroll [N]     -> rewritten to __attribute__((opencl_unroll_hint(N)))
+//   other #pragma / #include lines are dropped with a warning
+//
+// The output preserves line structure (directive lines become blank lines) so
+// diagnostics after preprocessing still point at the right line.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "support/diagnostics.h"
+
+namespace flexcl::ocl {
+
+struct PreprocessorOptions {
+  /// Predefined object-like macros (e.g. problem-size parameters).
+  std::unordered_map<std::string, std::string> defines;
+};
+
+/// Runs the preprocessor over `source` and returns the expanded text.
+std::string preprocess(const std::string& source, DiagnosticEngine& diags,
+                       const PreprocessorOptions& options = {});
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,712 @@
+#include "ocl/sema.h"
+
+#include <cassert>
+
+namespace flexcl::ocl {
+namespace {
+
+struct BuiltinEntry {
+  const char* name;
+  Builtin builtin;
+};
+
+constexpr BuiltinEntry kBuiltins[] = {
+    {"get_global_id", Builtin::GetGlobalId},
+    {"get_local_id", Builtin::GetLocalId},
+    {"get_group_id", Builtin::GetGroupId},
+    {"get_global_size", Builtin::GetGlobalSize},
+    {"get_local_size", Builtin::GetLocalSize},
+    {"get_num_groups", Builtin::GetNumGroups},
+    {"get_work_dim", Builtin::GetWorkDim},
+    {"barrier", Builtin::Barrier},
+    {"mem_fence", Builtin::MemFence},
+    {"sqrt", Builtin::Sqrt},
+    {"native_sqrt", Builtin::Sqrt},
+    {"half_sqrt", Builtin::Sqrt},
+    {"rsqrt", Builtin::Rsqrt},
+    {"native_rsqrt", Builtin::Rsqrt},
+    {"exp", Builtin::Exp},
+    {"native_exp", Builtin::Exp},
+    {"exp2", Builtin::Exp2},
+    {"log", Builtin::Log},
+    {"native_log", Builtin::Log},
+    {"log2", Builtin::Log2},
+    {"pow", Builtin::Pow},
+    {"powf", Builtin::Pow},
+    {"sin", Builtin::Sin},
+    {"native_sin", Builtin::Sin},
+    {"cos", Builtin::Cos},
+    {"native_cos", Builtin::Cos},
+    {"tan", Builtin::Tan},
+    {"fabs", Builtin::Fabs},
+    {"floor", Builtin::Floor},
+    {"ceil", Builtin::Ceil},
+    {"round", Builtin::Round},
+    {"fmax", Builtin::Fmax},
+    {"fmin", Builtin::Fmin},
+    {"fmod", Builtin::Fmod},
+    {"mad", Builtin::Mad},
+    {"fma", Builtin::Fma},
+    {"abs", Builtin::Abs},
+    {"max", Builtin::Max},
+    {"min", Builtin::Min},
+    {"clamp", Builtin::Clamp},
+    {"select", Builtin::Select},
+    {"hypot", Builtin::Hypot},
+    {"atan", Builtin::Atan},
+    {"atan2", Builtin::Atan2},
+};
+
+int vectorLaneIndex(const std::string& member) {
+  if (member.size() == 1) {
+    switch (member[0]) {
+      case 'x': return 0;
+      case 'y': return 1;
+      case 'z': return 2;
+      case 'w': return 3;
+      default: return -1;
+    }
+  }
+  if (member.size() == 2 && member[0] == 's') {
+    const char c = member[1];
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Builtin lookupBuiltin(const std::string& name) {
+  for (const BuiltinEntry& e : kBuiltins) {
+    if (name == e.name) return e.builtin;
+  }
+  return Builtin::None;
+}
+
+bool isFloatBuiltin(Builtin b) {
+  switch (b) {
+    case Builtin::Abs:
+    case Builtin::Max:
+    case Builtin::Min:
+    case Builtin::Clamp:
+    case Builtin::Select:
+    case Builtin::GetGlobalId:
+    case Builtin::GetLocalId:
+    case Builtin::GetGroupId:
+    case Builtin::GetGlobalSize:
+    case Builtin::GetLocalSize:
+    case Builtin::GetNumGroups:
+    case Builtin::GetWorkDim:
+    case Builtin::Barrier:
+    case Builtin::MemFence:
+    case Builtin::None:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+void Sema::pushScope() { scopes_.emplace_back(); }
+void Sema::popScope() { scopes_.pop_back(); }
+
+void Sema::declare(VarDecl& var) {
+  assert(!scopes_.empty());
+  auto& scope = scopes_.back();
+  if (scope.count(var.name)) {
+    diags_.error(var.location, "redefinition of '" + var.name + "'");
+    return;
+  }
+  scope[var.name] = &var;
+}
+
+const VarDecl* Sema::lookup(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) return found->second;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+bool Sema::check(Program& program) {
+  program_ = &program;
+  types_ = program.types.get();
+  for (auto& fn : program.functions) checkFunction(*fn);
+  return !diags_.hasErrors();
+}
+
+void Sema::checkFunction(FunctionDecl& fn) {
+  currentFunction_ = &fn;
+  pushScope();
+  for (auto& param : fn.params) {
+    if (fn.isKernel && param->type->isPointer() &&
+        param->type->addressSpace() == ir::AddressSpace::Private) {
+      diags_.error(param->location,
+                   "kernel pointer parameter '" + param->name +
+                       "' must be __global, __local or __constant");
+    }
+    declare(*param);
+  }
+  if (fn.body) checkStmt(*fn.body);
+  popScope();
+  currentFunction_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Sema::checkStmt(Stmt& stmt) {
+  switch (stmt.kind()) {
+    case Stmt::Kind::Compound: {
+      auto& c = static_cast<CompoundStmt&>(stmt);
+      pushScope();
+      for (auto& s : c.body) checkStmt(*s);
+      popScope();
+      break;
+    }
+    case Stmt::Kind::Decl: {
+      auto& d = static_cast<DeclStmt&>(stmt);
+      for (auto& var : d.decls) checkVarDecl(*var);
+      break;
+    }
+    case Stmt::Kind::Expr: {
+      auto& e = static_cast<ExprStmt&>(stmt);
+      if (e.expr) checkExpr(e.expr);
+      break;
+    }
+    case Stmt::Kind::If: {
+      auto& s = static_cast<IfStmt&>(stmt);
+      checkExpr(s.cond);
+      convertToCondition(s.cond);
+      if (s.thenStmt) checkStmt(*s.thenStmt);
+      if (s.elseStmt) checkStmt(*s.elseStmt);
+      break;
+    }
+    case Stmt::Kind::For: {
+      auto& s = static_cast<ForStmt&>(stmt);
+      pushScope();
+      if (s.init) checkStmt(*s.init);
+      if (s.cond) {
+        checkExpr(s.cond);
+        convertToCondition(s.cond);
+      }
+      if (s.step) checkExpr(s.step);
+      if (s.body) checkStmt(*s.body);
+      popScope();
+      break;
+    }
+    case Stmt::Kind::While: {
+      auto& s = static_cast<WhileStmt&>(stmt);
+      checkExpr(s.cond);
+      convertToCondition(s.cond);
+      if (s.body) checkStmt(*s.body);
+      break;
+    }
+    case Stmt::Kind::Do: {
+      auto& s = static_cast<DoStmt&>(stmt);
+      if (s.body) checkStmt(*s.body);
+      checkExpr(s.cond);
+      convertToCondition(s.cond);
+      break;
+    }
+    case Stmt::Kind::Return: {
+      auto& s = static_cast<ReturnStmt&>(stmt);
+      const ir::Type* expected = currentFunction_->returnType;
+      if (s.value) {
+        checkExpr(s.value);
+        if (expected->isVoid()) {
+          diags_.error(s.location, "void function cannot return a value");
+        } else {
+          convertTo(s.value, expected);
+        }
+      } else if (!expected->isVoid()) {
+        diags_.error(s.location, "non-void function must return a value");
+      }
+      break;
+    }
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+      break;
+  }
+}
+
+void Sema::checkVarDecl(VarDecl& var) {
+  if (var.type->isVoid()) {
+    diags_.error(var.location, "variable '" + var.name + "' has void type");
+    var.type = types_->i32();
+  }
+  if (var.init) {
+    checkExpr(var.init);
+    if (var.type->isArray() || var.type->isStruct()) {
+      diags_.error(var.location, "aggregate initialisers are not supported");
+      var.init.reset();
+    } else {
+      convertTo(var.init, var.type);
+    }
+  }
+  declare(var);
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+const ir::Type* Sema::commonArithmeticType(const ir::Type* a, const ir::Type* b) {
+  // Bool promotes to int in arithmetic.
+  if (a->isBool()) a = types_->i32();
+  if (b->isBool()) b = types_->i32();
+  if (a->isFloat() || b->isFloat()) {
+    const unsigned bits = std::max(a->isFloat() ? a->bits() : 0u,
+                                   b->isFloat() ? b->bits() : 0u);
+    return types_->floatType(std::max(bits, 32u));
+  }
+  const unsigned bits = std::max(std::max(a->bits(), b->bits()), 32u);
+  const bool isSigned =
+      a->bits() == b->bits() ? (a->isSigned() && b->isSigned())
+                             : (a->bits() > b->bits() ? a->isSigned() : b->isSigned());
+  return types_->intType(bits, isSigned);
+}
+
+void Sema::convertTo(ExprPtr& expr, const ir::Type* target) {
+  const ir::Type* from = expr->type;
+  if (!from || from == target) return;
+
+  // Scalar -> vector splat.
+  if (target->isVector() && from->isScalar()) {
+    auto loc = expr->location;
+    auto cast = std::make_unique<CastExpr>(target, std::move(expr), true);
+    cast->location = loc;
+    cast->type = target;
+    expr = std::move(cast);
+    return;
+  }
+  const bool scalarOk = (from->isScalar() && target->isScalar());
+  const bool vectorOk = (from->isVector() && target->isVector() &&
+                         from->count() == target->count());
+  const bool pointerOk = (from->isPointer() && target->isPointer());
+  // Array-to-pointer decay (e.g. passing a private array to a helper).
+  const bool decayOk = (from->isArray() && target->isPointer() &&
+                        from->element() == target->element());
+  if (!scalarOk && !vectorOk && !pointerOk && !decayOk) {
+    diags_.error(expr->location, "cannot convert " + from->str() + " to " +
+                                     target->str());
+    expr->type = target;
+    return;
+  }
+  auto loc = expr->location;
+  auto cast = std::make_unique<CastExpr>(target, std::move(expr), true);
+  cast->location = loc;
+  cast->type = target;
+  expr = std::move(cast);
+}
+
+void Sema::convertToCondition(ExprPtr& expr) {
+  const ir::Type* t = expr->type;
+  if (!t) return;
+  if (t->isBool()) return;
+  if (t->isInt() || t->isFloat() || t->isPointer()) {
+    convertTo(expr, types_->boolType());
+    return;
+  }
+  diags_.error(expr->location, "condition must be scalar, got " + t->str());
+}
+
+const ir::Type* Sema::usualConversions(ExprPtr& lhs, ExprPtr& rhs) {
+  const ir::Type* lt = lhs->type;
+  const ir::Type* rt = rhs->type;
+  if (lt->isVector() || rt->isVector()) {
+    const ir::Type* vec = lt->isVector() ? lt : rt;
+    const ir::Type* common = vec;
+    if (lt->isVector() && rt->isVector()) {
+      if (lt->count() != rt->count()) {
+        diags_.error(lhs->location, "vector lane mismatch: " + lt->str() + " vs " +
+                                        rt->str());
+        return lt;
+      }
+      common = types_->vectorType(
+          commonArithmeticType(lt->element(), rt->element()), lt->count());
+    } else {
+      const ir::Type* scalarSide = lt->isVector() ? rt : lt;
+      common = types_->vectorType(
+          commonArithmeticType(vec->element(), scalarSide), vec->count());
+    }
+    convertTo(lhs, common);
+    convertTo(rhs, common);
+    return common;
+  }
+  const ir::Type* common = commonArithmeticType(lt, rt);
+  convertTo(lhs, common);
+  convertTo(rhs, common);
+  return common;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+const ir::Type* Sema::checkExpr(ExprPtr& owner) {
+  Expr& e = *owner;
+  switch (e.kind()) {
+    case Expr::Kind::IntLiteral: {
+      auto& lit = static_cast<IntLiteralExpr&>(e);
+      const unsigned bits = lit.isLong ? 64 : 32;
+      e.type = types_->intType(bits, !lit.isUnsigned);
+      break;
+    }
+    case Expr::Kind::FloatLiteral: {
+      auto& lit = static_cast<FloatLiteralExpr&>(e);
+      e.type = lit.isDoublePrecision ? types_->f64() : types_->f32();
+      break;
+    }
+    case Expr::Kind::BoolLiteral:
+      e.type = types_->boolType();
+      break;
+    case Expr::Kind::DeclRef: {
+      auto& ref = static_cast<DeclRefExpr&>(e);
+      ref.decl = lookup(ref.name);
+      if (!ref.decl) {
+        diags_.error(e.location, "use of undeclared identifier '" + ref.name + "'");
+        e.type = types_->i32();
+        break;
+      }
+      e.type = ref.decl->type;
+      e.isLValue = !ref.decl->isConst;
+      break;
+    }
+    case Expr::Kind::Binary:
+      return checkBinary(owner);
+    case Expr::Kind::Unary:
+      return checkUnary(owner);
+    case Expr::Kind::Assign:
+      return checkAssign(owner);
+    case Expr::Kind::Call:
+      return checkCall(owner);
+    case Expr::Kind::Index:
+      return checkIndex(owner);
+    case Expr::Kind::Member:
+      return checkMember(owner);
+    case Expr::Kind::Conditional:
+      return checkConditional(owner);
+    case Expr::Kind::Cast: {
+      auto& cast = static_cast<CastExpr&>(e);
+      checkExpr(cast.operand);
+      e.type = cast.toType;
+      break;
+    }
+    case Expr::Kind::VectorConstruct: {
+      auto& v = static_cast<VectorConstructExpr&>(e);
+      std::uint64_t lanes = 0;
+      for (auto& elem : v.elements) {
+        const ir::Type* t = checkExpr(elem);
+        lanes += t->isVector() ? t->count() : 1;
+        if (!t->isVector()) convertTo(elem, v.vectorType->element());
+      }
+      if (lanes != v.vectorType->count()) {
+        diags_.error(e.location, "vector construct provides " +
+                                     std::to_string(lanes) + " lanes, needs " +
+                                     std::to_string(v.vectorType->count()));
+      }
+      e.type = v.vectorType;
+      break;
+    }
+    case Expr::Kind::Sizeof: {
+      auto& s = static_cast<SizeofExpr&>(e);
+      (void)s;
+      e.type = types_->u64();
+      break;
+    }
+  }
+  return e.type;
+}
+
+const ir::Type* Sema::checkBinary(ExprPtr& owner) {
+  auto& b = static_cast<BinaryExpr&>(*owner);
+  const ir::Type* lt = checkExpr(b.lhs);
+  const ir::Type* rt = checkExpr(b.rhs);
+
+  switch (b.op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      // Pointer arithmetic: ptr +/- int.
+      if (lt->isPointer() && rt->isInt()) {
+        b.type = lt;
+        return b.type;
+      }
+      if (b.op == BinaryOp::Add && lt->isInt() && rt->isPointer()) {
+        b.type = rt;
+        return b.type;
+      }
+      if (b.op == BinaryOp::Sub && lt->isPointer() && rt->isPointer()) {
+        b.type = types_->i64();
+        return b.type;
+      }
+      [[fallthrough]];
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      b.type = usualConversions(b.lhs, b.rhs);
+      return b.type;
+    case BinaryOp::Rem:
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+    case BinaryOp::BitAnd:
+    case BinaryOp::BitOr:
+    case BinaryOp::BitXor: {
+      const ir::Type* common = usualConversions(b.lhs, b.rhs);
+      if (!(common->isInt() ||
+            (common->isVector() && common->element()->isInt()))) {
+        diags_.error(b.location, "integer operation on " + common->str());
+      }
+      b.type = common;
+      return b.type;
+    }
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+      if (lt->isPointer() && rt->isPointer()) {
+        b.type = types_->boolType();
+        return b.type;
+      }
+      usualConversions(b.lhs, b.rhs);
+      b.type = types_->boolType();
+      return b.type;
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      convertToCondition(b.lhs);
+      convertToCondition(b.rhs);
+      b.type = types_->boolType();
+      return b.type;
+  }
+  b.type = types_->i32();
+  return b.type;
+}
+
+const ir::Type* Sema::checkUnary(ExprPtr& owner) {
+  auto& u = static_cast<UnaryExpr&>(*owner);
+  const ir::Type* t = checkExpr(u.operand);
+  switch (u.op) {
+    case UnaryOp::Plus:
+    case UnaryOp::Minus:
+      if (!t->isArithmetic() && !(t->isVector() && t->element()->isArithmetic())) {
+        diags_.error(u.location, "arithmetic negation on " + t->str());
+      }
+      u.type = t->isBool() ? types_->i32() : t;
+      break;
+    case UnaryOp::BitNot:
+      if (!t->isInt() && !(t->isVector() && t->element()->isInt())) {
+        diags_.error(u.location, "bitwise not on " + t->str());
+      }
+      u.type = t;
+      break;
+    case UnaryOp::LogNot:
+      convertToCondition(u.operand);
+      u.type = types_->boolType();
+      break;
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      if (!u.operand->isLValue) {
+        diags_.error(u.location, "increment/decrement needs an lvalue");
+      }
+      u.type = t;
+      break;
+    case UnaryOp::Deref:
+      if (!t->isPointer()) {
+        diags_.error(u.location, "dereference of non-pointer " + t->str());
+        u.type = types_->i32();
+      } else {
+        u.type = t->element();
+        u.isLValue = true;
+      }
+      break;
+    case UnaryOp::AddrOf:
+      if (!u.operand->isLValue) {
+        diags_.error(u.location, "address-of needs an lvalue");
+      }
+      u.type = types_->pointerType(t, ir::AddressSpace::Private);
+      break;
+  }
+  return u.type;
+}
+
+const ir::Type* Sema::checkAssign(ExprPtr& owner) {
+  auto& a = static_cast<AssignExpr&>(*owner);
+  const ir::Type* targetType = checkExpr(a.target);
+  checkExpr(a.value);
+  if (!a.target->isLValue) {
+    diags_.error(a.location, "assignment target is not an lvalue");
+  }
+  if (a.hasCompoundOp && targetType->isPointer()) {
+    // ptr += int and ptr -= int keep the pointer type.
+    if (!a.value->type->isInt()) {
+      diags_.error(a.location, "pointer compound assignment needs integer rhs");
+    }
+  } else {
+    convertTo(a.value, targetType);
+  }
+  a.type = targetType;
+  return a.type;
+}
+
+const ir::Type* Sema::checkCall(ExprPtr& owner) {
+  auto& call = static_cast<CallExpr&>(*owner);
+  for (auto& arg : call.args) checkExpr(arg);
+
+  call.builtin = lookupBuiltin(call.callee);
+  if (call.builtin != Builtin::None) {
+    switch (call.builtin) {
+      case Builtin::GetGlobalId:
+      case Builtin::GetLocalId:
+      case Builtin::GetGroupId:
+      case Builtin::GetGlobalSize:
+      case Builtin::GetLocalSize:
+      case Builtin::GetNumGroups:
+        if (call.args.size() != 1) {
+          diags_.error(call.location, call.callee + " expects one argument");
+        } else {
+          convertTo(call.args[0], types_->u32());
+        }
+        call.type = types_->u64();  // size_t
+        return call.type;
+      case Builtin::GetWorkDim:
+        call.type = types_->u32();
+        return call.type;
+      case Builtin::Barrier:
+      case Builtin::MemFence:
+        call.type = types_->voidType();
+        return call.type;
+      default:
+        break;
+    }
+    // Math builtins: unify arguments. Integer builtins keep int types, float
+    // builtins promote to float.
+    const bool isFloat = isFloatBuiltin(call.builtin);
+    const ir::Type* common =
+        isFloat ? static_cast<const ir::Type*>(types_->f32()) : types_->i32();
+    for (auto& arg : call.args) {
+      if (arg->type->isVector()) {
+        common = arg->type;
+      } else if (arg->type->isFloat() && arg->type->bits() > common->bits()) {
+        common = arg->type;
+      } else if (!isFloat && arg->type->isInt() &&
+                 (common->isInt() && arg->type->bits() > common->bits())) {
+        common = arg->type;
+      } else if (isFloat && !common->isVector() && !common->isFloat()) {
+        common = types_->f32();
+      }
+    }
+    if (isFloat && common->isInt()) common = types_->f32();
+    for (auto& arg : call.args) convertTo(arg, common);
+    call.type = common;
+    return call.type;
+  }
+
+  call.function = program_->findFunction(call.callee);
+  if (!call.function) {
+    diags_.error(call.location, "call to unknown function '" + call.callee + "'");
+    call.type = types_->i32();
+    return call.type;
+  }
+  if (call.function->isKernel) {
+    diags_.error(call.location, "kernels cannot be called from device code");
+  }
+  if (call.args.size() != call.function->params.size()) {
+    diags_.error(call.location,
+                 "'" + call.callee + "' expects " +
+                     std::to_string(call.function->params.size()) + " arguments, got " +
+                     std::to_string(call.args.size()));
+  } else {
+    for (std::size_t i = 0; i < call.args.size(); ++i) {
+      convertTo(call.args[i], call.function->params[i]->type);
+    }
+  }
+  call.type = call.function->returnType;
+  return call.type;
+}
+
+const ir::Type* Sema::checkIndex(ExprPtr& owner) {
+  auto& idx = static_cast<IndexExpr&>(*owner);
+  const ir::Type* baseType = checkExpr(idx.base);
+  checkExpr(idx.index);
+  convertTo(idx.index, types_->i64());
+
+  if (baseType->isPointer() || baseType->isArray()) {
+    idx.type = baseType->element();
+    idx.isLValue = true;
+  } else if (baseType->isVector()) {
+    idx.type = baseType->element();
+    idx.isLValue = idx.base->isLValue;
+  } else {
+    diags_.error(idx.location, "subscript on non-indexable " + baseType->str());
+    idx.type = types_->i32();
+  }
+  return idx.type;
+}
+
+const ir::Type* Sema::checkMember(ExprPtr& owner) {
+  auto& m = static_cast<MemberExpr&>(*owner);
+  const ir::Type* baseType = checkExpr(m.base);
+  if (m.isArrow) {
+    if (!baseType->isPointer()) {
+      diags_.error(m.location, "'->' on non-pointer " + baseType->str());
+      m.type = types_->i32();
+      return m.type;
+    }
+    baseType = baseType->element();
+  }
+  if (baseType->isStruct()) {
+    m.fieldIndex = baseType->fieldIndex(m.member);
+    if (m.fieldIndex < 0) {
+      diags_.error(m.location, "no field '" + m.member + "' in " + baseType->str());
+      m.type = types_->i32();
+      return m.type;
+    }
+    m.type = baseType->fields()[static_cast<std::size_t>(m.fieldIndex)].type;
+    m.isLValue = m.isArrow || m.base->isLValue;
+    return m.type;
+  }
+  if (baseType->isVector()) {
+    m.laneIndex = vectorLaneIndex(m.member);
+    if (m.laneIndex < 0 ||
+        static_cast<std::uint64_t>(m.laneIndex) >= baseType->count()) {
+      diags_.error(m.location, "invalid vector component '." + m.member + "'");
+      m.type = baseType->element();
+      return m.type;
+    }
+    m.type = baseType->element();
+    m.isLValue = m.base->isLValue;
+    return m.type;
+  }
+  diags_.error(m.location, "member access on " + baseType->str());
+  m.type = types_->i32();
+  return m.type;
+}
+
+const ir::Type* Sema::checkConditional(ExprPtr& owner) {
+  auto& c = static_cast<ConditionalExpr&>(*owner);
+  checkExpr(c.cond);
+  convertToCondition(c.cond);
+  const ir::Type* lt = checkExpr(c.thenExpr);
+  const ir::Type* rt = checkExpr(c.elseExpr);
+  if (lt->isPointer() && rt->isPointer()) {
+    c.type = lt;
+  } else {
+    c.type = usualConversions(c.thenExpr, c.elseExpr);
+  }
+  return c.type;
+}
+
+}  // namespace flexcl::ocl

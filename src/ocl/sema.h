@@ -1,0 +1,71 @@
+// Semantic analysis for the OpenCL C subset: name resolution, type checking,
+// implicit conversions, builtin resolution, kernel-signature validation.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ocl/ast.h"
+#include "support/diagnostics.h"
+
+namespace flexcl::ocl {
+
+/// Runs over a parsed Program and annotates the AST in place:
+///  - every Expr gets a type and lvalue-ness,
+///  - DeclRefExpr::decl, CallExpr::builtin / ::function, MemberExpr indices,
+///  - implicit CastExpr nodes are inserted where C's usual conversions apply.
+class Sema {
+ public:
+  explicit Sema(DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Returns true when the program type-checked without errors.
+  bool check(Program& program);
+
+ private:
+  // Scope management: a simple spaghetti stack of name -> VarDecl maps.
+  void pushScope();
+  void popScope();
+  void declare(VarDecl& var);
+  const VarDecl* lookup(const std::string& name) const;
+
+  void checkFunction(FunctionDecl& fn);
+  void checkStmt(Stmt& stmt);
+  void checkVarDecl(VarDecl& var);
+
+  /// Type-checks an expression tree; returns its type (also stored in the
+  /// node). `owner` is the owning pointer so implicit casts can be inserted.
+  const ir::Type* checkExpr(ExprPtr& owner);
+
+  const ir::Type* checkBinary(ExprPtr& owner);
+  const ir::Type* checkUnary(ExprPtr& owner);
+  const ir::Type* checkAssign(ExprPtr& owner);
+  const ir::Type* checkCall(ExprPtr& owner);
+  const ir::Type* checkIndex(ExprPtr& owner);
+  const ir::Type* checkMember(ExprPtr& owner);
+  const ir::Type* checkConditional(ExprPtr& owner);
+
+  /// Inserts an implicit cast to `target` if needed; reports an error when the
+  /// conversion is not allowed.
+  void convertTo(ExprPtr& expr, const ir::Type* target);
+  /// Applies the usual arithmetic conversions to a pair of operands and
+  /// returns the common type (handles vector/scalar splats).
+  const ir::Type* usualConversions(ExprPtr& lhs, ExprPtr& rhs);
+  const ir::Type* commonArithmeticType(const ir::Type* a, const ir::Type* b);
+  /// Condition contexts: any scalar converts to bool.
+  void convertToCondition(ExprPtr& expr);
+
+  DiagnosticEngine& diags_;
+  Program* program_ = nullptr;
+  ir::TypeContext* types_ = nullptr;
+  FunctionDecl* currentFunction_ = nullptr;
+  std::vector<std::unordered_map<std::string, VarDecl*>> scopes_;
+};
+
+/// Maps a function name to a Builtin; Builtin::None when unknown.
+Builtin lookupBuiltin(const std::string& name);
+
+/// True for builtins that take/return floating-point values.
+bool isFloatBuiltin(Builtin b);
+
+}  // namespace flexcl::ocl

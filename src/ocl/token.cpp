@@ -1,0 +1,117 @@
+#include "ocl/token.h"
+
+namespace flexcl::ocl {
+
+std::string_view tokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::EndOfFile: return "end of file";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::CharLiteral: return "char literal";
+    case TokenKind::StringLiteral: return "string literal";
+    case TokenKind::KwKernel: return "'__kernel'";
+    case TokenKind::KwGlobal: return "'__global'";
+    case TokenKind::KwLocal: return "'__local'";
+    case TokenKind::KwConstantAS: return "'__constant'";
+    case TokenKind::KwPrivate: return "'__private'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwDo: return "'do'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::KwStruct: return "'struct'";
+    case TokenKind::KwTypedef: return "'typedef'";
+    case TokenKind::KwConst: return "'const'";
+    case TokenKind::KwVolatile: return "'volatile'";
+    case TokenKind::KwRestrict: return "'restrict'";
+    case TokenKind::KwUnsigned: return "'unsigned'";
+    case TokenKind::KwSigned: return "'signed'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwChar: return "'char'";
+    case TokenKind::KwShort: return "'short'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwLong: return "'long'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwSizeof: return "'sizeof'";
+    case TokenKind::KwAttribute: return "'__attribute__'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwSwitch: return "'switch'";
+    case TokenKind::KwCase: return "'case'";
+    case TokenKind::KwDefault: return "'default'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Question: return "'?'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Arrow: return "'->'";
+    case TokenKind::Ellipsis: return "'...'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Exclaim: return "'!'";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::Greater: return "'>'";
+    case TokenKind::LessLess: return "'<<'";
+    case TokenKind::GreaterGreater: return "'>>'";
+    case TokenKind::LessEqual: return "'<='";
+    case TokenKind::GreaterEqual: return "'>='";
+    case TokenKind::EqualEqual: return "'=='";
+    case TokenKind::ExclaimEqual: return "'!='";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Equal: return "'='";
+    case TokenKind::PlusEqual: return "'+='";
+    case TokenKind::MinusEqual: return "'-='";
+    case TokenKind::StarEqual: return "'*='";
+    case TokenKind::SlashEqual: return "'/='";
+    case TokenKind::PercentEqual: return "'%='";
+    case TokenKind::AmpEqual: return "'&='";
+    case TokenKind::PipeEqual: return "'|='";
+    case TokenKind::CaretEqual: return "'^='";
+    case TokenKind::LessLessEqual: return "'<<='";
+    case TokenKind::GreaterGreaterEqual: return "'>>='";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::MinusMinus: return "'--'";
+  }
+  return "<unknown token>";
+}
+
+bool Token::isTypeKeyword() const {
+  switch (kind) {
+    case TokenKind::KwVoid:
+    case TokenKind::KwBool:
+    case TokenKind::KwChar:
+    case TokenKind::KwShort:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwUnsigned:
+    case TokenKind::KwSigned:
+    case TokenKind::KwStruct:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,52 @@
+// Token definitions for the OpenCL C frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.h"
+
+namespace flexcl::ocl {
+
+enum class TokenKind : std::uint8_t {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwKernel, KwGlobal, KwLocal, KwConstantAS, KwPrivate,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwReturn, KwBreak, KwContinue,
+  KwStruct, KwTypedef, KwConst, KwVolatile, KwRestrict, KwUnsigned, KwSigned,
+  KwVoid, KwBool, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwSizeof, KwAttribute, KwTrue, KwFalse, KwSwitch, KwCase, KwDefault,
+
+  // Punctuation / operators.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Colon, Question, Dot, Arrow, Ellipsis,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Exclaim,
+  Less, Greater, LessLess, GreaterGreater,
+  LessEqual, GreaterEqual, EqualEqual, ExclaimEqual,
+  AmpAmp, PipePipe,
+  Equal, PlusEqual, MinusEqual, StarEqual, SlashEqual, PercentEqual,
+  AmpEqual, PipeEqual, CaretEqual, LessLessEqual, GreaterGreaterEqual,
+  PlusPlus, MinusMinus,
+};
+
+/// Returns a human-readable spelling of a token kind (for diagnostics).
+std::string_view tokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  SourceLocation location;
+  std::string text;  ///< Spelling: identifier name or literal text.
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool isTypeKeyword() const;
+};
+
+}  // namespace flexcl::ocl

@@ -1,0 +1,91 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+namespace flexcl::sched {
+
+ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
+                                const ResourceBudget& budget) {
+  const auto& nodes = dfg.nodes();
+  ListScheduleResult result;
+  result.startCycle.assign(nodes.size(), 0);
+  if (nodes.empty()) return result;
+
+  // Priority: longest latency path from the node to any sink (computed over
+  // the reverse topological order — nodes are in program order).
+  std::vector<int> priority(nodes.size(), 0);
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    int best = 0;
+    for (int s : nodes[i].succs) {
+      best = std::max(best, priority[static_cast<std::size_t>(s)]);
+    }
+    priority[i] = best + std::max(1, nodes[i].latency);
+  }
+
+  std::vector<int> remainingPreds(nodes.size());
+  std::vector<int> readyAt(nodes.size(), 0);  // earliest data-ready cycle
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    remainingPreds[i] = static_cast<int>(nodes[i].preds.size());
+  }
+
+  // Ready pool: nodes whose predecessors all issued; they become eligible at
+  // readyAt[i].
+  std::vector<int> pool;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (remainingPreds[i] == 0) pool.push_back(static_cast<int>(i));
+  }
+
+  std::size_t scheduled = 0;
+  int cycle = 0;
+  while (scheduled < nodes.size()) {
+    // Per-cycle budget.
+    int used[6] = {0, 0, 0, 0, 0, 0};
+    // Candidates eligible this cycle, best priority first.
+    std::vector<int> eligible;
+    for (int i : pool) {
+      if (readyAt[static_cast<std::size_t>(i)] <= cycle) eligible.push_back(i);
+    }
+    std::stable_sort(eligible.begin(), eligible.end(), [&](int a, int b) {
+      return priority[static_cast<std::size_t>(a)] >
+             priority[static_cast<std::size_t>(b)];
+    });
+
+    for (int i : eligible) {
+      const auto& node = nodes[static_cast<std::size_t>(i)];
+      const auto rc = static_cast<std::size_t>(node.resource.rc);
+      if (node.resource.rc != ResourceClass::None &&
+          used[rc] + node.resource.units > budget.capacity(node.resource.rc)) {
+        continue;  // structural hazard this cycle
+      }
+      used[rc] += node.resource.units;
+      result.startCycle[static_cast<std::size_t>(i)] = cycle;
+      result.latency = std::max(result.latency, cycle + node.latency);
+      ++scheduled;
+      pool.erase(std::find(pool.begin(), pool.end(), i));
+      for (int s : node.succs) {
+        auto si = static_cast<std::size_t>(s);
+        readyAt[si] = std::max(readyAt[si], cycle + node.latency);
+        if (--remainingPreds[si] == 0) pool.push_back(s);
+      }
+    }
+    ++cycle;
+    // Fast-forward over gaps where nothing becomes ready.
+    if (!pool.empty()) {
+      int next = 1 << 30;
+      bool anyEligibleNow = false;
+      for (int i : pool) {
+        const int r = readyAt[static_cast<std::size_t>(i)];
+        if (r <= cycle) {
+          anyEligibleNow = true;
+          break;
+        }
+        next = std::min(next, r);
+      }
+      if (!anyEligibleNow && next != (1 << 30)) cycle = next;
+    }
+  }
+  return result;
+}
+
+}  // namespace flexcl::sched

@@ -1,0 +1,27 @@
+// Resource-aware priority-ordered list scheduling (paper §3.3.1).
+//
+// Schedules one basic block's DFG with an ASAP policy: at each cycle, data-
+// ready operations are issued in priority order (longest path to sink first)
+// while per-cycle resource budgets (local memory ports, global issue slots,
+// DSP units) allow. IP cores are fully pipelined, so a unit is consumed only
+// in the issue cycle.
+#pragma once
+
+#include <vector>
+
+#include "cdfg/dfg.h"
+#include "sched/resource.h"
+
+namespace flexcl::sched {
+
+struct ListScheduleResult {
+  /// Completion time of the block (max over nodes of start + latency).
+  int latency = 0;
+  /// Issue cycle of each DFG node, parallel to BlockDfg::nodes().
+  std::vector<int> startCycle;
+};
+
+ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
+                                const ResourceBudget& budget);
+
+}  // namespace flexcl::sched

@@ -1,0 +1,86 @@
+#include "sched/mii.h"
+
+#include <algorithm>
+#include <array>
+
+namespace flexcl::sched {
+
+int computeResMII(const PipelineGraph& graph, const ResourceBudget& budget) {
+  std::array<long long, 6> demand = {0, 0, 0, 0, 0, 0};
+  int loopBound = 1;
+  for (const PipeNode& n : graph.nodes) {
+    if (n.resource.rc == ResourceClass::LoopEngine) {
+      // An exclusive engine held for `blockingCycles` every work-item.
+      loopBound = std::max(loopBound, n.blockingCycles);
+      continue;
+    }
+    if (n.resource.rc == ResourceClass::None) continue;
+    demand[static_cast<std::size_t>(n.resource.rc)] +=
+        static_cast<long long>(n.resource.units) * n.blockingCycles;
+  }
+  int mii = loopBound;
+  for (std::size_t rc = 0; rc < demand.size(); ++rc) {
+    if (demand[rc] == 0) continue;
+    const int cap = budget.capacity(static_cast<ResourceClass>(rc));
+    const long long bound = (demand[rc] + cap - 1) / cap;
+    mii = std::max<long long>(mii, bound);
+  }
+  return mii;
+}
+
+namespace {
+
+/// True when the graph contains a cycle with positive total weight under
+/// edge weight = delay - II * distance. Uses Bellman-Ford on longest paths:
+/// if relaxation still succeeds after |V| rounds, a positive cycle exists.
+bool hasPositiveCycle(const PipelineGraph& graph, int ii) {
+  const std::size_t n = graph.nodes.size();
+  std::vector<long long> dist(n, 0);  // start everywhere: detects any cycle
+  for (std::size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const PipeEdge& e : graph.edges) {
+      const long long w =
+          static_cast<long long>(e.delay) - static_cast<long long>(ii) * e.distance;
+      if (dist[static_cast<std::size_t>(e.from)] + w >
+          dist[static_cast<std::size_t>(e.to)]) {
+        dist[static_cast<std::size_t>(e.to)] =
+            dist[static_cast<std::size_t>(e.from)] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int computeRecMII(const PipelineGraph& graph) {
+  bool anyRecurrence = false;
+  long long delaySum = 0;
+  for (const PipeEdge& e : graph.edges) {
+    delaySum += std::max(0, e.delay);
+    if (e.distance > 0) anyRecurrence = true;
+  }
+  if (!anyRecurrence) return 1;
+
+  // Binary search the smallest II with no positive cycle.
+  int lo = 1;
+  int hi = static_cast<int>(std::min<long long>(delaySum + 1, 1 << 20));
+  if (hasPositiveCycle(graph, hi)) return hi;  // degenerate (distance-0 cycle)
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (hasPositiveCycle(graph, mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int computeMII(const PipelineGraph& graph, const ResourceBudget& budget) {
+  return std::max(computeRecMII(graph), computeResMII(graph, budget));
+}
+
+}  // namespace flexcl::sched

@@ -1,0 +1,52 @@
+// Minimum initiation interval bounds (paper §3.3.1, eqs. 2-4).
+//
+// The work-item pipeline is modelled as a modulo-scheduled loop whose
+// "iterations" are successive work-items. RecMII comes from inter-work-item
+// dependence cycles (detected from local-memory access analysis); ResMII from
+// local memory ports, DSP budget, and exclusive loop engines.
+#pragma once
+
+#include <vector>
+
+#include "sched/resource.h"
+
+namespace flexcl::sched {
+
+/// A node of the pipeline dependence graph (one op instance per work-item).
+struct PipeNode {
+  int latency = 0;
+  OpResource resource;
+  /// Cycles the node holds its resource exclusively. 1 for pipelined IP
+  /// cores; an inner non-unrolled loop holds its engine for its whole
+  /// latency, forcing II >= blockingCycles.
+  int blockingCycles = 1;
+};
+
+/// Dependence edge. `distance` counts work-items (0 = same work-item).
+struct PipeEdge {
+  int from = 0;
+  int to = 0;
+  int delay = 0;
+  int distance = 0;
+};
+
+struct PipelineGraph {
+  std::vector<PipeNode> nodes;
+  std::vector<PipeEdge> edges;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+};
+
+/// Resource-constrained MII (eq. 3-4 plus loop engines).
+int computeResMII(const PipelineGraph& graph, const ResourceBudget& budget);
+
+/// Recurrence-constrained MII: the smallest II for which no dependence cycle
+/// has positive slack deficit (max over cycles of ceil(delay / distance)).
+/// Computed by a Bellman-Ford positive-cycle check over edge weights
+/// delay - II * distance, binary-searched over II.
+int computeRecMII(const PipelineGraph& graph);
+
+/// MII = max(RecMII, ResMII) (eq. 2).
+int computeMII(const PipelineGraph& graph, const ResourceBudget& budget);
+
+}  // namespace flexcl::sched

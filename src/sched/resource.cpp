@@ -1,0 +1,47 @@
+#include "sched/resource.h"
+
+namespace flexcl::sched {
+
+const char* resourceClassName(ResourceClass rc) {
+  switch (rc) {
+    case ResourceClass::None: return "none";
+    case ResourceClass::LocalRead: return "local-read";
+    case ResourceClass::LocalWrite: return "local-write";
+    case ResourceClass::GlobalPort: return "global-port";
+    case ResourceClass::Dsp: return "dsp";
+    case ResourceClass::LoopEngine: return "loop-engine";
+  }
+  return "?";
+}
+
+OpResource classifyInstruction(const ir::Instruction& inst,
+                               const model::OpLatencyDb& latencies) {
+  using ir::Opcode;
+  switch (inst.opcode()) {
+    case Opcode::Load:
+      if (inst.memSpace == ir::AddressSpace::Local) {
+        return {ResourceClass::LocalRead, 1};
+      }
+      if (inst.memSpace == ir::AddressSpace::Global ||
+          inst.memSpace == ir::AddressSpace::Constant) {
+        return {ResourceClass::GlobalPort, 1};
+      }
+      return {ResourceClass::None, 0};
+    case Opcode::Store:
+      if (inst.memSpace == ir::AddressSpace::Local) {
+        return {ResourceClass::LocalWrite, 1};
+      }
+      if (inst.memSpace == ir::AddressSpace::Global ||
+          inst.memSpace == ir::AddressSpace::Constant) {
+        return {ResourceClass::GlobalPort, 1};
+      }
+      return {ResourceClass::None, 0};
+    default: {
+      const int dsp = latencies.dspCostOf(inst);
+      if (dsp > 0) return {ResourceClass::Dsp, dsp};
+      return {ResourceClass::None, 0};
+    }
+  }
+}
+
+}  // namespace flexcl::sched

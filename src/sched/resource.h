@@ -1,0 +1,60 @@
+// Resource classes and budgets used by the schedulers.
+//
+// The paper's list scheduler and SMS are "resource-aware": local memory read
+// and write ports and DSP blocks are the contended resources (§3.3.1). We add
+// a global-memory issue port (the AXI master) and an exclusive per-loop
+// engine used to model non-unrolled inner loops blocking the work-item
+// pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.h"
+#include "model/op_latency.h"
+
+namespace flexcl::sched {
+
+enum class ResourceClass : std::uint8_t {
+  None,       ///< unlimited (LUT logic)
+  LocalRead,  ///< local memory (BRAM) read ports
+  LocalWrite, ///< local memory (BRAM) write ports
+  GlobalPort, ///< global memory issue slots (AXI outstanding requests)
+  Dsp,        ///< DSP blocks
+  LoopEngine, ///< exclusive: a non-pipelined inner-loop body
+};
+
+const char* resourceClassName(ResourceClass rc);
+
+/// Issue-slot budget per cycle for one processing element.
+struct ResourceBudget {
+  int localReadPorts = 2;   ///< dual-port BRAM, both ports readable
+  int localWritePorts = 1;
+  int globalPorts = 2;
+  int dspUnits = 40;        ///< DSP blocks available to one PE's datapath
+
+  [[nodiscard]] int capacity(ResourceClass rc) const {
+    switch (rc) {
+      case ResourceClass::LocalRead: return localReadPorts;
+      case ResourceClass::LocalWrite: return localWritePorts;
+      case ResourceClass::GlobalPort: return globalPorts;
+      case ResourceClass::Dsp: return dspUnits;
+      case ResourceClass::LoopEngine: return 1;
+      case ResourceClass::None: return 1 << 30;
+    }
+    return 1 << 30;
+  }
+};
+
+/// How one instruction occupies resources when issued.
+struct OpResource {
+  ResourceClass rc = ResourceClass::None;
+  /// Units of `rc` consumed in the issue cycle (DSP ops consume their DSP
+  /// count; port ops consume one port).
+  int units = 0;
+};
+
+/// Classifies one IR instruction against the device resource model.
+OpResource classifyInstruction(const ir::Instruction& inst,
+                               const model::OpLatencyDb& latencies);
+
+}  // namespace flexcl::sched

@@ -1,0 +1,223 @@
+#include "sched/sms.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace flexcl::sched {
+namespace {
+
+/// Modulo reservation table: per (cycle mod II, resource class) used units.
+class ReservationTable {
+ public:
+  ReservationTable(int ii, const ResourceBudget& budget) : ii_(ii), budget_(budget) {
+    for (auto& row : used_) row.assign(static_cast<std::size_t>(ii), 0);
+  }
+
+  [[nodiscard]] bool fits(const PipeNode& node, int cycle) const {
+    if (node.resource.rc == ResourceClass::None) return true;
+    // Each loop supernode is its own (exclusive) engine: distinct loops are
+    // distinct hardware. Their II constraint (II >= blockingCycles) is
+    // enforced by ResMII, not by a shared reservation row.
+    if (node.resource.rc == ResourceClass::LoopEngine) return true;
+    const auto& row = used_[static_cast<std::size_t>(node.resource.rc)];
+    const int cap = budget_.capacity(node.resource.rc);
+    for (int c = 0; c < node.blockingCycles && c < ii_; ++c) {
+      const int slot = ((cycle + c) % ii_ + ii_) % ii_;
+      if (row[static_cast<std::size_t>(slot)] + node.resource.units > cap) return false;
+    }
+    // A node blocking more than II cycles wraps the reservation table and
+    // monopolises its resource: only legal when it is the sole user, which
+    // `fits` approximates by requiring an empty row.
+    if (node.blockingCycles > ii_) {
+      for (int v : row) {
+        if (v != 0) return false;
+      }
+    }
+    return true;
+  }
+
+  void place(const PipeNode& node, int cycle) {
+    if (node.resource.rc == ResourceClass::None ||
+        node.resource.rc == ResourceClass::LoopEngine) {
+      return;
+    }
+    auto& row = used_[static_cast<std::size_t>(node.resource.rc)];
+    for (int c = 0; c < node.blockingCycles && c < ii_; ++c) {
+      const int slot = ((cycle + c) % ii_ + ii_) % ii_;
+      row[static_cast<std::size_t>(slot)] += node.resource.units;
+    }
+  }
+
+ private:
+  int ii_;
+  ResourceBudget budget_;
+  std::array<std::vector<int>, 6> used_;
+};
+
+struct Adjacency {
+  // Edges grouped by endpoint for schedule-window computation.
+  std::vector<std::vector<int>> in;   // edge indices entering node
+  std::vector<std::vector<int>> out;  // edge indices leaving node
+};
+
+Adjacency buildAdjacency(const PipelineGraph& graph) {
+  Adjacency adj;
+  adj.in.resize(graph.nodes.size());
+  adj.out.resize(graph.nodes.size());
+  for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+    adj.out[static_cast<std::size_t>(graph.edges[e].from)].push_back(
+        static_cast<int>(e));
+    adj.in[static_cast<std::size_t>(graph.edges[e].to)].push_back(static_cast<int>(e));
+  }
+  return adj;
+}
+
+/// ASAP / ALAP over distance-0 edges only (the acyclic skeleton). Distance>0
+/// edges are recurrence back-edges handled by the modulo constraint.
+/// Every distance-0 edge points from a lower to a higher node id (nodes are
+/// emitted in program order), so one pass in node-id order is exact — a pass
+/// in edge-list order would not be, because memory-chain edges are appended
+/// after all register edges.
+void computeAsapAlap(const PipelineGraph& graph, const Adjacency& adj,
+                     std::vector<int>* asap, std::vector<int>* alap,
+                     int* makespan) {
+  const std::size_t n = graph.nodes.size();
+  asap->assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int e : adj.in[i]) {
+      const PipeEdge& edge = graph.edges[static_cast<std::size_t>(e)];
+      if (edge.distance != 0) continue;
+      (*asap)[i] = std::max(
+          (*asap)[i], (*asap)[static_cast<std::size_t>(edge.from)] + edge.delay);
+    }
+  }
+  int ms = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ms = std::max(ms, (*asap)[i] + graph.nodes[i].latency);
+  }
+  *makespan = ms;
+  alap->assign(n, ms);
+  for (std::size_t i = n; i-- > 0;) {
+    (*alap)[i] = ms - graph.nodes[i].latency;
+    for (int e : adj.out[i]) {
+      const PipeEdge& edge = graph.edges[static_cast<std::size_t>(e)];
+      if (edge.distance != 0) continue;
+      (*alap)[i] = std::min(
+          (*alap)[i], (*alap)[static_cast<std::size_t>(edge.to)] - edge.delay);
+    }
+  }
+}
+
+}  // namespace
+
+SmsResult swingModuloSchedule(const PipelineGraph& graph,
+                              const ResourceBudget& budget) {
+  SmsResult result;
+  if (graph.empty()) {
+    result.ii = 1;
+    result.depth = 0;
+    return result;
+  }
+
+  result.recMii = computeRecMII(graph);
+  result.resMii = computeResMII(graph, budget);
+  result.mii = std::max(result.recMii, result.resMii);
+
+  const Adjacency adj = buildAdjacency(graph);
+  std::vector<int> asap, alap;
+  int makespan = 0;
+  computeAsapAlap(graph, adj, &asap, &alap, &makespan);
+
+  // Node order: topological over distance-0 edges (ASAP ascending, stable on
+  // the program order, which is itself topological). This guarantees that
+  // when a node is placed, its distance-0 successors are still unplaced, so
+  // its schedule window is only bounded above by recurrence back-edges —
+  // whose II*distance slack grows with II, keeping the retry loop convergent.
+  // Within equal ASAP, recurrence members go first and low mobility breaks
+  // ties (the lifetime-sensitive intent of the original swing order).
+  std::vector<int> order(graph.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  // Ties keep program order: with delay-0 edges, reordering inside an equal-
+  // ASAP group could place a successor before its producer and wedge the
+  // window shut.
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return asap[static_cast<std::size_t>(a)] < asap[static_cast<std::size_t>(b)];
+  });
+  (void)alap;
+
+  const int iiCap = std::max(result.mii * 4 + makespan, result.mii + 64);
+  for (int ii = result.mii; ii <= iiCap; ++ii) {
+    ReservationTable table(ii, budget);
+    std::vector<int> start(graph.nodes.size(), -1);
+    bool ok = true;
+
+    for (int nodeId : order) {
+      const auto ni = static_cast<std::size_t>(nodeId);
+      const PipeNode& node = graph.nodes[ni];
+
+      // Schedule window from already-placed neighbours, with the modulo
+      // relaxation delay - II*distance.
+      int earliest = 0;
+      int latest = 1 << 28;
+      for (int e : adj.in[ni]) {
+        const PipeEdge& edge = graph.edges[static_cast<std::size_t>(e)];
+        const auto from = static_cast<std::size_t>(edge.from);
+        if (start[from] < 0) continue;
+        earliest = std::max(earliest, start[from] + edge.delay - ii * edge.distance);
+      }
+      for (int e : adj.out[ni]) {
+        const PipeEdge& edge = graph.edges[static_cast<std::size_t>(e)];
+        const auto to = static_cast<std::size_t>(edge.to);
+        if (start[to] < 0) continue;
+        latest = std::min(latest, start[to] - edge.delay + ii * edge.distance);
+      }
+      earliest = std::max(earliest, 0);
+      if (latest == (1 << 28)) latest = earliest + ii - 1;
+
+      bool placed = false;
+      // Try the window first (keeps lifetimes short), then slide forward up
+      // to one full II beyond it.
+      for (int t = earliest; t <= std::max(latest, earliest + ii - 1); ++t) {
+        // Must still respect successors exactly when they are already placed.
+        if (t > latest) break;
+        if (table.fits(node, t)) {
+          table.place(node, t);
+          start[ni] = t;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        // Forward scan disregarding the (possibly empty) successor window —
+        // successors were placed by the heuristic, so a failure simply bumps
+        // the II as in the original algorithm.
+        ok = false;
+        break;
+      }
+    }
+
+    if (ok) {
+      result.ii = ii;
+      result.startCycle = start;
+      int depth = 0;
+      for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+        depth = std::max(depth, start[i] + graph.nodes[i].latency);
+      }
+      result.depth = depth;
+      result.feasible = true;
+      return result;
+    }
+  }
+
+  // Could not find a modulo schedule (pathological); fall back to a serial
+  // pipeline: II = depth = serial latency.
+  int serial = 0;
+  for (const PipeNode& n : graph.nodes) serial += std::max(1, n.latency);
+  result.ii = serial;
+  result.depth = serial;
+  result.feasible = false;
+  return result;
+}
+
+}  // namespace flexcl::sched

@@ -1,0 +1,29 @@
+// Swing Modulo Scheduling (paper §3.3.1, step 2; Llosa et al., PACT'96).
+//
+// Starting from MII, places each node into a modulo reservation table,
+// increasing II until every node fits. The node order follows SMS's
+// lifetime-sensitive intent: recurrence members first (most critical
+// recurrence first), remaining nodes by low mobility (ALAP - ASAP), so nodes
+// are placed close to their already-scheduled neighbours and value lifetimes
+// stay short. The output is the achieved initiation interval II and the
+// pipeline depth (schedule makespan), i.e. II_comp^wi and D_comp^PE.
+#pragma once
+
+#include "sched/mii.h"
+
+namespace flexcl::sched {
+
+struct SmsResult {
+  int ii = 1;        ///< achieved initiation interval
+  int depth = 0;     ///< schedule makespan (pipeline depth of the PE)
+  int mii = 1;       ///< the lower bound SMS started from
+  int recMii = 1;
+  int resMii = 1;
+  bool feasible = true;
+  std::vector<int> startCycle;  ///< per node
+};
+
+SmsResult swingModuloSchedule(const PipelineGraph& graph,
+                              const ResourceBudget& budget);
+
+}  // namespace flexcl::sched

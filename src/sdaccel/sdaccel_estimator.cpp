@@ -1,0 +1,130 @@
+#include "sdaccel/sdaccel_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexcl::sdaccel {
+namespace {
+
+using ir::Region;
+
+bool hasDynamicLoop(const Region* region) {
+  if (!region) return false;
+  if (region->kind == Region::Kind::Loop && region->staticTripCount < 0) return true;
+  for (const auto& child : region->children) {
+    if (hasDynamicLoop(child.get())) return true;
+  }
+  return false;
+}
+
+double blockSerial(const ir::BasicBlock* block,
+                   const cdfg::KernelAnalysis& analysis) {
+  if (!block) return 0;
+  double sum = 0;
+  for (const cdfg::DfgNode& n : analysis.blocks[block->id].dfg.nodes()) {
+    sum += n.latency;
+  }
+  return sum;
+}
+
+/// Bias #2: fully serialised latency — every block is a chain, conditional
+/// branches are summed, loops multiply the serial body.
+double serialLatency(const Region& region, const cdfg::KernelAnalysis& analysis) {
+  switch (region.kind) {
+    case Region::Kind::Block:
+      return blockSerial(region.block, analysis);
+    case Region::Kind::Seq: {
+      double sum = 0;
+      for (const auto& child : region.children) {
+        sum += serialLatency(*child, analysis);
+      }
+      return sum;
+    }
+    case Region::Kind::If: {
+      double sum = 0;  // both branches charged (conservative datapath)
+      for (const auto& child : region.children) {
+        sum += serialLatency(*child, analysis);
+      }
+      return sum;
+    }
+    case Region::Kind::Loop: {
+      const double trips =
+          region.loopId >= 0 &&
+                  region.loopId < static_cast<int>(analysis.tripCounts.size())
+              ? analysis.tripCounts[static_cast<std::size_t>(region.loopId)]
+              : 1.0;
+      double perIter = serialLatency(*region.children[0], analysis);
+      perIter += blockSerial(region.condBlock, analysis);
+      if (region.latchBlock != region.condBlock) {
+        perIter += blockSerial(region.latchBlock, analysis);
+      }
+      return trips * perIter;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool sdaccelFails(const ir::Function& fn, const cdfg::KernelAnalysis& analysis,
+                  const model::DesignPoint& design) {
+  const bool dynamicLoops = hasDynamicLoop(fn.rootRegion());
+  // "Lacks support for complex parallelism and memory access patterns."
+  if (design.numComputeUnits > 2) return true;
+  if (design.vectorWidth > 1 && design.workItemPipeline) return true;
+  // "May take extremely long for certain cases" — stopped after one hour.
+  if (dynamicLoops && design.peParallelism >= 4) return true;
+  if (analysis.barrierCount > 0 && design.peParallelism >= 8) return true;
+  if (design.workItemPipeline && design.workGroupItems() >= 256) return true;
+  return false;
+}
+
+std::optional<SdaccelEstimate> estimateSdaccel(
+    const ir::Function& fn, const cdfg::KernelAnalysis& analysis,
+    const model::Device& device, const model::DesignPoint& design,
+    std::uint64_t totalWorkItems, const SdaccelOptions& options) {
+  if (sdaccelFails(fn, analysis, design)) return std::nullopt;
+
+  const double serialDepth = serialLatency(*fn.rootRegion(), analysis);
+  // Bias #1: fixed optimistic cost per raw (uncoalesced) global access.
+  const double memPerWi =
+      (analysis.totals.globalReads + analysis.totals.globalWrites) *
+      options.globalAccessCycles;
+
+  const double nWi = static_cast<double>(design.workGroupItems());
+  const double nPe = std::max(1, design.peParallelism * design.vectorWidth);
+
+  double groupLatency = 0;
+  if (design.workItemPipeline) {
+    // II from port pressure only (no recurrence analysis, no memory
+    // integration).
+    double ii = 1.0;
+    if (analysis.totals.localReads > 0) {
+      ii = std::max(ii, std::ceil(analysis.totals.localReads /
+                                  device.localReadPorts()));
+    }
+    if (analysis.totals.localWrites > 0) {
+      ii = std::max(ii, std::ceil(analysis.totals.localWrites /
+                                  device.localWritePorts()));
+    }
+    groupLatency = ii * std::max(0.0, nWi - nPe) / nPe + serialDepth + memPerWi;
+  } else {
+    groupLatency = (serialDepth + memPerWi) * std::ceil(nWi / nPe);
+  }
+
+  // Bias #3: perfect CU scaling, no dispatch overhead.
+  const double groups = std::ceil(static_cast<double>(totalWorkItems) / nWi);
+  const double waves = std::ceil(groups / std::max(1, design.numComputeUnits));
+
+  SdaccelEstimate est;
+  est.cycles = groupLatency * waves;
+  // Modelled estimation wall time: dominated by RTL elaboration, which grows
+  // with datapath size (ops x PE x CU).
+  est.estimationMinutes =
+      0.3 + analysis.totals.operations *
+                std::max(1, design.peParallelism * design.numComputeUnits) /
+                4000.0;
+  return est;
+}
+
+}  // namespace flexcl::sdaccel

@@ -1,0 +1,79 @@
+// System simulator — the "System Run" stand-in (see DESIGN.md §1).
+//
+// A cycle-approximate simulator of the OpenCL-on-FPGA execution that is
+// *independent* of the analytical model's averaging assumptions:
+//  - per-design IP latencies are one concrete perturbed realisation
+//    (OpLatencyDb::perturbed), not the table averages;
+//  - every global access goes through the command-level DRAM simulator, so
+//    bank conflicts, row thrashing across concurrent CUs/PEs, bus contention
+//    and refresh happen dynamically;
+//  - work-groups flow through a serial round-robin dispatcher with jittered
+//    per-dispatch overhead;
+//  - each work-item replays its own profiled access chain, so data-dependent
+//    work-items differ.
+// The analytical model's error against this simulator therefore arises from
+// the same mechanisms the paper names in §4.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dram/coalescer.h"
+#include "interp/interpreter.h"
+#include "interp/profiler.h"
+#include "model/design_point.h"
+#include "model/device.h"
+
+namespace flexcl::sim {
+
+/// Everything design-independent about one launch, computed once per
+/// (kernel, work-group size) and reused across the design space: the full
+/// functional execution trace, split per work-item and coalesced.
+struct SimInput {
+  bool ok = false;
+  std::string error;
+  const ir::Function* fn = nullptr;
+  interp::NdRange range;
+  /// Coalesced global accesses of each work-item (by linear global id).
+  std::vector<std::vector<dram::CoalescedAccess>> workItemAccesses;
+  /// Kernel has barriers (forces barrier communication mode).
+  bool hasBarriers = false;
+  /// Full-range profile (loop trips, local-memory trace) for the
+  /// hardware-side analysis.
+  interp::KernelProfile profile;
+};
+
+/// Runs the interpreter over the full NDRange once and prepares per-work-item
+/// access chains.
+SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
+                         const std::vector<interp::KernelArg>& args,
+                         const std::vector<std::vector<std::uint8_t>>& buffers);
+
+struct SimOptions {
+  std::uint64_t seed = 0x5eed;
+  /// Relative spread of per-design IP latency realisations.
+  double latencySpread = 0.12;
+  /// Relative jitter on each work-group dispatch.
+  double dispatchJitter = 0.2;
+};
+
+struct SimResult {
+  bool ok = false;
+  std::string error;
+  double cycles = 0;
+  double milliseconds = 0;
+  // Hardware realisation diagnostics.
+  double iiHw = 0;      ///< realised work-item II of the compute pipeline
+  double depthHw = 0;   ///< realised pipeline depth
+  int effectivePes = 1;
+  int effectiveCus = 1;
+  std::uint64_t dramAccesses = 0;
+  std::uint64_t dramRowHits = 0;
+  std::uint64_t workGroups = 0;
+};
+
+/// Simulates `input` under `design` on `device`.
+SimResult simulate(const SimInput& input, const model::Device& device,
+                   const model::DesignPoint& design, const SimOptions& options = {});
+
+}  // namespace flexcl::sim

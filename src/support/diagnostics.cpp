@@ -1,0 +1,32 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace flexcl {
+
+void DiagnosticEngine::report(DiagSeverity severity, SourceLocation loc,
+                              std::string message) {
+  if (severity == DiagSeverity::Error) ++errorCount_;
+  diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    if (d.location.isValid()) os << d.location.line << ':' << d.location.column << ": ";
+    switch (d.severity) {
+      case DiagSeverity::Note: os << "note: "; break;
+      case DiagSeverity::Warning: os << "warning: "; break;
+      case DiagSeverity::Error: os << "error: "; break;
+    }
+    os << d.message << '\n';
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errorCount_ = 0;
+}
+
+}  // namespace flexcl

@@ -1,0 +1,49 @@
+// Diagnostic reporting shared by every frontend and analysis stage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace flexcl {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem with its location and rendered message.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::Error;
+  SourceLocation location;
+  std::string message;
+};
+
+/// Collects diagnostics; stages keep running after errors where possible so a
+/// single pass reports as much as it can.
+class DiagnosticEngine {
+ public:
+  void report(DiagSeverity severity, SourceLocation loc, std::string message);
+  void error(SourceLocation loc, std::string message) {
+    report(DiagSeverity::Error, loc, std::move(message));
+  }
+  void warning(SourceLocation loc, std::string message) {
+    report(DiagSeverity::Warning, loc, std::move(message));
+  }
+  void note(SourceLocation loc, std::string message) {
+    report(DiagSeverity::Note, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool hasErrors() const { return errorCount_ > 0; }
+  [[nodiscard]] std::size_t errorCount() const { return errorCount_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines.
+  [[nodiscard]] std::string str() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errorCount_ = 0;
+};
+
+}  // namespace flexcl

@@ -1,0 +1,79 @@
+#include "support/rng.h"
+
+#include <cstddef>
+
+namespace flexcl {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : state_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::nextBelow(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t v = next();
+    if (v >= threshold) return v % bound;
+  }
+}
+
+std::int64_t Rng::nextInRange(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextDouble(double lo, double hi) {
+  return lo + (hi - lo) * nextDouble();
+}
+
+double Rng::nextGaussian() {
+  // Irwin-Hall: sum of 4 uniforms has variance 4/12; scale to sd 1.
+  double s = 0.0;
+  for (int i = 0; i < 4; ++i) s += nextDouble();
+  return (s - 2.0) * 1.7320508075688772;  // sqrt(12/4)
+}
+
+std::uint64_t stableHash(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t stableHashCombine(std::uint64_t a, std::uint64_t b) {
+  return stableHash(&b, sizeof(b), a);
+}
+
+}  // namespace flexcl

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in FlexCL that involves randomness (per-instance hardware
+// latency spread, workload input generation) must be reproducible run to run,
+// so we use an explicit splitmix64-seeded xoshiro256** generator instead of
+// std::random_device / std::mt19937 defaults.
+#pragma once
+
+#include <cstdint>
+
+namespace flexcl {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be non-zero.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  /// Uniform double in [lo, hi).
+  double nextDouble(double lo, double hi);
+
+  /// Approximately normal (Irwin-Hall of 4 uniforms), mean 0, sd ~1.
+  double nextGaussian();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Stable 64-bit hash (FNV-1a) used to derive per-design / per-instance seeds.
+std::uint64_t stableHash(const void* data, std::size_t size,
+                         std::uint64_t seed = 0xcbf29ce484222325ull);
+std::uint64_t stableHashCombine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace flexcl

@@ -1,0 +1,25 @@
+// Source locations and ranges for the OpenCL frontend.
+#pragma once
+
+#include <cstdint>
+
+namespace flexcl {
+
+/// A position in a source buffer. Offsets are byte offsets from the start of
+/// the buffer; line/column are 1-based and precomputed by the lexer.
+struct SourceLocation {
+  std::uint32_t offset = 0;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool isValid() const { return line != 0; }
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// Half-open range [begin, end) in a source buffer.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+};
+
+}  // namespace flexcl

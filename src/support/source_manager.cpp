@@ -1,0 +1,36 @@
+#include "support/source_manager.h"
+
+#include <algorithm>
+
+namespace flexcl {
+
+SourceManager::SourceManager(std::string text, std::string name)
+    : text_(std::move(text)), name_(std::move(name)) {
+  lineStarts_.push_back(0);
+  for (std::uint32_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') lineStarts_.push_back(i + 1);
+  }
+}
+
+SourceLocation SourceManager::locate(std::uint32_t offset) const {
+  offset = std::min<std::uint32_t>(offset, static_cast<std::uint32_t>(text_.size()));
+  auto it = std::upper_bound(lineStarts_.begin(), lineStarts_.end(), offset);
+  const auto lineIndex = static_cast<std::uint32_t>(it - lineStarts_.begin() - 1);
+  SourceLocation loc;
+  loc.offset = offset;
+  loc.line = lineIndex + 1;
+  loc.column = offset - lineStarts_[lineIndex] + 1;
+  return loc;
+}
+
+std::string_view SourceManager::line(std::uint32_t lineNumber) const {
+  if (lineNumber == 0 || lineNumber > lineStarts_.size()) return {};
+  const std::uint32_t begin = lineStarts_[lineNumber - 1];
+  std::uint32_t end = lineNumber < lineStarts_.size()
+                          ? lineStarts_[lineNumber] - 1
+                          : static_cast<std::uint32_t>(text_.size());
+  if (end > begin && text_[end - 1] == '\r') --end;
+  return std::string_view(text_).substr(begin, end - begin);
+}
+
+}  // namespace flexcl

@@ -1,0 +1,37 @@
+// Owns a source buffer and maps byte offsets to line/column positions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace flexcl {
+
+/// Holds one translation unit's text. Line starts are indexed once so that
+/// locations can be produced in O(log n).
+class SourceManager {
+ public:
+  explicit SourceManager(std::string text, std::string name = "<kernel>");
+
+  [[nodiscard]] std::string_view text() const { return text_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Builds a full SourceLocation for a byte offset.
+  [[nodiscard]] SourceLocation locate(std::uint32_t offset) const;
+
+  /// Returns the text of the (1-based) line, without the trailing newline.
+  [[nodiscard]] std::string_view line(std::uint32_t lineNumber) const;
+
+  [[nodiscard]] std::uint32_t lineCount() const {
+    return static_cast<std::uint32_t>(lineStarts_.size());
+  }
+
+ private:
+  std::string text_;
+  std::string name_;
+  std::vector<std::uint32_t> lineStarts_;
+};
+
+}  // namespace flexcl

@@ -1,0 +1,56 @@
+#include "support/text_table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace flexcl {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(std::int64_t value) { return cell(std::to_string(value)); }
+TextTable& TextTable::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emitRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << "| " << v << std::string(widths[c] - v.size(), ' ') << ' ';
+    }
+    os << "|\n";
+  };
+  emitRow(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& r : rows_) emitRow(r);
+  return os.str();
+}
+
+}  // namespace flexcl

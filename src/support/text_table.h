@@ -1,0 +1,31 @@
+// Plain-text table rendering used by the benchmark harnesses to print
+// paper-style tables (Table 2, DSE summaries, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexcl {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendering pads each column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent cell() calls append to it.
+  TextTable& row();
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value) { return cell(std::string(value)); }
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(std::size_t value);
+  TextTable& cell(double value, int precision = 1);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexcl

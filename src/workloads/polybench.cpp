@@ -1,0 +1,443 @@
+// PolyBench/GPU suite (InPar'12): 15 kernels with regular loop nests and
+// affine accesses — the paper notes these "have simpler structures and are
+// easy to analyze" (§4.2). Matrices are NxN with N = 32 so the full design
+// space simulates quickly; structure (loop depth, access pattern) matches
+// the originals.
+#include "workloads/suite_detail.h"
+
+namespace flexcl::workloads {
+namespace {
+
+constexpr int kN = 32;
+
+Workload makeMatrixKernel(const std::string& benchmark, const std::string& kernel,
+                          const std::string& body,
+                          std::function<void(DataBuilder&)> setup,
+                          interp::NdRange range) {
+  Workload w;
+  w.suite = "polybench";
+  w.benchmark = benchmark;
+  w.kernel = kernel;
+  w.defines = {{"N", std::to_string(kN)}};
+  w.source = body;
+  w.range = range;
+  w.setup = std::move(setup);
+  return w;
+}
+
+interp::NdRange range2d() {
+  interp::NdRange r;
+  r.global = {kN, kN, 1};
+  return r;
+}
+
+interp::NdRange range1d() {
+  interp::NdRange r;
+  r.global = {kN * kN, 1, 1};
+  return r;
+}
+
+}  // namespace
+
+const std::vector<Workload>& polybenchSuite() {
+  static const std::vector<Workload> suite = [] {
+    std::vector<Workload> list;
+
+    // 2MM: D = A*B, E = C*D (first product kernel; structure identical for
+    // both, so one kernel with two tensors).
+    list.push_back(makeMatrixKernel(
+        "2mm", "mm2_k1",
+        R"CL(
+__kernel void mm2_k1(__global const float* A, __global const float* B,
+                     __global float* D) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < N; k++) {
+    acc += A[i * N + k] * B[k * N + j];
+  }
+  D[i * N + j] = acc;
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addZeroFloatBuffer(kN * kN);
+        },
+        range2d()));
+
+    // 3MM: three chained products; the representative kernel fuses one
+    // product plus the accumulate of the previous stage.
+    list.push_back(makeMatrixKernel(
+        "3mm", "mm3_k1",
+        R"CL(
+__kernel void mm3_k1(__global const float* A, __global const float* B,
+                     __global const float* C, __global float* G) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float e = 0.0f;
+  for (int k = 0; k < N; k++) {
+    e += A[i * N + k] * B[k * N + j];
+  }
+  float g = 0.0f;
+  for (int k = 0; k < N; k++) {
+    g += e * C[k * N + j];
+  }
+  G[i * N + j] = g;
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addZeroFloatBuffer(kN * kN);
+        },
+        range2d()));
+
+    // ATAX: y = A^T (A x).
+    {
+      interp::NdRange r;
+      r.global = {kN * kN, 1, 1};
+      list.push_back(makeMatrixKernel(
+          "atax", "atax",
+          R"CL(
+__kernel void atax(__global const float* A, __global const float* x,
+                   __global float* y) {
+  int row = get_global_id(0) % N;
+  float tmp = 0.0f;
+  for (int k = 0; k < N; k++) {
+    tmp += A[row * N + k] * x[k];
+  }
+  float acc = 0.0f;
+  for (int k = 0; k < N; k++) {
+    acc += A[k * N + row] * tmp;
+  }
+  y[get_global_id(0)] = acc;
+}
+)CL",
+          [](DataBuilder& b) {
+            b.addFloatBuffer(kN * kN, -1.0, 1.0);
+            b.addFloatBuffer(kN, -1.0, 1.0);
+            b.addZeroFloatBuffer(kN * kN);
+          },
+          r));
+    }
+
+    // BICG: q = A p, s = A^T r.
+    list.push_back(makeMatrixKernel(
+        "bicg", "bicg",
+        R"CL(
+__kernel void bicg(__global const float* A, __global const float* p,
+                   __global const float* r, __global float* q,
+                   __global float* s) {
+  int i = get_global_id(0) % N;
+  float qv = 0.0f;
+  float sv = 0.0f;
+  for (int k = 0; k < N; k++) {
+    qv += A[i * N + k] * p[k];
+    sv += A[k * N + i] * r[k];
+  }
+  q[get_global_id(0)] = qv;
+  s[get_global_id(0)] = sv;
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN, -1.0, 1.0);
+          b.addFloatBuffer(kN, -1.0, 1.0);
+          b.addZeroFloatBuffer(kN * kN);
+          b.addZeroFloatBuffer(kN * kN);
+        },
+        range1d()));
+
+    // 2DCONV: 3x3 convolution.
+    list.push_back(makeMatrixKernel(
+        "conv2d", "conv2d",
+        R"CL(
+__kernel void conv2d(__global const float* in, __global float* out) {
+  int j = get_global_id(0);
+  int i = get_global_id(1);
+  float acc = 0.0f;
+  if (i > 0) {
+    if (i < N - 1) {
+      if (j > 0) {
+        if (j < N - 1) {
+          acc = 0.2f * in[(i - 1) * N + (j - 1)] - 0.3f * in[(i - 1) * N + j] +
+                0.4f * in[(i - 1) * N + (j + 1)] - 0.5f * in[i * N + (j - 1)] +
+                0.6f * in[i * N + j] - 0.7f * in[i * N + (j + 1)] +
+                0.8f * in[(i + 1) * N + (j - 1)] - 0.9f * in[(i + 1) * N + j] +
+                0.10f * in[(i + 1) * N + (j + 1)];
+        }
+      }
+    }
+  }
+  out[i * N + j] = acc;
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addZeroFloatBuffer(kN * kN);
+        },
+        range2d()));
+
+    // 3DCONV: 3x3x3 convolution over a shallow volume.
+    {
+      Workload w = makeMatrixKernel(
+          "conv3d", "conv3d",
+          R"CL(
+__kernel void conv3d(__global const float* in, __global float* out) {
+  int j = get_global_id(0);
+  int i = get_global_id(1);
+  for (int k = 1; k < DEPTH - 1; k++) {
+    float acc = 0.0f;
+    if (i > 0) {
+      if (i < N - 1) {
+        if (j > 0) {
+          if (j < N - 1) {
+            int c = k * N * N + i * N + j;
+            acc = 0.5f * in[c] + 0.25f * (in[c - 1] + in[c + 1]) +
+                  0.125f * (in[c - N] + in[c + N]) +
+                  0.0625f * (in[c - N * N] + in[c + N * N]);
+          }
+        }
+      }
+    }
+    out[k * N * N + i * N + j] = acc;
+  }
+}
+)CL",
+          [](DataBuilder& b) {
+            b.addFloatBuffer(kN * kN * 4, -1.0, 1.0);
+            b.addZeroFloatBuffer(kN * kN * 4);
+          },
+          range2d());
+      w.defines["DEPTH"] = "4";
+      list.push_back(std::move(w));
+    }
+
+    // CORR: correlation matrix row.
+    list.push_back(makeMatrixKernel(
+        "corr", "corr",
+        R"CL(
+__kernel void corr(__global const float* data, __global const float* mean,
+                   __global const float* stddev, __global float* symmat) {
+  int j1 = get_global_id(1);
+  int j2 = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) {
+    acc += (data[i * N + j1] - mean[j1]) * (data[i * N + j2] - mean[j2]);
+  }
+  symmat[j1 * N + j2] = acc / ((float)N * stddev[j1] * stddev[j2] + 0.001f);
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN, -0.1, 0.1);
+          b.addFloatBuffer(kN, 0.5, 1.5);
+          b.addZeroFloatBuffer(kN * kN);
+        },
+        range2d()));
+
+    // COVAR: covariance matrix.
+    list.push_back(makeMatrixKernel(
+        "covar", "covar",
+        R"CL(
+__kernel void covar(__global const float* data, __global const float* mean,
+                    __global float* symmat) {
+  int j1 = get_global_id(1);
+  int j2 = get_global_id(0);
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) {
+    acc += (data[i * N + j1] - mean[j1]) * (data[i * N + j2] - mean[j2]);
+  }
+  symmat[j1 * N + j2] = acc / (float)(N - 1);
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN, -0.1, 0.1);
+          b.addZeroFloatBuffer(kN * kN);
+        },
+        range2d()));
+
+    // FDTD-2D: one field-update step.
+    list.push_back(makeMatrixKernel(
+        "fdtd2d", "fdtd2d",
+        R"CL(
+__kernel void fdtd2d(__global float* ex, __global float* ey, __global float* hz) {
+  int j = get_global_id(0);
+  int i = get_global_id(1);
+  int c = i * N + j;
+  if (i > 0) {
+    ey[c] = ey[c] - 0.5f * (hz[c] - hz[c - N]);
+  }
+  if (j > 0) {
+    ex[c] = ex[c] - 0.5f * (hz[c] - hz[c - 1]);
+  }
+  if (i < N - 1) {
+    if (j < N - 1) {
+      hz[c] = hz[c] - 0.7f * (ex[c + 1] - ex[c] + ey[c + N] - ey[c]);
+    }
+  }
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+        },
+        range2d()));
+
+    // GEMM: C = alpha*A*B + beta*C.
+    list.push_back(makeMatrixKernel(
+        "gemm", "gemm",
+        R"CL(
+__kernel void gemm(__global const float* A, __global const float* B,
+                   __global float* C, float alpha, float beta) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < N; k++) {
+    acc += A[i * N + k] * B[k * N + j];
+  }
+  C[i * N + j] = alpha * acc + beta * C[i * N + j];
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatArg(1.5);
+          b.addFloatArg(0.5);
+        },
+        range2d()));
+
+    // GESUMMV: y = alpha*A*x + beta*B*x.
+    list.push_back(makeMatrixKernel(
+        "gesummv", "gesummv",
+        R"CL(
+__kernel void gesummv(__global const float* A, __global const float* B,
+                      __global const float* x, __global float* y, float alpha,
+                      float beta) {
+  int i = get_global_id(0) % N;
+  float t1 = 0.0f;
+  float t2 = 0.0f;
+  for (int k = 0; k < N; k++) {
+    t1 += A[i * N + k] * x[k];
+    t2 += B[i * N + k] * x[k];
+  }
+  y[get_global_id(0)] = alpha * t1 + beta * t2;
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN, -1.0, 1.0);
+          b.addZeroFloatBuffer(kN * kN);
+          b.addFloatArg(1.2);
+          b.addFloatArg(0.8);
+        },
+        range1d()));
+
+    // GRAMSCHMIDT: projection step (the inner kernel of the factorisation).
+    list.push_back(makeMatrixKernel(
+        "gramschmidt", "gramschmidt",
+        R"CL(
+__kernel void gramschmidt(__global const float* A, __global const float* Q,
+                          __global float* R, int col) {
+  int j = get_global_id(0) % N;
+  float acc = 0.0f;
+  for (int i = 0; i < N; i++) {
+    acc += Q[i * N + col] * A[i * N + j];
+  }
+  R[(get_global_id(0) / N) * N + j] = acc;
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addZeroFloatBuffer(kN * kN);
+          b.addIntArg(3);
+        },
+        range1d()));
+
+    // MVT: x1 += A y1; x2 += A^T y2.
+    list.push_back(makeMatrixKernel(
+        "mvt", "mvt",
+        R"CL(
+__kernel void mvt(__global const float* A, __global float* x1,
+                  __global float* x2, __global const float* y1,
+                  __global const float* y2) {
+  int i = get_global_id(0) % N;
+  float a1 = 0.0f;
+  float a2 = 0.0f;
+  for (int k = 0; k < N; k++) {
+    a1 += A[i * N + k] * y1[k];
+    a2 += A[k * N + i] * y2[k];
+  }
+  x1[get_global_id(0)] += a1;
+  x2[get_global_id(0)] += a2;
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN, -1.0, 1.0);
+          b.addFloatBuffer(kN, -1.0, 1.0);
+        },
+        range1d()));
+
+    // SYRK: C = alpha*A*A^T + beta*C.
+    list.push_back(makeMatrixKernel(
+        "syrk", "syrk",
+        R"CL(
+__kernel void syrk(__global const float* A, __global float* C, float alpha,
+                   float beta) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < N; k++) {
+    acc += A[i * N + k] * A[j * N + k];
+  }
+  C[i * N + j] = alpha * acc + beta * C[i * N + j];
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatArg(1.1);
+          b.addFloatArg(0.9);
+        },
+        range2d()));
+
+    // SYR2K: C = alpha*(A*B^T + B*A^T) + beta*C.
+    list.push_back(makeMatrixKernel(
+        "syr2k", "syr2k",
+        R"CL(
+__kernel void syr2k(__global const float* A, __global const float* B,
+                    __global float* C, float alpha, float beta) {
+  int i = get_global_id(1);
+  int j = get_global_id(0);
+  float acc = 0.0f;
+  for (int k = 0; k < N; k++) {
+    acc += A[i * N + k] * B[j * N + k] + B[i * N + k] * A[j * N + k];
+  }
+  C[i * N + j] = alpha * acc + beta * C[i * N + j];
+}
+)CL",
+        [](DataBuilder& b) {
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatBuffer(kN * kN, -1.0, 1.0);
+          b.addFloatArg(1.1);
+          b.addFloatArg(0.9);
+        },
+        range2d()));
+
+    return list;
+  }();
+  return suite;
+}
+
+}  // namespace flexcl::workloads

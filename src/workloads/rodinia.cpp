@@ -1,0 +1,749 @@
+// Rodinia benchmark suite, part 1: backprop, bfs, b+tree, cfd, dwt2d,
+// gaussian, hotspot, hotspot3D, hybridsort, kmeans (see workload.h for the
+// scaling rationale). Part 2 lives in rodinia2.cpp.
+#include <cstring>
+
+#include "workloads/suite_detail.h"
+
+namespace flexcl::workloads {
+
+const std::vector<Workload>& rodiniaSuite() {
+  static const std::vector<Workload> suite = [] {
+    std::vector<Workload> list;
+    detail::addRodiniaPart1(list);
+    detail::addRodiniaPart2(list);
+    return list;
+  }();
+  return suite;
+}
+
+namespace detail {
+
+void addRodiniaPart1(std::vector<Workload>& out) {
+  // ----------------------------------------------------------------- backprop
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "backprop";
+    w.kernel = "layer";
+    w.defines = {{"N_IN", "32"}, {"N_OUT", "1024"}};
+    w.source = R"CL(
+__kernel void layer(__global const float* input, __global const float* weights,
+                    __global float* hidden) {
+  int j = get_global_id(0);
+  float sum = 0.0f;
+  for (int i = 0; i < N_IN; i++) {
+    sum += input[i] * weights[i * N_OUT + j];
+  }
+  hidden[j] = 1.0f / (1.0f + exp(-sum));
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(32, -1.0, 1.0);
+      b.addFloatBuffer(32 * 1024, -0.5, 0.5);
+      b.addZeroFloatBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "backprop";
+    w.kernel = "adjust";
+    w.defines = {{"N_OUT", "128"}, {"ETA", "0.3f"}, {"MOMENTUM", "0.3f"}};
+    w.source = R"CL(
+__kernel void adjust(__global float* weights, __global const float* delta,
+                     __global const float* input) {
+  int j = get_global_id(0);
+  int i = get_global_id(1);
+  float grad = ETA * delta[j] * input[i];
+  float old = weights[i * N_OUT + j];
+  weights[i * N_OUT + j] = old + grad + MOMENTUM * old;
+}
+)CL";
+    w.range.global = {128, 32, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(32 * 128, -0.5, 0.5);
+      b.addFloatBuffer(128, -1.0, 1.0);
+      b.addFloatBuffer(32, -1.0, 1.0);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ---------------------------------------------------------------------- bfs
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "bfs";
+    w.kernel = "bfs_1";
+    w.source = R"CL(
+__kernel void bfs_1(__global const int* starts, __global const int* lens,
+                    __global const int* edges, __global const int* mask_in,
+                    __global int* mask_out, __global int* cost, int n) {
+  int tid = get_global_id(0);
+  if (tid < n) {
+    if (mask_in[tid] != 0) {
+      int start = starts[tid];
+      int len = lens[tid];
+      for (int e = start; e < start + len; e++) {
+        int nb = edges[e];
+        if (cost[nb] < 0) {
+          cost[nb] = cost[tid] + 1;
+          mask_out[nb] = 1;
+        }
+      }
+    }
+  }
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      const int n = 1024, degree = 4;
+      // CSR adjacency: node i owns edges [i*degree, (i+1)*degree).
+      std::vector<std::uint8_t> starts(n * 4), lens(n * 4), edges(n * degree * 4);
+      std::vector<std::uint8_t> maskIn(n * 4, 0), cost(n * 4);
+      for (int i = 0; i < n; ++i) {
+        const std::int32_t s = i * degree, l = degree;
+        std::memcpy(starts.data() + i * 4, &s, 4);
+        std::memcpy(lens.data() + i * 4, &l, 4);
+        const std::int32_t frontier = (i % 4 == 0) ? 1 : 0;
+        std::memcpy(maskIn.data() + i * 4, &frontier, 4);
+        const std::int32_t c = (i % 4 == 0) ? 0 : -1;
+        std::memcpy(cost.data() + i * 4, &c, 4);
+        for (int e = 0; e < degree; ++e) {
+          const std::int32_t nb =
+              static_cast<std::int32_t>(b.rng().nextBelow(n));
+          std::memcpy(edges.data() + (i * degree + e) * 4, &nb, 4);
+        }
+      }
+      b.addRawBuffer(std::move(starts));
+      b.addRawBuffer(std::move(lens));
+      b.addRawBuffer(std::move(edges));
+      b.addRawBuffer(std::move(maskIn));
+      b.addZeroIntBuffer(n);
+      b.addRawBuffer(std::move(cost));
+      b.addIntArg(n);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "bfs";
+    w.kernel = "bfs_2";
+    w.source = R"CL(
+__kernel void bfs_2(__global int* mask_in, __global const int* mask_out,
+                    __global int* visited, __global int* over) {
+  int tid = get_global_id(0);
+  mask_in[tid] = mask_out[tid];
+  if (mask_out[tid] != 0) {
+    visited[tid] = 1;
+    over[0] = 1;
+  }
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addZeroIntBuffer(1024);
+      b.addIntBuffer(1024, 0, 1);
+      b.addZeroIntBuffer(1024);
+      b.addZeroIntBuffer(1);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ------------------------------------------------------------------- b+tree
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "btree";
+    w.kernel = "findK";
+    w.source = R"CL(
+__kernel void findK(__global const int* keys, __global const int* queries,
+                    __global int* results, int n) {
+  int tid = get_global_id(0);
+  int lo = 0;
+  int hi = n - 1;
+  int pos = -1;
+  int q = queries[tid];
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    int k = keys[mid];
+    if (k == q) {
+      pos = mid;
+      break;
+    }
+    if (k < q) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  results[tid] = pos;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      const int n = 2048;
+      std::vector<std::uint8_t> keys(n * 4);
+      for (int i = 0; i < n; ++i) {
+        const std::int32_t k = 2 * i;
+        std::memcpy(keys.data() + i * 4, &k, 4);
+      }
+      b.addRawBuffer(std::move(keys));
+      b.addIntBuffer(1024, 0, 2 * n);
+      b.addZeroIntBuffer(1024);
+      b.addIntArg(n);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "btree";
+    w.kernel = "rangeK";
+    w.defines = {{"NKEYS", "64"}};
+    w.source = R"CL(
+__kernel void rangeK(__global const int* keys, __global const int* lo,
+                     __global const int* hi, __global int* counts) {
+  int tid = get_global_id(0);
+  int l = lo[tid];
+  int h = hi[tid];
+  int c = 0;
+  for (int i = 0; i < NKEYS; i++) {
+    int k = keys[i];
+    if (k >= l) {
+      if (k < h) {
+        c++;
+      }
+    }
+  }
+  counts[tid] = c;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addIntBuffer(64, 0, 1000);
+      b.addIntBuffer(1024, 0, 500);
+      b.addIntBuffer(1024, 500, 1000);
+      b.addZeroIntBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ---------------------------------------------------------------------- cfd
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "cfd";
+    w.kernel = "memset";
+    w.source = R"CL(
+__kernel void memset(__global float* a) {
+  a[get_global_id(0)] = 0.0f;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) { b.addFloatBuffer(2048); };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "cfd";
+    w.kernel = "initialize";
+    w.source = R"CL(
+__kernel void initialize(__global float* density, __global float* momx,
+                         __global float* momy, __global float* energy) {
+  int i = get_global_id(0);
+  density[i] = 1.4f;
+  momx[i] = 0.5f;
+  momy[i] = 0.1f;
+  energy[i] = 2.5f;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addZeroFloatBuffer(1024);
+      b.addZeroFloatBuffer(1024);
+      b.addZeroFloatBuffer(1024);
+      b.addZeroFloatBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "cfd";
+    w.kernel = "compute";
+    w.source = R"CL(
+__kernel void compute(__global const int* neighbors, __global const float* density,
+                      __global const float* momx, __global const float* momy,
+                      __global const float* energy, __global float* flux) {
+  int i = get_global_id(0);
+  float d = density[i];
+  float mx = momx[i];
+  float my = momy[i];
+  float e = energy[i];
+  float p = 0.4f * (e - 0.5f * (mx * mx + my * my) / d);
+  float vel = sqrt(mx * mx + my * my) / d;
+  float f = 0.0f;
+  for (int j = 0; j < 4; j++) {
+    int nb = neighbors[i * 4 + j];
+    if (nb >= 0) {
+      float dn = density[nb];
+      float mn = momx[nb];
+      float pn = 0.4f * (energy[nb] - 0.5f * mn * mn / dn);
+      f += 0.5f * (p + pn) + vel * (dn - d);
+    }
+  }
+  flux[i] = f;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      const int n = 1024, width = 32;
+      std::vector<std::uint8_t> neighbors(n * 4 * 4);
+      for (int i = 0; i < n; ++i) {
+        const std::int32_t nb[4] = {
+            i % width > 0 ? i - 1 : -1, i % width < width - 1 ? i + 1 : -1,
+            i >= width ? i - width : -1, i + width < n ? i + width : -1};
+        std::memcpy(neighbors.data() + i * 16, nb, 16);
+      }
+      b.addRawBuffer(std::move(neighbors));
+      b.addFloatBuffer(n, 0.5, 2.0);
+      b.addFloatBuffer(n, -1.0, 1.0);
+      b.addFloatBuffer(n, -1.0, 1.0);
+      b.addFloatBuffer(n, 1.0, 3.0);
+      b.addZeroFloatBuffer(n);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "cfd";
+    w.kernel = "time_step";
+    w.source = R"CL(
+__kernel void time_step(__global float* density, __global const float* flux) {
+  int i = get_global_id(0);
+  density[i] = density[i] + 0.2f * flux[i];
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024, 0.5, 2.0);
+      b.addFloatBuffer(1024, -0.1, 0.1);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // -------------------------------------------------------------------- dwt2d
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "dwt2d";
+    w.kernel = "compute";
+    w.source = R"CL(
+__kernel void compute(__global const float* r, __global const float* g,
+                      __global const float* bl, __global float* y) {
+  int i = get_global_id(0);
+  float lum = 0.299f * r[i] + 0.587f * g[i] + 0.114f * bl[i];
+  y[i] = lum - 128.0f;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, 0.0, 255.0);
+      b.addFloatBuffer(2048, 0.0, 255.0);
+      b.addFloatBuffer(2048, 0.0, 255.0);
+      b.addZeroFloatBuffer(2048);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "dwt2d";
+    w.kernel = "components";
+    w.source = R"CL(
+__kernel void components(__global const int* rgb, __global float* r,
+                         __global float* g, __global float* bl) {
+  int i = get_global_id(0);
+  int px = rgb[i];
+  r[i] = (float)(px & 255) - 128.0f;
+  g[i] = (float)((px >> 8) & 255) - 128.0f;
+  bl[i] = (float)((px >> 16) & 255) - 128.0f;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addIntBuffer(2048, 0, 0xFFFFFF);
+      b.addZeroFloatBuffer(2048);
+      b.addZeroFloatBuffer(2048);
+      b.addZeroFloatBuffer(2048);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "dwt2d";
+    w.kernel = "component";
+    w.source = R"CL(
+__kernel void component(__global const int* src, __global float* dst) {
+  int i = get_global_id(0);
+  dst[i] = (float)(src[i] & 255) - 128.0f;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addIntBuffer(2048, 0, 255);
+      b.addZeroFloatBuffer(2048);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "dwt2d";
+    w.kernel = "fdwt";
+    w.defines = {{"WIDTH", "64"}};
+    w.source = R"CL(
+__kernel void fdwt(__global const float* in, __global float* lowBand,
+                   __global float* highBand) {
+  int i = get_global_id(0);
+  int half = WIDTH / 2;
+  int row = i / half;
+  int col = i % half;
+  int base = row * WIDTH + 2 * col;
+  float a = in[base];
+  float b = in[base + 1];
+  float c = a;
+  if (col + 1 < half) {
+    c = in[base + 2];
+  }
+  float high = b - 0.5f * (a + c);
+  float low = a + 0.25f * high;
+  lowBand[row * half + col] = low;
+  highBand[row * half + col] = high;
+}
+)CL";
+    w.range.global = {1024, 1, 1};  // 32 rows x 32 pairs
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(32 * 64, -128.0, 128.0);
+      b.addZeroFloatBuffer(1024);
+      b.addZeroFloatBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ----------------------------------------------------------------- gaussian
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "gaussian";
+    w.kernel = "fan1";
+    w.defines = {{"SIZE", "256"}};
+    w.source = R"CL(
+__kernel void fan1(__global const float* a, __global float* m, int t) {
+  int i = get_global_id(0);
+  if (i < SIZE - 1 - t) {
+    m[(i + t + 1) * SIZE + t] = a[(i + t + 1) * SIZE + t] / a[t * SIZE + t];
+  }
+}
+)CL";
+    w.range.global = {256, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(256 * 256, 1.0, 2.0);
+      b.addZeroFloatBuffer(256 * 256);
+      b.addIntArg(8);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "gaussian";
+    w.kernel = "fan2";
+    w.defines = {{"SIZE", "64"}};
+    w.source = R"CL(
+__kernel void fan2(__global float* a, __global float* b, __global const float* m,
+                   int t) {
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  if (gx < SIZE - 1 - t) {
+    if (gy < SIZE - t) {
+      a[(gx + 1 + t) * SIZE + (gy + t)] -=
+          m[(gx + 1 + t) * SIZE + t] * a[t * SIZE + (gy + t)];
+      if (gy == 0) {
+        b[gx + 1 + t] -= m[(gx + 1 + t) * SIZE + t] * b[t];
+      }
+    }
+  }
+}
+)CL";
+    w.range.global = {64, 64, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(64 * 64, 1.0, 2.0);
+      b.addFloatBuffer(64, 0.0, 1.0);
+      b.addFloatBuffer(64 * 64, 0.0, 1.0);
+      b.addIntArg(4);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ------------------------------------------------------------------ hotspot
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "hotspot";
+    w.kernel = "hotspot";
+    w.defines = {{"TS", "16"}, {"RX", "0.1f"}, {"RY", "0.1f"}, {"RZ", "3.0e-4f"},
+                 {"AMB", "80.0f"}};
+    w.source = R"CL(
+__kernel void hotspot(__global const float* temp_in, __global const float* power,
+                      __global float* temp_out, int width) {
+  __local float tile[TS][TS];
+  int tx = get_local_id(0);
+  int ty = get_local_id(1);
+  int gx = get_global_id(0);
+  int gy = get_global_id(1);
+  tile[ty][tx] = temp_in[gy * width + gx];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  float c = tile[ty][tx];
+  float n = c;
+  float s = c;
+  float w2 = c;
+  float e = c;
+  int lsx = get_local_size(0);
+  int lsy = get_local_size(1);
+  if (ty > 0) { n = tile[ty - 1][tx]; }
+  if (ty < lsy - 1) { s = tile[ty + 1][tx]; }
+  if (tx > 0) { w2 = tile[ty][tx - 1]; }
+  if (tx < lsx - 1) { e = tile[ty][tx + 1]; }
+  float delta = 0.001f * (power[gy * width + gx] + (n + s - 2.0f * c) * RY +
+                          (e + w2 - 2.0f * c) * RX + (AMB - c) * RZ);
+  temp_out[gy * width + gx] = c + delta;
+}
+)CL";
+    w.range.global = {64, 32, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(64 * 32, 50.0, 90.0);
+      b.addFloatBuffer(64 * 32, 0.0, 1.0);
+      b.addZeroFloatBuffer(64 * 32);
+      b.addIntArg(64);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ---------------------------------------------------------------- hotspot3D
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "hotspot3D";
+    w.kernel = "hotspot3D";
+    w.defines = {{"NZ", "8"},  {"CC", "0.5f"},      {"CW", "0.02f"},
+                 {"CN", "0.02f"}, {"CT", "0.01f"},  {"CP", "0.001f"},
+                 {"AMB_TEMP", "35.0f"}};
+    w.source = R"CL(
+__kernel void hotspot3D(__global const float* tIn, __global const float* pIn,
+                        __global float* tOut, int nx, int ny) {
+  int i = get_global_id(0);
+  int j = get_global_id(1);
+  for (int k = 0; k < NZ; k++) {
+    int c = i + j * nx + k * nx * ny;
+    float cc = tIn[c];
+    float west = cc;
+    float east = cc;
+    float north = cc;
+    float south = cc;
+    float below = cc;
+    float above = cc;
+    if (i > 0) { west = tIn[c - 1]; }
+    if (i < nx - 1) { east = tIn[c + 1]; }
+    if (j > 0) { north = tIn[c - nx]; }
+    if (j < ny - 1) { south = tIn[c + nx]; }
+    if (k > 0) { below = tIn[c - nx * ny]; }
+    if (k < NZ - 1) { above = tIn[c + nx * ny]; }
+    tOut[c] = cc * CC + (west + east) * CW + (north + south) * CN +
+              (below + above) * CT + AMB_TEMP * 0.001f + pIn[c] * CP;
+  }
+}
+)CL";
+    w.range.global = {32, 32, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(32 * 32 * 8, 30.0, 45.0);
+      b.addFloatBuffer(32 * 32 * 8, 0.0, 1.0);
+      b.addZeroFloatBuffer(32 * 32 * 8);
+      b.addIntArg(32);
+      b.addIntArg(32);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // --------------------------------------------------------------- hybridsort
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "hybridsort";
+    w.kernel = "count";
+    w.defines = {{"BUCKETS", "16"}};
+    w.source = R"CL(
+__kernel void count(__global const float* input, __global int* histo, int n) {
+  int tid = get_global_id(0);
+  int stride = get_global_size(0);
+  int priv[BUCKETS];
+  for (int b = 0; b < BUCKETS; b++) {
+    priv[b] = 0;
+  }
+  for (int i = tid; i < n; i += stride) {
+    int bucket = (int)(input[i] * (float)BUCKETS);
+    if (bucket >= BUCKETS) {
+      bucket = BUCKETS - 1;
+    }
+    priv[bucket] += 1;
+  }
+  for (int b = 0; b < BUCKETS; b++) {
+    histo[tid * BUCKETS + b] = priv[b];
+  }
+}
+)CL";
+    w.range.global = {512, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(4096, 0.0, 1.0);
+      b.addZeroIntBuffer(512 * 16);
+      b.addIntArg(4096);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "hybridsort";
+    w.kernel = "prefix";
+    w.source = R"CL(
+__kernel void prefix(__global const int* in, __global int* out) {
+  __local int temp[256];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  int ls = get_local_size(0);
+  temp[l] = in[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int off = 1; off < ls; off *= 2) {
+    int v = 0;
+    if (l >= off) {
+      v = temp[l - off];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    temp[l] += v;
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  out[g] = temp[l];
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addIntBuffer(1024, 0, 16);
+      b.addZeroIntBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "hybridsort";
+    w.kernel = "sort";
+    w.defines = {{"WINDOW", "16"}};
+    w.source = R"CL(
+__kernel void sort(__global const float* in, __global const int* offsets,
+                   __global float* out, int n) {
+  int tid = get_global_id(0);
+  float v = in[tid];
+  int bucket = (int)(v * 16.0f);
+  if (bucket > 15) {
+    bucket = 15;
+  }
+  int base = tid - tid % WINDOW;
+  int rank = 0;
+  for (int i = 0; i < WINDOW; i++) {
+    float o = in[base + i];
+    if (o < v) {
+      rank++;
+    }
+  }
+  out[(offsets[bucket] + rank) & (n - 1)] = v;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024, 0.0, 1.0);
+      b.addIntBuffer(16, 0, 1023);
+      b.addZeroFloatBuffer(1024);
+      b.addIntArg(1024);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ------------------------------------------------------------------- kmeans
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "kmeans";
+    w.kernel = "center";
+    w.defines = {{"NCLUSTERS", "5"}, {"NFEATURES", "8"}};
+    w.source = R"CL(
+__kernel void center(__global const float* features, __global const float* clusters,
+                     __global int* membership) {
+  int pid = get_global_id(0);
+  int best = 0;
+  float bestDist = 3.0e38f;
+  for (int c = 0; c < NCLUSTERS; c++) {
+    float dist = 0.0f;
+    for (int f = 0; f < NFEATURES; f++) {
+      float diff = features[pid * NFEATURES + f] - clusters[c * NFEATURES + f];
+      dist += diff * diff;
+    }
+    if (dist < bestDist) {
+      bestDist = dist;
+      best = c;
+    }
+  }
+  membership[pid] = best;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024 * 8, 0.0, 10.0);
+      b.addFloatBuffer(5 * 8, 0.0, 10.0);
+      b.addZeroIntBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "kmeans";
+    w.kernel = "swap";
+    w.defines = {{"NFEATURES", "8"}};
+    w.source = R"CL(
+__kernel void swap(__global const float* feature, __global float* feature_swap,
+                   int npoints) {
+  int tid = get_global_id(0);
+  for (int f = 0; f < NFEATURES; f++) {
+    feature_swap[f * npoints + tid] = feature[tid * NFEATURES + f];
+  }
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024 * 8, 0.0, 10.0);
+      b.addZeroFloatBuffer(1024 * 8);
+      b.addIntArg(1024);
+    };
+    out.push_back(std::move(w));
+  }
+}
+
+}  // namespace detail
+}  // namespace flexcl::workloads

@@ -1,0 +1,747 @@
+// Rodinia benchmark suite, part 2: lavaMD, leukocyte, lud, nn, nw,
+// particlefilter, pathfinder, srad, streamcluster.
+#include <cstring>
+
+#include "workloads/suite_detail.h"
+
+namespace flexcl::workloads::detail {
+
+void addRodiniaPart2(std::vector<Workload>& out) {
+  // ------------------------------------------------------------------- lavaMD
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "lavaMD";
+    w.kernel = "lavaMD";
+    w.defines = {{"NEIGH", "16"}, {"A2", "2.0f"}};
+    w.source = R"CL(
+__kernel void lavaMD(__global const float* pos, __global const float* charge,
+                     __global float* force) {
+  int i = get_global_id(0);
+  float px = pos[i * 3];
+  float py = pos[i * 3 + 1];
+  float pz = pos[i * 3 + 2];
+  float fx = 0.0f;
+  float fy = 0.0f;
+  float fz = 0.0f;
+  int boxStart = (i / NEIGH) * NEIGH;
+  for (int j = 0; j < NEIGH; j++) {
+    int idx = boxStart + j;
+    float dx = px - pos[idx * 3];
+    float dy = py - pos[idx * 3 + 1];
+    float dz = pz - pos[idx * 3 + 2];
+    float r2 = dx * dx + dy * dy + dz * dz + 0.5f;
+    float vij = exp(-A2 * r2);
+    float fs = 2.0f * vij * charge[idx];
+    fx += fs * dx;
+    fy += fs * dy;
+    fz += fs * dz;
+  }
+  force[i * 3] = fx;
+  force[i * 3 + 1] = fy;
+  force[i * 3 + 2] = fz;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024 * 3, -1.0, 1.0);
+      b.addFloatBuffer(1024, 0.1, 1.0);
+      b.addZeroFloatBuffer(1024 * 3);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ---------------------------------------------------------------- leukocyte
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "leukocyte";
+    w.kernel = "gicov";
+    w.defines = {{"NDIR", "8"}, {"NSAMPLE", "8"}, {"SIZE", "2048"},
+                 {"COS_T", "0.92f"}, {"SIN_T", "0.38f"}};
+    w.source = R"CL(
+__kernel void gicov(__global const float* grad_x, __global const float* grad_y,
+                    __global float* gicov_out) {
+  int i = get_global_id(0);
+  float maxScore = 0.0f;
+  for (int d = 0; d < NDIR; d++) {
+    float sum = 0.0f;
+    float sum2 = 0.0f;
+    for (int s = 0; s < NSAMPLE; s++) {
+      int off = (i + d * 7 + s * 13) & (SIZE - 1);
+      float g = grad_x[off] * COS_T + grad_y[off] * SIN_T;
+      sum += g;
+      sum2 += g * g;
+    }
+    float mean = sum / (float)NSAMPLE;
+    float var = sum2 / (float)NSAMPLE - mean * mean;
+    if (var > 0.0001f) {
+      float score = mean * mean / var;
+      if (score > maxScore) {
+        maxScore = score;
+      }
+    }
+  }
+  gicov_out[i] = maxScore;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, -1.0, 1.0);
+      b.addFloatBuffer(2048, -1.0, 1.0);
+      b.addZeroFloatBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "leukocyte";
+    w.kernel = "dilate";
+    w.source = R"CL(
+__kernel void dilate(__global const float* img, __global float* out, int width,
+                     int height) {
+  int i = get_global_id(0);
+  int x = i % width;
+  int y = i / width;
+  float m = 0.0f;
+  for (int dy = -2; dy <= 2; dy++) {
+    for (int dx = -2; dx <= 2; dx++) {
+      int xx = x + dx;
+      int yy = y + dy;
+      if (xx >= 0) {
+        if (xx < width) {
+          if (yy >= 0) {
+            if (yy < height) {
+              float v = img[yy * width + xx];
+              if (v > m) {
+                m = v;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  out[i] = m;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, 0.0, 1.0);
+      b.addZeroFloatBuffer(2048);
+      b.addIntArg(64);
+      b.addIntArg(32);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "leukocyte";
+    w.kernel = "imgvf";
+    w.defines = {{"MU", "0.05f"}};
+    w.source = R"CL(
+__kernel void imgvf(__global const float* vf_in, __global float* vf_out,
+                    __global const float* img, int width, int height) {
+  int i = get_global_id(0);
+  int x = i % width;
+  int y = i / width;
+  float c = vf_in[i];
+  float up = c;
+  float down = c;
+  float left = c;
+  float right = c;
+  if (y > 0) { up = vf_in[i - width]; }
+  if (y < height - 1) { down = vf_in[i + width]; }
+  if (x > 0) { left = vf_in[i - 1]; }
+  if (x < width - 1) { right = vf_in[i + 1]; }
+  float lap = up + down + left + right - 4.0f * c;
+  float b = img[i];
+  vf_out[i] = c + MU * lap - b * (c - img[i]) * fabs(b);
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, -1.0, 1.0);
+      b.addZeroFloatBuffer(2048);
+      b.addFloatBuffer(2048, -1.0, 1.0);
+      b.addIntArg(64);
+      b.addIntArg(32);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ---------------------------------------------------------------------- lud
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "lud";
+    w.kernel = "diagonal";
+    w.defines = {{"BS", "16"}, {"DIM", "64"}};
+    w.source = R"CL(
+__kernel void diagonal(__global float* m) {
+  __local float shadow[BS][BS];
+  int gid = get_global_id(0);
+  int tx = gid % BS;
+  int block = gid / BS;
+  int offset = block * BS;
+  for (int i = 0; i < BS; i++) {
+    shadow[i][tx] = m[(offset + i) * DIM + offset + tx];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int i = 0; i < BS - 1; i++) {
+    if (tx > i) {
+      shadow[tx][i] = shadow[tx][i] / shadow[i][i];
+      for (int j = i + 1; j < BS; j++) {
+        shadow[tx][j] -= shadow[tx][i] * shadow[i][j];
+      }
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  for (int i = 0; i < BS; i++) {
+    m[(offset + i) * DIM + offset + tx] = shadow[i][tx];
+  }
+}
+)CL";
+    w.range.global = {64, 1, 1};
+    w.setup = [](DataBuilder& b) { b.addFloatBuffer(64 * 64, 1.0, 2.0); };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "lud";
+    w.kernel = "perimeter";
+    w.defines = {{"BS", "16"}, {"DIM", "64"}};
+    w.source = R"CL(
+__kernel void perimeter(__global float* m, int offset) {
+  __local float dia[BS][BS];
+  int tx = get_global_id(0) % BS;
+  int strip = get_global_id(0) / BS;
+  for (int i = 0; i < BS; i++) {
+    dia[i][tx] = m[(offset + i) * DIM + offset + tx];
+  }
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int col = offset + BS + strip * BS + tx;
+  if (col < DIM) {
+    for (int i = 0; i < BS; i++) {
+      float sum = 0.0f;
+      for (int j = 0; j < BS; j++) {
+        if (j < i) {
+          sum += dia[i][j] * m[(offset + j) * DIM + col];
+        }
+      }
+      m[(offset + i) * DIM + col] -= sum;
+    }
+  }
+}
+)CL";
+    w.range.global = {64, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(64 * 64, 1.0, 2.0);
+      b.addIntArg(0);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ----------------------------------------------------------------------- nn
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "nn";
+    w.kernel = "nn";
+    w.source = R"CL(
+typedef struct { float lat; float lng; } LatLong;
+
+__kernel void nn(__global const LatLong* locations, __global float* distances,
+                 int numRecords, float lat, float lng) {
+  int gid = get_global_id(0);
+  if (gid < numRecords) {
+    float dLat = lat - locations[gid].lat;
+    float dLng = lng - locations[gid].lng;
+    distances[gid] = sqrt(dLat * dLat + dLng * dLng);
+  }
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048 * 2, -90.0, 90.0);  // packed LatLong records
+      b.addZeroFloatBuffer(2048);
+      b.addIntArg(2048);
+      b.addFloatArg(30.0);
+      b.addFloatArg(-60.0);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ----------------------------------------------------------------------- nw
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "nw";
+    w.kernel = "nw1";
+    w.defines = {{"DIM", "64"}};
+    w.source = R"CL(
+__kernel void nw1(__global const int* similarity, __global int* matrix, int penalty,
+                  int diag) {
+  int tid = get_global_id(0);
+  int x = tid + 1;
+  int y = diag - tid;
+  if (y >= 1) {
+    if (y <= DIM) {
+      if (x <= DIM) {
+        int idx = y * (DIM + 1) + x;
+        int up = matrix[idx - (DIM + 1)] - penalty;
+        int left = matrix[idx - 1] - penalty;
+        int corner = matrix[idx - (DIM + 1) - 1] + similarity[idx];
+        int best = up;
+        if (left > best) { best = left; }
+        if (corner > best) { best = corner; }
+        matrix[idx] = best;
+      }
+    }
+  }
+}
+)CL";
+    w.range.global = {64, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addIntBuffer(65 * 65, -4, 4);
+      b.addIntBuffer(65 * 65, -10, 10);
+      b.addIntArg(2);
+      b.addIntArg(32);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "nw";
+    w.kernel = "nw2";
+    w.defines = {{"DIM", "64"}};
+    w.source = R"CL(
+__kernel void nw2(__global const int* similarity, __global int* matrix, int penalty,
+                  int diag) {
+  int tid = get_global_id(0);
+  int x = DIM - tid;
+  int y = diag + tid;
+  if (x >= 1) {
+    if (y <= DIM) {
+      int idx = y * (DIM + 1) + x;
+      int up = matrix[idx - (DIM + 1)] - penalty;
+      int left = matrix[idx - 1] - penalty;
+      int corner = matrix[idx - (DIM + 1) - 1] + similarity[idx];
+      int best = up;
+      if (left > best) { best = left; }
+      if (corner > best) { best = corner; }
+      matrix[idx] = best;
+    }
+  }
+}
+)CL";
+    w.range.global = {64, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addIntBuffer(65 * 65, -4, 4);
+      b.addIntBuffer(65 * 65, -10, 10);
+      b.addIntArg(2);
+      b.addIntArg(16);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // ------------------------------------------------------------ particlefilter
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "particlefilter";
+    w.kernel = "find_index";
+    w.defines = {{"CDF_LEN", "128"}};
+    w.source = R"CL(
+__kernel void find_index(__global const float* cdf, __global const float* u,
+                         __global int* indices) {
+  int tid = get_global_id(0);
+  float val = u[tid];
+  int index = -1;
+  for (int i = 0; i < CDF_LEN; i++) {
+    if (index < 0) {
+      if (cdf[i] >= val) {
+        index = i;
+      }
+    }
+  }
+  if (index < 0) {
+    index = CDF_LEN - 1;
+  }
+  indices[tid] = index;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      // Monotone cdf in [0, 1].
+      std::vector<std::uint8_t> cdf(128 * 4);
+      for (int i = 0; i < 128; ++i) {
+        const float v = static_cast<float>(i + 1) / 128.0f;
+        std::memcpy(cdf.data() + i * 4, &v, 4);
+      }
+      b.addRawBuffer(std::move(cdf));
+      b.addFloatBuffer(1024, 0.0, 1.0);
+      b.addZeroIntBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "particlefilter";
+    w.kernel = "normalize";
+    w.source = R"CL(
+__kernel void normalize(__global float* weights, __global const float* sumBuf) {
+  int tid = get_global_id(0);
+  weights[tid] = weights[tid] / sumBuf[0];
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024, 0.0, 1.0);
+      b.addFloatBuffer(1, 100.0, 200.0);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "particlefilter";
+    w.kernel = "sum";
+    w.source = R"CL(
+__kernel void sum(__global const float* weights, __global float* partial) {
+  __local float buf[256];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  int ls = get_local_size(0);
+  buf[l] = weights[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int s = 1; s < ls; s *= 2) {
+    int idx = 2 * s * l;
+    if (idx + s < ls) {
+      buf[idx] += buf[idx + s];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (l == 0) {
+    partial[get_group_id(0)] = buf[0];
+  }
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024, 0.0, 1.0);
+      b.addZeroFloatBuffer(64);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "particlefilter";
+    w.kernel = "likelihood";
+    w.defines = {{"NUM_ONES", "12"}};
+    w.source = R"CL(
+__kernel void likelihood(__global const float* arrayX, __global const float* arrayY,
+                         __global float* weights, __global const int* objxy) {
+  int i = get_global_id(0);
+  float likelihoodSum = 0.0f;
+  for (int j = 0; j < NUM_ONES; j++) {
+    int ox = objxy[j * 2];
+    int oy = objxy[j * 2 + 1];
+    float dx = arrayX[i] - (float)ox;
+    float dy = arrayY[i] - (float)oy;
+    likelihoodSum += (dx * dx + dy * dy) / 50.0f;
+  }
+  weights[i] = exp(-likelihoodSum / (float)NUM_ONES);
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024, 0.0, 64.0);
+      b.addFloatBuffer(1024, 0.0, 64.0);
+      b.addZeroFloatBuffer(1024);
+      b.addIntBuffer(24, 0, 64);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // --------------------------------------------------------------- pathfinder
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "pathfinder";
+    w.kernel = "dynproc";
+    w.source = R"CL(
+__kernel void dynproc(__global const int* wall, __global const int* src,
+                      __global int* dst) {
+  __local int prev[256];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  int ls = get_local_size(0);
+  prev[l] = src[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  int center = prev[l];
+  int left = center;
+  int right = center;
+  if (l > 0) { left = prev[l - 1]; }
+  if (l < ls - 1) { right = prev[l + 1]; }
+  int best = center;
+  if (left < best) { best = left; }
+  if (right < best) { best = right; }
+  dst[g] = best + wall[g];
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addIntBuffer(2048, 0, 10);
+      b.addIntBuffer(2048, 0, 100);
+      b.addZeroIntBuffer(2048);
+    };
+    out.push_back(std::move(w));
+  }
+
+  // --------------------------------------------------------------------- srad
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "srad";
+    w.kernel = "extract";
+    w.source = R"CL(
+__kernel void extract(__global float* image) {
+  int i = get_global_id(0);
+  image[i] = exp(image[i] / 255.0f);
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) { b.addFloatBuffer(2048, 0.0, 255.0); };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "srad";
+    w.kernel = "prepare";
+    w.source = R"CL(
+__kernel void prepare(__global const float* image, __global float* sums,
+                      __global float* sums2) {
+  int i = get_global_id(0);
+  float v = image[i];
+  sums[i] = v;
+  sums2[i] = v * v;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, 0.9, 2.8);
+      b.addZeroFloatBuffer(2048);
+      b.addZeroFloatBuffer(2048);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "srad";
+    w.kernel = "reduce";
+    w.source = R"CL(
+__kernel void reduce(__global float* sums, __global float* sums2) {
+  __local float s1[256];
+  __local float s2[256];
+  int l = get_local_id(0);
+  int g = get_global_id(0);
+  int ls = get_local_size(0);
+  s1[l] = sums[g];
+  s2[l] = sums2[g];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  for (int stride = 1; stride < ls; stride *= 2) {
+    int idx = 2 * stride * l;
+    if (idx + stride < ls) {
+      s1[idx] += s1[idx + stride];
+      s2[idx] += s2[idx + stride];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+  }
+  if (l == 0) {
+    sums[get_group_id(0)] = s1[0];
+    sums2[get_group_id(0)] = s2[0];
+  }
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, 0.9, 2.8);
+      b.addFloatBuffer(2048, 0.8, 8.0);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "srad";
+    w.kernel = "srad";
+    w.defines = {{"Q0SQR", "0.05f"}};
+    w.source = R"CL(
+__kernel void srad(__global const float* image, __global float* dN,
+                   __global float* dS, __global float* dW, __global float* dE,
+                   __global float* c, int cols, int rows) {
+  int i = get_global_id(0);
+  int x = i % cols;
+  int y = i / cols;
+  float Jc = image[i];
+  float n = Jc;
+  float s = Jc;
+  float west = Jc;
+  float east = Jc;
+  if (y > 0) { n = image[i - cols]; }
+  if (y < rows - 1) { s = image[i + cols]; }
+  if (x > 0) { west = image[i - 1]; }
+  if (x < cols - 1) { east = image[i + 1]; }
+  float dn = n - Jc;
+  float ds = s - Jc;
+  float dw = west - Jc;
+  float de = east - Jc;
+  float G2 = (dn * dn + ds * ds + dw * dw + de * de) / (Jc * Jc);
+  float L = (dn + ds + dw + de) / Jc;
+  float num = 0.5f * G2 - 0.0625f * L * L;
+  float den = 1.0f + 0.25f * L;
+  float qsqr = num / (den * den);
+  den = (qsqr - Q0SQR) / (Q0SQR * (1.0f + Q0SQR));
+  float coeff = 1.0f / (1.0f + den);
+  if (coeff < 0.0f) { coeff = 0.0f; }
+  if (coeff > 1.0f) { coeff = 1.0f; }
+  dN[i] = dn;
+  dS[i] = ds;
+  dW[i] = dw;
+  dE[i] = de;
+  c[i] = coeff;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, 0.9, 2.8);
+      b.addZeroFloatBuffer(2048);
+      b.addZeroFloatBuffer(2048);
+      b.addZeroFloatBuffer(2048);
+      b.addZeroFloatBuffer(2048);
+      b.addZeroFloatBuffer(2048);
+      b.addIntArg(64);
+      b.addIntArg(32);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "srad";
+    w.kernel = "srad2";
+    w.defines = {{"LAMBDA", "0.5f"}};
+    w.source = R"CL(
+__kernel void srad2(__global float* image, __global const float* dN,
+                    __global const float* dS, __global const float* dW,
+                    __global const float* dE, __global const float* c, int cols,
+                    int rows) {
+  int i = get_global_id(0);
+  int x = i % cols;
+  int y = i / cols;
+  float cN = c[i];
+  float cS = cN;
+  float cW = cN;
+  float cE = cN;
+  if (y < rows - 1) { cS = c[i + cols]; }
+  if (x < cols - 1) { cE = c[i + 1]; }
+  float D = cN * dN[i] + cS * dS[i] + cW * dW[i] + cE * dE[i];
+  image[i] = image[i] + 0.25f * LAMBDA * D;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(2048, 0.9, 2.8);
+      b.addFloatBuffer(2048, -0.5, 0.5);
+      b.addFloatBuffer(2048, -0.5, 0.5);
+      b.addFloatBuffer(2048, -0.5, 0.5);
+      b.addFloatBuffer(2048, -0.5, 0.5);
+      b.addFloatBuffer(2048, 0.0, 1.0);
+      b.addIntArg(64);
+      b.addIntArg(32);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "srad";
+    w.kernel = "compress";
+    w.source = R"CL(
+__kernel void compress(__global float* image) {
+  int i = get_global_id(0);
+  image[i] = log(image[i]) * 255.0f;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) { b.addFloatBuffer(2048, 1.0, 3.0); };
+    out.push_back(std::move(w));
+  }
+
+  // ------------------------------------------------------------ streamcluster
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "streamcluster";
+    w.kernel = "memset";
+    w.source = R"CL(
+__kernel void memset(__global int* a, int value) {
+  a[get_global_id(0)] = value;
+}
+)CL";
+    w.range.global = {2048, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addZeroIntBuffer(2048);
+      b.addIntArg(0);
+    };
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.suite = "rodinia";
+    w.benchmark = "streamcluster";
+    w.kernel = "pgain";
+    w.defines = {{"K", "8"}, {"DIM", "8"}, {"WEIGHT", "1.5f"}};
+    w.source = R"CL(
+__kernel void pgain(__global const float* points, __global const float* centers,
+                    __global float* cost, __global int* assign) {
+  int pid = get_global_id(0);
+  float best = 3.0e38f;
+  int bestIdx = 0;
+  for (int c = 0; c < K; c++) {
+    float d = 0.0f;
+    for (int f = 0; f < DIM; f++) {
+      float diff = points[pid * DIM + f] - centers[c * DIM + f];
+      d += diff * diff;
+    }
+    float weighted = d * WEIGHT;
+    if (weighted < best) {
+      best = weighted;
+      bestIdx = c;
+    }
+  }
+  cost[pid] = best;
+  assign[pid] = bestIdx;
+}
+)CL";
+    w.range.global = {1024, 1, 1};
+    w.setup = [](DataBuilder& b) {
+      b.addFloatBuffer(1024 * 8, 0.0, 10.0);
+      b.addFloatBuffer(8 * 8, 0.0, 10.0);
+      b.addZeroFloatBuffer(1024);
+      b.addZeroIntBuffer(1024);
+    };
+    out.push_back(std::move(w));
+  }
+}
+
+}  // namespace flexcl::workloads::detail

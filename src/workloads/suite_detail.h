@@ -1,0 +1,13 @@
+// Internal: suite registration split across translation units.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace flexcl::workloads::detail {
+
+void addRodiniaPart1(std::vector<Workload>& out);  // backprop .. kmeans
+void addRodiniaPart2(std::vector<Workload>& out);  // lavaMD .. streamcluster
+
+}  // namespace flexcl::workloads::detail

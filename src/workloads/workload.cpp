@@ -1,0 +1,95 @@
+#include "workloads/workload.h"
+
+#include <cstring>
+
+namespace flexcl::workloads {
+
+int DataBuilder::addRawBuffer(std::vector<std::uint8_t> bytes) {
+  const int index = static_cast<int>(buffers.size());
+  buffers.push_back(std::move(bytes));
+  args.push_back(interp::KernelArg::buffer(index));
+  return index;
+}
+
+int DataBuilder::addFloatBuffer(std::size_t count, double lo, double hi) {
+  std::vector<std::uint8_t> bytes(count * 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    const float v = static_cast<float>(rng_.nextDouble(lo, hi));
+    std::memcpy(bytes.data() + i * 4, &v, 4);
+  }
+  return addRawBuffer(std::move(bytes));
+}
+
+int DataBuilder::addIntBuffer(std::size_t count, std::int64_t lo, std::int64_t hi) {
+  std::vector<std::uint8_t> bytes(count * 4);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto v = static_cast<std::int32_t>(rng_.nextInRange(lo, hi));
+    std::memcpy(bytes.data() + i * 4, &v, 4);
+  }
+  return addRawBuffer(std::move(bytes));
+}
+
+int DataBuilder::addZeroFloatBuffer(std::size_t count) {
+  return addRawBuffer(std::vector<std::uint8_t>(count * 4, 0));
+}
+
+int DataBuilder::addZeroIntBuffer(std::size_t count) {
+  return addRawBuffer(std::vector<std::uint8_t>(count * 4, 0));
+}
+
+void DataBuilder::addIntArg(std::int64_t value) {
+  args.push_back(interp::KernelArg::intScalar(value));
+}
+
+void DataBuilder::addFloatArg(double value) {
+  args.push_back(interp::KernelArg::floatScalar(value));
+}
+
+std::optional<CompiledWorkload> compileWorkload(const Workload& workload,
+                                                std::string* error) {
+  DiagnosticEngine diags;
+  auto program = ir::compileOpenCl(workload.source, diags, workload.defines);
+  if (!program) {
+    if (error) *error = workload.fullName() + ": " + diags.str();
+    return std::nullopt;
+  }
+  const ir::Function* fn = program->module->findFunction(workload.kernel);
+  if (!fn) {
+    if (error) *error = workload.fullName() + ": kernel function not found";
+    return std::nullopt;
+  }
+
+  CompiledWorkload compiled;
+  compiled.meta = workload;
+  compiled.program = std::move(program);
+  compiled.fn = fn;
+
+  DataBuilder builder(stableHash(workload.kernel.data(), workload.kernel.size(),
+                                 stableHash(workload.benchmark.data(),
+                                            workload.benchmark.size())));
+  workload.setup(builder);
+  compiled.buffers = std::move(builder.buffers);
+  compiled.args = std::move(builder.args);
+
+  if (compiled.args.size() != fn->arguments().size()) {
+    if (error) {
+      *error = workload.fullName() + ": setup provided " +
+               std::to_string(compiled.args.size()) + " args, kernel expects " +
+               std::to_string(fn->arguments().size());
+    }
+    return std::nullopt;
+  }
+  return compiled;
+}
+
+const Workload* findWorkload(const std::string& suite, const std::string& benchmark,
+                             const std::string& kernel) {
+  const std::vector<Workload>& list =
+      suite == "rodinia" ? rodiniaSuite() : polybenchSuite();
+  for (const Workload& w : list) {
+    if (w.benchmark == benchmark && w.kernel == kernel) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace flexcl::workloads

@@ -1,0 +1,97 @@
+// Benchmark workload definitions: OpenCL kernel sources, launch geometry and
+// input builders for the Rodinia and PolyBench suites (paper §4.1-§4.2).
+//
+// The kernels are compact re-implementations that preserve each benchmark's
+// loop structure, local-memory usage, barrier placement, and global access
+// pattern — the properties the model and simulator consume. Problem sizes
+// are scaled down so the System-Run substitute (cycle-level simulation of
+// the whole design space) completes in minutes rather than weeks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "ir/lower.h"
+#include "model/flexcl.h"
+#include "support/rng.h"
+
+namespace flexcl::workloads {
+
+/// Builds a workload's buffers and arguments. Buffer-adding helpers append
+/// the matching buffer KernelArg, so calls must follow the kernel signature
+/// order.
+class DataBuilder {
+ public:
+  explicit DataBuilder(std::uint64_t seed) : rng_(seed) {}
+
+  int addFloatBuffer(std::size_t count, double lo = 0.0, double hi = 1.0);
+  int addIntBuffer(std::size_t count, std::int64_t lo, std::int64_t hi);
+  /// Zero-initialised buffer of `count` 32-bit elements (outputs).
+  int addZeroFloatBuffer(std::size_t count);
+  int addZeroIntBuffer(std::size_t count);
+  /// Raw bytes, caller fills.
+  int addRawBuffer(std::vector<std::uint8_t> bytes);
+  void addIntArg(std::int64_t value);
+  void addFloatArg(double value);
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::vector<interp::KernelArg> args;
+
+ private:
+  Rng rng_;
+};
+
+struct Workload {
+  std::string suite;      ///< "rodinia" | "polybench"
+  std::string benchmark;  ///< e.g. "backprop"
+  std::string kernel;     ///< kernel function name, e.g. "layer"
+  std::string source;     ///< OpenCL C
+  std::unordered_map<std::string, std::string> defines;
+  interp::NdRange range;  ///< global size (local comes from design points)
+  std::function<void(DataBuilder&)> setup;
+
+  [[nodiscard]] std::string fullName() const {
+    return benchmark + "/" + kernel;
+  }
+};
+
+/// A compiled, data-ready workload.
+struct CompiledWorkload {
+  Workload meta;
+  std::unique_ptr<ir::CompiledProgram> program;
+  const ir::Function* fn = nullptr;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::vector<interp::KernelArg> args;
+
+  [[nodiscard]] model::LaunchInfo launch() const {
+    model::LaunchInfo info;
+    info.fn = fn;
+    info.range = meta.range;
+    info.args = args;
+    info.buffers = &buffers;
+    return info;
+  }
+};
+
+/// Compiles a workload (preprocess/parse/sema/lower/verify) and builds its
+/// data. Returns nullopt with `error` filled on failure.
+std::optional<CompiledWorkload> compileWorkload(const Workload& workload,
+                                                std::string* error = nullptr);
+
+/// The 45 Rodinia kernels of Table 2.
+const std::vector<Workload>& rodiniaSuite();
+/// The 15 PolyBench/GPU kernels (§4.2).
+const std::vector<Workload>& polybenchSuite();
+
+/// Lookup helper (nullptr when absent).
+const Workload* findWorkload(const std::string& suite, const std::string& benchmark,
+                             const std::string& kernel);
+
+}  // namespace flexcl::workloads

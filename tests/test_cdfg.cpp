@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/cdfg.h"
+#include "ir/lower.h"
+
+namespace flexcl::cdfg {
+namespace {
+
+std::unique_ptr<ir::CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto c = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(c) << diags.str();
+  return c;
+}
+
+KernelAnalysis analyze(const ir::Function& fn,
+                       const interp::KernelProfile* profile = nullptr) {
+  return analyzeKernel(fn, model::OpLatencyDb::virtex7(), sched::ResourceBudget{},
+                       profile);
+}
+
+TEST(Cdfg, WorkItemLatencyCoversCriticalChain) {
+  auto c = compile(
+      "__kernel void k(__global float* o) {\n"
+      "  float x = o[0];\n"
+      "  o[1] = sqrt(x * x + 1.0f);\n"
+      "}\n");
+  KernelAnalysis a = analyze(*c->module->findFunction("k"));
+  // load(1) + fmul(5) + fadd(7) + sqrt(14) + store(1) along the chain.
+  EXPECT_GE(a.totals.latency, 1 + 5 + 7 + 14 + 1);
+  EXPECT_EQ(a.totals.globalReads, 1);
+  EXPECT_EQ(a.totals.globalWrites, 1);
+}
+
+TEST(Cdfg, LoopWeightsTotalsByTripCount) {
+  auto c = compile(
+      "__kernel void k(__global float* o) {\n"
+      "  float acc = 0.0f;\n"
+      "  for (int i = 0; i < 10; i++) { acc += o[i]; }\n"
+      "  o[0] = acc;\n"
+      "}\n");
+  KernelAnalysis a = analyze(*c->module->findFunction("k"));
+  // 10 loads inside the loop + 1 store.
+  EXPECT_NEAR(a.totals.globalReads, 10.0, 0.01);
+  EXPECT_NEAR(a.totals.globalWrites, 1.0, 0.01);
+}
+
+TEST(Cdfg, IndependentStatementsOverlap) {
+  auto serialSrc =
+      "__kernel void k(__global float* o) {\n"
+      "  float a = o[0] / 1.5f;\n"
+      "  float b = a / 2.5f;\n"
+      "  o[1] = b;\n"
+      "}\n";
+  auto parallelSrc =
+      "__kernel void k(__global float* o) {\n"
+      "  float a = o[0] / 1.5f;\n"
+      "  float b = o[2] / 2.5f;\n"
+      "  o[1] = a + b;\n"
+      "}\n";
+  auto cs = compile(serialSrc);
+  auto cp = compile(parallelSrc);
+  KernelAnalysis serial = analyze(*cs->module->findFunction("k"));
+  KernelAnalysis parallel = analyze(*cp->module->findFunction("k"));
+  // Dependent divides chain; independent ones overlap (same op mix plus one
+  // extra add/load but two overlapped divides).
+  EXPECT_LT(parallel.totals.latency, serial.totals.latency + 10);
+}
+
+TEST(Cdfg, IfTakesMaxOfBranches) {
+  auto c = compile(
+      "__kernel void k(__global float* o, int n) {\n"
+      "  float v;\n"
+      "  if (n > 0) { v = o[0] / 3.0f; }\n"
+      "  else { v = o[1] + 1.0f; }\n"
+      "  o[2] = v;\n"
+      "}\n");
+  KernelAnalysis a = analyze(*c->module->findFunction("k"));
+  // Latency includes the slow branch (fdiv 14) but not the sum of both.
+  EXPECT_GE(a.totals.latency, 14);
+  // Both branches' accesses appear in the element-wise max: each branch has
+  // exactly one read, so the max is 1 (plus the final store elsewhere).
+  EXPECT_NEAR(a.totals.globalWrites, 1.0, 0.01);
+}
+
+TEST(Cdfg, BarrierCounted) {
+  auto c = compile(
+      "__kernel void k(__global int* o) {\n"
+      "  __local int t[16];\n"
+      "  t[get_local_id(0)] = o[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  o[get_global_id(0)] = t[0];\n"
+      "}\n");
+  KernelAnalysis a = analyze(*c->module->findFunction("k"));
+  EXPECT_EQ(a.barrierCount, 1);
+  EXPECT_NEAR(a.totals.localReads, 1.0, 0.01);
+  EXPECT_NEAR(a.totals.localWrites, 1.0, 0.01);
+}
+
+TEST(Cdfg, PipelineGraphCoversTopLevelOps) {
+  auto c = compile(
+      "__kernel void k(__global float* o) {\n"
+      "  int i = get_global_id(0);\n"
+      "  o[i] = o[i] * 2.0f;\n"
+      "}\n");
+  KernelAnalysis a = analyze(*c->module->findFunction("k"));
+  EXPECT_FALSE(a.pipeline.nodes.empty());
+  // Every pipeline edge references valid nodes.
+  for (const sched::PipeEdge& e : a.pipeline.edges) {
+    EXPECT_GE(e.from, 0);
+    EXPECT_LT(e.from, static_cast<int>(a.pipeline.nodes.size()));
+    EXPECT_GE(e.to, 0);
+    EXPECT_LT(e.to, static_cast<int>(a.pipeline.nodes.size()));
+    EXPECT_GE(e.distance, 0);
+  }
+}
+
+TEST(Cdfg, LoopBecomesBlockingSupernode) {
+  auto c = compile(
+      "__kernel void k(__global float* o, int n) {\n"
+      "  float acc = 0.0f;\n"
+      "  for (int i = 0; i < 8; i++) { acc += o[i] * 1.5f; }\n"
+      "  o[0] = acc;\n"
+      "}\n");
+  KernelAnalysis a = analyze(*c->module->findFunction("k"));
+  bool foundEngine = false;
+  for (const sched::PipeNode& n : a.pipeline.nodes) {
+    if (n.resource.rc == sched::ResourceClass::LoopEngine) {
+      foundEngine = true;
+      EXPECT_GT(n.blockingCycles, 1);
+      EXPECT_EQ(n.blockingCycles, n.latency);
+    }
+  }
+  EXPECT_TRUE(foundEngine);
+}
+
+TEST(Cdfg, TripCountsPreferStaticThenProfileThenFallback) {
+  auto c = compile(
+      "__kernel void k(__global int* o, int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 32; i++) { s += i; }\n"       // static 32
+      "  for (int i = 0; i < n; i++) { s += o[i]; }\n"      // dynamic
+      "  o[0] = s;\n"
+      "}\n");
+  const ir::Function* fn = c->module->findFunction("k");
+
+  // No profile: fallback covers the dynamic loop.
+  TripCountOptions opts;
+  opts.fallbackTripCount = 7.0;
+  std::vector<double> noProfile = resolveTripCounts(*fn, nullptr, opts);
+  ASSERT_EQ(noProfile.size(), 2u);
+  EXPECT_DOUBLE_EQ(noProfile[0], 32.0);
+  EXPECT_DOUBLE_EQ(noProfile[1], 7.0);
+
+  // With a profile: the dynamic loop takes the measured count.
+  interp::KernelProfile profile;
+  profile.ok = true;
+  profile.loopTripCounts = {32.0, 19.0};
+  std::vector<double> withProfile = resolveTripCounts(*fn, &profile, opts);
+  EXPECT_DOUBLE_EQ(withProfile[0], 32.0);
+  EXPECT_DOUBLE_EQ(withProfile[1], 19.0);
+}
+
+TEST(Cdfg, CrossWorkItemDependenceProducesRecurrence) {
+  // Work-item i reads what work-item i-1 wrote through local memory:
+  // a distance-1 recurrence must appear in the pipeline graph (Figure 3).
+  auto c = compile(
+      "__kernel void k(__global int* in, __global int* out) {\n"
+      "  __local int B[64];\n"
+      "  int tid = get_local_id(0);\n"
+      "  int prev = 0;\n"
+      "  if (tid > 0) { prev = B[tid - 1]; }\n"
+      "  B[tid] = in[get_global_id(0)] + prev;\n"
+      "  out[get_global_id(0)] = B[tid];\n"
+      "}\n");
+  const ir::Function* fn = c->module->findFunction("k");
+
+  // Profile to get the local trace (sequential round-robin execution means
+  // wi i's read of B[i-1] happens after wi i-1's write).
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(64 * 4, 1), std::vector<std::uint8_t>(64 * 4)};
+  interp::NdRange range;
+  range.global = {64, 1, 1};
+  range.local = {64, 1, 1};
+  interp::KernelProfile profile = interp::profileKernel(
+      *fn, range, {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)},
+      buffers);
+  ASSERT_TRUE(profile.ok) << profile.error;
+  EXPECT_FALSE(profile.localTrace.empty());
+
+  KernelAnalysis a = analyze(*fn, &profile);
+  bool foundRecurrence = false;
+  for (const sched::PipeEdge& e : a.pipeline.edges) {
+    if (e.distance >= 1) foundRecurrence = true;
+  }
+  EXPECT_TRUE(foundRecurrence);
+  // And it must raise RecMII above the trivial 1.
+  EXPECT_GT(sched::computeRecMII(a.pipeline), 1);
+}
+
+TEST(Cdfg, UnrollHintReducesLoopLatency) {
+  auto base = compile(
+      "__kernel void k(__global float* o) {\n"
+      "  float acc = 0.0f;\n"
+      "  for (int i = 0; i < 64; i++) { acc += o[i]; }\n"
+      "  o[0] = acc;\n"
+      "}\n");
+  auto unrolled = compile(
+      "__kernel void k(__global float* o) {\n"
+      "  float acc = 0.0f;\n"
+      "#pragma unroll 8\n"
+      "  for (int i = 0; i < 64; i++) { acc += o[i]; }\n"
+      "  o[0] = acc;\n"
+      "}\n");
+  KernelAnalysis a = analyze(*base->module->findFunction("k"));
+  KernelAnalysis b = analyze(*unrolled->module->findFunction("k"));
+  EXPECT_LT(b.totals.latency, a.totals.latency);
+}
+
+}  // namespace
+}  // namespace flexcl::cdfg

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "dram/calibrate.h"
+#include "dram/dram_sim.h"
+#include "dram/pattern.h"
+
+namespace flexcl::dram {
+namespace {
+
+interp::MemoryAccessEvent event(std::uint64_t wi, std::int32_t buffer,
+                                std::int64_t offset, std::uint32_t size,
+                                bool isWrite) {
+  interp::MemoryAccessEvent ev;
+  ev.workItem = wi;
+  ev.buffer = buffer;
+  ev.offset = offset;
+  ev.size = size;
+  ev.isWrite = isWrite;
+  return ev;
+}
+
+// ---------------------------------------------------------------------------
+// Address mapping
+// ---------------------------------------------------------------------------
+
+TEST(AddressMap, InterleavesChunksAcrossBanks) {
+  DramConfig cfg;
+  for (int chunk = 0; chunk < 16; ++chunk) {
+    const BankAddress ba =
+        mapAddress(cfg, static_cast<std::uint64_t>(chunk) * cfg.interleaveBytes);
+    EXPECT_EQ(ba.bank, chunk % cfg.banks);
+  }
+}
+
+TEST(AddressMap, SameChunkSameBank) {
+  DramConfig cfg;
+  const BankAddress a = mapAddress(cfg, 0);
+  const BankAddress b = mapAddress(cfg, cfg.interleaveBytes - 1);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.row, b.row);
+}
+
+TEST(AddressMap, RowAdvancesWithinBank) {
+  DramConfig cfg;
+  // Next address in the same bank: one full sweep of all banks later.
+  const std::uint64_t sweep =
+      static_cast<std::uint64_t>(cfg.banks) * cfg.interleaveBytes;
+  const BankAddress a = mapAddress(cfg, 0);
+  // rowBytes / interleaveBytes chunks of this bank fill one row.
+  const std::uint64_t chunksPerRow = cfg.rowBytes / cfg.interleaveBytes;
+  const BankAddress b = mapAddress(cfg, sweep * chunksPerRow);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(b.row, a.row + 1);
+}
+
+TEST(AddressMap, DistinctBuffersAreFarApart) {
+  EXPECT_GE(linearAddress(1, 0) - linearAddress(0, 0), kBufferStride);
+}
+
+// ---------------------------------------------------------------------------
+// Coalescer
+// ---------------------------------------------------------------------------
+
+TEST(Coalescer, MergesConsecutiveRun) {
+  std::vector<interp::MemoryAccessEvent> trace;
+  for (int i = 0; i < 32; ++i) trace.push_back(event(0, 0, i * 4, 4, false));
+  DramConfig cfg;
+  auto out = coalesce(trace, cfg);
+  // 128 bytes @ 64-byte unit -> 2 accesses.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].bytes, 64u);
+  EXPECT_EQ(out[1].offset, 64);
+}
+
+TEST(Coalescer, PaperExampleFactorSixteen) {
+  // 1024 consecutive 32-bit reads with a 512-bit unit -> 64 accesses (§3.4).
+  std::vector<interp::MemoryAccessEvent> trace;
+  for (int i = 0; i < 1024; ++i) trace.push_back(event(0, 0, i * 4, 4, false));
+  DramConfig cfg;
+  EXPECT_EQ(coalesce(trace, cfg).size(), 64u);
+  EXPECT_DOUBLE_EQ(coalescingFactor(cfg, 4), 16.0);
+}
+
+TEST(Coalescer, DirectionChangeBreaksRun) {
+  std::vector<interp::MemoryAccessEvent> trace = {
+      event(0, 0, 0, 4, false), event(0, 0, 4, 4, true), event(0, 0, 8, 4, false)};
+  EXPECT_EQ(coalesce(trace, DramConfig{}).size(), 3u);
+}
+
+TEST(Coalescer, BufferChangeBreaksRun) {
+  std::vector<interp::MemoryAccessEvent> trace = {
+      event(0, 0, 0, 4, false), event(0, 1, 4, 4, false)};
+  EXPECT_EQ(coalesce(trace, DramConfig{}).size(), 2u);
+}
+
+TEST(Coalescer, GapBreaksRun) {
+  std::vector<interp::MemoryAccessEvent> trace = {
+      event(0, 0, 0, 4, false), event(0, 0, 16, 4, false)};
+  EXPECT_EQ(coalesce(trace, DramConfig{}).size(), 2u);
+}
+
+TEST(Coalescer, WorkItemBoundaryBreaksRun) {
+  // Bursts are inferred within one work-item's datapath only.
+  std::vector<interp::MemoryAccessEvent> trace = {
+      event(0, 0, 0, 4, false), event(1, 0, 4, 4, false)};
+  EXPECT_EQ(coalesce(trace, DramConfig{}).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Pattern classification
+// ---------------------------------------------------------------------------
+
+TEST(Patterns, HitAfterSameRowAccess) {
+  DramConfig cfg;
+  std::vector<CoalescedAccess> stream;
+  CoalescedAccess a;
+  a.buffer = 0;
+  a.offset = 0;
+  a.bytes = 64;
+  a.isWrite = false;
+  stream.push_back(a);  // first access: miss
+  stream.push_back(a);  // same row: RAR hit
+  PatternCounts counts = classifyStream(stream, cfg);
+  EXPECT_DOUBLE_EQ(counts[AccessPattern::RarMiss], 1.0);
+  EXPECT_DOUBLE_EQ(counts[AccessPattern::RarHit], 1.0);
+}
+
+TEST(Patterns, AllEightPatternsReachable) {
+  DramConfig cfg;
+  const std::int64_t rowJump =
+      static_cast<std::int64_t>(cfg.rowBytes) * cfg.banks * 4;
+  std::vector<CoalescedAccess> stream;
+  auto push = [&](std::int64_t offset, bool isWrite) {
+    CoalescedAccess a;
+    a.buffer = 0;
+    a.offset = offset;
+    a.bytes = 64;
+    a.isWrite = isWrite;
+    stream.push_back(a);
+  };
+  // Sequence engineered on one bank: miss R, hit R (RARhit), hit W (WARhit),
+  // hit W (WAWhit), hit R (RAWhit), miss R (RARmiss via row jump)...
+  push(0, false);            // RAR miss (cold)
+  push(0, false);            // RAR hit
+  push(0, true);             // WAR hit
+  push(0, true);             // WAW hit
+  push(0, false);            // RAW hit
+  push(rowJump, false);      // RAR miss
+  push(2 * rowJump, true);   // WAR miss
+  push(3 * rowJump, true);   // WAW miss? previous was write -> row jump write
+  push(4 * rowJump, false);  // RAW miss
+  PatternCounts counts = classifyStream(stream, cfg);
+  EXPECT_GT(counts[AccessPattern::RarHit], 0);
+  EXPECT_GT(counts[AccessPattern::WarHit], 0);
+  EXPECT_GT(counts[AccessPattern::WawHit], 0);
+  EXPECT_GT(counts[AccessPattern::RawHit], 0);
+  EXPECT_GT(counts[AccessPattern::RarMiss], 0);
+  EXPECT_GT(counts[AccessPattern::WarMiss], 0);
+  EXPECT_GT(counts[AccessPattern::WawMiss], 0);
+  EXPECT_GT(counts[AccessPattern::RawMiss], 0);
+  EXPECT_DOUBLE_EQ(counts.total(), static_cast<double>(stream.size()));
+}
+
+TEST(Patterns, OccupancyAccounting) {
+  DramConfig cfg;
+  std::vector<CoalescedAccess> stream;
+  CoalescedAccess a;
+  a.buffer = 0;
+  a.offset = 0;
+  a.bytes = 64;
+  a.isWrite = true;
+  stream.push_back(a);
+  StreamAnalysis analysis = analyzeStream(stream, cfg);
+  // Cold write: tCcd + tRcd (no precharge: row closed) + tWr.
+  EXPECT_DOUBLE_EQ(analysis.bankOccupancy[static_cast<std::size_t>(
+                       mapAddress(cfg, linearAddress(0, 0)).bank)],
+                   cfg.tCcd + cfg.tRcd + cfg.tWr);
+  EXPECT_DOUBLE_EQ(analysis.busOccupancy, cfg.transferCycles);
+}
+
+// ---------------------------------------------------------------------------
+// DRAM simulator
+// ---------------------------------------------------------------------------
+
+TEST(DramSim, RowHitFasterThanMiss) {
+  DramConfig cfg;
+  cfg.refreshInterval = 0;  // disable refresh for determinism here
+  DramSim sim(cfg);
+  const std::uint64_t t1 = sim.access(0, 0, false);            // cold miss
+  const std::uint64_t hitDone = sim.access(t1, 0, false);      // row hit
+  const std::uint64_t hitLat = hitDone - t1;
+  const std::uint64_t missDone = sim.access(
+      hitDone, static_cast<std::uint64_t>(cfg.rowBytes) * cfg.banks * 8, false);
+  const std::uint64_t missLat = missDone - hitDone;
+  EXPECT_LT(hitLat, missLat);
+  EXPECT_EQ(sim.rowHits(), 1u);
+  EXPECT_EQ(sim.totalAccesses(), 3u);
+}
+
+TEST(DramSim, BankConflictQueues) {
+  DramConfig cfg;
+  cfg.refreshInterval = 0;
+  DramSim sim(cfg);
+  // Two simultaneous write requests to the same bank, different rows: the
+  // second must wait for the first's precharge/activate.
+  const std::uint64_t rowJump =
+      static_cast<std::uint64_t>(cfg.rowBytes) * cfg.banks * 2;
+  const std::uint64_t d1 = sim.access(0, 0, true);
+  sim.reset();
+  const std::uint64_t a1 = sim.access(0, 0, true);
+  const std::uint64_t a2 = sim.access(0, rowJump, true);
+  EXPECT_EQ(a1, d1);
+  EXPECT_GT(a2, a1);
+}
+
+TEST(DramSim, DifferentBanksOverlap) {
+  DramConfig cfg;
+  cfg.refreshInterval = 0;
+  DramSim sim(cfg);
+  const std::uint64_t sameBank0 = sim.access(0, 0, false);
+  sim.reset();
+  sim.access(0, 0, false);
+  // Same cycle, different bank: only bus transfer serialises.
+  const std::uint64_t otherBank = sim.access(0, cfg.interleaveBytes, false);
+  EXPECT_LE(otherBank, sameBank0 + cfg.transferCycles);
+}
+
+TEST(DramSim, RefreshStallsAccesses) {
+  DramConfig cfg;
+  DramSim sim(cfg);
+  // An access issued inside the refresh window waits for it to finish.
+  const std::uint64_t done = sim.access(1, 0, false);
+  EXPECT_GE(done, static_cast<std::uint64_t>(cfg.refreshDuration));
+}
+
+TEST(DramSim, MonotonicCompletion) {
+  DramConfig cfg;
+  DramSim sim(cfg);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t done =
+        sim.access(last, static_cast<std::uint64_t>(i) * 64, i % 3 == 0);
+    EXPECT_GT(done, last);
+    last = done;
+  }
+  EXPECT_EQ(sim.totalAccesses(), 100u);
+  EXPECT_GT(sim.avgLatency(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+TEST(Calibrate, MissesSlowerThanHits) {
+  PatternLatencyTable t = calibratePatternLatencies(DramConfig{});
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_LT(t.latency[static_cast<std::size_t>(p)],
+              t.latency[static_cast<std::size_t>(p + 4)])
+        << patternName(static_cast<AccessPattern>(p));
+  }
+}
+
+TEST(Calibrate, ReadAfterWriteSlowestHitPattern) {
+  // Write->read turnaround is the largest direction penalty.
+  PatternLatencyTable t = calibratePatternLatencies(DramConfig{});
+  EXPECT_GT(t[AccessPattern::RawHit], t[AccessPattern::RarHit]);
+  EXPECT_GT(t[AccessPattern::RawMiss], t[AccessPattern::RarMiss]);
+}
+
+TEST(Calibrate, AllLatenciesPositiveAndBounded) {
+  PatternLatencyTable t = calibratePatternLatencies(DramConfig{});
+  for (double l : t.latency) {
+    EXPECT_GT(l, 0.0);
+    EXPECT_LT(l, 100.0);
+  }
+}
+
+TEST(Calibrate, Deterministic) {
+  PatternLatencyTable a = calibratePatternLatencies(DramConfig{});
+  PatternLatencyTable b = calibratePatternLatencies(DramConfig{});
+  for (int p = 0; p < kPatternCount; ++p) {
+    EXPECT_DOUBLE_EQ(a.latency[static_cast<std::size_t>(p)],
+                     b.latency[static_cast<std::size_t>(p)]);
+  }
+}
+
+}  // namespace
+}  // namespace flexcl::dram

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "dse/heuristic16.h"
+#include "ir/lower.h"
+
+namespace flexcl::dse {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<ir::CompiledProgram> program;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  model::LaunchInfo launch;
+  model::FlexCl flexcl{model::Device::virtex7()};
+
+  Fixture() {
+    DiagnosticEngine diags;
+    program = ir::compileOpenCl(
+        "__kernel void k(__global const float* a, __global float* b) {\n"
+        "  int i = get_global_id(0);\n"
+        "  b[i] = sqrt(a[i] * a[i] + 2.0f);\n"
+        "}\n",
+        diags);
+    EXPECT_TRUE(program) << diags.str();
+    buffers = {std::vector<std::uint8_t>(512 * 4, 1),
+               std::vector<std::uint8_t>(512 * 4)};
+    launch.fn = program->module->functions().front().get();
+    launch.range.global = {512, 1, 1};
+    launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+    launch.buffers = &buffers;
+  }
+};
+
+TEST(DesignSpace, EnumeratesAllCombinations) {
+  interp::NdRange range;
+  range.global = {1024, 1, 1};
+  SpaceOptions opts;
+  auto space = enumerateDesignSpace(range, /*kernelHasBarriers=*/false, opts);
+  // 4 wg x 2 pipe x 4 pe x 3 cu x 2 modes = 192.
+  EXPECT_EQ(space.size(), 192u);
+  // All distinct.
+  std::set<std::uint64_t> ids;
+  for (const auto& dp : space) ids.insert(dp.stableId());
+  EXPECT_EQ(ids.size(), space.size());
+}
+
+TEST(DesignSpace, BarrierKernelsGetOneMode) {
+  interp::NdRange range;
+  range.global = {1024, 1, 1};
+  auto space = enumerateDesignSpace(range, /*kernelHasBarriers=*/true);
+  EXPECT_EQ(space.size(), 96u);
+  for (const auto& dp : space) {
+    EXPECT_EQ(dp.commMode, model::CommMode::Barrier);
+  }
+}
+
+TEST(DesignSpace, NonDividingWorkGroupsDropped) {
+  interp::NdRange range;
+  range.global = {96, 1, 1};  // 32 divides; 64/128/256 do not
+  auto space = enumerateDesignSpace(range, false);
+  for (const auto& dp : space) {
+    EXPECT_EQ(96u % dp.workGroupSize[0], 0u);
+  }
+  EXPECT_FALSE(space.empty());
+}
+
+TEST(DesignSpace, TwoDimensionalShapes) {
+  interp::NdRange range;
+  range.global = {32, 32, 1};
+  auto space = enumerateDesignSpace(range, false);
+  ASSERT_FALSE(space.empty());
+  for (const auto& dp : space) {
+    EXPECT_GT(dp.workGroupSize[1], 0u);
+    EXPECT_EQ(32u % dp.workGroupSize[0], 0u);
+    EXPECT_EQ(32u % dp.workGroupSize[1], 0u);
+  }
+}
+
+TEST(DesignSpace, BaselineIsMinimal) {
+  interp::NdRange range;
+  range.global = {1024, 1, 1};
+  const model::DesignPoint base = unoptimizedBaseline(range);
+  EXPECT_FALSE(base.workItemPipeline);
+  EXPECT_EQ(base.peParallelism, 1);
+  EXPECT_EQ(base.numComputeUnits, 1);
+  EXPECT_EQ(base.commMode, model::CommMode::Barrier);
+}
+
+TEST(Explorer, ExhaustiveSearchProducesConsistentMetrics) {
+  Fixture f;
+  Explorer explorer(f.flexcl, f.launch);
+  SpaceOptions opts;
+  opts.workGroupSizes = {32, 64};
+  opts.peParallelism = {1, 4};
+  opts.computeUnits = {1, 2, 4};  // CU=4 + pipelining triggers SDAccel failures
+  auto space = enumerateDesignSpace(f.launch.range, explorer.kernelHasBarriers(),
+                                    opts);
+  ASSERT_FALSE(space.empty());
+  ExplorationResult result = explorer.explore(space);
+
+  ASSERT_EQ(result.designs.size(), space.size());
+  EXPECT_GE(result.bestBySim, 0);
+  EXPECT_GE(result.bestByFlexcl, 0);
+  EXPECT_GE(result.pickGapPct, 0.0);
+  EXPECT_GT(result.speedupVsBaseline, 1.0);
+  EXPECT_GT(result.avgFlexclErrorPct, 0.0);
+  EXPECT_LT(result.avgFlexclErrorPct, 40.0);
+  // SDAccel is worse on average and fails on part of the space.
+  EXPECT_GT(result.avgSdaccelErrorPct, result.avgFlexclErrorPct);
+  EXPECT_GT(result.sdaccelFailRatePct, 0.0);
+  EXPECT_LT(result.sdaccelFailRatePct, 100.0);
+  // The simulator pass costs (much) more wall time than the model pass.
+  EXPECT_GT(result.simSeconds, result.flexclSeconds);
+}
+
+TEST(Explorer, BestBySimIsActuallyMinimal) {
+  Fixture f;
+  Explorer explorer(f.flexcl, f.launch);
+  SpaceOptions opts;
+  opts.workGroupSizes = {32, 64};
+  opts.peParallelism = {1, 2};
+  opts.computeUnits = {1, 2};
+  auto space = enumerateDesignSpace(f.launch.range, false, opts);
+  ExplorationResult result = explorer.explore(space);
+  const double best =
+      result.designs[static_cast<std::size_t>(result.bestBySim)].simCycles;
+  for (const auto& d : result.designs) {
+    if (d.simCycles > 0) EXPECT_GE(d.simCycles, best);
+  }
+}
+
+TEST(Heuristic16, ReturnsDesignFromAxisValues) {
+  Fixture f;
+  SpaceOptions opts;
+  opts.workGroupSizes = {32, 64};
+  opts.peParallelism = {1, 2, 4};
+  opts.computeUnits = {1, 2};
+  auto space = enumerateDesignSpace(f.launch.range, false, opts);
+  HeuristicResult r = heuristicSearch(f.flexcl, f.launch, space);
+  EXPECT_GT(r.evaluations, 0);
+  // Far fewer coarse evaluations than the space size (coordinate descent).
+  EXPECT_LT(r.evaluations, static_cast<int>(space.size()));
+  // Chosen values come from the enumerated axes.
+  EXPECT_TRUE(r.chosen.workGroupSize[0] == 32 || r.chosen.workGroupSize[0] == 64);
+  EXPECT_TRUE(r.chosen.peParallelism == 1 || r.chosen.peParallelism == 2 ||
+              r.chosen.peParallelism == 4);
+}
+
+TEST(Heuristic16, CoarseModelAssumesIndependentKnobs) {
+  // The defining flaw of the [16]-style model (paper §2.2): parallelism knobs
+  // are independent perfect dividers — doubling CUs exactly halves the cost,
+  // with no resource clamping or scheduling overhead.
+  Fixture f;
+  model::DesignPoint one;
+  model::DesignPoint two = one;
+  two.numComputeUnits = 2;
+  model::DesignPoint wide = one;
+  wide.peParallelism = 8;
+  const double c1 = coarseCost(f.flexcl, f.launch, one);
+  EXPECT_NEAR(coarseCost(f.flexcl, f.launch, two), c1 / 2, c1 * 1e-9);
+  EXPECT_NEAR(coarseCost(f.flexcl, f.launch, wide), c1 / 8, c1 * 1e-9);
+  // Barrier mode charges memory + compute serially; pipeline the max.
+  model::DesignPoint barrier = one;
+  barrier.commMode = model::CommMode::Barrier;
+  model::DesignPoint pipeline = one;
+  pipeline.commMode = model::CommMode::Pipeline;
+  EXPECT_GE(coarseCost(f.flexcl, f.launch, barrier),
+            coarseCost(f.flexcl, f.launch, pipeline));
+}
+
+}  // namespace
+}  // namespace flexcl::dse

@@ -1,0 +1,346 @@
+// Tests for the extension features beyond the paper's evaluated space:
+// resource estimation, inner-loop pipelining, and model option toggles.
+#include <gtest/gtest.h>
+
+#include "dse/design_space.h"
+#include "ir/lower.h"
+#include "model/gpu_model.h"
+#include "model/resource_estimate.h"
+#include "sim/system_sim.h"
+#include "workloads/workload.h"
+
+namespace flexcl::model {
+namespace {
+
+struct Loaded {
+  std::shared_ptr<workloads::CompiledWorkload> compiled;
+  LaunchInfo launch;
+};
+
+Loaded load(const char* suite, const char* benchmark, const char* kernel) {
+  const workloads::Workload* w = workloads::findWorkload(suite, benchmark, kernel);
+  EXPECT_NE(w, nullptr);
+  std::string error;
+  auto compiled = workloads::compileWorkload(*w, &error);
+  EXPECT_TRUE(compiled) << error;
+  Loaded l;
+  l.compiled = std::make_shared<workloads::CompiledWorkload>(std::move(*compiled));
+  l.launch = l.compiled->launch();
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Resource estimation
+// ---------------------------------------------------------------------------
+
+TEST(ResourceEstimate, ScalesWithReplication) {
+  Loaded l = load("polybench", "gemm", "gemm");
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint one;
+  cdfg::KernelAnalysis analysis = flexcl.analysisFor(l.launch, one);
+  const ResourceEstimate r1 = estimateResources(analysis, flexcl.device(), one);
+
+  DesignPoint big;
+  big.peParallelism = 4;
+  big.numComputeUnits = 2;
+  const ResourceEstimate r8 = estimateResources(analysis, flexcl.device(), big);
+
+  EXPECT_GT(r1.dspPerPe, 0);
+  EXPECT_EQ(r8.totalDsp, r1.dspPerPe * 8);
+  EXPECT_GT(r8.dspUtilisation, r1.dspUtilisation);
+}
+
+TEST(ResourceEstimate, LocalMemoryCountsPerCu) {
+  Loaded l = load("rodinia", "hotspot", "hotspot");  // 16x16 float tile
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint dp;
+  dp.numComputeUnits = 4;
+  cdfg::KernelAnalysis analysis = flexcl.analysisFor(l.launch, dp);
+  const ResourceEstimate r = estimateResources(analysis, flexcl.device(), dp);
+  EXPECT_EQ(r.bramBytesPerCu, 16u * 16u * 4u);
+  EXPECT_EQ(r.totalBramBytes, 4u * 16u * 16u * 4u);
+  EXPECT_TRUE(r.fits);
+}
+
+TEST(ResourceEstimate, OverCommitDetected) {
+  Loaded l = load("rodinia", "lavaMD", "lavaMD");  // DSP-hungry (exp in loop)
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint dp;
+  dp.peParallelism = 8;
+  dp.numComputeUnits = 4;
+  cdfg::KernelAnalysis analysis = flexcl.analysisFor(l.launch, dp);
+  const ResourceEstimate r = estimateResources(analysis, flexcl.device(), dp);
+  EXPECT_FALSE(r.fits);
+  EXPECT_LT(r.maxComputeUnitsThatFit, 4);
+  EXPECT_NE(r.str().find("DOES NOT FIT"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Inner-loop pipelining
+// ---------------------------------------------------------------------------
+
+TEST(LoopPipeline, ReducesLoopKernelLatency) {
+  Loaded l = load("polybench", "gemm", "gemm");
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint off;
+  DesignPoint on = off;
+  on.innerLoopPipeline = true;
+  const Estimate a = flexcl.estimate(l.launch, off);
+  const Estimate b = flexcl.estimate(l.launch, on);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_LT(b.pe.iiComp, a.pe.iiComp);
+  EXPECT_LT(b.cycles, a.cycles);
+}
+
+TEST(LoopPipeline, SimulatorFollowsTheModel) {
+  Loaded l = load("polybench", "gemm", "gemm");
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint on;
+  on.innerLoopPipeline = true;
+  const Estimate est = flexcl.estimate(l.launch, on);
+  const interp::NdRange range = FlexCl::rangeFor(l.launch, on);
+  const sim::SimInput input =
+      sim::prepareSimInput(*l.launch.fn, range, l.launch.args, *l.launch.buffers);
+  const sim::SimResult sr = sim::simulate(input, flexcl.device(), on);
+  ASSERT_TRUE(sr.ok);
+  EXPECT_LT(std::abs(est.cycles - sr.cycles) / sr.cycles, 0.35);
+}
+
+TEST(LoopPipeline, RecurrenceStillBoundsTheLoop) {
+  // A loop whose body carries a long dependence chain (acc = exp(acc) + x)
+  // cannot pipeline below its recurrence: the gain must be bounded.
+  DiagnosticEngine diags;
+  auto program = ir::compileOpenCl(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float acc = 0.0f;\n"
+      "  for (int j = 0; j < 32; j++) { acc = exp(acc * 0.001f) + a[j]; }\n"
+      "  b[i] = acc;\n"
+      "}\n",
+      diags);
+  ASSERT_TRUE(program) << diags.str();
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(1024 * 4, 1), std::vector<std::uint8_t>(1024 * 4)};
+  LaunchInfo launch;
+  launch.fn = program->module->functions().front().get();
+  launch.range.global = {1024, 1, 1};
+  launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+  launch.buffers = &buffers;
+
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint off;
+  DesignPoint on = off;
+  on.innerLoopPipeline = true;
+  const Estimate a = flexcl.estimate(launch, off);
+  const Estimate b = flexcl.estimate(launch, on);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  // exp(18) + fmul(5) + fadd(7) recurrence: II_loop >= ~30, so the loop can
+  // shrink only modestly versus its ~35-cycle serial iteration.
+  EXPECT_GT(b.pe.iiComp, a.pe.iiComp * 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Work-group pipelining
+// ---------------------------------------------------------------------------
+
+TEST(WorkGroupPipeline, RemovesPerWaveDrain) {
+  Loaded l = load("rodinia", "dwt2d", "compute");
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint off;
+  off.workGroupSize = {32, 1, 1};  // many waves -> many drains to save
+  DesignPoint on = off;
+  on.workGroupPipeline = true;
+  const Estimate a = flexcl.estimate(l.launch, off);
+  const Estimate b = flexcl.estimate(l.launch, on);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_LT(b.cycles, a.cycles);
+}
+
+TEST(WorkGroupPipeline, SimulatorFollows) {
+  Loaded l = load("rodinia", "dwt2d", "compute");
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint on;
+  on.workGroupSize = {32, 1, 1};
+  on.workGroupPipeline = true;
+  const Estimate est = flexcl.estimate(l.launch, on);
+  const interp::NdRange range = FlexCl::rangeFor(l.launch, on);
+  const sim::SimInput input =
+      sim::prepareSimInput(*l.launch.fn, range, l.launch.args, *l.launch.buffers);
+  const sim::SimResult withWg = sim::simulate(input, flexcl.device(), on);
+  DesignPoint off = on;
+  off.workGroupPipeline = false;
+  const sim::SimResult without = sim::simulate(input, flexcl.device(), off);
+  ASSERT_TRUE(withWg.ok);
+  ASSERT_TRUE(without.ok);
+  EXPECT_LT(withWg.cycles, without.cycles);
+  EXPECT_LT(std::abs(est.cycles - withWg.cycles) / withWg.cycles, 0.35);
+}
+
+TEST(WorkGroupPipeline, ExtensionAxesEnlargeTheSpace) {
+  interp::NdRange range;
+  range.global = {1024, 1, 1};
+  dse::SpaceOptions opts;
+  const auto base = dse::enumerateDesignSpace(range, false, opts);
+  opts.varyInnerLoopPipeline = true;
+  opts.varyWorkGroupPipeline = true;
+  const auto extended = dse::enumerateDesignSpace(range, false, opts);
+  EXPECT_GT(extended.size(), base.size());
+  std::set<std::uint64_t> ids;
+  for (const auto& dp : extended) ids.insert(dp.stableId());
+  EXPECT_EQ(ids.size(), extended.size());
+}
+
+
+// ---------------------------------------------------------------------------
+// Kernel vectorisation (paper footnote 1)
+// ---------------------------------------------------------------------------
+
+TEST(Vectorization, VectorKernelEstimatesEndToEnd) {
+  // A float4 kernel compiles, profiles, models and simulates; its vector ops
+  // carry lane-scaled resource usage.
+  DiagnosticEngine diags;
+  auto program = ir::compileOpenCl(
+      "__kernel void vscale(__global const float4* a, __global float4* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[i] * 2.0f + 1.0f;\n"
+      "}\n",
+      diags);
+  ASSERT_TRUE(program) << diags.str();
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(1024 * 16, 1),
+      std::vector<std::uint8_t>(1024 * 16)};
+  LaunchInfo launch;
+  launch.fn = program->module->functions().front().get();
+  launch.range.global = {1024, 1, 1};
+  launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+  launch.buffers = &buffers;
+
+  FlexCl flexcl(Device::virtex7());
+  const Estimate est = flexcl.estimate(launch, DesignPoint{});
+  ASSERT_TRUE(est.ok) << est.error;
+  EXPECT_GT(est.cycles, 0.0);
+  // A float4 multiply costs 4x the DSPs of a scalar one.
+  cdfg::KernelAnalysis analysis = flexcl.analysisFor(launch, DesignPoint{});
+  EXPECT_GE(analysis.totals.dspUnits, 4.0 * 3);  // fmul: 3 DSP/lane
+
+  const interp::NdRange range = FlexCl::rangeFor(launch, DesignPoint{});
+  const sim::SimInput input =
+      sim::prepareSimInput(*launch.fn, range, launch.args, buffers);
+  const sim::SimResult sr = sim::simulate(input, flexcl.device(), DesignPoint{});
+  ASSERT_TRUE(sr.ok);
+  EXPECT_LT(std::abs(est.cycles - sr.cycles) / sr.cycles, 0.35);
+}
+
+TEST(Vectorization, DesignVectorWidthActsAsPeMultiplier) {
+  // Footnote 1: "using 16 scalar PEs of int type to model one vectorized PE
+  // of int16 vector type" — vectorWidth multiplies the effective PEs.
+  Loaded l = load("rodinia", "dwt2d", "compute");
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint scalar;
+  scalar.peParallelism = 4;
+  DesignPoint vec;
+  vec.peParallelism = 1;
+  vec.vectorWidth = 4;
+  const Estimate a = flexcl.estimate(l.launch, scalar);
+  const Estimate b = flexcl.estimate(l.launch, vec);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.cu.effectivePes, b.cu.effectivePes);
+  EXPECT_NEAR(a.cycles, b.cycles, a.cycles * 0.05);
+}
+
+
+// ---------------------------------------------------------------------------
+// GPU roofline comparator
+// ---------------------------------------------------------------------------
+
+TEST(GpuModel, RooflineTakesMaxOfComputeAndMemory) {
+  Loaded l = load("polybench", "gemm", "gemm");
+  FlexCl flexcl(Device::virtex7());
+  const DesignPoint probe;
+  const cdfg::KernelAnalysis analysis = flexcl.analysisFor(l.launch, probe);
+  const interp::KernelProfile& profile = flexcl.profileFor(l.launch, probe);
+  const GpuEstimate est =
+      estimateGpu(analysis, profile, l.launch.range, GpuDevice::kepler());
+  ASSERT_TRUE(est.ok);
+  EXPECT_GT(est.totalOps, 0.0);
+  EXPECT_GT(est.totalBytes, 0.0);
+  EXPECT_GE(est.milliseconds, std::max(est.computeMs, est.memoryMs));
+  EXPECT_EQ(est.memoryBound, est.memoryMs > est.computeMs);
+}
+
+TEST(GpuModel, CoalescedWarpsShrinkTraffic) {
+  // Stride-1 across work-items coalesces into warp transactions; a scattered
+  // access pattern of the same volume moves more DRAM bytes.
+  DiagnosticEngine diags;
+  auto contiguous = ir::compileOpenCl(
+      "__kernel void c(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[i];\n"
+      "}\n",
+      diags);
+  ASSERT_TRUE(contiguous) << diags.str();
+  auto scattered = ir::compileOpenCl(
+      "__kernel void s(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[(i * 977) % 1024];\n"
+      "}\n",
+      diags);
+  ASSERT_TRUE(scattered) << diags.str();
+
+  FlexCl flexcl(Device::virtex7());
+  const GpuDevice gpu = GpuDevice::kepler();
+  double bytes[2];
+  int idx = 0;
+  for (auto* program : {contiguous.get(), scattered.get()}) {
+    std::vector<std::vector<std::uint8_t>> buffers = {
+        std::vector<std::uint8_t>(1024 * 4, 1),
+        std::vector<std::uint8_t>(1024 * 4)};
+    LaunchInfo launch;
+    launch.fn = program->module->functions().front().get();
+    launch.range.global = {1024, 1, 1};
+    launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+    launch.buffers = &buffers;
+    const DesignPoint probe;
+    const cdfg::KernelAnalysis analysis = flexcl.analysisFor(launch, probe);
+    const interp::KernelProfile& profile = flexcl.profileFor(launch, probe);
+    const GpuEstimate est = estimateGpu(analysis, profile, launch.range, gpu);
+    ASSERT_TRUE(est.ok);
+    bytes[idx++] = est.totalBytes;
+  }
+  EXPECT_GT(bytes[1], bytes[0] * 2);
+}
+
+TEST(GpuModel, ScalesLinearlyWithWorkItems) {
+  Loaded l = load("rodinia", "nn", "nn");
+  FlexCl flexcl(Device::virtex7());
+  const DesignPoint probe;
+  const cdfg::KernelAnalysis analysis = flexcl.analysisFor(l.launch, probe);
+  const interp::KernelProfile& profile = flexcl.profileFor(l.launch, probe);
+  const GpuDevice gpu = GpuDevice::kepler();
+
+  interp::NdRange big = l.launch.range;
+  big.global[0] *= 16;
+  const GpuEstimate small = estimateGpu(analysis, profile, l.launch.range, gpu);
+  const GpuEstimate large = estimateGpu(analysis, profile, big, gpu);
+  ASSERT_TRUE(small.ok);
+  ASSERT_TRUE(large.ok);
+  EXPECT_NEAR(large.totalOps, small.totalOps * 16, small.totalOps * 0.01);
+  EXPECT_NEAR(large.totalBytes, small.totalBytes * 16, small.totalBytes * 0.01);
+}
+
+TEST(LoopPipeline, NoEffectOnLoopFreeKernels) {
+  Loaded l = load("rodinia", "cfd", "time_step");
+  FlexCl flexcl(Device::virtex7());
+  DesignPoint off;
+  DesignPoint on = off;
+  on.innerLoopPipeline = true;
+  EXPECT_DOUBLE_EQ(flexcl.estimate(l.launch, off).cycles,
+                   flexcl.estimate(l.launch, on).cycles);
+}
+
+}  // namespace
+}  // namespace flexcl::model

@@ -1,0 +1,199 @@
+// End-to-end integration tests: the full pipeline (OpenCL source ->
+// profile -> analysis -> model) against the cycle-level simulator, on real
+// suite workloads. These pin the reproduction's headline property: the
+// analytical estimate tracks the simulated ground truth.
+#include <gtest/gtest.h>
+
+#include "dse/explorer.h"
+#include "sim/system_sim.h"
+#include "workloads/workload.h"
+
+namespace flexcl {
+namespace {
+
+struct Loaded {
+  std::shared_ptr<workloads::CompiledWorkload> compiled;
+  model::LaunchInfo launch;
+};
+
+Loaded load(const char* suite, const char* benchmark, const char* kernel) {
+  const workloads::Workload* w = workloads::findWorkload(suite, benchmark, kernel);
+  EXPECT_NE(w, nullptr) << suite << "/" << benchmark << "/" << kernel;
+  std::string error;
+  auto compiled = workloads::compileWorkload(*w, &error);
+  EXPECT_TRUE(compiled) << error;
+  Loaded l;
+  l.compiled = std::make_shared<workloads::CompiledWorkload>(std::move(*compiled));
+  l.launch = l.compiled->launch();
+  return l;
+}
+
+double errorPct(model::FlexCl& flexcl, const Loaded& l,
+                const model::DesignPoint& dp) {
+  const model::Estimate est = flexcl.estimate(l.launch, dp);
+  EXPECT_TRUE(est.ok) << est.error;
+  const interp::NdRange range = model::FlexCl::rangeFor(l.launch, dp);
+  const sim::SimInput input = sim::prepareSimInput(
+      *l.launch.fn, range, l.launch.args, *l.launch.buffers);
+  EXPECT_TRUE(input.ok) << input.error;
+  const sim::SimResult sim = sim::simulate(input, flexcl.device(), dp);
+  EXPECT_TRUE(sim.ok) << sim.error;
+  EXPECT_GT(sim.cycles, 0.0);
+  return std::abs(est.cycles - sim.cycles) / sim.cycles * 100.0;
+}
+
+// Per-kernel error bound at a representative design point. The bound is a
+// regression guard (loose enough for refactoring noise, tight enough to
+// catch systematic breakage; the paper-scale evaluation is in bench/).
+class ModelAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*,
+                                                 const char*>> {};
+
+TEST_P(ModelAccuracyTest, TracksSimulatorWithinBound) {
+  const auto [suite, benchmark, kernel] = GetParam();
+  Loaded l = load(suite, benchmark, kernel);
+  model::FlexCl flexcl(model::Device::virtex7());
+  model::DesignPoint dp;
+  dp.workGroupSize = {64, 1, 1};
+  dp.peParallelism = 2;
+  dp.numComputeUnits = 2;
+  EXPECT_LT(errorPct(flexcl, l, dp), 45.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SuiteKernels, ModelAccuracyTest,
+    ::testing::Values(
+        std::make_tuple("rodinia", "backprop", "layer"),
+        std::make_tuple("rodinia", "hotspot", "hotspot"),
+        std::make_tuple("rodinia", "kmeans", "center"),
+        std::make_tuple("rodinia", "lavaMD", "lavaMD"),
+        std::make_tuple("rodinia", "pathfinder", "dynproc"),
+        std::make_tuple("rodinia", "srad", "srad"),
+        std::make_tuple("rodinia", "btree", "findK"),
+        std::make_tuple("polybench", "gemm", "gemm"),
+        std::make_tuple("polybench", "atax", "atax"),
+        std::make_tuple("polybench", "syr2k", "syr2k"),
+        std::make_tuple("polybench", "mvt", "mvt")),
+    [](const auto& info) {
+      std::string name = std::string(std::get<1>(info.param)) + "_" +
+                         std::get<2>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Integration, ModelAndSimAgreeOnDesignRanking) {
+  // The model does not need exact cycles to be useful for DSE — it needs the
+  // *ranking* to be roughly right. Check rank correlation on a small space.
+  Loaded l = load("rodinia", "kmeans", "center");
+  model::FlexCl flexcl(model::Device::virtex7());
+  dse::Explorer explorer(flexcl, l.launch);
+  dse::SpaceOptions opts;
+  opts.workGroupSizes = {32, 128};
+  opts.peParallelism = {1, 4};
+  opts.computeUnits = {1, 4};
+  const auto space = dse::enumerateDesignSpace(l.launch.range,
+                                               explorer.kernelHasBarriers(), opts);
+  const dse::ExplorationResult result = explorer.explore(space);
+
+  // Spearman-ish: count concordant pairs.
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i < result.designs.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.designs.size(); ++j) {
+      const auto& a = result.designs[i];
+      const auto& b = result.designs[j];
+      if (a.simCycles <= 0 || b.simCycles <= 0) continue;
+      ++total;
+      const bool simOrder = a.simCycles < b.simCycles;
+      const bool modelOrder = a.flexclCycles < b.flexclCycles;
+      if (simOrder == modelOrder) ++concordant;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.75);
+}
+
+TEST(Integration, BarrierKernelsRouteThroughBarrierMode) {
+  for (const char* name : {"hotspot", "pathfinder"}) {
+    const workloads::Workload* w =
+        name == std::string("hotspot")
+            ? workloads::findWorkload("rodinia", "hotspot", "hotspot")
+            : workloads::findWorkload("rodinia", "pathfinder", "dynproc");
+    ASSERT_NE(w, nullptr);
+    auto compiled = workloads::compileWorkload(*w);
+    ASSERT_TRUE(compiled);
+    model::FlexCl flexcl(model::Device::virtex7());
+    const model::Estimate est =
+        flexcl.estimate(compiled->launch(), model::DesignPoint{});
+    ASSERT_TRUE(est.ok);
+    EXPECT_EQ(est.mode, model::CommMode::Barrier) << name;
+  }
+}
+
+TEST(Integration, AblationTogglesChangeTheEstimate) {
+  Loaded l = load("polybench", "gemm", "gemm");
+  const model::DesignPoint dp;
+
+  model::FlexCl full(model::Device::virtex7());
+  const double fullCycles = full.estimate(l.launch, dp).cycles;
+
+  model::ModelOptions noCoalesce;
+  noCoalesce.coalescing = false;
+  model::FlexCl variant(model::Device::virtex7(), noCoalesce);
+  const model::Estimate variantEst = variant.estimate(l.launch, dp);
+
+  // Without coalescing every raw access is priced: strictly more memory
+  // accesses and memory latency per work-item (the total may coincide when
+  // the kernel is compute-II-bound, so assert on the memory side).
+  EXPECT_GT(variantEst.memory.accessesPerWorkItem,
+            full.estimate(l.launch, dp).memory.accessesPerWorkItem);
+  EXPECT_GE(variantEst.cycles, fullCycles);
+}
+
+TEST(Integration, SimulatorSeparatesGoodAndBadDesigns) {
+  // Ground-truth sanity: an obviously better design must simulate much
+  // faster. Needs a kernel that can actually use the parallelism: loop-free
+  // (no blocking inner-loop engine) and light on DSPs (replication fits).
+  Loaded l = load("rodinia", "dwt2d", "compute");
+  model::FlexCl flexcl(model::Device::virtex7());
+  dse::Explorer explorer(flexcl, l.launch);
+
+  model::DesignPoint weak;
+  weak.workGroupSize = {32, 1, 1};
+  weak.workItemPipeline = false;
+  weak.peParallelism = 1;
+  weak.numComputeUnits = 1;
+  model::DesignPoint strong;
+  strong.workGroupSize = {128, 1, 1};
+  strong.workItemPipeline = true;
+  strong.peParallelism = 4;
+  strong.numComputeUnits = 4;
+
+  const double weakCycles = explorer.simulateDesign(weak);
+  const double strongCycles = explorer.simulateDesign(strong);
+  ASSERT_GT(weakCycles, 0.0);
+  ASSERT_GT(strongCycles, 0.0);
+  EXPECT_LT(strongCycles * 4, weakCycles);
+}
+
+TEST(Integration, ProfileCacheDoesNotAliasKernelsWithSameName) {
+  // Two different kernels named "memset" (cfd and streamcluster) must not
+  // reuse each other's profiles even if the allocator reuses addresses.
+  model::FlexCl flexcl(model::Device::virtex7());
+  double first = 0;
+  {
+    Loaded a = load("rodinia", "cfd", "memset");
+    first = flexcl.estimate(a.launch, model::DesignPoint{}).cycles;
+  }
+  Loaded b = load("rodinia", "streamcluster", "memset");
+  const model::Estimate est = flexcl.estimate(b.launch, model::DesignPoint{});
+  ASSERT_TRUE(est.ok);
+  // streamcluster/memset has an extra scalar arg; estimates are independent
+  // computations and must both be positive and self-consistent.
+  EXPECT_GT(est.cycles, 0.0);
+  EXPECT_GT(first, 0.0);
+}
+
+}  // namespace
+}  // namespace flexcl

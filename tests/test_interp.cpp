@@ -1,0 +1,501 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "interp/interpreter.h"
+#include "interp/profiler.h"
+#include "ir/lower.h"
+
+namespace flexcl::interp {
+namespace {
+
+using ir::CompiledProgram;
+
+std::unique_ptr<CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto compiled = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(compiled) << diags.str();
+  return compiled;
+}
+
+std::vector<std::uint8_t> floatBuffer(const std::vector<float>& v) {
+  std::vector<std::uint8_t> b(v.size() * 4);
+  std::memcpy(b.data(), v.data(), b.size());
+  return b;
+}
+
+std::vector<float> asFloats(const std::vector<std::uint8_t>& b) {
+  std::vector<float> v(b.size() / 4);
+  std::memcpy(v.data(), b.data(), b.size());
+  return v;
+}
+
+std::vector<std::uint8_t> intBuffer(const std::vector<std::int32_t>& v) {
+  std::vector<std::uint8_t> b(v.size() * 4);
+  std::memcpy(b.data(), v.data(), b.size());
+  return b;
+}
+
+std::vector<std::int32_t> asInts(const std::vector<std::uint8_t>& b) {
+  std::vector<std::int32_t> v(b.size() / 4);
+  std::memcpy(v.data(), b.data(), b.size());
+  return v;
+}
+
+TEST(Interp, VectorAddMatchesReference) {
+  auto c = compile(
+      "__kernel void add(__global const float* a, __global const float* b,\n"
+      "                  __global float* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  out[i] = a[i] + b[i];\n"
+      "}\n");
+  const int n = 64;
+  std::vector<float> a(n), b(n);
+  for (int i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i);
+    b[i] = static_cast<float>(2 * i + 1);
+  }
+  std::vector<std::vector<std::uint8_t>> buffers = {floatBuffer(a), floatBuffer(b),
+                                                    std::vector<std::uint8_t>(n * 4)};
+  NdRange range;
+  range.global = {n, 1, 1};
+  range.local = {16, 1, 1};
+  InterpOptions opts;
+  opts.strictBounds = true;
+  auto result = runKernel(*c->module->findFunction("add"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1),
+                           KernelArg::buffer(2)},
+                          buffers, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asFloats(buffers[2]);
+  for (int i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], a[i] + b[i]) << i;
+}
+
+TEST(Interp, ScalarArgAndLoop) {
+  auto c = compile(
+      "__kernel void scale(__global float* data, float factor, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (i < n) { data[i] = data[i] * factor; }\n"
+      "}\n");
+  const int n = 32;
+  std::vector<float> data(n, 2.0f);
+  std::vector<std::vector<std::uint8_t>> buffers = {floatBuffer(data)};
+  NdRange range;
+  range.global = {n, 1, 1};
+  range.local = {8, 1, 1};
+  InterpOptions opts;
+  opts.strictBounds = true;
+  auto result = runKernel(*c->module->findFunction("scale"), range,
+                          {KernelArg::buffer(0), KernelArg::floatScalar(2.5),
+                           KernelArg::intScalar(n)},
+                          buffers, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asFloats(buffers[0]);
+  for (int i = 0; i < n; ++i) EXPECT_FLOAT_EQ(out[i], 5.0f);
+}
+
+TEST(Interp, LocalMemoryWithBarrierReverse) {
+  // Reverses each work-group's slice through local memory; validates barrier
+  // synchronisation and local addressing.
+  auto c = compile(
+      "__kernel void rev(__global int* data) {\n"
+      "  __local int tile[16];\n"
+      "  int l = get_local_id(0);\n"
+      "  int g = get_global_id(0);\n"
+      "  int base = get_group_id(0) * 16;\n"
+      "  tile[l] = data[g];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  data[base + l] = tile[15 - l];\n"
+      "}\n");
+  const int n = 64;
+  std::vector<std::int32_t> data(n);
+  for (int i = 0; i < n; ++i) data[i] = i;
+  std::vector<std::vector<std::uint8_t>> buffers = {intBuffer(data)};
+  NdRange range;
+  range.global = {n, 1, 1};
+  range.local = {16, 1, 1};
+  InterpOptions opts;
+  opts.strictBounds = true;
+  auto result =
+      runKernel(*c->module->findFunction("rev"), range, {KernelArg::buffer(0)},
+                buffers, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asInts(buffers[0]);
+  for (int g = 0; g < 4; ++g) {
+    for (int l = 0; l < 16; ++l) {
+      EXPECT_EQ(out[g * 16 + l], g * 16 + (15 - l));
+    }
+  }
+}
+
+TEST(Interp, ReductionLoopInsideKernel) {
+  auto c = compile(
+      "__kernel void rowsum(__global const float* m, __global float* out, int w) {\n"
+      "  int r = get_global_id(0);\n"
+      "  float acc = 0.0f;\n"
+      "  for (int j = 0; j < w; j++) { acc += m[r * w + j]; }\n"
+      "  out[r] = acc;\n"
+      "}\n");
+  const int rows = 8, w = 16;
+  std::vector<float> m(rows * w);
+  for (int i = 0; i < rows * w; ++i) m[i] = static_cast<float>(i % 7);
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      floatBuffer(m), std::vector<std::uint8_t>(rows * 4)};
+  NdRange range;
+  range.global = {rows, 1, 1};
+  range.local = {4, 1, 1};
+  InterpOptions opts;
+  opts.strictBounds = true;
+  auto result = runKernel(*c->module->findFunction("rowsum"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1),
+                           KernelArg::intScalar(w)},
+                          buffers, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asFloats(buffers[1]);
+  for (int r = 0; r < rows; ++r) {
+    float expect = 0;
+    for (int j = 0; j < w; ++j) expect += m[r * w + j];
+    EXPECT_FLOAT_EQ(out[r], expect) << r;
+  }
+}
+
+TEST(Interp, MathBuiltins) {
+  auto c = compile(
+      "__kernel void m(__global float* x) {\n"
+      "  int i = get_global_id(0);\n"
+      "  x[i] = sqrt(x[i]) + fabs(-1.0f) + fmax(0.5f, 0.25f) + exp(0.0f);\n"
+      "}\n");
+  std::vector<float> x = {4.0f, 9.0f};
+  std::vector<std::vector<std::uint8_t>> buffers = {floatBuffer(x)};
+  NdRange range;
+  range.global = {2, 1, 1};
+  range.local = {1, 1, 1};
+  auto result = runKernel(*c->module->findFunction("m"), range,
+                          {KernelArg::buffer(0)}, buffers, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asFloats(buffers[0]);
+  EXPECT_FLOAT_EQ(out[0], 2.0f + 1.0f + 0.5f + 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 3.0f + 1.0f + 0.5f + 1.0f);
+}
+
+TEST(Interp, IntegerOpsAndUnsignedCompare) {
+  auto c = compile(
+      "__kernel void iops(__global int* a, __global unsigned int* u) {\n"
+      "  a[0] = 7 / 2; a[1] = 7 % 3; a[2] = -7 / 2; a[3] = 1 << 5;\n"
+      "  a[4] = -8 >> 1; a[5] = 0xF0 & 0x1F; a[6] = 1 | 6; a[7] = 5 ^ 3;\n"
+      "  unsigned int big = 0xFFFFFFF0u;\n"
+      "  u[0] = big > 16u ? 1u : 0u;\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {std::vector<std::uint8_t>(32),
+                                                    std::vector<std::uint8_t>(4)};
+  NdRange range;
+  auto result = runKernel(*c->module->findFunction("iops"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1)}, buffers, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  auto a = asInts(buffers[0]);
+  EXPECT_EQ(a[0], 3);
+  EXPECT_EQ(a[1], 1);
+  EXPECT_EQ(a[2], -3);
+  EXPECT_EQ(a[3], 32);
+  EXPECT_EQ(a[4], -4);
+  EXPECT_EQ(a[5], 0x10);
+  EXPECT_EQ(a[6], 7);
+  EXPECT_EQ(a[7], 6);
+  EXPECT_EQ(asInts(buffers[1])[0], 1);
+}
+
+TEST(Interp, StructAccess) {
+  auto c = compile(
+      "typedef struct { float lat; float lng; } Rec;\n"
+      "__kernel void dist(__global Rec* recs, __global float* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float dx = recs[i].lat - 1.0f;\n"
+      "  float dy = recs[i].lng - 2.0f;\n"
+      "  out[i] = sqrt(dx * dx + dy * dy);\n"
+      "}\n");
+  std::vector<float> recs = {4.0f, 6.0f, 1.0f, 2.0f};  // two records
+  std::vector<std::vector<std::uint8_t>> buffers = {floatBuffer(recs),
+                                                    std::vector<std::uint8_t>(8)};
+  NdRange range;
+  range.global = {2, 1, 1};
+  auto result = runKernel(*c->module->findFunction("dist"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1)}, buffers, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asFloats(buffers[1]);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(Interp, VectorTypesEndToEnd) {
+  auto c = compile(
+      "__kernel void v(__global float4* a, __global float* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float4 x = a[i] * 2.0f;\n"
+      "  out[i] = x.x + x.y + x.z + x.w;\n"
+      "}\n");
+  std::vector<float> a = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::vector<std::uint8_t>> buffers = {floatBuffer(a),
+                                                    std::vector<std::uint8_t>(8)};
+  NdRange range;
+  range.global = {2, 1, 1};
+  auto result = runKernel(*c->module->findFunction("v"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1)}, buffers, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asFloats(buffers[1]);
+  EXPECT_FLOAT_EQ(out[0], 20.0f);
+  EXPECT_FLOAT_EQ(out[1], 52.0f);
+}
+
+TEST(Interp, StrictBoundsCatchesOverflow) {
+  auto c = compile(
+      "__kernel void oob(__global int* a) { a[get_global_id(0) + 100] = 1; }\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {std::vector<std::uint8_t>(16)};
+  NdRange range;
+  InterpOptions opts;
+  opts.strictBounds = true;
+  auto result = runKernel(*c->module->findFunction("oob"), range,
+                          {KernelArg::buffer(0)}, buffers, opts);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("out-of-bounds"), std::string::npos);
+}
+
+TEST(Interp, LenientBoundsReadsZero) {
+  auto c = compile(
+      "__kernel void oob(__global int* a, __global int* out) {\n"
+      "  out[0] = a[1000] + 5;\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {std::vector<std::uint8_t>(16),
+                                                    std::vector<std::uint8_t>(4)};
+  NdRange range;
+  auto result = runKernel(*c->module->findFunction("oob"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1)}, buffers, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(asInts(buffers[1])[0], 5);
+  EXPECT_GT(result.oobAccesses, 0u);
+}
+
+TEST(Interp, TraceCapturesGlobalAccesses) {
+  auto c = compile(
+      "__kernel void cp(__global const int* in, __global int* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  out[i] = in[i];\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {intBuffer({1, 2, 3, 4}),
+                                                    std::vector<std::uint8_t>(16)};
+  NdRange range;
+  range.global = {4, 1, 1};
+  range.local = {4, 1, 1};
+  InterpOptions opts;
+  opts.captureGlobalTrace = true;
+  auto result = runKernel(*c->module->findFunction("cp"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1)}, buffers, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  // 4 work-items x (1 read + 1 write).
+  EXPECT_EQ(result.trace.size(), 8u);
+  int reads = 0, writes = 0;
+  for (const auto& ev : result.trace) {
+    if (ev.isWrite) {
+      ++writes;
+      EXPECT_EQ(ev.buffer, 1);
+    } else {
+      ++reads;
+      EXPECT_EQ(ev.buffer, 0);
+    }
+    EXPECT_EQ(ev.size, 4u);
+  }
+  EXPECT_EQ(reads, 4);
+  EXPECT_EQ(writes, 4);
+}
+
+TEST(Interp, LoopStatsMatchStaticCounts) {
+  auto c = compile(
+      "__kernel void k(__global int* a) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 12; i++) { s += i; }\n"
+      "  a[get_global_id(0)] = s;\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {std::vector<std::uint8_t>(8)};
+  NdRange range;
+  range.global = {2, 1, 1};
+  range.local = {2, 1, 1};
+  auto result = runKernel(*c->module->findFunction("k"), range,
+                          {KernelArg::buffer(0)}, buffers, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.loops.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.loops[0].avgTripCount(), 12.0);
+}
+
+TEST(Interp, ProfilerLimitsGroupsAndReportsTrips) {
+  auto c = compile(
+      "__kernel void k(__global int* a, int n) {\n"
+      "  int g = get_global_id(0);\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; i++) { s += a[g * n + i]; }\n"
+      "  a[g] = s;\n"
+      "}\n");
+  const int n = 10, wis = 32;
+  std::vector<std::int32_t> data(wis * n, 1);
+  std::vector<std::vector<std::uint8_t>> buffers = {intBuffer(data)};
+  NdRange range;
+  range.global = {wis, 1, 1};
+  range.local = {8, 1, 1};
+  ProfileOptions popts;
+  popts.groupsToProfile = 2;
+  auto profile = profileKernel(*c->module->findFunction("k"), range,
+                               {KernelArg::buffer(0), KernelArg::intScalar(n)},
+                               buffers, popts);
+  ASSERT_TRUE(profile.ok) << profile.error;
+  EXPECT_EQ(profile.profiledGroups, 2u);
+  EXPECT_EQ(profile.profiledWorkItems, 16u);
+  ASSERT_EQ(profile.loopTripCounts.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile.loopTripCounts[0], 10.0);
+  // Profiling must not modify the caller's buffers.
+  EXPECT_EQ(asInts(buffers[0])[0], 1);
+  // Each profiled work-item: n reads + 1 write.
+  EXPECT_EQ(profile.globalTrace.size(), 16u * (n + 1));
+}
+
+TEST(Interp, BarrierDivergenceDetected) {
+  auto c = compile(
+      "__kernel void bad(__global int* a) {\n"
+      "  if (get_local_id(0) == 0) { barrier(CLK_LOCAL_MEM_FENCE); }\n"
+      "  a[get_global_id(0)] = 1;\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {std::vector<std::uint8_t>(16)};
+  NdRange range;
+  range.global = {4, 1, 1};
+  range.local = {4, 1, 1};
+  auto result = runKernel(*c->module->findFunction("bad"), range,
+                          {KernelArg::buffer(0)}, buffers, {});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("barrier divergence"), std::string::npos);
+}
+
+TEST(Interp, TwoDimensionalNdRange) {
+  auto c = compile(
+      "__kernel void t(__global int* out, int w) {\n"
+      "  int x = get_global_id(0);\n"
+      "  int y = get_global_id(1);\n"
+      "  out[y * w + x] = x * 100 + y;\n"
+      "}\n");
+  const int w = 8, h = 4;
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(w * h * 4)};
+  NdRange range;
+  range.global = {w, h, 1};
+  range.local = {4, 2, 1};
+  InterpOptions opts;
+  opts.strictBounds = true;
+  auto result = runKernel(*c->module->findFunction("t"), range,
+                          {KernelArg::buffer(0), KernelArg::intScalar(w)}, buffers,
+                          opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asInts(buffers[0]);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) EXPECT_EQ(out[y * w + x], x * 100 + y);
+  }
+}
+
+TEST(Interp, WhileLoopGcd) {
+  auto c = compile(
+      "__kernel void g(__global int* io) {\n"
+      "  int a = io[0];\n"
+      "  int b = io[1];\n"
+      "  while (b != 0) { int t = b; b = a % b; a = t; }\n"
+      "  io[2] = a;\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {intBuffer({48, 36, 0})};
+  NdRange range;
+  auto result = runKernel(*c->module->findFunction("g"), range,
+                          {KernelArg::buffer(0)}, buffers, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(asInts(buffers[0])[2], 12);
+}
+
+
+TEST(Interp, RunawayLoopGuard) {
+  auto c = compile(
+      "__kernel void spin(__global int* a) {\n"
+      "  int i = 0;\n"
+      "  while (a[0] == 0) { i++; }\n"
+      "  a[1] = i;\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {intBuffer({0, 0})};
+  NdRange range;
+  InterpOptions opts;
+  opts.maxSteps = 10000;
+  auto result = runKernel(*c->module->findFunction("spin"), range,
+                          {KernelArg::buffer(0)}, buffers, opts);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, GroupLimitRunsPrefixOnly) {
+  auto c = compile(
+      "__kernel void mark(__global int* a) { a[get_global_id(0)] = 1; }\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(64 * 4)};
+  NdRange range;
+  range.global = {64, 1, 1};
+  range.local = {16, 1, 1};
+  InterpOptions opts;
+  opts.groupLimit = 2;
+  auto result = runKernel(*c->module->findFunction("mark"), range,
+                          {KernelArg::buffer(0)}, buffers, opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.executedGroups, 2u);
+  auto out = asInts(buffers[0]);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(out[i], 1) << i;
+  for (int i = 32; i < 64; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST(Interp, NestedLoopsAndConditionals) {
+  auto c = compile(
+      "__kernel void collatz(__global const int* in, __global int* steps) {\n"
+      "  int n = in[get_global_id(0)];\n"
+      "  int count = 0;\n"
+      "  while (n != 1) {\n"
+      "    if (n % 2 == 0) { n = n / 2; }\n"
+      "    else { n = 3 * n + 1; }\n"
+      "    count++;\n"
+      "  }\n"
+      "  steps[get_global_id(0)] = count;\n"
+      "}\n");
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      intBuffer({1, 2, 3, 6, 7, 27, 97, 871}), std::vector<std::uint8_t>(32)};
+  NdRange range;
+  range.global = {8, 1, 1};
+  auto result = runKernel(*c->module->findFunction("collatz"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1)}, buffers,
+                          {});
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asInts(buffers[1]);
+  const int expected[] = {0, 1, 7, 8, 16, 111, 118, 178};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], expected[i]) << i;
+}
+
+TEST(Interp, PrivateArrayIndexing) {
+  auto c = compile(
+      "__kernel void hist(__global const int* in, __global int* out) {\n"
+      "  int bins[8];\n"
+      "  for (int b = 0; b < 8; b++) { bins[b] = 0; }\n"
+      "  int g = get_global_id(0);\n"
+      "  for (int i = 0; i < 16; i++) { bins[in[g * 16 + i] & 7] += 1; }\n"
+      "  for (int b = 0; b < 8; b++) { out[g * 8 + b] = bins[b]; }\n"
+      "}\n");
+  std::vector<std::int32_t> data(32);
+  for (int i = 0; i < 32; ++i) data[i] = i;  // two work-items, 16 values each
+  std::vector<std::vector<std::uint8_t>> buffers = {intBuffer(data),
+                                                    std::vector<std::uint8_t>(64)};
+  NdRange range;
+  range.global = {2, 1, 1};
+  auto result = runKernel(*c->module->findFunction("hist"), range,
+                          {KernelArg::buffer(0), KernelArg::buffer(1)}, buffers,
+                          {});
+  ASSERT_TRUE(result.ok) << result.error;
+  auto out = asInts(buffers[1]);
+  for (int b = 0; b < 16; ++b) EXPECT_EQ(out[b], 2) << b;  // each bin hit twice
+}
+
+}  // namespace
+}  // namespace flexcl::interp

@@ -1,0 +1,166 @@
+// IR-level tests: type system, printer and verifier behaviour that the
+// higher-level suites exercise only indirectly.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/type.h"
+#include "ir/verifier.h"
+
+namespace flexcl::ir {
+namespace {
+
+TEST(TypeSystem, InterningMakesTypesPointerEqual) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.i32(), ctx.intType(32, true));
+  EXPECT_NE(ctx.i32(), ctx.u32());
+  EXPECT_EQ(ctx.pointerType(ctx.f32(), AddressSpace::Global),
+            ctx.pointerType(ctx.f32(), AddressSpace::Global));
+  EXPECT_NE(ctx.pointerType(ctx.f32(), AddressSpace::Global),
+            ctx.pointerType(ctx.f32(), AddressSpace::Local));
+  EXPECT_EQ(ctx.vectorType(ctx.f32(), 4), ctx.vectorType(ctx.f32(), 4));
+  EXPECT_EQ(ctx.arrayType(ctx.i32(), 8), ctx.arrayType(ctx.i32(), 8));
+}
+
+TEST(TypeSystem, SizesArePacked) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.i8()->sizeInBytes(), 1u);
+  EXPECT_EQ(ctx.i64()->sizeInBytes(), 8u);
+  EXPECT_EQ(ctx.vectorType(ctx.f32(), 4)->sizeInBytes(), 16u);
+  EXPECT_EQ(ctx.arrayType(ctx.arrayType(ctx.f32(), 17), 16)->sizeInBytes(),
+            16u * 17u * 4u);
+  const Type* s = ctx.structType(
+      "Rec", {{"a", ctx.f32()}, {"b", ctx.i16()}, {"c", ctx.f64()}});
+  EXPECT_EQ(s->sizeInBytes(), 4u + 2u + 8u);
+  EXPECT_EQ(s->fieldOffset(0), 0u);
+  EXPECT_EQ(s->fieldOffset(1), 4u);
+  EXPECT_EQ(s->fieldOffset(2), 6u);
+  EXPECT_EQ(s->fieldIndex("c"), 2);
+  EXPECT_EQ(s->fieldIndex("nope"), -1);
+}
+
+TEST(TypeSystem, StructLookupByName) {
+  TypeContext ctx;
+  const Type* s = ctx.structType("P", {{"x", ctx.f32()}});
+  EXPECT_EQ(ctx.findStruct("P"), s);
+  EXPECT_EQ(ctx.findStruct("Q"), nullptr);
+  // Re-declaring returns the existing type.
+  EXPECT_EQ(ctx.structType("P", {}), s);
+}
+
+TEST(TypeSystem, TypeStrings) {
+  TypeContext ctx;
+  EXPECT_EQ(ctx.i32()->str(), "i32");
+  EXPECT_EQ(ctx.u16()->str(), "u16");
+  EXPECT_EQ(ctx.f64()->str(), "f64");
+  EXPECT_EQ(ctx.pointerType(ctx.f32(), AddressSpace::Global)->str(),
+            "f32 global*");
+  EXPECT_EQ(ctx.vectorType(ctx.i32(), 4)->str(), "i32x4");
+  EXPECT_EQ(ctx.arrayType(ctx.f32(), 3)->str(), "[3 x f32]");
+}
+
+/// Builds a minimal hand-rolled function for verifier/printer tests.
+struct Harness {
+  TypeContext ctx;
+  Module module{ctx};
+  Function* fn = nullptr;
+  BasicBlock* entry = nullptr;
+  IRBuilder builder;
+
+  Harness() : builder(*(fn = module.createFunction("t", ctx.voidType()))) {
+    entry = fn->createBlock("entry");
+    builder.setInsertBlock(entry);
+  }
+};
+
+TEST(Verifier, CleanFunctionPasses) {
+  Harness h;
+  Argument* a = h.fn->addArgument(
+      h.ctx.pointerType(h.ctx.i32(), AddressSpace::Global), "a");
+  ir::Value* v = h.builder.load(a, h.ctx.i32());
+  h.builder.store(v, a);
+  h.builder.ret(nullptr);
+  auto root = std::make_unique<Region>();
+  root->kind = Region::Kind::Seq;
+  h.fn->setRootRegion(std::move(root));
+  EXPECT_TRUE(verifyFunction(*h.fn).empty());
+}
+
+TEST(Verifier, MissingTerminatorReported) {
+  Harness h;
+  h.builder.binary(Opcode::Add, h.fn->intConstant(h.ctx.i32(), 1),
+                   h.fn->intConstant(h.ctx.i32(), 2), h.ctx.i32());
+  const auto problems = verifyFunction(*h.fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, ForeignBranchTargetReported) {
+  Harness h;
+  TypeContext otherCtx;
+  Module other(otherCtx);
+  Function* foreign = other.createFunction("f", otherCtx.voidType());
+  BasicBlock* foreignBlock = foreign->createBlock("far");
+  h.builder.br(foreignBlock);
+  const auto problems = verifyFunction(*h.fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("foreign"), std::string::npos);
+}
+
+TEST(Verifier, LoadFromNonPointerReported) {
+  Harness h;
+  Instruction* bad = h.fn->createInstruction(Opcode::Load, h.ctx.i32());
+  bad->addOperand(h.fn->intConstant(h.ctx.i32(), 0));
+  h.entry->append(bad);
+  h.builder.ret(nullptr);
+  const auto problems = verifyFunction(*h.fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("pointer"), std::string::npos);
+}
+
+TEST(Printer, RendersOperandsAndTargets) {
+  Harness h;
+  Argument* a = h.fn->addArgument(
+      h.ctx.pointerType(h.ctx.f32(), AddressSpace::Global), "data");
+  ir::Value* v = h.builder.load(a, h.ctx.f32());
+  ir::Value* doubled = h.builder.binary(Opcode::FMul, v,
+                                        h.fn->floatConstant(h.ctx.f32(), 2.0),
+                                        h.ctx.f32());
+  h.builder.store(doubled, a);
+  BasicBlock* next = h.fn->createBlock("next");
+  h.builder.br(next);
+  h.builder.setInsertBlock(next);
+  h.builder.ret(nullptr);
+
+  const std::string text = printFunction(*h.fn);
+  EXPECT_NE(text.find("func @t(f32 global* %data)"), std::string::npos);
+  EXPECT_NE(text.find("load.global %data"), std::string::npos);
+  EXPECT_NE(text.find("fmul"), std::string::npos);
+  EXPECT_NE(text.find("br ^next"), std::string::npos);
+  EXPECT_NE(text.find("next:"), std::string::npos);
+}
+
+TEST(Builder, CastOfSameTypeIsNoOp) {
+  Harness h;
+  ir::Value* c = h.fn->intConstant(h.ctx.i32(), 5);
+  EXPECT_EQ(h.builder.cast(Opcode::SExt, c, h.ctx.i32()), c);
+  h.builder.ret(nullptr);
+}
+
+TEST(Builder, ConstantsAreInterned) {
+  Harness h;
+  EXPECT_EQ(h.fn->intConstant(h.ctx.i32(), 42), h.fn->intConstant(h.ctx.i32(), 42));
+  EXPECT_NE(h.fn->intConstant(h.ctx.i32(), 42), h.fn->intConstant(h.ctx.i64(), 42));
+  EXPECT_EQ(h.fn->floatConstant(h.ctx.f32(), 1.5),
+            h.fn->floatConstant(h.ctx.f32(), 1.5));
+}
+
+TEST(Builder, TerminatedBlockSwallowsExtraTerminators) {
+  Harness h;
+  h.builder.ret(nullptr);
+  h.builder.ret(nullptr);  // ignored: block already terminated
+  EXPECT_EQ(h.entry->instructions().size(), 1u);
+}
+
+}  // namespace
+}  // namespace flexcl::ir

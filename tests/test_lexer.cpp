@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "ocl/lexer.h"
+
+namespace flexcl::ocl {
+namespace {
+
+std::vector<Token> lex(const std::string& src, DiagnosticEngine* diagsOut = nullptr) {
+  DiagnosticEngine diags;
+  SourceManager sm(src);
+  Lexer lexer(sm, diags);
+  auto tokens = lexer.lexAll();
+  if (diagsOut) *diagsOut = diags;
+  return tokens;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Keywords) {
+  auto tokens = lex("__kernel void if else for while return __global __local");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwKernel);
+  EXPECT_EQ(tokens[1].kind, TokenKind::KwVoid);
+  EXPECT_EQ(tokens[2].kind, TokenKind::KwIf);
+  EXPECT_EQ(tokens[3].kind, TokenKind::KwElse);
+  EXPECT_EQ(tokens[4].kind, TokenKind::KwFor);
+  EXPECT_EQ(tokens[5].kind, TokenKind::KwWhile);
+  EXPECT_EQ(tokens[6].kind, TokenKind::KwReturn);
+  EXPECT_EQ(tokens[7].kind, TokenKind::KwGlobal);
+  EXPECT_EQ(tokens[8].kind, TokenKind::KwLocal);
+}
+
+TEST(Lexer, UnprefixedAddressSpaceKeywords) {
+  auto tokens = lex("global local constant kernel");
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwGlobal);
+  EXPECT_EQ(tokens[1].kind, TokenKind::KwLocal);
+  EXPECT_EQ(tokens[2].kind, TokenKind::KwConstantAS);
+  EXPECT_EQ(tokens[3].kind, TokenKind::KwKernel);
+}
+
+TEST(Lexer, IdentifiersKeepSpelling) {
+  auto tokens = lex("get_global_id tile_17 _x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[0].text, "get_global_id");
+  EXPECT_EQ(tokens[1].text, "tile_17");
+  EXPECT_EQ(tokens[2].text, "_x");
+}
+
+TEST(Lexer, IntegerLiteralForms) {
+  auto tokens = lex("0 42 0x1F 7u 9UL");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::IntLiteral) << i;
+  EXPECT_EQ(tokens[2].text, "0x1F");
+}
+
+TEST(Lexer, FloatLiteralForms) {
+  auto tokens = lex("1.0 3.14f .5 2e10 1.5e-3f 7f");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::FloatLiteral) << i;
+  // "7f" lexes as float because of the f suffix.
+  EXPECT_EQ(tokens[5].kind, TokenKind::FloatLiteral);
+}
+
+TEST(Lexer, OperatorsLongestMatch) {
+  auto tokens = lex("<< >> <= >= == != && || += -= *= /= <<= >>= ++ -- ->");
+  const TokenKind expected[] = {
+      TokenKind::LessLess, TokenKind::GreaterGreater, TokenKind::LessEqual,
+      TokenKind::GreaterEqual, TokenKind::EqualEqual, TokenKind::ExclaimEqual,
+      TokenKind::AmpAmp, TokenKind::PipePipe, TokenKind::PlusEqual,
+      TokenKind::MinusEqual, TokenKind::StarEqual, TokenKind::SlashEqual,
+      TokenKind::LessLessEqual, TokenKind::GreaterGreaterEqual,
+      TokenKind::PlusPlus, TokenKind::MinusMinus, TokenKind::Arrow,
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto tokens = lex("a // line comment\n b /* block\ncomment */ c");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+  EXPECT_EQ(tokens[3].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, LocationTracking) {
+  auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterReported) {
+  DiagnosticEngine diags;
+  lex("a ` b", &diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, CharLiteral) {
+  auto tokens = lex("'x' '\\n'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::CharLiteral);
+  EXPECT_EQ(tokens[1].kind, TokenKind::CharLiteral);
+}
+
+TEST(Lexer, EllipsisAndDots) {
+  auto tokens = lex("... . a.b");
+  EXPECT_EQ(tokens[0].kind, TokenKind::Ellipsis);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Dot);
+  EXPECT_EQ(tokens[2].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[3].kind, TokenKind::Dot);
+  EXPECT_EQ(tokens[4].kind, TokenKind::Identifier);
+}
+
+}  // namespace
+}  // namespace flexcl::ocl

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "ir/lower.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace flexcl::ir {
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const std::string& src,
+                                         DiagnosticEngine* diagsOut = nullptr) {
+  DiagnosticEngine diags;
+  auto compiled = compileOpenCl(src, diags);
+  if (diagsOut) *diagsOut = diags;
+  return compiled;
+}
+
+const Region* findLoop(const Region* region) {
+  if (!region) return nullptr;
+  if (region->kind == Region::Kind::Loop) return region;
+  for (const auto& child : region->children) {
+    if (const Region* found = findLoop(child.get())) return found;
+  }
+  return nullptr;
+}
+
+TEST(Lower, MinimalKernelVerifies) {
+  DiagnosticEngine diags;
+  auto c = compile(
+      "__kernel void add(__global float* a, __global float* b, __global float* c) {\n"
+      "  int i = get_global_id(0);\n"
+      "  c[i] = a[i] + b[i];\n"
+      "}\n",
+      &diags);
+  ASSERT_TRUE(c) << diags.str();
+  Function* fn = c->module->findFunction("add");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->isKernel);
+  EXPECT_TRUE(verifyFunction(*fn).empty());
+  // Expect a global load for a[i], b[i] and a global store for c[i].
+  int globalLoads = 0, globalStores = 0;
+  for (const auto& bb : fn->blocks()) {
+    for (const Instruction* inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Load && inst->memSpace == AddressSpace::Global)
+        ++globalLoads;
+      if (inst->opcode() == Opcode::Store && inst->memSpace == AddressSpace::Global)
+        ++globalStores;
+    }
+  }
+  EXPECT_EQ(globalLoads, 2);
+  EXPECT_EQ(globalStores, 1);
+}
+
+TEST(Lower, StaticTripCountDetected) {
+  auto c = compile(
+      "__kernel void k(__global int* a) {\n"
+      "  for (int i = 0; i < 128; i++) { a[i] = i; }\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  const Region* loop = findLoop(fn->rootRegion());
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->staticTripCount, 128);
+}
+
+TEST(Lower, StaticTripCountVariants) {
+  struct Case {
+    const char* header;
+    std::int64_t expected;
+  };
+  const Case cases[] = {
+      {"for (int i = 0; i < 10; i++)", 10},
+      {"for (int i = 0; i <= 10; i++)", 11},
+      {"for (int i = 10; i > 0; i--)", 10},
+      {"for (int i = 10; i >= 0; i--)", 11},
+      {"for (int i = 0; i < 10; i += 3)", 4},
+      {"for (int i = 0; i < 16; i = i + 4)", 4},
+      {"for (int i = 16; i > 0; i -= 4)", 4},
+  };
+  for (const Case& tc : cases) {
+    std::string src = "__kernel void k(__global int* a) { int s = 0;\n" +
+                      std::string(tc.header) + " { s += 1; }\n a[0] = s; }\n";
+    auto c = compile(src);
+    ASSERT_TRUE(c) << tc.header;
+    const Region* loop = findLoop(c->module->findFunction("k")->rootRegion());
+    ASSERT_NE(loop, nullptr) << tc.header;
+    EXPECT_EQ(loop->staticTripCount, tc.expected) << tc.header;
+  }
+}
+
+TEST(Lower, DynamicTripCountWhenBoundIsArgument) {
+  auto c = compile(
+      "__kernel void k(__global int* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) { a[i] = i; }\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Region* loop = findLoop(c->module->findFunction("k")->rootRegion());
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->staticTripCount, -1);
+}
+
+TEST(Lower, TripCountUnknownWhenBodyModifiesInduction) {
+  auto c = compile(
+      "__kernel void k(__global int* a) {\n"
+      "  for (int i = 0; i < 128; i++) { if (a[i] > 0) { i += 2; } }\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Region* loop = findLoop(c->module->findFunction("k")->rootRegion());
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->staticTripCount, -1);
+}
+
+TEST(Lower, UnrollHintPropagates) {
+  auto c = compile(
+      "__kernel void k(__global int* a) {\n"
+      "#pragma unroll 8\n"
+      "  for (int i = 0; i < 64; i++) { a[i] = i; }\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Region* loop = findLoop(c->module->findFunction("k")->rootRegion());
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->unrollHint, 8);
+}
+
+TEST(Lower, NestedLoopsGetDistinctIds) {
+  auto c = compile(
+      "__kernel void k(__global int* a) {\n"
+      "  for (int i = 0; i < 4; i++) {\n"
+      "    for (int j = 0; j < 8; j++) { a[i * 8 + j] = i + j; }\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  EXPECT_EQ(fn->loopCount, 2);
+  const Region* outer = findLoop(fn->rootRegion());
+  ASSERT_NE(outer, nullptr);
+  const Region* inner = findLoop(outer->children[0].get());
+  ASSERT_NE(inner, nullptr);
+  EXPECT_NE(outer->loopId, inner->loopId);
+  EXPECT_EQ(outer->staticTripCount, 4);
+  EXPECT_EQ(inner->staticTripCount, 8);
+}
+
+TEST(Lower, InlinedHelperProducesNoCallInstructions) {
+  auto c = compile(
+      "float sq(float x) { return x * x; }\n"
+      "__kernel void k(__global float* a) { a[0] = sq(a[1]) + sq(a[2]); }\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  // Only math-builtin Call instructions are allowed; helper calls must be
+  // inlined away.
+  int mulCount = 0;
+  for (const auto& bb : fn->blocks()) {
+    for (const Instruction* inst : bb->instructions()) {
+      EXPECT_NE(inst->opcode(), Opcode::Call);
+      if (inst->opcode() == Opcode::FMul) ++mulCount;
+    }
+  }
+  EXPECT_EQ(mulCount, 2);  // two inline expansions
+}
+
+TEST(Lower, BarrierLowersToBarrierInstruction) {
+  auto c = compile(
+      "__kernel void k(__global int* a) {\n"
+      "  __local int t[4];\n"
+      "  t[get_local_id(0)] = a[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  a[get_global_id(0)] = t[0];\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  int barriers = 0;
+  for (const auto& bb : fn->blocks()) {
+    for (const Instruction* inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::Barrier) ++barriers;
+    }
+  }
+  EXPECT_EQ(barriers, 1);
+  EXPECT_EQ(fn->localAllocas.size(), 1u);
+}
+
+TEST(Lower, LocalArrayGoesToLocalAllocaList) {
+  auto c = compile(
+      "__kernel void k(__global float* a) {\n"
+      "  __local float tile[16][17];\n"
+      "  tile[0][0] = a[0];\n"
+      "  a[1] = tile[0][0];\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  ASSERT_EQ(fn->localAllocas.size(), 1u);
+  EXPECT_EQ(fn->localAllocas[0]->allocaType->sizeInBytes(), 16u * 17u * 4u);
+}
+
+TEST(Lower, PrinterProducesStableText) {
+  auto c = compile(
+      "__kernel void k(__global int* a) { a[get_global_id(0)] = 7; }\n");
+  ASSERT_TRUE(c);
+  Function* fn = c->module->findFunction("k");
+  const std::string text = printFunction(*fn);
+  EXPECT_NE(text.find("kernel @k"), std::string::npos);
+  EXPECT_NE(text.find("wi.query global_id"), std::string::npos);
+  EXPECT_NE(text.find("store.global"), std::string::npos);
+}
+
+TEST(Lower, IfProducesIfRegion) {
+  auto c = compile(
+      "__kernel void k(__global int* a, int n) {\n"
+      "  if (n > 0) { a[0] = 1; } else { a[0] = 2; }\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  bool foundIf = false;
+  const Region* root = fn->rootRegion();
+  for (const auto& child : root->children) {
+    if (child->kind == Region::Kind::If) {
+      foundIf = true;
+      EXPECT_EQ(child->children.size(), 2u);
+      EXPECT_NE(child->condBlock, nullptr);
+    }
+  }
+  EXPECT_TRUE(foundIf);
+}
+
+TEST(Lower, EveryBlockTerminated) {
+  auto c = compile(
+      "__kernel void k(__global int* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i == 3) continue;\n"
+      "    if (i == 7) break;\n"
+      "    a[i] = i;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  EXPECT_TRUE(verifyFunction(*fn).empty());
+  for (const auto& bb : fn->blocks()) {
+    EXPECT_NE(bb->terminator(), nullptr) << bb->name();
+  }
+}
+
+TEST(Lower, VectorOpsLowerToVectorTypedInstructions) {
+  auto c = compile(
+      "__kernel void k(__global float4* a, __global float4* b) {\n"
+      "  b[0] = a[0] * a[1] + a[2];\n"
+      "}\n");
+  ASSERT_TRUE(c);
+  const Function* fn = c->module->findFunction("k");
+  bool sawVectorMul = false;
+  for (const auto& bb : fn->blocks()) {
+    for (const Instruction* inst : bb->instructions()) {
+      if (inst->opcode() == Opcode::FMul && inst->type()->isVector()) {
+        sawVectorMul = true;
+      }
+    }
+  }
+  EXPECT_TRUE(sawVectorMul);
+}
+
+}  // namespace
+}  // namespace flexcl::ir

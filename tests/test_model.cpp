@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/lower.h"
+#include "model/bottleneck.h"
+#include "model/flexcl.h"
+
+namespace flexcl::model {
+namespace {
+
+std::unique_ptr<ir::CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto c = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(c) << diags.str();
+  return c;
+}
+
+/// Simple streaming kernel + data used across model tests.
+struct Fixture {
+  std::unique_ptr<ir::CompiledProgram> program;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  LaunchInfo launch;
+
+  explicit Fixture(
+      const std::string& src =
+          "__kernel void k(__global const float* a, __global float* b) {\n"
+          "  int i = get_global_id(0);\n"
+          "  b[i] = a[i] * 2.0f + 1.0f;\n"
+          "}\n",
+      std::uint64_t globalSize = 1024) {
+    program = compile(src);
+    buffers = {std::vector<std::uint8_t>(globalSize * 4, 1),
+               std::vector<std::uint8_t>(globalSize * 4)};
+    launch.fn = program->module->functions().front().get();
+    launch.range.global = {globalSize, 1, 1};
+    launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+    launch.buffers = &buffers;
+  }
+};
+
+TEST(Device, Presets) {
+  const Device v7 = Device::virtex7();
+  const Device ku = Device::ku060();
+  EXPECT_GT(v7.totalDsp, ku.totalDsp);
+  EXPECT_GT(v7.bramBytes(), 0u);
+  EXPECT_DOUBLE_EQ(v7.cyclesToMs(200000), 1.0);  // 200k cycles @ 200MHz = 1ms
+}
+
+TEST(DesignPoint, StableIdDistinguishesPoints) {
+  DesignPoint a, b;
+  b.peParallelism = 2;
+  EXPECT_NE(a.stableId(), b.stableId());
+  DesignPoint c = a;
+  EXPECT_EQ(a.stableId(), c.stableId());
+}
+
+TEST(DesignPoint, StringRendering) {
+  DesignPoint dp;
+  dp.workGroupSize = {16, 16, 1};
+  dp.numComputeUnits = 3;
+  const std::string s = dp.str();
+  EXPECT_NE(s.find("wg=16x16"), std::string::npos);
+  EXPECT_NE(s.find("CU=3"), std::string::npos);
+}
+
+TEST(PeModel, PipeliningReducesIi) {
+  // Compute-heavy kernel: for a purely memory-bound one, II is DRAM-limited
+  // and pipelining legitimately cannot help.
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float x = a[i];\n"
+      "  b[i] = sqrt(exp(x) + log(x + 2.0f)) * x + 1.0f;\n"
+      "}\n");
+  FlexCl model(Device::virtex7());
+  DesignPoint pipe;
+  DesignPoint noPipe;
+  noPipe.workItemPipeline = false;
+  const Estimate withPipe = model.estimate(f.launch, pipe);
+  const Estimate withoutPipe = model.estimate(f.launch, noPipe);
+  ASSERT_TRUE(withPipe.ok);
+  ASSERT_TRUE(withoutPipe.ok);
+  EXPECT_LT(withPipe.pe.iiComp, withoutPipe.pe.iiComp);
+  EXPECT_LT(withPipe.cycles, withoutPipe.cycles);
+}
+
+TEST(PeModel, MiiComponentsConsistent) {
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  const Estimate est = model.estimate(f.launch, DesignPoint{});
+  ASSERT_TRUE(est.ok);
+  EXPECT_EQ(est.pe.mii, std::max(est.pe.recMii, est.pe.resMii));
+  EXPECT_GE(est.pe.iiComp, est.pe.mii);
+  EXPECT_GE(est.pe.depth, est.pe.iiComp - 1);
+}
+
+TEST(PeModel, Equation1) {
+  PeModel pe;
+  pe.iiComp = 3;
+  pe.depth = 20;
+  EXPECT_DOUBLE_EQ(peLatency(pe, 64), 3.0 * 63 + 20);
+  EXPECT_DOUBLE_EQ(peLatency(pe, 1), 20);
+}
+
+TEST(CuModel, Equation5Interleaving) {
+  PeModel pe;
+  pe.iiComp = 2;
+  pe.depth = 10;
+  DesignPoint dp;
+  dp.workGroupSize = {64, 1, 1};
+  dp.peParallelism = 4;
+  const CuModel cu = buildCuModel(pe, Device::virtex7(), dp);
+  EXPECT_EQ(cu.effectivePes, 4);
+  EXPECT_DOUBLE_EQ(cu.latency, 2.0 * std::ceil((64.0 - 4) / 4) + 10);
+}
+
+TEST(CuModel, LocalPortsClampParallelism) {
+  PeModel pe;
+  pe.iiComp = 1;
+  pe.depth = 5;
+  pe.localReads = 8;  // 8 reads per cycle demanded per PE
+  DesignPoint dp;
+  dp.peParallelism = 8;
+  CuModel::Limiter limiter;
+  const int pes = effectivePeParallelism(pe, Device::virtex7(), dp, &limiter);
+  EXPECT_LT(pes, 8);
+  EXPECT_EQ(limiter, CuModel::Limiter::LocalRead);
+}
+
+TEST(CuModel, DspClampsParallelism) {
+  PeModel pe;
+  pe.iiComp = 1;
+  pe.depth = 5;
+  pe.dspUnits = 1000;  // resident DSPs per PE
+  DesignPoint dp;
+  dp.peParallelism = 8;
+  dp.numComputeUnits = 4;
+  CuModel::Limiter limiter;
+  const int pes = effectivePeParallelism(pe, Device::virtex7(), dp, &limiter);
+  EXPECT_EQ(limiter, CuModel::Limiter::Dsp);
+  EXPECT_LT(pes, 8);
+}
+
+TEST(KernelModel, DispatchOverheadBoundsConcurrency) {
+  // A tiny work-group finishes faster than the dispatcher can feed CUs, so
+  // effective CU parallelism collapses (eq. 8).
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  DesignPoint dp;
+  dp.workGroupSize = {2, 1, 1};
+  dp.numComputeUnits = 4;
+  const Estimate est = model.estimate(f.launch, dp);
+  ASSERT_TRUE(est.ok);
+  EXPECT_LT(est.kernelCompute.effectiveCus, 4);
+}
+
+TEST(KernelModel, BramLimitsCuReplication) {
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  __local float big[16][256];\n"
+      "  int l = get_local_id(0);\n"
+      "  big[l % 16][l] = a[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  b[get_global_id(0)] = big[0][l];\n"
+      "}\n");
+  FlexCl model(Device::virtex7());
+  cdfg::KernelAnalysis analysis = model.analysisFor(f.launch, DesignPoint{});
+  PeModel pe = buildPeModel(analysis, model.device(), DesignPoint{});
+  DesignPoint dp;
+  dp.numComputeUnits = 16;
+  const int maxCus = maxComputeUnits(analysis, pe, model.device(), dp);
+  // 16 KiB of local memory per CU; the chip's BRAM divides it out.
+  EXPECT_LE(maxCus, static_cast<int>(model.device().bramBytes() / (16 * 256 * 4)));
+}
+
+TEST(MemoryModel, CoalescingReducesAccesses) {
+  // A work-item streaming 16 consecutive floats coalesces 16 -> 1.
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float acc = 0.0f;\n"
+      "  for (int j = 0; j < 16; j++) { acc += a[i * 16 + j]; }\n"
+      "  b[i] = acc;\n"
+      "}\n",
+      256);
+  f.buffers[0].resize(256 * 16 * 4, 1);
+  FlexCl model(Device::virtex7());
+  const Estimate est = model.estimate(f.launch, DesignPoint{});
+  ASSERT_TRUE(est.ok);
+  EXPECT_NEAR(est.memory.rawAccessesPerWorkItem, 17.0, 0.1);  // 16 reads + 1 write
+  EXPECT_NEAR(est.memory.accessesPerWorkItem, 2.0, 0.1);      // 1 burst + 1 write
+}
+
+TEST(MemoryModel, Equation9SumsPatternLatencies) {
+  dram::PatternLatencyTable deltaT;
+  for (int p = 0; p < dram::kPatternCount; ++p) {
+    deltaT.latency[static_cast<std::size_t>(p)] = 10.0 + p;
+  }
+  interp::KernelProfile profile;
+  profile.ok = true;
+  profile.profiledWorkItems = 2;
+  // Two work-items, one 64-byte read each at the same address: first is a
+  // cold miss (RAR miss), second a row hit (RAR hit).
+  for (int wi = 0; wi < 2; ++wi) {
+    interp::MemoryAccessEvent ev;
+    ev.workItem = static_cast<std::uint64_t>(wi);
+    ev.buffer = 0;
+    ev.offset = 0;
+    ev.size = 64;
+    ev.isWrite = false;
+    profile.globalTrace.push_back(ev);
+  }
+  const MemoryModel mm = buildMemoryModel(profile, dram::DramConfig{}, deltaT, 1);
+  const double expected =
+      (deltaT[dram::AccessPattern::RarMiss] + deltaT[dram::AccessPattern::RarHit]) /
+      2.0;
+  EXPECT_NEAR(mm.lMemWi, expected, 1e-9);
+}
+
+TEST(FlexCl, BarrierKernelForcedToBarrierMode) {
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  __local float t[256];\n"
+      "  int l = get_local_id(0);\n"
+      "  t[l] = a[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  b[get_global_id(0)] = t[l];\n"
+      "}\n");
+  FlexCl model(Device::virtex7());
+  DesignPoint dp;
+  dp.commMode = CommMode::Pipeline;  // requested pipeline, but barriers win
+  const Estimate est = model.estimate(f.launch, dp);
+  ASSERT_TRUE(est.ok);
+  EXPECT_EQ(est.mode, CommMode::Barrier);
+  EXPECT_GT(est.barrierCount, 0);
+}
+
+TEST(FlexCl, PipelineBeatsBarrierForStreamingKernel) {
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  DesignPoint pipeline;
+  pipeline.commMode = CommMode::Pipeline;
+  DesignPoint barrier = pipeline;
+  barrier.commMode = CommMode::Barrier;
+  const Estimate p = model.estimate(f.launch, pipeline);
+  const Estimate b = model.estimate(f.launch, barrier);
+  ASSERT_TRUE(p.ok);
+  ASSERT_TRUE(b.ok);
+  // Eq. 10 serialises every work-item's memory latency; eq. 11 overlaps.
+  EXPECT_LT(p.cycles, b.cycles);
+}
+
+TEST(FlexCl, MoreComputeUnitsNeverSlower) {
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  double last = std::numeric_limits<double>::infinity();
+  for (int cu : {1, 2, 4}) {
+    DesignPoint dp;
+    dp.numComputeUnits = cu;
+    const Estimate est = model.estimate(f.launch, dp);
+    ASSERT_TRUE(est.ok);
+    EXPECT_LE(est.cycles, last * 1.02);  // allow dispatch-overhead wiggle
+    last = est.cycles;
+  }
+}
+
+TEST(FlexCl, WorkGroupClampedToDivisor) {
+  Fixture f;
+  DesignPoint dp;
+  dp.workGroupSize = {100, 1, 1};  // does not divide 1024
+  const interp::NdRange r = FlexCl::rangeFor(f.launch, dp);
+  EXPECT_EQ(1024u % r.local[0], 0u);
+  EXPECT_LE(r.local[0], 100u);
+}
+
+TEST(FlexCl, EstimateDeterministic) {
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  const Estimate a = model.estimate(f.launch, DesignPoint{});
+  const Estimate b = model.estimate(f.launch, DesignPoint{});
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+}
+
+TEST(FlexCl, Ku060FasterFloatPipelines) {
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float x = a[i];\n"
+      "  b[i] = sqrt(x * x + 3.0f) * 0.5f;\n"
+      "}\n");
+  FlexCl v7(Device::virtex7());
+  FlexCl ku(Device::ku060());
+  DesignPoint dp;
+  dp.workItemPipeline = false;  // depth-dominated so IP latencies matter
+  const Estimate a = v7.estimate(f.launch, dp);
+  const Estimate b = ku.estimate(f.launch, dp);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_LT(b.pe.depth, a.pe.depth);
+}
+
+TEST(Bottleneck, MemoryBoundKernelDiagnosed) {
+  // Scattered reads, almost no compute: the pipeline starves on DRAM.
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[(i * 977) % 1024] + a[(i * 353) % 1024] + a[(i * 131) % 1024];\n"
+      "}\n");
+  FlexCl model(Device::virtex7());
+  DesignPoint dp;
+  const Estimate est = model.estimate(f.launch, dp);
+  ASSERT_TRUE(est.ok);
+  const BottleneckReport report = diagnose(est, dp);
+  EXPECT_EQ(report.primary, Bottleneck::MemoryLatency);
+  EXPECT_FALSE(report.hints.empty());
+}
+
+TEST(Bottleneck, PipelineDisabledDiagnosed) {
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  DesignPoint dp;
+  dp.workItemPipeline = false;
+  const Estimate est = model.estimate(f.launch, dp);
+  const BottleneckReport report = diagnose(est, dp);
+  EXPECT_EQ(report.primary, Bottleneck::PipelineDisabled);
+}
+
+}  // namespace
+}  // namespace flexcl::model

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "ocl/parser.h"
+
+namespace flexcl::ocl {
+namespace {
+
+std::unique_ptr<Program> parse(const std::string& src,
+                               DiagnosticEngine* diagsOut = nullptr) {
+  DiagnosticEngine diags;
+  auto program = parseOpenCl(src, diags);
+  if (diagsOut) *diagsOut = diags;
+  return program;
+}
+
+TEST(Parser, MinimalKernel) {
+  auto p = parse("__kernel void k(__global float* a) { a[0] = 1.0f; }");
+  ASSERT_TRUE(p);
+  ASSERT_EQ(p->functions.size(), 1u);
+  const FunctionDecl& fn = *p->functions[0];
+  EXPECT_TRUE(fn.isKernel);
+  EXPECT_EQ(fn.name, "k");
+  ASSERT_EQ(fn.params.size(), 1u);
+  EXPECT_TRUE(fn.params[0]->type->isPointer());
+  EXPECT_EQ(fn.params[0]->type->addressSpace(), ir::AddressSpace::Global);
+}
+
+TEST(Parser, ScalarAndPointerParams) {
+  auto p = parse(
+      "__kernel void k(__global int* in, __global int* out, int n, float s) {}");
+  ASSERT_TRUE(p);
+  const FunctionDecl& fn = *p->functions[0];
+  ASSERT_EQ(fn.params.size(), 4u);
+  EXPECT_TRUE(fn.params[2]->type->isInt());
+  EXPECT_TRUE(fn.params[3]->type->isFloat());
+}
+
+TEST(Parser, LocalArrayDeclaration) {
+  auto p = parse(
+      "__kernel void k(__global float* a) {"
+      "  __local float tile[16][17];"
+      "  tile[0][1] = a[0];"
+      "}");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, ForLoopWithUnrollPragma) {
+  DiagnosticEngine diags;
+  auto p = parse(
+      "__kernel void k(__global int* a) {\n"
+      "#pragma unroll 4\n"
+      "  for (int i = 0; i < 16; i++) { a[i] = i; }\n"
+      "}\n",
+      &diags);
+  ASSERT_TRUE(p) << diags.str();
+  const auto& body = p->functions[0]->body->body;
+  ASSERT_EQ(body.size(), 1u);
+  ASSERT_EQ(body[0]->kind(), Stmt::Kind::For);
+  EXPECT_EQ(static_cast<const ForStmt&>(*body[0]).unrollHint, 4);
+}
+
+TEST(Parser, ReqdWorkGroupSizeAttribute) {
+  auto p = parse(
+      "__kernel __attribute__((reqd_work_group_size(64, 1, 1))) "
+      "void k(__global int* a) { a[0] = 0; }");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->functions[0]->reqdWorkGroupSize[0], 64u);
+  EXPECT_EQ(p->functions[0]->reqdWorkGroupSize[1], 1u);
+}
+
+TEST(Parser, HelperFunctionAndCall) {
+  auto p = parse(
+      "float square(float x) { return x * x; }\n"
+      "__kernel void k(__global float* a) { a[0] = square(a[1]); }\n");
+  ASSERT_TRUE(p);
+  ASSERT_EQ(p->functions.size(), 2u);
+  EXPECT_FALSE(p->functions[0]->isKernel);
+  EXPECT_TRUE(p->functions[1]->isKernel);
+}
+
+TEST(Parser, StructTypedef) {
+  auto p = parse(
+      "typedef struct { float x; float y; } Point;\n"
+      "__kernel void k(__global Point* pts, __global float* out) {\n"
+      "  out[0] = pts[0].x + pts[0].y;\n"
+      "}\n");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, VectorTypesAndConstruct) {
+  auto p = parse(
+      "__kernel void k(__global float4* a, __global float* out) {\n"
+      "  float4 v = a[0];\n"
+      "  float4 w = (float4)(1.0f, 2.0f, 3.0f, 4.0f);\n"
+      "  out[0] = v.x + w.y + v.s2;\n"
+      "}\n");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto p = parse("__kernel void k(__global int* a) { a[0] = 1 + 2 * 3; }");
+  ASSERT_TRUE(p);
+  // Dig out the assignment value: Binary(Add, 1, Binary(Mul, 2, 3)).
+  const auto& stmt = *p->functions[0]->body->body[0];
+  const auto& expr = *static_cast<const ExprStmt&>(stmt).expr;
+  const auto& assign = static_cast<const AssignExpr&>(expr);
+  const Expr* value = assign.value.get();
+  while (value->kind() == Expr::Kind::Cast) {
+    value = static_cast<const CastExpr*>(value)->operand.get();
+  }
+  ASSERT_EQ(value->kind(), Expr::Kind::Binary);
+  EXPECT_EQ(static_cast<const BinaryExpr*>(value)->op, BinaryOp::Add);
+}
+
+TEST(Parser, ConditionalExpression) {
+  auto p = parse("__kernel void k(__global int* a, int n) { a[0] = n > 0 ? n : -n; }");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, WhileAndDoWhile) {
+  auto p = parse(
+      "__kernel void k(__global int* a, int n) {\n"
+      "  int i = 0;\n"
+      "  while (i < n) { a[i] = i; i++; }\n"
+      "  do { i--; } while (i > 0);\n"
+      "}\n");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->functions[0]->body->body.size(), 3u);
+}
+
+TEST(Parser, BreakContinue) {
+  auto p = parse(
+      "__kernel void k(__global int* a, int n) {\n"
+      "  for (int i = 0; i < n; i++) {\n"
+      "    if (i == 3) continue;\n"
+      "    if (i == 7) break;\n"
+      "    a[i] = i;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, CastExpression) {
+  auto p = parse("__kernel void k(__global float* a, int n) { a[0] = (float)n; }");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, CompoundAssignOperators) {
+  auto p = parse(
+      "__kernel void k(__global int* a) {\n"
+      "  int x = 1;\n"
+      "  x += 2; x -= 1; x *= 3; x /= 2; x %= 5; x <<= 1; x >>= 1; x &= 7;\n"
+      "  x |= 8; x ^= 3;\n"
+      "  a[0] = x;\n"
+      "}\n");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, MissingSemicolonReported) {
+  DiagnosticEngine diags;
+  auto p = parse("__kernel void k(__global int* a) { a[0] = 1 }", &diags);
+  EXPECT_FALSE(p);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Parser, UnbalancedBraceReported) {
+  DiagnosticEngine diags;
+  auto p = parse("__kernel void k(__global int* a) { if (1) { a[0] = 1; }", &diags);
+  EXPECT_FALSE(p);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Parser, BarrierCallParses) {
+  // CLK_LOCAL_MEM_FENCE is predefined by the preprocessor.
+  DiagnosticEngine diags;
+  auto p = parse(
+      "__kernel void k(__global int* a) {\n"
+      "  __local int tile[8];\n"
+      "  tile[get_local_id(0)] = a[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  a[get_global_id(0)] = tile[0];\n"
+      "}\n",
+      &diags);
+  EXPECT_TRUE(p) << diags.str();
+}
+
+TEST(Parser, SizeofFolds) {
+  auto p = parse("__kernel void k(__global int* a) { a[0] = sizeof(float); }");
+  ASSERT_TRUE(p);
+}
+
+TEST(Parser, TypedefScalarAlias) {
+  auto p = parse(
+      "typedef float real;\n"
+      "__kernel void k(__global real* a) { real x = a[0]; a[1] = x; }\n");
+  ASSERT_TRUE(p);
+}
+
+}  // namespace
+}  // namespace flexcl::ocl

@@ -1,0 +1,182 @@
+// Property sweeps: model/simulator/scheduler invariants checked across real
+// suite kernels and a grid of design points (not hand-picked examples).
+#include <gtest/gtest.h>
+
+#include "dse/design_space.h"
+#include "sched/list_scheduler.h"
+#include "sim/system_sim.h"
+#include "workloads/workload.h"
+
+namespace flexcl {
+namespace {
+
+const std::vector<std::pair<const char*, const char*>>& sampleKernels() {
+  static const std::vector<std::pair<const char*, const char*>> sample = {
+      {"backprop", "layer"},   {"bfs", "bfs_1"},       {"cfd", "compute"},
+      {"hotspot", "hotspot"},  {"kmeans", "center"},   {"nn", "nn"},
+      {"srad", "reduce"},      {"hybridsort", "prefix"},
+  };
+  return sample;
+}
+
+class KernelPropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {
+ protected:
+  void SetUp() override {
+    const auto [benchmark, kernel] = GetParam();
+    const workloads::Workload* w =
+        workloads::findWorkload("rodinia", benchmark, kernel);
+    ASSERT_NE(w, nullptr);
+    std::string error;
+    auto compiled = workloads::compileWorkload(*w, &error);
+    ASSERT_TRUE(compiled) << error;
+    compiled_ =
+        std::make_shared<workloads::CompiledWorkload>(std::move(*compiled));
+  }
+
+  std::shared_ptr<workloads::CompiledWorkload> compiled_;
+  model::FlexCl flexcl_{model::Device::virtex7()};
+};
+
+TEST_P(KernelPropertyTest, ModelInvariantsAcrossDesignGrid) {
+  const model::LaunchInfo launch = compiled_->launch();
+  for (std::uint32_t wg : {32u, 128u}) {
+    for (int pe : {1, 8}) {
+      for (int cu : {1, 4}) {
+        model::DesignPoint dp;
+        dp.workGroupSize = {wg, 1, 1};
+        dp.peParallelism = pe;
+        dp.numComputeUnits = cu;
+        const model::Estimate est = flexcl_.estimate(launch, dp);
+        ASSERT_TRUE(est.ok) << dp.str() << ": " << est.error;
+        EXPECT_GT(est.cycles, 0.0) << dp.str();
+        EXPECT_GE(est.pe.iiComp, est.pe.mii) << dp.str();
+        EXPECT_EQ(est.pe.mii, std::max(est.pe.recMii, est.pe.resMii)) << dp.str();
+        EXPECT_GE(est.cu.effectivePes, 1) << dp.str();
+        EXPECT_LE(est.cu.effectivePes, pe) << dp.str();
+        EXPECT_GE(est.kernelCompute.effectiveCus, 1) << dp.str();
+        EXPECT_LE(est.kernelCompute.effectiveCus, cu) << dp.str();
+        if (est.mode == model::CommMode::Pipeline) {
+          EXPECT_GE(est.iiWi, est.pe.iiComp) << dp.str();
+        }
+        if (est.barrierCount > 0) {
+          EXPECT_EQ(est.mode, model::CommMode::Barrier) << dp.str();
+        }
+        // The estimate is at least the memory service time of all work-items
+        // divided by the maximal parallelism — a crude physical lower bound.
+        const double floor =
+            est.memory.serviceDemandPerWi *
+            static_cast<double>(est.totalWorkItems) / (8.0 * 16.0);
+        EXPECT_GE(est.cycles, floor) << dp.str();
+      }
+    }
+  }
+}
+
+TEST_P(KernelPropertyTest, SimulatorInvariants) {
+  const model::LaunchInfo launch = compiled_->launch();
+  model::DesignPoint dp;
+  dp.workGroupSize = {64, 1, 1};
+  dp.peParallelism = 2;
+  dp.numComputeUnits = 2;
+  const interp::NdRange range = model::FlexCl::rangeFor(launch, dp);
+  const sim::SimInput input =
+      sim::prepareSimInput(*launch.fn, range, launch.args, *launch.buffers);
+  ASSERT_TRUE(input.ok) << input.error;
+
+  // The DRAM sees exactly the coalesced accesses of every work-item.
+  std::uint64_t expectedAccesses = 0;
+  for (const auto& chain : input.workItemAccesses) expectedAccesses += chain.size();
+
+  const sim::SimResult a = sim::simulate(input, flexcl_.device(), dp);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.dramAccesses, expectedAccesses);
+  EXPECT_LE(a.dramRowHits, a.dramAccesses);
+  EXPECT_EQ(a.workGroups, range.groupCount());
+  EXPECT_GT(a.cycles, 0.0);
+
+  // Determinism.
+  const sim::SimResult b = sim::simulate(input, flexcl_.device(), dp);
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+
+  // The simulated run can never beat the best-case issue rate: every DRAM
+  // access needs at least one data-bus cycle.
+  EXPECT_GE(a.cycles, static_cast<double>(expectedAccesses) *
+                          flexcl_.device().dram.transferCycles /
+                          flexcl_.device().dram.banks);
+}
+
+TEST_P(KernelPropertyTest, ListScheduleBoundsHoldOnEveryBlock) {
+  const model::OpLatencyDb latencies = model::OpLatencyDb::virtex7();
+  const sched::ResourceBudget budget;
+  for (const auto& bb : compiled_->fn->blocks()) {
+    const cdfg::BlockDfg dfg = cdfg::BlockDfg::build(*bb, latencies);
+    const sched::ListScheduleResult result = sched::listSchedule(dfg, budget);
+    int serial = 0;
+    for (const auto& n : dfg.nodes()) serial += std::max(1, n.latency);
+    EXPECT_GE(result.latency, dfg.criticalPathLength()) << bb->name();
+    EXPECT_LE(result.latency, serial) << bb->name();
+    // Dependences respected.
+    const auto& nodes = dfg.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (int p : nodes[i].preds) {
+        const auto pi = static_cast<std::size_t>(p);
+        EXPECT_GE(result.startCycle[i], result.startCycle[pi] + nodes[pi].latency)
+            << bb->name() << " node " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RodiniaSample, KernelPropertyTest,
+                         ::testing::ValuesIn(sampleKernels()),
+                         [](const auto& info) {
+                           std::string n = std::string(info.param.first) + "_" +
+                                           info.param.second;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(ModelProperties, ExpectedIiMaxIsMonotoneAndBounded) {
+  model::MemoryModel mm;
+  mm.lMemWi = 30;
+  mm.accessesPerWorkItem = 3;
+  mm.perWiChainSpan = {10, 20, 60};
+  // Lower bound: at least `other`; upper bound: other + mean span.
+  double last = 0;
+  for (double other : {0.0, 5.0, 15.0, 30.0, 100.0}) {
+    const double v = mm.expectedIiMax(other);
+    EXPECT_GE(v, other);
+    EXPECT_LE(v, other + 30.0 + 1e-9);
+    EXPECT_GE(v, last);  // monotone in `other`
+    last = v;
+  }
+  // Exact expectation for other = 15: mean(max(15,10), max(15,20), max(15,60)).
+  EXPECT_NEAR(mm.expectedIiMax(15.0), (15 + 20 + 60) / 3.0, 1e-9);
+}
+
+TEST(ModelProperties, DesignSpaceCoversEveryAxisValue) {
+  interp::NdRange range;
+  range.global = {1024, 1, 1};
+  const auto space = dse::enumerateDesignSpace(range, false);
+  std::set<int> pes, cus;
+  std::set<std::uint32_t> wgs;
+  std::set<bool> pipes;
+  for (const auto& dp : space) {
+    pes.insert(dp.peParallelism);
+    cus.insert(dp.numComputeUnits);
+    wgs.insert(dp.workGroupSize[0]);
+    pipes.insert(dp.workItemPipeline);
+  }
+  EXPECT_EQ(pes.size(), 4u);
+  EXPECT_EQ(cus.size(), 3u);
+  EXPECT_EQ(wgs.size(), 4u);
+  EXPECT_EQ(pipes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace flexcl

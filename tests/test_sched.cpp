@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "cdfg/dfg.h"
+#include "ir/lower.h"
+#include "sched/list_scheduler.h"
+#include "sched/sms.h"
+#include "support/rng.h"
+
+namespace flexcl::sched {
+namespace {
+
+std::unique_ptr<ir::CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto c = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(c) << diags.str();
+  return c;
+}
+
+cdfg::BlockDfg largestBlockDfg(const ir::Function& fn) {
+  const ir::BasicBlock* best = nullptr;
+  for (const auto& bb : fn.blocks()) {
+    if (!best || bb->instructions().size() > best->instructions().size()) {
+      best = bb.get();
+    }
+  }
+  return cdfg::BlockDfg::build(*best, model::OpLatencyDb::virtex7());
+}
+
+// ---------------------------------------------------------------------------
+// List scheduler
+// ---------------------------------------------------------------------------
+
+TEST(ListScheduler, EmptyBlockHasZeroLatency) {
+  cdfg::BlockDfg empty;
+  EXPECT_EQ(listSchedule(empty, ResourceBudget{}).latency, 0);
+}
+
+TEST(ListScheduler, RespectsDependencies) {
+  auto c = compile(
+      "__kernel void k(__global float* o) {\n"
+      "  o[0] = (o[1] * 2.0f + 1.0f) * (o[2] + 3.0f);\n"
+      "}\n");
+  cdfg::BlockDfg dfg = largestBlockDfg(*c->module->findFunction("k"));
+  ListScheduleResult result = listSchedule(dfg, ResourceBudget{});
+  // Every op starts no earlier than each predecessor's completion.
+  const auto& nodes = dfg.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int p : nodes[i].preds) {
+      const auto pi = static_cast<std::size_t>(p);
+      EXPECT_GE(result.startCycle[i], result.startCycle[pi] + nodes[pi].latency);
+    }
+  }
+  EXPECT_GE(result.latency, dfg.criticalPathLength());
+}
+
+TEST(ListScheduler, ResourceLimitSerializesPortUse) {
+  // Four local reads with one read port must spread over >= 4 cycles.
+  auto c = compile(
+      "__kernel void k(__global float* o) {\n"
+      "  __local float t[16];\n"
+      "  int i = get_local_id(0);\n"
+      "  t[i] = o[i];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  o[i] = t[0] + t[1] + t[2] + t[3];\n"
+      "}\n");
+  cdfg::BlockDfg dfg = largestBlockDfg(*c->module->findFunction("k"));
+  ResourceBudget onePort;
+  onePort.localReadPorts = 1;
+  ResourceBudget fourPorts;
+  fourPorts.localReadPorts = 4;
+  const int narrow = listSchedule(dfg, onePort).latency;
+  const int wide = listSchedule(dfg, fourPorts).latency;
+  EXPECT_GT(narrow, wide);
+}
+
+TEST(ListScheduler, LatencyBetweenCriticalPathAndSerialSum) {
+  const char* kernels[] = {
+      "__kernel void a(__global float* o) { o[0] = o[1] * o[2] + o[3]; }",
+      "__kernel void a(__global float* o) {\n"
+      "  float x = o[0]; float y = o[1];\n"
+      "  o[2] = sqrt(x * x + y * y);\n"
+      "}",
+      "__kernel void a(__global int* o) {\n"
+      "  int i = get_global_id(0);\n"
+      "  o[i] = (i * 17 + 3) % 251;\n"
+      "}",
+  };
+  for (const char* src : kernels) {
+    auto c = compile(src);
+    cdfg::BlockDfg dfg = largestBlockDfg(*c->module->findFunction("a"));
+    const int latency = listSchedule(dfg, ResourceBudget{}).latency;
+    int serial = 0;
+    for (const auto& n : dfg.nodes()) serial += std::max(1, n.latency);
+    EXPECT_GE(latency, dfg.criticalPathLength()) << src;
+    EXPECT_LE(latency, serial) << src;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MII
+// ---------------------------------------------------------------------------
+
+PipelineGraph makeChain(std::initializer_list<int> latencies) {
+  PipelineGraph g;
+  for (int l : latencies) {
+    PipeNode n;
+    n.latency = l;
+    g.nodes.push_back(n);
+  }
+  for (std::size_t i = 1; i < g.nodes.size(); ++i) {
+    g.edges.push_back(PipeEdge{static_cast<int>(i - 1), static_cast<int>(i),
+                               g.nodes[i - 1].latency, 0});
+  }
+  return g;
+}
+
+TEST(Mii, NoRecurrenceGivesOne) {
+  PipelineGraph g = makeChain({3, 5, 2});
+  EXPECT_EQ(computeRecMII(g), 1);
+}
+
+TEST(Mii, SelfRecurrenceDividesByDistance) {
+  PipelineGraph g = makeChain({4});
+  g.edges.push_back(PipeEdge{0, 0, 4, 1});  // self loop, distance 1
+  EXPECT_EQ(computeRecMII(g), 4);
+  g.edges.back().distance = 2;
+  EXPECT_EQ(computeRecMII(g), 2);
+}
+
+TEST(Mii, CycleThroughChain) {
+  // 0 -> 1 -> 2 (delays 3, 5) with a back edge 2 -> 0 (delay 2, distance 1):
+  // cycle delay 10, distance 1 => RecMII 10.
+  PipelineGraph g = makeChain({3, 5, 2});
+  g.edges.push_back(PipeEdge{2, 0, 2, 1});
+  EXPECT_EQ(computeRecMII(g), 10);
+}
+
+TEST(Mii, ResMiiFromPorts) {
+  PipelineGraph g;
+  for (int i = 0; i < 6; ++i) {
+    PipeNode n;
+    n.latency = 2;
+    n.resource = {ResourceClass::LocalRead, 1};
+    g.nodes.push_back(n);
+  }
+  ResourceBudget budget;
+  budget.localReadPorts = 2;
+  EXPECT_EQ(computeResMII(g, budget), 3);  // 6 reads / 2 ports
+}
+
+TEST(Mii, ResMiiFromDspUnits) {
+  PipelineGraph g;
+  for (int i = 0; i < 4; ++i) {
+    PipeNode n;
+    n.latency = 5;
+    n.resource = {ResourceClass::Dsp, 3};
+    g.nodes.push_back(n);
+  }
+  ResourceBudget budget;
+  budget.dspUnits = 6;
+  EXPECT_EQ(computeResMII(g, budget), 2);  // 12 dsp-units / 6
+}
+
+TEST(Mii, LoopEngineForcesIi) {
+  PipelineGraph g = makeChain({2});
+  PipeNode loop;
+  loop.latency = 40;
+  loop.resource = {ResourceClass::LoopEngine, 1};
+  loop.blockingCycles = 40;
+  g.nodes.push_back(loop);
+  EXPECT_GE(computeResMII(g, ResourceBudget{}), 40);
+}
+
+TEST(Mii, MaxOfRecAndRes) {
+  PipelineGraph g = makeChain({8});
+  g.edges.push_back(PipeEdge{0, 0, 8, 1});  // RecMII 8
+  g.nodes[0].resource = {ResourceClass::LocalRead, 1};
+  ResourceBudget budget;
+  budget.localReadPorts = 1;  // ResMII 1
+  EXPECT_EQ(computeMII(g, budget), 8);
+}
+
+// ---------------------------------------------------------------------------
+// SMS
+// ---------------------------------------------------------------------------
+
+TEST(Sms, EmptyGraph) {
+  SmsResult r = swingModuloSchedule(PipelineGraph{}, ResourceBudget{});
+  EXPECT_EQ(r.ii, 1);
+  EXPECT_EQ(r.depth, 0);
+}
+
+TEST(Sms, AchievesMiiOnSimpleChain) {
+  PipelineGraph g = makeChain({3, 5, 2});
+  SmsResult r = swingModuloSchedule(g, ResourceBudget{});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.ii, 1);
+  EXPECT_GE(r.depth, 10);  // 3+5+2
+}
+
+TEST(Sms, RespectsDependenceInSchedule) {
+  PipelineGraph g = makeChain({3, 5, 2});
+  SmsResult r = swingModuloSchedule(g, ResourceBudget{});
+  ASSERT_EQ(r.startCycle.size(), 3u);
+  EXPECT_GE(r.startCycle[1], r.startCycle[0] + 3);
+  EXPECT_GE(r.startCycle[2], r.startCycle[1] + 5);
+}
+
+TEST(Sms, ResourceContentionRaisesIi) {
+  PipelineGraph g;
+  for (int i = 0; i < 4; ++i) {
+    PipeNode n;
+    n.latency = 2;
+    n.resource = {ResourceClass::LocalWrite, 1};
+    g.nodes.push_back(n);
+  }
+  ResourceBudget budget;
+  budget.localWritePorts = 1;
+  SmsResult r = swingModuloSchedule(g, budget);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GE(r.ii, 4);
+  // Modulo slots must not collide: all four writes in distinct slots mod II.
+  std::vector<int> slots;
+  for (int s : r.startCycle) slots.push_back(((s % r.ii) + r.ii) % r.ii);
+  std::sort(slots.begin(), slots.end());
+  EXPECT_EQ(std::unique(slots.begin(), slots.end()), slots.end());
+}
+
+TEST(Sms, RecurrenceRaisesIi) {
+  PipelineGraph g = makeChain({6, 6});
+  g.edges.push_back(PipeEdge{1, 0, 6, 1});  // cycle delay 12, distance 1
+  SmsResult r = swingModuloSchedule(g, ResourceBudget{});
+  EXPECT_GE(r.ii, 12);
+}
+
+// Property sweep: on random graphs, SMS must satisfy II >= MII, honour all
+// distance-0 dependences, and produce collision-free reservations.
+class SmsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmsPropertyTest, InvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 5 + static_cast<int>(rng.nextBelow(20));
+  PipelineGraph g;
+  for (int i = 0; i < n; ++i) {
+    PipeNode node;
+    node.latency = 1 + static_cast<int>(rng.nextBelow(9));
+    const int r = static_cast<int>(rng.nextBelow(4));
+    if (r == 1) node.resource = {ResourceClass::LocalRead, 1};
+    if (r == 2) node.resource = {ResourceClass::LocalWrite, 1};
+    if (r == 3) node.resource = {ResourceClass::Dsp, 1 + static_cast<int>(rng.nextBelow(4))};
+    g.nodes.push_back(node);
+  }
+  // Forward edges only (acyclic skeleton) + a few recurrences.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.nextBelow(4) == 0) {
+        g.edges.push_back(PipeEdge{i, j, g.nodes[static_cast<std::size_t>(i)].latency, 0});
+      }
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    const int a = static_cast<int>(rng.nextBelow(n));
+    const int b = static_cast<int>(rng.nextBelow(n));
+    if (a < b) {
+      g.edges.push_back(PipeEdge{b, a, g.nodes[static_cast<std::size_t>(b)].latency,
+                                 1 + static_cast<int>(rng.nextBelow(3))});
+    }
+  }
+
+  ResourceBudget budget;
+  budget.localReadPorts = 2;
+  budget.localWritePorts = 1;
+  budget.dspUnits = 6;
+  SmsResult result = swingModuloSchedule(g, budget);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GE(result.ii, result.mii);
+  EXPECT_GE(result.ii, computeRecMII(g));
+  EXPECT_GE(result.ii, computeResMII(g, budget));
+
+  // Distance-0 dependences hold exactly; recurrences hold modulo II.
+  for (const PipeEdge& e : g.edges) {
+    const int from = result.startCycle[static_cast<std::size_t>(e.from)];
+    const int to = result.startCycle[static_cast<std::size_t>(e.to)];
+    EXPECT_GE(to, from + e.delay - result.ii * e.distance)
+        << "edge " << e.from << "->" << e.to;
+  }
+  // Reservation-table capacity per slot per class.
+  std::map<std::pair<int, int>, int> used;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const auto& node = g.nodes[i];
+    if (node.resource.rc == ResourceClass::None) continue;
+    const int slot = ((result.startCycle[i] % result.ii) + result.ii) % result.ii;
+    used[{static_cast<int>(node.resource.rc), slot}] += node.resource.units;
+  }
+  for (const auto& [key, units] : used) {
+    EXPECT_LE(units, budget.capacity(static_cast<ResourceClass>(key.first)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SmsPropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace flexcl::sched

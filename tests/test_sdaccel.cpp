@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "ir/lower.h"
+#include "model/flexcl.h"
+#include "sdaccel/sdaccel_estimator.h"
+
+namespace flexcl::sdaccel {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<ir::CompiledProgram> program;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  model::LaunchInfo launch;
+  model::FlexCl flexcl{model::Device::virtex7()};
+
+  explicit Fixture(
+      const std::string& src =
+          "__kernel void k(__global const float* a, __global float* b) {\n"
+          "  int i = get_global_id(0);\n"
+          "  b[i] = a[i] * 2.0f;\n"
+          "}\n") {
+    DiagnosticEngine diags;
+    program = ir::compileOpenCl(src, diags);
+    EXPECT_TRUE(program) << diags.str();
+    buffers = {std::vector<std::uint8_t>(1024 * 4, 1),
+               std::vector<std::uint8_t>(1024 * 4)};
+    launch.fn = program->module->functions().front().get();
+    launch.range.global = {1024, 1, 1};
+    launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+    launch.buffers = &buffers;
+  }
+
+  std::optional<SdaccelEstimate> estimate(const model::DesignPoint& dp) {
+    cdfg::KernelAnalysis analysis = flexcl.analysisFor(launch, dp);
+    return estimateSdaccel(*launch.fn, analysis, flexcl.device(), dp,
+                           launch.range.globalCount());
+  }
+};
+
+TEST(Sdaccel, SimpleDesignSucceeds) {
+  Fixture f;
+  auto est = f.estimate(model::DesignPoint{});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->cycles, 0.0);
+  EXPECT_GT(est->estimationMinutes, 0.0);
+}
+
+TEST(Sdaccel, FailsOnManyCus) {
+  Fixture f;
+  model::DesignPoint dp;
+  dp.numComputeUnits = 4;
+  EXPECT_FALSE(f.estimate(dp).has_value());
+  dp.numComputeUnits = 2;
+  dp.workItemPipeline = false;
+  EXPECT_TRUE(f.estimate(dp).has_value());
+}
+
+TEST(Sdaccel, FailsOnDynamicLoopsWithWidePe) {
+  Fixture f(
+      "__kernel void k(__global const int* a, __global int* b, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  int s = 0;\n"
+      "  for (int j = 0; j < n; j++) { s += a[(i + j) % 1024]; }\n"
+      "  b[i] = s;\n"
+      "}\n");
+  f.launch.args.push_back(interp::KernelArg::intScalar(8));
+  model::DesignPoint wide;
+  wide.peParallelism = 4;
+  EXPECT_FALSE(f.estimate(wide).has_value());
+  model::DesignPoint narrow;
+  narrow.peParallelism = 2;
+  EXPECT_TRUE(f.estimate(narrow).has_value());
+}
+
+TEST(Sdaccel, UnderestimatesMemoryVersusFlexCl) {
+  // Bias #1: a memory-heavy kernel gets a much cheaper memory charge from
+  // the SDAccel-style estimator than from FlexCL's pattern model.
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float acc = 0.0f;\n"
+      "  for (int j = 0; j < 32; j++) { acc += a[(i * 353 + j * 97) % 1024]; }\n"
+      "  b[i] = acc;\n"
+      "}\n");
+  model::DesignPoint dp;
+  auto sd = f.estimate(dp);
+  ASSERT_TRUE(sd.has_value());
+  const model::Estimate fx = f.flexcl.estimate(f.launch, dp);
+  ASSERT_TRUE(fx.ok);
+  EXPECT_LT(sd->cycles, fx.cycles);
+}
+
+TEST(Sdaccel, ConservativeOnBranchyControl) {
+  // Bias #2: both branches are charged; FlexCL takes the max.
+  Fixture f(
+      "__kernel void k(__global const float* a, __global float* b, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float v;\n"
+      "  if (i % 2 == 0) { v = a[i] / 3.0f; }\n"
+      "  else { v = a[i] / 5.0f; }\n"
+      "  b[i] = v;\n"
+      "}\n");
+  f.launch.args.push_back(interp::KernelArg::intScalar(0));
+  model::DesignPoint dp;
+  dp.workItemPipeline = false;  // isolate the depth estimate
+  auto sd = f.estimate(dp);
+  ASSERT_TRUE(sd.has_value());
+  const model::Estimate fx = f.flexcl.estimate(f.launch, dp);
+  // Serialised-both-branches depth > max-of-branches depth.
+  EXPECT_GT(sd->cycles, fx.pe.depth);
+}
+
+TEST(Sdaccel, IgnoresDispatchOverhead) {
+  // Bias #3: with tiny work-groups, SDAccel scales perfectly with CUs while
+  // FlexCL's eq. 8 collapses concurrency.
+  Fixture f;
+  model::DesignPoint one;
+  one.workGroupSize = {4, 1, 1};
+  one.workItemPipeline = false;
+  model::DesignPoint two = one;
+  two.numComputeUnits = 2;
+  auto sd1 = f.estimate(one);
+  auto sd2 = f.estimate(two);
+  ASSERT_TRUE(sd1 && sd2);
+  EXPECT_NEAR(sd2->cycles, sd1->cycles / 2, sd1->cycles * 0.02);
+}
+
+TEST(Sdaccel, FailurePredicateIsDeterministic) {
+  Fixture f;
+  cdfg::KernelAnalysis analysis = f.flexcl.analysisFor(f.launch, model::DesignPoint{});
+  model::DesignPoint dp;
+  dp.numComputeUnits = 4;
+  EXPECT_EQ(sdaccelFails(*f.launch.fn, analysis, dp),
+            sdaccelFails(*f.launch.fn, analysis, dp));
+}
+
+}  // namespace
+}  // namespace flexcl::sdaccel

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "ir/lower.h"
+#include "ocl/parser.h"
+#include "ocl/sema.h"
+
+namespace flexcl::ocl {
+namespace {
+
+std::unique_ptr<Program> parse(const std::string& src,
+                               DiagnosticEngine* diagsOut = nullptr) {
+  DiagnosticEngine diags;
+  auto program = parseOpenCl(src, diags);
+  if (diagsOut) *diagsOut = diags;
+  return program;
+}
+
+/// Finds the first expression-statement of a kernel's body.
+const Expr* firstExpr(const Program& p) {
+  for (const auto& s : p.functions.back()->body->body) {
+    if (s->kind() == Stmt::Kind::Expr) return static_cast<ExprStmt&>(*s).expr.get();
+  }
+  return nullptr;
+}
+
+TEST(Sema, UndeclaredIdentifierRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse("__kernel void k(__global int* a) { a[0] = qux; }", &diags));
+  EXPECT_NE(diags.str().find("undeclared"), std::string::npos);
+}
+
+TEST(Sema, RedefinitionInSameScopeRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse("__kernel void k(__global int* a) { int x = 0; float x = 1.0f; a[0]=x; }",
+            &diags));
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  EXPECT_TRUE(parse(
+      "__kernel void k(__global int* a) { int x = 0; { int x2 = 1; { float x3 = 2.0f; "
+      "a[0] = x + x2 + (int)x3; } } }"));
+}
+
+TEST(Sema, KernelPrivatePointerParamRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse("__kernel void k(int* a) { a[0] = 1; }", &diags));
+  EXPECT_NE(diags.str().find("__global"), std::string::npos);
+}
+
+TEST(Sema, HelperPrivatePointerParamAllowed) {
+  EXPECT_TRUE(parse(
+      "void init(int* p) { p[0] = 1; }\n"
+      "__kernel void k(__global int* a) { int tmp[2]; init(tmp); a[0] = tmp[0]; }\n"));
+}
+
+TEST(Sema, ArithmeticPromotionIntToFloat) {
+  auto p = parse("__kernel void k(__global float* a, int n) { a[0] = n + 1.5f; }");
+  ASSERT_TRUE(p);
+  const Expr* e = firstExpr(*p);
+  ASSERT_TRUE(e);
+  const auto& assign = static_cast<const AssignExpr&>(*e);
+  EXPECT_TRUE(assign.value->type->isFloat());
+}
+
+TEST(Sema, ComparisonYieldsBool) {
+  auto p = parse(
+      "__kernel void k(__global int* a, int n) { if (n < 3) { a[0] = 1; } }");
+  ASSERT_TRUE(p);
+}
+
+TEST(Sema, PointerArithmeticKeepsPointerType) {
+  auto p = parse(
+      "__kernel void k(__global float* a, int n) { __global float* p = a + n; "
+      "p[0] = 1.0f; }");
+  ASSERT_TRUE(p);
+}
+
+TEST(Sema, CallArgumentCountChecked) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "float f(float a, float b) { return a + b; }\n"
+      "__kernel void k(__global float* o) { o[0] = f(1.0f); }\n",
+      &diags));
+}
+
+TEST(Sema, UnknownFunctionRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse("__kernel void k(__global float* o) { o[0] = mystery(1.0f); }", &diags));
+}
+
+TEST(Sema, BuiltinGetGlobalIdResolved) {
+  auto p = parse("__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }");
+  ASSERT_TRUE(p);
+}
+
+TEST(Sema, VectorComponentAccess) {
+  auto p = parse(
+      "__kernel void k(__global float4* v, __global float* o) {\n"
+      "  o[0] = v[0].x + v[0].w + v[0].s1;\n"
+      "}\n");
+  ASSERT_TRUE(p);
+}
+
+TEST(Sema, InvalidVectorComponentRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void k(__global float2* v, __global float* o) { o[0] = v[0].z; }",
+      &diags));
+}
+
+TEST(Sema, StructFieldAccessResolved) {
+  auto p = parse(
+      "typedef struct { float lat; float lng; } Rec;\n"
+      "__kernel void k(__global Rec* r, __global float* o) {\n"
+      "  o[0] = r[3].lat - r[3].lng;\n"
+      "}\n");
+  ASSERT_TRUE(p);
+}
+
+TEST(Sema, UnknownStructFieldRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "typedef struct { float a; } S;\n"
+      "__kernel void k(__global S* s, __global float* o) { o[0] = s[0].b; }\n",
+      &diags));
+}
+
+TEST(Sema, VoidFunctionCannotReturnValue) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse("__kernel void k(__global int* a) { return 3; a[0]=0; }", &diags));
+}
+
+TEST(Sema, NonVoidFunctionMustReturnValue) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "int f() { return; }\n__kernel void k(__global int* a) { a[0] = f(); }\n",
+      &diags));
+}
+
+TEST(Sema, AssignmentToRValueRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse("__kernel void k(__global int* a) { (a[0] + 1) = 2; }", &diags));
+}
+
+TEST(Sema, ConstVariableNotAssignable) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void k(__global int* a) { const int c = 1; c = 2; a[0] = c; }",
+      &diags));
+}
+
+TEST(Sema, VectorScalarBroadcast) {
+  auto p = parse(
+      "__kernel void k(__global float4* v) { v[0] = v[0] * 2.0f; }");
+  ASSERT_TRUE(p);
+}
+
+TEST(Sema, VectorLaneMismatchRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void k(__global float4* a, __global float2* b) {\n"
+      "  a[0] = a[0] + b[0];\n"
+      "}\n",
+      &diags));
+}
+
+TEST(Sema, ConditionMustBeScalar) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "typedef struct { int x; } S;\n"
+      "__kernel void k(__global S* s, __global int* o) { if (s[0]) { o[0]=1; } }\n",
+      &diags));
+}
+
+TEST(Sema, KernelsCannotBeCalled) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void other(__global int* a) { a[0] = 1; }\n"
+      "__kernel void k(__global int* a) { other(a); }\n",
+      &diags));
+}
+
+
+TEST(Sema, BreakOutsideLoopRejectedAtLowering) {
+  // Sema lets it parse; the lowerer rejects it.
+  DiagnosticEngine diags;
+  auto program = parseOpenCl(
+      "__kernel void k(__global int* a) { break; a[0] = 1; }", diags);
+  ASSERT_TRUE(program);  // parse + sema fine
+  auto module = ir::lowerProgram(*program, diags);
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_NE(diags.str().find("break outside"), std::string::npos);
+}
+
+TEST(Sema, ArrayExtentMustBeConstant) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void k(__global int* a, int n) { int t[n]; t[0] = 1; a[0] = t[0]; }",
+      &diags));
+}
+
+TEST(Sema, VoidVariableRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse("__kernel void k(__global int* a) { void v; a[0] = 0; }",
+                     &diags));
+}
+
+TEST(Sema, SubscriptOnScalarRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void k(__global int* a, int n) { a[0] = n[2]; }", &diags));
+}
+
+TEST(Sema, MemberAccessOnScalarRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void k(__global int* a, int n) { a[0] = n.x; }", &diags));
+}
+
+TEST(Sema, ArrowOnNonPointerRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "typedef struct { int v; } S;\n"
+      "__kernel void k(__global S* s, __global int* o) { S local1; o[0] = "
+      "local1->v; }\n",
+      &diags));
+}
+
+TEST(Sema, WorkItemBuiltinArityChecked) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse(
+      "__kernel void k(__global int* a) { a[0] = get_global_id(0, 1); }",
+      &diags));
+}
+
+}  // namespace
+}  // namespace flexcl::ocl

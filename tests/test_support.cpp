@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/source_manager.h"
+#include "support/text_table.h"
+
+namespace flexcl {
+namespace {
+
+TEST(SourceManager, LocatesLinesAndColumns) {
+  SourceManager sm("abc\ndef\n\nxyz");
+  EXPECT_EQ(sm.lineCount(), 4u);
+
+  SourceLocation loc = sm.locate(0);
+  EXPECT_EQ(loc.line, 1u);
+  EXPECT_EQ(loc.column, 1u);
+
+  loc = sm.locate(4);  // 'd'
+  EXPECT_EQ(loc.line, 2u);
+  EXPECT_EQ(loc.column, 1u);
+
+  loc = sm.locate(6);  // 'f'
+  EXPECT_EQ(loc.line, 2u);
+  EXPECT_EQ(loc.column, 3u);
+
+  loc = sm.locate(9);  // 'x' after the empty line
+  EXPECT_EQ(loc.line, 4u);
+  EXPECT_EQ(loc.column, 1u);
+}
+
+TEST(SourceManager, LineExtraction) {
+  SourceManager sm("first\nsecond\r\nthird");
+  EXPECT_EQ(sm.line(1), "first");
+  EXPECT_EQ(sm.line(2), "second");  // \r stripped
+  EXPECT_EQ(sm.line(3), "third");
+  EXPECT_EQ(sm.line(0), "");
+  EXPECT_EQ(sm.line(9), "");
+}
+
+TEST(SourceManager, LocateClampsPastEnd) {
+  SourceManager sm("ab");
+  SourceLocation loc = sm.locate(100);
+  EXPECT_EQ(loc.line, 1u);
+  EXPECT_EQ(loc.column, 3u);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine diags;
+  diags.warning(SourceLocation{0, 1, 1}, "w");
+  EXPECT_FALSE(diags.hasErrors());
+  diags.error(SourceLocation{0, 2, 3}, "e");
+  diags.note(SourceLocation{}, "n");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RendersLocations) {
+  DiagnosticEngine diags;
+  diags.error(SourceLocation{0, 2, 5}, "boom");
+  EXPECT_EQ(diags.str(), "2:5: error: boom\n");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error(SourceLocation{}, "e");
+  diags.clear();
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.nextBelow(17), 17u);
+    const auto v = rng.nextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianRoughlyCentred) {
+  Rng rng(99);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.nextGaussian();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(StableHash, DiffersByContent) {
+  const char a[] = "hello";
+  const char b[] = "hellp";
+  EXPECT_NE(stableHash(a, 5), stableHash(b, 5));
+  EXPECT_EQ(stableHash(a, 5), stableHash(a, 5));
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().cell("x").cell(std::int64_t{1234});
+  t.row().cell("longer-name").cell(3.14159, 2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| x           | 1234  |"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexcl

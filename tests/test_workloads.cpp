@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "interp/interpreter.h"
+#include "interp/profiler.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "workloads/workload.h"
+
+namespace flexcl::workloads {
+namespace {
+
+TEST(Workloads, RodiniaHasAllTable2Kernels) {
+  EXPECT_EQ(rodiniaSuite().size(), 45u);
+}
+
+TEST(Workloads, PolybenchHasFifteenKernels) {
+  EXPECT_EQ(polybenchSuite().size(), 15u);
+}
+
+TEST(Workloads, NamesAreUniqueWithinSuites) {
+  for (const auto* suite : {&rodiniaSuite(), &polybenchSuite()}) {
+    std::set<std::string> names;
+    for (const Workload& w : *suite) names.insert(w.fullName());
+    EXPECT_EQ(names.size(), suite->size());
+  }
+}
+
+TEST(Workloads, FindWorkload) {
+  EXPECT_NE(findWorkload("rodinia", "hotspot", "hotspot"), nullptr);
+  EXPECT_NE(findWorkload("polybench", "gemm", "gemm"), nullptr);
+  EXPECT_EQ(findWorkload("rodinia", "nope", "nope"), nullptr);
+}
+
+// Every workload must compile, provide matching args, and execute its full
+// NDRange on the interpreter without fatal errors.
+class WorkloadCompileTest
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(WorkloadCompileTest, CompilesAndRuns) {
+  const auto [suiteName, index] = GetParam();
+  const auto& suite =
+      std::string(suiteName) == "rodinia" ? rodiniaSuite() : polybenchSuite();
+  ASSERT_LT(static_cast<std::size_t>(index), suite.size());
+  const Workload& w = suite[static_cast<std::size_t>(index)];
+
+  std::string error;
+  auto compiled = compileWorkload(w, &error);
+  ASSERT_TRUE(compiled) << error;
+  EXPECT_TRUE(compiled->fn->isKernel);
+
+  interp::NdRange range = w.range;
+  range.local = {std::min<std::uint64_t>(64, range.global[0]), 1, 1};
+  while (range.global[0] % range.local[0] != 0) --range.local[0];
+  if (range.global[1] > 1) {
+    range.local = {8, 8, 1};
+    while (range.global[0] % range.local[0] != 0) range.local[0] /= 2;
+    while (range.global[1] % range.local[1] != 0) range.local[1] /= 2;
+  }
+
+  std::vector<std::vector<std::uint8_t>> buffers = compiled->buffers;
+  interp::InterpResult result =
+      interp::runKernel(*compiled->fn, range, compiled->args, buffers, {});
+  EXPECT_TRUE(result.ok) << w.fullName() << ": " << result.error;
+  EXPECT_GT(result.executedInstructions, 0u);
+}
+
+std::vector<std::pair<const char*, int>> allWorkloadIds() {
+  std::vector<std::pair<const char*, int>> ids;
+  for (std::size_t i = 0; i < rodiniaSuite().size(); ++i) {
+    ids.emplace_back("rodinia", static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < polybenchSuite().size(); ++i) {
+    ids.emplace_back("polybench", static_cast<int>(i));
+  }
+  return ids;
+}
+
+std::string workloadTestName(
+    const ::testing::TestParamInfo<std::pair<const char*, int>>& info) {
+  const auto& suite = std::string(info.param.first) == "rodinia"
+                          ? rodiniaSuite()
+                          : polybenchSuite();
+  std::string name = suite[static_cast<std::size_t>(info.param.second)].fullName();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return std::string(info.param.first) + "_" + name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, WorkloadCompileTest,
+                         ::testing::ValuesIn(allWorkloadIds()), workloadTestName);
+
+
+TEST(Workloads, AllKernelsVerifyAndPrint) {
+  // Every suite kernel must pass the IR verifier and print without issue
+  // (the printer walks every instruction and operand).
+  for (const auto* suite : {&rodiniaSuite(), &polybenchSuite()}) {
+    for (const Workload& w : *suite) {
+      std::string error;
+      auto compiled = compileWorkload(w, &error);
+      ASSERT_TRUE(compiled) << error;
+      ir::Function* fn = const_cast<ir::Function*>(compiled->fn);
+      const auto problems = ir::verifyFunction(*fn);
+      EXPECT_TRUE(problems.empty())
+          << w.fullName() << ": " << (problems.empty() ? "" : problems[0]);
+      const std::string text = ir::printFunction(*fn);
+      EXPECT_NE(text.find("kernel @" + w.kernel), std::string::npos)
+          << w.fullName();
+      EXPECT_GT(text.size(), 100u) << w.fullName();
+    }
+  }
+}
+
+TEST(Workloads, BufferSizesCoverKernelAccesses) {
+  // Profiling every workload with lenient bounds must produce (almost) no
+  // out-of-bounds accesses: the setup functions size buffers to the kernels.
+  for (const auto* suite : {&rodiniaSuite(), &polybenchSuite()}) {
+    for (const Workload& w : *suite) {
+      auto compiled = compileWorkload(w);
+      ASSERT_TRUE(compiled);
+      interp::NdRange range = w.range;
+      range.local = {std::min<std::uint64_t>(32, range.global[0]), 1, 1};
+      while (range.global[0] % range.local[0] != 0) --range.local[0];
+      if (range.global[1] > 1) {
+        range.local = {8, 4, 1};
+        while (range.global[0] % range.local[0] != 0) range.local[0] /= 2;
+        while (range.global[1] % range.local[1] != 0) range.local[1] /= 2;
+      }
+      auto profile = interp::profileKernel(*compiled->fn, range, compiled->args,
+                                           compiled->buffers);
+      ASSERT_TRUE(profile.ok) << w.fullName() << ": " << profile.error;
+      EXPECT_EQ(profile.oobAccesses, 0u) << w.fullName();
+    }
+  }
+}
+
+// Functional spot checks against reference computations.
+
+std::vector<float> asFloats(const std::vector<std::uint8_t>& b) {
+  std::vector<float> v(b.size() / 4);
+  std::memcpy(v.data(), b.data(), b.size());
+  return v;
+}
+
+TEST(WorkloadsFunctional, GemmMatchesReference) {
+  const Workload* w = findWorkload("polybench", "gemm", "gemm");
+  ASSERT_NE(w, nullptr);
+  auto compiled = compileWorkload(*w);
+  ASSERT_TRUE(compiled);
+
+  const auto a = asFloats(compiled->buffers[0]);
+  const auto b = asFloats(compiled->buffers[1]);
+  const auto cIn = asFloats(compiled->buffers[2]);
+
+  std::vector<std::vector<std::uint8_t>> buffers = compiled->buffers;
+  interp::NdRange range = w->range;
+  range.local = {8, 8, 1};
+  auto result = interp::runKernel(*compiled->fn, range, compiled->args, buffers,
+                                  {});
+  ASSERT_TRUE(result.ok) << result.error;
+
+  const int n = 32;
+  const auto out = asFloats(buffers[2]);
+  for (int i = 0; i < n; i += 7) {
+    for (int j = 0; j < n; j += 5) {
+      float acc = 0;
+      for (int k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+      const float expect = 1.5f * acc + 0.5f * cIn[i * n + j];
+      EXPECT_NEAR(out[i * n + j], expect, 1e-3) << i << "," << j;
+    }
+  }
+}
+
+TEST(WorkloadsFunctional, KmeansCenterAssignsNearestCluster) {
+  const Workload* w = findWorkload("rodinia", "kmeans", "center");
+  ASSERT_NE(w, nullptr);
+  auto compiled = compileWorkload(*w);
+  ASSERT_TRUE(compiled);
+
+  const auto features = asFloats(compiled->buffers[0]);
+  const auto clusters = asFloats(compiled->buffers[1]);
+
+  std::vector<std::vector<std::uint8_t>> buffers = compiled->buffers;
+  interp::NdRange range = w->range;
+  range.local = {64, 1, 1};
+  auto result = interp::runKernel(*compiled->fn, range, compiled->args, buffers,
+                                  {});
+  ASSERT_TRUE(result.ok) << result.error;
+
+  std::vector<std::int32_t> membership(1024);
+  std::memcpy(membership.data(), buffers[2].data(), 1024 * 4);
+  for (int p = 0; p < 1024; p += 97) {
+    int best = 0;
+    float bestDist = std::numeric_limits<float>::max();
+    for (int c = 0; c < 5; ++c) {
+      float dist = 0;
+      for (int f = 0; f < 8; ++f) {
+        const float d = features[p * 8 + f] - clusters[c * 8 + f];
+        dist += d * d;
+      }
+      if (dist < bestDist) {
+        bestDist = dist;
+        best = c;
+      }
+    }
+    EXPECT_EQ(membership[p], best) << p;
+  }
+}
+
+TEST(WorkloadsFunctional, BtreeFindKLocatesKeys) {
+  const Workload* w = findWorkload("rodinia", "btree", "findK");
+  ASSERT_NE(w, nullptr);
+  auto compiled = compileWorkload(*w);
+  ASSERT_TRUE(compiled);
+
+  std::vector<std::int32_t> queries(1024);
+  std::memcpy(queries.data(), compiled->buffers[1].data(), 1024 * 4);
+
+  std::vector<std::vector<std::uint8_t>> buffers = compiled->buffers;
+  interp::NdRange range = w->range;
+  range.local = {64, 1, 1};
+  auto result = interp::runKernel(*compiled->fn, range, compiled->args, buffers,
+                                  {});
+  ASSERT_TRUE(result.ok) << result.error;
+
+  std::vector<std::int32_t> results(1024);
+  std::memcpy(results.data(), buffers[2].data(), 1024 * 4);
+  for (int q = 0; q < 1024; q += 53) {
+    // keys[i] = 2*i: even queries are found at q/2, odd ones are absent.
+    if (queries[q] % 2 == 0) {
+      EXPECT_EQ(results[q], queries[q] / 2) << q;
+    } else {
+      EXPECT_EQ(results[q], -1) << q;
+    }
+  }
+}
+
+TEST(WorkloadsFunctional, PathfinderTakesMinNeighbour) {
+  const Workload* w = findWorkload("rodinia", "pathfinder", "dynproc");
+  ASSERT_NE(w, nullptr);
+  auto compiled = compileWorkload(*w);
+  ASSERT_TRUE(compiled);
+
+  std::vector<std::int32_t> wall(2048), src(2048);
+  std::memcpy(wall.data(), compiled->buffers[0].data(), 2048 * 4);
+  std::memcpy(src.data(), compiled->buffers[1].data(), 2048 * 4);
+
+  std::vector<std::vector<std::uint8_t>> buffers = compiled->buffers;
+  interp::NdRange range = w->range;
+  range.local = {256, 1, 1};
+  auto result = interp::runKernel(*compiled->fn, range, compiled->args, buffers,
+                                  {});
+  ASSERT_TRUE(result.ok) << result.error;
+
+  std::vector<std::int32_t> dst(2048);
+  std::memcpy(dst.data(), buffers[2].data(), 2048 * 4);
+  for (int g = 300; g < 400; ++g) {
+    const int l = g % 256;
+    int best = src[g];
+    if (l > 0) best = std::min(best, src[g - 1]);
+    if (l < 255) best = std::min(best, src[g + 1]);
+    EXPECT_EQ(dst[g], best + wall[g]) << g;
+  }
+}
+
+}  // namespace
+}  // namespace flexcl::workloads

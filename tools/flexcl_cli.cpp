@@ -1,0 +1,289 @@
+// flexcl — command-line driver.
+//
+// Estimate a kernel from a .cl file, explore its design space, or dump the
+// compiled IR. This is the "downstream user" entry point: no C++ required.
+//
+//   flexcl estimate <file.cl> <kernel> --global N [options]
+//   flexcl explore  <file.cl> <kernel> --global N [options]
+//   flexcl ir       <file.cl>
+//
+// Kernel arguments are synthesised automatically: every pointer argument gets
+// a buffer of --elems elements (default: global size) filled with small
+// pseudo-random values; scalar int arguments receive --elems, scalar float
+// arguments 1.0. That matches how the bundled workloads drive their kernels
+// and is enough for profiling-based analysis of most kernels.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "dse/explorer.h"
+#include "ir/lower.h"
+#include "ir/printer.h"
+#include "model/bottleneck.h"
+#include "model/resource_estimate.h"
+#include "sim/system_sim.h"
+#include "support/rng.h"
+
+using namespace flexcl;
+
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  std::string kernel;
+  std::uint64_t global = 1024;
+  std::uint64_t globalY = 1;
+  std::uint64_t elems = 0;  // 0 = use global size
+  std::string device = "virtex7";
+  // Design point (estimate mode).
+  std::uint32_t wg = 64;
+  std::uint32_t wgY = 1;
+  bool pipeline = true;
+  bool loopPipeline = false;
+  bool wgPipeline = false;
+  int pe = 1;
+  int cu = 1;
+  std::string mode = "pipeline";
+  bool simulate = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  flexcl estimate <file.cl> <kernel> [--global N] [--global-y N]\n"
+               "                  [--wg N] [--wg-y N] [--pe N] [--cu N]\n"
+               "                  [--no-pipeline] [--loop-pipeline] [--wg-pipeline]\n"
+               "                  [--mode barrier|pipeline]\n"
+               "                  [--device virtex7|ku060] [--elems N] [--sim]\n"
+               "  flexcl explore  <file.cl> <kernel> [--global N] [--global-y N]\n"
+               "                  [--device ...] [--elems N]\n"
+               "  flexcl ir       <file.cl>\n");
+  return 2;
+}
+
+bool parseArgs(int argc, char** argv, CliOptions* opts) {
+  if (argc < 3) return false;
+  opts->command = argv[1];
+  opts->file = argv[2];
+  int i = 3;
+  if (opts->command != "ir") {
+    if (argc < 4) return false;
+    opts->kernel = argv[3];
+    i = 4;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--global") opts->global = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--global-y") opts->globalY = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--elems") opts->elems = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--wg") opts->wg = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    else if (arg == "--wg-y") opts->wgY = static_cast<std::uint32_t>(std::strtoul(value(), nullptr, 10));
+    else if (arg == "--pe") opts->pe = std::atoi(value());
+    else if (arg == "--cu") opts->cu = std::atoi(value());
+    else if (arg == "--no-pipeline") opts->pipeline = false;
+    else if (arg == "--loop-pipeline") opts->loopPipeline = true;
+    else if (arg == "--wg-pipeline") opts->wgPipeline = true;
+    else if (arg == "--mode") opts->mode = value();
+    else if (arg == "--device") opts->device = value();
+    else if (arg == "--sim") opts->simulate = true;
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string readFile(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+/// Builds buffers/args from the kernel signature (see file comment).
+void synthesiseArgs(const ir::Function& fn, std::uint64_t elems,
+                    std::vector<std::vector<std::uint8_t>>* buffers,
+                    std::vector<interp::KernelArg>* args) {
+  Rng rng(0xc11);
+  for (const auto& arg : fn.arguments()) {
+    const ir::Type* t = arg->type();
+    if (t->isPointer()) {
+      const std::uint64_t bytes =
+          elems * std::max<std::uint64_t>(4, t->element()->sizeInBytes());
+      std::vector<std::uint8_t> data(bytes);
+      if (t->element()->isFloat() ||
+          (t->element()->isStruct() || t->element()->isVector())) {
+        for (std::uint64_t e = 0; e + 4 <= bytes; e += 4) {
+          const float v = static_cast<float>(rng.nextDouble(0.1, 2.0));
+          std::memcpy(data.data() + e, &v, 4);
+        }
+      } else {
+        for (std::uint64_t e = 0; e + 4 <= bytes; e += 4) {
+          const std::int32_t v =
+              static_cast<std::int32_t>(rng.nextBelow(std::max<std::uint64_t>(1, elems)));
+          std::memcpy(data.data() + e, &v, 4);
+        }
+      }
+      const int index = static_cast<int>(buffers->size());
+      buffers->push_back(std::move(data));
+      args->push_back(interp::KernelArg::buffer(index));
+    } else if (t->isFloat()) {
+      args->push_back(interp::KernelArg::floatScalar(1.0));
+    } else {
+      args->push_back(interp::KernelArg::intScalar(static_cast<std::int64_t>(elems)));
+    }
+  }
+}
+
+int runIr(const CliOptions& opts) {
+  bool ok = false;
+  const std::string source = readFile(opts.file, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", opts.file.c_str());
+    return 1;
+  }
+  DiagnosticEngine diags;
+  auto program = ir::compileOpenCl(source, diags);
+  if (!program) {
+    std::fprintf(stderr, "%s", diags.str().c_str());
+    return 1;
+  }
+  for (const auto& fn : program->module->functions()) {
+    std::printf("%s\n", ir::printFunction(*fn).c_str());
+  }
+  return 0;
+}
+
+int runEstimateOrExplore(const CliOptions& opts) {
+  bool ok = false;
+  const std::string source = readFile(opts.file, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", opts.file.c_str());
+    return 1;
+  }
+  DiagnosticEngine diags;
+  auto program = ir::compileOpenCl(source, diags);
+  if (!program) {
+    std::fprintf(stderr, "%s", diags.str().c_str());
+    return 1;
+  }
+  const ir::Function* fn = program->module->findFunction(opts.kernel);
+  if (!fn) {
+    std::fprintf(stderr, "kernel '%s' not found in %s\n", opts.kernel.c_str(),
+                 opts.file.c_str());
+    return 1;
+  }
+
+  const std::uint64_t elems =
+      opts.elems ? opts.elems : opts.global * std::max<std::uint64_t>(1, opts.globalY);
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::vector<interp::KernelArg> args;
+  synthesiseArgs(*fn, elems, &buffers, &args);
+
+  model::LaunchInfo launch;
+  launch.fn = fn;
+  launch.range.global = {opts.global, opts.globalY, 1};
+  launch.args = args;
+  launch.buffers = &buffers;
+
+  model::FlexCl flexcl(opts.device == "ku060" ? model::Device::ku060()
+                                              : model::Device::virtex7());
+
+  if (opts.command == "explore") {
+    dse::Explorer explorer(flexcl, launch);
+    const auto space = dse::enumerateDesignSpace(launch.range,
+                                                 explorer.kernelHasBarriers());
+    std::printf("exploring %zu designs of %s on %s ...\n", space.size(),
+                opts.kernel.c_str(), flexcl.device().name.c_str());
+    const dse::ExplorationResult result = explorer.explore(space);
+    if (result.bestByFlexcl < 0) {
+      std::fprintf(stderr, "exploration failed\n");
+      return 1;
+    }
+    const auto& picked =
+        result.designs[static_cast<std::size_t>(result.bestByFlexcl)];
+    std::printf("best design (by FlexCL): %s\n", picked.design.str().c_str());
+    std::printf("  estimated %.0f cycles = %.3f ms\n", picked.flexclCycles,
+                flexcl.device().cyclesToMs(picked.flexclCycles));
+    std::printf("  simulator-verified gap to optimum: %.2f%%\n", result.pickGapPct);
+    std::printf("  model avg abs error over the space: %.1f%%\n",
+                result.avgFlexclErrorPct);
+    std::printf("  exploration: FlexCL %.2fs, simulator %.2fs\n",
+                result.flexclSeconds, result.simSeconds);
+    return 0;
+  }
+
+  model::DesignPoint dp;
+  dp.workGroupSize = {opts.wg, opts.wgY, 1};
+  dp.workItemPipeline = opts.pipeline;
+  dp.innerLoopPipeline = opts.loopPipeline;
+  dp.workGroupPipeline = opts.wgPipeline;
+  dp.peParallelism = opts.pe;
+  dp.numComputeUnits = opts.cu;
+  dp.commMode = opts.mode == "barrier" ? model::CommMode::Barrier
+                                       : model::CommMode::Pipeline;
+
+  const model::Estimate est = flexcl.estimate(launch, dp);
+  if (!est.ok) {
+    std::fprintf(stderr, "estimate failed: %s\n", est.error.c_str());
+    return 1;
+  }
+  std::printf("kernel   : %s (%s)\n", opts.kernel.c_str(),
+              flexcl.device().name.c_str());
+  std::printf("design   : %s\n", dp.str().c_str());
+  std::printf("mode     : %s%s\n", model::commModeName(est.mode),
+              est.barrierCount > 0 ? " (forced by barrier intrinsics)" : "");
+  std::printf("II       : comp %.1f (RecMII %d / ResMII %d), integrated %.1f\n",
+              est.pe.iiComp, est.pe.recMii, est.pe.resMii, est.iiWi);
+  std::printf("depth    : %.1f cycles, L_mem/wi %.1f cycles\n", est.pe.depth,
+              est.memory.lMemWi);
+  std::printf("parallel : %d PEs x %d CUs effective\n", est.cu.effectivePes,
+              est.kernelCompute.effectiveCus);
+  std::printf("estimate : %.0f cycles = %.3f ms @ %.0f MHz\n", est.cycles,
+              est.milliseconds, flexcl.device().frequencyMhz);
+
+  const cdfg::KernelAnalysis analysis = flexcl.analysisFor(launch, dp);
+  const model::ResourceEstimate res =
+      model::estimateResources(analysis, flexcl.device(), dp);
+  std::printf("area     : %s\n", res.str().c_str());
+
+  const model::BottleneckReport report = model::diagnose(est, dp);
+  std::printf("%s", report.str().c_str());
+
+  if (opts.simulate) {
+    const interp::NdRange range = model::FlexCl::rangeFor(launch, dp);
+    const sim::SimInput input =
+        sim::prepareSimInput(*fn, range, args, buffers);
+    const sim::SimResult sr = sim::simulate(input, flexcl.device(), dp);
+    if (sr.ok && sr.cycles > 0) {
+      std::printf("simulator: %.0f cycles (model error %+.1f%%)\n", sr.cycles,
+                  (est.cycles - sr.cycles) / sr.cycles * 100.0);
+    } else {
+      std::printf("simulator failed: %s\n", sr.error.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parseArgs(argc, argv, &opts)) return usage();
+  if (opts.command == "ir") return runIr(opts);
+  if (opts.command == "estimate" || opts.command == "explore") {
+    return runEstimateOrExplore(opts);
+  }
+  return usage();
+}
