@@ -1,0 +1,134 @@
+// Parallel evaluation runtime: thread scaling and cache effectiveness.
+//
+// Runs one Rodinia kernel's exhaustive design-space exploration at 1/2/4/8
+// evaluation jobs and reports, as JSON on stdout:
+//  - wall-clock seconds and speedup vs the 1-job run (cold caches each run,
+//    fresh FlexCl instance, so nothing carries over between thread counts),
+//  - whether every thread count picked the identical best design (it must:
+//    results land by index, so the exploration is deterministic),
+//  - a warm re-run against a shared EvalCache, whose hit rates demonstrate
+//    the (kernel, design) memoization,
+//  - the host's hardware concurrency, because the speedup ceiling is
+//    min(jobs, cores): on a single-core container every speedup is ~1.0 and
+//    only the determinism and cache columns are meaningful.
+//
+// Usage: bench_runtime_scaling [benchmark kernel]   (default: nn nn)
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "runtime/eval_cache.h"
+
+using namespace flexcl;
+
+namespace {
+
+struct ScalingRun {
+  int jobs = 0;
+  double seconds = 0;
+  double speedup = 0;
+  std::string bestDesign;
+  runtime::Stats stats;
+};
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string benchmark = argc > 2 ? argv[1] : "nn";
+  const std::string kernel = argc > 2 ? argv[2] : "nn";
+  const workloads::Workload* w =
+      workloads::findWorkload("rodinia", benchmark, kernel);
+  if (!w) {
+    std::fprintf(stderr, "unknown rodinia workload %s/%s\n", benchmark.c_str(),
+                 kernel.c_str());
+    return 1;
+  }
+
+  const int threadCounts[] = {1, 2, 4, 8};
+  std::vector<ScalingRun> runs;
+  std::size_t designs = 0;
+  bool identicalBest = true;
+
+  for (int jobs : threadCounts) {
+    // Fresh model instance per thread count: the profile and sim-input
+    // caches start cold, so each run pays the full evaluation cost.
+    model::FlexCl flexcl(model::Device::virtex7());
+    bench::RunOptions runOptions;
+    runOptions.jobs = jobs;
+    bench::KernelRun run = bench::exploreWorkload(*w, flexcl, {}, runOptions);
+    if (!run.ok) {
+      std::fprintf(stderr, "exploration failed: %s\n", run.error.c_str());
+      return 1;
+    }
+    ScalingRun sr;
+    sr.jobs = jobs;
+    sr.seconds = run.result.flexclSeconds + run.result.simSeconds;
+    sr.stats = run.runtimeStats;
+    designs = run.designs;
+    if (run.result.bestByFlexcl >= 0) {
+      sr.bestDesign =
+          run.result.designs[static_cast<std::size_t>(run.result.bestByFlexcl)]
+              .design.str();
+    }
+    if (!runs.empty()) {
+      sr.speedup = sr.seconds > 0 ? runs.front().seconds / sr.seconds : 0;
+      if (sr.bestDesign != runs.front().bestDesign) identicalBest = false;
+    } else {
+      sr.speedup = 1.0;
+    }
+    runs.push_back(sr);
+  }
+
+  // Warm re-run: a shared EvalCache is populated by one sweep, then the
+  // re-exploration of the identical space is pure hits.
+  runtime::EvalCache evalCache;
+  runtime::Stats warmStats;
+  double warmSeconds = 0;
+  {
+    model::FlexCl flexcl(model::Device::virtex7());
+    bench::RunOptions runOptions;
+    runOptions.jobs = 4;
+    runOptions.evalCache = &evalCache;
+    bench::KernelRun first = bench::exploreWorkload(*w, flexcl, {}, runOptions);
+    bench::KernelRun second = bench::exploreWorkload(*w, flexcl, {}, runOptions);
+    if (!first.ok || !second.ok) {
+      std::fprintf(stderr, "warm re-run failed\n");
+      return 1;
+    }
+    warmSeconds = second.result.flexclSeconds + second.result.simSeconds;
+    warmStats = second.runtimeStats;
+  }
+
+  std::printf("{\n");
+  std::printf("  \"kernel\": \"%s\",\n", jsonEscape(w->fullName()).c_str());
+  std::printf("  \"designs\": %zu,\n", designs);
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"identical_best_design\": %s,\n",
+              identicalBest ? "true" : "false");
+  std::printf("  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ScalingRun& sr = runs[i];
+    std::printf(
+        "    {\"jobs\": %d, \"seconds\": %.3f, \"speedup\": %.2f, "
+        "\"best_design\": \"%s\", \"stats\": %s}%s\n",
+        sr.jobs, sr.seconds, sr.speedup, jsonEscape(sr.bestDesign).c_str(),
+        sr.stats.json().c_str(), i + 1 < runs.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"warm_rerun\": {\"jobs\": 4, \"seconds\": %.3f, \"stats\": %s}\n",
+              warmSeconds, warmStats.json().c_str());
+  std::printf("}\n");
+  return identicalBest ? 0 : 1;
+}

@@ -2,10 +2,13 @@
 
 #include <cstdio>
 
+#include "runtime/compile_cache.h"
+
 namespace flexcl::bench {
 
 KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& flexcl,
-                          const dse::SpaceOptions& options) {
+                          const dse::SpaceOptions& options,
+                          const RunOptions& runOptions) {
   KernelRun run;
   run.benchmark = workload.benchmark;
   run.kernel = workload.kernel;
@@ -19,7 +22,12 @@ KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& fl
   run.compiled =
       std::make_shared<workloads::CompiledWorkload>(std::move(*compiled));
 
-  dse::Explorer explorer(flexcl, run.compiled->launch());
+  dse::ExplorerOptions exOpts;
+  exOpts.jobs = runOptions.jobs;
+  exOpts.evalCache = runOptions.evalCache;
+  exOpts.kernelHash = runtime::kernelKeyHash(workload.source, workload.kernel,
+                                             workload.defines);
+  dse::Explorer explorer(flexcl, run.compiled->launch(), exOpts);
   const auto space = dse::enumerateDesignSpace(
       run.compiled->meta.range, explorer.kernelHasBarriers(), options);
   if (space.empty()) {
@@ -28,6 +36,7 @@ KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& fl
   }
   run.designs = space.size();
   run.result = explorer.explore(space);
+  run.runtimeStats = explorer.runtimeStats();
   run.ok = true;
   return run;
 }

@@ -3,10 +3,13 @@
 // SDAccel-style estimator, and aggregates the Table-2 style metrics.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dse/explorer.h"
+#include "runtime/eval_cache.h"
+#include "runtime/stats.h"
 #include "workloads/workload.h"
 
 namespace flexcl::bench {
@@ -18,13 +21,23 @@ struct KernelRun {
   std::string error;
   std::size_t designs = 0;
   dse::ExplorationResult result;
+  /// Cache / thread counters of this exploration.
+  runtime::Stats runtimeStats;
   /// Keeps the compiled workload alive (the result references its buffers).
   std::shared_ptr<workloads::CompiledWorkload> compiled;
 };
 
+/// Evaluation-runtime knobs for a harness run (all benches default to the
+/// serial, uncached behaviour so paper-reproduction timings stay comparable).
+struct RunOptions {
+  int jobs = 1;  ///< 0 = hardware concurrency
+  runtime::EvalCache* evalCache = nullptr;
+};
+
 /// Explores the workload's design space with all three evaluators.
 KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& flexcl,
-                          const dse::SpaceOptions& options = {});
+                          const dse::SpaceOptions& options = {},
+                          const RunOptions& run = {});
 
 /// Renders one Table-2 style row: kernel, #designs, errors, times.
 void printTable2Header();

@@ -4,6 +4,7 @@
 // work-group pipeline, PE and CU parallelism, and data communication mode").
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "interp/interpreter.h"

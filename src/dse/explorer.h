@@ -5,14 +5,27 @@
 // SDAccel-style estimator — and aggregates the paper's metrics: per-kernel
 // average absolute error, SDAccel failure rate, exploration wall times, and
 // the quality of the configuration FlexCL picks.
+//
+// Evaluation runs on the runtime's thread pool when `ExplorerOptions::jobs`
+// exceeds one. Every pass writes results by design index, so the outcome is
+// byte-identical regardless of worker count (see tests/test_runtime.cpp);
+// only the measured wall times vary.
 #pragma once
 
-#include <map>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
+#include <tuple>
+#include <vector>
 
 #include "dse/design_space.h"
 #include "model/bottleneck.h"
 #include "model/flexcl.h"
+#include "runtime/eval_cache.h"
+#include "runtime/stats.h"
+#include "runtime/thread_pool.h"
 #include "sdaccel/sdaccel_estimator.h"
 #include "sim/system_sim.h"
 
@@ -56,10 +69,29 @@ struct ExplorationResult {
   double sdaccelMinutes = 0;
 };
 
+/// How an Explorer evaluates: worker count and (optional) result caching.
+struct ExplorerOptions {
+  /// Evaluation jobs. 1 runs serially in the caller's thread (no pool);
+  /// > 1 spawns a runtime::ThreadPool of that size for the Explorer's
+  /// lifetime. 0 means runtime::defaultJobs().
+  int jobs = 1;
+  /// Optional shared result cache: FlexCL / SDAccel / simulator results are
+  /// memoized per (kernel hash, design point), so re-exploring a space is
+  /// pure cache hits. The cache may be shared across Explorers and threads.
+  runtime::EvalCache* evalCache = nullptr;
+  /// Identity of the kernel + build options for evalCache keys — use
+  /// runtime::kernelKeyHash (the CompileCache key). The Explorer further
+  /// mixes in the device, launch geometry, and kernel fingerprint, so a zero
+  /// hash still distinguishes most launches; passing the real hash makes the
+  /// key collision-safe across same-named kernels.
+  std::uint64_t kernelHash = 0;
+};
+
 class Explorer {
  public:
   /// `launch.range.local` is ignored; each design point supplies it.
-  Explorer(model::FlexCl& flexcl, model::LaunchInfo launch);
+  Explorer(model::FlexCl& flexcl, model::LaunchInfo launch,
+           ExplorerOptions options = {});
 
   /// Evaluates the given space exhaustively with all three evaluators.
   ExplorationResult explore(const std::vector<model::DesignPoint>& space);
@@ -72,14 +104,39 @@ class Explorer {
 
   [[nodiscard]] bool kernelHasBarriers();
 
+  /// Worker count actually in use (1 when serial).
+  [[nodiscard]] int jobs() const;
+  /// Snapshot of every cache this Explorer touches: its own sim-input cache,
+  /// the model's profile cache, and (when attached) the shared EvalCache.
+  [[nodiscard]] runtime::Stats runtimeStats() const;
+
  private:
+  using LocalSizeKey = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>;
+
   const sim::SimInput& simInputFor(const model::DesignPoint& design);
+  /// Runs body(i) for i in [0, n): on the pool when parallel, else inline.
+  void forEachIndex(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+  /// One representative design index per distinct effective local size —
+  /// the unit of profile / sim-input prewarming.
+  std::vector<std::size_t> localSizeRepresentatives(
+      const std::vector<model::DesignPoint>& space);
+
+  model::Estimate evalFlexcl(const model::DesignPoint& design);
+  sim::SimResult evalSim(const model::DesignPoint& design);
+  std::optional<sdaccel::SdaccelEstimate> evalSdaccel(
+      const model::DesignPoint& design);
 
   model::FlexCl& flexcl_;
   model::LaunchInfo launch_;
-  std::map<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>,
-           std::unique_ptr<sim::SimInput>>
-      simInputs_;
+  ExplorerOptions options_;
+  /// EvalCache key prefix: options_.kernelHash mixed with the device and the
+  /// launch fingerprint (kernel name, instruction count, global size).
+  std::uint64_t evalKeyBase_ = 0;
+  std::unique_ptr<runtime::ThreadPool> pool_;  ///< null when jobs == 1
+  // Design-independent simulator input per effective local size. Unbounded,
+  // so simInputFor's references stay valid for the Explorer's lifetime.
+  runtime::MemoCache<LocalSizeKey, sim::SimInput> simInputs_;
 };
 
 }  // namespace flexcl::dse

@@ -7,6 +7,8 @@
 // optimum for only 12% of kernels versus 96% for FlexCL + exhaustive search.
 #pragma once
 
+#include <vector>
+
 #include "dse/explorer.h"
 
 namespace flexcl::dse {

@@ -3,6 +3,7 @@
 // restructuring hints").
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,8 @@
 // Compute unit model (paper §3.3.2, eqs. 5-6).
 #pragma once
 
+#include <cstdint>
+
 #include "model/pe_model.h"
 
 namespace flexcl::model {

@@ -39,14 +39,10 @@ const interp::KernelProfile& FlexCl::profileFor(const LaunchInfo& launch,
   const interp::NdRange range = rangeFor(launch, design);
   const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
                        range.local[0], range.local[1],    range.local[2]};
-  auto it = profiles_.find(key);
-  if (it != profiles_.end()) return *it->second;
-
-  auto profile = std::make_unique<interp::KernelProfile>(
-      interp::profileKernel(*launch.fn, range, launch.args, *launch.buffers));
-  auto [pos, inserted] = profiles_.emplace(key, std::move(profile));
-  (void)inserted;
-  return *pos->second;
+  return *profiles_.getOrCompute(key, [&] {
+    return interp::profileKernel(*launch.fn, range, launch.args,
+                                 *launch.buffers);
+  });
 }
 
 cdfg::KernelAnalysis FlexCl::analysisFor(const LaunchInfo& launch,

@@ -6,12 +6,16 @@
 // in cycles at the device's kernel clock.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "cdfg/cdfg.h"
 #include "model/kernel_model.h"
 #include "model/memory_model.h"
+#include "runtime/cache.h"
 
 namespace flexcl::model {
 
@@ -71,13 +75,21 @@ class FlexCl {
   /// Estimates the execution of `launch` under `design`. The work-group size
   /// of the design point replaces the launch range's local size. Profiles
   /// (a few work-groups on the interpreter) are cached per (kernel, wg).
+  /// Thread-safe: concurrent estimates (the parallel Explorer) share the
+  /// profile cache; a profile missing under contention is computed once.
   Estimate estimate(const LaunchInfo& launch, const DesignPoint& design);
 
   /// Access to the cached profile / a fresh analysis (bottleneck reports).
+  /// Both are thread-safe.
   const interp::KernelProfile& profileFor(const LaunchInfo& launch,
                                           const DesignPoint& design);
   cdfg::KernelAnalysis analysisFor(const LaunchInfo& launch,
                                    const DesignPoint& design);
+
+  /// Hit/miss counters of the profile cache (runtime::Stats reporting).
+  [[nodiscard]] runtime::CounterSnapshot profileCacheCounters() const {
+    return profiles_.counters();
+  }
 
   /// Builds the NDRange actually launched for a design point (the design's
   /// work-group size clamped to the launch's global size).
@@ -90,10 +102,12 @@ class FlexCl {
   dram::PatternLatencyTable deltaT_;
   // Profile cache. The key mixes the function pointer with its name and
   // instruction count: allocators reuse addresses after a kernel is
-  // destroyed, so the pointer alone would alias unrelated kernels.
+  // destroyed, so the pointer alone would alias unrelated kernels. The cache
+  // is unbounded, so the references profileFor hands out stay valid for the
+  // FlexCl's lifetime.
   using ProfileKey = std::tuple<const ir::Function*, std::string, unsigned,
                                 std::uint64_t, std::uint64_t, std::uint64_t>;
-  std::map<ProfileKey, std::unique_ptr<interp::KernelProfile>> profiles_;
+  runtime::MemoCache<ProfileKey, interp::KernelProfile> profiles_;
 };
 
 }  // namespace flexcl::model

@@ -10,6 +10,9 @@
 // be worth porting?" before committing to either platform.
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "cdfg/cdfg.h"
 #include "interp/profiler.h"
 

@@ -1,6 +1,8 @@
 // Kernel computation model (paper §3.3.3, eqs. 7-8).
 #pragma once
 
+#include <cstdint>
+
 #include "model/cu_model.h"
 
 namespace flexcl::model {

@@ -13,6 +13,8 @@
 // the paper's "get the global memory access patterns for each bank".
 #pragma once
 
+#include <vector>
+
 #include "dram/calibrate.h"
 #include "dram/pattern.h"
 #include "interp/profiler.h"

@@ -9,6 +9,9 @@
 // performance constraint").
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "cdfg/cdfg.h"
 #include "model/design_point.h"
 #include "model/device.h"

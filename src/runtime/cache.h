@@ -1,0 +1,182 @@
+// Concurrent compute-once memoization cache.
+//
+// The building block of the evaluation runtime's caches (CompileCache,
+// EvalCache, the profile and sim-input caches): a map from key to value where
+//  - lookups of present values take only a shared lock (the hot path of a
+//    warm design-space sweep is read-mostly),
+//  - a missing value is computed exactly once; concurrent requesters of the
+//    same key block on that one computation instead of duplicating it
+//    (profiles and sim inputs cost seconds — duplicating them would erase
+//    most of the parallel speedup at warm-up),
+//  - distinct keys compute concurrently,
+//  - an optional capacity bounds the map with FIFO eviction of completed
+//    entries (values are handed out as shared_ptr, so eviction never
+//    invalidates a result a caller still holds).
+//
+// All operations are linearizable; hit/miss/evict counters are exposed as a
+// CounterSnapshot for runtime::Stats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "runtime/stats.h"
+
+namespace flexcl::runtime {
+
+template <typename Key, typename Value>
+class MemoCache {
+ public:
+  /// `capacity` 0 means unbounded.
+  explicit MemoCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  /// Returns the cached value for `key`, computing it with `fn` on first use.
+  /// `fn` runs outside the map lock (other keys stay serviceable) but under a
+  /// per-key lock (each key computes once). If `fn` throws, the exception is
+  /// cached and rethrown to every requester of that key — an evaluation that
+  /// failed once fails identically on every retry, which keeps parallel runs
+  /// deterministic.
+  template <typename Fn>
+  std::shared_ptr<const Value> getOrCompute(const Key& key, Fn&& fn) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        std::shared_ptr<Slot> slot = it->second;
+        lock.unlock();
+        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+        return awaitSlot(*slot);
+      }
+    }
+
+    std::shared_ptr<Slot> slot;
+    // Holds the new slot's per-key lock from *before* it is published in the
+    // map, so a concurrent requester of the same key blocks in awaitSlot
+    // until the computation below finishes (never observes a half-built
+    // slot).
+    std::unique_lock<std::mutex> computeLock;
+    {
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        slot = it->second;
+        lock.unlock();
+        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+        return awaitSlot(*slot);
+      }
+      slot = std::make_shared<Slot>();
+      computeLock = std::unique_lock<std::mutex>(slot->compute);
+      map_.emplace(key, slot);
+      insertionOrder_.push_back(key);
+      evictLocked();
+    }
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
+
+    try {
+      slot->value = std::make_shared<const Value>(std::forward<Fn>(fn)());
+    } catch (...) {
+      slot->error = std::current_exception();
+    }
+    slot->done.store(true, std::memory_order_release);
+    computeLock.unlock();
+    if (slot->error) std::rethrow_exception(slot->error);
+    return slot->value;
+  }
+
+  /// Shared-lock probe; nullptr when absent or still computing. Does not
+  /// touch the hit/miss counters.
+  std::shared_ptr<const Value> peek(const Key& key) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end() || !it->second->done.load(std::memory_order_acquire) ||
+        it->second->error) {
+      return nullptr;
+    }
+    return it->second->value;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  void clear() {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    map_.clear();
+    insertionOrder_.clear();
+  }
+
+  [[nodiscard]] CounterSnapshot counters() const {
+    CounterSnapshot snap;
+    snap.hits = counters_.hits.load(std::memory_order_relaxed);
+    snap.misses = counters_.misses.load(std::memory_order_relaxed);
+    snap.evictions = counters_.evictions.load(std::memory_order_relaxed);
+    snap.entries = size();
+    return snap;
+  }
+
+ private:
+  struct Slot {
+    std::mutex compute;
+    std::atomic<bool> done{false};
+    std::shared_ptr<const Value> value;
+    std::exception_ptr error;
+  };
+
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  /// Waits (if needed) for the slot's one-time computation and returns the
+  /// value or rethrows the cached failure.
+  static std::shared_ptr<const Value> awaitSlot(Slot& slot) {
+    if (!slot.done.load(std::memory_order_acquire)) {
+      // Block until the computing thread releases the per-key lock.
+      std::lock_guard<std::mutex> wait(slot.compute);
+    }
+    if (slot.error) std::rethrow_exception(slot.error);
+    return slot.value;
+  }
+
+  /// Caller holds the unique map lock. FIFO-evicts completed entries until
+  /// the map fits the capacity; in-flight computations are skipped (their
+  /// slots must stay reachable so waiters can find them).
+  void evictLocked() {
+    if (capacity_ == 0) return;
+    std::size_t scanned = 0;
+    const std::size_t limit = insertionOrder_.size();
+    while (map_.size() > capacity_ && scanned < limit) {
+      Key victim = std::move(insertionOrder_.front());
+      insertionOrder_.pop_front();
+      ++scanned;
+      auto it = map_.find(victim);
+      if (it == map_.end()) continue;
+      if (!it->second->done.load(std::memory_order_acquire)) {
+        insertionOrder_.push_back(std::move(victim));  // still computing
+        continue;
+      }
+      map_.erase(it);
+      counters_.evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  mutable std::shared_mutex mutex_;
+  std::map<Key, std::shared_ptr<Slot>> map_;
+  std::deque<Key> insertionOrder_;
+  std::size_t capacity_;
+  Counters counters_;
+};
+
+}  // namespace flexcl::runtime

@@ -1,0 +1,62 @@
+#include "runtime/compile_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "ocl/preprocessor.h"
+#include "support/rng.h"
+
+namespace flexcl::runtime {
+
+std::uint64_t kernelKeyHash(
+    const std::string& source, const std::string& kernelName,
+    const std::unordered_map<std::string, std::string>& defines) {
+  // Preprocess with the same options the compilation will use: two sources
+  // that expand identically share a key. Diagnostics are discarded here —
+  // the real compilation reports them.
+  DiagnosticEngine diags;
+  ocl::PreprocessorOptions ppOpts;
+  ppOpts.defines = defines;
+  const std::string expanded = ocl::preprocess(source, diags, ppOpts);
+
+  std::uint64_t h = stableHash(expanded.data(), expanded.size());
+  h = stableHashCombine(h, stableHash(kernelName.data(), kernelName.size()));
+  // Defines in sorted order so the hash is independent of map iteration.
+  std::vector<std::pair<std::string, std::string>> sorted(defines.begin(),
+                                                          defines.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [name, value] : sorted) {
+    h = stableHashCombine(h, stableHash(name.data(), name.size()));
+    h = stableHashCombine(h, stableHash(value.data(), value.size()));
+  }
+  return h;
+}
+
+std::shared_ptr<const CompiledKernel> CompileCache::compile(
+    const std::string& source, const std::string& kernelName,
+    const std::unordered_map<std::string, std::string>& defines) {
+  const std::uint64_t key = kernelKeyHash(source, kernelName, defines);
+  return cache_.getOrCompute(key, [&]() {
+    CompiledKernel compiled;
+    compiled.hash = key;
+    DiagnosticEngine diags;
+    std::unique_ptr<ir::CompiledProgram> program =
+        ir::compileOpenCl(source, diags, defines);
+    if (!program) {
+      compiled.error = diags.str();
+      return compiled;
+    }
+    compiled.program = std::shared_ptr<const ir::CompiledProgram>(
+        std::move(program));
+    compiled.fn = compiled.program->module->findFunction(kernelName);
+    if (!compiled.fn) {
+      compiled.error = "kernel '" + kernelName + "' not found";
+      compiled.program.reset();
+      return compiled;
+    }
+    compiled.ok = true;
+    return compiled;
+  });
+}
+
+}  // namespace flexcl::runtime

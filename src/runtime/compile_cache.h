@@ -1,0 +1,56 @@
+// Memoization of the expensive front half of every evaluation: OpenCL source
+// -> preprocessed text -> AST -> IR. Keyed by a stable hash of the
+// *preprocessed* source, the kernel name, and the build options (defines), so
+// textually different invocations that preprocess to the same kernel share
+// one compilation. The per-design back half (profiling, CDFG analysis,
+// estimates) is covered by EvalCache / FlexCl's profile cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ir/lower.h"
+#include "runtime/cache.h"
+
+namespace flexcl::runtime {
+
+/// One cached compilation. `ok == false` carries the diagnostics instead of a
+/// module; failures are cached too (recompiling a broken kernel per design
+/// point would be the same waste as recompiling a working one).
+struct CompiledKernel {
+  std::uint64_t hash = 0;  ///< the cache key (kernelKeyHash)
+  bool ok = false;
+  std::string error;  ///< diagnostics when !ok, or kernel-not-found message
+  std::shared_ptr<const ir::CompiledProgram> program;
+  const ir::Function* fn = nullptr;  ///< the requested kernel inside program
+};
+
+/// Stable key: hash of (preprocessed source, kernel name, sorted defines).
+/// Exposed so callers that compile through other paths (e.g. the workload
+/// suites) can still key EvalCache consistently.
+std::uint64_t kernelKeyHash(
+    const std::string& source, const std::string& kernelName,
+    const std::unordered_map<std::string, std::string>& defines = {});
+
+class CompileCache {
+ public:
+  /// `capacity` bounds the number of retained compilations (0 = unbounded).
+  explicit CompileCache(std::size_t capacity = 0) : cache_(capacity) {}
+
+  /// Returns the (possibly cached) compilation of `kernelName` in `source`.
+  /// Thread-safe; concurrent requests for the same kernel compile once.
+  std::shared_ptr<const CompiledKernel> compile(
+      const std::string& source, const std::string& kernelName,
+      const std::unordered_map<std::string, std::string>& defines = {});
+
+  [[nodiscard]] CounterSnapshot counters() const { return cache_.counters(); }
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  MemoCache<std::uint64_t, CompiledKernel> cache_;
+};
+
+}  // namespace flexcl::runtime

@@ -1,0 +1,90 @@
+// Memoization of per-design-point evaluator results, keyed by
+// (kernel hash, DesignPoint). The kernel hash is the CompileCache key
+// (kernelKeyHash) combined by the caller with anything else the result
+// depends on (the device — see Explorer); the design is identified by
+// DesignPoint::stableId(). One EvalCache can therefore be shared across
+// explorations, kernels, and threads: repeated sweeps of the same space are
+// pure cache hits.
+//
+// Three result families are cached independently (they are produced by
+// separate passes and have different costs): the FlexCL analytical estimate,
+// the SDAccel-style estimate (including its deterministic failures — a
+// nullopt is a result), and the cycle-level simulator ground truth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "model/design_point.h"
+#include "model/flexcl.h"
+#include "runtime/cache.h"
+#include "sdaccel/sdaccel_estimator.h"
+#include "sim/system_sim.h"
+
+namespace flexcl::runtime {
+
+struct EvalKey {
+  std::uint64_t kernelHash = 0;
+  std::uint64_t designId = 0;
+
+  friend bool operator<(const EvalKey& a, const EvalKey& b) {
+    return a.kernelHash != b.kernelHash ? a.kernelHash < b.kernelHash
+                                        : a.designId < b.designId;
+  }
+};
+
+class EvalCache {
+ public:
+  /// `capacityPerFamily` bounds each family's entry count (0 = unbounded).
+  explicit EvalCache(std::size_t capacityPerFamily = 0)
+      : flexcl_(capacityPerFamily),
+        sdaccel_(capacityPerFamily),
+        sim_(capacityPerFamily) {}
+
+  template <typename Fn>
+  std::shared_ptr<const model::Estimate> flexcl(std::uint64_t kernelHash,
+                                                const model::DesignPoint& dp,
+                                                Fn&& fn) {
+    return flexcl_.getOrCompute(keyFor(kernelHash, dp), std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  std::shared_ptr<const std::optional<sdaccel::SdaccelEstimate>> sdaccel(
+      std::uint64_t kernelHash, const model::DesignPoint& dp, Fn&& fn) {
+    return sdaccel_.getOrCompute(keyFor(kernelHash, dp), std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  std::shared_ptr<const sim::SimResult> sim(std::uint64_t kernelHash,
+                                            const model::DesignPoint& dp,
+                                            Fn&& fn) {
+    return sim_.getOrCompute(keyFor(kernelHash, dp), std::forward<Fn>(fn));
+  }
+
+  [[nodiscard]] CounterSnapshot flexclCounters() const {
+    return flexcl_.counters();
+  }
+  [[nodiscard]] CounterSnapshot sdaccelCounters() const {
+    return sdaccel_.counters();
+  }
+  [[nodiscard]] CounterSnapshot simCounters() const { return sim_.counters(); }
+
+  void clear() {
+    flexcl_.clear();
+    sdaccel_.clear();
+    sim_.clear();
+  }
+
+ private:
+  static EvalKey keyFor(std::uint64_t kernelHash,
+                        const model::DesignPoint& dp) {
+    return EvalKey{kernelHash, dp.stableId()};
+  }
+
+  MemoCache<EvalKey, model::Estimate> flexcl_;
+  MemoCache<EvalKey, std::optional<sdaccel::SdaccelEstimate>> sdaccel_;
+  MemoCache<EvalKey, sim::SimResult> sim_;
+};
+
+}  // namespace flexcl::runtime

@@ -1,0 +1,87 @@
+#include "runtime/stats.h"
+
+#include <sstream>
+
+namespace flexcl::runtime {
+namespace {
+
+void appendJsonCache(std::ostringstream& os, const char* name,
+                     const CounterSnapshot& c, bool* first) {
+  if (!*first) os << ", ";
+  *first = false;
+  os << "\"" << name << "\": " << c.json();
+}
+
+void appendHumanCache(std::ostringstream& os, const char* name,
+                      const CounterSnapshot& c) {
+  if (c.lookups() == 0 && c.entries == 0) return;
+  os << "  " << name << ": " << c.str() << "\n";
+}
+
+}  // namespace
+
+CounterSnapshot& CounterSnapshot::operator+=(const CounterSnapshot& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  entries += other.entries;
+  return *this;
+}
+
+std::string CounterSnapshot::str() const {
+  std::ostringstream os;
+  os << hits << " hits / " << misses << " misses";
+  os.precision(1);
+  os << std::fixed << " (" << hitRatePct() << "% hit rate, " << entries
+     << " entries";
+  if (evictions > 0) os << ", " << evictions << " evicted";
+  os << ")";
+  return os.str();
+}
+
+std::string CounterSnapshot::json() const {
+  std::ostringstream os;
+  os << "{\"hits\": " << hits << ", \"misses\": " << misses
+     << ", \"evictions\": " << evictions << ", \"entries\": " << entries
+     << "}";
+  return os.str();
+}
+
+Stats& Stats::operator+=(const Stats& other) {
+  jobs = jobs > other.jobs ? jobs : other.jobs;
+  compile += other.compile;
+  flexclEval += other.flexclEval;
+  sdaccelEval += other.sdaccelEval;
+  simEval += other.simEval;
+  profile += other.profile;
+  simInput += other.simInput;
+  return *this;
+}
+
+std::string Stats::str() const {
+  std::ostringstream os;
+  os << "runtime: " << jobs << (jobs == 1 ? " job\n" : " jobs\n");
+  appendHumanCache(os, "compile cache  ", compile);
+  appendHumanCache(os, "flexcl cache   ", flexclEval);
+  appendHumanCache(os, "sdaccel cache  ", sdaccelEval);
+  appendHumanCache(os, "sim cache      ", simEval);
+  appendHumanCache(os, "profile cache  ", profile);
+  appendHumanCache(os, "sim-input cache", simInput);
+  return os.str();
+}
+
+std::string Stats::json() const {
+  std::ostringstream os;
+  os << "{\"jobs\": " << jobs << ", ";
+  bool first = true;
+  appendJsonCache(os, "compile", compile, &first);
+  appendJsonCache(os, "flexcl_eval", flexclEval, &first);
+  appendJsonCache(os, "sdaccel_eval", sdaccelEval, &first);
+  appendJsonCache(os, "sim_eval", simEval, &first);
+  appendJsonCache(os, "profile", profile, &first);
+  appendJsonCache(os, "sim_input", simInput, &first);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flexcl::runtime

@@ -1,0 +1,50 @@
+// Observability for the parallel evaluation runtime: per-cache hit/miss/evict
+// counters and an aggregate snapshot printed by the CLI footer and emitted as
+// JSON by bench_runtime_scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flexcl::runtime {
+
+/// Point-in-time copy of one cache's counters (the live counters are atomics
+/// inside the cache; snapshots are plain values safe to pass around).
+struct CounterSnapshot {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+
+  [[nodiscard]] std::uint64_t lookups() const { return hits + misses; }
+  [[nodiscard]] double hitRatePct() const {
+    const std::uint64_t n = lookups();
+    return n > 0 ? 100.0 * static_cast<double>(hits) / static_cast<double>(n)
+                 : 0.0;
+  }
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string json() const;
+
+  CounterSnapshot& operator+=(const CounterSnapshot& other);
+};
+
+/// Aggregate runtime state for one exploration (or one CLI invocation):
+/// worker count plus the counters of every cache the evaluation touched.
+struct Stats {
+  int jobs = 1;                  ///< worker threads used (1 = serial)
+  CounterSnapshot compile;       ///< source -> IR (CompileCache)
+  CounterSnapshot flexclEval;    ///< (kernel, design) -> model::Estimate
+  CounterSnapshot sdaccelEval;   ///< (kernel, design) -> SDAccel estimate
+  CounterSnapshot simEval;       ///< (kernel, design) -> simulator result
+  CounterSnapshot profile;       ///< (kernel, wg) -> interpreter profile
+  CounterSnapshot simInput;      ///< (kernel, wg) -> prepared sim input
+
+  /// Multi-line human-readable footer ("runtime: ..." lines).
+  [[nodiscard]] std::string str() const;
+  /// One JSON object with a field per cache.
+  [[nodiscard]] std::string json() const;
+
+  Stats& operator+=(const Stats& other);
+};
+
+}  // namespace flexcl::runtime

@@ -1,0 +1,99 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace flexcl::runtime {
+
+int defaultJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hw), 1, 64);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(1, workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // One sweeper job per worker; each pulls the next index from the shared
+  // cursor. Coarse jobs self-balance; nothing is pinned to a worker.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> firstFailure;
+    std::mutex errorMutex;
+    std::exception_ptr error;
+    explicit Shared(std::size_t size) : firstFailure(size) {}
+  };
+  auto shared = std::make_shared<Shared>(n);
+
+  auto sweep = [shared, n, &body] {
+    for (;;) {
+      const std::size_t i =
+          shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (i > shared->firstFailure.load(std::memory_order_acquire)) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->errorMutex);
+        // Keep the lowest-indexed failure so the rethrown exception does not
+        // depend on worker interleaving.
+        std::size_t prev = shared->firstFailure.load(std::memory_order_relaxed);
+        while (i < prev && !shared->firstFailure.compare_exchange_weak(
+                               prev, i, std::memory_order_release)) {
+        }
+        if (shared->firstFailure.load(std::memory_order_relaxed) == i) {
+          shared->error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t sweepers =
+      std::min<std::size_t>(workers_.size(), n);
+  std::vector<std::future<void>> done;
+  done.reserve(sweepers);
+  for (std::size_t s = 0; s < sweepers; ++s) done.push_back(submit(sweep));
+  for (auto& f : done) f.get();  // sweep() itself never throws
+
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace flexcl::runtime

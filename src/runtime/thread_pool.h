@@ -1,0 +1,73 @@
+// Fixed-size work-queue thread pool for the evaluation runtime.
+//
+// Design-point evaluations are coarse-grained (milliseconds to seconds), so
+// a plain mutex-protected FIFO queue is contention-free in practice; no
+// work-stealing machinery is warranted. Exceptions thrown by a job propagate
+// to the submitter through the returned future (submit) or are rethrown by
+// the caller after the loop completes (parallelFor).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace flexcl::runtime {
+
+/// Worker count for `--jobs 0` / unspecified: the hardware concurrency,
+/// clamped to [1, 64] (hardware_concurrency() may return 0).
+int defaultJobs();
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to at least 1).
+  explicit ThreadPool(int workers);
+
+  /// Graceful shutdown: already-queued jobs still run; then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workerCount() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues `fn` and returns a future for its result. An exception thrown
+  /// by `fn` is captured and rethrown by future::get in the submitter.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Runs `body(i)` for every i in [0, n) on the pool workers and blocks
+  /// until all complete. Indices are handed out dynamically (atomic cursor),
+  /// so results must be written by index, never appended — that is what
+  /// keeps callers deterministic regardless of worker count. If any body
+  /// throws, the remaining indices are abandoned and the exception of the
+  /// lowest-indexed failure is rethrown here.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace flexcl::runtime

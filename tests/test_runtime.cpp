@@ -1,0 +1,297 @@
+// Tests for the parallel evaluation runtime (src/runtime/): thread pool
+// lifecycle and exception propagation, compute-once memoization with
+// hit/miss/evict accounting, the compile cache, and — the property the whole
+// subsystem is built around — bit-identical exploration results regardless
+// of worker count. The concurrency tests double as the TSan workload of the
+// CI's sanitizer job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/explorer.h"
+#include "ir/lower.h"
+#include "runtime/cache.h"
+#include "runtime/compile_cache.h"
+#include "runtime/eval_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace flexcl {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobsOnWorkers) {
+  runtime::ThreadPool pool(4);
+  EXPECT_EQ(pool.workerCount(), 4);
+
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> results;
+  for (int i = 0; i < 32; ++i) {
+    results.push_back(pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    runtime::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor: stop accepting, finish the queue, join.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionToCaller) {
+  runtime::ThreadPool pool(2);
+  std::future<void> failing =
+      pool.submit([]() -> void { throw std::runtime_error("job failed"); });
+  try {
+    failing.get();
+    FAIL() << "expected the job's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job failed");
+  }
+  // The pool survives a failing job.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  constexpr std::size_t kN = 257;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallelFor(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexedFailure) {
+  runtime::ThreadPool pool(4);
+  try {
+    pool.parallelFor(100, [](std::size_t i) {
+      if (i >= 5) throw std::runtime_error("failed at " + std::to_string(i));
+    });
+    FAIL() << "expected a failure";
+  } catch (const std::runtime_error& e) {
+    // Indices are handed out in order and every index below a failure is
+    // attempted, so the winner is the lowest failing index — deterministic.
+    EXPECT_STREQ(e.what(), "failed at 5");
+  }
+}
+
+TEST(MemoCache, CountsHitsAndMisses) {
+  runtime::MemoCache<int, int> cache;
+  std::atomic<int> computed{0};
+  auto ten = [&] {
+    computed.fetch_add(1);
+    return 10;
+  };
+  EXPECT_EQ(*cache.getOrCompute(1, ten), 10);
+  EXPECT_EQ(*cache.getOrCompute(1, ten), 10);
+  EXPECT_EQ(*cache.getOrCompute(2, ten), 10);
+  EXPECT_EQ(computed.load(), 2);
+
+  const runtime::CounterSnapshot c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.entries, 2u);
+  EXPECT_EQ(c.evictions, 0u);
+}
+
+TEST(MemoCache, ComputesOncePerKeyUnderContention) {
+  runtime::MemoCache<int, int> cache;
+  runtime::ThreadPool pool(8);
+  std::atomic<int> computed{0};
+  pool.parallelFor(64, [&](std::size_t) {
+    auto value = cache.getOrCompute(42, [&] {
+      computed.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return 4242;
+    });
+    EXPECT_EQ(*value, 4242);
+  });
+  EXPECT_EQ(computed.load(), 1);
+  EXPECT_EQ(cache.counters().lookups(), 64u);
+}
+
+TEST(MemoCache, EvictsFifoBeyondCapacity) {
+  runtime::MemoCache<int, int> cache(/*capacity=*/2);
+  for (int key = 0; key < 4; ++key) {
+    cache.getOrCompute(key, [key] { return key; });
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 2u);
+  // FIFO: the oldest keys are gone, the newest remain.
+  EXPECT_EQ(cache.peek(0), nullptr);
+  EXPECT_EQ(cache.peek(1), nullptr);
+  ASSERT_NE(cache.peek(2), nullptr);
+  ASSERT_NE(cache.peek(3), nullptr);
+}
+
+TEST(MemoCache, CachesAndRethrowsFailures) {
+  runtime::MemoCache<int, int> cache;
+  std::atomic<int> computed{0};
+  auto failing = [&]() -> int {
+    computed.fetch_add(1);
+    throw std::runtime_error("compute failed");
+  };
+  EXPECT_THROW(cache.getOrCompute(1, failing), std::runtime_error);
+  // The failure is memoized: no recompute, same exception.
+  EXPECT_THROW(cache.getOrCompute(1, failing), std::runtime_error);
+  EXPECT_EQ(computed.load(), 1);
+}
+
+TEST(CompileCache, MemoizesByPreprocessedSourceKernelAndOptions) {
+  const std::string source =
+      "__kernel void k(__global float* a) { a[get_global_id(0)] = N; }\n";
+  runtime::CompileCache cache;
+  auto first = cache.compile(source, "k", {{"N", "1.0f"}});
+  auto second = cache.compile(source, "k", {{"N", "1.0f"}});
+  ASSERT_TRUE(first->ok) << first->error;
+  EXPECT_EQ(first.get(), second.get());  // same cached compilation
+  EXPECT_EQ(cache.counters().hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+
+  // Different build options are a different kernel.
+  auto other = cache.compile(source, "k", {{"N", "2.0f"}});
+  ASSERT_TRUE(other->ok) << other->error;
+  EXPECT_NE(other->hash, first->hash);
+  EXPECT_EQ(cache.counters().misses, 2u);
+
+  // Failures are cached too.
+  auto broken = cache.compile("__kernel void k(", "k");
+  EXPECT_FALSE(broken->ok);
+  EXPECT_FALSE(broken->error.empty());
+  EXPECT_EQ(cache.compile("__kernel void k(", "k").get(), broken.get());
+}
+
+/// Small kernel + launch shared by the Explorer-level tests.
+struct ExplorerFixture {
+  std::unique_ptr<ir::CompiledProgram> program;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  model::LaunchInfo launch;
+
+  ExplorerFixture() {
+    DiagnosticEngine diags;
+    program = ir::compileOpenCl(
+        "__kernel void k(__global const float* a, __global float* b) {\n"
+        "  int i = get_global_id(0);\n"
+        "  b[i] = sqrt(a[i] * a[i] + 2.0f);\n"
+        "}\n",
+        diags);
+    EXPECT_TRUE(program) << diags.str();
+    buffers = {std::vector<std::uint8_t>(256 * 4, 1),
+               std::vector<std::uint8_t>(256 * 4)};
+    launch.fn = program->module->functions().front().get();
+    launch.range.global = {256, 1, 1};
+    launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+    launch.buffers = &buffers;
+  }
+
+  [[nodiscard]] std::vector<model::DesignPoint> space() const {
+    dse::SpaceOptions opts;
+    opts.workGroupSizes = {32, 64};
+    opts.peParallelism = {1, 4};
+    opts.computeUnits = {1, 2};
+    return dse::enumerateDesignSpace(launch.range, /*kernelHasBarriers=*/false,
+                                     opts);
+  }
+};
+
+dse::ExplorationResult exploreWithJobs(const ExplorerFixture& f, int jobs,
+                                       runtime::EvalCache* evalCache = nullptr) {
+  model::FlexCl flexcl(model::Device::virtex7());
+  dse::ExplorerOptions opts;
+  opts.jobs = jobs;
+  opts.evalCache = evalCache;
+  dse::Explorer explorer(flexcl, f.launch, opts);
+  return explorer.explore(f.space());
+}
+
+TEST(ExplorerRuntime, ResultsAreIdenticalAcrossThreadCounts) {
+  ExplorerFixture f;
+  const dse::ExplorationResult serial = exploreWithJobs(f, 1);
+  const dse::ExplorationResult parallel = exploreWithJobs(f, 4);
+
+  // Byte-identical designs: every evaluator is pure and results land by
+  // index, so no field — not even a floating-point tail bit — may differ.
+  ASSERT_EQ(serial.designs.size(), parallel.designs.size());
+  for (std::size_t i = 0; i < serial.designs.size(); ++i) {
+    const dse::EvaluatedDesign& a = serial.designs[i];
+    const dse::EvaluatedDesign& b = parallel.designs[i];
+    EXPECT_EQ(a.design, b.design) << "design " << i;
+    EXPECT_EQ(a.flexclCycles, b.flexclCycles) << "design " << i;
+    EXPECT_EQ(a.simCycles, b.simCycles) << "design " << i;
+    EXPECT_EQ(a.sdaccelCycles, b.sdaccelCycles) << "design " << i;
+    EXPECT_EQ(a.sdaccelMinutes, b.sdaccelMinutes) << "design " << i;
+  }
+  EXPECT_EQ(serial.bestBySim, parallel.bestBySim);
+  EXPECT_EQ(serial.bestByFlexcl, parallel.bestByFlexcl);
+  EXPECT_EQ(serial.pickGapPct, parallel.pickGapPct);
+  EXPECT_EQ(serial.speedupVsBaseline, parallel.speedupVsBaseline);
+  EXPECT_EQ(serial.avgFlexclErrorPct, parallel.avgFlexclErrorPct);
+  EXPECT_EQ(serial.avgSdaccelErrorPct, parallel.avgSdaccelErrorPct);
+  EXPECT_EQ(serial.sdaccelFailRatePct, parallel.sdaccelFailRatePct);
+  EXPECT_EQ(serial.sdaccelMinutes, parallel.sdaccelMinutes);
+}
+
+TEST(ExplorerRuntime, SharedEvalCacheMakesResweepsPureHits) {
+  ExplorerFixture f;
+  runtime::EvalCache evalCache;
+  const dse::ExplorationResult first = exploreWithJobs(f, 2, &evalCache);
+  const std::uint64_t missesAfterFirst =
+      evalCache.flexclCounters().misses + evalCache.simCounters().misses +
+      evalCache.sdaccelCounters().misses;
+  EXPECT_GT(missesAfterFirst, 0u);
+
+  const dse::ExplorationResult second = exploreWithJobs(f, 2, &evalCache);
+  const std::uint64_t missesAfterSecond =
+      evalCache.flexclCounters().misses + evalCache.simCounters().misses +
+      evalCache.sdaccelCounters().misses;
+  // Identical kernel, launch, device, and space: nothing new to compute.
+  EXPECT_EQ(missesAfterSecond, missesAfterFirst);
+  EXPECT_GT(evalCache.flexclCounters().hits, 0u);
+
+  ASSERT_EQ(first.designs.size(), second.designs.size());
+  for (std::size_t i = 0; i < first.designs.size(); ++i) {
+    EXPECT_EQ(first.designs[i].flexclCycles, second.designs[i].flexclCycles);
+    EXPECT_EQ(first.designs[i].simCycles, second.designs[i].simCycles);
+  }
+}
+
+TEST(ExplorerRuntime, StatsReportJobsAndCacheTraffic) {
+  ExplorerFixture f;
+  model::FlexCl flexcl(model::Device::virtex7());
+  runtime::EvalCache evalCache;
+  dse::ExplorerOptions opts;
+  opts.jobs = 3;
+  opts.evalCache = &evalCache;
+  dse::Explorer explorer(flexcl, f.launch, opts);
+  explorer.explore(f.space());
+
+  const runtime::Stats stats = explorer.runtimeStats();
+  EXPECT_EQ(stats.jobs, 3);
+  EXPECT_GT(stats.profile.lookups(), 0u);
+  EXPECT_GT(stats.simInput.lookups(), 0u);
+  EXPECT_GT(stats.flexclEval.misses, 0u);
+  EXPECT_FALSE(stats.str().empty());
+  EXPECT_NE(stats.json().find("\"jobs\": 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexcl

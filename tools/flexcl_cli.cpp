@@ -22,6 +22,8 @@
 #include "ir/printer.h"
 #include "model/bottleneck.h"
 #include "model/resource_estimate.h"
+#include "runtime/compile_cache.h"
+#include "runtime/eval_cache.h"
 #include "sim/system_sim.h"
 #include "support/rng.h"
 
@@ -47,6 +49,8 @@ struct CliOptions {
   int cu = 1;
   std::string mode = "pipeline";
   bool simulate = false;
+  /// Evaluation jobs for `explore`; 0 = hardware concurrency.
+  int jobs = 0;
 };
 
 int usage() {
@@ -58,7 +62,8 @@ int usage() {
                "                  [--mode barrier|pipeline]\n"
                "                  [--device virtex7|ku060] [--elems N] [--sim]\n"
                "  flexcl explore  <file.cl> <kernel> [--global N] [--global-y N]\n"
-               "                  [--device ...] [--elems N]\n"
+               "                  [--device ...] [--elems N] [--jobs N]\n"
+               "                  (--jobs 0 = all hardware threads, the default)\n"
                "  flexcl ir       <file.cl>\n");
   return 2;
 }
@@ -91,6 +96,7 @@ bool parseArgs(int argc, char** argv, CliOptions* opts) {
     else if (arg == "--mode") opts->mode = value();
     else if (arg == "--device") opts->device = value();
     else if (arg == "--sim") opts->simulate = true;
+    else if (arg == "--jobs") opts->jobs = std::atoi(value());
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -172,18 +178,16 @@ int runEstimateOrExplore(const CliOptions& opts) {
     std::fprintf(stderr, "cannot read %s\n", opts.file.c_str());
     return 1;
   }
-  DiagnosticEngine diags;
-  auto program = ir::compileOpenCl(source, diags);
-  if (!program) {
-    std::fprintf(stderr, "%s", diags.str().c_str());
+  // Compilation goes through the runtime's CompileCache: one CLI invocation
+  // compiles once anyway, but this also yields the kernel hash that keys the
+  // evaluation cache below.
+  runtime::CompileCache compileCache;
+  const auto compiled = compileCache.compile(source, opts.kernel);
+  if (!compiled->ok) {
+    std::fprintf(stderr, "%s: %s\n", opts.file.c_str(), compiled->error.c_str());
     return 1;
   }
-  const ir::Function* fn = program->module->findFunction(opts.kernel);
-  if (!fn) {
-    std::fprintf(stderr, "kernel '%s' not found in %s\n", opts.kernel.c_str(),
-                 opts.file.c_str());
-    return 1;
-  }
+  const ir::Function* fn = compiled->fn;
 
   const std::uint64_t elems =
       opts.elems ? opts.elems : opts.global * std::max<std::uint64_t>(1, opts.globalY);
@@ -201,11 +205,17 @@ int runEstimateOrExplore(const CliOptions& opts) {
                                               : model::Device::virtex7());
 
   if (opts.command == "explore") {
-    dse::Explorer explorer(flexcl, launch);
+    runtime::EvalCache evalCache;
+    dse::ExplorerOptions exOpts;
+    exOpts.jobs = opts.jobs;  // 0 = runtime::defaultJobs()
+    exOpts.evalCache = &evalCache;
+    exOpts.kernelHash = compiled->hash;
+    dse::Explorer explorer(flexcl, launch, exOpts);
     const auto space = dse::enumerateDesignSpace(launch.range,
                                                  explorer.kernelHasBarriers());
-    std::printf("exploring %zu designs of %s on %s ...\n", space.size(),
-                opts.kernel.c_str(), flexcl.device().name.c_str());
+    std::printf("exploring %zu designs of %s on %s (%d %s) ...\n",
+                space.size(), opts.kernel.c_str(), flexcl.device().name.c_str(),
+                explorer.jobs(), explorer.jobs() == 1 ? "job" : "jobs");
     const dse::ExplorationResult result = explorer.explore(space);
     if (result.bestByFlexcl < 0) {
       std::fprintf(stderr, "exploration failed\n");
@@ -221,6 +231,9 @@ int runEstimateOrExplore(const CliOptions& opts) {
                 result.avgFlexclErrorPct);
     std::printf("  exploration: FlexCL %.2fs, simulator %.2fs\n",
                 result.flexclSeconds, result.simSeconds);
+    runtime::Stats stats = explorer.runtimeStats();
+    stats.compile = compileCache.counters();
+    std::printf("%s", stats.str().c_str());
     return 0;
   }
 
