@@ -1,0 +1,371 @@
+#include "analysis/access_pattern.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace flexcl::analysis {
+
+int InstPattern::majority() const {
+  int best = -1;
+  std::uint64_t bestCount = 0;
+  for (int p = 0; p < dram::kPatternCount; ++p) {
+    const std::uint64_t c = counts[static_cast<std::size_t>(p)];
+    if (c > bestCount) {
+      bestCount = c;
+      best = p;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+struct StaticEvent {
+  unsigned instId = 0;
+  std::int32_t buffer = -1;
+  std::int64_t offset = 0;
+  bool isWrite = false;
+};
+
+/// Expands the access/control tree for one work-item into `chain`.
+class Expander {
+ public:
+  Expander(const KernelSummary& summary, const CrossCheckOptions& options,
+           const std::unordered_map<int, std::int32_t>& bufferOfArg,
+           std::unordered_map<unsigned, std::uint64_t>& opaqueByInst,
+           std::uint64_t& totalEvents, bool& truncated)
+      : summary_(summary),
+        options_(options),
+        bufferOfArg_(bufferOfArg),
+        opaqueByInst_(opaqueByInst),
+        totalEvents_(totalEvents),
+        truncated_(truncated) {}
+
+  void run(SymBinding& bind, std::vector<StaticEvent>& chain) {
+    bind_ = &bind;
+    chain_ = &chain;
+    walk(summary_.roots);
+  }
+
+ private:
+  void walk(const std::vector<AccessTreeNode>& nodes) {
+    for (const AccessTreeNode& node : nodes) {
+      if (truncated_) return;
+      switch (node.kind) {
+        case AccessTreeNode::Kind::Access:
+          emit(summary_.accesses[static_cast<std::size_t>(node.accessIndex)]);
+          break;
+        case AccessTreeNode::Kind::Cond:
+          walkCond(node);
+          break;
+        case AccessTreeNode::Kind::Loop:
+          walkLoop(node);
+          break;
+      }
+    }
+  }
+
+  void walkCond(const AccessTreeNode& node) {
+    auto cond = symEval(node.cond.get(), *bind_);
+    auto begin = node.children.begin();
+    auto thenEnd = begin + static_cast<std::ptrdiff_t>(node.thenCount);
+    // Unknown condition: assume taken (the then arm carries the access
+    // pattern in the guarded-access idiom `if (gid < n) ...`).
+    if (!cond || *cond != 0) {
+      walkSpan(begin, thenEnd);
+    } else {
+      walkSpan(thenEnd, node.children.end());
+    }
+  }
+
+  void walkSpan(std::vector<AccessTreeNode>::const_iterator begin,
+                std::vector<AccessTreeNode>::const_iterator end) {
+    for (auto it = begin; it != end; ++it) {
+      if (truncated_) return;
+      switch (it->kind) {
+        case AccessTreeNode::Kind::Access:
+          emit(summary_.accesses[static_cast<std::size_t>(it->accessIndex)]);
+          break;
+        case AccessTreeNode::Kind::Cond:
+          walkCond(*it);
+          break;
+        case AccessTreeNode::Kind::Loop:
+          walkLoop(*it);
+          break;
+      }
+    }
+  }
+
+  void walkLoop(const AccessTreeNode& node) {
+    auto& iter = bind_->loopIters[node.loopId];
+    iter = 0;
+    const bool condDriven =
+        node.loopCond && symEval(node.loopCond.get(), *bind_).has_value();
+
+    if (condDriven && node.condFirst) {
+      for (std::int64_t k = 0;; ++k) {
+        iter = k;
+        auto c = symEval(node.loopCond.get(), *bind_);
+        if (!c || *c == 0) break;
+        if (k >= options_.maxLoopTrips) {
+          truncated_ = true;
+          break;
+        }
+        walk(node.children);
+        if (truncated_) break;
+      }
+    } else if (condDriven) {  // do-loop: body first, then the check
+      for (std::int64_t k = 0;; ++k) {
+        iter = k;
+        if (k >= options_.maxLoopTrips) {
+          truncated_ = true;
+          break;
+        }
+        walk(node.children);
+        if (truncated_) break;
+        auto c = symEval(node.loopCond.get(), *bind_);
+        if (!c || *c == 0) break;
+      }
+    } else {
+      std::int64_t trips =
+          node.staticTrip >= 0 ? node.staticTrip : options_.fallbackTripCount;
+      trips = std::min(trips, options_.maxLoopTrips);
+      for (std::int64_t k = 0; k < trips && !truncated_; ++k) {
+        iter = k;
+        walk(node.children);
+      }
+    }
+    bind_->loopIters.erase(node.loopId);
+  }
+
+  void emit(const MemAccessInfo& access) {
+    if (access.space != ir::AddressSpace::Global &&
+        access.space != ir::AddressSpace::Constant) {
+      return;
+    }
+    if (++totalEvents_ > options_.maxStreamEvents) {
+      truncated_ = true;
+      return;
+    }
+    std::int32_t buffer = -1;
+    if (access.base == PtrBase::BufferArg) {
+      auto it = bufferOfArg_.find(access.baseIndex);
+      if (it != bufferOfArg_.end()) buffer = it->second;
+    }
+    std::optional<std::int64_t> offset;
+    if (buffer >= 0) offset = symEval(access.offset.get(), *bind_);
+    if (buffer < 0 || !offset) {
+      ++opaqueByInst_[access.instId];
+      return;
+    }
+    chain_->push_back({access.instId, buffer, *offset, access.isWrite});
+  }
+
+  const KernelSummary& summary_;
+  const CrossCheckOptions& options_;
+  const std::unordered_map<int, std::int32_t>& bufferOfArg_;
+  std::unordered_map<unsigned, std::uint64_t>& opaqueByInst_;
+  std::uint64_t& totalEvents_;
+  bool& truncated_;
+  SymBinding* bind_ = nullptr;
+  std::vector<StaticEvent>* chain_ = nullptr;
+};
+
+/// Replays a stream through the per-bank row-buffer state machine (the same
+/// rules as dram::analyzeStream) and histograms patterns per instruction.
+class Replayer {
+ public:
+  explicit Replayer(const dram::DramConfig& config)
+      : config_(config), banks_(static_cast<std::size_t>(config.banks)) {}
+
+  dram::AccessPattern classify(std::int32_t buffer, std::int64_t offset,
+                               bool isWrite) {
+    const dram::BankAddress ba =
+        dram::mapAddress(config_, dram::linearAddress(buffer, offset));
+    BankState& bank = banks_[static_cast<std::size_t>(ba.bank)];
+    const bool hit = bank.anyAccess && bank.openRow == ba.row;
+    const bool prevWrite = bank.anyAccess && bank.lastWasWrite;
+    bank.openRow = ba.row;
+    bank.lastWasWrite = isWrite;
+    bank.anyAccess = true;
+    return dram::classifyPattern(prevWrite, isWrite, hit);
+  }
+
+ private:
+  struct BankState {
+    std::uint64_t openRow = ~0ull;
+    bool lastWasWrite = false;
+    bool anyAccess = false;
+  };
+  const dram::DramConfig& config_;
+  std::vector<BankState> banks_;
+};
+
+struct InstPatternMap {
+  std::unordered_map<unsigned, std::size_t> index;
+  std::vector<InstPattern> patterns;
+
+  InstPattern& of(unsigned instId) {
+    auto [it, inserted] = index.try_emplace(instId, patterns.size());
+    if (inserted) {
+      patterns.emplace_back();
+      patterns.back().instId = instId;
+    }
+    return patterns[it->second];
+  }
+};
+
+void annotate(InstPatternMap& map, const KernelSummary& summary) {
+  for (const MemAccessInfo& access : summary.accesses) {
+    auto it = map.index.find(access.instId);
+    if (it == map.index.end()) continue;
+    map.patterns[it->second].loc = access.loc;
+    map.patterns[it->second].isWrite = access.isWrite;
+  }
+}
+
+}  // namespace
+
+PatternCrossCheck crossCheckPatterns(const KernelSummary& summary,
+                                     const interp::NdRange& range,
+                                     const std::vector<interp::KernelArg>& args,
+                                     const interp::KernelProfile* profile,
+                                     const CrossCheckOptions& options) {
+  PatternCrossCheck result;
+
+  // Argument bindings shared by every work-item.
+  std::unordered_map<int, std::int32_t> bufferOfArg;
+  SymBinding base;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const interp::KernelArg& a = args[i];
+    if (a.isBuffer) {
+      bufferOfArg[static_cast<int>(i)] = a.bufferIndex;
+    } else if (a.scalar.kind == interp::RtValue::Kind::Int) {
+      base.scalarArgs[static_cast<int>(i)] = a.scalar.i;
+    }
+  }
+  const auto gpd = range.groupsPerDim();
+  for (int d = 0; d < 3; ++d) {
+    base.globalSize[d] = static_cast<std::int64_t>(range.global[d]);
+    base.localSize[d] = static_cast<std::int64_t>(range.local[d]);
+    base.numGroups[d] = static_cast<std::int64_t>(gpd[d]);
+  }
+
+  // Static expansion: the same work-groups the profiler runs, work-items
+  // enumerated per group; chains keyed by linear global id so the replay
+  // order matches the profiled per-work-item replay below.
+  std::uint64_t groups = std::min<std::uint64_t>(
+      profile ? profile->profiledGroups : options.groupsToExpand,
+      range.groupCount());
+  std::map<std::uint64_t, std::vector<StaticEvent>> chains;
+  std::unordered_map<unsigned, std::uint64_t> opaqueByInst;
+  std::uint64_t totalEvents = 0;
+  Expander expander(summary, options, bufferOfArg, opaqueByInst, totalEvents,
+                    result.truncated);
+  const std::uint64_t wgSize = range.localCount();
+  for (std::uint64_t g = 0; g < groups && !result.truncated; ++g) {
+    SymBinding bind = base;
+    bind.groupId[0] = static_cast<std::int64_t>(g % gpd[0]);
+    bind.groupId[1] = static_cast<std::int64_t>((g / gpd[0]) % gpd[1]);
+    bind.groupId[2] = static_cast<std::int64_t>(g / (gpd[0] * gpd[1]));
+    for (std::uint64_t l = 0; l < wgSize && !result.truncated; ++l) {
+      bind.localId[0] = static_cast<std::int64_t>(l % range.local[0]);
+      bind.localId[1] =
+          static_cast<std::int64_t>((l / range.local[0]) % range.local[1]);
+      bind.localId[2] =
+          static_cast<std::int64_t>(l / (range.local[0] * range.local[1]));
+      for (int d = 0; d < 3; ++d) {
+        bind.globalId[d] = bind.groupId[d] * base.localSize[d] + bind.localId[d];
+      }
+      const std::uint64_t linear =
+          static_cast<std::uint64_t>(bind.globalId[0]) +
+          static_cast<std::uint64_t>(bind.globalId[1]) * range.global[0] +
+          static_cast<std::uint64_t>(bind.globalId[2]) * range.global[0] *
+              range.global[1];
+      expander.run(bind, chains[linear]);
+    }
+  }
+
+  // Replay the static stream (chains concatenated in work-item order).
+  InstPatternMap staticMap;
+  {
+    Replayer replay(options.dram);
+    for (const auto& [wi, chain] : chains) {
+      for (const StaticEvent& ev : chain) {
+        const dram::AccessPattern p =
+            replay.classify(ev.buffer, ev.offset, ev.isWrite);
+        InstPattern& ip = staticMap.of(ev.instId);
+        ++ip.counts[static_cast<std::size_t>(p)];
+        ++ip.events;
+        ++result.staticStreamEvents;
+      }
+    }
+  }
+  for (const auto& [instId, n] : opaqueByInst) staticMap.of(instId).opaqueEvents = n;
+  annotate(staticMap, summary);
+
+  // Replay the profiled trace the same way (uncoalesced, per-work-item
+  // chains in linear work-item order — what the memory model feeds the
+  // classifier at concurrency 1).
+  InstPatternMap profiledMap;
+  if (profile && profile->ok) {
+    std::map<std::uint64_t, std::vector<const interp::MemoryAccessEvent*>> raw;
+    for (const interp::MemoryAccessEvent& ev : profile->globalTrace) {
+      raw[ev.workItem].push_back(&ev);
+    }
+    Replayer replay(options.dram);
+    for (const auto& [wi, events] : raw) {
+      for (const interp::MemoryAccessEvent* ev : events) {
+        const dram::AccessPattern p =
+            replay.classify(ev->buffer, ev->offset, ev->isWrite);
+        InstPattern& ip = profiledMap.of(ev->instId);
+        ++ip.counts[static_cast<std::size_t>(p)];
+        ++ip.events;
+        ++result.profiledStreamEvents;
+      }
+    }
+    annotate(profiledMap, summary);
+  }
+
+  // Cross-check, weighted by profiled event counts.
+  if (!profiledMap.patterns.empty()) {
+    std::unordered_map<unsigned, std::string> offsetText;
+    for (const MemAccessInfo& access : summary.accesses) {
+      offsetText.try_emplace(access.instId, symStr(access.offset.get()));
+    }
+    std::uint64_t matched = 0;
+    std::uint64_t total = 0;
+    for (const InstPattern& prof : profiledMap.patterns) {
+      total += prof.events;
+      const int profMajority = prof.majority();
+      int staticMajority = -1;
+      auto it = staticMap.index.find(prof.instId);
+      if (it != staticMap.index.end()) {
+        staticMajority = staticMap.patterns[it->second].majority();
+      }
+      if (staticMajority == profMajority && staticMajority >= 0) {
+        matched += prof.events;
+        continue;
+      }
+      PatternDivergence div;
+      div.instId = prof.instId;
+      div.loc = prof.loc;
+      div.staticPattern = staticMajority;
+      div.profiledPattern = profMajority;
+      div.profiledEvents = prof.events;
+      auto ot = offsetText.find(prof.instId);
+      if (ot != offsetText.end()) div.offsetText = ot->second;
+      result.divergences.push_back(std::move(div));
+    }
+    result.agreement =
+        total == 0 ? 1.0
+                   : static_cast<double>(matched) / static_cast<double>(total);
+  }
+
+  result.staticByInst = std::move(staticMap.patterns);
+  result.profiledByInst = std::move(profiledMap.patterns);
+  return result;
+}
+
+}  // namespace flexcl::analysis

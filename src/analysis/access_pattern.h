@@ -1,0 +1,83 @@
+// Static Table 1 access-pattern classification (paper §3.4, without the
+// interpreter).
+//
+// The symbolic KernelSummary gives every global load/store a byte-offset
+// expression and the control tree it executes under. This module expands
+// that into a synthetic per-work-item access stream for the same work-groups
+// the profiler would run, replays it through the DRAM bank/row state machine,
+// and majority-votes a pattern per instruction. When a dynamic profile is
+// available the same replay runs over the profiled trace and the two
+// classifications are cross-checked; every divergence is reported.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/symbolic.h"
+#include "dram/address_map.h"
+#include "dram/pattern.h"
+#include "interp/profiler.h"
+
+namespace flexcl::analysis {
+
+struct CrossCheckOptions {
+  dram::DramConfig dram;
+  /// Work-groups to expand statically; matched against the profiled group
+  /// count when a profile is supplied.
+  std::uint64_t groupsToExpand = 2;
+  /// Trip count assumed for loops with no static trip and no evaluable
+  /// condition (the model's fallbackTripCount).
+  std::int64_t fallbackTripCount = 16;
+  /// Safety caps on static expansion.
+  std::uint64_t maxStreamEvents = 1ull << 22;
+  std::int64_t maxLoopTrips = 1ll << 16;
+};
+
+/// Per-instruction pattern histogram (one side of the cross-check).
+struct InstPattern {
+  unsigned instId = 0;
+  SourceLocation loc;
+  bool isWrite = false;
+  std::array<std::uint64_t, dram::kPatternCount> counts{};
+  std::uint64_t events = 0;        ///< classified accesses
+  std::uint64_t opaqueEvents = 0;  ///< static side: offset not evaluable
+
+  /// Most frequent pattern index, or -1 when no event was classified.
+  [[nodiscard]] int majority() const;
+};
+
+/// One instruction where the static majority disagrees with the profiled one.
+struct PatternDivergence {
+  unsigned instId = 0;
+  SourceLocation loc;
+  int staticPattern = -1;    ///< dram::AccessPattern index; -1 unclassified
+  int profiledPattern = -1;
+  std::uint64_t profiledEvents = 0;
+  std::string offsetText;    ///< symbolic offset, for the diagnostic
+};
+
+struct PatternCrossCheck {
+  std::vector<InstPattern> staticByInst;
+  std::vector<InstPattern> profiledByInst;  ///< empty without a profile
+  std::vector<PatternDivergence> divergences;
+  /// Fraction of profiled global-access events whose instruction's static
+  /// majority matches the profiled majority. 1.0 when there is nothing to
+  /// compare.
+  double agreement = 1.0;
+  std::uint64_t staticStreamEvents = 0;
+  std::uint64_t profiledStreamEvents = 0;
+  /// Static expansion hit a safety cap; static counts are partial.
+  bool truncated = false;
+};
+
+/// Expands and classifies. `args` supplies buffer indices and scalar values
+/// for offset evaluation (may be empty: accesses whose offsets need scalar
+/// args then count as opaque). `profile` may be null (static side only).
+PatternCrossCheck crossCheckPatterns(const KernelSummary& summary,
+                                     const interp::NdRange& range,
+                                     const std::vector<interp::KernelArg>& args,
+                                     const interp::KernelProfile* profile,
+                                     const CrossCheckOptions& options);
+
+}  // namespace flexcl::analysis

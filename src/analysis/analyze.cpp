@@ -1,0 +1,298 @@
+#include "analysis/analyze.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/pass.h"
+#include "ir/verifier.h"
+
+namespace flexcl::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// verifier: the extended IR invariants, re-reported as lint findings
+// ---------------------------------------------------------------------------
+
+class VerifierPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "verifier"; }
+
+  void run(PassContext& ctx) override {
+    for (ir::VerifierIssue& issue : ir::verifyFunctionIssues(ctx.fn)) {
+      LintFinding f;
+      f.pass = name();
+      f.rule = std::move(issue.rule);
+      f.severity = issue.severity;
+      f.loc = issue.loc;
+      f.message = std::move(issue.message);
+      ctx.report.findings.push_back(std::move(f));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// trip-count: loops the model cannot bound statically
+// ---------------------------------------------------------------------------
+
+class TripCountPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "trip-count"; }
+
+  void run(PassContext& ctx) override {
+    ctx.report.loopCount = ctx.summary.loops.size();
+    for (const LoopFact& loop : ctx.summary.loops) {
+      if (loop.staticTrip >= 0) continue;
+      ++ctx.report.unresolvedTripLoops;
+      LintFinding f;
+      f.pass = name();
+      f.rule = "unresolved-trip-count";
+      f.severity = DiagSeverity::Warning;
+      f.loc = loop.loc;
+      f.loopId = loop.loopId;
+      f.message = "loop " + std::to_string(loop.loopId) +
+                  ": trip count not statically resolvable; without a profile "
+                  "the model falls back to fallbackTripCount = 16";
+      if (loop.dependsOnId) {
+        f.message += " (trip count varies per work-item)";
+      } else if (loop.condSymbolic) {
+        f.message += " (condition becomes concrete once launch arguments are "
+                     "known)";
+      } else {
+        f.message += " (condition is data-dependent)";
+      }
+      ctx.report.findings.push_back(std::move(f));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// barrier: barriers under divergent control flow
+// ---------------------------------------------------------------------------
+
+class BarrierPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "barrier"; }
+
+  void run(PassContext& ctx) override {
+    ctx.report.usesBarrier = !ctx.summary.barriers.empty();
+    for (const BarrierFact& barrier : ctx.summary.barriers) {
+      if (!barrier.condMentionsId && !barrier.condOpaque) continue;
+      LintFinding f;
+      f.pass = name();
+      f.rule = "barrier-divergence";
+      f.severity = DiagSeverity::Warning;
+      f.loc = barrier.loc;
+      f.message =
+          barrier.condMentionsId
+              ? "barrier under work-item-dependent control flow: work-items "
+                "of one group can disagree on reaching it"
+              : "barrier under data-dependent control flow: divergence cannot "
+                "be ruled out statically";
+      ctx.report.findings.push_back(std::move(f));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// local-dependence: Figure 3's B[tid-1] recurrence, found statically
+// ---------------------------------------------------------------------------
+
+class LocalDependencePass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "local-dependence"; }
+
+  void run(PassContext& ctx) override {
+    // Local accesses with offsets affine in the local id: evaluate the
+    // symbolic offset at three consecutive lid0 values; a store by work-item
+    // t whose cell is loaded by work-item t+d (constant d > 0) is the
+    // pipeline recurrence the RecMII machinery prices.
+    struct Affine {
+      const MemAccessInfo* access;
+      std::int64_t coeff;
+      std::int64_t intercept;
+    };
+    std::vector<Affine> stores;
+    std::vector<Affine> loads;
+
+    for (const MemAccessInfo& access : ctx.summary.accesses) {
+      if (access.space != ir::AddressSpace::Local) continue;
+      if (access.base != PtrBase::LocalAlloca &&
+          access.base != PtrBase::LocalArg) {
+        continue;
+      }
+      auto f = [&](std::int64_t t) { return evalAtLid0(access, t); };
+      const auto f0 = f(8), f1 = f(9), f2 = f(10);
+      if (!f0 || !f1 || !f2) continue;
+      if (*f2 - *f1 != *f1 - *f0) continue;  // not affine in lid0
+      const std::int64_t coeff = *f1 - *f0;
+      Affine a{&access, coeff, *f0 - 8 * coeff};
+      (access.isWrite ? stores : loads).push_back(a);
+    }
+
+    std::unordered_set<std::uint64_t> seen;
+    for (const Affine& s : stores) {
+      for (const Affine& l : loads) {
+        if (s.access->base != l.access->base ||
+            s.access->baseIndex != l.access->baseIndex) {
+          continue;
+        }
+        if (s.coeff != l.coeff || s.coeff == 0) continue;
+        const std::int64_t delta = s.intercept - l.intercept;
+        if (delta % s.coeff != 0) continue;
+        const std::int64_t distance = delta / s.coeff;
+        if (distance <= 0 || distance > 256) continue;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(s.access->instId) << 32) |
+            l.access->instId;
+        if (!seen.insert(key).second) continue;
+
+        CrossWiDependence dep;
+        dep.storeInstId = s.access->instId;
+        dep.loadInstId = l.access->instId;
+        dep.distance = distance;
+        dep.loc = l.access->loc;
+        ctx.report.crossWiDeps.push_back(dep);
+
+        LintFinding f;
+        f.pass = name();
+        f.rule = "cross-wi-dependence";
+        f.severity = DiagSeverity::Warning;
+        f.loc = l.access->loc;
+        f.instId = static_cast<int>(l.access->instId);
+        f.message = "work-item t+" + std::to_string(distance) +
+                    " reads the local-memory cell work-item t stores "
+                    "(store inst#" + std::to_string(s.access->instId) +
+                    "): pipeline-mode design points are RecMII-bound";
+        ctx.report.findings.push_back(std::move(f));
+      }
+    }
+  }
+
+ private:
+  static std::optional<std::int64_t> evalAtLid0(const MemAccessInfo& access,
+                                                std::int64_t t) {
+    SymBinding bind;
+    bind.localSize = {1024, 1, 1};
+    bind.globalSize = {1048576, 1, 1};
+    bind.numGroups = {1024, 1, 1};
+    bind.localId = {t, 0, 0};
+    bind.globalId = {t, 0, 0};
+    return symEval(access.offset.get(), bind);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// access-pattern: static Table 1 classification + profiled cross-check
+// ---------------------------------------------------------------------------
+
+class AccessPatternPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "access-pattern"; }
+
+  void run(PassContext& ctx) override {
+    std::unordered_set<unsigned> sites;
+    for (const MemAccessInfo& access : ctx.summary.accesses) {
+      if (access.space == ir::AddressSpace::Global ||
+          access.space == ir::AddressSpace::Constant) {
+        sites.insert(access.instId);
+      }
+    }
+    ctx.report.globalAccessSites = sites.size();
+    if (!ctx.options.range) return;
+
+    CrossCheckOptions opts = ctx.options.patterns;
+    opts.groupsToExpand = ctx.options.groupsToProfile;
+    static const std::vector<interp::KernelArg> kNoArgs;
+    const auto& args = ctx.options.args ? *ctx.options.args : kNoArgs;
+    ctx.report.patterns = crossCheckPatterns(ctx.summary, *ctx.options.range,
+                                             args, ctx.profile, opts);
+    ctx.report.crossChecked = ctx.profile != nullptr;
+    const PatternCrossCheck& result = ctx.report.patterns;
+
+    for (const InstPattern& ip : result.staticByInst) {
+      if (ip.majority() >= 0) {
+        ++ctx.report.classifiedSites;
+      } else if (ip.opaqueEvents > 0) {
+        LintFinding f;
+        f.pass = name();
+        f.rule = "unclassified-access";
+        f.severity = DiagSeverity::Note;
+        f.loc = ip.loc;
+        f.instId = static_cast<int>(ip.instId);
+        f.message = "access offset is not statically resolvable (indirect or "
+                    "data-dependent indexing); pattern comes from profiling "
+                    "only";
+        ctx.report.findings.push_back(std::move(f));
+      }
+    }
+
+    if (result.truncated) {
+      LintFinding f;
+      f.pass = name();
+      f.rule = "expansion-truncated";
+      f.severity = DiagSeverity::Warning;
+      f.message = "static access-stream expansion hit a safety cap; static "
+                  "pattern counts are partial";
+      ctx.report.findings.push_back(std::move(f));
+    }
+
+    for (const PatternDivergence& div : result.divergences) {
+      LintFinding f;
+      f.pass = name();
+      f.rule = "pattern-divergence";
+      f.severity = DiagSeverity::Warning;
+      f.loc = div.loc;
+      f.instId = static_cast<int>(div.instId);
+      const char* staticName =
+          div.staticPattern >= 0
+              ? dram::patternName(
+                    static_cast<dram::AccessPattern>(div.staticPattern))
+              : "unclassified";
+      const char* profiledName =
+          div.profiledPattern >= 0
+              ? dram::patternName(
+                    static_cast<dram::AccessPattern>(div.profiledPattern))
+              : "unclassified";
+      f.message = "static classification " + std::string(staticName) +
+                  " disagrees with profiled " + profiledName + " over " +
+                  std::to_string(div.profiledEvents) + " event(s)";
+      if (!div.offsetText.empty()) f.message += "; offset " + div.offsetText;
+      ctx.report.findings.push_back(std::move(f));
+    }
+  }
+};
+
+}  // namespace
+
+LintReport runLintPasses(const ir::Function& fn, const LintOptions& options) {
+  LintReport report;
+  report.kernelName = fn.name();
+  report.reqdWorkGroupSize = fn.reqdWorkGroupSize;
+
+  const KernelSummary summary = summarizeKernel(fn);
+
+  interp::KernelProfile profile;
+  const interp::KernelProfile* profilePtr = nullptr;
+  if (options.profileCrossCheck && options.range && options.args &&
+      options.buffers) {
+    interp::ProfileOptions po;
+    po.groupsToProfile = options.groupsToProfile;
+    po.captureLocalTrace = false;
+    profile = interp::profileKernel(fn, *options.range, *options.args,
+                                    *options.buffers, po);
+    if (profile.ok) profilePtr = &profile;
+  }
+
+  PassContext ctx{fn, summary, options, profilePtr, report};
+  PassManager pm;
+  pm.add(std::make_unique<VerifierPass>());
+  pm.add(std::make_unique<TripCountPass>());
+  pm.add(std::make_unique<BarrierPass>());
+  pm.add(std::make_unique<LocalDependencePass>());
+  pm.add(std::make_unique<AccessPatternPass>());
+  pm.run(ctx);
+  return report;
+}
+
+}  // namespace flexcl::analysis

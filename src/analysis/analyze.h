@@ -1,0 +1,41 @@
+// Entry point of the static kernel analysis subsystem.
+//
+// runLintPasses() runs the standard pass pipeline over a lowered kernel:
+//   verifier          — extended IR invariants (re-reported as findings)
+//   trip-count        — loops whose trip count is not statically resolvable
+//   barrier           — barriers under divergent control flow
+//   local-dependence  — cross-work-item RAW dependences through local memory
+//   access-pattern    — static Table 1 classification (+ profiled cross-check)
+//
+// With only a Function, the lint is purely static. Supplying range/args
+// enables the static access-stream expansion; additionally supplying buffers
+// (with profileCrossCheck set) runs the profiling interpreter and
+// cross-checks the static classification against the profiled one.
+#pragma once
+
+#include "analysis/access_pattern.h"
+#include "analysis/report.h"
+
+namespace flexcl::analysis {
+
+struct LintOptions {
+  /// Launch geometry for static stream expansion (null = static-only lint).
+  const interp::NdRange* range = nullptr;
+  /// Kernel arguments: buffer indices and scalar values for offset
+  /// evaluation. Null is treated as "no scalar bindings".
+  const std::vector<interp::KernelArg>* args = nullptr;
+  /// Buffer contents for the profiling run (null disables the cross-check).
+  const std::vector<std::vector<std::uint8_t>>* buffers = nullptr;
+  /// Run the profiling interpreter and cross-check static vs profiled
+  /// classification (needs range, args and buffers).
+  bool profileCrossCheck = true;
+  /// Work-groups to profile / expand (the paper profiles "a few").
+  std::uint64_t groupsToProfile = 2;
+  CrossCheckOptions patterns;
+};
+
+/// Runs the standard lint pipeline. `fn` must be lowered and renumbered (as
+/// produced by ir::compileOpenCl).
+LintReport runLintPasses(const ir::Function& fn, const LintOptions& options = {});
+
+}  // namespace flexcl::analysis

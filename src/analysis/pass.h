@@ -1,0 +1,50 @@
+// Lint pass interface and pass manager.
+//
+// Passes are stateless objects run in registration order over a shared
+// PassContext: the kernel, its symbolic summary, the options, and (when the
+// caller supplied launch info) the dynamic profile for cross-checking. Each
+// pass appends findings and facts to the report; no pass depends on another
+// pass's findings.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/symbolic.h"
+#include "interp/profiler.h"
+
+namespace flexcl::analysis {
+
+struct LintOptions;
+
+struct PassContext {
+  const ir::Function& fn;
+  const KernelSummary& summary;
+  const LintOptions& options;
+  /// Dynamic profile for the static-vs-profiled cross-check; null when the
+  /// caller gave no launch info (static-only lint).
+  const interp::KernelProfile* profile = nullptr;
+  LintReport& report;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void run(PassContext& ctx) = 0;
+};
+
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+  void run(PassContext& ctx) const {
+    for (const auto& pass : passes_) pass->run(ctx);
+  }
+  [[nodiscard]] std::size_t size() const { return passes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace flexcl::analysis

@@ -1,0 +1,223 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace flexcl::analysis {
+namespace {
+
+const char* severityName(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::Note: return "note";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
+  }
+  return "?";
+}
+
+void jsonEscape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+const char* patternNameOr(int pattern, const char* fallback) {
+  if (pattern < 0 || pattern >= dram::kPatternCount) return fallback;
+  return dram::patternName(static_cast<dram::AccessPattern>(pattern));
+}
+
+}  // namespace
+
+std::size_t LintReport::errorCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const LintFinding& f) {
+        return f.severity == DiagSeverity::Error;
+      }));
+}
+
+std::size_t LintReport::warningCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const LintFinding& f) {
+        return f.severity == DiagSeverity::Warning;
+      }));
+}
+
+void LintReport::emitTo(DiagnosticEngine& diags) const {
+  for (const LintFinding& f : findings) {
+    diags.report(f.severity, f.loc,
+                 "[" + f.pass + "/" + f.rule + "] " + f.message);
+  }
+}
+
+Feasibility checkDesign(const LintReport& report,
+                        const model::DesignPoint& design) {
+  Feasibility result;
+  if (report.hasErrors()) {
+    result.feasible = false;
+    result.reason = "kernel has " + std::to_string(report.errorCount()) +
+                    " lint error(s)";
+    return result;
+  }
+  const auto& reqd = report.reqdWorkGroupSize;
+  if (reqd[0] != 0 || reqd[1] != 0 || reqd[2] != 0) {
+    for (int d = 0; d < 3; ++d) {
+      const std::uint32_t want = std::max<std::uint32_t>(1, reqd[d]);
+      if (design.workGroupSize[d] != want) {
+        result.feasible = false;
+        result.reason = "work-group size " +
+                        std::to_string(design.workGroupSize[0]) + "x" +
+                        std::to_string(design.workGroupSize[1]) + "x" +
+                        std::to_string(design.workGroupSize[2]) +
+                        " violates reqd_work_group_size(" +
+                        std::to_string(reqd[0]) + "," + std::to_string(reqd[1]) +
+                        "," + std::to_string(reqd[2]) + ")";
+        return result;
+      }
+    }
+  }
+  if (design.commMode == model::CommMode::Pipeline &&
+      !report.crossWiDeps.empty()) {
+    std::int64_t minDist = report.crossWiDeps.front().distance;
+    for (const CrossWiDependence& dep : report.crossWiDeps) {
+      minDist = std::min(minDist, dep.distance);
+    }
+    result.recMiiBound = true;
+    result.reason = "cross-work-item dependence (distance " +
+                    std::to_string(minDist) +
+                    ") bounds pipeline initiation interval";
+  }
+  return result;
+}
+
+std::string renderText(const LintReport& report) {
+  std::ostringstream os;
+  os << "lint report for kernel '" << report.kernelName << "'\n";
+  os << "  findings: " << report.errorCount() << " error(s), "
+     << report.warningCount() << " warning(s), "
+     << (report.findings.size() - report.errorCount() - report.warningCount())
+     << " note(s)\n";
+  for (const LintFinding& f : report.findings) {
+    os << "  ";
+    if (f.loc.isValid()) os << f.loc.line << ":" << f.loc.column << ": ";
+    os << severityName(f.severity) << ": [" << f.pass << "/" << f.rule << "] "
+       << f.message << "\n";
+  }
+
+  os << "  loops: " << report.loopCount << " total, "
+     << report.unresolvedTripLoops << " with statically unresolved trip count\n";
+  os << "  global accesses: " << report.classifiedSites << "/"
+     << report.globalAccessSites << " sites classified statically\n";
+  for (const InstPattern& ip : report.patterns.staticByInst) {
+    os << "    inst#" << ip.instId;
+    if (ip.loc.isValid()) os << " @" << ip.loc.line << ":" << ip.loc.column;
+    os << (ip.isWrite ? " store " : " load  ") << "pattern "
+       << patternNameOr(ip.majority(), "unclassified") << " (" << ip.events
+       << " events";
+    if (ip.opaqueEvents > 0) os << ", " << ip.opaqueEvents << " opaque";
+    os << ")\n";
+  }
+  if (report.crossChecked) {
+    os << "  cross-check: " << report.patterns.agreement * 100.0
+       << "% agreement over " << report.patterns.profiledStreamEvents
+       << " profiled events, " << report.patterns.divergences.size()
+       << " divergence(s)\n";
+  }
+  if (!report.crossWiDeps.empty()) {
+    os << "  cross-work-item dependences:\n";
+    for (const CrossWiDependence& dep : report.crossWiDeps) {
+      os << "    store#" << dep.storeInstId << " -> load#" << dep.loadInstId
+         << " distance " << dep.distance << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string renderJson(const LintReport& report) {
+  std::ostringstream os;
+  os << "{";
+  os << "\"kernel\":";
+  jsonEscape(os, report.kernelName);
+  os << ",\"errors\":" << report.errorCount();
+  os << ",\"warnings\":" << report.warningCount();
+  os << ",\"findings\":[";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const LintFinding& f = report.findings[i];
+    if (i) os << ",";
+    os << "{\"pass\":";
+    jsonEscape(os, f.pass);
+    os << ",\"rule\":";
+    jsonEscape(os, f.rule);
+    os << ",\"severity\":\"" << severityName(f.severity) << "\"";
+    os << ",\"line\":" << f.loc.line << ",\"column\":" << f.loc.column;
+    os << ",\"message\":";
+    jsonEscape(os, f.message);
+    if (f.instId >= 0) os << ",\"inst\":" << f.instId;
+    if (f.loopId >= 0) os << ",\"loop\":" << f.loopId;
+    os << "}";
+  }
+  os << "]";
+  os << ",\"loops\":{\"total\":" << report.loopCount
+     << ",\"unresolvedTrip\":" << report.unresolvedTripLoops << "}";
+  os << ",\"accessSites\":{\"global\":" << report.globalAccessSites
+     << ",\"classified\":" << report.classifiedSites << "}";
+  os << ",\"patterns\":[";
+  for (std::size_t i = 0; i < report.patterns.staticByInst.size(); ++i) {
+    const InstPattern& ip = report.patterns.staticByInst[i];
+    if (i) os << ",";
+    os << "{\"inst\":" << ip.instId << ",\"write\":"
+       << (ip.isWrite ? "true" : "false") << ",\"pattern\":";
+    jsonEscape(os, patternNameOr(ip.majority(), "unclassified"));
+    os << ",\"events\":" << ip.events << ",\"opaque\":" << ip.opaqueEvents
+       << "}";
+  }
+  os << "]";
+  os << ",\"crossCheck\":";
+  if (report.crossChecked) {
+    os << "{\"agreement\":" << report.patterns.agreement
+       << ",\"profiledEvents\":" << report.patterns.profiledStreamEvents
+       << ",\"divergences\":[";
+    for (std::size_t i = 0; i < report.patterns.divergences.size(); ++i) {
+      const PatternDivergence& d = report.patterns.divergences[i];
+      if (i) os << ",";
+      os << "{\"inst\":" << d.instId << ",\"static\":";
+      jsonEscape(os, patternNameOr(d.staticPattern, "unclassified"));
+      os << ",\"profiled\":";
+      jsonEscape(os, patternNameOr(d.profiledPattern, "unclassified"));
+      os << ",\"events\":" << d.profiledEvents << "}";
+    }
+    os << "]}";
+  } else {
+    os << "null";
+  }
+  os << ",\"crossWiDependences\":[";
+  for (std::size_t i = 0; i < report.crossWiDeps.size(); ++i) {
+    const CrossWiDependence& dep = report.crossWiDeps[i];
+    if (i) os << ",";
+    os << "{\"store\":" << dep.storeInstId << ",\"load\":" << dep.loadInstId
+       << ",\"distance\":" << dep.distance << "}";
+  }
+  os << "]";
+  os << ",\"reqdWorkGroupSize\":[" << report.reqdWorkGroupSize[0] << ","
+     << report.reqdWorkGroupSize[1] << "," << report.reqdWorkGroupSize[2] << "]";
+  os << ",\"usesBarrier\":" << (report.usesBarrier ? "true" : "false");
+  os << "}";
+  return os.str();
+}
+
+}  // namespace flexcl::analysis

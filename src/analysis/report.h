@@ -1,0 +1,87 @@
+// Lint report: the structured output of the static analysis passes.
+//
+// A LintReport aggregates every pass's findings plus the analysis facts the
+// DSE feasibility check needs (required work-group size, cross-work-item
+// dependences, classification results). It renders to human-readable text,
+// to JSON (for tooling), and into a support::DiagnosticEngine.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/access_pattern.h"
+#include "model/design_point.h"
+#include "support/diagnostics.h"
+
+namespace flexcl::analysis {
+
+/// One diagnostic from a lint pass.
+struct LintFinding {
+  std::string pass;  ///< emitting pass name (e.g. "verifier")
+  std::string rule;  ///< stable kebab-case rule id (e.g. "def-before-use")
+  DiagSeverity severity = DiagSeverity::Warning;
+  SourceLocation loc;
+  std::string message;
+  int instId = -1;  ///< IR instruction id when the finding is access-specific
+  int loopId = -1;  ///< loop id when the finding is loop-specific
+};
+
+/// A statically detected cross-work-item RAW dependence through local memory
+/// (Figure 3's B[tid-1] shape): work-item t+distance reads what work-item t
+/// stored.
+struct CrossWiDependence {
+  unsigned storeInstId = 0;
+  unsigned loadInstId = 0;
+  std::int64_t distance = 0;  ///< in work-items, > 0
+  SourceLocation loc;         ///< location of the load
+};
+
+struct LintReport {
+  std::string kernelName;
+  std::vector<LintFinding> findings;
+
+  // Feasibility inputs.
+  std::array<std::uint32_t, 3> reqdWorkGroupSize = {0, 0, 0};
+  bool usesBarrier = false;
+  std::vector<CrossWiDependence> crossWiDeps;
+
+  // Analysis statistics.
+  std::size_t loopCount = 0;
+  std::size_t unresolvedTripLoops = 0;
+  std::size_t globalAccessSites = 0;
+  std::size_t classifiedSites = 0;  ///< sites with a static pattern majority
+  PatternCrossCheck patterns;
+  bool crossChecked = false;  ///< profiled comparison ran
+
+  [[nodiscard]] std::size_t errorCount() const;
+  [[nodiscard]] std::size_t warningCount() const;
+  [[nodiscard]] bool hasErrors() const { return errorCount() > 0; }
+
+  /// Forwards every finding into `diags` as "[pass/rule] message".
+  void emitTo(DiagnosticEngine& diags) const;
+};
+
+/// Static feasibility of one design point for this kernel.
+struct Feasibility {
+  bool feasible = true;
+  /// Pipeline-mode point whose initiation interval is bound by a
+  /// cross-work-item recurrence (still feasible, but RecMII-limited).
+  bool recMiiBound = false;
+  std::string reason;  ///< set when infeasible or RecMII-bound
+};
+
+/// Checks a design point against the report: lint errors make every point
+/// infeasible, a reqd_work_group_size mismatch makes that point infeasible,
+/// and pipeline-mode points with cross-work-item dependences are flagged
+/// RecMII-bound.
+Feasibility checkDesign(const LintReport& report,
+                        const model::DesignPoint& design);
+
+/// Human-readable multi-line rendering.
+std::string renderText(const LintReport& report);
+/// JSON rendering (single object; see README for the schema).
+std::string renderJson(const LintReport& report);
+
+}  // namespace flexcl::analysis

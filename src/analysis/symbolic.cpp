@@ -1,0 +1,927 @@
+#include "analysis/symbolic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace flexcl::analysis {
+
+// ---------------------------------------------------------------------------
+// Expression construction / evaluation
+// ---------------------------------------------------------------------------
+
+SymExprPtr symConst(std::int64_t v) {
+  auto e = std::make_shared<SymExpr>();
+  e->op = SymExpr::Op::Const;
+  e->value = v;
+  return e;
+}
+
+SymExprPtr symLeaf(Sym s, int index) {
+  auto e = std::make_shared<SymExpr>();
+  e->op = SymExpr::Op::Leaf;
+  e->sym = s;
+  e->index = index;
+  return e;
+}
+
+SymExprPtr symOpaque() {
+  static const SymExprPtr opaque = [] {
+    auto e = std::make_shared<SymExpr>();
+    e->op = SymExpr::Op::Opaque;
+    return e;
+  }();
+  return opaque;
+}
+
+namespace {
+
+bool isConst(const SymExprPtr& e, std::int64_t v) {
+  return e && e->op == SymExpr::Op::Const && e->value == v;
+}
+
+std::optional<std::int64_t> foldBinary(SymExpr::Op op, std::int64_t l,
+                                       std::int64_t r) {
+  switch (op) {
+    case SymExpr::Op::Add: return l + r;
+    case SymExpr::Op::Sub: return l - r;
+    case SymExpr::Op::Mul: return l * r;
+    case SymExpr::Op::Div: return r == 0 ? std::nullopt : std::optional(l / r);
+    case SymExpr::Op::Rem: return r == 0 ? std::nullopt : std::optional(l % r);
+    case SymExpr::Op::Shl: return (r < 0 || r > 62) ? std::nullopt : std::optional(l << r);
+    case SymExpr::Op::Shr: return (r < 0 || r > 62) ? std::nullopt : std::optional(l >> r);
+    case SymExpr::Op::And: return l & r;
+    case SymExpr::Op::Or: return l | r;
+    case SymExpr::Op::Xor: return l ^ r;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+SymExprPtr symBinary(SymExpr::Op op, SymExprPtr lhs, SymExprPtr rhs) {
+  if (!lhs || !rhs) return symOpaque();
+  if (lhs->op == SymExpr::Op::Const && rhs->op == SymExpr::Op::Const) {
+    if (auto v = foldBinary(op, lhs->value, rhs->value)) return symConst(*v);
+  }
+  // Identity simplifications keep offset trees small.
+  if (op == SymExpr::Op::Add) {
+    if (isConst(lhs, 0)) return rhs;
+    if (isConst(rhs, 0)) return lhs;
+  }
+  if (op == SymExpr::Op::Sub && isConst(rhs, 0)) return lhs;
+  if (op == SymExpr::Op::Mul) {
+    if (isConst(lhs, 1)) return rhs;
+    if (isConst(rhs, 1)) return lhs;
+    if (isConst(lhs, 0) || isConst(rhs, 0)) return symConst(0);
+  }
+  auto e = std::make_shared<SymExpr>();
+  e->op = op;
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  return e;
+}
+
+SymExprPtr symCmp(ir::CmpPred pred, SymExprPtr lhs, SymExprPtr rhs) {
+  if (!lhs || !rhs) return symOpaque();
+  auto e = std::make_shared<SymExpr>();
+  e->op = SymExpr::Op::Cmp;
+  e->pred = pred;
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  return e;
+}
+
+SymExprPtr symSelect(SymExprPtr cond, SymExprPtr thenV, SymExprPtr elseV) {
+  if (!cond || !thenV || !elseV) return symOpaque();
+  auto e = std::make_shared<SymExpr>();
+  e->op = SymExpr::Op::Select;
+  e->a = std::move(cond);
+  e->b = std::move(thenV);
+  e->c = std::move(elseV);
+  return e;
+}
+
+std::optional<std::int64_t> symEval(const SymExpr* e, const SymBinding& bind) {
+  if (!e) return std::nullopt;
+  switch (e->op) {
+    case SymExpr::Op::Const:
+      return e->value;
+    case SymExpr::Op::Leaf: {
+      const int d = e->index;
+      auto dim = [&](const std::array<std::int64_t, 3>& a)
+          -> std::optional<std::int64_t> {
+        if (d < 0 || d > 2) return std::nullopt;
+        return a[static_cast<std::size_t>(d)];
+      };
+      switch (e->sym) {
+        case Sym::GlobalId: return dim(bind.globalId);
+        case Sym::LocalId: return dim(bind.localId);
+        case Sym::GroupId: return dim(bind.groupId);
+        case Sym::GlobalSize: return dim(bind.globalSize);
+        case Sym::LocalSize: return dim(bind.localSize);
+        case Sym::NumGroups: return dim(bind.numGroups);
+        case Sym::ScalarArg: {
+          auto it = bind.scalarArgs.find(e->index);
+          if (it == bind.scalarArgs.end()) return std::nullopt;
+          return it->second;
+        }
+        case Sym::LoopIter: {
+          auto it = bind.loopIters.find(e->index);
+          if (it == bind.loopIters.end()) return std::nullopt;
+          return it->second;
+        }
+      }
+      return std::nullopt;
+    }
+    case SymExpr::Op::Cmp: {
+      auto l = symEval(e->a.get(), bind);
+      auto r = symEval(e->b.get(), bind);
+      if (!l || !r) return std::nullopt;
+      switch (e->pred) {
+        case ir::CmpPred::Eq: return *l == *r ? 1 : 0;
+        case ir::CmpPred::Ne: return *l != *r ? 1 : 0;
+        case ir::CmpPred::Lt: return *l < *r ? 1 : 0;
+        case ir::CmpPred::Le: return *l <= *r ? 1 : 0;
+        case ir::CmpPred::Gt: return *l > *r ? 1 : 0;
+        case ir::CmpPred::Ge: return *l >= *r ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    case SymExpr::Op::Select: {
+      auto c = symEval(e->a.get(), bind);
+      if (!c) return std::nullopt;
+      return symEval(*c != 0 ? e->b.get() : e->c.get(), bind);
+    }
+    case SymExpr::Op::Opaque:
+      return std::nullopt;
+    default: {
+      auto l = symEval(e->a.get(), bind);
+      auto r = symEval(e->b.get(), bind);
+      if (!l || !r) return std::nullopt;
+      return foldBinary(e->op, *l, *r);
+    }
+  }
+}
+
+bool symIsOpaque(const SymExpr* e) {
+  if (!e) return true;
+  if (e->op == SymExpr::Op::Opaque) return true;
+  return (e->a && symIsOpaque(e->a.get())) || (e->b && symIsOpaque(e->b.get())) ||
+         (e->c && symIsOpaque(e->c.get()));
+}
+
+bool symMentions(const SymExpr* e, Sym kind) {
+  if (!e) return false;
+  if (e->op == SymExpr::Op::Leaf && e->sym == kind) return true;
+  return (e->a && symMentions(e->a.get(), kind)) ||
+         (e->b && symMentions(e->b.get(), kind)) ||
+         (e->c && symMentions(e->c.get(), kind));
+}
+
+std::string symStr(const SymExpr* e) {
+  if (!e) return "?";
+  switch (e->op) {
+    case SymExpr::Op::Const: return std::to_string(e->value);
+    case SymExpr::Op::Leaf: {
+      const char* base = "?";
+      switch (e->sym) {
+        case Sym::GlobalId: base = "gid"; break;
+        case Sym::LocalId: base = "lid"; break;
+        case Sym::GroupId: base = "grp"; break;
+        case Sym::GlobalSize: base = "gsz"; break;
+        case Sym::LocalSize: base = "lsz"; break;
+        case Sym::NumGroups: base = "ngrp"; break;
+        case Sym::ScalarArg: base = "arg"; break;
+        case Sym::LoopIter: base = "it"; break;
+      }
+      return std::string(base) + std::to_string(e->index);
+    }
+    case SymExpr::Op::Opaque: return "opaque";
+    case SymExpr::Op::Cmp:
+      return "(" + symStr(e->a.get()) + " " + ir::cmpPredName(e->pred) + " " +
+             symStr(e->b.get()) + ")";
+    case SymExpr::Op::Select:
+      return "(" + symStr(e->a.get()) + " ? " + symStr(e->b.get()) + " : " +
+             symStr(e->c.get()) + ")";
+    default: {
+      const char* opc = "?";
+      switch (e->op) {
+        case SymExpr::Op::Add: opc = "+"; break;
+        case SymExpr::Op::Sub: opc = "-"; break;
+        case SymExpr::Op::Mul: opc = "*"; break;
+        case SymExpr::Op::Div: opc = "/"; break;
+        case SymExpr::Op::Rem: opc = "%"; break;
+        case SymExpr::Op::Shl: opc = "<<"; break;
+        case SymExpr::Op::Shr: opc = ">>"; break;
+        case SymExpr::Op::And: opc = "&"; break;
+        case SymExpr::Op::Or: opc = "|"; break;
+        case SymExpr::Op::Xor: opc = "^"; break;
+        default: break;
+      }
+      return "(" + symStr(e->a.get()) + opc + symStr(e->b.get()) + ")";
+    }
+  }
+}
+
+namespace {
+
+/// Structural equality with a depth cap (shared subtrees make pointer
+/// equality hit the common cases first).
+bool symEqual(const SymExpr* a, const SymExpr* b, int depth = 16) {
+  if (a == b) return true;
+  if (!a || !b || depth <= 0) return false;
+  if (a->op != b->op) return false;
+  switch (a->op) {
+    case SymExpr::Op::Const: return a->value == b->value;
+    case SymExpr::Op::Leaf: return a->sym == b->sym && a->index == b->index;
+    case SymExpr::Op::Opaque: return true;
+    case SymExpr::Op::Cmp:
+      if (a->pred != b->pred) return false;
+      [[fallthrough]];
+    default:
+      return symEqual(a->a.get(), b->a.get(), depth - 1) &&
+             symEqual(a->b.get(), b->b.get(), depth - 1) &&
+             symEqual(a->c.get(), b->c.get(), depth - 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic walker
+// ---------------------------------------------------------------------------
+
+struct PtrVal {
+  PtrBase base = PtrBase::Unknown;
+  int index = -1;
+  const ir::Instruction* allocaInst = nullptr;
+  SymExprPtr offset;  // never null
+};
+
+struct ValState {
+  enum class Kind : std::uint8_t { Unknown, Int, Ptr };
+  Kind kind = Kind::Unknown;
+  SymExprPtr i;
+  PtrVal p;
+
+  static ValState unknown() { return {}; }
+  static ValState intVal(SymExprPtr e) {
+    ValState v;
+    v.kind = Kind::Int;
+    v.i = std::move(e);
+    return v;
+  }
+  static ValState ptrVal(PtrVal p) {
+    ValState v;
+    v.kind = Kind::Ptr;
+    v.p = std::move(p);
+    return v;
+  }
+};
+
+bool sameBase(const PtrVal& a, const PtrVal& b) {
+  return a.base == b.base && a.index == b.index && a.allocaInst == b.allocaInst;
+}
+
+Sym symForQuery(ir::WiQuery q) {
+  switch (q) {
+    case ir::WiQuery::GlobalId: return Sym::GlobalId;
+    case ir::WiQuery::LocalId: return Sym::LocalId;
+    case ir::WiQuery::GroupId: return Sym::GroupId;
+    case ir::WiQuery::GlobalSize: return Sym::GlobalSize;
+    case ir::WiQuery::LocalSize: return Sym::LocalSize;
+    case ir::WiQuery::NumGroups: return Sym::NumGroups;
+  }
+  return Sym::GlobalId;
+}
+
+class Walker {
+ public:
+  explicit Walker(const ir::Function& fn) : fn_(fn) {
+    out_.fn = &fn;
+    for (std::size_t i = 0; i < fn.localAllocas.size(); ++i) {
+      localAllocaIndex_[fn.localAllocas[i]] = static_cast<int>(i);
+    }
+    computeReachable();
+  }
+
+  KernelSummary run() {
+    if (const ir::Region* root = fn_.rootRegion()) {
+      walkRegion(*root, &out_.roots);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // --- reachability (skip dead blocks lowered after return/break) -----------
+  void computeReachable() {
+    const ir::BasicBlock* entry = fn_.entry();
+    if (!entry) return;
+    std::vector<const ir::BasicBlock*> worklist = {entry};
+    reachable_.insert(entry);
+    while (!worklist.empty()) {
+      const ir::BasicBlock* bb = worklist.back();
+      worklist.pop_back();
+      const ir::Instruction* term = bb->terminator();
+      if (!term) continue;
+      for (ir::BasicBlock* t : {term->target0, term->target1}) {
+        if (t && reachable_.insert(t).second) worklist.push_back(t);
+      }
+    }
+  }
+
+  // --- value lattice ---------------------------------------------------------
+  ValState valueOf(const ir::Value* v) {
+    if (!v) return ValState::unknown();
+    switch (v->valueKind()) {
+      case ir::Value::Kind::Constant: {
+        const auto* c = static_cast<const ir::Constant*>(v);
+        if (c->isFloatConstant()) return ValState::unknown();
+        return ValState::intVal(symConst(c->intValue()));
+      }
+      case ir::Value::Kind::Argument: {
+        const auto* arg = static_cast<const ir::Argument*>(v);
+        const ir::Type* t = arg->type();
+        if (t->isPointer()) {
+          PtrVal p;
+          p.index = static_cast<int>(arg->index());
+          p.offset = symConst(0);
+          switch (t->addressSpace()) {
+            case ir::AddressSpace::Global:
+            case ir::AddressSpace::Constant:
+              p.base = PtrBase::BufferArg;
+              return ValState::ptrVal(p);
+            case ir::AddressSpace::Local:
+              p.base = PtrBase::LocalArg;
+              return ValState::ptrVal(p);
+            default:
+              return ValState::unknown();
+          }
+        }
+        if (t->isInt() || t->isBool()) {
+          return ValState::intVal(
+              symLeaf(Sym::ScalarArg, static_cast<int>(arg->index())));
+        }
+        return ValState::unknown();
+      }
+      case ir::Value::Kind::Instruction: {
+        const auto* inst = static_cast<const ir::Instruction*>(v);
+        if (inst->opcode() == ir::Opcode::Alloca) {
+          PtrVal p;
+          p.allocaInst = inst;
+          p.offset = symConst(0);
+          if (inst->allocaSpace == ir::AddressSpace::Local) {
+            p.base = PtrBase::LocalAlloca;
+            auto it = localAllocaIndex_.find(inst);
+            p.index = it == localAllocaIndex_.end() ? -1 : it->second;
+          } else {
+            p.base = PtrBase::PrivateAlloca;
+          }
+          return ValState::ptrVal(p);
+        }
+        auto it = vals_.find(inst);
+        return it == vals_.end() ? ValState::unknown() : it->second;
+      }
+    }
+    return ValState::unknown();
+  }
+
+  SymExprPtr intExprOf(const ir::Value* v) {
+    ValState s = valueOf(v);
+    return s.kind == ValState::Kind::Int ? s.i : symOpaque();
+  }
+
+  // --- instruction execution -------------------------------------------------
+  void execBlock(const ir::BasicBlock* bb, std::vector<AccessTreeNode>* into) {
+    if (!bb || !reachable_.count(bb)) return;
+    for (const ir::Instruction* inst : bb->instructions()) execInst(*inst, into);
+  }
+
+  void execInst(const ir::Instruction& inst, std::vector<AccessTreeNode>* into) {
+    using ir::Opcode;
+    switch (inst.opcode()) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl: case Opcode::Shr: {
+        SymExpr::Op op = SymExpr::Op::Opaque;
+        switch (inst.opcode()) {
+          case Opcode::Add: op = SymExpr::Op::Add; break;
+          case Opcode::Sub: op = SymExpr::Op::Sub; break;
+          case Opcode::Mul: op = SymExpr::Op::Mul; break;
+          case Opcode::Div: op = SymExpr::Op::Div; break;
+          case Opcode::Rem: op = SymExpr::Op::Rem; break;
+          case Opcode::And: op = SymExpr::Op::And; break;
+          case Opcode::Or: op = SymExpr::Op::Or; break;
+          case Opcode::Xor: op = SymExpr::Op::Xor; break;
+          case Opcode::Shl: op = SymExpr::Op::Shl; break;
+          case Opcode::Shr: op = SymExpr::Op::Shr; break;
+          default: break;
+        }
+        ValState l = valueOf(inst.operand(0));
+        ValState r = valueOf(inst.operand(1));
+        if (l.kind == ValState::Kind::Int && r.kind == ValState::Kind::Int) {
+          vals_[&inst] = ValState::intVal(symBinary(op, l.i, r.i));
+        } else {
+          vals_[&inst] = ValState::unknown();
+        }
+        break;
+      }
+      case Opcode::ICmp: {
+        ValState l = valueOf(inst.operand(0));
+        ValState r = valueOf(inst.operand(1));
+        if (l.kind == ValState::Kind::Int && r.kind == ValState::Kind::Int) {
+          vals_[&inst] = ValState::intVal(symCmp(inst.cmpPred, l.i, r.i));
+        } else {
+          vals_[&inst] = ValState::unknown();
+        }
+        break;
+      }
+      case Opcode::Select: {
+        ValState c = valueOf(inst.operand(0));
+        ValState a = valueOf(inst.operand(1));
+        ValState b = valueOf(inst.operand(2));
+        if (c.kind == ValState::Kind::Int && a.kind == ValState::Kind::Int &&
+            b.kind == ValState::Kind::Int) {
+          vals_[&inst] = ValState::intVal(symSelect(c.i, a.i, b.i));
+        } else {
+          vals_[&inst] = ValState::unknown();
+        }
+        break;
+      }
+      case Opcode::Trunc: case Opcode::ZExt: case Opcode::SExt:
+      case Opcode::Bitcast:
+        // Width changes are transparent: offsets stay well inside 64 bits for
+        // every geometry we model.
+        vals_[&inst] = valueOf(inst.operand(0));
+        break;
+      case Opcode::PtrAdd: {
+        ValState base = valueOf(inst.operand(0));
+        SymExprPtr off = intExprOf(inst.operand(1));
+        if (base.kind == ValState::Kind::Ptr) {
+          PtrVal p = base.p;
+          p.offset = symBinary(SymExpr::Op::Add, p.offset, off);
+          vals_[&inst] = ValState::ptrVal(p);
+        } else {
+          vals_[&inst] = ValState::unknown();
+        }
+        break;
+      }
+      case Opcode::WorkItemId: {
+        ValState d = valueOf(inst.operand(0));
+        if (d.kind == ValState::Kind::Int && d.i->op == SymExpr::Op::Const) {
+          vals_[&inst] = ValState::intVal(
+              symLeaf(symForQuery(inst.wiQuery), static_cast<int>(d.i->value)));
+        } else {
+          vals_[&inst] = ValState::unknown();
+        }
+        break;
+      }
+      case Opcode::Call:
+        vals_[&inst] = execMathCall(inst);
+        break;
+      case Opcode::Load:
+        execLoad(inst, into);
+        break;
+      case Opcode::Store:
+        execStore(inst, into);
+        break;
+      case Opcode::Barrier:
+        if (recording_) recordBarrier(inst);
+        break;
+      case Opcode::Alloca:
+      case Opcode::Br: case Opcode::CondBr: case Opcode::Ret:
+        break;
+      default:
+        // Float arithmetic, vector lane ops, remaining casts: not tracked.
+        vals_[&inst] = ValState::unknown();
+        break;
+    }
+  }
+
+  ValState execMathCall(const ir::Instruction& inst) {
+    // Integer min/max/abs/clamp show up in index computations; everything
+    // else is numeric data the offset analysis never needs.
+    const ir::Type* t = inst.type();
+    if (!t || !(t->isInt() || t->isBool())) return ValState::unknown();
+    auto arg = [&](std::size_t i) { return intExprOf(inst.operand(i)); };
+    const auto n = inst.operands().size();
+    switch (inst.mathFunc) {
+      case ir::MathFunc::Min:
+        if (n == 2) {
+          return ValState::intVal(
+              symSelect(symCmp(ir::CmpPred::Le, arg(0), arg(1)), arg(0), arg(1)));
+        }
+        break;
+      case ir::MathFunc::Max:
+        if (n == 2) {
+          return ValState::intVal(
+              symSelect(symCmp(ir::CmpPred::Ge, arg(0), arg(1)), arg(0), arg(1)));
+        }
+        break;
+      case ir::MathFunc::Abs:
+        if (n == 1) {
+          return ValState::intVal(
+              symSelect(symCmp(ir::CmpPred::Ge, arg(0), symConst(0)), arg(0),
+                        symBinary(SymExpr::Op::Sub, symConst(0), arg(0))));
+        }
+        break;
+      case ir::MathFunc::Clamp:
+        if (n == 3) {
+          SymExprPtr lo = symSelect(symCmp(ir::CmpPred::Ge, arg(0), arg(1)),
+                                    arg(0), arg(1));
+          return ValState::intVal(
+              symSelect(symCmp(ir::CmpPred::Le, lo, arg(2)), lo, arg(2)));
+        }
+        break;
+      default:
+        break;
+    }
+    return ValState::unknown();
+  }
+
+  bool isWholeSlotAccess(const PtrVal& p, const ir::Type* accessType) const {
+    return p.base == PtrBase::PrivateAlloca && p.allocaInst &&
+           p.offset->op == SymExpr::Op::Const && p.offset->value == 0 &&
+           p.allocaInst->allocaType == accessType;
+  }
+
+  void execLoad(const ir::Instruction& inst, std::vector<AccessTreeNode>* into) {
+    ValState ptr = valueOf(inst.operand(0));
+    const ir::AddressSpace space = inst.memSpace;
+    if (space == ir::AddressSpace::Private) {
+      if (ptr.kind == ValState::Kind::Ptr && isWholeSlotAccess(ptr.p, inst.type())) {
+        auto it = slots_.find(ptr.p.allocaInst);
+        vals_[&inst] = it == slots_.end() ? ValState::unknown() : it->second;
+      } else {
+        vals_[&inst] = ValState::unknown();
+      }
+      return;
+    }
+    recordAccess(inst, ptr, /*isWrite=*/false, into);
+    vals_[&inst] = ValState::unknown();
+  }
+
+  void execStore(const ir::Instruction& inst, std::vector<AccessTreeNode>* into) {
+    ValState ptr = valueOf(inst.operand(1));
+    const ir::AddressSpace space = inst.memSpace;
+    if (space == ir::AddressSpace::Private) {
+      if (ptr.kind == ValState::Kind::Ptr) {
+        if (isWholeSlotAccess(ptr.p, inst.operand(0)->type())) {
+          slots_[ptr.p.allocaInst] = valueOf(inst.operand(0));
+        } else if (ptr.p.base == PtrBase::PrivateAlloca && ptr.p.allocaInst) {
+          // Partial write (vector lane, array element): drop what we knew.
+          slots_[ptr.p.allocaInst] = ValState::unknown();
+        }
+      }
+      return;
+    }
+    recordAccess(inst, ptr, /*isWrite=*/true, into);
+  }
+
+  void recordAccess(const ir::Instruction& inst, const ValState& ptr,
+                    bool isWrite, std::vector<AccessTreeNode>* into) {
+    if (!recording_ || !into) return;
+    MemAccessInfo info;
+    info.inst = &inst;
+    info.instId = inst.id;
+    info.loc = inst.loc;
+    info.isWrite = isWrite;
+    info.space = inst.memSpace;
+    const ir::Type* vt = isWrite ? inst.operand(0)->type() : inst.type();
+    info.size = vt ? static_cast<std::uint32_t>(vt->sizeInBytes()) : 0;
+    if (ptr.kind == ValState::Kind::Ptr) {
+      info.base = ptr.p.base;
+      info.baseIndex = ptr.p.index;
+      info.offset = ptr.p.offset;
+    } else {
+      info.base = PtrBase::Unknown;
+      info.offset = symOpaque();
+    }
+    info.divergent = contextDivergent();
+    AccessTreeNode node;
+    node.kind = AccessTreeNode::Kind::Access;
+    node.accessIndex = static_cast<int>(out_.accesses.size());
+    out_.accesses.push_back(std::move(info));
+    into->push_back(std::move(node));
+  }
+
+  bool contextDivergent() const {
+    for (const SymExprPtr& c : condCtx_) {
+      if (!c) continue;
+      if (symIsOpaque(c.get()) || symMentions(c.get(), Sym::GlobalId) ||
+          symMentions(c.get(), Sym::LocalId)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void recordBarrier(const ir::Instruction& inst) {
+    BarrierFact fact;
+    fact.inst = &inst;
+    fact.loc = inst.loc;
+    fact.underCondition = !condCtx_.empty();
+    for (const SymExprPtr& c : condCtx_) {
+      if (!c) continue;
+      if (symMentions(c.get(), Sym::GlobalId) || symMentions(c.get(), Sym::LocalId)) {
+        fact.condMentionsId = true;
+      } else if (symIsOpaque(c.get())) {
+        fact.condOpaque = true;
+      }
+    }
+    out_.barriers.push_back(fact);
+  }
+
+  // --- region walk -----------------------------------------------------------
+  SymExprPtr condOfBlock(const ir::BasicBlock* bb) {
+    if (!bb) return nullptr;
+    const ir::Instruction* term = bb->terminator();
+    if (!term || term->opcode() != ir::Opcode::CondBr || term->operands().empty()) {
+      return nullptr;
+    }
+    return intExprOf(term->operand(0));
+  }
+
+  void walkRegion(const ir::Region& region, std::vector<AccessTreeNode>* into) {
+    switch (region.kind) {
+      case ir::Region::Kind::Seq:
+        for (const auto& child : region.children) walkRegion(*child, into);
+        break;
+      case ir::Region::Kind::Block:
+        execBlock(region.block, into);
+        break;
+      case ir::Region::Kind::If:
+        walkIf(region, into);
+        break;
+      case ir::Region::Kind::Loop:
+        walkLoop(region, into);
+        break;
+    }
+  }
+
+  void walkIf(const ir::Region& region, std::vector<AccessTreeNode>* into) {
+    // The cond block was walked as the preceding Block node; its terminator
+    // holds the branch condition.
+    SymExprPtr cond = condOfBlock(region.condBlock);
+    if (!cond) cond = symOpaque();
+
+    AccessTreeNode node;
+    node.kind = AccessTreeNode::Kind::Cond;
+    node.cond = cond;
+
+    auto snapshot = slots_;
+    condCtx_.push_back(cond);
+    if (!region.children.empty()) walkRegion(*region.children[0], &node.children);
+    node.thenCount = node.children.size();
+    auto thenSlots = std::move(slots_);
+    slots_ = snapshot;
+    if (region.children.size() > 1) walkRegion(*region.children[1], &node.children);
+    condCtx_.pop_back();
+
+    // Join: keep slots both arms agree on, drop the rest.
+    auto& elseSlots = slots_;
+    std::unordered_map<const ir::Instruction*, ValState> merged;
+    for (const auto& [slot, tv] : thenSlots) {
+      auto it = elseSlots.find(slot);
+      if (it == elseSlots.end()) continue;
+      const ValState& ev = it->second;
+      if (tv.kind != ev.kind) continue;
+      if (tv.kind == ValState::Kind::Int && symEqual(tv.i.get(), ev.i.get())) {
+        merged[slot] = tv;
+      } else if (tv.kind == ValState::Kind::Ptr && sameBase(tv.p, ev.p) &&
+                 symEqual(tv.p.offset.get(), ev.p.offset.get())) {
+        merged[slot] = tv;
+      }
+    }
+    slots_ = std::move(merged);
+
+    if (recording_ && into) into->push_back(std::move(node));
+  }
+
+  /// Syntactic scan: every alloca stored anywhere under `region` (including
+  /// cond/latch blocks). Used to conservatively squash nested loops during
+  /// the induction probe.
+  void collectStoredSlots(const ir::Region& region,
+                          std::unordered_set<const ir::Instruction*>& out) {
+    auto scanBlock = [&](const ir::BasicBlock* bb) {
+      if (!bb) return;
+      for (const ir::Instruction* inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::Store) continue;
+        ValState ptr = valueOf(inst->operand(1));
+        if (ptr.kind == ValState::Kind::Ptr && ptr.p.allocaInst) {
+          out.insert(ptr.p.allocaInst);
+        }
+      }
+    };
+    scanBlock(region.block);
+    scanBlock(region.condBlock);
+    scanBlock(region.latchBlock);
+    for (const auto& child : region.children) collectStoredSlots(*child, out);
+  }
+
+  /// One pass over the loop's header/body/latch. In probe mode nothing is
+  /// recorded and nested loops are squashed to "clobbers everything it
+  /// stores"; the slot delta tells us which slots are inductions.
+  void walkLoopOnce(const ir::Region& region, bool probe,
+                    std::vector<AccessTreeNode>* into, SymExprPtr* condOut) {
+    const bool condFirst = region.condBlock != region.latchBlock;
+    if (probe) {
+      const bool savedRecording = recording_;
+      recording_ = false;
+      if (condFirst) execBlock(region.condBlock, nullptr);
+      for (const auto& child : region.children) walkRegionProbe(*child);
+      execBlock(region.latchBlock, nullptr);
+      recording_ = savedRecording;
+      return;
+    }
+    if (condFirst) {
+      execBlock(region.condBlock, into);
+      if (condOut) *condOut = condOfBlock(region.condBlock);
+    }
+    condCtx_.push_back(condOut ? *condOut : nullptr);
+    for (const auto& child : region.children) walkRegion(*child, into);
+    if (region.latchBlock != region.condBlock) execBlock(region.latchBlock, into);
+    if (!condFirst) {
+      execBlock(region.condBlock, into);
+      if (condOut) *condOut = condOfBlock(region.condBlock);
+    }
+    condCtx_.pop_back();
+  }
+
+  /// Probe-mode region walk: like walkRegion but nested loops only smash the
+  /// slots they store to (no fixpoint needed to learn the outer body's shape).
+  void walkRegionProbe(const ir::Region& region) {
+    switch (region.kind) {
+      case ir::Region::Kind::Seq:
+        for (const auto& child : region.children) walkRegionProbe(*child);
+        break;
+      case ir::Region::Kind::Block:
+        execBlock(region.block, nullptr);
+        break;
+      case ir::Region::Kind::If:
+        walkIf(region, nullptr);
+        break;
+      case ir::Region::Kind::Loop: {
+        std::unordered_set<const ir::Instruction*> stored;
+        collectStoredSlots(region, stored);
+        for (const ir::Instruction* slot : stored) {
+          slots_[slot] = ValState::unknown();
+        }
+        break;
+      }
+    }
+  }
+
+  void walkLoop(const ir::Region& region, std::vector<AccessTreeNode>* into) {
+    // Probe: run the body once to find induction slots (slot' = slot + const,
+    // including pointer walks). Each slot is replaced by a unique opaque
+    // placeholder for the probe — probing against the real entry value would
+    // let constant folding destroy the additive shape (i = 0 stepping by 1
+    // yields Const 1, not Add(i, 1)).
+    auto entrySlots = slots_;
+    std::unordered_map<const ir::Instruction*, SymExprPtr> placeholders;
+    for (auto& [slot, val] : slots_) {
+      if (val.kind == ValState::Kind::Int) {
+        placeholders[slot] = val.i = symOpaque();
+      } else if (val.kind == ValState::Kind::Ptr) {
+        placeholders[slot] = val.p.offset = symOpaque();
+      }
+    }
+    walkLoopOnce(region, /*probe=*/true, nullptr, nullptr);
+
+    struct Induction {
+      ValState entry;
+      std::int64_t step = 0;
+      bool isPtr = false;
+    };
+    std::unordered_map<const ir::Instruction*, Induction> inductions;
+    std::unordered_set<const ir::Instruction*> clobbered;
+
+    auto stepOf = [](const SymExpr* oldE, const SymExpr* newE)
+        -> std::optional<std::int64_t> {
+      if (!newE) return std::nullopt;
+      if (newE->op == SymExpr::Op::Add) {
+        if (newE->a.get() == oldE && newE->b && newE->b->op == SymExpr::Op::Const)
+          return newE->b->value;
+        if (newE->b.get() == oldE && newE->a && newE->a->op == SymExpr::Op::Const)
+          return newE->a->value;
+      }
+      if (newE->op == SymExpr::Op::Sub && newE->a.get() == oldE && newE->b &&
+          newE->b->op == SymExpr::Op::Const) {
+        return -newE->b->value;
+      }
+      return std::nullopt;
+    };
+
+    for (const auto& [slot, newVal] : slots_) {
+      auto oldIt = entrySlots.find(slot);
+      const ValState* oldVal = oldIt == entrySlots.end() ? nullptr : &oldIt->second;
+      auto phIt = placeholders.find(slot);
+      const SymExpr* ph = phIt == placeholders.end() ? nullptr : phIt->second.get();
+      if (!ph || !oldVal) {
+        // No placeholder: the slot held no expression at entry (Unknown, or
+        // first stored inside the loop). Unknown -> Unknown is a no-change;
+        // anything else is a clobber.
+        if (!(oldVal && oldVal->kind == ValState::Kind::Unknown &&
+              newVal.kind == ValState::Kind::Unknown)) {
+          clobbered.insert(slot);
+        }
+        continue;
+      }
+      // Placeholders are compared by identity: symEqual treats any two
+      // opaque nodes as equal, which would alias distinct slots.
+      const bool kindAndBaseMatch =
+          oldVal->kind == newVal.kind &&
+          (newVal.kind != ValState::Kind::Ptr || sameBase(oldVal->p, newVal.p));
+      const SymExpr* newE = newVal.kind == ValState::Kind::Int
+                                ? newVal.i.get()
+                                : newVal.kind == ValState::Kind::Ptr
+                                      ? newVal.p.offset.get()
+                                      : nullptr;
+      if (kindAndBaseMatch && newE == ph) continue;  // unchanged
+      if (kindAndBaseMatch) {
+        if (auto s = stepOf(ph, newE)) {
+          inductions[slot] = {*oldVal, *s,
+                              newVal.kind == ValState::Kind::Ptr};
+          continue;
+        }
+      }
+      clobbered.insert(slot);
+    }
+
+    // Real walk: inductions become entry + step*iter, the rest is unknown.
+    slots_ = std::move(entrySlots);
+    SymExprPtr iter = symLeaf(Sym::LoopIter, region.loopId);
+    for (const auto& [slot, ind] : inductions) {
+      SymExprPtr delta =
+          symBinary(SymExpr::Op::Mul, symConst(ind.step), iter);
+      if (ind.isPtr) {
+        PtrVal p = ind.entry.p;
+        p.offset = symBinary(SymExpr::Op::Add, p.offset, delta);
+        slots_[slot] = ValState::ptrVal(p);
+      } else {
+        slots_[slot] =
+            ValState::intVal(symBinary(SymExpr::Op::Add, ind.entry.i, delta));
+      }
+    }
+    for (const ir::Instruction* slot : clobbered) {
+      slots_[slot] = ValState::unknown();
+    }
+
+    AccessTreeNode node;
+    node.kind = AccessTreeNode::Kind::Loop;
+    node.loopId = region.loopId;
+    node.condFirst = region.condBlock != region.latchBlock;
+    node.staticTrip = region.staticTripCount;
+    SymExprPtr cond;
+    walkLoopOnce(region, /*probe=*/false, &node.children, &cond);
+    node.loopCond = cond;
+
+    if (recording_) {
+      LoopFact fact;
+      fact.loopId = region.loopId;
+      fact.loc = region.loc;
+      fact.staticTrip = region.staticTripCount;
+      fact.condSymbolic = cond && !symIsOpaque(cond.get());
+      fact.dependsOnId = cond && (symMentions(cond.get(), Sym::GlobalId) ||
+                                  symMentions(cond.get(), Sym::LocalId));
+      out_.loops.push_back(fact);
+    }
+
+    // Post-loop slot state: a closed form needs the trip count; only the
+    // statically-known case is kept, everything else turns unknown.
+    for (const auto& [slot, ind] : inductions) {
+      if (region.staticTripCount >= 0) {
+        SymExprPtr delta = symBinary(
+            SymExpr::Op::Mul, symConst(ind.step), symConst(region.staticTripCount));
+        if (ind.isPtr) {
+          PtrVal p = ind.entry.p;
+          p.offset = symBinary(SymExpr::Op::Add, p.offset, delta);
+          slots_[slot] = ValState::ptrVal(p);
+        } else {
+          slots_[slot] =
+              ValState::intVal(symBinary(SymExpr::Op::Add, ind.entry.i, delta));
+        }
+      } else {
+        slots_[slot] = ValState::unknown();
+      }
+    }
+
+    if (recording_ && into) into->push_back(std::move(node));
+  }
+
+  const ir::Function& fn_;
+  KernelSummary out_;
+  std::unordered_map<const ir::Value*, ValState> vals_;
+  std::unordered_map<const ir::Instruction*, ValState> slots_;
+  std::unordered_map<const ir::Instruction*, int> localAllocaIndex_;
+  std::unordered_set<const ir::BasicBlock*> reachable_;
+  std::vector<SymExprPtr> condCtx_;
+  bool recording_ = true;
+};
+
+}  // namespace
+
+KernelSummary summarizeKernel(const ir::Function& fn) {
+  return Walker(fn).run();
+}
+
+}  // namespace flexcl::analysis

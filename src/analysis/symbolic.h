@@ -1,0 +1,187 @@
+// Symbolic execution over the IR region tree (static kernel analysis).
+//
+// Walks a kernel once, tracking private scalar slots as symbolic expressions
+// over NDRange queries, scalar arguments and loop iteration counters. The
+// result is a KernelSummary: every global/local memory access with a symbolic
+// byte-offset expression and buffer provenance, the control tree the accesses
+// sit in (loops with per-iteration conditions, guarded branches), and the
+// loop/barrier facts the lint passes report on. This is what lets the model
+// classify Table 1 access patterns without running the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace flexcl::analysis {
+
+// ---------------------------------------------------------------------------
+// Symbolic expressions
+// ---------------------------------------------------------------------------
+
+/// Leaf symbols. The `index` of a leaf is the NDRange dimension (id/size
+/// kinds), the kernel argument index (ScalarArg) or the loop id (LoopIter).
+enum class Sym : std::uint8_t {
+  GlobalId, LocalId, GroupId, GlobalSize, LocalSize, NumGroups,
+  ScalarArg,
+  LoopIter,
+};
+
+struct SymExpr;
+using SymExprPtr = std::shared_ptr<const SymExpr>;
+
+/// Expression tree over int64 semantics. Opaque marks values the analysis
+/// cannot see through (data loaded from memory, float-derived values);
+/// evaluation of any expression containing Opaque fails.
+struct SymExpr {
+  enum class Op : std::uint8_t {
+    Const, Leaf,
+    Add, Sub, Mul, Div, Rem, Shl, Shr, And, Or, Xor,
+    Cmp,     // pred(a, b) -> 0/1
+    Select,  // c ? a : b
+    Opaque,
+  };
+  Op op = Op::Opaque;
+  std::int64_t value = 0;             // Const
+  Sym sym = Sym::GlobalId;            // Leaf
+  int index = 0;                      // Leaf payload (see Sym)
+  ir::CmpPred pred = ir::CmpPred::Eq; // Cmp
+  SymExprPtr a, b, c;
+};
+
+SymExprPtr symConst(std::int64_t v);
+SymExprPtr symLeaf(Sym s, int index);
+SymExprPtr symOpaque();
+/// Binary node with local constant folding and +0/*1 simplification.
+SymExprPtr symBinary(SymExpr::Op op, SymExprPtr lhs, SymExprPtr rhs);
+SymExprPtr symCmp(ir::CmpPred pred, SymExprPtr lhs, SymExprPtr rhs);
+SymExprPtr symSelect(SymExprPtr cond, SymExprPtr thenV, SymExprPtr elseV);
+
+/// Concrete bindings for evaluation. Loop iteration values are looked up by
+/// loopId in `loopIters` (missing id -> evaluation fails).
+struct SymBinding {
+  std::array<std::int64_t, 3> globalId{0, 0, 0};
+  std::array<std::int64_t, 3> localId{0, 0, 0};
+  std::array<std::int64_t, 3> groupId{0, 0, 0};
+  std::array<std::int64_t, 3> globalSize{1, 1, 1};
+  std::array<std::int64_t, 3> localSize{1, 1, 1};
+  std::array<std::int64_t, 3> numGroups{1, 1, 1};
+  /// Integer values of scalar kernel args by argument index; entries for
+  /// non-integer args are ignored. May be empty (evaluation of ScalarArg
+  /// leaves then fails).
+  std::unordered_map<int, std::int64_t> scalarArgs;
+  std::unordered_map<int, std::int64_t> loopIters;
+};
+
+/// Evaluates under `bind`; nullopt when the expression contains Opaque or an
+/// unbound leaf, or divides by zero.
+std::optional<std::int64_t> symEval(const SymExpr* e, const SymBinding& bind);
+
+/// True when the tree contains an Opaque node.
+bool symIsOpaque(const SymExpr* e);
+/// True when the tree contains a leaf of the given kind.
+bool symMentions(const SymExpr* e, Sym kind);
+/// Compact rendering for diagnostics, e.g. "((gid0*4)+(arg2*16))".
+std::string symStr(const SymExpr* e);
+
+// ---------------------------------------------------------------------------
+// Kernel summary
+// ---------------------------------------------------------------------------
+
+/// What a pointer expression is based on.
+enum class PtrBase : std::uint8_t {
+  None,          ///< not a pointer
+  BufferArg,     ///< __global/__constant pointer argument (index = arg index)
+  LocalArg,      ///< __local pointer argument (index = arg index)
+  LocalAlloca,   ///< __local variable (index = position in fn.localAllocas)
+  PrivateAlloca, ///< private slot/array (index unused)
+  Unknown,
+};
+
+/// One static global/local memory access site (a Load or Store instruction),
+/// with its byte offset relative to the base as a symbolic expression.
+struct MemAccessInfo {
+  const ir::Instruction* inst = nullptr;
+  unsigned instId = 0;
+  SourceLocation loc;
+  bool isWrite = false;
+  ir::AddressSpace space = ir::AddressSpace::Global;
+  std::uint32_t size = 0;  ///< bytes moved
+  PtrBase base = PtrBase::Unknown;
+  int baseIndex = -1;
+  SymExprPtr offset;       ///< byte offset from base; contains Opaque when unknown
+  bool divergent = false;  ///< under id-dependent or opaque control flow
+};
+
+/// Node of the access/control tree used to statically expand the per-work-item
+/// access stream. Children of a Cond node split at `thenCount`.
+struct AccessTreeNode {
+  enum class Kind : std::uint8_t { Access, Cond, Loop };
+  Kind kind = Kind::Access;
+
+  int accessIndex = -1;  // Access: index into KernelSummary::accesses
+
+  // Cond
+  SymExprPtr cond;          // Opaque-containing when not statically known
+  std::size_t thenCount = 0;
+
+  // Loop
+  int loopId = -1;
+  SymExprPtr loopCond;      // re-evaluated per iteration; null for for(;;)
+  bool condFirst = true;    // false for do-loops (body runs before the check)
+  std::int64_t staticTrip = -1;
+
+  std::vector<AccessTreeNode> children;
+};
+
+struct LoopFact {
+  int loopId = -1;
+  SourceLocation loc;
+  std::int64_t staticTrip = -1;
+  /// Condition is a non-opaque symbolic expression (resolvable once launch
+  /// constants are known).
+  bool condSymbolic = false;
+  /// Trip count varies per work-item (condition mentions global/local id).
+  bool dependsOnId = false;
+};
+
+struct BarrierFact {
+  const ir::Instruction* inst = nullptr;
+  SourceLocation loc;
+  bool underCondition = false;
+  /// Enclosing condition mentions get_global_id/get_local_id: work-items of
+  /// one group can disagree on reaching the barrier.
+  bool condMentionsId = false;
+  /// Enclosing condition is data-dependent (opaque): possibly divergent.
+  bool condOpaque = false;
+};
+
+struct KernelSummary {
+  const ir::Function* fn = nullptr;
+  std::vector<MemAccessInfo> accesses;
+  std::vector<AccessTreeNode> roots;  ///< program-order access/control tree
+  std::vector<LoopFact> loops;
+  std::vector<BarrierFact> barriers;
+
+  [[nodiscard]] std::size_t globalAccessCount() const {
+    std::size_t n = 0;
+    for (const auto& a : accesses) {
+      if (a.space == ir::AddressSpace::Global ||
+          a.space == ir::AddressSpace::Constant) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+/// Runs the symbolic walk. Requires a lowered kernel with a region tree and
+/// renumbered instructions (as produced by ir::compileOpenCl).
+KernelSummary summarizeKernel(const ir::Function& fn);
+
+}  // namespace flexcl::analysis

@@ -87,10 +87,11 @@ void Explorer::forEachIndex(std::size_t n,
 }
 
 std::vector<std::size_t> Explorer::localSizeRepresentatives(
-    const std::vector<model::DesignPoint>& space) {
+    const std::vector<model::DesignPoint>& space,
+    const std::vector<std::size_t>& candidates) {
   std::vector<std::size_t> reps;
   std::set<LocalSizeKey> seen;
-  for (std::size_t i = 0; i < space.size(); ++i) {
+  for (std::size_t i : candidates) {
     const interp::NdRange range = model::FlexCl::rangeFor(launch_, space[i]);
     const LocalSizeKey key{range.local[0], range.local[1], range.local[2]};
     if (seen.insert(key).second) reps.push_back(i);
@@ -144,12 +145,28 @@ double Explorer::modelDesign(const model::DesignPoint& design) {
 ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space) {
   ExplorationResult result;
 
+  // Static feasibility: with a lint report attached, statically infeasible
+  // points are skipped before any evaluator runs (and never prewarmed).
+  // Without one every point is feasible and the behaviour matches the
+  // pre-lint explorer exactly.
+  std::vector<analysis::Feasibility> verdicts(space.size());
+  if (options_.lint) {
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      verdicts[i] = analysis::checkDesign(*options_.lint, space[i]);
+    }
+  }
+  std::vector<std::size_t> feasible;
+  feasible.reserve(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (verdicts[i].feasible) feasible.push_back(i);
+  }
+
   // One representative design per distinct effective local size: the shared
   // per-wg artifacts (interpreter profile, simulator input) are built from
   // these, in parallel across sizes, before each full sweep. Without the
   // prewarm, the first jobs of a parallel sweep would all block on the same
   // per-key computation and serialise the warm-up.
-  const std::vector<std::size_t> reps = localSizeRepresentatives(space);
+  const std::vector<std::size_t> reps = localSizeRepresentatives(space, feasible);
 
   // FlexCL pass (timed separately: this is the "seconds" column of Table 2;
   // profiling is part of the model's cost, so the prewarm is inside the
@@ -158,8 +175,9 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
   std::vector<model::Estimate> estimates(space.size());
   forEachIndex(reps.size(),
                [&](std::size_t k) { flexcl_.profileFor(launch_, space[reps[k]]); });
-  forEachIndex(space.size(),
-               [&](std::size_t i) { estimates[i] = evalFlexcl(space[i]); });
+  forEachIndex(feasible.size(), [&](std::size_t k) {
+    estimates[feasible[k]] = evalFlexcl(space[feasible[k]]);
+  });
   const auto t1 = std::chrono::steady_clock::now();
   result.flexclSeconds = seconds(t0, t1);
 
@@ -169,18 +187,22 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
   std::vector<sim::SimResult> sims(space.size());
   forEachIndex(reps.size(),
                [&](std::size_t k) { simInputFor(space[reps[k]]); });
-  forEachIndex(space.size(),
-               [&](std::size_t i) { sims[i] = evalSim(space[i]); });
+  forEachIndex(feasible.size(), [&](std::size_t k) {
+    sims[feasible[k]] = evalSim(space[feasible[k]]);
+  });
   const auto t2 = std::chrono::steady_clock::now();
   result.simSeconds = seconds(t1, t2);
 
   // SDAccel pass.
   std::vector<std::optional<sdaccel::SdaccelEstimate>> sdaccels(space.size());
-  forEachIndex(space.size(),
-               [&](std::size_t i) { sdaccels[i] = evalSdaccel(space[i]); });
+  forEachIndex(feasible.size(), [&](std::size_t k) {
+    sdaccels[feasible[k]] = evalSdaccel(space[feasible[k]]);
+  });
 
   // Serial aggregation, in design order — together with the by-index result
   // vectors above this makes `result` independent of the worker count.
+  // Averages divide by the evaluated (feasible) count, which equals the
+  // design count whenever nothing is skipped.
   result.designs.reserve(space.size());
   int sdaccelFailures = 0;
   double flexclErrSum = 0, sdaccelErrSum = 0;
@@ -188,6 +210,15 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
   for (std::size_t i = 0; i < space.size(); ++i) {
     EvaluatedDesign ed;
     ed.design = space[i];
+    if (!verdicts[i].feasible) {
+      ed.skipped = true;
+      ed.infeasibleReason = verdicts[i].reason;
+      ++result.skippedCount;
+      result.designs.push_back(std::move(ed));
+      continue;
+    }
+    ed.recMiiBound = verdicts[i].recMiiBound;
+    if (ed.recMiiBound) ed.infeasibleReason = verdicts[i].reason;
     ed.flexclCycles = estimates[i].ok ? estimates[i].cycles : 0;
     ed.simCycles = sims[i].ok ? sims[i].cycles : 0;
 
@@ -207,10 +238,11 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
     result.designs.push_back(std::move(ed));
   }
 
-  if (!result.designs.empty()) {
-    result.avgFlexclErrorPct = flexclErrSum / result.designs.size();
+  if (!feasible.empty()) {
+    result.avgFlexclErrorPct =
+        flexclErrSum / static_cast<double>(feasible.size());
     result.sdaccelFailRatePct =
-        100.0 * sdaccelFailures / static_cast<double>(result.designs.size());
+        100.0 * sdaccelFailures / static_cast<double>(feasible.size());
   }
   if (sdaccelSurvivors > 0) {
     result.avgSdaccelErrorPct = sdaccelErrSum / sdaccelSurvivors;

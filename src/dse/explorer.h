@@ -20,6 +20,7 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/report.h"
 #include "dse/design_space.h"
 #include "model/bottleneck.h"
 #include "model/flexcl.h"
@@ -37,6 +38,12 @@ struct EvaluatedDesign {
   double simCycles = 0;
   std::optional<double> sdaccelCycles;  ///< nullopt = estimator failed
   double sdaccelMinutes = 0;
+  /// Statically infeasible (lint verdict): no evaluator ran on this point.
+  bool skipped = false;
+  /// Feasible pipeline point whose II is bound by a cross-work-item
+  /// recurrence (annotation only; the point is still evaluated).
+  bool recMiiBound = false;
+  std::string infeasibleReason;  ///< set when skipped or recMiiBound
 
   [[nodiscard]] double flexclErrorPct() const {
     return simCycles > 0 ? std::abs(flexclCycles - simCycles) / simCycles * 100.0
@@ -51,6 +58,8 @@ struct EvaluatedDesign {
 struct ExplorationResult {
   std::vector<EvaluatedDesign> designs;
 
+  /// Design points skipped as statically infeasible (see EvaluatedDesign).
+  int skippedCount = 0;
   double avgFlexclErrorPct = 0;
   double avgSdaccelErrorPct = 0;  ///< over surviving designs only
   double sdaccelFailRatePct = 0;
@@ -85,6 +94,12 @@ struct ExplorerOptions {
   /// hash still distinguishes most launches; passing the real hash makes the
   /// key collision-safe across same-named kernels.
   std::uint64_t kernelHash = 0;
+  /// Optional lint report for the kernel (runtime::CompiledKernel::lint or a
+  /// fresh analysis::runLintPasses result). When set, statically infeasible
+  /// design points are skipped before any evaluator runs and RecMII-bound
+  /// pipeline points are annotated. Null preserves pre-lint behaviour
+  /// exactly.
+  const analysis::LintReport* lint = nullptr;
 };
 
 class Explorer {
@@ -118,9 +133,11 @@ class Explorer {
   void forEachIndex(std::size_t n,
                     const std::function<void(std::size_t)>& body);
   /// One representative design index per distinct effective local size —
-  /// the unit of profile / sim-input prewarming.
+  /// the unit of profile / sim-input prewarming. `candidates` are the
+  /// (feasible) indices into `space` to draw from.
   std::vector<std::size_t> localSizeRepresentatives(
-      const std::vector<model::DesignPoint>& space);
+      const std::vector<model::DesignPoint>& space,
+      const std::vector<std::size_t>& candidates);
 
   model::Estimate evalFlexcl(const model::DesignPoint& design);
   sim::SimResult evalSim(const model::DesignPoint& design);

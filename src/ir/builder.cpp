@@ -7,6 +7,7 @@ namespace flexcl::ir {
 Instruction* IRBuilder::emit(Opcode op, const Type* type) {
   assert(block_ && "no insertion block set");
   Instruction* inst = fn_.createInstruction(op, type);
+  inst->loc = loc_;
   block_->append(inst);
   return inst;
 }
@@ -56,6 +57,7 @@ Instruction* IRBuilder::allocaInst(const Type* allocated, AddressSpace space,
   // allocation (model). This sidesteps ordering issues for declarations that
   // appear after control flow has branched.
   Instruction* inst = fn_.createInstruction(Opcode::Alloca, ptrType);
+  inst->loc = loc_;
   inst->allocaSpace = space;
   inst->allocaType = allocated;
   inst->setName(std::move(name));

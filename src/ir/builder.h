@@ -14,6 +14,11 @@ class IRBuilder {
   void setInsertBlock(BasicBlock* bb) { block_ = bb; }
   [[nodiscard]] BasicBlock* insertBlock() const { return block_; }
 
+  /// Source position stamped onto every instruction emitted until the next
+  /// call. The lowerer sets this at each statement/expression boundary.
+  void setCurrentLoc(SourceLocation loc) { loc_ = loc; }
+  [[nodiscard]] SourceLocation currentLoc() const { return loc_; }
+
   // --- arithmetic / logic ----------------------------------------------------
   Value* binary(Opcode op, Value* lhs, Value* rhs, const Type* type);
   Value* icmp(CmpPred pred, Value* lhs, Value* rhs, const Type* boolType);
@@ -57,6 +62,7 @@ class IRBuilder {
 
   Function& fn_;
   BasicBlock* block_ = nullptr;
+  SourceLocation loc_;
 };
 
 }  // namespace flexcl::ir

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ir/type.h"
+#include "support/source_location.h"
 
 namespace flexcl::ir {
 
@@ -157,6 +158,9 @@ class Instruction final : public Value {
   BasicBlock* target1 = nullptr;
   /// Unique id within the function, assigned by Function::renumber().
   unsigned id = 0;
+  /// Kernel source position this instruction was lowered from (invalid when
+  /// the instruction is lowering plumbing with no direct source statement).
+  SourceLocation loc;
 
   [[nodiscard]] bool isTerminator() const {
     return op_ == Opcode::Br || op_ == Opcode::CondBr || op_ == Opcode::Ret;
@@ -221,6 +225,9 @@ struct Region {
   int loopId = -1;           ///< dense id used by trip-count profiling
   std::int64_t staticTripCount = -1;  ///< -1 when unknown statically
   int unrollHint = 0;        ///< 0 none, -1 full, >0 factor
+  /// Source position of the statement this region was lowered from (loop /
+  /// if keyword); invalid for synthesized Seq/Block nodes.
+  SourceLocation loc;
 };
 
 class Function {

@@ -491,6 +491,7 @@ void Lowerer::lowerKernel(const ocl::FunctionDecl& decl) {
 // ---------------------------------------------------------------------------
 
 void Lowerer::lowerStmt(const Stmt& stmt) {
+  b_->setCurrentLoc(stmt.location);
   switch (stmt.kind()) {
     case Stmt::Kind::Compound:
       lowerCompound(static_cast<const ocl::CompoundStmt&>(stmt));
@@ -565,6 +566,7 @@ void Lowerer::lowerIf(const ocl::IfStmt& stmt) {
   auto ifRegion = std::make_unique<Region>();
   ifRegion->kind = Region::Kind::If;
   ifRegion->condBlock = condBlock;
+  ifRegion->loc = stmt.location;
 
   auto thenSeq = std::make_unique<Region>();
   thenSeq->kind = Region::Kind::Seq;
@@ -613,6 +615,7 @@ void Lowerer::lowerFor(const ocl::ForStmt& stmt) {
   loopRegion->loopId = fn_->loopCount++;
   loopRegion->staticTripCount = detectStaticTripCount(stmt);
   loopRegion->unrollHint = stmt.unrollHint;
+  loopRegion->loc = stmt.location;
 
   auto bodySeq = std::make_unique<Region>();
   bodySeq->kind = Region::Kind::Seq;
@@ -658,6 +661,7 @@ void Lowerer::lowerWhile(const ocl::WhileStmt& stmt) {
   loopRegion->loopId = fn_->loopCount++;
   loopRegion->staticTripCount = -1;
   loopRegion->unrollHint = stmt.unrollHint;
+  loopRegion->loc = stmt.location;
 
   auto bodySeq = std::make_unique<Region>();
   bodySeq->kind = Region::Kind::Seq;
@@ -698,6 +702,7 @@ void Lowerer::lowerDo(const ocl::DoStmt& stmt) {
   loopRegion->latchBlock = latchBB;
   loopRegion->loopId = fn_->loopCount++;
   loopRegion->staticTripCount = -1;
+  loopRegion->loc = stmt.location;
   auto bodySeq = std::make_unique<Region>();
   bodySeq->kind = Region::Kind::Seq;
   Region* bodyPtr = bodySeq.get();
@@ -740,6 +745,7 @@ void Lowerer::lowerReturn(const ocl::ReturnStmt& stmt) {
 // ---------------------------------------------------------------------------
 
 Value* Lowerer::lowerExpr(const Expr& e) {
+  if (e.location.isValid()) b_->setCurrentLoc(e.location);
   switch (e.kind()) {
     case Expr::Kind::IntLiteral: {
       const auto& lit = static_cast<const ocl::IntLiteralExpr&>(e);
@@ -831,6 +837,7 @@ Value* Lowerer::lowerExpr(const Expr& e) {
 }
 
 Value* Lowerer::lowerAddress(const Expr& e) {
+  if (e.location.isValid()) b_->setCurrentLoc(e.location);
   switch (e.kind()) {
     case Expr::Kind::DeclRef: {
       const auto& ref = static_cast<const ocl::DeclRefExpr&>(e);
@@ -861,8 +868,13 @@ Value* Lowerer::lowerAddress(const Expr& e) {
         return slotFor(*static_cast<const ocl::DeclRefExpr&>(*idx.base).decl);
       }
       Value* index = lowerExpr(*idx.index);
+      Value* idx64 = index;
+      if (index->type() != types_.i64()) {
+        idx64 = b_->cast(index->type()->isSigned() ? Opcode::SExt : Opcode::ZExt,
+                         index, types_.i64());
+      }
       Value* scaled = b_->binary(
-          Opcode::Mul, index,
+          Opcode::Mul, idx64,
           i64Const(static_cast<std::int64_t>(elemType->sizeInBytes())), types_.i64());
       return b_->ptrAdd(basePtr, scaled, types_.pointerType(elemType, space));
     }
@@ -1023,7 +1035,15 @@ Value* Lowerer::lowerUnary(const ocl::UnaryExpr& e) {
     }
     case UnaryOp::LogNot: {
       Value* v = lowerExpr(*e.operand);
-      return b_->icmp(CmpPred::Eq, v, intConst(types_.boolType(), 0), types_.boolType());
+      const Type* vt = v->type();
+      if (vt->isFloat()) {
+        return b_->fcmp(CmpPred::Eq, v, fn_->floatConstant(vt, 0.0), types_.boolType());
+      }
+      if (vt->isPointer()) {
+        // Pointers are never null in our memory model, so !p is false.
+        return intConst(types_.boolType(), 0);
+      }
+      return b_->icmp(CmpPred::Eq, v, intConst(vt, 0), types_.boolType());
     }
     case UnaryOp::PreInc:
     case UnaryOp::PreDec:
@@ -1233,9 +1253,7 @@ std::unique_ptr<CompiledProgram> compileOpenCl(
   compiled->ast = std::move(ast);
   if (diags.hasErrors()) return nullptr;
   for (const auto& fn : compiled->module->functions()) {
-    for (const std::string& problem : verifyFunction(*fn)) {
-      diags.error(SourceLocation{}, "IR verifier: " + fn->name() + ": " + problem);
-    }
+    reportVerifierIssues(*fn, diags);
   }
   if (diags.hasErrors()) return nullptr;
   return compiled;

@@ -1,5 +1,7 @@
 #include "ir/verifier.h"
 
+#include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace flexcl::ir {
@@ -14,93 +16,394 @@ void collectRegionBlocks(const Region* region,
   for (const auto& child : region->children) collectRegionBlocks(child.get(), out);
 }
 
+/// Dense per-function CFG facts used by the dominance checks. Blocks are
+/// indexed by their position in Function::blocks() (ids may be stale when the
+/// caller has not renumbered yet).
+struct CfgInfo {
+  std::unordered_map<const BasicBlock*, unsigned> index;
+  std::vector<std::vector<unsigned>> preds;
+  std::vector<bool> reachable;
+  // dom[b] = bitset of blocks dominating b (only meaningful when reachable).
+  std::vector<std::vector<std::uint64_t>> dom;
+  unsigned words = 0;
+
+  [[nodiscard]] bool dominates(unsigned a, unsigned b) const {
+    return (dom[b][a >> 6] >> (a & 63)) & 1;
+  }
+};
+
+CfgInfo buildCfg(const Function& fn) {
+  CfgInfo cfg;
+  const auto& blocks = fn.blocks();
+  const unsigned n = static_cast<unsigned>(blocks.size());
+  for (unsigned i = 0; i < n; ++i) cfg.index[blocks[i].get()] = i;
+  cfg.preds.resize(n);
+  cfg.reachable.assign(n, false);
+
+  auto successors = [&](unsigned i) {
+    std::vector<unsigned> out;
+    const Instruction* term = blocks[i]->terminator();
+    if (!term) return out;
+    for (BasicBlock* t : {term->target0, term->target1}) {
+      auto it = t ? cfg.index.find(t) : cfg.index.end();
+      if (it != cfg.index.end()) out.push_back(it->second);
+    }
+    return out;
+  };
+
+  if (n == 0) return cfg;
+  std::vector<unsigned> worklist = {0};
+  cfg.reachable[0] = true;
+  while (!worklist.empty()) {
+    unsigned b = worklist.back();
+    worklist.pop_back();
+    for (unsigned s : successors(b)) {
+      cfg.preds[s].push_back(b);
+      if (!cfg.reachable[s]) {
+        cfg.reachable[s] = true;
+        worklist.push_back(s);
+      }
+    }
+  }
+
+  // Iterative dominator sets over the reachable subgraph: dom(entry) =
+  // {entry}; dom(b) = {b} ∪ ⋂ dom(preds). Block counts are small (tens), so
+  // plain bitset iteration converges quickly.
+  cfg.words = (n + 63) / 64;
+  std::vector<std::uint64_t> all(cfg.words, ~std::uint64_t{0});
+  cfg.dom.assign(n, all);
+  auto onlySelf = [&](unsigned b) {
+    std::vector<std::uint64_t> s(cfg.words, 0);
+    s[b >> 6] |= std::uint64_t{1} << (b & 63);
+    return s;
+  };
+  cfg.dom[0] = onlySelf(0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (unsigned b = 1; b < n; ++b) {
+      if (!cfg.reachable[b]) continue;
+      std::vector<std::uint64_t> next(cfg.words, ~std::uint64_t{0});
+      bool anyPred = false;
+      for (unsigned p : cfg.preds[b]) {
+        if (!cfg.reachable[p]) continue;
+        anyPred = true;
+        for (unsigned w = 0; w < cfg.words; ++w) next[w] &= cfg.dom[p][w];
+      }
+      if (!anyPred) next.assign(cfg.words, 0);
+      next[b >> 6] |= std::uint64_t{1} << (b & 63);
+      if (next != cfg.dom[b]) {
+        cfg.dom[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return cfg;
+}
+
+class Checker {
+ public:
+  explicit Checker(const Function& fn) : fn_(fn) {}
+
+  std::vector<VerifierIssue> run() {
+    checkBlocks();
+    checkDefBeforeUse();
+    checkAllocaLists();
+    checkRegionTree();
+    return std::move(issues_);
+  }
+
+ private:
+  void add(DiagSeverity sev, SourceLocation loc, std::string rule,
+           std::string message) {
+    issues_.push_back({sev, loc, std::move(rule), std::move(message)});
+  }
+  void error(SourceLocation loc, std::string rule, std::string message) {
+    add(DiagSeverity::Error, loc, std::move(rule), std::move(message));
+  }
+  void warn(SourceLocation loc, std::string rule, std::string message) {
+    add(DiagSeverity::Warning, loc, std::move(rule), std::move(message));
+  }
+
+  void checkBlocks() {
+    std::unordered_set<const BasicBlock*> ownBlocks;
+    for (const auto& bb : fn_.blocks()) ownBlocks.insert(bb.get());
+
+    for (const auto& bb : fn_.blocks()) {
+      const auto& insts = bb->instructions();
+      if (insts.empty() || !insts.back()->isTerminator()) {
+        error({}, "terminator",
+              "block '" + bb->name() + "' does not end in a terminator");
+      }
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        const Instruction* inst = insts[i];
+        if (inst->isTerminator() && i + 1 != insts.size()) {
+          error(inst->loc, "terminator",
+                "block '" + bb->name() + "' has instructions after a terminator");
+        }
+        if (inst->opcode() == Opcode::Alloca) {
+          error(inst->loc, "alloca-placement",
+                "alloca must not appear inside a block (block '" + bb->name() +
+                    "')");
+        }
+        checkInstruction(*inst, *bb, ownBlocks);
+      }
+    }
+  }
+
+  void checkInstruction(const Instruction& inst, const BasicBlock& bb,
+                        const std::unordered_set<const BasicBlock*>& ownBlocks) {
+    switch (inst.opcode()) {
+      case Opcode::Br:
+        if (!inst.target0 || !ownBlocks.count(inst.target0)) {
+          error(inst.loc, "branch-target",
+                "br in '" + bb.name() + "' targets a foreign block");
+        }
+        break;
+      case Opcode::CondBr:
+        if (!inst.target0 || !inst.target1 || !ownBlocks.count(inst.target0) ||
+            !ownBlocks.count(inst.target1)) {
+          error(inst.loc, "branch-target",
+                "condbr in '" + bb.name() + "' targets a foreign block");
+        }
+        if (inst.operands().size() != 1) {
+          error(inst.loc, "operand-shape",
+                "condbr must have exactly one condition operand");
+        }
+        break;
+      case Opcode::Load:
+        if (inst.operands().size() != 1 || !inst.operand(0)->type() ||
+            !inst.operand(0)->type()->isPointer()) {
+          error(inst.loc, "operand-shape",
+                "load in '" + bb.name() + "' needs a pointer operand");
+        } else if (inst.type() &&
+                   inst.operand(0)->type()->element() != inst.type()) {
+          warn(inst.loc, "type-consistency",
+               "load in '" + bb.name() + "' reads " + inst.type()->str() +
+                   " through a pointer to " +
+                   inst.operand(0)->type()->element()->str());
+        }
+        if (!inst.type()) {
+          error(inst.loc, "operand-shape", "load must produce a typed value");
+        }
+        break;
+      case Opcode::Store:
+        if (inst.operands().size() != 2 || !inst.operand(1)->type() ||
+            !inst.operand(1)->type()->isPointer()) {
+          error(inst.loc, "operand-shape",
+                "store in '" + bb.name() + "' needs (value, pointer) operands");
+        } else if (inst.operand(0)->type() &&
+                   inst.operand(1)->type()->element() != inst.operand(0)->type()) {
+          warn(inst.loc, "type-consistency",
+               "store in '" + bb.name() + "' writes " +
+                   inst.operand(0)->type()->str() + " through a pointer to " +
+                   inst.operand(1)->type()->element()->str());
+        }
+        break;
+      case Opcode::Select:
+        if (inst.operands().size() != 3) {
+          error(inst.loc, "operand-shape", "select needs three operands");
+        } else if (inst.type() && (inst.operand(1)->type() != inst.type() ||
+                                   inst.operand(2)->type() != inst.type())) {
+          warn(inst.loc, "type-consistency",
+               "select in '" + bb.name() + "' mixes arm types");
+        }
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem:
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv: case Opcode::FRem:
+      case Opcode::And: case Opcode::Or: case Opcode::Xor:
+        if (inst.operands().size() == 2 && inst.type() &&
+            (inst.operand(0)->type() != inst.type() ||
+             inst.operand(1)->type() != inst.type())) {
+          warn(inst.loc, "type-consistency",
+               std::string("'") + opcodeName(inst.opcode()) + "' in '" +
+                   bb.name() + "' mixes operand and result types");
+        }
+        if (!inst.type()) {
+          error(inst.loc, "operand-shape",
+                std::string("instruction '") + opcodeName(inst.opcode()) +
+                    "' missing a result type");
+        }
+        break;
+      case Opcode::Shl: case Opcode::Shr:
+        // Shift amounts may legitimately be narrower than the shifted value.
+        if (inst.operands().size() == 2 && inst.type() &&
+            inst.operand(0)->type() != inst.type()) {
+          warn(inst.loc, "type-consistency",
+               std::string("'") + opcodeName(inst.opcode()) + "' in '" +
+                   bb.name() + "' mixes operand and result types");
+        }
+        if (!inst.type()) {
+          error(inst.loc, "operand-shape",
+                std::string("instruction '") + opcodeName(inst.opcode()) +
+                    "' missing a result type");
+        }
+        break;
+      case Opcode::ICmp: case Opcode::FCmp:
+        if (inst.operands().size() == 2 &&
+            inst.operand(0)->type() != inst.operand(1)->type()) {
+          warn(inst.loc, "type-consistency",
+               std::string("'") + opcodeName(inst.opcode()) + "' in '" +
+                   bb.name() + "' compares values of different types (" +
+                   inst.operand(0)->type()->str() + " vs " +
+                   inst.operand(1)->type()->str() + ")");
+        }
+        break;
+      case Opcode::Barrier:
+      case Opcode::Ret:
+        break;
+      default:
+        if (!inst.isTerminator() && !inst.type()) {
+          error(inst.loc, "operand-shape",
+                std::string("instruction '") + opcodeName(inst.opcode()) +
+                    "' missing a result type");
+        }
+        break;
+    }
+  }
+
+  void checkDefBeforeUse() {
+    CfgInfo cfg = buildCfg(fn_);
+    // Position of each in-block instruction: (block index, index in block).
+    std::unordered_map<const Instruction*, std::pair<unsigned, unsigned>> pos;
+    const auto& blocks = fn_.blocks();
+    for (unsigned b = 0; b < blocks.size(); ++b) {
+      const auto& insts = blocks[b]->instructions();
+      for (unsigned i = 0; i < insts.size(); ++i) pos[insts[i]] = {b, i};
+    }
+
+    for (unsigned b = 0; b < blocks.size(); ++b) {
+      if (b >= cfg.reachable.size() || !cfg.reachable[b]) continue;
+      const auto& insts = blocks[b]->instructions();
+      for (unsigned i = 0; i < insts.size(); ++i) {
+        const Instruction* inst = insts[i];
+        for (const Value* opnd : inst->operands()) {
+          if (opnd->valueKind() != Value::Kind::Instruction) continue;
+          const auto* def = static_cast<const Instruction*>(opnd);
+          if (def->opcode() == Opcode::Alloca) continue;  // frame storage
+          auto it = pos.find(def);
+          if (it == pos.end()) {
+            error(inst->loc, "def-before-use",
+                  std::string("'") + opcodeName(inst->opcode()) + "' in '" +
+                      blocks[b]->name() +
+                      "' uses an instruction that is not in any block");
+            continue;
+          }
+          const auto [defBlock, defIdx] = it->second;
+          const bool ok = defBlock == b
+                              ? defIdx < i
+                              : (cfg.reachable[defBlock] &&
+                                 cfg.dominates(defBlock, b));
+          if (!ok) {
+            error(inst->loc, "def-before-use",
+                  std::string("'") + opcodeName(inst->opcode()) + "' in '" +
+                      blocks[b]->name() + "' uses '" +
+                      opcodeName(def->opcode()) + "' from '" +
+                      blocks[defBlock]->name() +
+                      "' which does not dominate the use");
+          }
+        }
+      }
+    }
+  }
+
+  void checkAllocaLists() {
+    for (const Instruction* a : fn_.privateAllocas) {
+      if (a->opcode() != Opcode::Alloca || !a->allocaType) {
+        error(a->loc, "alloca-placement", "bad private alloca entry");
+      }
+    }
+    for (const Instruction* a : fn_.localAllocas) {
+      if (a->opcode() != Opcode::Alloca || a->allocaSpace != AddressSpace::Local) {
+        error(a->loc, "alloca-placement", "bad local alloca entry");
+      }
+    }
+  }
+
+  void checkRegionTree() {
+    if (!fn_.rootRegion()) {
+      if (fn_.isKernel) {
+        error({}, "region-tree", "kernel function has no region tree");
+      }
+      return;
+    }
+    std::unordered_set<const BasicBlock*> ownBlocks;
+    for (const auto& bb : fn_.blocks()) ownBlocks.insert(bb.get());
+    std::unordered_set<const BasicBlock*> regionBlocks;
+    collectRegionBlocks(fn_.rootRegion(), regionBlocks);
+    for (const BasicBlock* bb : regionBlocks) {
+      if (!ownBlocks.count(bb)) {
+        error({}, "region-tree", "region tree references a foreign block");
+      }
+    }
+    std::unordered_set<int> loopIds;
+    walkRegion(*fn_.rootRegion(), loopIds);
+  }
+
+  void walkRegion(const Region& region, std::unordered_set<int>& loopIds) {
+    switch (region.kind) {
+      case Region::Kind::Block:
+        if (!region.block) {
+          error(region.loc, "region-tree", "Block region without a block");
+        }
+        break;
+      case Region::Kind::Loop:
+        if (!region.condBlock) {
+          error(region.loc, "region-tree", "Loop region without a cond block");
+        }
+        if (region.children.empty()) {
+          error(region.loc, "region-tree", "Loop region without a body");
+        }
+        if (region.loopId < 0 || region.loopId >= fn_.loopCount) {
+          error(region.loc, "region-tree",
+                "loop id " + std::to_string(region.loopId) +
+                    " outside [0, loopCount)");
+        } else if (!loopIds.insert(region.loopId).second) {
+          error(region.loc, "region-tree",
+                "duplicate loop id " + std::to_string(region.loopId));
+        }
+        break;
+      case Region::Kind::If:
+        if (region.children.size() != 2) {
+          error(region.loc, "region-tree",
+                "If region needs exactly then + else children");
+        }
+        if (!region.condBlock) {
+          error(region.loc, "region-tree", "If region without a cond block");
+        }
+        break;
+      case Region::Kind::Seq:
+        break;
+    }
+    for (const auto& child : region.children) walkRegion(*child, loopIds);
+  }
+
+  const Function& fn_;
+  std::vector<VerifierIssue> issues_;
+};
+
 }  // namespace
+
+std::vector<VerifierIssue> verifyFunctionIssues(const Function& fn) {
+  return Checker(fn).run();
+}
 
 std::vector<std::string> verifyFunction(const Function& fn) {
   std::vector<std::string> problems;
-  auto problem = [&](std::string msg) { problems.push_back(std::move(msg)); };
-
-  std::unordered_set<const BasicBlock*> ownBlocks;
-  for (const auto& bb : fn.blocks()) ownBlocks.insert(bb.get());
-
-  for (const auto& bb : fn.blocks()) {
-    const auto& insts = bb->instructions();
-    if (insts.empty() || !insts.back()->isTerminator()) {
-      problem("block '" + bb->name() + "' does not end in a terminator");
-    }
-    for (std::size_t i = 0; i < insts.size(); ++i) {
-      const Instruction* inst = insts[i];
-      if (inst->isTerminator() && i + 1 != insts.size()) {
-        problem("block '" + bb->name() + "' has instructions after a terminator");
-      }
-      if (inst->opcode() == Opcode::Alloca) {
-        problem("alloca must not appear inside a block (block '" + bb->name() + "')");
-      }
-      switch (inst->opcode()) {
-        case Opcode::Br:
-          if (!inst->target0 || !ownBlocks.count(inst->target0)) {
-            problem("br in '" + bb->name() + "' targets a foreign block");
-          }
-          break;
-        case Opcode::CondBr:
-          if (!inst->target0 || !inst->target1 ||
-              !ownBlocks.count(inst->target0) || !ownBlocks.count(inst->target1)) {
-            problem("condbr in '" + bb->name() + "' targets a foreign block");
-          }
-          if (inst->operands().size() != 1) {
-            problem("condbr must have exactly one condition operand");
-          }
-          break;
-        case Opcode::Load:
-          if (inst->operands().size() != 1 || !inst->operand(0)->type() ||
-              !inst->operand(0)->type()->isPointer()) {
-            problem("load in '" + bb->name() + "' needs a pointer operand");
-          }
-          if (!inst->type()) problem("load must produce a typed value");
-          break;
-        case Opcode::Store:
-          if (inst->operands().size() != 2 || !inst->operand(1)->type() ||
-              !inst->operand(1)->type()->isPointer()) {
-            problem("store in '" + bb->name() + "' needs (value, pointer) operands");
-          }
-          break;
-        case Opcode::Select:
-          if (inst->operands().size() != 3) problem("select needs three operands");
-          break;
-        case Opcode::Barrier:
-        case Opcode::Ret:
-          break;
-        default:
-          if (!inst->isTerminator() && !inst->type()) {
-            problem(std::string("instruction '") + opcodeName(inst->opcode()) +
-                    "' missing a result type");
-          }
-          break;
-      }
-    }
-  }
-
-  for (const Instruction* a : fn.privateAllocas) {
-    if (a->opcode() != Opcode::Alloca || !a->allocaType) {
-      problem("bad private alloca entry");
-    }
-  }
-  for (const Instruction* a : fn.localAllocas) {
-    if (a->opcode() != Opcode::Alloca || a->allocaSpace != AddressSpace::Local) {
-      problem("bad local alloca entry");
-    }
-  }
-
-  if (fn.rootRegion()) {
-    std::unordered_set<const BasicBlock*> regionBlocks;
-    collectRegionBlocks(fn.rootRegion(), regionBlocks);
-    for (const BasicBlock* bb : regionBlocks) {
-      if (!ownBlocks.count(bb)) problem("region tree references a foreign block");
-    }
-  } else if (fn.isKernel) {
-    problem("kernel function has no region tree");
+  for (const VerifierIssue& issue : verifyFunctionIssues(fn)) {
+    if (issue.severity == DiagSeverity::Error) problems.push_back(issue.message);
   }
   return problems;
+}
+
+void reportVerifierIssues(const Function& fn, DiagnosticEngine& diags) {
+  for (const VerifierIssue& issue : verifyFunctionIssues(fn)) {
+    diags.report(issue.severity, issue.loc,
+                 "IR verifier [" + issue.rule + "]: " + fn.name() + ": " +
+                     issue.message);
+  }
 }
 
 }  // namespace flexcl::ir

@@ -5,14 +5,32 @@
 #include <vector>
 
 #include "ir/ir.h"
+#include "support/diagnostics.h"
 
 namespace flexcl::ir {
 
-/// Checks invariants: every block ends in exactly one terminator, branch
-/// targets belong to the function, operand types are present for
-/// value-producing ops, loads/stores take pointer operands, and the region
-/// tree references only blocks of this function. Returns problem descriptions;
-/// empty means the function verified clean.
+/// One verifier finding. `rule` is a stable short identifier (used by lint
+/// output and tests); `loc` points at the kernel source when the offending
+/// instruction carries a location.
+struct VerifierIssue {
+  DiagSeverity severity = DiagSeverity::Error;
+  SourceLocation loc;
+  std::string rule;
+  std::string message;
+};
+
+/// Full verification: terminator and block invariants, branch targets,
+/// operand shapes, def-before-use dominance over reachable blocks, operand
+/// type consistency (warnings), alloca placement, and region-tree invariants
+/// (loop/if structure, dense loop ids). Empty result means clean.
+std::vector<VerifierIssue> verifyFunctionIssues(const Function& fn);
+
+/// Error-severity problems only, rendered as strings (legacy interface kept
+/// for tests and quick checks).
 std::vector<std::string> verifyFunction(const Function& fn);
+
+/// Reports every issue into `diags`, prefixing messages with the function
+/// name so multi-kernel modules stay readable.
+void reportVerifierIssues(const Function& fn, DiagnosticEngine& diags);
 
 }  // namespace flexcl::ir

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/analyze.h"
 #include "ocl/preprocessor.h"
 #include "support/rng.h"
 
@@ -55,6 +56,8 @@ std::shared_ptr<const CompiledKernel> CompileCache::compile(
       return compiled;
     }
     compiled.ok = true;
+    compiled.lint = std::make_shared<const analysis::LintReport>(
+        analysis::runLintPasses(*compiled.fn));
     return compiled;
   });
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "analysis/report.h"
 #include "ir/lower.h"
 #include "runtime/cache.h"
 
@@ -25,6 +26,10 @@ struct CompiledKernel {
   std::string error;  ///< diagnostics when !ok, or kernel-not-found message
   std::shared_ptr<const ir::CompiledProgram> program;
   const ir::Function* fn = nullptr;  ///< the requested kernel inside program
+  /// Static-only lint report of `fn` (no launch info: verifier, trip-count,
+  /// barrier and local-dependence passes), cached with the compilation so
+  /// per-design evaluation can consult feasibility without re-linting.
+  std::shared_ptr<const analysis::LintReport> lint;
 };
 
 /// Stable key: hash of (preprocessed source, kernel name, sorted defines).

@@ -1,0 +1,530 @@
+// Static analysis subsystem tests: symbolic walker, per-pass golden
+// diagnostics, static-vs-profiled pattern cross-check, feasibility verdicts
+// and the explorer's feasibility pruning.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "analysis/analyze.h"
+#include "dse/explorer.h"
+#include "ir/builder.h"
+#include "ir/lower.h"
+#include "ir/verifier.h"
+
+namespace flexcl::analysis {
+namespace {
+
+std::unique_ptr<ir::CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto compiled = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(compiled) << diags.str();
+  return compiled;
+}
+
+const ir::Function* fnOf(const ir::CompiledProgram& p, const std::string& name) {
+  const ir::Function* fn = p.module->findFunction(name);
+  EXPECT_NE(fn, nullptr);
+  return fn;
+}
+
+std::vector<const LintFinding*> findingsWithRule(const LintReport& report,
+                                                 const std::string& rule) {
+  std::vector<const LintFinding*> out;
+  for (const auto& f : report.findings) {
+    if (f.rule == rule) out.push_back(&f);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic walker
+// ---------------------------------------------------------------------------
+
+TEST(Symbolic, StreamingKernelOffsetsAreAffineInGlobalId) {
+  auto p = compile(
+      "__kernel void vadd(__global const float* a, __global const float* b,\n"
+      "                   __global float* c, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  c[i] = a[i] + b[i];\n"
+      "}\n");
+  const KernelSummary summary = summarizeKernel(*fnOf(*p, "vadd"));
+
+  ASSERT_EQ(summary.globalAccessCount(), 3u);
+  SymBinding bind;
+  bind.globalId = {7, 0, 0};
+  int writes = 0;
+  for (const auto& a : summary.accesses) {
+    EXPECT_EQ(a.base, PtrBase::BufferArg);
+    EXPECT_GE(a.baseIndex, 0);
+    EXPECT_LE(a.baseIndex, 2);
+    EXPECT_FALSE(a.divergent);
+    auto v = symEval(a.offset.get(), bind);
+    ASSERT_TRUE(v.has_value()) << symStr(a.offset.get());
+    EXPECT_EQ(*v, 7 * 4);  // float at index gid0
+    writes += a.isWrite ? 1 : 0;
+  }
+  EXPECT_EQ(writes, 1);
+}
+
+TEST(Symbolic, ConstantTripLoopInductionIsRecognized) {
+  auto p = compile(
+      "__kernel void tile(__global const float* a, __global float* out) {\n"
+      "  int gid = get_global_id(0);\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < 8; ++i) s += a[gid * 8 + i];\n"
+      "  out[gid] = s;\n"
+      "}\n");
+  const KernelSummary summary = summarizeKernel(*fnOf(*p, "tile"));
+
+  ASSERT_EQ(summary.loops.size(), 1u);
+  EXPECT_EQ(summary.loops[0].staticTrip, 8);
+
+  // The load offset must be affine in both gid0 and the loop counter:
+  // (gid*8 + i) * 4 bytes.
+  const MemAccessInfo* load = nullptr;
+  for (const auto& a : summary.accesses) {
+    if (!a.isWrite) load = &a;
+  }
+  ASSERT_NE(load, nullptr);
+  EXPECT_TRUE(symMentions(load->offset.get(), Sym::LoopIter))
+      << symStr(load->offset.get());
+  SymBinding bind;
+  bind.globalId = {2, 0, 0};
+  bind.loopIters[summary.loops[0].loopId] = 3;
+  auto v = symEval(load->offset.get(), bind);
+  ASSERT_TRUE(v.has_value()) << symStr(load->offset.get());
+  EXPECT_EQ(*v, (2 * 8 + 3) * 4);
+}
+
+TEST(Symbolic, IndirectAccessIsOpaqueNotMisclassified) {
+  auto p = compile(
+      "__kernel void gather(__global const int* idx, __global float* out) {\n"
+      "  int gid = get_global_id(0);\n"
+      "  out[idx[gid]] = 1.0f;\n"
+      "}\n");
+  const KernelSummary summary = summarizeKernel(*fnOf(*p, "gather"));
+
+  const MemAccessInfo* store = nullptr;
+  const MemAccessInfo* load = nullptr;
+  for (const auto& a : summary.accesses) {
+    (a.isWrite ? store : load) = &a;
+  }
+  ASSERT_NE(load, nullptr);
+  ASSERT_NE(store, nullptr);
+  EXPECT_FALSE(symIsOpaque(load->offset.get()));
+  // The store offset depends on loaded data: must be opaque, never a guess.
+  EXPECT_TRUE(symIsOpaque(store->offset.get()));
+}
+
+// ---------------------------------------------------------------------------
+// Lint passes: golden diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(LintPasses, CleanKernelProducesNoFindings) {
+  auto p = compile(
+      "__kernel void vadd(__global const float* a, __global float* c) {\n"
+      "  int i = get_global_id(0);\n"
+      "  c[i] = a[i];\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "vadd"));
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.kernelName, "vadd");
+  EXPECT_EQ(report.globalAccessSites, 2u);
+  EXPECT_FALSE(report.usesBarrier);
+  EXPECT_FALSE(report.hasErrors());
+}
+
+TEST(LintPasses, UnresolvedTripCountIsWarned) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out, int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; ++i) s += a[i];\n"
+      "  out[get_global_id(0)] = s;\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "k"));
+  const auto found = findingsWithRule(report, "unresolved-trip-count");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->pass, "trip-count");
+  EXPECT_EQ(found[0]->severity, DiagSeverity::Warning);
+  EXPECT_EQ(report.loopCount, 1u);
+  EXPECT_EQ(report.unresolvedTripLoops, 1u);
+}
+
+TEST(LintPasses, ConstantTripLoopIsNotWarned) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < 16; ++i) s += a[i];\n"
+      "  out[get_global_id(0)] = s;\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "k"));
+  EXPECT_TRUE(findingsWithRule(report, "unresolved-trip-count").empty());
+  EXPECT_EQ(report.loopCount, 1u);
+  EXPECT_EQ(report.unresolvedTripLoops, 0u);
+}
+
+TEST(LintPasses, BarrierUnderDivergentControlFlowIsWarned) {
+  auto p = compile(
+      "__kernel void k(__global float* out) {\n"
+      "  int lid = get_local_id(0);\n"
+      "  if (lid < 4) barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[get_global_id(0)] = 1.0f;\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "k"));
+  const auto found = findingsWithRule(report, "barrier-divergence");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->pass, "barrier");
+  EXPECT_EQ(found[0]->severity, DiagSeverity::Warning);
+  EXPECT_TRUE(report.usesBarrier);
+}
+
+TEST(LintPasses, UniformBarrierIsNotWarned) {
+  auto p = compile(
+      "__kernel void k(__global float* out, __local float* tmp) {\n"
+      "  tmp[get_local_id(0)] = 1.0f;\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[get_global_id(0)] = tmp[get_local_id(0)];\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "k"));
+  EXPECT_TRUE(findingsWithRule(report, "barrier-divergence").empty());
+  EXPECT_TRUE(report.usesBarrier);
+}
+
+// The Figure 3 shape: work-item t+1 reads the local cell work-item t wrote.
+TEST(LintPasses, CrossWorkItemLocalDependenceIsDetected) {
+  auto p = compile(
+      "__kernel void scan(__global const float* in, __global float* out,\n"
+      "                   __local float* B) {\n"
+      "  int tid = get_local_id(0);\n"
+      "  int gid = get_global_id(0);\n"
+      "  B[tid] = in[gid];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  float v = B[tid];\n"
+      "  if (tid > 0) v += B[tid - 1];\n"
+      "  out[gid] = v;\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "scan"));
+  const auto found = findingsWithRule(report, "cross-wi-dependence");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0]->pass, "local-dependence");
+  ASSERT_EQ(report.crossWiDeps.size(), 1u);
+  EXPECT_EQ(report.crossWiDeps[0].distance, 1);
+}
+
+TEST(LintPasses, PrivateLocalUseWithoutRecurrenceIsClean) {
+  auto p = compile(
+      "__kernel void k(__global const float* in, __global float* out,\n"
+      "                __local float* B) {\n"
+      "  int tid = get_local_id(0);\n"
+      "  B[tid] = in[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[get_global_id(0)] = B[tid] * 2.0f;\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "k"));
+  EXPECT_TRUE(findingsWithRule(report, "cross-wi-dependence").empty());
+  EXPECT_TRUE(report.crossWiDeps.empty());
+}
+
+TEST(LintPasses, IndirectAccessGetsUnclassifiedNote) {
+  auto p = compile(
+      "__kernel void gather(__global const int* idx, __global float* out) {\n"
+      "  out[idx[get_global_id(0)]] = 1.0f;\n"
+      "}\n");
+  interp::NdRange range;
+  range.global = {64, 1, 1};
+  range.local = {32, 1, 1};
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                         interp::KernelArg::buffer(1)};
+  LintOptions opts;
+  opts.range = &range;
+  opts.args = &args;
+  const LintReport report = runLintPasses(*fnOf(*p, "gather"), opts);
+  const auto notes = findingsWithRule(report, "unclassified-access");
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0]->severity, DiagSeverity::Note);
+  EXPECT_EQ(report.globalAccessSites, 2u);
+  EXPECT_EQ(report.classifiedSites, 1u);  // the idx load
+}
+
+// ---------------------------------------------------------------------------
+// Static vs profiled cross-check
+// ---------------------------------------------------------------------------
+
+LintReport lintWithProfile(const ir::Function& fn,
+                           const std::array<std::uint64_t, 3>& global,
+                           const std::array<std::uint64_t, 3>& local,
+                           std::vector<interp::KernelArg> args,
+                           std::vector<std::vector<std::uint8_t>> buffers) {
+  interp::NdRange range;
+  range.global = global;
+  range.local = local;
+  LintOptions opts;
+  opts.range = &range;
+  opts.args = &args;
+  opts.buffers = &buffers;
+  return runLintPasses(fn, opts);
+}
+
+TEST(PatternCrossCheck, StreamingKernelAgreesFully) {
+  auto p = compile(
+      "__kernel void vadd(__global const float* a, __global const float* b,\n"
+      "                   __global float* c) {\n"
+      "  int i = get_global_id(0);\n"
+      "  c[i] = a[i] + b[i];\n"
+      "}\n");
+  const LintReport report = lintWithProfile(
+      *fnOf(*p, "vadd"), {256, 1, 1}, {64, 1, 1},
+      {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1),
+       interp::KernelArg::buffer(2)},
+      {std::vector<std::uint8_t>(256 * 4, 1), std::vector<std::uint8_t>(256 * 4, 1),
+       std::vector<std::uint8_t>(256 * 4)});
+  ASSERT_TRUE(report.crossChecked);
+  EXPECT_EQ(report.patterns.agreement, 1.0);
+  EXPECT_TRUE(report.patterns.divergences.empty());
+  EXPECT_GT(report.patterns.profiledStreamEvents, 0u);
+  EXPECT_EQ(report.classifiedSites, 3u);
+  EXPECT_TRUE(findingsWithRule(report, "pattern-divergence").empty());
+}
+
+TEST(PatternCrossCheck, ScalarArgAndLoopOffsetsAgree) {
+  auto p = compile(
+      "__kernel void rowsum(__global const float* a, __global float* out,\n"
+      "                     int width) {\n"
+      "  int row = get_global_id(0);\n"
+      "  float s = 0.0f;\n"
+      "  for (int c = 0; c < width; ++c) s += a[row * width + c];\n"
+      "  out[row] = s;\n"
+      "}\n");
+  const LintReport report = lintWithProfile(
+      *fnOf(*p, "rowsum"), {32, 1, 1}, {8, 1, 1},
+      {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1),
+       interp::KernelArg::intScalar(16)},
+      {std::vector<std::uint8_t>(32 * 16 * 4, 1),
+       std::vector<std::uint8_t>(32 * 4)});
+  ASSERT_TRUE(report.crossChecked);
+  EXPECT_EQ(report.patterns.agreement, 1.0)
+      << renderText(report);
+  EXPECT_TRUE(report.patterns.divergences.empty());
+  // Trip count resolves through the scalar-arg binding, so nothing is opaque.
+  EXPECT_EQ(report.classifiedSites, report.globalAccessSites);
+}
+
+// ---------------------------------------------------------------------------
+// Verifier findings surface through the lint pipeline
+// ---------------------------------------------------------------------------
+
+/// Hand-rolled function shell for verifier negative tests.
+struct IrHarness {
+  ir::TypeContext ctx;
+  ir::Module module{ctx};
+  ir::Function* fn = nullptr;
+  ir::BasicBlock* entry = nullptr;
+  ir::IRBuilder builder;
+
+  IrHarness() : builder(*(fn = module.createFunction("t", ctx.voidType()))) {
+    entry = fn->createBlock("entry");
+    builder.setInsertBlock(entry);
+  }
+
+  void finalize() {
+    auto root = std::make_unique<ir::Region>();
+    root->kind = ir::Region::Kind::Seq;
+    fn->setRootRegion(std::move(root));
+    fn->renumber();
+  }
+};
+
+TEST(VerifierPass, UseBeforeDefIsALintError) {
+  IrHarness h;
+  ir::Value* c1 = h.fn->intConstant(h.ctx.i32(), 1);
+  ir::Instruction* lateDef =
+      h.fn->createInstruction(ir::Opcode::Add, h.ctx.i32());
+  lateDef->addOperand(c1);
+  lateDef->addOperand(c1);
+  ir::Instruction* use = h.fn->createInstruction(ir::Opcode::Add, h.ctx.i32());
+  use->addOperand(lateDef);  // defined below the use
+  use->addOperand(c1);
+  h.entry->append(use);
+  h.entry->append(lateDef);
+  h.builder.ret(nullptr);
+  h.finalize();
+
+  const LintReport report = runLintPasses(*h.fn);
+  const auto found = findingsWithRule(report, "def-before-use");
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found[0]->pass, "verifier");
+  EXPECT_EQ(found[0]->severity, DiagSeverity::Error);
+  EXPECT_TRUE(report.hasErrors());
+
+  // Lint errors make every design point infeasible.
+  model::DesignPoint dp;
+  const Feasibility f = checkDesign(report, dp);
+  EXPECT_FALSE(f.feasible);
+  EXPECT_FALSE(f.reason.empty());
+}
+
+TEST(VerifierPass, MixedWidthArithmeticIsATypeConsistencyWarning) {
+  IrHarness h;
+  ir::Instruction* add = h.fn->createInstruction(ir::Opcode::Add, h.ctx.i32());
+  add->addOperand(h.fn->intConstant(h.ctx.i32(), 1));
+  add->addOperand(h.fn->intConstant(h.ctx.i64(), 2));
+  h.entry->append(add);
+  h.builder.ret(nullptr);
+  h.finalize();
+
+  const LintReport report = runLintPasses(*h.fn);
+  const auto found = findingsWithRule(report, "type-consistency");
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found[0]->severity, DiagSeverity::Warning);
+  EXPECT_FALSE(report.hasErrors());  // warning only: still feasible
+  model::DesignPoint dp;
+  EXPECT_TRUE(checkDesign(report, dp).feasible);
+}
+
+TEST(VerifierPass, MalformedRegionTreeIsReported) {
+  IrHarness h;
+  h.builder.ret(nullptr);
+  auto root = std::make_unique<ir::Region>();
+  root->kind = ir::Region::Kind::Loop;
+  root->loopId = 5;  // out of range: fn->loopCount == 0
+  h.fn->setRootRegion(std::move(root));
+  h.fn->renumber();
+
+  bool sawRegionIssue = false;
+  for (const auto& issue : ir::verifyFunctionIssues(*h.fn)) {
+    if (issue.rule == "region-tree") sawRegionIssue = true;
+  }
+  EXPECT_TRUE(sawRegionIssue);
+}
+
+// ---------------------------------------------------------------------------
+// Feasibility verdicts
+// ---------------------------------------------------------------------------
+
+TEST(Feasibility, ReqdWorkGroupSizeIsCapturedAndEnforced) {
+  auto p = compile(
+      "__attribute__((reqd_work_group_size(64, 1, 1)))\n"
+      "__kernel void k(__global float* out) {\n"
+      "  out[get_global_id(0)] = 1.0f;\n"
+      "}\n");
+  const LintReport report = runLintPasses(*fnOf(*p, "k"));
+  EXPECT_EQ(report.reqdWorkGroupSize[0], 64u);
+
+  model::DesignPoint ok;
+  ok.workGroupSize = {64, 1, 1};
+  EXPECT_TRUE(checkDesign(report, ok).feasible);
+
+  model::DesignPoint bad;
+  bad.workGroupSize = {32, 1, 1};
+  const Feasibility f = checkDesign(report, bad);
+  EXPECT_FALSE(f.feasible);
+  EXPECT_NE(f.reason.find("reqd_work_group_size"), std::string::npos);
+}
+
+TEST(Feasibility, PipelinePointsWithCrossWiDependenceAreRecMiiBound) {
+  LintReport report;
+  report.crossWiDeps.push_back({10, 20, 1, {}});
+
+  model::DesignPoint pipeline;
+  pipeline.commMode = model::CommMode::Pipeline;
+  const Feasibility fp = checkDesign(report, pipeline);
+  EXPECT_TRUE(fp.feasible);  // evaluated, but annotated
+  EXPECT_TRUE(fp.recMiiBound);
+  EXPECT_FALSE(fp.reason.empty());
+
+  model::DesignPoint barrier;
+  barrier.commMode = model::CommMode::Barrier;
+  const Feasibility fb = checkDesign(report, barrier);
+  EXPECT_TRUE(fb.feasible);
+  EXPECT_FALSE(fb.recMiiBound);
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+TEST(Report, TextAndJsonRenderings) {
+  auto p = compile(
+      "__kernel void vadd(__global const float* a, __global float* c) {\n"
+      "  int i = get_global_id(0);\n"
+      "  c[i] = a[i];\n"
+      "}\n");
+  const LintReport report = lintWithProfile(
+      *fnOf(*p, "vadd"), {128, 1, 1}, {32, 1, 1},
+      {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)},
+      {std::vector<std::uint8_t>(128 * 4, 1), std::vector<std::uint8_t>(128 * 4)});
+
+  const std::string text = renderText(report);
+  EXPECT_NE(text.find("lint report for kernel 'vadd'"), std::string::npos);
+  EXPECT_NE(text.find("cross-check"), std::string::npos);
+
+  const std::string json = renderJson(report);
+  EXPECT_NE(json.find("\"kernel\":\"vadd\""), std::string::npos);
+  EXPECT_NE(json.find("\"crossCheck\""), std::string::npos);
+  EXPECT_NE(json.find("\"agreement\""), std::string::npos);
+  EXPECT_NE(json.find("\"findings\""), std::string::npos);
+  // Balanced braces as a cheap well-formedness proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+// ---------------------------------------------------------------------------
+// Explorer feasibility pruning
+// ---------------------------------------------------------------------------
+
+TEST(ExplorerLint, SkipsStaticallyInfeasiblePointsAndPreservesTheRest) {
+  auto p = compile(
+      "__attribute__((reqd_work_group_size(64, 1, 1)))\n"
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[i] * 2.0f;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(128 * 4, 1), std::vector<std::uint8_t>(128 * 4)};
+  model::LaunchInfo launch;
+  launch.fn = fn;
+  launch.range.global = {128, 1, 1};
+  launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+  launch.buffers = &buffers;
+  model::FlexCl flexcl(model::Device::virtex7());
+
+  std::vector<model::DesignPoint> space(2);
+  space[0].workGroupSize = {32, 1, 1};  // violates reqd_work_group_size
+  space[1].workGroupSize = {64, 1, 1};
+
+  const LintReport lint = runLintPasses(*fn);
+
+  dse::ExplorerOptions withLint;
+  withLint.lint = &lint;
+  dse::Explorer pruned(flexcl, launch, withLint);
+  const dse::ExplorationResult r1 = pruned.explore(space);
+
+  ASSERT_EQ(r1.designs.size(), 2u);
+  EXPECT_EQ(r1.skippedCount, 1);
+  EXPECT_TRUE(r1.designs[0].skipped);
+  EXPECT_EQ(r1.designs[0].flexclCycles, 0.0);
+  EXPECT_EQ(r1.designs[0].simCycles, 0.0);
+  EXPECT_NE(r1.designs[0].infeasibleReason.find("reqd_work_group_size"),
+            std::string::npos);
+  EXPECT_FALSE(r1.designs[1].skipped);
+  EXPECT_GT(r1.designs[1].flexclCycles, 0.0);
+
+  // Without a lint report the explorer evaluates everything, and the shared
+  // feasible point must come out bit-identical.
+  dse::Explorer full(flexcl, launch, {});
+  const dse::ExplorationResult r2 = full.explore(space);
+  EXPECT_EQ(r2.skippedCount, 0);
+  EXPECT_FALSE(r2.designs[0].skipped);
+  EXPECT_GT(r2.designs[0].flexclCycles, 0.0);
+  EXPECT_EQ(r1.designs[1].flexclCycles, r2.designs[1].flexclCycles);
+  EXPECT_EQ(r1.designs[1].simCycles, r2.designs[1].simCycles);
+  EXPECT_EQ(r1.designs[1].sdaccelCycles.has_value(),
+            r2.designs[1].sdaccelCycles.has_value());
+
+  // The pruned exploration's averages cover feasible points only.
+  EXPECT_EQ(r1.avgFlexclErrorPct, r1.designs[1].flexclErrorPct());
+}
+
+}  // namespace
+}  // namespace flexcl::analysis

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <iostream>
 
+#include "analysis/analyze.h"
 #include "interp/interpreter.h"
 #include "interp/profiler.h"
 #include "ir/printer.h"
@@ -134,6 +137,64 @@ TEST(Workloads, BufferSizesCoverKernelAccesses) {
       EXPECT_EQ(profile.oobAccesses, 0u) << w.fullName();
     }
   }
+}
+
+// Every bundled workload must lint clean of error-severity findings, and the
+// static Table 1 classifier must agree with the profile-based classification
+// on at least 90% of the profiled global-access events in aggregate. Warnings
+// are allowed; divergent kernels are printed so the lint output stays
+// visible as a snapshot.
+TEST(Workloads, LintCleanAndStaticPatternsAgreeWithProfile) {
+  std::uint64_t profiledEvents = 0;
+  std::uint64_t matchedEvents = 0;
+  std::size_t crossChecked = 0;
+  std::size_t kernels = 0;
+  for (const auto* suite : {&rodiniaSuite(), &polybenchSuite()}) {
+    for (const Workload& w : *suite) {
+      auto compiled = compileWorkload(w);
+      ASSERT_TRUE(compiled);
+      ++kernels;
+      interp::NdRange range = w.range;
+      range.local = {std::min<std::uint64_t>(32, range.global[0]), 1, 1};
+      while (range.global[0] % range.local[0] != 0) --range.local[0];
+      if (range.global[1] > 1) {
+        range.local = {8, 4, 1};
+        while (range.global[0] % range.local[0] != 0) range.local[0] /= 2;
+        while (range.global[1] % range.local[1] != 0) range.local[1] /= 2;
+      }
+      analysis::LintOptions opts;
+      opts.range = &range;
+      opts.args = &compiled->args;
+      opts.buffers = &compiled->buffers;
+      const analysis::LintReport report =
+          analysis::runLintPasses(*compiled->fn, opts);
+      for (const auto& f : report.findings) {
+        EXPECT_NE(f.severity, DiagSeverity::Error)
+            << w.fullName() << ": [" << f.pass << "/" << f.rule << "] "
+            << f.message;
+      }
+      if (report.crossChecked) {
+        ++crossChecked;
+        const auto& cc = report.patterns;
+        profiledEvents += cc.profiledStreamEvents;
+        matchedEvents += static_cast<std::uint64_t>(std::llround(
+            cc.agreement * static_cast<double>(cc.profiledStreamEvents)));
+        if (!cc.divergences.empty()) {
+          std::cout << "  " << w.fullName() << ": " << cc.divergences.size()
+                    << " divergence(s), agreement " << 100.0 * cc.agreement
+                    << "%\n";
+        }
+      }
+    }
+  }
+  ASSERT_GT(crossChecked, 0u);
+  ASSERT_GT(profiledEvents, 0u);
+  const double aggregate =
+      static_cast<double>(matchedEvents) / static_cast<double>(profiledEvents);
+  std::cout << "static/profiled pattern agreement: " << 100.0 * aggregate
+            << "% over " << profiledEvents << " profiled events from "
+            << crossChecked << "/" << kernels << " kernels\n";
+  EXPECT_GE(aggregate, 0.90);
 }
 
 // Functional spot checks against reference computations.

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/analyze.h"
 #include "dse/explorer.h"
 #include "ir/lower.h"
 #include "ir/printer.h"
@@ -51,6 +52,9 @@ struct CliOptions {
   bool simulate = false;
   /// Evaluation jobs for `explore`; 0 = hardware concurrency.
   int jobs = 0;
+  // Lint mode.
+  std::string format = "text";
+  bool crossCheck = true;
 };
 
 int usage() {
@@ -64,6 +68,9 @@ int usage() {
                "  flexcl explore  <file.cl> <kernel> [--global N] [--global-y N]\n"
                "                  [--device ...] [--elems N] [--jobs N]\n"
                "                  (--jobs 0 = all hardware threads, the default)\n"
+               "  flexcl lint     <file.cl> <kernel> [--global N] [--global-y N]\n"
+               "                  [--wg N] [--wg-y N] [--elems N]\n"
+               "                  [--format text|json] [--no-cross-check]\n"
                "  flexcl ir       <file.cl>\n");
   return 2;
 }
@@ -97,6 +104,8 @@ bool parseArgs(int argc, char** argv, CliOptions* opts) {
     else if (arg == "--device") opts->device = value();
     else if (arg == "--sim") opts->simulate = true;
     else if (arg == "--jobs") opts->jobs = std::atoi(value());
+    else if (arg == "--format") opts->format = value();
+    else if (arg == "--no-cross-check") opts->crossCheck = false;
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -171,6 +180,46 @@ int runIr(const CliOptions& opts) {
   return 0;
 }
 
+int runLint(const CliOptions& opts) {
+  bool ok = false;
+  const std::string source = readFile(opts.file, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", opts.file.c_str());
+    return 1;
+  }
+  runtime::CompileCache compileCache;
+  const auto compiled = compileCache.compile(source, opts.kernel);
+  if (!compiled->ok) {
+    std::fprintf(stderr, "%s: %s\n", opts.file.c_str(), compiled->error.c_str());
+    return 1;
+  }
+
+  const std::uint64_t elems =
+      opts.elems ? opts.elems : opts.global * std::max<std::uint64_t>(1, opts.globalY);
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::vector<interp::KernelArg> args;
+  synthesiseArgs(*compiled->fn, elems, &buffers, &args);
+
+  interp::NdRange range;
+  range.global = {opts.global, opts.globalY, 1};
+  range.local = {opts.wg, opts.wgY, 1};
+
+  analysis::LintOptions lintOpts;
+  lintOpts.range = &range;
+  lintOpts.args = &args;
+  lintOpts.buffers = &buffers;
+  lintOpts.profileCrossCheck = opts.crossCheck;
+  const analysis::LintReport report =
+      analysis::runLintPasses(*compiled->fn, lintOpts);
+
+  if (opts.format == "json") {
+    std::printf("%s\n", analysis::renderJson(report).c_str());
+  } else {
+    std::printf("%s", analysis::renderText(report).c_str());
+  }
+  return report.hasErrors() ? 1 : 0;
+}
+
 int runEstimateOrExplore(const CliOptions& opts) {
   bool ok = false;
   const std::string source = readFile(opts.file, &ok);
@@ -210,6 +259,7 @@ int runEstimateOrExplore(const CliOptions& opts) {
     exOpts.jobs = opts.jobs;  // 0 = runtime::defaultJobs()
     exOpts.evalCache = &evalCache;
     exOpts.kernelHash = compiled->hash;
+    exOpts.lint = compiled->lint.get();
     dse::Explorer explorer(flexcl, launch, exOpts);
     const auto space = dse::enumerateDesignSpace(launch.range,
                                                  explorer.kernelHasBarriers());
@@ -217,6 +267,10 @@ int runEstimateOrExplore(const CliOptions& opts) {
                 space.size(), opts.kernel.c_str(), flexcl.device().name.c_str(),
                 explorer.jobs(), explorer.jobs() == 1 ? "job" : "jobs");
     const dse::ExplorationResult result = explorer.explore(space);
+    if (result.skippedCount > 0) {
+      std::printf("skipped %d statically infeasible design(s)\n",
+                  result.skippedCount);
+    }
     if (result.bestByFlexcl < 0) {
       std::fprintf(stderr, "exploration failed\n");
       return 1;
@@ -295,6 +349,7 @@ int main(int argc, char** argv) {
   CliOptions opts;
   if (!parseArgs(argc, argv, &opts)) return usage();
   if (opts.command == "ir") return runIr(opts);
+  if (opts.command == "lint") return runLint(opts);
   if (opts.command == "estimate" || opts.command == "explore") {
     return runEstimateOrExplore(opts);
   }
