@@ -7,20 +7,26 @@
 
 using namespace flexcl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsOptions obsOpts;
+  if (!obsOpts.parse(&argc, argv)) return 2;
+  obsOpts.begin();
+
   std::printf("PolyBench accuracy (paper §4.2: FlexCL avg abs error 8.7%%)\n\n");
 
   model::FlexCl flexcl(model::Device::virtex7());
   bench::printTable2Header();
 
   std::vector<bench::KernelRun> runs;
+  runtime::Stats stats;
   for (const workloads::Workload& w : workloads::polybenchSuite()) {
     bench::KernelRun run = bench::exploreWorkload(w, flexcl);
     bench::printTable2Row(run);
     std::fflush(stdout);
+    stats += run.runtimeStats;
     runs.push_back(std::move(run));
   }
 
   bench::printSummary("PolyBench summary (paper §4.2)", bench::summarize(runs));
-  return 0;
+  return obsOpts.finish(&stats) ? 0 : 1;
 }

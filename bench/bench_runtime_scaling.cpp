@@ -45,6 +45,10 @@ std::string jsonEscape(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsOptions obsOpts;
+  if (!obsOpts.parse(&argc, argv)) return 2;
+  obsOpts.begin();
+
   const std::string benchmark = argc > 2 ? argv[1] : "nn";
   const std::string kernel = argc > 2 ? argv[2] : "nn";
   const workloads::Workload* w =
@@ -130,5 +134,6 @@ int main(int argc, char** argv) {
   std::printf("  \"warm_rerun\": {\"jobs\": 4, \"seconds\": %.3f, \"stats\": %s}\n",
               warmSeconds, warmStats.json().c_str());
   std::printf("}\n");
+  if (!obsOpts.finish(&warmStats)) return 1;
   return identicalBest ? 0 : 1;
 }

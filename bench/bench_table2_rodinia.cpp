@@ -14,7 +14,11 @@
 
 using namespace flexcl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsOptions obsOpts;
+  if (!obsOpts.parse(&argc, argv)) return 2;
+  obsOpts.begin();
+
   std::printf("Table 2: Performance Estimation Results of Rodinia\n");
   std::printf("(System Run = cycle-level simulator; errors vs System Run)\n\n");
 
@@ -22,13 +26,15 @@ int main() {
   bench::printTable2Header();
 
   std::vector<bench::KernelRun> runs;
+  runtime::Stats stats;
   for (const workloads::Workload& w : workloads::rodiniaSuite()) {
     bench::KernelRun run = bench::exploreWorkload(w, flexcl);
     bench::printTable2Row(run);
     std::fflush(stdout);
+    stats += run.runtimeStats;
     runs.push_back(std::move(run));
   }
 
   bench::printSummary("Rodinia summary (paper §4.2)", bench::summarize(runs));
-  return 0;
+  return obsOpts.finish(&stats) ? 0 : 1;
 }

@@ -1,7 +1,11 @@
 #include "harness.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runtime/compile_cache.h"
 
 namespace flexcl::bench {
@@ -111,6 +115,52 @@ void printSummary(const char* title, const SuiteSummary& s) {
     std::printf("  FlexCL speedup vs System Run : %.0fx (vs real synthesis: >10,000x)\n",
                 s.totalSimSeconds / s.totalFlexclSeconds);
   }
+}
+
+bool ObsOptions::parse(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string* target = nullptr;
+    if (std::strcmp(argv[i], "--trace") == 0) target = &tracePath;
+    else if (std::strcmp(argv[i], "--metrics") == 0) target = &metricsPath;
+    if (!target) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (i + 1 >= *argc) {
+      std::fprintf(stderr, "%s needs a file argument\n", argv[i]);
+      return false;
+    }
+    *target = argv[++i];
+  }
+  *argc = out;
+  return true;
+}
+
+void ObsOptions::begin() const {
+  if (!metricsPath.empty()) obs::setEnabled(true);
+  if (!tracePath.empty()) obs::Tracer::global().start();
+}
+
+bool ObsOptions::finish(const runtime::Stats* stats) const {
+  bool ok = true;
+  if (!tracePath.empty()) {
+    obs::Tracer::global().stop();
+    if (!obs::Tracer::global().writeTo(tracePath)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", tracePath.c_str());
+      ok = false;
+    }
+  }
+  if (!metricsPath.empty()) {
+    if (stats) stats->publishTo(obs::Registry::global());
+    std::ofstream out(metricsPath);
+    if (out) out << obs::Registry::global().json() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metricsPath.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace flexcl::bench

@@ -58,4 +58,25 @@ struct SuiteSummary {
 SuiteSummary summarize(const std::vector<KernelRun>& runs);
 void printSummary(const char* title, const SuiteSummary& summary);
 
+/// Observability flags shared by the bench mains (DESIGN.md §9): recognises
+/// `--trace out.json` and `--metrics out.json`, mirroring the flexcl CLI.
+/// All timing everywhere in the harness and benches is steady_clock-based
+/// (monotonic), so traces and the timed columns never jump with wall-clock
+/// adjustments.
+struct ObsOptions {
+  std::string tracePath;    ///< Chrome trace JSON, written by finish()
+  std::string metricsPath;  ///< registry snapshot JSON, written by finish()
+
+  /// Strips the recognised flags out of argv (compacting it in place and
+  /// updating *argc) so the bench's own positional arguments keep working.
+  /// Returns false if a flag is missing its value.
+  bool parse(int* argc, char** argv);
+  /// Enables counters / starts the tracer according to the paths set.
+  void begin() const;
+  /// Stops the tracer and writes the requested files; `stats`, when given,
+  /// is published into the registry first (cache.* gauges). Returns false
+  /// on I/O failure.
+  bool finish(const runtime::Stats* stats = nullptr) const;
+};
+
 }  // namespace flexcl::bench

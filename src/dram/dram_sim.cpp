@@ -14,6 +14,9 @@ void DramSim::reset() {
   totalAccesses_ = 0;
   rowHits_ = 0;
   latencySum_ = 0;
+  refreshStallCycles_ = 0;
+  bankWaitCycles_ = 0;
+  busWaitCycles_ = 0;
 }
 
 std::uint64_t DramSim::refreshAdjusted(std::uint64_t cycle) const {
@@ -33,7 +36,10 @@ std::uint64_t DramSim::access(std::uint64_t cycle, std::uint64_t address,
 
   // The bank accepts the command once free of its previous one; the
   // controller pipeline adds latency but not occupancy.
-  const std::uint64_t start = std::max(refreshAdjusted(cycle), bank.readyAt);
+  const std::uint64_t refreshFree = refreshAdjusted(cycle);
+  const std::uint64_t start = std::max(refreshFree, bank.readyAt);
+  refreshStallCycles_ += refreshFree - cycle;
+  bankWaitCycles_ += start - refreshFree;
 
   const bool hit = bank.rowOpen && bank.openRow == ba.row;
   // Command latency before data moves.
@@ -57,6 +63,7 @@ std::uint64_t DramSim::access(std::uint64_t cycle, std::uint64_t address,
   // Transfer occupies the shared data bus; completion adds controller
   // pipeline latency on the return path.
   const std::uint64_t transferStart = std::max(start + commandCycles, busReadyAt_);
+  busWaitCycles_ += transferStart - (start + commandCycles);
   const std::uint64_t transferDone =
       transferStart + static_cast<std::uint64_t>(config_.transferCycles);
   busReadyAt_ = transferDone;

@@ -28,12 +28,21 @@ class DramSim {
   void reset();
 
   // --- statistics ------------------------------------------------------------
+  // Plain (non-atomic) members: a DramSim serves one simulation run on one
+  // thread; the system simulator publishes them into the obs registry once
+  // per run (DESIGN.md §9), never per access.
   [[nodiscard]] std::uint64_t totalAccesses() const { return totalAccesses_; }
   [[nodiscard]] std::uint64_t rowHits() const { return rowHits_; }
   [[nodiscard]] std::uint64_t rowMisses() const { return totalAccesses_ - rowHits_; }
   [[nodiscard]] double avgLatency() const {
     return totalAccesses_ ? static_cast<double>(latencySum_) / totalAccesses_ : 0.0;
   }
+  /// Cycles requests spent blocked behind a refresh window.
+  [[nodiscard]] std::uint64_t refreshStallCycles() const { return refreshStallCycles_; }
+  /// Cycles requests waited for their bank to finish a prior command.
+  [[nodiscard]] std::uint64_t bankWaitCycles() const { return bankWaitCycles_; }
+  /// Cycles transfers queued for the shared data bus.
+  [[nodiscard]] std::uint64_t busWaitCycles() const { return busWaitCycles_; }
 
   [[nodiscard]] const DramConfig& config() const { return config_; }
 
@@ -55,6 +64,9 @@ class DramSim {
   std::uint64_t totalAccesses_ = 0;
   std::uint64_t rowHits_ = 0;
   std::uint64_t latencySum_ = 0;
+  std::uint64_t refreshStallCycles_ = 0;
+  std::uint64_t bankWaitCycles_ = 0;
+  std::uint64_t busWaitCycles_ = 0;
 };
 
 }  // namespace flexcl::dram

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <set>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "support/rng.h"
 
 namespace flexcl::dse {
@@ -143,6 +145,9 @@ double Explorer::modelDesign(const model::DesignPoint& design) {
 }
 
 ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space) {
+  obs::Span exploreSpan("dse", [&] {
+    return launch_.fn ? std::string(launch_.fn->name()) : std::string("explore");
+  });
   ExplorationResult result;
 
   // Static feasibility: with a lint report attached, statically infeasible
@@ -173,11 +178,15 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
   // timed window).
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<model::Estimate> estimates(space.size());
-  forEachIndex(reps.size(),
-               [&](std::size_t k) { flexcl_.profileFor(launch_, space[reps[k]]); });
-  forEachIndex(feasible.size(), [&](std::size_t k) {
-    estimates[feasible[k]] = evalFlexcl(space[feasible[k]]);
-  });
+  {
+    obs::Span pass("dse", "flexcl pass");
+    forEachIndex(reps.size(), [&](std::size_t k) {
+      flexcl_.profileFor(launch_, space[reps[k]]);
+    });
+    forEachIndex(feasible.size(), [&](std::size_t k) {
+      estimates[feasible[k]] = evalFlexcl(space[feasible[k]]);
+    });
+  }
   const auto t1 = std::chrono::steady_clock::now();
   result.flexclSeconds = seconds(t0, t1);
 
@@ -185,19 +194,25 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
   // here — the substitution is documented in DESIGN.md). The full-range
   // functional execution (sim input) is part of the simulator's cost.
   std::vector<sim::SimResult> sims(space.size());
-  forEachIndex(reps.size(),
-               [&](std::size_t k) { simInputFor(space[reps[k]]); });
-  forEachIndex(feasible.size(), [&](std::size_t k) {
-    sims[feasible[k]] = evalSim(space[feasible[k]]);
-  });
+  {
+    obs::Span pass("dse", "sim pass");
+    forEachIndex(reps.size(),
+                 [&](std::size_t k) { simInputFor(space[reps[k]]); });
+    forEachIndex(feasible.size(), [&](std::size_t k) {
+      sims[feasible[k]] = evalSim(space[feasible[k]]);
+    });
+  }
   const auto t2 = std::chrono::steady_clock::now();
   result.simSeconds = seconds(t1, t2);
 
   // SDAccel pass.
   std::vector<std::optional<sdaccel::SdaccelEstimate>> sdaccels(space.size());
-  forEachIndex(feasible.size(), [&](std::size_t k) {
-    sdaccels[feasible[k]] = evalSdaccel(space[feasible[k]]);
-  });
+  {
+    obs::Span pass("dse", "sdaccel pass");
+    forEachIndex(feasible.size(), [&](std::size_t k) {
+      sdaccels[feasible[k]] = evalSdaccel(space[feasible[k]]);
+    });
+  }
 
   // Serial aggregation, in design order — together with the by-index result
   // vectors above this makes `result` independent of the worker count.
@@ -237,6 +252,10 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
     flexclErrSum += ed.flexclErrorPct();
     result.designs.push_back(std::move(ed));
   }
+
+  obs::add("dse.points_evaluated", feasible.size());
+  obs::add("dse.points_skipped",
+           static_cast<std::uint64_t>(result.skippedCount));
 
   if (!feasible.empty()) {
     result.avgFlexclErrorPct =

@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace flexcl::model {
+
+const char* CycleBreakdown::binding() const {
+  const char* name = "none";
+  double best = 0;
+  if (compute > best) { best = compute; name = "compute"; }
+  if (memory > best) { best = memory; name = "memory"; }
+  if (fillDrain > best) { best = fillDrain; name = "fill-drain"; }
+  if (dispatch > best) { name = "dispatch"; }
+  return name;
+}
 
 FlexCl::FlexCl(Device device, ModelOptions options)
     : device_(std::move(device)), options_(options) {
@@ -40,6 +53,8 @@ const interp::KernelProfile& FlexCl::profileFor(const LaunchInfo& launch,
   const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
                        range.local[0], range.local[1],    range.local[2]};
   return *profiles_.getOrCompute(key, [&] {
+    obs::Span span("profile", [&] { return launch.fn->name(); });
+    obs::add("model.profiles_computed");
     return interp::profileKernel(*launch.fn, range, launch.args,
                                  *launch.buffers);
   });
@@ -56,6 +71,8 @@ cdfg::KernelAnalysis FlexCl::analysisFor(const LaunchInfo& launch,
 }
 
 Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
+  obs::Span span("model", [&] { return design.str(); });
+  obs::add("model.estimates");
   Estimate est;
   if (!launch.fn || !launch.buffers) {
     est.error = "launch info incomplete";
@@ -135,6 +152,13 @@ Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
                                      est.memory.serviceDemandPerWi);
     est.cycles = memPerWi * static_cast<double>(est.totalWorkItems) +
                  est.kernelCompute.latency;
+    // Breakdown: the serialised transfer phase is memory; L_comp^kernel
+    // (eq. 7) splits into its per-wave CU latency and its ΔL term. Using the
+    // stored waves keeps the identity exact under every ablation.
+    est.breakdown.memory = memPerWi * static_cast<double>(est.totalWorkItems);
+    est.breakdown.compute = est.cu.latency * est.kernelCompute.waves;
+    est.breakdown.dispatch =
+        est.kernelCompute.latency - est.breakdown.compute;
   } else {
     // Eqs. 11-12: memory transfers overlap computation in the work-item
     // pipeline; the slower of the two sets the initiation interval.
@@ -146,8 +170,8 @@ Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
                         est.memory.iiThroughputBound);
     const double nWi = static_cast<double>(effective.workGroupItems());
     const double nPe = est.cu.effectivePes;
-    const double groupLatency =
-        est.iiWi * std::ceil(std::max(0.0, nWi - nPe) / nPe) + est.pe.depth;
+    const double steadyIters = std::ceil(std::max(0.0, nWi - nPe) / nPe);
+    const double groupLatency = est.iiWi * steadyIters + est.pe.depth;
     // Eq. 8's concurrency bound, but with the memory-integrated group
     // latency: that is how long the CU is actually occupied per work-group.
     const int cappedCus = std::max(
@@ -162,12 +186,22 @@ Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
     if (design.workGroupPipeline) {
       // Work-group pipelining: groups stream through the CU back-to-back, so
       // the pipeline depth is paid once per CU, not once per wave.
-      est.cycles = est.iiWi *
-                       std::ceil(std::max(0.0, nWi - nPe) / nPe) * waves +
-                   est.pe.depth + cappedCus * dispatchUnit;
+      est.cycles = est.iiWi * steadyIters * waves + est.pe.depth +
+                   cappedCus * dispatchUnit;
+      est.breakdown.fillDrain = est.pe.depth;
     } else {
       est.cycles = groupLatency * waves + cappedCus * dispatchUnit;
+      est.breakdown.fillDrain = est.pe.depth * waves;
     }
+    // Breakdown: each initiation costs II_wi, of which II_comp is compute
+    // and the excess (II_wi - II_comp, when memory binds) is exposed DRAM
+    // stall; the depth term is fill/drain and ΔL_schedule is dispatch.
+    const double issueCycles = est.iiWi * steadyIters * waves;
+    const double computeShare =
+        est.iiWi > 0 ? std::min(est.pe.iiComp, est.iiWi) / est.iiWi : 0.0;
+    est.breakdown.compute = issueCycles * computeShare;
+    est.breakdown.memory = issueCycles - est.breakdown.compute;
+    est.breakdown.dispatch = cappedCus * dispatchUnit;
   }
 
   est.milliseconds = device_.cyclesToMs(est.cycles);

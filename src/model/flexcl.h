@@ -19,6 +19,36 @@
 
 namespace flexcl::model {
 
+/// Exact additive decomposition of a prediction's `cycles` — the data behind
+/// `flexcl explain` (DESIGN.md §9). The model's integration overlaps memory
+/// with computation (eqs. 10-12); the breakdown resolves that overlap by
+/// attributing overlapped cycles to the side that binds and exposing only
+/// the remainder of the other. The invariant `total() == cycles` (to fp
+/// rounding) holds for every ok estimate, in both communication modes and
+/// under every ModelOptions ablation — asserted over all bundled workloads
+/// in tests/test_obs.cpp.
+struct CycleBreakdown {
+  /// Compute-bound cycles: steady-state issue paced by II_comp (pipeline
+  /// mode) or the kernel compute latency L_comp (barrier mode).
+  double compute = 0;
+  /// Exposed memory cycles: pipeline-mode stall beyond the compute II
+  /// (II_wi - II_comp per initiation), or the serialised transfer phase of
+  /// barrier mode (eq. 10's L_mem term).
+  double memory = 0;
+  /// Pipeline fill + drain: the depth paid per wave (or once per CU with
+  /// work-group pipelining). Zero in barrier mode (depth is inside L_CU).
+  double fillDrain = 0;
+  /// Work-group dispatch overhead: the ΔL_schedule term (eqs. 7-8).
+  double dispatch = 0;
+
+  [[nodiscard]] double total() const {
+    return compute + memory + fillDrain + dispatch;
+  }
+  /// Largest component's name: "compute" | "memory" | "fill-drain" |
+  /// "dispatch" ("none" when all are zero).
+  [[nodiscard]] const char* binding() const;
+};
+
 struct Estimate {
   bool ok = false;
   std::string error;
@@ -26,6 +56,8 @@ struct Estimate {
   double cycles = 0;
   double milliseconds = 0;
   CommMode mode = CommMode::Pipeline;
+  /// Where the cycles go (see CycleBreakdown); zero-filled when !ok.
+  CycleBreakdown breakdown;
 
   // Sub-model results, exposed for the bottleneck report and the benches.
   PeModel pe;

@@ -1,0 +1,152 @@
+#include "obs/explain.h"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "support/text_table.h"
+
+namespace flexcl::obs {
+namespace {
+
+double sharePct(double part, double total) {
+  return total > 0 ? 100.0 * part / total : 0.0;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct Component {
+  const char* name;
+  double cycles;
+};
+
+std::array<Component, 4> components(const model::CycleBreakdown& b) {
+  return {{{"compute", b.compute},
+           {"memory", b.memory},
+           {"fill-drain", b.fillDrain},
+           {"dispatch", b.dispatch}}};
+}
+
+}  // namespace
+
+ExplainReport buildExplainReport(const model::Estimate& estimate,
+                                 const model::DesignPoint& design,
+                                 const std::string& kernelName,
+                                 const std::string& deviceName) {
+  ExplainReport report;
+  report.kernel = kernelName;
+  report.device = deviceName;
+  report.design = design;
+  report.estimate = estimate;
+  report.bottleneck = model::diagnose(estimate, design);
+  return report;
+}
+
+ExplainReport explainEstimate(model::FlexCl& flexcl,
+                              const model::LaunchInfo& launch,
+                              const model::DesignPoint& design,
+                              const std::string& kernelName) {
+  const model::Estimate est = flexcl.estimate(launch, design);
+  return buildExplainReport(est, design, kernelName, flexcl.device().name);
+}
+
+std::string ExplainReport::text() const {
+  std::ostringstream os;
+  os << "kernel   : " << kernel << " (" << device << ")\n";
+  os << "design   : " << design.str() << "\n";
+  if (!estimate.ok) {
+    os << "estimate failed: " << estimate.error << "\n";
+    return os.str();
+  }
+  os << "mode     : " << model::commModeName(estimate.mode)
+     << (estimate.barrierCount > 0 ? " (forced by barrier intrinsics)" : "")
+     << "\n";
+  os.precision(1);
+  os << std::fixed;
+  os << "parallel : " << estimate.cu.effectivePes << " PEs x "
+     << estimate.kernelCompute.effectiveCus << " CUs effective, "
+     << estimate.totalWorkItems << " work-items\n";
+  os << "pipeline : II_comp " << estimate.pe.iiComp << " (RecMII "
+     << estimate.pe.recMii << " / ResMII " << estimate.pe.resMii
+     << "), II_wi " << estimate.iiWi << ", depth " << estimate.pe.depth
+     << ", L_mem/wi " << estimate.memory.lMemWi << "\n\n";
+
+  TextTable table({"component", "cycles", "share"});
+  const model::CycleBreakdown& b = estimate.breakdown;
+  for (const auto& [name, cycles] : components(b)) {
+    std::ostringstream share;
+    share.precision(1);
+    share << std::fixed << sharePct(cycles, estimate.cycles) << "%";
+    table.row().cell(name).cell(cycles, 0).cell(share.str());
+  }
+  table.row().cell("total").cell(b.total(), 0).cell("100.0%");
+  os << table.str();
+
+  os.precision(0);
+  os << "\npredicted: " << estimate.cycles << " cycles = ";
+  os.precision(3);
+  os << estimate.milliseconds << " ms; binding component: " << b.binding()
+     << "\n";
+  os << bottleneck.str();
+  return os.str();
+}
+
+std::string ExplainReport::json() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"kernel\": \"" << jsonEscape(kernel) << "\", \"device\": \""
+     << jsonEscape(device) << "\", \"design\": \"" << jsonEscape(design.str())
+     << "\", \"ok\": " << (estimate.ok ? "true" : "false");
+  if (!estimate.ok) {
+    os << ", \"error\": \"" << jsonEscape(estimate.error) << "\"}";
+    return os.str();
+  }
+  const model::CycleBreakdown& b = estimate.breakdown;
+  os << ", \"mode\": \"" << model::commModeName(estimate.mode) << "\""
+     << ", \"cycles\": " << estimate.cycles
+     << ", \"milliseconds\": " << estimate.milliseconds
+     << ", \"breakdown\": {";
+  bool first = true;
+  for (const auto& [name, cycles] : components(b)) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << name << "\": " << cycles;
+  }
+  os << ", \"total\": " << b.total() << ", \"binding\": \"" << b.binding()
+     << "\"}"
+     << ", \"parallel\": {\"effective_pes\": " << estimate.cu.effectivePes
+     << ", \"effective_cus\": " << estimate.kernelCompute.effectiveCus
+     << ", \"work_items\": " << estimate.totalWorkItems << "}"
+     << ", \"pipeline\": {\"ii_comp\": " << estimate.pe.iiComp
+     << ", \"rec_mii\": " << estimate.pe.recMii
+     << ", \"res_mii\": " << estimate.pe.resMii
+     << ", \"ii_wi\": " << estimate.iiWi
+     << ", \"depth\": " << estimate.pe.depth
+     << ", \"l_mem_wi\": " << estimate.memory.lMemWi << "}"
+     << ", \"bottleneck\": {\"primary\": \""
+     << model::bottleneckName(bottleneck.primary)
+     << "\", \"severity\": " << bottleneck.severity << ", \"hints\": [";
+  first = true;
+  for (const std::string& hint : bottleneck.hints) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << jsonEscape(hint) << "\"";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+}  // namespace flexcl::obs

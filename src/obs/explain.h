@@ -1,0 +1,46 @@
+// Cycle-attribution "explain" report (DESIGN.md §9): turns one FlexCL
+// estimate into a structured answer to *why* the predicted cycle count is
+// what it is — per-component breakdown (compute / memory / fill-drain /
+// dispatch, summing exactly to the total), the effective parallelism the
+// model settled on, and the bottleneck diagnosis with restructuring hints.
+// Rendered as a text table (`flexcl explain`) and as JSON (--format json,
+// --metrics consumers, CI).
+#pragma once
+
+#include <string>
+
+#include "model/bottleneck.h"
+#include "model/flexcl.h"
+
+namespace flexcl::obs {
+
+struct ExplainReport {
+  std::string kernel;
+  std::string device;
+  model::DesignPoint design;
+  model::Estimate estimate;             ///< includes the CycleBreakdown
+  model::BottleneckReport bottleneck;
+
+  /// Human-readable report: metadata lines, the component table
+  /// (cycles + share per component, footer row asserting the sum), and the
+  /// bottleneck hints.
+  [[nodiscard]] std::string text() const;
+  /// One JSON object with the same content, machine-readable.
+  [[nodiscard]] std::string json() const;
+};
+
+/// Runs the model on (launch, design) and assembles the report. The estimate
+/// may have failed (estimate.ok == false); both renderers surface the error.
+ExplainReport explainEstimate(model::FlexCl& flexcl,
+                              const model::LaunchInfo& launch,
+                              const model::DesignPoint& design,
+                              const std::string& kernelName);
+
+/// Assembles a report from an already-computed estimate (bench/DSE callers
+/// that want attribution without re-running the model).
+ExplainReport buildExplainReport(const model::Estimate& estimate,
+                                 const model::DesignPoint& design,
+                                 const std::string& kernelName,
+                                 const std::string& deviceName);
+
+}  // namespace flexcl::obs

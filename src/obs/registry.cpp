@@ -1,0 +1,101 @@
+#include "obs/registry.h"
+
+#include <sstream>
+
+namespace flexcl::obs {
+namespace {
+
+std::atomic<bool> gEnabled{false};
+
+void appendJsonMap(std::ostringstream& os, const char* key, auto&& samples,
+                   auto&& valueWriter) {
+  os << "\"" << key << "\": {";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << s.name << "\": ";
+    valueWriter(os, s.value);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+bool enabled() { return gEnabled.load(std::memory_order_relaxed); }
+
+void setEnabled(bool on) { gEnabled.store(on, std::memory_order_relaxed); }
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: counter
+  return *instance;                            // refs outlive static teardown
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::setGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::vector<Registry::CounterSample> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSample{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<Registry::GaugeSample> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) {
+    out.push_back(GaugeSample{name, value});
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  os << "{";
+  appendJsonMap(os, "counters", counters(),
+                [](std::ostringstream& o, std::uint64_t v) { o << v; });
+  os << ", ";
+  appendJsonMap(os, "gauges", gauges(), [](std::ostringstream& o, double v) {
+    o.precision(6);
+    o << std::fixed << v;
+  });
+  os << "}";
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  gauges_.clear();
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+
+void setGauge(std::string_view name, double value) {
+  if (enabled()) Registry::global().setGauge(name, value);
+}
+
+}  // namespace flexcl::obs

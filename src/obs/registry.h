@@ -1,0 +1,101 @@
+// Process-wide observability counter/gauge registry (DESIGN.md §9).
+//
+// One place for every subsystem's "how often / how much" numbers:
+// hierarchical dot-separated names (`dram.row_hit`, `pool.jobs_executed`,
+// `cache.compile.hits`), lock-free-ish atomic increments, and a JSON
+// snapshot consumed by `flexcl --metrics`, the bench harness and CI.
+//
+// Overhead contract: everything is gated on one relaxed atomic bool
+// (`obs::enabled()`); with observability off the helpers are a single load
+// and branch, no allocation, no locking. Call sites in hot loops must batch
+// (accumulate locally, publish once per phase) — the registry is for
+// phase-grained accounting, not per-access increments. Counters never
+// influence model or simulator results: bit-identical output with
+// observability on or off is asserted in tests/test_obs.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexcl::obs {
+
+/// Monotonic counter. Increments are relaxed atomics: totals are exact,
+/// cross-counter ordering is not promised. Wraps modulo 2^64.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Named counters + gauges. Registration is mutex-protected; the returned
+/// Counter& stays valid for the registry's lifetime (values are
+/// heap-allocated and never erased, only zeroed by reset()).
+class Registry {
+ public:
+  /// The process-wide registry used by all instrumentation sites.
+  static Registry& global();
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter& counter(std::string_view name);
+
+  /// Sets (overwrites) a point-in-time gauge, e.g. a cache hit count
+  /// snapshotted from runtime::Stats or a measured wall time.
+  void setGauge(std::string_view name, double value);
+
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0;
+  };
+  /// Name-sorted snapshots (counters with value 0 are included: a registered
+  /// counter that never fired is itself a signal).
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+  [[nodiscard]] std::vector<GaugeSample> gauges() const;
+
+  /// {"counters": {name: value, ...}, "gauges": {name: value, ...}},
+  /// keys sorted.
+  [[nodiscard]] std::string json() const;
+
+  /// Zeroes every counter and drops all gauges. Counter references handed
+  /// out earlier remain valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+/// Master switch for counter collection (spans have their own switch on the
+/// tracer). Off by default; flip with setEnabled. One relaxed load to test.
+[[nodiscard]] bool enabled();
+void setEnabled(bool on);
+
+/// Shorthand for Registry::global().counter(name).
+Counter& counter(std::string_view name);
+
+/// Bumps `name` by `n` iff observability is enabled. The one-liner used by
+/// instrumentation sites that publish phase totals.
+inline void add(std::string_view name, std::uint64_t n = 1) {
+  if (enabled()) counter(name).add(n);
+}
+
+/// Sets gauge `name` iff observability is enabled.
+void setGauge(std::string_view name, double value);
+
+}  // namespace flexcl::obs

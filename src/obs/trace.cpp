@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace flexcl::obs {
+namespace {
+
+thread_local int tlsLane = -1;
+thread_local int tlsDepth = 0;
+std::atomic<int> nextLane{0};
+
+void appendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed: spans may be
+  return *instance;                        // recorded during static teardown
+}
+
+void Tracer::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+    origin_ = std::chrono::steady_clock::now();
+  }
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+void Tracer::record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(record));
+}
+
+double Tracer::nowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+int Tracer::laneOfThisThread() {
+  if (tlsLane < 0) tlsLane = nextLane.fetch_add(1, std::memory_order_relaxed);
+  return tlsLane;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string Tracer::json() const {
+  const std::vector<SpanRecord> spans = this->spans();
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": ";
+    appendJsonString(os, s.name);
+    os << ", \"cat\": \"" << s.category << "\", \"ph\": \"X\", \"pid\": 1"
+       << ", \"tid\": " << s.lane << ", \"ts\": " << s.startUs
+       << ", \"dur\": " << s.durationUs << ", \"args\": {\"depth\": " << s.depth
+       << "}}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+bool Tracer::writeTo(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << json();
+  return static_cast<bool>(out);
+}
+
+int Span::enterLane() { return tlsDepth++; }
+
+void Span::leaveLane() { --tlsDepth; }
+
+}  // namespace flexcl::obs

@@ -1,0 +1,118 @@
+// Scoped-span tracer emitting Chrome trace_event JSON (DESIGN.md §9).
+//
+// Instrumented phases (compile, profile, model estimate, simulation, DSE
+// passes, pool jobs) open an obs::Span for their dynamic extent; completed
+// spans are appended to a process-wide buffer and dumped as the Chrome
+// trace-event "complete event" format ("ph":"X"), which chrome://tracing and
+// https://ui.perfetto.dev open directly. Each OS thread gets a stable small
+// lane id, so a `--jobs N` exploration renders as N worker lanes.
+//
+// Overhead contract: with the tracer inactive a Span is one relaxed atomic
+// load and two branches — no clock reads, no allocation, no locking. Spans
+// never feed back into any model/simulator computation; results are
+// bit-identical with tracing on or off (asserted in tests/test_obs.cpp).
+// Timestamps come from steady_clock only (monotonic; immune to wall-clock
+// adjustments).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexcl::obs {
+
+/// One completed span, in microseconds relative to Tracer::start().
+struct SpanRecord {
+  std::string name;      ///< e.g. the design point being evaluated
+  const char* category;  ///< phase: "compile", "profile", "model", "sim", ...
+  int lane = 0;          ///< per-thread lane ("tid" in the trace JSON)
+  int depth = 0;         ///< nesting depth within the lane at open time
+  double startUs = 0;
+  double durationUs = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Starts collecting: clears the buffer and re-zeroes the time origin.
+  void start();
+  /// Stops collecting; the buffer is kept for json()/writeTo().
+  void stop();
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of the completed spans (tests and post-processing).
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  /// Full Chrome trace: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  [[nodiscard]] std::string json() const;
+  /// Writes json() to `path`; false on I/O failure.
+  bool writeTo(const std::string& path) const;
+  void clear();
+
+  // Internal (Span): record one completed span.
+  void record(SpanRecord record);
+  /// Microseconds since start(). Monotonic (steady_clock).
+  [[nodiscard]] double nowUs() const;
+  /// Stable small lane id of the calling thread (assigned on first use).
+  static int laneOfThisThread();
+
+ private:
+  std::atomic<bool> active_{false};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span: opens on construction when the tracer is active, records on
+/// destruction. The string name is only materialised when active — pass a
+/// callable for names that cost something to build (design.str()).
+class Span {
+ public:
+  Span(const char* category, const char* name) : Span(category, [&] {
+    return std::string(name);
+  }) {}
+  Span(const char* category, std::string name)
+      : Span(category, [&] { return std::move(name); }) {}
+
+  template <typename NameFn>
+  Span(const char* category, NameFn&& nameFn) {
+    Tracer& tracer = Tracer::global();
+    if (!tracer.active()) return;
+    open_ = true;
+    record_.category = category;
+    record_.name = std::forward<NameFn>(nameFn)();
+    record_.lane = Tracer::laneOfThisThread();
+    record_.depth = enterLane();
+    record_.startUs = tracer.nowUs();
+  }
+
+  ~Span() {
+    if (!open_) return;
+    Tracer& tracer = Tracer::global();
+    record_.durationUs = tracer.nowUs() - record_.startUs;
+    leaveLane();
+    // Record even if the tracer was stopped mid-span: a half-traced phase
+    // is more useful than a silently dropped one.
+    tracer.record(std::move(record_));
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  /// Per-thread nesting depth bookkeeping; returns the depth at entry.
+  static int enterLane();
+  static void leaveLane();
+
+  bool open_ = false;
+  SpanRecord record_;
+};
+
+}  // namespace flexcl::obs

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "analysis/analyze.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "ocl/preprocessor.h"
 #include "support/rng.h"
 
@@ -38,6 +40,8 @@ std::shared_ptr<const CompiledKernel> CompileCache::compile(
     const std::unordered_map<std::string, std::string>& defines) {
   const std::uint64_t key = kernelKeyHash(source, kernelName, defines);
   return cache_.getOrCompute(key, [&]() {
+    obs::Span span("compile", kernelName);
+    obs::add("compile.runs");
     CompiledKernel compiled;
     compiled.hash = key;
     DiagnosticEngine diags;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/registry.h"
+
 namespace flexcl::runtime {
 namespace {
 
@@ -68,6 +70,24 @@ std::string Stats::str() const {
   appendHumanCache(os, "profile cache  ", profile);
   appendHumanCache(os, "sim-input cache", simInput);
   return os.str();
+}
+
+void Stats::publishTo(obs::Registry& registry) const {
+  const auto publishCache = [&registry](const char* name,
+                                        const CounterSnapshot& c) {
+    const std::string prefix = std::string("cache.") + name + ".";
+    registry.setGauge(prefix + "hits", static_cast<double>(c.hits));
+    registry.setGauge(prefix + "misses", static_cast<double>(c.misses));
+    registry.setGauge(prefix + "evictions", static_cast<double>(c.evictions));
+    registry.setGauge(prefix + "entries", static_cast<double>(c.entries));
+  };
+  registry.setGauge("runtime.jobs", static_cast<double>(jobs));
+  publishCache("compile", compile);
+  publishCache("flexcl_eval", flexclEval);
+  publishCache("sdaccel_eval", sdaccelEval);
+  publishCache("sim_eval", simEval);
+  publishCache("profile", profile);
+  publishCache("sim_input", simInput);
 }
 
 std::string Stats::json() const {

@@ -6,6 +6,10 @@
 #include <cstdint>
 #include <string>
 
+namespace flexcl::obs {
+class Registry;
+}
+
 namespace flexcl::runtime {
 
 /// Point-in-time copy of one cache's counters (the live counters are atomics
@@ -43,6 +47,12 @@ struct Stats {
   [[nodiscard]] std::string str() const;
   /// One JSON object with a field per cache.
   [[nodiscard]] std::string json() const;
+
+  /// Mirrors this snapshot into the observability registry as gauges
+  /// (`cache.compile.hits`, `runtime.jobs`, ...). Stats stays the thin
+  /// aggregation view over the caches' live atomics; the registry is the
+  /// single sink `--metrics` serialises (DESIGN.md §9).
+  void publishTo(obs::Registry& registry) const;
 
   Stats& operator+=(const Stats& other);
 };

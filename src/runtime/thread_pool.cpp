@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/registry.h"
+
 namespace flexcl::runtime {
 
 int defaultJobs() {
@@ -88,6 +90,8 @@ void ThreadPool::parallelFor(std::size_t n,
 
   const std::size_t sweepers =
       std::min<std::size_t>(workers_.size(), n);
+  obs::add("pool.parallel_for");
+  obs::add("pool.jobs_executed", n);
   std::vector<std::future<void>> done;
   done.reserve(sweepers);
   for (std::size_t s = 0; s < sweepers; ++s) done.push_back(submit(sweep));

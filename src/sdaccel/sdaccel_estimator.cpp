@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace flexcl::sdaccel {
 namespace {
 
@@ -83,6 +86,8 @@ std::optional<SdaccelEstimate> estimateSdaccel(
     const ir::Function& fn, const cdfg::KernelAnalysis& analysis,
     const model::Device& device, const model::DesignPoint& design,
     std::uint64_t totalWorkItems, const SdaccelOptions& options) {
+  obs::Span span("sdaccel", [&] { return design.str(); });
+  obs::add("sdaccel.estimates");
   if (sdaccelFails(fn, analysis, design)) return std::nullopt;
 
   const double serialDepth = serialLatency(*fn.rootRegion(), analysis);

@@ -59,6 +59,7 @@ void SystemEngine::dispatchNextGroup(int cuIdx, std::uint64_t readyTime) {
   }
   const std::uint64_t group = nextGroup_++;
   const std::uint64_t issue = std::max(dispatcherFree_, readyTime);
+  dispatchStallCycles_ += issue - readyTime;
   const double factor = 1.0 + dispatchJitter_ * (rng_.nextDouble() - 0.5) * 2.0;
   const auto cost = static_cast<std::uint64_t>(
       std::llround(std::max(1.0, dispatchOverhead_ * factor)));
@@ -162,6 +163,9 @@ void SystemEngine::step(const Event& ev) {
   // chain and its compute pipeline have drained.
   const std::uint64_t wiDone =
       hw_.barrierMode ? lane.memTime : std::max(lane.memTime, lane.computeDone);
+  if (!hw_.barrierMode && lane.memTime > lane.computeDone) {
+    memStallCycles_ += lane.memTime - lane.computeDone;
+  }
   finishWorkItem(ev.cu, ev.lane, wiDone);
 }
 

@@ -35,6 +35,16 @@ class SystemEngine {
   /// Runs every work-group to completion; returns the makespan in cycles.
   std::uint64_t run();
 
+  // --- statistics ------------------------------------------------------------
+  // Plain members, published once per run by the system simulator.
+  /// Cycles retiring work-items spent waiting on memory beyond their compute
+  /// pipeline drain (pipeline mode only; barrier mode serialises the phases).
+  [[nodiscard]] std::uint64_t memStallCycles() const { return memStallCycles_; }
+  /// Cycles CUs sat ready while the serial dispatcher was busy elsewhere.
+  [[nodiscard]] std::uint64_t dispatchStallCycles() const {
+    return dispatchStallCycles_;
+  }
+
  private:
   struct Lane {
     std::uint64_t nextIssue = 0;   ///< earliest next work-item start (II pacing)
@@ -83,6 +93,8 @@ class SystemEngine {
   std::uint64_t totalGroups_ = 0;
   std::uint64_t dispatcherFree_ = 0;
   std::uint64_t makespan_ = 0;
+  std::uint64_t memStallCycles_ = 0;
+  std::uint64_t dispatchStallCycles_ = 0;
 };
 
 /// Linear global ids of one work-group's work-items (local-id order,

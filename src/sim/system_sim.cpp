@@ -7,6 +7,8 @@
 #include "cdfg/cdfg.h"
 #include "model/kernel_model.h"
 #include "model/pe_model.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/cu_pipeline.h"
 #include "support/rng.h"
 
@@ -69,6 +71,7 @@ SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
 
 SimResult simulate(const SimInput& input, const model::Device& device,
                    const model::DesignPoint& design, const SimOptions& options) {
+  obs::Span span("sim", [&] { return design.str(); });
   SimResult result;
   if (!input.ok) {
     result.error = input.error.empty() ? "sim input not prepared" : input.error;
@@ -130,6 +133,26 @@ SimResult simulate(const SimInput& input, const model::Device& device,
   result.dramAccesses = dram.totalAccesses();
   result.dramRowHits = dram.rowHits();
   result.workGroups = input.range.groupCount();
+  result.dramRefreshStallCycles = dram.refreshStallCycles();
+  result.dramBankWaitCycles = dram.bankWaitCycles();
+  result.dramBusWaitCycles = dram.busWaitCycles();
+  result.memStallCycles = engine.memStallCycles();
+  result.dispatchStallCycles = engine.dispatchStallCycles();
+
+  // Publish once per run — the inner loops stay counter-free so the
+  // simulation is untouched by observability (DESIGN.md §9).
+  if (obs::enabled()) {
+    obs::add("sim.runs");
+    obs::add("sim.work_groups", result.workGroups);
+    obs::add("dram.access", result.dramAccesses);
+    obs::add("dram.row_hit", result.dramRowHits);
+    obs::add("dram.row_miss", result.dramAccesses - result.dramRowHits);
+    obs::add("dram.refresh_stall_cycles", result.dramRefreshStallCycles);
+    obs::add("dram.bank_wait_cycles", result.dramBankWaitCycles);
+    obs::add("dram.bus_wait_cycles", result.dramBusWaitCycles);
+    obs::add("sim.mem_stall_cycles", result.memStallCycles);
+    obs::add("sim.dispatch_stall_cycles", result.dispatchStallCycles);
+  }
   return result;
 }
 

@@ -70,6 +70,12 @@ struct SimResult {
   std::uint64_t dramAccesses = 0;
   std::uint64_t dramRowHits = 0;
   std::uint64_t workGroups = 0;
+  // Stall attribution (DESIGN.md §9): where simulated time was lost.
+  std::uint64_t dramRefreshStallCycles = 0;  ///< accesses blocked by refresh
+  std::uint64_t dramBankWaitCycles = 0;      ///< accesses queued behind a bank
+  std::uint64_t dramBusWaitCycles = 0;       ///< transfers queued for the bus
+  std::uint64_t memStallCycles = 0;          ///< work-items retired late on memory
+  std::uint64_t dispatchStallCycles = 0;     ///< CUs idle behind the dispatcher
 };
 
 /// Simulates `input` under `design` on `device`.

@@ -1,0 +1,436 @@
+// Tests for the observability layer (src/obs/, DESIGN.md §9): counter
+// registry semantics (atomicity, overflow, reset, the enabled gate), the
+// scoped-span tracer (nesting, per-thread lanes, Chrome trace JSON), the
+// cycle-attribution explain report (breakdown sums exactly to the predicted
+// total for every bundled workload), and the zero-interference contract —
+// model and simulator results are bit-identical with observability on or
+// off, at any worker count. The concurrency tests here run under the CI's
+// TSan job alongside the runtime tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/design_space.h"
+#include "dse/explorer.h"
+#include "model/flexcl.h"
+#include "obs/explain.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "runtime/stats.h"
+#include "workloads/workload.h"
+
+namespace flexcl {
+namespace {
+
+/// Restores the global observability switches on scope exit so tests cannot
+/// leak state into each other (gtest runs them in one process).
+struct ObsGuard {
+  ~ObsGuard() {
+    obs::setEnabled(false);
+    obs::Tracer::global().stop();
+    obs::Tracer::global().clear();
+    obs::Registry::global().reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, CounterAddValueReset) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("test.alpha");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same counter.
+  EXPECT_EQ(&registry.counter("test.alpha"), &c);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);  // reference stays valid, value zeroed
+}
+
+TEST(ObsRegistry, CounterOverflowWrapsModulo64Bits) {
+  obs::Counter c;
+  c.add(~0ull);
+  EXPECT_EQ(c.value(), ~0ull);
+  c.add(2);  // wraps: 2^64 - 1 + 2 = 1 (mod 2^64)
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsRegistry, AddHelperIsNoOpWhenDisabled) {
+  ObsGuard guard;
+  obs::setEnabled(false);
+  obs::add("test.gated", 7);
+  obs::setEnabled(true);
+  obs::add("test.gated", 5);
+  EXPECT_EQ(obs::counter("test.gated").value(), 5u);
+}
+
+TEST(ObsRegistry, ConcurrentAddsAreExact) {
+  obs::Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      obs::Counter& c = registry.counter("test.concurrent");
+      for (int i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.counter("test.concurrent").value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(ObsRegistry, SnapshotsAreNameSortedAndJsonWellFormed) {
+  obs::Registry registry;
+  registry.counter("zeta").add(3);
+  registry.counter("alpha").add(1);
+  registry.setGauge("beta.gauge", 2.5);
+
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].name, "alpha");
+  EXPECT_EQ(counters[1].name, "zeta");
+  EXPECT_EQ(counters[1].value, 3u);
+
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"alpha\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"beta.gauge\""), std::string::npos);
+  // alpha sorts before zeta in the rendered object too.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, InactiveTracerRecordsNothing) {
+  ObsGuard guard;
+  obs::Tracer::global().stop();
+  obs::Tracer::global().clear();
+  {
+    obs::Span span("test", "ignored");
+  }
+  EXPECT_TRUE(obs::Tracer::global().spans().empty());
+}
+
+TEST(ObsTrace, SpansRecordNestingDepth) {
+  ObsGuard guard;
+  obs::Tracer::global().start();
+  {
+    obs::Span outer("test", "outer");
+    {
+      obs::Span inner("test", "inner");
+    }
+  }
+  obs::Tracer::global().stop();
+  const auto spans = obs::Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes (and records) first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_EQ(spans[0].lane, spans[1].lane);
+  EXPECT_GE(spans[1].durationUs, spans[0].durationUs);
+}
+
+TEST(ObsTrace, DistinctThreadsGetDistinctLanes) {
+  ObsGuard guard;
+  obs::Tracer::global().start();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] { obs::Span span("test", "worker"); });
+  }
+  for (std::thread& t : threads) t.join();
+  obs::Tracer::global().stop();
+
+  const auto spans = obs::Tracer::global().spans();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kThreads));
+  std::set<int> lanes;
+  for (const auto& s : spans) lanes.insert(s.lane);
+  EXPECT_EQ(lanes.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ObsTrace, JsonIsChromeTraceEventFormat) {
+  ObsGuard guard;
+  obs::Tracer::global().start();
+  {
+    obs::Span span("phase", "with \"quotes\" and\nnewline");
+  }
+  obs::Tracer::global().stop();
+  const std::string json = obs::Tracer::global().json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);  // escaped
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n', json.find("with")),  // raw newline not emitted
+            json.find('\n', json.find("with")));
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(ObsTrace, SpanWhileInactiveIsCheapNoClockNoRecord) {
+  ObsGuard guard;
+  obs::Tracer::global().stop();
+  obs::Tracer::global().clear();
+  bool nameBuilt = false;
+  {
+    obs::Span span("test", [&] {
+      nameBuilt = true;
+      return std::string("expensive");
+    });
+  }
+  EXPECT_FALSE(nameBuilt);  // lazy name never materialised when inactive
+  EXPECT_TRUE(obs::Tracer::global().spans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------------
+
+struct PreparedWorkload {
+  std::shared_ptr<workloads::CompiledWorkload> compiled;
+  model::LaunchInfo launch;
+};
+
+PreparedWorkload prepare(const char* suite, const char* benchmark,
+                         const char* kernel) {
+  const workloads::Workload* w =
+      workloads::findWorkload(suite, benchmark, kernel);
+  EXPECT_NE(w, nullptr) << suite << "/" << benchmark << "/" << kernel;
+  std::string error;
+  auto compiled = workloads::compileWorkload(*w, &error);
+  EXPECT_TRUE(compiled) << error;
+  PreparedWorkload p;
+  p.compiled =
+      std::make_shared<workloads::CompiledWorkload>(std::move(*compiled));
+  p.launch = p.compiled->launch();
+  return p;
+}
+
+TEST(ObsExplain, GoldenTextReportOnNn) {
+  PreparedWorkload p = prepare("rodinia", "nn", "nn");
+  model::FlexCl flexcl(model::Device::virtex7());
+  const auto space = dse::enumerateDesignSpace(p.compiled->meta.range, false);
+  ASSERT_FALSE(space.empty());
+
+  const obs::ExplainReport report =
+      obs::explainEstimate(flexcl, p.launch, space.front(), "nn");
+  ASSERT_TRUE(report.estimate.ok) << report.estimate.error;
+
+  const std::string text = report.text();
+  EXPECT_NE(text.find("kernel   : nn (virtex7"), std::string::npos);
+  EXPECT_NE(text.find("| component  |"), std::string::npos);
+  for (const char* component :
+       {"compute", "memory", "fill-drain", "dispatch", "total"}) {
+    EXPECT_NE(text.find(component), std::string::npos) << component;
+  }
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+  EXPECT_NE(text.find("predicted: "), std::string::npos);
+  EXPECT_NE(text.find("binding component: "), std::string::npos);
+  EXPECT_NE(text.find("primary bottleneck: "), std::string::npos);
+
+  const model::CycleBreakdown& b = report.estimate.breakdown;
+  EXPECT_NEAR(b.total(), report.estimate.cycles,
+              1e-6 * report.estimate.cycles + 1e-9);
+}
+
+TEST(ObsExplain, GoldenJsonReportOnGemm) {
+  PreparedWorkload p = prepare("polybench", "gemm", "gemm");
+  model::FlexCl flexcl(model::Device::virtex7());
+  const auto space = dse::enumerateDesignSpace(p.compiled->meta.range, false);
+  ASSERT_FALSE(space.empty());
+
+  const obs::ExplainReport report =
+      obs::explainEstimate(flexcl, p.launch, space.front(), "gemm");
+  ASSERT_TRUE(report.estimate.ok) << report.estimate.error;
+
+  const std::string json = report.json();
+  for (const char* key :
+       {"\"kernel\": \"gemm\"", "\"ok\": true", "\"breakdown\"",
+        "\"compute\"", "\"memory\"", "\"fill-drain\"", "\"dispatch\"",
+        "\"total\"", "\"binding\"", "\"parallel\"", "\"pipeline\"",
+        "\"bottleneck\"", "\"hints\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Braces balance (cheap well-formedness check without a JSON parser).
+  int depth = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) inString = !inString;
+    if (inString) continue;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(inString);
+}
+
+TEST(ObsExplain, FailedEstimateRendersError) {
+  model::Estimate bad;
+  bad.ok = false;
+  bad.error = "forced failure";
+  const obs::ExplainReport report =
+      obs::buildExplainReport(bad, model::DesignPoint{}, "k", "dev");
+  EXPECT_NE(report.text().find("estimate failed: forced failure"),
+            std::string::npos);
+  EXPECT_NE(report.json().find("\"ok\": false"), std::string::npos);
+}
+
+// The acceptance property of the attribution layer: the four components sum
+// to the predicted total for every bundled workload, under both
+// communication modes and all pipelining flags the design space enumerates.
+TEST(ObsExplain, BreakdownSumsToTotalAcrossAllBundledWorkloads) {
+  int workloadsChecked = 0;
+  int estimatesChecked = 0;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) {
+      std::string error;
+      auto compiled = workloads::compileWorkload(w, &error);
+      ASSERT_TRUE(compiled) << w.fullName() << ": " << error;
+      const model::LaunchInfo launch = compiled->launch();
+      model::FlexCl flexcl(model::Device::virtex7());
+      const auto space = dse::enumerateDesignSpace(compiled->meta.range, false);
+      ASSERT_FALSE(space.empty()) << w.fullName();
+
+      // A spread of design points per workload keeps the test fast while
+      // still covering both modes and pipeline variants.
+      const std::size_t step = std::max<std::size_t>(1, space.size() / 5);
+      for (std::size_t i = 0; i < space.size(); i += step) {
+        const model::Estimate est = flexcl.estimate(launch, space[i]);
+        if (!est.ok) continue;
+        const model::CycleBreakdown& b = est.breakdown;
+        EXPECT_NEAR(b.total(), est.cycles, 1e-6 * est.cycles + 1e-9)
+            << w.fullName() << " @ " << space[i].str();
+        EXPECT_GE(b.compute, 0.0) << w.fullName();
+        EXPECT_GE(b.memory, 0.0) << w.fullName();
+        EXPECT_GE(b.fillDrain, 0.0) << w.fullName();
+        EXPECT_GE(b.dispatch, 0.0) << w.fullName();
+        ++estimatesChecked;
+      }
+      ++workloadsChecked;
+    }
+  }
+  EXPECT_EQ(workloadsChecked, 60);
+  EXPECT_GT(estimatesChecked, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-interference: results are bit-identical with observability on or off
+// ---------------------------------------------------------------------------
+
+TEST(ObsDeterminism, TracedParallelExplorationMatchesUntracedSerial) {
+  PreparedWorkload p = prepare("rodinia", "nn", "nn");
+
+  auto explore = [&](int jobs) {
+    model::FlexCl flexcl(model::Device::virtex7());
+    dse::ExplorerOptions opts;
+    opts.jobs = jobs;
+    dse::Explorer explorer(flexcl, p.launch, opts);
+    const auto space = dse::enumerateDesignSpace(
+        p.compiled->meta.range, explorer.kernelHasBarriers());
+    return explorer.explore(space);
+  };
+
+  // Baseline: serial, observability fully off.
+  obs::setEnabled(false);
+  obs::Tracer::global().stop();
+  const dse::ExplorationResult off = explore(1);
+
+  // Stressed: 4 workers, counters and tracer on.
+  dse::ExplorationResult on;
+  {
+    ObsGuard guard;
+    obs::setEnabled(true);
+    obs::Tracer::global().start();
+    on = explore(4);
+    obs::Tracer::global().stop();
+    // The instrumented run actually recorded something.
+    EXPECT_GT(obs::Tracer::global().spans().size(), 0u);
+    EXPECT_GT(obs::Registry::global().counter("model.estimates").value(), 0u);
+  }
+
+  ASSERT_EQ(off.designs.size(), on.designs.size());
+  for (std::size_t i = 0; i < off.designs.size(); ++i) {
+    // Bit-identical doubles: == on purpose, not NEAR.
+    EXPECT_EQ(off.designs[i].flexclCycles, on.designs[i].flexclCycles) << i;
+    EXPECT_EQ(off.designs[i].simCycles, on.designs[i].simCycles) << i;
+    EXPECT_EQ(off.designs[i].sdaccelCycles, on.designs[i].sdaccelCycles) << i;
+  }
+  EXPECT_EQ(off.bestByFlexcl, on.bestByFlexcl);
+  EXPECT_EQ(off.bestBySim, on.bestBySim);
+}
+
+// ---------------------------------------------------------------------------
+// runtime::Stats as a thin view over the registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsStats, PublishToMirrorsSnapshotIntoGauges) {
+  runtime::Stats stats;
+  stats.jobs = 4;
+  stats.compile.hits = 7;
+  stats.compile.misses = 3;
+  stats.flexclEval.entries = 144;
+
+  obs::Registry registry;
+  stats.publishTo(registry);
+  const auto gauges = registry.gauges();
+  auto find = [&](const std::string& name) -> double {
+    for (const auto& g : gauges) {
+      if (g.name == name) return g.value;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1;
+  };
+  EXPECT_EQ(find("runtime.jobs"), 4.0);
+  EXPECT_EQ(find("cache.compile.hits"), 7.0);
+  EXPECT_EQ(find("cache.compile.misses"), 3.0);
+  EXPECT_EQ(find("cache.flexcl_eval.entries"), 144.0);
+  EXPECT_EQ(find("cache.sim_eval.hits"), 0.0);
+}
+
+// TSan workload: registry snapshots are safe while workers are publishing.
+TEST(ObsStats, ConcurrentSnapshotsDuringInstrumentedExploration) {
+  ObsGuard guard;
+  obs::setEnabled(true);
+
+  PreparedWorkload p = prepare("rodinia", "nn", "nn");
+  std::atomic<bool> done{false};
+  std::thread reader([&done] {
+    while (!done.load()) {
+      const std::string json = obs::Registry::global().json();
+      EXPECT_FALSE(json.empty());
+      std::this_thread::yield();
+    }
+  });
+
+  model::FlexCl flexcl(model::Device::virtex7());
+  dse::ExplorerOptions opts;
+  opts.jobs = 4;
+  dse::Explorer explorer(flexcl, p.launch, opts);
+  const auto space = dse::enumerateDesignSpace(
+      p.compiled->meta.range, explorer.kernelHasBarriers());
+  const dse::ExplorationResult result = explorer.explore(space);
+  done.store(true);
+  reader.join();
+  EXPECT_FALSE(result.designs.empty());
+}
+
+}  // namespace
+}  // namespace flexcl

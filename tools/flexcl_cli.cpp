@@ -23,6 +23,9 @@
 #include "ir/printer.h"
 #include "model/bottleneck.h"
 #include "model/resource_estimate.h"
+#include "obs/explain.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runtime/compile_cache.h"
 #include "runtime/eval_cache.h"
 #include "sim/system_sim.h"
@@ -55,6 +58,9 @@ struct CliOptions {
   // Lint mode.
   std::string format = "text";
   bool crossCheck = true;
+  // Observability (DESIGN.md §9).
+  std::string tracePath;    ///< Chrome trace JSON, written on exit
+  std::string metricsPath;  ///< counter/gauge registry JSON, written on exit
 };
 
 int usage() {
@@ -65,13 +71,20 @@ int usage() {
                "                  [--no-pipeline] [--loop-pipeline] [--wg-pipeline]\n"
                "                  [--mode barrier|pipeline]\n"
                "                  [--device virtex7|ku060] [--elems N] [--sim]\n"
+               "  flexcl explain  <file.cl> <kernel> [estimate options]\n"
+               "                  [--format text|json]\n"
+               "                  (cycle-attribution breakdown of one estimate)\n"
                "  flexcl explore  <file.cl> <kernel> [--global N] [--global-y N]\n"
                "                  [--device ...] [--elems N] [--jobs N]\n"
                "                  (--jobs 0 = all hardware threads, the default)\n"
                "  flexcl lint     <file.cl> <kernel> [--global N] [--global-y N]\n"
                "                  [--wg N] [--wg-y N] [--elems N]\n"
                "                  [--format text|json] [--no-cross-check]\n"
-               "  flexcl ir       <file.cl>\n");
+               "  flexcl ir       <file.cl>\n"
+               "observability (any command):\n"
+               "  --trace out.json    write a Chrome trace (chrome://tracing,\n"
+               "                      ui.perfetto.dev) of the phases executed\n"
+               "  --metrics out.json  write the counter/gauge registry snapshot\n");
   return 2;
 }
 
@@ -106,6 +119,8 @@ bool parseArgs(int argc, char** argv, CliOptions* opts) {
     else if (arg == "--jobs") opts->jobs = std::atoi(value());
     else if (arg == "--format") opts->format = value();
     else if (arg == "--no-cross-check") opts->crossCheck = false;
+    else if (arg == "--trace") opts->tracePath = value();
+    else if (arg == "--metrics") opts->metricsPath = value();
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -288,6 +303,7 @@ int runEstimateOrExplore(const CliOptions& opts) {
     runtime::Stats stats = explorer.runtimeStats();
     stats.compile = compileCache.counters();
     std::printf("%s", stats.str().c_str());
+    if (obs::enabled()) stats.publishTo(obs::Registry::global());
     return 0;
   }
 
@@ -300,6 +316,17 @@ int runEstimateOrExplore(const CliOptions& opts) {
   dp.numComputeUnits = opts.cu;
   dp.commMode = opts.mode == "barrier" ? model::CommMode::Barrier
                                        : model::CommMode::Pipeline;
+
+  if (opts.command == "explain") {
+    const obs::ExplainReport report =
+        obs::explainEstimate(flexcl, launch, dp, opts.kernel);
+    if (opts.format == "json") {
+      std::printf("%s\n", report.json().c_str());
+    } else {
+      std::printf("%s", report.text().c_str());
+    }
+    return report.estimate.ok ? 0 : 1;
+  }
 
   const model::Estimate est = flexcl.estimate(launch, dp);
   if (!est.ok) {
@@ -345,13 +372,41 @@ int runEstimateOrExplore(const CliOptions& opts) {
 
 }  // namespace
 
+/// Flushes --trace/--metrics output files after the command ran.
+int finishObservability(const CliOptions& opts, int status) {
+  if (!opts.tracePath.empty()) {
+    obs::Tracer::global().stop();
+    if (!obs::Tracer::global().writeTo(opts.tracePath)) {
+      std::fprintf(stderr, "cannot write trace to %s\n", opts.tracePath.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  if (!opts.metricsPath.empty()) {
+    std::ofstream out(opts.metricsPath);
+    if (out) out << obs::Registry::global().json() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   opts.metricsPath.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  return status;
+}
+
 int main(int argc, char** argv) {
   CliOptions opts;
   if (!parseArgs(argc, argv, &opts)) return usage();
-  if (opts.command == "ir") return runIr(opts);
-  if (opts.command == "lint") return runLint(opts);
-  if (opts.command == "estimate" || opts.command == "explore") {
-    return runEstimateOrExplore(opts);
+  if (!opts.metricsPath.empty()) obs::setEnabled(true);
+  if (!opts.tracePath.empty()) obs::Tracer::global().start();
+
+  int status = 2;
+  if (opts.command == "ir") status = runIr(opts);
+  else if (opts.command == "lint") status = runLint(opts);
+  else if (opts.command == "estimate" || opts.command == "explain" ||
+           opts.command == "explore") {
+    status = runEstimateOrExplore(opts);
+  } else {
+    return usage();
   }
-  return usage();
+  return finishObservability(opts, status);
 }
