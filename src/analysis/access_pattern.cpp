@@ -108,7 +108,7 @@ class Expander {
         iter = k;
         auto c = symEval(node.loopCond.get(), *bind_);
         if (!c || *c == 0) break;
-        if (k >= options_.maxLoopTrips) {
+        if (k >= options_.trips.maxStaticTrips) {
           truncated_ = true;
           break;
         }
@@ -118,7 +118,7 @@ class Expander {
     } else if (condDriven) {  // do-loop: body first, then the check
       for (std::int64_t k = 0;; ++k) {
         iter = k;
-        if (k >= options_.maxLoopTrips) {
+        if (k >= options_.trips.maxStaticTrips) {
           truncated_ = true;
           break;
         }
@@ -129,8 +129,8 @@ class Expander {
       }
     } else {
       std::int64_t trips =
-          node.staticTrip >= 0 ? node.staticTrip : options_.fallbackTripCount;
-      trips = std::min(trips, options_.maxLoopTrips);
+          node.staticTrip >= 0 ? node.staticTrip : options_.trips.fallbackTripsInt();
+      trips = std::min(trips, options_.trips.maxStaticTrips);
       for (std::int64_t k = 0; k < trips && !truncated_; ++k) {
         iter = k;
         walk(node.children);

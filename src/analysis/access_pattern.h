@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow/trip_count.h"
 #include "analysis/symbolic.h"
 #include "dram/address_map.h"
 #include "dram/pattern.h"
@@ -26,12 +27,12 @@ struct CrossCheckOptions {
   /// Work-groups to expand statically; matched against the profiled group
   /// count when a profile is supplied.
   std::uint64_t groupsToExpand = 2;
-  /// Trip count assumed for loops with no static trip and no evaluable
-  /// condition (the model's fallbackTripCount).
-  std::int64_t fallbackTripCount = 16;
-  /// Safety caps on static expansion.
+  /// Shared trip-count knobs (fallback for unresolvable loops, expansion
+  /// cap) — the same struct the model's resolver consumes, so the static
+  /// and model paths cannot silently diverge.
+  dataflow::TripCountConfig trips;
+  /// Safety cap on static expansion.
   std::uint64_t maxStreamEvents = 1ull << 22;
-  std::int64_t maxLoopTrips = 1ll << 16;
 };
 
 /// Per-instruction pattern histogram (one side of the cross-check).

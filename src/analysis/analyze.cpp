@@ -1,14 +1,97 @@
 #include "analysis/analyze.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/dataflow/dependence.h"
+#include "analysis/dataflow/trip_count.h"
 #include "analysis/pass.h"
 #include "ir/verifier.h"
 
 namespace flexcl::analysis {
 namespace {
+
+/// True when every enclosing condition of `fact` provably evaluates to one
+/// value for every work-item of the launch: opaque conditions fail, launch-
+/// constant conditions (no id leaves) pass, and id-dependent conditions pass
+/// only when their interval under `ranges` collapses to a point.
+bool condsProvablyUniform(const BarrierFact& fact,
+                          const dataflow::LeafRanges& ranges) {
+  if (fact.conds.empty()) return false;
+  for (const SymExprPtr& c : fact.conds) {
+    if (!c || symIsOpaque(c.get())) return false;
+    if (!symMentions(c.get(), Sym::GlobalId) &&
+        !symMentions(c.get(), Sym::LocalId)) {
+      continue;  // launch-constant: every work-item computes the same value
+    }
+    if (!dataflow::rangeOfSym(c.get(), ranges).isPoint()) return false;
+  }
+  return true;
+}
+
+/// True when every leaf of `e` has a bounded interval in `ranges` and the
+/// tree contains no Opaque node — i.e. a top result from rangeOfSym can only
+/// come from interval-arithmetic overflow, not from missing information.
+bool allLeavesBounded(const SymExpr* e, const dataflow::LeafRanges& ranges) {
+  if (!e) return false;
+  switch (e->op) {
+    case SymExpr::Op::Const: return true;
+    case SymExpr::Op::Opaque: return false;
+    case SymExpr::Op::Leaf:
+      return !ranges.of(dataflow::LeafKey{e->sym, e->index}).isTop();
+    default: break;
+  }
+  if (e->a && !allLeavesBounded(e->a.get(), ranges)) return false;
+  if (e->b && !allLeavesBounded(e->b.get(), ranges)) return false;
+  if (e->c && !allLeavesBounded(e->c.get(), ranges)) return false;
+  return true;
+}
+
+/// Marks which accesses can execute at all under `ranges`: subtrees behind a
+/// condition that provably evaluates to a constant false (or loops with a
+/// resolved trip count of zero) are dead, so bounds findings never fire on
+/// them.
+void markLive(const AccessTreeNode& node, const dataflow::LeafRanges& ranges,
+              bool enabled, const std::vector<std::int64_t>& tripOf,
+              std::vector<char>& live) {
+  switch (node.kind) {
+    case AccessTreeNode::Kind::Access:
+      if (enabled && node.accessIndex >= 0 &&
+          static_cast<std::size_t>(node.accessIndex) < live.size()) {
+        live[static_cast<std::size_t>(node.accessIndex)] = 1;
+      }
+      break;
+    case AccessTreeNode::Kind::Cond: {
+      bool thenEnabled = enabled;
+      bool elseEnabled = enabled;
+      if (node.cond && !symIsOpaque(node.cond.get())) {
+        const dataflow::Interval iv =
+            dataflow::rangeOfSym(node.cond.get(), ranges);
+        if (iv.isPoint()) (iv.lo != 0 ? elseEnabled : thenEnabled) = false;
+      }
+      const std::size_t split = std::min(node.thenCount, node.children.size());
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        markLive(node.children[i], ranges, i < split ? thenEnabled : elseEnabled,
+                 tripOf, live);
+      }
+      break;
+    }
+    case AccessTreeNode::Kind::Loop: {
+      bool bodyEnabled = enabled;
+      if (node.loopId >= 0 &&
+          static_cast<std::size_t>(node.loopId) < tripOf.size() &&
+          tripOf[static_cast<std::size_t>(node.loopId)] == 0) {
+        bodyEnabled = false;
+      }
+      for (const AccessTreeNode& child : node.children) {
+        markLive(child, ranges, bodyEnabled, tripOf, live);
+      }
+      break;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // verifier: the extended IR invariants, re-reported as lint findings
@@ -43,6 +126,13 @@ class TripCountPass final : public Pass {
     ctx.report.loopCount = ctx.summary.loops.size();
     for (const LoopFact& loop : ctx.summary.loops) {
       if (loop.staticTrip >= 0) continue;
+      // The dataflow tier resolves launch-constant conditions without the
+      // profiler; such loops are no longer fallback-bound.
+      if (ctx.staticTrips && loop.loopId >= 0 &&
+          static_cast<std::size_t>(loop.loopId) < ctx.staticTrips->size() &&
+          (*ctx.staticTrips)[static_cast<std::size_t>(loop.loopId)] >= 0) {
+        continue;
+      }
       ++ctx.report.unresolvedTripLoops;
       LintFinding f;
       f.pass = name();
@@ -78,6 +168,13 @@ class BarrierPass final : public Pass {
     ctx.report.usesBarrier = !ctx.summary.barriers.empty();
     for (const BarrierFact& barrier : ctx.summary.barriers) {
       if (!barrier.condMentionsId && !barrier.condOpaque) continue;
+      // Divergence discharge: under trusted geometry a branch whose condition
+      // provably takes one value group-wide cannot diverge (the uniform-branch
+      // pass reports the discharge as a note).
+      if (ctx.rangesTrusted && ctx.ranges &&
+          condsProvablyUniform(barrier, *ctx.ranges)) {
+        continue;
+      }
       LintFinding f;
       f.pass = name();
       f.rule = "barrier-divergence";
@@ -103,17 +200,26 @@ class LocalDependencePass final : public Pass {
   [[nodiscard]] const char* name() const override { return "local-dependence"; }
 
   void run(PassContext& ctx) override {
-    // Local accesses with offsets affine in the local id: evaluate the
-    // symbolic offset at three consecutive lid0 values; a store by work-item
-    // t whose cell is loaded by work-item t+d (constant d > 0) is the
-    // pipeline recurrence the RecMII machinery prices.
-    struct Affine {
+    // Local accesses with exactly linearizable offsets: the GCD/Banerjee
+    // tester solves for the constant work-item distance d > 0 at which a
+    // store by work-item t and a load by work-item t+d hit the same cell —
+    // the pipeline recurrence the RecMII machinery prices.
+    struct Site {
       const MemAccessInfo* access;
-      std::int64_t coeff;
-      std::int64_t intercept;
+      dataflow::AccessForm form;
     };
-    std::vector<Affine> stores;
-    std::vector<Affine> loads;
+    std::vector<Site> stores;
+    std::vector<Site> loads;
+
+    SymBinding partial;  // fold known scalar arguments into the constant
+    if (ctx.options.args) {
+      for (std::size_t i = 0; i < ctx.options.args->size(); ++i) {
+        const interp::KernelArg& a = (*ctx.options.args)[i];
+        if (!a.isBuffer && a.scalar.kind == interp::RtValue::Kind::Int) {
+          partial.scalarArgs[static_cast<int>(i)] = a.scalar.i;
+        }
+      }
+    }
 
     for (const MemAccessInfo& access : ctx.summary.accesses) {
       if (access.space != ir::AddressSpace::Local) continue;
@@ -121,26 +227,28 @@ class LocalDependencePass final : public Pass {
           access.base != PtrBase::LocalArg) {
         continue;
       }
-      auto f = [&](std::int64_t t) { return evalAtLid0(access, t); };
-      const auto f0 = f(8), f1 = f(9), f2 = f(10);
-      if (!f0 || !f1 || !f2) continue;
-      if (*f2 - *f1 != *f1 - *f0) continue;  // not affine in lid0
-      const std::int64_t coeff = *f1 - *f0;
-      Affine a{&access, coeff, *f0 - 8 * coeff};
-      (access.isWrite ? stores : loads).push_back(a);
+      auto form = dataflow::linearize(access.offset.get(), &partial);
+      if (!form) continue;
+      Site s{&access, dataflow::AccessForm{std::move(*form), access.size}};
+      (access.isWrite ? stores : loads).push_back(std::move(s));
     }
 
+    const dataflow::Interval lsz0 =
+        ctx.ranges->of(dataflow::LeafKey{Sym::LocalSize, 0});
+    const std::int64_t maxDistance = lsz0.isPoint() ? lsz0.lo - 1 : 1023;
+    if (maxDistance < 1) return;
+
     std::unordered_set<std::uint64_t> seen;
-    for (const Affine& s : stores) {
-      for (const Affine& l : loads) {
+    for (const Site& s : stores) {
+      for (const Site& l : loads) {
         if (s.access->base != l.access->base ||
             s.access->baseIndex != l.access->baseIndex) {
           continue;
         }
-        if (s.coeff != l.coeff || s.coeff == 0) continue;
-        const std::int64_t delta = s.intercept - l.intercept;
-        if (delta % s.coeff != 0) continue;
-        const std::int64_t distance = delta / s.coeff;
+        const dataflow::DepResult r = dataflow::testCrossWorkItem(
+            s.form, l.form, *ctx.ranges, maxDistance);
+        if (r.kind != dataflow::DepKind::Distance) continue;
+        const std::int64_t distance = r.distance;
         if (distance <= 0 || distance > 256) continue;
         const std::uint64_t key =
             (static_cast<std::uint64_t>(s.access->instId) << 32) |
@@ -168,17 +276,255 @@ class LocalDependencePass final : public Pass {
       }
     }
   }
+};
+
+// ---------------------------------------------------------------------------
+// uniform-branch: barrier divergence discharged by value-range analysis
+// ---------------------------------------------------------------------------
+
+class UniformBranchPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "uniform-branch"; }
+
+  void run(PassContext& ctx) override {
+    if (!ctx.rangesTrusted || !ctx.ranges) return;
+    for (const BarrierFact& barrier : ctx.summary.barriers) {
+      if (!barrier.condMentionsId && !barrier.condOpaque) continue;
+      if (!condsProvablyUniform(barrier, *ctx.ranges)) continue;
+      LintFinding f;
+      f.pass = name();
+      f.rule = "provably-uniform-branch";
+      f.severity = DiagSeverity::Note;
+      f.loc = barrier.loc;
+      f.message =
+          "barrier sits under an id-dependent branch whose condition is "
+          "provably uniform for this launch geometry: divergence discharged";
+      ctx.report.findings.push_back(std::move(f));
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// access-bounds: byte-extent facts + provable out-of-bounds global accesses
+// ---------------------------------------------------------------------------
+
+class AccessBoundsPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "access-bounds"; }
+
+  void run(PassContext& ctx) override {
+    SymBinding partial;
+    if (ctx.options.args) {
+      for (std::size_t i = 0; i < ctx.options.args->size(); ++i) {
+        const interp::KernelArg& a = (*ctx.options.args)[i];
+        if (!a.isBuffer && a.scalar.kind == interp::RtValue::Kind::Int) {
+          partial.scalarArgs[static_cast<int>(i)] = a.scalar.i;
+        }
+      }
+    }
+
+    // Resolved trip per loopId: induction tier first, then the dataflow tier.
+    std::vector<std::int64_t> tripOf(
+        static_cast<std::size_t>(ctx.fn.loopCount), -1);
+    for (const LoopFact& loop : ctx.summary.loops) {
+      if (loop.loopId >= 0 &&
+          static_cast<std::size_t>(loop.loopId) < tripOf.size()) {
+        tripOf[static_cast<std::size_t>(loop.loopId)] = loop.staticTrip;
+      }
+    }
+    if (ctx.staticTrips) {
+      for (std::size_t i = 0;
+           i < tripOf.size() && i < ctx.staticTrips->size(); ++i) {
+        if (tripOf[i] < 0) tripOf[i] = (*ctx.staticTrips)[i];
+      }
+    }
+
+    // Range environment with resolved loop counters bound.
+    dataflow::LeafRanges ranges = *ctx.ranges;
+    for (std::size_t i = 0; i < tripOf.size(); ++i) {
+      if (tripOf[i] >= 1) {
+        ranges.set(Sym::LoopIter, static_cast<int>(i),
+                   dataflow::Interval::range(0, tripOf[i] - 1));
+      }
+    }
+
+    std::vector<char> live(ctx.summary.accesses.size(), 0);
+    for (const AccessTreeNode& root : ctx.summary.roots) {
+      markLive(root, ranges, true, tripOf, live);
+    }
+
+    for (std::size_t idx = 0; idx < ctx.summary.accesses.size(); ++idx) {
+      const MemAccessInfo& access = ctx.summary.accesses[idx];
+      if (access.base != PtrBase::BufferArg &&
+          access.base != PtrBase::LocalArg &&
+          access.base != PtrBase::LocalAlloca) {
+        continue;
+      }
+      auto form = dataflow::linearize(access.offset.get(), &partial);
+      if (!form) continue;
+
+      AccessBoundFact fact;
+      fact.instId = access.instId;
+      fact.loc = access.loc;
+      fact.isWrite = access.isWrite;
+      fact.space = access.space;
+      fact.baseIndex = access.baseIndex;
+      fact.offset = *form;
+      fact.bytes = access.size;
+      fact.divergent = access.divergent;
+      fact.extent = extentOf(ctx, access);
+      fact.localIdOnly = true;
+      for (const dataflow::AffineTerm& t : form->terms) {
+        if (t.leaf.sym != Sym::LocalId) fact.localIdOnly = false;
+      }
+      ctx.report.accessBounds.push_back(fact);
+
+      // The finding itself needs trusted geometry, a known extent and an
+      // attainable extreme (otherwise a wide interval is not a proof).
+      if (!ctx.rangesTrusted || fact.extent < 0 || access.divergent ||
+          !live[idx]) {
+        continue;
+      }
+      if (access.space != ir::AddressSpace::Global &&
+          access.space != ir::AddressSpace::Constant) {
+        continue;
+      }
+      if (!extremesAttained(*form, ranges, tripOf)) continue;
+      const dataflow::Interval iv = dataflow::rangeOf(*form, ranges);
+      if (iv.isTop()) continue;
+      const std::int64_t bytes = static_cast<std::int64_t>(access.size);
+      if (iv.lo >= 0 && iv.hi + bytes <= fact.extent) continue;
+
+      LintFinding f;
+      f.pass = name();
+      f.rule = "global-out-of-bounds";
+      f.severity = DiagSeverity::Warning;
+      f.loc = access.loc;
+      f.instId = static_cast<int>(access.instId);
+      f.message = std::string(access.isWrite ? "store" : "load") +
+                  " reaches byte offsets [" + std::to_string(iv.lo) + ", " +
+                  std::to_string(iv.hi + bytes) + ") of buffer argument " +
+                  std::to_string(access.baseIndex) + " (extent " +
+                  std::to_string(fact.extent) + " bytes)";
+      ctx.report.findings.push_back(std::move(f));
+    }
+  }
 
  private:
-  static std::optional<std::int64_t> evalAtLid0(const MemAccessInfo& access,
-                                                std::int64_t t) {
-    SymBinding bind;
-    bind.localSize = {1024, 1, 1};
-    bind.globalSize = {1048576, 1, 1};
-    bind.numGroups = {1024, 1, 1};
-    bind.localId = {t, 0, 0};
-    bind.globalId = {t, 0, 0};
-    return symEval(access.offset.get(), bind);
+  /// Byte extent of the access's base, -1 when unknown.
+  static std::int64_t extentOf(const PassContext& ctx,
+                               const MemAccessInfo& access) {
+    if (access.base == PtrBase::BufferArg) {
+      if (!ctx.options.args || !ctx.options.buffers) return -1;
+      const auto argIdx = static_cast<std::size_t>(access.baseIndex);
+      if (argIdx >= ctx.options.args->size()) return -1;
+      const interp::KernelArg& arg = (*ctx.options.args)[argIdx];
+      if (!arg.isBuffer || arg.bufferIndex < 0) return -1;
+      const auto bufIdx = static_cast<std::size_t>(arg.bufferIndex);
+      if (bufIdx >= ctx.options.buffers->size()) return -1;
+      return static_cast<std::int64_t>((*ctx.options.buffers)[bufIdx].size());
+    }
+    if (access.base == PtrBase::LocalAlloca) {
+      const auto i = static_cast<std::size_t>(access.baseIndex);
+      if (i >= ctx.fn.localAllocas.size()) return -1;
+      const ir::Instruction* alloca = ctx.fn.localAllocas[i];
+      if (!alloca || !alloca->allocaType) return -1;
+      return static_cast<std::int64_t>(alloca->allocaType->sizeInBytes());
+    }
+    return -1;  // LocalArg: extent set by the host, unknown statically
+  }
+
+  /// True when the form's interval extremes are realised by actual
+  /// executions: every leaf is either a point, a fully swept id dimension or
+  /// a resolved loop counter — and global ids never mix with local/group ids
+  /// (those leaves are correlated, so independent extremes overshoot).
+  static bool extremesAttained(const dataflow::AffineForm& form,
+                               const dataflow::LeafRanges& ranges,
+                               const std::vector<std::int64_t>& tripOf) {
+    bool usesGlobalId = false;
+    bool usesLocalOrGroup = false;
+    for (const dataflow::AffineTerm& t : form.terms) {
+      const dataflow::Interval iv = ranges.of(t.leaf);
+      if (iv.isTop()) return false;
+      if (iv.isPoint()) continue;
+      switch (t.leaf.sym) {
+        case Sym::GlobalId: usesGlobalId = true; break;
+        case Sym::LocalId:
+        case Sym::GroupId: usesLocalOrGroup = true; break;
+        case Sym::LoopIter: {
+          const auto i = static_cast<std::size_t>(t.leaf.index);
+          if (i >= tripOf.size() || tripOf[i] < 1) return false;
+          break;
+        }
+        default: return false;  // non-point size/arg leaf: not attained
+      }
+    }
+    return !(usesGlobalId && usesLocalOrGroup);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// loop-overflow: loop-bound arithmetic that can exceed int64
+// ---------------------------------------------------------------------------
+
+class LoopBoundOverflowPass final : public Pass {
+ public:
+  [[nodiscard]] const char* name() const override { return "loop-overflow"; }
+
+  void run(PassContext& ctx) override {
+    if (!ctx.ranges) return;
+    for (const AccessTreeNode& root : ctx.summary.roots) walk(ctx, root);
+  }
+
+ private:
+  void walk(PassContext& ctx, const AccessTreeNode& node) {
+    if (node.kind == AccessTreeNode::Kind::Loop && node.loopCond &&
+        !symIsOpaque(node.loopCond.get())) {
+      check(ctx, node);
+    }
+    for (const AccessTreeNode& child : node.children) walk(ctx, child);
+  }
+
+  void check(PassContext& ctx, const AccessTreeNode& node) {
+    // Bind the loop's own counter to the scan window, then evaluate the
+    // comparison operands: a top interval whose leaves are all bounded can
+    // only come from interval-arithmetic overflow.
+    dataflow::LeafRanges ranges = *ctx.ranges;
+    ranges.set(Sym::LoopIter, node.loopId,
+               dataflow::Interval::range(
+                   0, dataflow::TripCountConfig{}.maxStaticTrips));
+    const SymExpr* cond = node.loopCond.get();
+    const bool overflowed =
+        cond->op == SymExpr::Op::Cmp
+            ? sideOverflows(cond->a.get(), ranges) ||
+                  sideOverflows(cond->b.get(), ranges)
+            : sideOverflows(cond, ranges);
+    if (!overflowed) return;
+
+    LintFinding f;
+    f.pass = name();
+    f.rule = "loop-bound-overflow";
+    f.severity = DiagSeverity::Warning;
+    f.loc = node.loopId >= 0 ? locOf(ctx, node.loopId) : SourceLocation{};
+    f.loopId = node.loopId;
+    f.message = "loop " + std::to_string(node.loopId) +
+                ": bound expression can overflow 64-bit arithmetic for "
+                "in-range inputs; the modelled trip count may be wrong";
+    ctx.report.findings.push_back(std::move(f));
+  }
+
+  static bool sideOverflows(const SymExpr* e,
+                            const dataflow::LeafRanges& ranges) {
+    if (!e) return false;
+    return allLeavesBounded(e, ranges) &&
+           dataflow::rangeOfSym(e, ranges).isTop();
+  }
+
+  static SourceLocation locOf(const PassContext& ctx, int loopId) {
+    for (const LoopFact& loop : ctx.summary.loops) {
+      if (loop.loopId == loopId) return loop.loc;
+    }
+    return {};
   }
 };
 
@@ -272,6 +618,61 @@ LintReport runLintPasses(const ir::Function& fn, const LintOptions& options) {
 
   const KernelSummary summary = summarizeKernel(fn);
 
+  // Leaf ranges: the launch geometry when given, else the kernel's
+  // reqd_work_group_size attribute, else an assumed default geometry (good
+  // enough for dependence-distance detection, never trusted for bounds
+  // claims or divergence discharge).
+  dataflow::LeafRanges ranges;
+  bool trusted = false;
+  if (options.range) {
+    ranges = dataflow::LeafRanges::fromRange(*options.range);
+    report.launchGlobal = options.range->global;
+    trusted = true;
+  } else if (fn.reqdWorkGroupSize[0] != 0 || fn.reqdWorkGroupSize[1] != 0 ||
+             fn.reqdWorkGroupSize[2] != 0) {
+    ranges = dataflow::LeafRanges::fromReqdWorkGroupSize(fn.reqdWorkGroupSize);
+    trusted = true;
+  } else {
+    interp::NdRange assumed;
+    assumed.global = {1048576, 1, 1};
+    assumed.local = {1024, 1, 1};
+    ranges = dataflow::LeafRanges::fromRange(assumed);
+  }
+  if (options.args) {
+    for (std::size_t i = 0; i < options.args->size(); ++i) {
+      const interp::KernelArg& a = (*options.args)[i];
+      if (!a.isBuffer && a.scalar.kind == interp::RtValue::Kind::Int) {
+        ranges.set(Sym::ScalarArg, static_cast<int>(i),
+                   dataflow::Interval::point(a.scalar.i));
+      }
+    }
+  }
+
+  // Dataflow trip-count tier: only under a real launch range (the resolver
+  // needs genuine sizes; the assumed geometry would fabricate trip counts).
+  std::vector<std::int64_t> staticTrips;
+  bool haveTrips = false;
+  if (options.range) {
+    SymBinding bind;
+    const auto groups = options.range->groupsPerDim();
+    for (std::size_t d = 0; d < 3; ++d) {
+      bind.globalSize[d] = static_cast<std::int64_t>(options.range->global[d]);
+      bind.localSize[d] = static_cast<std::int64_t>(options.range->local[d]);
+      bind.numGroups[d] = static_cast<std::int64_t>(groups[d]);
+    }
+    if (options.args) {
+      for (std::size_t i = 0; i < options.args->size(); ++i) {
+        const interp::KernelArg& a = (*options.args)[i];
+        if (!a.isBuffer && a.scalar.kind == interp::RtValue::Kind::Int) {
+          bind.scalarArgs[static_cast<int>(i)] = a.scalar.i;
+        }
+      }
+    }
+    staticTrips = dataflow::resolveStaticTrips(summary, bind,
+                                               options.patterns.trips);
+    haveTrips = true;
+  }
+
   interp::KernelProfile profile;
   const interp::KernelProfile* profilePtr = nullptr;
   if (options.profileCrossCheck && options.range && options.args &&
@@ -284,12 +685,17 @@ LintReport runLintPasses(const ir::Function& fn, const LintOptions& options) {
     if (profile.ok) profilePtr = &profile;
   }
 
-  PassContext ctx{fn, summary, options, profilePtr, report};
+  PassContext ctx{fn,      summary, options,
+                  profilePtr, report,  &ranges,
+                  trusted, haveTrips ? &staticTrips : nullptr};
   PassManager pm;
   pm.add(std::make_unique<VerifierPass>());
   pm.add(std::make_unique<TripCountPass>());
   pm.add(std::make_unique<BarrierPass>());
+  pm.add(std::make_unique<UniformBranchPass>());
   pm.add(std::make_unique<LocalDependencePass>());
+  pm.add(std::make_unique<AccessBoundsPass>());
+  pm.add(std::make_unique<LoopBoundOverflowPass>());
   pm.add(std::make_unique<AccessPatternPass>());
   pm.run(ctx);
   return report;

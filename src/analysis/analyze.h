@@ -2,9 +2,16 @@
 //
 // runLintPasses() runs the standard pass pipeline over a lowered kernel:
 //   verifier          — extended IR invariants (re-reported as findings)
-//   trip-count        — loops whose trip count is not statically resolvable
-//   barrier           — barriers under divergent control flow
+//   trip-count        — loops neither the induction matcher nor the dataflow
+//                       trip resolver can bound statically
+//   barrier           — barriers under divergent control flow (divergence
+//                       provably-uniform branches are discharged)
+//   uniform-branch    — reports each such discharge as a note
 //   local-dependence  — cross-work-item RAW dependences through local memory
+//                       (GCD/Banerjee dependence tester)
+//   access-bounds     — byte-extent facts + provable out-of-bounds global
+//                       accesses under the launch geometry
+//   loop-overflow     — loop-bound arithmetic that can exceed int64
 //   access-pattern    — static Table 1 classification (+ profiled cross-check)
 //
 // With only a Function, the lint is purely static. Supplying range/args

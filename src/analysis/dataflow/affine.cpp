@@ -1,0 +1,278 @@
+#include "analysis/dataflow/affine.h"
+
+#include <algorithm>
+
+namespace flexcl::analysis::dataflow {
+namespace {
+
+bool addChecked(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+bool mulChecked(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+
+std::optional<AffineForm> combine(const AffineForm& a, const AffineForm& b,
+                                  std::int64_t bSign) {
+  AffineForm r;
+  if (!mulChecked(b.constant, bSign, &r.constant) ||
+      !addChecked(a.constant, r.constant, &r.constant)) {
+    return std::nullopt;
+  }
+  r.terms.reserve(a.terms.size() + b.terms.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.terms.size() || j < b.terms.size()) {
+    if (j == b.terms.size() ||
+        (i < a.terms.size() && a.terms[i].leaf < b.terms[j].leaf)) {
+      r.terms.push_back(a.terms[i++]);
+      continue;
+    }
+    std::int64_t coeff;
+    if (!mulChecked(b.terms[j].coeff, bSign, &coeff)) return std::nullopt;
+    if (i < a.terms.size() && a.terms[i].leaf == b.terms[j].leaf) {
+      if (!addChecked(a.terms[i].coeff, coeff, &coeff)) return std::nullopt;
+      ++i;
+    }
+    if (coeff != 0) r.terms.push_back({b.terms[j].leaf, coeff});
+    ++j;
+  }
+  return r;
+}
+
+}  // namespace
+
+std::int64_t AffineForm::coeffOf(const LeafKey& key) const {
+  for (const AffineTerm& t : terms) {
+    if (t.leaf == key) return t.coeff;
+  }
+  return 0;
+}
+
+bool AffineForm::mentions(Sym sym) const {
+  return std::any_of(terms.begin(), terms.end(),
+                     [&](const AffineTerm& t) { return t.leaf.sym == sym; });
+}
+
+AffineForm AffineForm::without(const LeafKey& key) const {
+  AffineForm r;
+  r.constant = constant;
+  for (const AffineTerm& t : terms) {
+    if (!(t.leaf == key)) r.terms.push_back(t);
+  }
+  return r;
+}
+
+std::optional<AffineForm> addForms(const AffineForm& a, const AffineForm& b) {
+  return combine(a, b, 1);
+}
+
+std::optional<AffineForm> subForms(const AffineForm& a, const AffineForm& b) {
+  return combine(a, b, -1);
+}
+
+std::optional<AffineForm> scaleForm(const AffineForm& a, std::int64_t k) {
+  AffineForm r;
+  if (!mulChecked(a.constant, k, &r.constant)) return std::nullopt;
+  if (k == 0) return r;
+  r.terms.reserve(a.terms.size());
+  for (const AffineTerm& t : a.terms) {
+    std::int64_t coeff;
+    if (!mulChecked(t.coeff, k, &coeff)) return std::nullopt;
+    r.terms.push_back({t.leaf, coeff});
+  }
+  return r;
+}
+
+std::optional<AffineForm> linearize(const SymExpr* e,
+                                    const SymBinding* partial) {
+  if (!e) return std::nullopt;
+  switch (e->op) {
+    case SymExpr::Op::Const: {
+      AffineForm r;
+      r.constant = e->value;
+      return r;
+    }
+    case SymExpr::Op::Leaf: {
+      // Fold only leaves the caller explicitly bound: scalar arguments and
+      // loop iterations (geometry leaves stay symbolic; a binding's zeroed
+      // id defaults must not leak in as facts).
+      if (partial) {
+        if (e->sym == Sym::ScalarArg) {
+          auto it = partial->scalarArgs.find(e->index);
+          if (it != partial->scalarArgs.end()) {
+            AffineForm r;
+            r.constant = it->second;
+            return r;
+          }
+        } else if (e->sym == Sym::LoopIter) {
+          auto it = partial->loopIters.find(e->index);
+          if (it != partial->loopIters.end()) {
+            AffineForm r;
+            r.constant = it->second;
+            return r;
+          }
+        }
+      }
+      AffineForm r;
+      r.terms.push_back({LeafKey{e->sym, e->index}, 1});
+      return r;
+    }
+    case SymExpr::Op::Add:
+    case SymExpr::Op::Sub: {
+      auto a = linearize(e->a.get(), partial);
+      auto b = linearize(e->b.get(), partial);
+      if (!a || !b) return std::nullopt;
+      return combine(*a, *b, e->op == SymExpr::Op::Add ? 1 : -1);
+    }
+    case SymExpr::Op::Mul: {
+      auto a = linearize(e->a.get(), partial);
+      auto b = linearize(e->b.get(), partial);
+      if (!a || !b) return std::nullopt;
+      if (a->isConstant()) return scaleForm(*b, a->constant);
+      if (b->isConstant()) return scaleForm(*a, b->constant);
+      return std::nullopt;
+    }
+    case SymExpr::Op::Shl: {
+      auto a = linearize(e->a.get(), partial);
+      auto b = linearize(e->b.get(), partial);
+      if (!a || !b || !b->isConstant()) return std::nullopt;
+      if (b->constant < 0 || b->constant > 62) return std::nullopt;
+      return scaleForm(*a, std::int64_t{1} << b->constant);
+    }
+    case SymExpr::Op::Div:
+    case SymExpr::Op::Rem:
+    case SymExpr::Op::Shr:
+    case SymExpr::Op::And:
+    case SymExpr::Op::Or:
+    case SymExpr::Op::Xor: {
+      // Affine only when both sides fold to constants.
+      auto a = linearize(e->a.get(), partial);
+      auto b = linearize(e->b.get(), partial);
+      if (!a || !b || !a->isConstant() || !b->isConstant()) return std::nullopt;
+      const std::int64_t x = a->constant, y = b->constant;
+      AffineForm r;
+      switch (e->op) {
+        case SymExpr::Op::Div:
+          if (y == 0 || (x == INT64_MIN && y == -1)) return std::nullopt;
+          r.constant = x / y;
+          break;
+        case SymExpr::Op::Rem:
+          if (y == 0 || (x == INT64_MIN && y == -1)) return std::nullopt;
+          r.constant = x % y;
+          break;
+        case SymExpr::Op::Shr:
+          if (y < 0 || y > 63) return std::nullopt;
+          r.constant = x >> y;
+          break;
+        case SymExpr::Op::And: r.constant = x & y; break;
+        case SymExpr::Op::Or: r.constant = x | y; break;
+        default: r.constant = x ^ y; break;
+      }
+      return r;
+    }
+    case SymExpr::Op::Cmp:
+    case SymExpr::Op::Select:
+    case SymExpr::Op::Opaque:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void LeafRanges::set(const LeafKey& key, const Interval& value) {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& entry, const LeafKey& k) { return entry.first < k; });
+  if (it != entries.end() && it->first == key) {
+    it->second = value;
+  } else {
+    entries.insert(it, {key, value});
+  }
+}
+
+Interval LeafRanges::of(const LeafKey& key) const {
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const auto& entry, const LeafKey& k) { return entry.first < k; });
+  if (it != entries.end() && it->first == key) return it->second;
+  return Interval::top();
+}
+
+LeafRanges LeafRanges::fromRange(const interp::NdRange& range) {
+  LeafRanges r;
+  const auto gpd = range.groupsPerDim();
+  for (int d = 0; d < 3; ++d) {
+    const auto gsz = static_cast<std::int64_t>(range.global[d]);
+    const auto lsz = static_cast<std::int64_t>(range.local[d]);
+    const auto ng = static_cast<std::int64_t>(gpd[d]);
+    r.set(Sym::GlobalId, d, Interval::belowCount(gsz));
+    r.set(Sym::LocalId, d, Interval::belowCount(lsz));
+    r.set(Sym::GroupId, d, Interval::belowCount(ng));
+    r.set(Sym::GlobalSize, d, Interval::point(gsz));
+    r.set(Sym::LocalSize, d, Interval::point(lsz));
+    r.set(Sym::NumGroups, d, Interval::point(ng));
+  }
+  return r;
+}
+
+LeafRanges LeafRanges::fromReqdWorkGroupSize(
+    const std::array<std::uint32_t, 3>& reqd) {
+  LeafRanges r;
+  if (reqd[0] == 0 && reqd[1] == 0 && reqd[2] == 0) return r;
+  for (int d = 0; d < 3; ++d) {
+    const std::int64_t lsz = std::max<std::int64_t>(1, reqd[d]);
+    r.set(Sym::LocalId, d, Interval::belowCount(lsz));
+    r.set(Sym::LocalSize, d, Interval::point(lsz));
+  }
+  return r;
+}
+
+Interval rangeOf(const AffineForm& form, const LeafRanges& ranges) {
+  Interval acc = Interval::point(form.constant);
+  for (const AffineTerm& t : form.terms) {
+    acc = addI(acc, mulI(Interval::point(t.coeff), ranges.of(t.leaf)));
+    if (acc.isTop()) return acc;
+  }
+  return acc;
+}
+
+Interval rangeOfSym(const SymExpr* e, const LeafRanges& ranges) {
+  if (!e) return Interval::top();
+  switch (e->op) {
+    case SymExpr::Op::Const: return Interval::point(e->value);
+    case SymExpr::Op::Leaf: return ranges.of(LeafKey{e->sym, e->index});
+    case SymExpr::Op::Add:
+      return addI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Sub:
+      return subI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Mul:
+      return mulI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Div:
+      return divI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Rem:
+      return remI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Shl:
+      return shlI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Shr:
+      return shrI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::And:
+      return andI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Or:
+      return orI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Xor:
+      return xorI(rangeOfSym(e->a.get(), ranges), rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Cmp:
+      return cmpI(e->pred, rangeOfSym(e->a.get(), ranges),
+                  rangeOfSym(e->b.get(), ranges));
+    case SymExpr::Op::Select: {
+      const Interval c = rangeOfSym(e->c.get(), ranges);
+      if (!c.containsZero()) return rangeOfSym(e->a.get(), ranges);
+      if (c.isPoint()) return rangeOfSym(e->b.get(), ranges);  // exactly zero
+      return join(rangeOfSym(e->a.get(), ranges),
+                  rangeOfSym(e->b.get(), ranges));
+    }
+    case SymExpr::Op::Opaque: return Interval::top();
+  }
+  return Interval::top();
+}
+
+}  // namespace flexcl::analysis::dataflow

@@ -1,0 +1,98 @@
+// Strided-affine domain over analysis::SymExpr trees.
+//
+// An AffineForm is an exact linearization  c0 + Σ ci·leaf_i  of a symbolic
+// byte-offset or condition operand: coefficients are int64 and every
+// coefficient operation is overflow-checked, so a form either represents the
+// expression exactly or linearization fails. LeafRanges binds each leaf to an
+// interval (seeded from the NDRange geometry, reqd_work_group_size, scalar
+// argument values and resolved loop trip counts); rangeOf evaluates a form —
+// or, via rangeOfSym, an arbitrary SymExpr tree — to a sound interval.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/dataflow/interval.h"
+#include "analysis/symbolic.h"
+#include "interp/interpreter.h"
+
+namespace flexcl::analysis::dataflow {
+
+/// Identity of one SymExpr leaf (kind + its dimension/arg/loop index).
+struct LeafKey {
+  Sym sym = Sym::GlobalId;
+  int index = 0;
+
+  bool operator==(const LeafKey& o) const {
+    return sym == o.sym && index == o.index;
+  }
+  bool operator<(const LeafKey& o) const {
+    return sym != o.sym ? sym < o.sym : index < o.index;
+  }
+};
+
+struct AffineTerm {
+  LeafKey leaf;
+  std::int64_t coeff = 0;
+};
+
+/// c0 + Σ ci·leaf_i with terms sorted by leaf and all coefficients nonzero.
+struct AffineForm {
+  std::vector<AffineTerm> terms;
+  std::int64_t constant = 0;
+
+  [[nodiscard]] bool isConstant() const { return terms.empty(); }
+  [[nodiscard]] std::int64_t coeffOf(const LeafKey& key) const;
+  [[nodiscard]] bool mentions(Sym sym) const;
+  /// Form without the `key` term (for solving along one variable).
+  [[nodiscard]] AffineForm without(const LeafKey& key) const;
+
+  bool operator==(const AffineForm& o) const {
+    return constant == o.constant && terms.size() == o.terms.size() &&
+           std::equal(terms.begin(), terms.end(), o.terms.begin(),
+                      [](const AffineTerm& a, const AffineTerm& b) {
+                        return a.leaf == b.leaf && a.coeff == b.coeff;
+                      });
+  }
+};
+
+/// Exact linearization; nullopt for non-affine trees (products of two
+/// non-constant subtrees, division, Opaque, Cmp/Select) and on any int64
+/// coefficient overflow. Leaves bound to a concrete value in `partial` fold
+/// into the constant (e.g. scalar arguments known at lint time).
+std::optional<AffineForm> linearize(const SymExpr* e,
+                                    const SymBinding* partial = nullptr);
+
+/// Checked form arithmetic (nullopt on coefficient overflow).
+std::optional<AffineForm> addForms(const AffineForm& a, const AffineForm& b);
+std::optional<AffineForm> subForms(const AffineForm& a, const AffineForm& b);
+std::optional<AffineForm> scaleForm(const AffineForm& a, std::int64_t k);
+
+/// Interval environment for leaves; unbound leaves are top.
+struct LeafRanges {
+  std::vector<std::pair<LeafKey, Interval>> entries;  // sorted by key
+
+  void set(const LeafKey& key, const Interval& value);
+  void set(Sym sym, int index, const Interval& value) {
+    set(LeafKey{sym, index}, value);
+  }
+  [[nodiscard]] Interval of(const LeafKey& key) const;
+
+  /// Geometry seeding: gid_d ∈ [0, global_d-1], lid_d ∈ [0, local_d-1],
+  /// group_d ∈ [0, numGroups_d-1] and the three size kinds as points.
+  static LeafRanges fromRange(const interp::NdRange& range);
+  /// Seeds only the local dimensions (and their derived ranges) from a
+  /// reqd_work_group_size attribute; global geometry stays top.
+  static LeafRanges fromReqdWorkGroupSize(
+      const std::array<std::uint32_t, 3>& reqd);
+};
+
+/// Exact interval of an affine form under `ranges`: terms over distinct
+/// leaves vary independently, so the sum of per-term extremes is tight.
+Interval rangeOf(const AffineForm& form, const LeafRanges& ranges);
+
+/// Sound interval of an arbitrary SymExpr tree (Opaque/unbound leaves are
+/// top; interval transfer functions throughout).
+Interval rangeOfSym(const SymExpr* e, const LeafRanges& ranges);
+
+}  // namespace flexcl::analysis::dataflow

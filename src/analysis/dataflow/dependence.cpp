@@ -1,0 +1,271 @@
+#include "analysis/dataflow/dependence.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace flexcl::analysis::dataflow {
+namespace {
+
+bool addChecked(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+bool subChecked(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_sub_overflow(a, b, out);
+}
+
+std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+std::uint64_t absU(std::int64_t v) {
+  return v == INT64_MIN ? (1ull << 63) : static_cast<std::uint64_t>(v < 0 ? -v : v);
+}
+
+/// The conflict equation  dCoeff·d + Σ ci·vi + constant ∈ [windowLo, windowHi]
+/// over d ∈ [1, maxDistance] and each vi in its interval.
+struct ConflictEq {
+  std::int64_t dCoeff = 0;
+  std::int64_t constant = 0;
+  std::vector<std::pair<std::int64_t, Interval>> vars;
+  bool exact = true;
+
+  void addVar(std::int64_t coeff, const Interval& range) {
+    if (coeff == 0) return;
+    if (range.isPoint()) {
+      std::int64_t folded;
+      if (!__builtin_mul_overflow(coeff, range.lo, &folded) &&
+          addChecked(constant, folded, &constant)) {
+        return;
+      }
+      exact = false;
+      return;
+    }
+    vars.push_back({coeff, range});
+  }
+};
+
+DepResult solve(const ConflictEq& eq, std::int64_t windowLo,
+                std::int64_t windowHi, std::int64_t maxDistance) {
+  DepResult unknown;
+  if (!eq.exact || maxDistance < 1) return unknown;
+
+  if (eq.vars.empty()) {
+    if (eq.dCoeff == 0) {
+      // Same cell for every pair of instances iff the constant difference
+      // lands in the window.
+      if (eq.constant >= windowLo && eq.constant <= windowHi) {
+        return {DepKind::Distance, 1};
+      }
+      return {DepKind::Independent, 0};
+    }
+    // dCoeff·d ∈ [windowLo − c, windowHi − c]
+    std::int64_t lo, hi;
+    if (!subChecked(windowLo, eq.constant, &lo) ||
+        !subChecked(windowHi, eq.constant, &hi)) {
+      return unknown;
+    }
+    std::int64_t dMin, dMax;
+    if (eq.dCoeff > 0) {
+      dMin = ceilDiv(lo, eq.dCoeff);
+      dMax = floorDiv(hi, eq.dCoeff);
+    } else {
+      dMin = ceilDiv(hi, eq.dCoeff);
+      dMax = floorDiv(lo, eq.dCoeff);
+    }
+    dMin = std::max<std::int64_t>(dMin, 1);
+    dMax = std::min(dMax, maxDistance);
+    if (dMin > dMax) return {DepKind::Independent, 0};
+    return {DepKind::Distance, dMin};
+  }
+
+  // Banerjee-style interval test: the reachable set of the left-hand side
+  // over all admissible d and vi; if it misses the window entirely the pair
+  // is independent.
+  Interval reach = Interval::point(eq.constant);
+  if (eq.dCoeff != 0) {
+    reach = addI(reach, mulI(Interval::point(eq.dCoeff),
+                             Interval::range(1, maxDistance)));
+  }
+  for (const auto& [coeff, range] : eq.vars) {
+    reach = addI(reach, mulI(Interval::point(coeff), range));
+  }
+  if (!reach.isTop() && (reach.hi < windowLo || reach.lo > windowHi)) {
+    return {DepKind::Independent, 0};
+  }
+
+  // GCD test: dCoeff·d + Σ ci·vi = w − constant needs g | (w − constant)
+  // for g = gcd of all coefficients; a small window lets us check every w.
+  if (windowHi - windowLo < 64) {
+    std::uint64_t g = absU(eq.dCoeff);
+    for (const auto& [coeff, range] : eq.vars) {
+      g = std::gcd(g, absU(coeff));
+    }
+    if (g > 1) {
+      bool anySolvable = false;
+      for (std::int64_t w = windowLo; w <= windowHi; ++w) {
+        std::int64_t rhs;
+        if (!subChecked(w, eq.constant, &rhs)) {
+          anySolvable = true;
+          break;
+        }
+        if (absU(rhs) % g == 0) {
+          anySolvable = true;
+          break;
+        }
+      }
+      if (!anySolvable) return {DepKind::Independent, 0};
+    }
+  }
+  return unknown;
+}
+
+bool isDistanceLeafCrossWi(const LeafKey& leaf) {
+  return (leaf.sym == Sym::LocalId || leaf.sym == Sym::GlobalId) &&
+         leaf.index == 0;
+}
+
+bool isSharedLeafCrossWi(const LeafKey& leaf, const LeafRanges& ranges) {
+  switch (leaf.sym) {
+    case Sym::GroupId:
+    case Sym::GlobalSize:
+    case Sym::LocalSize:
+    case Sym::NumGroups:
+    case Sym::ScalarArg:
+      return true;
+    case Sym::LocalId:
+    case Sym::GlobalId: {
+      // Dim-1/2 ids are shared only when the geometry pins them to a point
+      // (effectively 1-D groups); the caller has already rejected the rest.
+      const Interval r = ranges.of(leaf);
+      return leaf.index != 0 && r.isPoint();
+    }
+    case Sym::LoopIter:
+      return false;  // each work-item runs its own iterations
+  }
+  return false;
+}
+
+/// Builds S(instance₁) − L(instance₂) where instance₂'s distance leaves read
+/// leaf + d. Shared leaves cancel termwise; non-shared leaves contribute one
+/// independent variable per instance.
+ConflictEq buildEq(const AffineForm& s, const AffineForm& l,
+                   const LeafRanges& ranges,
+                   bool (*isDistance)(const LeafKey&, int), int axisIndex,
+                   bool (*isShared)(const LeafKey&, const LeafRanges&)) {
+  ConflictEq eq;
+  if (!subChecked(s.constant, l.constant, &eq.constant)) {
+    eq.exact = false;
+    return eq;
+  }
+  // Store-side terms.
+  for (const AffineTerm& t : s.terms) {
+    const std::int64_t cl = l.coeffOf(t.leaf);
+    if (isDistance(t.leaf, axisIndex) || isShared(t.leaf, ranges)) {
+      std::int64_t diff;
+      if (!subChecked(t.coeff, cl, &diff)) {
+        eq.exact = false;
+        return eq;
+      }
+      eq.addVar(diff, ranges.of(t.leaf));
+    } else {
+      eq.addVar(t.coeff, ranges.of(t.leaf));
+      if (cl != 0) {
+        std::int64_t neg;
+        if (!subChecked(0, cl, &neg)) {
+          eq.exact = false;
+          return eq;
+        }
+        eq.addVar(neg, ranges.of(t.leaf));
+      }
+    }
+    // The later instance's distance leaves read leaf + d: subtracting
+    // cl·(leaf + d) contributes −cl·d on top of the termwise difference.
+    if (isDistance(t.leaf, axisIndex)) {
+      std::int64_t dc;
+      if (!subChecked(eq.dCoeff, cl, &dc)) {
+        eq.exact = false;
+        return eq;
+      }
+      eq.dCoeff = dc;
+    }
+  }
+  // Load-side-only terms.
+  for (const AffineTerm& t : l.terms) {
+    if (s.coeffOf(t.leaf) != 0) continue;  // handled above
+    std::int64_t neg;
+    if (!subChecked(0, t.coeff, &neg)) {
+      eq.exact = false;
+      return eq;
+    }
+    // Shared or not, a load-only term has no store-side counterpart to
+    // cancel against: it contributes one variable either way.
+    eq.addVar(neg, ranges.of(t.leaf));
+    if (isDistance(t.leaf, axisIndex)) {
+      std::int64_t dc;
+      if (!addChecked(eq.dCoeff, neg, &dc)) {
+        eq.exact = false;
+        return eq;
+      }
+      eq.dCoeff = dc;
+    }
+  }
+  return eq;
+}
+
+bool crossWiDistance(const LeafKey& leaf, int) {
+  return isDistanceLeafCrossWi(leaf);
+}
+bool crossWiShared(const LeafKey& leaf, const LeafRanges& ranges) {
+  return isSharedLeafCrossWi(leaf, ranges);
+}
+
+bool loopDistance(const LeafKey& leaf, int loopId) {
+  return leaf.sym == Sym::LoopIter && leaf.index == loopId;
+}
+bool loopShared(const LeafKey&, const LeafRanges&) {
+  return true;  // same work-item, same enclosing iteration: all leaves shared
+}
+
+DepResult testPair(const AccessForm& first, const AccessForm& second,
+                   const LeafRanges& ranges,
+                   bool (*isDistance)(const LeafKey&, int), int axisIndex,
+                   bool (*isShared)(const LeafKey&, const LeafRanges&),
+                   std::int64_t maxDistance) {
+  if (first.bytes == 0 || second.bytes == 0) return {};
+  const ConflictEq eq =
+      buildEq(first.offset, second.offset, ranges, isDistance, axisIndex, isShared);
+  // Byte ranges [S, S+sb) and [L, L+lb) overlap iff S−L ∈ (−lb, sb).
+  return solve(eq, -static_cast<std::int64_t>(second.bytes) + 1,
+               static_cast<std::int64_t>(first.bytes) - 1, maxDistance);
+}
+
+}  // namespace
+
+DepResult testCrossWorkItem(const AccessForm& store, const AccessForm& later,
+                            const LeafRanges& ranges,
+                            std::int64_t maxDistance) {
+  // Only effectively 1-D work-groups: the linear work-item order then
+  // advances lid0 (and gid0 within the group) by exactly d.
+  for (int d = 1; d < 3; ++d) {
+    const Interval lid = ranges.of(LeafKey{Sym::LocalId, d});
+    if (!(lid.isPoint() && lid.lo == 0)) return {};
+  }
+  return testPair(store, later, ranges, crossWiDistance, 0, crossWiShared,
+                  maxDistance);
+}
+
+DepResult testLoopCarried(const AccessForm& src, const AccessForm& dst,
+                          int loopId, const LeafRanges& ranges,
+                          std::int64_t maxDistance) {
+  return testPair(src, dst, ranges, loopDistance, loopId, loopShared,
+                  maxDistance);
+}
+
+}  // namespace flexcl::analysis::dataflow

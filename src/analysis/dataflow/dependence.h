@@ -1,0 +1,53 @@
+// GCD/Banerjee-style array dependence testing over affine subscript pairs.
+//
+// Both tests reduce to one conflict equation: the byte ranges of two accesses
+// overlap iff  offset₁(instance₁) − offset₂(instance₂) lands in a small
+// window around zero. Instance₂ trails instance₁ by an unknown distance d
+// along one axis (the linear work-item index, or a loop's iteration count);
+// solving for admissible d gives either a proven distance, proven
+// independence (no integer d with the leaf ranges admits a conflict — by
+// interval bounds, Banerjee-style, or by divisibility, the GCD test), or
+// Unknown, which callers must treat conservatively (distance 1).
+#pragma once
+
+#include "analysis/dataflow/affine.h"
+
+namespace flexcl::analysis::dataflow {
+
+enum class DepKind : std::uint8_t {
+  Independent,  ///< proven: no conflicting pair of instances exists
+  Distance,     ///< proven conflict; `distance` is the smallest admissible d
+  Unknown,      ///< cannot decide — callers assume distance 1
+};
+
+struct DepResult {
+  DepKind kind = DepKind::Unknown;
+  std::int64_t distance = 0;
+};
+
+/// One subscript: exact affine byte offset plus access width in bytes.
+struct AccessForm {
+  AffineForm offset;
+  std::uint32_t bytes = 0;
+};
+
+/// Cross-work-item dependence: `store` executed by work-item t, `later` by
+/// work-item t+d of the same work-group (d ≥ 1). Only sound for effectively
+/// one-dimensional work-groups — when the dim-1/2 local ranges in `ranges`
+/// are not the point 0 the result is Unknown. LocalId0/GlobalId0 advance by
+/// d between the instances; GroupId, sizes and scalar arguments are shared;
+/// LoopIter leaves are per-work-item and independent. `maxDistance` should
+/// be localSize0 − 1: work-items further apart sit in different groups and
+/// never share local memory.
+DepResult testCrossWorkItem(const AccessForm& store, const AccessForm& later,
+                            const LeafRanges& ranges,
+                            std::int64_t maxDistance);
+
+/// Loop-carried dependence between iteration k of `src` and iteration k+d of
+/// `dst` (d ≥ 1) of loop `loopId`, same work-item: every leaf except the
+/// loop's own iteration counter is shared between the instances.
+DepResult testLoopCarried(const AccessForm& src, const AccessForm& dst,
+                          int loopId, const LeafRanges& ranges,
+                          std::int64_t maxDistance);
+
+}  // namespace flexcl::analysis::dataflow

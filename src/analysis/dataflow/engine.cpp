@@ -1,0 +1,486 @@
+#include "analysis/dataflow/engine.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace flexcl::analysis::dataflow {
+namespace {
+
+using ir::Opcode;
+
+/// Value set of an integer type after normalizeInt: signed types sign-extend,
+/// unsigned types below 64 bits zero-extend. 64-bit values are stored as raw
+/// int64 bit patterns, so unsigned 64-bit admits negatives — top.
+Interval typeInterval(const ir::Type* t) {
+  if (!t) return Interval::top();
+  if (t->isBool()) return {0, 1};
+  if (!t->isInt()) return Interval::top();
+  const unsigned b = t->bits();
+  if (b >= 64) return Interval::top();
+  if (t->isSigned()) {
+    const std::int64_t hi = (std::int64_t{1} << (b - 1)) - 1;
+    return {-hi - 1, hi};
+  }
+  return {0, (std::int64_t{1} << b) - 1};
+}
+
+/// Mirrors normalizeInt: a computed range inside the type's value set passes
+/// through; anything that could wrap degrades to the full type range.
+AbstractInt clampToType(const AbstractInt& v, const ir::Type* t) {
+  const Interval tr = typeInterval(t);
+  if (tr.isTop()) return v.normalized();
+  if (v.range.lo >= tr.lo && v.range.hi <= tr.hi) return v.normalized();
+  return AbstractInt::fromRange(tr).normalized();
+}
+
+/// True when a value of this type is interpreted unsigned but may be stored
+/// as a negative int64 (unsigned 64-bit): unsigned div/rem/shift/compare
+/// transfer functions are then unsound on the signed range.
+bool unsignedWide(const ir::Type* t) {
+  return t && t->isInt() && !t->isSigned() && t->bits() >= 64;
+}
+
+Sym symOfQuery(ir::WiQuery q) {
+  switch (q) {
+    case ir::WiQuery::GlobalId: return Sym::GlobalId;
+    case ir::WiQuery::LocalId: return Sym::LocalId;
+    case ir::WiQuery::GroupId: return Sym::GroupId;
+    case ir::WiQuery::GlobalSize: return Sym::GlobalSize;
+    case ir::WiQuery::LocalSize: return Sym::LocalSize;
+    case ir::WiQuery::NumGroups: return Sym::NumGroups;
+  }
+  return Sym::GlobalId;
+}
+
+ir::CmpPred swapPred(ir::CmpPred p) {
+  switch (p) {
+    case ir::CmpPred::Lt: return ir::CmpPred::Gt;
+    case ir::CmpPred::Le: return ir::CmpPred::Ge;
+    case ir::CmpPred::Gt: return ir::CmpPred::Lt;
+    case ir::CmpPred::Ge: return ir::CmpPred::Le;
+    default: return p;
+  }
+}
+
+ir::CmpPred negatePred(ir::CmpPred p) {
+  switch (p) {
+    case ir::CmpPred::Eq: return ir::CmpPred::Ne;
+    case ir::CmpPred::Ne: return ir::CmpPred::Eq;
+    case ir::CmpPred::Lt: return ir::CmpPred::Ge;
+    case ir::CmpPred::Le: return ir::CmpPred::Gt;
+    case ir::CmpPred::Gt: return ir::CmpPred::Le;
+    case ir::CmpPred::Ge: return ir::CmpPred::Lt;
+  }
+  return p;
+}
+
+/// Abs with the INT64_MIN wrap (negation overflows) degraded to top.
+Interval absRange(const Interval& a) {
+  if (a.lo == Interval::kMin) return Interval::top();
+  if (a.lo >= 0) return a;
+  if (a.hi <= 0) return negI(a);
+  return join(Interval::range(0, a.hi), negI(Interval::range(a.lo, -1)));
+}
+
+class Engine {
+ public:
+  Engine(const ir::Function& fn, const LeafRanges& seed) : fn_(fn), seed_(seed) {
+    values_.assign(fn.instructionCount(), AbstractInt::top());
+    for (ir::Instruction* a : fn.privateAllocas) {
+      if (a->allocaType && (a->allocaType->isInt() || a->allocaType->isBool())) {
+        slotIndex_[a] = static_cast<int>(slotCount_++);
+      }
+    }
+  }
+
+  ValueRangeResult run() {
+    const auto& blocks = fn_.blocks();
+    const std::size_t n = blocks.size();
+    entry_.assign(n, Env(slotCount_, AbstractInt::top()));
+    reachable_.assign(n, false);
+    visits_.assign(n, 0);
+    if (n == 0) return {std::move(values_)};
+
+    reachable_[fn_.entry()->id] = true;
+    std::deque<const ir::BasicBlock*> worklist{fn_.entry()};
+    // Widening makes the chain finite; the cap is a safety net only. If it
+    // ever trips, every result degrades to top (a partial fixpoint would
+    // under-approximate).
+    const std::size_t cap = (n + 1) * 256;
+    std::size_t processed = 0;
+    while (!worklist.empty()) {
+      if (++processed > cap) {
+        values_.assign(values_.size(), AbstractInt::top());
+        break;
+      }
+      const ir::BasicBlock* bb = worklist.front();
+      worklist.pop_front();
+      ++visits_[bb->id];
+      transferBlock(*bb, [&](const ir::BasicBlock* succ, const Env& out) {
+        if (!succ) return;
+        const unsigned id = succ->id;
+        if (!reachable_[id]) {
+          reachable_[id] = true;
+          entry_[id] = out;
+          worklist.push_back(succ);
+          return;
+        }
+        Env merged = entry_[id];
+        bool changed = false;
+        for (std::size_t s = 0; s < slotCount_; ++s) {
+          AbstractInt next = joinA(merged[s], out[s]);
+          if (visits_[id] > kWidenAfter) next = widenA(merged[s], next);
+          if (!(next == merged[s])) {
+            merged[s] = next;
+            changed = true;
+          }
+        }
+        if (changed) {
+          entry_[id] = std::move(merged);
+          worklist.push_back(succ);
+        }
+      });
+    }
+    return {std::move(values_)};
+  }
+
+ private:
+  using Env = std::vector<AbstractInt>;
+  static constexpr int kWidenAfter = 3;
+
+  AbstractInt valueOf(const ir::Value* v) const {
+    switch (v->valueKind()) {
+      case ir::Value::Kind::Constant: {
+        const auto* c = static_cast<const ir::Constant*>(v);
+        if (c->isFloatConstant()) return AbstractInt::top();
+        return AbstractInt::point(c->intValue());
+      }
+      case ir::Value::Kind::Argument: {
+        const ir::Type* t = v->type();
+        if (!t->isInt() && !t->isBool()) return AbstractInt::top();
+        const auto* arg = static_cast<const ir::Argument*>(v);
+        const Interval r =
+            seed_.of(LeafKey{Sym::ScalarArg, static_cast<int>(arg->index())});
+        return clampToType(AbstractInt::fromRange(r), t);
+      }
+      case ir::Value::Kind::Instruction: {
+        const auto* inst = static_cast<const ir::Instruction*>(v);
+        return inst->id < values_.size() ? values_[inst->id]
+                                         : AbstractInt::top();
+      }
+    }
+    return AbstractInt::top();
+  }
+
+  /// The private alloca a pointer value ultimately addresses; null when the
+  /// base cannot be identified.
+  const ir::Instruction* baseAllocaOf(const ir::Value* v) const {
+    while (v && v->valueKind() == ir::Value::Kind::Instruction) {
+      const auto* inst = static_cast<const ir::Instruction*>(v);
+      if (inst->opcode() == Opcode::Alloca) return inst;
+      if (inst->opcode() != Opcode::PtrAdd) return nullptr;
+      v = inst->operand(0);
+    }
+    return nullptr;
+  }
+
+  int trackedSlotOf(const ir::Value* addr) const {
+    if (!addr || addr->valueKind() != ir::Value::Kind::Instruction) return -1;
+    const auto it =
+        slotIndex_.find(static_cast<const ir::Instruction*>(addr));
+    return it == slotIndex_.end() ? -1 : it->second;
+  }
+
+  template <typename EmitEdge>
+  void transferBlock(const ir::BasicBlock& bb, EmitEdge&& emit) {
+    Env env = entry_[bb.id];
+    // Loads whose value still equals the slot's current abstract state; a
+    // store to the slot invalidates them (used for branch refinement).
+    std::unordered_map<const ir::Value*, int> liveLoads;
+
+    for (const ir::Instruction* inst : bb.instructions()) {
+      switch (inst->opcode()) {
+        case Opcode::Store: {
+          const ir::Value* addr = inst->operand(1);
+          const int slot = trackedSlotOf(addr);
+          if (slot >= 0) {
+            // Whole-slot write of the slot's scalar type.
+            env[slot] = clampToType(valueOf(inst->operand(0)),
+                                    slotType(addr));
+            invalidate(liveLoads, slot);
+            break;
+          }
+          if (inst->memSpace == ir::AddressSpace::Private) {
+            const ir::Instruction* base = baseAllocaOf(addr);
+            const int via = base ? trackedSlotOfAlloca(base) : -1;
+            if (via >= 0) {
+              env[via] = AbstractInt::top();
+              invalidate(liveLoads, via);
+            } else if (!base) {
+              // Unknown private pointer: clobber every tracked slot.
+              for (auto& s : env) s = AbstractInt::top();
+              liveLoads.clear();
+            }
+          }
+          break;
+        }
+        case Opcode::CondBr: {
+          Env trueEnv = env, falseEnv = env;
+          refineEdges(inst, liveLoads, env, &trueEnv, &falseEnv);
+          emit(inst->target0, trueEnv);
+          emit(inst->target1, falseEnv);
+          return;
+        }
+        case Opcode::Br:
+          emit(inst->target0, env);
+          return;
+        case Opcode::Ret:
+          return;
+        default: {
+          AbstractInt v = transferValue(*inst, env, liveLoads);
+          if (inst->id < values_.size()) values_[inst->id] = v;
+          break;
+        }
+      }
+    }
+    // Block without terminator (malformed): no successors.
+  }
+
+  const ir::Type* slotType(const ir::Value* addr) const {
+    return static_cast<const ir::Instruction*>(addr)->allocaType;
+  }
+
+  int trackedSlotOfAlloca(const ir::Instruction* alloca) const {
+    const auto it = slotIndex_.find(alloca);
+    return it == slotIndex_.end() ? -1 : it->second;
+  }
+
+  static void invalidate(std::unordered_map<const ir::Value*, int>& liveLoads,
+                         int slot) {
+    for (auto it = liveLoads.begin(); it != liveLoads.end();) {
+      it = it->second == slot ? liveLoads.erase(it) : std::next(it);
+    }
+  }
+
+  AbstractInt transferValue(const ir::Instruction& inst, Env& env,
+                            std::unordered_map<const ir::Value*, int>& liveLoads) {
+    const ir::Type* t = inst.type();
+    const bool intLike = t && (t->isInt() || t->isBool());
+    switch (inst.opcode()) {
+      case Opcode::Load: {
+        const int slot = trackedSlotOf(inst.operand(0));
+        if (slot < 0) return AbstractInt::top();
+        liveLoads[&inst] = slot;
+        return env[slot];
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul: {
+        if (!intLike) return AbstractInt::top();
+        const Interval a = valueOf(inst.operand(0)).range;
+        const Interval b = valueOf(inst.operand(1)).range;
+        Interval r;
+        switch (inst.opcode()) {
+          case Opcode::Add: r = addI(a, b); break;
+          case Opcode::Sub: r = subI(a, b); break;
+          default: r = mulI(a, b); break;
+        }
+        return clampToType(AbstractInt::fromRange(r), t);
+      }
+      case Opcode::Div:
+      case Opcode::Rem: {
+        if (!intLike) return AbstractInt::top();
+        const AbstractInt av = valueOf(inst.operand(0));
+        const AbstractInt bv = valueOf(inst.operand(1));
+        if (unsignedWide(inst.operand(0)->type()) &&
+            (!av.range.isNonNegative() || !bv.range.isNonNegative())) {
+          return clampToType(AbstractInt::top(), t);
+        }
+        Interval r = inst.opcode() == Opcode::Div ? divI(av.range, bv.range)
+                                                  : remI(av.range, bv.range);
+        // The interpreter defines x/0 and x%0 as 0.
+        if (bv.range.containsZero()) r = join(r, Interval::point(0));
+        return clampToType(AbstractInt::fromRange(r), t);
+      }
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor: {
+        if (!intLike) return AbstractInt::top();
+        const AbstractInt a = valueOf(inst.operand(0));
+        const AbstractInt b = valueOf(inst.operand(1));
+        AbstractInt r;
+        switch (inst.opcode()) {
+          case Opcode::And:
+            r = {andI(a.range, b.range), andBits(a.bits, b.bits)};
+            break;
+          case Opcode::Or:
+            r = {orI(a.range, b.range), orBits(a.bits, b.bits)};
+            break;
+          default:
+            r = {xorI(a.range, b.range), xorBits(a.bits, b.bits)};
+            break;
+        }
+        return clampToType(r, t);
+      }
+      case Opcode::Shl: {
+        if (!intLike) return AbstractInt::top();
+        const AbstractInt a = valueOf(inst.operand(0));
+        const AbstractInt b = valueOf(inst.operand(1));
+        return clampToType({shlI(a.range, b.range), shlBits(a.bits, b.range)},
+                           t);
+      }
+      case Opcode::Shr: {
+        if (!intLike) return AbstractInt::top();
+        const AbstractInt a = valueOf(inst.operand(0));
+        const AbstractInt b = valueOf(inst.operand(1));
+        if (unsignedWide(inst.operand(0)->type()) &&
+            !a.range.isNonNegative()) {
+          return clampToType(AbstractInt::top(), t);
+        }
+        return clampToType({shrI(a.range, b.range), shrBits(a.bits, b.range)},
+                           t);
+      }
+      case Opcode::ICmp: {
+        const ir::Type* opType = inst.operand(0)->type();
+        const AbstractInt a = valueOf(inst.operand(0));
+        const AbstractInt b = valueOf(inst.operand(1));
+        if (opType->isPointer()) return AbstractInt::fromRange({0, 1});
+        const bool signedCmp = opType->isBool() || opType->isSigned();
+        if (!signedCmp &&
+            (!a.range.isNonNegative() || !b.range.isNonNegative())) {
+          return AbstractInt::fromRange({0, 1});
+        }
+        return AbstractInt::fromRange(cmpI(inst.cmpPred, a.range, b.range))
+            .normalized();
+      }
+      case Opcode::FCmp:
+        return AbstractInt::fromRange({0, 1});
+      case Opcode::Select: {
+        if (!intLike) return AbstractInt::top();
+        const Interval c = valueOf(inst.operand(0)).range;
+        const AbstractInt a = valueOf(inst.operand(1));
+        const AbstractInt b = valueOf(inst.operand(2));
+        if (!c.containsZero()) return a;
+        if (c.isPoint()) return b;  // exactly zero
+        return joinA(a, b);
+      }
+      case Opcode::Trunc:
+      case Opcode::SExt:
+        return intLike ? clampToType(valueOf(inst.operand(0)), t)
+                       : AbstractInt::top();
+      case Opcode::ZExt: {
+        if (!intLike) return AbstractInt::top();
+        AbstractInt v = valueOf(inst.operand(0));
+        if (!v.range.isNonNegative()) v = AbstractInt::top();
+        return clampToType(v, t);
+      }
+      case Opcode::Bitcast: {
+        const ir::Type* from = inst.operand(0)->type();
+        if (intLike && from && (from->isInt() || from->isBool()) &&
+            from->bits() == t->bits()) {
+          return clampToType(valueOf(inst.operand(0)), t);
+        }
+        return AbstractInt::top();
+      }
+      case Opcode::WorkItemId: {
+        // The lowering routes the dimension through a bitcast, so evaluate
+        // the operand abstractly and require a single known value.
+        const AbstractInt dimVal = valueOf(inst.operand(0));
+        if (!dimVal.isPoint()) return AbstractInt::top();
+        const std::int64_t dim = dimVal.range.lo;
+        if (dim < 0 || dim > 2) return AbstractInt::top();
+        const Interval r = seed_.of(
+            LeafKey{symOfQuery(inst.wiQuery), static_cast<int>(dim)});
+        return clampToType(AbstractInt::fromRange(r), t);
+      }
+      case Opcode::Call: {
+        if (!intLike) return AbstractInt::top();
+        const auto& ops = inst.operands();
+        switch (inst.mathFunc) {
+          case ir::MathFunc::Abs:
+            if (ops.size() < 1) return AbstractInt::top();
+            return clampToType(
+                AbstractInt::fromRange(absRange(valueOf(ops[0]).range)), t);
+          case ir::MathFunc::Max:
+            if (ops.size() < 2) return AbstractInt::top();
+            return clampToType(
+                AbstractInt::fromRange(
+                    maxI(valueOf(ops[0]).range, valueOf(ops[1]).range)),
+                t);
+          case ir::MathFunc::Min:
+            if (ops.size() < 2) return AbstractInt::top();
+            return clampToType(
+                AbstractInt::fromRange(
+                    minI(valueOf(ops[0]).range, valueOf(ops[1]).range)),
+                t);
+          case ir::MathFunc::Clamp:
+            if (ops.size() < 3) return AbstractInt::top();
+            return clampToType(
+                AbstractInt::fromRange(
+                    minI(maxI(valueOf(ops[0]).range, valueOf(ops[1]).range),
+                         valueOf(ops[2]).range)),
+                t);
+          default:
+            return clampToType(AbstractInt::top(), t);
+        }
+      }
+      default:
+        return AbstractInt::top();
+    }
+  }
+
+  /// Branch refinement: when the condition is an ICmp over live slot loads,
+  /// the slot's value is narrowed on each outgoing edge.
+  void refineEdges(const ir::Instruction* condBr,
+                   const std::unordered_map<const ir::Value*, int>& liveLoads,
+                   const Env& env, Env* trueEnv, Env* falseEnv) {
+    const ir::Value* cond = condBr->operand(0);
+    if (cond->valueKind() != ir::Value::Kind::Instruction) return;
+    const auto* cmp = static_cast<const ir::Instruction*>(cond);
+    if (cmp->opcode() != Opcode::ICmp) return;
+    const ir::Type* opType = cmp->operand(0)->type();
+    const bool signedCmp =
+        !opType->isPointer() && (opType->isBool() || opType->isSigned());
+    if (!signedCmp) {
+      const Interval a = valueOf(cmp->operand(0)).range;
+      const Interval b = valueOf(cmp->operand(1)).range;
+      if (opType->isPointer() || !a.isNonNegative() || !b.isNonNegative()) {
+        return;  // unsigned order may disagree with the signed intervals
+      }
+    }
+    for (int side = 0; side < 2; ++side) {
+      const ir::Value* refined = cmp->operand(side);
+      const ir::Value* other = cmp->operand(1 - side);
+      const auto it = liveLoads.find(refined);
+      if (it == liveLoads.end()) continue;
+      const int slot = it->second;
+      const ir::CmpPred pred =
+          side == 0 ? cmp->cmpPred : swapPred(cmp->cmpPred);
+      const Interval otherR = valueOf(other).range;
+      (*trueEnv)[slot] = AbstractInt{
+          assumeCmp(pred, env[slot].range, otherR), env[slot].bits}
+                             .normalized();
+      (*falseEnv)[slot] = AbstractInt{
+          assumeCmp(negatePred(pred), env[slot].range, otherR),
+          env[slot].bits}
+                              .normalized();
+    }
+  }
+
+  const ir::Function& fn_;
+  const LeafRanges& seed_;
+  std::vector<AbstractInt> values_;
+  std::unordered_map<const ir::Instruction*, int> slotIndex_;
+  std::size_t slotCount_ = 0;
+  std::vector<Env> entry_;
+  std::vector<bool> reachable_;
+  std::vector<int> visits_;
+};
+
+}  // namespace
+
+ValueRangeResult analyzeRanges(const ir::Function& fn, const LeafRanges& seed) {
+  return Engine(fn, seed).run();
+}
+
+}  // namespace flexcl::analysis::dataflow

@@ -1,0 +1,38 @@
+// Worklist-driven forward dataflow engine over the lowered IR.
+//
+// Computes one AbstractInt (interval + known bits) per instruction by
+// iterating the CFG to a fixpoint. Private scalar slots (alloca + load/store,
+// the IR's substitute for SSA phis) are tracked as part of the per-block
+// abstract state, so loop induction variables and branch-refined bounds flow
+// through memory the same way registers do. Geometry facts (NDRange sizes,
+// reqd_work_group_size, scalar argument values) enter through the LeafRanges
+// seed; every transfer function mirrors the interpreter's normalizeInt
+// semantics, degrading to the full type range when a value could wrap.
+#pragma once
+
+#include <vector>
+
+#include "analysis/dataflow/affine.h"
+#include "ir/ir.h"
+
+namespace flexcl::analysis::dataflow {
+
+/// Fixpoint result: one abstract value per instruction id. Instructions that
+/// produce no integer value (floats, pointers, terminators) are top.
+struct ValueRangeResult {
+  std::vector<AbstractInt> values;
+
+  [[nodiscard]] AbstractInt abstractOf(const ir::Instruction& inst) const {
+    return inst.id < values.size() ? values[inst.id] : AbstractInt::top();
+  }
+  [[nodiscard]] Interval rangeOf(const ir::Instruction& inst) const {
+    return abstractOf(inst).range;
+  }
+};
+
+/// Runs the engine over a lowered, renumbered kernel. `seed` supplies the
+/// ranges of WorkItemId queries (by dimension) and integer scalar arguments
+/// (Sym::ScalarArg by argument index); unbound leaves are top.
+ValueRangeResult analyzeRanges(const ir::Function& fn, const LeafRanges& seed);
+
+}  // namespace flexcl::analysis::dataflow

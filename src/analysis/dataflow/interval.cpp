@@ -1,0 +1,337 @@
+#include "analysis/dataflow/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace flexcl::analysis::dataflow {
+namespace {
+
+/// Checked int64 arithmetic: false means the mathematical result does not fit
+/// (the concrete machine value would have wrapped; callers degrade to top).
+bool addChecked(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+bool subChecked(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_sub_overflow(a, b, out);
+}
+bool mulChecked(std::int64_t a, std::int64_t b, std::int64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+
+constexpr std::uint64_t kSignBit = 1ull << 63;
+
+std::uint64_t highMask(std::int64_t s) {
+  return s <= 0 ? 0 : ~0ull << (64 - s);
+}
+
+}  // namespace
+
+Interval Interval::belowCount(std::int64_t n) {
+  if (n <= 0) return top();
+  return {0, n - 1};
+}
+
+std::uint64_t Interval::width() const {
+  return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+}
+
+std::string Interval::str() const {
+  std::ostringstream os;
+  os << '[';
+  if (lo == kMin) os << "-inf"; else os << lo;
+  os << ", ";
+  if (hi == kMax) os << "+inf"; else os << hi;
+  os << ']';
+  return os.str();
+}
+
+Interval join(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval widen(const Interval& prev, const Interval& next) {
+  Interval r = prev;
+  if (next.lo < prev.lo) r.lo = Interval::kMin;
+  if (next.hi > prev.hi) r.hi = Interval::kMax;
+  return r;
+}
+
+Interval meet(const Interval& a, const Interval& b) {
+  Interval r{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  if (r.lo > r.hi) return a;  // contradiction: keep the unrefined operand
+  return r;
+}
+
+Interval addI(const Interval& a, const Interval& b) {
+  Interval r;
+  if (!addChecked(a.lo, b.lo, &r.lo) || !addChecked(a.hi, b.hi, &r.hi)) {
+    return Interval::top();
+  }
+  return r;
+}
+
+Interval subI(const Interval& a, const Interval& b) {
+  Interval r;
+  if (!subChecked(a.lo, b.hi, &r.lo) || !subChecked(a.hi, b.lo, &r.hi)) {
+    return Interval::top();
+  }
+  return r;
+}
+
+Interval mulI(const Interval& a, const Interval& b) {
+  const std::int64_t as[2] = {a.lo, a.hi};
+  const std::int64_t bs[2] = {b.lo, b.hi};
+  std::int64_t lo = Interval::kMax, hi = Interval::kMin;
+  for (std::int64_t x : as) {
+    for (std::int64_t y : bs) {
+      std::int64_t p;
+      if (!mulChecked(x, y, &p)) return Interval::top();
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+  }
+  return {lo, hi};
+}
+
+namespace {
+
+/// Division corners for a divisor interval entirely on one side of zero.
+bool divCorners(const Interval& a, const Interval& b, std::int64_t* lo,
+                std::int64_t* hi) {
+  const std::int64_t as[2] = {a.lo, a.hi};
+  const std::int64_t bs[2] = {b.lo, b.hi};
+  for (std::int64_t x : as) {
+    for (std::int64_t y : bs) {
+      if (x == Interval::kMin && y == -1) return false;  // the one UB quotient
+      const std::int64_t q = x / y;
+      *lo = std::min(*lo, q);
+      *hi = std::max(*hi, q);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Interval divI(const Interval& a, const Interval& b) {
+  std::int64_t lo = Interval::kMax, hi = Interval::kMin;
+  bool any = false;
+  if (b.lo <= -1) {  // negative part of the divisor
+    if (!divCorners(a, {b.lo, std::min<std::int64_t>(b.hi, -1)}, &lo, &hi)) {
+      return Interval::top();
+    }
+    any = true;
+  }
+  if (b.hi >= 1) {  // positive part
+    if (!divCorners(a, {std::max<std::int64_t>(b.lo, 1), b.hi}, &lo, &hi)) {
+      return Interval::top();
+    }
+    any = true;
+  }
+  if (!any) return Interval::top();  // divisor is exactly [0, 0]
+  return {lo, hi};
+}
+
+Interval remI(const Interval& a, const Interval& b) {
+  if (b.lo == 0 && b.hi == 0) return Interval::top();
+  if (a.isPoint() && b.isPoint()) {
+    if (b.lo == -1) return Interval::point(0);  // also covers kMin % -1 (UB)
+    return Interval::point(a.lo % b.lo);
+  }
+  // |a % b| < max(|b.lo|, |b.hi|); the sign follows the dividend.
+  std::uint64_t mag = std::max(
+      b.lo == Interval::kMin ? kSignBit : static_cast<std::uint64_t>(b.lo < 0 ? -b.lo : b.lo),
+      b.hi == Interval::kMin ? kSignBit : static_cast<std::uint64_t>(b.hi < 0 ? -b.hi : b.hi));
+  const std::int64_t bound =
+      mag == 0 ? 0
+               : static_cast<std::int64_t>(
+                     std::min<std::uint64_t>(mag - 1, Interval::kMax));
+  Interval r{-bound, bound};
+  if (a.lo >= 0) r.lo = 0;
+  if (a.hi <= 0) r.hi = 0;
+  // The remainder's magnitude never exceeds the dividend's.
+  if (a.lo >= 0) r.hi = std::min(r.hi, a.hi);
+  if (a.hi <= 0) r.lo = std::max(r.lo, a.lo);
+  return r;
+}
+
+Interval shlI(const Interval& a, const Interval& b) {
+  if (b.lo < 0 || b.hi > 63) return Interval::top();
+  std::int64_t lo = Interval::kMax, hi = Interval::kMin;
+  const std::int64_t ss[2] = {b.lo, b.hi};
+  const std::int64_t as[2] = {a.lo, a.hi};
+  for (std::int64_t s : ss) {
+    if (s == 63) return Interval::top();  // 1 << 63 is not an int64 factor
+    const std::int64_t factor = std::int64_t{1} << s;
+    for (std::int64_t x : as) {
+      std::int64_t p;
+      if (!mulChecked(x, factor, &p)) return Interval::top();
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+  }
+  return {lo, hi};
+}
+
+Interval shrI(const Interval& a, const Interval& b) {
+  if (b.lo < 0 || b.hi > 63) return Interval::top();
+  std::int64_t lo = Interval::kMax, hi = Interval::kMin;
+  const std::int64_t ss[2] = {b.lo, b.hi};
+  const std::int64_t as[2] = {a.lo, a.hi};
+  for (std::int64_t s : ss) {
+    for (std::int64_t x : as) {
+      const std::int64_t q = x >> s;  // arithmetic shift
+      lo = std::min(lo, q);
+      hi = std::max(hi, q);
+    }
+  }
+  return {lo, hi};
+}
+
+Interval andI(const Interval& a, const Interval& b) {
+  if (a.lo < 0 || b.lo < 0) return Interval::top();
+  return {0, std::min(a.hi, b.hi)};
+}
+
+Interval orI(const Interval& a, const Interval& b) {
+  if (a.lo < 0 || b.lo < 0) return Interval::top();
+  std::int64_t hi;
+  if (!addChecked(a.hi, b.hi, &hi)) return Interval::top();  // or <= a + b
+  return {std::max(a.lo, b.lo), hi};
+}
+
+Interval xorI(const Interval& a, const Interval& b) {
+  if (a.lo < 0 || b.lo < 0) return Interval::top();
+  std::int64_t hi;
+  if (!addChecked(a.hi, b.hi, &hi)) return Interval::top();
+  return {0, hi};
+}
+
+Interval negI(const Interval& a) { return subI(Interval::point(0), a); }
+
+Interval minI(const Interval& a, const Interval& b) {
+  return {std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval maxI(const Interval& a, const Interval& b) {
+  return {std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval cmpI(ir::CmpPred pred, const Interval& a, const Interval& b) {
+  auto verdict = [](bool provedTrue, bool provedFalse) {
+    if (provedTrue) return Interval::point(1);
+    if (provedFalse) return Interval::point(0);
+    return Interval::range(0, 1);
+  };
+  switch (pred) {
+    case ir::CmpPred::Lt: return verdict(a.hi < b.lo, a.lo >= b.hi);
+    case ir::CmpPred::Le: return verdict(a.hi <= b.lo, a.lo > b.hi);
+    case ir::CmpPred::Gt: return verdict(a.lo > b.hi, a.hi <= b.lo);
+    case ir::CmpPred::Ge: return verdict(a.lo >= b.hi, a.hi < b.lo);
+    case ir::CmpPred::Eq:
+      return verdict(a.isPoint() && b.isPoint() && a.lo == b.lo,
+                     a.hi < b.lo || b.hi < a.lo);
+    case ir::CmpPred::Ne:
+      return verdict(a.hi < b.lo || b.hi < a.lo,
+                     a.isPoint() && b.isPoint() && a.lo == b.lo);
+  }
+  return Interval::range(0, 1);
+}
+
+Interval assumeCmp(ir::CmpPred pred, const Interval& a, const Interval& b) {
+  Interval r = a;
+  switch (pred) {
+    case ir::CmpPred::Lt:
+      if (b.hi > Interval::kMin) r.hi = std::min(r.hi, b.hi - 1);
+      break;
+    case ir::CmpPred::Le:
+      r.hi = std::min(r.hi, b.hi);
+      break;
+    case ir::CmpPred::Gt:
+      if (b.lo < Interval::kMax) r.lo = std::max(r.lo, b.lo + 1);
+      break;
+    case ir::CmpPred::Ge:
+      r.lo = std::max(r.lo, b.lo);
+      break;
+    case ir::CmpPred::Eq:
+      return meet(a, b);
+    case ir::CmpPred::Ne:
+      if (b.isPoint()) {
+        if (a.lo == b.lo && a.lo < Interval::kMax) r.lo = a.lo + 1;
+        if (a.hi == b.lo && a.hi > Interval::kMin) r.hi = a.hi - 1;
+      }
+      break;
+  }
+  if (r.lo > r.hi) return a;  // contradiction: path is dead, keep a
+  return r;
+}
+
+KnownBits joinBits(const KnownBits& a, const KnownBits& b) {
+  return {a.zeros & b.zeros, a.ones & b.ones};
+}
+
+KnownBits andBits(const KnownBits& a, const KnownBits& b) {
+  return {a.zeros | b.zeros, a.ones & b.ones};
+}
+
+KnownBits orBits(const KnownBits& a, const KnownBits& b) {
+  return {a.zeros & b.zeros, a.ones | b.ones};
+}
+
+KnownBits xorBits(const KnownBits& a, const KnownBits& b) {
+  const std::uint64_t known = (a.zeros | a.ones) & (b.zeros | b.ones);
+  const std::uint64_t value = a.ones ^ b.ones;
+  return {known & ~value, known & value};
+}
+
+KnownBits shlBits(const KnownBits& a, const Interval& amount) {
+  if (!amount.isPoint() || amount.lo < 0 || amount.lo > 63) return {};
+  const auto s = amount.lo;
+  return {(a.zeros << s) | (s > 0 ? (1ull << s) - 1 : 0), a.ones << s};
+}
+
+KnownBits shrBits(const KnownBits& a, const Interval& amount) {
+  if (!amount.isPoint() || amount.lo < 0 || amount.lo > 63) return {};
+  const auto s = amount.lo;
+  const std::uint64_t fill = highMask(s);
+  if (a.zeros & kSignBit) return {(a.zeros >> s) | fill, a.ones >> s};
+  if (a.ones & kSignBit) return {a.zeros >> s, (a.ones >> s) | fill};
+  return {(a.zeros >> s) & ~fill, (a.ones >> s) & ~fill};
+}
+
+KnownBits bitsOfConstant(std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  return {~u, u};
+}
+
+AbstractInt AbstractInt::normalized() const {
+  AbstractInt r = *this;
+  // Range -> bits: a value in [0, hi] has every bit above bit_width(hi) zero.
+  if (r.range.lo >= 0) {
+    const auto hiU = static_cast<std::uint64_t>(r.range.hi);
+    int k = 0;
+    while (k < 63 && (hiU >> k) != 0) ++k;
+    r.bits.zeros |= k >= 63 ? kSignBit : ~((1ull << k) - 1);
+    r.bits.zeros &= ~r.bits.ones;
+  }
+  if (r.range.isPoint()) r.bits = bitsOfConstant(r.range.lo);
+  // Bits -> range: with a known sign bit, unknown bits at 0 / 1 give the
+  // extreme patterns, and uint64 order equals int64 order.
+  if ((r.bits.zeros | r.bits.ones) & kSignBit) {
+    const auto lo = static_cast<std::int64_t>(r.bits.ones);
+    const auto hi = static_cast<std::int64_t>(~r.bits.zeros);
+    r.range = meet(r.range, {lo, hi});
+  }
+  return r;
+}
+
+AbstractInt joinA(const AbstractInt& a, const AbstractInt& b) {
+  return {join(a.range, b.range), joinBits(a.bits, b.bits)};
+}
+
+AbstractInt widenA(const AbstractInt& prev, const AbstractInt& next) {
+  // KnownBits is a finite lattice: plain join already converges.
+  return {widen(prev.range, next.range), joinBits(prev.bits, next.bits)};
+}
+
+}  // namespace flexcl::analysis::dataflow

@@ -1,0 +1,130 @@
+// Signed interval (value-range) domain with a known-bits refinement.
+//
+// The dataflow engine and the affine range evaluator both compute over
+// inclusive signed 64-bit intervals. Every transfer function is conservative:
+// when a result could exceed int64 (the analysis' model of the IR's integer
+// semantics) the interval degrades to top instead of wrapping, so a range
+// never under-approximates the concrete value set. KnownBits tracks bits
+// proven zero/one across all executions; intervals and bits refine each other
+// through AbstractInt::normalized().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace flexcl::analysis::dataflow {
+
+struct Interval {
+  static constexpr std::int64_t kMin = INT64_MIN;
+  static constexpr std::int64_t kMax = INT64_MAX;
+
+  std::int64_t lo = kMin;
+  std::int64_t hi = kMax;
+
+  static Interval top() { return {kMin, kMax}; }
+  static Interval point(std::int64_t v) { return {v, v}; }
+  static Interval range(std::int64_t lo, std::int64_t hi) { return {lo, hi}; }
+  /// [0, n-1]; top when n <= 0.
+  static Interval belowCount(std::int64_t n);
+
+  [[nodiscard]] bool isTop() const { return lo == kMin && hi == kMax; }
+  [[nodiscard]] bool isPoint() const { return lo == hi; }
+  [[nodiscard]] bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  [[nodiscard]] bool containsZero() const { return contains(0); }
+  [[nodiscard]] bool isNonNegative() const { return lo >= 0; }
+  /// Width as unsigned distance; kMax when it would overflow.
+  [[nodiscard]] std::uint64_t width() const;
+
+  bool operator==(const Interval& o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const Interval& o) const { return !(*this == o); }
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Least upper bound (interval hull).
+Interval join(const Interval& a, const Interval& b);
+/// Standard widening: bounds that grew jump to ±∞ so loops converge.
+Interval widen(const Interval& prev, const Interval& next);
+/// Intersection; when the intersection is empty the *refining* operand is
+/// ignored (returns `a`) — refinement must never manufacture bottom.
+Interval meet(const Interval& a, const Interval& b);
+
+// Transfer functions. All are sound over int64: any possible overflow of the
+// concrete op yields top (the concrete IR value would have wrapped; we give
+// up rather than model the wrap).
+Interval addI(const Interval& a, const Interval& b);
+Interval subI(const Interval& a, const Interval& b);
+Interval mulI(const Interval& a, const Interval& b);
+/// Signed division. Divisor ranges containing zero are handled by excluding
+/// zero from the divisor (division by zero has no defined result to bound);
+/// a divisor of exactly [0,0] yields top.
+Interval divI(const Interval& a, const Interval& b);
+/// Signed remainder, same zero-divisor policy as divI.
+Interval remI(const Interval& a, const Interval& b);
+Interval shlI(const Interval& a, const Interval& b);
+Interval shrI(const Interval& a, const Interval& b);
+Interval andI(const Interval& a, const Interval& b);
+Interval orI(const Interval& a, const Interval& b);
+Interval xorI(const Interval& a, const Interval& b);
+Interval negI(const Interval& a);
+Interval minI(const Interval& a, const Interval& b);
+Interval maxI(const Interval& a, const Interval& b);
+
+/// Comparison result as a 0/1 interval: [1,1] proven true, [0,0] proven
+/// false, [0,1] undecided.
+Interval cmpI(ir::CmpPred pred, const Interval& a, const Interval& b);
+
+/// Refines `a` under the assumption `pred(a, b)` holds (branch refinement).
+Interval assumeCmp(ir::CmpPred pred, const Interval& a, const Interval& b);
+
+/// Bits proven equal across every concrete execution. `zeros` has a 1 for
+/// every bit known to be 0, `ones` for every bit known to be 1; the two masks
+/// are disjoint. Default: nothing known.
+struct KnownBits {
+  std::uint64_t zeros = 0;
+  std::uint64_t ones = 0;
+
+  [[nodiscard]] bool isUnknown() const { return zeros == 0 && ones == 0; }
+  bool operator==(const KnownBits& o) const {
+    return zeros == o.zeros && ones == o.ones;
+  }
+};
+
+KnownBits joinBits(const KnownBits& a, const KnownBits& b);
+KnownBits andBits(const KnownBits& a, const KnownBits& b);
+KnownBits orBits(const KnownBits& a, const KnownBits& b);
+KnownBits xorBits(const KnownBits& a, const KnownBits& b);
+/// Shift by a constant amount in [0, 63]; anything else returns unknown.
+KnownBits shlBits(const KnownBits& a, const Interval& amount);
+KnownBits shrBits(const KnownBits& a, const Interval& amount);
+KnownBits bitsOfConstant(std::int64_t v);
+
+/// The product domain: an interval and the bits known of the same value,
+/// each refining the other.
+struct AbstractInt {
+  Interval range = Interval::top();
+  KnownBits bits;
+
+  static AbstractInt top() { return {}; }
+  static AbstractInt point(std::int64_t v) {
+    return {Interval::point(v), bitsOfConstant(v)};
+  }
+  static AbstractInt fromRange(const Interval& r) { return {r, {}}; }
+
+  [[nodiscard]] bool isPoint() const { return range.isPoint(); }
+
+  /// Cross-refines: a non-negative range with hi < 2^k proves the bits above
+  /// k zero; known bits bounding the value tighten the range.
+  [[nodiscard]] AbstractInt normalized() const;
+
+  bool operator==(const AbstractInt& o) const {
+    return range == o.range && bits == o.bits;
+  }
+};
+
+AbstractInt joinA(const AbstractInt& a, const AbstractInt& b);
+AbstractInt widenA(const AbstractInt& prev, const AbstractInt& next);
+
+}  // namespace flexcl::analysis::dataflow

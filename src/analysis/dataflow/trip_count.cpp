@@ -1,0 +1,72 @@
+#include "analysis/dataflow/trip_count.h"
+
+#include "obs/registry.h"
+
+namespace flexcl::analysis::dataflow {
+namespace {
+
+/// Bounded condition scan, mirroring Expander::walkLoop: a cond-first loop
+/// runs until the condition first evaluates to 0 (trips = that k); a do-loop
+/// checks after the body (trips = first-false k + 1). Any evaluation failure
+/// or hitting the scan cap leaves the loop unresolved.
+std::int64_t scanLoop(const AccessTreeNode& loop, SymBinding& bind,
+                      const TripCountConfig& config) {
+  for (std::int64_t k = 0;; ++k) {
+    if (k >= config.maxStaticTrips) return -1;
+    bind.loopIters[loop.loopId] = k;
+    const auto c = symEval(loop.loopCond.get(), bind);
+    if (!c) return -1;
+    if (*c == 0) return loop.condFirst ? k : k + 1;
+  }
+}
+
+void resolveNode(const AccessTreeNode& node, SymBinding& bind,
+                 const TripCountConfig& config,
+                 std::vector<std::int64_t>* out) {
+  if (node.kind == AccessTreeNode::Kind::Loop && node.loopId >= 0 &&
+      node.loopId < static_cast<int>(out->size())) {
+    auto& slot = (*out)[node.loopId];
+    if (node.staticTrip >= 0) {
+      slot = node.staticTrip;
+    } else if (node.loopCond && !symIsOpaque(node.loopCond.get()) &&
+               !symMentions(node.loopCond.get(), Sym::GlobalId) &&
+               !symMentions(node.loopCond.get(), Sym::LocalId) &&
+               !symMentions(node.loopCond.get(), Sym::GroupId)) {
+      slot = scanLoop(node, bind, config);
+      bind.loopIters.erase(node.loopId);
+      if (slot >= 0) obs::add("analysis.dataflow.static_loops_resolved");
+    }
+  }
+  for (const AccessTreeNode& child : node.children) {
+    resolveNode(child, bind, config, out);
+  }
+}
+
+}  // namespace
+
+const char* tripSourceName(TripSource s) {
+  switch (s) {
+    case TripSource::StaticInduction: return "static";
+    case TripSource::StaticDataflow: return "dataflow";
+    case TripSource::Profile: return "profile";
+    case TripSource::Fallback: return "fallback";
+  }
+  return "?";
+}
+
+std::vector<std::int64_t> resolveStaticTrips(const KernelSummary& summary,
+                                             const SymBinding& launch,
+                                             const TripCountConfig& config) {
+  const int loops = summary.fn ? summary.fn->loopCount : 0;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(std::max(0, loops)),
+                                -1);
+  if (out.empty()) return out;
+  SymBinding bind = launch;
+  bind.loopIters.clear();  // nested conditions over other loops stay unresolved
+  for (const AccessTreeNode& root : summary.roots) {
+    resolveNode(root, bind, config, &out);
+  }
+  return out;
+}
+
+}  // namespace flexcl::analysis::dataflow

@@ -1,0 +1,54 @@
+// Profiler-free trip counts from loop exit conditions.
+//
+// A loop whose per-iteration condition is a non-opaque symbolic expression
+// over launch-uniform leaves (NDRange sizes, bound scalar arguments and its
+// own iteration counter) has one trip count for every work-item; bounded
+// evaluation of the condition — mirroring the access-pattern expander's loop
+// semantics exactly — resolves it without running the interpreter. This is
+// the static tier between the induction matcher (Region::staticTripCount)
+// and the profiler in cdfg::resolveTripCounts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/symbolic.h"
+
+namespace flexcl::analysis::dataflow {
+
+/// Shared trip-count configuration (the single home of the old
+/// cdfg::TripCountOptions / analysis::CrossCheckOptions fallback knobs).
+struct TripCountConfig {
+  /// Assumed trips for loops that neither tier resolves. Double because the
+  /// model consumes profiler averages through the same slot.
+  double fallbackTripCount = 16.0;
+  /// Upper bound on the static condition scan and on expanded loop trips.
+  std::int64_t maxStaticTrips = std::int64_t{1} << 16;
+
+  [[nodiscard]] std::int64_t fallbackTripsInt() const {
+    return fallbackTripCount <= 0 ? 0
+                                  : static_cast<std::int64_t>(fallbackTripCount);
+  }
+};
+
+/// Where a loop's modelled trip count came from (reported per loopId by
+/// cdfg::KernelAnalysis::tripSources).
+enum class TripSource : std::uint8_t {
+  StaticInduction,  ///< induction matcher (Region::staticTripCount)
+  StaticDataflow,   ///< this resolver
+  Profile,          ///< interpreter trip-count profile
+  Fallback,         ///< TripCountConfig::fallbackTripCount
+};
+
+const char* tripSourceName(TripSource s);
+
+/// Per-loopId static trip counts (size fn->loopCount; -1 where unresolved).
+/// `launch` must bind the launch-uniform leaves: global/local/numGroups sizes
+/// and whatever scalar arguments are known; its id fields are ignored because
+/// loops whose condition mentions any work-item id are never resolved here.
+/// Loops the induction matcher already resolved keep their staticTrip.
+std::vector<std::int64_t> resolveStaticTrips(const KernelSummary& summary,
+                                             const SymBinding& launch,
+                                             const TripCountConfig& config);
+
+}  // namespace flexcl::analysis::dataflow

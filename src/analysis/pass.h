@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/dataflow/affine.h"
 #include "analysis/report.h"
 #include "analysis/symbolic.h"
 #include "interp/profiler.h"
@@ -26,6 +27,15 @@ struct PassContext {
   /// caller gave no launch info (static-only lint).
   const interp::KernelProfile* profile = nullptr;
   LintReport& report;
+  /// Leaf ranges the dataflow passes evaluate under. Seeded from the launch
+  /// range or reqd_work_group_size when available (rangesTrusted), otherwise
+  /// from an assumed default geometry (distance detection only — never used
+  /// for bounds claims or divergence discharge).
+  const dataflow::LeafRanges* ranges = nullptr;
+  bool rangesTrusted = false;
+  /// Dataflow-resolved static trip counts per loopId (-1 unresolved); null
+  /// when no launch range was supplied.
+  const std::vector<std::int64_t>* staticTrips = nullptr;
 };
 
 class Pass {

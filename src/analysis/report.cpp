@@ -70,6 +70,7 @@ Feasibility checkDesign(const LintReport& report,
   Feasibility result;
   if (report.hasErrors()) {
     result.feasible = false;
+    result.rule = "lint-errors";
     result.reason = "kernel has " + std::to_string(report.errorCount()) +
                     " lint error(s)";
     return result;
@@ -80,6 +81,7 @@ Feasibility checkDesign(const LintReport& report,
       const std::uint32_t want = std::max<std::uint32_t>(1, reqd[d]);
       if (design.workGroupSize[d] != want) {
         result.feasible = false;
+        result.rule = "reqd-work-group-size";
         result.reason = "work-group size " +
                         std::to_string(design.workGroupSize[0]) + "x" +
                         std::to_string(design.workGroupSize[1]) + "x" +
@@ -91,6 +93,48 @@ Feasibility checkDesign(const LintReport& report,
       }
     }
   }
+
+  // Local-memory bounds under this candidate work-group size. Only facts
+  // whose offset is LocalId-only are checked: their interval extremes are
+  // attained by real work-items, so an out-of-range extreme is a proof, not
+  // an over-approximation.
+  std::array<std::uint64_t, 3> wg{};
+  for (int d = 0; d < 3; ++d) {
+    std::uint64_t w = design.workGroupSize[static_cast<std::size_t>(d)];
+    if (w == 0) w = 1;
+    const std::uint64_t g = report.launchGlobal[static_cast<std::size_t>(d)];
+    if (g > 0) {
+      w = std::min(w, g);
+      while (g % w != 0) --w;  // the model's divisor clamping (rangeFor)
+    }
+    wg[static_cast<std::size_t>(d)] = w;
+  }
+  dataflow::LeafRanges localRanges;
+  for (int d = 0; d < 3; ++d) {
+    const auto w =
+        static_cast<std::int64_t>(wg[static_cast<std::size_t>(d)]);
+    localRanges.set(Sym::LocalId, d, dataflow::Interval::range(0, w - 1));
+    localRanges.set(Sym::LocalSize, d, dataflow::Interval::point(w));
+  }
+  for (const AccessBoundFact& fact : report.accessBounds) {
+    if (fact.space != ir::AddressSpace::Local) continue;
+    if (fact.extent < 0 || !fact.localIdOnly || fact.divergent) continue;
+    const dataflow::Interval iv = dataflow::rangeOf(fact.offset, localRanges);
+    if (iv.isTop()) continue;
+    const auto bytes = static_cast<std::int64_t>(fact.bytes);
+    if (iv.lo >= 0 && iv.hi + bytes <= fact.extent) continue;
+    result.feasible = false;
+    result.rule = "local-out-of-bounds";
+    result.reason =
+        "local-memory " + std::string(fact.isWrite ? "store" : "load") +
+        " (inst#" + std::to_string(fact.instId) + ") reaches byte offsets [" +
+        std::to_string(iv.lo) + ", " + std::to_string(iv.hi + bytes) +
+        ") of a " + std::to_string(fact.extent) +
+        "-byte local buffer under work-group size " + std::to_string(wg[0]) +
+        "x" + std::to_string(wg[1]) + "x" + std::to_string(wg[2]);
+    return result;
+  }
+
   if (design.commMode == model::CommMode::Pipeline &&
       !report.crossWiDeps.empty()) {
     std::int64_t minDist = report.crossWiDeps.front().distance;
@@ -98,6 +142,7 @@ Feasibility checkDesign(const LintReport& report,
       minDist = std::min(minDist, dep.distance);
     }
     result.recMiiBound = true;
+    result.rule = "cross-wi-dependence";
     result.reason = "cross-work-item dependence (distance " +
                     std::to_string(minDist) +
                     ") bounds pipeline initiation interval";
@@ -151,7 +196,11 @@ std::string renderText(const LintReport& report) {
 std::string renderJson(const LintReport& report) {
   std::ostringstream os;
   os << "{";
-  os << "\"kernel\":";
+  // Schema contract: schema_version is always the first key and every key
+  // below renders in this fixed order (pinned by the lint golden test);
+  // bump the version when the shape changes.
+  os << "\"schema_version\":" << kLintSchemaVersion;
+  os << ",\"kernel\":";
   jsonEscape(os, report.kernelName);
   os << ",\"errors\":" << report.errorCount();
   os << ",\"warnings\":" << report.warningCount();
@@ -211,6 +260,18 @@ std::string renderJson(const LintReport& report) {
     if (i) os << ",";
     os << "{\"store\":" << dep.storeInstId << ",\"load\":" << dep.loadInstId
        << ",\"distance\":" << dep.distance << "}";
+  }
+  os << "]";
+  os << ",\"accessBounds\":[";
+  for (std::size_t i = 0; i < report.accessBounds.size(); ++i) {
+    const AccessBoundFact& fact = report.accessBounds[i];
+    if (i) os << ",";
+    os << "{\"inst\":" << fact.instId << ",\"write\":"
+       << (fact.isWrite ? "true" : "false") << ",\"space\":\""
+       << (fact.space == ir::AddressSpace::Local ? "local" : "global")
+       << "\",\"base\":" << fact.baseIndex << ",\"bytes\":" << fact.bytes
+       << ",\"extent\":" << fact.extent << ",\"localIdOnly\":"
+       << (fact.localIdOnly ? "true" : "false") << "}";
   }
   os << "]";
   os << ",\"reqdWorkGroupSize\":[" << report.reqdWorkGroupSize[0] << ","

@@ -12,10 +12,15 @@
 #include <vector>
 
 #include "analysis/access_pattern.h"
+#include "analysis/dataflow/affine.h"
 #include "model/design_point.h"
 #include "support/diagnostics.h"
 
 namespace flexcl::analysis {
+
+/// Version of the lint JSON schema: the first key of every renderJson
+/// object. Bumped whenever a key is added, removed or reordered.
+inline constexpr int kLintSchemaVersion = 2;
 
 /// One diagnostic from a lint pass.
 struct LintFinding {
@@ -38,6 +43,26 @@ struct CrossWiDependence {
   SourceLocation loc;         ///< location of the load
 };
 
+/// Byte-extent fact for one access site whose offset linearized exactly:
+/// input of the out-of-bounds lint rule and of the per-design local
+/// out-of-bounds feasibility check (checkDesign re-evaluates the form under
+/// each candidate work-group size).
+struct AccessBoundFact {
+  unsigned instId = 0;
+  SourceLocation loc;
+  bool isWrite = false;
+  ir::AddressSpace space = ir::AddressSpace::Global;
+  int baseIndex = -1;           ///< arg index / position in fn.localAllocas
+  dataflow::AffineForm offset;  ///< exact byte offset from the base
+  std::uint32_t bytes = 0;      ///< access width in bytes
+  std::int64_t extent = -1;     ///< base byte extent; -1 unknown
+  /// Offset leaves are LocalId dimensions only: the form's extremes are
+  /// realised by actual work-items under any work-group size, so a range
+  /// check against `extent` is exact (not an over-approximation).
+  bool localIdOnly = false;
+  bool divergent = false;  ///< under id-dependent or opaque control flow
+};
+
 struct LintReport {
   std::string kernelName;
   std::vector<LintFinding> findings;
@@ -46,6 +71,10 @@ struct LintReport {
   std::array<std::uint32_t, 3> reqdWorkGroupSize = {0, 0, 0};
   bool usesBarrier = false;
   std::vector<CrossWiDependence> crossWiDeps;
+  std::vector<AccessBoundFact> accessBounds;
+  /// Launch global size the lint ran under (0 = unknown); lets checkDesign
+  /// replicate the model's work-group divisor clamping per design point.
+  std::array<std::uint64_t, 3> launchGlobal = {0, 0, 0};
 
   // Analysis statistics.
   std::size_t loopCount = 0;
@@ -70,12 +99,17 @@ struct Feasibility {
   /// cross-work-item recurrence (still feasible, but RecMII-limited).
   bool recMiiBound = false;
   std::string reason;  ///< set when infeasible or RecMII-bound
+  /// Stable rule id of the verdict ("lint-errors", "reqd-work-group-size",
+  /// "local-out-of-bounds", "cross-wi-dependence"); empty when the point is
+  /// feasible and unannotated. Every DSE prune is attributable to one rule.
+  std::string rule;
 };
 
 /// Checks a design point against the report: lint errors make every point
 /// infeasible, a reqd_work_group_size mismatch makes that point infeasible,
-/// and pipeline-mode points with cross-work-item dependences are flagged
-/// RecMII-bound.
+/// a local-memory access proven out of bounds under the candidate
+/// work-group size makes that point infeasible, and pipeline-mode points
+/// with cross-work-item dependences are flagged RecMII-bound.
 Feasibility checkDesign(const LintReport& report,
                         const model::DesignPoint& design);
 

@@ -626,6 +626,7 @@ class Walker {
       } else if (symIsOpaque(c.get())) {
         fact.condOpaque = true;
       }
+      fact.conds.push_back(c);
     }
     out_.barriers.push_back(fact);
   }

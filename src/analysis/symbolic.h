@@ -159,6 +159,9 @@ struct BarrierFact {
   bool condMentionsId = false;
   /// Enclosing condition is data-dependent (opaque): possibly divergent.
   bool condOpaque = false;
+  /// The enclosing condition expressions themselves (innermost last), for
+  /// range-based uniformity discharge (lint's provably-uniform-branch).
+  std::vector<SymExprPtr> conds;
 };
 
 struct KernelSummary {

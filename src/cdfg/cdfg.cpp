@@ -1,11 +1,14 @@
 #include "cdfg/cdfg.h"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/dataflow/dependence.h"
 #include "cdfg/local_dependence.h"
+#include "obs/registry.h"
 #include "sched/sms.h"
 
 namespace flexcl::cdfg {
@@ -119,6 +122,11 @@ class Analyzer {
   /// II_loop * (trips - 1) + depth via SMS over the loop body with
   /// loop-carried memory dependence edges.
   double pipelinedLoopLatency(const Region& loop, double trips);
+  /// Dependence-tester refinement of one loop-carried edge: -1 to drop the
+  /// edge (proven independent), otherwise the edge distance (proven d, or
+  /// the conservative 1).
+  int loopCarriedDistance(const Instruction* src, const Instruction* dst,
+                          int loopId, std::int64_t maxDistance);
   // --- phase 1: per-block scheduling ---------------------------------------
   void analyzeBlocks();
   // --- phase 2: region latency + totals -------------------------------------
@@ -145,6 +153,17 @@ class Analyzer {
   };
   std::vector<NodeAccess> nodeAccess_;
   std::vector<const Instruction*> nodeInst_;  ///< null for supernodes
+
+  // Dependence-tester inputs (populated only when options.summary is set).
+  struct SummaryAccess {
+    analysis::dataflow::AccessForm form;
+    analysis::PtrBase base = analysis::PtrBase::Unknown;
+    int baseIndex = -1;
+    AddressSpace space = AddressSpace::Global;
+    bool exact = false;
+  };
+  std::unordered_map<unsigned, SummaryAccess> summaryAccess_;
+  analysis::dataflow::LeafRanges depRanges_;
 };
 
 void Analyzer::analyzeBlocks() {
@@ -386,6 +405,7 @@ double Analyzer::pipelinedLoopLatency(const Region& loop, double trips) {
   std::unordered_map<const Instruction*, int> nodeOf;
   struct Access {
     int node;
+    const Instruction* inst = nullptr;
     AccessSet reads;
     AccessSet writes;
   };
@@ -404,6 +424,7 @@ double Analyzer::pipelinedLoopLatency(const Region& loop, double trips) {
       if (inst->isMemoryAccess()) {
         Access a;
         a.node = id;
+        a.inst = inst;
         if (inst->opcode() == Opcode::Load) {
           a.reads.add(inst->memSpace, memoryBaseOf(inst->operand(0)));
         } else {
@@ -439,24 +460,65 @@ double Analyzer::pipelinedLoopLatency(const Region& loop, double trips) {
       }
     }
   }
-  // Loop-carried edges (distance 1): the last write of each base feeds the
-  // next iteration's accesses of that base (RAW + WAW; e.g. the accumulator
-  // and the induction-variable slots).
+  // Loop-carried edges: the last write of each base feeds a later
+  // iteration's accesses of that base (RAW + WAW; e.g. the accumulator and
+  // the induction-variable slots). The dependence tester refines the default
+  // distance 1 where the subscript pair is affine: a proven distance d
+  // relaxes the recurrence, proven independence drops the edge.
+  const std::int64_t maxDist = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(trips)) - 1);
   for (std::size_t i = 0; i < accesses.size(); ++i) {
     if (accesses[i].writes.empty()) continue;
     for (std::size_t j = 0; j < accesses.size(); ++j) {
       const bool conflict = accesses[i].writes.intersects(accesses[j].reads) ||
                             accesses[i].writes.intersects(accesses[j].writes);
       if (conflict) {
+        const int dist = loopCarriedDistance(accesses[i].inst,
+                                             accesses[j].inst, loop.loopId,
+                                             maxDist);
+        if (dist < 0) continue;  // proven independent
         graph.edges.push_back(sched::PipeEdge{
             accesses[i].node, accesses[j].node,
-            graph.nodes[static_cast<std::size_t>(accesses[i].node)].latency, 1});
+            graph.nodes[static_cast<std::size_t>(accesses[i].node)].latency,
+            dist});
       }
     }
   }
 
   const sched::SmsResult sms = sched::swingModuloSchedule(graph, budget_);
   return sms.ii * (trips - 1.0) + sms.depth;
+}
+
+int Analyzer::loopCarriedDistance(const Instruction* src,
+                                  const Instruction* dst, int loopId,
+                                  std::int64_t maxDistance) {
+  if (!options_.summary || !options_.leafRanges || loopId < 0 || !src || !dst) {
+    return 1;
+  }
+  const auto si = summaryAccess_.find(src->id);
+  const auto di = summaryAccess_.find(dst->id);
+  if (si == summaryAccess_.end() || di == summaryAccess_.end()) return 1;
+  const SummaryAccess& s = si->second;
+  const SummaryAccess& d = di->second;
+  if (!s.exact || !d.exact) return 1;
+  if (s.base == analysis::PtrBase::Unknown ||
+      s.base == analysis::PtrBase::None || s.base != d.base ||
+      s.baseIndex != d.baseIndex || s.space != d.space) {
+    return 1;
+  }
+  const auto r = analysis::dataflow::testLoopCarried(s.form, d.form, loopId,
+                                                     depRanges_, maxDistance);
+  switch (r.kind) {
+    case analysis::dataflow::DepKind::Independent:
+      obs::add("analysis.dataflow.loop_dep_independent");
+      return -1;
+    case analysis::dataflow::DepKind::Distance:
+      if (r.distance > 1) obs::add("analysis.dataflow.loop_dep_relaxed");
+      return static_cast<int>(std::min<std::int64_t>(r.distance, INT_MAX));
+    case analysis::dataflow::DepKind::Unknown:
+      break;
+  }
+  return 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -629,7 +691,40 @@ KernelAnalysis Analyzer::run(const interp::KernelProfile* profile,
                              const AnalyzeOptions& options) {
   options_ = options;
   result_.fn = &fn_;
-  result_.tripCounts = resolveTripCounts(fn_, profile, options.tripCounts);
+  ResolvedTripCounts resolved = resolveTripCountsDetailed(
+      fn_, profile, options.tripCounts, options.staticTripCounts);
+  result_.tripCounts = std::move(resolved.trips);
+  result_.tripSources = std::move(resolved.sources);
+
+  if (options_.summary && options_.leafRanges) {
+    depRanges_ = *options_.leafRanges;
+    // Bind iteration-counter ranges only where the trip count is exact
+    // (static tiers); profiled averages and fallbacks could under-bound.
+    for (std::size_t i = 0; i < result_.tripCounts.size(); ++i) {
+      const bool exact =
+          result_.tripSources[i] == TripSource::StaticInduction ||
+          result_.tripSources[i] == TripSource::StaticDataflow;
+      const double t = result_.tripCounts[i];
+      if (exact && t >= 1.0 && t < 9.0e15) {
+        depRanges_.set(analysis::Sym::LoopIter, static_cast<int>(i),
+                       analysis::dataflow::Interval::belowCount(
+                           static_cast<std::int64_t>(std::ceil(t))));
+      }
+    }
+    for (const analysis::MemAccessInfo& a : options_.summary->accesses) {
+      SummaryAccess sa;
+      sa.base = a.base;
+      sa.baseIndex = a.baseIndex;
+      sa.space = a.space;
+      if (auto form = analysis::dataflow::linearize(a.offset.get())) {
+        sa.form.offset = std::move(*form);
+        sa.form.bytes = a.size;
+        sa.exact = true;
+      }
+      summaryAccess_.emplace(a.instId, std::move(sa));
+    }
+  }
+
   analyzeBlocks();
 
   result_.totals = summarizeRegion(*fn_.rootRegion()).totals;
@@ -640,6 +735,8 @@ KernelAnalysis Analyzer::run(const interp::KernelProfile* profile,
 
   if (profile && profile->ok) {
     addCrossWorkItemEdges(result_, *profile);
+  } else if (options_.summary && options_.leafRanges) {
+    addStaticCrossWorkItemEdges(result_, *options_.summary, depRanges_);
   }
   return std::move(result_);
 }

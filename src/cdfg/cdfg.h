@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "analysis/dataflow/affine.h"
 #include "cdfg/dfg.h"
 #include "cdfg/loop_analysis.h"
 #include "interp/profiler.h"
@@ -48,6 +49,9 @@ struct KernelAnalysis {
   const ir::Function* fn = nullptr;
   std::vector<BlockInfo> blocks;  ///< indexed by BasicBlock::id
   std::vector<double> tripCounts; ///< per Region::loopId
+  /// Which tier resolved each trip count (induction / dataflow / profile /
+  /// fallback), parallel to tripCounts.
+  std::vector<TripSource> tripSources;
 
   /// One work-item executed alone (no pipelining): D_comp^PE equivalent and
   /// the eq.-4/6 resource inputs.
@@ -70,6 +74,19 @@ struct AnalyzeOptions {
   /// II_loop * (trips - 1) + depth_loop (MII + SMS over the body with
   /// loop-carried dependence edges) instead of trips * body latency.
   bool innerLoopPipeline = false;
+
+  // --- optional static-analysis inputs (all default off; results are
+  // bit-identical to the pre-dataflow analysis when unset) ----------------
+  /// Dataflow-tier trip counts per loopId (-1 unresolved), from
+  /// analysis::dataflow::resolveStaticTrips.
+  const std::vector<std::int64_t>* staticTripCounts = nullptr;
+  /// Symbolic kernel summary; enables the dependence tester: loop-carried
+  /// distance refinement in pipelined loops and — when no profile local
+  /// trace is available — statically derived cross-work-item edges.
+  const analysis::KernelSummary* summary = nullptr;
+  /// Leaf ranges the dependence tester evaluates under (geometry + scalar
+  /// argument seeds). Required whenever `summary` is set.
+  const analysis::dataflow::LeafRanges* leafRanges = nullptr;
 };
 
 /// Runs the full kernel analysis. `profile` may be null (static-only mode);

@@ -1,9 +1,14 @@
 #include "cdfg/local_dependence.h"
 
+#include <algorithm>
+#include <climits>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
+#include "analysis/dataflow/dependence.h"
 #include "cdfg/cdfg.h"
+#include "obs/registry.h"
 
 namespace flexcl::cdfg {
 
@@ -55,6 +60,94 @@ void addCrossWorkItemEdges(KernelAnalysis& analysis,
     analysis.pipeline.edges.push_back(sched::PipeEdge{
         from, to,
         analysis.pipeline.nodes[static_cast<std::size_t>(from)].latency, distance});
+  }
+}
+
+void addStaticCrossWorkItemEdges(
+    KernelAnalysis& analysis, const analysis::KernelSummary& summary,
+    const analysis::dataflow::LeafRanges& ranges) {
+  namespace df = flexcl::analysis::dataflow;
+  using flexcl::analysis::MemAccessInfo;
+  using flexcl::analysis::PtrBase;
+
+  const df::Interval lsz0 =
+      ranges.of(df::LeafKey{flexcl::analysis::Sym::LocalSize, 0});
+  // Work-items further than the group extent apart never share local memory.
+  const std::int64_t maxDistance =
+      lsz0.isPoint() ? lsz0.lo - 1 : (std::int64_t{1} << 20);
+  if (maxDistance < 1) return;  // single-work-item groups: no recurrences
+
+  struct LocalAccess {
+    const MemAccessInfo* info;
+    df::AccessForm form;
+    bool exact = false;
+  };
+  std::vector<LocalAccess> locals;
+  for (const MemAccessInfo& a : summary.accesses) {
+    if (a.space != ir::AddressSpace::Local) continue;
+    LocalAccess la;
+    la.info = &a;
+    if (auto form = df::linearize(a.offset.get())) {
+      la.form.offset = std::move(*form);
+      la.form.bytes = a.size;
+      la.exact = true;
+    }
+    locals.push_back(std::move(la));
+  }
+
+  // (fromNode, toNode) -> smallest distance.
+  std::map<std::pair<int, int>, int> edges;
+  auto note = [&](unsigned fromInst, unsigned toInst, std::int64_t distance) {
+    if (fromInst >= analysis.pipeNodeOfInst.size() ||
+        toInst >= analysis.pipeNodeOfInst.size()) {
+      return;
+    }
+    const int from = analysis.pipeNodeOfInst[fromInst];
+    const int to = analysis.pipeNodeOfInst[toInst];
+    if (from < 0 || to < 0) return;
+    const int d = static_cast<int>(std::min<std::int64_t>(distance, INT_MAX));
+    auto [it, inserted] = edges.try_emplace({from, to}, d);
+    if (!inserted && d < it->second) it->second = d;
+  };
+
+  for (const LocalAccess& store : locals) {
+    if (!store.info->isWrite) continue;
+    for (const LocalAccess& later : locals) {
+      // RAW (store -> load) and WAW (store -> store) recurrences. A store
+      // paired with itself is a valid WAW candidate (e.g. buf[lid % 2]).
+      const bool sameKnownBase =
+          store.info->base != PtrBase::Unknown &&
+          store.info->base == later.info->base &&
+          store.info->baseIndex == later.info->baseIndex;
+      const bool mayAlias = !sameKnownBase
+                                ? (store.info->base == PtrBase::Unknown ||
+                                   later.info->base == PtrBase::Unknown)
+                                : true;
+      if (!mayAlias) continue;
+
+      std::int64_t distance = 1;  // conservative default
+      if (sameKnownBase && store.exact && later.exact) {
+        const df::DepResult r = df::testCrossWorkItem(store.form, later.form,
+                                                      ranges, maxDistance);
+        if (r.kind == df::DepKind::Independent) {
+          obs::add("analysis.dataflow.crosswi_independent");
+          continue;
+        }
+        if (r.kind == df::DepKind::Distance) {
+          obs::add("analysis.dataflow.crosswi_distance");
+          distance = r.distance;
+        }
+      }
+      note(store.info->instId, later.info->instId, distance);
+    }
+  }
+
+  for (const auto& [key, distance] : edges) {
+    const auto [from, to] = key;
+    analysis.pipeline.edges.push_back(sched::PipeEdge{
+        from, to,
+        analysis.pipeline.nodes[static_cast<std::size_t>(from)].latency,
+        distance});
   }
 }
 

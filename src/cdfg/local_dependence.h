@@ -9,6 +9,8 @@
 // RecMII measures.
 #pragma once
 
+#include "analysis/dataflow/affine.h"
+#include "analysis/symbolic.h"
 #include "interp/profiler.h"
 
 namespace flexcl::cdfg {
@@ -20,5 +22,16 @@ struct KernelAnalysis;
 /// consumer inst) pair.
 void addCrossWorkItemEdges(KernelAnalysis& analysis,
                            const interp::KernelProfile& profile);
+
+/// Profiler-free variant: derives the edges from the symbolic summary with
+/// the GCD/Banerjee dependence tester. Sound over-approximation of the
+/// profiled edges — proven distances are exact, undecidable local-memory
+/// store/access pairs get a conservative distance-1 edge, and only proven
+/// independence drops a pair. `ranges` should bind the work-group geometry
+/// (at minimum LocalSize/LocalId dim 0) so distances can be bounded by the
+/// group size.
+void addStaticCrossWorkItemEdges(KernelAnalysis& analysis,
+                                 const analysis::KernelSummary& summary,
+                                 const analysis::dataflow::LeafRanges& ranges);
 
 }  // namespace flexcl::cdfg

@@ -1,36 +1,61 @@
 #include "cdfg/loop_analysis.h"
 
+#include "obs/registry.h"
+
 namespace flexcl::cdfg {
 namespace {
 
-void collectStatic(const ir::Region* region, std::vector<double>& trips) {
+void collectStatic(const ir::Region* region, std::vector<double>& trips,
+                   std::vector<TripSource>& sources) {
   if (!region) return;
   if (region->kind == ir::Region::Kind::Loop && region->loopId >= 0 &&
       region->staticTripCount >= 0) {
-    trips[static_cast<std::size_t>(region->loopId)] =
-        static_cast<double>(region->staticTripCount);
+    const auto i = static_cast<std::size_t>(region->loopId);
+    trips[i] = static_cast<double>(region->staticTripCount);
+    sources[i] = TripSource::StaticInduction;
   }
-  for (const auto& child : region->children) collectStatic(child.get(), trips);
+  for (const auto& child : region->children) {
+    collectStatic(child.get(), trips, sources);
+  }
 }
 
 }  // namespace
 
+ResolvedTripCounts resolveTripCountsDetailed(
+    const ir::Function& fn, const interp::KernelProfile* profile,
+    const TripCountOptions& options,
+    const std::vector<std::int64_t>* staticTrips) {
+  ResolvedTripCounts r;
+  r.trips.assign(static_cast<std::size_t>(fn.loopCount), -1.0);
+  r.sources.assign(static_cast<std::size_t>(fn.loopCount),
+                   TripSource::Fallback);
+  collectStatic(fn.rootRegion(), r.trips, r.sources);
+
+  for (std::size_t i = 0; i < r.trips.size(); ++i) {
+    if (r.trips[i] >= 0) continue;
+    if (staticTrips && i < staticTrips->size() && (*staticTrips)[i] >= 0) {
+      r.trips[i] = static_cast<double>((*staticTrips)[i]);
+      r.sources[i] = TripSource::StaticDataflow;
+    } else if (profile && profile->ok && i < profile->loopTripCounts.size() &&
+               profile->loopTripCounts[i] > 0) {
+      r.trips[i] = profile->loopTripCounts[i];
+      r.sources[i] = TripSource::Profile;
+    } else {
+      r.trips[i] = options.fallbackTripCount;
+    }
+    obs::add(r.sources[i] == TripSource::StaticDataflow
+                 ? "analysis.dataflow.trips_dataflow"
+             : r.sources[i] == TripSource::Profile
+                 ? "analysis.dataflow.trips_profile"
+                 : "analysis.dataflow.trips_fallback");
+  }
+  return r;
+}
+
 std::vector<double> resolveTripCounts(const ir::Function& fn,
                                       const interp::KernelProfile* profile,
                                       const TripCountOptions& options) {
-  std::vector<double> trips(static_cast<std::size_t>(fn.loopCount), -1.0);
-  collectStatic(fn.rootRegion(), trips);
-
-  for (std::size_t i = 0; i < trips.size(); ++i) {
-    if (trips[i] >= 0) continue;
-    if (profile && profile->ok && i < profile->loopTripCounts.size() &&
-        profile->loopTripCounts[i] > 0) {
-      trips[i] = profile->loopTripCounts[i];
-    } else {
-      trips[i] = options.fallbackTripCount;
-    }
-  }
-  return trips;
+  return resolveTripCountsDetailed(fn, profile, options).trips;
 }
 
 }  // namespace flexcl::cdfg

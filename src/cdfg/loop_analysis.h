@@ -1,24 +1,41 @@
 // Loop trip-count resolution (paper §3.2).
 //
 // Static trip counts come from the lowering's induction-pattern matcher
-// (Region::staticTripCount); dynamic counts from the profiler. This module
-// merges the two: static wins when known, profile fills the gaps, and a
-// documented default covers loops that never executed during profiling.
+// (Region::staticTripCount), then from the dataflow tier (bounded evaluation
+// of launch-uniform loop conditions, analysis::dataflow::resolveStaticTrips),
+// then from the profiler. This module merges the tiers: earlier tiers win,
+// later ones fill the gaps, and a documented default covers loops no tier
+// could resolve.
 #pragma once
 
 #include <vector>
 
+#include "analysis/dataflow/trip_count.h"
 #include "interp/profiler.h"
 #include "ir/ir.h"
 
 namespace flexcl::cdfg {
 
-struct TripCountOptions {
-  /// Used when neither static analysis nor profiling produced a count.
-  double fallbackTripCount = 16.0;
+/// One shared trip-count knob set for the model and the access-pattern
+/// expander (fallbackTripCount, maxStaticTrips).
+using TripCountOptions = analysis::dataflow::TripCountConfig;
+using TripSource = analysis::dataflow::TripSource;
+
+struct ResolvedTripCounts {
+  /// Resolved average trip count per Region::loopId.
+  std::vector<double> trips;
+  /// Which tier produced each count.
+  std::vector<TripSource> sources;
 };
 
-/// Resolved average trip count per Region::loopId.
+/// Full resolution with provenance. `staticTrips` (per loopId, -1 when
+/// unresolved) is the dataflow tier's output; pass null to skip that tier.
+ResolvedTripCounts resolveTripCountsDetailed(
+    const ir::Function& fn, const interp::KernelProfile* profile,
+    const TripCountOptions& options = {},
+    const std::vector<std::int64_t>* staticTrips = nullptr);
+
+/// Resolved average trip count per Region::loopId (no provenance).
 std::vector<double> resolveTripCounts(const ir::Function& fn,
                                       const interp::KernelProfile* profile,
                                       const TripCountOptions& options = {});

@@ -158,6 +158,10 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
   if (options_.lint) {
     for (std::size_t i = 0; i < space.size(); ++i) {
       verdicts[i] = analysis::checkDesign(*options_.lint, space[i]);
+      // Every skip decision is attributable: one counter per verdict rule.
+      if (!verdicts[i].feasible) {
+        obs::add("analysis.dataflow.prune." + verdicts[i].rule);
+      }
     }
   }
   std::vector<std::size_t> feasible;

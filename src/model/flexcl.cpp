@@ -60,11 +60,56 @@ const interp::KernelProfile& FlexCl::profileFor(const LaunchInfo& launch,
   });
 }
 
+const StaticInputs& FlexCl::staticInputsFor(const LaunchInfo& launch,
+                                            const DesignPoint& design) {
+  const interp::NdRange range = rangeFor(launch, design);
+  std::vector<std::int64_t> scalars;
+  scalars.reserve(launch.args.size());
+  for (const interp::KernelArg& a : launch.args) {
+    scalars.push_back(!a.isBuffer && a.scalar.kind == interp::RtValue::Kind::Int
+                          ? a.scalar.i
+                          : 0);
+  }
+  const StaticKey key{launch.fn,       launch.fn->name(),
+                      launch.fn->instructionCount(),
+                      range.global[0], range.global[1], range.global[2],
+                      range.local[0],  range.local[1],  range.local[2],
+                      std::move(scalars)};
+  return *statics_.getOrCompute(key, [&] {
+    obs::Span span("static-analysis", [&] { return launch.fn->name(); });
+    StaticInputs si;
+    si.summary = analysis::summarizeKernel(*launch.fn);
+    si.leafRanges = analysis::dataflow::LeafRanges::fromRange(range);
+
+    analysis::SymBinding bind;
+    const auto groups = range.groupsPerDim();
+    for (std::size_t d = 0; d < 3; ++d) {
+      bind.globalSize[d] = static_cast<std::int64_t>(range.global[d]);
+      bind.localSize[d] = static_cast<std::int64_t>(range.local[d]);
+      bind.numGroups[d] = static_cast<std::int64_t>(groups[d]);
+    }
+    for (std::size_t i = 0; i < launch.args.size(); ++i) {
+      const interp::KernelArg& a = launch.args[i];
+      if (a.isBuffer || a.scalar.kind != interp::RtValue::Kind::Int) continue;
+      bind.scalarArgs[static_cast<int>(i)] = a.scalar.i;
+      si.leafRanges.set(analysis::Sym::ScalarArg, static_cast<int>(i),
+                        analysis::dataflow::Interval::point(a.scalar.i));
+    }
+    si.staticTrips = analysis::dataflow::resolveStaticTrips(
+        si.summary, bind, analysis::dataflow::TripCountConfig{});
+    return si;
+  });
+}
+
 cdfg::KernelAnalysis FlexCl::analysisFor(const LaunchInfo& launch,
                                          const DesignPoint& design) {
   const interp::KernelProfile& profile = profileFor(launch, design);
+  const StaticInputs& statics = staticInputsFor(launch, design);
   cdfg::AnalyzeOptions options;
   options.innerLoopPipeline = design.innerLoopPipeline;
+  options.staticTripCounts = &statics.staticTrips;
+  options.summary = &statics.summary;
+  options.leafRanges = &statics.leafRanges;
   return cdfg::analyzeKernel(*launch.fn, device_.opLatencies,
                              peBudget(device_, design),
                              profile.ok ? &profile : nullptr, options);
@@ -85,8 +130,12 @@ Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
     return est;
   }
 
+  const StaticInputs& statics = staticInputsFor(launch, design);
   cdfg::AnalyzeOptions analyzeOptions;
   analyzeOptions.innerLoopPipeline = design.innerLoopPipeline;
+  analyzeOptions.staticTripCounts = &statics.staticTrips;
+  analyzeOptions.summary = &statics.summary;
+  analyzeOptions.leafRanges = &statics.leafRanges;
   cdfg::KernelAnalysis analysis =
       cdfg::analyzeKernel(*launch.fn, device_.opLatencies,
                           peBudget(device_, design), &profile, analyzeOptions);

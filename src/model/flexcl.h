@@ -12,6 +12,8 @@
 #include <tuple>
 #include <vector>
 
+#include "analysis/dataflow/trip_count.h"
+#include "analysis/symbolic.h"
 #include "cdfg/cdfg.h"
 #include "model/kernel_model.h"
 #include "model/memory_model.h"
@@ -81,6 +83,16 @@ struct LaunchInfo {
 
 /// Feature switches for the ablation study (bench_ablation; DESIGN.md §4).
 /// All on by default — turning one off quantifies that design choice.
+/// Profiler-free analysis inputs for one (kernel, effective NDRange, scalar
+/// args): the symbolic summary, launch-seeded leaf ranges and the dataflow
+/// trip-count tier. Cached alongside the profile cache and threaded into
+/// cdfg::analyzeKernel via AnalyzeOptions.
+struct StaticInputs {
+  analysis::KernelSummary summary;
+  analysis::dataflow::LeafRanges leafRanges;
+  std::vector<std::int64_t> staticTrips;  ///< per loopId, -1 unresolved
+};
+
 struct ModelOptions {
   /// Eight-pattern ΔT table (Table 1) vs one average latency for all accesses.
   bool eightPatterns = true;
@@ -118,6 +130,12 @@ class FlexCl {
   cdfg::KernelAnalysis analysisFor(const LaunchInfo& launch,
                                    const DesignPoint& design);
 
+  /// Static-analysis inputs (summary + seeded leaf ranges + dataflow trip
+  /// counts) for the effective launch of a design point. Cached per
+  /// (kernel, NDRange, scalar args); thread-safe like profileFor.
+  const StaticInputs& staticInputsFor(const LaunchInfo& launch,
+                                      const DesignPoint& design);
+
   /// Hit/miss counters of the profile cache (runtime::Stats reporting).
   [[nodiscard]] runtime::CounterSnapshot profileCacheCounters() const {
     return profiles_.counters();
@@ -140,6 +158,15 @@ class FlexCl {
   using ProfileKey = std::tuple<const ir::Function*, std::string, unsigned,
                                 std::uint64_t, std::uint64_t, std::uint64_t>;
   runtime::MemoCache<ProfileKey, interp::KernelProfile> profiles_;
+  // Static-analysis cache. Same aliasing defence as ProfileKey, plus the
+  // full geometry and the integer scalar arguments (both feed the resolved
+  // trip counts and leaf ranges).
+  using StaticKey =
+      std::tuple<const ir::Function*, std::string, unsigned,
+                 std::uint64_t, std::uint64_t, std::uint64_t,
+                 std::uint64_t, std::uint64_t, std::uint64_t,
+                 std::vector<std::int64_t>>;
+  runtime::MemoCache<StaticKey, StaticInputs> statics_;
 };
 
 }  // namespace flexcl::model

@@ -107,7 +107,10 @@ std::string ExplainReport::json() const {
   std::ostringstream os;
   os.precision(6);
   os << std::fixed;
-  os << "{\"kernel\": \"" << jsonEscape(kernel) << "\", \"device\": \""
+  // schema_version is always the first key; the key order below is part of
+  // the schema and pinned by the explain golden test.
+  os << "{\"schema_version\": " << kExplainSchemaVersion
+     << ", \"kernel\": \"" << jsonEscape(kernel) << "\", \"device\": \""
      << jsonEscape(device) << "\", \"design\": \"" << jsonEscape(design.str())
      << "\", \"ok\": " << (estimate.ok ? "true" : "false");
   if (!estimate.ok) {

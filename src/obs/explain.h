@@ -14,6 +14,10 @@
 
 namespace flexcl::obs {
 
+/// Version of the explain JSON schema (first key of ExplainReport::json()).
+/// Bumped whenever a key is added, removed or reordered.
+inline constexpr int kExplainSchemaVersion = 2;
+
 struct ExplainReport {
   std::string kernel;
   std::string device;

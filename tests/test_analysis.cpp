@@ -468,6 +468,39 @@ TEST(Report, TextAndJsonRenderings) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(Report, JsonSchemaVersionAndKeyOrderArePinned) {
+  // Full-string golden over a synthetic report: schema_version leads and the
+  // key order is fixed. A change here is a schema change — bump
+  // kLintSchemaVersion and update the README alongside this string.
+  LintReport report;
+  report.kernelName = "k";
+  LintFinding f;
+  f.pass = "trip-count";
+  f.rule = "unresolved-trip-count";
+  f.severity = DiagSeverity::Warning;
+  f.loc.line = 3;
+  f.loc.column = 7;
+  f.message = "loop 0 trip count unresolved";
+  f.loopId = 0;
+  report.findings.push_back(f);
+  report.loopCount = 1;
+  report.unresolvedTripLoops = 1;
+  report.globalAccessSites = 2;
+  report.classifiedSites = 2;
+
+  EXPECT_EQ(renderJson(report),
+            "{\"schema_version\":2,\"kernel\":\"k\",\"errors\":0,"
+            "\"warnings\":1,\"findings\":[{\"pass\":\"trip-count\","
+            "\"rule\":\"unresolved-trip-count\",\"severity\":\"warning\","
+            "\"line\":3,\"column\":7,"
+            "\"message\":\"loop 0 trip count unresolved\",\"loop\":0}],"
+            "\"loops\":{\"total\":1,\"unresolvedTrip\":1},"
+            "\"accessSites\":{\"global\":2,\"classified\":2},"
+            "\"patterns\":[],\"crossCheck\":null,\"crossWiDependences\":[],"
+            "\"accessBounds\":[],\"reqdWorkGroupSize\":[0,0,0],"
+            "\"usesBarrier\":false}");
+}
+
 // ---------------------------------------------------------------------------
 // Explorer feasibility pruning
 // ---------------------------------------------------------------------------

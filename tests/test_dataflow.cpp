@@ -1,0 +1,706 @@
+// Dataflow framework tests: interval transfer-function edge cases (overflow,
+// mixed signedness, zero-containing divisors), affine linearization and range
+// evaluation, the GCD/Banerjee dependence tester, the value-range engine, the
+// static trip-count tier, and the suite-wide soundness properties (static
+// trips match the profiler; static RecMII never undercuts the profiled one).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+
+#include "analysis/analyze.h"
+#include "analysis/dataflow/dependence.h"
+#include "analysis/dataflow/engine.h"
+#include "analysis/dataflow/trip_count.h"
+#include "cdfg/cdfg.h"
+#include "dse/explorer.h"
+#include "interp/profiler.h"
+#include "ir/lower.h"
+#include "model/pe_model.h"
+#include "sched/mii.h"
+#include "workloads/workload.h"
+
+namespace flexcl::analysis::dataflow {
+namespace {
+
+std::unique_ptr<ir::CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto compiled = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(compiled) << diags.str();
+  return compiled;
+}
+
+const ir::Function* fnOf(const ir::CompiledProgram& p, const std::string& name) {
+  const ir::Function* fn = p.module->findFunction(name);
+  EXPECT_NE(fn, nullptr);
+  return fn;
+}
+
+// ---------------------------------------------------------------------------
+// Interval domain: overflow, signedness and zero-divisor edge cases
+// ---------------------------------------------------------------------------
+
+TEST(IntervalDomain, Int64OverflowDegradesToTopNotWrap) {
+  // Any transfer whose concrete result could exceed int64 must answer top:
+  // wrapping would under-approximate the value set.
+  EXPECT_TRUE(addI(Interval::point(INT64_MAX), Interval::point(1)).isTop());
+  EXPECT_TRUE(subI(Interval::point(INT64_MIN), Interval::point(1)).isTop());
+  EXPECT_TRUE(negI(Interval::point(INT64_MIN)).isTop());
+  EXPECT_TRUE(mulI(Interval::point(std::int64_t{1} << 40),
+                   Interval::point(std::int64_t{1} << 40))
+                  .isTop());
+  // One overflowing bound poisons the whole interval, not just that bound.
+  EXPECT_TRUE(addI(Interval::range(0, INT64_MAX), Interval::range(0, 1)).isTop());
+  // In-range arithmetic stays exact.
+  EXPECT_EQ(addI(Interval::point(INT64_MAX - 1), Interval::point(1)),
+            Interval::point(INT64_MAX));
+  EXPECT_EQ(negI(Interval::range(-3, 5)), Interval::range(-5, 3));
+}
+
+TEST(IntervalDomain, MixedSignMultiplicationTakesCrossExtremes) {
+  // [-3,2] * [4,5]: extreme products are -15 (=-3*5) and 10 (=2*5).
+  EXPECT_EQ(mulI(Interval::range(-3, 2), Interval::range(4, 5)),
+            Interval::range(-15, 10));
+  // Both operands straddle zero: the corner products of [-2,3] * [-5,7] are
+  // {10, -14, -15, 21}.
+  EXPECT_EQ(mulI(Interval::range(-2, 3), Interval::range(-5, 7)),
+            Interval::range(-15, 21));
+}
+
+TEST(IntervalDomain, DivisionTruncatesTowardZeroAndIsSound) {
+  EXPECT_EQ(divI(Interval::range(-7, 7), Interval::point(2)),
+            Interval::range(-3, 3));
+  EXPECT_EQ(divI(Interval::point(-9), Interval::point(2)), Interval::point(-4));
+  // Exhaustive soundness over a small grid with a negative divisor range.
+  const Interval num = Interval::range(-6, 6);
+  const Interval den = Interval::range(-3, -1);
+  const Interval out = divI(num, den);
+  for (std::int64_t a = num.lo; a <= num.hi; ++a) {
+    for (std::int64_t b = den.lo; b <= den.hi; ++b) {
+      EXPECT_TRUE(out.contains(a / b)) << a << "/" << b;
+    }
+  }
+}
+
+TEST(IntervalDomain, ZeroContainingDivisorExcludesZeroOnly) {
+  // Division by zero has no defined result to bound; the divisor [-2,2]
+  // contributes only {-2,-1,1,2}. All defined quotients must be covered.
+  const Interval out = divI(Interval::range(10, 20), Interval::range(-2, 2));
+  EXPECT_FALSE(out.isTop());
+  for (std::int64_t b : {-2, -1, 1, 2}) {
+    for (std::int64_t a = 10; a <= 20; ++a) {
+      EXPECT_TRUE(out.contains(a / b)) << a << "/" << b;
+    }
+  }
+  // A divisor of exactly zero leaves nothing defined: top.
+  EXPECT_TRUE(divI(Interval::range(10, 20), Interval::point(0)).isTop());
+  EXPECT_TRUE(remI(Interval::range(10, 20), Interval::point(0)).isTop());
+}
+
+TEST(IntervalDomain, RemainderFollowsCSignRules) {
+  EXPECT_EQ(remI(Interval::point(17), Interval::point(5)), Interval::point(2));
+  // C99 %: the result takes the dividend's sign. Exhaustive soundness with
+  // mixed signs and a zero-containing divisor range.
+  const Interval num = Interval::range(-7, 7);
+  const Interval den = Interval::range(-3, 3);
+  const Interval out = remI(num, den);
+  for (std::int64_t a = num.lo; a <= num.hi; ++a) {
+    for (std::int64_t b = den.lo; b <= den.hi; ++b) {
+      if (b == 0) continue;
+      EXPECT_TRUE(out.contains(a % b)) << a << "%" << b;
+    }
+  }
+}
+
+TEST(IntervalDomain, JoinWidenMeetLattice) {
+  EXPECT_EQ(join(Interval::range(0, 3), Interval::range(10, 12)),
+            Interval::range(0, 12));
+  // Widening jumps grown bounds to infinity so loops converge.
+  const Interval w = widen(Interval::range(0, 4), Interval::range(0, 5));
+  EXPECT_EQ(w.lo, 0);
+  EXPECT_EQ(w.hi, Interval::kMax);
+  EXPECT_EQ(widen(Interval::range(0, 4), Interval::range(0, 4)),
+            Interval::range(0, 4));
+  // Meet with an empty intersection must not manufacture bottom.
+  EXPECT_EQ(meet(Interval::range(0, 3), Interval::range(10, 12)),
+            Interval::range(0, 3));
+  EXPECT_EQ(meet(Interval::range(0, 10), Interval::range(5, 20)),
+            Interval::range(5, 10));
+}
+
+TEST(IntervalDomain, CompareAndBranchRefinement) {
+  EXPECT_EQ(cmpI(ir::CmpPred::Lt, Interval::range(0, 3), Interval::point(5)),
+            Interval::point(1));  // proven true
+  EXPECT_EQ(cmpI(ir::CmpPred::Lt, Interval::range(6, 9), Interval::point(5)),
+            Interval::point(0));  // proven false
+  EXPECT_EQ(cmpI(ir::CmpPred::Lt, Interval::range(0, 9), Interval::point(5)),
+            Interval::range(0, 1));  // undecided
+  // assume(x < 10) on top clamps the upper bound.
+  const Interval r = assumeCmp(ir::CmpPred::Lt, Interval::top(),
+                               Interval::point(10));
+  EXPECT_EQ(r.hi, 9);
+  EXPECT_EQ(assumeCmp(ir::CmpPred::Ge, Interval::top(), Interval::point(0)).lo,
+            0);
+}
+
+TEST(KnownBitsDomain, MaskRefinementAndNormalization) {
+  const KnownBits c12 = bitsOfConstant(12);
+  EXPECT_EQ(c12.ones, 12u);
+  EXPECT_EQ(c12.zeros, ~std::uint64_t{12});
+  // x & 7 proves every bit above bit 2 zero even for unknown x.
+  const KnownBits masked = andBits(KnownBits{}, bitsOfConstant(7));
+  EXPECT_EQ(masked.zeros & ~std::uint64_t{7}, ~std::uint64_t{7});
+  // Non-negative range below 2^k proves the bits at and above k zero...
+  AbstractInt a;
+  a.range = Interval::range(0, 7);
+  EXPECT_NE(a.normalized().bits.zeros & (std::uint64_t{1} << 3), 0u);
+  // ...and known zero bits tighten a top range.
+  AbstractInt b;
+  b.bits = andBits(KnownBits{}, bitsOfConstant(255));
+  const AbstractInt nb = b.normalized();
+  EXPECT_GE(nb.range.lo, 0);
+  EXPECT_LE(nb.range.hi, 255);
+}
+
+// ---------------------------------------------------------------------------
+// Affine linearization and range evaluation
+// ---------------------------------------------------------------------------
+
+TEST(AffineDomain, GlobalIdOffsetLinearizesAndRangesTightly) {
+  auto p = compile(
+      "__kernel void vadd(__global const float* a, __global float* c) {\n"
+      "  int i = get_global_id(0);\n"
+      "  c[i] = a[i];\n"
+      "}\n");
+  const KernelSummary summary = summarizeKernel(*fnOf(*p, "vadd"));
+  ASSERT_EQ(summary.accesses.size(), 2u);
+  for (const auto& access : summary.accesses) {
+    const auto form = linearize(access.offset.get());
+    ASSERT_TRUE(form.has_value());
+    EXPECT_EQ(form->coeffOf(LeafKey{Sym::GlobalId, 0}), 4);  // float stride
+    EXPECT_EQ(form->constant, 0);
+
+    interp::NdRange range;
+    range.global = {256, 1, 1};
+    range.local = {64, 1, 1};
+    const Interval iv = rangeOf(*form, LeafRanges::fromRange(range));
+    EXPECT_EQ(iv, Interval::range(0, 255 * 4));
+  }
+}
+
+TEST(AffineDomain, PartialBindingFoldsScalarArgIntoCoefficients) {
+  // row * width + c is only affine once `width` is a known constant: the
+  // partial binding folds the bound scalar argument into the coefficients.
+  auto p = compile(
+      "__kernel void rowsum(__global const float* a, __global float* out,\n"
+      "                     int width) {\n"
+      "  int row = get_global_id(0);\n"
+      "  float s = 0.0f;\n"
+      "  for (int c = 0; c < width; ++c) s += a[row * width + c];\n"
+      "  out[row] = s;\n"
+      "}\n");
+  const KernelSummary summary = summarizeKernel(*fnOf(*p, "rowsum"));
+  const MemAccessInfo* load = nullptr;
+  for (const auto& access : summary.accesses) {
+    if (!access.isWrite) load = &access;
+  }
+  ASSERT_NE(load, nullptr);
+  EXPECT_FALSE(linearize(load->offset.get()).has_value());
+
+  SymBinding bind;
+  bind.scalarArgs[2] = 16;  // width
+  const auto form = linearize(load->offset.get(), &bind);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_EQ(form->coeffOf(LeafKey{Sym::GlobalId, 0}), 16 * 4);
+  EXPECT_TRUE(form->mentions(Sym::LoopIter));
+}
+
+TEST(AffineDomain, RangeOfSymIsSoundOnNonAffineTrees) {
+  auto p = compile(
+      "__kernel void gather(__global const int* idx, __global float* out) {\n"
+      "  out[idx[get_global_id(0)]] = 1.0f;\n"
+      "}\n");
+  const KernelSummary summary = summarizeKernel(*fnOf(*p, "gather"));
+  const MemAccessInfo* store = nullptr;
+  for (const auto& access : summary.accesses) {
+    if (access.isWrite) store = &access;
+  }
+  ASSERT_NE(store, nullptr);
+  // Data-dependent offset: not linearizable, and its sound range is top.
+  EXPECT_FALSE(linearize(store->offset.get()).has_value());
+  interp::NdRange range;
+  range.global = {64, 1, 1};
+  range.local = {32, 1, 1};
+  EXPECT_TRUE(rangeOfSym(store->offset.get(), LeafRanges::fromRange(range))
+                  .isTop());
+}
+
+// ---------------------------------------------------------------------------
+// Dependence tester
+// ---------------------------------------------------------------------------
+
+AffineForm formOf(Sym sym, int index, std::int64_t coeff, std::int64_t c0) {
+  AffineForm f;
+  if (coeff != 0) f.terms.push_back({LeafKey{sym, index}, coeff});
+  f.constant = c0;
+  return f;
+}
+
+LeafRanges localRanges1d(std::int64_t localSize) {
+  LeafRanges r;
+  r.set(Sym::LocalId, 0, Interval::range(0, localSize - 1));
+  r.set(Sym::LocalId, 1, Interval::point(0));
+  r.set(Sym::LocalId, 2, Interval::point(0));
+  r.set(Sym::LocalSize, 0, Interval::point(localSize));
+  return r;
+}
+
+TEST(DependenceTester, NeighbourReadIsDistanceOne) {
+  // B[tid] stored, B[tid-1] loaded: work-item t+1 reads work-item t's cell.
+  const AccessForm store{formOf(Sym::LocalId, 0, 4, 0), 4};
+  const AccessForm load{formOf(Sym::LocalId, 0, 4, -4), 4};
+  const DepResult dep = testCrossWorkItem(store, load, localRanges1d(64), 63);
+  EXPECT_EQ(dep.kind, DepKind::Distance);
+  EXPECT_EQ(dep.distance, 1);
+}
+
+TEST(DependenceTester, GcdProvesStridedAccessesIndependent) {
+  // B[2*tid] vs B[2*tid+1]: offsets differ by 4 mod 8 for every distance, so
+  // no pair of work-items ever touches the same cell.
+  const AccessForm store{formOf(Sym::LocalId, 0, 8, 0), 4};
+  const AccessForm load{formOf(Sym::LocalId, 0, 8, 4), 4};
+  EXPECT_EQ(testCrossWorkItem(store, load, localRanges1d(64), 63).kind,
+            DepKind::Independent);
+}
+
+TEST(DependenceTester, DisjointBoundsProveIndependence) {
+  // B[tid] vs B[tid + 4096]: the byte windows can never overlap within one
+  // work-group (Banerjee-style bounds check).
+  const AccessForm store{formOf(Sym::LocalId, 0, 4, 0), 4};
+  const AccessForm load{formOf(Sym::LocalId, 0, 4, 4096), 4};
+  EXPECT_EQ(testCrossWorkItem(store, load, localRanges1d(64), 63).kind,
+            DepKind::Independent);
+}
+
+TEST(DependenceTester, TwoDimensionalWorkGroupsAreUnknown) {
+  // The cross-work-item axis is only sound for effectively 1-D groups.
+  LeafRanges ranges = localRanges1d(8);
+  ranges.set(Sym::LocalId, 1, Interval::range(0, 7));
+  const AccessForm store{formOf(Sym::LocalId, 0, 4, 0), 4};
+  const AccessForm load{formOf(Sym::LocalId, 0, 4, -4), 4};
+  EXPECT_EQ(testCrossWorkItem(store, load, ranges, 7).kind, DepKind::Unknown);
+}
+
+TEST(DependenceTester, LoopCarriedDistanceAndIndependence) {
+  const int loopId = 0;
+  LeafRanges ranges;
+  ranges.set(Sym::LoopIter, loopId, Interval::range(0, 31));
+  // acc[i] written, acc[i-2] read two iterations later.
+  const AccessForm src{formOf(Sym::LoopIter, loopId, 4, 0), 4};
+  const AccessForm dst{formOf(Sym::LoopIter, loopId, 4, -8), 4};
+  const DepResult dep = testLoopCarried(src, dst, loopId, ranges, 31);
+  EXPECT_EQ(dep.kind, DepKind::Distance);
+  EXPECT_EQ(dep.distance, 2);
+  // The same subscript in both instances never conflicts across iterations.
+  EXPECT_EQ(testLoopCarried(src, src, loopId, ranges, 31).kind,
+            DepKind::Independent);
+}
+
+// ---------------------------------------------------------------------------
+// Value-range engine
+// ---------------------------------------------------------------------------
+
+TEST(ValueRangeEngine, SeedsWorkItemQueriesFromGeometry) {
+  auto p = compile(
+      "__kernel void k(__global float* out) {\n"
+      "  int gid = get_global_id(0);\n"
+      "  int lid = get_local_id(0);\n"
+      "  out[gid] = (float)(gid + lid);\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  interp::NdRange range;
+  range.global = {256, 1, 1};
+  range.local = {64, 1, 1};
+  const ValueRangeResult result =
+      analyzeRanges(*fn, LeafRanges::fromRange(range));
+  ASSERT_EQ(result.values.size(), fn->instructionCount());
+
+  bool sawGlobal = false, sawLocal = false;
+  for (const auto& bb : fn->blocks()) {
+    for (const ir::Instruction* inst : bb->instructions()) {
+      if (inst->opcode() != ir::Opcode::WorkItemId) continue;
+      if (inst->wiQuery == ir::WiQuery::GlobalId) {
+        EXPECT_EQ(result.rangeOf(*inst), Interval::range(0, 255));
+        sawGlobal = true;
+      } else if (inst->wiQuery == ir::WiQuery::LocalId) {
+        EXPECT_EQ(result.rangeOf(*inst), Interval::range(0, 63));
+        sawLocal = true;
+      }
+    }
+  }
+  EXPECT_TRUE(sawGlobal);
+  EXPECT_TRUE(sawLocal);
+}
+
+// ---------------------------------------------------------------------------
+// Static trip-count tier
+// ---------------------------------------------------------------------------
+
+std::vector<std::int64_t> staticTripsOf(const ir::Function& fn,
+                                        const SymBinding& bind,
+                                        const TripCountConfig& config = {}) {
+  return resolveStaticTrips(summarizeKernel(fn), bind, config);
+}
+
+TEST(StaticTrips, ScalarArgBoundResolvesRuntimeBound) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out, int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; ++i) s += a[i];\n"
+      "  out[get_global_id(0)] = s;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  ASSERT_EQ(fn->loopCount, 1);
+
+  SymBinding bind;
+  bind.scalarArgs[2] = 37;
+  const auto trips = staticTripsOf(*fn, bind);
+  ASSERT_EQ(trips.size(), 1u);
+  EXPECT_EQ(trips[0], 37);
+
+  // Unbound scalar: the tier must decline, not guess.
+  EXPECT_EQ(staticTripsOf(*fn, SymBinding{})[0], -1);
+}
+
+TEST(StaticTrips, LocalSizeBoundIsLaunchUniform) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < (int)get_local_size(0); ++i) s += a[i];\n"
+      "  out[get_global_id(0)] = s;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  ASSERT_EQ(fn->loopCount, 1);
+  SymBinding bind;
+  bind.localSize = {64, 1, 1};
+  EXPECT_EQ(staticTripsOf(*fn, bind)[0], 64);
+}
+
+TEST(StaticTrips, IdDependentLoopsAreNeverResolved) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out) {\n"
+      "  int gid = get_global_id(0);\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < gid; ++i) s += a[i];\n"
+      "  out[gid] = s;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  ASSERT_EQ(fn->loopCount, 1);
+  SymBinding bind;
+  bind.globalSize = {256, 1, 1};
+  bind.localSize = {64, 1, 1};
+  EXPECT_EQ(staticTripsOf(*fn, bind)[0], -1);  // per-work-item trip count
+}
+
+TEST(StaticTrips, MaxStaticTripsCapsTheScan) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out, int n) {\n"
+      "  float s = 0.0f;\n"
+      "  for (int i = 0; i < n; ++i) s += a[i];\n"
+      "  out[get_global_id(0)] = s;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  SymBinding bind;
+  bind.scalarArgs[2] = 1 << 20;
+  TripCountConfig config;
+  config.maxStaticTrips = 1 << 10;
+  EXPECT_EQ(staticTripsOf(*fn, bind, config)[0], -1);  // beyond the cap
+}
+
+// ---------------------------------------------------------------------------
+// Suite-wide properties: the tiers against the profiler
+// ---------------------------------------------------------------------------
+
+interp::NdRange workloadRange(const workloads::Workload& w) {
+  interp::NdRange range = w.range;
+  range.local = {std::min<std::uint64_t>(32, range.global[0]), 1, 1};
+  while (range.global[0] % range.local[0] != 0) --range.local[0];
+  if (range.global[1] > 1) {
+    range.local = {8, 4, 1};
+    while (range.global[0] % range.local[0] != 0) range.local[0] /= 2;
+    while (range.global[1] % range.local[1] != 0) range.local[1] /= 2;
+  }
+  return range;
+}
+
+SymBinding launchBinding(const interp::NdRange& range,
+                         const std::vector<interp::KernelArg>& args) {
+  SymBinding bind;
+  const auto groups = range.groupsPerDim();
+  for (std::size_t d = 0; d < 3; ++d) {
+    bind.globalSize[d] = static_cast<std::int64_t>(range.global[d]);
+    bind.localSize[d] = static_cast<std::int64_t>(range.local[d]);
+    bind.numGroups[d] = static_cast<std::int64_t>(groups[d]);
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].isBuffer || args[i].scalar.kind != interp::RtValue::Kind::Int)
+      continue;
+    bind.scalarArgs[static_cast<int>(i)] = args[i].scalar.i;
+  }
+  return bind;
+}
+
+// Every loop the static tiers (induction + dataflow) resolve must match the
+// interpreter's profiled trip count exactly, across the whole bundled corpus.
+// Note the bundled kernels bake their problem sizes in as compile-time
+// defines, so their non-induction loops are genuinely data-dependent (opaque
+// or triangular conditions) — the dataflow tier must decline those, never
+// fabricate a count; the launch-parametric idiom it targets is covered by
+// the test below.
+TEST(DataflowProperty, StaticTripsMatchProfilerAcrossAllWorkloads) {
+  std::size_t compared = 0;
+  std::size_t declined = 0;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) {
+      auto compiled = workloads::compileWorkload(w);
+      ASSERT_TRUE(compiled);
+      const ir::Function& fn = *compiled->fn;
+      if (fn.loopCount == 0) continue;
+      const interp::NdRange range = workloadRange(w);
+      const auto profile = interp::profileKernel(fn, range, compiled->args,
+                                                 compiled->buffers);
+      ASSERT_TRUE(profile.ok) << w.fullName() << ": " << profile.error;
+
+      const auto staticTrips = resolveStaticTrips(
+          summarizeKernel(fn), launchBinding(range, compiled->args), {});
+      ASSERT_EQ(staticTrips.size(), profile.loopTripCounts.size())
+          << w.fullName();
+      for (std::size_t i = 0; i < staticTrips.size(); ++i) {
+        if (staticTrips[i] < 0) {
+          ++declined;
+          continue;
+        }
+        if (profile.loopTripCounts[i] <= 0) continue;  // never entered
+        ++compared;
+        EXPECT_DOUBLE_EQ(static_cast<double>(staticTrips[i]),
+                         profile.loopTripCounts[i])
+            << w.fullName() << " loop " << i;
+      }
+    }
+  }
+  std::cout << "static trip tiers: " << compared
+            << " loops checked against the profiler, " << declined
+            << " declined (data-dependent)\n";
+  ASSERT_GT(compared, 0u);
+}
+
+// The launch-parametric corpus: kernels whose loop bounds come from scalar
+// arguments or NDRange geometry. Before the dataflow tier every one of these
+// loops fell through to the fallback knob; the tier must retire at least 30%
+// of them (here: all the launch-uniform ones) and agree with the profiler on
+// each, while still declining the per-work-item and data-dependent bounds.
+TEST(DataflowProperty, ParametricLoopsRetireFallbacksAndMatchProfiler) {
+  struct Parametric {
+    const char* name;
+    const char* src;
+    bool resolvable;  ///< launch-uniform bound: the tier must resolve it
+  };
+  const Parametric corpus[] = {
+      {"scalar-arg bound",
+       "__kernel void k(__global const float* a, __global float* out, int n)\n"
+       "{\n"
+       "  float s = 0.0f;\n"
+       "  for (int i = 0; i < n; ++i) s += a[i];\n"
+       "  out[get_global_id(0)] = s;\n"
+       "}\n",
+       true},
+      {"local-size bound",
+       "__kernel void k(__global const float* a, __global float* out) {\n"
+       "  float s = 0.0f;\n"
+       "  for (int i = 0; i < (int)get_local_size(0); ++i) s += a[i];\n"
+       "  out[get_global_id(0)] = s;\n"
+       "}\n",
+       true},
+      {"num-groups bound",
+       "__kernel void k(__global const float* a, __global float* out) {\n"
+       "  float s = 0.0f;\n"
+       "  for (int i = 0; i < (int)get_num_groups(0); ++i) s += a[i];\n"
+       "  out[get_global_id(0)] = s;\n"
+       "}\n",
+       true},
+      {"per-work-item bound",
+       "__kernel void k(__global const float* a, __global float* out) {\n"
+       "  int gid = get_global_id(0);\n"
+       "  float s = 0.0f;\n"
+       "  for (int i = 0; i < gid; ++i) s += a[i];\n"
+       "  out[gid] = s;\n"
+       "}\n",
+       false},
+      {"data-dependent bound",
+       "__kernel void k(__global const int* a, __global int* out) {\n"
+       "  int i = get_global_id(0);\n"
+       "  int steps = 0;\n"
+       "  while (i > 0) { i = a[i]; ++steps; }\n"
+       "  out[get_global_id(0)] = steps;\n"
+       "}\n",
+       false},
+  };
+
+  interp::NdRange range;
+  range.global = {64, 1, 1};
+  range.local = {16, 1, 1};
+  std::size_t previouslyFallback = 0;
+  std::size_t retired = 0;
+  for (const Parametric& pc : corpus) {
+    auto p = compile(pc.src);
+    const ir::Function* fn = fnOf(*p, "k");
+    ASSERT_EQ(fn->loopCount, 1) << pc.name;
+
+    // a: 64 elements; for the data-dependent case a[i] = i - 1 (chain walk).
+    std::vector<std::vector<std::uint8_t>> buffers(2);
+    buffers[0].resize(64 * 4);
+    buffers[1].resize(64 * 4);
+    for (std::int32_t i = 0; i < 64; ++i) {
+      const std::int32_t v = i - 1;
+      std::memcpy(buffers[0].data() + i * 4, &v, 4);
+    }
+    std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                           interp::KernelArg::buffer(1)};
+    if (std::string(pc.name) == "scalar-arg bound") {
+      args.push_back(interp::KernelArg::intScalar(23));
+    }
+
+    const auto before = cdfg::resolveTripCountsDetailed(*fn, nullptr);
+    ASSERT_EQ(before.sources[0], TripSource::Fallback) << pc.name;
+    ++previouslyFallback;
+
+    const auto staticTrips =
+        resolveStaticTrips(summarizeKernel(*fn), launchBinding(range, args), {});
+    if (!pc.resolvable) {
+      EXPECT_EQ(staticTrips[0], -1) << pc.name;
+      continue;
+    }
+    ASSERT_GE(staticTrips[0], 0) << pc.name;
+    ++retired;
+    const auto profile = interp::profileKernel(*fn, range, args, buffers);
+    ASSERT_TRUE(profile.ok) << pc.name << ": " << profile.error;
+    ASSERT_EQ(profile.loopTripCounts.size(), 1u);
+    EXPECT_DOUBLE_EQ(static_cast<double>(staticTrips[0]),
+                     profile.loopTripCounts[0])
+        << pc.name;
+  }
+  EXPECT_GE(static_cast<double>(retired),
+            0.30 * static_cast<double>(previouslyFallback));
+  EXPECT_EQ(retired, 3u);
+}
+
+// Static cross-work-item edges are a sound over-approximation of the
+// profiled ones: the profiler-free RecMII never undercuts the profiled
+// RecMII, and matches it on >= 80% of the pipeline-capable kernels.
+TEST(DataflowProperty, StaticRecMiiNeverUndercutsProfiledRecMii) {
+  const model::Device device = model::Device::virtex7();
+  const model::DesignPoint design;  // wg 64x1x1, 1 PE, pipeline mode
+  std::size_t pipelineKernels = 0;
+  std::size_t equalRecMii = 0;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) {
+      auto compiled = workloads::compileWorkload(w);
+      ASSERT_TRUE(compiled);
+      const ir::Function& fn = *compiled->fn;
+      const interp::NdRange range = workloadRange(w);
+      const auto profile = interp::profileKernel(fn, range, compiled->args,
+                                                 compiled->buffers);
+      ASSERT_TRUE(profile.ok) << w.fullName() << ": " << profile.error;
+
+      model::StaticInputs statics;
+      statics.summary = summarizeKernel(fn);
+      statics.leafRanges = LeafRanges::fromRange(range);
+      const SymBinding bind = launchBinding(range, compiled->args);
+      for (const auto& [arg, value] : bind.scalarArgs) {
+        statics.leafRanges.set(Sym::ScalarArg, arg, Interval::point(value));
+      }
+      statics.staticTrips = resolveStaticTrips(statics.summary, bind, {});
+
+      cdfg::AnalyzeOptions staticOpts;
+      staticOpts.staticTripCounts = &statics.staticTrips;
+      staticOpts.summary = &statics.summary;
+      staticOpts.leafRanges = &statics.leafRanges;
+      const auto budget = model::peBudget(device, design);
+      const cdfg::KernelAnalysis profiledA = cdfg::analyzeKernel(
+          fn, device.opLatencies, budget, &profile, {});
+      const cdfg::KernelAnalysis staticA = cdfg::analyzeKernel(
+          fn, device.opLatencies, budget, nullptr, staticOpts);
+
+      const int profiledRecMii = sched::computeRecMII(profiledA.pipeline);
+      const int staticRecMii = sched::computeRecMII(staticA.pipeline);
+      EXPECT_GE(staticRecMii, profiledRecMii) << w.fullName();
+      if (profiledA.barrierCount == 0) {
+        ++pipelineKernels;
+        if (staticRecMii == profiledRecMii) ++equalRecMii;
+      }
+    }
+  }
+  std::cout << "static RecMII == profiled RecMII on " << equalRecMii << "/"
+            << pipelineKernels << " pipeline-capable kernels\n";
+  ASSERT_GT(pipelineKernels, 0u);
+  EXPECT_GE(static_cast<double>(equalRecMii),
+            0.80 * static_cast<double>(pipelineKernels));
+}
+
+// A lint report that prunes nothing must leave the explorer's results
+// bit-identical to an exploration without any lint report attached.
+TEST(DataflowProperty, NoPruneExplorationIsBitIdentical) {
+  auto p = compile(
+      "__kernel void scale(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[i] * 2.0f;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "scale");
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(256 * 4, 1), std::vector<std::uint8_t>(256 * 4)};
+  model::LaunchInfo launch;
+  launch.fn = fn;
+  launch.range.global = {256, 1, 1};
+  launch.args = {interp::KernelArg::buffer(0), interp::KernelArg::buffer(1)};
+  launch.buffers = &buffers;
+  model::FlexCl flexcl(model::Device::virtex7());
+
+  std::vector<model::DesignPoint> space(3);
+  space[0].workGroupSize = {32, 1, 1};
+  space[1].workGroupSize = {64, 1, 1};
+  space[2].workGroupSize = {64, 1, 1};
+  space[2].peParallelism = 2;
+
+  interp::NdRange range;
+  range.global = {256, 1, 1};
+  range.local = {64, 1, 1};
+  analysis::LintOptions lintOpts;
+  lintOpts.range = &range;
+  lintOpts.args = &launch.args;
+  lintOpts.buffers = &buffers;
+  const analysis::LintReport lint = analysis::runLintPasses(*fn, lintOpts);
+  ASSERT_FALSE(lint.hasErrors());
+
+  dse::ExplorerOptions withLint;
+  withLint.lint = &lint;
+  dse::Explorer linted(flexcl, launch, withLint);
+  const dse::ExplorationResult r1 = linted.explore(space);
+  EXPECT_EQ(r1.skippedCount, 0);
+
+  dse::Explorer bare(flexcl, launch, {});
+  const dse::ExplorationResult r2 = bare.explore(space);
+  ASSERT_EQ(r1.designs.size(), r2.designs.size());
+  for (std::size_t i = 0; i < r1.designs.size(); ++i) {
+    EXPECT_EQ(r1.designs[i].flexclCycles, r2.designs[i].flexclCycles) << i;
+    EXPECT_EQ(r1.designs[i].simCycles, r2.designs[i].simCycles) << i;
+    EXPECT_EQ(r1.designs[i].skipped, r2.designs[i].skipped) << i;
+  }
+  EXPECT_EQ(r1.bestByFlexcl, r2.bestByFlexcl);
+  EXPECT_EQ(r1.bestBySim, r2.bestBySim);
+}
+
+}  // namespace
+}  // namespace flexcl::analysis::dataflow

@@ -281,6 +281,40 @@ TEST(ObsExplain, GoldenJsonReportOnGemm) {
   EXPECT_FALSE(inString);
 }
 
+// Schema golden: schema_version is always the first key and the top-level
+// key order is part of the schema. A change here means the shape changed —
+// bump kExplainSchemaVersion and update the golden.
+TEST(ObsExplain, JsonSchemaVersionAndKeyOrderArePinned) {
+  model::Estimate bad;
+  bad.ok = false;
+  bad.error = "boom";
+  const obs::ExplainReport failed =
+      obs::buildExplainReport(bad, model::DesignPoint{}, "k", "dev");
+  EXPECT_EQ(failed.json(),
+            "{\"schema_version\": 2, \"kernel\": \"k\", \"device\": \"dev\", "
+            "\"design\": \"" +
+                model::DesignPoint{}.str() + "\", \"ok\": false, \"error\": \"boom\"}");
+
+  PreparedWorkload p = prepare("rodinia", "nn", "nn");
+  model::FlexCl flexcl(model::Device::virtex7());
+  const auto space = dse::enumerateDesignSpace(p.compiled->meta.range, false);
+  ASSERT_FALSE(space.empty());
+  const obs::ExplainReport report =
+      obs::explainEstimate(flexcl, p.launch, space.front(), "nn");
+  ASSERT_TRUE(report.estimate.ok) << report.estimate.error;
+  const std::string json = report.json();
+  EXPECT_EQ(json.rfind("{\"schema_version\": 2, \"kernel\"", 0), 0u);
+  std::size_t pos = 0;
+  for (const char* key :
+       {"\"schema_version\"", "\"kernel\"", "\"device\"", "\"design\"",
+        "\"ok\"", "\"mode\"", "\"cycles\"", "\"milliseconds\"",
+        "\"breakdown\"", "\"parallel\"", "\"pipeline\"", "\"bottleneck\""}) {
+    const std::size_t at = json.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key;  // present AND in this order
+    pos = at;
+  }
+}
+
 TEST(ObsExplain, FailedEstimateRendersError) {
   model::Estimate bad;
   bad.ok = false;

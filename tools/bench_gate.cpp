@@ -1,0 +1,298 @@
+// bench_gate: compares a google-benchmark JSON run against the committed
+// BENCH_baseline.json and reports per-benchmark timing ratios.
+//
+//   bench_gate <run.json> [--baseline BENCH_baseline.json]
+//              [--tolerance 1.0] [--metric real_time|cpu_time]
+//
+// A benchmark regresses when run/baseline - 1 exceeds the tolerance. Exit
+// codes: 0 all within tolerance, 1 at least one regression, 2 usage or
+// parse error. CI runs this as a non-blocking report step: the baseline was
+// recorded on the single-core CI container, so absolute times move with
+// host load and the gate's job is to surface large ratio shifts, not to
+// fail the build (see DESIGN.md, bench baselines section).
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader: just enough for google-benchmark output and the
+// baseline file. The repo otherwise only emits JSON, so this is the one
+// place a parser lives; it rejects anything malformed rather than guessing.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  bool parse(Json& out) { return value(out) && (skipWs(), pos_ == src_.size()); }
+
+  [[nodiscard]] std::string error() const {
+    std::ostringstream os;
+    os << "JSON parse error near offset " << pos_;
+    return os.str();
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (src_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(Json& out) {
+    skipWs();
+    if (pos_ >= src_.size()) return false;
+    switch (src_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = Json::Kind::String; return string(out.text);
+      case 't': out.kind = Json::Kind::Bool; out.boolean = true;
+                return literal("true");
+      case 'f': out.kind = Json::Kind::Bool; out.boolean = false;
+                return literal("false");
+      case 'n': out.kind = Json::Kind::Null; return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(Json& out) {
+    out.kind = Json::Kind::Object;
+    ++pos_;  // '{'
+    skipWs();
+    if (pos_ < src_.size() && src_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!string(key)) return false;
+      skipWs();
+      if (pos_ >= src_.size() || src_[pos_] != ':') return false;
+      ++pos_;
+      Json v;
+      if (!value(v)) return false;
+      out.fields.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (pos_ >= src_.size()) return false;
+      if (src_[pos_] == ',') { ++pos_; continue; }
+      if (src_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array(Json& out) {
+    out.kind = Json::Kind::Array;
+    ++pos_;  // '['
+    skipWs();
+    if (pos_ < src_.size() && src_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      Json v;
+      if (!value(v)) return false;
+      out.items.push_back(std::move(v));
+      skipWs();
+      if (pos_ >= src_.size()) return false;
+      if (src_[pos_] == ',') { ++pos_; continue; }
+      if (src_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= src_.size() || src_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ >= src_.size()) return false;
+      const char esc = src_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {  // keep the raw escape; names never use \u anyway
+          if (src_.size() - pos_ < 4) return false;
+          out += "\\u" + src_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool number(Json& out) {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            std::strchr("+-.eE", src_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.kind = Json::Kind::Number;
+    out.number = std::strtod(src_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Gate logic
+// ---------------------------------------------------------------------------
+
+struct Entry {
+  double realTime = 0;
+  double cpuTime = 0;
+};
+
+/// Collects {name -> times} from a benchmark array. Accepts both the
+/// baseline's "model_micro" section and google-benchmark's "benchmarks".
+std::map<std::string, Entry> entriesOf(const Json& root) {
+  std::map<std::string, Entry> out;
+  const Json* arr = root.find("benchmarks");
+  if (arr == nullptr) arr = root.find("model_micro");
+  if (arr == nullptr || arr->kind != Json::Kind::Array) return out;
+  for (const Json& b : arr->items) {
+    const Json* name = b.find("name");
+    const Json* real = b.find("real_time");
+    const Json* cpu = b.find("cpu_time");
+    if (name == nullptr || name->kind != Json::Kind::String) continue;
+    Entry e;
+    if (real != nullptr) e.realTime = real->number;
+    if (cpu != nullptr) e.cpuTime = cpu->number;
+    out[name->text] = e;
+  }
+  return out;
+}
+
+bool loadJson(const std::string& path, Json& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Parser parser(text);
+  if (!parser.parse(out)) {
+    error = path + ": " + parser.error();
+    return false;
+  }
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate <run.json> [--baseline BENCH_baseline.json]"
+               " [--tolerance 1.0] [--metric real_time|cpu_time]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string runPath;
+  std::string baselinePath = "BENCH_baseline.json";
+  double tolerance = 1.0;
+  bool useCpuTime = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baselinePath = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--metric" && i + 1 < argc) {
+      const std::string metric = argv[++i];
+      if (metric != "real_time" && metric != "cpu_time") return usage();
+      useCpuTime = metric == "cpu_time";
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (runPath.empty()) {
+      runPath = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (runPath.empty()) return usage();
+
+  Json run, baseline;
+  std::string error;
+  if (!loadJson(runPath, run, error) ||
+      !loadJson(baselinePath, baseline, error)) {
+    std::fprintf(stderr, "bench_gate: %s\n", error.c_str());
+    return 2;
+  }
+  const auto runEntries = entriesOf(run);
+  const auto baseEntries = entriesOf(baseline);
+  if (runEntries.empty() || baseEntries.empty()) {
+    std::fprintf(stderr, "bench_gate: no benchmark entries found (%s: %zu, %s: %zu)\n",
+                 runPath.c_str(), runEntries.size(), baselinePath.c_str(),
+                 baseEntries.size());
+    return 2;
+  }
+
+  std::printf("%-28s %14s %14s %8s\n", "benchmark",
+              useCpuTime ? "cpu_run_ns" : "real_run_ns", "baseline_ns", "ratio");
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [name, base] : baseEntries) {
+    const auto it = runEntries.find(name);
+    if (it == runEntries.end()) {
+      std::printf("%-28s missing from run\n", name.c_str());
+      continue;
+    }
+    const double baseNs = useCpuTime ? base.cpuTime : base.realTime;
+    const double runNs = useCpuTime ? it->second.cpuTime : it->second.realTime;
+    if (baseNs <= 0) continue;
+    const double ratio = runNs / baseNs;
+    ++compared;
+    const bool regressed = ratio > 1.0 + tolerance;
+    if (regressed) ++regressions;
+    std::printf("%-28s %14.0f %14.0f %7.2fx%s\n", name.c_str(), runNs, baseNs,
+                ratio, regressed ? "  REGRESSED" : "");
+  }
+  std::printf("%d/%d benchmarks within %.0f%% of baseline\n",
+              compared - regressions, compared, tolerance * 100.0);
+  return regressions > 0 ? 1 : 0;
+}
