@@ -9,7 +9,11 @@ using namespace flexcl;
 
 int main(int argc, char** argv) {
   bench::ObsOptions obsOpts;
-  if (!obsOpts.parse(&argc, argv)) return 2;
+  int jobs = 1;  // default stays serial so paper timings remain comparable
+  if (!obsOpts.parse(&argc, argv) ||
+      !bench::parseJobsFlag(&argc, argv, &jobs)) {
+    return 2;
+  }
   obsOpts.begin();
 
   std::printf("PolyBench accuracy (paper §4.2: FlexCL avg abs error 8.7%%)\n\n");
@@ -17,15 +21,18 @@ int main(int argc, char** argv) {
   model::FlexCl flexcl(model::Device::virtex7());
   bench::printTable2Header();
 
-  std::vector<bench::KernelRun> runs;
+  // `--jobs N` shards per kernel; rows and summary are identical to the
+  // serial run (see exploreSuite), only wall times change.
+  bench::RunOptions runOpts;
+  runOpts.jobs = jobs;
+  const std::vector<bench::KernelRun> runs = bench::exploreSuite(
+      workloads::polybenchSuite(), flexcl, {}, runOpts,
+      [](const bench::KernelRun& run) {
+        bench::printTable2Row(run);
+        std::fflush(stdout);
+      });
   runtime::Stats stats;
-  for (const workloads::Workload& w : workloads::polybenchSuite()) {
-    bench::KernelRun run = bench::exploreWorkload(w, flexcl);
-    bench::printTable2Row(run);
-    std::fflush(stdout);
-    stats += run.runtimeStats;
-    runs.push_back(std::move(run));
-  }
+  for (const bench::KernelRun& run : runs) stats += run.runtimeStats;
 
   bench::printSummary("PolyBench summary (paper §4.2)", bench::summarize(runs));
   return obsOpts.finish(&stats) ? 0 : 1;

@@ -1,12 +1,15 @@
 #include "harness.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "runtime/compile_cache.h"
+#include "runtime/thread_pool.h"
 
 namespace flexcl::bench {
 
@@ -43,6 +46,31 @@ KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& fl
   run.runtimeStats = explorer.runtimeStats();
   run.ok = true;
   return run;
+}
+
+std::vector<KernelRun> exploreSuite(
+    const std::vector<workloads::Workload>& suite, model::FlexCl& flexcl,
+    const dse::SpaceOptions& options, const RunOptions& run,
+    const std::function<void(const KernelRun&)>& onRow) {
+  std::vector<KernelRun> runs(suite.size());
+  RunOptions inner = run;
+  inner.jobs = 1;  // the workload is the unit of parallelism
+  const int jobs = run.jobs == 0 ? runtime::defaultJobs() : std::max(1, run.jobs);
+  if (jobs > 1 && suite.size() > 1) {
+    runtime::ThreadPool pool(jobs);
+    pool.parallelFor(suite.size(), [&](std::size_t i) {
+      runs[i] = exploreWorkload(suite[i], flexcl, options, inner);
+    });
+    if (onRow) {
+      for (const KernelRun& r : runs) onRow(r);
+    }
+  } else {
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      runs[i] = exploreWorkload(suite[i], flexcl, options, inner);
+      if (onRow) onRow(runs[i]);
+    }
+  }
+  return runs;
 }
 
 void printTable2Header() {
@@ -115,6 +143,32 @@ void printSummary(const char* title, const SuiteSummary& s) {
     std::printf("  FlexCL speedup vs System Run : %.0fx (vs real synthesis: >10,000x)\n",
                 s.totalSimSeconds / s.totalFlexclSeconds);
   }
+}
+
+bool parseJobsFlag(int* argc, char** argv, int* jobs) {
+  int out = 1;
+  bool ok = true;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (i + 1 >= *argc) {
+      std::fprintf(stderr, "--jobs needs a worker-count argument\n");
+      ok = false;
+      break;
+    }
+    char* end = nullptr;
+    const long v = std::strtol(argv[++i], &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0) {
+      std::fprintf(stderr, "--jobs: invalid worker count '%s'\n", argv[i]);
+      ok = false;
+      break;
+    }
+    *jobs = static_cast<int>(v);
+  }
+  *argc = out;
+  return ok;
 }
 
 bool ObsOptions::parse(int* argc, char** argv) {

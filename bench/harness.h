@@ -3,6 +3,7 @@
 // SDAccel-style estimator, and aggregates the Table-2 style metrics.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,26 @@ struct RunOptions {
 KernelRun exploreWorkload(const workloads::Workload& workload, model::FlexCl& flexcl,
                           const dse::SpaceOptions& options = {},
                           const RunOptions& run = {});
+
+/// Suite-level sharding: with `run.jobs` > 1, each workload's exploration
+/// runs as one job on a runtime::ThreadPool while the inner explorations stay
+/// serial (the workload is the unit of parallelism, so the pool is never
+/// oversubscribed). Results land by suite index and every exploration is
+/// itself deterministic, so the result columns and summary are identical to
+/// the serial loop at any worker count — only measured wall times (and the
+/// per-run cache-delta stats, which overlap across concurrent siblings) vary.
+/// `onRow`, when set, is invoked serially in suite order: streamed as each
+/// run finishes when serial, after completion when sharded.
+std::vector<KernelRun> exploreSuite(
+    const std::vector<workloads::Workload>& suite, model::FlexCl& flexcl,
+    const dse::SpaceOptions& options = {}, const RunOptions& run = {},
+    const std::function<void(const KernelRun&)>& onRow = {});
+
+/// Strips a `--jobs N` flag out of argv (same in-place compaction as
+/// ObsOptions::parse); 0 means hardware concurrency. Returns false on a
+/// missing or non-numeric value. Leaves *jobs untouched if the flag is
+/// absent.
+bool parseJobsFlag(int* argc, char** argv, int* jobs);
 
 /// Renders one Table-2 style row: kernel, #designs, errors, times.
 void printTable2Header();

@@ -145,6 +145,9 @@ class Analyzer {
   const sched::ResourceBudget& budget_;
   AnalyzeOptions options_;
   KernelAnalysis result_;
+  /// Shared list-scheduler working buffers: one function schedules every
+  /// block, so the vectors stay at high-water capacity across blocks.
+  sched::ListScheduleScratch listScratch_;
 
   // Pipeline emission state.
   struct NodeAccess {
@@ -173,7 +176,7 @@ void Analyzer::analyzeBlocks() {
     info.block = bb.get();
     info.dfg = BlockDfg::build(*bb, latencies_);
     info.criticalPath = info.dfg.criticalPathLength();
-    info.listLatency = sched::listSchedule(info.dfg, budget_).latency;
+    info.listLatency = sched::listSchedule(info.dfg, budget_, listScratch_).latency;
     info.localReads = info.dfg.totalUnits(sched::ResourceClass::LocalRead);
     info.localWrites = info.dfg.totalUnits(sched::ResourceClass::LocalWrite);
     info.dspUnits = info.dfg.totalUnits(sched::ResourceClass::Dsp);

@@ -44,6 +44,17 @@ Explorer::Explorer(model::FlexCl& flexcl, model::LaunchInfo launch,
   for (std::uint64_t g : launch_.range.global) {
     evalKeyBase_ = stableHashCombine(evalKeyBase_, g);
   }
+
+  // Baselines for runtimeStats' delta reporting: the shared caches (model
+  // profile/analysis caches, EvalCache) may already be warm from an earlier
+  // exploration; this Explorer only reports the traffic it generates.
+  statsBaseline_.profile = flexcl_.profileCacheCounters();
+  statsBaseline_.analysis = flexcl_.analysisCacheCounters();
+  if (options_.evalCache) {
+    statsBaseline_.flexclEval = options_.evalCache->flexclCounters();
+    statsBaseline_.sdaccelEval = options_.evalCache->sdaccelCounters();
+    statsBaseline_.simEval = options_.evalCache->simCounters();
+  }
 }
 
 int Explorer::jobs() const { return pool_ ? pool_->workerCount() : 1; }
@@ -51,12 +62,18 @@ int Explorer::jobs() const { return pool_ ? pool_->workerCount() : 1; }
 runtime::Stats Explorer::runtimeStats() const {
   runtime::Stats stats;
   stats.jobs = jobs();
-  stats.profile = flexcl_.profileCacheCounters();
-  stats.simInput = simInputs_.counters();
+  stats.profile =
+      flexcl_.profileCacheCounters().deltaSince(statsBaseline_.profile);
+  stats.analysis =
+      flexcl_.analysisCacheCounters().deltaSince(statsBaseline_.analysis);
+  stats.simInput = simInputs_.counters();  // per-Explorer, no baseline needed
   if (options_.evalCache) {
-    stats.flexclEval = options_.evalCache->flexclCounters();
-    stats.sdaccelEval = options_.evalCache->sdaccelCounters();
-    stats.simEval = options_.evalCache->simCounters();
+    stats.flexclEval =
+        options_.evalCache->flexclCounters().deltaSince(statsBaseline_.flexclEval);
+    stats.sdaccelEval = options_.evalCache->sdaccelCounters().deltaSince(
+        statsBaseline_.sdaccelEval);
+    stats.simEval =
+        options_.evalCache->simCounters().deltaSince(statsBaseline_.simEval);
   }
   return stats;
 }
@@ -101,6 +118,20 @@ std::vector<std::size_t> Explorer::localSizeRepresentatives(
   return reps;
 }
 
+std::vector<std::size_t> Explorer::analysisRepresentatives(
+    const std::vector<model::DesignPoint>& space,
+    const std::vector<std::size_t>& candidates) {
+  std::vector<std::size_t> reps;
+  if (!flexcl_.options().analysisCache) return reps;  // nothing to prewarm
+  std::set<model::FlexCl::AnalysisSignature> seen;
+  for (std::size_t i : candidates) {
+    if (seen.insert(flexcl_.analysisSignatureFor(launch_, space[i])).second) {
+      reps.push_back(i);
+    }
+  }
+  return reps;
+}
+
 model::Estimate Explorer::evalFlexcl(const model::DesignPoint& design) {
   if (options_.evalCache) {
     return *options_.evalCache->flexcl(evalKeyBase_, design, [&] {
@@ -123,9 +154,12 @@ sim::SimResult Explorer::evalSim(const model::DesignPoint& design) {
 std::optional<sdaccel::SdaccelEstimate> Explorer::evalSdaccel(
     const model::DesignPoint& design) {
   auto run = [&]() -> std::optional<sdaccel::SdaccelEstimate> {
-    cdfg::KernelAnalysis analysis = flexcl_.analysisFor(launch_, design);
+    // Shared handle into the model's analysis cache: the SDAccel pass reuses
+    // the schedule computed by the FlexCL pass instead of re-analyzing.
+    const std::shared_ptr<const cdfg::KernelAnalysis> analysis =
+        flexcl_.analysisShared(launch_, design);
     const interp::NdRange range = model::FlexCl::rangeFor(launch_, design);
-    return sdaccel::estimateSdaccel(*launch_.fn, analysis, flexcl_.device(),
+    return sdaccel::estimateSdaccel(*launch_.fn, *analysis, flexcl_.device(),
                                     design, range.globalCount());
   };
   if (options_.evalCache) {
@@ -156,8 +190,14 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
   // pre-lint explorer exactly.
   std::vector<analysis::Feasibility> verdicts(space.size());
   if (options_.lint) {
-    for (std::size_t i = 0; i < space.size(); ++i) {
+    // checkDesign is pure (interval checks against the precomputed report),
+    // so the verdicts land by index in parallel; the prune counters are then
+    // bumped serially in design order, keeping rule attribution deterministic
+    // regardless of worker count.
+    forEachIndex(space.size(), [&](std::size_t i) {
       verdicts[i] = analysis::checkDesign(*options_.lint, space[i]);
+    });
+    for (std::size_t i = 0; i < space.size(); ++i) {
       // Every skip decision is attributable: one counter per verdict rule.
       if (!verdicts[i].feasible) {
         obs::add("analysis.dataflow.prune." + verdicts[i].rule);
@@ -186,6 +226,15 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
     obs::Span pass("dse", "flexcl pass");
     forEachIndex(reps.size(), [&](std::size_t k) {
       flexcl_.profileFor(launch_, space[reps[k]]);
+    });
+    // Same prewarm idea one stage deeper: one representative per distinct
+    // analysis-cache signature, so a CU x comm-mode sweep computes each
+    // schedule once in parallel instead of its first jobs piling up on the
+    // same in-flight analysis. Empty (no-op) when the cache is disabled.
+    const std::vector<std::size_t> analysisReps =
+        analysisRepresentatives(space, feasible);
+    forEachIndex(analysisReps.size(), [&](std::size_t k) {
+      flexcl_.analysisShared(launch_, space[analysisReps[k]]);
     });
     forEachIndex(feasible.size(), [&](std::size_t k) {
       estimates[feasible[k]] = evalFlexcl(space[feasible[k]]);

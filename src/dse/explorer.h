@@ -121,8 +121,14 @@ class Explorer {
 
   /// Worker count actually in use (1 when serial).
   [[nodiscard]] int jobs() const;
-  /// Snapshot of every cache this Explorer touches: its own sim-input cache,
-  /// the model's profile cache, and (when attached) the shared EvalCache.
+  /// Per-exploration cache traffic: its own sim-input cache, the model's
+  /// profile and analysis caches, and (when attached) the shared EvalCache.
+  /// Shared caches outlive the Explorer, so hits/misses are reported as
+  /// deltas against their values at construction — a second Explorer over a
+  /// warm shared cache reports ~100% hit rate, not the union of both runs'
+  /// traffic. (Entry counts are absolute levels. When several Explorers over
+  /// one FlexCl/EvalCache run concurrently — the sharded suite benches — the
+  /// deltas include the siblings' overlapping traffic and are approximate.)
   [[nodiscard]] runtime::Stats runtimeStats() const;
 
  private:
@@ -138,6 +144,13 @@ class Explorer {
   std::vector<std::size_t> localSizeRepresentatives(
       const std::vector<model::DesignPoint>& space,
       const std::vector<std::size_t>& candidates);
+  /// One representative design index per distinct analysis-cache signature —
+  /// the unit of analysis prewarming (mirrors the profile prewarm: without
+  /// it, a parallel sweep's first jobs all block on the same schedule
+  /// computation). Empty when the model's analysis cache is disabled.
+  std::vector<std::size_t> analysisRepresentatives(
+      const std::vector<model::DesignPoint>& space,
+      const std::vector<std::size_t>& candidates);
 
   model::Estimate evalFlexcl(const model::DesignPoint& design);
   sim::SimResult evalSim(const model::DesignPoint& design);
@@ -147,6 +160,9 @@ class Explorer {
   model::FlexCl& flexcl_;
   model::LaunchInfo launch_;
   ExplorerOptions options_;
+  /// Shared-cache counter values at construction — the baselines
+  /// runtimeStats() subtracts (see its doc comment).
+  runtime::Stats statsBaseline_;
   /// EvalCache key prefix: options_.kernelHash mixed with the device and the
   /// launch fingerprint (kernel name, instruction count, global size).
   std::uint64_t evalKeyBase_ = 0;

@@ -101,18 +101,157 @@ const StaticInputs& FlexCl::staticInputsFor(const LaunchInfo& launch,
   });
 }
 
-cdfg::KernelAnalysis FlexCl::analysisFor(const LaunchInfo& launch,
-                                         const DesignPoint& design) {
+const FlexCl::BudgetSaturation& FlexCl::saturationFor(const LaunchInfo& launch) {
+  const FnKey key{launch.fn, launch.fn->name(), launch.fn->instructionCount()};
+  return *saturations_.getOrCompute(key, [&] {
+    BudgetSaturation s;
+    for (const auto& bb : launch.fn->blocks()) {
+      for (const ir::Instruction* inst : bb->instructions()) {
+        const sched::OpResource r =
+            sched::classifyInstruction(*inst, device_.opLatencies);
+        switch (r.rc) {
+          case sched::ResourceClass::LocalRead: s.totals[0] += r.units; break;
+          case sched::ResourceClass::LocalWrite: s.totals[1] += r.units; break;
+          case sched::ResourceClass::GlobalPort: s.totals[2] += r.units; break;
+          case sched::ResourceClass::Dsp: s.totals[3] += r.units; break;
+          default: break;
+        }
+      }
+    }
+    // The unroll resource bound ceil(u * units / cap) scales the demand by
+    // the unroll factor, so a cap between the per-iteration demand and the
+    // kernel total still changes results there — saturation is only sound
+    // for kernels without unroll hints.
+    s.saturable = true;
+    std::vector<const ir::Region*> stack = {launch.fn->rootRegion()};
+    while (!stack.empty()) {
+      const ir::Region* r = stack.back();
+      stack.pop_back();
+      if (r->unrollHint > 1 || r->unrollHint == -1) {
+        s.saturable = false;
+        break;
+      }
+      for (const auto& child : r->children) stack.push_back(child.get());
+    }
+    return s;
+  });
+}
+
+sched::ResourceBudget FlexCl::canonicalBudgetFor(const LaunchInfo& launch,
+                                                 const DesignPoint& design) {
+  sched::ResourceBudget budget = peBudget(device_, design);
+  const BudgetSaturation& s = saturationFor(launch);
+  if (!s.saturable) return budget;
+  budget.localReadPorts = std::min(budget.localReadPorts, std::max(1, s.totals[0]));
+  budget.localWritePorts =
+      std::min(budget.localWritePorts, std::max(1, s.totals[1]));
+  budget.globalPorts = std::min(budget.globalPorts, std::max(1, s.totals[2]));
+  budget.dspUnits = std::min(budget.dspUnits, std::max(1, s.totals[3]));
+  return budget;
+}
+
+FlexCl::AnalysisSignature FlexCl::analysisSignatureFor(const LaunchInfo& launch,
+                                                       const DesignPoint& design) {
+  const interp::NdRange range = rangeFor(launch, design);
+  std::vector<std::int64_t> scalars;
+  scalars.reserve(launch.args.size());
+  for (const interp::KernelArg& a : launch.args) {
+    scalars.push_back(!a.isBuffer && a.scalar.kind == interp::RtValue::Kind::Int
+                          ? a.scalar.i
+                          : 0);
+  }
+  StaticKey base{launch.fn,       launch.fn->name(),
+                 launch.fn->instructionCount(),
+                 range.global[0], range.global[1], range.global[2],
+                 range.local[0],  range.local[1],  range.local[2],
+                 std::move(scalars)};
+  const sched::ResourceBudget budget = canonicalBudgetFor(launch, design);
+  return AnalysisSignature{std::move(base), design.innerLoopPipeline,
+                           budget.localReadPorts, budget.localWritePorts,
+                           budget.globalPorts, budget.dspUnits};
+}
+
+std::shared_ptr<const cdfg::KernelAnalysis> FlexCl::analysisSharedByKey(
+    const AnalysisSignature& key, const LaunchInfo& launch,
+    const DesignPoint& design) {
+  // Stage inputs first: both are themselves memoized, and fetching them
+  // outside the analysis cache's compute lambda keeps their references valid
+  // for the whole computation.
   const interp::KernelProfile& profile = profileFor(launch, design);
   const StaticInputs& statics = staticInputsFor(launch, design);
-  cdfg::AnalyzeOptions options;
-  options.innerLoopPipeline = design.innerLoopPipeline;
-  options.staticTripCounts = &statics.staticTrips;
-  options.summary = &statics.summary;
-  options.leafRanges = &statics.leafRanges;
-  return cdfg::analyzeKernel(*launch.fn, device_.opLatencies,
-                             peBudget(device_, design),
-                             profile.ok ? &profile : nullptr, options);
+  auto compute = [&] {
+    cdfg::AnalyzeOptions options;
+    options.innerLoopPipeline = design.innerLoopPipeline;
+    options.staticTripCounts = &statics.staticTrips;
+    options.summary = &statics.summary;
+    options.leafRanges = &statics.leafRanges;
+    return cdfg::analyzeKernel(*launch.fn, device_.opLatencies,
+                               peBudget(device_, design),
+                               profile.ok ? &profile : nullptr, options);
+  };
+  if (!options_.analysisCache) {
+    return std::make_shared<const cdfg::KernelAnalysis>(compute());
+  }
+  bool computed = false;
+  auto result = analyses_.getOrCompute(key, [&] {
+    computed = true;
+    obs::Span span("analysis", [&] { return launch.fn->name(); });
+    return compute();
+  });
+  // Per-call attribution: the MemoCache counters are cumulative across the
+  // FlexCl's lifetime, the obs counters attribute each lookup to the phase
+  // that issued it.
+  obs::add(computed ? "model.analysis_cache.misses"
+                    : "model.analysis_cache.hits");
+  return result;
+}
+
+std::shared_ptr<const cdfg::KernelAnalysis> FlexCl::analysisShared(
+    const LaunchInfo& launch, const DesignPoint& design) {
+  return analysisSharedByKey(analysisSignatureFor(launch, design), launch,
+                             design);
+}
+
+cdfg::KernelAnalysis FlexCl::analysisFor(const LaunchInfo& launch,
+                                         const DesignPoint& design) {
+  return *analysisShared(launch, design);
+}
+
+PeModel FlexCl::peModelFor(const AnalysisSignature& akey,
+                           const cdfg::KernelAnalysis& analysis,
+                           const Device& modelDevice,
+                           const DesignPoint& effective) {
+  // The PE model reads the device only through peBudget (canonical-equivalent
+  // under akey's budget) and the design only through workItemPipeline and the
+  // budget, so (akey, workItemPipeline) determines it exactly.
+  if (!options_.analysisCache) {
+    return buildPeModel(analysis, modelDevice, effective, options_.smsRefinement);
+  }
+  const PeKey key{akey, effective.workItemPipeline};
+  return *peModels_.getOrCompute(key, [&] {
+    return buildPeModel(analysis, modelDevice, effective, options_.smsRefinement);
+  });
+}
+
+CuModel FlexCl::cuModelFor(const AnalysisSignature& akey, const PeModel& pe,
+                           const Device& modelDevice,
+                           const DesignPoint& effective) {
+  if (!options_.analysisCache) {
+    return buildCuModel(pe, modelDevice, effective);
+  }
+  // Eq. 6 sees the CU count only as DSP supply totalDsp / CUs, and that
+  // supply only binds below requested * pe.dspUnits — clamping to the
+  // threshold maps all non-binding CU counts onto one entry.
+  const int requested =
+      std::max(1, effective.peParallelism * effective.vectorWidth);
+  const double dspPerCu = static_cast<double>(modelDevice.totalDsp) /
+                          std::max(1, effective.numComputeUnits);
+  const double canonicalDsp =
+      pe.dspUnits > 0 ? std::min(dspPerCu, requested * pe.dspUnits) : -1.0;
+  const CuKey key{PeKey{akey, effective.workItemPipeline}, requested,
+                  canonicalDsp};
+  return *cuModels_.getOrCompute(
+      key, [&] { return buildCuModel(pe, modelDevice, effective); });
 }
 
 Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
@@ -130,15 +269,13 @@ Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
     return est;
   }
 
-  const StaticInputs& statics = staticInputsFor(launch, design);
-  cdfg::AnalyzeOptions analyzeOptions;
-  analyzeOptions.innerLoopPipeline = design.innerLoopPipeline;
-  analyzeOptions.staticTripCounts = &statics.staticTrips;
-  analyzeOptions.summary = &statics.summary;
-  analyzeOptions.leafRanges = &statics.leafRanges;
-  cdfg::KernelAnalysis analysis =
-      cdfg::analyzeKernel(*launch.fn, device_.opLatencies,
-                          peBudget(device_, design), &profile, analyzeOptions);
+  // Factorized stages (DESIGN.md §11): the schedule analysis, PE model and
+  // CU model are memoized on keys independent of the CU count and the
+  // communication mode, so a CU×mode sweep computes each of them once.
+  const AnalysisSignature akey = analysisSignatureFor(launch, design);
+  const std::shared_ptr<const cdfg::KernelAnalysis> analysisPtr =
+      analysisSharedByKey(akey, launch, design);
+  const cdfg::KernelAnalysis& analysis = *analysisPtr;
 
   est.totalWorkItems = range.globalCount();
   est.barrierCount = analysis.barrierCount;
@@ -155,8 +292,8 @@ Estimate FlexCl::estimate(const LaunchInfo& launch, const DesignPoint& design) {
   Device modelDevice = device_;
   if (!options_.dispatchOverhead) modelDevice.workGroupDispatchOverhead = 1;
 
-  est.pe = buildPeModel(analysis, modelDevice, effective, options_.smsRefinement);
-  est.cu = buildCuModel(est.pe, modelDevice, effective);
+  est.pe = peModelFor(akey, analysis, modelDevice, effective);
+  est.cu = cuModelFor(akey, est.pe, modelDevice, effective);
   est.kernelCompute = buildKernelComputeModel(analysis, est.pe, est.cu,
                                               modelDevice, effective,
                                               est.totalWorkItems);

@@ -105,6 +105,12 @@ struct ModelOptions {
   /// Classify patterns in the pipelined issue order (design concurrency)
   /// instead of sequential program order.
   bool interferenceAwareClassification = true;
+  /// Memoize the factorized estimation stages (kernel analysis, PE model, CU
+  /// model) across design points (DESIGN.md §11). The stages are pure
+  /// functions of their keys, so results are bit-identical with the cache off
+  /// (asserted over all bundled workloads in tests/test_model.cpp); off is
+  /// only useful to measure the factorization's speedup.
+  bool analysisCache = true;
 };
 
 class FlexCl {
@@ -123,12 +129,34 @@ class FlexCl {
   /// profile cache; a profile missing under contention is computed once.
   Estimate estimate(const LaunchInfo& launch, const DesignPoint& design);
 
-  /// Access to the cached profile / a fresh analysis (bottleneck reports).
-  /// Both are thread-safe.
+  /// Access to the cached profile / the (cached) kernel analysis for one
+  /// design point (bottleneck reports). Both are thread-safe.
   const interp::KernelProfile& profileFor(const LaunchInfo& launch,
                                           const DesignPoint& design);
   cdfg::KernelAnalysis analysisFor(const LaunchInfo& launch,
                                    const DesignPoint& design);
+
+  /// Copy-free variant of analysisFor: the cache entry itself. The pointer
+  /// stays valid for the FlexCl's lifetime (the cache is unbounded); with
+  /// `ModelOptions::analysisCache` off it is a fresh, uncached computation.
+  std::shared_ptr<const cdfg::KernelAnalysis> analysisShared(
+      const LaunchInfo& launch, const DesignPoint& design);
+
+  /// Identity of the analysis-cache entry `design` maps to: two designs with
+  /// equal signatures share one `cdfg::analyzeKernel` run. The key spells out
+  /// exactly what the schedule analysis depends on — the kernel fingerprint,
+  /// the effective NDRange and scalar arguments (trip counts, leaf ranges),
+  /// the inner-loop-pipeline flag, and the canonicalized per-PE resource
+  /// budget — and deliberately NOT the CU count or communication mode, which
+  /// is what lets a CU×mode sweep compute each schedule once.
+  using StaticKey =
+      std::tuple<const ir::Function*, std::string, unsigned,
+                 std::uint64_t, std::uint64_t, std::uint64_t,
+                 std::uint64_t, std::uint64_t, std::uint64_t,
+                 std::vector<std::int64_t>>;
+  using AnalysisSignature = std::tuple<StaticKey, bool, int, int, int, int>;
+  AnalysisSignature analysisSignatureFor(const LaunchInfo& launch,
+                                         const DesignPoint& design);
 
   /// Static-analysis inputs (summary + seeded leaf ranges + dataflow trip
   /// counts) for the effective launch of a design point. Cached per
@@ -140,6 +168,14 @@ class FlexCl {
   [[nodiscard]] runtime::CounterSnapshot profileCacheCounters() const {
     return profiles_.counters();
   }
+  /// Hit/miss counters of the kernel-analysis cache. A design-space sweep's
+  /// miss count equals the number of distinct AnalysisSignatures it touched —
+  /// the factorization claim of DESIGN.md §11 is asserted on this.
+  [[nodiscard]] runtime::CounterSnapshot analysisCacheCounters() const {
+    return analyses_.counters();
+  }
+
+  [[nodiscard]] const ModelOptions& options() const { return options_; }
 
   /// Builds the NDRange actually launched for a design point (the design's
   /// work-group size clamped to the launch's global size).
@@ -147,6 +183,39 @@ class FlexCl {
                                   const DesignPoint& design);
 
  private:
+  /// Per-kernel saturation totals for budget canonicalization: the summed
+  /// resource demand of every instruction, per schedulable resource class
+  /// (LocalRead, LocalWrite, GlobalPort, Dsp — the ResourceBudget fields).
+  /// Any budget cap at or above the kernel's total demand behaves exactly
+  /// like an infinite cap in every budget consumer (list scheduler hazard
+  /// checks, SMS reservation rows, ResMII ceil(demand/cap)), so clamping the
+  /// cap to the total maps all such budgets onto one cache key. The one
+  /// consumer where a cap above the per-iteration demand still matters is
+  /// the unroll resource bound ceil(u * units / cap), hence `saturable` is
+  /// false (canonicalization disabled) when any region carries an unroll
+  /// hint.
+  struct BudgetSaturation {
+    bool saturable = false;
+    int totals[4] = {0, 0, 0, 0};  ///< LocalRead, LocalWrite, GlobalPort, Dsp
+  };
+
+  const BudgetSaturation& saturationFor(const LaunchInfo& launch);
+  /// peBudget clamped per `saturationFor` — the budget component of
+  /// AnalysisSignature. Scheduling results are identical under the original
+  /// and the canonical budget.
+  sched::ResourceBudget canonicalBudgetFor(const LaunchInfo& launch,
+                                           const DesignPoint& design);
+  std::shared_ptr<const cdfg::KernelAnalysis> analysisSharedByKey(
+      const AnalysisSignature& key, const LaunchInfo& launch,
+      const DesignPoint& design);
+  /// Memoized buildPeModel / buildCuModel (keys derived from the analysis
+  /// signature; see DESIGN.md §11 for the invalidation table).
+  PeModel peModelFor(const AnalysisSignature& akey,
+                     const cdfg::KernelAnalysis& analysis,
+                     const Device& modelDevice, const DesignPoint& effective);
+  CuModel cuModelFor(const AnalysisSignature& akey, const PeModel& pe,
+                     const Device& modelDevice, const DesignPoint& effective);
+
   Device device_;
   ModelOptions options_;
   dram::PatternLatencyTable deltaT_;
@@ -160,13 +229,19 @@ class FlexCl {
   runtime::MemoCache<ProfileKey, interp::KernelProfile> profiles_;
   // Static-analysis cache. Same aliasing defence as ProfileKey, plus the
   // full geometry and the integer scalar arguments (both feed the resolved
-  // trip counts and leaf ranges).
-  using StaticKey =
-      std::tuple<const ir::Function*, std::string, unsigned,
-                 std::uint64_t, std::uint64_t, std::uint64_t,
-                 std::uint64_t, std::uint64_t, std::uint64_t,
-                 std::vector<std::int64_t>>;
+  // trip counts and leaf ranges). StaticKey is declared in the public
+  // section (it is the base of AnalysisSignature).
   runtime::MemoCache<StaticKey, StaticInputs> statics_;
+  // Factorized-stage caches (DESIGN.md §11). All unbounded like profiles_.
+  using FnKey = std::tuple<const ir::Function*, std::string, unsigned>;
+  runtime::MemoCache<FnKey, BudgetSaturation> saturations_;
+  runtime::MemoCache<AnalysisSignature, cdfg::KernelAnalysis> analyses_;
+  using PeKey = std::tuple<AnalysisSignature, bool>;  ///< + workItemPipeline
+  runtime::MemoCache<PeKey, PeModel> peModels_;
+  /// + requested PEs and the canonical DSP-per-CU supply (the only channels
+  /// through which the CU count reaches eq. 6).
+  using CuKey = std::tuple<PeKey, int, double>;
+  runtime::MemoCache<CuKey, CuModel> cuModels_;
 };
 
 }  // namespace flexcl::model

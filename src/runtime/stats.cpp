@@ -1,5 +1,6 @@
 #include "runtime/stats.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/registry.h"
@@ -21,6 +22,14 @@ void appendHumanCache(std::ostringstream& os, const char* name,
 }
 
 }  // namespace
+
+CounterSnapshot CounterSnapshot::deltaSince(const CounterSnapshot& baseline) const {
+  CounterSnapshot d = *this;
+  d.hits -= std::min(baseline.hits, d.hits);
+  d.misses -= std::min(baseline.misses, d.misses);
+  d.evictions -= std::min(baseline.evictions, d.evictions);
+  return d;
+}
 
 CounterSnapshot& CounterSnapshot::operator+=(const CounterSnapshot& other) {
   hits += other.hits;
@@ -57,6 +66,7 @@ Stats& Stats::operator+=(const Stats& other) {
   simEval += other.simEval;
   profile += other.profile;
   simInput += other.simInput;
+  analysis += other.analysis;
   return *this;
 }
 
@@ -69,6 +79,7 @@ std::string Stats::str() const {
   appendHumanCache(os, "sim cache      ", simEval);
   appendHumanCache(os, "profile cache  ", profile);
   appendHumanCache(os, "sim-input cache", simInput);
+  appendHumanCache(os, "analysis cache ", analysis);
   return os.str();
 }
 
@@ -88,6 +99,7 @@ void Stats::publishTo(obs::Registry& registry) const {
   publishCache("sim_eval", simEval);
   publishCache("profile", profile);
   publishCache("sim_input", simInput);
+  publishCache("analysis", analysis);
 }
 
 std::string Stats::json() const {
@@ -100,6 +112,7 @@ std::string Stats::json() const {
   appendJsonCache(os, "sim_eval", simEval, &first);
   appendJsonCache(os, "profile", profile, &first);
   appendJsonCache(os, "sim_input", simInput, &first);
+  appendJsonCache(os, "analysis", analysis, &first);
   os << "}";
   return os.str();
 }

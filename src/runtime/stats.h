@@ -29,6 +29,12 @@ struct CounterSnapshot {
   [[nodiscard]] std::string str() const;
   [[nodiscard]] std::string json() const;
 
+  /// Traffic since `baseline` (hits/misses/evictions subtract; `entries` is a
+  /// level, not a flow, and stays absolute). Used by Explorer::runtimeStats to
+  /// report per-exploration traffic on caches shared across explorations —
+  /// without the delta, a warm re-run would show the first run's misses too.
+  [[nodiscard]] CounterSnapshot deltaSince(const CounterSnapshot& baseline) const;
+
   CounterSnapshot& operator+=(const CounterSnapshot& other);
 };
 
@@ -42,6 +48,7 @@ struct Stats {
   CounterSnapshot simEval;       ///< (kernel, design) -> simulator result
   CounterSnapshot profile;       ///< (kernel, wg) -> interpreter profile
   CounterSnapshot simInput;      ///< (kernel, wg) -> prepared sim input
+  CounterSnapshot analysis;      ///< (kernel, wg, pipe, budget) -> schedule analysis
 
   /// Multi-line human-readable footer ("runtime: ..." lines).
   [[nodiscard]] std::string str() const;

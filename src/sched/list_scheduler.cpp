@@ -1,12 +1,12 @@
 #include "sched/list_scheduler.h"
 
 #include <algorithm>
-#include <map>
 
 namespace flexcl::sched {
 
 ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
-                                const ResourceBudget& budget) {
+                                const ResourceBudget& budget,
+                                ListScheduleScratch& scratch) {
   const auto& nodes = dfg.nodes();
   ListScheduleResult result;
   result.startCycle.assign(nodes.size(), 0);
@@ -14,7 +14,8 @@ ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
 
   // Priority: longest latency path from the node to any sink (computed over
   // the reverse topological order — nodes are in program order).
-  std::vector<int> priority(nodes.size(), 0);
+  std::vector<int>& priority = scratch.priority;
+  priority.assign(nodes.size(), 0);
   for (std::size_t i = nodes.size(); i-- > 0;) {
     int best = 0;
     for (int s : nodes[i].succs) {
@@ -23,15 +24,18 @@ ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
     priority[i] = best + std::max(1, nodes[i].latency);
   }
 
-  std::vector<int> remainingPreds(nodes.size());
-  std::vector<int> readyAt(nodes.size(), 0);  // earliest data-ready cycle
+  std::vector<int>& remainingPreds = scratch.remainingPreds;
+  std::vector<int>& readyAt = scratch.readyAt;
+  remainingPreds.resize(nodes.size());
+  readyAt.assign(nodes.size(), 0);  // earliest data-ready cycle
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     remainingPreds[i] = static_cast<int>(nodes[i].preds.size());
   }
 
   // Ready pool: nodes whose predecessors all issued; they become eligible at
   // readyAt[i].
-  std::vector<int> pool;
+  std::vector<int>& pool = scratch.pool;
+  pool.clear();
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     if (remainingPreds[i] == 0) pool.push_back(static_cast<int>(i));
   }
@@ -42,7 +46,8 @@ ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
     // Per-cycle budget.
     int used[6] = {0, 0, 0, 0, 0, 0};
     // Candidates eligible this cycle, best priority first.
-    std::vector<int> eligible;
+    std::vector<int>& eligible = scratch.eligible;
+    eligible.clear();
     for (int i : pool) {
       if (readyAt[static_cast<std::size_t>(i)] <= cycle) eligible.push_back(i);
     }
@@ -86,6 +91,12 @@ ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
     }
   }
   return result;
+}
+
+ListScheduleResult listSchedule(const cdfg::BlockDfg& dfg,
+                                const ResourceBudget& budget) {
+  ListScheduleScratch scratch;
+  return listSchedule(dfg, budget, scratch);
 }
 
 }  // namespace flexcl::sched

@@ -33,9 +33,12 @@ namespace {
 /// True when the graph contains a cycle with positive total weight under
 /// edge weight = delay - II * distance. Uses Bellman-Ford on longest paths:
 /// if relaxation still succeeds after |V| rounds, a positive cycle exists.
-bool hasPositiveCycle(const PipelineGraph& graph, int ii) {
+/// `dist` is caller-provided working storage, reused across the binary
+/// search's probes (it is reinitialised here each call).
+bool hasPositiveCycle(const PipelineGraph& graph, int ii,
+                      std::vector<long long>& dist) {
   const std::size_t n = graph.nodes.size();
-  std::vector<long long> dist(n, 0);  // start everywhere: detects any cycle
+  dist.assign(n, 0);  // start everywhere: detects any cycle
   for (std::size_t round = 0; round <= n; ++round) {
     bool changed = false;
     for (const PipeEdge& e : graph.edges) {
@@ -67,10 +70,11 @@ int computeRecMII(const PipelineGraph& graph) {
   // Binary search the smallest II with no positive cycle.
   int lo = 1;
   int hi = static_cast<int>(std::min<long long>(delaySum + 1, 1 << 20));
-  if (hasPositiveCycle(graph, hi)) return hi;  // degenerate (distance-0 cycle)
+  std::vector<long long> dist;
+  if (hasPositiveCycle(graph, hi, dist)) return hi;  // degenerate (distance-0 cycle)
   while (lo < hi) {
     const int mid = lo + (hi - lo) / 2;
-    if (hasPositiveCycle(graph, mid)) {
+    if (hasPositiveCycle(graph, mid, dist)) {
       lo = mid + 1;
     } else {
       hi = mid;

@@ -8,9 +8,15 @@ namespace flexcl::sched {
 namespace {
 
 /// Modulo reservation table: per (cycle mod II, resource class) used units.
+/// Constructed once per SMS run and reset per II attempt, so the row storage
+/// is reused across the II retry loop (rows only grow to the largest II
+/// tried) instead of reallocating six vectors per attempt.
 class ReservationTable {
  public:
-  ReservationTable(int ii, const ResourceBudget& budget) : ii_(ii), budget_(budget) {
+  explicit ReservationTable(const ResourceBudget& budget) : budget_(budget) {}
+
+  void reset(int ii) {
+    ii_ = ii;
     for (auto& row : used_) row.assign(static_cast<std::size_t>(ii), 0);
   }
 
@@ -50,7 +56,7 @@ class ReservationTable {
   }
 
  private:
-  int ii_;
+  int ii_ = 1;
   ResourceBudget budget_;
   std::array<std::vector<int>, 6> used_;
 };
@@ -147,9 +153,11 @@ SmsResult swingModuloSchedule(const PipelineGraph& graph,
   (void)alap;
 
   const int iiCap = std::max(result.mii * 4 + makespan, result.mii + 64);
+  ReservationTable table(budget);
+  std::vector<int> start;
   for (int ii = result.mii; ii <= iiCap; ++ii) {
-    ReservationTable table(ii, budget);
-    std::vector<int> start(graph.nodes.size(), -1);
+    table.reset(ii);
+    start.assign(graph.nodes.size(), -1);
     bool ok = true;
 
     for (int nodeId : order) {
@@ -199,11 +207,11 @@ SmsResult swingModuloSchedule(const PipelineGraph& graph,
 
     if (ok) {
       result.ii = ii;
-      result.startCycle = start;
       int depth = 0;
       for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
         depth = std::max(depth, start[i] + graph.nodes[i].latency);
       }
+      result.startCycle = std::move(start);
       result.depth = depth;
       result.feasible = true;
       return result;

@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "dse/design_space.h"
 #include "ir/lower.h"
 #include "model/bottleneck.h"
 #include "model/flexcl.h"
+#include "sdaccel/sdaccel_estimator.h"
+#include "workloads/workload.h"
 
 namespace flexcl::model {
 namespace {
@@ -324,6 +327,124 @@ TEST(Bottleneck, PipelineDisabledDiagnosed) {
   const Estimate est = model.estimate(f.launch, dp);
   const BottleneckReport report = diagnose(est, dp);
   EXPECT_EQ(report.primary, Bottleneck::PipelineDisabled);
+}
+
+// ---------------------------------------------------------------------------
+// Analysis cache (DESIGN.md §11): the factorized estimation stages
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisCache, CuAndCommModeSweepAnalyzesOnce) {
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  DesignPoint dp;
+  dp.peParallelism = 2;
+  // The CU count reaches the schedule only through the DSP budget, which the
+  // cache key canonicalises; the communication mode never reaches it at all.
+  // A CU x mode sweep at fixed wg / P / pipelining is therefore one schedule
+  // computation, not six — the tentpole's headline saving.
+  for (int cu : {1, 2, 4}) {
+    for (CommMode mode : {CommMode::Pipeline, CommMode::Barrier}) {
+      dp.numComputeUnits = cu;
+      dp.commMode = mode;
+      EXPECT_TRUE(model.estimate(f.launch, dp).ok);
+    }
+  }
+  const runtime::CounterSnapshot c = model.analysisCacheCounters();
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.hits, 5u);
+}
+
+TEST(AnalysisCache, DistinctScheduleInputsMiss) {
+  Fixture f;
+  FlexCl model(Device::virtex7());
+  DesignPoint dp;
+  EXPECT_TRUE(model.estimate(f.launch, dp).ok);
+  dp.workGroupSize = {128, 1, 1};  // wg size changes the trip counts
+  EXPECT_TRUE(model.estimate(f.launch, dp).ok);
+  dp.innerLoopPipeline = true;  // and loop pipelining changes the schedule
+  EXPECT_TRUE(model.estimate(f.launch, dp).ok);
+  EXPECT_EQ(model.analysisCacheCounters().misses, 3u);
+}
+
+/// Evaluates one workload's (reduced) space with the model and the SDAccel
+/// estimator; used to compare cache-on and cache-off runs bit-for-bit.
+struct SweptWorkload {
+  std::vector<double> modelCycles;
+  std::vector<double> sdaccelCycles;  // -1 where the estimator failed
+  int bestByModel = -1;
+};
+
+SweptWorkload sweep(FlexCl& model, const workloads::CompiledWorkload& cw,
+                    const std::vector<DesignPoint>& space) {
+  SweptWorkload out;
+  const LaunchInfo launch = cw.launch();
+  for (const DesignPoint& dp : space) {
+    const Estimate est = model.estimate(launch, dp);
+    out.modelCycles.push_back(est.ok ? est.cycles : -1.0);
+    const cdfg::KernelAnalysis analysis = model.analysisFor(launch, dp);
+    const auto sd = sdaccel::estimateSdaccel(
+        *launch.fn, analysis, model.device(), dp,
+        FlexCl::rangeFor(launch, dp).globalCount());
+    out.sdaccelCycles.push_back(sd ? sd->cycles : -1.0);
+    if (est.ok &&
+        (out.bestByModel < 0 ||
+         est.cycles < out.modelCycles[static_cast<std::size_t>(out.bestByModel)])) {
+      out.bestByModel = static_cast<int>(out.modelCycles.size()) - 1;
+    }
+  }
+  return out;
+}
+
+TEST(AnalysisCache, BitIdenticalAcrossAllBundledWorkloads) {
+  // Every bundled kernel (45 Rodinia + 15 PolyBench), cache on vs off: the
+  // memoized stages are pure functions of their keys, so estimates, SDAccel
+  // estimates, and the design the model picks must match to the last bit.
+  // One wg size bounds the interpreter-profiling cost; the simulator is not
+  // involved (its path is cache-independent).
+  std::vector<workloads::Workload> all = workloads::rodiniaSuite();
+  const auto& poly = workloads::polybenchSuite();
+  all.insert(all.end(), poly.begin(), poly.end());
+  ASSERT_EQ(all.size(), 60u);
+
+  ModelOptions cachedOpts;
+  ModelOptions uncachedOpts;
+  uncachedOpts.analysisCache = false;
+
+  for (const workloads::Workload& w : all) {
+    std::string error;
+    auto compiled = workloads::compileWorkload(w, &error);
+    ASSERT_TRUE(compiled) << w.fullName() << ": " << error;
+
+    bool hasBarriers = false;
+    for (const auto& bb : compiled->fn->blocks()) {
+      for (const ir::Instruction* inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::Barrier) hasBarriers = true;
+      }
+    }
+    dse::SpaceOptions sopts;
+    sopts.workGroupSizes = {64};
+    sopts.peParallelism = {1, 4};
+    sopts.computeUnits = {1, 2};
+    const auto space =
+        dse::enumerateDesignSpace(compiled->meta.range, hasBarriers, sopts);
+    ASSERT_FALSE(space.empty()) << w.fullName();
+
+    FlexCl cached(Device::virtex7(), cachedOpts);
+    FlexCl uncached(Device::virtex7(), uncachedOpts);
+    const SweptWorkload a = sweep(cached, *compiled, space);
+    const SweptWorkload b = sweep(uncached, *compiled, space);
+    ASSERT_EQ(a.modelCycles.size(), b.modelCycles.size()) << w.fullName();
+    for (std::size_t i = 0; i < space.size(); ++i) {
+      EXPECT_EQ(a.modelCycles[i], b.modelCycles[i])
+          << w.fullName() << " " << space[i].str();
+      EXPECT_EQ(a.sdaccelCycles[i], b.sdaccelCycles[i])
+          << w.fullName() << " " << space[i].str();
+    }
+    EXPECT_EQ(a.bestByModel, b.bestByModel) << w.fullName();
+    EXPECT_GT(cached.analysisCacheCounters().lookups(), 0u) << w.fullName();
+    EXPECT_EQ(uncached.analysisCacheCounters().lookups(), 0u)
+        << "cache-off instance must not touch the cache";
+  }
 }
 
 }  // namespace

@@ -214,8 +214,9 @@ struct ExplorerFixture {
 };
 
 dse::ExplorationResult exploreWithJobs(const ExplorerFixture& f, int jobs,
-                                       runtime::EvalCache* evalCache = nullptr) {
-  model::FlexCl flexcl(model::Device::virtex7());
+                                       runtime::EvalCache* evalCache = nullptr,
+                                       model::ModelOptions modelOpts = {}) {
+  model::FlexCl flexcl(model::Device::virtex7(), modelOpts);
   dse::ExplorerOptions opts;
   opts.jobs = jobs;
   opts.evalCache = evalCache;
@@ -272,6 +273,70 @@ TEST(ExplorerRuntime, SharedEvalCacheMakesResweepsPureHits) {
     EXPECT_EQ(first.designs[i].flexclCycles, second.designs[i].flexclCycles);
     EXPECT_EQ(first.designs[i].simCycles, second.designs[i].simCycles);
   }
+}
+
+TEST(ExplorerRuntime, AnalysisCacheAndJobsDoNotChangeResults) {
+  // Crosses both knobs at once: serial + analysis cache (the default) vs
+  // 4 workers + cache disabled. The memoized stages are pure, so every
+  // result field must match to the last bit.
+  ExplorerFixture f;
+  model::ModelOptions uncached;
+  uncached.analysisCache = false;
+  const dse::ExplorationResult a = exploreWithJobs(f, 1);
+  const dse::ExplorationResult b =
+      exploreWithJobs(f, 4, /*evalCache=*/nullptr, uncached);
+
+  ASSERT_EQ(a.designs.size(), b.designs.size());
+  for (std::size_t i = 0; i < a.designs.size(); ++i) {
+    EXPECT_EQ(a.designs[i].flexclCycles, b.designs[i].flexclCycles) << i;
+    EXPECT_EQ(a.designs[i].simCycles, b.designs[i].simCycles) << i;
+    EXPECT_EQ(a.designs[i].sdaccelCycles, b.designs[i].sdaccelCycles) << i;
+  }
+  EXPECT_EQ(a.bestBySim, b.bestBySim);
+  EXPECT_EQ(a.bestByFlexcl, b.bestByFlexcl);
+  EXPECT_EQ(a.pickGapPct, b.pickGapPct);
+  EXPECT_EQ(a.speedupVsBaseline, b.speedupVsBaseline);
+}
+
+TEST(ExplorerRuntime, WarmRerunStatsReportPureHits) {
+  // Regression test for the warm-rerun accounting bug: runtimeStats used to
+  // report the shared EvalCache's cumulative counters, so a second Explorer
+  // over a warm cache showed the first run's misses as its own (equal hits
+  // and misses — a "50%" hit rate on a run that computed nothing). Stats are
+  // now deltas against the cache state at Explorer construction.
+  ExplorerFixture f;
+  model::FlexCl flexcl(model::Device::virtex7());
+  runtime::EvalCache evalCache;
+  dse::ExplorerOptions opts;
+  opts.jobs = 2;
+  opts.evalCache = &evalCache;
+
+  std::uint64_t coldMisses = 0;
+  {
+    dse::Explorer cold(flexcl, f.launch, opts);
+    cold.explore(f.space());
+    const runtime::Stats stats = cold.runtimeStats();
+    coldMisses = stats.flexclEval.misses + stats.simEval.misses +
+                 stats.sdaccelEval.misses;
+    EXPECT_GT(coldMisses, 0u);
+    EXPECT_GT(stats.analysis.misses, 0u);
+  }
+
+  dse::Explorer warm(flexcl, f.launch, opts);
+  warm.explore(f.space());
+  const runtime::Stats stats = warm.runtimeStats();
+  EXPECT_EQ(stats.flexclEval.misses, 0u);
+  EXPECT_EQ(stats.simEval.misses, 0u);
+  EXPECT_EQ(stats.sdaccelEval.misses, 0u);
+  EXPECT_GT(stats.flexclEval.hits, 0u);
+  EXPECT_EQ(stats.flexclEval.hitRatePct(), 100.0);
+  // The model's analysis cache is shared too (same FlexCl): the rerun's
+  // only lookups come from the prewarm (EvalCache hits short-circuit the
+  // estimates), and they are all hits.
+  EXPECT_EQ(stats.analysis.misses, 0u);
+  EXPECT_GT(stats.analysis.hits, 0u);
+  // Entries are a level, not a flow: still the absolute cache size.
+  EXPECT_EQ(stats.flexclEval.entries, evalCache.flexclCounters().entries);
 }
 
 TEST(ExplorerRuntime, StatsReportJobsAndCacheTraffic) {
