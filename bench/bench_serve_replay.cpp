@@ -1,0 +1,219 @@
+// Serving-store replay: cold process vs warm store (DESIGN.md §12).
+//
+// Replays one request mix — explores, estimates, lints and explains over
+// three representative kernels — through two serve::Dispatcher instances
+// sharing an on-disk store:
+//   1. cold: empty store, everything computed and persisted,
+//   2. warm: a *new* dispatcher over the populated store, simulating a
+//      restarted daemon answering the same traffic.
+// Reports, as JSON on stdout:
+//   - a google-benchmark-shaped "serve_replay" section (BM_ServeReplayCold /
+//     BM_ServeReplayWarm wall-clock ns) consumable by bench_gate,
+//   - whether every warm response was byte-identical to its cold twin
+//     (the store must change *when*, never *what*),
+//   - the warm run's combined cache hit rate and disk-warmed share, straight
+//     from the dispatcher's runtime::Stats counters (the same numbers the
+//     `cache.*.warm_hits` gauges publish).
+// Exit code 1 when responses diverge or the combined warm hit rate drops
+// below 90% — wall-clock speedup is reported but not gated (CI noise).
+//
+// Usage: bench_serve_replay [store-dir]   (default: serve_replay_store)
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "serve/dispatcher.h"
+#include "serve/json.h"
+
+using namespace flexcl;
+
+namespace {
+
+struct ReplayKernel {
+  const char* name;
+  const char* source;
+  std::uint64_t global;
+};
+
+// Three shapes the model treats differently: streaming, loop-carried work,
+// and local memory with barriers (forces barrier comm mode).
+const ReplayKernel kKernels[] = {
+    {"saxpy",
+     "__kernel void saxpy(__global float* x, __global float* y, float a) {"
+     "  int i = get_global_id(0); y[i] = a * x[i] + y[i]; }",
+     512},
+    {"rowsum",
+     "__kernel void rowsum(__global float* m, __global float* out, int n) {"
+     "  int i = get_global_id(0); float acc = 0.0f;"
+     "  for (int j = 0; j < 64; ++j) acc += m[i * 64 + j];"
+     "  out[i] = acc; }",
+     256},
+    {"stencil",
+     "__kernel void stencil(__global float* in, __global float* out) {"
+     "  __local float tile[66]; int g = get_global_id(0);"
+     "  int l = get_local_id(0); tile[l + 1] = in[g];"
+     "  barrier(CLK_LOCAL_MEM_FENCE);"
+     "  out[g] = tile[l] + tile[l + 1] + tile[l + 2]; }",
+     512},
+};
+
+std::vector<std::string> buildRequestMix() {
+  std::vector<std::string> lines;
+  std::uint64_t id = 1;
+  for (const ReplayKernel& k : kKernels) {
+    const std::string common = std::string("\"source\": \"") +
+                               serve::jsonEscapeString(k.source) +
+                               "\", \"kernel\": \"" + k.name +
+                               "\", \"global\": " + std::to_string(k.global);
+    std::ostringstream explore;
+    explore << "{\"id\": " << id++ << ", \"op\": \"explore\", " << common
+            << "}";
+    lines.push_back(explore.str());
+    for (int wg : {32, 64}) {
+      for (int pe : {1, 4}) {
+        std::ostringstream est;
+        est << "{\"id\": " << id++ << ", \"op\": \"estimate\", " << common
+            << ", \"design\": {\"wg\": " << wg << ", \"pe\": " << pe << "}}";
+        lines.push_back(est.str());
+      }
+    }
+    std::ostringstream lint;
+    lint << "{\"id\": " << id++ << ", \"op\": \"lint\", " << common
+         << ", \"design\": {\"wg\": 64}}";
+    lines.push_back(lint.str());
+    std::ostringstream explain;
+    explain << "{\"id\": " << id++ << ", \"op\": \"explain\", " << common
+            << ", \"design\": {\"wg\": 64, \"pe\": 2}}";
+    lines.push_back(explain.str());
+  }
+  return lines;
+}
+
+struct ReplayRun {
+  std::vector<std::string> responses;
+  double seconds = 0;
+  double cpuSeconds = 0;
+  runtime::Stats stats;
+  runtime::CounterSnapshot responseCounters;
+};
+
+ReplayRun replay(const std::string& storeDir,
+                 const std::vector<std::string>& lines) {
+  serve::DispatcherOptions opts;
+  opts.storeDir = storeDir;
+  serve::Dispatcher dispatcher(opts);
+  ReplayRun run;
+  if (!dispatcher.storeOk()) {
+    std::fprintf(stderr, "store failed: %s\n", dispatcher.storeError().c_str());
+    return run;
+  }
+  const auto wallStart = std::chrono::steady_clock::now();
+  const std::clock_t cpuStart = std::clock();
+  run.responses.reserve(lines.size());
+  for (const std::string& line : lines) {
+    run.responses.push_back(dispatcher.handleLine(line));
+  }
+  run.cpuSeconds =
+      static_cast<double>(std::clock() - cpuStart) / CLOCKS_PER_SEC;
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wallStart)
+                    .count();
+  run.stats = dispatcher.stats();
+  run.responseCounters = dispatcher.responseCounters();
+  return run;
+}
+
+/// hits / (hits + misses) over every family the serve path exercises,
+/// plus the rendered-response cache.
+void combinedTraffic(const ReplayRun& run, std::uint64_t* hits,
+                     std::uint64_t* misses, std::uint64_t* warm) {
+  const runtime::CounterSnapshot* families[] = {
+      &run.stats.compile,  &run.stats.flexclEval, &run.stats.sdaccelEval,
+      &run.stats.simEval,  &run.stats.profile,    &run.stats.analysis,
+      &run.responseCounters,
+  };
+  *hits = *misses = *warm = 0;
+  for (const runtime::CounterSnapshot* c : families) {
+    *hits += c->hits;
+    *misses += c->misses;
+    *warm += c->warmHits;
+  }
+}
+
+void printBenchEntry(const char* name, const ReplayRun& run, bool last) {
+  std::printf("    {\"name\": \"%s\", \"iterations\": 1, "
+              "\"real_time\": %.0f, \"cpu_time\": %.0f, "
+              "\"time_unit\": \"ns\"}%s\n",
+              name, run.seconds * 1e9, run.cpuSeconds * 1e9, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ObsOptions obsOpts;
+  if (!obsOpts.parse(&argc, argv)) return 2;
+  obsOpts.begin();
+
+  const std::string storeDir = argc > 1 ? argv[1] : "serve_replay_store";
+  std::filesystem::remove_all(storeDir);
+
+  const std::vector<std::string> lines = buildRequestMix();
+  const ReplayRun cold = replay(storeDir, lines);
+  const ReplayRun warm = replay(storeDir, lines);  // a "restarted" daemon
+  if (cold.responses.size() != lines.size() ||
+      warm.responses.size() != lines.size()) {
+    return 1;
+  }
+
+  const bool bitIdentical = cold.responses == warm.responses;
+  std::uint64_t warmHits = 0, warmMisses = 0, warmFromDisk = 0;
+  combinedTraffic(warm, &warmHits, &warmMisses, &warmFromDisk);
+  const double hitRatePct =
+      warmHits + warmMisses > 0
+          ? 100.0 * static_cast<double>(warmHits) /
+                static_cast<double>(warmHits + warmMisses)
+          : 0.0;
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"flexcl-serve-replay-v1\",\n");
+  std::printf("  \"serve_replay\": [\n");
+  printBenchEntry("BM_ServeReplayCold", cold, false);
+  printBenchEntry("BM_ServeReplayWarm", warm, true);
+  std::printf("  ],\n");
+  std::printf("  \"replay\": {\n");
+  std::printf("    \"requests\": %zu,\n", lines.size());
+  std::printf("    \"bit_identical\": %s,\n", bitIdentical ? "true" : "false");
+  std::printf("    \"speedup\": %.2f,\n",
+              warm.seconds > 0 ? cold.seconds / warm.seconds : 0.0);
+  std::printf("    \"warm_combined_hit_rate_pct\": %.1f,\n", hitRatePct);
+  std::printf("    \"warm_disk_warmed_hits\": %llu,\n",
+              static_cast<unsigned long long>(warmFromDisk));
+  std::printf("    \"cold_stats\": %s,\n", cold.stats.json().c_str());
+  std::printf("    \"warm_stats\": %s,\n", warm.stats.json().c_str());
+  std::printf("    \"warm_responses\": %s\n",
+              warm.responseCounters.json().c_str());
+  std::printf("  }\n");
+  std::printf("}\n");
+
+  runtime::Stats statsForObs = warm.stats;
+  if (!obsOpts.finish(&statsForObs)) return 1;
+  if (!bitIdentical) {
+    std::fprintf(stderr, "FAIL: warm responses differ from cold run\n");
+    return 1;
+  }
+  if (hitRatePct < 90.0) {
+    std::fprintf(stderr, "FAIL: warm combined hit rate %.1f%% < 90%%\n",
+                 hitRatePct);
+    return 1;
+  }
+  if (warmFromDisk == 0) {
+    std::fprintf(stderr, "FAIL: no disk-warmed hits on the warm run\n");
+    return 1;
+  }
+  return 0;
+}

@@ -60,6 +60,14 @@ const interp::KernelProfile& FlexCl::profileFor(const LaunchInfo& launch,
   });
 }
 
+bool FlexCl::seedProfile(const LaunchInfo& launch, const DesignPoint& design,
+                         interp::KernelProfile profile) {
+  const interp::NdRange range = rangeFor(launch, design);
+  const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
+                       range.local[0], range.local[1],    range.local[2]};
+  return profiles_.seed(key, std::move(profile));
+}
+
 const StaticInputs& FlexCl::staticInputsFor(const LaunchInfo& launch,
                                             const DesignPoint& design) {
   const interp::NdRange range = rangeFor(launch, design);

@@ -164,6 +164,24 @@ class FlexCl {
   const StaticInputs& staticInputsFor(const LaunchInfo& launch,
                                       const DesignPoint& design);
 
+  /// Persistence hooks for the serve store (DESIGN.md §12). seedProfile
+  /// plants a profile deserialized from disk for the effective launch
+  /// geometry of `design` (marked warm — later hits count into
+  /// CounterSnapshot::warmHits); false when the slot is already occupied.
+  /// forEachProfile exports every cached profile as
+  /// fn(local0, local1, local2, profile) — the local size is the
+  /// process-stable half of ProfileKey (the store mixes it with the kernel
+  /// content hash; the fn pointer half is meaningless across processes).
+  bool seedProfile(const LaunchInfo& launch, const DesignPoint& design,
+                   interp::KernelProfile profile);
+  template <typename Fn>
+  void forEachProfile(Fn&& fn) const {
+    profiles_.forEach(
+        [&](const ProfileKey& key, const interp::KernelProfile& profile) {
+          fn(std::get<3>(key), std::get<4>(key), std::get<5>(key), profile);
+        });
+  }
+
   /// Hit/miss counters of the profile cache (runtime::Stats reporting).
   [[nodiscard]] runtime::CounterSnapshot profileCacheCounters() const {
     return profiles_.counters();

@@ -54,7 +54,7 @@ class MemoCache {
       if (it != map_.end()) {
         std::shared_ptr<Slot> slot = it->second;
         lock.unlock();
-        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+        countHit(*slot);
         return awaitSlot(*slot);
       }
     }
@@ -71,7 +71,7 @@ class MemoCache {
       if (it != map_.end()) {
         slot = it->second;
         lock.unlock();
-        counters_.hits.fetch_add(1, std::memory_order_relaxed);
+        countHit(*slot);
         return awaitSlot(*slot);
       }
       slot = std::make_shared<Slot>();
@@ -91,6 +91,40 @@ class MemoCache {
     computeLock.unlock();
     if (slot->error) std::rethrow_exception(slot->error);
     return slot->value;
+  }
+
+  /// Inserts a precomputed value for `key` (the disk warm-start path: the
+  /// serve store seeds caches with entries deserialized from prior traffic).
+  /// Entries planted this way are marked *warm*: a later getOrCompute hit on
+  /// them counts into `warmHits` as well as `hits`, which is what lets
+  /// runtime::Stats attribute disk-warmed traffic separately from hits the
+  /// process earned itself. Counts neither a hit nor a miss by itself.
+  /// Returns false (and changes nothing) when the key is already present —
+  /// an in-process computation always wins over a seed racing it.
+  bool seed(const Key& key, Value value) {
+    auto slot = std::make_shared<Slot>();
+    slot->value = std::make_shared<const Value>(std::move(value));
+    slot->warm = true;
+    slot->done.store(true, std::memory_order_release);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    auto [it, inserted] = map_.emplace(key, std::move(slot));
+    (void)it;
+    if (!inserted) return false;
+    insertionOrder_.push_back(key);
+    evictLocked();
+    return true;
+  }
+
+  /// Visits every completed, non-error entry as fn(key, value) under the
+  /// shared map lock (the store-save export path). `fn` must not reenter the
+  /// cache.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (const auto& [key, slot] : map_) {
+      if (!slot->done.load(std::memory_order_acquire) || slot->error) continue;
+      fn(key, *slot->value);
+    }
   }
 
   /// Shared-lock probe; nullptr when absent or still computing. Does not
@@ -119,6 +153,7 @@ class MemoCache {
   [[nodiscard]] CounterSnapshot counters() const {
     CounterSnapshot snap;
     snap.hits = counters_.hits.load(std::memory_order_relaxed);
+    snap.warmHits = counters_.warmHits.load(std::memory_order_relaxed);
     snap.misses = counters_.misses.load(std::memory_order_relaxed);
     snap.evictions = counters_.evictions.load(std::memory_order_relaxed);
     snap.entries = size();
@@ -129,15 +164,27 @@ class MemoCache {
   struct Slot {
     std::mutex compute;
     std::atomic<bool> done{false};
+    /// Planted by seed() (disk warm-start) rather than computed in-process.
+    bool warm = false;
     std::shared_ptr<const Value> value;
     std::exception_ptr error;
   };
 
   struct Counters {
     std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> warmHits{0};
     std::atomic<std::uint64_t> misses{0};
     std::atomic<std::uint64_t> evictions{0};
   };
+
+  /// Hit accounting: every hit counts into `hits`; hits on seeded entries
+  /// additionally count into `warmHits` (warmHits ⊆ hits). `slot.warm` is
+  /// written before the slot is published and never changes, so reading it
+  /// without the map lock is safe.
+  void countHit(const Slot& slot) {
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    if (slot.warm) counters_.warmHits.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Waits (if needed) for the slot's one-time computation and returns the
   /// value or rethrows the cached failure.

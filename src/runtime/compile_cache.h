@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "analysis/report.h"
 #include "ir/lower.h"
@@ -49,6 +50,26 @@ class CompileCache {
   std::shared_ptr<const CompiledKernel> compile(
       const std::string& source, const std::string& kernelName,
       const std::unordered_map<std::string, std::string>& defines = {});
+
+  /// Serve-store warm start (DESIGN.md §12): plants a *failed* compilation
+  /// (diagnostics only) deserialized from disk, so a warm process rejects a
+  /// known-broken kernel without re-parsing it. Successful compilations are
+  /// never seeded — CompiledKernel carries live IR that cannot round-trip
+  /// disk — so good kernels recompile once per process.
+  bool seedFailure(std::uint64_t hash, std::string error) {
+    CompiledKernel failed;
+    failed.hash = hash;
+    failed.ok = false;
+    failed.error = std::move(error);
+    return cache_.seed(hash, std::move(failed));
+  }
+
+  /// Visits every completed compilation as fn(hash, CompiledKernel) — the
+  /// store-save export path (only the outcome is persisted, not the IR).
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    cache_.forEach(std::forward<Fn>(fn));
+  }
 
   [[nodiscard]] CounterSnapshot counters() const { return cache_.counters(); }
   [[nodiscard]] std::size_t size() const { return cache_.size(); }

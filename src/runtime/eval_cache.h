@@ -62,6 +62,37 @@ class EvalCache {
     return sim_.getOrCompute(keyFor(kernelHash, dp), std::forward<Fn>(fn));
   }
 
+  // --- persistence hooks (serve store, DESIGN.md §12) ----------------------
+  // seed* plants a result deserialized from the on-disk store (marked warm:
+  // later hits on it count as disk-warmed in CounterSnapshot); forEach*
+  // exports every completed result for serialization. Keys are stable across
+  // processes: kernelHash is a content hash and designId is
+  // DesignPoint::stableId().
+
+  bool seedFlexcl(const EvalKey& key, model::Estimate value) {
+    return flexcl_.seed(key, std::move(value));
+  }
+  bool seedSdaccel(const EvalKey& key,
+                   std::optional<sdaccel::SdaccelEstimate> value) {
+    return sdaccel_.seed(key, std::move(value));
+  }
+  bool seedSim(const EvalKey& key, sim::SimResult value) {
+    return sim_.seed(key, std::move(value));
+  }
+
+  template <typename Fn>
+  void forEachFlexcl(Fn&& fn) const {
+    flexcl_.forEach(std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void forEachSdaccel(Fn&& fn) const {
+    sdaccel_.forEach(std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void forEachSim(Fn&& fn) const {
+    sim_.forEach(std::forward<Fn>(fn));
+  }
+
   [[nodiscard]] CounterSnapshot flexclCounters() const {
     return flexcl_.counters();
   }

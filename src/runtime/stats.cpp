@@ -26,6 +26,7 @@ void appendHumanCache(std::ostringstream& os, const char* name,
 CounterSnapshot CounterSnapshot::deltaSince(const CounterSnapshot& baseline) const {
   CounterSnapshot d = *this;
   d.hits -= std::min(baseline.hits, d.hits);
+  d.warmHits -= std::min(baseline.warmHits, d.warmHits);
   d.misses -= std::min(baseline.misses, d.misses);
   d.evictions -= std::min(baseline.evictions, d.evictions);
   return d;
@@ -33,6 +34,7 @@ CounterSnapshot CounterSnapshot::deltaSince(const CounterSnapshot& baseline) con
 
 CounterSnapshot& CounterSnapshot::operator+=(const CounterSnapshot& other) {
   hits += other.hits;
+  warmHits += other.warmHits;
   misses += other.misses;
   evictions += other.evictions;
   entries += other.entries;
@@ -45,6 +47,7 @@ std::string CounterSnapshot::str() const {
   os.precision(1);
   os << std::fixed << " (" << hitRatePct() << "% hit rate, " << entries
      << " entries";
+  if (warmHits > 0) os << ", " << warmHits << " disk-warmed";
   if (evictions > 0) os << ", " << evictions << " evicted";
   os << ")";
   return os.str();
@@ -52,9 +55,9 @@ std::string CounterSnapshot::str() const {
 
 std::string CounterSnapshot::json() const {
   std::ostringstream os;
-  os << "{\"hits\": " << hits << ", \"misses\": " << misses
-     << ", \"evictions\": " << evictions << ", \"entries\": " << entries
-     << "}";
+  os << "{\"hits\": " << hits << ", \"warm_hits\": " << warmHits
+     << ", \"misses\": " << misses << ", \"evictions\": " << evictions
+     << ", \"entries\": " << entries << "}";
   return os.str();
 }
 
@@ -88,6 +91,7 @@ void Stats::publishTo(obs::Registry& registry) const {
                                         const CounterSnapshot& c) {
     const std::string prefix = std::string("cache.") + name + ".";
     registry.setGauge(prefix + "hits", static_cast<double>(c.hits));
+    registry.setGauge(prefix + "warm_hits", static_cast<double>(c.warmHits));
     registry.setGauge(prefix + "misses", static_cast<double>(c.misses));
     registry.setGauge(prefix + "evictions", static_cast<double>(c.evictions));
     registry.setGauge(prefix + "entries", static_cast<double>(c.entries));

@@ -16,6 +16,12 @@ namespace flexcl::runtime {
 /// inside the cache; snapshots are plain values safe to pass around).
 struct CounterSnapshot {
   std::uint64_t hits = 0;
+  /// Hits served by entries seeded from the on-disk store (MemoCache::seed)
+  /// rather than computed in this process. Always a subset of `hits`, so
+  /// hitRatePct() is unaffected; `hits - warmHits` is the in-process share.
+  /// Lets `flexcl serve` attribute a warm-start's effect separately from the
+  /// process's own reuse (DESIGN.md §12).
+  std::uint64_t warmHits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;

@@ -1,0 +1,542 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/analyze.h"
+#include "dse/design_space.h"
+#include "dse/explorer.h"
+#include "obs/explain.h"
+#include "obs/registry.h"
+#include "serve/store/codec.h"
+#include "support/rng.h"
+#include "workloads/synth_args.h"
+
+namespace flexcl::serve {
+namespace {
+
+std::uint64_t hashString(const std::string& s) {
+  return stableHash(s.data(), s.size());
+}
+
+bool kernelHasBarriers(const ir::Function& fn) {
+  for (const auto& bb : fn.blocks()) {
+    for (const ir::Instruction* inst : bb->instructions()) {
+      if (inst->opcode() == ir::Opcode::Barrier) return true;
+    }
+  }
+  return false;
+}
+
+/// EvalKey pair + payload wrapper: eval-family store entries re-encode the
+/// true key (the file name is a hash of it, not invertible).
+std::vector<std::uint8_t> wrapEvalPayload(const runtime::EvalKey& key,
+                                          ByteWriter&& body) {
+  ByteWriter w;
+  w.u64(key.kernelHash);
+  w.u64(key.designId);
+  for (std::uint8_t b : body.bytes()) w.u8(b);
+  return w.take();
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : options_(std::move(options)) {
+  if (options_.storeDir.empty()) return;
+  auto store = std::make_unique<Store>(options_.storeDir);
+  if (!store->ok()) {
+    storeError_ = store->error();
+    return;
+  }
+  store_ = std::move(store);
+
+  // Eager warm start: every family whose keys are process-stable is seeded
+  // now. Profiles wait for their context (their cache key needs the live
+  // ir::Function); compile *successes* are never seeded (the IR is not
+  // persisted), only failures.
+  const auto mark = [this](Store::Family f, std::uint64_t key) {
+    saved_.insert({static_cast<std::uint32_t>(f), key});
+  };
+  store_->loadAll(Store::Family::FlexclEval, kEstimateCodecVersion,
+                  [&](std::uint64_t fileKey, const std::vector<std::uint8_t>& bytes) {
+                    ByteReader r(bytes);
+                    runtime::EvalKey key{r.u64(), r.u64()};
+                    model::Estimate e;
+                    if (decodeEstimate(r, &e)) {
+                      evalCache_.seedFlexcl(key, std::move(e));
+                      mark(Store::Family::FlexclEval, fileKey);
+                    }
+                  });
+  store_->loadAll(Store::Family::SdaccelEval, kSdaccelCodecVersion,
+                  [&](std::uint64_t fileKey, const std::vector<std::uint8_t>& bytes) {
+                    ByteReader r(bytes);
+                    runtime::EvalKey key{r.u64(), r.u64()};
+                    std::optional<sdaccel::SdaccelEstimate> e;
+                    if (decodeSdaccel(r, &e)) {
+                      evalCache_.seedSdaccel(key, std::move(e));
+                      mark(Store::Family::SdaccelEval, fileKey);
+                    }
+                  });
+  store_->loadAll(Store::Family::SimEval, kSimResultCodecVersion,
+                  [&](std::uint64_t fileKey, const std::vector<std::uint8_t>& bytes) {
+                    ByteReader r(bytes);
+                    runtime::EvalKey key{r.u64(), r.u64()};
+                    sim::SimResult s;
+                    if (decodeSimResult(r, &s)) {
+                      evalCache_.seedSim(key, std::move(s));
+                      mark(Store::Family::SimEval, fileKey);
+                    }
+                  });
+  store_->loadAll(Store::Family::Response, kResponseCodecVersion,
+                  [&](std::uint64_t key, const std::vector<std::uint8_t>& bytes) {
+                    responses_.seed(key, std::string(bytes.begin(), bytes.end()));
+                    mark(Store::Family::Response, key);
+                  });
+  store_->loadAll(Store::Family::Compile, kCompileCodecVersion,
+                  [&](std::uint64_t key, const std::vector<std::uint8_t>& bytes) {
+                    ByteReader r(bytes);
+                    CompileOutcome outcome;
+                    if (decodeCompileOutcome(r, &outcome)) {
+                      if (!outcome.ok) {
+                        compileCache_.seedFailure(outcome.key, outcome.error);
+                      }
+                      mark(Store::Family::Compile, key);
+                    }
+                  });
+  obs::setGauge("serve.store.warm_entries",
+                static_cast<double>(saved_.size()));
+}
+
+Dispatcher::~Dispatcher() = default;
+
+Dispatcher::LaunchContext* Dispatcher::contextFor(const Request& request,
+                                                  std::string* error) {
+  if (request.device != "virtex7" && request.device != "ku060") {
+    *error = "unknown device '" + request.device + "'";
+    return nullptr;
+  }
+  const std::uint64_t elems =
+      request.elems ? request.elems
+                    : request.global * std::max<std::uint64_t>(1, request.globalY);
+  const std::uint64_t kernelHash =
+      runtime::kernelKeyHash(request.source, request.kernel);
+  std::uint64_t scope = stableHashCombine(kernelHash, hashString(request.device));
+  scope = stableHashCombine(scope, request.global);
+  scope = stableHashCombine(scope, request.globalY);
+  scope = stableHashCombine(scope, elems);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = contexts_.find(scope);
+    if (it != contexts_.end()) {
+      if (!it->second->compiled->ok) {
+        *error = it->second->compiled->error;
+        return nullptr;
+      }
+      return it->second.get();
+    }
+  }
+
+  // Compile outside the contexts lock (concurrent requests for the same
+  // kernel compile once inside the CompileCache anyway).
+  auto ctx = std::make_unique<LaunchContext>();
+  ctx->scopeHash = scope;
+  ctx->compiled = compileCache_.compile(request.source, request.kernel);
+  if (store_) {
+    CompileOutcome outcome;
+    outcome.key = ctx->compiled->hash;
+    outcome.ok = ctx->compiled->ok;
+    outcome.error = ctx->compiled->error;
+    outcome.kernelName = request.kernel;
+    ByteWriter w;
+    encodeCompileOutcome(w, outcome);
+    persist(Store::Family::Compile, outcome.key, kCompileCodecVersion, w.take());
+  }
+  if (ctx->compiled->ok) {
+    workloads::synthesiseArgs(*ctx->compiled->fn, elems, &ctx->buffers,
+                              &ctx->launch.args);
+    ctx->launch.fn = ctx->compiled->fn;
+    ctx->launch.range.global = {request.global, request.globalY, 1};
+    ctx->launch.buffers = &ctx->buffers;
+    ctx->flexcl = std::make_unique<model::FlexCl>(
+        request.device == "ku060" ? model::Device::ku060()
+                                  : model::Device::virtex7(),
+        options_.model);
+    // Mirror Explorer's EvalCache key prefix exactly so serve requests and a
+    // simulate-mode exploration of the same launch share entries.
+    std::uint64_t base = ctx->compiled->hash;
+    base = stableHashCombine(base, hashString(ctx->flexcl->device().name));
+    base = stableHashCombine(base, hashString(ctx->launch.fn->name()));
+    base = stableHashCombine(base, ctx->launch.fn->instructionCount());
+    for (std::uint64_t g : ctx->launch.range.global) {
+      base = stableHashCombine(base, g);
+    }
+    ctx->evalKeyBase = base;
+    ctx->profileKeyBase = stableHashCombine(
+        stableHashCombine(stableHashCombine(kernelHash, request.global),
+                          request.globalY),
+        elems);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = contexts_.emplace(scope, std::move(ctx));
+  (void)inserted;  // a racing creator won; use theirs
+  if (!it->second->compiled->ok) {
+    *error = it->second->compiled->error;
+    return nullptr;
+  }
+  obs::setGauge("serve.launch_contexts", static_cast<double>(contexts_.size()));
+  return it->second.get();
+}
+
+void Dispatcher::seedProfileFor(LaunchContext& ctx,
+                                const model::DesignPoint& design) {
+  if (!store_) return;
+  const interp::NdRange range = model::FlexCl::rangeFor(ctx.launch, design);
+  std::uint64_t key = ctx.profileKeyBase;
+  for (std::uint64_t l : range.local) key = stableHashCombine(key, l);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ctx.profileKeysSeen.insert(key).second) return;
+  }
+  const auto bytes = store_->load(Store::Family::Profile, key, kProfileCodecVersion);
+  if (!bytes) return;
+  ByteReader r(*bytes);
+  interp::KernelProfile profile;
+  if (!decodeProfile(r, &profile)) return;
+  if (ctx.flexcl->seedProfile(ctx.launch, design, std::move(profile))) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    saved_.insert({static_cast<std::uint32_t>(Store::Family::Profile), key});
+  }
+}
+
+std::shared_ptr<const model::Estimate> Dispatcher::estimateVia(
+    LaunchContext& ctx, const model::DesignPoint& design) {
+  seedProfileFor(ctx, design);
+  auto est = evalCache_.flexcl(ctx.evalKeyBase, design, [&] {
+    return ctx.flexcl->estimate(ctx.launch, design);
+  });
+  if (store_) {
+    const runtime::EvalKey key{ctx.evalKeyBase, design.stableId()};
+    ByteWriter body;
+    encodeEstimate(body, *est);
+    persist(Store::Family::FlexclEval,
+            stableHashCombine(key.kernelHash, key.designId),
+            kEstimateCodecVersion, wrapEvalPayload(key, std::move(body)));
+  }
+  return est;
+}
+
+std::string Dispatcher::responseVia(std::uint64_t key,
+                                    const std::function<std::string()>& render) {
+  auto result = responses_.getOrCompute(key, [&] { return render(); });
+  if (store_) {
+    persist(Store::Family::Response, key, kResponseCodecVersion,
+            std::vector<std::uint8_t>(result->begin(), result->end()));
+  }
+  return *result;
+}
+
+void Dispatcher::persist(Store::Family family, std::uint64_t key,
+                         std::uint32_t payloadVersion,
+                         std::vector<std::uint8_t> payload) {
+  if (!store_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!saved_.insert({static_cast<std::uint32_t>(family), key}).second) {
+      return;
+    }
+  }
+  if (!store_->save(family, key, payloadVersion, payload)) {
+    // Retry on a later request rather than losing the entry for good.
+    std::lock_guard<std::mutex> lock(mutex_);
+    saved_.erase({static_cast<std::uint32_t>(family), key});
+  }
+}
+
+void Dispatcher::persistCaches() {
+  if (!store_) return;
+  // Eval families: the in-memory key is re-encoded into the payload (the
+  // file name hash is not invertible). persist() dedups, so steady-state
+  // traffic skips everything already on disk.
+  evalCache_.forEachFlexcl([&](const runtime::EvalKey& key,
+                               const model::Estimate& e) {
+    ByteWriter body;
+    encodeEstimate(body, e);
+    persist(Store::Family::FlexclEval,
+            stableHashCombine(key.kernelHash, key.designId),
+            kEstimateCodecVersion, wrapEvalPayload(key, std::move(body)));
+  });
+  evalCache_.forEachSdaccel(
+      [&](const runtime::EvalKey& key,
+          const std::optional<sdaccel::SdaccelEstimate>& e) {
+        ByteWriter body;
+        encodeSdaccel(body, e);
+        persist(Store::Family::SdaccelEval,
+                stableHashCombine(key.kernelHash, key.designId),
+                kSdaccelCodecVersion, wrapEvalPayload(key, std::move(body)));
+      });
+  evalCache_.forEachSim([&](const runtime::EvalKey& key,
+                            const sim::SimResult& s) {
+    ByteWriter body;
+    encodeSimResult(body, s);
+    persist(Store::Family::SimEval,
+            stableHashCombine(key.kernelHash, key.designId),
+            kSimResultCodecVersion, wrapEvalPayload(key, std::move(body)));
+  });
+  // Profiles, per context (the store key mixes the kernel content hash and
+  // geometry with the effective local size).
+  std::vector<LaunchContext*> contexts;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    contexts.reserve(contexts_.size());
+    for (auto& [scope, ctx] : contexts_) contexts.push_back(ctx.get());
+  }
+  for (LaunchContext* ctx : contexts) {
+    if (!ctx->flexcl) continue;
+    ctx->flexcl->forEachProfile([&](std::uint64_t l0, std::uint64_t l1,
+                                    std::uint64_t l2,
+                                    const interp::KernelProfile& profile) {
+      std::uint64_t key = ctx->profileKeyBase;
+      key = stableHashCombine(key, l0);
+      key = stableHashCombine(key, l1);
+      key = stableHashCombine(key, l2);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (saved_.count({static_cast<std::uint32_t>(Store::Family::Profile),
+                          key}) > 0) {
+          return;
+        }
+      }
+      ByteWriter w;
+      encodeProfile(w, profile);
+      persist(Store::Family::Profile, key, kProfileCodecVersion, w.take());
+    });
+  }
+}
+
+std::string Dispatcher::handleEstimate(const Request& request) {
+  std::string error;
+  LaunchContext* ctx = contextFor(request, &error);
+  if (ctx == nullptr) return renderErrorResponse(request.id, request.op, error);
+  const auto est = estimateVia(*ctx, request.design);
+  if (!est->ok) return renderErrorResponse(request.id, request.op, est->error);
+  std::ostringstream os;
+  os << "{\"kernel\": \"" << jsonEscapeString(request.kernel) << "\""
+     << ", \"device\": \"" << jsonEscapeString(request.device) << "\""
+     << ", \"design\": " << renderDesign(request.design)
+     << ", \"cycles\": " << jsonNumber(est->cycles)
+     << ", \"ms\": " << jsonNumber(est->milliseconds)
+     << ", \"mode\": \"" << model::commModeName(est->mode) << "\""
+     << ", \"binding\": \"" << est->breakdown.binding() << "\""
+     << ", \"breakdown\": {\"compute\": " << jsonNumber(est->breakdown.compute)
+     << ", \"memory\": " << jsonNumber(est->breakdown.memory)
+     << ", \"fill_drain\": " << jsonNumber(est->breakdown.fillDrain)
+     << ", \"dispatch\": " << jsonNumber(est->breakdown.dispatch) << "}"
+     << ", \"ii_comp\": " << jsonNumber(est->pe.iiComp)
+     << ", \"ii_wi\": " << jsonNumber(est->iiWi)
+     << ", \"depth\": " << jsonNumber(est->pe.depth)
+     << ", \"effective_pes\": " << est->cu.effectivePes
+     << ", \"effective_cus\": " << est->kernelCompute.effectiveCus
+     << ", \"barrier_count\": " << est->barrierCount << "}";
+  return renderResponse(request.id, request.op, os.str());
+}
+
+std::string Dispatcher::handleExplore(const Request& request) {
+  std::string error;
+  LaunchContext* ctx = contextFor(request, &error);
+  if (ctx == nullptr) return renderErrorResponse(request.id, request.op, error);
+  const bool barriers = kernelHasBarriers(*ctx->launch.fn);
+  const auto space = dse::enumerateDesignSpace(ctx->launch.range, barriers);
+  if (space.empty()) {
+    return renderErrorResponse(request.id, request.op, "empty design space");
+  }
+
+  if (request.simulate) {
+    // Full three-evaluator exploration (slow): delegate to the Explorer with
+    // the dispatcher's shared EvalCache. Serial inside this request — the
+    // serving pool is the parallelism layer.
+    dse::ExplorerOptions exOpts;
+    exOpts.jobs = 1;
+    exOpts.evalCache = &evalCache_;
+    exOpts.kernelHash = ctx->compiled->hash;
+    exOpts.lint = ctx->compiled->lint.get();
+    dse::Explorer explorer(*ctx->flexcl, ctx->launch, exOpts);
+    const dse::ExplorationResult result = explorer.explore(space);
+    if (result.bestByFlexcl < 0) {
+      return renderErrorResponse(request.id, request.op, "exploration failed");
+    }
+    const auto& best =
+        result.designs[static_cast<std::size_t>(result.bestByFlexcl)];
+    std::ostringstream os;
+    os << "{\"kernel\": \"" << jsonEscapeString(request.kernel) << "\""
+       << ", \"device\": \"" << jsonEscapeString(request.device) << "\""
+       << ", \"designs\": " << space.size()
+       << ", \"skipped\": " << result.skippedCount
+       << ", \"best_design\": " << renderDesign(best.design)
+       << ", \"best_cycles\": " << jsonNumber(best.flexclCycles)
+       << ", \"best_ms\": "
+       << jsonNumber(ctx->flexcl->device().cyclesToMs(best.flexclCycles))
+       << ", \"sim\": {\"pick_gap_pct\": " << jsonNumber(result.pickGapPct)
+       << ", \"avg_error_pct\": " << jsonNumber(result.avgFlexclErrorPct)
+       << "}}";
+    return renderResponse(request.id, request.op, os.str());
+  }
+
+  // Serving-path default: analytical model only, one EvalCache entry per
+  // design — the same entries estimate requests use, so a warm store answers
+  // the whole sweep from seeds.
+  int evaluated = 0;
+  int best = -1;
+  double bestCycles = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto est = estimateVia(*ctx, space[i]);
+    if (!est->ok) continue;
+    ++evaluated;
+    if (best < 0 || est->cycles < bestCycles) {
+      best = static_cast<int>(i);
+      bestCycles = est->cycles;
+    }
+  }
+  if (best < 0) {
+    return renderErrorResponse(request.id, request.op,
+                               "no feasible design in the space");
+  }
+  std::ostringstream os;
+  os << "{\"kernel\": \"" << jsonEscapeString(request.kernel) << "\""
+     << ", \"device\": \"" << jsonEscapeString(request.device) << "\""
+     << ", \"designs\": " << space.size() << ", \"evaluated\": " << evaluated
+     << ", \"best_design\": "
+     << renderDesign(space[static_cast<std::size_t>(best)])
+     << ", \"best_cycles\": " << jsonNumber(bestCycles) << ", \"best_ms\": "
+     << jsonNumber(ctx->flexcl->device().cyclesToMs(bestCycles)) << "}";
+  return renderResponse(request.id, request.op, os.str());
+}
+
+std::string Dispatcher::handleLint(const Request& request) {
+  std::string error;
+  LaunchContext* ctx = contextFor(request, &error);
+  if (ctx == nullptr) return renderErrorResponse(request.id, request.op, error);
+  std::uint64_t key = stableHashCombine(ctx->scopeHash, hashString("lint"));
+  key = stableHashCombine(key, request.design.workGroupSize[0]);
+  key = stableHashCombine(key, request.design.workGroupSize[1]);
+  key = stableHashCombine(key, request.crossCheck ? 1 : 0);
+  const std::string result = responseVia(key, [&] {
+    interp::NdRange range = ctx->launch.range;
+    range.local = {request.design.workGroupSize[0],
+                   request.design.workGroupSize[1], 1};
+    analysis::LintOptions lintOpts;
+    lintOpts.range = &range;
+    lintOpts.args = &ctx->launch.args;
+    lintOpts.buffers = &ctx->buffers;
+    lintOpts.profileCrossCheck = request.crossCheck;
+    const analysis::LintReport report =
+        analysis::runLintPasses(*ctx->launch.fn, lintOpts);
+    return analysis::renderJson(report);
+  });
+  return renderResponse(request.id, request.op, result);
+}
+
+std::string Dispatcher::handleExplain(const Request& request) {
+  std::string error;
+  LaunchContext* ctx = contextFor(request, &error);
+  if (ctx == nullptr) return renderErrorResponse(request.id, request.op, error);
+  seedProfileFor(*ctx, request.design);
+  const std::uint64_t key =
+      stableHashCombine(stableHashCombine(ctx->scopeHash, hashString("explain")),
+                        request.design.stableId());
+  const std::string result = responseVia(key, [&] {
+    const obs::ExplainReport report = obs::explainEstimate(
+        *ctx->flexcl, ctx->launch, request.design, request.kernel);
+    return report.json();
+  });
+  return renderResponse(request.id, request.op, result);
+}
+
+std::string Dispatcher::handleStats(const Request& request) {
+  const runtime::Stats s = stats();
+  std::ostringstream os;
+  os << "{\"requests\": " << (handledOk_.load() + handledError_.load())
+     << ", \"errors\": " << handledError_.load()
+     << ", \"runtime\": " << s.json()
+     << ", \"responses\": " << responseCounters().json();
+  if (store_) {
+    const Store::StoreStats ss = store_->stats();
+    os << ", \"store\": {\"dir\": \"" << jsonEscapeString(store_->dir())
+       << "\", \"entries\": " << ss.totalEntries()
+       << ", \"bytes\": " << ss.totalBytes()
+       << ", \"quarantined\": " << ss.totalQuarantined() << "}";
+  }
+  os << "}";
+  return renderResponse(request.id, request.op, os.str());
+}
+
+std::string Dispatcher::handle(const Request& request) {
+  obs::add("serve.requests");
+  std::string response;
+  try {
+    if (request.op == "ping") {
+      response = renderResponse(request.id, request.op, "\"pong\"");
+    } else if (request.op == "shutdown") {
+      response = renderResponse(request.id, request.op, "\"bye\"");
+    } else if (request.op == "stats") {
+      response = handleStats(request);
+    } else if (request.op == "estimate") {
+      response = handleEstimate(request);
+    } else if (request.op == "explore") {
+      response = handleExplore(request);
+    } else if (request.op == "lint") {
+      response = handleLint(request);
+    } else if (request.op == "explain") {
+      response = handleExplain(request);
+    } else {
+      response =
+          renderErrorResponse(request.id, request.op,
+                              "unknown op '" + request.op + "'");
+    }
+  } catch (const std::exception& e) {
+    response = renderErrorResponse(request.id, request.op, e.what());
+  }
+  // The envelope's "ok" is the first one in the line (result JSON follows).
+  const std::size_t okTrue = response.find("\"ok\": true");
+  const std::size_t okFalse = response.find("\"ok\": false");
+  if (okTrue != std::string::npos &&
+      (okFalse == std::string::npos || okTrue < okFalse)) {
+    handledOk_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    handledError_.fetch_add(1, std::memory_order_relaxed);
+    obs::add("serve.request_errors");
+  }
+  persistCaches();
+  return response;
+}
+
+std::string Dispatcher::handleLine(const std::string& line) {
+  const ParsedRequest parsed = parseRequest(line);
+  if (!parsed.ok) {
+    obs::add("serve.requests");
+    obs::add("serve.request_errors");
+    handledError_.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(parsed.request.id, parsed.request.op,
+                               parsed.error);
+  }
+  return handle(parsed.request);
+}
+
+runtime::Stats Dispatcher::stats() const {
+  runtime::Stats s;
+  s.compile = compileCache_.counters();
+  s.flexclEval = evalCache_.flexclCounters();
+  s.sdaccelEval = evalCache_.sdaccelCounters();
+  s.simEval = evalCache_.simCounters();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [scope, ctx] : contexts_) {
+    if (!ctx->flexcl) continue;
+    s.profile += ctx->flexcl->profileCacheCounters();
+    s.analysis += ctx->flexcl->analysisCacheCounters();
+  }
+  return s;
+}
+
+}  // namespace flexcl::serve

@@ -1,0 +1,142 @@
+// `flexcl serve` request dispatcher (DESIGN.md §12).
+//
+// Owns the process's caches — one CompileCache, one EvalCache, one
+// model::FlexCl per *launch context* — and maps protocol requests onto the
+// existing evaluation pipeline. A launch context is (device, kernel content
+// hash, global geometry, elems): FlexCl's internal profile cache keys on the
+// effective local size only, so launches differing in global size or data
+// must not share a FlexCl instance or their profiles would alias. Contexts
+// are created on first use and kept for the dispatcher's lifetime.
+//
+// With a Store attached, the dispatcher warm-starts lazily: before
+// evaluating a request it seeds the relevant caches from disk (compile
+// outcome, profile for the effective geometry, eval results, rendered
+// lint/explain responses), and after handling it persists any entries the
+// request produced (deduplicated in-memory, so steady-state traffic writes
+// nothing). Seeded entries are marked warm in the caches, which is what the
+// `cache.*.warm_hits` gauges and the replay bench's hit-rate claim count.
+//
+// Thread-safety: handle()/handleLine() may be called concurrently from the
+// server's pool; contexts and the save-dedup set are mutex-protected, and
+// everything downstream (MemoCache, FlexCl, EvalCache) is already
+// concurrent.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/flexcl.h"
+#include "runtime/compile_cache.h"
+#include "runtime/eval_cache.h"
+#include "runtime/stats.h"
+#include "serve/protocol.h"
+#include "serve/store/store.h"
+
+namespace flexcl::serve {
+
+struct DispatcherOptions {
+  /// Store directory; empty disables persistence.
+  std::string storeDir;
+  model::ModelOptions model;
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options = {});
+  ~Dispatcher();
+
+  /// True when a store directory was given and opened successfully.
+  [[nodiscard]] bool storeOk() const { return store_ != nullptr; }
+  [[nodiscard]] const std::string& storeError() const { return storeError_; }
+  [[nodiscard]] Store* store() { return store_.get(); }
+
+  /// Handles one parsed request; returns the response line (no trailing
+  /// newline). Never throws: evaluator errors become error responses.
+  std::string handle(const Request& request);
+  /// Parses + handles one raw protocol line. Malformed input yields an error
+  /// response correlated by id when one could be recovered.
+  std::string handleLine(const std::string& line);
+
+  /// Aggregate cache traffic of everything handled so far (absolute, not a
+  /// delta — the dispatcher owns its caches).
+  [[nodiscard]] runtime::Stats stats() const;
+  /// Rendered-response cache counters (lint/explain results).
+  [[nodiscard]] runtime::CounterSnapshot responseCounters() const {
+    return responses_.counters();
+  }
+  /// Requests handled, by outcome.
+  [[nodiscard]] std::uint64_t handledOk() const { return handledOk_; }
+  [[nodiscard]] std::uint64_t handledError() const { return handledError_; }
+
+ private:
+  /// One (device, kernel, geometry, data) scope: the FlexCl whose profile
+  /// cache this request may touch, plus the synthesized launch.
+  struct LaunchContext {
+    std::uint64_t scopeHash = 0;  ///< store key base for this context
+    std::shared_ptr<const runtime::CompiledKernel> compiled;
+    std::vector<std::vector<std::uint8_t>> buffers;
+    model::LaunchInfo launch;  ///< launch.buffers points at `buffers`
+    std::unique_ptr<model::FlexCl> flexcl;
+    std::uint64_t evalKeyBase = 0;  ///< Explorer-compatible EvalCache prefix
+    /// Profile store-key prefix (kernel content hash + geometry + elems —
+    /// deliberately no device: profiles are interpreter results).
+    std::uint64_t profileKeyBase = 0;
+    /// Profile store keys already checked against the disk.
+    std::set<std::uint64_t> profileKeysSeen;
+  };
+
+  /// Finds or builds the context for `request`. nullptr (with `error` set)
+  /// when compilation fails — the compile failure itself is cached and, with
+  /// a store, persisted.
+  LaunchContext* contextFor(const Request& request, std::string* error);
+
+  std::string handleEstimate(const Request& request);
+  std::string handleExplore(const Request& request);
+  std::string handleLint(const Request& request);
+  std::string handleExplain(const Request& request);
+  std::string handleStats(const Request& request);
+
+  /// Runs the model for (context, design) through the EvalCache, seeding the
+  /// profile and the estimate from the store first and persisting both after.
+  std::shared_ptr<const model::Estimate> estimateVia(LaunchContext& ctx,
+                                                     const model::DesignPoint& design);
+  /// Seeds ctx's profile cache for the effective geometry of `design` from
+  /// the store (checked once per key).
+  void seedProfileFor(LaunchContext& ctx, const model::DesignPoint& design);
+  /// Rendered-response caching (lint/explain): one content-addressed string.
+  std::string responseVia(std::uint64_t key,
+                          const std::function<std::string()>& render);
+
+  /// Persists `payload` once per (family, key) — repeat saves are deduped.
+  void persist(Store::Family family, std::uint64_t key,
+               std::uint32_t payloadVersion, std::vector<std::uint8_t> payload);
+  /// Exports every cache entry not yet on disk (called after each handled
+  /// request; steady-state traffic is a dedup-set sweep, no I/O).
+  void persistCaches();
+
+  DispatcherOptions options_;
+  std::unique_ptr<Store> store_;
+  std::string storeError_;
+
+  runtime::CompileCache compileCache_;
+  runtime::EvalCache evalCache_;
+  /// Rendered lint/explain JSON, keyed by the response-store key.
+  runtime::MemoCache<std::uint64_t, std::string> responses_;
+
+  mutable std::mutex mutex_;  ///< guards contexts_, saved_, profileKeysSeen
+  std::unordered_map<std::uint64_t, std::unique_ptr<LaunchContext>> contexts_;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> saved_;
+
+  std::atomic<std::uint64_t> handledOk_{0};
+  std::atomic<std::uint64_t> handledError_{0};
+};
+
+}  // namespace flexcl::serve

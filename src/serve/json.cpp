@@ -1,0 +1,264 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace flexcl::serve {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::stringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isString() ? v->text : fallback;
+}
+
+double JsonValue::numberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isNumber() ? v->number : fallback;
+}
+
+bool JsonValue::boolOr(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isBool() ? v->boolean : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    if (!value(*out)) return fail(error);
+    skipWs();
+    if (pos_ != src_.size()) return fail(error);
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "JSON parse error near offset " << pos_;
+      *error = os.str();
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (src_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skipWs();
+    if (pos_ >= src_.size()) return false;
+    switch (src_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return string(out.text);
+      case 't':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::Null;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skipWs();
+    if (pos_ < src_.size() && src_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!string(key)) return false;
+      skipWs();
+      if (pos_ >= src_.size() || src_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!value(v)) return false;
+      out.fields.emplace_back(std::move(key), std::move(v));
+      skipWs();
+      if (pos_ >= src_.size()) return false;
+      if (src_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (src_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skipWs();
+    if (pos_ < src_.size() && src_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      if (!value(v)) return false;
+      out.items.push_back(std::move(v));
+      skipWs();
+      if (pos_ >= src_.size()) return false;
+      if (src_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (src_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= src_.size() || src_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) return false;
+      const char esc = src_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (src_.size() - pos_ < 4) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = src_[pos_ + static_cast<std::size_t>(i)];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       std::isdigit(static_cast<unsigned char>(h))
+                           ? h - '0'
+                           : std::tolower(h) - 'a' + 10);
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else {
+            // Preserve non-ASCII escapes verbatim (see header).
+            out += "\\u" + src_.substr(pos_, 4);
+          }
+          pos_ += 4;
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            std::strchr("+-.eE", src_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    const std::string slice = src_.substr(start, pos_ - start);
+    out.number = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) return false;
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parseJson(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser(text);
+  return parser.parse(out, error);
+}
+
+std::string jsonEscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace flexcl::serve

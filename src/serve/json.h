@@ -1,0 +1,63 @@
+// Minimal JSON reader/writer for the serve protocol (DESIGN.md §12).
+//
+// The repo's other subsystems only *emit* JSON (pinned-key-order
+// ostringstream rendering — lint, explain, stats); the serving daemon is the
+// first component that must also *accept* it. This parser covers exactly
+// RFC-8259 JSON with two deliberate simplifications: numbers are held as
+// double (request fields are small integers and the protocol never
+// round-trips user numbers), and \uXXXX escapes outside ASCII are preserved
+// as raw text (kernel sources and error strings are ASCII in practice).
+// Objects preserve insertion order so parsed documents can be re-rendered
+// deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexcl::serve {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string text;
+  std::vector<JsonValue> items;                            ///< Array
+  std::vector<std::pair<std::string, JsonValue>> fields;   ///< Object
+
+  [[nodiscard]] bool isObject() const { return kind == Kind::Object; }
+  [[nodiscard]] bool isString() const { return kind == Kind::String; }
+  [[nodiscard]] bool isNumber() const { return kind == Kind::Number; }
+  [[nodiscard]] bool isBool() const { return kind == Kind::Bool; }
+
+  /// First field named `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Typed field accessors with defaults: the tolerant-reader half of the
+  // protocol's compatibility story (unknown fields ignored, absent optional
+  // fields defaulted).
+  [[nodiscard]] std::string stringOr(const std::string& key,
+                                     const std::string& fallback) const;
+  [[nodiscard]] double numberOr(const std::string& key, double fallback) const;
+  [[nodiscard]] bool boolOr(const std::string& key, bool fallback) const;
+};
+
+/// Parses `text` into `out`. Returns false and sets `error` (with a byte
+/// offset) on malformed input; trailing non-whitespace is an error.
+bool parseJson(const std::string& text, JsonValue* out, std::string* error);
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes). Control characters become \u00XX.
+std::string jsonEscapeString(const std::string& s);
+
+/// Renders a double the way the serve protocol pins it: integers without a
+/// fractional part ("3" not "3.000000"), everything else shortest-round-trip
+/// via %.17g. Deterministic for a given libc, which is all the bit-identity
+/// tests compare across (same binary, cold vs warm store).
+std::string jsonNumber(double v);
+
+}  // namespace flexcl::serve

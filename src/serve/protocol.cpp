@@ -1,0 +1,166 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace flexcl::serve {
+namespace {
+
+/// Reads a non-negative integral field; false when present but not a whole
+/// number in [0, 2^53) (the double-exact range is far beyond any launch).
+bool readU64(const JsonValue& obj, const std::string& key, std::uint64_t* out,
+             std::string* error) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;  // keep default
+  if (!v->isNumber() || v->number < 0 || v->number != std::floor(v->number) ||
+      v->number >= 9007199254740992.0) {
+    *error = "field '" + key + "' must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v->number);
+  return true;
+}
+
+bool readInt(const JsonValue& obj, const std::string& key, int* out,
+             std::string* error) {
+  std::uint64_t v = static_cast<std::uint64_t>(*out);
+  if (!readU64(obj, key, &v, error)) return false;
+  if (v > 1u << 20) {
+    *error = "field '" + key + "' out of range";
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parseDesign(const JsonValue& obj, model::DesignPoint* dp,
+                 std::string* error) {
+  const JsonValue* d = obj.find("design");
+  if (d == nullptr) return true;  // defaults
+  if (!d->isObject()) {
+    *error = "field 'design' must be an object";
+    return false;
+  }
+  std::uint64_t wg = dp->workGroupSize[0];
+  std::uint64_t wgY = dp->workGroupSize[1];
+  if (!readU64(*d, "wg", &wg, error) || !readU64(*d, "wg_y", &wgY, error)) {
+    return false;
+  }
+  if (wg == 0 || wgY == 0 || wg > 0xffffffffull || wgY > 0xffffffffull) {
+    *error = "design work-group size out of range";
+    return false;
+  }
+  dp->workGroupSize = {static_cast<std::uint32_t>(wg),
+                       static_cast<std::uint32_t>(wgY), 1};
+  dp->workItemPipeline = d->boolOr("pipeline", dp->workItemPipeline);
+  dp->innerLoopPipeline = d->boolOr("loop_pipeline", dp->innerLoopPipeline);
+  dp->workGroupPipeline = d->boolOr("wg_pipeline", dp->workGroupPipeline);
+  if (!readInt(*d, "pe", &dp->peParallelism, error) ||
+      !readInt(*d, "cu", &dp->numComputeUnits, error) ||
+      !readInt(*d, "vector_width", &dp->vectorWidth, error)) {
+    return false;
+  }
+  if (dp->peParallelism < 1 || dp->numComputeUnits < 1 ||
+      dp->vectorWidth < 1) {
+    *error = "design parallelism fields must be >= 1";
+    return false;
+  }
+  const std::string mode = d->stringOr("mode", "pipeline");
+  if (mode == "pipeline") {
+    dp->commMode = model::CommMode::Pipeline;
+  } else if (mode == "barrier") {
+    dp->commMode = model::CommMode::Barrier;
+  } else {
+    *error = "design mode must be 'pipeline' or 'barrier'";
+    return false;
+  }
+  return true;
+}
+
+bool opNeedsKernel(const std::string& op) {
+  return op == "estimate" || op == "explore" || op == "lint" ||
+         op == "explain";
+}
+
+}  // namespace
+
+ParsedRequest parseRequest(const std::string& line) {
+  ParsedRequest parsed;
+  JsonValue root;
+  std::string error;
+  if (!parseJson(line, &root, &error)) {
+    parsed.error = error;
+    return parsed;
+  }
+  if (!root.isObject()) {
+    parsed.error = "request must be a JSON object";
+    return parsed;
+  }
+  Request& req = parsed.request;
+  // Recover the id first so even a rejected request's error response can be
+  // correlated by the client.
+  if (!readU64(root, "id", &req.id, &parsed.error)) return parsed;
+
+  req.op = root.stringOr("op", "");
+  if (req.op.empty()) {
+    parsed.error = "missing or non-string 'op'";
+    return parsed;
+  }
+  req.source = root.stringOr("source", "");
+  req.kernel = root.stringOr("kernel", "");
+  req.device = root.stringOr("device", req.device);
+  if (!readU64(root, "global", &req.global, &parsed.error) ||
+      !readU64(root, "global_y", &req.globalY, &parsed.error) ||
+      !readU64(root, "elems", &req.elems, &parsed.error)) {
+    return parsed;
+  }
+  if (opNeedsKernel(req.op)) {
+    if (req.source.empty() || req.kernel.empty()) {
+      parsed.error = "op '" + req.op + "' requires 'source' and 'kernel'";
+      return parsed;
+    }
+    if (req.global == 0 || req.globalY == 0) {
+      parsed.error = "'global' and 'global_y' must be >= 1";
+      return parsed;
+    }
+  }
+  if (!parseDesign(root, &req.design, &parsed.error)) return parsed;
+  req.crossCheck = root.boolOr("cross_check", req.crossCheck);
+  req.simulate = root.boolOr("sim", req.simulate);
+  parsed.ok = true;
+  return parsed;
+}
+
+std::string renderResponse(std::uint64_t id, const std::string& op,
+                           const std::string& resultJson) {
+  std::ostringstream os;
+  os << "{\"schema_version\": " << kServeSchemaVersion << ", \"id\": " << id
+     << ", \"op\": \"" << jsonEscapeString(op) << "\", \"ok\": true"
+     << ", \"result\": " << resultJson << "}";
+  return os.str();
+}
+
+std::string renderErrorResponse(std::uint64_t id, const std::string& op,
+                                const std::string& error) {
+  std::ostringstream os;
+  os << "{\"schema_version\": " << kServeSchemaVersion << ", \"id\": " << id
+     << ", \"op\": \"" << jsonEscapeString(op) << "\", \"ok\": false"
+     << ", \"error\": \"" << jsonEscapeString(error) << "\"}";
+  return os.str();
+}
+
+std::string renderDesign(const model::DesignPoint& dp) {
+  std::ostringstream os;
+  os << "{\"wg\": " << dp.workGroupSize[0]
+     << ", \"wg_y\": " << dp.workGroupSize[1]
+     << ", \"pipeline\": " << (dp.workItemPipeline ? "true" : "false")
+     << ", \"loop_pipeline\": " << (dp.innerLoopPipeline ? "true" : "false")
+     << ", \"wg_pipeline\": " << (dp.workGroupPipeline ? "true" : "false")
+     << ", \"pe\": " << dp.peParallelism
+     << ", \"cu\": " << dp.numComputeUnits
+     << ", \"vector_width\": " << dp.vectorWidth << ", \"mode\": \""
+     << model::commModeName(dp.commMode) << "\"}";
+  return os.str();
+}
+
+}  // namespace flexcl::serve

@@ -1,0 +1,77 @@
+// `flexcl serve` wire protocol: versioned line-delimited JSON (DESIGN.md §12).
+//
+// One request per line on stdin (or a Unix-socket connection), one response
+// per line out. Responses are tagged with the request id and may complete out
+// of order — the dispatcher streams each as soon as its job finishes. The
+// response key order is pinned (schema_version always first) under the same
+// golden-test policy as the lint/explain JSON; any key change bumps
+// kServeSchemaVersion. Responses deliberately carry no cache-provenance
+// field: a warm-store run must be byte-identical to the cold run that
+// produced the store (the replay bench asserts this), so provenance lives in
+// the obs counters (`serve.*`, `cache.*.warm_hits`) instead.
+//
+// Request shape (unknown fields are ignored — tolerant reader):
+//   {"id": 1, "op": "estimate", "source": "__kernel void k(...){...}",
+//    "kernel": "k", "device": "virtex7", "global": 1024, "global_y": 1,
+//    "elems": 0, "design": {"wg": 64, "wg_y": 1, "pipeline": true,
+//    "loop_pipeline": false, "wg_pipeline": false, "pe": 1, "cu": 1,
+//    "vector_width": 1, "mode": "pipeline"}}
+// Ops: estimate | explore | lint | explain | stats | ping | shutdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/design_point.h"
+#include "serve/json.h"
+
+namespace flexcl::serve {
+
+/// Version of the request *and* response schema (first key of every
+/// response). Bumped whenever a key is added, removed or reordered.
+inline constexpr int kServeSchemaVersion = 1;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string op;
+  std::string source;
+  std::string kernel;
+  std::string device = "virtex7";
+  std::uint64_t global = 1024;
+  std::uint64_t globalY = 1;
+  std::uint64_t elems = 0;  ///< 0 = use global size
+  model::DesignPoint design;
+  /// lint: cross-check static classification against the profiler.
+  bool crossCheck = true;
+  /// explore: also run the simulator + SDAccel evaluators (slow; off answers
+  /// from the analytical model only, the serving-path default).
+  bool simulate = false;
+};
+
+/// Outcome of parsing one request line. `ok == false` carries a message for
+/// the error response; `id` is recovered from the line when possible so the
+/// error can still be correlated by the client.
+struct ParsedRequest {
+  bool ok = false;
+  std::string error;
+  Request request;
+};
+
+/// Parses one line of the protocol. Never throws; malformed JSON, a missing
+/// op, or out-of-domain fields come back as ok == false.
+ParsedRequest parseRequest(const std::string& line);
+
+/// Response envelope, pinned order:
+///   {"schema_version": 1, "id": N, "op": "...", "ok": true, "result": {...}}
+///   {"schema_version": 1, "id": N, "op": "...", "ok": false, "error": "..."}
+/// `resultJson` must already be a JSON value (object/string/number).
+std::string renderResponse(std::uint64_t id, const std::string& op,
+                           const std::string& resultJson);
+std::string renderErrorResponse(std::uint64_t id, const std::string& op,
+                                const std::string& error);
+
+/// Serializes a DesignPoint the way requests spell it (pinned order); used by
+/// responses that echo designs and by the replay-bench request recorder.
+std::string renderDesign(const model::DesignPoint& dp);
+
+}  // namespace flexcl::serve

@@ -1,0 +1,232 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "obs/registry.h"
+
+namespace flexcl::serve {
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.jobs == 0) options_.jobs = runtime::defaultJobs();
+  options_.jobs = std::max(1, options_.jobs);
+  dispatcher_ = std::make_unique<Dispatcher>(options_.dispatcher);
+  if (options_.jobs > 1) {
+    pool_ = std::make_unique<runtime::ThreadPool>(options_.jobs);
+  }
+}
+
+Server::~Server() {
+  requestStop();
+  closeListener();
+  if (listenerThread_.joinable()) listenerThread_.join();
+  for (std::thread& t : connectionThreads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::requestStop() {
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    stopRequested_ = true;
+  }
+  stateCv_.notify_all();
+  // Unblock connection reads so their loops observe the stop.
+  std::lock_guard<std::mutex> lock(connectionsMutex_);
+  for (int fd : connectionFds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::waitForStop() {
+  std::unique_lock<std::mutex> lock(stateMutex_);
+  stateCv_.wait(lock, [&] { return stopRequested_; });
+}
+
+void Server::drainJobs() {
+  std::unique_lock<std::mutex> lock(stateMutex_);
+  stateCv_.wait(lock, [&] { return pendingJobs_ == 0; });
+}
+
+void Server::submitLine(std::string line,
+                        const std::function<void(const std::string&)>& write) {
+  if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) {
+    return;  // blank keep-alive line
+  }
+  // `shutdown` is transport-level: parse here so the stop takes effect even
+  // while workers are busy. The response still goes through the normal path
+  // (and drains after in-flight jobs under jobs == 1 semantics).
+  const ParsedRequest parsed = parseRequest(line);
+  const bool isShutdown = parsed.ok && parsed.request.op == "shutdown";
+
+  auto job = [this, line = std::move(line), write] {
+    const std::string response = dispatcher_->handleLine(line);
+    write(response);
+    std::uint64_t pending = 0;
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      pending = --pendingJobs_;
+    }
+    obs::setGauge("serve.queue_depth", static_cast<double>(pending));
+    stateCv_.notify_all();
+  };
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++pendingJobs_;
+    obs::setGauge("serve.queue_depth", static_cast<double>(pendingJobs_));
+  }
+  if (pool_) {
+    pool_->submit(job);
+  } else {
+    job();
+  }
+  if (isShutdown) {
+    drainJobs();
+    requestStop();
+  }
+}
+
+int Server::run(std::istream& in, std::ostream& out) {
+  if (!dispatcher_->storeOk() && !options_.dispatcher.storeDir.empty()) {
+    error_ = dispatcher_->storeError();
+    return 1;
+  }
+  if (!options_.socketPath.empty()) {
+    if (!startListener()) return 1;
+    listenerThread_ = std::thread([this] { listenerLoop(); });
+  }
+
+  std::mutex outMutex;
+  const auto writeOut = [&](const std::string& response) {
+    std::lock_guard<std::mutex> lock(outMutex);
+    out << response << "\n";
+    out.flush();
+  };
+
+  std::string line;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      if (stopRequested_) break;
+    }
+    if (!std::getline(in, line)) break;
+    submitLine(std::move(line), writeOut);
+    line.clear();
+  }
+
+  if (options_.socketPath.empty()) {
+    drainJobs();
+    requestStop();
+  } else {
+    // Daemon mode: input EOF keeps serving the socket until `shutdown`.
+    waitForStop();
+    drainJobs();
+  }
+  closeListener();
+  if (listenerThread_.joinable()) listenerThread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connectionsMutex_);
+    for (int fd : connectionFds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : connectionThreads_) {
+    if (t.joinable()) t.join();
+  }
+  connectionThreads_.clear();
+  return 0;
+}
+
+bool Server::startListener() {
+  sockaddr_un addr{};
+  if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+    error_ = "socket path too long: " + options_.socketPath;
+    return false;
+  }
+  ::unlink(options_.socketPath.c_str());  // stale socket from a prior run
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    error_ = "cannot create socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd_, 16) != 0) {
+    error_ = "cannot bind/listen on '" + options_.socketPath +
+             "': " + std::string(std::strerror(errno));
+    ::close(listenFd_);
+    listenFd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Server::listenerLoop() {
+  while (true) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) return;  // listener closed (or fatal) => stop accepting
+    obs::add("serve.connections");
+    std::lock_guard<std::mutex> lock(connectionsMutex_);
+    connectionFds_.push_back(fd);
+    connectionThreads_.emplace_back([this, fd] { connectionLoop(fd); });
+  }
+}
+
+void Server::connectionLoop(int fd) {
+  auto outMutex = std::make_shared<std::mutex>();
+  const auto writeFd = [fd, outMutex](const std::string& response) {
+    std::lock_guard<std::mutex> lock(*outMutex);
+    std::string framed = response;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off,
+#ifdef MSG_NOSIGNAL
+                               MSG_NOSIGNAL
+#else
+                               0
+#endif
+      );
+      if (n <= 0) return;  // peer went away; drop the response
+      off += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      submitLine(buffer.substr(start, nl - start), writeFd);
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    {
+      std::lock_guard<std::mutex> lock(stateMutex_);
+      if (stopRequested_) break;
+    }
+  }
+  // Flush any unterminated trailing line before closing.
+  if (!buffer.empty()) submitLine(std::move(buffer), writeFd);
+  drainJobs();
+  ::close(fd);
+}
+
+void Server::closeListener() {
+  if (listenFd_ < 0) return;
+  ::shutdown(listenFd_, SHUT_RDWR);
+  ::close(listenFd_);
+  listenFd_ = -1;
+  if (!options_.socketPath.empty()) ::unlink(options_.socketPath.c_str());
+}
+
+}  // namespace flexcl::serve

@@ -1,0 +1,83 @@
+// `flexcl serve` transport layer (DESIGN.md §12).
+//
+// Accepts line-delimited protocol requests on a stream (stdin/stdout) and,
+// optionally, on a local Unix-domain socket, and dispatches them onto a
+// runtime::ThreadPool. Responses stream back on the transport the request
+// arrived on *as each job finishes* — out of order under `jobs > 1`; clients
+// correlate by the echoed request id. Writes are line-atomic (one mutex per
+// output) and flushed per response.
+//
+// Lifecycle: without a socket, the server stops at input EOF or a
+// `shutdown` request. With a socket it is a daemon — input EOF leaves it
+// serving connections until a `shutdown` request arrives on any transport.
+// In-flight jobs always drain before run() returns.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serve/dispatcher.h"
+
+namespace flexcl::serve {
+
+struct ServerOptions {
+  /// Worker threads for request dispatch; 0 = runtime::defaultJobs().
+  int jobs = 1;
+  /// Unix-domain socket path; empty disables the socket transport.
+  std::string socketPath;
+  DispatcherOptions dispatcher;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  /// Serves `in`/`out` (and the socket, when configured) until shutdown.
+  /// Returns 0, or 1 when a transport failed to start (message on stderr
+  /// semantics are the caller's: see error()).
+  int run(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] Dispatcher& dispatcher() { return *dispatcher_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  /// Parses + dispatches one line; the response is delivered via `write`
+  /// (already line-atomic). A `shutdown` request flips the stop flag.
+  void submitLine(std::string line,
+                  const std::function<void(const std::string&)>& write);
+  void requestStop();
+  void waitForStop();
+  /// Blocks until every submitted job has delivered its response.
+  void drainJobs();
+
+  bool startListener();
+  void listenerLoop();
+  void connectionLoop(int fd);
+  void closeListener();
+
+  ServerOptions options_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  ///< null when jobs == 1
+  std::string error_;
+
+  std::mutex stateMutex_;
+  std::condition_variable stateCv_;
+  bool stopRequested_ = false;
+  std::uint64_t pendingJobs_ = 0;
+
+  int listenFd_ = -1;
+  std::thread listenerThread_;
+  std::mutex connectionsMutex_;
+  std::vector<int> connectionFds_;
+  std::vector<std::thread> connectionThreads_;
+};
+
+}  // namespace flexcl::serve

@@ -1,0 +1,357 @@
+#include "serve/store/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace flexcl::serve {
+
+namespace {
+/// Hard cap on any serialized container (64M elements): a corrupt length
+/// field must never turn into an allocation bomb. Real payloads are far
+/// smaller (profiles trace two work-groups).
+constexpr std::uint64_t kMaxElements = 1ull << 26;
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::f64vec(const std::vector<double>& v) {
+  u64(v.size());
+  for (const double d : v) f64(d);
+}
+
+bool ByteReader::take(std::size_t n) {
+  if (!ok_ || bytes_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return bytes_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  std::uint32_t v = 0;
+  if (!take(4)) return 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t v = 0;
+  if (!take(8)) return 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t n = u64();
+  if (n > kMaxElements || !take(static_cast<std::size_t>(n))) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::vector<double> ByteReader::f64vec() {
+  const std::uint64_t n = u64();
+  if (n > kMaxElements) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && ok_; ++i) v.push_back(f64());
+  return v;
+}
+
+// --- sub-struct helpers ----------------------------------------------------
+
+namespace {
+
+void encodePatternCounts(ByteWriter& w, const dram::PatternCounts& c) {
+  w.u32(static_cast<std::uint32_t>(dram::kPatternCount));
+  for (const double d : c.counts) w.f64(d);
+}
+
+bool decodePatternCounts(ByteReader& r, dram::PatternCounts* out) {
+  if (r.u32() != static_cast<std::uint32_t>(dram::kPatternCount)) return false;
+  for (double& d : out->counts) d = r.f64();
+  return r.ok();
+}
+
+void encodeMemoryModel(ByteWriter& w, const model::MemoryModel& m) {
+  encodePatternCounts(w, m.perWorkItem);
+  w.f64(m.accessesPerWorkItem);
+  w.f64(m.lMemWi);
+  w.f64(m.rawAccessesPerWorkItem);
+  w.f64(m.serviceDemandPerWi);
+  w.f64(m.iiThroughputBound);
+  w.f64(m.queueingPerWi);
+  w.f64vec(m.perWiChainSpan);
+}
+
+bool decodeMemoryModel(ByteReader& r, model::MemoryModel* out) {
+  if (!decodePatternCounts(r, &out->perWorkItem)) return false;
+  out->accessesPerWorkItem = r.f64();
+  out->lMemWi = r.f64();
+  out->rawAccessesPerWorkItem = r.f64();
+  out->serviceDemandPerWi = r.f64();
+  out->iiThroughputBound = r.f64();
+  out->queueingPerWi = r.f64();
+  out->perWiChainSpan = r.f64vec();
+  return r.ok();
+}
+
+void encodeAccessEvent(ByteWriter& w, const interp::MemoryAccessEvent& e) {
+  w.u64(e.workItem);
+  w.u32(e.group);
+  w.u8(static_cast<std::uint8_t>(e.space));
+  w.u32(static_cast<std::uint32_t>(e.buffer));
+  w.i64(e.offset);
+  w.u32(e.size);
+  w.boolean(e.isWrite);
+  w.u32(e.instId);
+}
+
+bool decodeAccessEvent(ByteReader& r, interp::MemoryAccessEvent* out) {
+  out->workItem = r.u64();
+  out->group = r.u32();
+  const std::uint8_t space = r.u8();
+  if (space > static_cast<std::uint8_t>(ir::AddressSpace::Constant)) {
+    return false;
+  }
+  out->space = static_cast<ir::AddressSpace>(space);
+  out->buffer = static_cast<std::int32_t>(r.u32());
+  out->offset = r.i64();
+  out->size = r.u32();
+  out->isWrite = r.boolean();
+  out->instId = r.u32();
+  return r.ok();
+}
+
+void encodeTrace(ByteWriter& w,
+                 const std::vector<interp::MemoryAccessEvent>& trace) {
+  w.u64(trace.size());
+  for (const auto& e : trace) encodeAccessEvent(w, e);
+}
+
+bool decodeTrace(ByteReader& r,
+                 std::vector<interp::MemoryAccessEvent>* out) {
+  const std::uint64_t n = r.u64();
+  if (n > kMaxElements) return false;
+  out->resize(static_cast<std::size_t>(n));
+  for (auto& e : *out) {
+    if (!decodeAccessEvent(r, &e)) return false;
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+// --- family payloads -------------------------------------------------------
+
+void encodeEstimate(ByteWriter& w, const model::Estimate& e) {
+  w.boolean(e.ok);
+  w.str(e.error);
+  w.f64(e.cycles);
+  w.f64(e.milliseconds);
+  w.u8(static_cast<std::uint8_t>(e.mode));
+  w.f64(e.breakdown.compute);
+  w.f64(e.breakdown.memory);
+  w.f64(e.breakdown.fillDrain);
+  w.f64(e.breakdown.dispatch);
+  // PeModel
+  w.f64(e.pe.iiComp);
+  w.f64(e.pe.depth);
+  w.u32(static_cast<std::uint32_t>(e.pe.recMii));
+  w.u32(static_cast<std::uint32_t>(e.pe.resMii));
+  w.u32(static_cast<std::uint32_t>(e.pe.mii));
+  w.boolean(e.pe.pipelined);
+  w.f64(e.pe.localReads);
+  w.f64(e.pe.localWrites);
+  w.f64(e.pe.dspUnits);
+  // CuModel
+  w.u32(static_cast<std::uint32_t>(e.cu.effectivePes));
+  w.f64(e.cu.latency);
+  w.u8(static_cast<std::uint8_t>(e.cu.limiter));
+  // KernelComputeModel
+  w.u32(static_cast<std::uint32_t>(e.kernelCompute.effectiveCus));
+  w.u32(static_cast<std::uint32_t>(e.kernelCompute.resourceCappedCus));
+  w.f64(e.kernelCompute.latency);
+  w.f64(e.kernelCompute.waves);
+  encodeMemoryModel(w, e.memory);
+  w.f64(e.iiWi);
+  w.u32(static_cast<std::uint32_t>(e.barrierCount));
+  w.u64(e.totalWorkItems);
+}
+
+bool decodeEstimate(ByteReader& r, model::Estimate* out) {
+  out->ok = r.boolean();
+  out->error = r.str();
+  out->cycles = r.f64();
+  out->milliseconds = r.f64();
+  const std::uint8_t mode = r.u8();
+  if (mode > static_cast<std::uint8_t>(model::CommMode::Pipeline)) {
+    return false;
+  }
+  out->mode = static_cast<model::CommMode>(mode);
+  out->breakdown.compute = r.f64();
+  out->breakdown.memory = r.f64();
+  out->breakdown.fillDrain = r.f64();
+  out->breakdown.dispatch = r.f64();
+  out->pe.iiComp = r.f64();
+  out->pe.depth = r.f64();
+  out->pe.recMii = static_cast<int>(r.u32());
+  out->pe.resMii = static_cast<int>(r.u32());
+  out->pe.mii = static_cast<int>(r.u32());
+  out->pe.pipelined = r.boolean();
+  out->pe.localReads = r.f64();
+  out->pe.localWrites = r.f64();
+  out->pe.dspUnits = r.f64();
+  out->cu.effectivePes = static_cast<int>(r.u32());
+  out->cu.latency = r.f64();
+  const std::uint8_t limiter = r.u8();
+  if (limiter > static_cast<std::uint8_t>(model::CuModel::Limiter::Dsp)) {
+    return false;
+  }
+  out->cu.limiter = static_cast<model::CuModel::Limiter>(limiter);
+  out->kernelCompute.effectiveCus = static_cast<int>(r.u32());
+  out->kernelCompute.resourceCappedCus = static_cast<int>(r.u32());
+  out->kernelCompute.latency = r.f64();
+  out->kernelCompute.waves = r.f64();
+  if (!decodeMemoryModel(r, &out->memory)) return false;
+  out->iiWi = r.f64();
+  out->barrierCount = static_cast<int>(r.u32());
+  out->totalWorkItems = r.u64();
+  return r.fullyConsumedOk();
+}
+
+void encodeSdaccel(ByteWriter& w,
+                   const std::optional<sdaccel::SdaccelEstimate>& e) {
+  w.boolean(e.has_value());
+  if (e.has_value()) {
+    w.f64(e->cycles);
+    w.f64(e->estimationMinutes);
+  }
+}
+
+bool decodeSdaccel(ByteReader& r,
+                   std::optional<sdaccel::SdaccelEstimate>* out) {
+  if (!r.boolean()) {
+    out->reset();
+    return r.fullyConsumedOk();
+  }
+  sdaccel::SdaccelEstimate e;
+  e.cycles = r.f64();
+  e.estimationMinutes = r.f64();
+  *out = e;
+  return r.fullyConsumedOk();
+}
+
+void encodeSimResult(ByteWriter& w, const sim::SimResult& s) {
+  w.boolean(s.ok);
+  w.str(s.error);
+  w.f64(s.cycles);
+  w.f64(s.milliseconds);
+  w.f64(s.iiHw);
+  w.f64(s.depthHw);
+  w.u32(static_cast<std::uint32_t>(s.effectivePes));
+  w.u32(static_cast<std::uint32_t>(s.effectiveCus));
+  w.u64(s.dramAccesses);
+  w.u64(s.dramRowHits);
+  w.u64(s.workGroups);
+  w.u64(s.dramRefreshStallCycles);
+  w.u64(s.dramBankWaitCycles);
+  w.u64(s.dramBusWaitCycles);
+  w.u64(s.memStallCycles);
+  w.u64(s.dispatchStallCycles);
+}
+
+bool decodeSimResult(ByteReader& r, sim::SimResult* out) {
+  out->ok = r.boolean();
+  out->error = r.str();
+  out->cycles = r.f64();
+  out->milliseconds = r.f64();
+  out->iiHw = r.f64();
+  out->depthHw = r.f64();
+  out->effectivePes = static_cast<int>(r.u32());
+  out->effectiveCus = static_cast<int>(r.u32());
+  out->dramAccesses = r.u64();
+  out->dramRowHits = r.u64();
+  out->workGroups = r.u64();
+  out->dramRefreshStallCycles = r.u64();
+  out->dramBankWaitCycles = r.u64();
+  out->dramBusWaitCycles = r.u64();
+  out->memStallCycles = r.u64();
+  out->dispatchStallCycles = r.u64();
+  return r.fullyConsumedOk();
+}
+
+void encodeProfile(ByteWriter& w, const interp::KernelProfile& p) {
+  w.boolean(p.ok);
+  w.str(p.error);
+  for (int d = 0; d < 3; ++d) w.u64(p.range.global[static_cast<std::size_t>(d)]);
+  for (int d = 0; d < 3; ++d) w.u64(p.range.local[static_cast<std::size_t>(d)]);
+  w.f64vec(p.loopTripCounts);
+  encodeTrace(w, p.globalTrace);
+  encodeTrace(w, p.localTrace);
+  w.u64(p.profiledGroups);
+  w.u64(p.profiledWorkItems);
+  w.u64(p.oobAccesses);
+}
+
+bool decodeProfile(ByteReader& r, interp::KernelProfile* out) {
+  out->ok = r.boolean();
+  out->error = r.str();
+  for (int d = 0; d < 3; ++d) out->range.global[static_cast<std::size_t>(d)] = r.u64();
+  for (int d = 0; d < 3; ++d) out->range.local[static_cast<std::size_t>(d)] = r.u64();
+  out->loopTripCounts = r.f64vec();
+  if (!decodeTrace(r, &out->globalTrace)) return false;
+  if (!decodeTrace(r, &out->localTrace)) return false;
+  out->profiledGroups = r.u64();
+  out->profiledWorkItems = r.u64();
+  out->oobAccesses = r.u64();
+  return r.fullyConsumedOk();
+}
+
+void encodeCompileOutcome(ByteWriter& w, const CompileOutcome& c) {
+  w.u64(c.key);
+  w.boolean(c.ok);
+  w.str(c.error);
+  w.str(c.kernelName);
+}
+
+bool decodeCompileOutcome(ByteReader& r, CompileOutcome* out) {
+  out->key = r.u64();
+  out->ok = r.boolean();
+  out->error = r.str();
+  out->kernelName = r.str();
+  return r.fullyConsumedOk();
+}
+
+}  // namespace flexcl::serve

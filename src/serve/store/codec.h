@@ -1,0 +1,118 @@
+// Binary serialization for the serve store (DESIGN.md §12).
+//
+// Plain little-endian field-by-field encoding of the result structs the
+// on-disk store persists: model::Estimate, sim::SimResult, the optional
+// SDAccel estimate, interp::KernelProfile, compile outcomes, and rendered
+// response strings. No reflection, no framing — framing, versioning and
+// integrity live in the Store entry header; each family's payload layout is
+// versioned by the k*CodecVersion constants below (bump on any field
+// change; the store treats a version mismatch as a quarantined entry, never
+// as data to guess at).
+//
+// What is deliberately NOT serializable: anything holding IR pointers
+// (ir::CompiledProgram, cdfg::KernelAnalysis, the PR-5 analysis-signature
+// caches). Those are rebuilt in-process — cheaply once the profile and the
+// eval results are warm — because persisting a pointer graph would couple
+// the store format to the IR's memory layout. See DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interp/profiler.h"
+#include "model/flexcl.h"
+#include "sdaccel/sdaccel_estimator.h"
+#include "sim/system_sim.h"
+
+namespace flexcl::serve {
+
+/// Payload layout versions, one per store family.
+inline constexpr std::uint32_t kEstimateCodecVersion = 1;
+inline constexpr std::uint32_t kSdaccelCodecVersion = 1;
+inline constexpr std::uint32_t kSimResultCodecVersion = 1;
+inline constexpr std::uint32_t kProfileCodecVersion = 1;
+inline constexpr std::uint32_t kCompileCodecVersion = 1;
+inline constexpr std::uint32_t kResponseCodecVersion = 1;
+
+/// Append-only little-endian byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s);
+  void f64vec(const std::vector<double>& v);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a payload. Any out-of-bounds read latches
+/// `ok() == false` and yields zero values; decoders check ok() once at the
+/// end instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  bool boolean() { return u8() != 0; }
+  std::string str();
+  std::vector<double> f64vec();
+
+  /// True iff every read so far was in bounds and the payload is fully
+  /// consumed (trailing bytes mean a layout mismatch).
+  [[nodiscard]] bool fullyConsumedOk() const {
+    return ok_ && pos_ == bytes_.size();
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool take(std::size_t n);
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- family payloads -------------------------------------------------------
+
+/// Compile outcome: the CompileCache entry minus the IR (see file comment).
+struct CompileOutcome {
+  std::uint64_t key = 0;  ///< runtime::kernelKeyHash
+  bool ok = false;
+  std::string error;
+  std::string kernelName;
+};
+
+void encodeEstimate(ByteWriter& w, const model::Estimate& e);
+bool decodeEstimate(ByteReader& r, model::Estimate* out);
+
+void encodeSdaccel(ByteWriter& w,
+                   const std::optional<sdaccel::SdaccelEstimate>& e);
+bool decodeSdaccel(ByteReader& r,
+                   std::optional<sdaccel::SdaccelEstimate>* out);
+
+void encodeSimResult(ByteWriter& w, const sim::SimResult& s);
+bool decodeSimResult(ByteReader& r, sim::SimResult* out);
+
+void encodeProfile(ByteWriter& w, const interp::KernelProfile& p);
+bool decodeProfile(ByteReader& r, interp::KernelProfile* out);
+
+void encodeCompileOutcome(ByteWriter& w, const CompileOutcome& c);
+bool decodeCompileOutcome(ByteReader& r, CompileOutcome* out);
+
+}  // namespace flexcl::serve

@@ -1,0 +1,318 @@
+#include "serve/store/store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "obs/registry.h"
+#include "serve/store/codec.h"
+#include "support/rng.h"
+
+namespace fs = std::filesystem;
+
+namespace flexcl::serve {
+namespace {
+
+constexpr std::uint32_t kStoreMagic = 0x53435846;  // "FXCS" little-endian
+constexpr std::size_t kHeaderSize = 4 * 4 + 3 * 8;  // 4 u32 + 3 u64
+constexpr std::uint64_t kMaxPayloadSize = 1ull << 30;
+
+std::string keyFileName(std::uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx.fxe",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+bool parseKeyFileName(const std::string& name, std::uint64_t* key) {
+  if (name.size() != 20 || name.substr(16) != ".fxe") return false;
+  std::uint64_t k = 0;
+  for (int i = 0; i < 16; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    k <<= 4;
+    if (c >= '0' && c <= '9') {
+      k |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      k |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *key = k;
+  return true;
+}
+
+bool readFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return false;
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(out->data()), size);
+  }
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+const char* Store::familyName(Family f) {
+  switch (f) {
+    case Family::Compile: return "compile";
+    case Family::FlexclEval: return "flexcl";
+    case Family::SdaccelEval: return "sdaccel";
+    case Family::SimEval: return "sim";
+    case Family::Profile: return "profile";
+    case Family::Response: return "response";
+  }
+  return "unknown";
+}
+
+Store::Store(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    error_ = "cannot create store directory '" + dir_ + "': " + ec.message();
+    return;
+  }
+  for (Family f : kAllFamilies) {
+    fs::create_directories(familyDir(f), ec);
+    if (ec) {
+      error_ = "cannot create store family directory '" + familyDir(f) +
+               "': " + ec.message();
+      return;
+    }
+  }
+  ok_ = true;
+}
+
+std::string Store::familyDir(Family f) const {
+  return dir_ + "/" + familyName(f);
+}
+
+std::string Store::entryPath(Family f, std::uint64_t key) const {
+  return familyDir(f) + "/" + keyFileName(key);
+}
+
+bool Store::save(Family family, std::uint64_t key,
+                 std::uint32_t payloadVersion,
+                 const std::vector<std::uint8_t>& payload) {
+  if (!ok_ || payload.size() > kMaxPayloadSize) return false;
+  ByteWriter header;
+  header.u32(kStoreMagic);
+  header.u32(kStoreFormatVersion);
+  header.u32(static_cast<std::uint32_t>(family));
+  header.u32(payloadVersion);
+  header.u64(key);
+  header.u64(payload.size());
+  header.u64(payload.empty() ? 0 : stableHash(payload.data(), payload.size()));
+
+  const std::string path = entryPath(family, key);
+  // Temp name is unique per (pid, key); concurrent writers of the same key
+  // write identical content-addressed bytes, so the last rename wins safely.
+  const std::string tmp =
+      path + ".tmp" + std::to_string(static_cast<unsigned>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(header.bytes().data()),
+              static_cast<std::streamsize>(header.bytes().size()));
+    if (!payload.empty()) {
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+    }
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  obs::add("serve.store.saved");
+  return true;
+}
+
+bool Store::loadFile(const std::string& path, Family family,
+                     std::optional<std::uint64_t> expectKey,
+                     std::uint32_t payloadVersion, std::uint64_t* keyOut,
+                     std::vector<std::uint8_t>* payload) {
+  std::vector<std::uint8_t> bytes;
+  if (!readFileBytes(path, &bytes) || bytes.size() < kHeaderSize) {
+    quarantine(path);
+    return false;
+  }
+  ByteReader r(bytes);
+  const std::uint32_t magic = r.u32();
+  const std::uint32_t format = r.u32();
+  const std::uint32_t fam = r.u32();
+  const std::uint32_t version = r.u32();
+  const std::uint64_t key = r.u64();
+  const std::uint64_t size = r.u64();
+  const std::uint64_t hash = r.u64();
+  if (!r.ok() || magic != kStoreMagic || format != kStoreFormatVersion ||
+      fam != static_cast<std::uint32_t>(family) || version != payloadVersion ||
+      (expectKey && key != *expectKey) || size > kMaxPayloadSize ||
+      bytes.size() != kHeaderSize + size) {
+    quarantine(path);
+    return false;
+  }
+  payload->assign(bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
+                  bytes.end());
+  const std::uint64_t actual =
+      payload->empty() ? 0 : stableHash(payload->data(), payload->size());
+  if (actual != hash) {
+    quarantine(path);
+    return false;
+  }
+  if (keyOut != nullptr) *keyOut = key;
+  return true;
+}
+
+void Store::quarantine(const std::string& path) {
+  std::error_code ec;
+  fs::rename(path, path + ".quar", ec);
+  if (ec) fs::remove(path, ec);  // fall back to deletion; never re-serve it
+  obs::add("serve.store.quarantined");
+}
+
+std::optional<std::vector<std::uint8_t>> Store::load(
+    Family family, std::uint64_t key, std::uint32_t payloadVersion) {
+  if (!ok_) return std::nullopt;
+  const std::string path = entryPath(family, key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return std::nullopt;
+  std::vector<std::uint8_t> payload;
+  if (!loadFile(path, family, key, payloadVersion, nullptr, &payload)) {
+    return std::nullopt;
+  }
+  obs::add("serve.store.loaded");
+  return payload;
+}
+
+void Store::loadAll(
+    Family family, std::uint32_t payloadVersion,
+    const std::function<void(std::uint64_t key,
+                             const std::vector<std::uint8_t>&)>& fn) {
+  if (!ok_) return;
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(familyDir(family), ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    std::uint64_t key = 0;
+    if (!parseKeyFileName(name, &key)) continue;  // temp / quarantined files
+    std::vector<std::uint8_t> payload;
+    if (loadFile(familyDir(family) + "/" + name, family, key, payloadVersion,
+                 &key, &payload)) {
+      obs::add("serve.store.loaded");
+      fn(key, payload);
+    }
+  }
+}
+
+std::uint64_t Store::StoreStats::totalEntries() const {
+  std::uint64_t n = 0;
+  for (const FamilyStats& f : perFamily) n += f.entries;
+  return n;
+}
+
+std::uint64_t Store::StoreStats::totalBytes() const {
+  std::uint64_t n = 0;
+  for (const FamilyStats& f : perFamily) n += f.bytes;
+  return n;
+}
+
+std::uint64_t Store::StoreStats::totalQuarantined() const {
+  std::uint64_t n = 0;
+  for (const FamilyStats& f : perFamily) n += f.quarantined;
+  return n;
+}
+
+Store::StoreStats Store::stats() const {
+  StoreStats s;
+  if (!ok_) return s;
+  for (Family f : kAllFamilies) {
+    FamilyStats& fam =
+        s.perFamily[static_cast<std::uint32_t>(f) - 1];
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(familyDir(f), ec)) {
+      const std::string name = entry.path().filename().string();
+      std::uint64_t key = 0;
+      if (parseKeyFileName(name, &key)) {
+        ++fam.entries;
+        std::error_code sec;
+        const std::uintmax_t sz = fs::file_size(entry.path(), sec);
+        if (!sec) fam.bytes += sz;
+      } else if (name.size() > 5 && name.substr(name.size() - 5) == ".quar") {
+        ++fam.quarantined;
+      }
+    }
+  }
+  return s;
+}
+
+std::uint64_t Store::verify() {
+  if (!ok_) return 0;
+  std::uint64_t quarantined = 0;
+  for (Family f : kAllFamilies) {
+    const std::uint32_t version = [&] {
+      switch (f) {
+        case Family::Compile: return kCompileCodecVersion;
+        case Family::FlexclEval: return kEstimateCodecVersion;
+        case Family::SdaccelEval: return kSdaccelCodecVersion;
+        case Family::SimEval: return kSimResultCodecVersion;
+        case Family::Profile: return kProfileCodecVersion;
+        case Family::Response: return kResponseCodecVersion;
+      }
+      return 0u;
+    }();
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(familyDir(f), ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      std::uint64_t key = 0;
+      if (!parseKeyFileName(name, &key)) continue;
+      std::vector<std::uint8_t> payload;
+      if (!loadFile(familyDir(f) + "/" + name, f, key, version, &key,
+                    &payload)) {
+        ++quarantined;
+      }
+    }
+  }
+  return quarantined;
+}
+
+std::uint64_t Store::clear() {
+  if (!ok_) return 0;
+  std::uint64_t removed = 0;
+  for (Family f : kAllFamilies) {
+    std::error_code ec;
+    std::vector<fs::path> victims;
+    for (const auto& entry : fs::directory_iterator(familyDir(f), ec)) {
+      victims.push_back(entry.path());
+    }
+    for (const fs::path& p : victims) {
+      std::error_code rec;
+      if (fs::remove(p, rec) && !rec) ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace flexcl::serve

@@ -1,0 +1,119 @@
+// Versioned on-disk cache store for `flexcl serve` (DESIGN.md §12).
+//
+// A directory of self-describing entry files, one per cached result, grouped
+// into families that mirror the in-memory caches they warm-start:
+//
+//   <dir>/compile/<key>.fxe    compile outcomes (runtime::CompileCache)
+//   <dir>/flexcl/<key>.fxe     model::Estimate    (runtime::EvalCache)
+//   <dir>/sdaccel/<key>.fxe    SDAccel estimates  (runtime::EvalCache)
+//   <dir>/sim/<key>.fxe        sim::SimResult     (runtime::EvalCache)
+//   <dir>/profile/<key>.fxe    interp::KernelProfile (model::FlexCl)
+//   <dir>/response/<key>.fxe   rendered lint/explain result JSON
+//
+// Every entry carries a fixed header — magic, store format version, family,
+// per-family payload version, key, payload size, payload checksum — so a
+// cold process can trust what it loads: any mismatch (corruption, torn
+// write, format drift) quarantines the entry (renamed to *.quar, counted in
+// `serve.store.quarantined`) instead of crashing or poisoning a cache.
+// Writes go through a temp file + rename, so a crash mid-save leaves at
+// worst a stale temp file, never a half-written entry under a valid name.
+// Keys are content hashes (source + options + geometry + design), so
+// concurrent daemons sharing a directory can only race to write identical
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace flexcl::serve {
+
+/// Store format version: the entry header layout. Distinct from the
+/// per-family payload versions (serve/store/codec.h).
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+class Store {
+ public:
+  enum class Family : std::uint32_t {
+    Compile = 1,
+    FlexclEval = 2,
+    SdaccelEval = 3,
+    SimEval = 4,
+    Profile = 5,
+    Response = 6,
+  };
+  static constexpr Family kAllFamilies[] = {
+      Family::Compile, Family::FlexclEval, Family::SdaccelEval,
+      Family::SimEval, Family::Profile,    Family::Response,
+  };
+  static const char* familyName(Family f);
+
+  /// Opens (creating if needed) the store rooted at `dir`. Check ok().
+  explicit Store(std::string dir);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Writes one entry (temp file + atomic rename). Overwrites an existing
+  /// entry for the same key. Returns false on I/O failure.
+  bool save(Family family, std::uint64_t key, std::uint32_t payloadVersion,
+            const std::vector<std::uint8_t>& payload);
+
+  /// Reads and integrity-checks one entry. nullopt when absent; a present
+  /// but invalid entry (bad magic/version/family/key/size/checksum) is
+  /// quarantined and reported as nullopt.
+  std::optional<std::vector<std::uint8_t>> load(Family family,
+                                                std::uint64_t key,
+                                                std::uint32_t payloadVersion);
+
+  /// Integrity-checks every entry of `family`, invoking `fn` for each valid
+  /// payload and quarantining invalid ones. Iteration order is sorted by
+  /// file name, so warm-starts are deterministic.
+  void loadAll(Family family, std::uint32_t payloadVersion,
+               const std::function<void(std::uint64_t key,
+                                        const std::vector<std::uint8_t>&)>& fn);
+
+  struct FamilyStats {
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t quarantined = 0;  ///< *.quar files present
+  };
+  struct StoreStats {
+    FamilyStats perFamily[6];  ///< indexed by family id - 1
+    [[nodiscard]] std::uint64_t totalEntries() const;
+    [[nodiscard]] std::uint64_t totalBytes() const;
+    [[nodiscard]] std::uint64_t totalQuarantined() const;
+  };
+
+  /// Cheap directory scan: entry counts + bytes per family, no checksum
+  /// verification.
+  StoreStats stats() const;
+
+  /// Full verification: every entry is header- and checksum-checked;
+  /// invalid entries are quarantined. Returns the number quarantined by
+  /// this pass (pre-existing *.quar files are counted in stats(), not here).
+  std::uint64_t verify();
+
+  /// Deletes every entry and quarantined file. Returns files removed.
+  std::uint64_t clear();
+
+ private:
+  std::string familyDir(Family f) const;
+  std::string entryPath(Family f, std::uint64_t key) const;
+  /// Validates one entry file; on success fills `payload`. On failure
+  /// renames it to <path>.quar and bumps the quarantine counter.
+  bool loadFile(const std::string& path, Family family,
+                std::optional<std::uint64_t> expectKey,
+                std::uint32_t payloadVersion, std::uint64_t* keyOut,
+                std::vector<std::uint8_t>* payload);
+  void quarantine(const std::string& path);
+
+  std::string dir_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace flexcl::serve

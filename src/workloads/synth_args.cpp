@@ -1,0 +1,45 @@
+#include "workloads/synth_args.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/rng.h"
+
+namespace flexcl::workloads {
+
+void synthesiseArgs(const ir::Function& fn, std::uint64_t elems,
+                    std::vector<std::vector<std::uint8_t>>* buffers,
+                    std::vector<interp::KernelArg>* args) {
+  Rng rng(0xc11);
+  for (const auto& arg : fn.arguments()) {
+    const ir::Type* t = arg->type();
+    if (t->isPointer()) {
+      const std::uint64_t bytes =
+          elems * std::max<std::uint64_t>(4, t->element()->sizeInBytes());
+      std::vector<std::uint8_t> data(bytes);
+      if (t->element()->isFloat() ||
+          (t->element()->isStruct() || t->element()->isVector())) {
+        for (std::uint64_t e = 0; e + 4 <= bytes; e += 4) {
+          const float v = static_cast<float>(rng.nextDouble(0.1, 2.0));
+          std::memcpy(data.data() + e, &v, 4);
+        }
+      } else {
+        for (std::uint64_t e = 0; e + 4 <= bytes; e += 4) {
+          const std::int32_t v = static_cast<std::int32_t>(
+              rng.nextBelow(std::max<std::uint64_t>(1, elems)));
+          std::memcpy(data.data() + e, &v, 4);
+        }
+      }
+      const int index = static_cast<int>(buffers->size());
+      buffers->push_back(std::move(data));
+      args->push_back(interp::KernelArg::buffer(index));
+    } else if (t->isFloat()) {
+      args->push_back(interp::KernelArg::floatScalar(1.0));
+    } else {
+      args->push_back(
+          interp::KernelArg::intScalar(static_cast<std::int64_t>(elems)));
+    }
+  }
+}
+
+}  // namespace flexcl::workloads

@@ -1,0 +1,21 @@
+// Synthesised kernel arguments for driving arbitrary .cl kernels (the CLI
+// and `flexcl serve`): every pointer argument gets a buffer of `elems`
+// elements filled with small pseudo-random values from a fixed seed, scalar
+// int arguments receive `elems`, scalar float arguments 1.0. Deterministic —
+// the same signature and elems always produce the same bytes, which is what
+// lets serve responses and store entries be content-addressed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "ir/lower.h"
+
+namespace flexcl::workloads {
+
+void synthesiseArgs(const ir::Function& fn, std::uint64_t elems,
+                    std::vector<std::vector<std::uint8_t>>* buffers,
+                    std::vector<interp::KernelArg>* args);
+
+}  // namespace flexcl::workloads

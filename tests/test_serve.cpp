@@ -1,0 +1,527 @@
+// Tests for the serving subsystem (src/serve/): the JSON reader, the
+// line-delimited protocol (golden envelopes, pinned key order, malformed-
+// request error isolation), the binary codec and the versioned on-disk store
+// (round-trip bit-identity across process-like restarts, corruption /
+// truncation / version-mismatch quarantine — fuzzed), disk-warmed hit
+// attribution, dispatcher warm-start bit-identity, out-of-order completion
+// determinism across worker counts, and the Unix-socket transport.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interp/profiler.h"
+#include "runtime/cache.h"
+#include "runtime/compile_cache.h"
+#include "serve/dispatcher.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/store/codec.h"
+#include "serve/store/store.h"
+#include "workloads/synth_args.h"
+
+namespace flexcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kAddSource =
+    "__kernel void add(__global float* a, __global float* b,"
+    " __global float* c) { int i = get_global_id(0); c[i] = a[i] + b[i]; }";
+
+/// Fresh empty store directory under the test temp dir.
+std::string freshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "flexcl_serve_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string estimateLine(int id, int wg = 64, int pe = 1) {
+  std::ostringstream os;
+  os << "{\"id\": " << id << ", \"op\": \"estimate\", \"source\": \""
+     << serve::jsonEscapeString(kAddSource)
+     << "\", \"kernel\": \"add\", \"global\": 128, \"design\": {\"wg\": " << wg
+     << ", \"pe\": " << pe << "}}";
+  return os.str();
+}
+
+// --- JSON reader -----------------------------------------------------------
+
+TEST(ServeJson, ParsesNestedValues) {
+  serve::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(serve::parseJson(
+      R"({"a": [1, -2.5, true, null], "b": {"c": "x\n\"y\""}, "d": 1e3})", &v,
+      &error))
+      << error;
+  ASSERT_TRUE(v.isObject());
+  const serve::JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 4u);
+  EXPECT_DOUBLE_EQ(a->items[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->items[1].number, -2.5);
+  EXPECT_TRUE(a->items[2].boolean);
+  EXPECT_TRUE(a->items[3].kind == serve::JsonValue::Kind::Null);
+  EXPECT_EQ(v.find("b")->find("c")->text, "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(v.find("d")->number, 1000.0);
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  serve::JsonValue v;
+  std::string error;
+  EXPECT_FALSE(serve::parseJson("{\"a\": }", &v, &error));
+  EXPECT_FALSE(serve::parseJson("{\"a\": 1,}", &v, &error));
+  EXPECT_FALSE(serve::parseJson("[1, 2", &v, &error));
+  EXPECT_FALSE(serve::parseJson("\"unterminated", &v, &error));
+  EXPECT_FALSE(serve::parseJson("{} trailing", &v, &error));
+  EXPECT_FALSE(serve::parseJson("", &v, &error));
+}
+
+// --- protocol --------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesEstimateRequestAndIgnoresUnknownFields) {
+  const serve::ParsedRequest p = serve::parseRequest(
+      R"({"id": 7, "op": "estimate", "source": "k", "kernel": "k",)"
+      R"( "global": 512, "future_field": [1, 2],)"
+      R"( "design": {"wg": 32, "pe": 4, "mode": "barrier"}})");
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.request.id, 7u);
+  EXPECT_EQ(p.request.global, 512u);
+  EXPECT_EQ(p.request.design.workGroupSize[0], 32u);
+  EXPECT_EQ(p.request.design.peParallelism, 4);
+  EXPECT_EQ(p.request.design.commMode, model::CommMode::Barrier);
+}
+
+TEST(ServeProtocol, RecoversIdFromInvalidRequests) {
+  const serve::ParsedRequest p =
+      serve::parseRequest(R"({"id": 41, "op": "estimate"})");
+  EXPECT_FALSE(p.ok);
+  EXPECT_EQ(p.request.id, 41u);  // error response stays correlatable
+  EXPECT_NE(p.error.find("source"), std::string::npos);
+}
+
+TEST(ServeProtocol, GoldenResponseEnvelopes) {
+  // Pinned key order (schema_version first) — the serve analogue of the
+  // lint/explain golden-JSON policy. Any change must bump kServeSchemaVersion.
+  EXPECT_EQ(serve::renderResponse(3, "ping", "\"pong\""),
+            "{\"schema_version\": 1, \"id\": 3, \"op\": \"ping\","
+            " \"ok\": true, \"result\": \"pong\"}");
+  EXPECT_EQ(serve::renderErrorResponse(4, "estimate", "boom \"x\""),
+            "{\"schema_version\": 1, \"id\": 4, \"op\": \"estimate\","
+            " \"ok\": false, \"error\": \"boom \\\"x\\\"\"}");
+  model::DesignPoint dp;
+  dp.workGroupSize = {64, 1, 1};
+  EXPECT_EQ(serve::renderDesign(dp),
+            "{\"wg\": 64, \"wg_y\": 1, \"pipeline\": true,"
+            " \"loop_pipeline\": false, \"wg_pipeline\": false, \"pe\": 1,"
+            " \"cu\": 1, \"vector_width\": 1, \"mode\": \"pipeline\"}");
+}
+
+// --- MemoCache seeding / warm-hit attribution ------------------------------
+
+TEST(ServeWarmHits, SeededEntriesCountAsDiskWarmed) {
+  runtime::MemoCache<int, int> cache;
+  EXPECT_TRUE(cache.seed(1, 10));
+  EXPECT_FALSE(cache.seed(1, 11)) << "existing entry must win over a seed";
+  EXPECT_EQ(*cache.getOrCompute(1, [] { return -1; }), 10);
+  EXPECT_EQ(*cache.getOrCompute(2, [] { return 20; }), 20);
+  EXPECT_EQ(*cache.getOrCompute(2, [] { return -1; }), 20);
+  const runtime::CounterSnapshot c = cache.counters();
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.warmHits, 1u);  // only the seeded entry's hit
+  EXPECT_EQ(c.misses, 1u);
+  // Aggregation and delta keep the warm attribution.
+  runtime::CounterSnapshot later = c;
+  later.hits = 5;
+  later.warmHits = 3;
+  const runtime::CounterSnapshot d = later.deltaSince(c);
+  EXPECT_EQ(d.hits, 3u);
+  EXPECT_EQ(d.warmHits, 2u);
+  EXPECT_NE(c.json().find("\"warm_hits\": 1"), std::string::npos);
+  EXPECT_NE(c.str().find("1 disk-warmed"), std::string::npos);
+}
+
+// --- codec -----------------------------------------------------------------
+
+TEST(ServeCodec, EstimateRoundTripsBitIdentically) {
+  runtime::CompileCache cc;
+  const auto compiled = cc.compile(kAddSource, "add");
+  ASSERT_TRUE(compiled->ok) << compiled->error;
+  std::vector<std::vector<std::uint8_t>> buffers;
+  model::LaunchInfo launch;
+  launch.fn = compiled->fn;
+  launch.range.global = {128, 1, 1};
+  workloads::synthesiseArgs(*compiled->fn, 128, &buffers, &launch.args);
+  launch.buffers = &buffers;
+  model::FlexCl flexcl(model::Device::virtex7());
+  model::DesignPoint dp;
+  dp.workGroupSize = {32, 1, 1};
+  dp.peParallelism = 2;
+  const model::Estimate est = flexcl.estimate(launch, dp);
+  ASSERT_TRUE(est.ok) << est.error;
+
+  serve::ByteWriter w;
+  serve::encodeEstimate(w, est);
+  serve::ByteReader r(w.bytes());
+  model::Estimate back;
+  ASSERT_TRUE(serve::decodeEstimate(r, &back));
+  EXPECT_EQ(back.ok, est.ok);
+  EXPECT_EQ(back.cycles, est.cycles);  // exact, not approximate
+  EXPECT_EQ(back.milliseconds, est.milliseconds);
+  EXPECT_EQ(back.breakdown.memory, est.breakdown.memory);
+  EXPECT_EQ(back.pe.iiComp, est.pe.iiComp);
+  EXPECT_EQ(back.memory.lMemWi, est.memory.lMemWi);
+  serve::ByteWriter w2;
+  serve::encodeEstimate(w2, back);
+  EXPECT_EQ(w.bytes(), w2.bytes()) << "re-encoding must be bit-identical";
+
+  // The profile that fed this estimate round-trips too.
+  const interp::KernelProfile& profile = flexcl.profileFor(launch, dp);
+  serve::ByteWriter pw;
+  serve::encodeProfile(pw, profile);
+  serve::ByteReader pr(pw.bytes());
+  interp::KernelProfile pback;
+  ASSERT_TRUE(serve::decodeProfile(pr, &pback));
+  EXPECT_EQ(pback.globalTrace.size(), profile.globalTrace.size());
+  EXPECT_EQ(pback.profiledWorkItems, profile.profiledWorkItems);
+  serve::ByteWriter pw2;
+  serve::encodeProfile(pw2, pback);
+  EXPECT_EQ(pw.bytes(), pw2.bytes());
+}
+
+TEST(ServeCodec, RejectsTruncatedAndTrailingPayloads) {
+  model::Estimate est;
+  est.ok = true;
+  est.cycles = 123.5;
+  serve::ByteWriter w;
+  serve::encodeEstimate(w, est);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, w.bytes().size() / 2,
+                          w.bytes().size() - 1}) {
+    std::vector<std::uint8_t> bytes(w.bytes().begin(),
+                                    w.bytes().begin() + static_cast<long>(cut));
+    serve::ByteReader r(bytes);
+    model::Estimate out;
+    EXPECT_FALSE(serve::decodeEstimate(r, &out)) << "cut at " << cut;
+  }
+  std::vector<std::uint8_t> extra = w.bytes();
+  extra.push_back(0);
+  serve::ByteReader r(extra);
+  model::Estimate out;
+  EXPECT_FALSE(serve::decodeEstimate(r, &out)) << "trailing bytes";
+}
+
+// --- store -----------------------------------------------------------------
+
+TEST(ServeStore, RoundTripsAcrossReopen) {
+  const std::string dir = freshDir("roundtrip");
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 255, 0, 7};
+  {
+    serve::Store store(dir);
+    ASSERT_TRUE(store.ok()) << store.error();
+    ASSERT_TRUE(store.save(serve::Store::Family::Response, 0xabcdeF12u, 1,
+                           payload));
+  }
+  serve::Store reopened(dir);  // a new "process"
+  ASSERT_TRUE(reopened.ok());
+  const auto back =
+      reopened.load(serve::Store::Family::Response, 0xabcdeF12u, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+  EXPECT_FALSE(
+      reopened.load(serve::Store::Family::Response, 0x9999u, 1).has_value());
+  EXPECT_EQ(reopened.stats().totalEntries(), 1u);
+  EXPECT_EQ(reopened.verify(), 0u);
+  EXPECT_EQ(reopened.clear(), 1u);
+  EXPECT_EQ(reopened.stats().totalEntries(), 0u);
+}
+
+TEST(ServeStore, VersionMismatchQuarantines) {
+  const std::string dir = freshDir("version");
+  serve::Store store(dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.save(serve::Store::Family::Profile, 5, /*version=*/1,
+                         {9, 9, 9}));
+  EXPECT_FALSE(store.load(serve::Store::Family::Profile, 5, /*version=*/2)
+                   .has_value());
+  const serve::Store::StoreStats stats = store.stats();
+  EXPECT_EQ(stats.totalEntries(), 0u);
+  EXPECT_EQ(stats.totalQuarantined(), 1u);
+  // The quarantined file is inert: a fresh save works, loadAll skips it.
+  ASSERT_TRUE(store.save(serve::Store::Family::Profile, 5, 1, {1}));
+  int seen = 0;
+  store.loadAll(serve::Store::Family::Profile, 1,
+                [&](std::uint64_t, const std::vector<std::uint8_t>&) { ++seen; });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(ServeStore, FuzzedCorruptionNeverLoads) {
+  const std::string dir = freshDir("fuzz");
+  serve::Store store(dir);
+  ASSERT_TRUE(store.ok());
+  std::vector<std::uint8_t> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 37 + 1);
+  }
+  const std::uint64_t key = 0x1234567890abcdefull;
+  ASSERT_TRUE(store.save(serve::Store::Family::SimEval, key, 1, payload));
+  const std::string path =
+      dir + "/sim/1234567890abcdef.fxe";
+  std::vector<std::uint8_t> good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(static_cast<bool>(in));
+    good.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  std::uint64_t quarantined = 0;
+  // Bit flips across the whole file: header fields, key, checksum, payload.
+  for (std::size_t pos = 0; pos < good.size(); pos += 7) {
+    std::vector<std::uint8_t> bad = good;
+    bad[pos] ^= 0x40;
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bad.data()),
+                static_cast<long>(bad.size()));
+    }
+    EXPECT_FALSE(store.load(serve::Store::Family::SimEval, key, 1).has_value())
+        << "bit flip at " << pos << " must not load";
+    ++quarantined;
+    fs::remove(path + ".quar");
+    ASSERT_TRUE(store.save(serve::Store::Family::SimEval, key, 1, payload));
+  }
+  // Truncations, including mid-header.
+  for (std::size_t size : {std::size_t{0}, std::size_t{3}, std::size_t{39},
+                           good.size() - 1}) {
+    std::vector<std::uint8_t> bad(good.begin(),
+                                  good.begin() + static_cast<long>(size));
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(bad.data()),
+                static_cast<long>(bad.size()));
+    }
+    EXPECT_FALSE(store.load(serve::Store::Family::SimEval, key, 1).has_value())
+        << "truncation to " << size << " must not load";
+    fs::remove(path + ".quar");
+    ASSERT_TRUE(store.save(serve::Store::Family::SimEval, key, 1, payload));
+  }
+  EXPECT_GT(quarantined, 0u);
+  // And after all that abuse, an intact entry still loads.
+  EXPECT_TRUE(store.load(serve::Store::Family::SimEval, key, 1).has_value());
+}
+
+// --- dispatcher ------------------------------------------------------------
+
+TEST(ServeDispatcher, MalformedRequestsAreIsolated) {
+  serve::Dispatcher dispatcher;
+  const std::string bad = dispatcher.handleLine("{\"id\": 13, \"op\": 5}");
+  EXPECT_NE(bad.find("\"id\": 13"), std::string::npos);
+  EXPECT_NE(bad.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(dispatcher.handleLine("not json at all").find("\"ok\": false"),
+            std::string::npos);
+  const std::string unknownOp =
+      dispatcher.handleLine("{\"id\": 1, \"op\": \"frobnicate\"}");
+  EXPECT_NE(unknownOp.find("unknown op"), std::string::npos);
+  const std::string badDevice = dispatcher.handleLine(
+      "{\"id\": 2, \"op\": \"estimate\", \"source\": \"x\","
+      " \"kernel\": \"k\", \"device\": \"stratix\"}");
+  EXPECT_NE(badDevice.find("unknown device"), std::string::npos);
+  // A broken kernel fails with diagnostics, not a crash...
+  const std::string broken = dispatcher.handleLine(
+      "{\"id\": 3, \"op\": \"estimate\", \"source\": \"__kernel void k( {\","
+      " \"kernel\": \"k\"}");
+  EXPECT_NE(broken.find("\"ok\": false"), std::string::npos);
+  // ...and the dispatcher still answers the next request normally.
+  const std::string good = dispatcher.handleLine(estimateLine(4));
+  EXPECT_NE(good.find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(dispatcher.handledOk(), 1u);
+  EXPECT_EQ(dispatcher.handledError(), 5u);  // parse errors count too
+}
+
+TEST(ServeDispatcher, WarmRestartIsBitIdenticalAndDiskAttributed) {
+  const std::string dir = freshDir("warm");
+  const std::vector<std::string> lines = {
+      estimateLine(1, 64, 1), estimateLine(2, 32, 2),
+      "{\"id\": 3, \"op\": \"lint\", \"source\": \"" +
+          serve::jsonEscapeString(kAddSource) +
+          "\", \"kernel\": \"add\", \"global\": 128}",
+      "{\"id\": 4, \"op\": \"explain\", \"source\": \"" +
+          serve::jsonEscapeString(kAddSource) +
+          "\", \"kernel\": \"add\", \"global\": 128, \"design\": {\"wg\": 64}}",
+  };
+  std::vector<std::string> cold;
+  {
+    serve::DispatcherOptions opts;
+    opts.storeDir = dir;
+    serve::Dispatcher d(opts);
+    ASSERT_TRUE(d.storeOk()) << d.storeError();
+    for (const std::string& line : lines) cold.push_back(d.handleLine(line));
+    const runtime::Stats s = d.stats();
+    EXPECT_EQ(s.flexclEval.warmHits, 0u);
+    EXPECT_GT(s.flexclEval.misses, 0u);
+  }
+  // A new dispatcher over the same store = a restarted process.
+  serve::DispatcherOptions opts;
+  opts.storeDir = dir;
+  serve::Dispatcher d2(opts);
+  ASSERT_TRUE(d2.storeOk());
+  std::vector<std::string> warm;
+  for (const std::string& line : lines) warm.push_back(d2.handleLine(line));
+  EXPECT_EQ(cold, warm) << "warm responses must be byte-identical to cold";
+  const runtime::Stats s = d2.stats();
+  EXPECT_EQ(s.flexclEval.misses, 0u) << "every estimate must come from disk";
+  EXPECT_EQ(s.flexclEval.warmHits, s.flexclEval.hits);
+  EXPECT_GT(s.flexclEval.warmHits, 0u);
+  EXPECT_GT(d2.responseCounters().warmHits, 0u) << "lint/explain from disk";
+  EXPECT_EQ(s.analysis.misses, 0u)
+      << "warm estimates must not rebuild schedules";
+}
+
+TEST(ServeDispatcher, QuarantinedEntryRecomputesIdentically) {
+  const std::string dir = freshDir("quar");
+  std::string cold;
+  {
+    serve::DispatcherOptions opts;
+    opts.storeDir = dir;
+    serve::Dispatcher d(opts);
+    cold = d.handleLine(estimateLine(9));
+  }
+  // Corrupt every flexcl eval entry on disk.
+  int corrupted = 0;
+  for (const auto& entry : fs::directory_iterator(dir + "/flexcl")) {
+    std::fstream f(entry.path(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(45);  // inside the payload
+    char byte = 0x7f;
+    f.write(&byte, 1);
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0);
+  serve::DispatcherOptions opts;
+  opts.storeDir = dir;
+  serve::Dispatcher d2(opts);
+  const std::string warm = d2.handleLine(estimateLine(9));
+  EXPECT_EQ(cold, warm) << "a quarantined entry must recompute, not corrupt";
+  EXPECT_EQ(d2.stats().flexclEval.warmHits, 0u);
+  serve::Store store(dir);
+  EXPECT_GT(store.stats().totalQuarantined(), 0u);
+}
+
+TEST(ServeDispatcher, ExploreSharesEstimateCacheEntries) {
+  serve::Dispatcher d;
+  const std::string explore =
+      "{\"id\": 1, \"op\": \"explore\", \"source\": \"" +
+      serve::jsonEscapeString(kAddSource) +
+      "\", \"kernel\": \"add\", \"global\": 128}";
+  const std::string first = d.handleLine(explore);
+  ASSERT_NE(first.find("\"ok\": true"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"best_design\""), std::string::npos);
+  const runtime::Stats afterFirst = d.stats();
+  EXPECT_GT(afterFirst.flexclEval.misses, 1u);
+  // Re-exploring is pure hits; estimating one of the swept designs is a hit.
+  const std::string second = d.handleLine(explore);
+  EXPECT_EQ(first, second);
+  const runtime::Stats afterSecond = d.stats();
+  EXPECT_EQ(afterSecond.flexclEval.misses, afterFirst.flexclEval.misses);
+  const std::string est = d.handleLine(estimateLine(2, 32, 2));
+  EXPECT_NE(est.find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(d.stats().flexclEval.misses, afterSecond.flexclEval.misses)
+      << "estimate of a swept design must hit the explore's cache entry";
+}
+
+// --- server ----------------------------------------------------------------
+
+std::vector<std::string> runServer(int jobs, const std::string& input) {
+  serve::ServerOptions opts;
+  opts.jobs = jobs;
+  serve::Server server(opts);
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(server.run(in, out), 0);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream split(out.str());
+  while (std::getline(split, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServeServer, OutOfOrderCompletionIsDeterministicAcrossJobs) {
+  std::ostringstream input;
+  for (int i = 0; i < 6; ++i) {
+    input << estimateLine(i + 1, i % 2 == 0 ? 64 : 32, 1 + i % 3) << "\n";
+  }
+  input << "{\"id\": 99, \"op\": \"bogus\"}\n";  // error isolation under load
+  std::vector<std::string> serial = runServer(1, input.str());
+  std::vector<std::string> parallel = runServer(4, input.str());
+  ASSERT_EQ(serial.size(), 7u);
+  ASSERT_EQ(parallel.size(), 7u);
+  // Responses may arrive in any order; sorted by the (unique) id prefix they
+  // must be byte-identical.
+  std::sort(serial.begin(), serial.end());
+  std::sort(parallel.begin(), parallel.end());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ServeServer, UnixSocketServesAndShutsDown) {
+  const std::string path = ::testing::TempDir() + "flexcl_serve_test.sock";
+  fs::remove(path);
+  serve::ServerOptions opts;
+  opts.jobs = 2;
+  opts.socketPath = path;
+  serve::Server server(opts);
+  std::istringstream in("");  // daemon mode: EOF on stdin keeps serving
+  std::ostringstream out;
+  std::thread serverThread([&] { EXPECT_EQ(server.run(in, out), 0); });
+
+  int fd = -1;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fd, 0) << "could not connect to " << path;
+
+  const std::string requests = "{\"id\": 1, \"op\": \"ping\"}\n" +
+                               estimateLine(2) +
+                               "\n{\"id\": 3, \"op\": \"shutdown\"}\n";
+  ASSERT_EQ(::send(fd, requests.data(), requests.size(), 0),
+            static_cast<ssize_t>(requests.size()));
+  std::string received;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+    if (std::count(received.begin(), received.end(), '\n') >= 3) break;
+  }
+  ::close(fd);
+  serverThread.join();
+
+  EXPECT_NE(received.find("\"result\": \"pong\""), std::string::npos);
+  EXPECT_NE(received.find("\"op\": \"estimate\", \"ok\": true"),
+            std::string::npos);
+  EXPECT_NE(received.find("\"result\": \"bye\""), std::string::npos);
+  EXPECT_FALSE(fs::exists(path)) << "socket file must be unlinked on stop";
+}
+
+}  // namespace
+}  // namespace flexcl

@@ -185,22 +185,25 @@ struct Entry {
   double cpuTime = 0;
 };
 
-/// Collects {name -> times} from a benchmark array. Accepts both the
-/// baseline's "model_micro" section and google-benchmark's "benchmarks".
+/// Collects {name -> times} from every benchmark array the file carries:
+/// google-benchmark's "benchmarks" plus the baseline's named sections
+/// ("model_micro", "serve_replay"). Sections are merged — benchmark names
+/// are globally unique across the suite.
 std::map<std::string, Entry> entriesOf(const Json& root) {
   std::map<std::string, Entry> out;
-  const Json* arr = root.find("benchmarks");
-  if (arr == nullptr) arr = root.find("model_micro");
-  if (arr == nullptr || arr->kind != Json::Kind::Array) return out;
-  for (const Json& b : arr->items) {
-    const Json* name = b.find("name");
-    const Json* real = b.find("real_time");
-    const Json* cpu = b.find("cpu_time");
-    if (name == nullptr || name->kind != Json::Kind::String) continue;
-    Entry e;
-    if (real != nullptr) e.realTime = real->number;
-    if (cpu != nullptr) e.cpuTime = cpu->number;
-    out[name->text] = e;
+  for (const char* section : {"benchmarks", "model_micro", "serve_replay"}) {
+    const Json* arr = root.find(section);
+    if (arr == nullptr || arr->kind != Json::Kind::Array) continue;
+    for (const Json& b : arr->items) {
+      const Json* name = b.find("name");
+      const Json* real = b.find("real_time");
+      const Json* cpu = b.find("cpu_time");
+      if (name == nullptr || name->kind != Json::Kind::String) continue;
+      Entry e;
+      if (real != nullptr) e.realTime = real->number;
+      if (cpu != nullptr) e.cpuTime = cpu->number;
+      out[name->text] = e;
+    }
   }
   return out;
 }

@@ -6,15 +6,22 @@
 //   flexcl estimate <file.cl> <kernel> --global N [options]
 //   flexcl explore  <file.cl> <kernel> --global N [options]
 //   flexcl ir       <file.cl>
+//   flexcl serve    [--store DIR] [--socket PATH] [--jobs N]
+//   flexcl cache    <stats|verify|clear> --store DIR
 //
 // Kernel arguments are synthesised automatically: every pointer argument gets
 // a buffer of --elems elements (default: global size) filled with small
 // pseudo-random values; scalar int arguments receive --elems, scalar float
 // arguments 1.0. That matches how the bundled workloads drive their kernels
 // and is enough for profiling-based analysis of most kernels.
+//
+// `--store DIR` on estimate/explore/lint/explain routes the command through
+// the serving dispatcher: the answer is the serve protocol's JSON response
+// line, warm-started from and persisted to DIR (DESIGN.md §12).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "analysis/analyze.h"
@@ -28,8 +35,11 @@
 #include "obs/trace.h"
 #include "runtime/compile_cache.h"
 #include "runtime/eval_cache.h"
+#include "serve/server.h"
+#include "serve/store/store.h"
 #include "sim/system_sim.h"
 #include "support/rng.h"
+#include "workloads/synth_args.h"
 
 using namespace flexcl;
 
@@ -61,6 +71,9 @@ struct CliOptions {
   // Observability (DESIGN.md §9).
   std::string tracePath;    ///< Chrome trace JSON, written on exit
   std::string metricsPath;  ///< counter/gauge registry JSON, written on exit
+  // Serving / persistence (DESIGN.md §12).
+  std::string storeDir;     ///< on-disk cache store directory
+  std::string socketPath;   ///< serve: Unix-domain socket path
 };
 
 int usage() {
@@ -81,6 +94,14 @@ int usage() {
                "                  [--wg N] [--wg-y N] [--elems N]\n"
                "                  [--format text|json] [--no-cross-check]\n"
                "  flexcl ir       <file.cl>\n"
+               "  flexcl serve    [--store DIR] [--socket PATH] [--jobs N]\n"
+               "                  (line-delimited JSON requests on stdin and,\n"
+               "                  with --socket, a local Unix socket)\n"
+               "  flexcl cache    <stats|verify|clear> --store DIR\n"
+               "persistence (estimate/explore/lint/explain):\n"
+               "  --store DIR     answer via the serving dispatcher backed by\n"
+               "                  the on-disk cache store in DIR; prints the\n"
+               "                  serve protocol's JSON response line\n"
                "observability (any command):\n"
                "  --trace out.json    write a Chrome trace (chrome://tracing,\n"
                "                      ui.perfetto.dev) of the phases executed\n"
@@ -89,14 +110,20 @@ int usage() {
 }
 
 bool parseArgs(int argc, char** argv, CliOptions* opts) {
-  if (argc < 3) return false;
+  if (argc < 2) return false;
   opts->command = argv[1];
-  opts->file = argv[2];
-  int i = 3;
-  if (opts->command != "ir") {
-    if (argc < 4) return false;
-    opts->kernel = argv[3];
-    i = 4;
+  int i = 2;
+  if (opts->command != "serve") {
+    // Positionals: <file.cl> (or the cache action), then — except for
+    // ir/cache — the kernel name.
+    if (argc < 3) return false;
+    opts->file = argv[2];
+    i = 3;
+    if (opts->command != "ir" && opts->command != "cache") {
+      if (argc < 4) return false;
+      opts->kernel = argv[3];
+      i = 4;
+    }
   }
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -121,6 +148,8 @@ bool parseArgs(int argc, char** argv, CliOptions* opts) {
     else if (arg == "--no-cross-check") opts->crossCheck = false;
     else if (arg == "--trace") opts->tracePath = value();
     else if (arg == "--metrics") opts->metricsPath = value();
+    else if (arg == "--store") opts->storeDir = value();
+    else if (arg == "--socket") opts->socketPath = value();
     else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -139,41 +168,6 @@ std::string readFile(const std::string& path, bool* ok) {
   ss << in.rdbuf();
   *ok = true;
   return ss.str();
-}
-
-/// Builds buffers/args from the kernel signature (see file comment).
-void synthesiseArgs(const ir::Function& fn, std::uint64_t elems,
-                    std::vector<std::vector<std::uint8_t>>* buffers,
-                    std::vector<interp::KernelArg>* args) {
-  Rng rng(0xc11);
-  for (const auto& arg : fn.arguments()) {
-    const ir::Type* t = arg->type();
-    if (t->isPointer()) {
-      const std::uint64_t bytes =
-          elems * std::max<std::uint64_t>(4, t->element()->sizeInBytes());
-      std::vector<std::uint8_t> data(bytes);
-      if (t->element()->isFloat() ||
-          (t->element()->isStruct() || t->element()->isVector())) {
-        for (std::uint64_t e = 0; e + 4 <= bytes; e += 4) {
-          const float v = static_cast<float>(rng.nextDouble(0.1, 2.0));
-          std::memcpy(data.data() + e, &v, 4);
-        }
-      } else {
-        for (std::uint64_t e = 0; e + 4 <= bytes; e += 4) {
-          const std::int32_t v =
-              static_cast<std::int32_t>(rng.nextBelow(std::max<std::uint64_t>(1, elems)));
-          std::memcpy(data.data() + e, &v, 4);
-        }
-      }
-      const int index = static_cast<int>(buffers->size());
-      buffers->push_back(std::move(data));
-      args->push_back(interp::KernelArg::buffer(index));
-    } else if (t->isFloat()) {
-      args->push_back(interp::KernelArg::floatScalar(1.0));
-    } else {
-      args->push_back(interp::KernelArg::intScalar(static_cast<std::int64_t>(elems)));
-    }
-  }
 }
 
 int runIr(const CliOptions& opts) {
@@ -213,7 +207,7 @@ int runLint(const CliOptions& opts) {
       opts.elems ? opts.elems : opts.global * std::max<std::uint64_t>(1, opts.globalY);
   std::vector<std::vector<std::uint8_t>> buffers;
   std::vector<interp::KernelArg> args;
-  synthesiseArgs(*compiled->fn, elems, &buffers, &args);
+  workloads::synthesiseArgs(*compiled->fn, elems, &buffers, &args);
 
   interp::NdRange range;
   range.global = {opts.global, opts.globalY, 1};
@@ -257,7 +251,7 @@ int runEstimateOrExplore(const CliOptions& opts) {
       opts.elems ? opts.elems : opts.global * std::max<std::uint64_t>(1, opts.globalY);
   std::vector<std::vector<std::uint8_t>> buffers;
   std::vector<interp::KernelArg> args;
-  synthesiseArgs(*fn, elems, &buffers, &args);
+  workloads::synthesiseArgs(*fn, elems, &buffers, &args);
 
   model::LaunchInfo launch;
   launch.fn = fn;
@@ -370,6 +364,128 @@ int runEstimateOrExplore(const CliOptions& opts) {
   return 0;
 }
 
+/// `flexcl serve`: line-delimited JSON protocol on stdin/stdout and, with
+/// --socket, a local Unix socket (DESIGN.md §12).
+int runServe(const CliOptions& opts) {
+  serve::ServerOptions serveOpts;
+  serveOpts.jobs = opts.jobs;
+  serveOpts.socketPath = opts.socketPath;
+  serveOpts.dispatcher.storeDir = opts.storeDir;
+  serve::Server server(serveOpts);
+  const int status = server.run(std::cin, std::cout);
+  if (status != 0) {
+    std::fprintf(stderr, "serve failed: %s\n", server.error().c_str());
+  }
+  if (obs::enabled()) {
+    server.dispatcher().stats().publishTo(obs::Registry::global());
+  }
+  return status;
+}
+
+/// `flexcl cache <stats|verify|clear> --store DIR`: inspect or maintain an
+/// on-disk cache store without starting a server.
+int runCache(const CliOptions& opts) {
+  if (opts.storeDir.empty()) {
+    std::fprintf(stderr, "flexcl cache requires --store DIR\n");
+    return 2;
+  }
+  serve::Store store(opts.storeDir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.error().c_str());
+    return 1;
+  }
+  const std::string& action = opts.file;
+  if (action == "clear") {
+    std::printf("cleared %llu file(s) from %s\n",
+                static_cast<unsigned long long>(store.clear()),
+                store.dir().c_str());
+    return 0;
+  }
+  std::uint64_t newlyQuarantined = 0;
+  if (action == "verify") {
+    newlyQuarantined = store.verify();
+  } else if (action != "stats") {
+    std::fprintf(stderr, "unknown cache action '%s'\n", action.c_str());
+    return 2;
+  }
+  const serve::Store::StoreStats stats = store.stats();
+  std::printf("store %s\n", store.dir().c_str());
+  for (serve::Store::Family f : serve::Store::kAllFamilies) {
+    const auto& fam = stats.perFamily[static_cast<std::uint32_t>(f) - 1];
+    if (fam.entries == 0 && fam.quarantined == 0) continue;
+    std::printf("  %-8s : %llu entries, %llu bytes",
+                serve::Store::familyName(f),
+                static_cast<unsigned long long>(fam.entries),
+                static_cast<unsigned long long>(fam.bytes));
+    if (fam.quarantined > 0) {
+      std::printf(", %llu quarantined",
+                  static_cast<unsigned long long>(fam.quarantined));
+    }
+    std::printf("\n");
+  }
+  std::printf("  total    : %llu entries, %llu bytes, %llu quarantined\n",
+              static_cast<unsigned long long>(stats.totalEntries()),
+              static_cast<unsigned long long>(stats.totalBytes()),
+              static_cast<unsigned long long>(stats.totalQuarantined()));
+  if (action == "verify") {
+    std::printf("verify   : %llu entr%s newly quarantined\n",
+                static_cast<unsigned long long>(newlyQuarantined),
+                newlyQuarantined == 1 ? "y" : "ies");
+    return newlyQuarantined > 0 ? 1 : 0;
+  }
+  return 0;
+}
+
+/// One-shot estimate/explore/lint/explain with --store: route through the
+/// serving dispatcher so the run warm-starts from (and feeds) the store.
+/// Prints the serve protocol's response line.
+int runViaStore(const CliOptions& opts) {
+  bool ok = false;
+  const std::string source = readFile(opts.file, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "cannot read %s\n", opts.file.c_str());
+    return 1;
+  }
+  serve::DispatcherOptions dispOpts;
+  dispOpts.storeDir = opts.storeDir;
+  serve::Dispatcher dispatcher(dispOpts);
+  if (!dispatcher.storeOk()) {
+    std::fprintf(stderr, "%s\n", dispatcher.storeError().c_str());
+    return 1;
+  }
+  serve::Request req;
+  req.id = 1;
+  req.op = opts.command;
+  req.source = source;
+  req.kernel = opts.kernel;
+  req.device = opts.device;
+  req.global = opts.global;
+  req.globalY = opts.globalY;
+  req.elems = opts.elems;
+  req.design.workGroupSize = {opts.wg, opts.wgY, 1};
+  req.design.workItemPipeline = opts.pipeline;
+  req.design.innerLoopPipeline = opts.loopPipeline;
+  req.design.workGroupPipeline = opts.wgPipeline;
+  req.design.peParallelism = opts.pe;
+  req.design.numComputeUnits = opts.cu;
+  req.design.commMode = opts.mode == "barrier" ? model::CommMode::Barrier
+                                               : model::CommMode::Pipeline;
+  req.crossCheck = opts.crossCheck;
+  req.simulate = opts.simulate;
+  const std::string response = dispatcher.handle(req);
+  std::printf("%s\n", response.c_str());
+  if (obs::enabled()) {
+    dispatcher.stats().publishTo(obs::Registry::global());
+  }
+  // The envelope's "ok" is the first in the line (the result JSON follows).
+  const std::size_t okTrue = response.find("\"ok\": true");
+  const std::size_t okFalse = response.find("\"ok\": false");
+  return okTrue != std::string::npos &&
+                 (okFalse == std::string::npos || okTrue < okFalse)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 /// Flushes --trace/--metrics output files after the command ran.
@@ -401,10 +517,14 @@ int main(int argc, char** argv) {
 
   int status = 2;
   if (opts.command == "ir") status = runIr(opts);
-  else if (opts.command == "lint") status = runLint(opts);
-  else if (opts.command == "estimate" || opts.command == "explain" ||
-           opts.command == "explore") {
-    status = runEstimateOrExplore(opts);
+  else if (opts.command == "serve") status = runServe(opts);
+  else if (opts.command == "cache") status = runCache(opts);
+  else if (opts.command == "lint") {
+    status = opts.storeDir.empty() ? runLint(opts) : runViaStore(opts);
+  } else if (opts.command == "estimate" || opts.command == "explain" ||
+             opts.command == "explore") {
+    status = opts.storeDir.empty() ? runEstimateOrExplore(opts)
+                                   : runViaStore(opts);
   } else {
     return usage();
   }
