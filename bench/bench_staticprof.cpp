@@ -1,0 +1,157 @@
+// Static-profile-tier cold-estimate latency (DESIGN.md §13).
+//
+// Runs one cold estimate per suite workload (all 60 Rodinia + PolyBench
+// kernels, default design point) through two fresh FlexCl instances:
+//   1. static tier enabled: Exact kernels take the synthesized profile,
+//      the rest fall back to the profiling interpreter,
+//   2. static tier disabled: every kernel pays the interpreter.
+// Compilation is done up front and excluded from both timings, so the
+// numbers isolate analysis + profile + model evaluation.
+// Reports, as JSON on stdout:
+//   - a google-benchmark-shaped "staticprof" section
+//     (BM_ColdEstimateStaticTier / BM_ColdEstimateInterpreterTier wall-clock
+//     ns over the whole sweep) consumable by bench_gate,
+//   - the verdict census (exact / approximate / unsupported) and the
+//     resulting cold-sweep speedup.
+// Exit code 1 when an invariant breaks: any estimate differing between the
+// two tiers (the static tier must change *how fast*, never *what*), or
+// fewer than 40/60 kernels reaching an Exact verdict — wall-clock speedup
+// is reported but not gated here (CI noise); bench_gate gates the latency.
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "model/design_point.h"
+#include "model/flexcl.h"
+#include "workloads/workload.h"
+
+using namespace flexcl;
+
+namespace {
+
+struct SweepRun {
+  std::vector<model::Estimate> estimates;
+  double seconds = 0;
+  double cpuSeconds = 0;
+};
+
+SweepRun sweep(const std::vector<workloads::CompiledWorkload>& compiled,
+               bool staticTier, const model::DesignPoint& design) {
+  model::ModelOptions options;
+  options.staticProfiles = staticTier;
+  model::FlexCl flexcl(model::Device::virtex7(), options);
+  SweepRun run;
+  run.estimates.reserve(compiled.size());
+  const auto wallStart = std::chrono::steady_clock::now();
+  const std::clock_t cpuStart = std::clock();
+  for (const workloads::CompiledWorkload& cw : compiled) {
+    run.estimates.push_back(flexcl.estimate(cw.launch(), design));
+  }
+  run.cpuSeconds =
+      static_cast<double>(std::clock() - cpuStart) / CLOCKS_PER_SEC;
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wallStart)
+                    .count();
+  return run;
+}
+
+void printBenchEntry(const char* name, const SweepRun& run, bool last) {
+  std::printf("    {\"name\": \"%s\", \"iterations\": 1, "
+              "\"real_time\": %.0f, \"cpu_time\": %.0f, "
+              "\"time_unit\": \"ns\"}%s\n",
+              name, run.seconds * 1e9, run.cpuSeconds * 1e9, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ObsOptions obsOpts;
+  if (!obsOpts.parse(&argc, argv)) return 2;
+  obsOpts.begin();
+
+  std::vector<workloads::CompiledWorkload> compiled;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) {
+      std::string error;
+      auto cw = workloads::compileWorkload(w, &error);
+      if (!cw) {
+        std::fprintf(stderr, "compile failed: %s: %s\n", w.fullName().c_str(),
+                     error.c_str());
+        return 1;
+      }
+      compiled.push_back(std::move(*cw));
+    }
+  }
+
+  const model::DesignPoint design;  // default: wg 64x1x1
+  const SweepRun withTier = sweep(compiled, /*staticTier=*/true, design);
+  const SweepRun withoutTier = sweep(compiled, /*staticTier=*/false, design);
+
+  // Verdict census over a fresh tier-on instance (synthesis only, no
+  // interpreter): what the latency difference is attributable to.
+  std::size_t exact = 0, approximate = 0, unsupported = 0;
+  {
+    model::ModelOptions options;
+    model::FlexCl flexcl(model::Device::virtex7(), options);
+    for (const workloads::CompiledWorkload& cw : compiled) {
+      const auto verdict = flexcl.staticVerdict(cw.launch(), design);
+      switch (verdict.kind) {
+        case analysis::staticprof::VerdictKind::Exact: ++exact; break;
+        case analysis::staticprof::VerdictKind::Approximate:
+          ++approximate;
+          break;
+        case analysis::staticprof::VerdictKind::Unsupported:
+          ++unsupported;
+          break;
+      }
+    }
+  }
+
+  bool identical = withTier.estimates.size() == withoutTier.estimates.size();
+  std::string firstDivergence;
+  for (std::size_t i = 0; identical && i < withTier.estimates.size(); ++i) {
+    const model::Estimate& a = withTier.estimates[i];
+    const model::Estimate& b = withoutTier.estimates[i];
+    if (a.ok != b.ok || (a.ok && (a.cycles != b.cycles ||
+                                  a.milliseconds != b.milliseconds))) {
+      identical = false;
+      firstDivergence = compiled[i].meta.fullName();
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"flexcl-staticprof-v1\",\n");
+  std::printf("  \"staticprof\": [\n");
+  printBenchEntry("BM_ColdEstimateStaticTier", withTier, false);
+  printBenchEntry("BM_ColdEstimateInterpreterTier", withoutTier, true);
+  std::printf("  ],\n");
+  std::printf("  \"sweep\": {\n");
+  std::printf("    \"workloads\": %zu,\n", compiled.size());
+  std::printf("    \"exact\": %zu,\n", exact);
+  std::printf("    \"approximate\": %zu,\n", approximate);
+  std::printf("    \"unsupported\": %zu,\n", unsupported);
+  std::printf("    \"estimates_identical\": %s,\n",
+              identical ? "true" : "false");
+  std::printf("    \"cold_speedup\": %.2f\n",
+              withTier.seconds > 0 ? withoutTier.seconds / withTier.seconds
+                                   : 0.0);
+  std::printf("  }\n");
+  std::printf("}\n");
+
+  if (!obsOpts.finish()) return 1;
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: estimates diverge between tiers (first: %s)\n",
+                 firstDivergence.c_str());
+    return 1;
+  }
+  if (exact < 40) {
+    std::fprintf(stderr, "FAIL: only %zu/%zu kernels Exact (need >= 40)\n",
+                 exact, compiled.size());
+    return 1;
+  }
+  return 0;
+}

@@ -62,6 +62,9 @@ class Expander {
         case AccessTreeNode::Kind::Loop:
           walkLoop(node);
           break;
+        case AccessTreeNode::Kind::Barrier:
+        case AccessTreeNode::Kind::Return:
+          break;  // synchronisation markers: no memory events
       }
     }
   }
@@ -93,6 +96,9 @@ class Expander {
         case AccessTreeNode::Kind::Loop:
           walkLoop(*it);
           break;
+        case AccessTreeNode::Kind::Barrier:
+        case AccessTreeNode::Kind::Return:
+          break;  // synchronisation markers: no memory events
       }
     }
   }

@@ -8,6 +8,7 @@
 #include "analysis/dataflow/dependence.h"
 #include "analysis/dataflow/trip_count.h"
 #include "analysis/pass.h"
+#include "analysis/staticprof/staticprof.h"
 #include "ir/verifier.h"
 
 namespace flexcl::analysis {
@@ -90,6 +91,9 @@ void markLive(const AccessTreeNode& node, const dataflow::LeafRanges& ranges,
       }
       break;
     }
+    case AccessTreeNode::Kind::Barrier:
+    case AccessTreeNode::Kind::Return:
+      break;  // no accesses of their own
   }
 }
 
@@ -683,6 +687,18 @@ LintReport runLintPasses(const ir::Function& fn, const LintOptions& options) {
     profile = interp::profileKernel(fn, *options.range, *options.args,
                                     *options.buffers, po);
     if (profile.ok) profilePtr = &profile;
+  }
+
+  // Static-profile tier verdict (staticprof): reported whenever the lint has
+  // the full launch (range + args + buffers) — the same inputs the model's
+  // tier resolves profiles from.
+  if (options.range && options.args && options.buffers) {
+    staticprof::SynthOptions so;
+    so.groupsToProfile = options.groupsToProfile;
+    const auto synth = staticprof::synthesizeProfile(
+        summary, *options.range, *options.args, *options.buffers, so);
+    report.staticProfileVerdict = synth.verdict.name();
+    report.staticProfileReason = synth.verdict.reason;
   }
 
   PassContext ctx{fn,      summary, options,

@@ -183,6 +183,13 @@ std::string renderText(const LintReport& report) {
        << " profiled events, " << report.patterns.divergences.size()
        << " divergence(s)\n";
   }
+  if (!report.staticProfileVerdict.empty()) {
+    os << "  static profile: " << report.staticProfileVerdict;
+    if (!report.staticProfileReason.empty()) {
+      os << " (" << report.staticProfileReason << ")";
+    }
+    os << "\n";
+  }
   if (!report.crossWiDeps.empty()) {
     os << "  cross-work-item dependences:\n";
     for (const CrossWiDependence& dep : report.crossWiDeps) {
@@ -277,6 +284,16 @@ std::string renderJson(const LintReport& report) {
   os << ",\"reqdWorkGroupSize\":[" << report.reqdWorkGroupSize[0] << ","
      << report.reqdWorkGroupSize[1] << "," << report.reqdWorkGroupSize[2] << "]";
   os << ",\"usesBarrier\":" << (report.usesBarrier ? "true" : "false");
+  os << ",\"staticProfile\":";
+  if (report.staticProfileVerdict.empty()) {
+    os << "null";
+  } else {
+    os << "{\"verdict\":";
+    jsonEscape(os, report.staticProfileVerdict);
+    os << ",\"reason\":";
+    jsonEscape(os, report.staticProfileReason);
+    os << "}";
+  }
   os << "}";
   return os.str();
 }

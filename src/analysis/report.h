@@ -20,7 +20,7 @@ namespace flexcl::analysis {
 
 /// Version of the lint JSON schema: the first key of every renderJson
 /// object. Bumped whenever a key is added, removed or reordered.
-inline constexpr int kLintSchemaVersion = 2;
+inline constexpr int kLintSchemaVersion = 3;
 
 /// One diagnostic from a lint pass.
 struct LintFinding {
@@ -83,6 +83,12 @@ struct LintReport {
   std::size_t classifiedSites = 0;  ///< sites with a static pattern majority
   PatternCrossCheck patterns;
   bool crossChecked = false;  ///< profiled comparison ran
+  /// Static-profile tier verdict for the linted launch: "exact" |
+  /// "approximate" | "unsupported", empty when the lint ran without the full
+  /// launch (range + args + buffers). `staticProfileReason` carries the
+  /// first blocking reason for non-exact verdicts (empty for exact).
+  std::string staticProfileVerdict;
+  std::string staticProfileReason;
 
   [[nodiscard]] std::size_t errorCount() const;
   [[nodiscard]] std::size_t warningCount() const;

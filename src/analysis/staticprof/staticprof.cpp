@@ -1,0 +1,527 @@
+#include "analysis/staticprof/staticprof.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace flexcl::analysis::staticprof {
+
+const char* verdictName(VerdictKind kind) {
+  switch (kind) {
+    case VerdictKind::Exact: return "exact";
+    case VerdictKind::Approximate: return "approximate";
+    case VerdictKind::Unsupported: return "unsupported";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-loop facts the synthesizer needs beyond the access tree: whether the
+/// loop's blocks are reachable at all (dead loops keep zero statistics, like
+/// in the interpreter), and whether the body contains break/continue edges.
+/// Those lower to plain branches that are invisible in the region tree, so
+/// they are detected from the CFG: a reachable member block branching
+/// unconditionally to the loop's exit block is a break; more than one
+/// unconditional branch into the latch is a continue (the natural body end
+/// funnels exactly one).
+struct LoopCtl {
+  bool reachable = false;
+  bool breakish = false;
+};
+
+class LoopScan {
+ public:
+  explicit LoopScan(const ir::Function& fn) : fn_(fn) {
+    ctl_.resize(static_cast<std::size_t>(std::max(0, fn.loopCount)));
+    computeReachable();
+    if (const ir::Region* root = fn.rootRegion()) scan(*root);
+  }
+
+  [[nodiscard]] const LoopCtl* of(int loopId) const {
+    if (loopId < 0 || static_cast<std::size_t>(loopId) >= ctl_.size()) {
+      return nullptr;
+    }
+    return &ctl_[static_cast<std::size_t>(loopId)];
+  }
+
+ private:
+  void computeReachable() {
+    const ir::BasicBlock* entry = fn_.entry();
+    if (!entry) return;
+    std::vector<const ir::BasicBlock*> worklist = {entry};
+    reachable_.insert(entry);
+    while (!worklist.empty()) {
+      const ir::BasicBlock* bb = worklist.back();
+      worklist.pop_back();
+      const ir::Instruction* term = bb->terminator();
+      if (!term) continue;
+      for (ir::BasicBlock* t : {term->target0, term->target1}) {
+        if (t && reachable_.insert(t).second) worklist.push_back(t);
+      }
+    }
+  }
+
+  void collectBlocks(const ir::Region& region,
+                     std::vector<const ir::BasicBlock*>& out) const {
+    if (region.block) out.push_back(region.block);
+    if (region.condBlock) out.push_back(region.condBlock);
+    if (region.latchBlock) out.push_back(region.latchBlock);
+    for (const auto& child : region.children) collectBlocks(*child, out);
+  }
+
+  void scan(const ir::Region& region) {
+    if (region.kind == ir::Region::Kind::Loop && region.loopId >= 0 &&
+        static_cast<std::size_t>(region.loopId) < ctl_.size()) {
+      LoopCtl& ctl = ctl_[static_cast<std::size_t>(region.loopId)];
+      // The condition block is the loop's entry point for both while-style
+      // loops (checked before the body) and do-loops (cond == latch, jumped
+      // to from the body): a loop is live iff its cond block is reachable.
+      // Loops with no cond block at all (for(;;)) are conservatively live.
+      ctl.reachable = !region.condBlock || reachable_.count(region.condBlock) > 0;
+      if (ctl.reachable) ctl.breakish = hasBreakish(region);
+    }
+    for (const auto& child : region.children) scan(*child);
+  }
+
+  bool hasBreakish(const ir::Region& region) const {
+    const ir::BasicBlock* exit = nullptr;
+    if (region.condBlock) {
+      const ir::Instruction* term = region.condBlock->terminator();
+      if (term && term->opcode() == ir::Opcode::CondBr) exit = term->target1;
+    }
+    std::vector<const ir::BasicBlock*> members;
+    collectBlocks(region, members);
+    int brToLatch = 0;
+    for (const ir::BasicBlock* bb : members) {
+      if (!reachable_.count(bb)) continue;
+      const ir::Instruction* term = bb->terminator();
+      if (!term || term->opcode() != ir::Opcode::Br) continue;
+      if (exit && term->target0 == exit) return true;  // break
+      if (term->target0 == region.latchBlock) ++brToLatch;
+    }
+    return brToLatch > 1;  // continue
+  }
+
+  const ir::Function& fn_;
+  std::vector<LoopCtl> ctl_;
+  std::unordered_set<const ir::BasicBlock*> reachable_;
+};
+
+/// Outcome of walking one subtree for one work-item.
+enum class Flow : std::uint8_t {
+  Continue,  ///< keep walking
+  Returned,  ///< the work-item executed Ret (stop, no further loop exits)
+  Fail,      ///< verdict degraded; synthesis aborts
+};
+
+struct LoopCounters {
+  std::uint64_t body = 0;
+  std::uint64_t entries = 0;
+};
+
+class Synthesizer {
+ public:
+  Synthesizer(const KernelSummary& summary, const interp::NdRange& range,
+              const std::vector<interp::KernelArg>& args,
+              const std::vector<std::vector<std::uint8_t>>& buffers,
+              const SynthOptions& options)
+      : summary_(summary),
+        range_(range),
+        args_(args),
+        buffers_(buffers),
+        options_(options) {}
+
+  SynthResult run() {
+    SynthResult result;
+    if (!summary_.fn) {
+      return failResult(VerdictKind::Unsupported, "no kernel summary");
+    }
+    for (int d = 0; d < 3; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      if (range_.local[sd] == 0 || range_.global[sd] % range_.local[sd] != 0) {
+        return failResult(VerdictKind::Unsupported,
+                          "global size is not a multiple of local size");
+      }
+    }
+
+    const ir::Function& fn = *summary_.fn;
+    scan_ = std::make_unique<LoopScan>(fn);
+    loopCounters_.assign(static_cast<std::size_t>(std::max(0, fn.loopCount)),
+                         LoopCounters{});
+
+    const auto gpd = range_.groupsPerDim();
+    for (int d = 0; d < 3; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      base_.globalSize[sd] = static_cast<std::int64_t>(range_.global[sd]);
+      base_.localSize[sd] = static_cast<std::int64_t>(range_.local[sd]);
+      base_.numGroups[sd] = static_cast<std::int64_t>(gpd[sd]);
+    }
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const interp::KernelArg& a = args_[i];
+      if (!a.isBuffer && a.scalar.kind == interp::RtValue::Kind::Int) {
+        base_.scalarArgs[static_cast<int>(i)] = a.scalar.i;
+      }
+    }
+
+    const std::uint64_t groupsToRun =
+        std::min<std::uint64_t>(range_.groupCount(), options_.groupsToProfile);
+    const std::uint64_t wgSize = range_.localCount();
+    std::vector<interp::MemoryAccessEvent> trace;
+
+    for (std::uint64_t g = 0; g < groupsToRun; ++g) {
+      // Per-work-item event streams, partitioned at barriers. The
+      // interpreter runs work-items round-robin, each until its next
+      // barrier: the group's trace is segment-major, work-items in linear
+      // local order within each segment.
+      std::vector<std::vector<std::vector<interp::MemoryAccessEvent>>> streams;
+      streams.reserve(wgSize);
+      for (std::uint64_t l = 0; l < wgSize; ++l) {
+        bind_ = base_;
+        bind_.groupId[0] = static_cast<std::int64_t>(g % gpd[0]);
+        bind_.groupId[1] = static_cast<std::int64_t>((g / gpd[0]) % gpd[1]);
+        bind_.groupId[2] = static_cast<std::int64_t>(g / (gpd[0] * gpd[1]));
+        bind_.localId[0] = static_cast<std::int64_t>(l % range_.local[0]);
+        bind_.localId[1] =
+            static_cast<std::int64_t>((l / range_.local[0]) % range_.local[1]);
+        bind_.localId[2] =
+            static_cast<std::int64_t>(l / (range_.local[0] * range_.local[1]));
+        for (std::size_t d = 0; d < 3; ++d) {
+          bind_.globalId[d] =
+              bind_.groupId[d] * base_.localSize[d] + bind_.localId[d];
+        }
+        linearGlobal_ =
+            static_cast<std::uint64_t>(bind_.globalId[0]) +
+            static_cast<std::uint64_t>(bind_.globalId[1]) * range_.global[0] +
+            static_cast<std::uint64_t>(bind_.globalId[2]) * range_.global[0] *
+                range_.global[1];
+        group_ = static_cast<std::uint32_t>(g);
+        segments_.clear();
+        segments_.emplace_back();
+        const Flow flow = walkSpan(summary_.roots, 0, summary_.roots.size());
+        if (flow == Flow::Fail) return takeFailure();
+        streams.push_back(std::move(segments_));
+      }
+      // The interpreter requires every work-item of a group to reach the
+      // same number of barriers, else it aborts with a divergence error —
+      // fall back so the error text comes from the interpreter itself.
+      for (const auto& s : streams) {
+        if (s.size() != streams.front().size()) {
+          return failResult(VerdictKind::Unsupported,
+                            "work-items disagree on barrier count");
+        }
+      }
+      const std::size_t segmentCount = streams.front().size();
+      for (std::size_t seg = 0; seg < segmentCount; ++seg) {
+        for (auto& s : streams) {
+          auto& events = s[seg];
+          trace.insert(trace.end(), events.begin(), events.end());
+        }
+      }
+      ++profiledGroups_;
+      profiledWorkItems_ += wgSize;
+    }
+
+    result.verdict.kind = VerdictKind::Exact;
+    interp::KernelProfile& p = result.profile;
+    p.ok = true;
+    p.range = range_;
+    p.provenance = interp::KernelProfile::Provenance::Synthesized;
+    p.loopTripCounts.resize(loopCounters_.size(), 0.0);
+    for (std::size_t i = 0; i < loopCounters_.size(); ++i) {
+      const LoopCounters& c = loopCounters_[i];
+      p.loopTripCounts[i] =
+          c.entries == 0 ? 0.0
+                         : static_cast<double>(c.body) /
+                               static_cast<double>(c.entries);
+    }
+    for (interp::MemoryAccessEvent& ev : trace) {
+      if (ev.space == ir::AddressSpace::Local) {
+        p.localTrace.push_back(ev);
+      } else {
+        p.globalTrace.push_back(ev);
+      }
+    }
+    p.profiledGroups = profiledGroups_;
+    p.profiledWorkItems = profiledWorkItems_;
+    p.oobAccesses = oobAccesses_;
+    return result;
+  }
+
+ private:
+  // --- failure plumbing ------------------------------------------------------
+  Flow fail(VerdictKind kind, std::string reason) {
+    if (failure_.reason.empty()) {
+      failure_.kind = kind;
+      failure_.reason = std::move(reason);
+    }
+    return Flow::Fail;
+  }
+
+  SynthResult failResult(VerdictKind kind, std::string reason) {
+    SynthResult r;
+    r.verdict.kind = kind;
+    r.verdict.reason = std::move(reason);
+    return r;
+  }
+
+  SynthResult takeFailure() {
+    SynthResult r;
+    r.verdict = std::move(failure_);
+    return r;
+  }
+
+  // --- observability ---------------------------------------------------------
+  /// True when skipping `node` under an undecidable branch could change the
+  /// profile: memory events, barriers, early returns, and live loops (their
+  /// trip statistics are part of the profile) are all observable.
+  bool observable(const AccessTreeNode& node) const {
+    switch (node.kind) {
+      case AccessTreeNode::Kind::Access:
+      case AccessTreeNode::Kind::Barrier:
+      case AccessTreeNode::Kind::Return:
+        return true;
+      case AccessTreeNode::Kind::Loop: {
+        const LoopCtl* ctl = scan_->of(node.loopId);
+        return !ctl || ctl->reachable;
+      }
+      case AccessTreeNode::Kind::Cond:
+        for (const AccessTreeNode& child : node.children) {
+          if (observable(child)) return true;
+        }
+        return false;
+    }
+    return true;
+  }
+
+  // --- tree walk (one work-item) ---------------------------------------------
+  Flow walkSpan(const std::vector<AccessTreeNode>& nodes, std::size_t begin,
+                std::size_t end) {
+    for (std::size_t i = begin; i < end && i < nodes.size(); ++i) {
+      const Flow flow = walkNode(nodes[i]);
+      if (flow != Flow::Continue) return flow;
+    }
+    return Flow::Continue;
+  }
+
+  Flow walkNode(const AccessTreeNode& node) {
+    switch (node.kind) {
+      case AccessTreeNode::Kind::Access:
+        return walkAccess(node);
+      case AccessTreeNode::Kind::Barrier:
+        segments_.emplace_back();
+        return Flow::Continue;
+      case AccessTreeNode::Kind::Return:
+        return Flow::Returned;
+      case AccessTreeNode::Kind::Cond:
+        return walkCond(node);
+      case AccessTreeNode::Kind::Loop:
+        return walkLoop(node);
+    }
+    return Flow::Continue;
+  }
+
+  Flow walkCond(const AccessTreeNode& node) {
+    const auto cond = symEval(node.cond.get(), bind_);
+    if (!cond) {
+      if (observable(node)) {
+        return fail(VerdictKind::Approximate, "data-dependent branch");
+      }
+      return Flow::Continue;
+    }
+    const std::size_t split = std::min(node.thenCount, node.children.size());
+    return *cond != 0 ? walkSpan(node.children, 0, split)
+                      : walkSpan(node.children, split, node.children.size());
+  }
+
+  Flow walkLoop(const AccessTreeNode& node) {
+    const LoopCtl* ctl = scan_->of(node.loopId);
+    if (ctl && !ctl->reachable) return Flow::Continue;  // dead code: stays 0
+    if (!node.loopCond && node.staticTrip < 0) {
+      return fail(VerdictKind::Approximate, "statically unbounded loop");
+    }
+    if (ctl && ctl->breakish) {
+      return fail(VerdictKind::Approximate, "loop contains break/continue");
+    }
+    if (!ctl) {
+      return fail(VerdictKind::Unsupported, "loop without dense loop id");
+    }
+
+    // Trip count under the current binding: evaluate the captured condition
+    // per iteration (slots there are entry + step*iter); fall back to the
+    // lowerer's static trip count when the condition is not evaluable.
+    std::int64_t trips = -1;
+    if (node.loopCond) {
+      for (std::int64_t k = 0;; ++k) {
+        bind_.loopIters[node.loopId] = k;
+        const auto c = symEval(node.loopCond.get(), bind_);
+        if (!c) break;  // unevaluable: same for every k (pure expression)
+        if (*c == 0) {
+          trips = node.condFirst ? k : k + 1;
+          break;
+        }
+        if (k >= options_.maxTripPerLoop) {
+          bind_.loopIters.erase(node.loopId);
+          return fail(VerdictKind::Approximate,
+                      "loop trip count exceeds synthesis cap");
+        }
+      }
+    }
+    if (trips < 0) trips = node.staticTrip;
+    if (trips < 0) {
+      bind_.loopIters.erase(node.loopId);
+      return fail(VerdictKind::Approximate, "data-dependent loop trip count");
+    }
+    if (trips > options_.maxTripPerLoop) {
+      bind_.loopIters.erase(node.loopId);
+      return fail(VerdictKind::Approximate,
+                  "loop trip count exceeds synthesis cap");
+    }
+
+    LoopCounters& counters =
+        loopCounters_[static_cast<std::size_t>(node.loopId)];
+    for (std::int64_t k = 0; k < trips; ++k) {
+      if (++loopIterations_ > options_.maxLoopIterations) {
+        bind_.loopIters.erase(node.loopId);
+        return fail(VerdictKind::Approximate,
+                    "total loop iterations exceed synthesis cap");
+      }
+      bind_.loopIters[node.loopId] = k;
+      ++counters.body;  // one jump into the body per started iteration
+      const Flow flow = walkSpan(node.children, 0, node.children.size());
+      if (flow != Flow::Continue) {
+        // Returned: the interpreter never jumps to the exit block, so the
+        // entry counter is not incremented for this (or any enclosing) loop.
+        bind_.loopIters.erase(node.loopId);
+        return flow;
+      }
+    }
+    if (node.condFirst) {
+      // The failing check still executes the condition block once more.
+      bind_.loopIters[node.loopId] = trips;
+      const Flow flow = walkSpan(node.children, 0, node.condChildCount);
+      if (flow != Flow::Continue) {
+        bind_.loopIters.erase(node.loopId);
+        return flow;
+      }
+    }
+    ++counters.entries;  // the one jump to the exit block
+    bind_.loopIters.erase(node.loopId);
+    return Flow::Continue;
+  }
+
+  Flow walkAccess(const AccessTreeNode& node) {
+    if (node.accessIndex < 0 ||
+        static_cast<std::size_t>(node.accessIndex) >=
+            summary_.accesses.size()) {
+      return fail(VerdictKind::Unsupported, "malformed access tree");
+    }
+    const MemAccessInfo& info =
+        summary_.accesses[static_cast<std::size_t>(node.accessIndex)];
+    if (info.space == ir::AddressSpace::Private) return Flow::Continue;
+
+    std::int32_t buffer = -1;
+    std::int64_t poolSize = -1;  // unknown pool: every access counts as OOB
+    switch (info.base) {
+      case PtrBase::BufferArg: {
+        if (info.baseIndex < 0 ||
+            static_cast<std::size_t>(info.baseIndex) >= args_.size()) {
+          return fail(VerdictKind::Unsupported,
+                      "buffer argument without binding");
+        }
+        const interp::KernelArg& arg =
+            args_[static_cast<std::size_t>(info.baseIndex)];
+        if (!arg.isBuffer || arg.bufferIndex < 0) {
+          return fail(VerdictKind::Unsupported,
+                      "buffer argument without binding");
+        }
+        buffer = arg.bufferIndex;
+        if (static_cast<std::size_t>(arg.bufferIndex) < buffers_.size()) {
+          poolSize = static_cast<std::int64_t>(
+              buffers_[static_cast<std::size_t>(arg.bufferIndex)].size());
+        }
+        break;
+      }
+      case PtrBase::LocalAlloca: {
+        buffer = info.baseIndex;
+        const auto& allocas = summary_.fn->localAllocas;
+        if (info.baseIndex >= 0 &&
+            static_cast<std::size_t>(info.baseIndex) < allocas.size() &&
+            allocas[static_cast<std::size_t>(info.baseIndex)]->allocaType) {
+          poolSize = static_cast<std::int64_t>(
+              allocas[static_cast<std::size_t>(info.baseIndex)]
+                  ->allocaType->sizeInBytes());
+        }
+        break;
+      }
+      case PtrBase::LocalArg:
+        // A __local pointer argument indexes the same pools as the allocas
+        // in the interpreter; modelling that aliasing is out of scope.
+        return fail(VerdictKind::Unsupported, "__local pointer argument");
+      default:
+        return fail(VerdictKind::Approximate, "unresolved pointer base");
+    }
+
+    const auto offset = symEval(info.offset.get(), bind_);
+    if (!offset) {
+      return fail(VerdictKind::Approximate, "data-dependent access offset");
+    }
+    const bool inBounds =
+        poolSize >= 0 && *offset >= 0 &&
+        *offset + static_cast<std::int64_t>(info.size) <= poolSize;
+    if (!inBounds) ++oobAccesses_;  // the interpreter records and moves on
+
+    const bool record = info.space == ir::AddressSpace::Local
+                            ? options_.captureLocalTrace
+                            : true;
+    if (!record) return Flow::Continue;
+    if (++recordedEvents_ > options_.maxEvents) {
+      return fail(VerdictKind::Approximate, "event volume exceeds synthesis cap");
+    }
+    interp::MemoryAccessEvent ev;
+    ev.workItem = linearGlobal_;
+    ev.group = group_;
+    ev.space = info.space;
+    ev.buffer = buffer;
+    ev.offset = *offset;
+    ev.size = info.size;
+    ev.isWrite = info.isWrite;
+    ev.instId = info.instId;
+    segments_.back().push_back(ev);
+    return Flow::Continue;
+  }
+
+  const KernelSummary& summary_;
+  const interp::NdRange& range_;
+  const std::vector<interp::KernelArg>& args_;
+  const std::vector<std::vector<std::uint8_t>>& buffers_;
+  const SynthOptions& options_;
+
+  std::unique_ptr<LoopScan> scan_;
+  SymBinding base_;
+  SymBinding bind_;
+  std::vector<std::vector<interp::MemoryAccessEvent>> segments_;
+  std::vector<LoopCounters> loopCounters_;
+  std::uint64_t linearGlobal_ = 0;
+  std::uint32_t group_ = 0;
+  std::uint64_t recordedEvents_ = 0;
+  std::uint64_t loopIterations_ = 0;
+  std::uint64_t oobAccesses_ = 0;
+  std::uint64_t profiledGroups_ = 0;
+  std::uint64_t profiledWorkItems_ = 0;
+  Verdict failure_;
+};
+
+}  // namespace
+
+SynthResult synthesizeProfile(
+    const KernelSummary& summary, const interp::NdRange& range,
+    const std::vector<interp::KernelArg>& args,
+    const std::vector<std::vector<std::uint8_t>>& buffers,
+    const SynthOptions& options) {
+  return Synthesizer(summary, range, args, buffers, options).run();
+}
+
+}  // namespace flexcl::analysis::staticprof

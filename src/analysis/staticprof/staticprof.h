@@ -1,0 +1,75 @@
+// Static profile synthesis (interpreter-free model evaluation).
+//
+// Replays the symbolic access/control tree of a kernel (analysis::
+// KernelSummary) for the same work-groups the profiling interpreter would
+// execute, evaluating per-work-item offsets, branch conditions and loop trip
+// counts under the concrete NDRange geometry and launch-bound scalar
+// arguments. When every decision resolves, the result is an
+// interp::KernelProfile that is event-for-event identical to what
+// interp::profileKernel produces — loop trip statistics, the globally
+// interleaved memory trace (per barrier segment, work-items in linear local
+// order, matching the interpreter's round-robin), and out-of-bounds counts —
+// without ever running the interpreter.
+//
+// Every synthesis carries an exactness verdict. Only `Exact` profiles are
+// consumed by the model (FlexCl::profileFor tier 1); `Approximate` and
+// `Unsupported` kernels fall back to the interpreter, so the model's output
+// is bit-identical whether the static tier is enabled or not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/symbolic.h"
+#include "interp/profiler.h"
+
+namespace flexcl::analysis::staticprof {
+
+/// How faithful the synthesized profile is to an interpreter run.
+enum class VerdictKind : std::uint8_t {
+  Exact,        ///< event-identical to the interpreter; safe to consume
+  Approximate,  ///< some decision was data-dependent or capped; fall back
+  Unsupported,  ///< construct outside the synthesizer's model; fall back
+};
+
+const char* verdictName(VerdictKind kind);
+
+struct Verdict {
+  VerdictKind kind = VerdictKind::Unsupported;
+  /// Why the synthesis is not exact (empty for Exact). The first blocking
+  /// reason encountered; stable strings, usable as lint/explain surface.
+  std::string reason;
+
+  [[nodiscard]] bool exact() const { return kind == VerdictKind::Exact; }
+  [[nodiscard]] const char* name() const { return verdictName(kind); }
+};
+
+struct SynthOptions {
+  /// Work-groups to synthesize; must match the interpreter tier's
+  /// ProfileOptions::groupsToProfile for event identity.
+  std::uint64_t groupsToProfile = 2;
+  bool captureLocalTrace = true;
+  /// Safety caps: exceeding any of them yields Approximate (the interpreter
+  /// tier then decides, under its own instruction budget).
+  std::uint64_t maxEvents = 1ull << 22;
+  std::int64_t maxTripPerLoop = 1ll << 20;
+  std::uint64_t maxLoopIterations = 1ull << 22;
+};
+
+struct SynthResult {
+  Verdict verdict;
+  /// Valid only when verdict.kind == Exact (provenance == Synthesized).
+  interp::KernelProfile profile;
+};
+
+/// Synthesizes the profile for (summary, range, args, buffers). Buffer
+/// contents are never read — only their byte sizes (for the out-of-bounds
+/// accounting the interpreter performs).
+SynthResult synthesizeProfile(
+    const KernelSummary& summary, const interp::NdRange& range,
+    const std::vector<interp::KernelArg>& args,
+    const std::vector<std::vector<std::uint8_t>>& buffers,
+    const SynthOptions& options = {});
+
+}  // namespace flexcl::analysis::staticprof

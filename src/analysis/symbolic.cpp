@@ -41,13 +41,27 @@ bool isConst(const SymExprPtr& e, std::int64_t v) {
 
 std::optional<std::int64_t> foldBinary(SymExpr::Op op, std::int64_t l,
                                        std::int64_t r) {
+  // Decline (nullopt) instead of wrapping: a folded constant feeds trip
+  // counts and offsets, where a silent wrap would be unsound.
+  std::int64_t v = 0;
   switch (op) {
-    case SymExpr::Op::Add: return l + r;
-    case SymExpr::Op::Sub: return l - r;
-    case SymExpr::Op::Mul: return l * r;
+    case SymExpr::Op::Add:
+      if (__builtin_add_overflow(l, r, &v)) return std::nullopt;
+      return v;
+    case SymExpr::Op::Sub:
+      if (__builtin_sub_overflow(l, r, &v)) return std::nullopt;
+      return v;
+    case SymExpr::Op::Mul:
+      if (__builtin_mul_overflow(l, r, &v)) return std::nullopt;
+      return v;
     case SymExpr::Op::Div: return r == 0 ? std::nullopt : std::optional(l / r);
     case SymExpr::Op::Rem: return r == 0 ? std::nullopt : std::optional(l % r);
-    case SymExpr::Op::Shl: return (r < 0 || r > 62) ? std::nullopt : std::optional(l << r);
+    case SymExpr::Op::Shl:
+      if (r < 0 || r > 62 ||
+          __builtin_mul_overflow(l, std::int64_t{1} << r, &v)) {
+        return std::nullopt;
+      }
+      return v;
     case SymExpr::Op::Shr: return (r < 0 || r > 62) ? std::nullopt : std::optional(l >> r);
     case SymExpr::Op::And: return l & r;
     case SymExpr::Op::Or: return l | r;
@@ -484,10 +498,24 @@ class Walker {
         execStore(inst, into);
         break;
       case Opcode::Barrier:
-        if (recording_) recordBarrier(inst);
+        if (recording_) {
+          recordBarrier(inst);
+          if (into) {
+            AccessTreeNode node;
+            node.kind = AccessTreeNode::Kind::Barrier;
+            into->push_back(std::move(node));
+          }
+        }
+        break;
+      case Opcode::Ret:
+        if (recording_ && into) {
+          AccessTreeNode node;
+          node.kind = AccessTreeNode::Kind::Return;
+          into->push_back(std::move(node));
+        }
         break;
       case Opcode::Alloca:
-      case Opcode::Br: case Opcode::CondBr: case Opcode::Ret:
+      case Opcode::Br: case Opcode::CondBr:
         break;
       default:
         // Float arithmetic, vector lane ops, remaining casts: not tracked.
@@ -722,7 +750,8 @@ class Walker {
   /// recorded and nested loops are squashed to "clobbers everything it
   /// stores"; the slot delta tells us which slots are inductions.
   void walkLoopOnce(const ir::Region& region, bool probe,
-                    std::vector<AccessTreeNode>* into, SymExprPtr* condOut) {
+                    std::vector<AccessTreeNode>* into, SymExprPtr* condOut,
+                    std::size_t* condCountOut = nullptr) {
     const bool condFirst = region.condBlock != region.latchBlock;
     if (probe) {
       const bool savedRecording = recording_;
@@ -734,7 +763,9 @@ class Walker {
       return;
     }
     if (condFirst) {
+      const std::size_t before = into ? into->size() : 0;
       execBlock(region.condBlock, into);
+      if (condCountOut && into) *condCountOut = into->size() - before;
       if (condOut) *condOut = condOfBlock(region.condBlock);
     }
     condCtx_.push_back(condOut ? *condOut : nullptr);
@@ -778,12 +809,22 @@ class Walker {
     // let constant folding destroy the additive shape (i = 0 stepping by 1
     // yields Const 1, not Add(i, 1)).
     auto entrySlots = slots_;
+    // symOpaque() returns a shared singleton, which would give every slot the
+    // SAME placeholder: a slot assigned from another slot (x = y) would then
+    // compare pointer-equal to its own placeholder and pass as "unchanged",
+    // leaking its loop-entry value into the body walk. Mint a distinct node
+    // per slot so identity comparison actually distinguishes them.
+    auto freshOpaque = [] {
+      auto e = std::make_shared<SymExpr>();
+      e->op = SymExpr::Op::Opaque;
+      return e;
+    };
     std::unordered_map<const ir::Instruction*, SymExprPtr> placeholders;
     for (auto& [slot, val] : slots_) {
       if (val.kind == ValState::Kind::Int) {
-        placeholders[slot] = val.i = symOpaque();
+        placeholders[slot] = val.i = freshOpaque();
       } else if (val.kind == ValState::Kind::Ptr) {
-        placeholders[slot] = val.p.offset = symOpaque();
+        placeholders[slot] = val.p.offset = freshOpaque();
       }
     }
     walkLoopOnce(region, /*probe=*/true, nullptr, nullptr);
@@ -873,7 +914,8 @@ class Walker {
     node.condFirst = region.condBlock != region.latchBlock;
     node.staticTrip = region.staticTripCount;
     SymExprPtr cond;
-    walkLoopOnce(region, /*probe=*/false, &node.children, &cond);
+    walkLoopOnce(region, /*probe=*/false, &node.children, &cond,
+                 &node.condChildCount);
     node.loopCond = cond;
 
     if (recording_) {

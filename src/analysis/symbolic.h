@@ -119,9 +119,12 @@ struct MemAccessInfo {
 };
 
 /// Node of the access/control tree used to statically expand the per-work-item
-/// access stream. Children of a Cond node split at `thenCount`.
+/// access stream. Children of a Cond node split at `thenCount`. Barrier and
+/// Return nodes mark work-group synchronisation points and kernel exit in
+/// program order (the static profile synthesizer segments per-work-item event
+/// streams at them); the pattern expander ignores both.
 struct AccessTreeNode {
-  enum class Kind : std::uint8_t { Access, Cond, Loop };
+  enum class Kind : std::uint8_t { Access, Cond, Loop, Barrier, Return };
   Kind kind = Kind::Access;
 
   int accessIndex = -1;  // Access: index into KernelSummary::accesses
@@ -135,6 +138,10 @@ struct AccessTreeNode {
   SymExprPtr loopCond;      // re-evaluated per iteration; null for for(;;)
   bool condFirst = true;    // false for do-loops (body runs before the check)
   std::int64_t staticTrip = -1;
+  /// condFirst loops: number of leading children emitted by the condition
+  /// block each iteration (the interpreter runs that block once more after
+  /// the final failing check; the synthesizer replays exactly that prefix).
+  std::size_t condChildCount = 0;
 
   std::vector<AccessTreeNode> children;
 };

@@ -519,6 +519,10 @@ int Analyzer::loopCarriedDistance(const Instruction* src,
       if (r.distance > 1) obs::add("analysis.dataflow.loop_dep_relaxed");
       return static_cast<int>(std::min<std::int64_t>(r.distance, INT_MAX));
     case analysis::dataflow::DepKind::Unknown:
+      // Conservative verdict: the pair is scheduled at the assumed distance
+      // 1. Counted so `flexcl lint --metrics` can attribute how many RecMII
+      // constraints rest on the tester declining rather than proving.
+      obs::add("analysis.dataflow.dep.unknown");
       break;
   }
   return 1;

@@ -137,6 +137,11 @@ void addStaticCrossWorkItemEdges(
           obs::add("analysis.dataflow.crosswi_distance");
           distance = r.distance;
         }
+        if (r.kind == df::DepKind::Unknown) {
+          // The tester declined; the assumed distance 1 below is attributable
+          // in `flexcl lint --metrics` through this counter.
+          obs::add("analysis.dataflow.dep.unknown");
+        }
       }
       note(store.info->instId, later.info->instId, distance);
     }

@@ -19,9 +19,16 @@ struct ProfileOptions {
 
 /// Kernel-analysis artefacts for one (kernel, NDRange) pair.
 struct KernelProfile {
+  /// How the profile was obtained: by running the profiling interpreter, or
+  /// synthesized statically (analysis::staticprof) with an Exact verdict.
+  /// Either way the contents are event-identical; provenance is recorded for
+  /// observability and cache accounting only.
+  enum class Provenance : std::uint8_t { Interpreted = 0, Synthesized = 1 };
+
   bool ok = false;
   std::string error;
   NdRange range;
+  Provenance provenance = Provenance::Interpreted;
   /// Average body iterations per loop entry, by Region::loopId. Loops that
   /// never executed report 0.
   std::vector<double> loopTripCounts;

@@ -52,11 +52,57 @@ const interp::KernelProfile& FlexCl::profileFor(const LaunchInfo& launch,
   const interp::NdRange range = rangeFor(launch, design);
   const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
                        range.local[0], range.local[1],    range.local[2]};
+  // The static tier's inputs live in the statics_ cache (unbounded), so the
+  // reference fetched here stays valid inside the compute lambda.
+  const StaticInputs* si =
+      options_.staticProfiles ? &staticInputsFor(launch, design) : nullptr;
   return *profiles_.getOrCompute(key, [&] {
+    if (si) {
+      // Tier 1: interpreter-free synthesis. Only Exact results are consumed;
+      // anything else falls through to the interpreter, so estimates are
+      // bit-identical whether the tier is on or off.
+      analysis::staticprof::SynthResult synth;
+      {
+        obs::Span span("staticprof", [&] { return launch.fn->name(); });
+        synth = analysis::staticprof::synthesizeProfile(
+            si->summary, range, launch.args, *launch.buffers);
+      }
+      verdicts_.seed(key, synth.verdict);
+      if (synth.verdict.exact()) {
+        obs::add("analysis.staticprof.exact");
+        return std::move(synth.profile);
+      }
+      if (synth.verdict.kind ==
+          analysis::staticprof::VerdictKind::Approximate) {
+        obs::add("analysis.staticprof.approx");
+      }
+      obs::add("analysis.staticprof.fallback");
+    }
     obs::Span span("profile", [&] { return launch.fn->name(); });
     obs::add("model.profiles_computed");
     return interp::profileKernel(*launch.fn, range, launch.args,
                                  *launch.buffers);
+  });
+}
+
+analysis::staticprof::Verdict FlexCl::staticVerdict(const LaunchInfo& launch,
+                                                    const DesignPoint& design) {
+  if (!options_.staticProfiles) {
+    analysis::staticprof::Verdict off;
+    off.kind = analysis::staticprof::VerdictKind::Unsupported;
+    off.reason = "static tier disabled";
+    return off;
+  }
+  const interp::NdRange range = rangeFor(launch, design);
+  const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
+                       range.local[0], range.local[1],    range.local[2]};
+  const StaticInputs& si = staticInputsFor(launch, design);
+  return *verdicts_.getOrCompute(key, [&] {
+    // Only reached for profiles seeded from the store (profileFor plants the
+    // verdict when it runs the tier itself).
+    return analysis::staticprof::synthesizeProfile(si.summary, range,
+                                                   launch.args, *launch.buffers)
+        .verdict;
   });
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/dataflow/trip_count.h"
+#include "analysis/staticprof/staticprof.h"
 #include "analysis/symbolic.h"
 #include "cdfg/cdfg.h"
 #include "model/kernel_model.h"
@@ -111,6 +112,13 @@ struct ModelOptions {
   /// (asserted over all bundled workloads in tests/test_model.cpp); off is
   /// only useful to measure the factorization's speedup.
   bool analysisCache = true;
+  /// Synthesize profiles statically (analysis::staticprof) and consume them
+  /// when the exactness verdict is Exact, falling back to the profiling
+  /// interpreter otherwise. Exact synthesized profiles are event-identical
+  /// to interpreted ones, so estimates are bit-identical either way
+  /// (asserted over all bundled workloads in tests/test_staticprof.cpp);
+  /// off forces the interpreter tier for every kernel.
+  bool staticProfiles = true;
 };
 
 class FlexCl {
@@ -163,6 +171,13 @@ class FlexCl {
   /// (kernel, NDRange, scalar args); thread-safe like profileFor.
   const StaticInputs& staticInputsFor(const LaunchInfo& launch,
                                       const DesignPoint& design);
+
+  /// Exactness verdict of the static-profile tier for the effective launch
+  /// of `design` (the lint/explain surface). Cached per ProfileKey; with
+  /// `ModelOptions::staticProfiles` off the verdict is
+  /// Unsupported("static tier disabled").
+  analysis::staticprof::Verdict staticVerdict(const LaunchInfo& launch,
+                                              const DesignPoint& design);
 
   /// Persistence hooks for the serve store (DESIGN.md §12). seedProfile
   /// plants a profile deserialized from disk for the effective launch
@@ -245,6 +260,10 @@ class FlexCl {
   using ProfileKey = std::tuple<const ir::Function*, std::string, unsigned,
                                 std::uint64_t, std::uint64_t, std::uint64_t>;
   runtime::MemoCache<ProfileKey, interp::KernelProfile> profiles_;
+  /// Verdict of the static tier per profile slot. Seeded by profileFor when
+  /// it synthesizes; computed on demand by staticVerdict for profiles that
+  /// arrived via seedProfile (store-warmed) and never went through the tier.
+  runtime::MemoCache<ProfileKey, analysis::staticprof::Verdict> verdicts_;
   // Static-analysis cache. Same aliasing defence as ProfileKey, plus the
   // full geometry and the integer scalar arguments (both feed the resolved
   // trip counts and leaf ranges). StaticKey is declared in the public

@@ -59,7 +59,17 @@ ExplainReport explainEstimate(model::FlexCl& flexcl,
                               const model::DesignPoint& design,
                               const std::string& kernelName) {
   const model::Estimate est = flexcl.estimate(launch, design);
-  return buildExplainReport(est, design, kernelName, flexcl.device().name);
+  ExplainReport report =
+      buildExplainReport(est, design, kernelName, flexcl.device().name);
+  const auto verdict = flexcl.staticVerdict(launch, design);
+  report.staticProfileVerdict = verdict.name();
+  report.staticProfileReason = verdict.reason;
+  report.profileProvenance =
+      flexcl.profileFor(launch, design).provenance ==
+              interp::KernelProfile::Provenance::Synthesized
+          ? "synthesized"
+          : "interpreted";
+  return report;
 }
 
 std::string ExplainReport::text() const {
@@ -73,6 +83,12 @@ std::string ExplainReport::text() const {
   os << "mode     : " << model::commModeName(estimate.mode)
      << (estimate.barrierCount > 0 ? " (forced by barrier intrinsics)" : "")
      << "\n";
+  if (!profileProvenance.empty()) {
+    os << "profile  : " << profileProvenance << " (static tier: "
+       << staticProfileVerdict;
+    if (!staticProfileReason.empty()) os << ", " << staticProfileReason;
+    os << ")\n";
+  }
   os.precision(1);
   os << std::fixed;
   os << "parallel : " << estimate.cu.effectivePes << " PEs x "
@@ -148,7 +164,16 @@ std::string ExplainReport::json() const {
     first = false;
     os << "\"" << jsonEscape(hint) << "\"";
   }
-  os << "]}}";
+  os << "]}";
+  os << ", \"static_profile\": ";
+  if (staticProfileVerdict.empty()) {
+    os << "null";
+  } else {
+    os << "{\"verdict\": \"" << jsonEscape(staticProfileVerdict)
+       << "\", \"reason\": \"" << jsonEscape(staticProfileReason)
+       << "\", \"provenance\": \"" << jsonEscape(profileProvenance) << "\"}";
+  }
+  os << "}";
   return os.str();
 }
 

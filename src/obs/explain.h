@@ -16,7 +16,7 @@ namespace flexcl::obs {
 
 /// Version of the explain JSON schema (first key of ExplainReport::json()).
 /// Bumped whenever a key is added, removed or reordered.
-inline constexpr int kExplainSchemaVersion = 2;
+inline constexpr int kExplainSchemaVersion = 3;
 
 struct ExplainReport {
   std::string kernel;
@@ -24,6 +24,14 @@ struct ExplainReport {
   model::DesignPoint design;
   model::Estimate estimate;             ///< includes the CycleBreakdown
   model::BottleneckReport bottleneck;
+  /// Static-profile tier surface: the exactness verdict ("exact" |
+  /// "approximate" | "unsupported"), its blocking reason (empty for exact)
+  /// and the provenance of the profile the estimate consumed ("synthesized"
+  /// | "interpreted"). All empty when unknown (buildExplainReport from a
+  /// bare estimate) — rendered as null then.
+  std::string staticProfileVerdict;
+  std::string staticProfileReason;
+  std::string profileProvenance;
 
   /// Human-readable report: metadata lines, the component table
   /// (cycles + share per component, footer row asserting the sum), and the

@@ -323,6 +323,7 @@ void encodeProfile(ByteWriter& w, const interp::KernelProfile& p) {
   w.u64(p.profiledGroups);
   w.u64(p.profiledWorkItems);
   w.u64(p.oobAccesses);
+  w.u8(static_cast<std::uint8_t>(p.provenance));
 }
 
 bool decodeProfile(ByteReader& r, interp::KernelProfile* out) {
@@ -336,6 +337,7 @@ bool decodeProfile(ByteReader& r, interp::KernelProfile* out) {
   out->profiledGroups = r.u64();
   out->profiledWorkItems = r.u64();
   out->oobAccesses = r.u64();
+  out->provenance = static_cast<interp::KernelProfile::Provenance>(r.u8());
   return r.fullyConsumedOk();
 }
 

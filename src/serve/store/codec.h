@@ -32,7 +32,7 @@ namespace flexcl::serve {
 inline constexpr std::uint32_t kEstimateCodecVersion = 1;
 inline constexpr std::uint32_t kSdaccelCodecVersion = 1;
 inline constexpr std::uint32_t kSimResultCodecVersion = 1;
-inline constexpr std::uint32_t kProfileCodecVersion = 1;
+inline constexpr std::uint32_t kProfileCodecVersion = 2;  // +provenance u8
 inline constexpr std::uint32_t kCompileCodecVersion = 1;
 inline constexpr std::uint32_t kResponseCodecVersion = 1;
 

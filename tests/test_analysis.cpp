@@ -489,7 +489,7 @@ TEST(Report, JsonSchemaVersionAndKeyOrderArePinned) {
   report.classifiedSites = 2;
 
   EXPECT_EQ(renderJson(report),
-            "{\"schema_version\":2,\"kernel\":\"k\",\"errors\":0,"
+            "{\"schema_version\":3,\"kernel\":\"k\",\"errors\":0,"
             "\"warnings\":1,\"findings\":[{\"pass\":\"trip-count\","
             "\"rule\":\"unresolved-trip-count\",\"severity\":\"warning\","
             "\"line\":3,\"column\":7,"
@@ -498,7 +498,16 @@ TEST(Report, JsonSchemaVersionAndKeyOrderArePinned) {
             "\"accessSites\":{\"global\":2,\"classified\":2},"
             "\"patterns\":[],\"crossCheck\":null,\"crossWiDependences\":[],"
             "\"accessBounds\":[],\"reqdWorkGroupSize\":[0,0,0],"
-            "\"usesBarrier\":false}");
+            "\"usesBarrier\":false,\"staticProfile\":null}");
+
+  // With a verdict attached the nullable object renders with a fixed key
+  // order of its own.
+  report.staticProfileVerdict = "approximate";
+  report.staticProfileReason = "data-dependent branch";
+  const std::string json = renderJson(report);
+  EXPECT_NE(json.find("\"staticProfile\":{\"verdict\":\"approximate\","
+                      "\"reason\":\"data-dependent branch\"}"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

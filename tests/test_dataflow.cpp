@@ -237,6 +237,152 @@ TEST(AffineDomain, RangeOfSymIsSoundOnNonAffineTrees) {
 }
 
 // ---------------------------------------------------------------------------
+// Linearization property fuzz: negative strides, near-overflow extents,
+// wrap-guard (masked/modular offset) interaction
+// ---------------------------------------------------------------------------
+
+// Randomized affine trees (negative strides included, randomized association
+// order): linearize must represent the expression exactly — the form
+// evaluated at a random binding equals symEval of the original tree.
+TEST(AffineProperty, RandomAffineTreesLinearizeExactly) {
+  Rng rng(0x5eedaff1);
+  const LeafKey leafPool[] = {{Sym::GlobalId, 0}, {Sym::LocalId, 1},
+                              {Sym::GroupId, 2},  {Sym::ScalarArg, 0},
+                              {Sym::LoopIter, 3}};
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::int64_t c0 = rng.nextInRange(-1000, 1000);
+    SymExprPtr expr = symConst(c0);
+    std::int64_t expectCoeff[5] = {0, 0, 0, 0, 0};
+    const int nTerms = static_cast<int>(rng.nextBelow(5)) + 1;
+    for (int t = 0; t < nTerms; ++t) {
+      const int which = static_cast<int>(rng.nextBelow(5));
+      std::int64_t coeff = rng.nextInRange(-1000, 1000);
+      SymExprPtr term =
+          symBinary(SymExpr::Op::Mul, symConst(coeff),
+                    symLeaf(leafPool[which].sym, leafPool[which].index));
+      if (rng.nextBelow(2) == 0) {
+        expr = symBinary(SymExpr::Op::Add, std::move(expr), std::move(term));
+      } else {
+        expr = symBinary(SymExpr::Op::Sub, std::move(expr), std::move(term));
+        coeff = -coeff;
+      }
+      expectCoeff[which] += coeff;  // duplicates must accumulate
+    }
+    const auto form = linearize(expr.get());
+    ASSERT_TRUE(form.has_value()) << "iteration " << iter;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(form->coeffOf(leafPool[i]), expectCoeff[i])
+          << "iteration " << iter << " leaf " << i;
+    }
+
+    SymBinding bind;
+    bind.globalId[0] = rng.nextInRange(-1000, 1000);
+    bind.localId[1] = rng.nextInRange(-1000, 1000);
+    bind.groupId[2] = rng.nextInRange(-1000, 1000);
+    bind.scalarArgs[0] = rng.nextInRange(-1000, 1000);
+    bind.loopIters[3] = rng.nextInRange(-1000, 1000);
+    const auto direct = symEval(expr.get(), bind);
+    ASSERT_TRUE(direct.has_value()) << "iteration " << iter;
+    const std::int64_t viaForm =
+        form->constant + form->coeffOf(leafPool[0]) * bind.globalId[0] +
+        form->coeffOf(leafPool[1]) * bind.localId[1] +
+        form->coeffOf(leafPool[2]) * bind.groupId[2] +
+        form->coeffOf(leafPool[3]) * bind.scalarArgs[0] +
+        form->coeffOf(leafPool[4]) * bind.loopIters[3];
+    EXPECT_EQ(viaForm, *direct) << "iteration " << iter;
+  }
+}
+
+// Negative strides: the per-term extremes of rangeOf must stay tight (the
+// brute-force min/max over the leaf's whole range), not just sound.
+TEST(AffineProperty, NegativeStrideRangesAreTight) {
+  Rng rng(0xdecaf);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::int64_t coeff =
+        rng.nextInRange(-64, 64) * (rng.nextBelow(2) ? 1 : -1);
+    const std::int64_t c0 = rng.nextInRange(-500, 500);
+    const std::int64_t hi = rng.nextInRange(0, 63);
+    AffineForm f;
+    if (coeff != 0) f.terms.push_back({LeafKey{Sym::GlobalId, 0}, coeff});
+    f.constant = c0;
+    LeafRanges ranges;
+    ranges.set(Sym::GlobalId, 0, Interval::range(0, hi));
+    const Interval iv = rangeOf(f, ranges);
+    std::int64_t lo = INT64_MAX;
+    std::int64_t up = INT64_MIN;
+    for (std::int64_t v = 0; v <= hi; ++v) {
+      lo = std::min(lo, c0 + coeff * v);
+      up = std::max(up, c0 + coeff * v);
+    }
+    EXPECT_EQ(iv, Interval::range(lo, up))
+        << "coeff " << coeff << " c0 " << c0 << " hi " << hi;
+  }
+}
+
+// Near-overflow extents: coefficient arithmetic must decline (nullopt) or
+// degrade to top rather than wrap.
+TEST(AffineProperty, NearOverflowDeclinesInsteadOfWrapping) {
+  const std::int64_t huge = INT64_MAX / 2 + 1;
+  // Coefficient accumulation overflow: huge·x + huge·x has coefficient 2·huge
+  // which exceeds int64 — linearize must answer nullopt.
+  SymExprPtr doubled = symBinary(
+      SymExpr::Op::Add,
+      symBinary(SymExpr::Op::Mul, symConst(huge), symLeaf(Sym::GlobalId, 0)),
+      symBinary(SymExpr::Op::Mul, symConst(huge), symLeaf(Sym::GlobalId, 0)));
+  EXPECT_FALSE(linearize(doubled.get()).has_value());
+
+  // Constant-fold overflow on the constant term.
+  SymExprPtr bigConst = symBinary(SymExpr::Op::Add, symConst(INT64_MAX),
+                                  symConst(1));
+  EXPECT_FALSE(linearize(bigConst.get()).has_value());
+
+  // scaleForm coefficient overflow.
+  AffineForm f;
+  f.terms.push_back({LeafKey{Sym::GlobalId, 0}, huge});
+  EXPECT_FALSE(scaleForm(f, 2).has_value());
+  ASSERT_TRUE(scaleForm(f, 1).has_value());
+
+  // A representable form whose product with its leaf range overflows must
+  // evaluate to top (sound), never a wrapped finite interval.
+  LeafRanges ranges;
+  ranges.set(Sym::GlobalId, 0, Interval::range(0, 1024));
+  EXPECT_TRUE(rangeOf(f, ranges).isTop());
+}
+
+// Wrap-guard interaction: power-of-two masked offsets (i & (N-1)) and
+// modular offsets (i % N) are NOT affine — linearize must decline, and
+// rangeOfSym must still contain every concrete evaluation (sampled).
+TEST(AffineProperty, WrapGuardedOffsetsDeclineButRangeSoundly) {
+  Rng rng(0xbadcafe);
+  SymExprPtr masked = symBinary(
+      SymExpr::Op::And,
+      symBinary(SymExpr::Op::Add, symLeaf(Sym::GlobalId, 0),
+                symLeaf(Sym::ScalarArg, 0)),
+      symConst(127));
+  SymExprPtr modular =
+      symBinary(SymExpr::Op::Rem, symLeaf(Sym::GlobalId, 0), symConst(100));
+  EXPECT_FALSE(linearize(masked.get()).has_value());
+  EXPECT_FALSE(linearize(modular.get()).has_value());
+
+  LeafRanges ranges;
+  ranges.set(Sym::GlobalId, 0, Interval::range(0, 4095));
+  ranges.set(Sym::ScalarArg, 0, Interval::range(0, 63));
+  const Interval maskedRange = rangeOfSym(masked.get(), ranges);
+  const Interval modularRange = rangeOfSym(modular.get(), ranges);
+  for (int iter = 0; iter < 200; ++iter) {
+    SymBinding bind;
+    bind.globalId[0] = rng.nextInRange(0, 4095);
+    bind.scalarArgs[0] = rng.nextInRange(0, 63);
+    const auto mv = symEval(masked.get(), bind);
+    ASSERT_TRUE(mv.has_value());
+    EXPECT_TRUE(maskedRange.contains(*mv)) << *mv;
+    const auto rv = symEval(modular.get(), bind);
+    ASSERT_TRUE(rv.has_value());
+    EXPECT_TRUE(modularRange.contains(*rv)) << *rv;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Dependence tester
 // ---------------------------------------------------------------------------
 

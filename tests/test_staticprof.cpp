@@ -1,0 +1,383 @@
+// Static profile synthesis tests: verdict unit cases on targeted kernels and
+// the suite-wide cross-validation sweep — every Exact kernel's synthesized
+// profile must be event-for-event identical to the profiling interpreter's,
+// and model estimates must be bit-identical with the static tier on and off.
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <map>
+
+#include "analysis/staticprof/staticprof.h"
+#include "analysis/symbolic.h"
+#include "interp/profiler.h"
+#include "ir/lower.h"
+#include "model/flexcl.h"
+#include "serve/store/codec.h"
+#include "workloads/workload.h"
+
+namespace flexcl::analysis::staticprof {
+namespace {
+
+std::unique_ptr<ir::CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto compiled = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(compiled) << diags.str();
+  return compiled;
+}
+
+const ir::Function* fnOf(const ir::CompiledProgram& p, const std::string& name) {
+  const ir::Function* fn = p.module->findFunction(name);
+  EXPECT_NE(fn, nullptr);
+  return fn;
+}
+
+/// The local size every suite test uses (mirrors the interpreter-tier tests).
+interp::NdRange workloadRange(const workloads::Workload& w) {
+  interp::NdRange range = w.range;
+  range.local = {std::min<std::uint64_t>(32, range.global[0]), 1, 1};
+  while (range.global[0] % range.local[0] != 0) --range.local[0];
+  if (range.global[1] > 1) {
+    range.local = {8, 4, 1};
+    while (range.global[0] % range.local[0] != 0) range.local[0] /= 2;
+    while (range.global[1] % range.local[1] != 0) range.local[1] /= 2;
+  }
+  return range;
+}
+
+void expectSameEvent(const interp::MemoryAccessEvent& a,
+                     const interp::MemoryAccessEvent& b, const std::string& who,
+                     std::size_t i) {
+  EXPECT_EQ(a.workItem, b.workItem) << who << " event " << i;
+  EXPECT_EQ(a.group, b.group) << who << " event " << i;
+  EXPECT_EQ(a.space, b.space) << who << " event " << i;
+  EXPECT_EQ(a.buffer, b.buffer) << who << " event " << i;
+  EXPECT_EQ(a.offset, b.offset) << who << " event " << i;
+  EXPECT_EQ(a.size, b.size) << who << " event " << i;
+  EXPECT_EQ(a.isWrite, b.isWrite) << who << " event " << i;
+  EXPECT_EQ(a.instId, b.instId) << who << " event " << i;
+}
+
+void expectSameTrace(const std::vector<interp::MemoryAccessEvent>& synth,
+                     const std::vector<interp::MemoryAccessEvent>& interp,
+                     const std::string& who) {
+  ASSERT_EQ(synth.size(), interp.size()) << who;
+  for (std::size_t i = 0; i < synth.size(); ++i) {
+    expectSameEvent(synth[i], interp[i], who, i);
+    if (testing::Test::HasNonfatalFailure()) break;  // one event is enough
+  }
+}
+
+/// Full profile equivalence: the property the model relies on to consume an
+/// Exact synthesized profile in place of an interpreted one.
+void expectSameProfile(const interp::KernelProfile& synth,
+                       const interp::KernelProfile& interp,
+                       const std::string& who) {
+  ASSERT_TRUE(interp.ok) << who << ": " << interp.error;
+  ASSERT_TRUE(synth.ok) << who;
+  ASSERT_EQ(synth.loopTripCounts.size(), interp.loopTripCounts.size()) << who;
+  for (std::size_t i = 0; i < synth.loopTripCounts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(synth.loopTripCounts[i], interp.loopTripCounts[i])
+        << who << " loop " << i;
+  }
+  expectSameTrace(synth.globalTrace, interp.globalTrace, who + " global");
+  expectSameTrace(synth.localTrace, interp.localTrace, who + " local");
+  EXPECT_EQ(synth.profiledGroups, interp.profiledGroups) << who;
+  EXPECT_EQ(synth.profiledWorkItems, interp.profiledWorkItems) << who;
+  EXPECT_EQ(synth.oobAccesses, interp.oobAccesses) << who;
+  EXPECT_EQ(synth.provenance, interp::KernelProfile::Provenance::Synthesized)
+      << who;
+  EXPECT_EQ(interp.provenance, interp::KernelProfile::Provenance::Interpreted)
+      << who;
+}
+
+// ---------------------------------------------------------------------------
+// Verdict unit cases
+// ---------------------------------------------------------------------------
+
+TEST(StaticProf, AffineKernelIsExactAndEventIdentical) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  out[i] = a[i] * 2.0f;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{64, 1, 1}, {16, 1, 1}};
+  std::vector<std::vector<std::uint8_t>> buffers(2,
+                                                 std::vector<std::uint8_t>(256));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                         interp::KernelArg::buffer(1)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  ASSERT_TRUE(synth.verdict.exact()) << synth.verdict.reason;
+  const auto interp = interp::profileKernel(*fn, range, args, buffers);
+  expectSameProfile(synth.profile, interp, "k");
+}
+
+TEST(StaticProf, BarrierInterleavingMatchesRoundRobin) {
+  // Two barrier segments: the group trace must be segment-major with
+  // work-items in linear local order inside each segment, exactly like the
+  // interpreter's round-robin execution produces.
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out) {\n"
+      "  __local float tile[16];\n"
+      "  int l = get_local_id(0);\n"
+      "  int i = get_global_id(0);\n"
+      "  tile[l] = a[i];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[i] = tile[15 - l];\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{32, 1, 1}, {16, 1, 1}};
+  std::vector<std::vector<std::uint8_t>> buffers(2,
+                                                 std::vector<std::uint8_t>(128));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                         interp::KernelArg::buffer(1)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  ASSERT_TRUE(synth.verdict.exact()) << synth.verdict.reason;
+  const auto interp = interp::profileKernel(*fn, range, args, buffers);
+  expectSameProfile(synth.profile, interp, "barrier kernel");
+}
+
+TEST(StaticProf, ScalarBoundLoopIsExact) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out, int n) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float s = 0.0f;\n"
+      "  for (int j = 0; j < n; j++) s += a[j];\n"
+      "  out[i] = s;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{16, 1, 1}, {8, 1, 1}};
+  std::vector<std::vector<std::uint8_t>> buffers(2,
+                                                 std::vector<std::uint8_t>(64));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                         interp::KernelArg::buffer(1),
+                                         interp::KernelArg::intScalar(7)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  ASSERT_TRUE(synth.verdict.exact()) << synth.verdict.reason;
+  const auto interp = interp::profileKernel(*fn, range, args, buffers);
+  expectSameProfile(synth.profile, interp, "scalar-bound loop");
+}
+
+TEST(StaticProf, DataDependentBranchIsApproximate) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  if (a[i] > 0.5f) out[i] = 1.0f;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{16, 1, 1}, {8, 1, 1}};
+  std::vector<std::vector<std::uint8_t>> buffers(2,
+                                                 std::vector<std::uint8_t>(64));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                         interp::KernelArg::buffer(1)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  EXPECT_EQ(synth.verdict.kind, VerdictKind::Approximate);
+  EXPECT_EQ(synth.verdict.reason, "data-dependent branch");
+}
+
+TEST(StaticProf, DataDependentTripCountIsApproximate) {
+  auto p = compile(
+      "__kernel void k(__global const int* n, __global float* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float s = 0.0f;\n"
+      "  for (int j = 0; j < n[0]; j++) s += 1.0f;\n"
+      "  out[i] = s;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{16, 1, 1}, {8, 1, 1}};
+  std::vector<std::vector<std::uint8_t>> buffers(2,
+                                                 std::vector<std::uint8_t>(64));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                         interp::KernelArg::buffer(1)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  EXPECT_EQ(synth.verdict.kind, VerdictKind::Approximate);
+}
+
+TEST(StaticProf, LoopBreakIsApproximate) {
+  auto p = compile(
+      "__kernel void k(__global const float* a, __global float* out) {\n"
+      "  int i = get_global_id(0);\n"
+      "  float s = 0.0f;\n"
+      "  for (int j = 0; j < 8; j++) {\n"
+      "    if (a[j] < 0.0f) break;\n"
+      "    s += a[j];\n"
+      "  }\n"
+      "  out[i] = s;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{16, 1, 1}, {8, 1, 1}};
+  std::vector<std::vector<std::uint8_t>> buffers(2,
+                                                 std::vector<std::uint8_t>(64));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                         interp::KernelArg::buffer(1)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  EXPECT_EQ(synth.verdict.kind, VerdictKind::Approximate);
+}
+
+TEST(StaticProf, BadGeometryIsUnsupported) {
+  auto p = compile(
+      "__kernel void k(__global float* out) {\n"
+      "  out[get_global_id(0)] = 1.0f;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{10, 1, 1}, {4, 1, 1}};  // 4 does not divide 10
+  std::vector<std::vector<std::uint8_t>> buffers(1,
+                                                 std::vector<std::uint8_t>(64));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  EXPECT_EQ(synth.verdict.kind, VerdictKind::Unsupported);
+}
+
+TEST(StaticProf, OutOfBoundsAccountingMatchesInterpreter) {
+  // The pool is too small for the upper work-items: the interpreter counts
+  // those accesses as OOB but still records the events; synthesis must
+  // reproduce both the count and the trace.
+  auto p = compile(
+      "__kernel void k(__global float* out) {\n"
+      "  out[get_global_id(0)] = 1.0f;\n"
+      "}\n");
+  const ir::Function* fn = fnOf(*p, "k");
+  const interp::NdRange range{{16, 1, 1}, {8, 1, 1}};
+  std::vector<std::vector<std::uint8_t>> buffers(1,
+                                                 std::vector<std::uint8_t>(16));
+  std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0)};
+  const auto summary = analysis::summarizeKernel(*fn);
+  const auto synth = synthesizeProfile(summary, range, args, buffers);
+  ASSERT_TRUE(synth.verdict.exact()) << synth.verdict.reason;
+  const auto interp = interp::profileKernel(*fn, range, args, buffers);
+  EXPECT_GT(synth.profile.oobAccesses, 0u);
+  expectSameProfile(synth.profile, interp, "oob kernel");
+}
+
+// ---------------------------------------------------------------------------
+// Suite-wide cross-validation (the acceptance sweep)
+// ---------------------------------------------------------------------------
+
+// Every bundled workload, synthesized and interpreted under the same launch:
+// Exact kernels must agree event-for-event, and at least 40 of the 60 must
+// reach Exact (the paper's kernels are overwhelmingly launch-determined).
+TEST(StaticProfSweep, ExactKernelsMatchInterpreterEventForEvent) {
+  std::size_t total = 0;
+  std::size_t exact = 0;
+  std::map<std::string, std::size_t> fallbackReasons;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) {
+      auto compiled = workloads::compileWorkload(w);
+      ASSERT_TRUE(compiled) << w.fullName();
+      ++total;
+      const interp::NdRange range = workloadRange(w);
+      const auto summary = analysis::summarizeKernel(*compiled->fn);
+      const auto synth = synthesizeProfile(summary, range, compiled->args,
+                                           compiled->buffers);
+      if (!synth.verdict.exact()) {
+        ++fallbackReasons[std::string(synth.verdict.name()) + ": " +
+                          synth.verdict.reason];
+        continue;
+      }
+      ++exact;
+      const auto interp = interp::profileKernel(*compiled->fn, range,
+                                                compiled->args,
+                                                compiled->buffers);
+      expectSameProfile(synth.profile, interp, w.fullName());
+      if (testing::Test::HasNonfatalFailure()) {
+        FAIL() << w.fullName() << ": synthesized profile diverges";
+      }
+    }
+  }
+  std::cout << "staticprof sweep: " << exact << "/" << total << " exact\n";
+  for (const auto& [reason, count] : fallbackReasons) {
+    std::cout << "  fallback x" << count << ": " << reason << "\n";
+  }
+  EXPECT_EQ(total, 60u);
+  EXPECT_GE(exact, 40u);
+}
+
+// The model must be bit-identical with the static tier on and off: Exact
+// profiles are consumed, everything else falls back, so every estimate field
+// (cycles included, compared exactly, not approximately) must agree.
+TEST(StaticProfSweep, EstimatesBitIdenticalWithTierOnAndOff) {
+  model::ModelOptions on;
+  on.staticProfiles = true;
+  model::ModelOptions off;
+  off.staticProfiles = false;
+  model::FlexCl withTier(model::Device::virtex7(), on);
+  model::FlexCl withoutTier(model::Device::virtex7(), off);
+  const model::DesignPoint design;  // default: wg 64x1x1
+  std::size_t compared = 0;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) {
+      auto compiled = workloads::compileWorkload(w);
+      ASSERT_TRUE(compiled) << w.fullName();
+      const model::LaunchInfo launch = compiled->launch();
+      const model::Estimate a = withTier.estimate(launch, design);
+      const model::Estimate b = withoutTier.estimate(launch, design);
+      ASSERT_EQ(a.ok, b.ok) << w.fullName() << ": " << a.error << " / "
+                            << b.error;
+      if (!a.ok) continue;
+      EXPECT_EQ(a.cycles, b.cycles) << w.fullName();
+      EXPECT_EQ(a.milliseconds, b.milliseconds) << w.fullName();
+      EXPECT_EQ(a.breakdown.compute, b.breakdown.compute) << w.fullName();
+      EXPECT_EQ(a.breakdown.memory, b.breakdown.memory) << w.fullName();
+      EXPECT_EQ(a.breakdown.fillDrain, b.breakdown.fillDrain) << w.fullName();
+      EXPECT_EQ(a.breakdown.dispatch, b.breakdown.dispatch) << w.fullName();
+      ++compared;
+    }
+  }
+  EXPECT_GE(compared, 50u);
+}
+
+// The verdict surface: staticVerdict answers for any launch without running
+// the interpreter, and the disabled tier reports itself as such.
+TEST(StaticProf, ModelVerdictSurface) {
+  const workloads::Workload* w =
+      workloads::findWorkload("rodinia", "nn", "nearestNeighbor");
+  if (w == nullptr) {
+    // Fall back to the first workload if that name ever changes.
+    w = &workloads::rodiniaSuite().front();
+  }
+  auto compiled = workloads::compileWorkload(*w);
+  ASSERT_TRUE(compiled);
+  const model::LaunchInfo launch = compiled->launch();
+  const model::DesignPoint design;
+
+  model::FlexCl enabled(model::Device::virtex7());
+  const auto verdict = enabled.staticVerdict(launch, design);
+  EXPECT_TRUE(verdict.kind == VerdictKind::Exact ||
+              !verdict.reason.empty());
+
+  model::ModelOptions opts;
+  opts.staticProfiles = false;
+  model::FlexCl disabled(model::Device::virtex7(), opts);
+  const auto off = disabled.staticVerdict(launch, design);
+  EXPECT_EQ(off.kind, VerdictKind::Unsupported);
+  EXPECT_EQ(off.reason, "static tier disabled");
+}
+
+// Provenance must round-trip through the store codec (kProfileCodecVersion 2).
+TEST(StaticProf, ProvenancePersistsThroughProfileCodec) {
+  interp::KernelProfile p;
+  p.ok = true;
+  p.provenance = interp::KernelProfile::Provenance::Synthesized;
+  p.loopTripCounts = {2.5};
+  serve::ByteWriter w;
+  serve::encodeProfile(w, p);
+  const std::vector<std::uint8_t> bytes = w.take();
+  serve::ByteReader r(bytes);
+  interp::KernelProfile out;
+  ASSERT_TRUE(serve::decodeProfile(r, &out));
+  EXPECT_EQ(out.provenance, interp::KernelProfile::Provenance::Synthesized);
+  ASSERT_EQ(out.loopTripCounts.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.loopTripCounts[0], 2.5);
+}
+
+}  // namespace
+}  // namespace flexcl::analysis::staticprof

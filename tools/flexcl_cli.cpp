@@ -36,6 +36,7 @@
 #include "runtime/compile_cache.h"
 #include "runtime/eval_cache.h"
 #include "serve/server.h"
+#include "serve/store/codec.h"
 #include "serve/store/store.h"
 #include "sim/system_sim.h"
 #include "support/rng.h"
@@ -420,6 +421,27 @@ int runCache(const CliOptions& opts) {
     if (fam.quarantined > 0) {
       std::printf(", %llu quarantined",
                   static_cast<unsigned long long>(fam.quarantined));
+    }
+    if (f == serve::Store::Family::Profile && fam.entries > 0) {
+      // Provenance breakdown: profiles the static tier synthesized vs ones
+      // the interpreter produced (bytes are already in the line above).
+      std::uint64_t synthesized = 0;
+      std::uint64_t interpreted = 0;
+      store.loadAll(serve::Store::Family::Profile, serve::kProfileCodecVersion,
+                    [&](std::uint64_t, const std::vector<std::uint8_t>& bytes) {
+                      serve::ByteReader r(bytes);
+                      interp::KernelProfile p;
+                      if (!serve::decodeProfile(r, &p)) return;
+                      if (p.provenance ==
+                          interp::KernelProfile::Provenance::Synthesized) {
+                        ++synthesized;
+                      } else {
+                        ++interpreted;
+                      }
+                    });
+      std::printf(" (%llu synthesized, %llu interpreted)",
+                  static_cast<unsigned long long>(synthesized),
+                  static_cast<unsigned long long>(interpreted));
     }
     std::printf("\n");
   }
