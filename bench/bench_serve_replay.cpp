@@ -9,6 +9,10 @@
 // Reports, as JSON on stdout:
 //   - a google-benchmark-shaped "serve_replay" section (BM_ServeReplayCold /
 //     BM_ServeReplayWarm wall-clock ns) consumable by bench_gate,
+//   - a "serve_latency" section with per-request p50/p99 for both runs
+//     (BM_ServeRequestP50Cold / P99Cold / P50Warm / P99Warm), aggregated
+//     from the `serve.request.*.latency_us` histograms the dispatcher
+//     records (DESIGN.md §14) — also gated by bench_gate,
 //   - whether every warm response was byte-identical to its cold twin
 //     (the store must change *when*, never *what*),
 //   - the warm run's combined cache hit rate and disk-warmed share, straight
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "harness.h"
+#include "obs/registry.h"
 #include "serve/dispatcher.h"
 #include "serve/json.h"
 
@@ -100,7 +105,25 @@ struct ReplayRun {
   double cpuSeconds = 0;
   runtime::Stats stats;
   runtime::CounterSnapshot responseCounters;
+  /// All `serve.request.*.latency_us` samples of this run merged into one
+  /// distribution (per-run: the registry is reset before each replay).
+  obs::HistogramSnapshot latency;
 };
+
+/// Merges every per-kind request-latency histogram currently in the global
+/// registry into one snapshot.
+obs::HistogramSnapshot aggregateRequestLatency() {
+  obs::HistogramSnapshot agg;
+  for (const auto& sample : obs::Registry::global().histograms()) {
+    const std::string& name = sample.name;
+    if (name.rfind("serve.request.", 0) == 0 &&
+        name.size() > 11 &&
+        name.compare(name.size() - 11, 11, ".latency_us") == 0) {
+      agg += sample.value;
+    }
+  }
+  return agg;
+}
 
 ReplayRun replay(const std::string& storeDir,
                  const std::vector<std::string>& lines) {
@@ -112,6 +135,10 @@ ReplayRun replay(const std::string& storeDir,
     std::fprintf(stderr, "store failed: %s\n", dispatcher.storeError().c_str());
     return run;
   }
+  // Per-run latency attribution: zero the histograms so this replay's
+  // samples are its own (deltaSince would work too; reset is simpler here
+  // because each run owns the whole registry).
+  obs::Registry::global().reset();
   const auto wallStart = std::chrono::steady_clock::now();
   const std::clock_t cpuStart = std::clock();
   run.responses.reserve(lines.size());
@@ -125,6 +152,7 @@ ReplayRun replay(const std::string& storeDir,
                     .count();
   run.stats = dispatcher.stats();
   run.responseCounters = dispatcher.responseCounters();
+  run.latency = aggregateRequestLatency();
   return run;
 }
 
@@ -152,12 +180,28 @@ void printBenchEntry(const char* name, const ReplayRun& run, bool last) {
               name, run.seconds * 1e9, run.cpuSeconds * 1e9, last ? "" : ",");
 }
 
+/// One request-latency percentile as a bench entry (ns, like the wall-clock
+/// entries, so bench_gate ratios them uniformly).
+void printLatencyEntry(const char* name, const obs::HistogramSnapshot& s,
+                       double q, bool last) {
+  const double ns = s.quantile(q) * 1e3;  // histograms record microseconds
+  std::printf("    {\"name\": \"%s\", \"iterations\": %llu, "
+              "\"real_time\": %.0f, \"cpu_time\": %.0f, "
+              "\"time_unit\": \"ns\"}%s\n",
+              name, static_cast<unsigned long long>(s.count), ns, ns,
+              last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::ObsOptions obsOpts;
   if (!obsOpts.parse(&argc, argv)) return 2;
   obsOpts.begin();
+  // The latency percentiles come from the serve.request.* histograms, which
+  // only sample with observability on (results stay bit-identical either
+  // way — that's the §9 contract this bench's twin-run check rides on).
+  obs::setEnabled(true);
 
   const std::string storeDir = argc > 1 ? argv[1] : "serve_replay_store";
   std::filesystem::remove_all(storeDir);
@@ -185,11 +229,19 @@ int main(int argc, char** argv) {
   printBenchEntry("BM_ServeReplayCold", cold, false);
   printBenchEntry("BM_ServeReplayWarm", warm, true);
   std::printf("  ],\n");
+  std::printf("  \"serve_latency\": [\n");
+  printLatencyEntry("BM_ServeRequestP50Cold", cold.latency, 0.50, false);
+  printLatencyEntry("BM_ServeRequestP99Cold", cold.latency, 0.99, false);
+  printLatencyEntry("BM_ServeRequestP50Warm", warm.latency, 0.50, false);
+  printLatencyEntry("BM_ServeRequestP99Warm", warm.latency, 0.99, true);
+  std::printf("  ],\n");
   std::printf("  \"replay\": {\n");
   std::printf("    \"requests\": %zu,\n", lines.size());
   std::printf("    \"bit_identical\": %s,\n", bitIdentical ? "true" : "false");
   std::printf("    \"speedup\": %.2f,\n",
               warm.seconds > 0 ? cold.seconds / warm.seconds : 0.0);
+  std::printf("    \"cold_latency_us\": %s,\n", cold.latency.json().c_str());
+  std::printf("    \"warm_latency_us\": %s,\n", warm.latency.json().c_str());
   std::printf("    \"warm_combined_hit_rate_pct\": %.1f,\n", hitRatePct);
   std::printf("    \"warm_disk_warmed_hits\": %llu,\n",
               static_cast<unsigned long long>(warmFromDisk));
@@ -213,6 +265,16 @@ int main(int argc, char** argv) {
   }
   if (warmFromDisk == 0) {
     std::fprintf(stderr, "FAIL: no disk-warmed hits on the warm run\n");
+    return 1;
+  }
+  if (cold.latency.count != lines.size() ||
+      warm.latency.count != lines.size()) {
+    std::fprintf(stderr,
+                 "FAIL: latency histograms saw %llu/%llu samples, expected "
+                 "%zu each\n",
+                 static_cast<unsigned long long>(cold.latency.count),
+                 static_cast<unsigned long long>(warm.latency.count),
+                 lines.size());
     return 1;
   }
   return 0;

@@ -1,0 +1,141 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+namespace flexcl::obs {
+namespace {
+
+double wallClockUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void appendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void appendUs(std::ostringstream& os, double us) {
+  const auto prev = os.precision(1);
+  os << std::fixed << us;
+  os.precision(prev);
+}
+
+}  // namespace
+
+Log& Log::global() {
+  static Log* instance = new Log();  // never destroyed: events may arrive
+  return *instance;                  // during static teardown
+}
+
+bool Log::open(const std::string& path, double slowUs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.close();
+  out_.clear();
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  slowUs_ = slowUs;
+  enabled_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Log::close() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.close();
+}
+
+double Log::slowUs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slowUs_;
+}
+
+std::string Log::render(const LogEvent& event, double slowUs, double tsUs) {
+  const bool slow =
+      slowUs >= 0 && event.durationUs >= 0 && event.durationUs >= slowUs;
+  std::ostringstream os;
+  os << "{\"ts_us\": ";
+  const auto prev = os.precision(0);
+  os << std::fixed << tsUs;
+  os.precision(prev);
+  const char* level = event.level;
+  if (slow && std::string_view(level) == "info") level = "warn";
+  os << ", \"level\": \"" << level << "\"";
+  os << ", \"event\": ";
+  appendJsonString(os, event.event);
+  if (event.requestId != 0) os << ", \"id\": " << event.requestId;
+  if (!event.kind.empty()) {
+    os << ", \"kind\": ";
+    appendJsonString(os, event.kind);
+  }
+  if (!event.outcome.empty()) {
+    os << ", \"outcome\": ";
+    appendJsonString(os, event.outcome);
+  }
+  if (!event.provenance.empty()) {
+    os << ", \"cache\": ";
+    appendJsonString(os, event.provenance);
+  }
+  if (event.durationUs >= 0) {
+    os << ", \"duration_us\": ";
+    appendUs(os, event.durationUs);
+  }
+  if (event.queueWaitUs >= 0) {
+    os << ", \"queue_wait_us\": ";
+    appendUs(os, event.queueWaitUs);
+  }
+  if ((slow || event.forcePhases) && !event.phases.empty()) {
+    os << ", \"phases\": {";
+    bool first = true;
+    for (const auto& [name, us] : event.phases) {
+      if (!first) os << ", ";
+      first = false;
+      appendJsonString(os, name);
+      os << ": ";
+      appendUs(os, us);
+    }
+    os << "}";
+  }
+  if (!event.detail.empty()) {
+    os << ", \"detail\": ";
+    appendJsonString(os, event.detail);
+  }
+  os << "}";
+  return os.str();
+}
+
+void Log::write(const LogEvent& event) {
+  if (!enabled()) return;
+  const double tsUs = wallClockUs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  out_ << render(event, slowUs_, tsUs) << '\n';
+  out_.flush();
+}
+
+void logEvent(const LogEvent& event) { Log::global().write(event); }
+
+}  // namespace flexcl::obs

@@ -1,0 +1,86 @@
+// Structured line-JSON event log (DESIGN.md §14).
+//
+// One JSON object per line, written to the file given by `--log-json <path>`
+// on `flexcl serve` and the one-shot commands: request completions (id, kind,
+// outcome, duration, queue wait, cache provenance), daemon lifecycle events,
+// and slow-request breakdowns. Unlike counters and traces, log lines carry a
+// wall-clock timestamp (`ts_us`, microseconds since the Unix epoch) so events
+// from different daemons can be merged; everything else that needs a
+// monotonic timebase uses obs::monotonicUs().
+//
+// Overhead contract: with no log open, Log::enabled() is one relaxed atomic
+// load — call sites skip event construction entirely. Writes are serialized
+// under a mutex (line granularity: concurrent workers never interleave
+// bytes) and flushed per line so a crashed daemon keeps its tail. Log events
+// never feed back into model/simulator results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flexcl::obs {
+
+/// One structured event. Fields left at their defaults are omitted from the
+/// rendered line. Key order in the line is pinned (golden-tested):
+/// ts_us, level, event, id, kind, outcome, cache, duration_us,
+/// queue_wait_us, phases, detail.
+struct LogEvent {
+  const char* level = "info";   ///< "info" | "warn" | "error"
+  std::string event;            ///< e.g. "request", "serve.start"
+  std::uint64_t requestId = 0;  ///< serve request id (0 = not a request)
+  std::string kind;             ///< request op: "estimate", "metrics", ...
+  std::string outcome;          ///< "ok" | "error"
+  std::string provenance;       ///< cache provenance: "hit" | "miss"
+  double durationUs = -1;       ///< end-to-end handling time
+  double queueWaitUs = -1;      ///< submit -> job start
+  /// Per-phase breakdown (name, microseconds); rendered only for slow
+  /// requests (duration >= slow threshold) or when `forcePhases` is set.
+  std::vector<std::pair<std::string, double>> phases;
+  bool forcePhases = false;
+  std::string detail;  ///< freeform context (error text, paths, ...)
+};
+
+class Log {
+ public:
+  /// The process-wide log all instrumentation sites write to.
+  static Log& global();
+
+  /// Opens (truncates) `path` and starts accepting events; false on I/O
+  /// failure. `slowUs` is the slow-request threshold: events at least this
+  /// long are escalated to level "warn" with their full phase breakdown.
+  bool open(const std::string& path, double slowUs);
+  void close();
+
+  /// One relaxed load; the gate call sites test before building an event.
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double slowUs() const;
+
+  /// Renders and writes one line; no-op when not enabled.
+  void write(const LogEvent& event);
+
+  /// Renders `event` to its line-JSON form without writing (golden tests).
+  /// `slowUs` applies the slow-request escalation; pass a negative value to
+  /// disable it. `tsUs` stamps the line (epoch microseconds).
+  static std::string render(const LogEvent& event, double slowUs, double tsUs);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  double slowUs_ = -1;
+};
+
+/// Shorthand for Log::global().enabled().
+[[nodiscard]] inline bool logEnabled() { return Log::global().enabled(); }
+
+/// Shorthand for Log::global().write(event).
+void logEvent(const LogEvent& event);
+
+}  // namespace flexcl::obs

@@ -1,5 +1,9 @@
 #include "obs/registry.h"
 
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
 #include <sstream>
 
 namespace flexcl::obs {
@@ -20,11 +24,142 @@ void appendJsonMap(std::ostringstream& os, const char* key, auto&& samples,
   os << "}";
 }
 
+void appendFixed(std::ostringstream& os, double value, int precision) {
+  const auto flags = os.flags();
+  const auto prev = os.precision(precision);
+  os << std::fixed << value;
+  os.precision(prev);
+  os.flags(flags);
+}
+
+/// Quantile representative: the midpoint of a bucket's bounds (bucket 0,
+/// which holds sub-microsecond samples, reports 0).
+double bucketMid(int index) {
+  if (index <= 0) return 0.0;
+  return 0.5 * (Histogram::bucketLow(index) + Histogram::bucketHigh(index));
+}
+
 }  // namespace
+
+double monotonicUs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - origin).count();
+}
 
 bool enabled() { return gEnabled.load(std::memory_order_relaxed); }
 
 void setEnabled(bool on) { gEnabled.store(on, std::memory_order_relaxed); }
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return bucketMid(static_cast<int>(i));
+  }
+  return bucketMid(static_cast<int>(buckets.size()) - 1);
+}
+
+double HistogramSnapshot::maxValue() const {
+  for (std::size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] > 0) return Histogram::bucketHigh(static_cast<int>(i));
+  }
+  return 0.0;
+}
+
+HistogramSnapshot HistogramSnapshot::deltaSince(
+    const HistogramSnapshot& baseline) const {
+  HistogramSnapshot out;
+  out.count = count >= baseline.count ? count - baseline.count : 0;
+  out.sum = std::max(0.0, sum - baseline.sum);
+  out.buckets.resize(buckets.size(), 0);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t base =
+        i < baseline.buckets.size() ? baseline.buckets[i] : 0;
+    out.buckets[i] = buckets[i] >= base ? buckets[i] - base : 0;
+  }
+  return out;
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  return *this;
+}
+
+std::string HistogramSnapshot::json() const {
+  std::ostringstream os;
+  os << "{\"count\": " << count;
+  os << ", \"p50\": ";
+  appendFixed(os, quantile(0.50), 3);
+  os << ", \"p90\": ";
+  appendFixed(os, quantile(0.90), 3);
+  os << ", \"p99\": ";
+  appendFixed(os, quantile(0.99), 3);
+  os << ", \"max\": ";
+  appendFixed(os, maxValue(), 3);
+  os << ", \"mean\": ";
+  appendFixed(os, mean(), 3);
+  os << "}";
+  return os.str();
+}
+
+int Histogram::bucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN and negatives
+  if (value >= 0x1p63) return kBucketCount - 1;
+  const auto integral = static_cast<std::uint64_t>(value);
+  const int exponent = std::bit_width(integral) - 1;  // floor(log2(value))
+  const double low = std::ldexp(1.0, exponent);
+  const int sub = std::clamp(
+      static_cast<int>((value - low) / low * kSubBuckets), 0, kSubBuckets - 1);
+  return 1 + exponent * kSubBuckets + sub;
+}
+
+double Histogram::bucketLow(int index) {
+  if (index <= 0) return 0.0;
+  index = std::min(index, kBucketCount - 1);
+  const int exponent = (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0, exponent) *
+         (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+double Histogram::bucketHigh(int index) {
+  if (index <= 0) return 1.0;
+  index = std::min(index, kBucketCount - 1);
+  const int exponent = (index - 1) / kSubBuckets;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0, exponent) *
+         (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  out.buckets.resize(kBucketCount);
+  for (int i = 0; i < kBucketCount; ++i) {
+    out.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
 
 Registry& Registry::global() {
   static Registry* instance = new Registry();  // never destroyed: counter
@@ -36,6 +171,16 @@ Counter& Registry::counter(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
   }
   return *it->second;
 }
@@ -70,6 +215,16 @@ std::vector<Registry::GaugeSample> Registry::gauges() const {
   return out;
 }
 
+std::vector<Registry::HistogramSample> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.push_back(HistogramSample{name, histogram->snapshot()});
+  }
+  return out;
+}
+
 std::string Registry::json() const {
   std::ostringstream os;
   os << "{";
@@ -80,6 +235,11 @@ std::string Registry::json() const {
     o.precision(6);
     o << std::fixed << v;
   });
+  os << ", ";
+  appendJsonMap(os, "histograms", histograms(),
+                [](std::ostringstream& o, const HistogramSnapshot& v) {
+                  o << v.json();
+                });
   os << "}";
   return os.str();
 }
@@ -87,6 +247,7 @@ std::string Registry::json() const {
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
   gauges_.clear();
 }
 
@@ -96,6 +257,10 @@ Counter& counter(std::string_view name) {
 
 void setGauge(std::string_view name, double value) {
   if (enabled()) Registry::global().setGauge(name, value);
+}
+
+Histogram& histogram(std::string_view name) {
+  return Registry::global().histogram(name);
 }
 
 }  // namespace flexcl::obs

@@ -14,6 +14,7 @@
 // observability on or off is asserted in tests/test_obs.cpp.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -24,6 +25,11 @@
 #include <vector>
 
 namespace flexcl::obs {
+
+/// Microseconds since an arbitrary process-stable origin (steady_clock).
+/// The shared timebase for request scopes, queue-wait accounting and the
+/// structured log — monotonic, immune to wall-clock adjustments.
+[[nodiscard]] double monotonicUs();
 
 /// Monotonic counter. Increments are relaxed atomics: totals are exact,
 /// cross-counter ordering is not promised. Wraps modulo 2^64.
@@ -39,6 +45,74 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Point-in-time copy of one histogram's buckets. Quantiles, max and mean
+/// are all derived from the bucket counts (never from side state), so two
+/// snapshots subtract cleanly: deltaSince() yields the distribution of just
+/// the samples recorded between them — the histogram analogue of the
+/// CounterSnapshot::deltaSince per-run accounting fix (DESIGN.md §11/§14).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0;
+  /// Per-bucket sample counts, Histogram::kBucketCount entries (empty means
+  /// a default-constructed snapshot — treated as all zeroes).
+  std::vector<std::uint64_t> buckets;
+
+  /// Value at quantile `q` in [0, 1]: the midpoint of the bucket holding the
+  /// rank-`ceil(q*count)` sample. 0 when the snapshot is empty. Resolution is
+  /// the bucket width (<= 12.5% relative).
+  [[nodiscard]] double quantile(double q) const;
+  /// Upper bound of the highest non-empty bucket (0 when empty).
+  [[nodiscard]] double maxValue() const;
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+
+  /// Distribution of the samples recorded since `baseline` (bucket-wise
+  /// subtraction, clamped at zero like CounterSnapshot::deltaSince).
+  [[nodiscard]] HistogramSnapshot deltaSince(const HistogramSnapshot& baseline) const;
+  /// Merges another snapshot's samples in (bucket-wise addition).
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+
+  /// {"count": N, "p50": x, "p90": x, "p99": x, "max": x, "mean": x},
+  /// key order pinned (golden-tested; values rendered fixed 3 decimals).
+  [[nodiscard]] std::string json() const;
+};
+
+/// Log-bucketed (HDR-style) latency histogram. Values land in one of
+/// 1 + 64*kSubBuckets buckets: bucket 0 holds [0, 1), then each power of two
+/// [2^e, 2^(e+1)) is split into kSubBuckets linear sub-buckets, bounding the
+/// relative quantile error at 1/kSubBuckets. record() is two relaxed atomic
+/// increments plus one relaxed fp-add — no locking, no allocation — so it is
+/// safe on the serving path; like counters, histogram samples never feed back
+/// into model or simulator results (bit-identity asserted in tests/test_obs).
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kBucketCount = 1 + 64 * kSubBuckets;
+
+  /// Records one sample. Negative/NaN values count into bucket 0.
+  void record(double value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value > 0 ? value : 0.0, std::memory_order_relaxed);
+    buckets_[static_cast<std::size_t>(bucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+  /// Bucket of `value` (exposed for the bucketing-scheme tests).
+  static int bucketIndex(double value);
+  /// Inclusive lower / exclusive upper bound of `index`.
+  static double bucketLow(int index);
+  static double bucketHigh(int index);
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+};
+
 /// Named counters + gauges. Registration is mutex-protected; the returned
 /// Counter& stays valid for the registry's lifetime (values are
 /// heap-allocated and never erased, only zeroed by reset()).
@@ -49,6 +123,10 @@ class Registry {
 
   /// Returns the counter registered under `name`, creating it on first use.
   Counter& counter(std::string_view name);
+
+  /// Returns the histogram registered under `name`, creating it on first use.
+  /// Same lifetime guarantee as counter(): the reference stays valid forever.
+  Histogram& histogram(std::string_view name);
 
   /// Sets (overwrites) a point-in-time gauge, e.g. a cache hit count
   /// snapshotted from runtime::Stats or a measured wall time.
@@ -62,23 +140,29 @@ class Registry {
     std::string name;
     double value = 0;
   };
+  struct HistogramSample {
+    std::string name;
+    HistogramSnapshot value;
+  };
   /// Name-sorted snapshots (counters with value 0 are included: a registered
   /// counter that never fired is itself a signal).
   [[nodiscard]] std::vector<CounterSample> counters() const;
   [[nodiscard]] std::vector<GaugeSample> gauges() const;
+  [[nodiscard]] std::vector<HistogramSample> histograms() const;
 
-  /// {"counters": {name: value, ...}, "gauges": {name: value, ...}},
-  /// keys sorted.
+  /// {"counters": {name: value, ...}, "gauges": {name: value, ...},
+  /// "histograms": {name: {"count": ..., "p50": ...}, ...}}, keys sorted.
   [[nodiscard]] std::string json() const;
 
-  /// Zeroes every counter and drops all gauges. Counter references handed
-  /// out earlier remain valid.
+  /// Zeroes every counter and histogram and drops all gauges. Counter and
+  /// histogram references handed out earlier remain valid.
   void reset();
 
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 /// Master switch for counter collection (spans have their own switch on the
@@ -97,5 +181,14 @@ inline void add(std::string_view name, std::uint64_t n = 1) {
 
 /// Sets gauge `name` iff observability is enabled.
 void setGauge(std::string_view name, double value);
+
+/// Shorthand for Registry::global().histogram(name).
+Histogram& histogram(std::string_view name);
+
+/// Records one sample (typically a latency in microseconds) into histogram
+/// `name` iff observability is enabled — the histogram analogue of add().
+inline void record(std::string_view name, double value) {
+  if (enabled()) histogram(name).record(value);
+}
 
 }  // namespace flexcl::obs

@@ -1,0 +1,37 @@
+#include "obs/request_scope.h"
+
+#include "obs/trace.h"
+
+namespace flexcl::obs {
+namespace {
+
+thread_local RequestScope* tlsCurrentScope = nullptr;
+
+}  // namespace
+
+RequestScope::RequestScope(std::uint64_t id, std::string kind)
+    : id_(id),
+      kind_(std::move(kind)),
+      previous_(tlsCurrentScope),
+      previousTraceId_(Tracer::setThreadRequestId(id)) {
+  tlsCurrentScope = this;
+}
+
+RequestScope::~RequestScope() {
+  tlsCurrentScope = previous_;
+  Tracer::setThreadRequestId(previousTraceId_);
+}
+
+RequestScope* RequestScope::current() { return tlsCurrentScope; }
+
+void RequestScope::addPhaseUs(const std::string& name, double us) {
+  for (auto& [phase, total] : phases_) {
+    if (phase == name) {
+      total += us;
+      return;
+    }
+  }
+  phases_.emplace_back(name, us);
+}
+
+}  // namespace flexcl::obs

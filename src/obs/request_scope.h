@@ -1,0 +1,106 @@
+// Request-scoped observability context (DESIGN.md §14).
+//
+// An obs::RequestScope is the per-request carrier for everything the serving
+// stack wants to attribute to one request: the request id (tagged onto every
+// Span opened while the scope is current, so one request's compile/profile/
+// model spans correlate across worker lanes in the Chrome trace), the
+// queue-wait measured by serve::Server, a per-phase timing breakdown
+// (parse/context/eval/render/persist) accumulated by serve::Dispatcher, and
+// the cache-provenance bit set by the compute lambdas that actually ran.
+//
+// Scopes are RAII and thread-local: serve::Server installs one at the top of
+// each pool job; nested installs (one-shot CLI paths, tests) stack and
+// restore. The scope itself is plain bookkeeping — timing calls are gated by
+// the caller on obs::requestTimingEnabled(), preserving the overhead
+// contract, and nothing recorded here feeds back into model results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/registry.h"
+
+namespace flexcl::obs {
+
+/// True when per-request clocks should be read at all: observability is on
+/// (histograms want samples) or a structured log is open (events want
+/// durations). One/two relaxed loads.
+[[nodiscard]] inline bool requestTimingEnabled() {
+  return enabled() || logEnabled();
+}
+
+class RequestScope {
+ public:
+  /// Installs this scope as the thread's current one and tags subsequently
+  /// opened spans with `id` (0 = anonymous, spans stay untagged).
+  RequestScope(std::uint64_t id, std::string kind);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  /// The thread's innermost live scope, or nullptr outside any request.
+  [[nodiscard]] static RequestScope* current();
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+  void setKind(std::string kind) { kind_ = std::move(kind); }
+
+  void setQueueWaitUs(double us) { queueWaitUs_ = us; }
+  [[nodiscard]] double queueWaitUs() const { return queueWaitUs_; }
+
+  /// Accumulates `us` into phase `name` (summed across repeat visits, e.g.
+  /// several store writes in one request).
+  void addPhaseUs(const std::string& name, double us);
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& phases()
+      const {
+    return phases_;
+  }
+
+  /// Marks that at least one compute lambda ran (a cache miss somewhere);
+  /// unset means the request was served entirely from caches.
+  void markComputed() { computed_ = true; }
+  [[nodiscard]] bool computed() const { return computed_; }
+  /// "miss" if any compute ran, else "hit".
+  [[nodiscard]] const char* provenance() const {
+    return computed_ ? "miss" : "hit";
+  }
+
+ private:
+  std::uint64_t id_;
+  std::string kind_;
+  double queueWaitUs_ = -1;
+  bool computed_ = false;
+  std::vector<std::pair<std::string, double>> phases_;
+  RequestScope* previous_;
+  std::uint64_t previousTraceId_;
+};
+
+/// RAII phase timer: on destruction adds the elapsed time to phase `name` of
+/// `scope`. Reads no clock when `scope` is null or timing is disabled at
+/// construction.
+class PhaseTimer {
+ public:
+  PhaseTimer(RequestScope* scope, const char* name)
+      : scope_(scope), name_(name) {
+    if (scope_ != nullptr && requestTimingEnabled()) startUs_ = monotonicUs();
+  }
+  ~PhaseTimer() {
+    if (scope_ != nullptr && startUs_ >= 0) {
+      scope_->addPhaseUs(name_, monotonicUs() - startUs_);
+    }
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  RequestScope* scope_;
+  const char* name_;
+  double startUs_ = -1;
+};
+
+}  // namespace flexcl::obs

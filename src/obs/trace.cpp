@@ -9,6 +9,7 @@ namespace {
 
 thread_local int tlsLane = -1;
 thread_local int tlsDepth = 0;
+thread_local std::uint64_t tlsRequestId = 0;
 std::atomic<int> nextLane{0};
 
 void appendJsonString(std::ostringstream& os, const std::string& s) {
@@ -71,6 +72,14 @@ int Tracer::laneOfThisThread() {
   return tlsLane;
 }
 
+std::uint64_t Tracer::setThreadRequestId(std::uint64_t id) {
+  const std::uint64_t previous = tlsRequestId;
+  tlsRequestId = id;
+  return previous;
+}
+
+std::uint64_t Tracer::threadRequestId() { return tlsRequestId; }
+
 std::vector<SpanRecord> Tracer::spans() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return spans_;
@@ -90,8 +99,9 @@ std::string Tracer::json() const {
     appendJsonString(os, s.name);
     os << ", \"cat\": \"" << s.category << "\", \"ph\": \"X\", \"pid\": 1"
        << ", \"tid\": " << s.lane << ", \"ts\": " << s.startUs
-       << ", \"dur\": " << s.durationUs << ", \"args\": {\"depth\": " << s.depth
-       << "}}";
+       << ", \"dur\": " << s.durationUs << ", \"args\": {\"depth\": " << s.depth;
+    if (s.requestId != 0) os << ", \"request\": " << s.requestId;
+    os << "}}";
   }
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
   return os.str();

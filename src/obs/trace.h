@@ -33,6 +33,11 @@ struct SpanRecord {
   int depth = 0;         ///< nesting depth within the lane at open time
   double startUs = 0;
   double durationUs = 0;
+  /// Serve request id the span belongs to (0 = outside any request). Spans
+  /// inherit it from the thread's current obs::RequestScope at open time, so
+  /// one request's compile/profile/model spans correlate across worker lanes
+  /// ("request" in the trace args).
+  std::uint64_t requestId = 0;
 };
 
 class Tracer {
@@ -61,6 +66,11 @@ class Tracer {
   [[nodiscard]] double nowUs() const;
   /// Stable small lane id of the calling thread (assigned on first use).
   static int laneOfThisThread();
+  /// Request id newly opened spans on this thread are tagged with (0 = none).
+  /// Maintained by obs::RequestScope; returns the previous value so scopes
+  /// nest/restore correctly.
+  static std::uint64_t setThreadRequestId(std::uint64_t id);
+  [[nodiscard]] static std::uint64_t threadRequestId();
 
  private:
   std::atomic<bool> active_{false};
@@ -90,6 +100,7 @@ class Span {
     record_.name = std::forward<NameFn>(nameFn)();
     record_.lane = Tracer::laneOfThisThread();
     record_.depth = enterLane();
+    record_.requestId = Tracer::threadRequestId();
     record_.startUs = tracer.nowUs();
   }
 

@@ -30,16 +30,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  QueuedJob queued{std::move(job),
+                   obs::enabled() ? obs::monotonicUs() : -1.0};
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(queued));
   }
   ready_.notify_one();
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> job;
+    QueuedJob job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -47,7 +49,10 @@ void ThreadPool::workerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    if (job.enqueueUs >= 0) {
+      obs::record("pool.queue_wait_us", obs::monotonicUs() - job.enqueueUs);
+    }
+    job.fn();
   }
 }
 

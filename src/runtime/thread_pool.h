@@ -60,11 +60,21 @@ class ThreadPool {
   void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
 
  private:
+  /// A queued job plus its enqueue timestamp (obs::monotonicUs; -1 when
+  /// observability was off at enqueue time, so the off path reads no clock).
+  /// Workers feed the dequeue delay into the `pool.queue_wait_us` histogram —
+  /// the pool-level saturation signal behind the per-request queue wait the
+  /// serve layer measures itself.
+  struct QueuedJob {
+    std::function<void()> fn;
+    double enqueueUs = -1;
+  };
+
   void enqueue(std::function<void()> job);
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedJob> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_ = false;

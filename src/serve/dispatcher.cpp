@@ -1,13 +1,17 @@
 #include "serve/dispatcher.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "analysis/analyze.h"
 #include "dse/design_space.h"
 #include "dse/explorer.h"
 #include "obs/explain.h"
+#include "obs/log.h"
 #include "obs/registry.h"
+#include "obs/request_scope.h"
+#include "obs/trace.h"
 #include "serve/store/codec.h"
 #include "support/rng.h"
 #include "workloads/synth_args.h"
@@ -17,6 +21,28 @@ namespace {
 
 std::uint64_t hashString(const std::string& s) {
   return stableHash(s.data(), s.size());
+}
+
+/// Stable label for the per-kind latency histograms. Client-supplied op
+/// strings are unbounded; anything unknown collapses into "other" so the
+/// registry cannot be grown by request spam.
+const char* opLabel(const std::string& op) {
+  static constexpr const char* kKnown[] = {
+      "estimate", "explore", "lint",    "explain", "stats",
+      "metrics",  "health",  "ping",    "shutdown"};
+  for (const char* known : kKnown) {
+    if (op == known) return known;
+  }
+  return "other";
+}
+
+/// Marks the current request (if any) as having actually computed something
+/// — called from the compute/render lambdas that only run on a cache miss,
+/// which is what makes the log's `cache` field race-free.
+void markRequestComputed() {
+  if (obs::RequestScope* scope = obs::RequestScope::current()) {
+    scope->markComputed();
+  }
 }
 
 bool kernelHasBarriers(const ir::Function& fn) {
@@ -42,7 +68,7 @@ std::vector<std::uint8_t> wrapEvalPayload(const runtime::EvalKey& key,
 }  // namespace
 
 Dispatcher::Dispatcher(DispatcherOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), startedAtUs_(obs::monotonicUs()) {
   if (options_.storeDir.empty()) return;
   auto store = std::make_unique<Store>(options_.storeDir);
   if (!store->ok()) {
@@ -112,6 +138,7 @@ Dispatcher::~Dispatcher() = default;
 
 Dispatcher::LaunchContext* Dispatcher::contextFor(const Request& request,
                                                   std::string* error) {
+  obs::PhaseTimer phase(obs::RequestScope::current(), "context");
   if (request.device != "virtex7" && request.device != "ku060") {
     *error = "unknown device '" + request.device + "'";
     return nullptr;
@@ -213,8 +240,10 @@ void Dispatcher::seedProfileFor(LaunchContext& ctx,
 
 std::shared_ptr<const model::Estimate> Dispatcher::estimateVia(
     LaunchContext& ctx, const model::DesignPoint& design) {
+  obs::PhaseTimer phase(obs::RequestScope::current(), "eval");
   seedProfileFor(ctx, design);
   auto est = evalCache_.flexcl(ctx.evalKeyBase, design, [&] {
+    markRequestComputed();
     return ctx.flexcl->estimate(ctx.launch, design);
   });
   if (store_) {
@@ -230,7 +259,11 @@ std::shared_ptr<const model::Estimate> Dispatcher::estimateVia(
 
 std::string Dispatcher::responseVia(std::uint64_t key,
                                     const std::function<std::string()>& render) {
-  auto result = responses_.getOrCompute(key, [&] { return render(); });
+  obs::PhaseTimer phase(obs::RequestScope::current(), "render");
+  auto result = responses_.getOrCompute(key, [&] {
+    markRequestComputed();
+    return render();
+  });
   if (store_) {
     persist(Store::Family::Response, key, kResponseCodecVersion,
             std::vector<std::uint8_t>(result->begin(), result->end()));
@@ -472,8 +505,81 @@ std::string Dispatcher::handleStats(const Request& request) {
   return renderResponse(request.id, request.op, os.str());
 }
 
+std::string Dispatcher::handleMetrics(const Request& request) {
+  // Refresh the cache gauges so the scrape is a coherent point-in-time view
+  // (published directly — the metrics op answers even with obs disabled,
+  // counters simply read zero then).
+  stats().publishTo(obs::Registry::global());
+  const double uptimeS = (obs::monotonicUs() - startedAtUs_) * 1e-6;
+  const std::uint64_t inFlight =
+      pendingProvider_ ? pendingProvider_()
+                       : inFlight_.load(std::memory_order_relaxed);
+  std::ostringstream os;
+  os << "{\"uptime_s\": ";
+  os.precision(3);
+  os << std::fixed << uptimeS;
+  os << ", \"requests\": " << (handledOk_.load() + handledError_.load())
+     << ", \"ok\": " << handledOk_.load()
+     << ", \"errors\": " << handledError_.load()
+     << ", \"in_flight\": " << inFlight
+     << ", \"registry\": " << obs::Registry::global().json();
+  if (store_) {
+    const Store::StoreStats ss = store_->stats();
+    os << ", \"store\": {\"dir\": \"" << jsonEscapeString(store_->dir())
+       << "\", \"entries\": " << ss.totalEntries()
+       << ", \"bytes\": " << ss.totalBytes()
+       << ", \"quarantined\": " << ss.totalQuarantined() << "}";
+  }
+  os << "}";
+  return renderResponse(request.id, request.op, os.str());
+}
+
+std::string Dispatcher::handleHealth(const Request& request) {
+  const double uptimeS = (obs::monotonicUs() - startedAtUs_) * 1e-6;
+  const std::uint64_t inFlight =
+      pendingProvider_ ? pendingProvider_()
+                       : inFlight_.load(std::memory_order_relaxed);
+  const char* status = "ok";
+  std::ostringstream storeJson;
+  if (store_) {
+    const Store::StoreStats ss = store_->stats();
+    if (ss.totalQuarantined() > 0) status = "degraded";
+    storeJson << "{\"present\": true, \"entries\": " << ss.totalEntries()
+              << ", \"bytes\": " << ss.totalBytes()
+              << ", \"quarantined\": " << ss.totalQuarantined() << "}";
+  } else {
+    storeJson << "{\"present\": false}";
+  }
+  std::ostringstream os;
+  os << "{\"status\": \"" << status << "\", \"uptime_s\": ";
+  os.precision(3);
+  os << std::fixed << uptimeS;
+  os << ", \"requests\": " << (handledOk_.load() + handledError_.load())
+     << ", \"ok\": " << handledOk_.load()
+     << ", \"errors\": " << handledError_.load()
+     << ", \"in_flight\": " << inFlight << ", \"store\": " << storeJson.str()
+     << "}";
+  return renderResponse(request.id, request.op, os.str());
+}
+
 std::string Dispatcher::handle(const Request& request) {
   obs::add("serve.requests");
+  inFlight_.fetch_add(1, std::memory_order_relaxed);
+  // Reuse the transport-installed scope (it carries the queue wait); one-shot
+  // and direct-handle() callers get a local one so phase/provenance
+  // attribution works identically.
+  obs::RequestScope* scope = obs::RequestScope::current();
+  std::optional<obs::RequestScope> localScope;
+  if (scope == nullptr) {
+    localScope.emplace(request.id, request.op);
+    scope = &*localScope;
+  } else if (scope->kind().empty()) {
+    scope->setKind(request.op);
+  }
+  const bool timing = obs::requestTimingEnabled();
+  const double startUs = timing ? obs::monotonicUs() : -1;
+  obs::Span span("serve", [&] { return request.op; });
+
   std::string response;
   try {
     if (request.op == "ping") {
@@ -482,6 +588,10 @@ std::string Dispatcher::handle(const Request& request) {
       response = renderResponse(request.id, request.op, "\"bye\"");
     } else if (request.op == "stats") {
       response = handleStats(request);
+    } else if (request.op == "metrics") {
+      response = handleMetrics(request);
+    } else if (request.op == "health") {
+      response = handleHealth(request);
     } else if (request.op == "estimate") {
       response = handleEstimate(request);
     } else if (request.op == "explore") {
@@ -501,23 +611,61 @@ std::string Dispatcher::handle(const Request& request) {
   // The envelope's "ok" is the first one in the line (result JSON follows).
   const std::size_t okTrue = response.find("\"ok\": true");
   const std::size_t okFalse = response.find("\"ok\": false");
-  if (okTrue != std::string::npos &&
-      (okFalse == std::string::npos || okTrue < okFalse)) {
+  const bool ok = okTrue != std::string::npos &&
+                  (okFalse == std::string::npos || okTrue < okFalse);
+  if (ok) {
     handledOk_.fetch_add(1, std::memory_order_relaxed);
   } else {
     handledError_.fetch_add(1, std::memory_order_relaxed);
     obs::add("serve.request_errors");
   }
-  persistCaches();
+  {
+    obs::PhaseTimer phase(scope, "persist");
+    persistCaches();
+  }
+  inFlight_.fetch_sub(1, std::memory_order_relaxed);
+  if (timing && startUs >= 0) {
+    const double durationUs = obs::monotonicUs() - startUs;
+    obs::record(std::string("serve.request.") + opLabel(request.op) +
+                    ".latency_us",
+                durationUs);
+    if (obs::logEnabled()) {
+      obs::LogEvent event;
+      event.event = "request";
+      event.requestId = request.id;
+      event.kind = request.op;
+      event.outcome = ok ? "ok" : "error";
+      event.provenance = scope->provenance();
+      event.durationUs = durationUs;
+      event.queueWaitUs = scope->queueWaitUs();
+      event.phases = scope->phases();
+      if (!ok) event.level = "error";
+      obs::logEvent(event);
+    }
+  }
   return response;
 }
 
 std::string Dispatcher::handleLine(const std::string& line) {
-  const ParsedRequest parsed = parseRequest(line);
+  ParsedRequest parsed;
+  {
+    obs::PhaseTimer phase(obs::RequestScope::current(), "parse");
+    parsed = parseRequest(line);
+  }
   if (!parsed.ok) {
     obs::add("serve.requests");
     obs::add("serve.request_errors");
     handledError_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::logEnabled()) {
+      obs::LogEvent event;
+      event.level = "error";
+      event.event = "request";
+      event.requestId = parsed.request.id;
+      event.kind = parsed.request.op.empty() ? "invalid" : parsed.request.op;
+      event.outcome = "error";
+      event.detail = parsed.error;
+      obs::logEvent(event);
+    }
     return renderErrorResponse(parsed.request.id, parsed.request.op,
                                parsed.error);
   }

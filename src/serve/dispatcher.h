@@ -76,6 +76,13 @@ class Dispatcher {
   [[nodiscard]] std::uint64_t handledOk() const { return handledOk_; }
   [[nodiscard]] std::uint64_t handledError() const { return handledError_; }
 
+  /// Lets the transport layer report its pending-job count (submitted, not
+  /// yet responded) so `metrics`/`health` can expose queue depth; without a
+  /// provider, in_flight falls back to requests currently inside handle().
+  void setPendingProvider(std::function<std::uint64_t()> provider) {
+    pendingProvider_ = std::move(provider);
+  }
+
  private:
   /// One (device, kernel, geometry, data) scope: the FlexCl whose profile
   /// cache this request may touch, plus the synthesized launch.
@@ -103,6 +110,8 @@ class Dispatcher {
   std::string handleLint(const Request& request);
   std::string handleExplain(const Request& request);
   std::string handleStats(const Request& request);
+  std::string handleMetrics(const Request& request);
+  std::string handleHealth(const Request& request);
 
   /// Runs the model for (context, design) through the EvalCache, seeding the
   /// profile and the estimate from the store first and persisting both after.
@@ -137,6 +146,12 @@ class Dispatcher {
 
   std::atomic<std::uint64_t> handledOk_{0};
   std::atomic<std::uint64_t> handledError_{0};
+  /// Requests currently inside handle() (metrics/health in_flight fallback).
+  std::atomic<std::uint64_t> inFlight_{0};
+  /// obs::monotonicUs() at construction; metrics/health report uptime
+  /// relative to this.
+  double startedAtUs_ = 0;
+  std::function<std::uint64_t()> pendingProvider_;
 };
 
 }  // namespace flexcl::serve

@@ -16,7 +16,13 @@
 //    "elems": 0, "design": {"wg": 64, "wg_y": 1, "pipeline": true,
 //    "loop_pipeline": false, "wg_pipeline": false, "pe": 1, "cu": 1,
 //    "vector_width": 1, "mode": "pipeline"}}
-// Ops: estimate | explore | lint | explain | stats | ping | shutdown.
+// Ops: estimate | explore | lint | explain | stats | metrics | health |
+// ping | shutdown. `metrics` and `health` are the live-introspection ops
+// (DESIGN.md §14): they need no kernel and return the registry snapshot
+// (counters/gauges/histograms with p50/p90/p99/max) resp. a liveness
+// summary, both with pinned key order under the golden-test policy. Their
+// results are intentionally timing-dependent, so they are excluded from the
+// byte-identity contract that covers every other op.
 #pragma once
 
 #include <cstdint>

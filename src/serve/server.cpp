@@ -9,7 +9,9 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/registry.h"
+#include "obs/request_scope.h"
 
 namespace flexcl::serve {
 
@@ -17,6 +19,10 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.jobs == 0) options_.jobs = runtime::defaultJobs();
   options_.jobs = std::max(1, options_.jobs);
   dispatcher_ = std::make_unique<Dispatcher>(options_.dispatcher);
+  dispatcher_->setPendingProvider([this] {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    return pendingJobs_;
+  });
   if (options_.jobs > 1) {
     pool_ = std::make_unique<runtime::ThreadPool>(options_.jobs);
   }
@@ -63,7 +69,20 @@ void Server::submitLine(std::string line,
   const ParsedRequest parsed = parseRequest(line);
   const bool isShutdown = parsed.ok && parsed.request.op == "shutdown";
 
-  auto job = [this, line = std::move(line), write] {
+  // Stamp the submit time so the job can attribute its queue wait (clock
+  // read gated: with observability and logging both off this is two relaxed
+  // loads). The id/op recovered by the parse above seed the request scope;
+  // the dispatcher re-parses inside the job as before.
+  const double submitUs =
+      obs::requestTimingEnabled() ? obs::monotonicUs() : -1;
+  auto job = [this, line = std::move(line), write, id = parsed.request.id,
+              op = parsed.request.op, submitUs] {
+    obs::RequestScope scope(id, op.empty() ? std::string("invalid") : op);
+    if (submitUs >= 0) {
+      const double waitUs = obs::monotonicUs() - submitUs;
+      scope.setQueueWaitUs(waitUs);
+      obs::record("serve.queue_wait_us", waitUs);
+    }
     const std::string response = dispatcher_->handleLine(line);
     write(response);
     std::uint64_t pending = 0;
@@ -98,6 +117,15 @@ int Server::run(std::istream& in, std::ostream& out) {
   if (!options_.socketPath.empty()) {
     if (!startListener()) return 1;
     listenerThread_ = std::thread([this] { listenerLoop(); });
+  }
+  if (obs::logEnabled()) {
+    obs::LogEvent event;
+    event.event = "serve.start";
+    event.detail = "jobs=" + std::to_string(options_.jobs) +
+                   (options_.socketPath.empty()
+                        ? std::string()
+                        : " socket=" + options_.socketPath);
+    obs::logEvent(event);
   }
 
   std::mutex outMutex;
@@ -136,6 +164,13 @@ int Server::run(std::istream& in, std::ostream& out) {
     if (t.joinable()) t.join();
   }
   connectionThreads_.clear();
+  if (obs::logEnabled()) {
+    obs::LogEvent event;
+    event.event = "serve.stop";
+    event.detail = "ok=" + std::to_string(dispatcher_->handledOk()) +
+                   " errors=" + std::to_string(dispatcher_->handledError());
+    obs::logEvent(event);
+  }
   return 0;
 }
 

@@ -46,6 +46,18 @@ bool parseKeyFileName(const std::string& name, std::uint64_t* key) {
   return true;
 }
 
+/// Per-family read/write latency histograms (DESIGN.md §14). The name is
+/// only materialised when observability is on; off-path cost is one load.
+void recordStoreLatency(const char* opName, Store::Family family,
+                        double startUs) {
+  if (!obs::enabled() || startUs < 0) return;
+  obs::record(std::string("serve.store.") + Store::familyName(family) + "." +
+                  opName + "_us",
+              obs::monotonicUs() - startUs);
+}
+
+double storeLatencyStart() { return obs::enabled() ? obs::monotonicUs() : -1; }
+
 bool readFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
@@ -104,6 +116,7 @@ bool Store::save(Family family, std::uint64_t key,
                  std::uint32_t payloadVersion,
                  const std::vector<std::uint8_t>& payload) {
   if (!ok_ || payload.size() > kMaxPayloadSize) return false;
+  const double startUs = storeLatencyStart();
   ByteWriter header;
   header.u32(kStoreMagic);
   header.u32(kStoreFormatVersion);
@@ -140,6 +153,7 @@ bool Store::save(Family family, std::uint64_t key,
     return false;
   }
   obs::add("serve.store.saved");
+  recordStoreLatency("write", family, startUs);
   return true;
 }
 
@@ -189,6 +203,7 @@ void Store::quarantine(const std::string& path) {
 std::optional<std::vector<std::uint8_t>> Store::load(
     Family family, std::uint64_t key, std::uint32_t payloadVersion) {
   if (!ok_) return std::nullopt;
+  const double startUs = storeLatencyStart();
   const std::string path = entryPath(family, key);
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) return std::nullopt;
@@ -197,6 +212,7 @@ std::optional<std::vector<std::uint8_t>> Store::load(
     return std::nullopt;
   }
   obs::add("serve.store.loaded");
+  recordStoreLatency("read", family, startUs);
   return payload;
 }
 
@@ -214,10 +230,12 @@ void Store::loadAll(
   for (const std::string& name : names) {
     std::uint64_t key = 0;
     if (!parseKeyFileName(name, &key)) continue;  // temp / quarantined files
+    const double startUs = storeLatencyStart();
     std::vector<std::uint8_t> payload;
     if (loadFile(familyDir(family) + "/" + name, family, key, payloadVersion,
                  &key, &payload)) {
       obs::add("serve.store.loaded");
+      recordStoreLatency("read", family, startUs);
       fn(key, payload);
     }
   }

@@ -1,16 +1,23 @@
-// Tests for the observability layer (src/obs/, DESIGN.md §9): counter
+// Tests for the observability layer (src/obs/, DESIGN.md §9/§14): counter
 // registry semantics (atomicity, overflow, reset, the enabled gate), the
-// scoped-span tracer (nesting, per-thread lanes, Chrome trace JSON), the
-// cycle-attribution explain report (breakdown sums exactly to the predicted
-// total for every bundled workload), and the zero-interference contract —
-// model and simulator results are bit-identical with observability on or
-// off, at any worker count. The concurrency tests here run under the CI's
-// TSan job alongside the runtime tests.
+// log-bucketed latency histograms (bucketing scheme, quantile resolution,
+// snapshot delta/merge algebra, golden JSON), the scoped-span tracer
+// (nesting, per-thread lanes, request-id tagging, Chrome trace JSON),
+// request scopes (thread-local stacking, phase accumulation, provenance),
+// the structured log's golden line-JSON rendering, the cycle-attribution
+// explain report (breakdown sums exactly to the predicted total for every
+// bundled workload), and the zero-interference contract — model and
+// simulator results are bit-identical with observability on or off, at any
+// worker count, across all 60 bundled workloads. The concurrency tests here
+// run under the CI's TSan job alongside the runtime tests.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
@@ -21,7 +28,9 @@
 #include "dse/explorer.h"
 #include "model/flexcl.h"
 #include "obs/explain.h"
+#include "obs/log.h"
 #include "obs/registry.h"
+#include "obs/request_scope.h"
 #include "obs/trace.h"
 #include "runtime/stats.h"
 #include "workloads/workload.h"
@@ -37,6 +46,7 @@ struct ObsGuard {
     obs::Tracer::global().stop();
     obs::Tracer::global().clear();
     obs::Registry::global().reset();
+    obs::Log::global().close();
   }
 };
 
@@ -109,6 +119,152 @@ TEST(ObsRegistry, SnapshotsAreNameSortedAndJsonWellFormed) {
   EXPECT_NE(json.find("\"beta.gauge\""), std::string::npos);
   // alpha sorts before zeta in the rendered object too.
   EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+}
+
+// ---------------------------------------------------------------------------
+// Histograms (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketIndexSchemeIsLogWithLinearSubBuckets) {
+  using H = obs::Histogram;
+  // Bucket 0 catches sub-1 values, negatives and NaN (never a crash).
+  EXPECT_EQ(H::bucketIndex(0.0), 0);
+  EXPECT_EQ(H::bucketIndex(0.999), 0);
+  EXPECT_EQ(H::bucketIndex(-42.0), 0);
+  EXPECT_EQ(H::bucketIndex(std::nan("")), 0);
+  EXPECT_EQ(H::bucketIndex(1.0), 1);
+  // Every value lands in a bucket whose [low, high) bounds contain it, and
+  // the bucket's relative width is at most 1/kSubBuckets.
+  for (double v : {1.0, 1.5, 2.0, 3.0, 7.9, 8.0, 100.0, 1023.0, 1024.0,
+                   5e6, 1e12}) {
+    const int i = H::bucketIndex(v);
+    ASSERT_GE(i, 1) << v;
+    ASSERT_LT(i, H::kBucketCount) << v;
+    EXPECT_LE(H::bucketLow(i), v) << v;
+    EXPECT_LT(v, H::bucketHigh(i)) << v;
+    EXPECT_LE((H::bucketHigh(i) - H::bucketLow(i)) / H::bucketLow(i),
+              1.0 / H::kSubBuckets + 1e-12)
+        << v;
+  }
+  // Bucket bounds tile the axis without gaps or overlap.
+  for (int i = 1; i + 1 < H::kBucketCount; ++i) {
+    EXPECT_DOUBLE_EQ(H::bucketHigh(i), H::bucketLow(i + 1)) << i;
+  }
+  // Values beyond the top bucket saturate instead of indexing out of range.
+  EXPECT_EQ(H::bucketIndex(1e300), H::kBucketCount - 1);
+}
+
+TEST(ObsHistogram, QuantilesWithinBucketResolution) {
+  obs::Histogram h;
+  for (int v = 1; v <= 1000; ++v) h.record(static_cast<double>(v));
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.mean(), 500.5, 1e-9);  // sum is exact, not bucketed
+  // Quantiles come from bucket midpoints: <= 12.5% relative error.
+  EXPECT_NEAR(s.quantile(0.50), 500.0, 0.125 * 500.0);
+  EXPECT_NEAR(s.quantile(0.90), 900.0, 0.125 * 900.0);
+  EXPECT_NEAR(s.quantile(0.99), 990.0, 0.125 * 990.0);
+  EXPECT_GE(s.maxValue(), 1000.0);
+  EXPECT_LE(s.maxValue(), 1000.0 * (1.0 + 1.0 / obs::Histogram::kSubBuckets));
+  // Quantiles are monotone in q.
+  EXPECT_LE(s.quantile(0.50), s.quantile(0.90));
+  EXPECT_LE(s.quantile(0.90), s.quantile(0.99));
+  EXPECT_LE(s.quantile(0.99), s.maxValue());
+}
+
+TEST(ObsHistogram, SnapshotDeltaAndMergeRecompose) {
+  obs::Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(100.0);
+  obs::HistogramSnapshot before = h.snapshot();
+  for (int i = 0; i < 10; ++i) h.record(3000.0);
+  const obs::HistogramSnapshot after = h.snapshot();
+
+  // The delta is the distribution of just the new samples — the histogram
+  // analogue of CounterSnapshot::deltaSince per-run accounting.
+  const obs::HistogramSnapshot delta = after.deltaSince(before);
+  EXPECT_EQ(delta.count, 10u);
+  EXPECT_NEAR(delta.quantile(0.50), 3000.0, 0.125 * 3000.0);
+  EXPECT_NEAR(delta.mean(), 3000.0, 1e-9);
+
+  // Merging the delta back recomposes the full snapshot exactly.
+  before += delta;
+  EXPECT_EQ(before.count, after.count);
+  EXPECT_EQ(before.buckets, after.buckets);
+  EXPECT_DOUBLE_EQ(before.sum, after.sum);
+}
+
+TEST(ObsHistogram, RegistryResetZeroesAndReferenceStaysValid) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("test.lat");
+  h.record(5.0);
+  EXPECT_EQ(&registry.histogram("test.lat"), &h);
+  EXPECT_EQ(registry.histograms().size(), 1u);
+  EXPECT_EQ(registry.histograms()[0].value.count, 1u);
+  registry.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);  // reference stays valid, zeroed
+  h.record(7.0);
+  EXPECT_EQ(registry.histograms()[0].value.count, 1u);
+}
+
+TEST(ObsHistogram, JsonKeyOrderIsPinned) {
+  // Golden: snapshot JSON key order is part of the metrics schema.
+  EXPECT_EQ(obs::HistogramSnapshot{}.json(),
+            "{\"count\": 0, \"p50\": 0.000, \"p90\": 0.000, \"p99\": 0.000,"
+            " \"max\": 0.000, \"mean\": 0.000}");
+  obs::Histogram h;
+  h.record(0.5);  // bucket 0: quantiles report 0, max reports the bound
+  EXPECT_EQ(h.snapshot().json(),
+            "{\"count\": 1, \"p50\": 0.000, \"p90\": 0.000, \"p99\": 0.000,"
+            " \"max\": 1.000, \"mean\": 0.500}");
+
+  obs::Registry registry;
+  registry.counter("c").add(1);
+  registry.setGauge("g", 2);
+  registry.histogram("h").record(0.5);
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"histograms\": {\"h\": {\"count\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_LT(json.find("\"counters\""), json.find("\"gauges\""));
+  EXPECT_LT(json.find("\"gauges\""), json.find("\"histograms\""));
+}
+
+TEST(ObsHistogram, RecordHelperIsNoOpWhenDisabled) {
+  ObsGuard guard;
+  obs::setEnabled(false);
+  obs::record("test.gated_hist", 10.0);
+  obs::setEnabled(true);
+  obs::record("test.gated_hist", 20.0);
+  const obs::HistogramSnapshot s =
+      obs::histogram("test.gated_hist").snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 20.0);
+}
+
+// TSan workload (run by CI's `-R ...|Histogram` filter): concurrent records
+// against one histogram are exact in total and per-bucket.
+TEST(ObsHistogramConcurrency, ConcurrentRecordsAreExact) {
+  obs::Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      obs::Histogram& h = registry.histogram("test.concurrent_hist");
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        h.record(static_cast<double>(1 + (i + t) % 500));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const obs::HistogramSnapshot s =
+      registry.histogram("test.concurrent_hist").snapshot();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kThreads) * kRecordsPerThread;
+  EXPECT_EQ(s.count, expected);
+  std::uint64_t inBuckets = 0;
+  for (std::uint64_t b : s.buckets) inBuckets += b;
+  EXPECT_EQ(inBuckets, expected) << "every sample lands in exactly one bucket";
 }
 
 // ---------------------------------------------------------------------------
@@ -195,6 +351,150 @@ TEST(ObsTrace, SpanWhileInactiveIsCheapNoClockNoRecord) {
   }
   EXPECT_FALSE(nameBuilt);  // lazy name never materialised when inactive
   EXPECT_TRUE(obs::Tracer::global().spans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Request scopes (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST(ObsRequestScope, NestingStacksAndRestoresThreadState) {
+  EXPECT_EQ(obs::RequestScope::current(), nullptr);
+  EXPECT_EQ(obs::Tracer::threadRequestId(), 0u);
+  {
+    obs::RequestScope outer(7, "estimate");
+    EXPECT_EQ(obs::RequestScope::current(), &outer);
+    EXPECT_EQ(obs::Tracer::threadRequestId(), 7u);
+    {
+      obs::RequestScope inner(8, "lint");
+      EXPECT_EQ(obs::RequestScope::current(), &inner);
+      EXPECT_EQ(obs::Tracer::threadRequestId(), 8u);
+    }
+    EXPECT_EQ(obs::RequestScope::current(), &outer);
+    EXPECT_EQ(obs::Tracer::threadRequestId(), 7u);
+  }
+  EXPECT_EQ(obs::RequestScope::current(), nullptr);
+  EXPECT_EQ(obs::Tracer::threadRequestId(), 0u);
+}
+
+TEST(ObsRequestScope, SpansAreTaggedWithRequestId) {
+  ObsGuard guard;
+  obs::Tracer::global().start();
+  {
+    obs::RequestScope scope(42, "estimate");
+    obs::Span span("serve", "tagged");
+  }
+  {
+    obs::Span span("serve", "untagged");  // outside any scope: no tag
+  }
+  obs::Tracer::global().stop();
+  const auto spans = obs::Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].requestId, 42u);
+  EXPECT_EQ(spans[1].requestId, 0u);
+  const std::string json = obs::Tracer::global().json();
+  EXPECT_NE(json.find("\"request\": 42"), std::string::npos);
+}
+
+TEST(ObsRequestScope, PhasesAccumulateAndProvenanceTracksComputes) {
+  obs::RequestScope scope(1, "estimate");
+  EXPECT_STREQ(scope.provenance(), "hit");  // nothing computed yet
+  scope.addPhaseUs("eval", 10.0);
+  scope.addPhaseUs("persist", 3.0);
+  scope.addPhaseUs("eval", 5.0);  // repeat visits sum into one phase
+  ASSERT_EQ(scope.phases().size(), 2u);
+  EXPECT_EQ(scope.phases()[0].first, "eval");
+  EXPECT_DOUBLE_EQ(scope.phases()[0].second, 15.0);
+  EXPECT_DOUBLE_EQ(scope.phases()[1].second, 3.0);
+  scope.markComputed();
+  EXPECT_STREQ(scope.provenance(), "miss");
+}
+
+TEST(ObsRequestScope, PhaseTimerReadsNoClockWhenTimingDisabled) {
+  ObsGuard guard;
+  obs::setEnabled(false);  // and no log open => requestTimingEnabled() false
+  EXPECT_FALSE(obs::requestTimingEnabled());
+  obs::RequestScope scope(1, "estimate");
+  {
+    obs::PhaseTimer timer(&scope, "eval");
+  }
+  EXPECT_TRUE(scope.phases().empty());
+  obs::setEnabled(true);
+  EXPECT_TRUE(obs::requestTimingEnabled());
+  {
+    obs::PhaseTimer timer(&scope, "eval");
+  }
+  ASSERT_EQ(scope.phases().size(), 1u);
+  EXPECT_GE(scope.phases()[0].second, 0.0);
+  {
+    obs::PhaseTimer timer(nullptr, "eval");  // null scope: always a no-op
+  }
+  EXPECT_EQ(scope.phases().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured log (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+TEST(ObsLog, RenderGoldenLineAndPinnedKeyOrder) {
+  obs::LogEvent e;
+  e.event = "request";
+  e.requestId = 7;
+  e.kind = "estimate";
+  e.outcome = "ok";
+  e.provenance = "miss";
+  e.durationUs = 1234.56;
+  e.queueWaitUs = 12.34;
+  e.phases = {{"parse", 1.0}, {"eval", 1200.0}};
+  // Fast request (slow threshold disabled): phases are omitted.
+  EXPECT_EQ(obs::Log::render(e, /*slowUs=*/-1, /*tsUs=*/1722500000000000.0),
+            "{\"ts_us\": 1722500000000000, \"level\": \"info\","
+            " \"event\": \"request\", \"id\": 7, \"kind\": \"estimate\","
+            " \"outcome\": \"ok\", \"cache\": \"miss\","
+            " \"duration_us\": 1234.6, \"queue_wait_us\": 12.3}");
+  // Over the slow threshold: escalated to warn with the phase breakdown.
+  EXPECT_EQ(obs::Log::render(e, /*slowUs=*/1000.0, /*tsUs=*/1.0),
+            "{\"ts_us\": 1, \"level\": \"warn\", \"event\": \"request\","
+            " \"id\": 7, \"kind\": \"estimate\", \"outcome\": \"ok\","
+            " \"cache\": \"miss\", \"duration_us\": 1234.6,"
+            " \"queue_wait_us\": 12.3,"
+            " \"phases\": {\"parse\": 1.0, \"eval\": 1200.0}}");
+  // Defaulted fields are omitted entirely; detail is escaped.
+  obs::LogEvent minimal;
+  minimal.level = "error";
+  minimal.event = "serve.start";
+  minimal.detail = "path with \"quotes\"";
+  EXPECT_EQ(obs::Log::render(minimal, -1, 2.0),
+            "{\"ts_us\": 2, \"level\": \"error\", \"event\": \"serve.start\","
+            " \"detail\": \"path with \\\"quotes\\\"\"}");
+}
+
+TEST(ObsLog, WritesLineJsonAndGatesWhenClosed) {
+  ObsGuard guard;
+  const std::string path = ::testing::TempDir() + "flexcl_obs_log_test.jsonl";
+  std::remove(path.c_str());
+  EXPECT_FALSE(obs::logEnabled());
+  obs::LogEvent dropped;
+  dropped.event = "dropped";
+  obs::logEvent(dropped);  // no log open: silently discarded
+
+  ASSERT_TRUE(obs::Log::global().open(path, /*slowUs=*/-1));
+  EXPECT_TRUE(obs::logEnabled());
+  obs::LogEvent e;
+  e.event = "request";
+  e.requestId = 3;
+  obs::logEvent(e);
+  obs::Log::global().close();
+  EXPECT_FALSE(obs::logEnabled());
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"event\": \"request\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\": 3"), std::string::npos);
+  EXPECT_EQ(lines[0].find("dropped"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -405,9 +705,13 @@ TEST(ObsDeterminism, TracedParallelExplorationMatchesUntracedSerial) {
     obs::Tracer::global().start();
     on = explore(4);
     obs::Tracer::global().stop();
-    // The instrumented run actually recorded something.
+    // The instrumented run actually recorded something — including the
+    // pool's queue-wait histogram, which only samples when obs is on.
     EXPECT_GT(obs::Tracer::global().spans().size(), 0u);
     EXPECT_GT(obs::Registry::global().counter("model.estimates").value(), 0u);
+    EXPECT_GT(
+        obs::Registry::global().histogram("pool.queue_wait_us").snapshot().count,
+        0u);
   }
 
   ASSERT_EQ(off.designs.size(), on.designs.size());
@@ -419,6 +723,89 @@ TEST(ObsDeterminism, TracedParallelExplorationMatchesUntracedSerial) {
   }
   EXPECT_EQ(off.bestByFlexcl, on.bestByFlexcl);
   EXPECT_EQ(off.bestBySim, on.bestBySim);
+}
+
+// The full-suite extension of the contract to PR 8's instrumentation: every
+// bundled workload estimates bit-identically whether the run is bare or
+// wrapped in a request scope with counters, histograms, tracing and the
+// structured log all live. Histograms and scopes observe; they never touch
+// model state.
+TEST(ObsDeterminism, SixtyWorkloadEstimatesBitIdenticalWithScopesAndHistograms) {
+  struct Sample {
+    std::string name;
+    bool ok;
+    double cycles;
+    double milliseconds;
+  };
+  const std::string logPath =
+      ::testing::TempDir() + "flexcl_obs_determinism_log.jsonl";
+
+  auto sweep = [&](bool instrumented) {
+    std::vector<Sample> out;
+    std::uint64_t id = 0;
+    for (const auto* suite :
+         {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+      for (const workloads::Workload& w : *suite) {
+        std::string error;
+        auto compiled = workloads::compileWorkload(w, &error);
+        if (!compiled) {
+          ADD_FAILURE() << w.fullName() << ": " << error;
+          continue;
+        }
+        const model::LaunchInfo launch = compiled->launch();
+        model::FlexCl flexcl(model::Device::virtex7());
+        const auto space =
+            dse::enumerateDesignSpace(compiled->meta.range, false);
+        if (space.empty()) continue;
+        model::Estimate est;
+        if (instrumented) {
+          obs::RequestScope scope(++id, "estimate");
+          obs::PhaseTimer timer(&scope, "eval");
+          obs::Span span("model", w.fullName());
+          est = flexcl.estimate(launch, space.front());
+          obs::record("test.estimate_us", 1.0);
+          obs::LogEvent event;
+          event.event = "request";
+          event.requestId = id;
+          obs::logEvent(event);
+        } else {
+          est = flexcl.estimate(launch, space.front());
+        }
+        out.push_back({w.fullName(), est.ok, est.ok ? est.cycles : 0.0,
+                       est.ok ? est.milliseconds : 0.0});
+      }
+    }
+    return out;
+  };
+
+  obs::setEnabled(false);
+  obs::Tracer::global().stop();
+  const std::vector<Sample> bare = sweep(false);
+
+  std::vector<Sample> instrumented;
+  {
+    ObsGuard guard;
+    obs::setEnabled(true);
+    obs::Tracer::global().start();
+    ASSERT_TRUE(obs::Log::global().open(logPath, /*slowUs=*/-1));
+    instrumented = sweep(true);
+    obs::Tracer::global().stop();
+    EXPECT_EQ(
+        obs::Registry::global().histogram("test.estimate_us").snapshot().count,
+        60u);
+  }
+  std::remove(logPath.c_str());
+
+  ASSERT_EQ(bare.size(), instrumented.size());
+  EXPECT_EQ(bare.size(), 60u);
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_EQ(bare[i].name, instrumented[i].name);
+    EXPECT_EQ(bare[i].ok, instrumented[i].ok) << bare[i].name;
+    // Bit-identical doubles: == on purpose, not NEAR.
+    EXPECT_EQ(bare[i].cycles, instrumented[i].cycles) << bare[i].name;
+    EXPECT_EQ(bare[i].milliseconds, instrumented[i].milliseconds)
+        << bare[i].name;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -4,7 +4,9 @@
 // (round-trip bit-identity across process-like restarts, corruption /
 // truncation / version-mismatch quarantine — fuzzed), disk-warmed hit
 // attribution, dispatcher warm-start bit-identity, out-of-order completion
-// determinism across worker counts, and the Unix-socket transport.
+// determinism across worker counts (including with tracing and structured
+// logging live), the metrics/health introspection ops (pinned key order,
+// latency quantiles), and the Unix-socket transport.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
@@ -21,6 +23,9 @@
 #include <vector>
 
 #include "interp/profiler.h"
+#include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runtime/cache.h"
 #include "runtime/compile_cache.h"
 #include "serve/dispatcher.h"
@@ -45,6 +50,30 @@ std::string freshDir(const std::string& name) {
   const std::string dir = ::testing::TempDir() + "flexcl_serve_" + name;
   fs::remove_all(dir);
   return dir;
+}
+
+/// Restores the global observability switches on scope exit (the serve tests
+/// that exercise metrics/tracing/logging share one gtest process).
+struct ObsGuard {
+  ~ObsGuard() {
+    obs::setEnabled(false);
+    obs::Tracer::global().stop();
+    obs::Tracer::global().clear();
+    obs::Registry::global().reset();
+    obs::Log::global().close();
+  }
+};
+
+/// Asserts each key appears in `json` and in the listed order.
+void expectKeyOrder(const std::string& json,
+                    const std::vector<const char*>& keys) {
+  std::size_t pos = 0;
+  for (const char* key : keys) {
+    const std::size_t at = json.find(key, pos);
+    ASSERT_NE(at, std::string::npos) << key << " missing/out of order in\n"
+                                     << json;
+    pos = at;
+  }
 }
 
 std::string estimateLine(int id, int wg = 64, int pe = 1) {
@@ -439,6 +468,101 @@ TEST(ServeDispatcher, ExploreSharesEstimateCacheEntries) {
       << "estimate of a swept design must hit the explore's cache entry";
 }
 
+// --- metrics / health introspection (DESIGN.md §14) ------------------------
+
+TEST(ServeMetricsHealth, GoldenKeyOrderAndSchemaVersionArePinned) {
+  ObsGuard guard;
+  serve::Dispatcher d;  // no store
+  const std::string metrics =
+      d.handleLine("{\"id\": 1, \"op\": \"metrics\"}");
+  // Same schema_version-1 envelope as every other op, then the pinned
+  // result key order. Any key change must bump kServeSchemaVersion.
+  EXPECT_EQ(metrics.rfind("{\"schema_version\": 1, \"id\": 1,"
+                          " \"op\": \"metrics\", \"ok\": true,"
+                          " \"result\": {\"uptime_s\": ",
+                          0),
+            0u)
+      << metrics;
+  expectKeyOrder(metrics,
+                 {"\"uptime_s\"", "\"requests\"", "\"ok\": 0", "\"errors\"",
+                  "\"in_flight\"", "\"registry\"", "\"counters\"",
+                  "\"gauges\"", "\"histograms\""});
+  EXPECT_EQ(metrics.find("\"store\""), std::string::npos)
+      << "no store attached => no store section";
+
+  const std::string health = d.handleLine("{\"id\": 2, \"op\": \"health\"}");
+  EXPECT_EQ(health.rfind("{\"schema_version\": 1, \"id\": 2,"
+                         " \"op\": \"health\", \"ok\": true,"
+                         " \"result\": {\"status\": \"ok\", \"uptime_s\": ",
+                         0),
+            0u)
+      << health;
+  expectKeyOrder(health, {"\"status\"", "\"uptime_s\"", "\"requests\": 1",
+                          "\"ok\": 1", "\"errors\": 0", "\"in_flight\"",
+                          "\"store\": {\"present\": false}"});
+  EXPECT_EQ(d.handledOk(), 2u) << "metrics/health count as handled requests";
+}
+
+TEST(ServeMetricsHealth, StoreSectionAndDegradedStatus) {
+  ObsGuard guard;
+  const std::string dir = freshDir("introspect");
+  serve::DispatcherOptions opts;
+  opts.storeDir = dir;
+  serve::Dispatcher d(opts);
+  ASSERT_TRUE(d.storeOk()) << d.storeError();
+  ASSERT_NE(d.handleLine(estimateLine(1)).find("\"ok\": true"),
+            std::string::npos);
+
+  const std::string metrics =
+      d.handleLine("{\"id\": 2, \"op\": \"metrics\"}");
+  expectKeyOrder(metrics, {"\"registry\"", "\"store\": {\"dir\": ",
+                           "\"entries\"", "\"bytes\"", "\"quarantined\": 0"});
+  const std::string health = d.handleLine("{\"id\": 3, \"op\": \"health\"}");
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"store\": {\"present\": true, \"entries\": "),
+            std::string::npos);
+
+  // Quarantined entries degrade health (the daemon still answers).
+  d.store()->save(serve::Store::Family::Profile, 99, 1, {1, 2, 3});
+  EXPECT_FALSE(
+      d.store()->load(serve::Store::Family::Profile, 99, 2).has_value());
+  const std::string degraded =
+      d.handleLine("{\"id\": 4, \"op\": \"health\"}");
+  EXPECT_NE(degraded.find("\"status\": \"degraded\""), std::string::npos);
+  EXPECT_NE(degraded.find("\"quarantined\": 1"), std::string::npos);
+}
+
+TEST(ServeMetricsHealth, LatencyQuantilesAppearAfterServedTraffic) {
+  ObsGuard guard;
+  obs::setEnabled(true);
+  // jobs=1 executes inline in submission order, so the metrics response is
+  // guaranteed to observe the preceding estimates' latency samples.
+  const std::string out = [&] {
+    serve::ServerOptions opts;
+    opts.jobs = 1;
+    serve::Server server(opts);
+    std::istringstream in(estimateLine(1) + "\n" + estimateLine(2, 32, 2) +
+                          "\n{\"id\": 3, \"op\": \"metrics\"}\n");
+    std::ostringstream os;
+    EXPECT_EQ(server.run(in, os), 0);
+    return os.str();
+  }();
+  std::string metricsLine;
+  std::istringstream split(out);
+  for (std::string line; std::getline(split, line);) {
+    if (line.find("\"op\": \"metrics\"") != std::string::npos) {
+      metricsLine = line;
+    }
+  }
+  ASSERT_FALSE(metricsLine.empty()) << out;
+  // The per-kind request histogram and the transport's queue-wait histogram
+  // both carry quantile snapshots.
+  expectKeyOrder(metricsLine,
+                 {"\"serve.queue_wait_us\": {\"count\": 3",
+                  "\"serve.request.estimate.latency_us\": {\"count\": 2",
+                  "\"p50\"", "\"p90\"", "\"p99\"", "\"max\"", "\"mean\""});
+}
+
 // --- server ----------------------------------------------------------------
 
 std::vector<std::string> runServer(int jobs, const std::string& input) {
@@ -470,6 +594,66 @@ TEST(ServeServer, OutOfOrderCompletionIsDeterministicAcrossJobs) {
   std::sort(serial.begin(), serial.end());
   std::sort(parallel.begin(), parallel.end());
   EXPECT_EQ(serial, parallel);
+}
+
+// PR 8 extension of the determinism contract: the same mix, replayed with
+// counters, histograms, request-scoped tracing and the structured log all
+// live, still answers byte-identically at any worker count. metrics/health
+// are deliberately NOT in the mix — their results are timing-dependent by
+// design and excluded from byte-identity (see serve/protocol.h).
+TEST(ServeServer, DeterministicAcrossJobsWithTracingAndLogging) {
+  ObsGuard guard;
+  obs::setEnabled(true);
+  obs::Tracer::global().start();
+  const std::string logPath =
+      ::testing::TempDir() + "flexcl_serve_determinism_log.jsonl";
+
+  std::ostringstream input;
+  for (int i = 0; i < 6; ++i) {
+    input << estimateLine(i + 1, i % 2 == 0 ? 64 : 32, 1 + i % 3) << "\n";
+  }
+  input << "{\"id\": 99, \"op\": \"bogus\"}\n";
+
+  auto instrumentedRun = [&](int jobs) {
+    EXPECT_TRUE(obs::Log::global().open(logPath, /*slowUs=*/-1));
+    std::vector<std::string> lines = runServer(jobs, input.str());
+    obs::Log::global().close();
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  const std::vector<std::string> serial = instrumentedRun(1);
+  const std::vector<std::string> parallel = instrumentedRun(4);
+  obs::Tracer::global().stop();
+
+  ASSERT_EQ(serial.size(), 7u);
+  EXPECT_EQ(serial, parallel);
+
+  // The instrumentation actually observed the traffic: request-tagged spans
+  // across the workers, latency samples per kind, and log lines with both
+  // lifecycle and per-request events (including the parse error).
+  std::set<std::uint64_t> taggedRequests;
+  for (const auto& span : obs::Tracer::global().spans()) {
+    if (span.requestId != 0) taggedRequests.insert(span.requestId);
+  }
+  EXPECT_GE(taggedRequests.size(), 7u) << "spans must correlate by request id";
+  EXPECT_EQ(obs::Registry::global()
+                .histogram("serve.request.estimate.latency_us")
+                .snapshot()
+                .count,
+            12u);  // 6 estimates x 2 runs
+  std::ifstream in(logPath);
+  std::string line;
+  int requestEvents = 0, errorEvents = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"event\": \"request\"") != std::string::npos) {
+      ++requestEvents;
+      EXPECT_NE(line.find("\"queue_wait_us\""), std::string::npos) << line;
+    }
+    if (line.find("\"level\": \"error\"") != std::string::npos) ++errorEvents;
+  }
+  EXPECT_EQ(requestEvents, 7) << "the log holds the parallel run's events";
+  EXPECT_GE(errorEvents, 1) << "the bogus request logs at level error";
+  std::remove(logPath.c_str());
 }
 
 TEST(ServeServer, UnixSocketServesAndShutsDown) {

@@ -7,6 +7,7 @@
 //   flexcl explore  <file.cl> <kernel> --global N [options]
 //   flexcl ir       <file.cl>
 //   flexcl serve    [--store DIR] [--socket PATH] [--jobs N]
+//   flexcl stats    --socket PATH [--format text|json]
 //   flexcl cache    <stats|verify|clear> --store DIR
 //
 // Kernel arguments are synthesised automatically: every pointer argument gets
@@ -18,6 +19,11 @@
 // `--store DIR` on estimate/explore/lint/explain routes the command through
 // the serving dispatcher: the answer is the serve protocol's JSON response
 // line, warm-started from and persisted to DIR (DESIGN.md §12).
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -31,8 +37,10 @@
 #include "model/bottleneck.h"
 #include "model/resource_estimate.h"
 #include "obs/explain.h"
+#include "obs/log.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "serve/json.h"
 #include "runtime/compile_cache.h"
 #include "runtime/eval_cache.h"
 #include "serve/server.h"
@@ -69,9 +77,11 @@ struct CliOptions {
   // Lint mode.
   std::string format = "text";
   bool crossCheck = true;
-  // Observability (DESIGN.md §9).
+  // Observability (DESIGN.md §9/§14).
   std::string tracePath;    ///< Chrome trace JSON, written on exit
   std::string metricsPath;  ///< counter/gauge registry JSON, written on exit
+  std::string logJsonPath;  ///< structured line-JSON event log
+  double slowMs = 250;      ///< slow-request threshold for --log-json
   // Serving / persistence (DESIGN.md §12).
   std::string storeDir;     ///< on-disk cache store directory
   std::string socketPath;   ///< serve: Unix-domain socket path
@@ -98,6 +108,8 @@ int usage() {
                "  flexcl serve    [--store DIR] [--socket PATH] [--jobs N]\n"
                "                  (line-delimited JSON requests on stdin and,\n"
                "                  with --socket, a local Unix socket)\n"
+               "  flexcl stats    --socket PATH [--format text|json]\n"
+               "                  (scrape a live daemon's metrics + health)\n"
                "  flexcl cache    <stats|verify|clear> --store DIR\n"
                "persistence (estimate/explore/lint/explain):\n"
                "  --store DIR     answer via the serving dispatcher backed by\n"
@@ -106,7 +118,12 @@ int usage() {
                "observability (any command):\n"
                "  --trace out.json    write a Chrome trace (chrome://tracing,\n"
                "                      ui.perfetto.dev) of the phases executed\n"
-               "  --metrics out.json  write the counter/gauge registry snapshot\n");
+               "  --metrics out.json  write the counter/gauge/histogram\n"
+               "                      registry snapshot\n"
+               "  --log-json out.log  append structured line-JSON events\n"
+               "                      (request completions, lifecycle)\n"
+               "  --slow-ms N         log full phase breakdowns for requests\n"
+               "                      slower than N ms (default 250)\n");
   return 2;
 }
 
@@ -114,7 +131,7 @@ bool parseArgs(int argc, char** argv, CliOptions* opts) {
   if (argc < 2) return false;
   opts->command = argv[1];
   int i = 2;
-  if (opts->command != "serve") {
+  if (opts->command != "serve" && opts->command != "stats") {
     // Positionals: <file.cl> (or the cache action), then — except for
     // ir/cache — the kernel name.
     if (argc < 3) return false;
@@ -149,6 +166,8 @@ bool parseArgs(int argc, char** argv, CliOptions* opts) {
     else if (arg == "--no-cross-check") opts->crossCheck = false;
     else if (arg == "--trace") opts->tracePath = value();
     else if (arg == "--metrics") opts->metricsPath = value();
+    else if (arg == "--log-json") opts->logJsonPath = value();
+    else if (arg == "--slow-ms") opts->slowMs = std::atof(value());
     else if (arg == "--store") opts->storeDir = value();
     else if (arg == "--socket") opts->socketPath = value();
     else {
@@ -368,6 +387,10 @@ int runEstimateOrExplore(const CliOptions& opts) {
 /// `flexcl serve`: line-delimited JSON protocol on stdin/stdout and, with
 /// --socket, a local Unix socket (DESIGN.md §12).
 int runServe(const CliOptions& opts) {
+  // A daemon always collects request metrics: the `metrics` op, `flexcl
+  // stats` and the latency histograms are only useful if samples exist, and
+  // the overhead contract keeps the cost off the result path.
+  obs::setEnabled(true);
   serve::ServerOptions serveOpts;
   serveOpts.jobs = opts.jobs;
   serveOpts.socketPath = opts.socketPath;
@@ -381,6 +404,138 @@ int runServe(const CliOptions& opts) {
     server.dispatcher().stats().publishTo(obs::Registry::global());
   }
   return status;
+}
+
+/// Sends `lines` to the daemon at `socketPath` and reads `expect` newline-
+/// terminated response lines. Returns false (with a message on stderr) on any
+/// transport failure.
+bool exchangeOverSocket(const std::string& socketPath, const std::string& lines,
+                        std::size_t expect, std::vector<std::string>* out) {
+  sockaddr_un addr{};
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", socketPath.c_str());
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot create socket: %s\n", std::strerror(errno));
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socketPath.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "cannot connect to '%s': %s\n", socketPath.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < lines.size()) {
+    const ssize_t n = ::send(fd, lines.data() + off, lines.size() - off, 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "send to '%s' failed\n", socketPath.c_str());
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string buffer;
+  char chunk[4096];
+  while (std::count(buffer.begin(), buffer.end(), '\n') <
+         static_cast<std::ptrdiff_t>(expect)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      std::fprintf(stderr, "daemon closed the connection early\n");
+      ::close(fd);
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::size_t start = 0;
+  for (std::size_t nl = buffer.find('\n', start);
+       nl != std::string::npos && out->size() < expect;
+       nl = buffer.find('\n', start)) {
+    out->push_back(buffer.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return out->size() == expect;
+}
+
+/// `flexcl stats --socket PATH`: scrape a live daemon via the `metrics` and
+/// `health` ops and render a human summary (or the raw response lines with
+/// --format json). The daemon keeps serving; nothing is restarted.
+int runStats(const CliOptions& opts) {
+  if (opts.socketPath.empty()) {
+    std::fprintf(stderr, "flexcl stats requires --socket PATH\n");
+    return 2;
+  }
+  std::vector<std::string> responses;
+  if (!exchangeOverSocket(opts.socketPath,
+                          "{\"id\": 1, \"op\": \"metrics\"}\n"
+                          "{\"id\": 2, \"op\": \"health\"}\n",
+                          2, &responses)) {
+    return 1;
+  }
+  // Responses may stream out of order under --jobs N; correlate by id.
+  serve::JsonValue metrics;
+  serve::JsonValue health;
+  for (const std::string& line : responses) {
+    serve::JsonValue parsed;
+    std::string error;
+    if (!serve::parseJson(line, &parsed, &error) || !parsed.isObject()) {
+      std::fprintf(stderr, "malformed response: %s\n", error.c_str());
+      return 1;
+    }
+    if (parsed.numberOr("id", 0) == 1) metrics = std::move(parsed);
+    else if (parsed.numberOr("id", 0) == 2) health = std::move(parsed);
+  }
+  if (opts.format == "json") {
+    for (const std::string& line : responses) std::printf("%s\n", line.c_str());
+    return 0;
+  }
+  if (!metrics.boolOr("ok", false) || !health.boolOr("ok", false)) {
+    std::fprintf(stderr, "daemon answered with an error response\n");
+    return 1;
+  }
+  const serve::JsonValue* m = metrics.find("result");
+  const serve::JsonValue* h = health.find("result");
+  if (m == nullptr || h == nullptr || !m->isObject() || !h->isObject()) {
+    std::fprintf(stderr, "response missing result object\n");
+    return 1;
+  }
+  std::printf("daemon    : %s, up %.1fs\n",
+              h->stringOr("status", "unknown").c_str(),
+              h->numberOr("uptime_s", 0));
+  std::printf("requests  : %.0f total, %.0f ok, %.0f errors, %.0f in flight\n",
+              m->numberOr("requests", 0), m->numberOr("ok", 0),
+              m->numberOr("errors", 0), m->numberOr("in_flight", 0));
+  if (const serve::JsonValue* store = m->find("store");
+      store != nullptr && store->isObject()) {
+    std::printf("store     : %.0f entries, %.0f bytes, %.0f quarantined (%s)\n",
+                store->numberOr("entries", 0), store->numberOr("bytes", 0),
+                store->numberOr("quarantined", 0),
+                store->stringOr("dir", "").c_str());
+  }
+  if (const serve::JsonValue* registry = m->find("registry");
+      registry != nullptr && registry->isObject()) {
+    if (const serve::JsonValue* histograms = registry->find("histograms");
+        histograms != nullptr && histograms->isObject() &&
+        !histograms->fields.empty()) {
+      std::printf("latency histograms (us):\n");
+      std::printf("  %-40s %10s %10s %10s %10s %10s\n", "name", "count", "p50",
+                  "p90", "p99", "max");
+      for (const auto& [name, snap] : histograms->fields) {
+        if (!snap.isObject()) continue;
+        std::printf("  %-40s %10.0f %10.1f %10.1f %10.1f %10.1f\n",
+                    name.c_str(), snap.numberOr("count", 0),
+                    snap.numberOr("p50", 0), snap.numberOr("p90", 0),
+                    snap.numberOr("p99", 0), snap.numberOr("max", 0));
+      }
+    }
+  }
+  return 0;
 }
 
 /// `flexcl cache <stats|verify|clear> --store DIR`: inspect or maintain an
@@ -528,6 +683,7 @@ int finishObservability(const CliOptions& opts, int status) {
       if (status == 0) status = 1;
     }
   }
+  if (!opts.logJsonPath.empty()) obs::Log::global().close();
   return status;
 }
 
@@ -536,10 +692,16 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, &opts)) return usage();
   if (!opts.metricsPath.empty()) obs::setEnabled(true);
   if (!opts.tracePath.empty()) obs::Tracer::global().start();
+  if (!opts.logJsonPath.empty() &&
+      !obs::Log::global().open(opts.logJsonPath, opts.slowMs * 1000.0)) {
+    std::fprintf(stderr, "cannot open log file %s\n", opts.logJsonPath.c_str());
+    return 1;
+  }
 
   int status = 2;
   if (opts.command == "ir") status = runIr(opts);
   else if (opts.command == "serve") status = runServe(opts);
+  else if (opts.command == "stats") status = runStats(opts);
   else if (opts.command == "cache") status = runCache(opts);
   else if (opts.command == "lint") {
     status = opts.storeDir.empty() ? runLint(opts) : runViaStore(opts);
