@@ -1,0 +1,8 @@
+// Deliberately racy kernel: every work-item writes out[0], so any two
+// distinct work-items form a write-write data race on the same cell. Used by
+// the `flexcl lint --fail-on race` smoke test and the race-verifier docs.
+__kernel void race(__global int* out, __global const int* in) {
+  int gid = get_global_id(0);
+  out[gid] = in[gid];
+  out[0] = gid;
+}

@@ -17,6 +17,10 @@
 
 namespace flexcl::analysis {
 
+namespace raceverify {
+struct RaceVerdict;
+}
+
 struct LintOptions;
 
 struct PassContext {
@@ -36,6 +40,9 @@ struct PassContext {
   /// Dataflow-resolved static trip counts per loopId (-1 unresolved); null
   /// when no launch range was supplied.
   const std::vector<std::int64_t>* staticTrips = nullptr;
+  /// Race-verifier verdict (DESIGN.md §15); null when the lint ran without a
+  /// trusted launch range.
+  const raceverify::RaceVerdict* race = nullptr;
 };
 
 class Pass {

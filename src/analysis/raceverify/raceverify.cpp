@@ -1,0 +1,1226 @@
+// GPUVerify-style static race verifier (DESIGN.md §15).
+//
+// Pipeline per kernel:
+//   1. Collect: walk the access tree once, attaching to every access site its
+//      guard stack, enclosing loops and a symbolic barrier-epoch expression
+//      base + Σ per·iter — exact unless a barrier hides under non-uniform
+//      control flow or inside a loop with an unresolved trip count.
+//   2. Pair: group accesses by base object (buffer argument — aliases
+//      resolved through the launch args — or local allocation) and take every
+//      pair with at least one write.
+//   3. Prove: per pair, enumerate two-work-item scenarios (same-group id
+//      deltas per leading dimension; cross-group deltas for global memory),
+//      linearize both byte offsets over the strided-affine domain, decompose
+//      get_global_id into group·localSize + localId, and test
+//      offsetA − offsetB against the byte-overlap window with interval
+//      (Banerjee) reach bounds and a GCD divisibility test. Same-group
+//      scenarios additionally solve the epoch-equality constraint: accesses
+//      that only co-execute in different barrier intervals are ordered by the
+//      barrier and cannot race. Barriers never order different groups.
+//   4. Witness: pairs not proven independent get a bounded concrete search
+//      (corner work-item ids, small/extremal loop iterations) that validates
+//      guards, loop trips and epoch equality with symEval before reporting a
+//      Racy witness; a feasible-but-unwitnessed pair stays Unknown.
+#include "analysis/raceverify/raceverify.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+#include "analysis/dataflow/affine.h"
+#include "analysis/dataflow/interval.h"
+#include "obs/registry.h"
+
+namespace flexcl::analysis::raceverify {
+namespace {
+
+using dataflow::AffineForm;
+using dataflow::AffineTerm;
+using dataflow::Interval;
+
+// Stand-in iteration bound for loops with unresolved trip counts: large
+// enough to never exclude a real iteration, small enough that interval
+// arithmetic over it stays useful before degrading to top.
+constexpr std::int64_t kUnboundedIter = std::int64_t{1} << 56;
+// Loop-condition replay cap when validating a witness iteration of an
+// unresolved-trip loop.
+constexpr std::int64_t kCondReplayCap = 64;
+// symEval budget for one pair's witness search.
+constexpr std::uint64_t kWitnessBudget = 50000;
+
+bool addOv(std::int64_t a, std::int64_t b, std::int64_t& out) {
+  return __builtin_add_overflow(a, b, &out);
+}
+bool mulOv(std::int64_t a, std::int64_t b, std::int64_t& out) {
+  return __builtin_mul_overflow(a, b, &out);
+}
+
+std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if (a % b != 0 && (a < 0) != (b < 0)) --q;
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Access collection: epochs, guards, enclosing loops
+// ---------------------------------------------------------------------------
+
+struct Guard {
+  SymExprPtr cond;
+  bool taken = true;
+};
+
+struct LoopCtx {
+  int loopId = -1;
+  SymExprPtr cond;             // per-iteration condition; null for for(;;)
+  bool condFirst = true;
+  std::int64_t trip = -1;      // resolved trip count; -1 unknown
+  bool inCondPrefix = false;   // access sits in the condition-block prefix
+  std::int64_t epochsPerIter = 0;
+};
+
+/// Barrier epoch of an access as base + Σ per·iter over enclosing
+/// barrier-loops. Inexact once a barrier hides under a condition or a
+/// barrier-loop's trip is unresolved.
+struct EpochExpr {
+  bool exact = true;
+  std::int64_t base = 0;
+  std::vector<std::pair<int, std::int64_t>> coeffs;  // (loopId, barriers/iter)
+};
+
+struct AccessRec {
+  const MemAccessInfo* info = nullptr;
+  EpochExpr epoch;
+  std::vector<Guard> guards;
+  std::vector<LoopCtx> loops;  // outermost first
+  bool neverExecutes = false;  // enclosed by a loop with trip 0
+};
+
+class Collector {
+ public:
+  Collector(const KernelSummary& summary, const VerifyOptions& options)
+      : summary_(summary) {
+    for (const LoopFact& lf : summary.loops) {
+      std::int64_t trip = lf.staticTrip;
+      if (trip < 0 && options.staticTrips && lf.loopId >= 0 &&
+          static_cast<std::size_t>(lf.loopId) < options.staticTrips->size()) {
+        trip = (*options.staticTrips)[static_cast<std::size_t>(lf.loopId)];
+      }
+      trips_[lf.loopId] = trip;
+    }
+  }
+
+  void run() {
+    for (const AccessTreeNode& n : summary_.roots) visit(n);
+  }
+
+  [[nodiscard]] std::int64_t tripOf(int loopId) const {
+    auto it = trips_.find(loopId);
+    return it == trips_.end() ? -1 : it->second;
+  }
+
+  /// Barriers one work-item executes over the whole kernel; nullopt when the
+  /// barrier structure is not statically countable.
+  [[nodiscard]] std::optional<std::int64_t> totalBarriers() const {
+    std::int64_t total = 0;
+    for (const AccessTreeNode& n : summary_.roots) {
+      auto c = countBarriers(n);
+      if (!c || addOv(total, *c, total)) return std::nullopt;
+    }
+    return total;
+  }
+
+  std::vector<AccessRec> records;
+  bool epochsExact = true;
+
+ private:
+  [[nodiscard]] std::optional<std::int64_t> countBarriers(
+      const AccessTreeNode& n) const {
+    switch (n.kind) {
+      case AccessTreeNode::Kind::Access:
+      case AccessTreeNode::Kind::Return:
+        return 0;
+      case AccessTreeNode::Kind::Barrier:
+        return 1;
+      case AccessTreeNode::Kind::Cond: {
+        // A barrier under a condition is not a per-work-item constant count.
+        std::int64_t sum = 0;
+        for (const AccessTreeNode& ch : n.children) {
+          auto c = countBarriers(ch);
+          if (!c) return std::nullopt;
+          sum += *c;
+        }
+        if (sum != 0) return std::nullopt;
+        return 0;
+      }
+      case AccessTreeNode::Kind::Loop: {
+        std::int64_t per = 0;
+        for (const AccessTreeNode& ch : n.children) {
+          auto c = countBarriers(ch);
+          if (!c) return std::nullopt;
+          per += *c;
+        }
+        if (per == 0) return 0;
+        std::int64_t trip = tripOf(n.loopId);
+        std::int64_t total = 0;
+        if (trip < 0 || mulOv(per, trip, total)) return std::nullopt;
+        return total;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void visit(const AccessTreeNode& n) {
+    switch (n.kind) {
+      case AccessTreeNode::Kind::Access: {
+        if (n.accessIndex < 0 ||
+            static_cast<std::size_t>(n.accessIndex) >=
+                summary_.accesses.size()) {
+          return;
+        }
+        AccessRec rec;
+        rec.info = &summary_.accesses[static_cast<std::size_t>(n.accessIndex)];
+        rec.epoch = epoch_;
+        rec.guards = guards_;
+        rec.loops = loops_;
+        for (const LoopCtx& lc : loops_) {
+          if (lc.trip == 0 && !lc.inCondPrefix) rec.neverExecutes = true;
+        }
+        records.push_back(std::move(rec));
+        return;
+      }
+      case AccessTreeNode::Kind::Return:
+        return;
+      case AccessTreeNode::Kind::Barrier:
+        if (epoch_.exact) epoch_.base += 1;
+        return;
+      case AccessTreeNode::Kind::Cond: {
+        auto barriers = countBarriers(n);
+        if (!barriers) {
+          // Possibly-divergent barrier: epochs of everything from here on are
+          // unknown.
+          epoch_.exact = false;
+          epochsExact = false;
+        }
+        std::size_t i = 0;
+        for (const AccessTreeNode& ch : n.children) {
+          guards_.push_back(Guard{n.cond, i < n.thenCount});
+          visit(ch);
+          guards_.pop_back();
+          ++i;
+        }
+        return;
+      }
+      case AccessTreeNode::Kind::Loop:
+        visitLoop(n);
+        return;
+    }
+  }
+
+  void visitLoop(const AccessTreeNode& n) {
+    std::int64_t per = 0;
+    bool perKnown = true;
+    for (const AccessTreeNode& ch : n.children) {
+      auto c = countBarriers(ch);
+      if (!c) {
+        perKnown = false;
+        break;
+      }
+      per += *c;
+    }
+    const std::int64_t trip = tripOf(n.loopId);
+
+    LoopCtx ctx;
+    ctx.loopId = n.loopId;
+    ctx.cond = n.loopCond;
+    ctx.condFirst = n.condFirst;
+    ctx.trip = trip;
+    ctx.epochsPerIter = perKnown ? per : -1;
+
+    const std::int64_t baseBefore = epoch_.base;
+    const bool exactBefore = epoch_.exact;
+    if (!perKnown) {
+      epoch_.exact = false;
+      epochsExact = false;
+    } else if (per > 0 && epoch_.exact) {
+      epoch_.coeffs.emplace_back(n.loopId, per);
+    }
+
+    loops_.push_back(ctx);
+    std::size_t i = 0;
+    for (const AccessTreeNode& ch : n.children) {
+      loops_.back().inCondPrefix = n.condFirst && i < n.condChildCount;
+      visit(ch);
+      ++i;
+    }
+    loops_.pop_back();
+
+    if (perKnown && per > 0 && exactBefore && epoch_.exact) {
+      // Walking the body advanced base by one iteration's worth; rewrite to
+      // the post-loop total per·trip. With the trip unresolved, accesses
+      // inside the loop keep their exact base + per·iter epoch but everything
+      // after the loop is unknown.
+      if (!epoch_.coeffs.empty() && epoch_.coeffs.back().first == n.loopId) {
+        epoch_.coeffs.pop_back();
+      }
+      std::int64_t total = 0;
+      if (trip >= 0 && !mulOv(per, trip, total) &&
+          !addOv(baseBefore, total, epoch_.base)) {
+        // epoch_.base updated by addOv.
+      } else {
+        epoch_.exact = false;
+        epochsExact = false;
+      }
+    }
+  }
+
+  const KernelSummary& summary_;
+  std::unordered_map<int, std::int64_t> trips_;
+  EpochExpr epoch_;
+  std::vector<Guard> guards_;
+  std::vector<LoopCtx> loops_;
+};
+
+// ---------------------------------------------------------------------------
+// Base-object identity
+// ---------------------------------------------------------------------------
+
+enum class BaseClass : std::uint8_t { None, Resolved, Unresolved };
+
+struct BaseId {
+  BaseClass cls = BaseClass::None;
+  bool local = false;  ///< __local object (per-group) vs global buffer pool
+  int id = -1;
+};
+
+BaseId baseOf(const MemAccessInfo& a, const std::vector<interp::KernelArg>* args) {
+  if (a.space == ir::AddressSpace::Private) return {BaseClass::None, false, -1};
+  if (a.space == ir::AddressSpace::Local) {
+    if (a.base == PtrBase::LocalAlloca) {
+      return {BaseClass::Resolved, true, a.baseIndex};
+    }
+    if (a.base == PtrBase::LocalArg) {
+      return {BaseClass::Resolved, true, 1000000 + a.baseIndex};
+    }
+    return {BaseClass::Unresolved, true, -1};
+  }
+  // Global / Constant share the kernel buffer pool; aliased pointer args
+  // resolve to the same buffer through the launch args.
+  if (a.base == PtrBase::BufferArg) {
+    int id = a.baseIndex;
+    if (args != nullptr && a.baseIndex >= 0 &&
+        static_cast<std::size_t>(a.baseIndex) < args->size() &&
+        (*args)[static_cast<std::size_t>(a.baseIndex)].isBuffer) {
+      id = (*args)[static_cast<std::size_t>(a.baseIndex)].bufferIndex;
+    }
+    return {BaseClass::Resolved, false, id};
+  }
+  if (a.base == PtrBase::PrivateAlloca) return {BaseClass::None, false, -1};
+  return {BaseClass::Unresolved, false, -1};
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-equality relation between two access instances
+// ---------------------------------------------------------------------------
+
+struct EpochRelation {
+  bool neverEqual = false;  ///< barrier always separates the two instances
+  /// Both instances iterate the same barrier-loop: iterB = iterA − shift.
+  std::optional<std::pair<int, std::int64_t>> sharedShift;
+  std::vector<std::pair<int, std::int64_t>> pinsA, pinsB;
+  bool usable = true;  ///< false: equality not solved, no constraint derived
+};
+
+EpochRelation relateEpochs(const EpochExpr& a, const EpochExpr& b,
+                           const Collector& col) {
+  EpochRelation rel;
+  if (!a.exact || !b.exact) {
+    rel.usable = false;
+    return rel;
+  }
+  const std::int64_t diff = b.base - a.base;  // Σ cA·iA − Σ cB·iB = diff
+  if (a.coeffs.empty() && b.coeffs.empty()) {
+    rel.neverEqual = diff != 0;
+    return rel;
+  }
+  if (a.coeffs.size() == 1 && b.coeffs.empty()) {
+    const auto [loop, c] = a.coeffs[0];
+    if (diff % c != 0 || diff / c < 0) {
+      rel.neverEqual = true;
+      return rel;
+    }
+    const std::int64_t k = diff / c;
+    const std::int64_t trip = col.tripOf(loop);
+    // k == trip stays feasible: condition-prefix accesses run once more.
+    if (trip >= 0 && k > trip) {
+      rel.neverEqual = true;
+      return rel;
+    }
+    rel.pinsA.emplace_back(loop, k);
+    return rel;
+  }
+  if (b.coeffs.size() == 1 && a.coeffs.empty()) {
+    const auto [loop, c] = b.coeffs[0];
+    if (diff % c != 0 || -(diff / c) < 0) {
+      rel.neverEqual = true;
+      return rel;
+    }
+    const std::int64_t k = -(diff / c);
+    const std::int64_t trip = col.tripOf(loop);
+    if (trip >= 0 && k > trip) {
+      rel.neverEqual = true;
+      return rel;
+    }
+    rel.pinsB.emplace_back(loop, k);
+    return rel;
+  }
+  if (a.coeffs.size() == 1 && b.coeffs.size() == 1 &&
+      a.coeffs[0].first == b.coeffs[0].first) {
+    const int loop = a.coeffs[0].first;
+    const std::int64_t ca = a.coeffs[0].second;
+    const std::int64_t cb = b.coeffs[0].second;
+    if (ca == cb) {
+      // ca·(iA − iB) = diff  →  iterB = iterA − diff/ca.
+      if (diff % ca != 0) {
+        rel.neverEqual = true;
+        return rel;
+      }
+      rel.sharedShift = std::make_pair(loop, diff / ca);
+      return rel;
+    }
+    const std::int64_t g = std::gcd(std::abs(ca), std::abs(cb));
+    if (g != 0 && diff % g != 0) {
+      rel.neverEqual = true;
+      return rel;
+    }
+    rel.usable = false;
+    return rel;
+  }
+  // Multiple / mismatched barrier loops: refute by gcd when possible.
+  std::int64_t g = 0;
+  for (const auto& [loop, c] : a.coeffs) g = std::gcd(g, std::abs(c));
+  for (const auto& [loop, c] : b.coeffs) g = std::gcd(g, std::abs(c));
+  if (g != 0 && diff % g != 0) {
+    rel.neverEqual = true;
+    return rel;
+  }
+  rel.usable = false;
+  return rel;
+}
+
+// ---------------------------------------------------------------------------
+// Affine decomposition over the launch geometry
+// ---------------------------------------------------------------------------
+
+/// Offset form with get_global_id split into groupId·localSize + localId and
+/// size leaves folded to launch constants.
+struct Decomp {
+  std::array<std::int64_t, 3> lid{0, 0, 0};
+  std::array<std::int64_t, 3> grp{0, 0, 0};
+  std::vector<std::pair<int, std::int64_t>> loops;    // loopId → coeff
+  std::vector<std::pair<int, std::int64_t>> scalars;  // argIdx → coeff
+  std::int64_t c = 0;
+
+  [[nodiscard]] std::int64_t loopCoeff(int loopId) const {
+    for (const auto& [id, c2] : loops) {
+      if (id == loopId) return c2;
+    }
+    return 0;
+  }
+};
+
+void bump(std::vector<std::pair<int, std::int64_t>>& v, int key,
+          std::int64_t by, bool& overflow) {
+  for (auto& [k, c] : v) {
+    if (k == key) {
+      overflow = overflow || addOv(c, by, c);
+      return;
+    }
+  }
+  v.emplace_back(key, by);
+}
+
+std::optional<Decomp> decompose(const AffineForm& f,
+                                const interp::NdRange& range) {
+  const auto ng = range.groupsPerDim();
+  Decomp d;
+  d.c = f.constant;
+  bool ov = false;
+  for (const AffineTerm& t : f.terms) {
+    const int dim = t.leaf.index;
+    const bool isDim = dim >= 0 && dim <= 2;
+    switch (t.leaf.sym) {
+      case Sym::GlobalId: {
+        if (!isDim) return std::nullopt;
+        std::int64_t scaled = 0;
+        ov = ov ||
+             mulOv(t.coeff, static_cast<std::int64_t>(range.local[dim]), scaled);
+        ov = ov || addOv(d.lid[dim], t.coeff, d.lid[dim]);
+        ov = ov || addOv(d.grp[dim], scaled, d.grp[dim]);
+        break;
+      }
+      case Sym::LocalId:
+        if (!isDim) return std::nullopt;
+        ov = ov || addOv(d.lid[dim], t.coeff, d.lid[dim]);
+        break;
+      case Sym::GroupId:
+        if (!isDim) return std::nullopt;
+        ov = ov || addOv(d.grp[dim], t.coeff, d.grp[dim]);
+        break;
+      case Sym::GlobalSize:
+      case Sym::LocalSize:
+      case Sym::NumGroups: {
+        if (!isDim) return std::nullopt;
+        const std::uint64_t v = t.leaf.sym == Sym::GlobalSize ? range.global[dim]
+                                : t.leaf.sym == Sym::LocalSize ? range.local[dim]
+                                                               : ng[dim];
+        std::int64_t folded = 0;
+        ov = ov || mulOv(t.coeff, static_cast<std::int64_t>(v), folded);
+        ov = ov || addOv(d.c, folded, d.c);
+        break;
+      }
+      case Sym::ScalarArg:
+        bump(d.scalars, t.leaf.index, t.coeff, ov);
+        break;
+      case Sym::LoopIter:
+        bump(d.loops, t.leaf.index, t.coeff, ov);
+        break;
+    }
+    if (ov) return std::nullopt;
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Two-work-item scenario solver (Banerjee reach + GCD)
+// ---------------------------------------------------------------------------
+
+struct Var {
+  std::int64_t coeff = 0;
+  Interval range = Interval::top();
+};
+
+/// Can  c0 + Σ coeff_i·v_i  land inside [wLo, wHi]? Refutes with the interval
+/// reach (Banerjee bounds) and with gcd divisibility; inconclusive → true.
+bool mayHitWindow(const std::vector<Var>& vars, std::int64_t c0,
+                  std::int64_t wLo, std::int64_t wHi) {
+  Interval reach = Interval::point(c0);
+  for (const Var& v : vars) {
+    reach = dataflow::addI(reach, dataflow::mulI(Interval::point(v.coeff), v.range));
+  }
+  if (reach.hi < wLo || reach.lo > wHi) return false;
+
+  std::int64_t c = c0;
+  std::int64_t g = 0;
+  for (const Var& v : vars) {
+    if (v.coeff == 0) continue;
+    if (v.range.isPoint()) {
+      std::int64_t t = 0;
+      if (mulOv(v.coeff, v.range.lo, t) || addOv(c, t, c)) return true;
+    } else {
+      if (v.coeff == INT64_MIN) return true;
+      g = std::gcd(g, std::abs(v.coeff));
+    }
+  }
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  if (__builtin_sub_overflow(wLo, c, &lo) ||
+      __builtin_sub_overflow(wHi, c, &hi)) {
+    return true;
+  }
+  if (g == 0) return lo <= 0 && 0 <= hi;
+  if (lo == INT64_MIN) return true;
+  return floorDiv(hi, g) >= floorDiv(lo - 1, g) + 1;
+}
+
+struct Scenario {
+  bool sameGroup = true;
+  std::array<Interval, 3> dLid;  // localId of B minus localId of A
+  std::array<Interval, 3> dGrp;  // groupId of B minus groupId of A
+};
+
+/// All scenarios with a lexicographically positive id delta (running each
+/// pair in both orders covers negative deltas).
+std::vector<Scenario> scenariosFor(bool global, const interp::NdRange& range) {
+  std::vector<Scenario> out;
+  const auto ng = range.groupsPerDim();
+  for (int h = 0; h < 3; ++h) {
+    if (range.local[h] <= 1) continue;
+    Scenario s;
+    s.sameGroup = true;
+    for (int d = 0; d < 3; ++d) {
+      const auto l = static_cast<std::int64_t>(range.local[d]) - 1;
+      s.dLid[d] = d == h   ? Interval::range(1, l)
+                  : d < h ? Interval::range(-l, l)
+                          : Interval::point(0);
+      s.dGrp[d] = Interval::point(0);
+    }
+    out.push_back(s);
+  }
+  if (global) {
+    for (int h = 0; h < 3; ++h) {
+      if (ng[h] <= 1) continue;
+      Scenario s;
+      s.sameGroup = false;
+      for (int d = 0; d < 3; ++d) {
+        const auto l = static_cast<std::int64_t>(range.local[d]) - 1;
+        const auto g = static_cast<std::int64_t>(ng[d]) - 1;
+        s.dLid[d] = l > 0 ? Interval::range(-l, l) : Interval::point(0);
+        s.dGrp[d] = d == h   ? Interval::range(1, g)
+                    : d < h ? Interval::range(-g, g)
+                            : Interval::point(0);
+      }
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+/// Iteration interval of `loopId` as seen by `rec`: [0, trip-1] inside the
+/// loop ([0, trip] for condition-prefix accesses, which run once more), [0,
+/// trip] after it (final induction value), unbounded when unresolved.
+Interval iterRange(const AccessRec& rec, int loopId, const Collector& col) {
+  const std::int64_t trip = col.tripOf(loopId);
+  if (trip < 0) return Interval::range(0, kUnboundedIter);
+  bool enclosing = false;
+  bool prefix = false;
+  for (const LoopCtx& lc : rec.loops) {
+    if (lc.loopId == loopId) {
+      enclosing = true;
+      prefix = lc.inCondPrefix;
+    }
+  }
+  std::int64_t hi = enclosing && !prefix ? trip - 1 : trip;
+  if (hi < 0) hi = 0;
+  return Interval::range(0, hi);
+}
+
+/// Builds the difference form offA(A-instance) − offB(B-instance) under a
+/// scenario and epoch relation. Returns nullopt when the scenario is
+/// infeasible (epoch tie incompatible with the iteration ranges) — which
+/// proves the scenario race-free.
+std::optional<std::pair<std::vector<Var>, std::int64_t>> buildDiff(
+    const Decomp& da, const Decomp& db, const AccessRec& ra,
+    const AccessRec& rb, const Scenario& s, const EpochRelation& rel,
+    const interp::NdRange& range, const Collector& col, bool& overflow) {
+  std::vector<Var> vars;
+  std::int64_t c0 = 0;
+  overflow = overflow || __builtin_sub_overflow(da.c, db.c, &c0);
+
+  const auto ng = range.groupsPerDim();
+  for (int d = 0; d < 3; ++d) {
+    std::int64_t shared = 0;
+    overflow = overflow || __builtin_sub_overflow(da.lid[d], db.lid[d], &shared);
+    const auto lmax = static_cast<std::int64_t>(range.local[d]) - 1;
+    if (shared != 0) vars.push_back({shared, Interval::range(0, lmax)});
+    if (db.lid[d] != 0 && !(s.dLid[d] == Interval::point(0))) {
+      vars.push_back({db.lid[d] == INT64_MIN ? db.lid[d] : -db.lid[d], s.dLid[d]});
+      if (db.lid[d] == INT64_MIN) overflow = true;
+    }
+    std::int64_t sharedG = 0;
+    overflow = overflow || __builtin_sub_overflow(da.grp[d], db.grp[d], &sharedG);
+    const auto gmax = static_cast<std::int64_t>(ng[d]) - 1;
+    if (sharedG != 0) vars.push_back({sharedG, Interval::range(0, gmax)});
+    if (db.grp[d] != 0 && !(s.dGrp[d] == Interval::point(0))) {
+      vars.push_back({db.grp[d] == INT64_MIN ? db.grp[d] : -db.grp[d], s.dGrp[d]});
+      if (db.grp[d] == INT64_MIN) overflow = true;
+    }
+  }
+
+  // Scalar arguments are launch constants: shared between the instances, so
+  // only the coefficient difference survives.
+  {
+    std::vector<std::pair<int, std::int64_t>> merged = da.scalars;
+    bool ov = false;
+    for (const auto& [arg, cb] : db.scalars) {
+      if (cb == INT64_MIN) ov = true;
+      bump(merged, arg, cb == INT64_MIN ? cb : -cb, ov);
+    }
+    overflow = overflow || ov;
+    for (const auto& [arg, c] : merged) {
+      if (c != 0) vars.push_back({c, Interval::top()});
+    }
+  }
+
+  // Loop iteration counters are per-instance unless the epoch relation ties
+  // or pins them.
+  std::vector<int> loopIds;
+  for (const auto& [id, c] : da.loops) loopIds.push_back(id);
+  for (const auto& [id, c] : db.loops) {
+    if (std::find(loopIds.begin(), loopIds.end(), id) == loopIds.end()) {
+      loopIds.push_back(id);
+    }
+  }
+  for (const int id : loopIds) {
+    const std::int64_t ca = da.loopCoeff(id);
+    const std::int64_t cb = db.loopCoeff(id);
+    const Interval ia = iterRange(ra, id, col);
+    const Interval ib = iterRange(rb, id, col);
+    if (rel.sharedShift && rel.sharedShift->first == id) {
+      // iterB = iterA − shift:  ca·iA − cb·iB = (ca−cb)·iA + cb·shift.
+      const std::int64_t shift = rel.sharedShift->second;
+      std::int64_t lo = std::max<std::int64_t>(0, shift);
+      std::int64_t hiB = 0;
+      if (addOv(ib.hi, shift, hiB)) {
+        overflow = true;
+        hiB = ia.hi;
+      }
+      const std::int64_t hi = std::min(ia.hi, hiB);
+      if (lo > hi) return std::nullopt;  // tie infeasible → no co-execution
+      std::int64_t coeff = 0;
+      overflow = overflow || __builtin_sub_overflow(ca, cb, &coeff);
+      if (coeff != 0) vars.push_back({coeff, Interval::range(lo, hi)});
+      std::int64_t fold = 0;
+      overflow = overflow || mulOv(cb, shift, fold) || addOv(c0, fold, c0);
+      continue;
+    }
+    bool pinnedA = false;
+    for (const auto& [pl, pv] : rel.pinsA) {
+      if (pl == id) {
+        std::int64_t fold = 0;
+        overflow = overflow || mulOv(ca, pv, fold) || addOv(c0, fold, c0);
+        pinnedA = true;
+      }
+    }
+    if (!pinnedA && ca != 0) vars.push_back({ca, ia});
+    bool pinnedB = false;
+    for (const auto& [pl, pv] : rel.pinsB) {
+      if (pl == id) {
+        std::int64_t fold = 0;
+        overflow = overflow ||
+                   mulOv(cb == INT64_MIN ? cb : -cb, pv, fold) ||
+                   addOv(c0, fold, c0);
+        if (cb == INT64_MIN) overflow = true;
+        pinnedB = true;
+      }
+    }
+    if (!pinnedB && cb != 0) {
+      if (cb == INT64_MIN) overflow = true;
+      vars.push_back({cb == INT64_MIN ? cb : -cb, ib});
+    }
+  }
+  if (overflow) return std::nullopt;
+  return std::make_pair(std::move(vars), c0);
+}
+
+// ---------------------------------------------------------------------------
+// Concrete witness search
+// ---------------------------------------------------------------------------
+
+std::vector<std::int64_t> cornerValues(std::int64_t count) {
+  std::vector<std::int64_t> out;
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, count - 2, count - 1}) {
+    if (v >= 0 && v < count &&
+        std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(v);
+    }
+  }
+  if (out.empty()) out.push_back(0);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void collectLoopIds(const SymExpr* e, std::vector<int>& out) {
+  if (e == nullptr) return;
+  if (e->op == SymExpr::Op::Leaf && e->sym == Sym::LoopIter) {
+    if (std::find(out.begin(), out.end(), e->index) == out.end()) {
+      out.push_back(e->index);
+    }
+  }
+  collectLoopIds(e->a.get(), out);
+  collectLoopIds(e->b.get(), out);
+  collectLoopIds(e->c.get(), out);
+}
+
+struct WitnessInstance {
+  const AccessRec* rec = nullptr;
+  std::array<std::int64_t, 3> lid{0, 0, 0};
+  std::array<std::int64_t, 3> grp{0, 0, 0};
+};
+
+class WitnessSearch {
+ public:
+  WitnessSearch(const AccessRec& a, const AccessRec& b,
+                const interp::NdRange& range, const Collector& col,
+                const VerifyOptions& options)
+      : a_(a), b_(b), range_(range), col_(col), options_(options) {
+    ng_ = range.groupsPerDim();
+    for (int d = 0; d < 3; ++d) {
+      lidCand_[d] = cornerValues(static_cast<std::int64_t>(range.local[d]));
+      grpCand_[d] = cornerValues(static_cast<std::int64_t>(ng_[d]));
+    }
+    base_.globalSize = {static_cast<std::int64_t>(range.global[0]),
+                        static_cast<std::int64_t>(range.global[1]),
+                        static_cast<std::int64_t>(range.global[2])};
+    base_.localSize = {static_cast<std::int64_t>(range.local[0]),
+                       static_cast<std::int64_t>(range.local[1]),
+                       static_cast<std::int64_t>(range.local[2])};
+    base_.numGroups = {static_cast<std::int64_t>(ng_[0]),
+                       static_cast<std::int64_t>(ng_[1]),
+                       static_cast<std::int64_t>(ng_[2])};
+    if (options.args != nullptr) {
+      for (std::size_t i = 0; i < options.args->size(); ++i) {
+        const interp::KernelArg& arg = (*options.args)[i];
+        if (!arg.isBuffer && arg.scalar.isInt()) {
+          base_.scalarArgs[static_cast<int>(i)] = arg.scalar.i;
+        }
+      }
+    }
+    collectRelevantLoops(a_, loopsA_);
+    collectRelevantLoops(b_, loopsB_);
+  }
+
+  std::optional<RaceWitness> run() {
+    const bool localSpace = a_.info->space == ir::AddressSpace::Local;
+    std::optional<RaceWitness> found;
+    enumerateIds(0, localSpace, found);
+    return found;
+  }
+
+ private:
+  void collectRelevantLoops(const AccessRec& rec, std::vector<int>& out) {
+    collectLoopIds(rec.info->offset.get(), out);
+    for (const Guard& g : rec.guards) collectLoopIds(g.cond.get(), out);
+    for (const LoopCtx& lc : rec.loops) {
+      collectLoopIds(lc.cond.get(), out);
+      // Every enclosing loop needs a bound iteration for validity replay.
+      if (std::find(out.begin(), out.end(), lc.loopId) == out.end()) {
+        out.push_back(lc.loopId);
+      }
+    }
+    for (const auto& [id, per] : rec.epoch.coeffs) {
+      if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> iterCandidates(
+      const AccessRec& rec, int loopId) const {
+    const std::int64_t trip = col_.tripOf(loopId);
+    bool enclosing = false;
+    bool prefix = false;
+    for (const LoopCtx& lc : rec.loops) {
+      if (lc.loopId == loopId) {
+        enclosing = true;
+        prefix = lc.inCondPrefix;
+      }
+    }
+    std::vector<std::int64_t> out;
+    std::int64_t hi = trip < 0 ? 3 : (enclosing && !prefix ? trip - 1 : trip);
+    for (std::int64_t v :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{2}, std::int64_t{3},
+          hi - 1, hi}) {
+      if (v >= 0 && v <= hi &&
+          std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+    if (out.empty()) out.push_back(0);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Odometer over the 2×3 lid dims and 2×3 grp dims.
+  void enumerateIds(int slot, bool localSpace, std::optional<RaceWitness>& found) {
+    if (found || budget_ == 0) return;
+    if (slot == 12) {
+      tryIds(localSpace, found);
+      return;
+    }
+    const int d = slot % 3;
+    if (slot < 3) {
+      for (std::int64_t v : lidCand_[d]) {
+        lidA_[d] = v;
+        enumerateIds(slot + 1, localSpace, found);
+      }
+    } else if (slot < 6) {
+      for (std::int64_t v : grpCand_[d]) {
+        grpA_[d] = v;
+        enumerateIds(slot + 1, localSpace, found);
+      }
+    } else if (slot < 9) {
+      for (std::int64_t v : lidCand_[d]) {
+        lidB_[d] = v;
+        enumerateIds(slot + 1, localSpace, found);
+      }
+    } else {
+      if (localSpace) {
+        grpB_[d] = grpA_[d];
+        enumerateIds(slot + 1, localSpace, found);
+      } else {
+        for (std::int64_t v : grpCand_[d]) {
+          grpB_[d] = v;
+          enumerateIds(slot + 1, localSpace, found);
+        }
+      }
+    }
+  }
+
+  void tryIds(bool localSpace, std::optional<RaceWitness>& found) {
+    if (lidA_ == lidB_ && grpA_ == grpB_) return;  // same work-item
+    (void)localSpace;
+    itersA_.clear();
+    itersB_.clear();
+    enumerateIters(0, /*forA=*/true, found);
+  }
+
+  void enumerateIters(std::size_t idx, bool forA,
+                      std::optional<RaceWitness>& found) {
+    if (found || budget_ == 0) return;
+    const std::vector<int>& loops = forA ? loopsA_ : loopsB_;
+    auto& iters = forA ? itersA_ : itersB_;
+    if (idx == loops.size()) {
+      if (forA) {
+        enumerateIters(0, /*forA=*/false, found);
+      } else {
+        tryCombo(found);
+      }
+      return;
+    }
+    const AccessRec& rec = forA ? a_ : b_;
+    for (std::int64_t v : iterCandidates(rec, loops[idx])) {
+      iters[loops[idx]] = v;
+      enumerateIters(idx + 1, forA, found);
+      if (found || budget_ == 0) return;
+    }
+  }
+
+  [[nodiscard]] SymBinding bindingFor(const std::array<std::int64_t, 3>& lid,
+                                      const std::array<std::int64_t, 3>& grp,
+                                      const std::unordered_map<int, std::int64_t>&
+                                          iters) const {
+    SymBinding b = base_;
+    for (int d = 0; d < 3; ++d) {
+      b.localId[d] = lid[d];
+      b.groupId[d] = grp[d];
+      b.globalId[d] = grp[d] * base_.localSize[d] + lid[d];
+    }
+    b.loopIters = iters;
+    return b;
+  }
+
+  /// Validates that `rec` actually executes under `bind`: every guard takes
+  /// the recorded direction and every enclosing loop reaches its bound
+  /// iteration (replaying unresolved conditions up to kCondReplayCap).
+  bool validInstance(const AccessRec& rec, const SymBinding& bind) const {
+    for (const Guard& g : rec.guards) {
+      if (g.cond == nullptr) return false;
+      auto v = symEval(g.cond.get(), bind);
+      if (!v || (*v != 0) != g.taken) return false;
+    }
+    for (const LoopCtx& lc : rec.loops) {
+      auto it = bind.loopIters.find(lc.loopId);
+      if (it == bind.loopIters.end()) return false;
+      const std::int64_t iter = it->second;
+      if (iter < 0) return false;
+      if (lc.trip >= 0) {
+        const std::int64_t hi = lc.inCondPrefix ? lc.trip : lc.trip - 1;
+        if (iter > hi) return false;
+        continue;
+      }
+      // Unresolved trip: replay the loop condition for iterations 0..k. The
+      // body at iteration i requires the condition to hold at 0..i (condFirst)
+      // or 0..i-1 (do-loops); the condition prefix at iteration i requires it
+      // at 0..i-1.
+      if (lc.cond == nullptr) return false;  // for(;;): cannot validate
+      if (iter > kCondReplayCap) return false;
+      const std::int64_t upto =
+          lc.condFirst && !lc.inCondPrefix ? iter : iter - 1;
+      SymBinding replay = bind;
+      for (std::int64_t j = 0; j <= upto; ++j) {
+        replay.loopIters[lc.loopId] = j;
+        auto v = symEval(lc.cond.get(), replay);
+        if (!v || *v == 0) return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::optional<std::int64_t> epochOf(
+      const AccessRec& rec,
+      const std::unordered_map<int, std::int64_t>& iters) const {
+    if (!rec.epoch.exact) return std::nullopt;
+    std::int64_t e = rec.epoch.base;
+    for (const auto& [loop, per] : rec.epoch.coeffs) {
+      auto it = iters.find(loop);
+      if (it == iters.end()) return std::nullopt;
+      std::int64_t t = 0;
+      if (mulOv(per, it->second, t) || addOv(e, t, e)) return std::nullopt;
+    }
+    return e;
+  }
+
+  [[nodiscard]] bool inBounds(const AccessRec& rec, std::int64_t offset) const {
+    if (offset < 0) return false;
+    const MemAccessInfo& info = *rec.info;
+    if (info.space == ir::AddressSpace::Local) return true;
+    if (options_.bufferBytes == nullptr || options_.args == nullptr) return true;
+    if (info.base != PtrBase::BufferArg || info.baseIndex < 0 ||
+        static_cast<std::size_t>(info.baseIndex) >= options_.args->size()) {
+      return true;
+    }
+    const interp::KernelArg& arg =
+        (*options_.args)[static_cast<std::size_t>(info.baseIndex)];
+    if (!arg.isBuffer || arg.bufferIndex < 0 ||
+        static_cast<std::size_t>(arg.bufferIndex) >=
+            options_.bufferBytes->size()) {
+      return true;
+    }
+    const auto bytes = static_cast<std::int64_t>(
+        (*options_.bufferBytes)[static_cast<std::size_t>(arg.bufferIndex)]);
+    return offset + static_cast<std::int64_t>(info.size) <= bytes;
+  }
+
+  void tryCombo(std::optional<RaceWitness>& found) {
+    if (budget_ == 0) return;
+    --budget_;
+    const bool sameGroup = grpA_ == grpB_;
+    if (sameGroup) {
+      // Same group: only unordered if the accesses land in the same barrier
+      // interval — requires exact epochs on both sides.
+      auto ea = epochOf(a_, itersA_);
+      auto eb = epochOf(b_, itersB_);
+      if (!ea || !eb || *ea != *eb) return;
+    }
+    const SymBinding bindA = bindingFor(lidA_, grpA_, itersA_);
+    const SymBinding bindB = bindingFor(lidB_, grpB_, itersB_);
+    if (!validInstance(a_, bindA) || !validInstance(b_, bindB)) return;
+    auto offA = symEval(a_.info->offset.get(), bindA);
+    auto offB = symEval(b_.info->offset.get(), bindB);
+    if (!offA || !offB) return;
+    const auto szA = static_cast<std::int64_t>(a_.info->size);
+    const auto szB = static_cast<std::int64_t>(b_.info->size);
+    if (!(*offA < *offB + szB && *offB < *offA + szA)) return;
+    if (!inBounds(a_, *offA) || !inBounds(b_, *offB)) return;
+
+    RaceWitness w;
+    w.workItemA = linearWi(bindA);
+    w.workItemB = linearWi(bindB);
+    w.groupA = linearGroup(grpA_);
+    w.groupB = linearGroup(grpB_);
+    w.instA = a_.info->instId;
+    w.instB = b_.info->instId;
+    w.space = a_.info->space;
+    w.baseIndex = a_.info->baseIndex;
+    w.offsetA = *offA;
+    w.offsetB = *offB;
+    w.sizeA = a_.info->size;
+    w.sizeB = b_.info->size;
+    found = w;
+  }
+
+  [[nodiscard]] std::uint64_t linearWi(const SymBinding& b) const {
+    const auto g0 = static_cast<std::uint64_t>(b.globalId[0]);
+    const auto g1 = static_cast<std::uint64_t>(b.globalId[1]);
+    const auto g2 = static_cast<std::uint64_t>(b.globalId[2]);
+    return g0 + range_.global[0] * (g1 + range_.global[1] * g2);
+  }
+
+  [[nodiscard]] std::uint32_t linearGroup(
+      const std::array<std::int64_t, 3>& grp) const {
+    const auto g0 = static_cast<std::uint64_t>(grp[0]);
+    const auto g1 = static_cast<std::uint64_t>(grp[1]);
+    const auto g2 = static_cast<std::uint64_t>(grp[2]);
+    return static_cast<std::uint32_t>(g0 + ng_[0] * (g1 + ng_[1] * g2));
+  }
+
+  const AccessRec& a_;
+  const AccessRec& b_;
+  const interp::NdRange& range_;
+  const Collector& col_;
+  const VerifyOptions& options_;
+  std::array<std::uint64_t, 3> ng_{1, 1, 1};
+  std::array<std::vector<std::int64_t>, 3> lidCand_, grpCand_;
+  std::vector<int> loopsA_, loopsB_;
+  std::array<std::int64_t, 3> lidA_{0, 0, 0}, grpA_{0, 0, 0};
+  std::array<std::int64_t, 3> lidB_{0, 0, 0}, grpB_{0, 0, 0};
+  std::unordered_map<int, std::int64_t> itersA_, itersB_;
+  SymBinding base_;
+  std::uint64_t budget_ = kWitnessBudget;
+};
+
+// ---------------------------------------------------------------------------
+// Pair verification
+// ---------------------------------------------------------------------------
+
+enum class Proof : std::uint8_t { Independent, MayRace, NotAffine };
+
+/// One ordered direction: instance B's ids are instance A's plus a
+/// lexicographically positive delta.
+Proof proveOrdered(const AccessRec& ra, const AccessRec& rb, bool global,
+                   const interp::NdRange& range, const Collector& col,
+                   const SymBinding* partial) {
+  auto fa = dataflow::linearize(ra.info->offset.get(), partial);
+  auto fb = dataflow::linearize(rb.info->offset.get(), partial);
+  if (!fa || !fb) return Proof::NotAffine;
+  auto da = decompose(*fa, range);
+  auto db = decompose(*fb, range);
+  if (!da || !db) return Proof::NotAffine;
+
+  const auto wLo = -(static_cast<std::int64_t>(rb.info->size) - 1);
+  const auto wHi = static_cast<std::int64_t>(ra.info->size) - 1;
+
+  for (const Scenario& s : scenariosFor(global, range)) {
+    EpochRelation rel;
+    if (s.sameGroup) {
+      rel = relateEpochs(ra.epoch, rb.epoch, col);
+      if (rel.neverEqual) continue;  // barrier always orders this scenario
+    } else {
+      rel.usable = false;  // barriers never order distinct groups
+    }
+    if (!rel.usable) rel = EpochRelation{false, std::nullopt, {}, {}, false};
+    bool overflow = false;
+    auto diff = buildDiff(*da, *db, ra, rb, s, rel, range, col, overflow);
+    if (overflow) return Proof::MayRace;
+    if (!diff) continue;  // epoch tie infeasible
+    if (mayHitWindow(diff->first, diff->second, wLo, wHi)) {
+      return Proof::MayRace;
+    }
+  }
+  return Proof::Independent;
+}
+
+std::string describeAccess(const MemAccessInfo& info) {
+  std::ostringstream os;
+  os << (info.isWrite ? "write" : "read") << " at inst " << info.instId;
+  if (info.loc.line > 0) os << " (line " << info.loc.line << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string RaceWitness::str() const {
+  std::ostringstream os;
+  os << "work-items " << workItemA << " and " << workItemB << " ("
+     << ir::addressSpaceName(space) << " base " << baseIndex << "): inst "
+     << instA << " @ byte " << offsetA << "+" << sizeA << " overlaps inst "
+     << instB << " @ byte " << offsetB << "+" << sizeB;
+  return os.str();
+}
+
+const char* RaceVerdict::name() const {
+  switch (kind) {
+    case RaceVerdictKind::RaceFree:
+      return "race-free";
+    case RaceVerdictKind::Racy:
+      return "racy";
+    case RaceVerdictKind::Unknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+RaceVerdict verifyRaces(const KernelSummary& summary,
+                        const interp::NdRange& range,
+                        const VerifyOptions& options) {
+  RaceVerdict verdict;
+  Collector col(summary, options);
+  col.run();
+  if (auto total = col.totalBarriers()) {
+    verdict.barrierIntervals = static_cast<std::uint64_t>(*total) + 1;
+  }
+  verdict.epochsExact = col.epochsExact;
+
+  // Partial binding folding known integer scalar arguments into the forms
+  // (loop counters stay symbolic — only scalarArgs is populated).
+  SymBinding partial;
+  if (options.args != nullptr) {
+    for (std::size_t i = 0; i < options.args->size(); ++i) {
+      const interp::KernelArg& arg = (*options.args)[i];
+      if (!arg.isBuffer && arg.scalar.isInt()) {
+        partial.scalarArgs[static_cast<int>(i)] = arg.scalar.i;
+      }
+    }
+  }
+
+  std::vector<BaseId> bases;
+  bases.reserve(col.records.size());
+  for (const AccessRec& rec : col.records) {
+    bases.push_back(baseOf(*rec.info, options.args));
+  }
+
+  for (std::size_t i = 0; i < col.records.size(); ++i) {
+    const AccessRec& ra = col.records[i];
+    if (bases[i].cls == BaseClass::None || ra.neverExecutes) continue;
+    for (std::size_t j = i; j < col.records.size(); ++j) {
+      const AccessRec& rb = col.records[j];
+      if (bases[j].cls == BaseClass::None || rb.neverExecutes) continue;
+      if (!ra.info->isWrite && !rb.info->isWrite) continue;
+      if (bases[i].local != bases[j].local) continue;  // disjoint spaces
+      const bool anyUnresolved = bases[i].cls == BaseClass::Unresolved ||
+                                 bases[j].cls == BaseClass::Unresolved;
+      if (!anyUnresolved && bases[i].id != bases[j].id) continue;
+      if (i == j && !ra.info->isWrite) continue;
+
+      ++verdict.pairsChecked;
+      PairResult pr;
+      pr.instA = ra.info->instId;
+      pr.instB = rb.info->instId;
+
+      if (anyUnresolved) {
+        pr.kind = RaceVerdictKind::Unknown;
+        pr.reason = "pointer base not statically resolvable";
+        ++verdict.unknownPairs;
+        verdict.pairs.push_back(std::move(pr));
+        continue;
+      }
+
+      const bool global = !bases[i].local;
+      Proof fwd = proveOrdered(ra, rb, global, range, col, &partial);
+      Proof bwd = i == j ? Proof::Independent
+                         : proveOrdered(rb, ra, global, range, col, &partial);
+      if (fwd == Proof::Independent && bwd == Proof::Independent) {
+        ++verdict.pairsProven;
+        continue;
+      }
+
+      WitnessSearch search(ra, rb, range, col, options);
+      if (auto w = search.run()) {
+        pr.kind = RaceVerdictKind::Racy;
+        pr.witness = *w;
+        ++verdict.racyPairs;
+        verdict.pairs.push_back(std::move(pr));
+        continue;
+      }
+      pr.kind = RaceVerdictKind::Unknown;
+      if (fwd == Proof::NotAffine || bwd == Proof::NotAffine) {
+        pr.reason = "offset not affine: " + describeAccess(*ra.info) + " vs " +
+                    describeAccess(*rb.info);
+      } else {
+        pr.reason = "not proven independent, no concrete witness: " +
+                    describeAccess(*ra.info) + " vs " +
+                    describeAccess(*rb.info);
+      }
+      ++verdict.unknownPairs;
+      verdict.pairs.push_back(std::move(pr));
+    }
+  }
+
+  if (verdict.racyPairs > 0) {
+    verdict.kind = RaceVerdictKind::Racy;
+    for (const PairResult& pr : verdict.pairs) {
+      if (pr.witness) {
+        verdict.reason = pr.witness->str();
+        break;
+      }
+    }
+    obs::add("analysis.race.racy");
+  } else if (verdict.unknownPairs > 0) {
+    verdict.kind = RaceVerdictKind::Unknown;
+    for (const PairResult& pr : verdict.pairs) {
+      if (pr.kind == RaceVerdictKind::Unknown) {
+        verdict.reason = pr.reason;
+        break;
+      }
+    }
+    obs::add("analysis.race.unknown");
+  } else {
+    verdict.kind = RaceVerdictKind::RaceFree;
+    obs::add("analysis.race.free");
+  }
+  return verdict;
+}
+
+}  // namespace flexcl::analysis::raceverify

@@ -1,0 +1,112 @@
+// GPUVerify-style static race & barrier-synchronization verifier
+// (DESIGN.md §15).
+//
+// Partitions a kernel's access tree into barrier intervals (epochs) and
+// checks every cross-work-item access pair that can share memory — local
+// pairs within one work-group, global pairs within and across work-groups —
+// using a two-work-item symbolic abstraction over the strided-affine domain:
+// the second work-item's ids are the first's plus a bounded delta, the byte
+// offsets of both instances are linearized, and their difference is tested
+// against the byte-overlap window with interval (Banerjee) reach bounds and
+// a GCD divisibility test. Accesses provably separated by a barrier (their
+// epoch expressions can never be equal) cannot race within a group; barriers
+// never order accesses of different groups.
+//
+// Verdicts form a lattice: RaceFree (every pair proven independent or
+// ordered) < Unknown (some pair neither proven nor concretely witnessed) <
+// Racy (a pair with a concrete two-work-item witness: ids, addresses and
+// matching barrier epochs, validated by evaluating both offsets and every
+// enclosing guard). A Racy verdict therefore always carries evidence the
+// dynamic race checker (interp::InterpOptions::raceCheck) can reproduce —
+// the static/dynamic cross-validation contract asserted over all bundled
+// workloads in tests/test_raceverify.cpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/symbolic.h"
+#include "interp/interpreter.h"
+
+namespace flexcl::analysis::raceverify {
+
+enum class RaceVerdictKind : std::uint8_t { RaceFree, Racy, Unknown };
+
+/// Concrete evidence for one racy pair: two distinct work-items whose
+/// accesses overlap in bytes and are not ordered by a barrier.
+struct RaceWitness {
+  std::uint64_t workItemA = 0;  ///< linear global work-item id
+  std::uint64_t workItemB = 0;
+  std::uint32_t groupA = 0;  ///< linear work-group id
+  std::uint32_t groupB = 0;
+  unsigned instA = 0;  ///< IR instruction ids of the two accesses
+  unsigned instB = 0;
+  ir::AddressSpace space = ir::AddressSpace::Global;
+  int baseIndex = -1;  ///< arg index / position in fn.localAllocas
+  std::int64_t offsetA = 0;  ///< byte offsets from the base
+  std::int64_t offsetB = 0;
+  std::uint32_t sizeA = 0;
+  std::uint32_t sizeB = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Verdict for one checked access pair (only non-RaceFree pairs are kept on
+/// the kernel verdict).
+struct PairResult {
+  unsigned instA = 0;
+  unsigned instB = 0;
+  RaceVerdictKind kind = RaceVerdictKind::Unknown;
+  std::string reason;  ///< set for Unknown pairs
+  std::optional<RaceWitness> witness;  ///< set for Racy pairs
+};
+
+struct RaceVerdict {
+  RaceVerdictKind kind = RaceVerdictKind::Unknown;
+  /// Witness summary (Racy) or the first blocking reason (Unknown); empty
+  /// for RaceFree.
+  std::string reason;
+  /// Racy and Unknown pairs (RaceFree pairs are only counted).
+  std::vector<PairResult> pairs;
+
+  std::uint64_t pairsChecked = 0;
+  std::uint64_t pairsProven = 0;  ///< proven independent or barrier-ordered
+  std::uint64_t racyPairs = 0;
+  std::uint64_t unknownPairs = 0;
+  /// Barrier intervals one work-item passes through (barriers executed + 1);
+  /// 0 when the barrier structure is not statically countable.
+  std::uint64_t barrierIntervals = 0;
+  /// Every access got an exact epoch expression (no barrier under
+  /// non-uniform control flow, no barrier loop with unresolved trip).
+  bool epochsExact = false;
+
+  [[nodiscard]] bool raceFree() const {
+    return kind == RaceVerdictKind::RaceFree;
+  }
+  /// "race-free" | "racy" | "unknown".
+  [[nodiscard]] const char* name() const;
+};
+
+struct VerifyOptions {
+  /// Kernel arguments: integer scalars fold into the offset forms and feed
+  /// witness validation. Null leaves scalar-argument leaves symbolic.
+  const std::vector<interp::KernelArg>* args = nullptr;
+  /// Dataflow-resolved trip counts per loopId (-1 unresolved), e.g.
+  /// model::StaticInputs::staticTrips. Null resolves from LoopFact only.
+  const std::vector<std::int64_t>* staticTrips = nullptr;
+  /// Global buffer sizes in bytes (indexed by buffer index). When present,
+  /// witnesses must fall inside the buffer — out-of-bounds addresses are not
+  /// real memory and the dynamic checker never sees them.
+  const std::vector<std::uint64_t>* bufferBytes = nullptr;
+};
+
+/// Verifies `summary` under the launch geometry `range` (the effective
+/// NDRange: local sizes must divide global sizes). Bumps the
+/// `analysis.race.{free,racy,unknown}` counters once per call.
+RaceVerdict verifyRaces(const KernelSummary& summary,
+                        const interp::NdRange& range,
+                        const VerifyOptions& options = {});
+
+}  // namespace flexcl::analysis::raceverify

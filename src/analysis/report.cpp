@@ -75,6 +75,7 @@ Feasibility checkDesign(const LintReport& report,
                     " lint error(s)";
     return result;
   }
+  result.racy = report.raceVerdict == "racy";
   const auto& reqd = report.reqdWorkGroupSize;
   if (reqd[0] != 0 || reqd[1] != 0 || reqd[2] != 0) {
     for (int d = 0; d < 3; ++d) {
@@ -190,6 +191,12 @@ std::string renderText(const LintReport& report) {
     }
     os << "\n";
   }
+  if (!report.raceVerdict.empty()) {
+    os << "  races: " << report.raceVerdict;
+    if (!report.raceReason.empty()) os << " (" << report.raceReason << ")";
+    os << ", " << report.racePairsChecked << " pair(s) over "
+       << report.raceBarrierIntervals << " barrier interval(s)\n";
+  }
   if (!report.crossWiDeps.empty()) {
     os << "  cross-work-item dependences:\n";
     for (const CrossWiDependence& dep : report.crossWiDeps) {
@@ -293,6 +300,25 @@ std::string renderJson(const LintReport& report) {
     os << ",\"reason\":";
     jsonEscape(os, report.staticProfileReason);
     os << "}";
+  }
+  os << ",\"race\":";
+  if (report.raceVerdict.empty()) {
+    os << "null";
+  } else {
+    os << "{\"verdict\":";
+    jsonEscape(os, report.raceVerdict);
+    os << ",\"reason\":";
+    jsonEscape(os, report.raceReason);
+    os << ",\"pairs\":{\"checked\":" << report.racePairsChecked
+       << ",\"racy\":" << report.raceRacyPairs
+       << ",\"unknown\":" << report.raceUnknownPairs << "}";
+    os << ",\"barrierIntervals\":" << report.raceBarrierIntervals;
+    os << ",\"witnesses\":[";
+    for (std::size_t i = 0; i < report.raceWitnesses.size(); ++i) {
+      if (i) os << ",";
+      jsonEscape(os, report.raceWitnesses[i]);
+    }
+    os << "]}";
   }
   os << "}";
   return os.str();

@@ -20,7 +20,7 @@ namespace flexcl::analysis {
 
 /// Version of the lint JSON schema: the first key of every renderJson
 /// object. Bumped whenever a key is added, removed or reordered.
-inline constexpr int kLintSchemaVersion = 3;
+inline constexpr int kLintSchemaVersion = 4;
 
 /// One diagnostic from a lint pass.
 struct LintFinding {
@@ -89,6 +89,17 @@ struct LintReport {
   /// first blocking reason for non-exact verdicts (empty for exact).
   std::string staticProfileVerdict;
   std::string staticProfileReason;
+  /// Race-verifier verdict for the linted launch: "race-free" | "racy" |
+  /// "unknown", empty when the lint ran without a trusted launch range
+  /// (DESIGN.md §15). `raceReason` carries the witness summary (racy) or the
+  /// first blocking reason (unknown).
+  std::string raceVerdict;
+  std::string raceReason;
+  std::uint64_t racePairsChecked = 0;
+  std::uint64_t raceRacyPairs = 0;
+  std::uint64_t raceUnknownPairs = 0;
+  std::uint64_t raceBarrierIntervals = 0;
+  std::vector<std::string> raceWitnesses;  ///< rendered witness per racy pair
 
   [[nodiscard]] std::size_t errorCount() const;
   [[nodiscard]] std::size_t warningCount() const;
@@ -104,6 +115,10 @@ struct Feasibility {
   /// Pipeline-mode point whose initiation interval is bound by a
   /// cross-work-item recurrence (still feasible, but RecMII-limited).
   bool recMiiBound = false;
+  /// The race verifier found a concrete data race for this launch. Racy
+  /// kernels stay feasible (the model still estimates them) but the verdict
+  /// travels with every design point so DSE consumers can filter.
+  bool racy = false;
   std::string reason;  ///< set when infeasible or RecMII-bound
   /// Stable rule id of the verdict ("lint-errors", "reqd-work-group-size",
   /// "local-out-of-bounds", "cross-wi-dependence"); empty when the point is

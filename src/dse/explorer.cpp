@@ -91,8 +91,16 @@ const sim::SimInput& Explorer::simInputFor(const model::DesignPoint& design) {
   const interp::NdRange range = model::FlexCl::rangeFor(launch_, design);
   const LocalSizeKey key{range.local[0], range.local[1], range.local[2]};
   return *simInputs_.getOrCompute(key, [&] {
+    // Perf payoff of the static race verifier (DESIGN.md §15): a kernel
+    // proven RaceFree needs no cross-work-item conflict tracking during the
+    // functional execution. Detection never mutates state, so the trace and
+    // all simulator results are bit-identical either way (asserted in
+    // tests/test_raceverify.cpp).
+    sim::SimInputOptions simOptions;
+    simOptions.conflictTracking =
+        !flexcl_.raceVerdictFor(launch_, design).raceFree();
     return sim::prepareSimInput(*launch_.fn, range, launch_.args,
-                                *launch_.buffers);
+                                *launch_.buffers, simOptions);
   });
 }
 
@@ -287,6 +295,7 @@ ExplorationResult Explorer::explore(const std::vector<model::DesignPoint>& space
     }
     ed.recMiiBound = verdicts[i].recMiiBound;
     if (ed.recMiiBound) ed.infeasibleReason = verdicts[i].reason;
+    ed.racy = verdicts[i].racy;
     ed.flexclCycles = estimates[i].ok ? estimates[i].cycles : 0;
     ed.simCycles = sims[i].ok ? sims[i].cycles : 0;
 

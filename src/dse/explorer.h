@@ -43,6 +43,9 @@ struct EvaluatedDesign {
   /// Feasible pipeline point whose II is bound by a cross-work-item
   /// recurrence (annotation only; the point is still evaluated).
   bool recMiiBound = false;
+  /// The race verifier found a concrete data race for this launch
+  /// (annotation only, from the lint report; the point is still evaluated).
+  bool racy = false;
   std::string infeasibleReason;  ///< set when skipped or recMiiBound
 
   [[nodiscard]] double flexclErrorPct() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace flexcl::interp {
 namespace {
@@ -144,6 +145,36 @@ class Machine {
   std::unordered_map<unsigned, int> bodyArrival_;  // blockId -> loopId
   std::unordered_map<unsigned, int> exitArrival_;
   std::vector<std::vector<std::uint8_t>> localMem_;  // current group's local pools
+
+  // Dynamic race checker (options_.raceCheck): per-byte shadow state with
+  // happens-before over barrier epochs. epoch_ resets at each group and
+  // advances when a barrier releases; two accesses within a group are ordered
+  // iff their epochs differ, and accesses from different groups are never
+  // ordered (barriers are group-local).
+  struct ShadowRef {
+    std::uint64_t workItem = 0;
+    std::uint32_t group = 0;
+    std::uint64_t epoch = 0;
+    std::uint32_t inst = 0;
+    bool valid = false;
+  };
+  struct ShadowCell {
+    ShadowRef writer;
+    // Last reader, last reader from a different work-item than reader1, and
+    // a reader from an earlier group than the most recent one (cross-group
+    // read/write conflicts survive same-group reader turnover).
+    ShadowRef reader1, reader2, readerPrevGroup;
+  };
+  void raceShadowCheck(const Instruction& inst, const Pointer& p,
+                       std::uint64_t size, bool isWrite, const WorkItem& wi,
+                       std::uint32_t group);
+  void noteRace(const Pointer& p, std::int64_t byte, const ShadowRef& prior,
+                bool priorWrite, const ShadowRef& cur, bool curWrite);
+
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<std::uint64_t, ShadowCell> globalShadow_;
+  std::unordered_map<std::uint64_t, ShadowCell> localShadow_;
+  std::unordered_set<std::uint64_t> raceSeen_;  // dedup key: instA/instB/space
 };
 
 RtValue Machine::evalOperand(const ir::Value* v, WorkItem& wi) {
@@ -227,6 +258,11 @@ bool Machine::access(const Instruction& inst, const Pointer& p, std::uint64_t si
     *out = readValue(*valueType, pool->data() + p.offset);
   }
 
+  if (options_.raceCheck && inBounds &&
+      (p.space == AddressSpace::Global || p.space == AddressSpace::Local)) {
+    raceShadowCheck(inst, p, size, isWrite, wi, group);
+  }
+
   const bool record =
       (p.space == AddressSpace::Global || p.space == AddressSpace::Constant)
           ? options_.captureGlobalTrace
@@ -244,6 +280,81 @@ bool Machine::access(const Instruction& inst, const Pointer& p, std::uint64_t si
     result_.trace.push_back(ev);
   }
   return true;
+}
+
+void Machine::noteRace(const Pointer& p, std::int64_t byte,
+                       const ShadowRef& prior, bool priorWrite,
+                       const ShadowRef& cur, bool curWrite) {
+  ++result_.raceCount;
+  const std::uint64_t key = (static_cast<std::uint64_t>(prior.inst) << 33) |
+                            (static_cast<std::uint64_t>(cur.inst) << 1) |
+                            (p.space == AddressSpace::Local ? 1u : 0u);
+  if (!raceSeen_.insert(key).second) return;
+  if (result_.races.size() >= 64) return;
+  RaceRecord r;
+  r.space = p.space;
+  r.buffer = p.buffer;
+  r.offset = byte;
+  r.instA = prior.inst;
+  r.instB = cur.inst;
+  r.workItemA = prior.workItem;
+  r.workItemB = cur.workItem;
+  r.writeA = priorWrite;
+  r.writeB = curWrite;
+  result_.races.push_back(r);
+}
+
+void Machine::raceShadowCheck(const Instruction& inst, const Pointer& p,
+                              std::uint64_t size, bool isWrite,
+                              const WorkItem& wi, std::uint32_t group) {
+  const bool global = p.space == AddressSpace::Global;
+  auto& shadow = global ? globalShadow_ : localShadow_;
+  ShadowRef cur;
+  cur.workItem = wi.linearGlobal;
+  cur.group = group;
+  cur.epoch = epoch_;
+  cur.inst = inst.id;
+  cur.valid = true;
+  // Unordered iff different work-items and no barrier between: same epoch
+  // within a group, or (global memory) different groups — barriers never
+  // order accesses across groups.
+  const auto conflicts = [&](const ShadowRef& prior) {
+    if (!prior.valid || prior.workItem == cur.workItem) return false;
+    if (global && prior.group != cur.group) return true;
+    return prior.epoch == cur.epoch;
+  };
+  for (std::uint64_t b = 0; b < size; ++b) {
+    const std::int64_t byte = p.offset + static_cast<std::int64_t>(b);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.buffer)) << 45) |
+        static_cast<std::uint64_t>(byte);
+    ShadowCell& cell = shadow[key];
+    if (conflicts(cell.writer)) {
+      noteRace(p, byte, cell.writer, /*priorWrite=*/true, cur, isWrite);
+    }
+    if (isWrite) {
+      if (conflicts(cell.reader1)) noteRace(p, byte, cell.reader1, false, cur, true);
+      if (conflicts(cell.reader2)) noteRace(p, byte, cell.reader2, false, cur, true);
+      if (conflicts(cell.readerPrevGroup)) {
+        noteRace(p, byte, cell.readerPrevGroup, false, cur, true);
+      }
+      cell.writer = cur;
+      cell.reader1.valid = cell.reader2.valid = false;
+      cell.readerPrevGroup.valid = false;
+    } else {
+      // Readers from earlier groups conflict with any later-group write;
+      // park one before the same-group slots turn over.
+      if (cell.reader1.valid && cell.reader1.group != group) {
+        cell.readerPrevGroup = cell.reader1;
+      } else if (cell.reader2.valid && cell.reader2.group != group) {
+        cell.readerPrevGroup = cell.reader2;
+      }
+      if (cell.reader1.valid && cell.reader1.workItem != cur.workItem) {
+        cell.reader2 = cell.reader1;
+      }
+      cell.reader1 = cur;
+    }
+  }
 }
 
 void Machine::jumpTo(WorkItem& wi, BasicBlock* target) {
@@ -657,6 +768,10 @@ InterpResult Machine::run() {
     for (const Instruction* a : fn_.localAllocas) {
       localMem_.emplace_back(a->allocaType->sizeInBytes(), 0);
     }
+    // Fresh barrier-epoch and local shadow state per group (global shadow
+    // persists: cross-group conflicts compare group ids, not epochs).
+    epoch_ = 0;
+    localShadow_.clear();
 
     std::vector<WorkItem> items(wgSize);
     for (std::uint64_t l = 0; l < wgSize; ++l) {
@@ -699,6 +814,7 @@ InterpResult Machine::run() {
       if (done == items.size()) break;
       if (atBarrier == items.size()) {
         for (WorkItem& wi : items) wi.status = WorkItem::Status::Running;
+        ++epoch_;  // barrier release opens a new happens-before epoch
         continue;
       }
       fail("barrier divergence: " + std::to_string(atBarrier) + " of " +

@@ -82,10 +82,32 @@ struct InterpOptions {
   bool strictBounds = false;
   bool captureGlobalTrace = false;
   bool captureLocalTrace = false;
+  /// Dynamic race detection: happens-before over barrier epochs with
+  /// per-address last-writer/last-reader shadow state. Conflicts are reported
+  /// in InterpResult::races without affecting execution.
+  bool raceCheck = false;
   /// Run only the first N work-groups (profiling mode); -1 = all.
   std::int64_t groupLimit = -1;
   /// Abort with an error after this many executed instructions.
   std::uint64_t maxSteps = 1ull << 32;
+};
+
+/// One dynamically detected cross-work-item conflict (InterpOptions::
+/// raceCheck). Two accesses to the same byte conflict when they come from
+/// different work-items, at least one is a write, and no barrier orders them:
+/// same barrier epoch within a group, or any two accesses from different
+/// groups (barriers are group-local). Records are deduplicated by the
+/// (instA, instB, space) triple; raceCount counts every conflicting byte.
+struct RaceRecord {
+  ir::AddressSpace space = ir::AddressSpace::Global;
+  std::int32_t buffer = -1;   ///< buffer index (global) / local object index
+  std::int64_t offset = 0;    ///< conflicting byte offset from the base
+  std::uint32_t instA = 0;    ///< IR instruction id of the earlier access
+  std::uint32_t instB = 0;    ///< IR instruction id of the later access
+  std::uint64_t workItemA = 0;  ///< linear global work-item ids
+  std::uint64_t workItemB = 0;
+  bool writeA = false;
+  bool writeB = false;
 };
 
 /// Per-loop dynamic statistics (indexed by Region::loopId).
@@ -104,6 +126,10 @@ struct InterpResult {
   std::string error;
   std::vector<MemoryAccessEvent> trace;
   std::vector<LoopStats> loops;
+  /// Distinct conflicting instruction pairs (InterpOptions::raceCheck),
+  /// capped at 64 records; raceCount keeps the uncapped conflict tally.
+  std::vector<RaceRecord> races;
+  std::uint64_t raceCount = 0;
   std::uint64_t oobAccesses = 0;
   std::uint64_t executedInstructions = 0;
   std::uint64_t executedWorkItems = 0;

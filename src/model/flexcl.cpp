@@ -106,6 +106,34 @@ analysis::staticprof::Verdict FlexCl::staticVerdict(const LaunchInfo& launch,
   });
 }
 
+const analysis::raceverify::RaceVerdict& FlexCl::raceVerdictFor(
+    const LaunchInfo& launch, const DesignPoint& design) {
+  const interp::NdRange range = rangeFor(launch, design);
+  const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
+                       range.local[0], range.local[1],    range.local[2]};
+  const StaticInputs& si = staticInputsFor(launch, design);
+  return *races_.getOrCompute(key, [&] {
+    obs::Span span("raceverify", [&] { return launch.fn->name(); });
+    analysis::raceverify::VerifyOptions vo;
+    vo.args = &launch.args;
+    vo.staticTrips = &si.staticTrips;
+    std::vector<std::uint64_t> bufferBytes;
+    if (launch.buffers) {
+      for (const auto& buf : *launch.buffers) bufferBytes.push_back(buf.size());
+      vo.bufferBytes = &bufferBytes;
+    }
+    return analysis::raceverify::verifyRaces(si.summary, range, vo);
+  });
+}
+
+bool FlexCl::seedRaceVerdict(const LaunchInfo& launch, const DesignPoint& design,
+                             analysis::raceverify::RaceVerdict verdict) {
+  const interp::NdRange range = rangeFor(launch, design);
+  const ProfileKey key{launch.fn,      launch.fn->name(), launch.fn->instructionCount(),
+                       range.local[0], range.local[1],    range.local[2]};
+  return races_.seed(key, std::move(verdict));
+}
+
 bool FlexCl::seedProfile(const LaunchInfo& launch, const DesignPoint& design,
                          interp::KernelProfile profile) {
   const interp::NdRange range = rangeFor(launch, design);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "analysis/dataflow/trip_count.h"
+#include "analysis/raceverify/raceverify.h"
 #include "analysis/staticprof/staticprof.h"
 #include "analysis/symbolic.h"
 #include "cdfg/cdfg.h"
@@ -179,6 +180,12 @@ class FlexCl {
   analysis::staticprof::Verdict staticVerdict(const LaunchInfo& launch,
                                               const DesignPoint& design);
 
+  /// Race-verifier verdict (DESIGN.md §15) for the effective launch of
+  /// `design`. Cached per ProfileKey (same slot identity as profiles and
+  /// static verdicts); the reference stays valid for the FlexCl's lifetime.
+  const analysis::raceverify::RaceVerdict& raceVerdictFor(
+      const LaunchInfo& launch, const DesignPoint& design);
+
   /// Persistence hooks for the serve store (DESIGN.md §12). seedProfile
   /// plants a profile deserialized from disk for the effective launch
   /// geometry of `design` (marked warm — later hits count into
@@ -195,6 +202,18 @@ class FlexCl {
         [&](const ProfileKey& key, const interp::KernelProfile& profile) {
           fn(std::get<3>(key), std::get<4>(key), std::get<5>(key), profile);
         });
+  }
+
+  /// Race-verdict analogues of seedProfile / forEachProfile (the store's
+  /// Family::Race records).
+  bool seedRaceVerdict(const LaunchInfo& launch, const DesignPoint& design,
+                       analysis::raceverify::RaceVerdict verdict);
+  template <typename Fn>
+  void forEachRaceVerdict(Fn&& fn) const {
+    races_.forEach([&](const ProfileKey& key,
+                       const analysis::raceverify::RaceVerdict& verdict) {
+      fn(std::get<3>(key), std::get<4>(key), std::get<5>(key), verdict);
+    });
   }
 
   /// Hit/miss counters of the profile cache (runtime::Stats reporting).
@@ -264,6 +283,9 @@ class FlexCl {
   /// it synthesizes; computed on demand by staticVerdict for profiles that
   /// arrived via seedProfile (store-warmed) and never went through the tier.
   runtime::MemoCache<ProfileKey, analysis::staticprof::Verdict> verdicts_;
+  /// Race-verifier verdict per profile slot (raceVerdictFor). Seeded from
+  /// the store by seedRaceVerdict, computed on demand otherwise.
+  runtime::MemoCache<ProfileKey, analysis::raceverify::RaceVerdict> races_;
   // Static-analysis cache. Same aliasing defence as ProfileKey, plus the
   // full geometry and the integer scalar arguments (both feed the resolved
   // trip counts and leaf ranges). StaticKey is declared in the public

@@ -69,6 +69,10 @@ ExplainReport explainEstimate(model::FlexCl& flexcl,
               interp::KernelProfile::Provenance::Synthesized
           ? "synthesized"
           : "interpreted";
+  const analysis::raceverify::RaceVerdict& race =
+      flexcl.raceVerdictFor(launch, design);
+  report.raceVerdict = race.name();
+  report.raceReason = race.reason;
   return report;
 }
 
@@ -88,6 +92,11 @@ std::string ExplainReport::text() const {
        << staticProfileVerdict;
     if (!staticProfileReason.empty()) os << ", " << staticProfileReason;
     os << ")\n";
+  }
+  if (!raceVerdict.empty()) {
+    os << "races    : " << raceVerdict;
+    if (!raceReason.empty()) os << " (" << raceReason << ")";
+    os << "\n";
   }
   os.precision(1);
   os << std::fixed;
@@ -172,6 +181,13 @@ std::string ExplainReport::json() const {
     os << "{\"verdict\": \"" << jsonEscape(staticProfileVerdict)
        << "\", \"reason\": \"" << jsonEscape(staticProfileReason)
        << "\", \"provenance\": \"" << jsonEscape(profileProvenance) << "\"}";
+  }
+  os << ", \"race\": ";
+  if (raceVerdict.empty()) {
+    os << "null";
+  } else {
+    os << "{\"verdict\": \"" << jsonEscape(raceVerdict)
+       << "\", \"reason\": \"" << jsonEscape(raceReason) << "\"}";
   }
   os << "}";
   return os.str();

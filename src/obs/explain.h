@@ -16,7 +16,7 @@ namespace flexcl::obs {
 
 /// Version of the explain JSON schema (first key of ExplainReport::json()).
 /// Bumped whenever a key is added, removed or reordered.
-inline constexpr int kExplainSchemaVersion = 3;
+inline constexpr int kExplainSchemaVersion = 4;
 
 struct ExplainReport {
   std::string kernel;
@@ -32,6 +32,12 @@ struct ExplainReport {
   std::string staticProfileVerdict;
   std::string staticProfileReason;
   std::string profileProvenance;
+  /// Race-verifier surface (DESIGN.md §15): the kernel verdict ("race-free"
+  /// | "racy" | "unknown") and its reason (witness summary / first blocking
+  /// reason, empty for race-free). Empty when unknown (bare estimate) —
+  /// rendered as null then.
+  std::string raceVerdict;
+  std::string raceReason;
 
   /// Human-readable report: metadata lines, the component table
   /// (cycles + share per component, footer row asserting the sum), and the

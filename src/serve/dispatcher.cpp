@@ -238,10 +238,32 @@ void Dispatcher::seedProfileFor(LaunchContext& ctx,
   }
 }
 
+void Dispatcher::seedRaceFor(LaunchContext& ctx,
+                             const model::DesignPoint& design) {
+  if (!store_) return;
+  const interp::NdRange range = model::FlexCl::rangeFor(ctx.launch, design);
+  std::uint64_t key = ctx.profileKeyBase;
+  for (std::uint64_t l : range.local) key = stableHashCombine(key, l);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ctx.raceKeysSeen.insert(key).second) return;
+  }
+  const auto bytes = store_->load(Store::Family::Race, key, kRaceCodecVersion);
+  if (!bytes) return;
+  ByteReader r(*bytes);
+  analysis::raceverify::RaceVerdict verdict;
+  if (!decodeRaceVerdict(r, &verdict)) return;
+  if (ctx.flexcl->seedRaceVerdict(ctx.launch, design, std::move(verdict))) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    saved_.insert({static_cast<std::uint32_t>(Store::Family::Race), key});
+  }
+}
+
 std::shared_ptr<const model::Estimate> Dispatcher::estimateVia(
     LaunchContext& ctx, const model::DesignPoint& design) {
   obs::PhaseTimer phase(obs::RequestScope::current(), "eval");
   seedProfileFor(ctx, design);
+  seedRaceFor(ctx, design);
   auto est = evalCache_.flexcl(ctx.evalKeyBase, design, [&] {
     markRequestComputed();
     return ctx.flexcl->estimate(ctx.launch, design);
@@ -346,6 +368,24 @@ void Dispatcher::persistCaches() {
       encodeProfile(w, profile);
       persist(Store::Family::Profile, key, kProfileCodecVersion, w.take());
     });
+    ctx->flexcl->forEachRaceVerdict(
+        [&](std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+            const analysis::raceverify::RaceVerdict& verdict) {
+          std::uint64_t key = ctx->profileKeyBase;
+          key = stableHashCombine(key, l0);
+          key = stableHashCombine(key, l1);
+          key = stableHashCombine(key, l2);
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (saved_.count({static_cast<std::uint32_t>(Store::Family::Race),
+                              key}) > 0) {
+              return;
+            }
+          }
+          ByteWriter w;
+          encodeRaceVerdict(w, verdict);
+          persist(Store::Family::Race, key, kRaceCodecVersion, w.take());
+        });
   }
 }
 

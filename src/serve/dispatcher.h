@@ -98,6 +98,9 @@ class Dispatcher {
     std::uint64_t profileKeyBase = 0;
     /// Profile store keys already checked against the disk.
     std::set<std::uint64_t> profileKeysSeen;
+    /// Race-verdict store keys already checked against the disk (same key
+    /// scheme as profiles; the families live in separate directories).
+    std::set<std::uint64_t> raceKeysSeen;
   };
 
   /// Finds or builds the context for `request`. nullptr (with `error` set)
@@ -120,6 +123,8 @@ class Dispatcher {
   /// Seeds ctx's profile cache for the effective geometry of `design` from
   /// the store (checked once per key).
   void seedProfileFor(LaunchContext& ctx, const model::DesignPoint& design);
+  /// Same for the race-verdict cache (Family::Race, profile key scheme).
+  void seedRaceFor(LaunchContext& ctx, const model::DesignPoint& design);
   /// Rendered-response caching (lint/explain): one content-addressed string.
   std::string responseVia(std::uint64_t key,
                           const std::function<std::string()>& render);

@@ -356,4 +356,33 @@ bool decodeCompileOutcome(ByteReader& r, CompileOutcome* out) {
   return r.fullyConsumedOk();
 }
 
+void encodeRaceVerdict(ByteWriter& w,
+                       const analysis::raceverify::RaceVerdict& v) {
+  w.u8(static_cast<std::uint8_t>(v.kind));
+  w.str(v.reason);
+  w.u64(v.pairsChecked);
+  w.u64(v.pairsProven);
+  w.u64(v.racyPairs);
+  w.u64(v.unknownPairs);
+  w.u64(v.barrierIntervals);
+  w.boolean(v.epochsExact);
+}
+
+bool decodeRaceVerdict(ByteReader& r, analysis::raceverify::RaceVerdict* out) {
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(
+                 analysis::raceverify::RaceVerdictKind::Unknown)) {
+    return false;
+  }
+  out->kind = static_cast<analysis::raceverify::RaceVerdictKind>(kind);
+  out->reason = r.str();
+  out->pairsChecked = r.u64();
+  out->pairsProven = r.u64();
+  out->racyPairs = r.u64();
+  out->unknownPairs = r.u64();
+  out->barrierIntervals = r.u64();
+  out->epochsExact = r.boolean();
+  return r.fullyConsumedOk();
+}
+
 }  // namespace flexcl::serve

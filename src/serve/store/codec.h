@@ -35,6 +35,7 @@ inline constexpr std::uint32_t kSimResultCodecVersion = 1;
 inline constexpr std::uint32_t kProfileCodecVersion = 2;  // +provenance u8
 inline constexpr std::uint32_t kCompileCodecVersion = 1;
 inline constexpr std::uint32_t kResponseCodecVersion = 1;
+inline constexpr std::uint32_t kRaceCodecVersion = 1;
 
 /// Append-only little-endian byte buffer.
 class ByteWriter {
@@ -114,5 +115,12 @@ bool decodeProfile(ByteReader& r, interp::KernelProfile* out);
 
 void encodeCompileOutcome(ByteWriter& w, const CompileOutcome& c);
 bool decodeCompileOutcome(ByteReader& r, CompileOutcome* out);
+
+/// Race verdict: the summary fields only; per-pair results and witnesses are
+/// re-derived in-process when the verifier runs (the persisted verdict is
+/// enough for the simulator's conflict-tracking elision and `cache stats`).
+void encodeRaceVerdict(ByteWriter& w,
+                       const analysis::raceverify::RaceVerdict& v);
+bool decodeRaceVerdict(ByteReader& r, analysis::raceverify::RaceVerdict* out);
 
 }  // namespace flexcl::serve

@@ -82,6 +82,7 @@ const char* Store::familyName(Family f) {
     case Family::SimEval: return "sim";
     case Family::Profile: return "profile";
     case Family::Response: return "response";
+    case Family::Race: return "race";
   }
   return "unknown";
 }
@@ -294,6 +295,7 @@ std::uint64_t Store::verify() {
         case Family::SimEval: return kSimResultCodecVersion;
         case Family::Profile: return kProfileCodecVersion;
         case Family::Response: return kResponseCodecVersion;
+        case Family::Race: return kRaceCodecVersion;
       }
       return 0u;
     }();

@@ -9,6 +9,7 @@
 //   <dir>/sim/<key>.fxe        sim::SimResult     (runtime::EvalCache)
 //   <dir>/profile/<key>.fxe    interp::KernelProfile (model::FlexCl)
 //   <dir>/response/<key>.fxe   rendered lint/explain result JSON
+//   <dir>/race/<key>.fxe       race verdicts (model::FlexCl)
 //
 // Every entry carries a fixed header — magic, store format version, family,
 // per-family payload version, key, payload size, payload checksum — so a
@@ -43,10 +44,12 @@ class Store {
     SimEval = 4,
     Profile = 5,
     Response = 6,
+    Race = 7,
   };
   static constexpr Family kAllFamilies[] = {
       Family::Compile, Family::FlexclEval, Family::SdaccelEval,
       Family::SimEval, Family::Profile,    Family::Response,
+      Family::Race,
   };
   static const char* familyName(Family f);
 
@@ -82,7 +85,7 @@ class Store {
     std::uint64_t quarantined = 0;  ///< *.quar files present
   };
   struct StoreStats {
-    FamilyStats perFamily[6];  ///< indexed by family id - 1
+    FamilyStats perFamily[7];  ///< indexed by family id - 1
     [[nodiscard]] std::uint64_t totalEntries() const;
     [[nodiscard]] std::uint64_t totalBytes() const;
     [[nodiscard]] std::uint64_t totalQuarantined() const;

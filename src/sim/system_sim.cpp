@@ -16,7 +16,8 @@ namespace flexcl::sim {
 
 SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
                          const std::vector<interp::KernelArg>& args,
-                         const std::vector<std::vector<std::uint8_t>>& buffers) {
+                         const std::vector<std::vector<std::uint8_t>>& buffers,
+                         const SimInputOptions& options) {
   SimInput input;
   input.fn = &fn;
   input.range = range;
@@ -25,10 +26,18 @@ SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
   interp::InterpOptions opts;
   opts.captureGlobalTrace = true;
   opts.captureLocalTrace = true;
+  opts.raceCheck = options.conflictTracking;
   interp::InterpResult result = runKernel(fn, range, args, scratch, opts);
   if (!result.ok) {
     input.error = result.error;
     return input;
+  }
+  input.raceChecked = options.conflictTracking;
+  input.raceConflicts = result.raceCount;
+  if (obs::enabled()) {
+    obs::add(options.conflictTracking ? "sim.race_check.run"
+                                      : "sim.race_check.elided");
+    obs::add("sim.race_check.conflicts", result.raceCount);
   }
 
   // Split the global trace per work-item, preserving each item's order, then

@@ -41,13 +41,29 @@ struct SimInput {
   /// Full-range profile (loop trips, local-memory trace) for the
   /// hardware-side analysis.
   interp::KernelProfile profile;
+  /// Cross-work-item conflict tracking ran during the functional execution
+  /// (SimInputOptions::conflictTracking) and what it observed.
+  bool raceChecked = false;
+  std::uint64_t raceConflicts = 0;
+};
+
+struct SimInputOptions {
+  /// Track cross-work-item conflicts (the interpreter's dynamic race
+  /// checker, DESIGN.md §15) while producing the functional trace. Callers
+  /// turn this off when the static race verifier proved the kernel RaceFree:
+  /// the shadow-state bookkeeping is pure detection, so the trace and every
+  /// simulator result are bit-identical either way (asserted in
+  /// tests/test_raceverify.cpp) — the win is the skipped per-byte shadow
+  /// updates, reported via the sim.race_check.{run,elided} counters.
+  bool conflictTracking = true;
 };
 
 /// Runs the interpreter over the full NDRange once and prepares per-work-item
 /// access chains.
 SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
                          const std::vector<interp::KernelArg>& args,
-                         const std::vector<std::vector<std::uint8_t>>& buffers);
+                         const std::vector<std::vector<std::uint8_t>>& buffers,
+                         const SimInputOptions& options = {});
 
 struct SimOptions {
   std::uint64_t seed = 0x5eed;

@@ -3,6 +3,7 @@
 // and the explorer's feasibility pruning.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "analysis/analyze.h"
@@ -188,6 +189,59 @@ TEST(LintPasses, UniformBarrierIsNotWarned) {
   const LintReport report = runLintPasses(*fnOf(*p, "k"));
   EXPECT_TRUE(findingsWithRule(report, "barrier-divergence").empty());
   EXPECT_TRUE(report.usesBarrier);
+}
+
+// Uniformity tier 2: `gid - lid` is the group base — the local-id
+// contributions cancel, so every work-item of a group computes the same
+// condition value and the barrier cannot diverge.
+TEST(LintPasses, GroupBaseConditionDischargesBarrierDivergence) {
+  auto p = compile(
+      "__kernel void k(__global float* out) {\n"
+      "  int gid = get_global_id(0);\n"
+      "  int lid = get_local_id(0);\n"
+      "  if (gid - lid < 32) barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[gid] = 1.0f;\n"
+      "}\n");
+  const interp::NdRange range{{64, 1, 1}, {16, 1, 1}};
+  LintOptions opts;
+  opts.range = &range;
+  opts.profileCrossCheck = false;
+  const LintReport report = runLintPasses(*fnOf(*p, "k"), opts);
+  EXPECT_TRUE(findingsWithRule(report, "barrier-divergence").empty());
+  const auto discharged = findingsWithRule(report, "provably-uniform-branch");
+  ASSERT_EQ(discharged.size(), 1u);
+  EXPECT_EQ(discharged[0]->pass, "uniform-branch");
+  EXPECT_EQ(discharged[0]->severity, DiagSeverity::Note);
+}
+
+// Uniformity tier 3 (per-group sweep): `gid < 32` with 16-wide groups splits
+// exactly on a group boundary — uniform for this geometry, divergent for a
+// threshold that falls inside a group.
+TEST(LintPasses, GroupAlignedThresholdDischargesOnlyWhenAligned) {
+  const char* src =
+      "__kernel void k(__global float* out) {\n"
+      "  int gid = get_global_id(0);\n"
+      "  if (gid < %d) barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  out[gid] = 1.0f;\n"
+      "}\n";
+  const interp::NdRange range{{64, 1, 1}, {16, 1, 1}};
+  LintOptions opts;
+  opts.range = &range;
+  opts.profileCrossCheck = false;
+
+  char aligned[256];
+  std::snprintf(aligned, sizeof(aligned), src, 32);
+  auto pa = compile(aligned);
+  const LintReport ra = runLintPasses(*fnOf(*pa, "k"), opts);
+  EXPECT_TRUE(findingsWithRule(ra, "barrier-divergence").empty());
+  EXPECT_EQ(findingsWithRule(ra, "provably-uniform-branch").size(), 1u);
+
+  char misaligned[256];
+  std::snprintf(misaligned, sizeof(misaligned), src, 40);  // mid-group
+  auto pm = compile(misaligned);
+  const LintReport rm = runLintPasses(*fnOf(*pm, "k"), opts);
+  EXPECT_EQ(findingsWithRule(rm, "barrier-divergence").size(), 1u);
+  EXPECT_TRUE(findingsWithRule(rm, "provably-uniform-branch").empty());
 }
 
 // The Figure 3 shape: work-item t+1 reads the local cell work-item t wrote.
@@ -489,7 +543,7 @@ TEST(Report, JsonSchemaVersionAndKeyOrderArePinned) {
   report.classifiedSites = 2;
 
   EXPECT_EQ(renderJson(report),
-            "{\"schema_version\":3,\"kernel\":\"k\",\"errors\":0,"
+            "{\"schema_version\":4,\"kernel\":\"k\",\"errors\":0,"
             "\"warnings\":1,\"findings\":[{\"pass\":\"trip-count\","
             "\"rule\":\"unresolved-trip-count\",\"severity\":\"warning\","
             "\"line\":3,\"column\":7,"
@@ -498,7 +552,7 @@ TEST(Report, JsonSchemaVersionAndKeyOrderArePinned) {
             "\"accessSites\":{\"global\":2,\"classified\":2},"
             "\"patterns\":[],\"crossCheck\":null,\"crossWiDependences\":[],"
             "\"accessBounds\":[],\"reqdWorkGroupSize\":[0,0,0],"
-            "\"usesBarrier\":false,\"staticProfile\":null}");
+            "\"usesBarrier\":false,\"staticProfile\":null,\"race\":null}");
 
   // With a verdict attached the nullable object renders with a fixed key
   // order of its own.

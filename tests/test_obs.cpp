@@ -591,7 +591,7 @@ TEST(ObsExplain, JsonSchemaVersionAndKeyOrderArePinned) {
   const obs::ExplainReport failed =
       obs::buildExplainReport(bad, model::DesignPoint{}, "k", "dev");
   EXPECT_EQ(failed.json(),
-            "{\"schema_version\": 3, \"kernel\": \"k\", \"device\": \"dev\", "
+            "{\"schema_version\": 4, \"kernel\": \"k\", \"device\": \"dev\", "
             "\"design\": \"" +
                 model::DesignPoint{}.str() + "\", \"ok\": false, \"error\": \"boom\"}");
 
@@ -603,13 +603,13 @@ TEST(ObsExplain, JsonSchemaVersionAndKeyOrderArePinned) {
       obs::explainEstimate(flexcl, p.launch, space.front(), "nn");
   ASSERT_TRUE(report.estimate.ok) << report.estimate.error;
   const std::string json = report.json();
-  EXPECT_EQ(json.rfind("{\"schema_version\": 3, \"kernel\"", 0), 0u);
+  EXPECT_EQ(json.rfind("{\"schema_version\": 4, \"kernel\"", 0), 0u);
   std::size_t pos = 0;
   for (const char* key :
        {"\"schema_version\"", "\"kernel\"", "\"device\"", "\"design\"",
         "\"ok\"", "\"mode\"", "\"cycles\"", "\"milliseconds\"",
         "\"breakdown\"", "\"parallel\"", "\"pipeline\"", "\"bottleneck\"",
-        "\"static_profile\""}) {
+        "\"static_profile\"", "\"race\""}) {
     const std::size_t at = json.find(key, pos);
     ASSERT_NE(at, std::string::npos) << key;  // present AND in this order
     pos = at;
@@ -618,11 +618,14 @@ TEST(ObsExplain, JsonSchemaVersionAndKeyOrderArePinned) {
   EXPECT_NE(json.find("\"static_profile\": {\"verdict\": \""),
             std::string::npos);
   EXPECT_NE(json.find("\"provenance\": \""), std::string::npos);
+  // explainEstimate also runs the race verifier: verdict + reason rendered.
+  EXPECT_NE(json.find("\"race\": {\"verdict\": \""), std::string::npos);
   // A report built from a bare estimate has no tier knowledge: null.
-  EXPECT_NE(obs::buildExplainReport(report.estimate, space.front(), "nn", "dev")
-                .json()
-                .find("\"static_profile\": null"),
-            std::string::npos);
+  const std::string bare =
+      obs::buildExplainReport(report.estimate, space.front(), "nn", "dev")
+          .json();
+  EXPECT_NE(bare.find("\"static_profile\": null"), std::string::npos);
+  EXPECT_NE(bare.find("\"race\": null"), std::string::npos);
 }
 
 TEST(ObsExplain, FailedEstimateRendersError) {

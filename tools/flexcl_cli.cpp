@@ -77,6 +77,11 @@ struct CliOptions {
   // Lint mode.
   std::string format = "text";
   bool crossCheck = true;
+  /// Lint exit-code policy: what counts as failure (exit 1).
+  ///   "error"   lint errors only (the default, pre-flag behaviour)
+  ///   "race"    additionally a racy race-verifier verdict
+  ///   "unknown" additionally an unknown (unproven) verdict
+  std::string failOn = "error";
   // Observability (DESIGN.md §9/§14).
   std::string tracePath;    ///< Chrome trace JSON, written on exit
   std::string metricsPath;  ///< counter/gauge registry JSON, written on exit
@@ -104,6 +109,9 @@ int usage() {
                "  flexcl lint     <file.cl> <kernel> [--global N] [--global-y N]\n"
                "                  [--wg N] [--wg-y N] [--elems N]\n"
                "                  [--format text|json] [--no-cross-check]\n"
+               "                  [--fail-on error|race|unknown]\n"
+               "                  (race: exit 1 on data races too; unknown:\n"
+               "                  also when the race verdict is unproven)\n"
                "  flexcl ir       <file.cl>\n"
                "  flexcl serve    [--store DIR] [--socket PATH] [--jobs N]\n"
                "                  (line-delimited JSON requests on stdin and,\n"
@@ -164,6 +172,7 @@ bool parseArgs(int argc, char** argv, CliOptions* opts) {
     else if (arg == "--jobs") opts->jobs = std::atoi(value());
     else if (arg == "--format") opts->format = value();
     else if (arg == "--no-cross-check") opts->crossCheck = false;
+    else if (arg == "--fail-on") opts->failOn = value();
     else if (arg == "--trace") opts->tracePath = value();
     else if (arg == "--metrics") opts->metricsPath = value();
     else if (arg == "--log-json") opts->logJsonPath = value();
@@ -210,6 +219,12 @@ int runIr(const CliOptions& opts) {
 }
 
 int runLint(const CliOptions& opts) {
+  if (opts.failOn != "error" && opts.failOn != "race" &&
+      opts.failOn != "unknown") {
+    std::fprintf(stderr, "--fail-on must be error, race, or unknown (got %s)\n",
+                 opts.failOn.c_str());
+    return 2;
+  }
   bool ok = false;
   const std::string source = readFile(opts.file, &ok);
   if (!ok) {
@@ -246,7 +261,14 @@ int runLint(const CliOptions& opts) {
   } else {
     std::printf("%s", analysis::renderText(report).c_str());
   }
-  return report.hasErrors() ? 1 : 0;
+  bool fail = report.hasErrors();
+  if (opts.failOn == "race" || opts.failOn == "unknown") {
+    fail = fail || report.raceVerdict == "racy";
+  }
+  if (opts.failOn == "unknown") {
+    fail = fail || report.raceVerdict == "unknown";
+  }
+  return fail ? 1 : 0;
 }
 
 int runEstimateOrExplore(const CliOptions& opts) {
@@ -597,6 +619,33 @@ int runCache(const CliOptions& opts) {
       std::printf(" (%llu synthesized, %llu interpreted)",
                   static_cast<unsigned long long>(synthesized),
                   static_cast<unsigned long long>(interpreted));
+    }
+    if (f == serve::Store::Family::Race && fam.entries > 0) {
+      // Verdict breakdown, mirroring the profile provenance line.
+      std::uint64_t raceFree = 0;
+      std::uint64_t racy = 0;
+      std::uint64_t unknown = 0;
+      store.loadAll(serve::Store::Family::Race, serve::kRaceCodecVersion,
+                    [&](std::uint64_t, const std::vector<std::uint8_t>& bytes) {
+                      serve::ByteReader r(bytes);
+                      analysis::raceverify::RaceVerdict v;
+                      if (!serve::decodeRaceVerdict(r, &v)) return;
+                      switch (v.kind) {
+                        case analysis::raceverify::RaceVerdictKind::RaceFree:
+                          ++raceFree;
+                          break;
+                        case analysis::raceverify::RaceVerdictKind::Racy:
+                          ++racy;
+                          break;
+                        case analysis::raceverify::RaceVerdictKind::Unknown:
+                          ++unknown;
+                          break;
+                      }
+                    });
+      std::printf(" (%llu race-free, %llu racy, %llu unknown)",
+                  static_cast<unsigned long long>(raceFree),
+                  static_cast<unsigned long long>(racy),
+                  static_cast<unsigned long long>(unknown));
     }
     std::printf("\n");
   }
