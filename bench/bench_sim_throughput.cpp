@@ -1,0 +1,217 @@
+// Cold full-suite simulator throughput (DESIGN.md §16).
+//
+// Compiles all 60 Rodinia + PolyBench kernels up front, then:
+//   1. one timed prepare pass — prepareSimInput for every workload through a
+//      single shared SimScratch (the streaming-coalescer path the Explorer
+//      uses),
+//   2. one timed cold sim sweep per engine — simulate() of every workload at
+//      the default design point with EngineKind::Fast and then
+//      EngineKind::Reference.
+// Compilation is excluded from all timings. Reports, as JSON on stdout:
+//   - a google-benchmark-shaped "sim_throughput" section
+//     (BM_SimPrepareInputs / BM_SimSweepFastEngine /
+//      BM_SimSweepReferenceEngine wall-clock ns) consumable by bench_gate,
+//   - per-workload simulated cycles and fast-engine cycles/second,
+//   - the fast engine's skip-ahead counters and the sweep speedup.
+// Exit code 1 when an invariant breaks: any SimResult field differing
+// between the two engines (the fast engine must change *how fast*, never
+// *what*) — wall-clock speedup is reported but not gated here (CI noise);
+// bench_gate gates the sweep latencies.
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "model/design_point.h"
+#include "model/device.h"
+#include "obs/registry.h"
+#include "sim/system_sim.h"
+#include "workloads/workload.h"
+
+using namespace flexcl;
+
+namespace {
+
+/// The local size the suite sweeps use (mirrors tests/test_simengine.cpp).
+interp::NdRange workloadRange(const workloads::Workload& w) {
+  interp::NdRange range = w.range;
+  range.local = {std::min<std::uint64_t>(32, range.global[0]), 1, 1};
+  while (range.global[0] % range.local[0] != 0) --range.local[0];
+  if (range.global[1] > 1) {
+    range.local = {8, 4, 1};
+    while (range.global[0] % range.local[0] != 0) range.local[0] /= 2;
+    while (range.global[1] % range.local[1] != 0) range.local[1] /= 2;
+  }
+  return range;
+}
+
+struct SweepRun {
+  std::vector<sim::SimResult> results;
+  std::vector<double> perWorkloadSeconds;
+  double seconds = 0;
+  double cpuSeconds = 0;
+};
+
+SweepRun sweep(const std::vector<sim::SimInput>& inputs,
+               sim::EngineKind engine) {
+  const model::Device device = model::Device::virtex7();
+  const model::DesignPoint design;
+  sim::SimOptions options;
+  options.engine = engine;
+  SweepRun run;
+  run.results.reserve(inputs.size());
+  run.perWorkloadSeconds.reserve(inputs.size());
+  const auto wallStart = std::chrono::steady_clock::now();
+  const std::clock_t cpuStart = std::clock();
+  for (const sim::SimInput& input : inputs) {
+    const auto start = std::chrono::steady_clock::now();
+    run.results.push_back(sim::simulate(input, device, design, options));
+    run.perWorkloadSeconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  run.cpuSeconds =
+      static_cast<double>(std::clock() - cpuStart) / CLOCKS_PER_SEC;
+  run.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wallStart)
+                    .count();
+  return run;
+}
+
+void printBenchEntry(const char* name, double seconds, double cpuSeconds,
+                     bool last) {
+  std::printf("    {\"name\": \"%s\", \"iterations\": 1, "
+              "\"real_time\": %.0f, \"cpu_time\": %.0f, "
+              "\"time_unit\": \"ns\"}%s\n",
+              name, seconds * 1e9, cpuSeconds * 1e9, last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ObsOptions obsOpts;
+  if (!obsOpts.parse(&argc, argv)) return 2;
+  obsOpts.begin();
+
+  std::vector<workloads::CompiledWorkload> compiled;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) {
+      std::string error;
+      auto cw = workloads::compileWorkload(w, &error);
+      if (!cw) {
+        std::fprintf(stderr, "compile failed: %s: %s\n", w.fullName().c_str(),
+                     error.c_str());
+        return 1;
+      }
+      compiled.push_back(std::move(*cw));
+    }
+  }
+
+  // Timed prepare pass: every workload streams its trace through one shared
+  // scratch (images and coalescer arenas get reused across workloads exactly
+  // as in the Explorer's pool).
+  std::vector<sim::SimInput> inputs;
+  inputs.reserve(compiled.size());
+  sim::SimScratch scratch;
+  const auto prepWallStart = std::chrono::steady_clock::now();
+  const std::clock_t prepCpuStart = std::clock();
+  for (const workloads::CompiledWorkload& cw : compiled) {
+    inputs.push_back(sim::prepareSimInput(*cw.fn, workloadRange(cw.meta),
+                                          cw.args, cw.buffers, {}, scratch));
+    if (!inputs.back().ok) {
+      std::fprintf(stderr, "prepare failed: %s: %s\n",
+                   cw.meta.fullName().c_str(), inputs.back().error.c_str());
+      return 1;
+    }
+  }
+  const double prepCpuSeconds =
+      static_cast<double>(std::clock() - prepCpuStart) / CLOCKS_PER_SEC;
+  const double prepSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    prepWallStart)
+          .count();
+
+  // Fast sweep first, with counters on, to collect the skip-ahead stats the
+  // README's perf claim cites; the reference sweep follows counter-free.
+  const bool wasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  const std::uint64_t events0 = obs::counter("sim.events").value();
+  const std::uint64_t chain0 = obs::counter("sim.skip_ahead.chain").value();
+  const std::uint64_t issue0 = obs::counter("sim.skip_ahead.issue").value();
+  const SweepRun fast = sweep(inputs, sim::EngineKind::Fast);
+  const std::uint64_t events = obs::counter("sim.events").value() - events0;
+  const std::uint64_t skipChain =
+      obs::counter("sim.skip_ahead.chain").value() - chain0;
+  const std::uint64_t skipIssue =
+      obs::counter("sim.skip_ahead.issue").value() - issue0;
+  obs::setEnabled(wasEnabled);
+  const SweepRun reference = sweep(inputs, sim::EngineKind::Reference);
+
+  // The two engines process the identical pinned event order — every result
+  // field must agree bit for bit (the suite-wide gate, mirrored from
+  // tests/test_simengine.cpp).
+  bool identical = true;
+  std::string firstDivergence;
+  for (std::size_t i = 0; identical && i < fast.results.size(); ++i) {
+    const sim::SimResult& a = fast.results[i];
+    const sim::SimResult& b = reference.results[i];
+    if (a.ok != b.ok || a.cycles != b.cycles ||
+        a.milliseconds != b.milliseconds || a.iiHw != b.iiHw ||
+        a.depthHw != b.depthHw || a.effectivePes != b.effectivePes ||
+        a.effectiveCus != b.effectiveCus || a.dramAccesses != b.dramAccesses ||
+        a.dramRowHits != b.dramRowHits || a.workGroups != b.workGroups ||
+        a.dramRefreshStallCycles != b.dramRefreshStallCycles ||
+        a.dramBankWaitCycles != b.dramBankWaitCycles ||
+        a.dramBusWaitCycles != b.dramBusWaitCycles ||
+        a.memStallCycles != b.memStallCycles ||
+        a.dispatchStallCycles != b.dispatchStallCycles) {
+      identical = false;
+      firstDivergence = compiled[i].meta.fullName();
+    }
+  }
+
+  std::printf("{\n");
+  std::printf("  \"schema\": \"flexcl-sim-throughput-v1\",\n");
+  std::printf("  \"sim_throughput\": [\n");
+  printBenchEntry("BM_SimPrepareInputs", prepSeconds, prepCpuSeconds, false);
+  printBenchEntry("BM_SimSweepFastEngine", fast.seconds, fast.cpuSeconds,
+                  false);
+  printBenchEntry("BM_SimSweepReferenceEngine", reference.seconds,
+                  reference.cpuSeconds, true);
+  std::printf("  ],\n");
+  std::printf("  \"workloads\": [\n");
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
+    const double cycles = fast.results[i].cycles;
+    const double secs = fast.perWorkloadSeconds[i];
+    std::printf("    {\"name\": \"%s\", \"cycles\": %.0f, "
+                "\"cycles_per_sec\": %.0f}%s\n",
+                compiled[i].meta.fullName().c_str(), cycles,
+                secs > 0 ? cycles / secs : 0.0,
+                i + 1 < compiled.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"sweep\": {\n");
+  std::printf("    \"workloads\": %zu,\n", compiled.size());
+  std::printf("    \"results_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("    \"events\": %llu,\n",
+              static_cast<unsigned long long>(events));
+  std::printf("    \"skip_ahead_chain\": %llu,\n",
+              static_cast<unsigned long long>(skipChain));
+  std::printf("    \"skip_ahead_issue\": %llu,\n",
+              static_cast<unsigned long long>(skipIssue));
+  std::printf("    \"speedup\": %.2f\n",
+              fast.seconds > 0 ? reference.seconds / fast.seconds : 0.0);
+  std::printf("  }\n");
+  std::printf("}\n");
+
+  if (!obsOpts.finish()) return 1;
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: engines diverge (first: %s)\n",
+                 firstDivergence.c_str());
+    return 1;
+  }
+  return 0;
+}

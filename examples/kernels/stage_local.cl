@@ -1,0 +1,12 @@
+// Stages the input through a local-memory tile behind a barrier: the barrier
+// forces barrier communication mode, so the simulator runs one lane per CU
+// and the fast engine's skip-ahead paths fire (CI sim-throughput smoke).
+//
+//   flexcl estimate examples/kernels/stage_local.cl stage --global 2048 \
+//       --wg 64 --sim
+__kernel void stage(__global const float* in, __global float* out) {
+  __local float tile[64];
+  tile[get_local_id(0)] = in[get_global_id(0)];
+  barrier(CLK_LOCAL_MEM_FENCE);
+  out[get_global_id(0)] = 0.5f * tile[get_local_id(0)];
+}

@@ -2,10 +2,34 @@
 
 #include <algorithm>
 
+#include "dram/coalescer.h"
+
 namespace flexcl::dram {
+
+namespace {
+
+bool isPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::uint32_t log2Of(std::uint64_t v) {
+  std::uint32_t s = 0;
+  while ((1ull << s) < v) ++s;
+  return s;
+}
+
+}  // namespace
 
 DramSim::DramSim(const DramConfig& config) : config_(config) {
   banks_.resize(static_cast<std::size_t>(config.banks));
+  const auto banks = static_cast<std::uint64_t>(config.banks);
+  pow2Map_ = isPow2(config.interleaveBytes) && isPow2(banks) &&
+             isPow2(config.rowBytes);
+  if (pow2Map_) {
+    interleaveShift_ = log2Of(config.interleaveBytes);
+    interleaveMask_ = config.interleaveBytes - 1ull;
+    bankShift_ = log2Of(banks);
+    bankMask_ = banks - 1;
+    rowShift_ = log2Of(config.rowBytes);
+  }
 }
 
 void DramSim::reset() {
@@ -17,21 +41,38 @@ void DramSim::reset() {
   refreshStallCycles_ = 0;
   bankWaitCycles_ = 0;
   busWaitCycles_ = 0;
+  refreshWindowStart_ = 0;
+  refreshWindowEnd_ = 0;
+  refreshClearAt_ = 0;
 }
 
-std::uint64_t DramSim::refreshAdjusted(std::uint64_t cycle) const {
+std::uint64_t DramSim::refreshAdjusted(std::uint64_t cycle) {
   if (config_.refreshInterval <= 0) return cycle;
-  const auto interval = static_cast<std::uint64_t>(config_.refreshInterval);
-  const auto duration = static_cast<std::uint64_t>(config_.refreshDuration);
-  // Refresh occupies [k*interval, k*interval + duration).
-  const std::uint64_t phase = cycle % interval;
-  if (phase < duration) return cycle + (duration - phase);
-  return cycle;
+  if (cycle < refreshWindowStart_ || cycle >= refreshWindowEnd_) {
+    // Refresh occupies [k*interval, k*interval + duration).
+    const auto interval = static_cast<std::uint64_t>(config_.refreshInterval);
+    refreshWindowStart_ = (cycle / interval) * interval;
+    refreshWindowEnd_ = refreshWindowStart_ + interval;
+    refreshClearAt_ =
+        refreshWindowStart_ + static_cast<std::uint64_t>(config_.refreshDuration);
+  }
+  return cycle < refreshClearAt_ ? refreshClearAt_ : cycle;
+}
+
+BankAddress DramSim::map(std::uint64_t address) const {
+  if (!pow2Map_) return mapAddress(config_, address);
+  const std::uint64_t chunk = address >> interleaveShift_;
+  BankAddress result;
+  result.bank = static_cast<int>(chunk & bankMask_);
+  const std::uint64_t inBank =
+      ((chunk >> bankShift_) << interleaveShift_) | (address & interleaveMask_);
+  result.row = inBank >> rowShift_;
+  return result;
 }
 
 std::uint64_t DramSim::access(std::uint64_t cycle, std::uint64_t address,
                               bool isWrite) {
-  const BankAddress ba = mapAddress(config_, address);
+  const BankAddress ba = map(address);
   Bank& bank = banks_[static_cast<std::size_t>(ba.bank)];
 
   // The bank accepts the command once free of its previous one; the
@@ -79,6 +120,16 @@ std::uint64_t DramSim::access(std::uint64_t cycle, std::uint64_t address,
   if (hit) ++rowHits_;
   latencySum_ += done - cycle;
   return done;
+}
+
+std::uint64_t DramSim::accessChain(std::uint64_t cycle,
+                                   const CoalescedAccess* chain,
+                                   std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const CoalescedAccess& a = chain[i];
+    cycle = access(cycle, linearAddress(a.buffer, a.offset), a.isWrite);
+  }
+  return cycle;
 }
 
 }  // namespace flexcl::dram

@@ -16,6 +16,8 @@
 
 namespace flexcl::dram {
 
+struct CoalescedAccess;  // coalescer.h
+
 class DramSim {
  public:
   explicit DramSim(const DramConfig& config);
@@ -23,6 +25,15 @@ class DramSim {
   /// Issues one access at `cycle`; returns its completion cycle. Requests to
   /// a busy bank queue behind it; the shared bus serialises transfers.
   std::uint64_t access(std::uint64_t cycle, std::uint64_t address, bool isWrite);
+
+  /// Issues one lane's contiguous span of coalesced accesses back-to-back:
+  /// each command starts when the previous one completed (a lane's memory
+  /// engine serialises its own chain), exactly as if the caller looped over
+  /// access(). Returns the completion cycle of the last command; `count` of
+  /// zero returns `cycle`. Batching keeps the bank/bus/refresh state hot in
+  /// one tight loop instead of re-entering per command.
+  std::uint64_t accessChain(std::uint64_t cycle, const CoalescedAccess* chain,
+                            std::size_t count);
 
   /// Resets all bank state (row buffers closed, buses idle).
   void reset();
@@ -47,9 +58,14 @@ class DramSim {
   [[nodiscard]] const DramConfig& config() const { return config_; }
 
  private:
-  /// First cycle at or after `cycle` not blocked by refresh; advances the
-  /// refresh schedule as time moves forward.
-  [[nodiscard]] std::uint64_t refreshAdjusted(std::uint64_t cycle) const;
+  /// First cycle at or after `cycle` not blocked by refresh. Memoizes the
+  /// enclosing refresh window: accesses cluster in time, so the common case
+  /// is a compare + subtract instead of a 64-bit modulo per command.
+  [[nodiscard]] std::uint64_t refreshAdjusted(std::uint64_t cycle);
+
+  /// mapAddress with a shift/mask fast path when the geometry is all
+  /// powers of two (the default 8 banks / 1 KB rows / 64 B interleave is).
+  [[nodiscard]] BankAddress map(std::uint64_t address) const;
 
   struct Bank {
     std::uint64_t openRow = ~0ull;
@@ -67,6 +83,20 @@ class DramSim {
   std::uint64_t refreshStallCycles_ = 0;
   std::uint64_t bankWaitCycles_ = 0;
   std::uint64_t busWaitCycles_ = 0;
+
+  // Refresh-window memo (refreshAdjusted): [windowStart_, windowEnd_) is the
+  // refresh interval last queried; cycles below clearAt_ are blocked.
+  std::uint64_t refreshWindowStart_ = 0;
+  std::uint64_t refreshWindowEnd_ = 0;  ///< 0 = memo cold
+  std::uint64_t refreshClearAt_ = 0;
+
+  // Power-of-two geometry fast path (precomputed once per config).
+  bool pow2Map_ = false;
+  std::uint32_t interleaveShift_ = 0;
+  std::uint64_t interleaveMask_ = 0;
+  std::uint32_t bankShift_ = 0;
+  std::uint64_t bankMask_ = 0;
+  std::uint32_t rowShift_ = 0;
 };
 
 }  // namespace flexcl::dram

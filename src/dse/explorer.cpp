@@ -99,8 +99,27 @@ const sim::SimInput& Explorer::simInputFor(const model::DesignPoint& design) {
     sim::SimInputOptions simOptions;
     simOptions.conflictTracking =
         !flexcl_.raceVerdictFor(launch_, design).raceFree();
-    return sim::prepareSimInput(*launch_.fn, range, launch_.args,
-                                *launch_.buffers, simOptions);
+    // Borrow a scratch from the free list (prewarm runs these on pool
+    // threads); its interpreter buffer images and coalescer arenas are
+    // reused across local sizes — the launch buffers are byte-stable for
+    // the Explorer's lifetime, which is the SimScratch reuse contract.
+    std::unique_ptr<sim::SimScratch> scratch;
+    {
+      const std::lock_guard<std::mutex> lock(simScratchMutex_);
+      if (!simScratchPool_.empty()) {
+        scratch = std::move(simScratchPool_.back());
+        simScratchPool_.pop_back();
+      }
+    }
+    if (!scratch) scratch = std::make_unique<sim::SimScratch>();
+    sim::SimInput input = sim::prepareSimInput(
+        *launch_.fn, range, launch_.args, *launch_.buffers, simOptions,
+        *scratch);
+    {
+      const std::lock_guard<std::mutex> lock(simScratchMutex_);
+      simScratchPool_.push_back(std::move(scratch));
+    }
+    return input;
   });
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <tuple>
 #include <vector>
@@ -173,6 +174,11 @@ class Explorer {
   // Design-independent simulator input per effective local size. Unbounded,
   // so simInputFor's references stay valid for the Explorer's lifetime.
   runtime::MemoCache<LocalSizeKey, sim::SimInput> simInputs_;
+  // Free-list of sim::SimScratch instances: prepareSimInput calls can run
+  // concurrently on pool threads (prewarm), and each reuses one scratch's
+  // buffer images / coalescer arenas instead of reallocating per local size.
+  std::mutex simScratchMutex_;
+  std::vector<std::unique_ptr<sim::SimScratch>> simScratchPool_;
 };
 
 }  // namespace flexcl::dse

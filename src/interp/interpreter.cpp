@@ -93,6 +93,7 @@ class Machine {
     }
     // Loop bookkeeping from the region tree.
     result_.loops.resize(static_cast<std::size_t>(fn_.loopCount));
+    result_.buffersWritten.assign(buffers_.size(), 0);
     indexLoops(fn_.rootRegion());
   }
 
@@ -254,6 +255,9 @@ bool Machine::access(const Instruction& inst, const Pointer& p, std::uint64_t si
     }
   } else if (isWrite) {
     writeValue(*valueType, *in, pool->data() + p.offset);
+    if (p.space == AddressSpace::Global || p.space == AddressSpace::Constant) {
+      result_.buffersWritten[static_cast<std::size_t>(p.buffer)] = 1;
+    }
   } else if (out) {
     *out = readValue(*valueType, pool->data() + p.offset);
   }
@@ -277,7 +281,11 @@ bool Machine::access(const Instruction& inst, const Pointer& p, std::uint64_t si
     ev.size = static_cast<std::uint32_t>(size);
     ev.isWrite = isWrite;
     ev.instId = inst.id;
-    result_.trace.push_back(ev);
+    if (options_.traceSink != nullptr) {
+      options_.traceSink->onAccess(ev);
+    } else {
+      result_.trace.push_back(ev);
+    }
   }
   return true;
 }

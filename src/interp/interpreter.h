@@ -77,11 +77,26 @@ struct MemoryAccessEvent {
   std::uint32_t instId = 0;  ///< IR instruction id of the load/store
 };
 
+/// Streaming consumer for captured memory-access events (InterpOptions::
+/// traceSink). When set, every recorded event is delivered here in execution
+/// order instead of accumulating in InterpResult::trace — the full trace of a
+/// large NDRange never has to materialize. Events arrive exactly as they
+/// would have been appended: groups sequentially, work-items of a group
+/// round-robin at barrier-segment granularity.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onAccess(const MemoryAccessEvent& ev) = 0;
+};
+
 struct InterpOptions {
   /// Error out on out-of-bounds accesses instead of reading zero / dropping.
   bool strictBounds = false;
   bool captureGlobalTrace = false;
   bool captureLocalTrace = false;
+  /// Streaming trace consumer; when non-null, captured events go here and
+  /// InterpResult::trace stays empty.
+  TraceSink* traceSink = nullptr;
   /// Dynamic race detection: happens-before over barrier epochs with
   /// per-address last-writer/last-reader shadow state. Conflicts are reported
   /// in InterpResult::races without affecting execution.
@@ -130,6 +145,10 @@ struct InterpResult {
   /// capped at 64 records; raceCount keeps the uncapped conflict tally.
   std::vector<RaceRecord> races;
   std::uint64_t raceCount = 0;
+  /// One flag per global buffer: 1 iff the kernel performed an in-bounds
+  /// write to it. Lets callers that keep private buffer images (sim::
+  /// SimScratch) re-copy only what the execution actually mutated.
+  std::vector<std::uint8_t> buffersWritten;
   std::uint64_t oobAccesses = 0;
   std::uint64_t executedInstructions = 0;
   std::uint64_t executedWorkItems = 0;

@@ -42,19 +42,109 @@ SystemEngine::SystemEngine(const SimInput& input, dram::DramSim& dram,
       dispatchOverhead_(dispatchOverhead),
       dispatchJitter_(dispatchJitter),
       rng_(seed) {
-  cus_.resize(static_cast<std::size_t>(std::max(1, numCus)));
+  const auto cus = static_cast<std::uint32_t>(std::max(1, numCus));
   // Barrier mode streams the work-group's transfers through one memory
   // engine; pipeline mode runs one engine per PE lane.
-  const int lanes = hw_.barrierMode ? 1 : std::max(1, hw_.nPe);
-  for (Cu& cu : cus_) cu.lanes.resize(static_cast<std::size_t>(lanes));
+  lanesPerCu_ =
+      hw_.barrierMode ? 1u : static_cast<std::uint32_t>(std::max(1, hw_.nPe));
   totalGroups_ = input_.range.groupCount();
+  localCount_ = input_.range.localCount();
+
+  const interp::NdRange& r = input_.range;
+  localOffsets_.resize(localCount_);
+  for (std::uint64_t l = 0; l < localCount_; ++l) {
+    const std::uint64_t lx = l % r.local[0];
+    const std::uint64_t ly = (l / r.local[0]) % r.local[1];
+    const std::uint64_t lz = l / (r.local[0] * r.local[1]);
+    localOffsets_[l] = lx + ly * r.global[0] + lz * r.global[0] * r.global[1];
+  }
+
+  iiCycles_ = static_cast<std::uint64_t>(std::llround(hw_.iiHw));
+  depthCycles_ = static_cast<std::uint64_t>(std::llround(hw_.depthHw));
+  // Barrier-mode per-group compute phase; the work-group size is constant
+  // across groups, so the reference's per-group double math folds to one
+  // constant.
+  const double n = static_cast<double>(localCount_);
+  const double nPe = std::max(1, hw_.nPe);
+  barrierComputeCycles_ = static_cast<std::uint64_t>(std::llround(
+      hw_.iiHw * std::ceil(std::max(0.0, n - nPe) / nPe) + hw_.depthHw));
+
+  const std::size_t slots = static_cast<std::size_t>(cus) * lanesPerCu_;
+  laneNextIssue_.assign(slots, 0);
+  laneWorkItem_.assign(slots, 0);
+  laneChainPos_.assign(slots, 0);
+  laneChainEnd_.assign(slots, 0);
+  laneComputeDone_.assign(slots, 0);
+  laneMemTime_.assign(slots, 0);
+  laneHasWi_.assign(slots, 0);
+  cuActive_.assign(cus, 0);
+  cuGroupBase_.assign(cus, 0);
+  cuNextLocalWi_.assign(cus, 0);
+  cuOutstanding_.assign(cus, 0);
+  cuGroupDone_.assign(cus, 0);
+  cuLastIssue_.assign(cus, 0);
+  heap_.reserve(slots + 1);
 }
 
-void SystemEngine::dispatchNextGroup(int cuIdx, std::uint64_t readyTime) {
-  Cu& cu = cus_[static_cast<std::size_t>(cuIdx)];
+void SystemEngine::heapPush(std::uint64_t time, std::uint32_t slot) {
+  heap_.push_back(Event{time, slot});
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!keyLess(heap_[i].time, heap_[i].slot, heap_[parent].time,
+                 heap_[parent].slot)) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+  heapPeak_ = std::max(heapPeak_, static_cast<std::uint64_t>(heap_.size()));
+}
+
+SystemEngine::Event SystemEngine::heapPop() {
+  const Event top = heap_[0];
+  const Event last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    std::size_t i = 0;
+    const std::size_t size = heap_.size();
+    for (;;) {
+      const std::size_t first = i * 4 + 1;
+      if (first >= size) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, size);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (keyLess(heap_[c].time, heap_[c].slot, heap_[best].time,
+                    heap_[best].slot)) {
+          best = c;
+        }
+      }
+      if (!keyLess(heap_[best].time, heap_[best].slot, last.time, last.slot)) {
+        break;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+std::uint64_t SystemEngine::groupBase(std::uint64_t group) const {
+  const auto groups = input_.range.groupsPerDim();
+  const std::uint64_t gx = group % groups[0];
+  const std::uint64_t gy = (group / groups[0]) % groups[1];
+  const std::uint64_t gz = group / (groups[0] * groups[1]);
+  const interp::NdRange& r = input_.range;
+  return gx * r.local[0] + gy * r.local[1] * r.global[0] +
+         gz * r.local[2] * r.global[0] * r.global[1];
+}
+
+void SystemEngine::dispatchNextGroup(std::uint32_t cuIdx,
+                                     std::uint64_t readyTime) {
   makespan_ = std::max(makespan_, readyTime);
   if (nextGroup_ >= totalGroups_) {
-    cu.active = false;
+    cuActive_[cuIdx] = 0;
     return;
   }
   const std::uint64_t group = nextGroup_++;
@@ -66,117 +156,139 @@ void SystemEngine::dispatchNextGroup(int cuIdx, std::uint64_t readyTime) {
   dispatcherFree_ = issue + cost;
   const std::uint64_t start = issue + cost;
 
-  cu.active = true;
-  cu.currentGroup = group;
-  cu.groupWis = workItemsOfGroup(input_.range, group);
-  cu.nextLocalWi = 0;
-  cu.outstandingWis = 0;
-  cu.groupDone = start;
-  cu.lastIssue = start;
-  for (std::size_t l = 0; l < cu.lanes.size(); ++l) {
-    cu.lanes[l] = Lane{};
-    cu.lanes[l].nextIssue = start;
-    events_.push(Event{start, cuIdx, static_cast<int>(l)});
+  cuActive_[cuIdx] = 1;
+  cuGroupBase_[cuIdx] = groupBase(group);
+  cuNextLocalWi_[cuIdx] = 0;
+  cuOutstanding_[cuIdx] = 0;
+  cuGroupDone_[cuIdx] = start;
+  cuLastIssue_[cuIdx] = start;
+  const std::uint32_t base = cuIdx * lanesPerCu_;
+  for (std::uint32_t l = 0; l < lanesPerCu_; ++l) {
+    const std::uint32_t slot = base + l;
+    laneNextIssue_[slot] = start;
+    laneWorkItem_[slot] = 0;
+    laneChainPos_[slot] = 0;
+    laneChainEnd_[slot] = 0;
+    laneComputeDone_[slot] = 0;
+    laneMemTime_[slot] = 0;
+    laneHasWi_[slot] = 0;
+    heapPush(start, slot);
   }
 }
 
-void SystemEngine::laneAcquireWorkItem(int cuIdx, int laneIdx, std::uint64_t now) {
-  Cu& cu = cus_[static_cast<std::size_t>(cuIdx)];
-  Lane& lane = cu.lanes[static_cast<std::size_t>(laneIdx)];
-  if (cu.nextLocalWi >= cu.groupWis.size()) return;  // lane goes idle
+void SystemEngine::runLane(std::uint32_t slot, std::uint64_t now) {
+  const std::uint32_t cuIdx = slot / lanesPerCu_;
+  for (;;) {
+    ++events_;
+    if (cuActive_[cuIdx] == 0) return;
 
-  const std::uint64_t start = std::max(now, lane.nextIssue);
-  cu.lastIssue = std::max(cu.lastIssue, start);
-  lane.hasWorkItem = true;
-  lane.workItem = cu.groupWis[cu.nextLocalWi++];
-  lane.accessPos = 0;
-  lane.memTime = start;
-  lane.computeDone =
-      start + static_cast<std::uint64_t>(std::llround(hw_.depthHw));
-  // II pacing applies in pipeline mode; barrier mode streams chains
-  // back-to-back through the single engine.
-  lane.nextIssue =
-      hw_.barrierMode
-          ? start
-          : start + static_cast<std::uint64_t>(std::llround(hw_.iiHw));
-  ++cu.outstandingWis;
-  events_.push(Event{start, cuIdx, laneIdx});
-}
+    if (laneHasWi_[slot] == 0) {
+      // Acquire the group's next work-item, or go idle.
+      if (cuNextLocalWi_[cuIdx] >= localCount_) return;
+      const std::uint64_t start = std::max(now, laneNextIssue_[slot]);
+      cuLastIssue_[cuIdx] = std::max(cuLastIssue_[cuIdx], start);
+      laneHasWi_[slot] = 1;
+      const std::uint64_t wi =
+          cuGroupBase_[cuIdx] + localOffsets_[cuNextLocalWi_[cuIdx]++];
+      laneWorkItem_[slot] = wi;
+      if (wi < input_.workItemCount()) {
+        laneChainPos_[slot] = input_.accessOffsets[wi];
+        laneChainEnd_[slot] = input_.accessOffsets[wi + 1];
+      } else {
+        laneChainPos_[slot] = 0;
+        laneChainEnd_[slot] = 0;
+      }
+      laneMemTime_[slot] = start;
+      laneComputeDone_[slot] = start + depthCycles_;
+      // II pacing applies in pipeline mode; barrier mode streams chains
+      // back-to-back through the single engine.
+      laneNextIssue_[slot] = hw_.barrierMode ? start : start + iiCycles_;
+      ++cuOutstanding_[cuIdx];
+      if (!canRunInline(start, slot)) {
+        heapPush(start, slot);
+        return;
+      }
+      now = start;
+      ++skipAheadIssue_;
+      continue;
+    }
 
-void SystemEngine::finishWorkItem(int cuIdx, int laneIdx, std::uint64_t wiDone) {
-  Cu& cu = cus_[static_cast<std::size_t>(cuIdx)];
-  Lane& lane = cu.lanes[static_cast<std::size_t>(laneIdx)];
-  lane.hasWorkItem = false;
-  cu.groupDone = std::max(cu.groupDone, wiDone);
-  --cu.outstandingWis;
+    if (laneChainPos_[slot] < laneChainEnd_[slot]) {
+      if (heap_.empty()) {
+        // Sole actor: nothing can interleave, so the whole remaining chain
+        // drains through the DRAM simulator in one batch.
+        const std::uint64_t count = laneChainEnd_[slot] - laneChainPos_[slot];
+        laneMemTime_[slot] = dram_.accessChain(
+            std::max(now, laneMemTime_[slot]),
+            input_.accesses.data() + laneChainPos_[slot],
+            static_cast<std::size_t>(count));
+        laneChainPos_[slot] = laneChainEnd_[slot];
+        events_ += count - 1;
+        skipAheadChain_ += count - 1;
+      } else {
+        const dram::CoalescedAccess& a = input_.accesses[laneChainPos_[slot]++];
+        const std::uint64_t memTime =
+            dram_.access(std::max(now, laneMemTime_[slot]),
+                         dram::linearAddress(a.buffer, a.offset), a.isWrite);
+        laneMemTime_[slot] = memTime;
+        if (laneChainPos_[slot] < laneChainEnd_[slot]) {
+          if (!canRunInline(memTime, slot)) {
+            heapPush(memTime, slot);
+            return;
+          }
+          now = memTime;
+          ++skipAheadChain_;
+          continue;
+        }
+      }
+    }
 
-  if (cu.nextLocalWi < cu.groupWis.size()) {
-    // Lane is ready for its next work-item once the II has elapsed and its
-    // memory engine drained.
-    const std::uint64_t ready = std::max(lane.nextIssue, lane.memTime);
-    events_.push(Event{ready, cuIdx, laneIdx});
+    // Chain complete (or empty): the work-item retires when both its memory
+    // chain and its compute pipeline have drained.
+    const std::uint64_t memTime = laneMemTime_[slot];
+    const std::uint64_t wiDone =
+        hw_.barrierMode ? memTime : std::max(memTime, laneComputeDone_[slot]);
+    if (!hw_.barrierMode && memTime > laneComputeDone_[slot]) {
+      memStallCycles_ += memTime - laneComputeDone_[slot];
+    }
+    laneHasWi_[slot] = 0;
+    cuGroupDone_[cuIdx] = std::max(cuGroupDone_[cuIdx], wiDone);
+    --cuOutstanding_[cuIdx];
+
+    if (cuNextLocalWi_[cuIdx] < localCount_) {
+      // Lane is ready for its next work-item once the II has elapsed and
+      // its memory engine drained.
+      const std::uint64_t ready = std::max(laneNextIssue_[slot], memTime);
+      if (!canRunInline(ready, slot)) {
+        heapPush(ready, slot);
+        return;
+      }
+      now = ready;
+      ++skipAheadIssue_;
+      continue;
+    }
+    if (cuOutstanding_[cuIdx] == 0) {
+      std::uint64_t done = cuGroupDone_[cuIdx];
+      // Barrier mode: compute phase after the memory phase — the
+      // (pipelined) PE array processes the work-items from on-chip data.
+      if (hw_.barrierMode) done += barrierComputeCycles_;
+      makespan_ = std::max(makespan_, done);
+      // With work-group pipelining the next group starts filling while this
+      // one drains: the CU is ready at its last issue, not its last retire.
+      const bool overlap = hw_.wgPipeline && !hw_.barrierMode;
+      dispatchNextGroup(cuIdx, overlap ? cuLastIssue_[cuIdx] : done);
+    }
     return;
   }
-  if (cu.outstandingWis == 0) {
-    std::uint64_t done = cu.groupDone;
-    if (hw_.barrierMode) {
-      // Compute phase after the memory phase: the (pipelined) PE array
-      // processes the work-items from on-chip data.
-      const double n = static_cast<double>(cu.groupWis.size());
-      const double nPe = std::max(1, hw_.nPe);
-      const double compute =
-          hw_.iiHw * std::ceil(std::max(0.0, n - nPe) / nPe) + hw_.depthHw;
-      done += static_cast<std::uint64_t>(std::llround(compute));
-    }
-    makespan_ = std::max(makespan_, done);
-    // With work-group pipelining the next group starts filling while this
-    // one drains: the CU is ready at its last issue, not its last retire.
-    const bool overlap = hw_.wgPipeline && !hw_.barrierMode;
-    dispatchNextGroup(cuIdx, overlap ? cu.lastIssue : done);
-  }
-}
-
-void SystemEngine::step(const Event& ev) {
-  Cu& cu = cus_[static_cast<std::size_t>(ev.cu)];
-  if (!cu.active) return;
-  Lane& lane = cu.lanes[static_cast<std::size_t>(ev.lane)];
-
-  if (!lane.hasWorkItem) {
-    laneAcquireWorkItem(ev.cu, ev.lane, ev.time);
-    return;
-  }
-
-  const auto& chain =
-      lane.workItem < input_.workItemAccesses.size()
-          ? input_.workItemAccesses[lane.workItem]
-          : std::vector<dram::CoalescedAccess>{};
-  if (lane.accessPos < chain.size()) {
-    const dram::CoalescedAccess& a = chain[lane.accessPos++];
-    lane.memTime = dram_.access(std::max(ev.time, lane.memTime),
-                                dram::linearAddress(a.buffer, a.offset), a.isWrite);
-    if (lane.accessPos < chain.size()) {
-      events_.push(Event{lane.memTime, ev.cu, ev.lane});
-      return;
-    }
-  }
-  // Chain complete (or empty): the work-item retires when both its memory
-  // chain and its compute pipeline have drained.
-  const std::uint64_t wiDone =
-      hw_.barrierMode ? lane.memTime : std::max(lane.memTime, lane.computeDone);
-  if (!hw_.barrierMode && lane.memTime > lane.computeDone) {
-    memStallCycles_ += lane.memTime - lane.computeDone;
-  }
-  finishWorkItem(ev.cu, ev.lane, wiDone);
 }
 
 std::uint64_t SystemEngine::run() {
-  for (std::size_t c = 0; c < cus_.size(); ++c) {
-    dispatchNextGroup(static_cast<int>(c), 0);
+  for (std::uint32_t c = 0; c < cuActive_.size(); ++c) {
+    dispatchNextGroup(c, 0);
   }
-  while (!events_.empty()) {
-    const Event ev = events_.top();
-    events_.pop();
-    step(ev);
+  while (!heap_.empty()) {
+    const Event ev = heapPop();
+    runLane(ev.slot, ev.time);
   }
   return makespan_;
 }

@@ -1,13 +1,23 @@
-// Event-driven execution engine of the system simulator.
+// Event-driven execution engine of the system simulator (EngineKind::Fast).
 //
 // All compute units and their PE lanes advance through a single time-ordered
 // event queue, so their memory accesses reach the DRAM simulator interleaved
 // as they would in hardware — concurrent work-groups genuinely contend for
 // banks and the data bus instead of being replayed one after another.
+//
+// This is the throughput-tuned engine (DESIGN.md §16). Versus the
+// per-event ReferenceEngine it keeps lane/CU state in struct-of-arrays,
+// replaces std::priority_queue with a 4-ary min-heap keyed by the pinned
+// (time, cu, lane) order, derives each group's work-item ids arithmetically
+// instead of materializing a per-group vector, and skips ahead: whenever a
+// lane's next event would be the heap minimum anyway, the engine processes
+// it inline — barrier-mode and sole-earliest lanes drain whole coalesced
+// chains (dram::DramSim::accessChain) without per-access heap churn. Every
+// skip preserves the pinned event order, so results are bit-identical to
+// the reference engine (gated suite-wide in tests/test_simengine.cpp).
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "dram/dram_sim.h"
@@ -44,41 +54,44 @@ class SystemEngine {
   [[nodiscard]] std::uint64_t dispatchStallCycles() const {
     return dispatchStallCycles_;
   }
+  /// Lane micro-steps processed (heap pops + inline continuations).
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+  /// Chain accesses issued without their own heap event (sim.skip_ahead.chain).
+  [[nodiscard]] std::uint64_t skipAheadChain() const { return skipAheadChain_; }
+  /// Acquire/retire continuations processed inline (sim.skip_ahead.issue).
+  [[nodiscard]] std::uint64_t skipAheadIssue() const { return skipAheadIssue_; }
+  /// Peak event-heap size over the run (sim.heap_peak).
+  [[nodiscard]] std::uint64_t heapPeak() const { return heapPeak_; }
 
  private:
-  struct Lane {
-    std::uint64_t nextIssue = 0;   ///< earliest next work-item start (II pacing)
-    // Current work-item state.
-    bool hasWorkItem = false;
-    std::uint64_t workItem = 0;
-    std::size_t accessPos = 0;
-    std::uint64_t computeDone = 0;
-    std::uint64_t memTime = 0;
-  };
-
-  struct Cu {
-    bool active = false;
-    std::uint64_t currentGroup = 0;
-    std::size_t nextLocalWi = 0;  ///< next unassigned work-item of the group
-    std::size_t outstandingWis = 0;
-    std::uint64_t groupDone = 0;   ///< max work-item completion so far
-    std::uint64_t lastIssue = 0;   ///< latest work-item issue time
-    std::vector<Lane> lanes;
-    std::vector<std::uint64_t> groupWis;  ///< linear ids of the active group
-  };
-
+  /// Heap entry. slot = cu * lanesPerCu + lane, so comparing (time, slot)
+  /// is exactly the pinned (time, cu, lane) order.
   struct Event {
     std::uint64_t time = 0;
-    int cu = 0;
-    int lane = 0;
-    friend bool operator>(const Event& a, const Event& b) { return a.time > b.time; }
+    std::uint32_t slot = 0;
   };
 
-  void dispatchNextGroup(int cu, std::uint64_t readyTime);
-  /// Advances one lane at `ev.time`; may enqueue follow-up events.
-  void step(const Event& ev);
-  void laneAcquireWorkItem(int cuIdx, int laneIdx, std::uint64_t now);
-  void finishWorkItem(int cuIdx, int laneIdx, std::uint64_t wiDone);
+  static bool keyLess(std::uint64_t ta, std::uint32_t sa, std::uint64_t tb,
+                      std::uint32_t sb) {
+    return ta < tb || (ta == tb && sa < sb);
+  }
+  void heapPush(std::uint64_t time, std::uint32_t slot);
+  Event heapPop();
+  /// True iff processing (time, slot) now is the heap minimum anyway: the
+  /// heap is empty, the key beats the top, or it duplicates the top (equal
+  /// keys name the same lane, so the two orders are interchangeable).
+  [[nodiscard]] bool canRunInline(std::uint64_t time, std::uint32_t slot) const {
+    return heap_.empty() ||
+           !keyLess(heap_[0].time, heap_[0].slot, time, slot);
+  }
+
+  void dispatchNextGroup(std::uint32_t cuIdx, std::uint64_t readyTime);
+  /// Advances one lane from the event at `now`, continuing inline while the
+  /// lane's follow-up would be the next event popped anyway.
+  void runLane(std::uint32_t slot, std::uint64_t now);
+  /// Linear global id base of group `group` (work-item l of the group is
+  /// base + localOffsets_[l]).
+  [[nodiscard]] std::uint64_t groupBase(std::uint64_t group) const;
 
   const SimInput& input_;
   dram::DramSim& dram_;
@@ -87,14 +100,42 @@ class SystemEngine {
   double dispatchJitter_;
   Rng rng_;
 
-  std::vector<Cu> cus_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  // Geometry, precomputed once.
+  std::uint32_t lanesPerCu_ = 1;
+  std::uint64_t localCount_ = 1;
+  std::vector<std::uint64_t> localOffsets_;  ///< wi offset from group base
+  std::uint64_t iiCycles_ = 0;               ///< llround(iiHw)
+  std::uint64_t depthCycles_ = 0;            ///< llround(depthHw)
+  std::uint64_t barrierComputeCycles_ = 0;   ///< group compute phase add-on
+
+  // Lane state, struct-of-arrays indexed by slot.
+  std::vector<std::uint64_t> laneNextIssue_;
+  std::vector<std::uint64_t> laneWorkItem_;
+  std::vector<std::uint64_t> laneChainPos_;  ///< absolute index into accesses
+  std::vector<std::uint64_t> laneChainEnd_;
+  std::vector<std::uint64_t> laneComputeDone_;
+  std::vector<std::uint64_t> laneMemTime_;
+  std::vector<std::uint8_t> laneHasWi_;
+
+  // CU state, struct-of-arrays indexed by cu.
+  std::vector<std::uint8_t> cuActive_;
+  std::vector<std::uint64_t> cuGroupBase_;
+  std::vector<std::uint64_t> cuNextLocalWi_;
+  std::vector<std::uint64_t> cuOutstanding_;
+  std::vector<std::uint64_t> cuGroupDone_;
+  std::vector<std::uint64_t> cuLastIssue_;
+
+  std::vector<Event> heap_;  ///< 4-ary min-heap on (time, slot)
   std::uint64_t nextGroup_ = 0;
   std::uint64_t totalGroups_ = 0;
   std::uint64_t dispatcherFree_ = 0;
   std::uint64_t makespan_ = 0;
   std::uint64_t memStallCycles_ = 0;
   std::uint64_t dispatchStallCycles_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t skipAheadChain_ = 0;
+  std::uint64_t skipAheadIssue_ = 0;
+  std::uint64_t heapPeak_ = 0;
 };
 
 /// Linear global ids of one work-group's work-items (local-id order,

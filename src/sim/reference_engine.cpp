@@ -1,0 +1,162 @@
+#include "sim/reference_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexcl::sim {
+
+ReferenceEngine::ReferenceEngine(const SimInput& input, dram::DramSim& dram,
+                                 const CuHardware& hw, int numCus,
+                                 int dispatchOverhead, double dispatchJitter,
+                                 std::uint64_t seed)
+    : input_(input),
+      dram_(dram),
+      hw_(hw),
+      dispatchOverhead_(dispatchOverhead),
+      dispatchJitter_(dispatchJitter),
+      rng_(seed) {
+  cus_.resize(static_cast<std::size_t>(std::max(1, numCus)));
+  // Barrier mode streams the work-group's transfers through one memory
+  // engine; pipeline mode runs one engine per PE lane.
+  const int lanes = hw_.barrierMode ? 1 : std::max(1, hw_.nPe);
+  for (Cu& cu : cus_) cu.lanes.resize(static_cast<std::size_t>(lanes));
+  totalGroups_ = input_.range.groupCount();
+}
+
+void ReferenceEngine::dispatchNextGroup(int cuIdx, std::uint64_t readyTime) {
+  Cu& cu = cus_[static_cast<std::size_t>(cuIdx)];
+  makespan_ = std::max(makespan_, readyTime);
+  if (nextGroup_ >= totalGroups_) {
+    cu.active = false;
+    return;
+  }
+  const std::uint64_t group = nextGroup_++;
+  const std::uint64_t issue = std::max(dispatcherFree_, readyTime);
+  dispatchStallCycles_ += issue - readyTime;
+  const double factor = 1.0 + dispatchJitter_ * (rng_.nextDouble() - 0.5) * 2.0;
+  const auto cost = static_cast<std::uint64_t>(
+      std::llround(std::max(1.0, dispatchOverhead_ * factor)));
+  dispatcherFree_ = issue + cost;
+  const std::uint64_t start = issue + cost;
+
+  cu.active = true;
+  cu.currentGroup = group;
+  cu.groupWis = workItemsOfGroup(input_.range, group);
+  cu.nextLocalWi = 0;
+  cu.outstandingWis = 0;
+  cu.groupDone = start;
+  cu.lastIssue = start;
+  for (std::size_t l = 0; l < cu.lanes.size(); ++l) {
+    cu.lanes[l] = Lane{};
+    cu.lanes[l].nextIssue = start;
+    events_.push(Event{start, cuIdx, static_cast<int>(l)});
+  }
+}
+
+void ReferenceEngine::laneAcquireWorkItem(int cuIdx, int laneIdx,
+                                          std::uint64_t now) {
+  Cu& cu = cus_[static_cast<std::size_t>(cuIdx)];
+  Lane& lane = cu.lanes[static_cast<std::size_t>(laneIdx)];
+  if (cu.nextLocalWi >= cu.groupWis.size()) return;  // lane goes idle
+
+  const std::uint64_t start = std::max(now, lane.nextIssue);
+  cu.lastIssue = std::max(cu.lastIssue, start);
+  lane.hasWorkItem = true;
+  lane.workItem = cu.groupWis[cu.nextLocalWi++];
+  lane.accessPos = 0;
+  lane.memTime = start;
+  lane.computeDone =
+      start + static_cast<std::uint64_t>(std::llround(hw_.depthHw));
+  // II pacing applies in pipeline mode; barrier mode streams chains
+  // back-to-back through the single engine.
+  lane.nextIssue =
+      hw_.barrierMode
+          ? start
+          : start + static_cast<std::uint64_t>(std::llround(hw_.iiHw));
+  ++cu.outstandingWis;
+  events_.push(Event{start, cuIdx, laneIdx});
+}
+
+void ReferenceEngine::finishWorkItem(int cuIdx, int laneIdx,
+                                     std::uint64_t wiDone) {
+  Cu& cu = cus_[static_cast<std::size_t>(cuIdx)];
+  Lane& lane = cu.lanes[static_cast<std::size_t>(laneIdx)];
+  lane.hasWorkItem = false;
+  cu.groupDone = std::max(cu.groupDone, wiDone);
+  --cu.outstandingWis;
+
+  if (cu.nextLocalWi < cu.groupWis.size()) {
+    // Lane is ready for its next work-item once the II has elapsed and its
+    // memory engine drained.
+    const std::uint64_t ready = std::max(lane.nextIssue, lane.memTime);
+    events_.push(Event{ready, cuIdx, laneIdx});
+    return;
+  }
+  if (cu.outstandingWis == 0) {
+    std::uint64_t done = cu.groupDone;
+    if (hw_.barrierMode) {
+      // Compute phase after the memory phase: the (pipelined) PE array
+      // processes the work-items from on-chip data.
+      const double n = static_cast<double>(cu.groupWis.size());
+      const double nPe = std::max(1, hw_.nPe);
+      const double compute =
+          hw_.iiHw * std::ceil(std::max(0.0, n - nPe) / nPe) + hw_.depthHw;
+      done += static_cast<std::uint64_t>(std::llround(compute));
+    }
+    makespan_ = std::max(makespan_, done);
+    // With work-group pipelining the next group starts filling while this
+    // one drains: the CU is ready at its last issue, not its last retire.
+    const bool overlap = hw_.wgPipeline && !hw_.barrierMode;
+    dispatchNextGroup(cuIdx, overlap ? cu.lastIssue : done);
+  }
+}
+
+void ReferenceEngine::step(const Event& ev) {
+  Cu& cu = cus_[static_cast<std::size_t>(ev.cu)];
+  if (!cu.active) return;
+  Lane& lane = cu.lanes[static_cast<std::size_t>(ev.lane)];
+
+  if (!lane.hasWorkItem) {
+    laneAcquireWorkItem(ev.cu, ev.lane, ev.time);
+    return;
+  }
+
+  // Bind the work-item's chain by pointer — a ternary mixing an lvalue with
+  // a prvalue vector used to deep-copy the whole chain per event here
+  // (DESIGN.md §16 regression note).
+  const bool hasChain = lane.workItem < input_.workItemCount();
+  const dram::CoalescedAccess* chain =
+      hasChain ? input_.chainBegin(lane.workItem) : nullptr;
+  const std::size_t chainLen = hasChain ? input_.chainLength(lane.workItem) : 0;
+  if (lane.accessPos < chainLen) {
+    const dram::CoalescedAccess& a = chain[lane.accessPos++];
+    lane.memTime = dram_.access(std::max(ev.time, lane.memTime),
+                                dram::linearAddress(a.buffer, a.offset), a.isWrite);
+    if (lane.accessPos < chainLen) {
+      events_.push(Event{lane.memTime, ev.cu, ev.lane});
+      return;
+    }
+  }
+  // Chain complete (or empty): the work-item retires when both its memory
+  // chain and its compute pipeline have drained.
+  const std::uint64_t wiDone =
+      hw_.barrierMode ? lane.memTime : std::max(lane.memTime, lane.computeDone);
+  if (!hw_.barrierMode && lane.memTime > lane.computeDone) {
+    memStallCycles_ += lane.memTime - lane.computeDone;
+  }
+  finishWorkItem(ev.cu, ev.lane, wiDone);
+}
+
+std::uint64_t ReferenceEngine::run() {
+  for (std::size_t c = 0; c < cus_.size(); ++c) {
+    dispatchNextGroup(static_cast<int>(c), 0);
+  }
+  while (!events_.empty()) {
+    const Event ev = events_.top();
+    events_.pop();
+    step(ev);
+  }
+  return makespan_;
+}
+
+}  // namespace flexcl::sim

@@ -1,0 +1,105 @@
+// Reference execution engine of the system simulator (EngineKind::Reference).
+//
+// The straightforward per-event algorithm: one std::priority_queue event per
+// lane advance, one DRAM command per popped event, a materialized work-item
+// vector per dispatched group. Kept in tree as the differential-testing
+// oracle for the skip-ahead SystemEngine (cu_pipeline.h) — both process the
+// identical pinned (time, cu, lane) event order, and the 60-workload suite
+// sweep in tests/test_simengine.cpp gates bit-identity on every SimResult
+// field. bench_sim_throughput times the two against each other.
+//
+// Tie-breaking is pinned to the full (time, cu, lane) key. Tie order among
+// equal-time events is observable (it decides lane -> work-item assignment
+// and the interleaving of DRAM commands), and std::priority_queue's order
+// for equal keys is implementation-defined — pinning makes the simulation a
+// well-defined function of its inputs on every platform. Each lane has at
+// most one *live* pending event, and duplicate keys (a stale wake racing a
+// redispatch) are interchangeable, so the key order is total.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "dram/dram_sim.h"
+#include "sim/cu_pipeline.h"
+#include "sim/system_sim.h"
+#include "support/rng.h"
+
+namespace flexcl::sim {
+
+class ReferenceEngine {
+ public:
+  ReferenceEngine(const SimInput& input, dram::DramSim& dram,
+                  const CuHardware& hw, int numCus, int dispatchOverhead,
+                  double dispatchJitter, std::uint64_t seed);
+
+  /// Runs every work-group to completion; returns the makespan in cycles.
+  std::uint64_t run();
+
+  // --- statistics ------------------------------------------------------------
+  // Plain members, published once per run by the system simulator.
+  /// Cycles retiring work-items spent waiting on memory beyond their compute
+  /// pipeline drain (pipeline mode only; barrier mode serialises the phases).
+  [[nodiscard]] std::uint64_t memStallCycles() const { return memStallCycles_; }
+  /// Cycles CUs sat ready while the serial dispatcher was busy elsewhere.
+  [[nodiscard]] std::uint64_t dispatchStallCycles() const {
+    return dispatchStallCycles_;
+  }
+
+ private:
+  struct Lane {
+    std::uint64_t nextIssue = 0;   ///< earliest next work-item start (II pacing)
+    // Current work-item state.
+    bool hasWorkItem = false;
+    std::uint64_t workItem = 0;
+    std::size_t accessPos = 0;
+    std::uint64_t computeDone = 0;
+    std::uint64_t memTime = 0;
+  };
+
+  struct Cu {
+    bool active = false;
+    std::uint64_t currentGroup = 0;
+    std::size_t nextLocalWi = 0;  ///< next unassigned work-item of the group
+    std::size_t outstandingWis = 0;
+    std::uint64_t groupDone = 0;   ///< max work-item completion so far
+    std::uint64_t lastIssue = 0;   ///< latest work-item issue time
+    std::vector<Lane> lanes;
+    std::vector<std::uint64_t> groupWis;  ///< linear ids of the active group
+  };
+
+  struct Event {
+    std::uint64_t time = 0;
+    int cu = 0;
+    int lane = 0;
+    friend bool operator>(const Event& a, const Event& b) {
+      return std::tie(a.time, a.cu, a.lane) > std::tie(b.time, b.cu, b.lane);
+    }
+  };
+
+  void dispatchNextGroup(int cu, std::uint64_t readyTime);
+  /// Advances one lane at `ev.time`; may enqueue follow-up events.
+  void step(const Event& ev);
+  void laneAcquireWorkItem(int cuIdx, int laneIdx, std::uint64_t now);
+  void finishWorkItem(int cuIdx, int laneIdx, std::uint64_t wiDone);
+
+  const SimInput& input_;
+  dram::DramSim& dram_;
+  CuHardware hw_;
+  int dispatchOverhead_;
+  double dispatchJitter_;
+  Rng rng_;
+
+  std::vector<Cu> cus_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t nextGroup_ = 0;
+  std::uint64_t totalGroups_ = 0;
+  std::uint64_t dispatcherFree_ = 0;
+  std::uint64_t makespan_ = 0;
+  std::uint64_t memStallCycles_ = 0;
+  std::uint64_t dispatchStallCycles_ = 0;
+};
+
+}  // namespace flexcl::sim

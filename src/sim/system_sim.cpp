@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "cdfg/cdfg.h"
 #include "model/kernel_model.h"
@@ -10,24 +9,171 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/cu_pipeline.h"
+#include "sim/reference_engine.h"
 #include "support/rng.h"
 
 namespace flexcl::sim {
+
+namespace {
+
+/// Streams the interpreter's recorded events straight into coalescer runs
+/// (global accesses) and the local trace (local accesses), so the raw trace
+/// of the full NDRange never materializes. Run growth mirrors
+/// dram::coalesce() exactly: runs are keyed (work-item, buffer, direction),
+/// an opposite-direction access to the same buffer closes the open run, and
+/// extension requires strictly consecutive byte offsets. Work-item ids never
+/// recur across work-groups, so the open-run map is cleared at each group
+/// boundary (groups execute sequentially) to stay small.
+class CoalescingSink final : public interp::TraceSink {
+ public:
+  CoalescingSink(SimScratch& scratch, std::uint64_t workItemCount)
+      : scratch_(scratch), workItemCount_(workItemCount) {
+    scratch_.runs.clear();
+    scratch_.openRuns.clear();
+  }
+
+  void onAccess(const interp::MemoryAccessEvent& ev) override {
+    if (ev.space == ir::AddressSpace::Local) {
+      localTrace_.push_back(ev);
+      return;
+    }
+    if (ev.workItem >= workItemCount_) return;
+    if (ev.group != currentGroup_) {
+      scratch_.openRuns.clear();
+      currentGroup_ = ev.group;
+    }
+    // A write closes the buffer's open read run and vice versa.
+    scratch_.openRuns.erase(key(ev.workItem, ev.buffer, !ev.isWrite));
+
+    const std::uint64_t k = key(ev.workItem, ev.buffer, ev.isWrite);
+    const auto it = scratch_.openRuns.find(k);
+    if (it != scratch_.openRuns.end() &&
+        scratch_.runs[it->second].end == ev.offset) {
+      scratch_.runs[it->second].end += ev.size;
+      return;
+    }
+    detail::AccessRun run;
+    run.buffer = ev.buffer;
+    run.isWrite = ev.isWrite;
+    run.workItem = ev.workItem;
+    run.start = ev.offset;
+    run.end = ev.offset + ev.size;
+    scratch_.openRuns[k] = scratch_.runs.size();
+    scratch_.runs.push_back(run);
+  }
+
+  [[nodiscard]] std::vector<interp::MemoryAccessEvent>& localTrace() {
+    return localTrace_;
+  }
+
+ private:
+  // Buffer indices are kernel-argument indices (small); work-item ids carry
+  // the high bits.
+  static std::uint64_t key(std::uint64_t workItem, std::int32_t buffer,
+                           bool isWrite) {
+    return (workItem << 17) |
+           ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(buffer)) &
+             0xffffull)
+            << 1) |
+           (isWrite ? 1ull : 0ull);
+  }
+
+  SimScratch& scratch_;
+  std::uint64_t workItemCount_;
+  std::uint32_t currentGroup_ = 0;
+  std::vector<interp::MemoryAccessEvent> localTrace_;
+};
+
+/// Expands the recorded runs into the canonical CSR layout: unit-sized
+/// accesses grouped by work-item, program order within a work-item. Runs are
+/// visited in creation order, so the stable scatter keeps each work-item's
+/// run order identical to coalescing its isolated event stream.
+void buildCsr(SimInput& input, SimScratch& scratch, std::uint32_t unitBytes) {
+  const std::uint64_t n = input.range.globalCount();
+  scratch.unitCursor.assign(n + 1, 0);
+  for (const detail::AccessRun& run : scratch.runs) {
+    const auto bytes = static_cast<std::uint64_t>(run.end - run.start);
+    scratch.unitCursor[run.workItem + 1] += (bytes + unitBytes - 1) / unitBytes;
+  }
+  input.accessOffsets.resize(n + 1);
+  input.accessOffsets[0] = 0;
+  for (std::uint64_t wi = 0; wi < n; ++wi) {
+    input.accessOffsets[wi + 1] =
+        input.accessOffsets[wi] + scratch.unitCursor[wi + 1];
+  }
+  input.accesses.resize(input.accessOffsets[n]);
+  // unitCursor[wi] becomes the next free slot of work-item wi's chain.
+  std::copy(input.accessOffsets.begin(), input.accessOffsets.end() - 1,
+            scratch.unitCursor.begin());
+  for (const detail::AccessRun& run : scratch.runs) {
+    std::uint64_t& cursor = scratch.unitCursor[run.workItem];
+    std::int64_t emitted = run.start;
+    while (emitted < run.end) {
+      dram::CoalescedAccess& a = input.accesses[cursor++];
+      a.buffer = run.buffer;
+      a.offset = emitted;
+      a.bytes = static_cast<std::uint32_t>(
+          std::min<std::int64_t>(unitBytes, run.end - emitted));
+      a.isWrite = run.isWrite;
+      a.workItem = run.workItem;
+      emitted += a.bytes;
+    }
+  }
+}
+
+/// Refreshes the scratch-owned interpreter buffer images from the caller's
+/// buffers, copying only images the previous run dirtied or whose source
+/// changed (see SimScratch contract).
+void syncBufferImages(SimScratch& scratch,
+                      const std::vector<std::vector<std::uint8_t>>& buffers) {
+  const std::size_t n = buffers.size();
+  scratch.bufferImages.resize(n);
+  scratch.imageSources.resize(n, nullptr);
+  scratch.imageSizes.resize(n, 0);
+  scratch.imageDirty.resize(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool reusable = scratch.imageSources[i] == buffers[i].data() &&
+                          scratch.imageSizes[i] == buffers[i].size() &&
+                          scratch.imageDirty[i] == 0;
+    if (!reusable) scratch.bufferImages[i] = buffers[i];
+  }
+}
+
+}  // namespace
 
 SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
                          const std::vector<interp::KernelArg>& args,
                          const std::vector<std::vector<std::uint8_t>>& buffers,
                          const SimInputOptions& options) {
+  SimScratch scratch;
+  return prepareSimInput(fn, range, args, buffers, options, scratch);
+}
+
+SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
+                         const std::vector<interp::KernelArg>& args,
+                         const std::vector<std::vector<std::uint8_t>>& buffers,
+                         const SimInputOptions& options, SimScratch& scratch) {
   SimInput input;
   input.fn = &fn;
   input.range = range;
 
-  std::vector<std::vector<std::uint8_t>> scratch = buffers;
+  syncBufferImages(scratch, buffers);
+  CoalescingSink sink(scratch, range.globalCount());
   interp::InterpOptions opts;
   opts.captureGlobalTrace = true;
   opts.captureLocalTrace = true;
+  opts.traceSink = &sink;
   opts.raceCheck = options.conflictTracking;
-  interp::InterpResult result = runKernel(fn, range, args, scratch, opts);
+  interp::InterpResult result =
+      runKernel(fn, range, args, scratch.bufferImages, opts);
+  // Record image provenance for the next call sharing this scratch; a
+  // buffer stays reusable iff this run left it untouched.
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    scratch.imageSources[i] = buffers[i].data();
+    scratch.imageSizes[i] = buffers[i].size();
+    scratch.imageDirty[i] =
+        i < result.buffersWritten.size() ? result.buffersWritten[i] : 1;
+  }
   if (!result.ok) {
     input.error = result.error;
     return input;
@@ -40,22 +186,8 @@ SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
     obs::add("sim.race_check.conflicts", result.raceCount);
   }
 
-  // Split the global trace per work-item, preserving each item's order, then
-  // coalesce each chain.
-  std::vector<std::vector<interp::MemoryAccessEvent>> perWi(range.globalCount());
-  std::vector<interp::MemoryAccessEvent> localTrace;
-  for (const interp::MemoryAccessEvent& ev : result.trace) {
-    if (ev.space == ir::AddressSpace::Local) {
-      localTrace.push_back(ev);
-      continue;
-    }
-    if (ev.workItem < perWi.size()) perWi[ev.workItem].push_back(ev);
-  }
-  input.workItemAccesses.resize(perWi.size());
   dram::DramConfig dramCfg;  // coalescing unit is a platform constant
-  for (std::size_t wi = 0; wi < perWi.size(); ++wi) {
-    input.workItemAccesses[wi] = dram::coalesce(perWi[wi], dramCfg);
-  }
+  buildCsr(input, scratch, dramCfg.accessUnitBytes);
 
   for (const auto& bb : fn.blocks()) {
     for (const ir::Instruction* inst : bb->instructions()) {
@@ -70,7 +202,7 @@ SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
   for (const interp::LoopStats& stats : result.loops) {
     input.profile.loopTripCounts.push_back(stats.avgTripCount());
   }
-  input.profile.localTrace = std::move(localTrace);
+  input.profile.localTrace = std::move(sink.localTrace());
   input.profile.profiledGroups = result.executedGroups;
   input.profile.profiledWorkItems = result.executedWorkItems;
 
@@ -128,9 +260,28 @@ SimResult simulate(const SimInput& input, const model::Device& device,
   hw.wgPipeline = design.workGroupPipeline;
 
   dram::DramSim dram(hwDevice.dram);
-  SystemEngine engine(input, dram, hw, cus, hwDevice.workGroupDispatchOverhead,
-                      options.dispatchJitter, instanceSeed ^ 0xd15ca7c4ull);
-  const std::uint64_t makespan = engine.run();
+  const std::uint64_t engineSeed = instanceSeed ^ 0xd15ca7c4ull;
+  std::uint64_t makespan = 0;
+  std::uint64_t events = 0, skipChain = 0, skipIssue = 0, heapPeak = 0;
+  if (options.engine == EngineKind::Reference) {
+    ReferenceEngine engine(input, dram, hw, cus,
+                           hwDevice.workGroupDispatchOverhead,
+                           options.dispatchJitter, engineSeed);
+    makespan = engine.run();
+    result.memStallCycles = engine.memStallCycles();
+    result.dispatchStallCycles = engine.dispatchStallCycles();
+  } else {
+    SystemEngine engine(input, dram, hw, cus,
+                        hwDevice.workGroupDispatchOverhead,
+                        options.dispatchJitter, engineSeed);
+    makespan = engine.run();
+    result.memStallCycles = engine.memStallCycles();
+    result.dispatchStallCycles = engine.dispatchStallCycles();
+    events = engine.events();
+    skipChain = engine.skipAheadChain();
+    skipIssue = engine.skipAheadIssue();
+    heapPeak = engine.heapPeak();
+  }
 
   result.ok = true;
   result.cycles = static_cast<double>(makespan);
@@ -145,8 +296,6 @@ SimResult simulate(const SimInput& input, const model::Device& device,
   result.dramRefreshStallCycles = dram.refreshStallCycles();
   result.dramBankWaitCycles = dram.bankWaitCycles();
   result.dramBusWaitCycles = dram.busWaitCycles();
-  result.memStallCycles = engine.memStallCycles();
-  result.dispatchStallCycles = engine.dispatchStallCycles();
 
   // Publish once per run — the inner loops stay counter-free so the
   // simulation is untouched by observability (DESIGN.md §9).
@@ -161,6 +310,12 @@ SimResult simulate(const SimInput& input, const model::Device& device,
     obs::add("dram.bus_wait_cycles", result.dramBusWaitCycles);
     obs::add("sim.mem_stall_cycles", result.memStallCycles);
     obs::add("sim.dispatch_stall_cycles", result.dispatchStallCycles);
+    if (options.engine == EngineKind::Fast) {
+      obs::add("sim.events", events);
+      obs::add("sim.skip_ahead.chain", skipChain);
+      obs::add("sim.skip_ahead.issue", skipIssue);
+      obs::setGauge("sim.heap_peak", static_cast<double>(heapPeak));
+    }
   }
   return result;
 }

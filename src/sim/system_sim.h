@@ -15,7 +15,9 @@
 // the same mechanisms the paper names in §4.2.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dram/coalescer.h"
@@ -27,15 +29,22 @@
 namespace flexcl::sim {
 
 /// Everything design-independent about one launch, computed once per
-/// (kernel, work-group size) and reused across the design space: the full
-/// functional execution trace, split per work-item and coalesced.
+/// (kernel, work-group size) and reused across the design space. The
+/// coalesced access chains live in one flat CSR layout (DESIGN.md §16):
+/// work-item `wi` owns accesses[accessOffsets[wi] .. accessOffsets[wi+1]),
+/// one contiguous array instead of a vector-of-vectors — built by streaming
+/// the interpreter's trace through the coalescer without ever materializing
+/// the raw event list.
 struct SimInput {
   bool ok = false;
   std::string error;
   const ir::Function* fn = nullptr;
   interp::NdRange range;
-  /// Coalesced global accesses of each work-item (by linear global id).
-  std::vector<std::vector<dram::CoalescedAccess>> workItemAccesses;
+  /// CSR chain boundaries: globalCount() + 1 entries, accessOffsets[0] == 0.
+  std::vector<std::uint64_t> accessOffsets;
+  /// All work-items' coalesced global accesses, contiguous, grouped by
+  /// work-item in linear-global-id order, program order within a work-item.
+  std::vector<dram::CoalescedAccess> accesses;
   /// Kernel has barriers (forces barrier communication mode).
   bool hasBarriers = false;
   /// Full-range profile (loop trips, local-memory trace) for the
@@ -45,6 +54,16 @@ struct SimInput {
   /// (SimInputOptions::conflictTracking) and what it observed.
   bool raceChecked = false;
   std::uint64_t raceConflicts = 0;
+
+  [[nodiscard]] std::uint64_t workItemCount() const {
+    return accessOffsets.empty() ? 0 : accessOffsets.size() - 1;
+  }
+  [[nodiscard]] const dram::CoalescedAccess* chainBegin(std::uint64_t wi) const {
+    return accesses.data() + accessOffsets[wi];
+  }
+  [[nodiscard]] std::size_t chainLength(std::uint64_t wi) const {
+    return static_cast<std::size_t>(accessOffsets[wi + 1] - accessOffsets[wi]);
+  }
 };
 
 struct SimInputOptions {
@@ -58,12 +77,61 @@ struct SimInputOptions {
   bool conflictTracking = true;
 };
 
-/// Runs the interpreter over the full NDRange once and prepares per-work-item
-/// access chains.
+namespace detail {
+/// One maximal run of consecutive same-direction bytes on one buffer from
+/// one work-item (the streaming coalescer's unit of growth; see
+/// dram/coalescer.h for the run semantics it mirrors).
+struct AccessRun {
+  std::int32_t buffer = -1;
+  bool isWrite = false;
+  std::uint64_t workItem = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+};
+}  // namespace detail
+
+/// Caller-owned scratch for prepareSimInput (mirrors sched::
+/// ListScheduleScratch): reusing one SimScratch across calls reuses the
+/// interpreter's buffer images and the streaming coalescer's arenas instead
+/// of reallocating per call. Buffer images are re-copied from the caller's
+/// buffers only when the previous run wrote them (InterpResult::
+/// buffersWritten) or the source buffer changed identity/size — callers
+/// sharing a scratch must keep their buffer contents byte-stable between
+/// calls (the Explorer's launch buffers are).
+struct SimScratch {
+  // Interpreter buffer images + the provenance that decides reuse.
+  std::vector<std::vector<std::uint8_t>> bufferImages;
+  std::vector<const std::uint8_t*> imageSources;
+  std::vector<std::size_t> imageSizes;
+  std::vector<std::uint8_t> imageDirty;
+  // Streaming coalescer arenas.
+  std::vector<detail::AccessRun> runs;
+  std::unordered_map<std::uint64_t, std::size_t> openRuns;
+  std::vector<std::uint64_t> unitCursor;
+};
+
+/// Runs the interpreter over the full NDRange once, streaming the global
+/// trace straight into per-work-item coalesced CSR chains.
 SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
                          const std::vector<interp::KernelArg>& args,
                          const std::vector<std::vector<std::uint8_t>>& buffers,
                          const SimInputOptions& options = {});
+
+/// Same, with caller-owned scratch reused across calls (see SimScratch).
+SimInput prepareSimInput(const ir::Function& fn, const interp::NdRange& range,
+                         const std::vector<interp::KernelArg>& args,
+                         const std::vector<std::vector<std::uint8_t>>& buffers,
+                         const SimInputOptions& options, SimScratch& scratch);
+
+/// Which execution engine simulate() runs. Both process the identical
+/// pinned (time, cu, lane) event order and are bit-identical on every
+/// result field (gated over the whole suite in tests/test_simengine.cpp);
+/// Reference is the straightforward per-event oracle kept for differential
+/// testing and bench_sim_throughput.
+enum class EngineKind {
+  Fast,       ///< SoA state, d-ary heap, skip-ahead (DESIGN.md §16)
+  Reference,  ///< per-event std::priority_queue oracle
+};
 
 struct SimOptions {
   std::uint64_t seed = 0x5eed;
@@ -71,6 +139,7 @@ struct SimOptions {
   double latencySpread = 0.12;
   /// Relative jitter on each work-group dispatch.
   double dispatchJitter = 0.2;
+  EngineKind engine = EngineKind::Fast;
 };
 
 struct SimResult {

@@ -85,8 +85,9 @@ TEST_P(KernelPropertyTest, SimulatorInvariants) {
   ASSERT_TRUE(input.ok) << input.error;
 
   // The DRAM sees exactly the coalesced accesses of every work-item.
-  std::uint64_t expectedAccesses = 0;
-  for (const auto& chain : input.workItemAccesses) expectedAccesses += chain.size();
+  const std::uint64_t expectedAccesses = input.accesses.size();
+  ASSERT_EQ(input.workItemCount() + 1, input.accessOffsets.size());
+  EXPECT_EQ(input.accessOffsets.back(), expectedAccesses);
 
   const sim::SimResult a = sim::simulate(input, flexcl_.device(), dp);
   ASSERT_TRUE(a.ok) << a.error;

@@ -40,9 +40,10 @@ TEST(SimInput, CapturesPerWorkItemChains) {
   Fixture f;
   SimInput input = f.input();
   ASSERT_TRUE(input.ok) << input.error;
-  ASSERT_EQ(input.workItemAccesses.size(), 512u);
-  for (const auto& chain : input.workItemAccesses) {
-    EXPECT_EQ(chain.size(), 2u);  // one read, one write
+  ASSERT_EQ(input.workItemCount(), 512u);
+  for (std::uint64_t wi = 0; wi < input.workItemCount(); ++wi) {
+    EXPECT_EQ(input.chainLength(wi), 2u);  // one read, one write
+    EXPECT_EQ(input.chainBegin(wi)[0].workItem, wi);
   }
   EXPECT_FALSE(input.hasBarriers);
   EXPECT_TRUE(input.profile.ok);

@@ -1,0 +1,416 @@
+// Simulator engine tests (DESIGN.md §16): suite-wide Fast-vs-Reference
+// bit-identity (serial and on a 4-worker pool), dispatch-jitter seed
+// determinism, CSR round-trip against the vector-of-vectors coalescing
+// reference, SimScratch reuse identity, the interpreter's streaming
+// TraceSink, and the skip-ahead observability counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "dram/coalescer.h"
+#include "interp/interpreter.h"
+#include "ir/lower.h"
+#include "obs/registry.h"
+#include "runtime/thread_pool.h"
+#include "sim/system_sim.h"
+#include "workloads/workload.h"
+
+namespace flexcl {
+namespace {
+
+/// The local size the other suite sweeps use (mirrors test_raceverify.cpp).
+interp::NdRange workloadRange(const workloads::Workload& w) {
+  interp::NdRange range = w.range;
+  range.local = {std::min<std::uint64_t>(32, range.global[0]), 1, 1};
+  while (range.global[0] % range.local[0] != 0) --range.local[0];
+  if (range.global[1] > 1) {
+    range.local = {8, 4, 1};
+    while (range.global[0] % range.local[0] != 0) range.local[0] /= 2;
+    while (range.global[1] % range.local[1] != 0) range.local[1] /= 2;
+  }
+  return range;
+}
+
+std::unique_ptr<ir::CompiledProgram> compile(const std::string& src) {
+  DiagnosticEngine diags;
+  auto compiled = ir::compileOpenCl(src, diags);
+  EXPECT_TRUE(compiled) << diags.str();
+  return compiled;
+}
+
+/// Every SimResult field must agree exactly — doubles included (both
+/// engines run the identical pinned event order, so there is no tolerance).
+void expectBitIdentical(const sim::SimResult& a, const sim::SimResult& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.ok, b.ok) << what << ": " << a.error << " / " << b.error;
+  if (!a.ok) return;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.milliseconds, b.milliseconds) << what;
+  EXPECT_EQ(a.iiHw, b.iiHw) << what;
+  EXPECT_EQ(a.depthHw, b.depthHw) << what;
+  EXPECT_EQ(a.effectivePes, b.effectivePes) << what;
+  EXPECT_EQ(a.effectiveCus, b.effectiveCus) << what;
+  EXPECT_EQ(a.dramAccesses, b.dramAccesses) << what;
+  EXPECT_EQ(a.dramRowHits, b.dramRowHits) << what;
+  EXPECT_EQ(a.workGroups, b.workGroups) << what;
+  EXPECT_EQ(a.dramRefreshStallCycles, b.dramRefreshStallCycles) << what;
+  EXPECT_EQ(a.dramBankWaitCycles, b.dramBankWaitCycles) << what;
+  EXPECT_EQ(a.dramBusWaitCycles, b.dramBusWaitCycles) << what;
+  EXPECT_EQ(a.memStallCycles, b.memStallCycles) << what;
+  EXPECT_EQ(a.dispatchStallCycles, b.dispatchStallCycles) << what;
+}
+
+void expectSameAccesses(const std::vector<dram::CoalescedAccess>& a,
+                        const std::vector<dram::CoalescedAccess>& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].buffer, b[i].buffer) << what << " access " << i;
+    EXPECT_EQ(a[i].offset, b[i].offset) << what << " access " << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << what << " access " << i;
+    EXPECT_EQ(a[i].isWrite, b[i].isWrite) << what << " access " << i;
+    EXPECT_EQ(a[i].workItem, b[i].workItem) << what << " access " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suite-wide Fast-vs-Reference bit-identity
+// ---------------------------------------------------------------------------
+
+// All 60 bundled workloads, two contrasting design points each: the fast
+// engine (SoA + d-ary heap + skip-ahead) must reproduce the reference
+// engine's results bit for bit, and a 4-worker pool sweep must reproduce the
+// serial sweep bit for bit (jobs never change results).
+TEST(SimEngineSweep, FastMatchesReferenceOnAllWorkloadsAtJobs1AndJobs4) {
+  std::vector<const workloads::Workload*> all;
+  for (const auto* suite :
+       {&workloads::rodiniaSuite(), &workloads::polybenchSuite()}) {
+    for (const workloads::Workload& w : *suite) all.push_back(&w);
+  }
+  ASSERT_EQ(all.size(), 60u);
+
+  // The compiled programs must outlive the inputs: SimInput::fn points into
+  // them and simulate() reads it.
+  std::vector<std::optional<workloads::CompiledWorkload>> programs(all.size());
+  std::vector<sim::SimInput> inputs(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    programs[i] = workloads::compileWorkload(*all[i]);
+    ASSERT_TRUE(programs[i]) << all[i]->fullName();
+    inputs[i] = sim::prepareSimInput(*programs[i]->fn, workloadRange(*all[i]),
+                                     programs[i]->args, programs[i]->buffers);
+    ASSERT_TRUE(inputs[i].ok) << all[i]->fullName() << ": " << inputs[i].error;
+  }
+
+  // A single-lane point and a contended multi-CU/multi-PE point (heap
+  // pressure, cross-CU DRAM interleaving, jittered dispatch).
+  std::vector<model::DesignPoint> designs(2);
+  designs[1].peParallelism = 4;
+  designs[1].numComputeUnits = 4;
+  const model::Device device = model::Device::virtex7();
+  sim::SimOptions fast;
+  fast.engine = sim::EngineKind::Fast;
+  sim::SimOptions reference;
+  reference.engine = sim::EngineKind::Reference;
+
+  const std::size_t cases = all.size() * designs.size();
+  std::vector<sim::SimResult> serialFast(cases);
+  std::vector<sim::SimResult> serialRef(cases);
+  for (std::size_t c = 0; c < cases; ++c) {
+    const sim::SimInput& input = inputs[c / designs.size()];
+    const model::DesignPoint& dp = designs[c % designs.size()];
+    serialFast[c] = sim::simulate(input, device, dp, fast);
+    serialRef[c] = sim::simulate(input, device, dp, reference);
+    expectBitIdentical(serialFast[c], serialRef[c],
+                       all[c / designs.size()]->fullName() + " @ " + dp.str());
+  }
+
+  // Same sweep on 4 pool workers: results are written by index, so the
+  // outcome must be byte-identical to the serial pass.
+  runtime::ThreadPool pool(4);
+  std::vector<sim::SimResult> pooledFast(cases);
+  std::vector<sim::SimResult> pooledRef(cases);
+  pool.parallelFor(cases, [&](std::size_t c) {
+    const sim::SimInput& input = inputs[c / designs.size()];
+    const model::DesignPoint& dp = designs[c % designs.size()];
+    pooledFast[c] = sim::simulate(input, device, dp, fast);
+    pooledRef[c] = sim::simulate(input, device, dp, reference);
+  });
+  for (std::size_t c = 0; c < cases; ++c) {
+    const std::string what =
+        all[c / designs.size()]->fullName() + " @ jobs4";
+    expectBitIdentical(serialFast[c], pooledFast[c], what);
+    expectBitIdentical(serialRef[c], pooledRef[c], what);
+  }
+  std::cout << "simengine sweep: " << all.size() << " workloads x "
+            << designs.size() << " designs, fast == reference\n";
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch-jitter seed determinism
+// ---------------------------------------------------------------------------
+
+// The jittered dispatcher consumes one RNG draw per dispatch in dispatch
+// order; with the pinned event order that stream is a pure function of the
+// seed, so equal seeds reproduce exactly — on both engines — and different
+// seeds realise different makespans.
+TEST(SimEngineDeterminism, DispatchJitterIsAFunctionOfTheSeed) {
+  const workloads::Workload& w = workloads::rodiniaSuite().front();
+  auto compiled = workloads::compileWorkload(w);
+  ASSERT_TRUE(compiled) << w.fullName();
+  const sim::SimInput input = sim::prepareSimInput(
+      *compiled->fn, workloadRange(w), compiled->args, compiled->buffers);
+  ASSERT_TRUE(input.ok) << input.error;
+
+  model::DesignPoint dp;
+  dp.numComputeUnits = 4;  // several CUs contend for the serial dispatcher
+  const model::Device device = model::Device::virtex7();
+  for (std::uint64_t seed : {7ull, 1234ull}) {
+    sim::SimOptions fast;
+    fast.seed = seed;
+    fast.dispatchJitter = 0.35;
+    sim::SimOptions reference = fast;
+    reference.engine = sim::EngineKind::Reference;
+
+    const sim::SimResult f1 = sim::simulate(input, device, dp, fast);
+    const sim::SimResult f2 = sim::simulate(input, device, dp, fast);
+    const sim::SimResult r1 = sim::simulate(input, device, dp, reference);
+    expectBitIdentical(f1, f2, "seed repeat");
+    expectBitIdentical(f1, r1, "fast vs reference under jitter");
+  }
+
+  sim::SimOptions a;
+  a.seed = 7;
+  a.dispatchJitter = 0.35;
+  sim::SimOptions b = a;
+  b.seed = 1234;
+  const sim::SimResult ra = sim::simulate(input, device, dp, a);
+  const sim::SimResult rb = sim::simulate(input, device, dp, b);
+  ASSERT_TRUE(ra.ok && rb.ok);
+  EXPECT_NE(ra.cycles, rb.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// CSR round-trip vs the vector-of-vectors reference
+// ---------------------------------------------------------------------------
+
+// The streaming coalescer + CSR scatter must equal the obvious reference:
+// materialize the trace, split it per work-item, run dram::coalesce on each
+// isolated stream, and concatenate in work-item order.
+TEST(SimEngineCsr, RoundTripMatchesPerWorkItemCoalescingReference) {
+  std::vector<const workloads::Workload*> sample;
+  const auto& rodinia = workloads::rodiniaSuite();
+  const auto& polybench = workloads::polybenchSuite();
+  for (std::size_t i = 0; i < 4 && i < rodinia.size(); ++i)
+    sample.push_back(&rodinia[i]);
+  for (std::size_t i = 0; i < 2 && i < polybench.size(); ++i)
+    sample.push_back(&polybench[i]);
+
+  for (const workloads::Workload* w : sample) {
+    auto compiled = workloads::compileWorkload(*w);
+    ASSERT_TRUE(compiled) << w->fullName();
+    const interp::NdRange range = workloadRange(*w);
+
+    const sim::SimInput input = sim::prepareSimInput(
+        *compiled->fn, range, compiled->args, compiled->buffers);
+    ASSERT_TRUE(input.ok) << w->fullName() << ": " << input.error;
+
+    // Reference: materialized trace, one vector per work-item.
+    interp::InterpOptions opts;
+    opts.captureGlobalTrace = true;
+    auto scratchBuffers = compiled->buffers;
+    const interp::InterpResult run = interp::runKernel(
+        *compiled->fn, range, compiled->args, scratchBuffers, opts);
+    ASSERT_TRUE(run.ok) << w->fullName() << ": " << run.error;
+    std::vector<std::vector<interp::MemoryAccessEvent>> perWi(
+        range.globalCount());
+    for (const interp::MemoryAccessEvent& ev : run.trace) {
+      if (ev.space == ir::AddressSpace::Local) continue;
+      ASSERT_LT(ev.workItem, perWi.size());
+      perWi[ev.workItem].push_back(ev);
+    }
+    const dram::DramConfig cfg;
+    std::vector<std::uint64_t> offsets{0};
+    std::vector<dram::CoalescedAccess> expected;
+    for (const auto& events : perWi) {
+      const auto chain = dram::coalesce(events, cfg);
+      expected.insert(expected.end(), chain.begin(), chain.end());
+      offsets.push_back(expected.size());
+    }
+
+    ASSERT_EQ(input.accessOffsets, offsets) << w->fullName();
+    expectSameAccesses(input.accesses, expected, w->fullName());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimScratch reuse
+// ---------------------------------------------------------------------------
+
+// Repeated prepareSimInput calls sharing one scratch must equal fresh-scratch
+// calls — including for kernels that write buffers they also read, where the
+// dirty-tracking must force a re-copy of the mutated image.
+TEST(SimEngineScratch, SharedScratchReproducesFreshScratchExactly) {
+  const std::string selfMutating =
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = b[i] + a[i];\n"  // reads its own output buffer
+      "}\n";
+  const std::string pure =
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[i] * 2.0f;\n"
+      "}\n";
+  for (const std::string& src : {selfMutating, pure}) {
+    auto program = compile(src);
+    ASSERT_TRUE(program);
+    const ir::Function& fn = *program->module->functions().front();
+    std::vector<std::vector<std::uint8_t>> buffers = {
+        std::vector<std::uint8_t>(512 * 4, 2),
+        std::vector<std::uint8_t>(512 * 4, 1)};  // nonzero: mutation visible
+    const std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                                 interp::KernelArg::buffer(1)};
+    interp::NdRange range;
+    range.global = {512, 1, 1};
+    range.local = {64, 1, 1};
+
+    sim::SimScratch shared;
+    for (int call = 0; call < 3; ++call) {
+      const sim::SimInput fresh =
+          sim::prepareSimInput(fn, range, args, buffers, {});
+      const sim::SimInput reused =
+          sim::prepareSimInput(fn, range, args, buffers, {}, shared);
+      ASSERT_TRUE(fresh.ok) << fresh.error;
+      ASSERT_TRUE(reused.ok) << reused.error;
+      ASSERT_EQ(fresh.accessOffsets, reused.accessOffsets) << "call " << call;
+      expectSameAccesses(fresh.accesses, reused.accesses,
+                         "call " + std::to_string(call));
+      EXPECT_EQ(fresh.hasBarriers, reused.hasBarriers);
+    }
+    // prepareSimInput never mutates the caller's buffers.
+    EXPECT_EQ(buffers[1], std::vector<std::uint8_t>(512 * 4, 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter trace sink
+// ---------------------------------------------------------------------------
+
+class CollectingSink final : public interp::TraceSink {
+ public:
+  void onAccess(const interp::MemoryAccessEvent& ev) override {
+    events.push_back(ev);
+  }
+  std::vector<interp::MemoryAccessEvent> events;
+};
+
+// With a sink installed, events stream in execution order and the result's
+// trace stays empty; the delivered stream equals the materialized one.
+TEST(SimEngineTraceSink, StreamsTheExactTraceWithoutMaterializing) {
+  auto program = compile(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  int i = get_global_id(0);\n"
+      "  b[i] = a[i] + 1.0f;\n"
+      "}\n");
+  ASSERT_TRUE(program);
+  const ir::Function& fn = *program->module->functions().front();
+  const std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                               interp::KernelArg::buffer(1)};
+  interp::NdRange range;
+  range.global = {128, 1, 1};
+  range.local = {32, 1, 1};
+
+  std::vector<std::vector<std::uint8_t>> materialBuffers = {
+      std::vector<std::uint8_t>(128 * 4, 1), std::vector<std::uint8_t>(128 * 4)};
+  interp::InterpOptions materialOpts;
+  materialOpts.captureGlobalTrace = true;
+  const interp::InterpResult material =
+      interp::runKernel(fn, range, args, materialBuffers, materialOpts);
+  ASSERT_TRUE(material.ok) << material.error;
+  ASSERT_FALSE(material.trace.empty());
+
+  std::vector<std::vector<std::uint8_t>> sinkBuffers = {
+      std::vector<std::uint8_t>(128 * 4, 1), std::vector<std::uint8_t>(128 * 4)};
+  CollectingSink sink;
+  interp::InterpOptions sinkOpts;
+  sinkOpts.captureGlobalTrace = true;
+  sinkOpts.traceSink = &sink;
+  const interp::InterpResult streamed =
+      interp::runKernel(fn, range, args, sinkBuffers, sinkOpts);
+  ASSERT_TRUE(streamed.ok) << streamed.error;
+  EXPECT_TRUE(streamed.trace.empty());
+
+  ASSERT_EQ(sink.events.size(), material.trace.size());
+  for (std::size_t i = 0; i < sink.events.size(); ++i) {
+    EXPECT_EQ(sink.events[i].workItem, material.trace[i].workItem) << i;
+    EXPECT_EQ(sink.events[i].buffer, material.trace[i].buffer) << i;
+    EXPECT_EQ(sink.events[i].offset, material.trace[i].offset) << i;
+    EXPECT_EQ(sink.events[i].size, material.trace[i].size) << i;
+    EXPECT_EQ(sink.events[i].isWrite, material.trace[i].isWrite) << i;
+  }
+
+  // buffersWritten: `a` is only read, `b` is written.
+  ASSERT_EQ(streamed.buffersWritten.size(), 2u);
+  EXPECT_EQ(streamed.buffersWritten[0], 0);
+  EXPECT_EQ(streamed.buffersWritten[1], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Skip-ahead observability counters
+// ---------------------------------------------------------------------------
+
+// A barrier-mode kernel runs one lane per CU, so the fast engine must drain
+// whole chains inline: the sim.events / sim.skip_ahead.* counters fire, and
+// only for the fast engine.
+TEST(SimEngineCounters, SkipAheadFiresOnBarrierModeKernel) {
+  const bool wasEnabled = obs::enabled();
+  obs::setEnabled(true);
+  auto program = compile(
+      "__kernel void k(__global const float* a, __global float* b) {\n"
+      "  __local float t[64];\n"
+      "  t[get_local_id(0)] = a[get_global_id(0)];\n"
+      "  barrier(CLK_LOCAL_MEM_FENCE);\n"
+      "  b[get_global_id(0)] = t[get_local_id(0)];\n"
+      "}\n");
+  ASSERT_TRUE(program);
+  const ir::Function& fn = *program->module->functions().front();
+  std::vector<std::vector<std::uint8_t>> buffers = {
+      std::vector<std::uint8_t>(512 * 4, 1), std::vector<std::uint8_t>(512 * 4)};
+  const std::vector<interp::KernelArg> args = {interp::KernelArg::buffer(0),
+                                               interp::KernelArg::buffer(1)};
+  interp::NdRange range;
+  range.global = {512, 1, 1};
+  range.local = {64, 1, 1};
+  const sim::SimInput input = sim::prepareSimInput(fn, range, args, buffers);
+  ASSERT_TRUE(input.ok) << input.error;
+  ASSERT_TRUE(input.hasBarriers);
+
+  const std::uint64_t events0 = obs::counter("sim.events").value();
+  const std::uint64_t chain0 = obs::counter("sim.skip_ahead.chain").value();
+  const std::uint64_t issue0 = obs::counter("sim.skip_ahead.issue").value();
+
+  const sim::SimResult fast = sim::simulate(input, model::Device::virtex7(),
+                                            model::DesignPoint{});
+  ASSERT_TRUE(fast.ok) << fast.error;
+  EXPECT_GT(obs::counter("sim.events").value(), events0);
+  EXPECT_GT(obs::counter("sim.skip_ahead.chain").value(), chain0);
+  EXPECT_GT(obs::counter("sim.skip_ahead.issue").value(), issue0);
+
+  // The reference engine publishes none of the fast-engine counters.
+  const std::uint64_t events1 = obs::counter("sim.events").value();
+  const std::uint64_t chain1 = obs::counter("sim.skip_ahead.chain").value();
+  sim::SimOptions reference;
+  reference.engine = sim::EngineKind::Reference;
+  const sim::SimResult ref = sim::simulate(input, model::Device::virtex7(),
+                                           model::DesignPoint{}, reference);
+  ASSERT_TRUE(ref.ok) << ref.error;
+  EXPECT_EQ(obs::counter("sim.events").value(), events1);
+  EXPECT_EQ(obs::counter("sim.skip_ahead.chain").value(), chain1);
+  expectBitIdentical(fast, ref, "barrier kernel fast vs reference");
+  obs::setEnabled(wasEnabled);
+}
+
+}  // namespace
+}  // namespace flexcl

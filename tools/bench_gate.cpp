@@ -187,13 +187,14 @@ struct Entry {
 
 /// Collects {name -> times} from every benchmark array the file carries:
 /// google-benchmark's "benchmarks" plus the baseline's named sections
-/// ("model_micro", "serve_replay", "serve_latency", "staticprof"). Sections
+/// ("model_micro", "serve_replay", "serve_latency", "staticprof",
+/// "sim_throughput"). Sections
 /// are merged — benchmark names are globally unique across the suite.
 std::map<std::string, Entry> entriesOf(const Json& root) {
   std::map<std::string, Entry> out;
   for (const char* section :
        {"benchmarks", "model_micro", "serve_replay", "serve_latency",
-        "staticprof"}) {
+        "staticprof", "sim_throughput"}) {
     const Json* arr = root.find(section);
     if (arr == nullptr || arr->kind != Json::Kind::Array) continue;
     for (const Json& b : arr->items) {
